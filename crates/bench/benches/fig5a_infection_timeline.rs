@@ -1,0 +1,98 @@
+//! Figure 5a — infections from the self-propagating malware under the
+//! three network conditions (09:00 foothold, first hour shown).
+//!
+//! Paper: baseline — first infection after 1 second, all 92 hosts in
+//! 2 minutes. S-RBAC — first infection at 2.5 minutes, full infection by
+//! 25 minutes. AT-RBAC — first infection at 2.5 minutes, 83/92 by
+//! 40 minutes with the spread stopping before total infection.
+//!
+//! The paper reports one testbed run; target shuffles make single runs
+//! noisy, so this harness prints one run's time series per condition plus
+//! a multi-seed summary.
+
+use dfi_bench::{header, point, quick, row};
+use dfi_worm::{run_scenario, Condition, ScenarioConfig, ScenarioResult, TestbedConfig};
+use std::time::Duration;
+
+fn run_with_seed(condition: Condition, testbed: &TestbedConfig, seed: u64) -> ScenarioResult {
+    run_scenario(&ScenarioConfig {
+        testbed: testbed.clone(),
+        seed,
+        ..ScenarioConfig::paper(condition)
+    })
+}
+
+fn main() {
+    header("Figure 5a: infections over time (09:00 foothold)");
+    let testbed = if quick() {
+        TestbedConfig::small()
+    } else {
+        TestbedConfig::default()
+    };
+    let seeds: &[u64] = if quick() {
+        &[0x5EED]
+    } else {
+        &[0x5EED, 0x5EED1, 0x5EED2]
+    };
+    let conditions = [
+        (Condition::Baseline, "baseline"),
+        (Condition::SRbac, "s-rbac"),
+        (Condition::AtRbac, "at-rbac"),
+    ];
+    let paper = [
+        "first 1s, all 92 by 2min",
+        "first 2.5min, all 92 by 25min",
+        "first 2.5min, 83/92 by 40min, stops short",
+    ];
+
+    let mut summary_rows = Vec::new();
+    for ((condition, name), paper_desc) in conditions.into_iter().zip(paper) {
+        let runs: Vec<ScenarioResult> = seeds
+            .iter()
+            .map(|&s| run_with_seed(condition, &testbed, s))
+            .collect();
+        // Time series from the first seed's run.
+        for (minute, count) in runs[0].series_minutes(60) {
+            point(&format!("infected_{name}"), minute, count as f64);
+        }
+        let mean_first = mean(runs.iter().filter_map(|r| {
+            r.time_to_first_spread().map(|d| d.as_secs_f64())
+        }));
+        let full: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.time_to_full_infection().map(|d| d.as_secs_f64() / 60.0))
+            .collect();
+        let full_str = if full.len() == runs.len() {
+            format!("full {:.1}min", mean(full.iter().copied()))
+        } else {
+            format!("full {}/{} runs", full.len(), runs.len())
+        };
+        let mean_at40 = mean(runs.iter().map(|r| {
+            r.infected_by(r.foothold_at + Duration::from_secs(40 * 60)) as f64
+        }));
+        summary_rows.push((
+            format!("{name}: first spread / full / @40min"),
+            paper_desc,
+            format!(
+                "first {:.0}s, {}, {:.0}/{} @40min (n={})",
+                mean_first,
+                full_str,
+                mean_at40,
+                runs[0].total_hosts,
+                runs.len()
+            ),
+        ));
+    }
+    println!();
+    for (metric, paper_desc, measured) in &summary_rows {
+        row(metric, paper_desc, measured);
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = it.collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}

@@ -1,0 +1,54 @@
+//! Figure 5b — the impact of an AT-RBAC infection conditioned on the time
+//! of day the foothold lands.
+//!
+//! Paper: with AT-RBAC, footholds during business hours spread widely
+//! (log-on events grant reachability), while footholds outside business
+//! hours cannot spread at all before the worm times out — in strong
+//! contrast with S-RBAC and baseline, where any hour infects everything.
+
+use dfi_bench::{header, point, quick, row};
+use dfi_worm::{run_scenario, Condition, ScenarioConfig, TestbedConfig};
+
+fn main() {
+    header("Figure 5b: AT-RBAC infections by foothold hour");
+    let testbed = if quick() {
+        TestbedConfig::small()
+    } else {
+        TestbedConfig::default()
+    };
+    let hours: Vec<f64> = if quick() {
+        vec![3.0, 9.0, 21.0]
+    } else {
+        (0..24).map(|h| h as f64).collect()
+    };
+    let mut business_total = 0usize;
+    let mut offhours_total = 0usize;
+    let mut offhours_runs = 0usize;
+    let mut business_runs = 0usize;
+    for &hour in &hours {
+        let result = run_scenario(&ScenarioConfig {
+            foothold_hour: hour,
+            testbed: testbed.clone(),
+            ..ScenarioConfig::paper(Condition::AtRbac)
+        });
+        point("at_rbac_infected_by_hour", hour, result.infected_total() as f64);
+        if (9.0..17.0).contains(&hour) {
+            business_total += result.infected_total();
+            business_runs += 1;
+        } else if !(7.0..19.0).contains(&hour) {
+            offhours_total += result.infected_total();
+            offhours_runs += 1;
+        }
+    }
+    println!();
+    row(
+        "Off-hours foothold spread (mean infected)",
+        "1 (cannot spread)",
+        &format!("{:.1}", offhours_total as f64 / offhours_runs.max(1) as f64),
+    );
+    row(
+        "Business-hours foothold spread (mean infected)",
+        "large (most of network)",
+        &format!("{:.1}", business_total as f64 / business_runs.max(1) as f64),
+    );
+}

@@ -1,0 +1,163 @@
+//! Criterion microbenchmarks of the hot paths: wire codecs, flow-table
+//! lookup, and policy matching. These measure real CPU time (not virtual
+//! time) — the per-packet costs a production deployment of this code
+//! would pay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfi_core::policy::{EndpointPattern, EndpointView, FlowView, PolicyManager, PolicyRule};
+use dfi_dataplane::FlowTable;
+use dfi_openflow::{Action, FlowMod, Instruction, Match, Message, OfMessage, PacketIn};
+use dfi_packet::headers::build;
+use dfi_packet::{MacAddr, PacketHeaders};
+use dfi_simnet::SimTime;
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn sample_frame(i: u32) -> Vec<u8> {
+    build::tcp_syn(
+        MacAddr::from_index(i),
+        MacAddr::from_index(i + 1),
+        Ipv4Addr::from(0x0A00_0000 + i),
+        Ipv4Addr::from(0x0A40_0000 + i),
+        40_000 + (i % 1000) as u16,
+        445,
+    )
+}
+
+fn sample_flow_mod(i: u32) -> FlowMod {
+    let h = PacketHeaders::parse(&sample_frame(i)).unwrap();
+    FlowMod {
+        cookie: u64::from(i),
+        priority: 100,
+        mat: Match::exact_from_headers(1 + i % 40, &h),
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        ..FlowMod::add()
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("openflow_codec");
+    let fm_msg = OfMessage::new(7, Message::FlowMod(sample_flow_mod(1)));
+    let fm_bytes = fm_msg.encode();
+    g.bench_function("flow_mod_encode", |b| {
+        b.iter(|| black_box(fm_msg.encode()))
+    });
+    g.bench_function("flow_mod_decode", |b| {
+        b.iter(|| black_box(OfMessage::decode(black_box(&fm_bytes)).unwrap()))
+    });
+    let pi_msg = OfMessage::new(
+        9,
+        Message::PacketIn(PacketIn::table_miss(3, 0, sample_frame(2))),
+    );
+    let pi_bytes = pi_msg.encode();
+    g.bench_function("packet_in_encode", |b| {
+        b.iter(|| black_box(pi_msg.encode()))
+    });
+    g.bench_function("packet_in_decode", |b| {
+        b.iter(|| black_box(OfMessage::decode(black_box(&pi_bytes)).unwrap()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("packet_codec");
+    let frame = sample_frame(3);
+    g.bench_function("headers_parse", |b| {
+        b.iter(|| black_box(PacketHeaders::parse(black_box(&frame)).unwrap()))
+    });
+    g.bench_function("tcp_syn_build", |b| {
+        b.iter(|| black_box(sample_frame(black_box(4))))
+    });
+    g.finish();
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_table");
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut table = FlowTable::new(1_000_000);
+        for i in 0..n as u32 {
+            table.add(&sample_flow_mod(i), SimTime::ZERO).unwrap();
+        }
+        let h = PacketHeaders::parse(&sample_frame((n / 2) as u32)).unwrap();
+        let in_port = 1 + (n as u32 / 2) % 40;
+        g.bench_function(format!("exact_lookup_{n}_rules"), |b| {
+            b.iter_batched_ref(
+                || table.clone(),
+                |t| black_box(t.lookup(in_port, &h, 64, SimTime::ZERO)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_manager");
+    for &n in &[10usize, 100, 1_000] {
+        let mut pm = PolicyManager::new();
+        for i in 0..n {
+            pm.insert(
+                PolicyRule::allow(
+                    EndpointPattern::host(&format!("h{i}")),
+                    EndpointPattern::host(&format!("h{}", i + 1)),
+                ),
+                10,
+                "bench",
+            );
+        }
+        let flow = FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(6),
+            src: EndpointView {
+                hostnames: vec![format!("h{}", n / 2)],
+                ..EndpointView::default()
+            },
+            dst: EndpointView {
+                hostnames: vec![format!("h{}", n / 2 + 1)],
+                ..EndpointView::default()
+            },
+        };
+        g.bench_function(format!("query_{n}_rules"), |b| {
+            b.iter(|| black_box(pm.query(black_box(&flow))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    use dfi_simnet::Sim;
+    let mut g = c.benchmark_group("sim_kernel");
+    g.bench_function("schedule_and_run_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            for i in 0..10_000u64 {
+                sim.schedule_at(SimTime::from_nanos(i * 100), |_| {});
+            }
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+    g.bench_function("station_pipeline_1k_jobs", |b| {
+        use dfi_simnet::{Dist, Station, StationConfig};
+        b.iter(|| {
+            let mut sim = Sim::new(2);
+            let st = Station::new(StationConfig {
+                workers: 8,
+                ..StationConfig::simple("b", Dist::normal_ms(1.0, 0.2))
+            });
+            for _ in 0..1_000 {
+                st.submit(&mut sim, |_| {});
+            }
+            sim.run();
+            black_box(st.stats().completed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_flow_table,
+    bench_policy,
+    bench_sim_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table I — DFI performance microbenchmarks.
+//!
+//! Paper (Table I):
+//!   Latency (under no load)      5.73 ms ± 3.39 ms
+//!   Throughput (at saturation)   1350 flows/sec ± 39 flows/sec
+//!
+//! Regenerated with the cbench surrogate: latency mode (serial
+//! packet-in → flow-mod) and throughput mode (saturating flood).
+
+use dfi_bench::{header, ms, quick, row};
+use dfi_cbench::{latency, throughput};
+use std::time::Duration;
+
+fn main() {
+    header("Table I: DFI Performance Microbenchmarks");
+
+    let flows = if quick() { 300 } else { 3_000 };
+    let lat = latency::run(latency::LatencyConfig {
+        flows,
+        ..latency::LatencyConfig::default()
+    });
+    row(
+        "Latency (under no load)",
+        "5.73ms +- 3.39ms",
+        &format!(
+            "{} +- {} (n={})",
+            ms(lat.flow_start.mean()),
+            ms(lat.flow_start.std_dev()),
+            lat.flow_start.count()
+        ),
+    );
+
+    let (warmup, window) = if quick() {
+        (Duration::from_secs(2), Duration::from_secs(6))
+    } else {
+        (Duration::from_secs(5), Duration::from_secs(20))
+    };
+    let thr = throughput::run(throughput::ThroughputConfig {
+        warmup,
+        window,
+        ..throughput::ThroughputConfig::default()
+    });
+    row(
+        "Throughput (at saturation)",
+        "1350 flows/sec +- 39",
+        &format!(
+            "{:.0} flows/sec (offered {:.0}/sec, dropped {})",
+            thr.responses_per_sec,
+            thr.offered as f64
+                / (warmup + window + Duration::from_secs(2)).as_secs_f64(),
+            thr.dfi.dropped
+        ),
+    );
+}

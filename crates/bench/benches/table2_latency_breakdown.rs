@@ -1,0 +1,47 @@
+//! Table II — per-component latency breakdown of one flow's traversal of
+//! the DFI control plane.
+//!
+//! Paper (Table II):
+//!   Binding Query          2.41 ms ± 0.97 ms
+//!   Policy Query           2.52 ms ± 0.85 ms
+//!   Other PCP Processing   0.39 ms ± 0.27 ms
+//!   Proxy                  0.16 ms ± 0.72 ms
+//!   Overall                5.73 ms ± 3.39 ms
+
+use dfi_bench::{header, ms, quick, row};
+use dfi_cbench::latency;
+
+fn main() {
+    header("Table II: Latency Breakdown");
+    let flows = if quick() { 300 } else { 3_000 };
+    let report = latency::run(latency::LatencyConfig {
+        flows,
+        ..latency::LatencyConfig::default()
+    });
+    let m = &report.dfi;
+    row(
+        "Binding Query",
+        "2.41ms +- 0.97ms",
+        &format!("{} +- {}", ms(m.binding.mean()), ms(m.binding.std_dev())),
+    );
+    row(
+        "Policy Query",
+        "2.52ms +- 0.85ms",
+        &format!("{} +- {}", ms(m.policy.mean()), ms(m.policy.std_dev())),
+    );
+    row(
+        "Other PCP Processing",
+        "0.39ms +- 0.27ms",
+        &format!("{} +- {}", ms(m.pcp_other.mean()), ms(m.pcp_other.std_dev())),
+    );
+    row(
+        "Proxy",
+        "0.16ms +- 0.72ms",
+        &format!("{} +- {}", ms(m.proxy.mean()), ms(m.proxy.std_dev())),
+    );
+    row(
+        "Overall",
+        "5.73ms +- 3.39ms",
+        &format!("{} +- {}", ms(m.overall.mean()), ms(m.overall.std_dev())),
+    );
+}

@@ -1,0 +1,259 @@
+//! In-process topic-based publish/subscribe message bus — the RabbitMQ
+//! surrogate.
+//!
+//! The paper's DFI components (Policy Decision Points, Policy Manager,
+//! Entity Resolution Manager, Policy Compilation Point) are separate servers
+//! exchanging protobuf messages over RabbitMQ. Here they are simulated
+//! actors exchanging typed envelopes over this bus; per-message delivery
+//! latency is drawn from a configurable distribution so the control-plane
+//! benchmarks see realistic messaging costs.
+//!
+//! The bus is generic over the message type: each deployment instantiates
+//! it with its own envelope enum (see `dfi_core`'s sensor events).
+//!
+//! # Example
+//!
+//! ```
+//! use dfi_bus::Bus;
+//! use dfi_simnet::{Sim, Dist};
+//! use std::rc::Rc;
+//! use std::cell::RefCell;
+//!
+//! let mut sim = Sim::new(5);
+//! let bus: Bus<String> = Bus::new(Dist::constant_ms(0.1));
+//! let seen = Rc::new(RefCell::new(Vec::new()));
+//! let s = seen.clone();
+//! bus.subscribe("logon-events", move |_sim, msg: &String| {
+//!     s.borrow_mut().push(msg.clone());
+//! });
+//! bus.publish(&mut sim, "logon-events", "alice@alice-laptop".to_string());
+//! sim.run();
+//! assert_eq!(seen.borrow().as_slice(), ["alice@alice-laptop".to_string()]);
+//! ```
+
+#![warn(missing_docs)]
+
+use dfi_simnet::{Dist, Sim};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Handle identifying a subscription, usable to unsubscribe.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SubscriptionId(u64);
+
+type Handler<M> = Rc<dyn Fn(&mut Sim, &M)>;
+
+struct Subscriber<M> {
+    id: u64,
+    handler: Handler<M>,
+}
+
+struct Inner<M> {
+    topics: HashMap<String, Vec<Subscriber<M>>>,
+    latency: Dist,
+    next_id: u64,
+    published: u64,
+    delivered: u64,
+}
+
+/// A shared-handle topic bus. Cloning shares the broker.
+pub struct Bus<M> {
+    inner: Rc<RefCell<Inner<M>>>,
+}
+
+impl<M> Clone for Bus<M> {
+    fn clone(&self) -> Self {
+        Bus {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<M: Clone + 'static> Bus<M> {
+    /// Creates a bus whose per-delivery latency is drawn from `latency`.
+    pub fn new(latency: Dist) -> Bus<M> {
+        Bus {
+            inner: Rc::new(RefCell::new(Inner {
+                topics: HashMap::new(),
+                latency,
+                next_id: 0,
+                published: 0,
+                delivered: 0,
+            })),
+        }
+    }
+
+    /// Subscribes `handler` to `topic`. The handler runs once per message
+    /// published to the topic, after the bus's delivery latency.
+    pub fn subscribe<F>(&self, topic: &str, handler: F) -> SubscriptionId
+    where
+        F: Fn(&mut Sim, &M) + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner
+            .topics
+            .entry(topic.to_string())
+            .or_default()
+            .push(Subscriber {
+                id,
+                handler: Rc::new(handler),
+            });
+        SubscriptionId(id)
+    }
+
+    /// Removes a subscription. Unknown ids are a no-op.
+    pub fn unsubscribe(&self, id: SubscriptionId) {
+        let mut inner = self.inner.borrow_mut();
+        for subs in inner.topics.values_mut() {
+            subs.retain(|s| s.id != id.0);
+        }
+    }
+
+    /// Publishes `msg` to `topic`: each current subscriber receives a copy
+    /// after an independently drawn delivery latency. Messages to topics
+    /// with no subscribers are dropped (counted as published, not
+    /// delivered).
+    pub fn publish(&self, sim: &mut Sim, topic: &str, msg: M) {
+        let (handlers, latency_dist) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.published += 1;
+            let handlers: Vec<Handler<M>> = inner
+                .topics
+                .get(topic)
+                .map(|subs| subs.iter().map(|s| s.handler.clone()).collect())
+                .unwrap_or_default();
+            (handlers, inner.latency.clone())
+        };
+        for handler in handlers {
+            let delay = latency_dist.sample(sim.rng());
+            let msg = msg.clone();
+            let bus = self.clone();
+            sim.schedule_in(delay, move |sim| {
+                bus.inner.borrow_mut().delivered += 1;
+                handler(sim, &msg);
+            });
+        }
+    }
+
+    /// Total messages published.
+    pub fn published(&self) -> u64 {
+        self.inner.borrow().published
+    }
+
+    /// Total deliveries completed.
+    pub fn delivered(&self) -> u64 {
+        self.inner.borrow().delivered
+    }
+
+    /// Number of live subscriptions on `topic`.
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.inner
+            .borrow()
+            .topics
+            .get(topic)
+            .map(|s| s.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_simnet::SimTime;
+    use std::cell::Cell;
+
+    fn bus() -> Bus<u32> {
+        Bus::new(Dist::constant_ms(1.0))
+    }
+
+    #[test]
+    fn publish_reaches_all_subscribers_on_topic() {
+        let mut sim = Sim::new(0);
+        let b = bus();
+        let a = Rc::new(Cell::new(0u32));
+        let c = Rc::new(Cell::new(0u32));
+        let a2 = a.clone();
+        let c2 = c.clone();
+        b.subscribe("t", move |_, m| a2.set(a2.get() + m));
+        b.subscribe("t", move |_, m| c2.set(c2.get() + m * 10));
+        b.publish(&mut sim, "t", 3);
+        sim.run();
+        assert_eq!(a.get(), 3);
+        assert_eq!(c.get(), 30);
+        assert_eq!(b.published(), 1);
+        assert_eq!(b.delivered(), 2);
+    }
+
+    #[test]
+    fn other_topics_do_not_receive() {
+        let mut sim = Sim::new(0);
+        let b = bus();
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        b.subscribe("a", move |_, _| h.set(h.get() + 1));
+        b.publish(&mut sim, "b", 1);
+        sim.run();
+        assert_eq!(hits.get(), 0);
+        assert_eq!(b.delivered(), 0);
+    }
+
+    #[test]
+    fn delivery_is_delayed_by_latency() {
+        let mut sim = Sim::new(0);
+        let b = bus();
+        let at = Rc::new(Cell::new(SimTime::ZERO));
+        let a = at.clone();
+        b.subscribe("t", move |sim, _| a.set(sim.now()));
+        b.publish(&mut sim, "t", 1);
+        sim.run();
+        assert_eq!(at.get(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut sim = Sim::new(0);
+        let b = bus();
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let id = b.subscribe("t", move |_, _| h.set(h.get() + 1));
+        b.publish(&mut sim, "t", 1);
+        sim.run();
+        b.unsubscribe(id);
+        b.publish(&mut sim, "t", 1);
+        sim.run();
+        assert_eq!(hits.get(), 1);
+        assert_eq!(b.subscriber_count("t"), 0);
+    }
+
+    #[test]
+    fn subscribers_can_publish_from_handlers() {
+        let mut sim = Sim::new(0);
+        let b = bus();
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        let b2 = b.clone();
+        b.subscribe("first", move |sim, _| {
+            b2.publish(sim, "second", 1);
+        });
+        b.subscribe("second", move |_, _| h.set(h.get() + 1));
+        b.publish(&mut sim, "first", 1);
+        sim.run();
+        assert_eq!(hits.get(), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(2), "two hops of latency");
+    }
+
+    #[test]
+    fn subscription_after_publish_misses_the_message() {
+        let mut sim = Sim::new(0);
+        let b = bus();
+        b.publish(&mut sim, "t", 1);
+        let hits = Rc::new(Cell::new(0u32));
+        let h = hits.clone();
+        b.subscribe("t", move |_, _| h.set(h.get() + 1));
+        sim.run();
+        assert_eq!(hits.get(), 0, "no retroactive delivery");
+    }
+}

@@ -1,0 +1,190 @@
+//! cbench latency mode: serial request/response against the DFI control
+//! plane (Table I "Latency", Table II breakdown).
+//!
+//! The emulated switch injects one packet-in, waits for DFI's flow-mod to
+//! come back, records the round time, and only then injects the next —
+//! so every measurement sees an otherwise idle control plane.
+
+use crate::random_flow_frame;
+use dfi_core::pdp::priority;
+use dfi_core::policy::PolicyRule;
+use dfi_core::{Dfi, DfiConfig, DfiMetrics};
+use dfi_openflow::{Message, OfMessage, PacketIn};
+use dfi_simnet::{Sim, SimTime, Summary};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Latency-mode parameters.
+#[derive(Clone, Debug)]
+pub struct LatencyConfig {
+    /// Number of serial flow setups to measure.
+    pub flows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// DFI calibration.
+    pub dfi: DfiConfig,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            flows: 2_000,
+            seed: 0xD0F1,
+            dfi: DfiConfig::default(),
+        }
+    }
+}
+
+/// Latency-mode results.
+#[derive(Clone, Debug)]
+pub struct LatencyReport {
+    /// Flow-start latency (seconds per flow), measured at the emulated
+    /// switch: packet-in sent → flow-mod received.
+    pub flow_start: Summary,
+    /// DFI's internal metrics (per-component breakdown, Table II).
+    pub dfi: DfiMetrics,
+}
+
+/// Runs latency mode.
+pub fn run(config: LatencyConfig) -> LatencyReport {
+    let mut sim = Sim::new(config.seed);
+    let dfi = Dfi::new(config.dfi.clone());
+    // An allow-all policy so decisions exercise a real policy hit.
+    dfi.insert_policy(
+        &mut sim,
+        PolicyRule::allow_all(),
+        priority::BASELINE,
+        "cbench",
+    );
+
+    struct State {
+        sent_at: SimTime,
+        completed: usize,
+        flow_start: Summary,
+    }
+    let state = Rc::new(RefCell::new(State {
+        sent_at: SimTime::ZERO,
+        completed: 0,
+        flow_start: Summary::new(),
+    }));
+
+    // The emulated switch: record flow-mod arrivals, then fire the next
+    // packet-in.
+    let inject: Rc<RefCell<Option<Rc<dyn Fn(&mut Sim)>>>> = Rc::new(RefCell::new(None));
+    let st = state.clone();
+    let inj = inject.clone();
+    let flows = config.flows;
+    let to_switch: dfi_dataplane::ByteSink = Rc::new(move |sim, bytes: Vec<u8>| {
+        if let Ok(msg) = OfMessage::decode(&bytes) {
+            if matches!(msg.body, Message::FlowMod(_)) {
+                let mut s = st.borrow_mut();
+                let rt = sim.now() - s.sent_at;
+                s.flow_start.push(rt.as_secs_f64());
+                s.completed += 1;
+                let done = s.completed >= flows;
+                drop(s);
+                if !done {
+                    let next = inj.borrow().clone();
+                    if let Some(next) = next {
+                        next(sim);
+                    }
+                }
+            }
+        }
+    });
+    let conn = dfi.attach_switch_channel(to_switch, 0xCB);
+    let from_switch = dfi.from_switch_sink(conn);
+
+    // The injector closure: build a fresh random flow, stamp, send.
+    let st = state.clone();
+    let frame_rng = Rc::new(RefCell::new(sim.split_rng()));
+    let counter = Rc::new(RefCell::new(0u64));
+    let injector: Rc<dyn Fn(&mut Sim)> = Rc::new(move |sim: &mut Sim| {
+        let c = {
+            let mut c = counter.borrow_mut();
+            *c += 1;
+            *c
+        };
+        let frame = random_flow_frame(&mut frame_rng.borrow_mut(), c);
+        st.borrow_mut().sent_at = sim.now();
+        let pi = PacketIn::table_miss(1 + (c % 48) as u32, 0, frame);
+        let bytes = OfMessage::new(c as u32, Message::PacketIn(pi)).encode();
+        from_switch(sim, bytes);
+    });
+    *inject.borrow_mut() = Some(injector.clone());
+
+    sim.schedule_now(move |sim| injector(sim));
+    sim.set_event_limit(200_000_000);
+    sim.run();
+
+    let s = Rc::try_unwrap(state)
+        .map(|c| c.into_inner())
+        .unwrap_or_else(|rc| {
+            let b = rc.borrow();
+            State {
+                sent_at: b.sent_at,
+                completed: b.completed,
+                flow_start: b.flow_start.clone(),
+            }
+        });
+    LatencyReport {
+        flow_start: s.flow_start,
+        dfi: dfi.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> LatencyReport {
+        run(LatencyConfig {
+            flows: 200,
+            ..LatencyConfig::default()
+        })
+    }
+
+    #[test]
+    fn measures_every_flow() {
+        let r = quick();
+        assert_eq!(r.flow_start.count(), 200);
+        assert_eq!(r.dfi.packet_ins, 200);
+        assert_eq!(r.dfi.allowed, 200);
+        assert_eq!(r.dfi.dropped, 0, "serial load cannot overflow queues");
+    }
+
+    #[test]
+    fn latency_lands_near_paper_calibration() {
+        // Paper Table I: 5.73 ms ± 3.39 under no load.
+        let r = quick();
+        let mean_ms = r.flow_start.mean() * 1e3;
+        assert!(
+            (4.5..7.5).contains(&mean_ms),
+            "flow-start latency {mean_ms} ms out of band"
+        );
+    }
+
+    #[test]
+    fn breakdown_components_near_table_two() {
+        let r = quick();
+        let binding_ms = r.dfi.binding.mean() * 1e3;
+        let policy_ms = r.dfi.policy.mean() * 1e3;
+        let other_ms = r.dfi.pcp_other.mean() * 1e3;
+        assert!((2.0..3.0).contains(&binding_ms), "binding {binding_ms}");
+        assert!((2.0..3.2).contains(&policy_ms), "policy {policy_ms}");
+        assert!((0.2..0.7).contains(&other_ms), "other PCP {other_ms}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(LatencyConfig {
+            flows: 50,
+            ..LatencyConfig::default()
+        });
+        let b = run(LatencyConfig {
+            flows: 50,
+            ..LatencyConfig::default()
+        });
+        assert_eq!(a.flow_start.mean(), b.flow_start.mean());
+    }
+}

@@ -1,0 +1,367 @@
+//! Time-to-first-byte probe (Figure 4): a full stack — software switch,
+//! optional DFI proxy, reactive controller — with background new-flow load.
+//!
+//! A probe host performs a TCP connect (SYN) to a server host that answers
+//! with a SYN-ACK; the time from SYN transmission to SYN-ACK receipt is the
+//! TTFB. Simultaneously, randomized Ethernet packets enter the data plane
+//! at a configurable rate as background traffic, loading the control plane
+//! with new flows. Probes lost to control-plane queue overflow retransmit
+//! after a 1-second RTO, exactly as a TCP stack would.
+
+use crate::random_flow_frame;
+use dfi_controller::{Controller, ControllerConfig};
+use dfi_core::pdp::priority;
+use dfi_core::policy::PolicyRule;
+use dfi_core::{Dfi, DfiConfig};
+use dfi_dataplane::{Network, SwitchConfig};
+use dfi_packet::headers::build;
+use dfi_packet::{MacAddr, PacketHeaders, TcpFlags};
+use dfi_simnet::{Sim, SimTime, Summary};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// TTFB experiment parameters.
+#[derive(Clone, Debug)]
+pub struct TtfbConfig {
+    /// Background new-flow arrival rate (flows/sec); 0 = unloaded.
+    pub background_rate: f64,
+    /// Whether DFI is interposed (the paper's two conditions).
+    pub with_dfi: bool,
+    /// Number of TTFB probes.
+    pub probes: usize,
+    /// Gap between probe starts.
+    pub probe_interval: Duration,
+    /// Warm-up before the first probe.
+    pub warmup: Duration,
+    /// TCP retransmission timeout for lost SYNs.
+    pub rto: Duration,
+    /// Maximum SYN retransmissions before giving up.
+    pub max_retries: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// DFI calibration (used when `with_dfi`).
+    pub dfi: DfiConfig,
+}
+
+impl Default for TtfbConfig {
+    fn default() -> Self {
+        TtfbConfig {
+            background_rate: 0.0,
+            with_dfi: true,
+            probes: 100,
+            probe_interval: Duration::from_millis(100),
+            warmup: Duration::from_secs(3),
+            rto: Duration::from_secs(1),
+            max_retries: 6,
+            seed: 0x77FB,
+            dfi: DfiConfig::default(),
+        }
+    }
+}
+
+/// TTFB experiment results.
+#[derive(Clone, Debug)]
+pub struct TtfbReport {
+    /// SYN→SYN-ACK times in seconds (including retransmission delays).
+    pub ttfb: Summary,
+    /// Probes that exhausted all retransmissions.
+    pub failed_probes: u64,
+    /// Probe SYNs retransmitted.
+    pub retransmissions: u64,
+    /// Background flows offered.
+    pub background_offered: u64,
+    /// DFI metrics, when DFI was interposed.
+    pub dfi: Option<dfi_core::DfiMetrics>,
+}
+
+const PROBE_A_MAC: u32 = 1;
+const PROBE_B_MAC: u32 = 2;
+const PROBE_A_IP: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 1);
+const PROBE_B_IP: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 2);
+
+struct ProbeState {
+    ttfb: Summary,
+    failed: u64,
+    retransmissions: u64,
+    current_port: u16,
+    started: SimTime,
+    answered: bool,
+    retries: u32,
+    done: usize,
+}
+
+/// Runs the TTFB experiment.
+pub fn run(config: TtfbConfig) -> TtfbReport {
+    let mut sim = Sim::new(config.seed);
+    let mut net = Network::new();
+    let mut sw_cfg = SwitchConfig::new(0xF1);
+    sw_cfg.table_capacity = 1_000_000; // OVS-scale software tables
+    let sw = net.add_switch(sw_cfg);
+
+    // Probe server B: answers TCP SYNs addressed to it with a SYN-ACK.
+    let b_tx: Rc<RefCell<Option<dfi_dataplane::Tx>>> = Rc::new(RefCell::new(None));
+    let b_tx2 = b_tx.clone();
+    let b_rx: dfi_dataplane::ByteSink = Rc::new(move |sim, frame: Vec<u8>| {
+        let Ok(h) = PacketHeaders::parse(&frame) else {
+            return;
+        };
+        if h.is_tcp_syn() && h.ipv4_dst == Some(PROBE_B_IP) {
+            let reply = build::tcp_syn_ack(
+                MacAddr::from_index(PROBE_B_MAC),
+                h.eth_src,
+                PROBE_B_IP,
+                h.ipv4_src.expect("ipv4 syn"),
+                h.tcp_dst.expect("tcp"),
+                h.tcp_src.expect("tcp"),
+            );
+            if let Some(tx) = b_tx2.borrow().as_ref() {
+                tx.send(sim, reply);
+            }
+        }
+    });
+
+    // Probe client A: recognizes SYN-ACKs for its current attempt.
+    let probe = Rc::new(RefCell::new(ProbeState {
+        ttfb: Summary::new(),
+        failed: 0,
+        retransmissions: 0,
+        current_port: 0,
+        started: SimTime::ZERO,
+        answered: true,
+        retries: 0,
+        done: 0,
+    }));
+    let pr = probe.clone();
+    let a_rx: dfi_dataplane::ByteSink = Rc::new(move |sim, frame: Vec<u8>| {
+        let Ok(h) = PacketHeaders::parse(&frame) else {
+            return;
+        };
+        let is_syn_ack = h
+            .tcp_flags
+            .map(|f| f.contains(TcpFlags::SYN_ACK))
+            .unwrap_or(false);
+        if is_syn_ack && h.ipv4_dst == Some(PROBE_A_IP) {
+            let mut p = pr.borrow_mut();
+            if !p.answered && h.tcp_dst == Some(p.current_port) {
+                let elapsed = sim.now() - p.started;
+                p.ttfb.push(elapsed.as_secs_f64());
+                p.answered = true;
+                p.done += 1;
+            }
+        }
+    });
+
+    let lat = Duration::from_micros(50);
+    let a_tx = net.attach_host(&sw, 1, lat, a_rx);
+    let b_tx_real = net.attach_host(&sw, 2, lat, b_rx);
+    *b_tx.borrow_mut() = Some(b_tx_real);
+    let bg_tx = net.attach_silent_host(&sw, 3, lat);
+
+    // Control plane: controller, optionally behind DFI.
+    let ctrl = Controller::new(ControllerConfig::default());
+    let dfi = if config.with_dfi {
+        let dfi = Dfi::new(config.dfi.clone());
+        dfi.insert_policy(
+            &mut sim,
+            PolicyRule::allow_all(),
+            priority::BASELINE,
+            "cbench",
+        );
+        let c = ctrl.clone();
+        dfi.interpose(&mut sim, &sw, move |sim, sink| c.connect(sim, sink));
+        Some(dfi)
+    } else {
+        let from_switch = ctrl.connect(&mut sim, sw.control_ingress());
+        sw.connect_control(&mut sim, from_switch);
+        None
+    };
+    sim.run();
+
+    // Background load: Poisson arrivals of randomized new flows.
+    let horizon = SimTime::ZERO
+        + config.warmup
+        + config
+            .probe_interval
+            .mul_f64(config.probes as f64)
+        + Duration::from_secs(2);
+    let bg_offered = Rc::new(RefCell::new(0u64));
+    if config.background_rate > 0.0 {
+        struct Bg {
+            tx: dfi_dataplane::Tx,
+            rng: RefCell<dfi_simnet::SimRng>,
+            offered: Rc<RefCell<u64>>,
+            rate: f64,
+            end: SimTime,
+        }
+        let bg = Rc::new(Bg {
+            tx: bg_tx,
+            rng: RefCell::new(sim.split_rng()),
+            offered: bg_offered.clone(),
+            rate: config.background_rate,
+            end: horizon,
+        });
+        fn bg_arrival(bg: Rc<Bg>, sim: &mut Sim) {
+            if sim.now() >= bg.end {
+                return;
+            }
+            let n = {
+                let mut o = bg.offered.borrow_mut();
+                *o += 1;
+                *o
+            };
+            let frame = random_flow_frame(&mut bg.rng.borrow_mut(), n + 1000);
+            bg.tx.send(sim, frame);
+            let gap = Duration::from_secs_f64(sim.rng().exponential(1.0 / bg.rate));
+            let b = bg.clone();
+            sim.schedule_in(gap, move |sim| bg_arrival(b, sim));
+        }
+        let b = bg.clone();
+        sim.schedule_now(move |sim| bg_arrival(b, sim));
+    }
+
+    // Probe driver: start a probe every interval; each attempt sends the
+    // SYN and arms an RTO-based retransmission.
+    struct Driver {
+        tx: dfi_dataplane::Tx,
+        probe: Rc<RefCell<ProbeState>>,
+        rto: Duration,
+        max_retries: u32,
+    }
+    let driver = Rc::new(Driver {
+        tx: a_tx,
+        probe: probe.clone(),
+        rto: config.rto,
+        max_retries: config.max_retries,
+    });
+    fn send_attempt(d: Rc<Driver>, sim: &mut Sim, port: u16) {
+        {
+            let p = d.probe.borrow();
+            if p.answered || p.current_port != port {
+                return; // answered meanwhile, or a newer probe superseded us
+            }
+        }
+        let frame = build::tcp_syn(
+            MacAddr::from_index(PROBE_A_MAC),
+            MacAddr::from_index(PROBE_B_MAC),
+            PROBE_A_IP,
+            PROBE_B_IP,
+            port,
+            445,
+        );
+        d.tx.send(sim, frame);
+        let d2 = d.clone();
+        let rto = d.rto;
+        sim.schedule_in(rto, move |sim| {
+            let retry = {
+                let mut p = d2.probe.borrow_mut();
+                if p.answered || p.current_port != port {
+                    false
+                } else if p.retries < d2.max_retries {
+                    p.retries += 1;
+                    p.retransmissions += 1;
+                    true
+                } else {
+                    p.failed += 1;
+                    p.answered = true; // give up
+                    p.done += 1;
+                    false
+                }
+            };
+            if retry {
+                send_attempt(d2, sim, port);
+            }
+        });
+    }
+    for i in 0..config.probes {
+        let start = SimTime::ZERO + config.warmup + config.probe_interval.mul_f64(i as f64);
+        let d = driver.clone();
+        let port = 10_000 + i as u16;
+        sim.schedule_at(start, move |sim| {
+            {
+                let mut p = d.probe.borrow_mut();
+                p.current_port = port;
+                p.started = sim.now();
+                p.answered = false;
+                p.retries = 0;
+            }
+            send_attempt(d.clone(), sim, port);
+        });
+    }
+
+    sim.set_event_limit(500_000_000);
+    sim.run_until(horizon + Duration::from_secs(8));
+
+    let p = probe.borrow();
+    let background_offered = *bg_offered.borrow();
+    TtfbReport {
+        ttfb: p.ttfb.clone(),
+        failed_probes: p.failed,
+        retransmissions: p.retransmissions,
+        background_offered,
+        dfi: dfi.map(|d| d.metrics()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_without_dfi_is_a_few_milliseconds() {
+        let r = run(TtfbConfig {
+            with_dfi: false,
+            probes: 30,
+            warmup: Duration::from_millis(100),
+            ..TtfbConfig::default()
+        });
+        assert_eq!(r.ttfb.count(), 30);
+        assert_eq!(r.failed_probes, 0);
+        let mean_ms = r.ttfb.mean() * 1e3;
+        // Paper: "Without DFI, the TTFB is nearly constant at 4-6ms."
+        assert!((3.0..7.0).contains(&mean_ms), "no-DFI TTFB {mean_ms} ms");
+    }
+
+    #[test]
+    fn unloaded_with_dfi_adds_the_papers_overhead() {
+        let r = run(TtfbConfig {
+            with_dfi: true,
+            probes: 30,
+            warmup: Duration::from_millis(100),
+            ..TtfbConfig::default()
+        });
+        let mean_ms = r.ttfb.mean() * 1e3;
+        // Paper: "With DFI, the TTFB starts at about 22ms" (we accept a
+        // band around it).
+        assert!(
+            (14.0..28.0).contains(&mean_ms),
+            "DFI TTFB at no load {mean_ms} ms"
+        );
+        assert_eq!(r.failed_probes, 0);
+    }
+
+    #[test]
+    fn moderate_load_raises_ttfb() {
+        let unloaded = run(TtfbConfig {
+            with_dfi: true,
+            probes: 20,
+            warmup: Duration::from_millis(100),
+            ..TtfbConfig::default()
+        });
+        let loaded = run(TtfbConfig {
+            with_dfi: true,
+            probes: 20,
+            background_rate: 600.0,
+            warmup: Duration::from_secs(2),
+            ..TtfbConfig::default()
+        });
+        assert!(
+            loaded.ttfb.mean() > unloaded.ttfb.mean() * 1.5,
+            "load must visibly raise TTFB: {} vs {}",
+            loaded.ttfb.mean(),
+            unloaded.ttfb.mean()
+        );
+        assert!(loaded.background_offered > 500);
+    }
+}

@@ -1,0 +1,478 @@
+//! A topology-aware controller: LLDP link discovery plus shortest-path
+//! forwarding — the mechanism ONOS actually uses, as an alternative to the
+//! flood-based learning app in [`crate::Controller`].
+//!
+//! Discovery works exactly like production controllers: after the
+//! handshake the controller requests the switch's port descriptions, then
+//! packet-outs an LLDP probe on every port. A probe arriving at another
+//! switch has no matching rule, so it returns as a packet-in that names
+//! both ends of the link. Host locations are learned from ordinary
+//! packet-ins on non-inter-switch ports; forwarding installs one rule per
+//! hop along the BFS shortest path.
+
+use dfi_dataplane::ByteSink;
+use dfi_openflow::{
+    port, Action, FlowMod, FlowModCommand, Instruction, Match, Message, MultipartReply,
+    MultipartRequest, OfMessage, PacketIn, PacketOut, NO_BUFFER,
+};
+use dfi_packet::{EtherType, EthernetFrame, MacAddr, PacketHeaders};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+use std::time::Duration;
+
+use dfi_simnet::Sim;
+
+/// EtherType used by LLDP.
+pub const LLDP_ETHERTYPE: u16 = 0x88CC;
+/// The LLDP nearest-bridge multicast address.
+pub const LLDP_DST: MacAddr = MacAddr::new([0x01, 0x80, 0xC2, 0x00, 0x00, 0x0E]);
+const PROBE_MAGIC: &[u8; 8] = b"DFILLDP1";
+
+/// Cookie on rules installed by the shortest-path forwarder.
+pub const TOPO_COOKIE: u64 = 0x70B0;
+
+fn encode_probe(dpid: u64, port_no: u32) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(20);
+    payload.extend_from_slice(PROBE_MAGIC);
+    payload.extend_from_slice(&dpid.to_be_bytes());
+    payload.extend_from_slice(&port_no.to_be_bytes());
+    EthernetFrame::new(
+        MacAddr::new([0x02, 0xDF, 0x10, 0, 0, 1]),
+        LLDP_DST,
+        EtherType::Other(LLDP_ETHERTYPE),
+        payload,
+    )
+    .encode()
+}
+
+fn decode_probe(frame: &[u8]) -> Option<(u64, u32)> {
+    let eth = EthernetFrame::decode(frame).ok()?;
+    if eth.ethertype != EtherType::Other(LLDP_ETHERTYPE) {
+        return None;
+    }
+    let p = &eth.payload;
+    if p.len() < 20 || &p[..8] != PROBE_MAGIC {
+        return None;
+    }
+    let dpid = u64::from_be_bytes(p[8..16].try_into().ok()?);
+    let port_no = u32::from_be_bytes(p[16..20].try_into().ok()?);
+    Some((dpid, port_no))
+}
+
+struct Conn {
+    to_switch: ByteSink,
+    dpid: Option<u64>,
+}
+
+struct Inner {
+    conns: Vec<Conn>,
+    conn_of_dpid: HashMap<u64, usize>,
+    /// Directed inter-switch links: (dpid, egress port) → (dpid, ingress port).
+    links: HashMap<(u64, u32), (u64, u32)>,
+    /// Ports known to face another switch (excluded from host learning).
+    inter_switch: HashSet<(u64, u32)>,
+    /// Host attachment points.
+    host_loc: HashMap<MacAddr, (u64, u32)>,
+    send_latency: Duration,
+    next_xid: u32,
+    flow_mods_sent: u64,
+}
+
+/// A shared-handle topology controller.
+#[derive(Clone)]
+pub struct TopologyController {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for TopologyController {
+    fn default() -> Self {
+        TopologyController::new()
+    }
+}
+
+impl TopologyController {
+    /// Creates a controller with the default 200 µs send latency.
+    pub fn new() -> TopologyController {
+        TopologyController {
+            inner: Rc::new(RefCell::new(Inner {
+                conns: Vec::new(),
+                conn_of_dpid: HashMap::new(),
+                links: HashMap::new(),
+                inter_switch: HashSet::new(),
+                host_loc: HashMap::new(),
+                send_latency: Duration::from_micros(200),
+                next_xid: 0x70_0000,
+                flow_mods_sent: 0,
+            })),
+        }
+    }
+
+    /// Opens a switch connection (same contract as
+    /// [`crate::Controller::connect`]).
+    pub fn connect(&self, sim: &mut Sim, to_switch: ByteSink) -> ByteSink {
+        let conn = {
+            let mut inner = self.inner.borrow_mut();
+            inner.conns.push(Conn {
+                to_switch,
+                dpid: None,
+            });
+            inner.conns.len() - 1
+        };
+        self.send(sim, conn, Message::Hello);
+        self.send(sim, conn, Message::FeaturesRequest);
+        let me = self.clone();
+        Rc::new(move |sim, bytes| me.handle_bytes(sim, conn, bytes))
+    }
+
+    fn send(&self, sim: &mut Sim, conn: usize, body: Message) {
+        let (sink, latency, xid) = {
+            let mut inner = self.inner.borrow_mut();
+            if matches!(body, Message::FlowMod(_)) {
+                inner.flow_mods_sent += 1;
+            }
+            inner.next_xid += 1;
+            (
+                inner.conns[conn].to_switch.clone(),
+                inner.send_latency,
+                inner.next_xid,
+            )
+        };
+        let bytes = OfMessage::new(xid, body).encode();
+        sim.schedule_in(latency, move |sim| sink(sim, bytes));
+    }
+
+    fn handle_bytes(&self, sim: &mut Sim, conn: usize, bytes: Vec<u8>) {
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
+                break;
+            };
+            if len < 8 || offset + len > bytes.len() {
+                break;
+            }
+            if let Ok(msg) = OfMessage::decode(&bytes[offset..offset + len]) {
+                self.handle_message(sim, conn, msg.body);
+            }
+            offset += len;
+        }
+    }
+
+    fn handle_message(&self, sim: &mut Sim, conn: usize, body: Message) {
+        match body {
+            Message::FeaturesReply(fr) => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.conns[conn].dpid = Some(fr.datapath_id);
+                    inner.conn_of_dpid.insert(fr.datapath_id, conn);
+                }
+                // Discovery step 1: enumerate the switch's ports.
+                self.send(
+                    sim,
+                    conn,
+                    Message::MultipartRequest(MultipartRequest::PortDesc),
+                );
+            }
+            Message::MultipartReply(MultipartReply::PortDesc(ports)) => {
+                let dpid = match self.inner.borrow().conns[conn].dpid {
+                    Some(d) => d,
+                    None => return,
+                };
+                // Discovery step 2: probe every port with LLDP.
+                for p in ports {
+                    let probe = PacketOut {
+                        buffer_id: NO_BUFFER,
+                        in_port: port::CONTROLLER,
+                        actions: vec![Action::output(p.port_no)],
+                        data: encode_probe(dpid, p.port_no),
+                    };
+                    self.send(sim, conn, Message::PacketOut(probe));
+                }
+            }
+            Message::EchoRequest(data) => self.send(sim, conn, Message::EchoReply(data)),
+            Message::PacketIn(pi) => self.handle_packet_in(sim, conn, pi),
+            _ => {}
+        }
+    }
+
+    fn handle_packet_in(&self, sim: &mut Sim, conn: usize, pi: PacketIn) {
+        let Some(in_port) = pi.in_port() else { return };
+        let this_dpid = match self.inner.borrow().conns[conn].dpid {
+            Some(d) => d,
+            None => return,
+        };
+        // Discovery step 3: a probe returning on another switch names the
+        // link between its origin and here.
+        if let Some((src_dpid, src_port)) = decode_probe(&pi.data) {
+            let mut inner = self.inner.borrow_mut();
+            inner
+                .links
+                .insert((src_dpid, src_port), (this_dpid, in_port));
+            inner.inter_switch.insert((src_dpid, src_port));
+            inner.inter_switch.insert((this_dpid, in_port));
+            return;
+        }
+        let Ok(headers) = PacketHeaders::parse(&pi.data) else {
+            return;
+        };
+        // Learn the source host location (never on an inter-switch port).
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.inter_switch.contains(&(this_dpid, in_port)) {
+                inner.host_loc.insert(headers.eth_src, (this_dpid, in_port));
+            }
+        }
+        let dst_loc = if headers.eth_dst.is_multicast() {
+            None
+        } else {
+            self.inner.borrow().host_loc.get(&headers.eth_dst).copied()
+        };
+        match dst_loc {
+            Some((dst_dpid, dst_port)) => {
+                self.install_path(sim, this_dpid, dst_dpid, dst_port, headers.eth_dst);
+                // Release the packet through the freshly programmed tables.
+                let po = PacketOut {
+                    buffer_id: NO_BUFFER,
+                    in_port,
+                    actions: vec![Action::output(port::TABLE)],
+                    data: pi.data.clone(),
+                };
+                self.send(sim, conn, Message::PacketOut(po));
+            }
+            None => {
+                // Unknown destination: fall back to flooding (safe on the
+                // loop-free topologies this repository builds).
+                let po = PacketOut {
+                    buffer_id: NO_BUFFER,
+                    in_port,
+                    actions: vec![Action::output(port::FLOOD)],
+                    data: pi.data.clone(),
+                };
+                self.send(sim, conn, Message::PacketOut(po));
+            }
+        }
+    }
+
+    /// BFS over discovered links, then one `eth_dst` rule per hop.
+    fn install_path(
+        &self,
+        sim: &mut Sim,
+        from_dpid: u64,
+        to_dpid: u64,
+        host_port: u32,
+        dst: MacAddr,
+    ) {
+        let hops = {
+            let inner = self.inner.borrow();
+            let mut adjacency: HashMap<u64, Vec<(u32, u64)>> = HashMap::new();
+            for (&(a, ap), &(b, _)) in &inner.links {
+                adjacency.entry(a).or_default().push((ap, b));
+            }
+            // BFS from `from_dpid` to `to_dpid`.
+            let mut prev: HashMap<u64, (u64, u32)> = HashMap::new();
+            let mut queue = VecDeque::from([from_dpid]);
+            let mut seen = HashSet::from([from_dpid]);
+            while let Some(n) = queue.pop_front() {
+                if n == to_dpid {
+                    break;
+                }
+                if let Some(nexts) = adjacency.get(&n) {
+                    let mut nexts = nexts.clone();
+                    nexts.sort_unstable(); // deterministic path choice
+                    for (out_port, m) in nexts {
+                        if seen.insert(m) {
+                            prev.insert(m, (n, out_port));
+                            queue.push_back(m);
+                        }
+                    }
+                }
+            }
+            if from_dpid != to_dpid && !prev.contains_key(&to_dpid) {
+                return; // not (yet) connected in the discovered graph
+            }
+            // Reconstruct hop list as (dpid, egress port).
+            let mut hops: Vec<(u64, u32)> = vec![(to_dpid, host_port)];
+            let mut cur = to_dpid;
+            while cur != from_dpid {
+                let (p, out_port) = prev[&cur];
+                hops.push((p, out_port));
+                cur = p;
+            }
+            hops
+        };
+        for (dpid, out_port) in hops {
+            let conn = match self.inner.borrow().conn_of_dpid.get(&dpid) {
+                Some(&c) => c,
+                None => continue,
+            };
+            let fm = FlowMod {
+                table_id: 0,
+                command: FlowModCommand::Add,
+                priority: 10,
+                cookie: TOPO_COOKIE,
+                mat: Match {
+                    eth_dst: Some(dst),
+                    ..Match::default()
+                },
+                instructions: vec![Instruction::ApplyActions(vec![Action::output(out_port)])],
+                ..FlowMod::add()
+            };
+            self.send(sim, conn, Message::FlowMod(fm));
+        }
+    }
+
+    /// Discovered directed links.
+    pub fn links(&self) -> HashMap<(u64, u32), (u64, u32)> {
+        self.inner.borrow().links.clone()
+    }
+
+    /// Learned host locations.
+    pub fn host_locations(&self) -> HashMap<MacAddr, (u64, u32)> {
+        self.inner.borrow().host_loc.clone()
+    }
+
+    /// Flow-mods sent (path installations).
+    pub fn flow_mods_sent(&self) -> u64 {
+        self.inner.borrow().flow_mods_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_dataplane::{Network, SwitchConfig};
+    use dfi_packet::headers::build;
+    use std::net::Ipv4Addr;
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    /// Three switches in a line: h1—s1—s2—s3—h2.
+    fn line_rig() -> (
+        Sim,
+        Vec<dfi_dataplane::Switch>,
+        TopologyController,
+        dfi_dataplane::Tx,
+        dfi_dataplane::Tx,
+        Rc<RefCell<u32>>,
+        Rc<RefCell<u32>>,
+    ) {
+        let mut sim = Sim::new(21);
+        let mut net = Network::new();
+        let s1 = net.add_switch(SwitchConfig::new(1));
+        let s2 = net.add_switch(SwitchConfig::new(2));
+        let s3 = net.add_switch(SwitchConfig::new(3));
+        let lat = Duration::from_micros(50);
+        net.link(&s1, 10, &s2, 11, lat);
+        net.link(&s2, 12, &s3, 13, lat);
+        let got1 = Rc::new(RefCell::new(0u32));
+        let got2 = Rc::new(RefCell::new(0u32));
+        let g1 = got1.clone();
+        let g2 = got2.clone();
+        // Hosts also receive the controller's LLDP probes on their access
+        // ports (as real hosts do); count only TCP traffic.
+        let count_tcp = |g: Rc<RefCell<u32>>| -> ByteSink {
+            Rc::new(move |_, frame: Vec<u8>| {
+                if PacketHeaders::parse(&frame).is_ok_and(|h| h.tcp_dst.is_some()) {
+                    *g.borrow_mut() += 1;
+                }
+            })
+        };
+        let tx1 = net.attach_host(&s1, 1, lat, count_tcp(g1));
+        let tx2 = net.attach_host(&s3, 1, lat, count_tcp(g2));
+        let ctrl = TopologyController::new();
+        for sw in [&s1, &s2, &s3] {
+            let from_switch = ctrl.connect(&mut sim, sw.control_ingress());
+            sw.connect_control(&mut sim, from_switch);
+        }
+        sim.run(); // handshakes + discovery
+        (sim, vec![s1, s2, s3], ctrl, tx1, tx2, got1, got2)
+    }
+
+    #[test]
+    fn lldp_discovery_finds_all_links() {
+        let (_sim, _sw, ctrl, ..) = line_rig();
+        let links = ctrl.links();
+        assert_eq!(links.len(), 4, "four directed links: {links:?}");
+        assert_eq!(links.get(&(1, 10)), Some(&(2, 11)));
+        assert_eq!(links.get(&(2, 11)), Some(&(1, 10)));
+        assert_eq!(links.get(&(2, 12)), Some(&(3, 13)));
+        assert_eq!(links.get(&(3, 13)), Some(&(2, 12)));
+    }
+
+    #[test]
+    fn probe_codec_round_trips() {
+        let bytes = encode_probe(0xDEAD, 42);
+        assert_eq!(decode_probe(&bytes), Some((0xDEAD, 42)));
+        assert_eq!(decode_probe(&[1, 2, 3]), None);
+        // A normal data frame is not a probe.
+        let data = build::tcp_syn(
+            mac(1),
+            mac(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+        );
+        assert_eq!(decode_probe(&data), None);
+    }
+
+    #[test]
+    fn shortest_path_forwarding_end_to_end() {
+        let (mut sim, switches, ctrl, tx1, tx2, got1, got2) = line_rig();
+        let syn = |s: u32, d: u32, p: u16| {
+            build::tcp_syn(
+                mac(s),
+                mac(d),
+                Ipv4Addr::new(10, 0, 0, s as u8),
+                Ipv4Addr::new(10, 0, 0, d as u8),
+                40_000,
+                p,
+            )
+        };
+        // h1 → h2: unknown destination, flooded, h2 learns nothing yet but
+        // receives the frame; controller learns h1's location.
+        tx1.send(&mut sim, syn(1, 2, 80));
+        sim.run();
+        assert_eq!(*got2.borrow(), 1);
+        assert!(ctrl.host_locations().contains_key(&mac(1)));
+        // h2 → h1: both ends known → per-hop path rules + packet delivery.
+        tx2.send(&mut sim, syn(2, 1, 80));
+        sim.run();
+        assert_eq!(*got1.borrow(), 1);
+        for sw in &switches {
+            assert!(
+                sw.with_table(0, |t| t.iter().any(|e| e.cookie == TOPO_COOKIE)),
+                "switch {} missing a path rule",
+                sw.dpid()
+            );
+        }
+        // Subsequent h2 → h1 traffic stays in the data plane.
+        let mods = ctrl.flow_mods_sent();
+        tx2.send(&mut sim, syn(2, 1, 81));
+        sim.run();
+        assert_eq!(*got1.borrow(), 2);
+        assert_eq!(ctrl.flow_mods_sent(), mods, "no new rules needed");
+    }
+
+    #[test]
+    fn hosts_are_never_learned_on_inter_switch_ports() {
+        let (mut sim, _switches, ctrl, tx1, _tx2, _g1, _g2) = line_rig();
+        // h1's flooded frame transits s2 and s3; its MAC must be located
+        // at (s1, port 1) — not at the uplinks it was flooded through.
+        tx1.send(
+            &mut sim,
+            build::tcp_syn(
+                mac(1),
+                mac(99),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 99),
+                1,
+                1,
+            ),
+        );
+        sim.run();
+        assert_eq!(ctrl.host_locations().get(&mac(1)), Some(&(1, 1)));
+    }
+}

@@ -1,0 +1,687 @@
+//! The assembled DFI control plane: proxy interposition, the Policy
+//! Compilation Point pipeline, and the policy/binding APIs used by Policy
+//! Decision Points and sensors.
+//!
+//! Message flow for a new flow's first packet (paper Figure 2):
+//!
+//! ```text
+//! switch ──Packet-In──▶ DFI Proxy ──▶ PCP ──▶ ERM query ──▶ PM query
+//!                           │                                   │
+//!                           │         ┌──── decision ◀──────────┘
+//!                           │         ▼
+//!                           │   Flow-Mod (Table 0, cookie = policy id)
+//!                           │         │
+//!                           ▼         ▼
+//!                      controller ◀── switch
+//!                      (only if allowed)
+//! ```
+//!
+//! The proxy is *in front of* the controller: denied packets never reach
+//! it, and every table reference it exchanges with the switch is shifted so
+//! Table 0 does not exist from the controller's point of view.
+
+use crate::erm::{Binding, EntityResolver, SpoofVerdict};
+use crate::events::{topic, DfiEvent};
+use crate::policy::{
+    Decision, FlowView, PolicyAction, PolicyId, PolicyManager, PolicyRule, DEFAULT_DENY_ID,
+};
+use crate::rewrite::{rewrite_controller_to_switch, rewrite_switch_to_controller, Upstream};
+use dfi_bus::Bus;
+use dfi_dataplane::{ByteSink, Switch};
+use dfi_openflow::{
+    ErrorMsg, FlowMod, Instruction, Match, Message, OfMessage, PacketIn,
+};
+use dfi_simnet::{Dist, Sim, SimTime, Station, StationConfig, SubmitOutcome, Summary};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Calibration constants for the DFI control plane.
+///
+/// Defaults reproduce the paper's measured costs (Table II): binding query
+/// 2.41 ms ± 0.97, policy query 2.52 ms ± 0.85, other PCP processing
+/// 0.39 ms ± 0.27, proxy 0.16 ms ± 0.72 — and a worker/queue structure
+/// whose saturation point lands near Table I's 1350 flows/sec.
+#[derive(Clone, Debug)]
+pub struct DfiConfig {
+    /// Per-message proxy processing latency.
+    pub proxy_latency: Dist,
+    /// PCP parse/dispatch service time ("Other PCP Processing").
+    pub pcp_service: Dist,
+    /// Entity Resolution Manager (MySQL) query service time.
+    pub binding_query: Dist,
+    /// Policy Manager (MySQL) query service time.
+    pub policy_query: Dist,
+    /// PCP worker parallelism.
+    pub pcp_workers: usize,
+    /// Bound on flows queued at the PCP.
+    pub pcp_queue_capacity: usize,
+    /// Database connection-pool size shared semantics for ERM and PM
+    /// stations.
+    pub db_workers: usize,
+    /// Bound on queries queued at each database station; overflowing flows
+    /// are dropped (the paper's "limited queue size").
+    pub db_queue_capacity: usize,
+    /// Load-proportional service inflation on the database stations (per
+    /// 1000 accepted arrivals/sec above `db_load_floor`); produces
+    /// Figure 4's pre-saturation latency rise.
+    pub db_load_inflation: f64,
+    /// Accepted-arrival rate below which database service times stay at
+    /// their base distribution.
+    pub db_load_floor: f64,
+    /// Priority of DFI's exact-match rules in Table 0.
+    pub rule_priority: u16,
+    /// One-way latency from DFI to a switch (rule install path).
+    pub install_latency: Duration,
+    /// Message-bus delivery latency (sensor events, flush commands).
+    pub bus_latency: Dist,
+    /// Physical table count of attached switches.
+    pub n_tables: u8,
+    /// Reactive wildcard-rule caching (the paper's §III-B extension
+    /// sketch, in the spirit of CAB-ACME): when the decision provably
+    /// holds for the flow's entire L4-port class, install one
+    /// port-wildcarded rule instead of one exact rule per flow. Off by
+    /// default — the paper's evaluated system installs exact rules only.
+    pub wildcard_caching: bool,
+}
+
+impl Default for DfiConfig {
+    fn default() -> Self {
+        DfiConfig {
+            proxy_latency: Dist::normal_ms(0.16, 0.72),
+            pcp_service: Dist::normal_ms(0.39, 0.27),
+            binding_query: Dist::normal_ms(2.41, 0.97),
+            policy_query: Dist::normal_ms(2.52, 0.85),
+            pcp_workers: 16,
+            pcp_queue_capacity: 512,
+            db_workers: 50,
+            db_queue_capacity: 64,
+            db_load_inflation: 12.0,
+            db_load_floor: 200.0,
+            rule_priority: 100,
+            install_latency: Duration::from_micros(200),
+            bus_latency: Dist::normal_ms(0.3, 0.05),
+            n_tables: 8,
+            wildcard_caching: false,
+        }
+    }
+}
+
+/// Aggregate DFI measurements (all times in seconds).
+#[derive(Clone, Debug, Default)]
+pub struct DfiMetrics {
+    /// Packet-ins received from switches.
+    pub packet_ins: u64,
+    /// Flows allowed by policy.
+    pub allowed: u64,
+    /// Flows denied by policy (including default deny).
+    pub denied: u64,
+    /// Flows denied by the anti-spoofing check.
+    pub spoof_denied: u64,
+    /// Flows dropped at a full queue (control-plane overload).
+    pub dropped: u64,
+    /// Cookie-flush commands issued to switches.
+    pub flushes: u64,
+    /// Decisions cached as port-wildcarded class rules (extension mode).
+    pub wildcard_cached: u64,
+    /// Messages the proxy rejected (controller touching Table 0).
+    pub proxy_rejections: u64,
+    /// Proxy per-message latency.
+    pub proxy: Summary,
+    /// PCP parse/dispatch sojourn (Table II "Other PCP Processing").
+    pub pcp_other: Summary,
+    /// Binding-query sojourn (Table II "Binding Query").
+    pub binding: Summary,
+    /// Policy-query sojourn (Table II "Policy Query").
+    pub policy: Summary,
+    /// Packet-in arrival to decision+install ("flow-start latency",
+    /// Table I).
+    pub overall: Summary,
+    /// Decisions attributed to each policy id (the paper's requirement
+    /// that an administrator can "understand the current policy" extends
+    /// to seeing which rules actually decide traffic).
+    pub decisions_by_policy: std::collections::BTreeMap<u64, u64>,
+}
+
+struct SwitchConn {
+    to_switch: ByteSink,
+    to_controller: Option<ByteSink>,
+    dpid: u64,
+}
+
+struct Inner {
+    config: DfiConfig,
+    erm: EntityResolver,
+    pm: PolicyManager,
+    conns: Vec<SwitchConn>,
+    metrics: DfiMetrics,
+}
+
+/// The assembled, shared-handle DFI control plane.
+#[derive(Clone)]
+pub struct Dfi {
+    inner: Rc<RefCell<Inner>>,
+    bus: Bus<DfiEvent>,
+    pcp_station: Station,
+    binding_station: Station,
+    policy_station: Station,
+}
+
+impl Dfi {
+    /// Builds a DFI control plane and subscribes its Entity Resolution
+    /// Manager to the sensor topics on the returned bus.
+    pub fn new(config: DfiConfig) -> Dfi {
+        let pcp_station = Station::new(StationConfig {
+            name: "pcp".into(),
+            workers: config.pcp_workers,
+            queue_capacity: config.pcp_queue_capacity,
+            service_time: config.pcp_service.clone(),
+            contention: 0.0,
+            load_inflation: 0.0,
+            load_floor: 0.0,
+            rate_window: Duration::from_millis(500),
+        });
+        let db_station = |name: &str, service: Dist| {
+            Station::new(StationConfig {
+                name: name.into(),
+                workers: config.db_workers,
+                queue_capacity: config.db_queue_capacity,
+                service_time: service,
+                contention: 0.0,
+                load_inflation: config.db_load_inflation,
+                load_floor: config.db_load_floor,
+                rate_window: Duration::from_millis(500),
+            })
+        };
+        let binding_station = db_station("erm-db", config.binding_query.clone());
+        let policy_station = db_station("policy-db", config.policy_query.clone());
+        let bus = Bus::new(config.bus_latency.clone());
+        let dfi = Dfi {
+            inner: Rc::new(RefCell::new(Inner {
+                config,
+                erm: EntityResolver::new(),
+                pm: PolicyManager::new(),
+                conns: Vec::new(),
+                metrics: DfiMetrics::default(),
+            })),
+            bus,
+            pcp_station,
+            binding_station,
+            policy_station,
+        };
+        dfi.subscribe_erm_to_bus();
+        dfi
+    }
+
+    /// A control plane with the paper's calibration.
+    pub fn with_defaults() -> Dfi {
+        Dfi::new(DfiConfig::default())
+    }
+
+    /// The sensor/event bus (RabbitMQ surrogate).
+    pub fn bus(&self) -> &Bus<DfiEvent> {
+        &self.bus
+    }
+
+    fn subscribe_erm_to_bus(&self) {
+        let me = self.clone();
+        self.bus.subscribe(topic::LEASES, move |_sim, ev| {
+            if let DfiEvent::Lease {
+                mac,
+                ip,
+                hostname: _,
+                released,
+            } = ev
+            {
+                let binding = Binding::IpMac { ip: *ip, mac: *mac };
+                let mut inner = me.inner.borrow_mut();
+                if *released {
+                    inner.erm.unbind(&binding);
+                } else {
+                    inner.erm.bind(binding);
+                }
+            }
+        });
+        let me = self.clone();
+        self.bus.subscribe(topic::NAMES, move |_sim, ev| {
+            if let DfiEvent::Name {
+                hostname,
+                ip,
+                removed,
+            } = ev
+            {
+                let binding = Binding::HostIp {
+                    host: hostname.clone(),
+                    ip: *ip,
+                };
+                let mut inner = me.inner.borrow_mut();
+                if *removed {
+                    inner.erm.unbind(&binding);
+                } else {
+                    inner.erm.bind(binding);
+                }
+            }
+        });
+        let me = self.clone();
+        self.bus.subscribe(topic::SESSIONS, move |_sim, ev| {
+            if let DfiEvent::Session {
+                user,
+                host,
+                logged_on,
+            } = ev
+            {
+                let binding = Binding::UserHost {
+                    user: user.clone(),
+                    host: host.clone(),
+                };
+                let mut inner = me.inner.borrow_mut();
+                if *logged_on {
+                    inner.erm.bind(binding);
+                } else {
+                    inner.erm.unbind(&binding);
+                }
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Channel plumbing
+    // ------------------------------------------------------------------
+
+    /// Registers a switch control channel by its outgoing sink. Returns the
+    /// connection id used by the sink constructors below.
+    pub fn attach_switch_channel(&self, to_switch: ByteSink, dpid: u64) -> usize {
+        let mut inner = self.inner.borrow_mut();
+        inner.conns.push(SwitchConn {
+            to_switch,
+            to_controller: None,
+            dpid,
+        });
+        inner.conns.len() - 1
+    }
+
+    /// Sets where allowed packet-ins and rewritten switch messages are
+    /// forwarded for a connection.
+    pub fn set_controller_sink(&self, conn: usize, to_controller: ByteSink) {
+        self.inner.borrow_mut().conns[conn].to_controller = Some(to_controller);
+    }
+
+    /// The sink a switch sends its control bytes to (the proxy's
+    /// switch-facing side).
+    pub fn from_switch_sink(&self, conn: usize) -> ByteSink {
+        let me = self.clone();
+        Rc::new(move |sim, bytes| me.handle_switch_bytes(sim, conn, bytes))
+    }
+
+    /// The sink the controller sends its bytes to (the proxy's
+    /// controller-facing side).
+    pub fn from_controller_sink(&self, conn: usize) -> ByteSink {
+        let me = self.clone();
+        Rc::new(move |sim, bytes| me.handle_controller_bytes(sim, conn, bytes))
+    }
+
+    /// Convenience: interpose DFI between a switch and a controller,
+    /// performing all wiring. This is the deployment step — the switch and
+    /// the controller each believe they are talking directly to the other.
+    ///
+    /// `connect_controller` is the controller's connection entry point
+    /// (e.g. `|sim, sink| controller.connect(sim, sink)`): it receives the
+    /// sink the controller should write to (the proxy's controller-facing
+    /// side) and returns the sink the proxy delivers switch traffic to.
+    pub fn interpose(
+        &self,
+        sim: &mut Sim,
+        switch: &Switch,
+        connect_controller: impl FnOnce(&mut Sim, ByteSink) -> ByteSink,
+    ) {
+        let conn = self.attach_switch_channel(switch.control_ingress(), switch.dpid());
+        switch.connect_control(sim, self.from_switch_sink(conn));
+        let to_controller = connect_controller(sim, self.from_controller_sink(conn));
+        self.set_controller_sink(conn, to_controller);
+    }
+
+    // ------------------------------------------------------------------
+    // Proxy: switch → {PCP, controller}
+    // ------------------------------------------------------------------
+
+    fn handle_switch_bytes(&self, sim: &mut Sim, conn: usize, bytes: Vec<u8>) {
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
+                break;
+            };
+            if len < 8 || offset + len > bytes.len() {
+                break;
+            }
+            if let Ok(msg) = OfMessage::decode(&bytes[offset..offset + len]) {
+                self.handle_switch_message(sim, conn, msg);
+            }
+            offset += len;
+        }
+    }
+
+    fn handle_switch_message(&self, sim: &mut Sim, conn: usize, msg: OfMessage) {
+        let proxy_delay = {
+            let mut inner = self.inner.borrow_mut();
+            let d = inner.config.proxy_latency.sample(sim.rng());
+            inner.metrics.proxy.push(d.as_secs_f64());
+            d
+        };
+        match msg.body {
+            Message::PacketIn(pi) => {
+                let me = self.clone();
+                sim.schedule_in(proxy_delay, move |sim| me.pcp_admit(sim, conn, pi));
+            }
+            other => {
+                // Non-packet-in traffic flows to the controller through the
+                // table-rewriting filter.
+                let Some(rewritten) =
+                    rewrite_switch_to_controller(OfMessage::new(msg.xid, other))
+                else {
+                    return; // suppressed (Table-0 information)
+                };
+                let sink = self.inner.borrow().conns[conn].to_controller.clone();
+                if let Some(sink) = sink {
+                    let bytes = rewritten.encode();
+                    sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Proxy: controller → switch
+    // ------------------------------------------------------------------
+
+    fn handle_controller_bytes(&self, sim: &mut Sim, conn: usize, bytes: Vec<u8>) {
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
+                break;
+            };
+            if len < 8 || offset + len > bytes.len() {
+                break;
+            }
+            if let Ok(msg) = OfMessage::decode(&bytes[offset..offset + len]) {
+                self.handle_controller_message(sim, conn, msg);
+            }
+            offset += len;
+        }
+    }
+
+    fn handle_controller_message(&self, sim: &mut Sim, conn: usize, msg: OfMessage) {
+        let (proxy_delay, n_tables) = {
+            let mut inner = self.inner.borrow_mut();
+            let d = inner.config.proxy_latency.sample(sim.rng());
+            inner.metrics.proxy.push(d.as_secs_f64());
+            (d, inner.config.n_tables)
+        };
+        let xid = msg.xid;
+        match rewrite_controller_to_switch(msg, n_tables) {
+            Upstream::Forward(msgs) => {
+                let sink = self.inner.borrow().conns[conn].to_switch.clone();
+                let bytes: Vec<u8> = msgs.iter().flat_map(|m| m.encode()).collect();
+                sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
+            }
+            Upstream::Reject => {
+                let mut inner = self.inner.borrow_mut();
+                inner.metrics.proxy_rejections += 1;
+                let sink = inner.conns[conn].to_controller.clone();
+                drop(inner);
+                if let Some(sink) = sink {
+                    let err = OfMessage::new(
+                        xid,
+                        Message::Error(ErrorMsg::permission_denied(Vec::new())),
+                    );
+                    let bytes = err.encode();
+                    sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The Policy Compilation Point pipeline
+    // ------------------------------------------------------------------
+
+    fn pcp_admit(&self, sim: &mut Sim, conn: usize, pi: PacketIn) {
+        let arrival = sim.now();
+        self.inner.borrow_mut().metrics.packet_ins += 1;
+        let me = self.clone();
+        let outcome = self.pcp_station.submit(sim, move |sim| {
+            let t_pcp_done = sim.now();
+            me.record(|m| m.pcp_other.push((t_pcp_done - arrival).as_secs_f64()));
+            let me2 = me.clone();
+            let outcome = me.binding_station.submit(sim, move |sim| {
+                let t_binding_done = sim.now();
+                me2.record(|m| {
+                    m.binding
+                        .push((t_binding_done - t_pcp_done).as_secs_f64())
+                });
+                let me3 = me2.clone();
+                let outcome = me2.policy_station.submit(sim, move |sim| {
+                    let t_policy_done = sim.now();
+                    me3.record(|m| {
+                        m.policy
+                            .push((t_policy_done - t_binding_done).as_secs_f64())
+                    });
+                    me3.pcp_decide(sim, conn, &pi, arrival);
+                });
+                if outcome == SubmitOutcome::Dropped {
+                    me2.record(|m| m.dropped += 1);
+                }
+            });
+            if outcome == SubmitOutcome::Dropped {
+                me.record(|m| m.dropped += 1);
+            }
+        });
+        if outcome == SubmitOutcome::Dropped {
+            self.record(|m| m.dropped += 1);
+        }
+    }
+
+    fn record(&self, f: impl FnOnce(&mut DfiMetrics)) {
+        f(&mut self.inner.borrow_mut().metrics);
+    }
+
+    /// The access-control decision: executed once the flow has traversed
+    /// the PCP and both database stations (i.e. all modeled latency paid).
+    fn pcp_decide(&self, sim: &mut Sim, conn: usize, pi: &PacketIn, arrival: SimTime) {
+        let Some(in_port) = pi.in_port() else { return };
+        let Ok(headers) = dfi_packet::PacketHeaders::parse(&pi.data) else {
+            return;
+        };
+        let (decision, mat, dpid) = {
+            let mut inner = self.inner.borrow_mut();
+            let dpid = inner.conns[conn].dpid;
+            // The MAC↔switch/port sensor lives in the PCP: packet-in
+            // events are its authoritative source.
+            inner.erm.bind(Binding::MacLocation {
+                mac: headers.eth_src,
+                dpid,
+                port: in_port,
+            });
+            // Anti-spoofing: identifiers at all levels must be mutually
+            // consistent before any policy lookup.
+            if inner.erm.spoof_check(headers.ipv4_src, headers.eth_src)
+                == SpoofVerdict::IpMacMismatch
+            {
+                inner.metrics.spoof_denied += 1;
+                let decision = Decision {
+                    action: PolicyAction::Deny,
+                    policy: DEFAULT_DENY_ID,
+                };
+                let mat = Match::exact_from_headers(in_port, &headers);
+                (decision, mat, dpid)
+            } else {
+                let (src, dst) = inner.erm.resolve_flow(&headers, dpid, in_port);
+                let flow = FlowView {
+                    ethertype: headers.ethertype.to_u16(),
+                    ip_proto: headers.ip_proto.map(|p| p.0),
+                    src,
+                    dst,
+                };
+                let mut mat = Match::exact_from_headers(in_port, &headers);
+                let decision = if inner.config.wildcard_caching {
+                    match inner.pm.query_class(&flow) {
+                        Some(decision) => {
+                            // Safe to cache the whole port class: widen the
+                            // compiled rule by dropping the L4 ports.
+                            mat.tcp_src = None;
+                            mat.tcp_dst = None;
+                            mat.udp_src = None;
+                            mat.udp_dst = None;
+                            inner.metrics.wildcard_cached += 1;
+                            decision
+                        }
+                        None => inner.pm.query(&flow),
+                    }
+                } else {
+                    inner.pm.query(&flow)
+                };
+                (decision, mat, dpid)
+            }
+        };
+        let _ = dpid;
+        self.record(|m| {
+            *m.decisions_by_policy.entry(decision.policy.0).or_insert(0) += 1;
+        });
+        // Compile the exact-match rule: Allow chains into the controller's
+        // tables; Deny has no instructions (drop at end of Table 0).
+        let (rule_priority, install_latency) = {
+            let inner = self.inner.borrow();
+            (inner.config.rule_priority, inner.config.install_latency)
+        };
+        let fm = FlowMod {
+            cookie: decision.policy.0,
+            table_id: 0,
+            priority: rule_priority,
+            mat,
+            instructions: match decision.action {
+                PolicyAction::Allow => vec![Instruction::GotoTable(1)],
+                PolicyAction::Deny => vec![],
+            },
+            ..FlowMod::add()
+        };
+        let install = OfMessage::new(0xDF1, Message::FlowMod(fm)).encode();
+        let to_switch = self.inner.borrow().conns[conn].to_switch.clone();
+        sim.schedule_in(install_latency, move |sim| to_switch(sim, install));
+
+        match decision.action {
+            PolicyAction::Allow => {
+                self.record(|m| m.allowed += 1);
+                // Forward the packet-in to the controller (step 11 in the
+                // paper's workflow) so routing can happen — only now, after
+                // the access-control check.
+                let sink = self.inner.borrow().conns[conn].to_controller.clone();
+                if let Some(sink) = sink {
+                    if let Some(rewritten) = rewrite_switch_to_controller(OfMessage::new(
+                        0xDF2,
+                        Message::PacketIn(pi.clone()),
+                    )) {
+                        let bytes = rewritten.encode();
+                        sim.schedule_now(move |sim| sink(sim, bytes));
+                    }
+                }
+            }
+            PolicyAction::Deny => {
+                self.record(|m| m.denied += 1);
+            }
+        }
+        let done = sim.now();
+        self.record(|m| m.overall.push((done - arrival).as_secs_f64()));
+    }
+
+    // ------------------------------------------------------------------
+    // Policy API (used by PDPs)
+    // ------------------------------------------------------------------
+
+    /// Inserts a policy rule on behalf of a PDP. Conflicting lower-priority
+    /// policies' derived flow rules (and, for Allow rules, cached
+    /// default-deny rules) are flushed from every switch.
+    pub fn insert_policy(
+        &self,
+        sim: &mut Sim,
+        rule: PolicyRule,
+        priority: u32,
+        pdp: &str,
+    ) -> PolicyId {
+        let (id, flush) = self.inner.borrow_mut().pm.insert(rule, priority, pdp);
+        for policy in flush {
+            self.flush_policy_rules(sim, policy);
+        }
+        id
+    }
+
+    /// Revokes a policy rule and flushes its derived flow rules from every
+    /// switch. Returns `false` for unknown ids.
+    pub fn revoke_policy(&self, sim: &mut Sim, id: PolicyId) -> bool {
+        let existed = self.inner.borrow_mut().pm.revoke(id);
+        if existed {
+            self.flush_policy_rules(sim, id);
+        }
+        existed
+    }
+
+    /// Sends a delete-by-cookie to every attached switch for the given
+    /// policy — the paper's consistency mechanism ("flow rules are removed
+    /// quickly without paying the latency and performance costs of using
+    /// hard timeouts").
+    pub fn flush_policy_rules(&self, sim: &mut Sim, id: PolicyId) {
+        let (sinks, delay) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.metrics.flushes += 1;
+            let delay = inner.config.bus_latency.sample(sim.rng())
+                + inner.config.install_latency;
+            (
+                inner
+                    .conns
+                    .iter()
+                    .map(|c| c.to_switch.clone())
+                    .collect::<Vec<_>>(),
+                delay,
+            )
+        };
+        let fm = FlowMod::delete_by_cookie(id.0, u64::MAX);
+        let bytes = OfMessage::new(0xDF3, Message::FlowMod(fm)).encode();
+        for sink in sinks {
+            let bytes = bytes.clone();
+            sim.schedule_in(delay, move |sim| sink(sim, bytes));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Snapshot of metrics.
+    pub fn metrics(&self) -> DfiMetrics {
+        self.inner.borrow().metrics.clone()
+    }
+
+    /// Runs a closure against the Entity Resolution Manager (tests,
+    /// harnesses, and direct-wired sensors).
+    pub fn with_erm<R>(&self, f: impl FnOnce(&mut EntityResolver) -> R) -> R {
+        f(&mut self.inner.borrow_mut().erm)
+    }
+
+    /// Runs a closure against the Policy Manager.
+    pub fn with_pm<R>(&self, f: impl FnOnce(&mut PolicyManager) -> R) -> R {
+        f(&mut self.inner.borrow_mut().pm)
+    }
+
+    /// Per-station statistics: (pcp, binding-db, policy-db).
+    pub fn station_stats(
+        &self,
+    ) -> (
+        dfi_simnet::StationStats,
+        dfi_simnet::StationStats,
+        dfi_simnet::StationStats,
+    ) {
+        (
+            self.pcp_station.stats(),
+            self.binding_station.stats(),
+            self.policy_station.stats(),
+        )
+    }
+}

@@ -1,0 +1,438 @@
+//! The Entity Resolution Manager: current identifier bindings and
+//! low-level → high-level resolution.
+//!
+//! Paper §III-B: the ERM tracks four binding classes — username ↔ hostname,
+//! hostname ↔ IP, IP ↔ MAC, MAC ↔ switch & port — each fed by its
+//! *authoritative source* (SIEM, DNS, DHCP, and packet-in events
+//! respectively). Bindings are many-to-many and change over time.
+//!
+//! Resolution happens **at flow-decision time**, mapping the low-level
+//! identifiers in the packet *up* to usernames and hostnames. Mapping in
+//! this direction (instead of compiling policies down when inserted) keeps
+//! decisions correct as bindings churn and lets policy reference users who
+//! are not currently logged on anywhere.
+//!
+//! The ERM also performs anti-spoofing: a packet whose IP↔MAC pairing
+//! contradicts the authoritative DHCP binding is flagged and denied without
+//! polluting the store.
+
+use crate::policy::EndpointView;
+use dfi_packet::{MacAddr, PacketHeaders};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// The four binding classes the ERM tracks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Binding {
+    /// username ↔ hostname (authoritative source: SIEM log-on events).
+    UserHost {
+        /// The user.
+        user: String,
+        /// The host.
+        host: String,
+    },
+    /// hostname ↔ IP (authoritative source: DNS).
+    HostIp {
+        /// The host.
+        host: String,
+        /// Its address.
+        ip: Ipv4Addr,
+    },
+    /// IP ↔ MAC (authoritative source: DHCP).
+    IpMac {
+        /// The address.
+        ip: Ipv4Addr,
+        /// The adapter.
+        mac: MacAddr,
+    },
+    /// MAC ↔ switch & port (authoritative source: packet-in events,
+    /// maintained by the PCP).
+    MacLocation {
+        /// The adapter.
+        mac: MacAddr,
+        /// The switch.
+        dpid: u64,
+        /// The port on that switch.
+        port: u32,
+    },
+}
+
+/// Outcome of the anti-spoofing check for one packet side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpoofVerdict {
+    /// Identifiers are mutually consistent with current bindings.
+    Consistent,
+    /// The packet's IP is bound to different MAC(s) than the packet's.
+    IpMacMismatch,
+}
+
+/// The binding store.
+#[derive(Default)]
+pub struct EntityResolver {
+    user_host: HashSet<(String, String)>,
+    host_ip: HashSet<(String, Ipv4Addr)>,
+    ip_mac: HashSet<(Ipv4Addr, MacAddr)>,
+    /// (dpid, mac) → port; at most one port per MAC per switch.
+    mac_location: HashMap<(u64, MacAddr), u32>,
+    resolutions: u64,
+}
+
+impl EntityResolver {
+    /// An empty store.
+    pub fn new() -> EntityResolver {
+        EntityResolver::default()
+    }
+
+    /// Applies a binding event (add).
+    pub fn bind(&mut self, binding: Binding) {
+        match binding {
+            Binding::UserHost { user, host } => {
+                self.user_host.insert((user, host));
+            }
+            Binding::HostIp { host, ip } => {
+                self.host_ip.insert((host, ip));
+            }
+            Binding::IpMac { ip, mac } => {
+                self.ip_mac.insert((ip, mac));
+            }
+            Binding::MacLocation { mac, dpid, port } => {
+                // "This sensor ensures that each MAC address is associated
+                // with at most one port on each switch."
+                self.mac_location.insert((dpid, mac), port);
+            }
+        }
+    }
+
+    /// Applies a binding expiration (remove).
+    pub fn unbind(&mut self, binding: &Binding) {
+        match binding {
+            Binding::UserHost { user, host } => {
+                self.user_host.remove(&(user.clone(), host.clone()));
+            }
+            Binding::HostIp { host, ip } => {
+                self.host_ip.remove(&(host.clone(), *ip));
+            }
+            Binding::IpMac { ip, mac } => {
+                self.ip_mac.remove(&(*ip, *mac));
+            }
+            Binding::MacLocation { mac, dpid, .. } => {
+                self.mac_location.remove(&(*dpid, *mac));
+            }
+        }
+    }
+
+    /// Hostnames currently bound to an IP.
+    pub fn hosts_of_ip(&self, ip: Ipv4Addr) -> Vec<String> {
+        let mut hs: Vec<String> = self
+            .host_ip
+            .iter()
+            .filter(|(_, i)| *i == ip)
+            .map(|(h, _)| h.clone())
+            .collect();
+        hs.sort();
+        hs
+    }
+
+    /// Users currently bound to a host.
+    pub fn users_of_host(&self, host: &str) -> Vec<String> {
+        let mut us: Vec<String> = self
+            .user_host
+            .iter()
+            .filter(|(_, h)| h == host)
+            .map(|(u, _)| u.clone())
+            .collect();
+        us.sort();
+        us
+    }
+
+    /// Hosts a user is currently logged onto.
+    pub fn hosts_of_user(&self, user: &str) -> Vec<String> {
+        let mut hs: Vec<String> = self
+            .user_host
+            .iter()
+            .filter(|(u, _)| u == user)
+            .map(|(_, h)| h.clone())
+            .collect();
+        hs.sort();
+        hs
+    }
+
+    /// MACs the authoritative DHCP source binds to an IP.
+    pub fn macs_of_ip(&self, ip: Ipv4Addr) -> Vec<MacAddr> {
+        let mut ms: Vec<MacAddr> = self
+            .ip_mac
+            .iter()
+            .filter(|(i, _)| *i == ip)
+            .map(|(_, m)| *m)
+            .collect();
+        ms.sort();
+        ms
+    }
+
+    /// The switch port a MAC was last located at on a given switch.
+    pub fn location_of(&self, dpid: u64, mac: MacAddr) -> Option<u32> {
+        self.mac_location.get(&(dpid, mac)).copied()
+    }
+
+    /// Anti-spoofing check: the packet's (IP, MAC) pairing must not
+    /// contradict the authoritative IP↔MAC bindings. An IP with no
+    /// recorded binding passes (it may predate DHCP, e.g. static core
+    /// services).
+    pub fn spoof_check(&self, ip: Option<Ipv4Addr>, mac: MacAddr) -> SpoofVerdict {
+        let Some(ip) = ip else {
+            return SpoofVerdict::Consistent;
+        };
+        let bound = self.macs_of_ip(ip);
+        if bound.is_empty() || bound.contains(&mac) {
+            SpoofVerdict::Consistent
+        } else {
+            SpoofVerdict::IpMacMismatch
+        }
+    }
+
+    /// Enriches one side of a packet into an [`EndpointView`]: low-level
+    /// identifiers from the packet, high-level identifiers resolved through
+    /// the binding chain IP → hostname(s) → username(s).
+    pub fn resolve_endpoint(
+        &mut self,
+        ip: Option<Ipv4Addr>,
+        port: Option<u16>,
+        mac: MacAddr,
+        switch: Option<(u64, u32)>,
+    ) -> EndpointView {
+        self.resolutions += 1;
+        // DNS records are fully qualified while policies and SIEM events
+        // usually use short machine names; expose both forms so either can
+        // match.
+        let mut hostnames: Vec<String> = ip.map(|ip| self.hosts_of_ip(ip)).unwrap_or_default();
+        let shorts: Vec<String> = hostnames
+            .iter()
+            .map(|h| short_name(h).to_string())
+            .filter(|s| !hostnames.contains(s))
+            .collect();
+        hostnames.extend(shorts);
+        let mut usernames: Vec<String> = hostnames
+            .iter()
+            .flat_map(|h| self.users_of_host(h))
+            .collect();
+        usernames.sort();
+        usernames.dedup();
+        EndpointView {
+            usernames,
+            hostnames,
+            ip,
+            port,
+            mac: Some(mac),
+            switch_port: switch.map(|(_, p)| p),
+            switch_dpid: switch.map(|(d, _)| d),
+        }
+    }
+
+    /// Enriches both sides of a parsed packet received at `(dpid, in_port)`.
+    pub fn resolve_flow(
+        &mut self,
+        headers: &PacketHeaders,
+        dpid: u64,
+        in_port: u32,
+    ) -> (EndpointView, EndpointView) {
+        let src = self.resolve_endpoint(
+            headers.ipv4_src,
+            headers.l4_src(),
+            headers.eth_src,
+            Some((dpid, in_port)),
+        );
+        let dst_loc = self.location_of(dpid, headers.eth_dst).map(|p| (dpid, p));
+        let dst = self.resolve_endpoint(
+            headers.ipv4_dst,
+            headers.l4_dst(),
+            headers.eth_dst,
+            dst_loc,
+        );
+        (src, dst)
+    }
+
+    /// Resolutions performed (utilization accounting).
+    pub fn resolution_count(&self) -> u64 {
+        self.resolutions
+    }
+
+    /// Total bindings stored across all classes.
+    pub fn binding_count(&self) -> usize {
+        self.user_host.len() + self.host_ip.len() + self.ip_mac.len() + self.mac_location.len()
+    }
+}
+
+/// Hostname bindings from DNS are fully qualified (`h1.corp.local`) while
+/// SIEM log-on events use short machine names (`h1`); the user lookup
+/// bridges the two.
+fn short_name(fqdn: &str) -> &str {
+    fqdn.split('.').next().unwrap_or(fqdn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP1: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 5);
+    const IP2: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 9);
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    fn populated() -> EntityResolver {
+        let mut e = EntityResolver::new();
+        e.bind(Binding::HostIp {
+            host: "alice-laptop.corp.local".into(),
+            ip: IP1,
+        });
+        e.bind(Binding::IpMac {
+            ip: IP1,
+            mac: mac(1),
+        });
+        e.bind(Binding::UserHost {
+            user: "alice".into(),
+            host: "alice-laptop".into(),
+        });
+        e.bind(Binding::MacLocation {
+            mac: mac(1),
+            dpid: 7,
+            port: 3,
+        });
+        e
+    }
+
+    #[test]
+    fn binding_chain_resolves_up_to_user() {
+        let mut e = populated();
+        let v = e.resolve_endpoint(Some(IP1), Some(445), mac(1), Some((7, 3)));
+        assert_eq!(
+            v.hostnames,
+            vec!["alice-laptop.corp.local", "alice-laptop"],
+            "both the FQDN and the short name are exposed"
+        );
+        assert_eq!(v.usernames, vec!["alice"]);
+        assert_eq!(v.ip, Some(IP1));
+        assert_eq!(v.switch_dpid, Some(7));
+        assert_eq!(v.switch_port, Some(3));
+    }
+
+    #[test]
+    fn unbound_ip_resolves_to_low_level_only() {
+        let mut e = populated();
+        let v = e.resolve_endpoint(Some(IP2), None, mac(2), None);
+        assert!(v.hostnames.is_empty());
+        assert!(v.usernames.is_empty());
+        assert_eq!(v.mac, Some(mac(2)));
+    }
+
+    #[test]
+    fn unbind_removes_exactly_one_pair() {
+        let mut e = populated();
+        e.bind(Binding::UserHost {
+            user: "bob".into(),
+            host: "alice-laptop".into(),
+        });
+        assert_eq!(e.users_of_host("alice-laptop"), vec!["alice", "bob"]);
+        e.unbind(&Binding::UserHost {
+            user: "alice".into(),
+            host: "alice-laptop".into(),
+        });
+        assert_eq!(e.users_of_host("alice-laptop"), vec!["bob"]);
+    }
+
+    #[test]
+    fn many_to_many_users_and_hosts() {
+        let mut e = EntityResolver::new();
+        e.bind(Binding::UserHost {
+            user: "alice".into(),
+            host: "h1".into(),
+        });
+        e.bind(Binding::UserHost {
+            user: "alice".into(),
+            host: "h2".into(),
+        });
+        e.bind(Binding::UserHost {
+            user: "bob".into(),
+            host: "h1".into(),
+        });
+        assert_eq!(e.hosts_of_user("alice"), vec!["h1", "h2"]);
+        assert_eq!(e.users_of_host("h1"), vec!["alice", "bob"]);
+    }
+
+    #[test]
+    fn mac_location_is_exclusive_per_switch() {
+        let mut e = populated();
+        // The host moves to another port on the same switch: the binding
+        // must follow, not accumulate.
+        e.bind(Binding::MacLocation {
+            mac: mac(1),
+            dpid: 7,
+            port: 9,
+        });
+        assert_eq!(e.location_of(7, mac(1)), Some(9));
+        // A different switch keeps its own view.
+        e.bind(Binding::MacLocation {
+            mac: mac(1),
+            dpid: 8,
+            port: 1,
+        });
+        assert_eq!(e.location_of(7, mac(1)), Some(9));
+        assert_eq!(e.location_of(8, mac(1)), Some(1));
+    }
+
+    #[test]
+    fn spoof_check_catches_ip_mac_mismatch() {
+        let e = populated();
+        assert_eq!(e.spoof_check(Some(IP1), mac(1)), SpoofVerdict::Consistent);
+        assert_eq!(
+            e.spoof_check(Some(IP1), mac(66)),
+            SpoofVerdict::IpMacMismatch,
+            "someone else claiming alice's IP"
+        );
+        assert_eq!(
+            e.spoof_check(Some(IP2), mac(66)),
+            SpoofVerdict::Consistent,
+            "unbound IPs pass"
+        );
+        assert_eq!(e.spoof_check(None, mac(66)), SpoofVerdict::Consistent);
+    }
+
+    #[test]
+    fn resolve_flow_enriches_both_sides() {
+        let mut e = populated();
+        e.bind(Binding::HostIp {
+            host: "bob-desktop.corp.local".into(),
+            ip: IP2,
+        });
+        e.bind(Binding::UserHost {
+            user: "bob".into(),
+            host: "bob-desktop".into(),
+        });
+        e.bind(Binding::MacLocation {
+            mac: mac(2),
+            dpid: 7,
+            port: 5,
+        });
+        let frame = dfi_packet::headers::build::tcp_syn(mac(1), mac(2), IP1, IP2, 50_000, 25);
+        let headers = PacketHeaders::parse(&frame).unwrap();
+        let (src, dst) = e.resolve_flow(&headers, 7, 3);
+        assert_eq!(src.usernames, vec!["alice"]);
+        assert_eq!(dst.usernames, vec!["bob"]);
+        assert_eq!(dst.port, Some(25));
+        assert_eq!(dst.switch_port, Some(5), "dst located via MAC binding");
+        assert_eq!(e.resolution_count(), 2);
+    }
+
+    #[test]
+    fn fqdn_and_short_names_bridge() {
+        assert_eq!(short_name("h1.corp.local"), "h1");
+        assert_eq!(short_name("h1"), "h1");
+    }
+
+    #[test]
+    fn binding_count_tracks_all_classes() {
+        let e = populated();
+        assert_eq!(e.binding_count(), 4);
+    }
+}

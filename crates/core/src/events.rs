@@ -1,0 +1,192 @@
+//! Sensor events and bus wiring.
+//!
+//! DFI's components communicate over a message bus (RabbitMQ in the paper,
+//! [`dfi_bus::Bus`] here). The identifier-binding sensors publish to
+//! well-known topics; the Entity Resolution Manager and interested PDPs
+//! subscribe.
+
+use dfi_bus::Bus;
+use dfi_packet::MacAddr;
+use dfi_services::{DhcpServer, DnsServer, SessionKind, Siem};
+use std::net::Ipv4Addr;
+
+/// Bus topics.
+pub mod topic {
+    /// IP↔MAC lease events from the DHCP sensor.
+    pub const LEASES: &str = "dfi.bindings.lease";
+    /// hostname↔IP events from the DNS sensor.
+    pub const NAMES: &str = "dfi.bindings.name";
+    /// username↔hostname events from the SIEM log-on/log-off sensor.
+    pub const SESSIONS: &str = "dfi.bindings.session";
+}
+
+/// The envelope carried on the DFI bus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfiEvent {
+    /// DHCP committed or released a lease.
+    Lease {
+        /// Client MAC.
+        mac: MacAddr,
+        /// Leased IP.
+        ip: Ipv4Addr,
+        /// Client hostname, when announced.
+        hostname: Option<String>,
+        /// `true` on release.
+        released: bool,
+    },
+    /// DNS added or removed a record.
+    Name {
+        /// Fully qualified hostname.
+        hostname: String,
+        /// Bound IP.
+        ip: Ipv4Addr,
+        /// `true` on removal.
+        removed: bool,
+    },
+    /// The SIEM derived a log-on or log-off.
+    Session {
+        /// The user.
+        user: String,
+        /// The host.
+        host: String,
+        /// `true` for log-on, `false` for log-off.
+        logged_on: bool,
+    },
+}
+
+/// Attaches DFI's IP↔MAC binding sensor to a DHCP server: lease events are
+/// published on [`topic::LEASES`].
+pub fn wire_dhcp_sensor(dhcp: &DhcpServer, bus: &Bus<DfiEvent>) {
+    let bus = bus.clone();
+    dhcp.attach_sensor(move |sim, ev| {
+        bus.publish(
+            sim,
+            topic::LEASES,
+            DfiEvent::Lease {
+                mac: ev.mac,
+                ip: ev.ip,
+                hostname: ev.hostname.clone(),
+                released: ev.released,
+            },
+        );
+    });
+}
+
+/// Attaches DFI's hostname↔IP binding sensor to a DNS server: record
+/// events are published on [`topic::NAMES`].
+pub fn wire_dns_sensor(dns: &DnsServer, bus: &Bus<DfiEvent>) {
+    let bus = bus.clone();
+    dns.attach_sensor(move |sim, ev| {
+        bus.publish(
+            sim,
+            topic::NAMES,
+            DfiEvent::Name {
+                hostname: ev.hostname.clone(),
+                ip: ev.ip,
+                removed: ev.removed,
+            },
+        );
+    });
+}
+
+/// Attaches DFI's log-on/log-off sensor to the SIEM: derived session
+/// events are published on [`topic::SESSIONS`].
+pub fn wire_siem_sensor(siem: &Siem, bus: &Bus<DfiEvent>) {
+    let bus = bus.clone();
+    siem.attach_sensor(move |sim, ev| {
+        bus.publish(
+            sim,
+            topic::SESSIONS,
+            DfiEvent::Session {
+                user: ev.user.clone(),
+                host: ev.host.clone(),
+                logged_on: ev.kind == SessionKind::LogOn,
+            },
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_simnet::{Dist, Sim};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn bus_and_log(topic: &str) -> (Bus<DfiEvent>, Rc<RefCell<Vec<DfiEvent>>>) {
+        let bus = Bus::new(Dist::constant_ms(0.1));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        bus.subscribe(topic, move |_, ev: &DfiEvent| l.borrow_mut().push(ev.clone()));
+        (bus, log)
+    }
+
+    #[test]
+    fn dhcp_sensor_publishes_lease_events() {
+        let mut sim = Sim::new(0);
+        let (bus, log) = bus_and_log(topic::LEASES);
+        let dhcp = DhcpServer::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 1, 10),
+            8,
+        );
+        wire_dhcp_sensor(&dhcp, &bus);
+        let ip = dhcp
+            .quick_lease(&mut sim, MacAddr::from_index(1), "h1", 1)
+            .unwrap();
+        sim.run();
+        let events = log.borrow();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0],
+            DfiEvent::Lease {
+                mac: MacAddr::from_index(1),
+                ip,
+                hostname: Some("h1".into()),
+                released: false,
+            }
+        );
+    }
+
+    #[test]
+    fn dns_sensor_publishes_name_events() {
+        let mut sim = Sim::new(0);
+        let (bus, log) = bus_and_log(topic::NAMES);
+        let dns = DnsServer::new("corp.local");
+        wire_dns_sensor(&dns, &bus);
+        dns.register(&mut sim, "h1", Ipv4Addr::new(10, 0, 1, 5));
+        dns.unregister(&mut sim, "h1");
+        sim.run();
+        let events = log.borrow();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], DfiEvent::Name { removed: false, .. }));
+        assert!(matches!(&events[1], DfiEvent::Name { removed: true, .. }));
+    }
+
+    #[test]
+    fn siem_sensor_publishes_session_events() {
+        let mut sim = Sim::new(0);
+        let (bus, log) = bus_and_log(topic::SESSIONS);
+        let siem = Siem::new();
+        wire_siem_sensor(&siem, &bus);
+        siem.log_on(&mut sim, "alice", "h1");
+        siem.log_off(&mut sim, "alice", "h1");
+        sim.run();
+        let events = log.borrow();
+        assert_eq!(
+            events.as_slice(),
+            [
+                DfiEvent::Session {
+                    user: "alice".into(),
+                    host: "h1".into(),
+                    logged_on: true
+                },
+                DfiEvent::Session {
+                    user: "alice".into(),
+                    host: "h1".into(),
+                    logged_on: false
+                },
+            ]
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! Policy Decision Points: the components that turn events into policy.
+//!
+//! Paper §III-B: "The role of a PDP is to evaluate conditions that apply to
+//! a desired event-driven access control policy … The PDP then decides
+//! whether its policy applies based on those conditions, and automatically
+//! creates or revokes rules that implement the current policy." DFI
+//! supports multiple PDPs, each with a unique administrator-assigned
+//! priority used to resolve conflicts between their rules.
+//!
+//! The three PDPs here are the paper's evaluation conditions plus its
+//! motivating extension:
+//!
+//! * [`BaselinePdp`] — no access control (the §V "baseline" condition).
+//! * [`SRbacPdp`] — static role-based access control: each host may reach
+//!   its enclave-mates and the servers, indefinitely.
+//! * [`AtRbacPdp`] — authentication-triggered RBAC, *the policy uniquely
+//!   enabled by DFI*: a host gets its role-based reachability only while a
+//!   user is logged on; with no user, only the core authentication
+//!   services (DHCP/DNS/AD) are reachable.
+//! * [`QuarantinePdp`] — "Quarantine Upon Compromise": an incident
+//!   responder can cut a host off entirely, overriding everything below
+//!   its priority.
+
+use crate::dfi::Dfi;
+use crate::events::{topic, DfiEvent};
+use crate::policy::{EndpointPattern, PolicyId, PolicyRule, RbacRoles};
+use dfi_simnet::Sim;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The authentication-path service ports that stay reachable under
+/// AT-RBAC even with no logged-on user: DNS (53), DHCP (67/68), Kerberos
+/// (88), LDAP (389). Deliberately *not* SMB — a worm cannot ride the
+/// always-on authentication allowance.
+pub const AUTH_SERVICE_PORTS: [u16; 5] = [53, 67, 68, 88, 389];
+
+/// Conventional PDP priorities: quarantine overrides AT-RBAC overrides
+/// S-RBAC overrides baseline.
+pub mod priority {
+    /// The baseline allow-all PDP.
+    pub const BASELINE: u32 = 1;
+    /// Static RBAC.
+    pub const S_RBAC: u32 = 10;
+    /// Authentication-triggered RBAC.
+    pub const AT_RBAC: u32 = 20;
+    /// Quarantine-upon-compromise.
+    pub const QUARANTINE: u32 = 100;
+}
+
+/// The baseline condition: a fully connected network with no access
+/// control (one allow-everything rule).
+pub struct BaselinePdp {
+    rule: Option<PolicyId>,
+}
+
+impl BaselinePdp {
+    /// Creates the PDP (no rules emitted yet).
+    pub fn new() -> BaselinePdp {
+        BaselinePdp { rule: None }
+    }
+
+    /// Emits the allow-all rule.
+    pub fn activate(&mut self, sim: &mut Sim, dfi: &Dfi) {
+        self.rule = Some(dfi.insert_policy(
+            sim,
+            PolicyRule::allow_all(),
+            priority::BASELINE,
+            "baseline",
+        ));
+    }
+}
+
+impl Default for BaselinePdp {
+    fn default() -> Self {
+        BaselinePdp::new()
+    }
+}
+
+/// Static role-based access control (the paper's S-RBAC condition):
+/// "access control is configured statically, indefinitely letting a host
+/// communicate with others within a logical enclave based on its role
+/// needs" — each host may exchange flows with (1) all hosts in its own
+/// enclave and (2) each of the servers.
+pub struct SRbacPdp {
+    roles: RbacRoles,
+    emitted: Vec<PolicyId>,
+}
+
+impl SRbacPdp {
+    /// Creates the PDP over a role structure.
+    pub fn new(roles: RbacRoles) -> SRbacPdp {
+        SRbacPdp {
+            roles,
+            emitted: Vec::new(),
+        }
+    }
+
+    /// Emits the full static rule set.
+    pub fn activate(&mut self, sim: &mut Sim, dfi: &Dfi) {
+        let mut emit = |sim: &mut Sim, rule: PolicyRule| {
+            self.emitted
+                .push(dfi.insert_policy(sim, rule, priority::S_RBAC, "s-rbac"));
+        };
+        // Core services stay reachable for everyone (DHCP/DNS/AD et al.).
+        for svc in self.roles.core_services() {
+            emit(
+                sim,
+                PolicyRule::allow(EndpointPattern::any(), EndpointPattern::host(svc)),
+            );
+            emit(
+                sim,
+                PolicyRule::allow(EndpointPattern::host(svc), EndpointPattern::any()),
+            );
+        }
+        // Per-host role rules.
+        let hosts: Vec<String> = self
+            .roles
+            .all_enclave_hosts()
+            .map(str::to_string)
+            .collect();
+        for host in &hosts {
+            for peer in self.roles.role_peers(host) {
+                emit(
+                    sim,
+                    PolicyRule::allow(EndpointPattern::host(host), EndpointPattern::host(&peer)),
+                );
+                emit(
+                    sim,
+                    PolicyRule::allow(EndpointPattern::host(&peer), EndpointPattern::host(host)),
+                );
+            }
+        }
+        // Servers may talk among themselves (operational needs).
+        for a in self.roles.servers() {
+            for b in self.roles.servers() {
+                if a != b {
+                    emit(
+                        sim,
+                        PolicyRule::allow(EndpointPattern::host(a), EndpointPattern::host(b)),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ids of every rule this PDP emitted.
+    pub fn emitted(&self) -> &[PolicyId] {
+        &self.emitted
+    }
+}
+
+/// Authentication-triggered role-based access control — the policy the
+/// paper demonstrates as uniquely enabled by DFI (§V-B, AT-RBAC):
+///
+/// > "Role-based access for the user is allowed only after she
+/// > authenticates and access is revoked upon logging off. When there is
+/// > no user, flows are allowed only for a small set of services needed to
+/// > authenticate (i.e., DHCP, DNS, AD)."
+///
+/// The PDP subscribes to the SIEM-derived log-on/log-off events on the DFI
+/// bus and inserts/revokes the host's role rules accordingly.
+pub struct AtRbacPdp {
+    inner: Rc<RefCell<AtRbacInner>>,
+}
+
+struct AtRbacInner {
+    roles: RbacRoles,
+    dfi: Dfi,
+    /// Rules currently installed per host, with the count of logged-on
+    /// users keeping them alive.
+    active: HashMap<String, HostGrant>,
+    baseline: Vec<PolicyId>,
+}
+
+struct HostGrant {
+    logged_on_users: u32,
+    rules: Vec<PolicyId>,
+}
+
+impl AtRbacPdp {
+    /// Creates the PDP and subscribes it to session events on the DFI bus.
+    /// Also emits the always-on rules: core authentication services, and
+    /// unconditional role access for servers (servers have no interactive
+    /// users).
+    pub fn activate(sim: &mut Sim, dfi: &Dfi, roles: RbacRoles) -> AtRbacPdp {
+        let mut baseline = Vec::new();
+        for svc in roles.core_services() {
+            // Only the authentication-path ports are reachable with no
+            // user: the "small set of services needed to authenticate".
+            for port in AUTH_SERVICE_PORTS {
+                baseline.push(dfi.insert_policy(
+                    sim,
+                    PolicyRule::allow(
+                        EndpointPattern::any(),
+                        EndpointPattern::host_port(svc, port),
+                    ),
+                    priority::AT_RBAC,
+                    "at-rbac",
+                ));
+                baseline.push(dfi.insert_policy(
+                    sim,
+                    PolicyRule::allow(
+                        EndpointPattern {
+                            hostname: crate::policy::WildName::is(svc),
+                            port: crate::policy::Wild::Is(port),
+                            ..EndpointPattern::any()
+                        },
+                        EndpointPattern::any(),
+                    ),
+                    priority::AT_RBAC,
+                    "at-rbac",
+                ));
+            }
+        }
+        for a in roles.servers() {
+            for b in roles.servers() {
+                if a != b {
+                    baseline.push(dfi.insert_policy(
+                        sim,
+                        PolicyRule::allow(EndpointPattern::host(a), EndpointPattern::host(b)),
+                        priority::AT_RBAC,
+                        "at-rbac",
+                    ));
+                }
+            }
+        }
+        let pdp = AtRbacPdp {
+            inner: Rc::new(RefCell::new(AtRbacInner {
+                roles,
+                dfi: dfi.clone(),
+                active: HashMap::new(),
+                baseline,
+            })),
+        };
+        let sub = pdp.inner.clone();
+        dfi.bus().subscribe(topic::SESSIONS, move |sim, ev| {
+            if let DfiEvent::Session {
+                user: _,
+                host,
+                logged_on,
+            } = ev
+            {
+                if *logged_on {
+                    AtRbacPdp::on_log_on(&sub, sim, host);
+                } else {
+                    AtRbacPdp::on_log_off(&sub, sim, host);
+                }
+            }
+        });
+        pdp
+    }
+
+    fn on_log_on(inner: &Rc<RefCell<AtRbacInner>>, sim: &mut Sim, host: &str) {
+        // First user on the host: grant its role-based reachability.
+        let needs_grant = {
+            let mut i = inner.borrow_mut();
+            let grant = i.active.entry(host.to_string()).or_insert(HostGrant {
+                logged_on_users: 0,
+                rules: Vec::new(),
+            });
+            grant.logged_on_users += 1;
+            grant.logged_on_users == 1
+        };
+        if !needs_grant {
+            return;
+        }
+        let (dfi, peers) = {
+            let i = inner.borrow();
+            (i.dfi.clone(), i.roles.role_peers(host))
+        };
+        let mut rules = Vec::new();
+        for peer in peers {
+            rules.push(dfi.insert_policy(
+                sim,
+                PolicyRule::allow(EndpointPattern::host(host), EndpointPattern::host(&peer)),
+                priority::AT_RBAC,
+                "at-rbac",
+            ));
+            rules.push(dfi.insert_policy(
+                sim,
+                PolicyRule::allow(EndpointPattern::host(&peer), EndpointPattern::host(host)),
+                priority::AT_RBAC,
+                "at-rbac",
+            ));
+        }
+        inner
+            .borrow_mut()
+            .active
+            .get_mut(host)
+            .expect("grant exists")
+            .rules = rules;
+    }
+
+    fn on_log_off(inner: &Rc<RefCell<AtRbacInner>>, sim: &mut Sim, host: &str) {
+        let to_revoke = {
+            let mut i = inner.borrow_mut();
+            match i.active.get_mut(host) {
+                Some(grant) if grant.logged_on_users > 0 => {
+                    grant.logged_on_users -= 1;
+                    if grant.logged_on_users == 0 {
+                        let rules = std::mem::take(&mut grant.rules);
+                        i.active.remove(host);
+                        rules
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => Vec::new(),
+            }
+        };
+        let dfi = inner.borrow().dfi.clone();
+        for id in to_revoke {
+            dfi.revoke_policy(sim, id);
+        }
+    }
+
+    /// Number of hosts currently holding an active grant.
+    pub fn hosts_with_access(&self) -> usize {
+        self.inner.borrow().active.len()
+    }
+
+    /// Ids of the always-on (core service / server) rules.
+    pub fn baseline_rules(&self) -> Vec<PolicyId> {
+        self.inner.borrow().baseline.clone()
+    }
+}
+
+/// Quarantine-upon-compromise: an incident responder isolates a host with
+/// two maximum-priority deny rules; releasing revokes them (and DFI's
+/// consistency machinery re-evaluates ongoing flows both times).
+pub struct QuarantinePdp {
+    quarantined: HashMap<String, [PolicyId; 2]>,
+}
+
+impl QuarantinePdp {
+    /// Creates the PDP.
+    pub fn new() -> QuarantinePdp {
+        QuarantinePdp {
+            quarantined: HashMap::new(),
+        }
+    }
+
+    /// Cuts `host` off from the network in both directions.
+    pub fn quarantine(&mut self, sim: &mut Sim, dfi: &Dfi, host: &str) {
+        if self.quarantined.contains_key(host) {
+            return;
+        }
+        let out = dfi.insert_policy(
+            sim,
+            PolicyRule::deny(EndpointPattern::host(host), EndpointPattern::any()),
+            priority::QUARANTINE,
+            "quarantine",
+        );
+        let inbound = dfi.insert_policy(
+            sim,
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::host(host)),
+            priority::QUARANTINE,
+            "quarantine",
+        );
+        self.quarantined.insert(host.to_string(), [out, inbound]);
+    }
+
+    /// Restores a quarantined host.
+    pub fn release(&mut self, sim: &mut Sim, dfi: &Dfi, host: &str) {
+        if let Some(rules) = self.quarantined.remove(host) {
+            for id in rules {
+                dfi.revoke_policy(sim, id);
+            }
+        }
+    }
+
+    /// `true` while the host is isolated.
+    pub fn is_quarantined(&self, host: &str) -> bool {
+        self.quarantined.contains_key(host)
+    }
+}
+
+impl Default for QuarantinePdp {
+    fn default() -> Self {
+        QuarantinePdp::new()
+    }
+}

@@ -1,0 +1,526 @@
+//! The Policy Manager: the store of current global policy.
+//!
+//! Paper §III-B: "The Policy Manager receives policy rules and revocations
+//! from PDPs, performs consistency checks, and stores the current global
+//! policy." Its two consistency duties are implemented here:
+//!
+//! 1. **Insert-time conflict detection** — a newly inserted rule conflicts
+//!    with an existing rule when (a) the rules overlap field-by-field,
+//!    (b) their actions differ, and (c) the existing rule's priority is
+//!    lower than the new rule's. Flow rules derived from the conflicting
+//!    (existing) policies must be flushed from the switches so ongoing
+//!    flows are re-evaluated; the policies themselves stay in the database.
+//! 2. **Revocation** — removing a policy also flushes its derived flow
+//!    rules.
+//!
+//! The manager itself is pure logic; the surrounding control plane
+//! (`crate::Dfi`) models its MySQL query latency with a queueing station.
+
+use crate::policy::model::{FlowView, PolicyAction, PolicyRule, Wild};
+use std::collections::BTreeMap;
+
+/// `true` when `rule` admits `flow`'s identifiers with L4 ports ignored —
+/// i.e. the rule could match some member of the flow's port-wildcard class.
+fn rule_admits_ignoring_ports(rule: &PolicyRule, flow: &FlowView) -> bool {
+    let mut portless = flow.clone();
+    portless.src.port = rule.src.port.value();
+    portless.dst.port = rule.dst.port.value();
+    rule.matches(&portless)
+}
+
+/// Identifier of a stored policy rule; doubles as the OpenFlow cookie on
+/// every flow rule compiled from that policy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PolicyId(pub u64);
+
+/// The reserved id of the built-in default-deny policy.
+///
+/// Paper: "in the absence of any matching policy rule, DFI is configured to
+/// deny a flow by default." Default-deny decisions also compile to cached
+/// flow rules, so they need a cookie — and, like any policy, they must be
+/// flushed when a higher-priority allow arrives (otherwise a cached deny
+/// would keep blocking a newly authorized flow).
+pub const DEFAULT_DENY_ID: PolicyId = PolicyId(0);
+
+/// A stored rule with its provenance.
+#[derive(Clone, Debug)]
+pub struct StoredPolicy {
+    /// The id (and flow-rule cookie).
+    pub id: PolicyId,
+    /// The rule.
+    pub rule: PolicyRule,
+    /// Priority inherited from the emitting PDP (higher wins).
+    pub priority: u32,
+    /// Name of the emitting PDP (diagnostics).
+    pub pdp: String,
+}
+
+/// The verdict for one flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Allow or deny.
+    pub action: PolicyAction,
+    /// The policy that decided (DEFAULT_DENY_ID when nothing matched).
+    pub policy: PolicyId,
+}
+
+/// The Policy Manager.
+#[derive(Default)]
+pub struct PolicyManager {
+    rules: BTreeMap<PolicyId, StoredPolicy>,
+    next_id: u64,
+    queries: u64,
+}
+
+impl PolicyManager {
+    /// An empty manager (plus the implicit default-deny).
+    pub fn new() -> PolicyManager {
+        PolicyManager {
+            rules: BTreeMap::new(),
+            next_id: 1,
+            queries: 0,
+        }
+    }
+
+    /// Inserts a rule on behalf of a PDP, returning its new id and the ids
+    /// of existing policies whose derived flow rules must be flushed from
+    /// the switches.
+    ///
+    /// The conflict set always includes [`DEFAULT_DENY_ID`] when the new
+    /// rule is an Allow (cached default-deny rules may mask it).
+    pub fn insert(
+        &mut self,
+        rule: PolicyRule,
+        priority: u32,
+        pdp: &str,
+    ) -> (PolicyId, Vec<PolicyId>) {
+        let id = PolicyId(self.next_id);
+        self.next_id += 1;
+        let mut flush: Vec<PolicyId> = self
+            .rules
+            .values()
+            .filter(|existing| {
+                existing.priority < priority
+                    && existing.rule.action != rule.action
+                    && existing.rule.overlaps(&rule)
+            })
+            .map(|e| e.id)
+            .collect();
+        if rule.action == PolicyAction::Allow {
+            // The implicit default-deny has the lowest possible priority
+            // and the opposite action; its cached rules always conflict.
+            flush.push(DEFAULT_DENY_ID);
+        }
+        self.rules.insert(
+            id,
+            StoredPolicy {
+                id,
+                rule,
+                priority,
+                pdp: pdp.to_string(),
+            },
+        );
+        (id, flush)
+    }
+
+    /// Revokes a policy. Returns `true` if it existed; its derived flow
+    /// rules must then be flushed.
+    pub fn revoke(&mut self, id: PolicyId) -> bool {
+        self.rules.remove(&id).is_some()
+    }
+
+    /// Decides a flow against current policy: the highest-priority matching
+    /// rule wins; among equal-priority matches a Deny beats an Allow ("err
+    /// on the side of stopping unauthorized flows"); no match → default
+    /// deny.
+    pub fn query(&mut self, flow: &FlowView) -> Decision {
+        self.queries += 1;
+        let mut best: Option<&StoredPolicy> = None;
+        for sp in self.rules.values() {
+            if !sp.rule.matches(flow) {
+                continue;
+            }
+            best = Some(match best {
+                None => sp,
+                Some(cur) => {
+                    if sp.priority > cur.priority {
+                        sp
+                    } else if sp.priority == cur.priority
+                        && sp.rule.action == PolicyAction::Deny
+                        && cur.rule.action == PolicyAction::Allow
+                    {
+                        sp
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        match best {
+            Some(sp) => Decision {
+                action: sp.rule.action,
+                policy: sp.id,
+            },
+            None => Decision {
+                action: PolicyAction::Deny,
+                policy: DEFAULT_DENY_ID,
+            },
+        }
+    }
+
+    /// Decides the whole *port-wildcard class* of a flow at once, when that
+    /// is provably safe — the core of the CAB-ACME-style wildcard-caching
+    /// extension the paper sketches in §III-B.
+    ///
+    /// The class is "every flow identical to `flow` except for its L4
+    /// ports". Returns `Some(decision)` only when every flow in the class
+    /// is guaranteed the same verdict under current policy, i.e. when no
+    /// policy that could match any class member pins a port (the paper's
+    /// "key challenge … to avoid caching wildcarded flow rules that match
+    /// packets for which higher-priority policy rules may exist" —
+    /// answered conservatively: any port-sensitive overlap disqualifies
+    /// the class). Returns `None` when the caller must fall back to an
+    /// exact-match decision via [`PolicyManager::query`].
+    pub fn query_class(&mut self, flow: &FlowView) -> Option<Decision> {
+        self.queries += 1;
+        // Split candidates that admit the flow's non-port identifiers into
+        // port-free rules (match every class member) and port-pinning
+        // rules (match only the member with their port).
+        let mut winner: Option<&StoredPolicy> = None;
+        let mut pinned: Vec<&StoredPolicy> = Vec::new();
+        for sp in self.rules.values() {
+            if !rule_admits_ignoring_ports(&sp.rule, flow) {
+                continue;
+            }
+            if sp.rule.src.port != Wild::Any || sp.rule.dst.port != Wild::Any {
+                pinned.push(sp);
+                continue;
+            }
+            winner = Some(match winner {
+                None => sp,
+                Some(cur) => {
+                    if sp.priority > cur.priority {
+                        sp
+                    } else if sp.priority == cur.priority
+                        && sp.rule.action == PolicyAction::Deny
+                        && cur.rule.action == PolicyAction::Allow
+                    {
+                        sp
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        // A port-pinning rule splits the class only if it could override
+        // the port-free winner for its port.
+        for p in pinned {
+            let splits = match winner {
+                Some(w) => {
+                    p.priority > w.priority
+                        || (p.priority == w.priority
+                            && p.rule.action == PolicyAction::Deny
+                            && w.rule.action == PolicyAction::Allow)
+                }
+                // Winner is the default deny: a pinned Deny agrees with it
+                // (verdict stays uniform); a pinned Allow splits the class.
+                None => p.rule.action == PolicyAction::Allow,
+            };
+            if splits {
+                return None;
+            }
+        }
+        Some(match winner {
+            Some(sp) => Decision {
+                action: sp.rule.action,
+                policy: sp.id,
+            },
+            None => Decision {
+                action: PolicyAction::Deny,
+                policy: DEFAULT_DENY_ID,
+            },
+        })
+    }
+
+    /// Number of stored rules (excluding the implicit default deny).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no explicit rules are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Queries served (for utilization accounting).
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+
+    /// A stored policy by id.
+    pub fn get(&self, id: PolicyId) -> Option<&StoredPolicy> {
+        self.rules.get(&id)
+    }
+
+    /// All stored policies, ascending id.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredPolicy> {
+        self.rules.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::model::{EndpointPattern, EndpointView};
+
+    fn flow(src_user: &str, dst_user: &str) -> FlowView {
+        FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(6),
+            src: EndpointView {
+                usernames: vec![src_user.to_string()],
+                ..EndpointView::default()
+            },
+            dst: EndpointView {
+                usernames: vec![dst_user.to_string()],
+                ..EndpointView::default()
+            },
+        }
+    }
+
+    #[test]
+    fn default_deny_when_no_rules() {
+        let mut pm = PolicyManager::new();
+        let d = pm.query(&flow("alice", "bob"));
+        assert_eq!(d.action, PolicyAction::Deny);
+        assert_eq!(d.policy, DEFAULT_DENY_ID);
+        assert!(pm.is_empty());
+    }
+
+    #[test]
+    fn matching_allow_wins() {
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            10,
+            "test-pdp",
+        );
+        let d = pm.query(&flow("alice", "bob"));
+        assert_eq!(d.action, PolicyAction::Allow);
+        assert_eq!(d.policy, id);
+        // Unrelated flow still default-denied.
+        assert_eq!(pm.query(&flow("carol", "bob")).action, PolicyAction::Deny);
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut pm = PolicyManager::new();
+        pm.insert(PolicyRule::allow_all(), 1, "low");
+        let (deny_id, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::any()),
+            50,
+            "high",
+        );
+        let d = pm.query(&flow("alice", "bob"));
+        assert_eq!(d.action, PolicyAction::Deny);
+        assert_eq!(d.policy, deny_id);
+        assert_eq!(pm.query(&flow("carol", "bob")).action, PolicyAction::Allow);
+    }
+
+    #[test]
+    fn equal_priority_conflict_denies() {
+        let mut pm = PolicyManager::new();
+        pm.insert(PolicyRule::allow_all(), 10, "a");
+        let (deny_id, _) = pm.insert(PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()), 10, "b");
+        let d = pm.query(&flow("alice", "bob"));
+        assert_eq!(d.action, PolicyAction::Deny);
+        assert_eq!(d.policy, deny_id);
+    }
+
+    #[test]
+    fn insert_reports_conflicting_lower_priority_policies() {
+        let mut pm = PolicyManager::new();
+        let (low_allow, _) = pm.insert(PolicyRule::allow_all(), 1, "low");
+        // A higher-priority deny overlapping the allow: the allow's cached
+        // flow rules must be flushed so ongoing flows are re-evaluated.
+        let (_, flush) = pm.insert(
+            PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::any()),
+            50,
+            "high",
+        );
+        assert!(flush.contains(&low_allow));
+        assert!(!flush.contains(&DEFAULT_DENY_ID), "deny insert does not flush default deny");
+    }
+
+    #[test]
+    fn allow_insert_always_flushes_default_deny() {
+        let mut pm = PolicyManager::new();
+        let (_, flush) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        assert_eq!(flush, vec![DEFAULT_DENY_ID]);
+    }
+
+    #[test]
+    fn same_action_overlap_is_not_a_conflict() {
+        let mut pm = PolicyManager::new();
+        pm.insert(PolicyRule::allow_all(), 1, "a");
+        let (_, flush) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            50,
+            "b",
+        );
+        assert_eq!(flush, vec![DEFAULT_DENY_ID], "only the implicit default deny");
+    }
+
+    #[test]
+    fn higher_priority_existing_rule_is_not_flushed() {
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+            100,
+            "high",
+        );
+        let (_, flush) = pm.insert(PolicyRule::allow_all(), 1, "low");
+        // The high-priority deny still outranks the new allow, so its
+        // cached rules remain valid.
+        assert_eq!(flush, vec![DEFAULT_DENY_ID]);
+    }
+
+    #[test]
+    fn revoke_removes_rule() {
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(PolicyRule::allow_all(), 10, "pdp");
+        assert_eq!(pm.query(&flow("a", "b")).action, PolicyAction::Allow);
+        assert!(pm.revoke(id));
+        assert_eq!(pm.query(&flow("a", "b")).action, PolicyAction::Deny);
+        assert!(!pm.revoke(id), "double revoke is false");
+    }
+
+    #[test]
+    fn get_and_iter_expose_provenance() {
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(PolicyRule::allow_all(), 7, "s-rbac");
+        let sp = pm.get(id).unwrap();
+        assert_eq!(sp.priority, 7);
+        assert_eq!(sp.pdp, "s-rbac");
+        assert_eq!(pm.iter().count(), 1);
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn query_class_uniform_allow() {
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            10,
+            "pdp",
+        );
+        let d = pm.query_class(&flow("alice", "bob")).expect("uniform class");
+        assert_eq!(d.action, PolicyAction::Allow);
+        assert_eq!(d.policy, id);
+    }
+
+    #[test]
+    fn query_class_uniform_default_deny() {
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::user("carol"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        // No rule admits alice→bob flows at any port: the whole class is
+        // default-denied and may be cached as one rule.
+        let d = pm.query_class(&flow("alice", "bob")).expect("uniform class");
+        assert_eq!(d.policy, DEFAULT_DENY_ID);
+    }
+
+    #[test]
+    fn query_class_refuses_port_pinning_overlap() {
+        let mut pm = PolicyManager::new();
+        pm.insert(PolicyRule::allow_all(), 1, "base");
+        // A port-specific deny splits the class: some ports allow, one
+        // denies — widening must be refused.
+        pm.insert(
+            PolicyRule::deny(
+                EndpointPattern::any(),
+                EndpointPattern::host_port("anyhost", 22),
+            ),
+            50,
+            "pdp",
+        );
+        let mut f = flow("alice", "bob");
+        f.dst.hostnames = vec!["anyhost".into()];
+        assert_eq!(pm.query_class(&f), None, "port-pinning overlap blocks widening");
+        // A flow class the deny cannot touch is still widenable.
+        let g = flow("alice", "bob");
+        assert!(pm.query_class(&g).is_some());
+    }
+
+    #[test]
+    fn query_class_ignores_outranked_port_rules() {
+        let mut pm = PolicyManager::new();
+        // High-priority port-free deny dominates a low-priority pinned
+        // allow: the pinned rule can never win, so widening is safe.
+        let (deny_id, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::any()),
+            50,
+            "high",
+        );
+        pm.insert(
+            PolicyRule::allow(
+                EndpointPattern::user("alice"),
+                EndpointPattern::host_port("bob-host", 443),
+            ),
+            1,
+            "low",
+        );
+        let mut f = flow("alice", "bob");
+        f.dst.hostnames = vec!["bob-host".into()];
+        let d = pm.query_class(&f).expect("outranked pin ignored");
+        assert_eq!(d.policy, deny_id);
+    }
+
+    #[test]
+    fn query_class_pinned_deny_agrees_with_default_deny() {
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::host_port("h", 22)),
+            50,
+            "pdp",
+        );
+        // The whole class is denied either way: uniform.
+        let mut f = flow("alice", "bob");
+        f.dst.hostnames = vec!["h".into()];
+        let d = pm.query_class(&f).expect("uniform deny");
+        assert_eq!(d.action, PolicyAction::Deny);
+        assert_eq!(d.policy, DEFAULT_DENY_ID);
+    }
+
+    #[test]
+    fn query_class_agrees_with_per_flow_query() {
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        let mut f = flow("alice", "bob");
+        let class = pm.query_class(&f).expect("uniform");
+        for port in [22u16, 80, 445, 50_000] {
+            f.dst.port = Some(port);
+            assert_eq!(pm.query(&f), class, "port {port} disagrees with class");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mut pm = PolicyManager::new();
+        let (a, _) = pm.insert(PolicyRule::allow_all(), 1, "p");
+        let (b, _) = pm.insert(PolicyRule::allow_all(), 1, "p");
+        assert!(b > a);
+        assert_ne!(a, DEFAULT_DENY_ID);
+    }
+}

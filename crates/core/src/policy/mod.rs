@@ -1,0 +1,13 @@
+//! The DFI policy layer: the rule model, the Policy Manager, and role
+//! definitions.
+
+mod manager;
+mod model;
+mod roles;
+
+pub use manager::{Decision, PolicyId, PolicyManager, StoredPolicy, DEFAULT_DENY_ID};
+pub use model::{
+    EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction, PolicyRule, Wild,
+    WildName,
+};
+pub use roles::RbacRoles;

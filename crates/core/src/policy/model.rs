@@ -1,0 +1,447 @@
+//! The policy model: rules over high-level identifiers.
+//!
+//! Paper §III-B: "Policy rules themselves are tuples consisting of
+//! *(Action, Flow Properties, Source, Destination)*. Action can be Allow or
+//! Deny, and Flow Properties include EtherType and IP protocol values.
+//! Source and Destination describe the endpoints of flows matching this
+//! rule as tuples over the following identifiers: username, hostname, IP
+//! address, TCP/UDP port, MAC address, switch port, and switch DPID. Each
+//! field can be either a specific value or a wildcard."
+
+use dfi_packet::MacAddr;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A policy field: a specific value or a wildcard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Wild<T> {
+    /// Matches anything.
+    Any,
+    /// Matches exactly this value.
+    Is(T),
+}
+
+impl<T> Default for Wild<T> {
+    fn default() -> Self {
+        Wild::Any
+    }
+}
+
+impl<T: PartialEq + Copy> Wild<T> {
+    /// `true` when a concrete value satisfies this field.
+    pub fn admits(&self, value: Option<T>) -> bool {
+        match self {
+            Wild::Any => true,
+            Wild::Is(v) => value == Some(*v),
+        }
+    }
+
+    /// `true` when the sets matched by `self` and `other` can intersect
+    /// (used for conflict detection: wildcards overlap everything).
+    pub fn overlaps(&self, other: &Wild<T>) -> bool {
+        match (self, other) {
+            (Wild::Any, _) | (_, Wild::Any) => true,
+            (Wild::Is(a), Wild::Is(b)) => a == b,
+        }
+    }
+
+    /// The concrete value, if pinned.
+    pub fn value(&self) -> Option<T> {
+        match self {
+            Wild::Any => None,
+            Wild::Is(v) => Some(*v),
+        }
+    }
+}
+
+/// String-valued policy field (usernames, hostnames). Separate from
+/// [`Wild`] so matching can be case-insensitive, as Windows identifiers are.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WildName {
+    /// Matches anything.
+    #[default]
+    Any,
+    /// Matches this name (ASCII case-insensitive).
+    Is(String),
+}
+
+impl WildName {
+    /// A pinned name.
+    pub fn is(name: impl Into<String>) -> WildName {
+        WildName::Is(name.into())
+    }
+
+    /// `true` when any of the concrete candidates satisfies this field.
+    pub fn admits_any(&self, values: &[String]) -> bool {
+        match self {
+            WildName::Any => true,
+            WildName::Is(want) => values.iter().any(|v| v.eq_ignore_ascii_case(want)),
+        }
+    }
+
+    /// `true` when the matched sets can intersect.
+    pub fn overlaps(&self, other: &WildName) -> bool {
+        match (self, other) {
+            (WildName::Any, _) | (_, WildName::Any) => true,
+            (WildName::Is(a), WildName::Is(b)) => a.eq_ignore_ascii_case(b),
+        }
+    }
+}
+
+/// Allow or deny.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyAction {
+    /// Permit matching flows.
+    Allow,
+    /// Block matching flows.
+    Deny,
+}
+
+impl fmt::Display for PolicyAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyAction::Allow => write!(f, "Allow"),
+            PolicyAction::Deny => write!(f, "Deny"),
+        }
+    }
+}
+
+/// Flow-level properties a rule can constrain.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct FlowProperties {
+    /// EtherType (e.g. `0x0800` for IPv4).
+    pub ethertype: Wild<u16>,
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    pub ip_proto: Wild<u8>,
+}
+
+impl FlowProperties {
+    /// Matches any flow.
+    pub fn any() -> FlowProperties {
+        FlowProperties::default()
+    }
+
+    /// TCP flows only.
+    pub fn tcp() -> FlowProperties {
+        FlowProperties {
+            ethertype: Wild::Is(0x0800),
+            ip_proto: Wild::Is(6),
+        }
+    }
+
+    /// UDP flows only.
+    pub fn udp() -> FlowProperties {
+        FlowProperties {
+            ethertype: Wild::Is(0x0800),
+            ip_proto: Wild::Is(17),
+        }
+    }
+}
+
+/// One endpoint (source or destination) pattern: the paper's 7-identifier
+/// tuple.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct EndpointPattern {
+    /// Username bound to the endpoint host.
+    pub username: WildName,
+    /// Hostname of the endpoint.
+    pub hostname: WildName,
+    /// IP address in the packet.
+    pub ip: Wild<Ipv4Addr>,
+    /// TCP/UDP port in the packet.
+    pub port: Wild<u16>,
+    /// MAC address in the packet.
+    pub mac: Wild<MacAddr>,
+    /// Physical switch port the endpoint is attached to.
+    pub switch_port: Wild<u32>,
+    /// Datapath id of the switch the endpoint is attached to.
+    pub switch_dpid: Wild<u64>,
+}
+
+impl EndpointPattern {
+    /// The all-wildcard endpoint.
+    pub fn any() -> EndpointPattern {
+        EndpointPattern::default()
+    }
+
+    /// An endpoint pinned to a username (the paper's Alice→Bob example).
+    pub fn user(name: &str) -> EndpointPattern {
+        EndpointPattern {
+            username: WildName::is(name),
+            ..EndpointPattern::any()
+        }
+    }
+
+    /// An endpoint pinned to a hostname.
+    pub fn host(name: &str) -> EndpointPattern {
+        EndpointPattern {
+            hostname: WildName::is(name),
+            ..EndpointPattern::any()
+        }
+    }
+
+    /// An endpoint pinned to a hostname and L4 port (e.g. "TCP 22 on h2").
+    pub fn host_port(name: &str, port: u16) -> EndpointPattern {
+        EndpointPattern {
+            hostname: WildName::is(name),
+            port: Wild::Is(port),
+            ..EndpointPattern::any()
+        }
+    }
+
+    /// `true` when every field admits the corresponding concrete view.
+    pub fn admits(&self, view: &EndpointView) -> bool {
+        self.username.admits_any(&view.usernames)
+            && self.hostname.admits_any(&view.hostnames)
+            && self.ip.admits(view.ip)
+            && self.port.admits(view.port)
+            && self.mac.admits(view.mac)
+            && self.switch_port.admits(view.switch_port)
+            && self.switch_dpid.admits(view.switch_dpid)
+    }
+
+    /// `true` when the endpoint sets matched by two patterns can intersect.
+    pub fn overlaps(&self, other: &EndpointPattern) -> bool {
+        self.username.overlaps(&other.username)
+            && self.hostname.overlaps(&other.hostname)
+            && self.ip.overlaps(&other.ip)
+            && self.port.overlaps(&other.port)
+            && self.mac.overlaps(&other.mac)
+            && self.switch_port.overlaps(&other.switch_port)
+            && self.switch_dpid.overlaps(&other.switch_dpid)
+    }
+}
+
+/// A complete policy rule.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PolicyRule {
+    /// Allow or deny.
+    pub action: PolicyAction,
+    /// Flow-level constraints.
+    pub flow: FlowProperties,
+    /// Source endpoint pattern.
+    pub src: EndpointPattern,
+    /// Destination endpoint pattern.
+    pub dst: EndpointPattern,
+}
+
+impl PolicyRule {
+    /// An allow rule between two endpoint patterns over any protocol.
+    pub fn allow(src: EndpointPattern, dst: EndpointPattern) -> PolicyRule {
+        PolicyRule {
+            action: PolicyAction::Allow,
+            flow: FlowProperties::any(),
+            src,
+            dst,
+        }
+    }
+
+    /// A deny rule between two endpoint patterns over any protocol.
+    pub fn deny(src: EndpointPattern, dst: EndpointPattern) -> PolicyRule {
+        PolicyRule {
+            action: PolicyAction::Deny,
+            flow: FlowProperties::any(),
+            src,
+            dst,
+        }
+    }
+
+    /// The paper's §V default: allow everything (the baseline condition).
+    pub fn allow_all() -> PolicyRule {
+        PolicyRule::allow(EndpointPattern::any(), EndpointPattern::any())
+    }
+
+    /// `true` when the rule matches an enriched flow view.
+    pub fn matches(&self, flow: &FlowView) -> bool {
+        self.flow.ethertype.admits(Some(flow.ethertype))
+            && self.flow.ip_proto.admits(flow.ip_proto)
+            && self.src.admits(&flow.src)
+            && self.dst.admits(&flow.dst)
+    }
+
+    /// Conservative overlap test used for conflict detection (paper
+    /// §III-B): two rules conflict-candidate when every field pair can
+    /// intersect.
+    pub fn overlaps(&self, other: &PolicyRule) -> bool {
+        self.flow.ethertype.overlaps(&other.flow.ethertype)
+            && self.flow.ip_proto.overlaps(&other.flow.ip_proto)
+            && self.src.overlaps(&other.src)
+            && self.dst.overlaps(&other.dst)
+    }
+}
+
+/// A concrete endpoint after Entity Resolution Manager enrichment.
+///
+/// Identifier bindings are many-to-many, so the high-level names are sets:
+/// a host can have several users logged on; an IP can (transiently) map to
+/// several hostnames.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EndpointView {
+    /// Users currently bound to the endpoint's host(s).
+    pub usernames: Vec<String>,
+    /// Hostnames bound to the endpoint's IP.
+    pub hostnames: Vec<String>,
+    /// IP address observed in the packet.
+    pub ip: Option<Ipv4Addr>,
+    /// L4 port observed in the packet.
+    pub port: Option<u16>,
+    /// MAC address observed in the packet.
+    pub mac: Option<MacAddr>,
+    /// Switch port (known for the packet's ingress side).
+    pub switch_port: Option<u32>,
+    /// Switch datapath id (known for the packet's ingress side).
+    pub switch_dpid: Option<u64>,
+}
+
+/// A fully enriched flow: what the Policy Compilation Point hands to the
+/// Policy Manager for a decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowView {
+    /// EtherType of the packet.
+    pub ethertype: u16,
+    /// IP protocol, when L3 is IPv4.
+    pub ip_proto: Option<u8>,
+    /// Enriched source endpoint.
+    pub src: EndpointView,
+    /// Enriched destination endpoint.
+    pub dst: EndpointView,
+}
+
+impl Default for FlowView {
+    fn default() -> Self {
+        FlowView {
+            ethertype: 0x0800,
+            ip_proto: None,
+            src: EndpointView::default(),
+            dst: EndpointView::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(users: &[&str], hosts: &[&str]) -> EndpointView {
+        EndpointView {
+            usernames: users.iter().map(|s| s.to_string()).collect(),
+            hostnames: hosts.iter().map(|s| s.to_string()).collect(),
+            ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            port: Some(445),
+            mac: Some(MacAddr::from_index(1)),
+            switch_port: Some(3),
+            switch_dpid: Some(7),
+        }
+    }
+
+    #[test]
+    fn wildcard_admits_everything() {
+        let p = EndpointPattern::any();
+        assert!(p.admits(&view(&[], &[])));
+        assert!(p.admits(&EndpointView::default()));
+    }
+
+    #[test]
+    fn username_match_is_case_insensitive() {
+        let p = EndpointPattern::user("Alice");
+        assert!(p.admits(&view(&["alice"], &["h1"])));
+        assert!(!p.admits(&view(&["bob"], &["h1"])));
+        assert!(!p.admits(&view(&[], &["h1"])), "no user bound → no match");
+    }
+
+    #[test]
+    fn multiple_bound_users_any_can_match() {
+        let p = EndpointPattern::user("bob");
+        assert!(p.admits(&view(&["alice", "bob"], &["h1"])));
+    }
+
+    #[test]
+    fn host_port_pattern() {
+        let p = EndpointPattern::host_port("h2", 22);
+        let mut v = view(&[], &["h2"]);
+        v.port = Some(22);
+        assert!(p.admits(&v));
+        v.port = Some(23);
+        assert!(!p.admits(&v));
+    }
+
+    #[test]
+    fn ip_and_mac_fields() {
+        let p = EndpointPattern {
+            ip: Wild::Is(Ipv4Addr::new(10, 0, 0, 1)),
+            mac: Wild::Is(MacAddr::from_index(1)),
+            ..EndpointPattern::any()
+        };
+        assert!(p.admits(&view(&[], &[])));
+        let p2 = EndpointPattern {
+            ip: Wild::Is(Ipv4Addr::new(10, 0, 0, 99)),
+            ..EndpointPattern::any()
+        };
+        assert!(!p2.admits(&view(&[], &[])));
+    }
+
+    #[test]
+    fn rule_matches_enriched_flow() {
+        // The paper's example: Alice's machine may talk to Bob's machine
+        // over any protocol.
+        let rule = PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob"));
+        let flow = FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(6),
+            src: view(&["alice"], &["alice-laptop"]),
+            dst: view(&["bob"], &["bob-desktop"]),
+        };
+        assert!(rule.matches(&flow));
+        let flow_reversed = FlowView {
+            src: flow.dst.clone(),
+            dst: flow.src.clone(),
+            ..flow.clone()
+        };
+        assert!(!rule.matches(&flow_reversed), "rules are directional");
+    }
+
+    #[test]
+    fn flow_properties_constrain_protocol() {
+        let mut rule = PolicyRule::allow(EndpointPattern::any(), EndpointPattern::any());
+        rule.flow = FlowProperties::tcp();
+        let mut flow = FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(6),
+            ..FlowView::default()
+        };
+        assert!(rule.matches(&flow));
+        flow.ip_proto = Some(17);
+        assert!(!rule.matches(&flow));
+        flow.ethertype = 0x0806;
+        flow.ip_proto = None;
+        assert!(!rule.matches(&flow));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let alice_to_bob =
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob"));
+        let mut anyone_to_bob =
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::user("bob"));
+        assert!(alice_to_bob.overlaps(&anyone_to_bob));
+        assert!(anyone_to_bob.overlaps(&alice_to_bob));
+        anyone_to_bob.dst = EndpointPattern::user("carol");
+        assert!(!alice_to_bob.overlaps(&anyone_to_bob));
+    }
+
+    #[test]
+    fn disjoint_protocols_do_not_overlap() {
+        let mut tcp = PolicyRule::allow_all();
+        tcp.flow = FlowProperties::tcp();
+        let mut udp = PolicyRule::allow_all();
+        udp.flow = FlowProperties::udp();
+        assert!(!tcp.overlaps(&udp));
+        assert!(tcp.overlaps(&PolicyRule::allow_all()));
+    }
+
+    #[test]
+    fn policy_action_displays() {
+        assert_eq!(PolicyAction::Allow.to_string(), "Allow");
+        assert_eq!(PolicyAction::Deny.to_string(), "Deny");
+    }
+}

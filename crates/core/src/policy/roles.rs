@@ -1,0 +1,154 @@
+//! Role (enclave) structure shared by the RBAC policy decision points and
+//! the testbed builder.
+//!
+//! The paper's testbed organizes end hosts into departmental *enclaves*;
+//! role-based access allows a host to reach (1) every host in its own
+//! enclave and (2) each of the servers. A small set of *core services*
+//! (DHCP, DNS, AD) must stay reachable even with no user logged on, since
+//! they are needed to authenticate at all.
+
+use std::collections::BTreeMap;
+
+/// The role structure of a network.
+#[derive(Clone, Debug, Default)]
+pub struct RbacRoles {
+    /// Enclave name → member hostnames.
+    enclaves: BTreeMap<String, Vec<String>>,
+    /// Hostname → enclave name (derived).
+    enclave_of: BTreeMap<String, String>,
+    /// Server hostnames reachable from every enclave.
+    servers: Vec<String>,
+    /// Hostnames of services needed for authentication (DHCP/DNS/AD);
+    /// reachable even with no logged-on user under AT-RBAC.
+    core_services: Vec<String>,
+}
+
+impl RbacRoles {
+    /// An empty role structure.
+    pub fn new() -> RbacRoles {
+        RbacRoles::default()
+    }
+
+    /// Adds an enclave with its member hosts.
+    pub fn add_enclave(&mut self, name: &str, hosts: &[&str]) {
+        let hosts: Vec<String> = hosts.iter().map(|h| h.to_string()).collect();
+        for h in &hosts {
+            self.enclave_of.insert(h.clone(), name.to_string());
+        }
+        self.enclaves.insert(name.to_string(), hosts);
+    }
+
+    /// Adds an enclave from owned strings.
+    pub fn add_enclave_owned(&mut self, name: &str, hosts: Vec<String>) {
+        for h in &hosts {
+            self.enclave_of.insert(h.clone(), name.to_string());
+        }
+        self.enclaves.insert(name.to_string(), hosts);
+    }
+
+    /// Registers a server reachable from all enclaves.
+    pub fn add_server(&mut self, hostname: &str) {
+        self.servers.push(hostname.to_string());
+    }
+
+    /// Registers a core (authentication-path) service.
+    pub fn add_core_service(&mut self, hostname: &str) {
+        self.core_services.push(hostname.to_string());
+    }
+
+    /// The enclave a host belongs to.
+    pub fn enclave_of(&self, hostname: &str) -> Option<&str> {
+        self.enclave_of.get(hostname).map(String::as_str)
+    }
+
+    /// Members of an enclave.
+    pub fn members_of(&self, enclave: &str) -> &[String] {
+        self.enclaves.get(enclave).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The hosts a given host's role allows it to exchange flows with:
+    /// its enclave-mates plus every server. Excludes the host itself.
+    pub fn role_peers(&self, hostname: &str) -> Vec<String> {
+        let mut peers: Vec<String> = Vec::new();
+        if let Some(enclave) = self.enclave_of(hostname) {
+            peers.extend(
+                self.members_of(enclave)
+                    .iter()
+                    .filter(|h| h.as_str() != hostname)
+                    .cloned(),
+            );
+        }
+        peers.extend(self.servers.iter().cloned());
+        peers
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[String] {
+        &self.servers
+    }
+
+    /// All core services.
+    pub fn core_services(&self) -> &[String] {
+        &self.core_services
+    }
+
+    /// All enclave names, sorted.
+    pub fn enclaves(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.enclaves.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// All hosts across all enclaves.
+    pub fn all_enclave_hosts(&self) -> impl Iterator<Item = &str> {
+        self.enclaves.values().flatten().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roles() -> RbacRoles {
+        let mut r = RbacRoles::new();
+        r.add_enclave("eng", &["e1", "e2", "e3"]);
+        r.add_enclave("hr", &["h1", "h2"]);
+        r.add_server("mail");
+        r.add_server("files");
+        r.add_core_service("ad");
+        r
+    }
+
+    #[test]
+    fn enclave_membership() {
+        let r = roles();
+        assert_eq!(r.enclave_of("e2"), Some("eng"));
+        assert_eq!(r.enclave_of("h1"), Some("hr"));
+        assert_eq!(r.enclave_of("mail"), None);
+        assert_eq!(r.members_of("eng").len(), 3);
+        assert!(r.members_of("nope").is_empty());
+    }
+
+    #[test]
+    fn role_peers_are_enclave_mates_plus_servers() {
+        let r = roles();
+        let peers = r.role_peers("e1");
+        assert_eq!(peers, vec!["e2", "e3", "mail", "files"]);
+        assert!(!peers.contains(&"e1".to_string()), "never self");
+        assert!(!peers.contains(&"h1".to_string()), "never other enclaves");
+    }
+
+    #[test]
+    fn server_peers_are_only_servers() {
+        let r = roles();
+        // A server is in no enclave; its "role peers" are the servers.
+        assert_eq!(r.role_peers("mail"), vec!["mail", "files"]);
+    }
+
+    #[test]
+    fn enumeration() {
+        let r = roles();
+        assert_eq!(r.enclaves().count(), 2);
+        assert_eq!(r.all_enclave_hosts().count(), 5);
+        assert_eq!(r.servers().len(), 2);
+        assert_eq!(r.core_services(), ["ad"]);
+    }
+}

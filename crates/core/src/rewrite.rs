@@ -1,0 +1,442 @@
+//! Table-reference rewriting: the mechanism that hides Table 0 from the
+//! controller.
+//!
+//! Paper §IV-B: the proxy "reserves Table 0 for access control rules from
+//! DFI. Tables 1 and higher are reserved for the controller. … We implement
+//! this transparently by shifting by one all `table_id` references in
+//! messages from the controller to the switch. Similarly, any table
+//! reference being sent from the switch to the controller, e.g., in a
+//! statistics reply, must also be decremented to avoid confusing the
+//! controller."
+//!
+//! These are pure functions so they can be tested exhaustively; the proxy
+//! actor applies them on the wire.
+
+use dfi_openflow::{
+    table, Instruction, Message, MultipartReply, MultipartRequest, OfMessage,
+};
+
+/// What the proxy should do with a controller→switch message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Upstream {
+    /// Forward these messages to the switch (usually one; a delete of
+    /// `table::ALL` expands to one delete per controller-visible table).
+    Forward(Vec<OfMessage>),
+    /// Refuse: the message cannot be expressed without touching Table 0
+    /// (e.g. the switch's last table is already in use). The proxy answers
+    /// the controller with a permission error.
+    Reject,
+}
+
+fn shift_instructions_up(instructions: &mut [Instruction], n_tables: u8) -> bool {
+    for inst in instructions {
+        if let Instruction::GotoTable(t) = inst {
+            let Some(shifted) = t.checked_add(1) else {
+                return false;
+            };
+            if shifted >= n_tables {
+                return false;
+            }
+            *inst = Instruction::GotoTable(shifted);
+        }
+    }
+    true
+}
+
+fn shift_instructions_down(instructions: &mut [Instruction]) {
+    for inst in instructions {
+        if let Instruction::GotoTable(t) = inst {
+            *inst = Instruction::GotoTable(t.saturating_sub(1));
+        }
+    }
+}
+
+/// Rewrites one controller→switch message so the controller's "table N"
+/// lands in physical table N+1. `n_tables` is the switch's real table
+/// count.
+pub fn rewrite_controller_to_switch(msg: OfMessage, n_tables: u8) -> Upstream {
+    let xid = msg.xid;
+    match msg.body {
+        Message::FlowMod(mut fm) => {
+            if fm.table_id == table::ALL {
+                // No wire encoding exists for "all tables except 0", so a
+                // wildcard flow-mod expands into one per controller table.
+                let mut out = Vec::new();
+                for t in 1..n_tables {
+                    let mut each = fm.clone();
+                    each.table_id = t;
+                    if !shift_instructions_up(&mut each.instructions, n_tables) {
+                        return Upstream::Reject;
+                    }
+                    out.push(OfMessage::new(xid, Message::FlowMod(each)));
+                }
+                return Upstream::Forward(out);
+            }
+            let Some(shifted) = fm.table_id.checked_add(1) else {
+                return Upstream::Reject;
+            };
+            if shifted >= n_tables {
+                return Upstream::Reject;
+            }
+            fm.table_id = shifted;
+            if !shift_instructions_up(&mut fm.instructions, n_tables) {
+                return Upstream::Reject;
+            }
+            Upstream::Forward(vec![OfMessage::new(xid, Message::FlowMod(fm))])
+        }
+        Message::MultipartRequest(MultipartRequest::Flow {
+            table_id,
+            out_port,
+            out_group,
+            cookie,
+            cookie_mask,
+            mat,
+        }) => {
+            let shifted = if table_id == table::ALL {
+                // Keep the wildcard; the reply path filters out Table 0.
+                table::ALL
+            } else {
+                let Some(s) = table_id.checked_add(1) else {
+                    return Upstream::Reject;
+                };
+                if s >= n_tables {
+                    return Upstream::Reject;
+                }
+                s
+            };
+            Upstream::Forward(vec![OfMessage::new(
+                xid,
+                Message::MultipartRequest(MultipartRequest::Flow {
+                    table_id: shifted,
+                    out_port,
+                    out_group,
+                    cookie,
+                    cookie_mask,
+                    mat,
+                }),
+            )])
+        }
+        // Everything else carries no table reference; pass through.
+        other => Upstream::Forward(vec![OfMessage::new(xid, other)]),
+    }
+}
+
+/// Rewrites one switch→controller message, hiding Table 0: its entries and
+/// notifications vanish, and all other table ids are decremented. Returns
+/// `None` when the whole message must be suppressed.
+pub fn rewrite_switch_to_controller(msg: OfMessage) -> Option<OfMessage> {
+    let xid = msg.xid;
+    match msg.body {
+        Message::PacketIn(mut pi) => {
+            // Misses in physical table N surface as misses in controller
+            // table N-1. (Table-0 packet-ins are handled by DFI itself and
+            // only reach here once allowed; they surface as table-0 events.)
+            pi.table_id = pi.table_id.saturating_sub(1);
+            Some(OfMessage::new(xid, Message::PacketIn(pi)))
+        }
+        Message::FlowRemoved(mut fr) => {
+            if fr.table_id == 0 {
+                // The controller must never learn about DFI's rules.
+                return None;
+            }
+            fr.table_id -= 1;
+            Some(OfMessage::new(xid, Message::FlowRemoved(fr)))
+        }
+        Message::MultipartReply(MultipartReply::Flow(entries)) => {
+            let rewritten = entries
+                .into_iter()
+                .filter(|e| e.table_id != 0)
+                .map(|mut e| {
+                    e.table_id -= 1;
+                    shift_instructions_down(&mut e.instructions);
+                    e
+                })
+                .collect();
+            Some(OfMessage::new(
+                xid,
+                Message::MultipartReply(MultipartReply::Flow(rewritten)),
+            ))
+        }
+        Message::MultipartReply(MultipartReply::Table(entries)) => {
+            let rewritten = entries
+                .into_iter()
+                .filter(|e| e.table_id != 0)
+                .map(|mut e| {
+                    e.table_id -= 1;
+                    e
+                })
+                .collect();
+            Some(OfMessage::new(
+                xid,
+                Message::MultipartReply(MultipartReply::Table(rewritten)),
+            ))
+        }
+        Message::FeaturesReply(mut fr) => {
+            // One table belongs to DFI; the controller sees one fewer.
+            fr.n_tables = fr.n_tables.saturating_sub(1);
+            Some(OfMessage::new(xid, Message::FeaturesReply(fr)))
+        }
+        other => Some(OfMessage::new(xid, other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_openflow::{
+        Action, FeaturesReply, FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason,
+        FlowStatsEntry, Match, TableStatsEntry,
+    };
+
+    const N_TABLES: u8 = 8;
+
+    fn fm(table_id: u8) -> FlowMod {
+        FlowMod {
+            table_id,
+            priority: 5,
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(1)])],
+            ..FlowMod::add()
+        }
+    }
+
+    fn forward_one(up: Upstream) -> OfMessage {
+        match up {
+            Upstream::Forward(mut v) => {
+                assert_eq!(v.len(), 1);
+                v.pop().unwrap()
+            }
+            Upstream::Reject => panic!("unexpected reject"),
+        }
+    }
+
+    #[test]
+    fn flow_mod_table_shifts_up() {
+        let msg = OfMessage::new(1, Message::FlowMod(fm(0)));
+        let out = forward_one(rewrite_controller_to_switch(msg, N_TABLES));
+        match out.body {
+            Message::FlowMod(fm) => assert_eq!(fm.table_id, 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn goto_table_instruction_shifts_up() {
+        let mut f = fm(0);
+        f.instructions.push(Instruction::GotoTable(1));
+        let msg = OfMessage::new(1, Message::FlowMod(f));
+        let out = forward_one(rewrite_controller_to_switch(msg, N_TABLES));
+        match out.body {
+            Message::FlowMod(fm) => {
+                assert!(fm.instructions.contains(&Instruction::GotoTable(2)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn flow_mod_beyond_last_table_rejected() {
+        let msg = OfMessage::new(1, Message::FlowMod(fm(N_TABLES - 1)));
+        assert_eq!(
+            rewrite_controller_to_switch(msg, N_TABLES),
+            Upstream::Reject
+        );
+        let mut f = fm(0);
+        f.instructions.push(Instruction::GotoTable(N_TABLES - 1));
+        let msg = OfMessage::new(1, Message::FlowMod(f));
+        assert_eq!(
+            rewrite_controller_to_switch(msg, N_TABLES),
+            Upstream::Reject
+        );
+    }
+
+    #[test]
+    fn delete_all_expands_to_per_table_deletes_sparing_table_zero() {
+        let mut f = fm(table::ALL);
+        f.command = FlowModCommand::Delete;
+        f.instructions.clear();
+        let msg = OfMessage::new(9, Message::FlowMod(f));
+        match rewrite_controller_to_switch(msg, N_TABLES) {
+            Upstream::Forward(msgs) => {
+                assert_eq!(msgs.len(), usize::from(N_TABLES) - 1);
+                let tables: Vec<u8> = msgs
+                    .iter()
+                    .map(|m| match &m.body {
+                        Message::FlowMod(fm) => fm.table_id,
+                        _ => panic!(),
+                    })
+                    .collect();
+                assert_eq!(tables, (1..N_TABLES).collect::<Vec<_>>());
+                assert!(msgs.iter().all(|m| m.xid == 9));
+            }
+            Upstream::Reject => panic!(),
+        }
+    }
+
+    #[test]
+    fn flow_stats_request_shifts_table() {
+        let msg = OfMessage::new(
+            2,
+            Message::MultipartRequest(MultipartRequest::Flow {
+                table_id: 0,
+                out_port: dfi_openflow::port::ANY,
+                out_group: dfi_openflow::group::ANY,
+                cookie: 0,
+                cookie_mask: 0,
+                mat: Match::any(),
+            }),
+        );
+        let out = forward_one(rewrite_controller_to_switch(msg, N_TABLES));
+        match out.body {
+            Message::MultipartRequest(MultipartRequest::Flow { table_id, .. }) => {
+                assert_eq!(table_id, 1)
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn wildcard_stats_request_stays_wildcard() {
+        let msg = OfMessage::new(2, Message::MultipartRequest(MultipartRequest::all_flows()));
+        let out = forward_one(rewrite_controller_to_switch(msg, N_TABLES));
+        match out.body {
+            Message::MultipartRequest(MultipartRequest::Flow { table_id, .. }) => {
+                assert_eq!(table_id, table::ALL)
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn non_table_messages_pass_through() {
+        let msg = OfMessage::new(3, Message::EchoRequest(b"x".to_vec()));
+        let out = forward_one(rewrite_controller_to_switch(msg.clone(), N_TABLES));
+        assert_eq!(out, msg);
+    }
+
+    #[test]
+    fn flow_removed_from_table_zero_suppressed() {
+        let fr = FlowRemoved {
+            cookie: 1,
+            priority: 1,
+            reason: FlowRemovedReason::Delete,
+            table_id: 0,
+            duration_sec: 0,
+            duration_nsec: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            packet_count: 0,
+            byte_count: 0,
+            mat: Match::any(),
+        };
+        assert_eq!(
+            rewrite_switch_to_controller(OfMessage::new(1, Message::FlowRemoved(fr.clone()))),
+            None
+        );
+        let mut fr1 = fr;
+        fr1.table_id = 2;
+        let out =
+            rewrite_switch_to_controller(OfMessage::new(1, Message::FlowRemoved(fr1))).unwrap();
+        match out.body {
+            Message::FlowRemoved(fr) => assert_eq!(fr.table_id, 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn flow_stats_reply_hides_table_zero_and_shifts() {
+        let entry = |table_id: u8| FlowStatsEntry {
+            table_id,
+            duration_sec: 0,
+            duration_nsec: 0,
+            priority: 1,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            flags: 0,
+            cookie: u64::from(table_id),
+            packet_count: 0,
+            byte_count: 0,
+            mat: Match::any(),
+            instructions: vec![Instruction::GotoTable(table_id + 1)],
+        };
+        let msg = OfMessage::new(
+            1,
+            Message::MultipartReply(MultipartReply::Flow(vec![entry(0), entry(1), entry(3)])),
+        );
+        let out = rewrite_switch_to_controller(msg).unwrap();
+        match out.body {
+            Message::MultipartReply(MultipartReply::Flow(entries)) => {
+                assert_eq!(entries.len(), 2, "table-0 entry hidden");
+                assert_eq!(entries[0].table_id, 0);
+                assert_eq!(entries[0].instructions, vec![Instruction::GotoTable(1)]);
+                assert_eq!(entries[1].table_id, 2);
+                assert_eq!(entries[1].instructions, vec![Instruction::GotoTable(3)]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn table_stats_reply_hides_table_zero() {
+        let entry = |table_id: u8| TableStatsEntry {
+            table_id,
+            active_count: 1,
+            lookup_count: 2,
+            matched_count: 1,
+        };
+        let msg = OfMessage::new(
+            1,
+            Message::MultipartReply(MultipartReply::Table(vec![entry(0), entry(1), entry(2)])),
+        );
+        let out = rewrite_switch_to_controller(msg).unwrap();
+        match out.body {
+            Message::MultipartReply(MultipartReply::Table(entries)) => {
+                let ids: Vec<u8> = entries.iter().map(|e| e.table_id).collect();
+                assert_eq!(ids, vec![0, 1]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn features_reply_advertises_one_fewer_table() {
+        let fr = FeaturesReply {
+            datapath_id: 1,
+            n_buffers: 0,
+            n_tables: 8,
+            auxiliary_id: 0,
+            capabilities: 0,
+        };
+        let out =
+            rewrite_switch_to_controller(OfMessage::new(1, Message::FeaturesReply(fr))).unwrap();
+        match out.body {
+            Message::FeaturesReply(fr) => assert_eq!(fr.n_tables, 7),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn packet_in_table_id_decrements() {
+        let pi = dfi_openflow::PacketIn::table_miss(4, 1, vec![1, 2, 3]);
+        let out = rewrite_switch_to_controller(OfMessage::new(1, Message::PacketIn(pi))).unwrap();
+        match out.body {
+            Message::PacketIn(pi) => assert_eq!(pi.table_id, 0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn round_trip_shift_is_identity_for_controller_tables() {
+        // controller table t --up--> physical t+1 --down--> controller t
+        for t in 0..(N_TABLES - 1) {
+            let up = forward_one(rewrite_controller_to_switch(
+                OfMessage::new(1, Message::FlowMod(fm(t))),
+                N_TABLES,
+            ));
+            let physical = match up.body {
+                Message::FlowMod(fm) => fm.table_id,
+                _ => panic!(),
+            };
+            assert_eq!(physical, t + 1);
+        }
+    }
+}

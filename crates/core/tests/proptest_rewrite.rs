@@ -1,0 +1,163 @@
+//! Property-based tests for the proxy's table-reference rewriting: the
+//! controller must never reach Table 0, and what the controller sees must
+//! be a consistent renaming of what the switch holds.
+
+use dfi_core::rewrite::{rewrite_controller_to_switch, rewrite_switch_to_controller, Upstream};
+use dfi_openflow::{
+    table, Action, FlowMod, FlowModCommand, FlowStatsEntry, Instruction, Match, Message,
+    MultipartReply, OfMessage, TableStatsEntry,
+};
+use proptest::prelude::*;
+
+const N_TABLES: u8 = 8;
+
+fn arb_instructions() -> impl Strategy<Value = Vec<Instruction>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..N_TABLES).prop_map(Instruction::GotoTable),
+            Just(Instruction::ApplyActions(vec![Action::output(3)])),
+            Just(Instruction::ClearActions),
+        ],
+        0..3,
+    )
+}
+
+prop_compose! {
+    fn arb_flow_mod()(
+        table_id in 0u8..=255,
+        priority in any::<u16>(),
+        cookie in any::<u64>(),
+        delete in any::<bool>(),
+        instructions in arb_instructions(),
+    ) -> FlowMod {
+        FlowMod {
+            table_id,
+            priority,
+            cookie,
+            command: if delete { FlowModCommand::Delete } else { FlowModCommand::Add },
+            instructions,
+            ..FlowMod::add()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// No controller flow-mod, whatever its table references, ever reaches
+    /// physical table 0 — and goto-table targets are shifted consistently.
+    #[test]
+    fn controller_flow_mods_never_touch_table_zero(fm in arb_flow_mod(), xid in any::<u32>()) {
+        match rewrite_controller_to_switch(OfMessage::new(xid, Message::FlowMod(fm)), N_TABLES) {
+            Upstream::Forward(msgs) => {
+                for m in msgs {
+                    prop_assert_eq!(m.xid, xid);
+                    let Message::FlowMod(out) = m.body else {
+                        prop_assert!(false, "flow-mod stayed a flow-mod");
+                        return Ok(());
+                    };
+                    prop_assert_ne!(out.table_id, 0, "physical table 0 reached");
+                    prop_assert!(out.table_id < N_TABLES || out.table_id == table::ALL);
+                    for inst in &out.instructions {
+                        if let Instruction::GotoTable(t) = inst {
+                            prop_assert!(*t >= 1 && *t < N_TABLES);
+                        }
+                    }
+                }
+            }
+            Upstream::Reject => {} // refusing is always safe
+        }
+    }
+
+    /// Shifting up then reporting back down is the identity on the
+    /// controller's view: a rule the controller installs in its table t is
+    /// reported back (via flow stats) in table t.
+    #[test]
+    fn up_then_down_is_identity_for_controller_tables(
+        t in 0u8..(N_TABLES - 1),
+        goto_t in proptest::option::of(0u8..(N_TABLES - 2)),
+        cookie in any::<u64>(),
+    ) {
+        let mut instructions = vec![Instruction::ApplyActions(vec![Action::output(1)])];
+        if let Some(g) = goto_t {
+            instructions.push(Instruction::GotoTable(g));
+        }
+        let fm = FlowMod {
+            table_id: t,
+            cookie,
+            instructions: instructions.clone(),
+            ..FlowMod::add()
+        };
+        let physical = match rewrite_controller_to_switch(
+            OfMessage::new(1, Message::FlowMod(fm)),
+            N_TABLES,
+        ) {
+            Upstream::Forward(mut msgs) => match msgs.pop().unwrap().body {
+                Message::FlowMod(fm) => fm,
+                _ => unreachable!(),
+            },
+            Upstream::Reject => {
+                // Only possible when the shifted goto falls off the end.
+                prop_assert!(goto_t.is_some_and(|g| g + 1 >= N_TABLES) || t + 1 >= N_TABLES);
+                return Ok(());
+            }
+        };
+        // The switch reports the rule back through flow stats.
+        let entry = FlowStatsEntry {
+            table_id: physical.table_id,
+            duration_sec: 0,
+            duration_nsec: 0,
+            priority: physical.priority,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            flags: 0,
+            cookie: physical.cookie,
+            packet_count: 0,
+            byte_count: 0,
+            mat: Match::any(),
+            instructions: physical.instructions.clone(),
+        };
+        let down = rewrite_switch_to_controller(OfMessage::new(
+            2,
+            Message::MultipartReply(MultipartReply::Flow(vec![entry])),
+        ))
+        .expect("flow stats pass through");
+        let Message::MultipartReply(MultipartReply::Flow(entries)) = down.body else {
+            prop_assert!(false);
+            return Ok(());
+        };
+        prop_assert_eq!(entries.len(), 1);
+        prop_assert_eq!(entries[0].table_id, t, "table renaming not inverse");
+        prop_assert_eq!(&entries[0].instructions, &instructions);
+        prop_assert_eq!(entries[0].cookie, cookie);
+    }
+
+    /// Downward rewriting never lets a table-0 artifact through.
+    #[test]
+    fn switch_to_controller_hides_all_table_zero_state(
+        tables in proptest::collection::vec(0u8..N_TABLES, 0..6),
+    ) {
+        let entries: Vec<TableStatsEntry> = tables
+            .iter()
+            .map(|&t| TableStatsEntry {
+                table_id: t,
+                active_count: 1,
+                lookup_count: 1,
+                matched_count: 1,
+            })
+            .collect();
+        let out = rewrite_switch_to_controller(OfMessage::new(
+            3,
+            Message::MultipartReply(MultipartReply::Table(entries)),
+        ))
+        .expect("table stats pass through");
+        let Message::MultipartReply(MultipartReply::Table(seen)) = out.body else {
+            panic!("kind preserved");
+        };
+        let zero_inputs = tables.iter().filter(|&&t| t == 0).count();
+        prop_assert_eq!(seen.len(), tables.len() - zero_inputs);
+        for e in &seen {
+            prop_assert!(e.table_id < N_TABLES - 1);
+        }
+    }
+}

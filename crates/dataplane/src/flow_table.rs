@@ -1,0 +1,776 @@
+//! A single OpenFlow flow table: priority matching, counters, timeouts,
+//! and delete-by-cookie — the switch-resident half of DFI's
+//! policy↔switch-consistency story.
+//!
+//! # Lookup performance
+//!
+//! DFI compiles one *exact-match* rule per flow, so a busy switch holds
+//! thousands of rules that can each match exactly one flow. Real switches
+//! classify in hardware (TCAM) or with tuple-space search (Open vSwitch);
+//! a naive linear scan would make the Figure-4 load sweep quadratic. This
+//! table therefore keeps two structures:
+//!
+//! * an **exact index**: rules whose match pins every field a packet of
+//!   that shape carries (the shape produced by
+//!   [`Match::exact_from_headers`]) live in a hash map keyed by the match
+//!   itself — O(1) lookup;
+//! * a **scan list**: every other (wildcarded) rule, kept in priority
+//!   order and scanned linearly — in practice a handful of controller
+//!   forwarding rules.
+//!
+//! The candidate from each structure is arbitrated by (priority,
+//! insertion order), preserving OpenFlow's highest-priority-wins
+//! semantics. One documented divergence from a pure scan: an exact rule
+//! installed for an *untagged* flow is not consulted for a VLAN-tagged
+//! packet that would only match it by wildcarding the tag (DFI's intent —
+//! a rule authorizes exactly the flow that was policy-checked — is
+//! preserved; none of the reproduced experiments use VLANs).
+
+use dfi_openflow::{port, FlowMod, Instruction, Match};
+use dfi_packet::{EtherType, PacketHeaders};
+use dfi_simnet::SimTime;
+use std::collections::HashMap;
+
+/// One installed flow rule plus its counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowEntry {
+    /// Match priority (higher wins).
+    pub priority: u16,
+    /// The match.
+    pub mat: Match,
+    /// Opaque metadata; DFI stores the deriving policy's id here.
+    pub cookie: u64,
+    /// Idle timeout in seconds (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// OFPFF flags.
+    pub flags: u16,
+    /// Instructions (empty = drop).
+    pub instructions: Vec<Instruction>,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Virtual time the rule was installed.
+    pub installed_at: SimTime,
+    /// Virtual time of the last packet match (for idle timeout).
+    pub last_matched: SimTime,
+}
+
+impl FlowEntry {
+    fn from_flow_mod(fm: &FlowMod, now: SimTime) -> FlowEntry {
+        FlowEntry {
+            priority: fm.priority,
+            mat: fm.mat.clone(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            flags: fm.flags,
+            instructions: fm.instructions.clone(),
+            packet_count: 0,
+            byte_count: 0,
+            installed_at: now,
+            last_matched: now,
+        }
+    }
+
+    /// `true` if this rule outputs to `out_port` (used by delete filters).
+    fn outputs_to(&self, out_port: u32) -> bool {
+        if out_port == port::ANY {
+            return true;
+        }
+        self.instructions.iter().any(|i| match i {
+            Instruction::ApplyActions(actions) | Instruction::WriteActions(actions) => actions
+                .iter()
+                .any(|a| matches!(a, dfi_openflow::Action::Output { port, .. } if *port == out_port)),
+            _ => false,
+        })
+    }
+
+    fn cookie_matches(&self, cookie: u64, mask: u64) -> bool {
+        mask == 0 || (self.cookie & mask) == (cookie & mask)
+    }
+
+    /// Hard-timeout deadline, if any.
+    pub fn hard_deadline(&self) -> Option<SimTime> {
+        (self.hard_timeout > 0)
+            .then(|| self.installed_at + std::time::Duration::from_secs(self.hard_timeout.into()))
+    }
+
+    /// Idle-timeout deadline given the last match, if any.
+    pub fn idle_deadline(&self) -> Option<SimTime> {
+        (self.idle_timeout > 0)
+            .then(|| self.last_matched + std::time::Duration::from_secs(self.idle_timeout.into()))
+    }
+}
+
+/// `true` when a match pins every field a packet of its shape would carry
+/// (the canonical exact-match produced by [`Match::exact_from_headers`]);
+/// such rules are eligible for the hash index.
+fn is_canonical_exact(m: &Match) -> bool {
+    let l2 = m.in_port.is_some()
+        && m.eth_src.is_some()
+        && m.eth_dst.is_some()
+        && m.eth_type.is_some();
+    if !l2 {
+        return false;
+    }
+    match m.eth_type.map(EtherType::from_u16) {
+        Some(EtherType::Ipv4) => {
+            if m.ipv4_src.is_none() || m.ipv4_dst.is_none() || m.ip_proto.is_none() {
+                return false;
+            }
+            match m.ip_proto {
+                Some(6) => m.tcp_src.is_some() && m.tcp_dst.is_some(),
+                Some(17) => m.udp_src.is_some() && m.udp_dst.is_some(),
+                _ => true,
+            }
+        }
+        Some(EtherType::Arp) => m.arp_spa.is_some() && m.arp_tpa.is_some(),
+        _ => true,
+    }
+}
+
+/// Why [`FlowTable::sweep_expired`] removed an entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpiryKind {
+    /// Idle timeout fired.
+    Idle,
+    /// Hard timeout fired.
+    Hard,
+}
+
+/// Identifier of an entry within one table (stable across unrelated
+/// insertions and removals).
+type EntryId = u64;
+
+/// (priority, insertion sequence, id) — ordered so that higher priority
+/// comes first and, within a priority, earlier insertion comes first.
+type OrderKey = (u16, u64, EntryId);
+
+fn order_cmp(a: &OrderKey, b: &OrderKey) -> std::cmp::Ordering {
+    b.0.cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
+/// A priority-ordered flow table with bounded capacity.
+///
+/// Hardware switches store between 512 and 8192 rules (the paper cites this
+/// range as the reason policy cannot be proactively cached in full); the
+/// capacity is configurable and adds with a full table fail.
+#[derive(Clone, Debug, Default)]
+pub struct FlowTable {
+    entries: HashMap<EntryId, FlowEntry>,
+    /// All entries in match-precedence order.
+    order: Vec<OrderKey>,
+    /// Non-canonical (wildcarded) entries only, in match-precedence order.
+    scan_order: Vec<OrderKey>,
+    /// Canonical exact-match entries, keyed by their match.
+    exact: HashMap<Match, EntryId>,
+    next_seq: u64,
+    capacity: usize,
+    /// Packets looked up in this table.
+    pub lookup_count: u64,
+    /// Packets that matched some rule.
+    pub matched_count: u64,
+}
+
+impl FlowTable {
+    /// An empty table bounded at `capacity` rules.
+    pub fn new(capacity: usize) -> FlowTable {
+        FlowTable {
+            capacity,
+            ..FlowTable::default()
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates over installed rules in match-precedence order (descending
+    /// priority, then insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.order.iter().map(move |(_, _, id)| &self.entries[id])
+    }
+
+    fn insert_ordered(list: &mut Vec<OrderKey>, key: OrderKey) {
+        let pos = list.partition_point(|k| order_cmp(k, &key) == std::cmp::Ordering::Less);
+        list.insert(pos, key);
+    }
+
+    fn remove_id(&mut self, id: EntryId) -> Option<FlowEntry> {
+        let entry = self.entries.remove(&id)?;
+        self.order.retain(|&(_, _, i)| i != id);
+        self.scan_order.retain(|&(_, _, i)| i != id);
+        if self.exact.get(&entry.mat) == Some(&id) {
+            self.exact.remove(&entry.mat);
+        }
+        Some(entry)
+    }
+
+    /// Installs a rule from an ADD flow-mod. Per OF1.3 §6.4, an add with
+    /// the same match and priority as an existing rule replaces it
+    /// (counters reset). Returns `Err(())` when the table is full.
+    pub fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), ()> {
+        let new = FlowEntry::from_flow_mod(fm, now);
+        // Replace an identical (match, priority) rule.
+        let existing = self
+            .order
+            .iter()
+            .find(|&&(prio, _, id)| {
+                prio == new.priority && self.entries[&id].mat == new.mat
+            })
+            .map(|&(_, _, id)| id);
+        if let Some(id) = existing {
+            let seq = {
+                self.remove_id(id);
+                self.next_seq
+            };
+            self.next_seq += 1;
+            self.insert_entry(id_from_seq(seq), new);
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert_entry(id_from_seq(seq), new);
+        Ok(())
+    }
+
+    fn insert_entry(&mut self, id: EntryId, entry: FlowEntry) {
+        let key = (entry.priority, id, id);
+        Self::insert_ordered(&mut self.order, key);
+        if is_canonical_exact(&entry.mat) {
+            match self.exact.get(&entry.mat).copied() {
+                // Keep the higher-priority entry in the index; shadowed
+                // same-match entries fall back to the scan list.
+                Some(old) if self.entries[&old].priority >= entry.priority => {
+                    Self::insert_ordered(&mut self.scan_order, key);
+                }
+                Some(old) => {
+                    let old_prio = self.entries[&old].priority;
+                    Self::insert_ordered(&mut self.scan_order, (old_prio, old, old));
+                    self.exact.insert(entry.mat.clone(), id);
+                }
+                None => {
+                    self.exact.insert(entry.mat.clone(), id);
+                }
+            }
+        } else {
+            Self::insert_ordered(&mut self.scan_order, key);
+        }
+        self.entries.insert(id, entry);
+    }
+
+    /// Finds the highest-priority rule matching a packet and bumps its
+    /// counters. Returns a clone of the matched entry.
+    pub fn lookup(
+        &mut self,
+        in_port: u32,
+        headers: &PacketHeaders,
+        frame_len: usize,
+        now: SimTime,
+    ) -> Option<FlowEntry> {
+        self.lookup_count += 1;
+        // Exact-index candidate.
+        let exact_key = Match::exact_from_headers(in_port, headers);
+        let exact_hit: Option<OrderKey> = self.exact.get(&exact_key).map(|&id| {
+            let e = &self.entries[&id];
+            (e.priority, id, id)
+        });
+        // Scan candidate: first (highest-precedence) wildcard match.
+        let scan_hit: Option<OrderKey> = self
+            .scan_order
+            .iter()
+            .find(|&&(_, _, id)| self.entries[&id].mat.matches(in_port, headers))
+            .copied();
+        let winner = match (exact_hit, scan_hit) {
+            (Some(a), Some(b)) => {
+                if order_cmp(&a, &b) == std::cmp::Ordering::Less {
+                    a
+                } else {
+                    b
+                }
+            }
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return None,
+        };
+        let entry = self.entries.get_mut(&winner.2).expect("indexed entry");
+        entry.packet_count += 1;
+        entry.byte_count += frame_len as u64;
+        entry.last_matched = now;
+        self.matched_count += 1;
+        Some(entry.clone())
+    }
+
+    fn remove_where(&mut self, pred: impl Fn(&FlowEntry) -> bool) -> Vec<FlowEntry> {
+        let ids: Vec<EntryId> = self
+            .order
+            .iter()
+            .filter(|&&(_, _, id)| pred(&self.entries[&id]))
+            .map(|&(_, _, id)| id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| self.remove_id(id))
+            .collect()
+    }
+
+    /// Applies a non-strict DELETE: removes every rule whose match is a
+    /// subset of `fm.mat` and whose cookie satisfies `fm.cookie_mask` and
+    /// which outputs to `fm.out_port` (when filtered). Returns the removed
+    /// entries (for `Flow-Removed` generation).
+    pub fn delete(&mut self, fm: &FlowMod) -> Vec<FlowEntry> {
+        self.remove_where(|e| {
+            e.mat.is_subset_of(&fm.mat)
+                && e.cookie_matches(fm.cookie, fm.cookie_mask)
+                && e.outputs_to(fm.out_port)
+        })
+    }
+
+    /// Applies a strict DELETE (exact match and priority).
+    pub fn delete_strict(&mut self, fm: &FlowMod) -> Vec<FlowEntry> {
+        self.remove_where(|e| {
+            e.mat == fm.mat
+                && e.priority == fm.priority
+                && e.cookie_matches(fm.cookie, fm.cookie_mask)
+        })
+    }
+
+    /// Applies a MODIFY: rewrites instructions of matching rules (counters
+    /// preserved, per OF1.3).
+    pub fn modify(&mut self, fm: &FlowMod, strict: bool) {
+        for e in self.entries.values_mut() {
+            let hit = if strict {
+                e.mat == fm.mat && e.priority == fm.priority
+            } else {
+                e.mat.is_subset_of(&fm.mat) && e.cookie_matches(fm.cookie, fm.cookie_mask)
+            };
+            if hit {
+                e.instructions = fm.instructions.clone();
+                e.flags = fm.flags;
+            }
+        }
+    }
+
+    /// Removes entries whose idle or hard timeout has passed at `now`.
+    /// Returns them with the reason, for `Flow-Removed` generation.
+    pub fn sweep_expired(&mut self, now: SimTime) -> Vec<(FlowEntry, ExpiryKind)> {
+        let mut kinds: Vec<ExpiryKind> = Vec::new();
+        let removed = self.remove_where(|e| {
+            if e.hard_deadline().is_some_and(|t| now >= t) {
+                true
+            } else {
+                e.idle_deadline().is_some_and(|t| now >= t)
+            }
+        });
+        for e in &removed {
+            if e.hard_deadline().is_some_and(|t| now >= t) {
+                kinds.push(ExpiryKind::Hard);
+            } else {
+                kinds.push(ExpiryKind::Idle);
+            }
+        }
+        removed.into_iter().zip(kinds).collect()
+    }
+
+    /// The earliest pending timeout deadline, used to schedule the next
+    /// expiry sweep precisely instead of polling.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.entries
+            .values()
+            .flat_map(|e| [e.hard_deadline(), e.idle_deadline()])
+            .flatten()
+            .min()
+    }
+}
+
+fn id_from_seq(seq: u64) -> EntryId {
+    seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_openflow::{Action, FlowModCommand};
+    use dfi_packet::headers::build;
+    use dfi_packet::MacAddr;
+    use std::net::Ipv4Addr;
+    use std::time::Duration;
+
+    fn headers() -> PacketHeaders {
+        let bytes = build::tcp_syn(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            50_000,
+            445,
+        );
+        PacketHeaders::parse(&bytes).unwrap()
+    }
+
+    fn add_fm(priority: u16, mat: Match, cookie: u64) -> FlowMod {
+        FlowMod {
+            priority,
+            mat,
+            cookie,
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(1)])],
+            ..FlowMod::add()
+        }
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        t.add(&add_fm(10, Match::any(), 1), SimTime::ZERO).unwrap();
+        t.add(
+            &add_fm(
+                100,
+                Match {
+                    eth_type: Some(0x0800),
+                    ..Match::default()
+                },
+                2,
+            ),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        let hit = t.lookup(1, &h, 64, SimTime::ZERO).unwrap();
+        assert_eq!(hit.cookie, 2);
+        assert_eq!(t.lookup_count, 1);
+        assert_eq!(t.matched_count, 1);
+    }
+
+    #[test]
+    fn exact_rule_beats_lower_priority_wildcard() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        let exact = Match::exact_from_headers(1, &h);
+        assert!(is_canonical_exact(&exact));
+        t.add(&add_fm(100, exact, 0xAA), SimTime::ZERO).unwrap();
+        t.add(&add_fm(10, Match::any(), 0xBB), SimTime::ZERO).unwrap();
+        assert_eq!(t.lookup(1, &h, 64, SimTime::ZERO).unwrap().cookie, 0xAA);
+    }
+
+    #[test]
+    fn wildcard_beats_lower_priority_exact() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        let exact = Match::exact_from_headers(1, &h);
+        t.add(&add_fm(10, exact, 0xAA), SimTime::ZERO).unwrap();
+        t.add(&add_fm(100, Match::any(), 0xFF), SimTime::ZERO).unwrap();
+        assert_eq!(t.lookup(1, &h, 64, SimTime::ZERO).unwrap().cookie, 0xFF);
+    }
+
+    #[test]
+    fn exact_rule_does_not_match_other_flows() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        let exact = Match::exact_from_headers(1, &h);
+        t.add(&add_fm(100, exact, 0xAA), SimTime::ZERO).unwrap();
+        // Same packet, different in-port: no match.
+        assert!(t.lookup(2, &h, 64, SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn many_exact_rules_lookup_correctly() {
+        // The DFI workload shape: thousands of exact rules, one per flow.
+        let mut t = FlowTable::new(100_000);
+        let mut hs = Vec::new();
+        for i in 0..500u16 {
+            let bytes = build::tcp_syn(
+                MacAddr::from_index(u32::from(i)),
+                MacAddr::from_index(9999),
+                Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+                Ipv4Addr::new(10, 9, 9, 9),
+                40_000 + i,
+                445,
+            );
+            let h = PacketHeaders::parse(&bytes).unwrap();
+            let m = Match::exact_from_headers(3, &h);
+            t.add(&add_fm(100, m, u64::from(i)), SimTime::ZERO).unwrap();
+            hs.push(h);
+        }
+        for (i, h) in hs.iter().enumerate() {
+            let hit = t.lookup(3, h, 64, SimTime::ZERO).unwrap();
+            assert_eq!(hit.cookie, i as u64);
+        }
+        assert_eq!(t.matched_count, 500);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        t.add(&add_fm(1, Match::any(), 7), SimTime::ZERO).unwrap();
+        t.lookup(1, &h, 100, SimTime::from_millis(1));
+        t.lookup(1, &h, 50, SimTime::from_millis(2));
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packet_count, 2);
+        assert_eq!(e.byte_count, 150);
+        assert_eq!(e.last_matched, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn miss_returns_none_and_counts_lookup() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        let m = Match {
+            ip_proto: Some(17),
+            ..Match::default()
+        };
+        t.add(&add_fm(1, m, 1), SimTime::ZERO).unwrap();
+        assert!(t.lookup(1, &h, 64, SimTime::ZERO).is_none());
+        assert_eq!(t.lookup_count, 1);
+        assert_eq!(t.matched_count, 0);
+    }
+
+    #[test]
+    fn same_match_same_priority_replaces() {
+        let mut t = FlowTable::new(100);
+        t.add(&add_fm(5, Match::any(), 1), SimTime::ZERO).unwrap();
+        let mut fm2 = add_fm(5, Match::any(), 2);
+        fm2.instructions = vec![];
+        t.add(&fm2, SimTime::from_secs(1)).unwrap();
+        assert_eq!(t.len(), 1);
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.cookie, 2);
+        assert!(e.instructions.is_empty());
+    }
+
+    #[test]
+    fn exact_rule_replacement_updates_index() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        let exact = Match::exact_from_headers(1, &h);
+        t.add(&add_fm(100, exact.clone(), 1), SimTime::ZERO).unwrap();
+        t.add(&add_fm(100, exact, 2), SimTime::ZERO).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(1, &h, 64, SimTime::ZERO).unwrap().cookie, 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = FlowTable::new(2);
+        for i in 0..2u64 {
+            let m = Match {
+                tcp_dst: Some(i as u16),
+                ..Match::default()
+            };
+            t.add(&add_fm(1, m, i), SimTime::ZERO).unwrap();
+        }
+        let m = Match {
+            tcp_dst: Some(99),
+            ..Match::default()
+        };
+        assert!(t.add(&add_fm(1, m, 9), SimTime::ZERO).is_err());
+        assert_eq!(t.len(), 2);
+        // Replacing an existing rule still works at capacity.
+        let m0 = Match {
+            tcp_dst: Some(0),
+            ..Match::default()
+        };
+        assert!(t.add(&add_fm(1, m0, 42), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn delete_by_cookie_removes_only_matching_cookies() {
+        let mut t = FlowTable::new(100);
+        for cookie in [0xA1, 0xA2, 0xB1u64] {
+            let m = Match {
+                tcp_dst: Some(cookie as u16),
+                ..Match::default()
+            };
+            t.add(&add_fm(1, m, cookie), SimTime::ZERO).unwrap();
+        }
+        // Flush everything whose cookie has high nibble 0xA.
+        let fm = FlowMod {
+            cookie: 0xA0,
+            cookie_mask: 0xF0,
+            command: FlowModCommand::Delete,
+            ..FlowMod::add()
+        };
+        let removed = t.delete(&fm);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().next().unwrap().cookie, 0xB1);
+    }
+
+    #[test]
+    fn delete_by_cookie_removes_exact_indexed_rules() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        let exact = Match::exact_from_headers(1, &h);
+        t.add(&add_fm(100, exact, 0xD0F1), SimTime::ZERO).unwrap();
+        let removed = t.delete(&FlowMod::delete_by_cookie(0xD0F1, u64::MAX));
+        assert_eq!(removed.len(), 1);
+        assert!(t.lookup(1, &h, 64, SimTime::ZERO).is_none(), "index purged");
+    }
+
+    #[test]
+    fn delete_respects_match_subset() {
+        let mut t = FlowTable::new(100);
+        let m1 = Match {
+            ipv4_dst: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            eth_type: Some(0x0800),
+            ..Match::default()
+        };
+        let m2 = Match {
+            ipv4_dst: Some(Ipv4Addr::new(10, 0, 0, 2)),
+            eth_type: Some(0x0800),
+            ..Match::default()
+        };
+        t.add(&add_fm(1, m1.clone(), 1), SimTime::ZERO).unwrap();
+        t.add(&add_fm(1, m2, 2), SimTime::ZERO).unwrap();
+        let fm = FlowMod {
+            mat: m1,
+            command: FlowModCommand::Delete,
+            ..FlowMod::add()
+        };
+        let removed = t.delete(&fm);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].cookie, 1);
+    }
+
+    #[test]
+    fn delete_strict_requires_exact_priority() {
+        let mut t = FlowTable::new(100);
+        t.add(&add_fm(5, Match::any(), 1), SimTime::ZERO).unwrap();
+        let mut fm = add_fm(6, Match::any(), 0);
+        fm.command = FlowModCommand::DeleteStrict;
+        fm.cookie_mask = 0;
+        assert!(t.delete_strict(&fm).is_empty());
+        fm.priority = 5;
+        assert_eq!(t.delete_strict(&fm).len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_filters_by_out_port() {
+        let mut t = FlowTable::new(100);
+        let mut fm1 = add_fm(1, Match { tcp_dst: Some(1), ..Match::default() }, 1);
+        fm1.instructions = vec![Instruction::ApplyActions(vec![Action::output(3)])];
+        let mut fm2 = add_fm(1, Match { tcp_dst: Some(2), ..Match::default() }, 2);
+        fm2.instructions = vec![Instruction::ApplyActions(vec![Action::output(4)])];
+        t.add(&fm1, SimTime::ZERO).unwrap();
+        t.add(&fm2, SimTime::ZERO).unwrap();
+        let del = FlowMod {
+            command: FlowModCommand::Delete,
+            out_port: 3,
+            ..FlowMod::add()
+        };
+        let removed = t.delete(&del);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].cookie, 1);
+    }
+
+    #[test]
+    fn modify_rewrites_instructions_preserving_counters() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        t.add(&add_fm(1, Match::any(), 1), SimTime::ZERO).unwrap();
+        t.lookup(1, &h, 64, SimTime::ZERO);
+        let mut fm = add_fm(1, Match::any(), 1);
+        fm.instructions = vec![Instruction::GotoTable(1)];
+        t.modify(&fm, false);
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.instructions, vec![Instruction::GotoTable(1)]);
+        assert_eq!(e.packet_count, 1, "counters preserved on modify");
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new(100);
+        let mut fm = add_fm(1, Match::any(), 1);
+        fm.hard_timeout = 10;
+        t.add(&fm, SimTime::ZERO).unwrap();
+        assert_eq!(t.next_deadline(), Some(SimTime::from_secs(10)));
+        assert!(t.sweep_expired(SimTime::from_secs(9)).is_empty());
+        let expired = t.sweep_expired(SimTime::from_secs(10));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].1, ExpiryKind::Hard);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_traffic() {
+        let mut t = FlowTable::new(100);
+        let h = headers();
+        let mut fm = add_fm(1, Match::any(), 1);
+        fm.idle_timeout = 5;
+        t.add(&fm, SimTime::ZERO).unwrap();
+        // Traffic at t=4 pushes the idle deadline to t=9.
+        t.lookup(1, &h, 64, SimTime::from_secs(4));
+        assert!(t.sweep_expired(SimTime::from_secs(5)).is_empty());
+        let expired = t.sweep_expired(SimTime::from_secs(9));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].1, ExpiryKind::Idle);
+    }
+
+    #[test]
+    fn next_deadline_is_minimum() {
+        let mut t = FlowTable::new(100);
+        let mut a = add_fm(1, Match { tcp_dst: Some(1), ..Match::default() }, 1);
+        a.hard_timeout = 30;
+        let mut b = add_fm(1, Match { tcp_dst: Some(2), ..Match::default() }, 2);
+        b.idle_timeout = 7;
+        t.add(&a, SimTime::ZERO).unwrap();
+        t.add(&b, SimTime::from_secs(1)).unwrap();
+        assert_eq!(t.next_deadline(), Some(SimTime::from_secs(8)));
+    }
+
+    #[test]
+    fn zero_timeouts_never_expire() {
+        let mut t = FlowTable::new(100);
+        t.add(&add_fm(1, Match::any(), 1), SimTime::ZERO).unwrap();
+        assert_eq!(t.next_deadline(), None);
+        assert!(t
+            .sweep_expired(SimTime::ZERO + Duration::from_secs(1_000_000))
+            .is_empty());
+    }
+
+    #[test]
+    fn iter_is_priority_ordered() {
+        let mut t = FlowTable::new(100);
+        for (prio, cookie) in [(5u16, 1u64), (50, 2), (10, 3)] {
+            let m = Match {
+                tcp_dst: Some(cookie as u16),
+                ..Match::default()
+            };
+            t.add(&add_fm(prio, m, cookie), SimTime::ZERO).unwrap();
+        }
+        let cookies: Vec<u64> = t.iter().map(|e| e.cookie).collect();
+        assert_eq!(cookies, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn canonical_detection() {
+        let h = headers();
+        assert!(is_canonical_exact(&Match::exact_from_headers(1, &h)));
+        assert!(!is_canonical_exact(&Match::any()));
+        assert!(!is_canonical_exact(&Match {
+            eth_dst: Some(MacAddr::from_index(1)),
+            ..Match::default()
+        }));
+        // IPv4 TCP without ports pinned is not canonical.
+        let mut m = Match::exact_from_headers(1, &h);
+        m.tcp_dst = None;
+        assert!(!is_canonical_exact(&m));
+    }
+}

@@ -1,0 +1,38 @@
+//! OpenFlow 1.3 data plane for the DFI reproduction: flow tables, a
+//! multi-table pipeline software switch (Open vSwitch surrogate), and
+//! topology wiring.
+//!
+//! The paper's testbed ran Open vSwitch 2.5.4 under 14 switches in a star
+//! topology. This crate provides the equivalent substrate: a switch that
+//! speaks real encoded OpenFlow 1.3 on its control channel and enforces the
+//! pipeline semantics DFI relies on — Table 0 first, `goto_table` chaining,
+//! table-miss punting to the control plane, cookie-tagged rules, and
+//! delete-by-cookie flushing.
+//!
+//! # Example
+//!
+//! ```
+//! use dfi_dataplane::{Network, SwitchConfig, dfi_allow_rule};
+//! use dfi_openflow::Match;
+//! use dfi_simnet::Sim;
+//! use std::time::Duration;
+//!
+//! let mut sim = Sim::new(1);
+//! let mut net = Network::new();
+//! let sw = net.add_switch(SwitchConfig::new(0xD1));
+//! let _tx = net.attach_silent_host(&sw, 1, Duration::from_micros(50));
+//! sw.install(&mut sim, dfi_allow_rule(Match::any(), 0xC00C1E, 100));
+//! sim.run();
+//! assert_eq!(sw.table_len(0), 1);
+//! assert_eq!(sw.table0_cookies(), vec![0xC00C1E]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod flow_table;
+mod network;
+mod switch;
+
+pub use flow_table::{ExpiryKind, FlowEntry, FlowTable};
+pub use network::{Network, Tx};
+pub use switch::{dfi_allow_rule, dfi_deny_rule, ByteSink, Switch, SwitchConfig, SwitchStats};

@@ -1,0 +1,93 @@
+//! Topology wiring: switches, inter-switch links, and host attachment
+//! points, driven by the simulation kernel.
+
+use crate::switch::{ByteSink, Switch, SwitchConfig};
+use dfi_simnet::Sim;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// A handle for injecting frames into the network at a fixed attachment
+/// point (what a host's NIC holds).
+#[derive(Clone)]
+pub struct Tx {
+    sink: ByteSink,
+    latency: Duration,
+}
+
+impl Tx {
+    /// Sends a frame onto the wire; it reaches the switch after the access
+    /// link's latency.
+    pub fn send(&self, sim: &mut Sim, frame: Vec<u8>) {
+        let sink = self.sink.clone();
+        sim.schedule_in(self.latency, move |sim| sink(sim, frame));
+    }
+}
+
+/// A network of OpenFlow switches plus attachment bookkeeping.
+#[derive(Default)]
+pub struct Network {
+    switches: Vec<Switch>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Adds a switch, returning its handle.
+    pub fn add_switch(&mut self, config: SwitchConfig) -> Switch {
+        let sw = Switch::new(config);
+        self.switches.push(sw.clone());
+        sw
+    }
+
+    /// All switches, in creation order.
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    /// Connects two switches with a bidirectional link of the given
+    /// latency, using the named port on each side.
+    pub fn link(&mut self, a: &Switch, port_a: u32, b: &Switch, port_b: u32, latency: Duration) {
+        a.attach_port(port_a, latency, b.ingress(port_b));
+        b.attach_port(port_b, latency, a.ingress(port_a));
+    }
+
+    /// Attaches a host NIC to `switch:port`. Frames the switch outputs on
+    /// that port are handed to `rx`; the returned [`Tx`] injects frames
+    /// toward the switch. Both directions incur `latency`.
+    pub fn attach_host(
+        &mut self,
+        switch: &Switch,
+        port: u32,
+        latency: Duration,
+        rx: ByteSink,
+    ) -> Tx {
+        switch.attach_port(port, latency, rx);
+        Tx {
+            sink: switch.ingress(port),
+            latency,
+        }
+    }
+
+    /// Attaches a host that ignores everything it receives (a traffic sink).
+    pub fn attach_silent_host(&mut self, switch: &Switch, port: u32, latency: Duration) -> Tx {
+        self.attach_host(switch, port, latency, Rc::new(|_, _| {}))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_enumerate_switches() {
+        let mut net = Network::new();
+        let a = net.add_switch(SwitchConfig::new(1));
+        let _b = net.add_switch(SwitchConfig::new(2));
+        assert_eq!(net.switches().len(), 2);
+        assert_eq!(a.dpid(), 1);
+        assert_eq!(net.switches()[1].dpid(), 2);
+    }
+}

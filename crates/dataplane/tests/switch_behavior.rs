@@ -1,0 +1,545 @@
+//! Behavioral tests for the OpenFlow switch: pipeline semantics, the
+//! control channel, timeouts, and statistics.
+
+use dfi_dataplane::{dfi_allow_rule, dfi_deny_rule, Network, Switch, SwitchConfig};
+use dfi_openflow::{
+    port, Action, FlowMod, FlowModCommand, Instruction, Match, Message, MultipartReply,
+    MultipartRequest, OfMessage, PacketOut, FLAG_SEND_FLOW_REM,
+};
+use dfi_packet::headers::build;
+use dfi_packet::MacAddr;
+use dfi_simnet::{Sim, SimTime};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+const LAT: Duration = Duration::from_micros(50);
+
+fn mac(i: u32) -> MacAddr {
+    MacAddr::from_index(i)
+}
+
+fn ip(i: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 0, i)
+}
+
+fn syn_frame(src: u32, dst: u32, dport: u16) -> Vec<u8> {
+    build::tcp_syn(mac(src), mac(dst), ip(src as u8), ip(dst as u8), 50_000, dport)
+}
+
+/// A test harness: one switch, two recorded host ports, a recorded control
+/// channel.
+struct Rig {
+    sim: Sim,
+    sw: Switch,
+    tx1: dfi_dataplane::Tx,
+    rx1: Rc<RefCell<Vec<Vec<u8>>>>,
+    rx2: Rc<RefCell<Vec<Vec<u8>>>>,
+    control_rx: Rc<RefCell<Vec<OfMessage>>>,
+    to_switch: dfi_dataplane::ByteSink,
+}
+
+fn rig() -> Rig {
+    let mut sim = Sim::new(7);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(0xD1));
+    let rx1 = Rc::new(RefCell::new(Vec::new()));
+    let rx2 = Rc::new(RefCell::new(Vec::new()));
+    let r1 = rx1.clone();
+    let r2 = rx2.clone();
+    let tx1 = net.attach_host(&sw, 1, LAT, Rc::new(move |_, f| r1.borrow_mut().push(f)));
+    let _tx2 = net.attach_host(&sw, 2, LAT, Rc::new(move |_, f| r2.borrow_mut().push(f)));
+    let control_rx = Rc::new(RefCell::new(Vec::new()));
+    let c = control_rx.clone();
+    sw.connect_control(
+        &mut sim,
+        Rc::new(move |_, bytes: Vec<u8>| {
+            c.borrow_mut().push(OfMessage::decode(&bytes).unwrap());
+        }),
+    );
+    let to_switch = sw.control_ingress();
+    Rig {
+        sim,
+        sw,
+        tx1,
+        rx1,
+        rx2,
+        control_rx,
+        to_switch,
+    }
+}
+
+fn send_msg(rig: &mut Rig, body: Message) {
+    let bytes = OfMessage::new(99, body).encode();
+    (rig.to_switch)(&mut rig.sim, bytes);
+}
+
+fn control_msgs(rig: &Rig) -> Vec<Message> {
+    rig.control_rx.borrow().iter().map(|m| m.body.clone()).collect()
+}
+
+#[test]
+fn switch_says_hello_on_connect() {
+    let mut r = rig();
+    r.sim.run();
+    assert!(matches!(control_msgs(&r)[0], Message::Hello));
+}
+
+#[test]
+fn table_miss_punts_packet_in_with_port_and_data() {
+    let mut r = rig();
+    let frame = syn_frame(1, 2, 445);
+    r.tx1.send(&mut r.sim, frame.clone());
+    r.sim.run();
+    let msgs = control_msgs(&r);
+    let pi = msgs
+        .iter()
+        .find_map(|m| match m {
+            Message::PacketIn(pi) => Some(pi.clone()),
+            _ => None,
+        })
+        .expect("packet-in");
+    assert_eq!(pi.in_port(), Some(1));
+    assert_eq!(pi.table_id, 0);
+    assert_eq!(pi.data, frame);
+    assert_eq!(r.sw.stats().packet_ins, 1);
+}
+
+#[test]
+fn allow_rule_chains_to_controller_table_then_forwards() {
+    let mut r = rig();
+    // DFI allow in table 0, forwarding rule in table 1.
+    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 100));
+    let fwd = FlowMod {
+        table_id: 1,
+        priority: 10,
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        ..FlowMod::add()
+    };
+    r.sw.install(&mut r.sim, fwd);
+    let frame = syn_frame(1, 2, 80);
+    r.tx1.send(&mut r.sim, frame.clone());
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 1, "delivered out port 2");
+    assert_eq!(r.rx2.borrow()[0], frame);
+    assert_eq!(r.rx1.borrow().len(), 0);
+    assert_eq!(r.sw.stats().packet_ins, 0);
+}
+
+#[test]
+fn deny_rule_drops_before_controller_tables() {
+    let mut r = rig();
+    r.sw.install(&mut r.sim, dfi_deny_rule(Match::any(), 0xD, 100));
+    // Even with a forwarding rule in table 1, the packet must die in 0.
+    let fwd = FlowMod {
+        table_id: 1,
+        priority: 10,
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        ..FlowMod::add()
+    };
+    r.sw.install(&mut r.sim, fwd);
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 445));
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 0);
+    assert_eq!(r.sw.stats().packet_ins, 0, "denied flows never reach control");
+    assert_eq!(r.sw.stats().frames_dropped, 1);
+}
+
+#[test]
+fn miss_in_controller_table_punts_with_that_table_id() {
+    let mut r = rig();
+    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 100));
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
+    r.sim.run();
+    let msgs = control_msgs(&r);
+    let pi = msgs
+        .iter()
+        .find_map(|m| match m {
+            Message::PacketIn(pi) => Some(pi),
+            _ => None,
+        })
+        .expect("packet-in from table 1 miss");
+    assert_eq!(pi.table_id, 1);
+}
+
+#[test]
+fn higher_priority_deny_beats_allow() {
+    let mut r = rig();
+    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 10));
+    let deny = dfi_deny_rule(
+        Match {
+            eth_type: Some(0x0800),
+            ip_proto: Some(6),
+            tcp_dst: Some(445),
+            ..Match::default()
+        },
+        0xD,
+        100,
+    );
+    r.sw.install(&mut r.sim, deny);
+    let fwd = FlowMod {
+        table_id: 1,
+        priority: 1,
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        ..FlowMod::add()
+    };
+    r.sw.install(&mut r.sim, fwd);
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 445)); // denied
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 80)); // allowed
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 1);
+}
+
+#[test]
+fn delete_by_cookie_flushes_only_that_policy() {
+    let mut r = rig();
+    let m1 = Match {
+        tcp_dst: Some(445),
+        ..Match::default()
+    };
+    let m2 = Match {
+        tcp_dst: Some(80),
+        ..Match::default()
+    };
+    r.sw.install(&mut r.sim, dfi_allow_rule(m1, 0xAAAA, 100));
+    r.sw.install(&mut r.sim, dfi_allow_rule(m2, 0xBBBB, 100));
+    assert_eq!(r.sw.table_len(0), 2);
+    r.sw.install(&mut r.sim, FlowMod::delete_by_cookie(0xAAAA, u64::MAX));
+    r.sim.run();
+    assert_eq!(r.sw.table0_cookies(), vec![0xBBBB]);
+}
+
+#[test]
+fn flow_removed_sent_on_delete_when_flagged() {
+    let mut r = rig();
+    let mut fm = dfi_allow_rule(Match::any(), 0xF1, 5);
+    fm.flags = FLAG_SEND_FLOW_REM;
+    r.sw.install(&mut r.sim, fm);
+    r.sw.install(&mut r.sim, FlowMod::delete_by_cookie(0xF1, u64::MAX));
+    r.sim.run();
+    let msgs = control_msgs(&r);
+    let fr = msgs
+        .iter()
+        .find_map(|m| match m {
+            Message::FlowRemoved(fr) => Some(fr),
+            _ => None,
+        })
+        .expect("flow-removed");
+    assert_eq!(fr.cookie, 0xF1);
+    assert_eq!(fr.reason, dfi_openflow::FlowRemovedReason::Delete);
+}
+
+#[test]
+fn no_flow_removed_without_flag() {
+    let mut r = rig();
+    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xF1, 5));
+    r.sw.install(&mut r.sim, FlowMod::delete_by_cookie(0xF1, u64::MAX));
+    r.sim.run();
+    assert!(!control_msgs(&r)
+        .iter()
+        .any(|m| matches!(m, Message::FlowRemoved(_))));
+}
+
+#[test]
+fn hard_timeout_removes_rule_and_notifies() {
+    let mut r = rig();
+    let mut fm = dfi_allow_rule(Match::any(), 0x77, 5);
+    fm.hard_timeout = 3;
+    fm.flags = FLAG_SEND_FLOW_REM;
+    r.sw.install(&mut r.sim, fm);
+    assert_eq!(r.sw.table_len(0), 1);
+    r.sim.run();
+    assert!(r.sim.now() >= SimTime::from_secs(3));
+    assert_eq!(r.sw.table_len(0), 0);
+    let msgs = control_msgs(&r);
+    assert!(msgs.iter().any(|m| matches!(
+        m,
+        Message::FlowRemoved(fr) if fr.reason == dfi_openflow::FlowRemovedReason::HardTimeout
+    )));
+}
+
+#[test]
+fn idle_timeout_extends_while_traffic_flows() {
+    let mut r = rig();
+    let mut fm = dfi_allow_rule(Match::any(), 0x88, 5);
+    fm.idle_timeout = 2;
+    r.sw.install(&mut r.sim, fm);
+    // Keep the rule warm with a packet each second for 3 seconds.
+    for s in 1..=3u64 {
+        let tx = r.tx1.clone();
+        r.sim.schedule_at(SimTime::from_secs(s), move |sim| {
+            tx.send(sim, syn_frame(1, 2, 80));
+        });
+    }
+    r.sim.run_until(SimTime::from_secs(4));
+    assert_eq!(r.sw.table_len(0), 1, "still warm at t=4");
+    r.sim.run();
+    assert_eq!(r.sw.table_len(0), 0, "expired after quiet period");
+}
+
+#[test]
+fn table_full_reports_error() {
+    let mut r = {
+        let mut sim = Sim::new(1);
+        let mut net = Network::new();
+        let mut cfg = SwitchConfig::new(0xD2);
+        cfg.table_capacity = 1;
+        let sw = net.add_switch(cfg);
+        let control_rx = Rc::new(RefCell::new(Vec::new()));
+        let c = control_rx.clone();
+        sw.connect_control(
+            &mut sim,
+            Rc::new(move |_, bytes: Vec<u8>| {
+                c.borrow_mut().push(OfMessage::decode(&bytes).unwrap());
+            }),
+        );
+        let to_switch = sw.control_ingress();
+        Rig {
+            sim,
+            sw,
+            tx1: {
+                // dummy tx, not used
+                let mut net2 = Network::new();
+                let sw2 = net2.add_switch(SwitchConfig::new(9));
+                net2.attach_silent_host(&sw2, 1, LAT)
+            },
+            rx1: Rc::new(RefCell::new(Vec::new())),
+            rx2: Rc::new(RefCell::new(Vec::new())),
+            control_rx,
+            to_switch,
+        }
+    };
+    let m1 = Match {
+        tcp_dst: Some(1),
+        ..Match::default()
+    };
+    let m2 = Match {
+        tcp_dst: Some(2),
+        ..Match::default()
+    };
+    r.sw.install(&mut r.sim, dfi_allow_rule(m1, 1, 1));
+    r.sw.install(&mut r.sim, dfi_allow_rule(m2, 2, 1));
+    r.sim.run();
+    assert_eq!(r.sw.table_len(0), 1);
+    let msgs = control_msgs(&r);
+    assert!(msgs.iter().any(|m| matches!(
+        m,
+        Message::Error(e) if e.err_type == 5 && e.code == 0
+    )));
+}
+
+#[test]
+fn echo_features_and_barrier_are_answered() {
+    let mut r = rig();
+    send_msg(&mut r, Message::EchoRequest(b"hi".to_vec()));
+    send_msg(&mut r, Message::FeaturesRequest);
+    send_msg(&mut r, Message::BarrierRequest);
+    r.sim.run();
+    let msgs = control_msgs(&r);
+    assert!(msgs
+        .iter()
+        .any(|m| matches!(m, Message::EchoReply(d) if d == b"hi")));
+    assert!(msgs.iter().any(|m| matches!(
+        m,
+        Message::FeaturesReply(fr) if fr.datapath_id == 0xD1 && fr.n_tables == 8
+    )));
+    assert!(msgs.iter().any(|m| matches!(m, Message::BarrierReply)));
+}
+
+#[test]
+fn packet_out_to_port_and_flood() {
+    let mut r = rig();
+    let frame = syn_frame(9, 2, 80);
+    send_msg(
+        &mut r,
+        Message::PacketOut(PacketOut::send(2, frame.clone())),
+    );
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 1);
+    // Flood from in_port 1: only port 2 receives.
+    let po = PacketOut {
+        buffer_id: dfi_openflow::NO_BUFFER,
+        in_port: 1,
+        actions: vec![Action::output(port::FLOOD)],
+        data: frame,
+    };
+    send_msg(&mut r, Message::PacketOut(po));
+    r.sim.run();
+    assert_eq!(r.rx1.borrow().len(), 0);
+    assert_eq!(r.rx2.borrow().len(), 2);
+}
+
+#[test]
+fn packet_out_to_table_runs_pipeline() {
+    let mut r = rig();
+    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 100));
+    let fwd = FlowMod {
+        table_id: 1,
+        priority: 10,
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        ..FlowMod::add()
+    };
+    r.sw.install(&mut r.sim, fwd);
+    let frame = syn_frame(1, 2, 80);
+    let po = PacketOut {
+        buffer_id: dfi_openflow::NO_BUFFER,
+        in_port: port::CONTROLLER,
+        actions: vec![Action::output(port::TABLE)],
+        data: frame.clone(),
+    };
+    send_msg(&mut r, Message::PacketOut(po));
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 1);
+    assert_eq!(r.rx2.borrow()[0], frame);
+}
+
+#[test]
+fn flow_stats_filter_by_cookie() {
+    let mut r = rig();
+    let m1 = Match {
+        tcp_dst: Some(1),
+        ..Match::default()
+    };
+    let m2 = Match {
+        tcp_dst: Some(2),
+        ..Match::default()
+    };
+    r.sw.install(&mut r.sim, dfi_allow_rule(m1, 0xAA, 1));
+    r.sw.install(&mut r.sim, dfi_allow_rule(m2, 0xBB, 1));
+    send_msg(
+        &mut r,
+        Message::MultipartRequest(MultipartRequest::Flow {
+            table_id: dfi_openflow::table::ALL,
+            out_port: port::ANY,
+            out_group: dfi_openflow::group::ANY,
+            cookie: 0xAA,
+            cookie_mask: u64::MAX,
+            mat: Match::any(),
+        }),
+    );
+    r.sim.run();
+    let msgs = control_msgs(&r);
+    let entries = msgs
+        .iter()
+        .find_map(|m| match m {
+            Message::MultipartReply(MultipartReply::Flow(e)) => Some(e.clone()),
+            _ => None,
+        })
+        .expect("flow stats reply");
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].cookie, 0xAA);
+}
+
+#[test]
+fn table_stats_report_lookups_and_active_counts() {
+    let mut r = rig();
+    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 1, 1));
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 80)); // hits table 0, misses 1
+    r.sim.run();
+    send_msg(&mut r, Message::MultipartRequest(MultipartRequest::Table));
+    r.sim.run();
+    let msgs = control_msgs(&r);
+    let entries = msgs
+        .iter()
+        .find_map(|m| match m {
+            Message::MultipartReply(MultipartReply::Table(e)) => Some(e.clone()),
+            _ => None,
+        })
+        .expect("table stats reply");
+    assert_eq!(entries[0].active_count, 1);
+    assert_eq!(entries[0].lookup_count, 1);
+    assert_eq!(entries[0].matched_count, 1);
+    assert_eq!(entries[1].lookup_count, 1);
+    assert_eq!(entries[1].matched_count, 0);
+}
+
+#[test]
+fn two_switch_line_delivers_end_to_end() {
+    let mut sim = Sim::new(3);
+    let mut net = Network::new();
+    let s1 = net.add_switch(SwitchConfig::new(1));
+    let s2 = net.add_switch(SwitchConfig::new(2));
+    net.link(&s1, 10, &s2, 10, LAT);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    let g = got.clone();
+    let tx = net.attach_host(&s1, 1, LAT, Rc::new(|_, _| {}));
+    let _rx = net.attach_host(&s2, 1, LAT, Rc::new(move |_, f| g.borrow_mut().push(f)));
+    // Static forwarding: s1 sends everything to s2; s2 to its host.
+    let fwd1 = FlowMod {
+        priority: 1,
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(10)])],
+        ..FlowMod::add()
+    };
+    let fwd2 = FlowMod {
+        priority: 1,
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(1)])],
+        ..FlowMod::add()
+    };
+    s1.install(&mut sim, fwd1);
+    s2.install(&mut sim, fwd2);
+    let frame = syn_frame(1, 2, 80);
+    tx.send(&mut sim, frame.clone());
+    sim.run();
+    assert_eq!(got.borrow().len(), 1);
+    assert_eq!(got.borrow()[0], frame);
+    // Latency sanity: 3 hops of wire + 2 switch pipelines.
+    assert!(sim.now() >= SimTime::from_micros(150));
+}
+
+#[test]
+fn unparseable_frame_dropped_not_punted() {
+    let mut r = rig();
+    r.tx1.send(&mut r.sim, vec![1, 2, 3]); // not a valid Ethernet frame
+    r.sim.run();
+    assert_eq!(r.sw.stats().packet_ins, 0);
+    assert_eq!(r.sw.stats().frames_dropped, 1);
+}
+
+#[test]
+fn write_actions_execute_at_pipeline_end() {
+    let mut r = rig();
+    let fm = FlowMod {
+        table_id: 0,
+        priority: 1,
+        instructions: vec![
+            Instruction::WriteActions(vec![Action::output(2)]),
+            Instruction::GotoTable(1),
+        ],
+        ..FlowMod::add()
+    };
+    r.sw.install(&mut r.sim, fm);
+    let fm1 = FlowMod {
+        table_id: 1,
+        priority: 1,
+        instructions: vec![], // end of pipeline; action set should fire
+        ..FlowMod::add()
+    };
+    r.sw.install(&mut r.sim, fm1);
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 1);
+}
+
+#[test]
+fn modify_changes_forwarding() {
+    let mut r = rig();
+    let fm = FlowMod {
+        table_id: 0,
+        priority: 1,
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        ..FlowMod::add()
+    };
+    r.sw.install(&mut r.sim, fm.clone());
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 1);
+    // Modify to drop.
+    let mut m = fm;
+    m.command = FlowModCommand::Modify;
+    m.instructions = vec![];
+    r.sw.install(&mut r.sim, m);
+    r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
+    r.sim.run();
+    assert_eq!(r.rx2.borrow().len(), 1, "second frame dropped");
+}

@@ -1,0 +1,177 @@
+//! OpenFlow actions (OF1.3 §7.2.5).
+//!
+//! The system only ever emits `OUTPUT` actions (forward on a port, flood,
+//! or punt to the controller) — denial in DFI is expressed as a rule with
+//! *no* instructions, i.e. drop — but the codec keeps unknown actions
+//! intact so the proxy can pass controller traffic through unmodified.
+
+use dfi_packet::wire::{Reader, Writer};
+use dfi_packet::PacketError;
+
+use crate::Result;
+
+const OFPAT_OUTPUT: u16 = 0;
+
+/// A single action in an instruction's action list.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward the packet out `port` (possibly a reserved port such as
+    /// [`crate::port::CONTROLLER`]); `max_len` bounds bytes sent on
+    /// controller output.
+    Output {
+        /// Egress port.
+        port: u32,
+        /// Bytes to include when outputting to the controller.
+        max_len: u16,
+    },
+    /// Any other action, preserved as raw `(type, body)` for transparent
+    /// proxying.
+    Other {
+        /// Action type code.
+        kind: u16,
+        /// Raw body bytes (after the 4-byte type/length header, including
+        /// any padding).
+        body: Vec<u8>,
+    },
+}
+
+impl Action {
+    /// An output action to a (physical or reserved) port.
+    pub fn output(port: u32) -> Action {
+        Action::Output {
+            port,
+            max_len: 0xFFFF, // OFPCML_NO_BUFFER: send the whole packet
+        }
+    }
+
+    /// Serializes the action.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Action::Output { port, max_len } => {
+                w.u16(OFPAT_OUTPUT);
+                w.u16(16);
+                w.u32(*port);
+                w.u16(*max_len);
+                w.zeros(6);
+            }
+            Action::Other { kind, body } => {
+                w.u16(*kind);
+                w.u16((4 + body.len()) as u16);
+                w.bytes(body);
+            }
+        }
+    }
+
+    /// Parses one action.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Action> {
+        let kind = r.u16()?;
+        let len = usize::from(r.u16()?);
+        if len < 4 {
+            return Err(PacketError::BadField {
+                field: "action.length",
+                value: len as u64,
+            });
+        }
+        let body = r.bytes(len - 4)?;
+        match kind {
+            OFPAT_OUTPUT => {
+                let mut br = Reader::new(body);
+                let port = br.u32()?;
+                let max_len = br.u16()?;
+                Ok(Action::Output { port, max_len })
+            }
+            other => Ok(Action::Other {
+                kind: other,
+                body: body.to_vec(),
+            }),
+        }
+    }
+
+    /// Parses a sequence of actions occupying exactly `len` bytes.
+    pub fn decode_list(r: &mut Reader<'_>, len: usize) -> Result<Vec<Action>> {
+        let mut body = Reader::new(r.bytes(len)?);
+        let mut actions = Vec::new();
+        while body.remaining() > 0 {
+            actions.push(Action::decode(&mut body)?);
+        }
+        Ok(actions)
+    }
+
+    /// Serializes a sequence of actions, returning the bytes written.
+    pub fn encode_list(actions: &[Action], w: &mut Writer) -> usize {
+        let start = w.len();
+        for a in actions {
+            a.encode(w);
+        }
+        w.len() - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port;
+
+    fn round_trip(a: &Action) -> Action {
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = Action::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn output_round_trip() {
+        let a = Action::output(7);
+        assert_eq!(round_trip(&a), a);
+        let a = Action::output(port::CONTROLLER);
+        assert_eq!(round_trip(&a), a);
+    }
+
+    #[test]
+    fn output_wire_size_is_16() {
+        let mut w = Writer::new();
+        Action::output(1).encode(&mut w);
+        assert_eq!(w.len(), 16);
+    }
+
+    #[test]
+    fn unknown_action_preserved_verbatim() {
+        let a = Action::Other {
+            kind: 11, // OFPAT_PUSH_VLAN
+            body: vec![0x81, 0x00, 0, 0],
+        };
+        assert_eq!(round_trip(&a), a);
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let actions = vec![
+            Action::output(1),
+            Action::Other {
+                kind: 25,
+                body: vec![0; 4],
+            },
+            Action::output(port::FLOOD),
+        ];
+        let mut w = Writer::new();
+        let len = Action::encode_list(&actions, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Action::decode_list(&mut r, len).unwrap(), actions);
+    }
+
+    #[test]
+    fn short_length_rejected() {
+        let mut r = Reader::new(&[0, 0, 0, 2]);
+        assert!(Action::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        let mut r = Reader::new(&[0, 0, 0, 16, 0, 0]);
+        assert!(Action::decode(&mut r).is_err());
+    }
+}

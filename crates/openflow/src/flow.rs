@@ -1,0 +1,407 @@
+//! `Flow-Mod` and `Flow-Removed` messages (OF1.3 §7.3.4.1, §7.4.2).
+//!
+//! Every DFI-installed rule carries a `cookie` naming the policy it was
+//! derived from; revoking that policy issues a `Flow-Mod` *delete* with a
+//! matching cookie/mask, which is how the paper achieves policy↔switch
+//! consistency without hard or soft timeouts.
+
+use dfi_packet::wire::{Reader, Writer};
+use dfi_packet::PacketError;
+
+use crate::instruction::Instruction;
+use crate::oxm::Match;
+use crate::{group, port, table, Result, NO_BUFFER};
+
+/// Flow-mod command (`ofp_flow_mod_command`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowModCommand {
+    /// Add a new rule.
+    Add,
+    /// Modify matching rules.
+    Modify,
+    /// Modify strictly matching rules (same match and priority).
+    ModifyStrict,
+    /// Delete matching rules.
+    Delete,
+    /// Delete strictly matching rules.
+    DeleteStrict,
+}
+
+impl FlowModCommand {
+    fn to_u8(self) -> u8 {
+        match self {
+            FlowModCommand::Add => 0,
+            FlowModCommand::Modify => 1,
+            FlowModCommand::ModifyStrict => 2,
+            FlowModCommand::Delete => 3,
+            FlowModCommand::DeleteStrict => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => FlowModCommand::Add,
+            1 => FlowModCommand::Modify,
+            2 => FlowModCommand::ModifyStrict,
+            3 => FlowModCommand::Delete,
+            4 => FlowModCommand::DeleteStrict,
+            other => {
+                return Err(PacketError::BadField {
+                    field: "flow_mod.command",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// `OFPFF_SEND_FLOW_REM` flag: ask for a `Flow-Removed` on rule expiry.
+pub const FLAG_SEND_FLOW_REM: u16 = 1;
+
+/// A `Flow-Mod` message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowMod {
+    /// Opaque rule metadata; DFI stores the policy id here.
+    pub cookie: u64,
+    /// Cookie mask for modify/delete matching (ignored for add).
+    pub cookie_mask: u64,
+    /// Target table.
+    pub table_id: u8,
+    /// What to do.
+    pub command: FlowModCommand,
+    /// Idle timeout in seconds (0 = permanent).
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = permanent).
+    pub hard_timeout: u16,
+    /// Match priority (higher wins).
+    pub priority: u16,
+    /// Buffered packet to apply on install, or [`NO_BUFFER`].
+    pub buffer_id: u32,
+    /// Output-port filter for delete/modify, or [`port::ANY`].
+    pub out_port: u32,
+    /// Output-group filter for delete/modify, or [`group::ANY`].
+    pub out_group: u32,
+    /// OFPFF flags.
+    pub flags: u16,
+    /// The match.
+    pub mat: Match,
+    /// Instructions (empty list = drop for add commands).
+    pub instructions: Vec<Instruction>,
+}
+
+impl FlowMod {
+    /// A default-initialized ADD (wildcard match, drop, priority 0) to be
+    /// customized with struct-update syntax.
+    pub fn add() -> FlowMod {
+        FlowMod {
+            cookie: 0,
+            cookie_mask: 0,
+            table_id: 0,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 0,
+            buffer_id: NO_BUFFER,
+            out_port: port::ANY,
+            out_group: group::ANY,
+            flags: 0,
+            mat: Match::default(),
+            instructions: Vec::new(),
+        }
+    }
+
+    /// A delete of every rule in every table whose cookie matches
+    /// `cookie` under `mask` — DFI's policy-revocation flush.
+    pub fn delete_by_cookie(cookie: u64, mask: u64) -> FlowMod {
+        FlowMod {
+            cookie,
+            cookie_mask: mask,
+            table_id: table::ALL,
+            command: FlowModCommand::Delete,
+            ..FlowMod::add()
+        }
+    }
+
+    /// Serializes the message body (after the OpenFlow header).
+    pub fn encode_body(&self, w: &mut Writer) {
+        w.u64(self.cookie);
+        w.u64(self.cookie_mask);
+        w.u8(self.table_id);
+        w.u8(self.command.to_u8());
+        w.u16(self.idle_timeout);
+        w.u16(self.hard_timeout);
+        w.u16(self.priority);
+        w.u32(self.buffer_id);
+        w.u32(self.out_port);
+        w.u32(self.out_group);
+        w.u16(self.flags);
+        w.zeros(2);
+        self.mat.encode(w);
+        Instruction::encode_list(&self.instructions, w);
+    }
+
+    /// Parses the message body.
+    pub fn decode_body(r: &mut Reader<'_>) -> Result<FlowMod> {
+        let cookie = r.u64()?;
+        let cookie_mask = r.u64()?;
+        let table_id = r.u8()?;
+        let command = FlowModCommand::from_u8(r.u8()?)?;
+        let idle_timeout = r.u16()?;
+        let hard_timeout = r.u16()?;
+        let priority = r.u16()?;
+        let buffer_id = r.u32()?;
+        let out_port = r.u32()?;
+        let out_group = r.u32()?;
+        let flags = r.u16()?;
+        r.skip(2)?;
+        let mat = Match::decode(r)?;
+        let instructions = Instruction::decode_list(r)?;
+        Ok(FlowMod {
+            cookie,
+            cookie_mask,
+            table_id,
+            command,
+            idle_timeout,
+            hard_timeout,
+            priority,
+            buffer_id,
+            out_port,
+            out_group,
+            flags,
+            mat,
+            instructions,
+        })
+    }
+}
+
+/// Why a rule was removed (`ofp_flow_removed_reason`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowRemovedReason {
+    /// Idle timeout elapsed.
+    IdleTimeout,
+    /// Hard timeout elapsed.
+    HardTimeout,
+    /// Deleted by a flow-mod.
+    Delete,
+}
+
+impl FlowRemovedReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            FlowRemovedReason::IdleTimeout => 0,
+            FlowRemovedReason::HardTimeout => 1,
+            FlowRemovedReason::Delete => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => FlowRemovedReason::IdleTimeout,
+            1 => FlowRemovedReason::HardTimeout,
+            2 => FlowRemovedReason::Delete,
+            other => {
+                return Err(PacketError::BadField {
+                    field: "flow_removed.reason",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// A `Flow-Removed` message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowRemoved {
+    /// Cookie of the removed rule.
+    pub cookie: u64,
+    /// Priority of the removed rule.
+    pub priority: u16,
+    /// Why it was removed.
+    pub reason: FlowRemovedReason,
+    /// Table it lived in.
+    pub table_id: u8,
+    /// Seconds the rule was installed.
+    pub duration_sec: u32,
+    /// Additional nanoseconds of duration.
+    pub duration_nsec: u32,
+    /// Rule's idle timeout.
+    pub idle_timeout: u16,
+    /// Rule's hard timeout.
+    pub hard_timeout: u16,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// The rule's match.
+    pub mat: Match,
+}
+
+impl FlowRemoved {
+    /// Serializes the message body.
+    pub fn encode_body(&self, w: &mut Writer) {
+        w.u64(self.cookie);
+        w.u16(self.priority);
+        w.u8(self.reason.to_u8());
+        w.u8(self.table_id);
+        w.u32(self.duration_sec);
+        w.u32(self.duration_nsec);
+        w.u16(self.idle_timeout);
+        w.u16(self.hard_timeout);
+        w.u64(self.packet_count);
+        w.u64(self.byte_count);
+        self.mat.encode(w);
+    }
+
+    /// Parses the message body.
+    pub fn decode_body(r: &mut Reader<'_>) -> Result<FlowRemoved> {
+        Ok(FlowRemoved {
+            cookie: r.u64()?,
+            priority: r.u16()?,
+            reason: FlowRemovedReason::from_u8(r.u8()?)?,
+            table_id: r.u8()?,
+            duration_sec: r.u32()?,
+            duration_nsec: r.u32()?,
+            idle_timeout: r.u16()?,
+            hard_timeout: r.u16()?,
+            packet_count: r.u64()?,
+            byte_count: r.u64()?,
+            mat: Match::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+
+    fn round_trip_fm(fm: &FlowMod) -> FlowMod {
+        let mut w = Writer::new();
+        fm.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = FlowMod::decode_body(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn add_round_trip() {
+        let fm = FlowMod {
+            cookie: 0xDEAD_BEEF,
+            table_id: 0,
+            priority: 40_000,
+            mat: Match {
+                eth_type: Some(0x0800),
+                ipv4_dst: Some([10, 0, 0, 5].into()),
+                ..Match::default()
+            },
+            instructions: vec![Instruction::GotoTable(1)],
+            flags: FLAG_SEND_FLOW_REM,
+            ..FlowMod::add()
+        };
+        assert_eq!(round_trip_fm(&fm), fm);
+    }
+
+    #[test]
+    fn drop_rule_has_no_instructions() {
+        let fm = FlowMod {
+            priority: 1,
+            ..FlowMod::add()
+        };
+        let out = round_trip_fm(&fm);
+        assert!(out.instructions.is_empty());
+        assert_eq!(out.command, FlowModCommand::Add);
+    }
+
+    #[test]
+    fn delete_by_cookie_round_trip() {
+        let fm = FlowMod::delete_by_cookie(42, u64::MAX);
+        let out = round_trip_fm(&fm);
+        assert_eq!(out.command, FlowModCommand::Delete);
+        assert_eq!(out.table_id, table::ALL);
+        assert_eq!(out.cookie, 42);
+        assert_eq!(out.cookie_mask, u64::MAX);
+        assert_eq!(out.out_port, port::ANY);
+    }
+
+    #[test]
+    fn forward_rule_round_trip() {
+        let fm = FlowMod {
+            command: FlowModCommand::Add,
+            table_id: 1,
+            priority: 10,
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(4)])],
+            ..FlowMod::add()
+        };
+        assert_eq!(round_trip_fm(&fm), fm);
+    }
+
+    #[test]
+    fn all_commands_round_trip() {
+        for cmd in [
+            FlowModCommand::Add,
+            FlowModCommand::Modify,
+            FlowModCommand::ModifyStrict,
+            FlowModCommand::Delete,
+            FlowModCommand::DeleteStrict,
+        ] {
+            let fm = FlowMod {
+                command: cmd,
+                ..FlowMod::add()
+            };
+            assert_eq!(round_trip_fm(&fm).command, cmd);
+        }
+    }
+
+    #[test]
+    fn bad_command_rejected() {
+        let fm = FlowMod::add();
+        let mut w = Writer::new();
+        fm.encode_body(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[17] = 9; // command byte
+        let mut r = Reader::new(&bytes);
+        assert!(FlowMod::decode_body(&mut r).is_err());
+    }
+
+    #[test]
+    fn flow_removed_round_trip() {
+        let fr = FlowRemoved {
+            cookie: 7,
+            priority: 100,
+            reason: FlowRemovedReason::Delete,
+            table_id: 0,
+            duration_sec: 12,
+            duration_nsec: 500,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            packet_count: 1234,
+            byte_count: 56_789,
+            mat: Match {
+                in_port: Some(2),
+                ..Match::default()
+            },
+        };
+        let mut w = Writer::new();
+        fr.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(FlowRemoved::decode_body(&mut r).unwrap(), fr);
+    }
+
+    #[test]
+    fn flow_removed_reasons_round_trip() {
+        for reason in [
+            FlowRemovedReason::IdleTimeout,
+            FlowRemovedReason::HardTimeout,
+            FlowRemovedReason::Delete,
+        ] {
+            assert_eq!(
+                FlowRemovedReason::from_u8(reason.to_u8()).unwrap(),
+                reason
+            );
+        }
+        assert!(FlowRemovedReason::from_u8(3).is_err());
+    }
+}

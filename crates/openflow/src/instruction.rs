@@ -1,0 +1,203 @@
+//! OpenFlow instructions (OF1.3 §7.2.4).
+//!
+//! `GotoTable` is the load-bearing instruction for DFI: an *allow* rule in
+//! Table 0 is `goto_table 1`, handing the packet to the controller's tables;
+//! a *deny* rule has no instructions at all (the packet is dropped at the
+//! end of Table 0). The DFI Proxy must also rewrite the table id inside
+//! controller `GotoTable` instructions, which is why the codec exposes them
+//! structurally rather than as opaque bytes.
+
+use dfi_packet::wire::{Reader, Writer};
+use dfi_packet::PacketError;
+
+use crate::action::Action;
+use crate::Result;
+
+const OFPIT_GOTO_TABLE: u16 = 1;
+const OFPIT_WRITE_ACTIONS: u16 = 3;
+const OFPIT_APPLY_ACTIONS: u16 = 4;
+const OFPIT_CLEAR_ACTIONS: u16 = 5;
+
+/// One instruction attached to a flow rule.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Continue matching in a later table.
+    GotoTable(u8),
+    /// Execute the actions immediately.
+    ApplyActions(Vec<Action>),
+    /// Merge the actions into the packet's action set.
+    WriteActions(Vec<Action>),
+    /// Clear the packet's action set.
+    ClearActions,
+    /// Any other instruction, preserved raw for transparent proxying.
+    Other {
+        /// Instruction type code.
+        kind: u16,
+        /// Raw body (after the 4-byte type/length header).
+        body: Vec<u8>,
+    },
+}
+
+impl Instruction {
+    /// Serializes the instruction.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Instruction::GotoTable(table_id) => {
+                w.u16(OFPIT_GOTO_TABLE);
+                w.u16(8);
+                w.u8(*table_id);
+                w.zeros(3);
+            }
+            Instruction::ApplyActions(actions) | Instruction::WriteActions(actions) => {
+                let kind = if matches!(self, Instruction::ApplyActions(_)) {
+                    OFPIT_APPLY_ACTIONS
+                } else {
+                    OFPIT_WRITE_ACTIONS
+                };
+                w.u16(kind);
+                let len_at = w.len();
+                w.u16(0);
+                w.zeros(4);
+                Action::encode_list(actions, w);
+                let total = w.len() - len_at + 2;
+                w.patch_u16(len_at, total as u16);
+            }
+            Instruction::ClearActions => {
+                w.u16(OFPIT_CLEAR_ACTIONS);
+                w.u16(8);
+                w.zeros(4);
+            }
+            Instruction::Other { kind, body } => {
+                w.u16(*kind);
+                w.u16((4 + body.len()) as u16);
+                w.bytes(body);
+            }
+        }
+    }
+
+    /// Parses one instruction.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Instruction> {
+        let kind = r.u16()?;
+        let len = usize::from(r.u16()?);
+        if len < 4 {
+            return Err(PacketError::BadField {
+                field: "instruction.length",
+                value: len as u64,
+            });
+        }
+        let body = r.bytes(len - 4)?;
+        let mut br = Reader::new(body);
+        match kind {
+            OFPIT_GOTO_TABLE => {
+                let table_id = br.u8()?;
+                Ok(Instruction::GotoTable(table_id))
+            }
+            OFPIT_APPLY_ACTIONS | OFPIT_WRITE_ACTIONS => {
+                br.skip(4)?;
+                let actions_len = br.remaining();
+                let actions = Action::decode_list(&mut br, actions_len)?;
+                if kind == OFPIT_APPLY_ACTIONS {
+                    Ok(Instruction::ApplyActions(actions))
+                } else {
+                    Ok(Instruction::WriteActions(actions))
+                }
+            }
+            OFPIT_CLEAR_ACTIONS => Ok(Instruction::ClearActions),
+            other => Ok(Instruction::Other {
+                kind: other,
+                body: body.to_vec(),
+            }),
+        }
+    }
+
+    /// Parses instructions until the reader is exhausted.
+    pub fn decode_list(r: &mut Reader<'_>) -> Result<Vec<Instruction>> {
+        let mut out = Vec::new();
+        while r.remaining() > 0 {
+            out.push(Instruction::decode(r)?);
+        }
+        Ok(out)
+    }
+
+    /// Serializes a sequence of instructions.
+    pub fn encode_list(instructions: &[Instruction], w: &mut Writer) {
+        for i in instructions {
+            i.encode(w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: &Instruction) -> Instruction {
+        let mut w = Writer::new();
+        i.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = Instruction::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        out
+    }
+
+    #[test]
+    fn goto_table_round_trip() {
+        let i = Instruction::GotoTable(1);
+        assert_eq!(round_trip(&i), i);
+        let mut w = Writer::new();
+        i.encode(&mut w);
+        assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn apply_actions_round_trip() {
+        let i = Instruction::ApplyActions(vec![Action::output(3), Action::output(9)]);
+        assert_eq!(round_trip(&i), i);
+    }
+
+    #[test]
+    fn write_actions_round_trip() {
+        let i = Instruction::WriteActions(vec![Action::output(3)]);
+        assert_eq!(round_trip(&i), i);
+    }
+
+    #[test]
+    fn empty_apply_actions_round_trip() {
+        let i = Instruction::ApplyActions(vec![]);
+        assert_eq!(round_trip(&i), i);
+    }
+
+    #[test]
+    fn clear_actions_round_trip() {
+        assert_eq!(round_trip(&Instruction::ClearActions), Instruction::ClearActions);
+    }
+
+    #[test]
+    fn unknown_instruction_preserved() {
+        let i = Instruction::Other {
+            kind: 2, // OFPIT_WRITE_METADATA
+            body: vec![0; 20],
+        };
+        assert_eq!(round_trip(&i), i);
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let list = vec![
+            Instruction::ApplyActions(vec![Action::output(1)]),
+            Instruction::GotoTable(2),
+        ];
+        let mut w = Writer::new();
+        Instruction::encode_list(&list, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Instruction::decode_list(&mut r).unwrap(), list);
+    }
+
+    #[test]
+    fn short_length_rejected() {
+        let mut r = Reader::new(&[0, 1, 0, 3]);
+        assert!(Instruction::decode(&mut r).is_err());
+    }
+}

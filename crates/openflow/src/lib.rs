@@ -1,0 +1,107 @@
+//! Hand-rolled OpenFlow 1.3 wire protocol for the DFI reproduction.
+//!
+//! The paper implements DFI for OpenFlow networks and *requires* OpenFlow
+//! 1.3 or later, because the DFI Proxy leans on two 1.3 features:
+//! multi-table pipelining (Table 0 is reserved for DFI's access-control
+//! rules; `goto_table` chains into the controller's tables) and per-rule
+//! `cookie` metadata (used to flush all flow rules derived from a revoked
+//! policy). This crate provides byte-accurate encode/decode for the message
+//! subset the system exchanges:
+//!
+//! * connection setup: [`Message::Hello`], [`Message::EchoRequest`]/
+//!   [`Message::EchoReply`], [`Message::FeaturesRequest`]/[`FeaturesReply`]
+//! * the reactive loop: [`PacketIn`], [`PacketOut`], [`FlowMod`],
+//!   [`FlowRemoved`], [`Message::BarrierRequest`]/[`Message::BarrierReply`]
+//! * telemetry: multipart flow/table statistics ([`MultipartRequest`],
+//!   [`MultipartReply`])
+//! * [`Message::Error`]
+//!
+//! and the supporting structures: OXM [`Match`] TLVs, [`Instruction`]s and
+//! [`Action`]s, and the port-number constants in [`port`].
+//!
+//! # Example
+//!
+//! ```
+//! use dfi_openflow::{FlowMod, Match, Instruction, Message, OfMessage};
+//!
+//! let fm = FlowMod {
+//!     cookie: 0xD0F1,
+//!     table_id: 0,
+//!     priority: 100,
+//!     mat: Match { eth_type: Some(0x0800), ..Match::default() },
+//!     instructions: vec![Instruction::GotoTable(1)],
+//!     ..FlowMod::add()
+//! };
+//! let wire = OfMessage::new(7, Message::FlowMod(fm)).encode();
+//! let back = OfMessage::decode(&wire).unwrap();
+//! assert_eq!(back.xid, 7);
+//! match back.body {
+//!     Message::FlowMod(fm) => assert_eq!(fm.instructions, vec![Instruction::GotoTable(1)]),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod action;
+mod flow;
+mod instruction;
+mod msg;
+mod oxm;
+mod stats;
+
+pub use action::Action;
+pub use flow::{FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason, FLAG_SEND_FLOW_REM};
+pub use instruction::Instruction;
+pub use msg::{
+    ErrorMsg, FeaturesReply, Message, MsgType, OfMessage, PacketIn, PacketInReason, PacketOut,
+    OFP_VERSION,
+};
+pub use oxm::Match;
+pub use stats::{FlowStatsEntry, MultipartReply, MultipartRequest, PortDescEntry, TableStatsEntry};
+
+pub use dfi_packet::PacketError;
+
+/// Result alias reusing the packet codec error type (OpenFlow shares the
+/// same truncation / bad-field failure modes).
+pub type Result<T> = std::result::Result<T, PacketError>;
+
+/// Reserved OpenFlow port numbers (OF1.3 §7.2.1, `ofp_port_no`).
+pub mod port {
+    /// Maximum number of physical ports.
+    pub const MAX: u32 = 0xFFFF_FF00;
+    /// Send the packet back out its ingress port.
+    pub const IN_PORT: u32 = 0xFFFF_FFF8;
+    /// Submit to the flow table (valid in packet-out).
+    pub const TABLE: u32 = 0xFFFF_FFF9;
+    /// Forward using non-OpenFlow "normal" processing.
+    pub const NORMAL: u32 = 0xFFFF_FFFA;
+    /// Flood to all ports except ingress.
+    pub const FLOOD: u32 = 0xFFFF_FFFB;
+    /// All ports except ingress.
+    pub const ALL: u32 = 0xFFFF_FFFC;
+    /// Send to the controller as a packet-in.
+    pub const CONTROLLER: u32 = 0xFFFF_FFFD;
+    /// Local openflow port.
+    pub const LOCAL: u32 = 0xFFFF_FFFE;
+    /// Wildcard in flow-mods and stats requests.
+    pub const ANY: u32 = 0xFFFF_FFFF;
+}
+
+/// Reserved table numbers.
+pub mod table {
+    /// Wildcard table in delete flow-mods and stats requests.
+    pub const ALL: u8 = 0xFF;
+    /// Highest real table id.
+    pub const MAX: u8 = 0xFE;
+}
+
+/// Reserved group numbers.
+pub mod group {
+    /// Wildcard group in delete flow-mods and stats requests.
+    pub const ANY: u32 = 0xFFFF_FFFF;
+}
+
+/// `OFP_NO_BUFFER`: the packet-in carries the full packet, nothing is
+/// buffered on the switch.
+pub const NO_BUFFER: u32 = 0xFFFF_FFFF;

@@ -1,0 +1,601 @@
+//! The OpenFlow message envelope and the remaining message types.
+
+use dfi_packet::wire::{Reader, Writer};
+use dfi_packet::PacketError;
+
+use crate::action::Action;
+use crate::flow::{FlowMod, FlowRemoved};
+use crate::oxm::Match;
+use crate::stats::{MultipartReply, MultipartRequest};
+use crate::Result;
+
+/// The protocol version this implementation speaks (OpenFlow 1.3).
+pub const OFP_VERSION: u8 = 0x04;
+
+/// OpenFlow message type codes (OF1.3 `ofp_type`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MsgType {
+    Hello = 0,
+    Error = 1,
+    EchoRequest = 2,
+    EchoReply = 3,
+    FeaturesRequest = 5,
+    FeaturesReply = 6,
+    PacketIn = 10,
+    FlowRemoved = 11,
+    PacketOut = 13,
+    FlowMod = 14,
+    MultipartRequest = 18,
+    MultipartReply = 19,
+    BarrierRequest = 20,
+    BarrierReply = 21,
+}
+
+/// Why a packet was sent to the controller (`ofp_packet_in_reason`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketInReason {
+    /// No matching flow rule (table miss).
+    NoMatch,
+    /// An explicit output-to-controller action.
+    Action,
+    /// Invalid TTL.
+    InvalidTtl,
+}
+
+impl PacketInReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            PacketInReason::NoMatch => 0,
+            PacketInReason::Action => 1,
+            PacketInReason::InvalidTtl => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => PacketInReason::NoMatch,
+            1 => PacketInReason::Action,
+            2 => PacketInReason::InvalidTtl,
+            other => {
+                return Err(PacketError::BadField {
+                    field: "packet_in.reason",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// A `Packet-In`: the first packet of a new flow punted to the control
+/// plane. In DFI deployments the proxy intercepts these and consults the
+/// Policy Compilation Point *before* the controller ever sees them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketIn {
+    /// Switch buffer holding the packet, or [`crate::NO_BUFFER`].
+    pub buffer_id: u32,
+    /// Full length of the original packet.
+    pub total_len: u16,
+    /// Why the packet was punted.
+    pub reason: PacketInReason,
+    /// Table that punted it.
+    pub table_id: u8,
+    /// Cookie of the rule that punted it (or -1 for table miss).
+    pub cookie: u64,
+    /// Pipeline metadata; carries at least `in_port`.
+    pub mat: Match,
+    /// The packet bytes (possibly truncated to `miss_send_len`).
+    pub data: Vec<u8>,
+}
+
+impl PacketIn {
+    /// Builds a table-miss packet-in carrying the whole packet.
+    pub fn table_miss(in_port: u32, table_id: u8, data: Vec<u8>) -> PacketIn {
+        PacketIn {
+            buffer_id: crate::NO_BUFFER,
+            total_len: data.len() as u16,
+            reason: PacketInReason::NoMatch,
+            table_id,
+            cookie: u64::MAX,
+            mat: Match {
+                in_port: Some(in_port),
+                ..Match::default()
+            },
+            data,
+        }
+    }
+
+    /// The ingress port, when present in the match metadata.
+    pub fn in_port(&self) -> Option<u32> {
+        self.mat.in_port
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u32(self.buffer_id);
+        w.u16(self.total_len);
+        w.u8(self.reason.to_u8());
+        w.u8(self.table_id);
+        w.u64(self.cookie);
+        self.mat.encode(w);
+        w.zeros(2);
+        w.bytes(&self.data);
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<PacketIn> {
+        let buffer_id = r.u32()?;
+        let total_len = r.u16()?;
+        let reason = PacketInReason::from_u8(r.u8()?)?;
+        let table_id = r.u8()?;
+        let cookie = r.u64()?;
+        let mat = Match::decode(r)?;
+        r.skip(2)?;
+        Ok(PacketIn {
+            buffer_id,
+            total_len,
+            reason,
+            table_id,
+            cookie,
+            mat,
+            data: r.rest().to_vec(),
+        })
+    }
+}
+
+/// A `Packet-Out`: the control plane injecting a packet into the data plane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketOut {
+    /// Buffer to release, or [`crate::NO_BUFFER`] when `data` is supplied.
+    pub buffer_id: u32,
+    /// Ingress port context ([`crate::port::CONTROLLER`] when none).
+    pub in_port: u32,
+    /// Actions to apply (typically a single output).
+    pub actions: Vec<Action>,
+    /// Packet bytes when not buffered.
+    pub data: Vec<u8>,
+}
+
+impl PacketOut {
+    /// Sends `data` out of `out_port`.
+    pub fn send(out_port: u32, data: Vec<u8>) -> PacketOut {
+        PacketOut {
+            buffer_id: crate::NO_BUFFER,
+            in_port: crate::port::CONTROLLER,
+            actions: vec![Action::output(out_port)],
+            data,
+        }
+    }
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.u32(self.buffer_id);
+        w.u32(self.in_port);
+        let len_at = w.len();
+        w.u16(0);
+        w.zeros(6);
+        let actions_len = Action::encode_list(&self.actions, w);
+        w.patch_u16(len_at, actions_len as u16);
+        w.bytes(&self.data);
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<PacketOut> {
+        let buffer_id = r.u32()?;
+        let in_port = r.u32()?;
+        let actions_len = usize::from(r.u16()?);
+        r.skip(6)?;
+        let actions = Action::decode_list(r, actions_len)?;
+        Ok(PacketOut {
+            buffer_id,
+            in_port,
+            actions,
+            data: r.rest().to_vec(),
+        })
+    }
+}
+
+/// A `Features-Reply` describing the switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeaturesReply {
+    /// Datapath id (unique switch identity; DFI policies can reference it).
+    pub datapath_id: u64,
+    /// Packets the switch can buffer.
+    pub n_buffers: u32,
+    /// Number of flow tables.
+    pub n_tables: u8,
+    /// Auxiliary connection id.
+    pub auxiliary_id: u8,
+    /// Capability bitmap.
+    pub capabilities: u32,
+}
+
+impl FeaturesReply {
+    fn encode_body(&self, w: &mut Writer) {
+        w.u64(self.datapath_id);
+        w.u32(self.n_buffers);
+        w.u8(self.n_tables);
+        w.u8(self.auxiliary_id);
+        w.zeros(2);
+        w.u32(self.capabilities);
+        w.u32(0); // reserved
+    }
+
+    fn decode_body(r: &mut Reader<'_>) -> Result<FeaturesReply> {
+        let datapath_id = r.u64()?;
+        let n_buffers = r.u32()?;
+        let n_tables = r.u8()?;
+        let auxiliary_id = r.u8()?;
+        r.skip(2)?;
+        let capabilities = r.u32()?;
+        r.skip(4)?;
+        Ok(FeaturesReply {
+            datapath_id,
+            n_buffers,
+            n_tables,
+            auxiliary_id,
+            capabilities,
+        })
+    }
+}
+
+/// An `Error` message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorMsg {
+    /// Error type (`ofp_error_type`).
+    pub err_type: u16,
+    /// Error code within the type.
+    pub code: u16,
+    /// At least 64 bytes of the offending request.
+    pub data: Vec<u8>,
+}
+
+impl ErrorMsg {
+    /// `OFPET_BAD_REQUEST` / `OFPBRC_EPERM`: the DFI proxy's refusal when a
+    /// controller touches Table 0 state it must not see.
+    pub fn permission_denied(offending: Vec<u8>) -> ErrorMsg {
+        ErrorMsg {
+            err_type: 1, // OFPET_BAD_REQUEST
+            code: 6,     // OFPBRC_EPERM
+            data: offending,
+        }
+    }
+}
+
+/// A parsed OpenFlow message body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Version negotiation (body ignored; we speak 1.3 only).
+    Hello,
+    /// Error report.
+    Error(ErrorMsg),
+    /// Liveness probe.
+    EchoRequest(Vec<u8>),
+    /// Liveness response.
+    EchoReply(Vec<u8>),
+    /// Ask the switch for its identity.
+    FeaturesRequest,
+    /// The switch's identity.
+    FeaturesReply(FeaturesReply),
+    /// New-flow notification.
+    PacketIn(PacketIn),
+    /// Rule-removal notification.
+    FlowRemoved(FlowRemoved),
+    /// Packet injection.
+    PacketOut(PacketOut),
+    /// Flow-table modification.
+    FlowMod(FlowMod),
+    /// Statistics request.
+    MultipartRequest(MultipartRequest),
+    /// Statistics reply.
+    MultipartReply(MultipartReply),
+    /// Ordering fence request.
+    BarrierRequest,
+    /// Ordering fence acknowledgment.
+    BarrierReply,
+}
+
+impl Message {
+    /// The message's wire type code.
+    pub fn msg_type(&self) -> MsgType {
+        match self {
+            Message::Hello => MsgType::Hello,
+            Message::Error(_) => MsgType::Error,
+            Message::EchoRequest(_) => MsgType::EchoRequest,
+            Message::EchoReply(_) => MsgType::EchoReply,
+            Message::FeaturesRequest => MsgType::FeaturesRequest,
+            Message::FeaturesReply(_) => MsgType::FeaturesReply,
+            Message::PacketIn(_) => MsgType::PacketIn,
+            Message::FlowRemoved(_) => MsgType::FlowRemoved,
+            Message::PacketOut(_) => MsgType::PacketOut,
+            Message::FlowMod(_) => MsgType::FlowMod,
+            Message::MultipartRequest(_) => MsgType::MultipartRequest,
+            Message::MultipartReply(_) => MsgType::MultipartReply,
+            Message::BarrierRequest => MsgType::BarrierRequest,
+            Message::BarrierReply => MsgType::BarrierReply,
+        }
+    }
+}
+
+/// A complete OpenFlow message: transaction id plus body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OfMessage {
+    /// Transaction id correlating requests and replies.
+    pub xid: u32,
+    /// The message body.
+    pub body: Message,
+}
+
+impl OfMessage {
+    /// Wraps a body with a transaction id.
+    pub fn new(xid: u32, body: Message) -> OfMessage {
+        OfMessage { xid, body }
+    }
+
+    /// Serializes header + body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(64);
+        w.u8(OFP_VERSION);
+        w.u8(self.body.msg_type() as u8);
+        w.u16(0); // length, patched
+        w.u32(self.xid);
+        match &self.body {
+            Message::Hello
+            | Message::FeaturesRequest
+            | Message::BarrierRequest
+            | Message::BarrierReply => {}
+            Message::Error(e) => {
+                w.u16(e.err_type);
+                w.u16(e.code);
+                w.bytes(&e.data);
+            }
+            Message::EchoRequest(data) | Message::EchoReply(data) => w.bytes(data),
+            Message::FeaturesReply(fr) => fr.encode_body(&mut w),
+            Message::PacketIn(pi) => pi.encode_body(&mut w),
+            Message::FlowRemoved(fr) => fr.encode_body(&mut w),
+            Message::PacketOut(po) => po.encode_body(&mut w),
+            Message::FlowMod(fm) => fm.encode_body(&mut w),
+            Message::MultipartRequest(mr) => mr.encode_body(&mut w),
+            Message::MultipartReply(mr) => mr.encode_body(&mut w),
+        }
+        let len = w.len() as u16;
+        w.patch_u16(2, len);
+        w.into_bytes()
+    }
+
+    /// Parses one message from `bytes`, which must contain exactly one
+    /// message (as framed by [`OfMessage::frame_length`]).
+    pub fn decode(bytes: &[u8]) -> Result<OfMessage> {
+        let mut r = Reader::new(bytes);
+        let version = r.u8()?;
+        if version != OFP_VERSION {
+            return Err(PacketError::UnsupportedVersion {
+                protocol: "OpenFlow",
+                found: version,
+            });
+        }
+        let msg_type = r.u8()?;
+        let length = usize::from(r.u16()?);
+        if length < 8 || length > bytes.len() {
+            return Err(PacketError::BadField {
+                field: "ofp_header.length",
+                value: length as u64,
+            });
+        }
+        let xid = r.u32()?;
+        let mut body = Reader::new(&bytes[8..length]);
+        let message = match msg_type {
+            0 => Message::Hello,
+            1 => {
+                let err_type = body.u16()?;
+                let code = body.u16()?;
+                Message::Error(ErrorMsg {
+                    err_type,
+                    code,
+                    data: body.rest().to_vec(),
+                })
+            }
+            2 => Message::EchoRequest(body.rest().to_vec()),
+            3 => Message::EchoReply(body.rest().to_vec()),
+            5 => Message::FeaturesRequest,
+            6 => Message::FeaturesReply(FeaturesReply::decode_body(&mut body)?),
+            10 => Message::PacketIn(PacketIn::decode_body(&mut body)?),
+            11 => Message::FlowRemoved(FlowRemoved::decode_body(&mut body)?),
+            13 => Message::PacketOut(PacketOut::decode_body(&mut body)?),
+            14 => Message::FlowMod(FlowMod::decode_body(&mut body)?),
+            18 => Message::MultipartRequest(MultipartRequest::decode_body(&mut body)?),
+            19 => Message::MultipartReply(MultipartReply::decode_body(&mut body)?),
+            20 => Message::BarrierRequest,
+            21 => Message::BarrierReply,
+            other => {
+                return Err(PacketError::BadField {
+                    field: "ofp_header.type",
+                    value: u64::from(other),
+                })
+            }
+        };
+        Ok(OfMessage::new(xid, message))
+    }
+
+    /// Reads the total frame length from a (possibly partial) buffer
+    /// holding at least the 4-byte header prefix. Used to delimit messages
+    /// on a byte stream.
+    pub fn frame_length(bytes: &[u8]) -> Option<usize> {
+        if bytes.len() < 4 {
+            return None;
+        }
+        Some(usize::from(u16::from_be_bytes([bytes[2], bytes[3]])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowModCommand;
+    use crate::{table, NO_BUFFER};
+
+    fn round_trip(m: OfMessage) -> OfMessage {
+        let bytes = m.encode();
+        let decoded = OfMessage::decode(&bytes).unwrap();
+        assert_eq!(OfMessage::frame_length(&bytes), Some(bytes.len()));
+        decoded
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let m = OfMessage::new(1, Message::Hello);
+        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(m.encode().len(), 8);
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let m = OfMessage::new(2, Message::EchoRequest(b"ping".to_vec()));
+        assert_eq!(round_trip(m.clone()), m);
+        let m = OfMessage::new(2, Message::EchoReply(b"ping".to_vec()));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn features_round_trip() {
+        let m = OfMessage::new(3, Message::FeaturesRequest);
+        assert_eq!(round_trip(m.clone()), m);
+        let fr = FeaturesReply {
+            datapath_id: 0xAABB_CCDD_EEFF_0011,
+            n_buffers: 256,
+            n_tables: 254,
+            auxiliary_id: 0,
+            capabilities: 0x47,
+        };
+        let m = OfMessage::new(3, Message::FeaturesReply(fr));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn packet_in_round_trip() {
+        let pi = PacketIn::table_miss(7, 0, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        assert_eq!(pi.in_port(), Some(7));
+        let m = OfMessage::new(4, Message::PacketIn(pi));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn packet_out_round_trip() {
+        let po = PacketOut::send(3, vec![1, 2, 3, 4, 5]);
+        let m = OfMessage::new(5, Message::PacketOut(po));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn packet_out_empty_actions_round_trip() {
+        let po = PacketOut {
+            buffer_id: NO_BUFFER,
+            in_port: crate::port::CONTROLLER,
+            actions: vec![],
+            data: vec![9, 9],
+        };
+        let m = OfMessage::new(5, Message::PacketOut(po));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn flow_mod_round_trip() {
+        let fm = FlowMod {
+            cookie: 1,
+            table_id: 0,
+            priority: 100,
+            command: FlowModCommand::Add,
+            instructions: vec![crate::Instruction::GotoTable(1)],
+            ..FlowMod::add()
+        };
+        let m = OfMessage::new(6, Message::FlowMod(fm));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn flow_removed_round_trip() {
+        let fr = FlowRemoved {
+            cookie: 9,
+            priority: 10,
+            reason: crate::FlowRemovedReason::Delete,
+            table_id: table::ALL,
+            duration_sec: 0,
+            duration_nsec: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            packet_count: 0,
+            byte_count: 0,
+            mat: Match::default(),
+        };
+        let m = OfMessage::new(7, Message::FlowRemoved(fr));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn multipart_round_trip() {
+        let m = OfMessage::new(8, Message::MultipartRequest(MultipartRequest::all_flows()));
+        assert_eq!(round_trip(m.clone()), m);
+        let m = OfMessage::new(8, Message::MultipartReply(MultipartReply::Flow(vec![])));
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn barrier_round_trip() {
+        for body in [Message::BarrierRequest, Message::BarrierReply] {
+            let m = OfMessage::new(9, body);
+            assert_eq!(round_trip(m.clone()), m);
+        }
+    }
+
+    #[test]
+    fn error_round_trip() {
+        let m = OfMessage::new(
+            10,
+            Message::Error(ErrorMsg::permission_denied(vec![1, 2, 3])),
+        );
+        assert_eq!(round_trip(m.clone()), m);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = OfMessage::new(1, Message::Hello).encode();
+        bytes[0] = 0x01; // OpenFlow 1.0
+        assert!(matches!(
+            OfMessage::decode(&bytes),
+            Err(PacketError::UnsupportedVersion { protocol: "OpenFlow", found: 1 })
+        ));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = OfMessage::new(1, Message::Hello).encode();
+        bytes[1] = 99;
+        assert!(OfMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn lying_length_rejected() {
+        let mut bytes = OfMessage::new(1, Message::Hello).encode();
+        bytes[3] = 200;
+        assert!(OfMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn frame_length_requires_four_bytes() {
+        assert_eq!(OfMessage::frame_length(&[4, 0]), None);
+        assert_eq!(OfMessage::frame_length(&[4, 0, 0, 8]), Some(8));
+    }
+
+    #[test]
+    fn trailing_bytes_beyond_length_ignored() {
+        // Stream framing: decode should honor the header length even if the
+        // buffer holds the start of the next message.
+        let mut bytes = OfMessage::new(1, Message::Hello).encode();
+        bytes.extend_from_slice(&OfMessage::new(2, Message::BarrierRequest).encode());
+        let m = OfMessage::decode(&bytes).unwrap();
+        assert_eq!(m.xid, 1);
+        assert_eq!(m.body, Message::Hello);
+    }
+
+    #[test]
+    fn xid_is_preserved() {
+        let m = OfMessage::new(0xDEAD_BEEF, Message::BarrierRequest);
+        assert_eq!(round_trip(m).xid, 0xDEAD_BEEF);
+    }
+}

@@ -1,0 +1,503 @@
+//! OXM (OpenFlow Extensible Match) encoding and the [`Match`] structure.
+//!
+//! DFI's Policy Compilation Point builds *exact-match* rules: every
+//! identifier available in the packet (in-port, MACs, EtherType, IP
+//! addresses, protocol, L4 ports) is pinned, so each new flow is evaluated
+//! against current policy exactly once. The proxy and switch also need to
+//! decode arbitrary controller matches, so the codec is complete for the
+//! `OFPXMC_OPENFLOW_BASIC` fields used in this system.
+
+use dfi_packet::wire::{Reader, Writer};
+use dfi_packet::{EtherType, MacAddr, PacketError, PacketHeaders};
+use std::net::Ipv4Addr;
+
+use crate::Result;
+
+const OXM_CLASS_BASIC: u16 = 0x8000;
+
+// OFPXMT_OFB_* field codes (OF1.3 §7.2.3.7).
+const F_IN_PORT: u8 = 0;
+const F_ETH_DST: u8 = 3;
+const F_ETH_SRC: u8 = 4;
+const F_ETH_TYPE: u8 = 5;
+const F_VLAN_VID: u8 = 6;
+const F_IP_PROTO: u8 = 10;
+const F_IPV4_SRC: u8 = 11;
+const F_IPV4_DST: u8 = 12;
+const F_TCP_SRC: u8 = 13;
+const F_TCP_DST: u8 = 14;
+const F_UDP_SRC: u8 = 15;
+const F_UDP_DST: u8 = 16;
+const F_ARP_SPA: u8 = 22;
+const F_ARP_TPA: u8 = 23;
+
+/// An OpenFlow 1.3 match over the fields this system uses.
+///
+/// `None` means the field is wildcarded. Encoding writes only present
+/// fields, in canonical field order, with correct OXM prerequisites being
+/// the caller's responsibility (the helper constructors get them right).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Match {
+    /// Ingress port.
+    pub in_port: Option<u32>,
+    /// Ethernet destination.
+    pub eth_dst: Option<MacAddr>,
+    /// Ethernet source.
+    pub eth_src: Option<MacAddr>,
+    /// EtherType.
+    pub eth_type: Option<u16>,
+    /// VLAN id (without the `OFPVID_PRESENT` bit; it is added on the wire).
+    pub vlan_vid: Option<u16>,
+    /// IP protocol.
+    pub ip_proto: Option<u8>,
+    /// IPv4 source.
+    pub ipv4_src: Option<Ipv4Addr>,
+    /// IPv4 destination.
+    pub ipv4_dst: Option<Ipv4Addr>,
+    /// TCP source port.
+    pub tcp_src: Option<u16>,
+    /// TCP destination port.
+    pub tcp_dst: Option<u16>,
+    /// UDP source port.
+    pub udp_src: Option<u16>,
+    /// UDP destination port.
+    pub udp_dst: Option<u16>,
+    /// ARP sender protocol address.
+    pub arp_spa: Option<Ipv4Addr>,
+    /// ARP target protocol address.
+    pub arp_tpa: Option<Ipv4Addr>,
+}
+
+impl Match {
+    /// The all-wildcard match.
+    pub fn any() -> Match {
+        Match::default()
+    }
+
+    /// An exact match pinning every identifier present in `headers`,
+    /// received on `in_port` — the rule shape the PCP installs so that
+    /// *each new flow* is checked against current policy (paper §III-B).
+    pub fn exact_from_headers(in_port: u32, headers: &PacketHeaders) -> Match {
+        let mut m = Match {
+            in_port: Some(in_port),
+            eth_src: Some(headers.eth_src),
+            eth_dst: Some(headers.eth_dst),
+            eth_type: Some(headers.ethertype.to_u16()),
+            vlan_vid: headers.vlan,
+            ..Match::default()
+        };
+        match headers.ethertype {
+            EtherType::Ipv4 => {
+                m.ipv4_src = headers.ipv4_src;
+                m.ipv4_dst = headers.ipv4_dst;
+                m.ip_proto = headers.ip_proto.map(|p| p.0);
+                m.tcp_src = headers.tcp_src;
+                m.tcp_dst = headers.tcp_dst;
+                m.udp_src = headers.udp_src;
+                m.udp_dst = headers.udp_dst;
+            }
+            EtherType::Arp => {
+                m.arp_spa = headers.arp_spa;
+                m.arp_tpa = headers.arp_tpa;
+            }
+            _ => {}
+        }
+        m
+    }
+
+    /// Number of fields present (used by the switch for priority-independent
+    /// specificity diagnostics).
+    pub fn field_count(&self) -> usize {
+        let mut n = 0;
+        macro_rules! c {
+            ($f:expr) => {
+                if $f.is_some() {
+                    n += 1;
+                }
+            };
+        }
+        c!(self.in_port);
+        c!(self.eth_dst);
+        c!(self.eth_src);
+        c!(self.eth_type);
+        c!(self.vlan_vid);
+        c!(self.ip_proto);
+        c!(self.ipv4_src);
+        c!(self.ipv4_dst);
+        c!(self.tcp_src);
+        c!(self.tcp_dst);
+        c!(self.udp_src);
+        c!(self.udp_dst);
+        c!(self.arp_spa);
+        c!(self.arp_tpa);
+        n
+    }
+
+    /// `true` when a packet with the given headers arriving on `in_port`
+    /// satisfies every present field.
+    pub fn matches(&self, in_port: u32, h: &PacketHeaders) -> bool {
+        fn ok<T: PartialEq>(want: Option<T>, got: Option<T>) -> bool {
+            match want {
+                None => true,
+                Some(w) => got == Some(w),
+            }
+        }
+        if let Some(p) = self.in_port {
+            if p != in_port {
+                return false;
+            }
+        }
+        ok(self.eth_dst, Some(h.eth_dst))
+            && ok(self.eth_src, Some(h.eth_src))
+            && ok(self.eth_type, Some(h.ethertype.to_u16()))
+            && ok(self.vlan_vid, h.vlan)
+            && ok(self.ip_proto, h.ip_proto.map(|p| p.0))
+            && ok(self.ipv4_src, h.ipv4_src)
+            && ok(self.ipv4_dst, h.ipv4_dst)
+            && ok(self.tcp_src, h.tcp_src)
+            && ok(self.tcp_dst, h.tcp_dst)
+            && ok(self.udp_src, h.udp_src)
+            && ok(self.udp_dst, h.udp_dst)
+            && ok(self.arp_spa, h.arp_spa)
+            && ok(self.arp_tpa, h.arp_tpa)
+    }
+
+    /// `true` when every flow matched by `self` is also matched by `other`
+    /// (i.e. `other` is equal or strictly more general field-by-field).
+    pub fn is_subset_of(&self, other: &Match) -> bool {
+        fn sub<T: PartialEq + Copy>(mine: Option<T>, theirs: Option<T>) -> bool {
+            match theirs {
+                None => true,
+                Some(t) => mine == Some(t),
+            }
+        }
+        sub(self.in_port, other.in_port)
+            && sub(self.eth_dst, other.eth_dst)
+            && sub(self.eth_src, other.eth_src)
+            && sub(self.eth_type, other.eth_type)
+            && sub(self.vlan_vid, other.vlan_vid)
+            && sub(self.ip_proto, other.ip_proto)
+            && sub(self.ipv4_src, other.ipv4_src)
+            && sub(self.ipv4_dst, other.ipv4_dst)
+            && sub(self.tcp_src, other.tcp_src)
+            && sub(self.tcp_dst, other.tcp_dst)
+            && sub(self.udp_src, other.udp_src)
+            && sub(self.udp_dst, other.udp_dst)
+            && sub(self.arp_spa, other.arp_spa)
+            && sub(self.arp_tpa, other.arp_tpa)
+    }
+
+    /// Encodes the `ofp_match` structure (type `OFPMT_OXM`, padded to a
+    /// multiple of 8 bytes).
+    pub fn encode(&self, w: &mut Writer) {
+        let start = w.len();
+        w.u16(1); // OFPMT_OXM
+        let len_at = w.len();
+        w.u16(0); // patched below
+        let put_hdr = |w: &mut Writer, field: u8, len: u8| {
+            w.u16(OXM_CLASS_BASIC);
+            w.u8(field << 1); // hasmask = 0
+            w.u8(len);
+        };
+        if let Some(v) = self.in_port {
+            put_hdr(w, F_IN_PORT, 4);
+            w.u32(v);
+        }
+        if let Some(v) = self.eth_dst {
+            put_hdr(w, F_ETH_DST, 6);
+            w.bytes(&v.octets());
+        }
+        if let Some(v) = self.eth_src {
+            put_hdr(w, F_ETH_SRC, 6);
+            w.bytes(&v.octets());
+        }
+        if let Some(v) = self.eth_type {
+            put_hdr(w, F_ETH_TYPE, 2);
+            w.u16(v);
+        }
+        if let Some(v) = self.vlan_vid {
+            put_hdr(w, F_VLAN_VID, 2);
+            w.u16(v | 0x1000); // OFPVID_PRESENT
+        }
+        if let Some(v) = self.ip_proto {
+            put_hdr(w, F_IP_PROTO, 1);
+            w.u8(v);
+        }
+        if let Some(v) = self.ipv4_src {
+            put_hdr(w, F_IPV4_SRC, 4);
+            w.bytes(&v.octets());
+        }
+        if let Some(v) = self.ipv4_dst {
+            put_hdr(w, F_IPV4_DST, 4);
+            w.bytes(&v.octets());
+        }
+        if let Some(v) = self.tcp_src {
+            put_hdr(w, F_TCP_SRC, 2);
+            w.u16(v);
+        }
+        if let Some(v) = self.tcp_dst {
+            put_hdr(w, F_TCP_DST, 2);
+            w.u16(v);
+        }
+        if let Some(v) = self.udp_src {
+            put_hdr(w, F_UDP_SRC, 2);
+            w.u16(v);
+        }
+        if let Some(v) = self.udp_dst {
+            put_hdr(w, F_UDP_DST, 2);
+            w.u16(v);
+        }
+        if let Some(v) = self.arp_spa {
+            put_hdr(w, F_ARP_SPA, 4);
+            w.bytes(&v.octets());
+        }
+        if let Some(v) = self.arp_tpa {
+            put_hdr(w, F_ARP_TPA, 4);
+            w.bytes(&v.octets());
+        }
+        let unpadded = w.len() - start;
+        w.patch_u16(len_at, unpadded as u16);
+        let pad = (8 - unpadded % 8) % 8;
+        w.zeros(pad);
+    }
+
+    /// Decodes an `ofp_match`, consuming its padding.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Match> {
+        let match_type = r.u16()?;
+        if match_type != 1 {
+            return Err(PacketError::BadField {
+                field: "ofp_match.type",
+                value: u64::from(match_type),
+            });
+        }
+        let length = usize::from(r.u16()?);
+        if length < 4 {
+            return Err(PacketError::BadField {
+                field: "ofp_match.length",
+                value: length as u64,
+            });
+        }
+        let mut body = Reader::new(r.bytes(length - 4)?);
+        let mut m = Match::default();
+        while body.remaining() > 0 {
+            let class = body.u16()?;
+            let field_hm = body.u8()?;
+            let field = field_hm >> 1;
+            let hasmask = field_hm & 1 != 0;
+            let len = usize::from(body.u8()?);
+            let payload = body.bytes(len)?;
+            if class != OXM_CLASS_BASIC {
+                continue; // experimenter classes skipped
+            }
+            if hasmask {
+                // This system never emits masked fields; reject rather than
+                // silently mis-enforce a match.
+                return Err(PacketError::BadField {
+                    field: "oxm.hasmask",
+                    value: u64::from(field),
+                });
+            }
+            let mut pr = Reader::new(payload);
+            match field {
+                F_IN_PORT => m.in_port = Some(pr.u32()?),
+                F_ETH_DST => m.eth_dst = Some(MacAddr::new(pr.array::<6>()?)),
+                F_ETH_SRC => m.eth_src = Some(MacAddr::new(pr.array::<6>()?)),
+                F_ETH_TYPE => m.eth_type = Some(pr.u16()?),
+                F_VLAN_VID => m.vlan_vid = Some(pr.u16()? & 0x0FFF),
+                F_IP_PROTO => m.ip_proto = Some(pr.u8()?),
+                F_IPV4_SRC => m.ipv4_src = Some(Ipv4Addr::from(pr.array::<4>()?)),
+                F_IPV4_DST => m.ipv4_dst = Some(Ipv4Addr::from(pr.array::<4>()?)),
+                F_TCP_SRC => m.tcp_src = Some(pr.u16()?),
+                F_TCP_DST => m.tcp_dst = Some(pr.u16()?),
+                F_UDP_SRC => m.udp_src = Some(pr.u16()?),
+                F_UDP_DST => m.udp_dst = Some(pr.u16()?),
+                F_ARP_SPA => m.arp_spa = Some(Ipv4Addr::from(pr.array::<4>()?)),
+                F_ARP_TPA => m.arp_tpa = Some(Ipv4Addr::from(pr.array::<4>()?)),
+                _ => {} // unknown basic field: ignore
+            }
+        }
+        let pad = (8 - length % 8) % 8;
+        r.skip(pad)?;
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_packet::headers::build;
+
+    fn full_match() -> Match {
+        Match {
+            in_port: Some(3),
+            eth_dst: Some(MacAddr::from_index(2)),
+            eth_src: Some(MacAddr::from_index(1)),
+            eth_type: Some(0x0800),
+            vlan_vid: Some(100),
+            ip_proto: Some(6),
+            ipv4_src: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            ipv4_dst: Some(Ipv4Addr::new(10, 0, 0, 2)),
+            tcp_src: Some(49152),
+            tcp_dst: Some(445),
+            ..Match::default()
+        }
+    }
+
+    fn round_trip(m: &Match) -> Match {
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len() % 8, 0, "padded to 8");
+        let mut r = Reader::new(&bytes);
+        let out = Match::decode(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "padding consumed");
+        out
+    }
+
+    #[test]
+    fn empty_match_round_trip() {
+        assert_eq!(round_trip(&Match::any()), Match::any());
+    }
+
+    #[test]
+    fn full_match_round_trip() {
+        let m = full_match();
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn udp_and_arp_fields_round_trip() {
+        let m = Match {
+            udp_src: Some(68),
+            udp_dst: Some(67),
+            arp_spa: Some(Ipv4Addr::new(1, 2, 3, 4)),
+            arp_tpa: Some(Ipv4Addr::new(5, 6, 7, 8)),
+            ..Match::default()
+        };
+        assert_eq!(round_trip(&m), m);
+    }
+
+    #[test]
+    fn vlan_present_bit_added_and_stripped() {
+        let m = Match {
+            vlan_vid: Some(42),
+            ..Match::default()
+        };
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        // find the vlan payload: header(4) + oxm hdr(4) + value(2)
+        assert_eq!(u16::from_be_bytes([bytes[8], bytes[9]]), 0x1000 | 42);
+        assert_eq!(round_trip(&m).vlan_vid, Some(42));
+    }
+
+    #[test]
+    fn exact_from_headers_pins_all_tcp_fields() {
+        let bytes = build::tcp_syn(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            49152,
+            445,
+        );
+        let h = PacketHeaders::parse(&bytes).unwrap();
+        let m = Match::exact_from_headers(7, &h);
+        assert_eq!(m.in_port, Some(7));
+        assert_eq!(m.eth_type, Some(0x0800));
+        assert_eq!(m.ip_proto, Some(6));
+        assert_eq!(m.tcp_dst, Some(445));
+        assert!(m.matches(7, &h));
+        assert!(!m.matches(8, &h), "different in-port must not match");
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let bytes = build::udp(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            68,
+            67,
+            vec![],
+        );
+        let h = PacketHeaders::parse(&bytes).unwrap();
+        assert!(Match::any().matches(1, &h));
+        let m = Match {
+            eth_type: Some(0x0800),
+            ip_proto: Some(17),
+            ..Match::default()
+        };
+        assert!(m.matches(9, &h));
+        let wrong = Match {
+            ip_proto: Some(6),
+            ..Match::default()
+        };
+        assert!(!wrong.matches(9, &h));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let specific = full_match();
+        let general = Match {
+            eth_type: Some(0x0800),
+            ip_proto: Some(6),
+            ..Match::default()
+        };
+        assert!(specific.is_subset_of(&general));
+        assert!(specific.is_subset_of(&Match::any()));
+        assert!(!general.is_subset_of(&specific));
+        assert!(specific.is_subset_of(&specific));
+        let conflicting = Match {
+            ip_proto: Some(17),
+            ..Match::default()
+        };
+        assert!(!specific.is_subset_of(&conflicting));
+    }
+
+    #[test]
+    fn masked_fields_rejected() {
+        let mut w = Writer::new();
+        let start = w.len();
+        w.u16(1);
+        w.u16(0);
+        w.u16(OXM_CLASS_BASIC);
+        w.u8((F_IPV4_SRC << 1) | 1); // hasmask
+        w.u8(8);
+        w.bytes(&[10, 0, 0, 0, 255, 255, 255, 0]);
+        let len = (w.len() - start) as u16;
+        w.patch_u16(2, len);
+        w.zeros((8 - (len as usize) % 8) % 8);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(Match::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn unknown_class_skipped() {
+        let mut w = Writer::new();
+        w.u16(1);
+        w.u16(4 + 6); // header + one 6-byte TLV
+        w.u16(0xFFFF); // experimenter class
+        w.u8(0);
+        w.u8(2);
+        w.u16(0xBEEF);
+        w.zeros((8 - 10 % 8) % 8);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Match::decode(&mut r).unwrap(), Match::any());
+    }
+
+    #[test]
+    fn non_oxm_match_type_rejected() {
+        let mut r = Reader::new(&[0, 0, 0, 4, 0, 0, 0, 0]); // OFPMT_STANDARD
+        assert!(Match::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn field_count_counts_present_fields() {
+        assert_eq!(Match::any().field_count(), 0);
+        assert_eq!(full_match().field_count(), 10);
+    }
+}

@@ -1,0 +1,577 @@
+//! Multipart (statistics) messages (OF1.3 §7.3.5): flow and table stats.
+//!
+//! The DFI Proxy must rewrite table references inside statistics traffic so
+//! the controller never learns that Table 0 exists; the codec therefore
+//! models flow-stats requests/replies and table-stats replies structurally.
+
+use dfi_packet::wire::{Reader, Writer};
+use dfi_packet::PacketError;
+
+use crate::instruction::Instruction;
+use crate::oxm::Match;
+use crate::{group, port, table, Result};
+
+const OFPMP_FLOW: u16 = 1;
+const OFPMP_TABLE: u16 = 3;
+const OFPMP_PORT_DESC: u16 = 13;
+
+/// A multipart request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MultipartRequest {
+    /// Per-flow statistics for rules in `table_id` (or [`table::ALL`])
+    /// matching the filter.
+    Flow {
+        /// Table to query.
+        table_id: u8,
+        /// Output-port filter ([`port::ANY`] = no filter).
+        out_port: u32,
+        /// Output-group filter ([`group::ANY`] = no filter).
+        out_group: u32,
+        /// Cookie filter value.
+        cookie: u64,
+        /// Cookie filter mask (0 = no filter).
+        cookie_mask: u64,
+        /// Match filter.
+        mat: Match,
+    },
+    /// Per-table statistics.
+    Table,
+    /// Port descriptions (used for topology discovery).
+    PortDesc,
+    /// Any other multipart type, preserved raw.
+    Other {
+        /// Multipart type code.
+        kind: u16,
+        /// Raw body.
+        body: Vec<u8>,
+    },
+}
+
+impl MultipartRequest {
+    /// A flow-stats request for every rule in every table.
+    pub fn all_flows() -> MultipartRequest {
+        MultipartRequest::Flow {
+            table_id: table::ALL,
+            out_port: port::ANY,
+            out_group: group::ANY,
+            cookie: 0,
+            cookie_mask: 0,
+            mat: Match::default(),
+        }
+    }
+
+    /// Serializes the body (after the OpenFlow header).
+    pub fn encode_body(&self, w: &mut Writer) {
+        match self {
+            MultipartRequest::Flow {
+                table_id,
+                out_port,
+                out_group,
+                cookie,
+                cookie_mask,
+                mat,
+            } => {
+                w.u16(OFPMP_FLOW);
+                w.u16(0); // flags
+                w.zeros(4);
+                w.u8(*table_id);
+                w.zeros(3);
+                w.u32(*out_port);
+                w.u32(*out_group);
+                w.zeros(4);
+                w.u64(*cookie);
+                w.u64(*cookie_mask);
+                mat.encode(w);
+            }
+            MultipartRequest::Table => {
+                w.u16(OFPMP_TABLE);
+                w.u16(0);
+                w.zeros(4);
+            }
+            MultipartRequest::PortDesc => {
+                w.u16(OFPMP_PORT_DESC);
+                w.u16(0);
+                w.zeros(4);
+            }
+            MultipartRequest::Other { kind, body } => {
+                w.u16(*kind);
+                w.u16(0);
+                w.zeros(4);
+                w.bytes(body);
+            }
+        }
+    }
+
+    /// Parses the body.
+    pub fn decode_body(r: &mut Reader<'_>) -> Result<MultipartRequest> {
+        let kind = r.u16()?;
+        let _flags = r.u16()?;
+        r.skip(4)?;
+        match kind {
+            OFPMP_FLOW => {
+                let table_id = r.u8()?;
+                r.skip(3)?;
+                let out_port = r.u32()?;
+                let out_group = r.u32()?;
+                r.skip(4)?;
+                let cookie = r.u64()?;
+                let cookie_mask = r.u64()?;
+                let mat = Match::decode(r)?;
+                Ok(MultipartRequest::Flow {
+                    table_id,
+                    out_port,
+                    out_group,
+                    cookie,
+                    cookie_mask,
+                    mat,
+                })
+            }
+            OFPMP_TABLE => Ok(MultipartRequest::Table),
+            OFPMP_PORT_DESC => Ok(MultipartRequest::PortDesc),
+            other => Ok(MultipartRequest::Other {
+                kind: other,
+                body: r.rest().to_vec(),
+            }),
+        }
+    }
+}
+
+/// One `ofp_port` entry in a port-description reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortDescEntry {
+    /// Port number.
+    pub port_no: u32,
+    /// The port's hardware address.
+    pub hw_addr: [u8; 6],
+    /// Interface name (at most 15 bytes are preserved).
+    pub name: String,
+}
+
+impl PortDescEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.port_no);
+        w.zeros(4);
+        w.bytes(&self.hw_addr);
+        w.zeros(2);
+        let mut name = [0u8; 16];
+        let bytes = self.name.as_bytes();
+        let n = bytes.len().min(15);
+        name[..n].copy_from_slice(&bytes[..n]);
+        w.bytes(&name);
+        // config, state, curr, advertised, supported, peer, curr/max speed
+        w.zeros(8 * 4);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<PortDescEntry> {
+        let port_no = r.u32()?;
+        r.skip(4)?;
+        let hw_addr = r.array::<6>()?;
+        r.skip(2)?;
+        let raw = r.array::<16>()?;
+        let end = raw.iter().position(|&b| b == 0).unwrap_or(16);
+        let name = String::from_utf8_lossy(&raw[..end]).into_owned();
+        r.skip(8 * 4)?;
+        Ok(PortDescEntry {
+            port_no,
+            hw_addr,
+            name,
+        })
+    }
+}
+
+/// One entry in a flow-stats reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowStatsEntry {
+    /// Table the rule lives in.
+    pub table_id: u8,
+    /// Seconds installed.
+    pub duration_sec: u32,
+    /// Additional nanoseconds.
+    pub duration_nsec: u32,
+    /// Rule priority.
+    pub priority: u16,
+    /// Idle timeout.
+    pub idle_timeout: u16,
+    /// Hard timeout.
+    pub hard_timeout: u16,
+    /// OFPFF flags.
+    pub flags: u16,
+    /// Rule cookie.
+    pub cookie: u64,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Rule match.
+    pub mat: Match,
+    /// Rule instructions.
+    pub instructions: Vec<Instruction>,
+}
+
+impl FlowStatsEntry {
+    fn encode(&self, w: &mut Writer) {
+        let len_at = w.len();
+        w.u16(0); // length, patched
+        w.u8(self.table_id);
+        w.u8(0);
+        w.u32(self.duration_sec);
+        w.u32(self.duration_nsec);
+        w.u16(self.priority);
+        w.u16(self.idle_timeout);
+        w.u16(self.hard_timeout);
+        w.u16(self.flags);
+        w.zeros(4);
+        w.u64(self.cookie);
+        w.u64(self.packet_count);
+        w.u64(self.byte_count);
+        self.mat.encode(w);
+        Instruction::encode_list(&self.instructions, w);
+        let len = w.len() - len_at;
+        w.patch_u16(len_at, len as u16);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<FlowStatsEntry> {
+        let start_remaining = r.remaining();
+        let length = usize::from(r.u16()?);
+        if length < 2 {
+            return Err(PacketError::BadField {
+                field: "flow_stats.length",
+                value: length as u64,
+            });
+        }
+        let table_id = r.u8()?;
+        r.skip(1)?;
+        let duration_sec = r.u32()?;
+        let duration_nsec = r.u32()?;
+        let priority = r.u16()?;
+        let idle_timeout = r.u16()?;
+        let hard_timeout = r.u16()?;
+        let flags = r.u16()?;
+        r.skip(4)?;
+        let cookie = r.u64()?;
+        let packet_count = r.u64()?;
+        let byte_count = r.u64()?;
+        let mat = Match::decode(r)?;
+        let consumed = start_remaining - r.remaining();
+        if consumed > length {
+            return Err(PacketError::BadField {
+                field: "flow_stats.length",
+                value: length as u64,
+            });
+        }
+        let mut ir = Reader::new(r.bytes(length - consumed)?);
+        let instructions = Instruction::decode_list(&mut ir)?;
+        Ok(FlowStatsEntry {
+            table_id,
+            duration_sec,
+            duration_nsec,
+            priority,
+            idle_timeout,
+            hard_timeout,
+            flags,
+            cookie,
+            packet_count,
+            byte_count,
+            mat,
+            instructions,
+        })
+    }
+}
+
+/// One entry in a table-stats reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableStatsEntry {
+    /// Table id.
+    pub table_id: u8,
+    /// Rules currently installed.
+    pub active_count: u32,
+    /// Packets looked up.
+    pub lookup_count: u64,
+    /// Packets matched.
+    pub matched_count: u64,
+}
+
+impl TableStatsEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(self.table_id);
+        w.zeros(3);
+        w.u32(self.active_count);
+        w.u64(self.lookup_count);
+        w.u64(self.matched_count);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<TableStatsEntry> {
+        let table_id = r.u8()?;
+        r.skip(3)?;
+        Ok(TableStatsEntry {
+            table_id,
+            active_count: r.u32()?,
+            lookup_count: r.u64()?,
+            matched_count: r.u64()?,
+        })
+    }
+}
+
+/// A multipart reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MultipartReply {
+    /// Flow statistics.
+    Flow(Vec<FlowStatsEntry>),
+    /// Table statistics.
+    Table(Vec<TableStatsEntry>),
+    /// Port descriptions.
+    PortDesc(Vec<PortDescEntry>),
+    /// Any other multipart type, preserved raw.
+    Other {
+        /// Multipart type code.
+        kind: u16,
+        /// Raw body.
+        body: Vec<u8>,
+    },
+}
+
+impl MultipartReply {
+    /// Serializes the body (after the OpenFlow header).
+    pub fn encode_body(&self, w: &mut Writer) {
+        match self {
+            MultipartReply::Flow(entries) => {
+                w.u16(OFPMP_FLOW);
+                w.u16(0);
+                w.zeros(4);
+                for e in entries {
+                    e.encode(w);
+                }
+            }
+            MultipartReply::Table(entries) => {
+                w.u16(OFPMP_TABLE);
+                w.u16(0);
+                w.zeros(4);
+                for e in entries {
+                    e.encode(w);
+                }
+            }
+            MultipartReply::PortDesc(entries) => {
+                w.u16(OFPMP_PORT_DESC);
+                w.u16(0);
+                w.zeros(4);
+                for e in entries {
+                    e.encode(w);
+                }
+            }
+            MultipartReply::Other { kind, body } => {
+                w.u16(*kind);
+                w.u16(0);
+                w.zeros(4);
+                w.bytes(body);
+            }
+        }
+    }
+
+    /// Parses the body.
+    pub fn decode_body(r: &mut Reader<'_>) -> Result<MultipartReply> {
+        let kind = r.u16()?;
+        let _flags = r.u16()?;
+        r.skip(4)?;
+        match kind {
+            OFPMP_FLOW => {
+                let mut entries = Vec::new();
+                while r.remaining() > 0 {
+                    entries.push(FlowStatsEntry::decode(r)?);
+                }
+                Ok(MultipartReply::Flow(entries))
+            }
+            OFPMP_TABLE => {
+                let mut entries = Vec::new();
+                while r.remaining() > 0 {
+                    entries.push(TableStatsEntry::decode(r)?);
+                }
+                Ok(MultipartReply::Table(entries))
+            }
+            OFPMP_PORT_DESC => {
+                let mut entries = Vec::new();
+                while r.remaining() > 0 {
+                    entries.push(PortDescEntry::decode(r)?);
+                }
+                Ok(MultipartReply::PortDesc(entries))
+            }
+            other => Ok(MultipartReply::Other {
+                kind: other,
+                body: r.rest().to_vec(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+
+    fn sample_entry(table_id: u8) -> FlowStatsEntry {
+        FlowStatsEntry {
+            table_id,
+            duration_sec: 10,
+            duration_nsec: 0,
+            priority: 100,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            flags: 0,
+            cookie: 0xC0FFEE,
+            packet_count: 42,
+            byte_count: 4200,
+            mat: Match {
+                eth_type: Some(0x0800),
+                ..Match::default()
+            },
+            instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
+        }
+    }
+
+    #[test]
+    fn flow_request_round_trip() {
+        let req = MultipartRequest::all_flows();
+        let mut w = Writer::new();
+        req.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartRequest::decode_body(&mut r).unwrap(), req);
+    }
+
+    #[test]
+    fn table_request_round_trip() {
+        let req = MultipartRequest::Table;
+        let mut w = Writer::new();
+        req.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartRequest::decode_body(&mut r).unwrap(), req);
+    }
+
+    #[test]
+    fn flow_reply_round_trip_multiple_entries() {
+        let reply = MultipartReply::Flow(vec![sample_entry(0), sample_entry(1), sample_entry(2)]);
+        let mut w = Writer::new();
+        reply.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartReply::decode_body(&mut r).unwrap(), reply);
+    }
+
+    #[test]
+    fn empty_flow_reply_round_trip() {
+        let reply = MultipartReply::Flow(vec![]);
+        let mut w = Writer::new();
+        reply.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartReply::decode_body(&mut r).unwrap(), reply);
+    }
+
+    #[test]
+    fn table_reply_round_trip() {
+        let reply = MultipartReply::Table(vec![
+            TableStatsEntry {
+                table_id: 0,
+                active_count: 5,
+                lookup_count: 100,
+                matched_count: 90,
+            },
+            TableStatsEntry {
+                table_id: 1,
+                active_count: 2,
+                lookup_count: 80,
+                matched_count: 70,
+            },
+        ]);
+        let mut w = Writer::new();
+        reply.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartReply::decode_body(&mut r).unwrap(), reply);
+    }
+
+    #[test]
+    fn port_desc_round_trip() {
+        let req = MultipartRequest::PortDesc;
+        let mut w = Writer::new();
+        req.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartRequest::decode_body(&mut r).unwrap(), req);
+        let reply = MultipartReply::PortDesc(vec![
+            PortDescEntry {
+                port_no: 1,
+                hw_addr: [2, 0, 0, 0, 0, 1],
+                name: "eth1".into(),
+            },
+            PortDescEntry {
+                port_no: 100,
+                hw_addr: [2, 0, 0, 0, 0, 2],
+                name: "uplink-to-core".into(),
+            },
+        ]);
+        let mut w = Writer::new();
+        reply.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartReply::decode_body(&mut r).unwrap(), reply);
+    }
+
+    #[test]
+    fn port_desc_name_truncates_to_15_bytes() {
+        let e = PortDescEntry {
+            port_no: 1,
+            hw_addr: [0; 6],
+            name: "a-very-long-interface-name".into(),
+        };
+        let reply = MultipartReply::PortDesc(vec![e]);
+        let mut w = Writer::new();
+        reply.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        match MultipartReply::decode_body(&mut r).unwrap() {
+            MultipartReply::PortDesc(es) => {
+                assert_eq!(es[0].name, "a-very-long-int");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unknown_multipart_type_preserved() {
+        let req = MultipartRequest::Other {
+            kind: 19, // some experimenter stat
+            body: vec![],
+        };
+        let mut w = Writer::new();
+        req.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(MultipartRequest::decode_body(&mut r).unwrap(), req);
+    }
+
+    #[test]
+    fn flow_entry_with_no_instructions_round_trips() {
+        let mut e = sample_entry(0);
+        e.instructions.clear();
+        let reply = MultipartReply::Flow(vec![e.clone()]);
+        let mut w = Writer::new();
+        reply.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        match MultipartReply::decode_body(&mut r).unwrap() {
+            MultipartReply::Flow(entries) => assert_eq!(entries, vec![e]),
+            _ => panic!("wrong reply kind"),
+        }
+    }
+
+    #[test]
+    fn truncated_entry_rejected() {
+        let reply = MultipartReply::Flow(vec![sample_entry(0)]);
+        let mut w = Writer::new();
+        reply.encode_body(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 4]);
+        assert!(MultipartReply::decode_body(&mut r).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Link-layer addressing.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// The all-zero address (used as "unset" in ARP requests).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// A locally administered unicast address derived from a host index —
+    /// handy for generating a testbed's worth of distinct MACs.
+    pub const fn from_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// The six octets.
+    pub const fn octets(self) -> [u8; 6] {
+        self.0
+    }
+
+    /// `true` for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// `true` when the group (multicast) bit is set. Broadcast counts.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// `true` for ordinary unicast addresses.
+    pub fn is_unicast(self) -> bool {
+        !self.is_multicast()
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+/// Error returned when parsing a textual MAC address fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax (expected aa:bb:cc:dd:ee:ff)")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in &mut octets {
+            let part = parts.next().ok_or(ParseMacError)?;
+            if part.len() != 2 {
+                return Err(ParseMacError);
+            }
+            *octet = u8::from_str_radix(part, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let mac = MacAddr::new([0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]);
+        let text = mac.to_string();
+        assert_eq!(text, "de:ad:be:ef:00:01");
+        assert_eq!(text.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:01:02".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:zz".parse::<MacAddr>().is_err());
+        assert!("dead:be:ef:00:01:2".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let multicast = MacAddr::new([0x01, 0x00, 0x5E, 0, 0, 1]);
+        assert!(multicast.is_multicast());
+        assert!(!multicast.is_broadcast());
+        let unicast = MacAddr::from_index(7);
+        assert!(unicast.is_unicast());
+    }
+
+    #[test]
+    fn from_index_is_injective_for_distinct_indices() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert_eq!(MacAddr::from_index(1), a);
+    }
+}

@@ -1,0 +1,190 @@
+//! ARP for IPv4 over Ethernet (RFC 826).
+
+use crate::addr::MacAddr;
+use crate::error::PacketError;
+use crate::wire::{Reader, Writer};
+use crate::Result;
+use std::net::Ipv4Addr;
+
+/// ARP operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+}
+
+impl ArpOp {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+
+    fn from_u16(v: u16) -> Result<Self> {
+        match v {
+            1 => Ok(ArpOp::Request),
+            2 => Ok(ArpOp::Reply),
+            other => Err(PacketError::BadField {
+                field: "arp.oper",
+                value: u64::from(other),
+            }),
+        }
+    }
+}
+
+/// An ARP packet for IPv4-over-Ethernet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a who-has request.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds an is-at reply answering `request`.
+    pub fn reply_to(request: &ArpPacket, my_mac: MacAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: request.target_ip,
+            target_mac: request.sender_mac,
+            target_ip: request.sender_ip,
+        }
+    }
+
+    /// Serializes the packet (28 bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(28);
+        w.u16(1); // htype: Ethernet
+        w.u16(0x0800); // ptype: IPv4
+        w.u8(6); // hlen
+        w.u8(4); // plen
+        w.u16(self.op.to_u16());
+        w.bytes(&self.sender_mac.octets());
+        w.bytes(&self.sender_ip.octets());
+        w.bytes(&self.target_mac.octets());
+        w.bytes(&self.target_ip.octets());
+        w.into_bytes()
+    }
+
+    /// Parses an IPv4-over-Ethernet ARP packet.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let htype = r.u16()?;
+        if htype != 1 {
+            return Err(PacketError::BadField {
+                field: "arp.htype",
+                value: u64::from(htype),
+            });
+        }
+        let ptype = r.u16()?;
+        if ptype != 0x0800 {
+            return Err(PacketError::BadField {
+                field: "arp.ptype",
+                value: u64::from(ptype),
+            });
+        }
+        let hlen = r.u8()?;
+        let plen = r.u8()?;
+        if hlen != 6 || plen != 4 {
+            return Err(PacketError::BadField {
+                field: "arp.addr_len",
+                value: u64::from(hlen) << 8 | u64::from(plen),
+            });
+        }
+        let op = ArpOp::from_u16(r.u16()?)?;
+        let sender_mac = MacAddr::new(r.array::<6>()?);
+        let sender_ip = Ipv4Addr::from(r.array::<4>()?);
+        let target_mac = MacAddr::new(r.array::<6>()?);
+        let target_ip = Ipv4Addr::from(r.array::<4>()?);
+        Ok(ArpPacket {
+            op,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> ArpPacket {
+        ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        )
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let p = sample_request();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), 28);
+        assert_eq!(ArpPacket::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn reply_answers_request() {
+        let req = sample_request();
+        let responder = MacAddr::from_index(2);
+        let rep = ArpPacket::reply_to(&req, responder);
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_mac, responder);
+        assert_eq!(rep.sender_ip, req.target_ip);
+        assert_eq!(rep.target_mac, req.sender_mac);
+        assert_eq!(rep.target_ip, req.sender_ip);
+        let bytes = rep.encode();
+        assert_eq!(ArpPacket::decode(&bytes).unwrap(), rep);
+    }
+
+    #[test]
+    fn rejects_non_ethernet_hardware() {
+        let mut bytes = sample_request().encode();
+        bytes[1] = 6; // htype = IEEE 802
+        assert!(matches!(
+            ArpPacket::decode(&bytes),
+            Err(PacketError::BadField { field: "arp.htype", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_op() {
+        let mut bytes = sample_request().encode();
+        bytes[7] = 9;
+        assert!(matches!(
+            ArpPacket::decode(&bytes),
+            Err(PacketError::BadField { field: "arp.oper", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = sample_request().encode();
+        assert!(ArpPacket::decode(&bytes[..27]).is_err());
+    }
+}

@@ -1,0 +1,437 @@
+//! DHCP (RFC 2131/2132): the exchange the DFI IP↔MAC binding sensor
+//! observes at its authoritative source, the DHCP server.
+
+use crate::addr::MacAddr;
+use crate::error::PacketError;
+use crate::wire::{Reader, Writer};
+use crate::Result;
+use std::net::Ipv4Addr;
+
+const MAGIC_COOKIE: u32 = 0x6382_5363;
+
+/// DHCP message type (option 53).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DhcpMessageType {
+    /// Client looking for servers.
+    Discover,
+    /// Server offering a lease.
+    Offer,
+    /// Client requesting an offered lease.
+    Request,
+    /// Server acknowledging (committing) a lease.
+    Ack,
+    /// Server refusing a request.
+    Nak,
+    /// Client releasing its lease.
+    Release,
+}
+
+impl DhcpMessageType {
+    fn to_u8(self) -> u8 {
+        match self {
+            DhcpMessageType::Discover => 1,
+            DhcpMessageType::Offer => 2,
+            DhcpMessageType::Request => 3,
+            DhcpMessageType::Ack => 5,
+            DhcpMessageType::Nak => 6,
+            DhcpMessageType::Release => 7,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            1 => DhcpMessageType::Discover,
+            2 => DhcpMessageType::Offer,
+            3 => DhcpMessageType::Request,
+            5 => DhcpMessageType::Ack,
+            6 => DhcpMessageType::Nak,
+            7 => DhcpMessageType::Release,
+            other => {
+                return Err(PacketError::BadField {
+                    field: "dhcp.message_type",
+                    value: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// A decoded DHCP option.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DhcpOption {
+    /// Option 1: subnet mask.
+    SubnetMask(Ipv4Addr),
+    /// Option 12: client hostname.
+    Hostname(String),
+    /// Option 50: requested IP address.
+    RequestedIp(Ipv4Addr),
+    /// Option 51: lease time in seconds.
+    LeaseTime(u32),
+    /// Option 53: message type (also surfaced as
+    /// [`DhcpMessage::message_type`]).
+    MessageType(DhcpMessageType),
+    /// Option 54: server identifier.
+    ServerId(Ipv4Addr),
+    /// Anything else, carried verbatim as (code, data).
+    Other(u8, Vec<u8>),
+}
+
+/// A DHCP message (BOOTP fixed fields plus options).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DhcpMessage {
+    /// The option-53 message type.
+    pub message_type: DhcpMessageType,
+    /// Transaction id correlating an exchange.
+    pub xid: u32,
+    /// Client's current IP (`ciaddr`).
+    pub client_ip: Ipv4Addr,
+    /// "Your" IP — the address being offered/assigned (`yiaddr`).
+    pub your_ip: Ipv4Addr,
+    /// Server IP (`siaddr`).
+    pub server_ip: Ipv4Addr,
+    /// Client hardware address.
+    pub client_mac: MacAddr,
+    /// All options except the message type, in wire order.
+    pub options: Vec<DhcpOption>,
+}
+
+impl DhcpMessage {
+    /// Builds a client DISCOVER carrying the client hostname (which is how
+    /// the AD-joined Windows hosts in the testbed announce themselves).
+    pub fn discover(xid: u32, client_mac: MacAddr, hostname: &str) -> Self {
+        DhcpMessage {
+            message_type: DhcpMessageType::Discover,
+            xid,
+            client_ip: Ipv4Addr::UNSPECIFIED,
+            your_ip: Ipv4Addr::UNSPECIFIED,
+            server_ip: Ipv4Addr::UNSPECIFIED,
+            client_mac,
+            options: vec![DhcpOption::Hostname(hostname.to_string())],
+        }
+    }
+
+    /// Builds a server OFFER for `offered_ip`.
+    pub fn offer(xid: u32, client_mac: MacAddr, offered_ip: Ipv4Addr, server: Ipv4Addr) -> Self {
+        DhcpMessage {
+            message_type: DhcpMessageType::Offer,
+            xid,
+            client_ip: Ipv4Addr::UNSPECIFIED,
+            your_ip: offered_ip,
+            server_ip: server,
+            client_mac,
+            options: vec![DhcpOption::ServerId(server), DhcpOption::LeaseTime(86_400)],
+        }
+    }
+
+    /// Builds a client REQUEST for `requested_ip`.
+    pub fn request(
+        xid: u32,
+        client_mac: MacAddr,
+        requested_ip: Ipv4Addr,
+        server: Ipv4Addr,
+        hostname: &str,
+    ) -> Self {
+        DhcpMessage {
+            message_type: DhcpMessageType::Request,
+            xid,
+            client_ip: Ipv4Addr::UNSPECIFIED,
+            your_ip: Ipv4Addr::UNSPECIFIED,
+            server_ip: Ipv4Addr::UNSPECIFIED,
+            client_mac,
+            options: vec![
+                DhcpOption::RequestedIp(requested_ip),
+                DhcpOption::ServerId(server),
+                DhcpOption::Hostname(hostname.to_string()),
+            ],
+        }
+    }
+
+    /// Builds a server ACK committing `assigned_ip`.
+    pub fn ack(xid: u32, client_mac: MacAddr, assigned_ip: Ipv4Addr, server: Ipv4Addr) -> Self {
+        DhcpMessage {
+            message_type: DhcpMessageType::Ack,
+            xid,
+            client_ip: Ipv4Addr::UNSPECIFIED,
+            your_ip: assigned_ip,
+            server_ip: server,
+            client_mac,
+            options: vec![DhcpOption::ServerId(server), DhcpOption::LeaseTime(86_400)],
+        }
+    }
+
+    /// Finds the hostname option, if present.
+    pub fn hostname(&self) -> Option<&str> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::Hostname(h) => Some(h.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Finds the requested-IP option, if present.
+    pub fn requested_ip(&self) -> Option<Ipv4Addr> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::RequestedIp(ip) => Some(*ip),
+            _ => None,
+        })
+    }
+
+    /// `true` for messages sent by servers (OFFER/ACK/NAK).
+    pub fn is_from_server(&self) -> bool {
+        matches!(
+            self.message_type,
+            DhcpMessageType::Offer | DhcpMessageType::Ack | DhcpMessageType::Nak
+        )
+    }
+
+    /// Serializes the message.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(300);
+        let op = if self.is_from_server() { 2 } else { 1 };
+        w.u8(op);
+        w.u8(1); // htype Ethernet
+        w.u8(6); // hlen
+        w.u8(0); // hops
+        w.u32(self.xid);
+        w.u16(0); // secs
+        w.u16(0x8000); // flags: broadcast
+        w.bytes(&self.client_ip.octets());
+        w.bytes(&self.your_ip.octets());
+        w.bytes(&self.server_ip.octets());
+        w.zeros(4); // giaddr
+        w.bytes(&self.client_mac.octets());
+        w.zeros(10); // chaddr padding
+        w.zeros(64); // sname
+        w.zeros(128); // file
+        w.u32(MAGIC_COOKIE);
+        w.u8(53);
+        w.u8(1);
+        w.u8(self.message_type.to_u8());
+        for opt in &self.options {
+            encode_option(&mut w, opt);
+        }
+        w.u8(255); // end
+        w.into_bytes()
+    }
+
+    /// Parses a message.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let _op = r.u8()?;
+        let htype = r.u8()?;
+        let hlen = r.u8()?;
+        if htype != 1 || hlen != 6 {
+            return Err(PacketError::BadField {
+                field: "dhcp.htype",
+                value: u64::from(htype),
+            });
+        }
+        let _hops = r.u8()?;
+        let xid = r.u32()?;
+        let _secs = r.u16()?;
+        let _flags = r.u16()?;
+        let client_ip = Ipv4Addr::from(r.array::<4>()?);
+        let your_ip = Ipv4Addr::from(r.array::<4>()?);
+        let server_ip = Ipv4Addr::from(r.array::<4>()?);
+        r.skip(4)?; // giaddr
+        let client_mac = MacAddr::new(r.array::<6>()?);
+        r.skip(10)?; // chaddr padding
+        r.skip(64 + 128)?; // sname + file
+        let magic = r.u32()?;
+        if magic != MAGIC_COOKIE {
+            return Err(PacketError::BadField {
+                field: "dhcp.magic",
+                value: u64::from(magic),
+            });
+        }
+        let mut message_type = None;
+        let mut options = Vec::new();
+        loop {
+            let code = r.u8()?;
+            match code {
+                0 => continue, // pad
+                255 => break,  // end
+                _ => {}
+            }
+            let len = usize::from(r.u8()?);
+            let data = r.bytes(len)?;
+            match decode_option(code, data)? {
+                DhcpOption::MessageType(t) => message_type = Some(t),
+                other => options.push(other),
+            }
+        }
+        let message_type = message_type.ok_or(PacketError::BadField {
+            field: "dhcp.message_type",
+            value: 0,
+        })?;
+        Ok(DhcpMessage {
+            message_type,
+            xid,
+            client_ip,
+            your_ip,
+            server_ip,
+            client_mac,
+            options,
+        })
+    }
+}
+
+fn encode_option(w: &mut Writer, opt: &DhcpOption) {
+    match opt {
+        DhcpOption::SubnetMask(ip) => {
+            w.u8(1);
+            w.u8(4);
+            w.bytes(&ip.octets());
+        }
+        DhcpOption::Hostname(h) => {
+            w.u8(12);
+            w.u8(h.len() as u8);
+            w.bytes(h.as_bytes());
+        }
+        DhcpOption::RequestedIp(ip) => {
+            w.u8(50);
+            w.u8(4);
+            w.bytes(&ip.octets());
+        }
+        DhcpOption::LeaseTime(secs) => {
+            w.u8(51);
+            w.u8(4);
+            w.u32(*secs);
+        }
+        DhcpOption::MessageType(t) => {
+            w.u8(53);
+            w.u8(1);
+            w.u8(t.to_u8());
+        }
+        DhcpOption::ServerId(ip) => {
+            w.u8(54);
+            w.u8(4);
+            w.bytes(&ip.octets());
+        }
+        DhcpOption::Other(code, data) => {
+            w.u8(*code);
+            w.u8(data.len() as u8);
+            w.bytes(data);
+        }
+    }
+}
+
+fn decode_option(code: u8, data: &[u8]) -> Result<DhcpOption> {
+    let ip4 = |data: &[u8]| -> Result<Ipv4Addr> {
+        let arr: [u8; 4] = data.try_into().map_err(|_| PacketError::BadField {
+            field: "dhcp.option_len",
+            value: data.len() as u64,
+        })?;
+        Ok(Ipv4Addr::from(arr))
+    };
+    Ok(match code {
+        1 => DhcpOption::SubnetMask(ip4(data)?),
+        12 => DhcpOption::Hostname(
+            String::from_utf8(data.to_vec()).map_err(|_| PacketError::BadField {
+                field: "dhcp.hostname",
+                value: 0,
+            })?,
+        ),
+        50 => DhcpOption::RequestedIp(ip4(data)?),
+        51 => {
+            let arr: [u8; 4] = data.try_into().map_err(|_| PacketError::BadField {
+                field: "dhcp.option_len",
+                value: data.len() as u64,
+            })?;
+            DhcpOption::LeaseTime(u32::from_be_bytes(arr))
+        }
+        53 => {
+            let v = *data.first().ok_or(PacketError::BadField {
+                field: "dhcp.option_len",
+                value: 0,
+            })?;
+            DhcpOption::MessageType(DhcpMessageType::from_u8(v)?)
+        }
+        54 => DhcpOption::ServerId(ip4(data)?),
+        other => DhcpOption::Other(other, data.to_vec()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn discover_round_trip() {
+        let m = DhcpMessage::discover(0xABCD, MacAddr::from_index(5), "alice-laptop");
+        let decoded = DhcpMessage::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.hostname(), Some("alice-laptop"));
+        assert!(!decoded.is_from_server());
+    }
+
+    #[test]
+    fn full_dora_exchange_round_trips() {
+        let mac = MacAddr::from_index(9);
+        let ip = Ipv4Addr::new(10, 0, 1, 77);
+        for m in [
+            DhcpMessage::discover(1, mac, "h1"),
+            DhcpMessage::offer(1, mac, ip, SERVER),
+            DhcpMessage::request(1, mac, ip, SERVER, "h1"),
+            DhcpMessage::ack(1, mac, ip, SERVER),
+        ] {
+            assert_eq!(DhcpMessage::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn ack_assigns_ip() {
+        let m = DhcpMessage::ack(7, MacAddr::from_index(1), Ipv4Addr::new(10, 0, 0, 50), SERVER);
+        assert!(m.is_from_server());
+        assert_eq!(m.your_ip, Ipv4Addr::new(10, 0, 0, 50));
+    }
+
+    #[test]
+    fn request_exposes_requested_ip() {
+        let ip = Ipv4Addr::new(10, 9, 8, 7);
+        let m = DhcpMessage::request(1, MacAddr::ZERO, ip, SERVER, "h");
+        assert_eq!(m.requested_ip(), Some(ip));
+    }
+
+    #[test]
+    fn missing_message_type_rejected() {
+        let m = DhcpMessage::discover(1, MacAddr::ZERO, "x");
+        let mut bytes = m.encode();
+        // Overwrite the message-type option (53) with a pad-compatible
+        // unknown option of the same total length.
+        let magic_off = 236;
+        assert_eq!(bytes[magic_off + 4], 53);
+        bytes[magic_off + 4] = 99;
+        assert!(matches!(
+            DhcpMessage::decode(&bytes),
+            Err(PacketError::BadField { field: "dhcp.message_type", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = DhcpMessage::discover(1, MacAddr::ZERO, "x").encode();
+        bytes[236] = 0;
+        assert!(matches!(
+            DhcpMessage::decode(&bytes),
+            Err(PacketError::BadField { field: "dhcp.magic", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_options_preserved() {
+        let mut m = DhcpMessage::discover(1, MacAddr::ZERO, "x");
+        m.options.push(DhcpOption::Other(60, b"MSFT 5.0".to_vec()));
+        let decoded = DhcpMessage::decode(&m.encode()).unwrap();
+        assert!(decoded
+            .options
+            .contains(&DhcpOption::Other(60, b"MSFT 5.0".to_vec())));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = DhcpMessage::discover(1, MacAddr::ZERO, "x").encode();
+        assert!(DhcpMessage::decode(&bytes[..100]).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! DNS (RFC 1035): queries and A/PTR answers, as observed by the DFI
+//! hostname↔IP binding sensor at its authoritative source, the DNS server.
+
+use crate::error::PacketError;
+use crate::wire::{Reader, Writer};
+use crate::Result;
+use std::net::Ipv4Addr;
+
+/// DNS record types modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DnsType {
+    /// IPv4 host address (1).
+    A,
+    /// Pointer / reverse lookup (12).
+    Ptr,
+    /// Any other type, carried verbatim.
+    Other(u16),
+}
+
+impl DnsType {
+    fn to_u16(self) -> u16 {
+        match self {
+            DnsType::A => 1,
+            DnsType::Ptr => 12,
+            DnsType::Other(v) => v,
+        }
+    }
+
+    fn from_u16(v: u16) -> Self {
+        match v {
+            1 => DnsType::A,
+            12 => DnsType::Ptr,
+            other => DnsType::Other(other),
+        }
+    }
+}
+
+/// A DNS question.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnsQuestion {
+    /// Queried name, dotted form without trailing dot (e.g. `alice-laptop.corp.local`).
+    pub name: String,
+    /// Queried record type.
+    pub qtype: DnsType,
+}
+
+/// Resource-record payloads modeled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnsRecordData {
+    /// An IPv4 address (A record).
+    A(Ipv4Addr),
+    /// A domain name (PTR record).
+    Ptr(String),
+    /// Raw bytes for other types.
+    Raw(Vec<u8>),
+}
+
+/// A DNS resource record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnsRecord {
+    /// Record owner name.
+    pub name: String,
+    /// Record type.
+    pub rtype: DnsType,
+    /// Time to live in seconds.
+    pub ttl: u32,
+    /// Record payload.
+    pub data: DnsRecordData,
+}
+
+/// A DNS message holding questions and answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction id.
+    pub id: u16,
+    /// `true` for responses, `false` for queries.
+    pub is_response: bool,
+    /// RCODE (0 = no error, 3 = NXDOMAIN).
+    pub rcode: u8,
+    /// Questions.
+    pub questions: Vec<DnsQuestion>,
+    /// Answers.
+    pub answers: Vec<DnsRecord>,
+}
+
+impl DnsMessage {
+    /// Builds an A-record query.
+    pub fn query_a(id: u16, name: &str) -> Self {
+        DnsMessage {
+            id,
+            is_response: false,
+            rcode: 0,
+            questions: vec![DnsQuestion {
+                name: name.to_string(),
+                qtype: DnsType::A,
+            }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds a response answering `query` with a single A record.
+    pub fn answer_a(query: &DnsMessage, ip: Ipv4Addr, ttl: u32) -> Self {
+        let name = query
+            .questions
+            .first()
+            .map(|q| q.name.clone())
+            .unwrap_or_default();
+        DnsMessage {
+            id: query.id,
+            is_response: true,
+            rcode: 0,
+            questions: query.questions.clone(),
+            answers: vec![DnsRecord {
+                name,
+                rtype: DnsType::A,
+                ttl,
+                data: DnsRecordData::A(ip),
+            }],
+        }
+    }
+
+    /// Builds an NXDOMAIN response to `query`.
+    pub fn nxdomain(query: &DnsMessage) -> Self {
+        DnsMessage {
+            id: query.id,
+            is_response: true,
+            rcode: 3,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+        }
+    }
+
+    /// The first answered A record, if any.
+    pub fn first_a(&self) -> Option<(&str, Ipv4Addr)> {
+        self.answers.iter().find_map(|r| match r.data {
+            DnsRecordData::A(ip) => Some((r.name.as_str(), ip)),
+            _ => None,
+        })
+    }
+
+    /// Serializes the message (names are written uncompressed).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut w = Writer::with_capacity(64);
+        w.u16(self.id);
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000; // QR
+            flags |= 0x0400; // AA: our server is authoritative
+        }
+        flags |= 0x0100; // RD
+        flags |= u16::from(self.rcode & 0x0F);
+        w.u16(flags);
+        w.u16(self.questions.len() as u16);
+        w.u16(self.answers.len() as u16);
+        w.u16(0); // NS count
+        w.u16(0); // AR count
+        for q in &self.questions {
+            encode_name(&mut w, &q.name)?;
+            w.u16(q.qtype.to_u16());
+            w.u16(1); // class IN
+        }
+        for a in &self.answers {
+            encode_name(&mut w, &a.name)?;
+            w.u16(a.rtype.to_u16());
+            w.u16(1); // class IN
+            w.u32(a.ttl);
+            match &a.data {
+                DnsRecordData::A(ip) => {
+                    w.u16(4);
+                    w.bytes(&ip.octets());
+                }
+                DnsRecordData::Ptr(name) => {
+                    let mut inner = Writer::new();
+                    encode_name(&mut inner, name)?;
+                    w.u16(inner.len() as u16);
+                    w.bytes(inner.as_slice());
+                }
+                DnsRecordData::Raw(data) => {
+                    w.u16(data.len() as u16);
+                    w.bytes(data);
+                }
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Parses a message. Compression pointers in names are followed.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let id = r.u16()?;
+        let flags = r.u16()?;
+        let is_response = flags & 0x8000 != 0;
+        let rcode = (flags & 0x0F) as u8;
+        let qcount = r.u16()?;
+        let acount = r.u16()?;
+        let _ns = r.u16()?;
+        let _ar = r.u16()?;
+        let mut questions = Vec::with_capacity(usize::from(qcount));
+        for _ in 0..qcount {
+            let name = decode_name(bytes, &mut r)?;
+            let qtype = DnsType::from_u16(r.u16()?);
+            let _class = r.u16()?;
+            questions.push(DnsQuestion { name, qtype });
+        }
+        let mut answers = Vec::with_capacity(usize::from(acount));
+        for _ in 0..acount {
+            let name = decode_name(bytes, &mut r)?;
+            let rtype = DnsType::from_u16(r.u16()?);
+            let _class = r.u16()?;
+            let ttl = r.u32()?;
+            let rdlen = usize::from(r.u16()?);
+            let rd_start = r.position();
+            let data = match rtype {
+                DnsType::A => {
+                    if rdlen != 4 {
+                        return Err(PacketError::BadField {
+                            field: "dns.rdlength",
+                            value: rdlen as u64,
+                        });
+                    }
+                    DnsRecordData::A(Ipv4Addr::from(r.array::<4>()?))
+                }
+                DnsType::Ptr => {
+                    let name = decode_name(bytes, &mut r)?;
+                    r.seek(rd_start + rdlen)?;
+                    DnsRecordData::Ptr(name)
+                }
+                DnsType::Other(_) => DnsRecordData::Raw(r.bytes(rdlen)?.to_vec()),
+            };
+            answers.push(DnsRecord {
+                name,
+                rtype,
+                ttl,
+                data,
+            });
+        }
+        Ok(DnsMessage {
+            id,
+            is_response,
+            rcode,
+            questions,
+            answers,
+        })
+    }
+}
+
+fn encode_name(w: &mut Writer, name: &str) -> Result<()> {
+    if !name.is_empty() {
+        for label in name.split('.') {
+            let bytes = label.as_bytes();
+            if bytes.is_empty() || bytes.len() > 63 {
+                return Err(PacketError::BadName("label length must be 1..=63"));
+            }
+            w.u8(bytes.len() as u8);
+            w.bytes(bytes);
+        }
+    }
+    w.u8(0);
+    Ok(())
+}
+
+fn decode_name<'a>(full: &'a [u8], r: &mut Reader<'a>) -> Result<String> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut jumps = 0usize;
+    // When we follow a pointer we continue reading from a clone; the real
+    // cursor stays just past the pointer.
+    let mut local = r.clone();
+    let mut jumped = false;
+    loop {
+        let len = local.u8()?;
+        if len == 0 {
+            break;
+        }
+        if len & 0xC0 == 0xC0 {
+            let lo = local.u8()?;
+            if !jumped {
+                *r = local.clone();
+            }
+            jumped = true;
+            jumps += 1;
+            if jumps > 16 {
+                return Err(PacketError::BadName("compression pointer loop"));
+            }
+            let offset = usize::from(u16::from_be_bytes([len & 0x3F, lo]));
+            let mut target = Reader::new(full);
+            target.seek(offset)?;
+            local = target;
+            continue;
+        }
+        if len > 63 {
+            return Err(PacketError::BadName("label length above 63"));
+        }
+        let raw = local.bytes(usize::from(len))?;
+        let label = std::str::from_utf8(raw)
+            .map_err(|_| PacketError::BadName("label is not UTF-8"))?;
+        labels.push(label.to_string());
+    }
+    if !jumped {
+        *r = local;
+    }
+    Ok(labels.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trip() {
+        let q = DnsMessage::query_a(0x1234, "alice-laptop.corp.local");
+        let bytes = q.encode().unwrap();
+        assert_eq!(DnsMessage::decode(&bytes).unwrap(), q);
+    }
+
+    #[test]
+    fn answer_round_trip_and_accessor() {
+        let q = DnsMessage::query_a(9, "mail.corp.local");
+        let a = DnsMessage::answer_a(&q, Ipv4Addr::new(10, 0, 2, 25), 300);
+        let decoded = DnsMessage::decode(&a.encode().unwrap()).unwrap();
+        assert_eq!(decoded, a);
+        assert_eq!(
+            decoded.first_a(),
+            Some(("mail.corp.local", Ipv4Addr::new(10, 0, 2, 25)))
+        );
+        assert!(decoded.is_response);
+        assert_eq!(decoded.rcode, 0);
+    }
+
+    #[test]
+    fn nxdomain_carries_rcode() {
+        let q = DnsMessage::query_a(1, "nope.corp.local");
+        let n = DnsMessage::nxdomain(&q);
+        let decoded = DnsMessage::decode(&n.encode().unwrap()).unwrap();
+        assert_eq!(decoded.rcode, 3);
+        assert!(decoded.answers.is_empty());
+        assert_eq!(decoded.first_a(), None);
+    }
+
+    #[test]
+    fn ptr_record_round_trip() {
+        let m = DnsMessage {
+            id: 2,
+            is_response: true,
+            rcode: 0,
+            questions: vec![],
+            answers: vec![DnsRecord {
+                name: "5.1.0.10.in-addr.arpa".into(),
+                rtype: DnsType::Ptr,
+                ttl: 60,
+                data: DnsRecordData::Ptr("alice-laptop.corp.local".into()),
+            }],
+        };
+        assert_eq!(DnsMessage::decode(&m.encode().unwrap()).unwrap(), m);
+    }
+
+    #[test]
+    fn compression_pointer_followed() {
+        // Hand-build: header, one answer whose name is a pointer to offset
+        // of a name we embed after the header... simpler: question name
+        // literal, answer name pointer to question name at offset 12.
+        let q = DnsMessage::query_a(7, "h.x");
+        let mut bytes = q.encode().unwrap();
+        // Fix counts: 1 answer.
+        bytes[7] = 1;
+        // Append answer: pointer 0xC00C, type A, class IN, ttl, rdlen 4, ip.
+        bytes.extend_from_slice(&[0xC0, 0x0C, 0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 10, 0, 0, 1]);
+        let decoded = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded.answers[0].name, "h.x");
+        assert_eq!(decoded.first_a(), Some(("h.x", Ipv4Addr::new(10, 0, 0, 1))));
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        let q = DnsMessage::query_a(7, "h.x");
+        let mut bytes = q.encode().unwrap();
+        bytes[7] = 1;
+        let self_ptr_off = bytes.len() as u16;
+        let ptr = 0xC000u16 | self_ptr_off;
+        bytes.extend_from_slice(&ptr.to_be_bytes());
+        bytes.extend_from_slice(&[0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 10, 0, 0, 1]);
+        assert_eq!(
+            DnsMessage::decode(&bytes),
+            Err(PacketError::BadName("compression pointer loop"))
+        );
+    }
+
+    #[test]
+    fn empty_label_rejected_on_encode() {
+        let q = DnsMessage::query_a(7, "bad..name");
+        assert!(q.encode().is_err());
+    }
+
+    #[test]
+    fn oversized_label_rejected_on_encode() {
+        let long = "a".repeat(64);
+        assert!(DnsMessage::query_a(7, &long).encode().is_err());
+    }
+
+    #[test]
+    fn a_record_with_wrong_rdlength_rejected() {
+        let q = DnsMessage::query_a(7, "h.x");
+        let a = DnsMessage::answer_a(&q, Ipv4Addr::new(1, 2, 3, 4), 60);
+        let mut bytes = a.encode().unwrap();
+        let len = bytes.len();
+        bytes[len - 5] = 3; // rdlength 4 → 3
+        assert!(DnsMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = DnsMessage::query_a(7, "h.x").encode().unwrap();
+        assert!(DnsMessage::decode(&bytes[..10]).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Packet codec errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing or validating packet bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer ended before a field could be read.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A field held a value the decoder cannot represent.
+    BadField {
+        /// Which field was malformed.
+        field: &'static str,
+        /// The offending raw value.
+        value: u64,
+    },
+    /// A version field did not match the supported version.
+    UnsupportedVersion {
+        /// Protocol whose version was wrong.
+        protocol: &'static str,
+        /// The version found.
+        found: u8,
+    },
+    /// A checksum failed verification.
+    BadChecksum {
+        /// Protocol whose checksum failed.
+        protocol: &'static str,
+    },
+    /// A DNS name was malformed (bad label length, looping pointer, …).
+    BadName(&'static str),
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { needed, available } => {
+                write!(f, "truncated packet: needed {needed} bytes, had {available}")
+            }
+            PacketError::BadField { field, value } => {
+                write!(f, "bad value {value:#x} for field {field}")
+            }
+            PacketError::UnsupportedVersion { protocol, found } => {
+                write!(f, "unsupported {protocol} version {found}")
+            }
+            PacketError::BadChecksum { protocol } => {
+                write!(f, "{protocol} checksum verification failed")
+            }
+            PacketError::BadName(why) => write!(f, "malformed DNS name: {why}"),
+        }
+    }
+}
+
+impl Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PacketError::Truncated {
+            needed: 4,
+            available: 1,
+        };
+        assert_eq!(e.to_string(), "truncated packet: needed 4 bytes, had 1");
+        let e = PacketError::UnsupportedVersion {
+            protocol: "IPv4",
+            found: 6,
+        };
+        assert!(e.to_string().contains("IPv4"));
+        let e = PacketError::BadChecksum { protocol: "TCP" };
+        assert!(e.to_string().contains("TCP"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(PacketError::BadName("loop"));
+    }
+}

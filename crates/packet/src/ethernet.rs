@@ -1,0 +1,202 @@
+//! Ethernet II framing with optional 802.1Q VLAN tagging.
+
+use crate::addr::MacAddr;
+use crate::error::PacketError;
+use crate::wire::{Reader, Writer};
+use crate::Result;
+
+/// EtherType values the DFI data plane understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`).
+    Arp,
+    /// IPv6 (`0x86DD`). Parsed but not interpreted further.
+    Ipv6,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86DD,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Interprets a 16-bit wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86DD => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+const VLAN_TPID: u16 = 0x8100;
+
+/// An Ethernet II frame, optionally 802.1Q-tagged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// VLAN identifier (12 bits used) when the frame carries an 802.1Q tag.
+    pub vlan: Option<u16>,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl EthernetFrame {
+    /// Builds an untagged frame.
+    pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
+        EthernetFrame {
+            dst,
+            src,
+            vlan: None,
+            ethertype,
+            payload,
+        }
+    }
+
+    /// Builds an untagged IPv4 frame.
+    pub fn ipv4(src: MacAddr, dst: MacAddr, payload: Vec<u8>) -> Self {
+        EthernetFrame::new(src, dst, EtherType::Ipv4, payload)
+    }
+
+    /// Builds an untagged ARP frame (broadcast destination by default for
+    /// requests is up to the caller).
+    pub fn arp(src: MacAddr, dst: MacAddr, payload: Vec<u8>) -> Self {
+        EthernetFrame::new(src, dst, EtherType::Arp, payload)
+    }
+
+    /// Serializes the frame (without FCS; the simulated links do not model
+    /// bit errors).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::with_capacity(18 + self.payload.len());
+        w.bytes(&self.dst.octets());
+        w.bytes(&self.src.octets());
+        if let Some(vid) = self.vlan {
+            w.u16(VLAN_TPID);
+            w.u16(vid & 0x0FFF);
+        }
+        w.u16(self.ethertype.to_u16());
+        w.bytes(&self.payload);
+        w.into_bytes()
+    }
+
+    /// Parses a frame.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let dst = MacAddr::new(r.array::<6>()?);
+        let src = MacAddr::new(r.array::<6>()?);
+        let mut ethertype = r.u16()?;
+        let mut vlan = None;
+        if ethertype == VLAN_TPID {
+            let tci = r.u16()?;
+            vlan = Some(tci & 0x0FFF);
+            ethertype = r.u16()?;
+        }
+        if ethertype < 0x0600 {
+            // 802.3 length field rather than an EtherType — out of scope.
+            return Err(PacketError::BadField {
+                field: "ethertype",
+                value: u64::from(ethertype),
+            });
+        }
+        Ok(EthernetFrame {
+            dst,
+            src,
+            vlan,
+            ethertype: EtherType::from_u16(ethertype),
+            payload: r.rest().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+
+    #[test]
+    fn untagged_round_trip() {
+        let f = EthernetFrame::ipv4(mac(1), mac(2), vec![1, 2, 3]);
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), 14 + 3);
+        assert_eq!(EthernetFrame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn tagged_round_trip() {
+        let f = EthernetFrame {
+            dst: mac(2),
+            src: mac(1),
+            vlan: Some(42),
+            ethertype: EtherType::Arp,
+            payload: vec![9; 28],
+        };
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), 18 + 28);
+        assert_eq!(EthernetFrame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn vlan_id_is_masked_to_12_bits() {
+        let f = EthernetFrame {
+            dst: mac(2),
+            src: mac(1),
+            vlan: Some(0xFFFF),
+            ethertype: EtherType::Ipv4,
+            payload: vec![],
+        };
+        let decoded = EthernetFrame::decode(&f.encode()).unwrap();
+        assert_eq!(decoded.vlan, Some(0x0FFF));
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_u16(0x86DD), EtherType::Ipv6);
+        assert_eq!(EtherType::from_u16(0x88CC), EtherType::Other(0x88CC));
+        assert_eq!(EtherType::Other(0x88CC).to_u16(), 0x88CC);
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        assert!(EthernetFrame::decode(&[0; 13]).is_err());
+    }
+
+    #[test]
+    fn ieee_802_3_length_field_rejected() {
+        let mut bytes = vec![0u8; 14];
+        bytes[12] = 0x00;
+        bytes[13] = 0x2E; // length 46, not an EtherType
+        assert!(matches!(
+            EthernetFrame::decode(&bytes),
+            Err(PacketError::BadField { field: "ethertype", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let f = EthernetFrame::new(mac(1), MacAddr::BROADCAST, EtherType::Arp, vec![]);
+        let decoded = EthernetFrame::decode(&f.encode()).unwrap();
+        assert!(decoded.payload.is_empty());
+        assert!(decoded.dst.is_broadcast());
+    }
+}

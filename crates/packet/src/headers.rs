@@ -1,0 +1,272 @@
+//! A one-call parse of a raw frame into the header fields DFI matches on.
+//!
+//! The Policy Compilation Point receives the first packet of every new flow
+//! inside an OpenFlow `Packet-In`; this view extracts every identifier that
+//! can appear in a flow rule or be enriched by the Entity Resolution Manager.
+
+use crate::arp::ArpPacket;
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ipv4::{IpProtocol, Ipv4Packet};
+use crate::tcp::{TcpFlags, TcpSegment};
+use crate::udp::UdpDatagram;
+use crate::{MacAddr, Result};
+use std::net::Ipv4Addr;
+
+/// Every matchable header field of one packet, flattened.
+///
+/// Fields are `None` when the corresponding layer is absent (e.g. no
+/// TCP ports on an ARP packet).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketHeaders {
+    /// Ethernet source address.
+    pub eth_src: MacAddr,
+    /// Ethernet destination address.
+    pub eth_dst: MacAddr,
+    /// VLAN id when 802.1Q-tagged.
+    pub vlan: Option<u16>,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+    /// IPv4 source address.
+    pub ipv4_src: Option<Ipv4Addr>,
+    /// IPv4 destination address.
+    pub ipv4_dst: Option<Ipv4Addr>,
+    /// IP protocol.
+    pub ip_proto: Option<IpProtocol>,
+    /// TCP source port.
+    pub tcp_src: Option<u16>,
+    /// TCP destination port.
+    pub tcp_dst: Option<u16>,
+    /// TCP flags (for SYN detection in the TTFB probe).
+    pub tcp_flags: Option<TcpFlags>,
+    /// UDP source port.
+    pub udp_src: Option<u16>,
+    /// UDP destination port.
+    pub udp_dst: Option<u16>,
+    /// For ARP packets: sender protocol address (used by anti-spoofing).
+    pub arp_spa: Option<Ipv4Addr>,
+    /// For ARP packets: target protocol address.
+    pub arp_tpa: Option<Ipv4Addr>,
+}
+
+impl PacketHeaders {
+    /// Parses a raw Ethernet frame down through L4.
+    ///
+    /// Unknown L3/L4 protocols are not an error — their fields simply stay
+    /// `None` — but malformed bytes at a recognized layer are.
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        let eth = EthernetFrame::decode(bytes)?;
+        let mut h = PacketHeaders {
+            eth_src: eth.src,
+            eth_dst: eth.dst,
+            vlan: eth.vlan,
+            ethertype: eth.ethertype,
+            ipv4_src: None,
+            ipv4_dst: None,
+            ip_proto: None,
+            tcp_src: None,
+            tcp_dst: None,
+            tcp_flags: None,
+            udp_src: None,
+            udp_dst: None,
+            arp_spa: None,
+            arp_tpa: None,
+        };
+        match eth.ethertype {
+            EtherType::Ipv4 => {
+                let ip = Ipv4Packet::decode(&eth.payload)?;
+                h.ipv4_src = Some(ip.src);
+                h.ipv4_dst = Some(ip.dst);
+                h.ip_proto = Some(ip.protocol);
+                match ip.protocol {
+                    IpProtocol::TCP => {
+                        let tcp = TcpSegment::decode(&ip.payload)?;
+                        h.tcp_src = Some(tcp.src_port);
+                        h.tcp_dst = Some(tcp.dst_port);
+                        h.tcp_flags = Some(tcp.flags);
+                    }
+                    IpProtocol::UDP => {
+                        let udp = UdpDatagram::decode(&ip.payload)?;
+                        h.udp_src = Some(udp.src_port);
+                        h.udp_dst = Some(udp.dst_port);
+                    }
+                    _ => {}
+                }
+            }
+            EtherType::Arp => {
+                let arp = ArpPacket::decode(&eth.payload)?;
+                h.arp_spa = Some(arp.sender_ip);
+                h.arp_tpa = Some(arp.target_ip);
+                // For policy purposes an ARP's protocol addresses act as the
+                // packet's L3 endpoints.
+                h.ipv4_src = Some(arp.sender_ip);
+                h.ipv4_dst = Some(arp.target_ip);
+            }
+            _ => {}
+        }
+        Ok(h)
+    }
+
+    /// The L4 source port, TCP or UDP.
+    pub fn l4_src(&self) -> Option<u16> {
+        self.tcp_src.or(self.udp_src)
+    }
+
+    /// The L4 destination port, TCP or UDP.
+    pub fn l4_dst(&self) -> Option<u16> {
+        self.tcp_dst.or(self.udp_dst)
+    }
+
+    /// `true` when this is a bare TCP SYN (a new connection attempt).
+    pub fn is_tcp_syn(&self) -> bool {
+        self.tcp_flags
+            .map(|f| f.contains(TcpFlags::SYN) && !f.contains(TcpFlags::ACK))
+            .unwrap_or(false)
+    }
+}
+
+/// Convenience builders producing fully encoded frames for common testbed
+/// traffic. Each returns raw bytes ready to inject into the data plane.
+pub mod build {
+    use super::*;
+    use crate::tcp::TcpSegment;
+
+    /// An encoded TCP SYN frame.
+    pub fn tcp_syn(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Vec<u8> {
+        let tcp = TcpSegment::syn(src_port, dst_port);
+        let ip = Ipv4Packet::new(
+            src_ip,
+            dst_ip,
+            IpProtocol::TCP,
+            tcp.encode_with_pseudo(src_ip, dst_ip),
+        );
+        EthernetFrame::ipv4(src_mac, dst_mac, ip.encode()).encode()
+    }
+
+    /// An encoded TCP SYN-ACK frame answering the given endpoints.
+    pub fn tcp_syn_ack(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Vec<u8> {
+        let mut tcp = TcpSegment::syn(src_port, dst_port);
+        tcp.flags = TcpFlags::SYN_ACK;
+        let ip = Ipv4Packet::new(
+            src_ip,
+            dst_ip,
+            IpProtocol::TCP,
+            tcp.encode_with_pseudo(src_ip, dst_ip),
+        );
+        EthernetFrame::ipv4(src_mac, dst_mac, ip.encode()).encode()
+    }
+
+    /// An encoded UDP frame.
+    pub fn udp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Vec<u8> {
+        let udp = UdpDatagram::new(src_port, dst_port, payload);
+        let ip = Ipv4Packet::new(
+            src_ip,
+            dst_ip,
+            IpProtocol::UDP,
+            udp.encode_with_pseudo(src_ip, dst_ip),
+        );
+        EthernetFrame::ipv4(src_mac, dst_mac, ip.encode()).encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u32) -> MacAddr {
+        MacAddr::from_index(i)
+    }
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 2);
+
+    #[test]
+    fn parses_tcp_syn_fields() {
+        let bytes = build::tcp_syn(mac(1), mac(2), A, B, 50_000, 445);
+        let h = PacketHeaders::parse(&bytes).unwrap();
+        assert_eq!(h.eth_src, mac(1));
+        assert_eq!(h.eth_dst, mac(2));
+        assert_eq!(h.ipv4_src, Some(A));
+        assert_eq!(h.ipv4_dst, Some(B));
+        assert_eq!(h.ip_proto, Some(IpProtocol::TCP));
+        assert_eq!(h.l4_src(), Some(50_000));
+        assert_eq!(h.l4_dst(), Some(445));
+        assert!(h.is_tcp_syn());
+    }
+
+    #[test]
+    fn syn_ack_is_not_a_new_connection() {
+        let bytes = build::tcp_syn_ack(mac(2), mac(1), B, A, 445, 50_000);
+        let h = PacketHeaders::parse(&bytes).unwrap();
+        assert!(!h.is_tcp_syn());
+        assert_eq!(h.tcp_src, Some(445));
+    }
+
+    #[test]
+    fn parses_udp_fields() {
+        let bytes = build::udp(mac(1), mac(2), A, B, 68, 67, vec![1, 2]);
+        let h = PacketHeaders::parse(&bytes).unwrap();
+        assert_eq!(h.ip_proto, Some(IpProtocol::UDP));
+        assert_eq!(h.udp_src, Some(68));
+        assert_eq!(h.udp_dst, Some(67));
+        assert_eq!(h.tcp_src, None);
+        assert_eq!(h.l4_dst(), Some(67));
+    }
+
+    #[test]
+    fn parses_arp_protocol_addresses() {
+        let arp = ArpPacket::request(mac(1), A, B);
+        let frame = EthernetFrame::arp(mac(1), MacAddr::BROADCAST, arp.encode());
+        let h = PacketHeaders::parse(&frame.encode()).unwrap();
+        assert_eq!(h.ethertype, EtherType::Arp);
+        assert_eq!(h.arp_spa, Some(A));
+        assert_eq!(h.arp_tpa, Some(B));
+        assert_eq!(h.ipv4_src, Some(A));
+        assert_eq!(h.l4_src(), None);
+    }
+
+    #[test]
+    fn unknown_ethertype_leaves_l3_empty() {
+        let frame = EthernetFrame::new(mac(1), mac(2), EtherType::Other(0x88CC), vec![1, 2, 3]);
+        let h = PacketHeaders::parse(&frame.encode()).unwrap();
+        assert_eq!(h.ipv4_src, None);
+        assert_eq!(h.ip_proto, None);
+        assert!(!h.is_tcp_syn());
+    }
+
+    #[test]
+    fn unknown_ip_protocol_leaves_l4_empty() {
+        let ip = Ipv4Packet::new(A, B, IpProtocol(89), vec![0; 8]);
+        let frame = EthernetFrame::ipv4(mac(1), mac(2), ip.encode());
+        let h = PacketHeaders::parse(&frame.encode()).unwrap();
+        assert_eq!(h.ip_proto, Some(IpProtocol(89)));
+        assert_eq!(h.l4_src(), None);
+    }
+
+    #[test]
+    fn corrupt_inner_layer_is_an_error() {
+        let ip = Ipv4Packet::new(A, B, IpProtocol::TCP, vec![0; 5]); // truncated TCP
+        let frame = EthernetFrame::ipv4(mac(1), mac(2), ip.encode());
+        assert!(PacketHeaders::parse(&frame.encode()).is_err());
+    }
+}

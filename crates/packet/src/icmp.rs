@@ -1,0 +1,163 @@
+//! ICMP (RFC 792): echo request/reply and destination-unreachable, the
+//! message kinds the testbed traffic generator and worm reconnaissance use.
+
+use crate::error::PacketError;
+use crate::wire::{internet_checksum, Reader, Writer};
+use crate::Result;
+
+/// The ICMP message kinds modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IcmpKind {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3) with code.
+    DestinationUnreachable(u8),
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Any other type/code pair, carried verbatim.
+    Other(u8, u8),
+}
+
+impl IcmpKind {
+    fn type_code(self) -> (u8, u8) {
+        match self {
+            IcmpKind::EchoReply => (0, 0),
+            IcmpKind::DestinationUnreachable(code) => (3, code),
+            IcmpKind::EchoRequest => (8, 0),
+            IcmpKind::Other(t, c) => (t, c),
+        }
+    }
+
+    fn from_type_code(t: u8, c: u8) -> Self {
+        match (t, c) {
+            (0, 0) => IcmpKind::EchoReply,
+            (3, code) => IcmpKind::DestinationUnreachable(code),
+            (8, 0) => IcmpKind::EchoRequest,
+            (t, c) => IcmpKind::Other(t, c),
+        }
+    }
+}
+
+/// An ICMP message. For echo kinds, `identifier`/`sequence` are meaningful;
+/// other kinds carry the rest-of-header verbatim in those fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IcmpMessage {
+    /// Message kind.
+    pub kind: IcmpKind,
+    /// Echo identifier (or high half of rest-of-header).
+    pub identifier: u16,
+    /// Echo sequence (or low half of rest-of-header).
+    pub sequence: u16,
+    /// Trailing data.
+    pub payload: Vec<u8>,
+}
+
+impl IcmpMessage {
+    /// Builds an echo request.
+    pub fn echo_request(identifier: u16, sequence: u16) -> Self {
+        IcmpMessage {
+            kind: IcmpKind::EchoRequest,
+            identifier,
+            sequence,
+            payload: b"dfi-ping".to_vec(),
+        }
+    }
+
+    /// Builds the echo reply answering `request`.
+    pub fn reply_to(request: &IcmpMessage) -> Self {
+        IcmpMessage {
+            kind: IcmpKind::EchoReply,
+            identifier: request.identifier,
+            sequence: request.sequence,
+            payload: request.payload.clone(),
+        }
+    }
+
+    /// Serializes with a correct ICMP checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let (t, c) = self.kind.type_code();
+        let mut w = Writer::with_capacity(8 + self.payload.len());
+        w.u8(t);
+        w.u8(c);
+        w.u16(0); // checksum placeholder
+        w.u16(self.identifier);
+        w.u16(self.sequence);
+        w.bytes(&self.payload);
+        let ck = internet_checksum(w.as_slice());
+        let mut out = w.into_bytes();
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Parses and checksum-verifies a message.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() >= 8 && internet_checksum(bytes) != 0 {
+            return Err(PacketError::BadChecksum { protocol: "ICMP" });
+        }
+        let mut r = Reader::new(bytes);
+        let t = r.u8()?;
+        let c = r.u8()?;
+        let _ck = r.u16()?;
+        let identifier = r.u16()?;
+        let sequence = r.u16()?;
+        Ok(IcmpMessage {
+            kind: IcmpKind::from_type_code(t, c),
+            identifier,
+            sequence,
+            payload: r.rest().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let m = IcmpMessage::echo_request(0x1234, 7);
+        let bytes = m.encode();
+        assert_eq!(IcmpMessage::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpMessage::echo_request(1, 2);
+        let rep = IcmpMessage::reply_to(&req);
+        assert_eq!(rep.kind, IcmpKind::EchoReply);
+        assert_eq!(rep.identifier, 1);
+        assert_eq!(rep.sequence, 2);
+        assert_eq!(rep.payload, req.payload);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut bytes = IcmpMessage::echo_request(1, 1).encode();
+        bytes[7] ^= 0xFF;
+        assert_eq!(
+            IcmpMessage::decode(&bytes),
+            Err(PacketError::BadChecksum { protocol: "ICMP" })
+        );
+    }
+
+    #[test]
+    fn unreachable_kind_round_trips() {
+        let m = IcmpMessage {
+            kind: IcmpKind::DestinationUnreachable(3), // port unreachable
+            identifier: 0,
+            sequence: 0,
+            payload: vec![0; 8],
+        };
+        assert_eq!(IcmpMessage::decode(&m.encode()).unwrap().kind, m.kind);
+    }
+
+    #[test]
+    fn other_kind_preserved() {
+        assert_eq!(IcmpKind::from_type_code(11, 0), IcmpKind::Other(11, 0));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(IcmpMessage::decode(&[8, 0, 0]).is_err());
+    }
+}

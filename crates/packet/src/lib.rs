@@ -1,0 +1,66 @@
+//! L2–L4 packet construction and parsing for the DFI reproduction.
+//!
+//! DFI enforces access control on real traffic: switches match packet header
+//! fields, the Policy Compilation Point parses the packet carried inside an
+//! OpenFlow `Packet-In`, and the identifier-binding sensors observe DHCP and
+//! DNS exchanges. This crate provides byte-accurate encoders and parsers for
+//! the protocols those components touch:
+//!
+//! * [`EthernetFrame`] (with optional 802.1Q VLAN tag) and [`ArpPacket`]
+//! * [`Ipv4Packet`] (with header checksum), [`TcpSegment`], [`UdpDatagram`],
+//!   [`IcmpMessage`]
+//! * [`DhcpMessage`] (BOOTP + the option set a DHCP sensor needs)
+//! * [`DnsMessage`] (queries and A/PTR answers)
+//! * [`PacketHeaders`] — a one-call "parse everything" view exposing the
+//!   fields DFI's flow rules and policies are written over.
+//!
+//! # Example
+//!
+//! ```
+//! use dfi_packet::{EthernetFrame, Ipv4Packet, TcpSegment, MacAddr, PacketHeaders, IpProtocol};
+//! use std::net::Ipv4Addr;
+//!
+//! let src_ip = Ipv4Addr::new(10, 0, 1, 5);
+//! let dst_ip = Ipv4Addr::new(10, 0, 2, 9);
+//! let tcp = TcpSegment::syn(49152, 445);
+//! let ip = Ipv4Packet::new(src_ip, dst_ip, IpProtocol::TCP,
+//!                          tcp.encode_with_pseudo(src_ip, dst_ip));
+//! let frame = EthernetFrame::ipv4(
+//!     MacAddr::new([2, 0, 0, 0, 0, 1]),
+//!     MacAddr::new([2, 0, 0, 0, 0, 2]),
+//!     ip.encode(),
+//! );
+//! let bytes = frame.encode();
+//! let headers = PacketHeaders::parse(&bytes).unwrap();
+//! assert_eq!(headers.tcp_dst, Some(445));
+//! ```
+
+#![warn(missing_docs)]
+
+mod addr;
+mod arp;
+mod dhcp;
+mod dns;
+mod error;
+mod ethernet;
+pub mod headers;
+mod icmp;
+mod ipv4;
+mod tcp;
+mod udp;
+pub mod wire;
+
+pub use addr::MacAddr;
+pub use arp::{ArpOp, ArpPacket};
+pub use dhcp::{DhcpMessage, DhcpMessageType, DhcpOption};
+pub use dns::{DnsMessage, DnsQuestion, DnsRecord, DnsRecordData, DnsType};
+pub use error::PacketError;
+pub use ethernet::{EtherType, EthernetFrame};
+pub use headers::PacketHeaders;
+pub use icmp::{IcmpKind, IcmpMessage};
+pub use ipv4::{IpProtocol, Ipv4Packet};
+pub use tcp::{TcpFlags, TcpSegment};
+pub use udp::UdpDatagram;
+
+/// Result alias for packet operations.
+pub type Result<T> = std::result::Result<T, PacketError>;

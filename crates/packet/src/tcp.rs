@@ -1,0 +1,296 @@
+//! TCP segments (RFC 793) with pseudo-header checksums.
+
+use crate::error::PacketError;
+use crate::wire::{internet_checksum, Reader, Writer};
+use crate::Result;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// TCP control flags.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// SYN|ACK, the handshake response.
+    pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
+
+    /// `true` when every flag in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        for (bit, name) in [
+            (0x01u8, "FIN"),
+            (0x02, "SYN"),
+            (0x04, "RST"),
+            (0x08, "PSH"),
+            (0x10, "ACK"),
+        ] {
+            if self.0 & bit != 0 {
+                names.push(name);
+            }
+        }
+        write!(f, "TcpFlags({})", names.join("|"))
+    }
+}
+
+/// A TCP segment (options omitted; data offset fixed at 5 words on encode,
+/// honored on decode).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// Builds a bare SYN (connection attempt) — the packet whose time to
+    /// first byte the paper's Figure 4 measures.
+    pub fn syn(src_port: u16, dst_port: u16) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 64_240,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds the SYN-ACK answering `syn`.
+    pub fn syn_ack_to(syn: &TcpSegment) -> Self {
+        TcpSegment {
+            src_port: syn.dst_port,
+            dst_port: syn.src_port,
+            seq: 0,
+            ack: syn.seq.wrapping_add(1),
+            flags: TcpFlags::SYN_ACK,
+            window: 64_240,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds a data-bearing segment.
+    pub fn data(src_port: u16, dst_port: u16, seq: u32, payload: Vec<u8>) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::ACK.union(TcpFlags::PSH),
+            window: 64_240,
+            payload,
+        }
+    }
+
+    fn encode_raw(&self, checksum: u16) -> Vec<u8> {
+        let mut w = Writer::with_capacity(20 + self.payload.len());
+        w.u16(self.src_port);
+        w.u16(self.dst_port);
+        w.u32(self.seq);
+        w.u32(self.ack);
+        w.u8(5 << 4); // data offset 5 words, reserved 0
+        w.u8(self.flags.0);
+        w.u16(self.window);
+        w.u16(checksum);
+        w.u16(0); // urgent pointer
+        w.bytes(&self.payload);
+        w.into_bytes()
+    }
+
+    /// Serializes with a zero checksum (for contexts where the caller does
+    /// not know the IP endpoints).
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_raw(0)
+    }
+
+    /// Serializes with a correct checksum over the IPv4 pseudo-header.
+    pub fn encode_with_pseudo(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let body = self.encode_raw(0);
+        let ck = pseudo_checksum(src, dst, 6, &body);
+        let mut out = body;
+        out[16..18].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Parses a segment. The checksum is not verified here because the IP
+    /// endpoints are not part of the TCP bytes; use [`TcpSegment::verify`]
+    /// when they are known.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let seq = r.u32()?;
+        let ack = r.u32()?;
+        let offset_words = r.u8()? >> 4;
+        let data_offset = usize::from(offset_words) * 4;
+        if data_offset < 20 {
+            return Err(PacketError::BadField {
+                field: "tcp.data_offset",
+                value: u64::from(offset_words),
+            });
+        }
+        if bytes.len() < data_offset {
+            return Err(PacketError::Truncated {
+                needed: data_offset,
+                available: bytes.len(),
+            });
+        }
+        let flags = TcpFlags(r.u8()?);
+        let window = r.u16()?;
+        let _checksum = r.u16()?;
+        let _urgent = r.u16()?;
+        let payload = bytes[data_offset..].to_vec();
+        Ok(TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            payload,
+        })
+    }
+
+    /// Verifies the embedded checksum given the IPv4 endpoints.
+    pub fn verify(bytes: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<()> {
+        if pseudo_checksum_raw(src, dst, 6, bytes) != 0 {
+            return Err(PacketError::BadChecksum { protocol: "TCP" });
+        }
+        Ok(())
+    }
+}
+
+/// Checksum of `body` prefixed by the IPv4 pseudo-header, assuming the
+/// body's checksum field is zeroed.
+pub(crate) fn pseudo_checksum(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, body: &[u8]) -> u16 {
+    pseudo_checksum_raw(src, dst, proto, body)
+}
+
+fn pseudo_checksum_raw(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, body: &[u8]) -> u16 {
+    let mut w = Writer::with_capacity(12 + body.len());
+    w.bytes(&src.octets());
+    w.bytes(&dst.octets());
+    w.u8(0);
+    w.u8(proto);
+    w.u16(body.len() as u16);
+    w.bytes(body);
+    internet_checksum(w.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn syn_round_trip() {
+        let s = TcpSegment::syn(49152, 445);
+        let decoded = TcpSegment::decode(&s.encode()).unwrap();
+        assert_eq!(decoded, s);
+        assert!(decoded.flags.contains(TcpFlags::SYN));
+        assert!(!decoded.flags.contains(TcpFlags::ACK));
+    }
+
+    #[test]
+    fn syn_ack_swaps_ports_and_acks_seq() {
+        let mut syn = TcpSegment::syn(1000, 80);
+        syn.seq = 41;
+        let sa = TcpSegment::syn_ack_to(&syn);
+        assert_eq!(sa.src_port, 80);
+        assert_eq!(sa.dst_port, 1000);
+        assert_eq!(sa.ack, 42);
+        assert!(sa.flags.contains(TcpFlags::SYN_ACK));
+    }
+
+    #[test]
+    fn checksum_with_pseudo_header_verifies() {
+        let s = TcpSegment::data(5555, 80, 7, b"hello".to_vec());
+        let bytes = s.encode_with_pseudo(SRC, DST);
+        TcpSegment::verify(&bytes, SRC, DST).unwrap();
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let s = TcpSegment::data(5555, 80, 7, b"hello".to_vec());
+        let mut bytes = s.encode_with_pseudo(SRC, DST);
+        *bytes.last_mut().unwrap() ^= 0x01;
+        assert_eq!(
+            TcpSegment::verify(&bytes, SRC, DST),
+            Err(PacketError::BadChecksum { protocol: "TCP" })
+        );
+    }
+
+    #[test]
+    fn checksum_detects_wrong_endpoints() {
+        let s = TcpSegment::syn(1, 2);
+        let bytes = s.encode_with_pseudo(SRC, DST);
+        assert!(TcpSegment::verify(&bytes, SRC, Ipv4Addr::new(10, 0, 0, 3)).is_err());
+    }
+
+    #[test]
+    fn data_offset_with_options_is_honored() {
+        // Hand-build a segment with 4 bytes of options (offset = 6 words).
+        let mut bytes = TcpSegment::syn(1, 2).encode();
+        bytes[12] = 6 << 4;
+        bytes.extend_from_slice(&[1, 1, 1, 1]); // NOP options
+        bytes.extend_from_slice(b"xy"); // payload after options
+        let decoded = TcpSegment::decode(&bytes).unwrap();
+        assert_eq!(decoded.payload, b"xy");
+    }
+
+    #[test]
+    fn short_data_offset_rejected() {
+        let mut bytes = TcpSegment::syn(1, 2).encode();
+        bytes[12] = 4 << 4;
+        assert!(matches!(
+            TcpSegment::decode(&bytes),
+            Err(PacketError::BadField { field: "tcp.data_offset", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = TcpSegment::syn(1, 2).encode();
+        assert!(TcpSegment::decode(&bytes[..19]).is_err());
+    }
+
+    #[test]
+    fn flags_debug_lists_names() {
+        let f = TcpFlags::SYN.union(TcpFlags::ACK);
+        assert_eq!(format!("{f:?}"), "TcpFlags(SYN|ACK)");
+    }
+}

@@ -1,0 +1,126 @@
+//! UDP datagrams (RFC 768).
+
+use crate::error::PacketError;
+use crate::tcp::pseudo_checksum;
+use crate::wire::{Reader, Writer};
+use crate::Result;
+use std::net::Ipv4Addr;
+
+/// A UDP datagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Builds a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    fn encode_raw(&self, checksum: u16) -> Vec<u8> {
+        let mut w = Writer::with_capacity(8 + self.payload.len());
+        w.u16(self.src_port);
+        w.u16(self.dst_port);
+        w.u16((8 + self.payload.len()) as u16);
+        w.u16(checksum);
+        w.bytes(&self.payload);
+        w.into_bytes()
+    }
+
+    /// Serializes with checksum zero (meaning "no checksum" in IPv4 UDP).
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_raw(0)
+    }
+
+    /// Serializes with a correct checksum over the IPv4 pseudo-header.
+    pub fn encode_with_pseudo(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let body = self.encode_raw(0);
+        let mut ck = pseudo_checksum(src, dst, 17, &body);
+        if ck == 0 {
+            ck = 0xFFFF; // RFC 768: transmitted as all-ones when computed 0
+        }
+        let mut out = body;
+        out[6..8].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    /// Parses a datagram, honoring the length field (trailing padding is
+    /// ignored).
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let length = usize::from(r.u16()?);
+        let _checksum = r.u16()?;
+        if length < 8 || length > bytes.len() {
+            return Err(PacketError::BadField {
+                field: "udp.length",
+                value: length as u64,
+            });
+        }
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: bytes[8..length].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let d = UdpDatagram::new(68, 67, vec![1, 2, 3, 4]);
+        assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn length_field_bounds_payload() {
+        let d = UdpDatagram::new(53, 33000, b"answer".to_vec());
+        let mut bytes = d.encode();
+        bytes.extend_from_slice(&[0; 12]); // Ethernet pad
+        assert_eq!(UdpDatagram::decode(&bytes).unwrap().payload, b"answer");
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let d = UdpDatagram::new(1, 2, vec![]);
+        let mut bytes = d.encode();
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        assert!(matches!(
+            UdpDatagram::decode(&bytes),
+            Err(PacketError::BadField { field: "udp.length", .. })
+        ));
+        let mut short = d.encode();
+        short[5] = 7; // < 8
+        assert!(UdpDatagram::decode(&short).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(UdpDatagram::decode(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn pseudo_checksum_nonzero() {
+        let d = UdpDatagram::new(68, 67, vec![9; 3]);
+        let bytes = d.encode_with_pseudo(Ipv4Addr::new(0, 0, 0, 0), Ipv4Addr::BROADCAST);
+        let ck = u16::from_be_bytes([bytes[6], bytes[7]]);
+        assert_ne!(ck, 0);
+        // Decoding still works regardless of checksum field.
+        assert_eq!(UdpDatagram::decode(&bytes).unwrap(), d);
+    }
+}

@@ -1,0 +1,304 @@
+//! Byte-level reader/writer helpers shared by the packet and OpenFlow codecs.
+//!
+//! All network formats in this repository are big-endian ("network order");
+//! the helpers here make truncation a recoverable [`PacketError::Truncated`]
+//! instead of a panic.
+
+use crate::error::PacketError;
+use crate::Result;
+
+/// A bounds-checked big-endian cursor over a byte slice.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining after the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PacketError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Reads exactly `N` bytes into an array.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let b = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(b);
+        Ok(a)
+    }
+
+    /// Reads `n` bytes as a slice borrowed from the input.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads all remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+
+    /// Moves the cursor to an absolute offset (must be within the buffer).
+    pub fn seek(&mut self, pos: usize) -> Result<()> {
+        if pos > self.buf.len() {
+            return Err(PacketError::Truncated {
+                needed: pos,
+                available: self.buf.len(),
+            });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+}
+
+/// A growable big-endian byte writer.
+#[derive(Clone, Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// An empty writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes `n` zero bytes (padding).
+    pub fn zeros(&mut self, n: usize) {
+        self.buf.resize(self.buf.len() + n, 0);
+    }
+
+    /// Overwrites a previously written big-endian `u16` at `offset`.
+    ///
+    /// Used to backfill length fields once a variable-length body is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + 2` exceeds the written length.
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// RFC 1071 Internet checksum over `data` (as used by IPv4, ICMP, TCP, UDP).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0x1234);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0102_0304_0506_0708);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_on_the_wire() {
+        let mut w = Writer::new();
+        w.u16(0x0800);
+        assert_eq!(w.as_slice(), &[0x08, 0x00]);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut r = Reader::new(&[0x01]);
+        let err = r.u16().unwrap_err();
+        assert!(matches!(
+            err,
+            PacketError::Truncated {
+                needed: 2,
+                available: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn array_and_bytes_and_rest() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.array::<2>().unwrap(), [1, 2]);
+        assert_eq!(r.bytes(1).unwrap(), &[3]);
+        assert_eq!(r.rest(), &[4, 5]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn skip_and_seek() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&data);
+        r.skip(2).unwrap();
+        assert_eq!(r.u8().unwrap(), 3);
+        r.seek(0).unwrap();
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.seek(5).is_err());
+    }
+
+    #[test]
+    fn patch_u16_backfills_length() {
+        let mut w = Writer::new();
+        w.u16(0); // placeholder
+        w.bytes(&[9, 9, 9]);
+        let len = w.len() as u16;
+        w.patch_u16(0, len);
+        assert_eq!(w.as_slice(), &[0, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn zeros_pads() {
+        let mut w = Writer::new();
+        w.zeros(3);
+        assert_eq!(w.as_slice(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7
+        let data = [0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7];
+        assert_eq!(internet_checksum(&data), !0xDDF2u16);
+    }
+
+    #[test]
+    fn checksum_odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xFF]), !0xFF00u16);
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero_when_embedded() {
+        // A buffer whose checksum field is set correctly sums to 0xFFFF
+        // (complement 0).
+        let mut data = vec![0x45, 0x00, 0x00, 0x14, 0xAB, 0xCD, 0x00, 0x00];
+        let ck = internet_checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(internet_checksum(&data), 0);
+    }
+}

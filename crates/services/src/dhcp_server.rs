@@ -1,0 +1,317 @@
+//! A DHCP server: the authoritative source of the IP ↔ MAC binding.
+
+use dfi_packet::{DhcpMessage, DhcpMessageType, MacAddr};
+use dfi_simnet::Sim;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// A committed lease, reported to binding sensors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaseEvent {
+    /// Client hardware address.
+    pub mac: MacAddr,
+    /// Assigned IP address.
+    pub ip: Ipv4Addr,
+    /// Client-announced hostname, when present.
+    pub hostname: Option<String>,
+    /// `false` for new/renewed leases, `true` when released.
+    pub released: bool,
+}
+
+type LeaseSensor = Rc<dyn Fn(&mut Sim, &LeaseEvent)>;
+
+struct Inner {
+    server_ip: Ipv4Addr,
+    pool_base: Ipv4Addr,
+    pool_size: u32,
+    next_offset: u32,
+    leases: HashMap<MacAddr, Ipv4Addr>,
+    offers: HashMap<MacAddr, Ipv4Addr>,
+    reservations: HashMap<MacAddr, Ipv4Addr>,
+    sensors: Vec<LeaseSensor>,
+}
+
+/// A DHCP server with a static pool plus per-MAC reservations.
+#[derive(Clone)]
+pub struct DhcpServer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl DhcpServer {
+    /// Creates a server answering from `server_ip`, handing out addresses
+    /// `pool_base .. pool_base+pool_size`.
+    pub fn new(server_ip: Ipv4Addr, pool_base: Ipv4Addr, pool_size: u32) -> DhcpServer {
+        DhcpServer {
+            inner: Rc::new(RefCell::new(Inner {
+                server_ip,
+                pool_base,
+                pool_size,
+                next_offset: 0,
+                leases: HashMap::new(),
+                offers: HashMap::new(),
+                reservations: HashMap::new(),
+                sensors: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers a binding sensor, invoked on every lease commit or release.
+    ///
+    /// This is where DFI's IP↔MAC identifier-binding sensor attaches: it
+    /// reads bindings from the server itself, never from sniffed traffic.
+    pub fn attach_sensor<F>(&self, sensor: F)
+    where
+        F: Fn(&mut Sim, &LeaseEvent) + 'static,
+    {
+        self.inner.borrow_mut().sensors.push(Rc::new(sensor));
+    }
+
+    /// Pins `mac` to always receive `ip` (used to make testbed addressing
+    /// deterministic, like the paper's statically-planned enclaves).
+    pub fn reserve(&self, mac: MacAddr, ip: Ipv4Addr) {
+        self.inner.borrow_mut().reservations.insert(mac, ip);
+    }
+
+    /// The server's own address (DHCP option 54).
+    pub fn server_ip(&self) -> Ipv4Addr {
+        self.inner.borrow().server_ip
+    }
+
+    /// The current lease for `mac`, if any.
+    pub fn lease_of(&self, mac: MacAddr) -> Option<Ipv4Addr> {
+        self.inner.borrow().leases.get(&mac).copied()
+    }
+
+    /// Number of active leases.
+    pub fn lease_count(&self) -> usize {
+        self.inner.borrow().leases.len()
+    }
+
+    fn allocate(&self, mac: MacAddr) -> Option<Ipv4Addr> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(ip) = inner.reservations.get(&mac).copied() {
+            return Some(ip);
+        }
+        if let Some(ip) = inner.leases.get(&mac).copied() {
+            return Some(ip);
+        }
+        if let Some(ip) = inner.offers.get(&mac).copied() {
+            return Some(ip);
+        }
+        let in_use: std::collections::HashSet<Ipv4Addr> = inner
+            .leases
+            .values()
+            .chain(inner.offers.values())
+            .chain(inner.reservations.values())
+            .copied()
+            .collect();
+        let base = u32::from(inner.pool_base);
+        for _ in 0..inner.pool_size {
+            let candidate = Ipv4Addr::from(base + inner.next_offset);
+            inner.next_offset = (inner.next_offset + 1) % inner.pool_size;
+            if !in_use.contains(&candidate) {
+                inner.offers.insert(mac, candidate);
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    fn fire_sensors(&self, sim: &mut Sim, ev: &LeaseEvent) {
+        let sensors = self.inner.borrow().sensors.clone();
+        for s in sensors {
+            s(sim, ev);
+        }
+    }
+
+    /// Handles a client message, returning the server's reply (if any).
+    /// Commits leases on REQUEST and notifies sensors.
+    pub fn handle(&self, sim: &mut Sim, msg: &DhcpMessage) -> Option<DhcpMessage> {
+        let server_ip = self.server_ip();
+        match msg.message_type {
+            DhcpMessageType::Discover => {
+                let ip = self.allocate(msg.client_mac)?;
+                Some(DhcpMessage::offer(msg.xid, msg.client_mac, ip, server_ip))
+            }
+            DhcpMessageType::Request => {
+                let wanted = msg.requested_ip().or_else(|| self.allocate(msg.client_mac));
+                let Some(ip) = wanted else {
+                    return Some(nak(msg, server_ip));
+                };
+                // Honor only addresses we would have offered.
+                let ours = self.allocate(msg.client_mac);
+                if ours != Some(ip) {
+                    return Some(nak(msg, server_ip));
+                }
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.offers.remove(&msg.client_mac);
+                    inner.leases.insert(msg.client_mac, ip);
+                }
+                let ev = LeaseEvent {
+                    mac: msg.client_mac,
+                    ip,
+                    hostname: msg.hostname().map(str::to_string),
+                    released: false,
+                };
+                self.fire_sensors(sim, &ev);
+                Some(DhcpMessage::ack(msg.xid, msg.client_mac, ip, server_ip))
+            }
+            DhcpMessageType::Release => {
+                let released = self.inner.borrow_mut().leases.remove(&msg.client_mac);
+                if let Some(ip) = released {
+                    let ev = LeaseEvent {
+                        mac: msg.client_mac,
+                        ip,
+                        hostname: msg.hostname().map(str::to_string),
+                        released: true,
+                    };
+                    self.fire_sensors(sim, &ev);
+                }
+                None
+            }
+            // Server-originated types are not valid input.
+            DhcpMessageType::Offer | DhcpMessageType::Ack | DhcpMessageType::Nak => None,
+        }
+    }
+
+    /// Convenience: performs the full DORA exchange for a client in one
+    /// call (as the testbed harness does when booting 92 hosts), returning
+    /// the assigned address.
+    pub fn quick_lease(
+        &self,
+        sim: &mut Sim,
+        mac: MacAddr,
+        hostname: &str,
+        xid: u32,
+    ) -> Option<Ipv4Addr> {
+        let discover = DhcpMessage::discover(xid, mac, hostname);
+        let offer = self.handle(sim, &discover)?;
+        let request = DhcpMessage::request(xid, mac, offer.your_ip, self.server_ip(), hostname);
+        let ack = self.handle(sim, &request)?;
+        (ack.message_type == DhcpMessageType::Ack).then_some(ack.your_ip)
+    }
+}
+
+fn nak(msg: &DhcpMessage, server: Ipv4Addr) -> DhcpMessage {
+    DhcpMessage {
+        message_type: DhcpMessageType::Nak,
+        xid: msg.xid,
+        client_ip: Ipv4Addr::UNSPECIFIED,
+        your_ip: Ipv4Addr::UNSPECIFIED,
+        server_ip: server,
+        client_mac: msg.client_mac,
+        options: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const BASE: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 10);
+
+    fn server() -> DhcpServer {
+        DhcpServer::new(SERVER, BASE, 16)
+    }
+
+    #[test]
+    fn dora_assigns_address_and_fires_sensor() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let e = events.clone();
+        s.attach_sensor(move |_, ev| e.borrow_mut().push(ev.clone()));
+        let mac = MacAddr::from_index(1);
+        let ip = s.quick_lease(&mut sim, mac, "alice-laptop", 7).unwrap();
+        assert_eq!(ip, BASE);
+        assert_eq!(s.lease_of(mac), Some(ip));
+        let evs = events.borrow();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].mac, mac);
+        assert_eq!(evs[0].ip, ip);
+        assert_eq!(evs[0].hostname.as_deref(), Some("alice-laptop"));
+        assert!(!evs[0].released);
+    }
+
+    #[test]
+    fn distinct_clients_get_distinct_addresses() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let a = s.quick_lease(&mut sim, MacAddr::from_index(1), "a", 1).unwrap();
+        let b = s.quick_lease(&mut sim, MacAddr::from_index(2), "b", 2).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.lease_count(), 2);
+    }
+
+    #[test]
+    fn same_client_keeps_its_address() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let mac = MacAddr::from_index(1);
+        let a = s.quick_lease(&mut sim, mac, "h", 1).unwrap();
+        let b = s.quick_lease(&mut sim, mac, "h", 2).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.lease_count(), 1);
+    }
+
+    #[test]
+    fn reservation_is_honored() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let mac = MacAddr::from_index(9);
+        let pinned = Ipv4Addr::new(10, 0, 1, 200);
+        s.reserve(mac, pinned);
+        assert_eq!(s.quick_lease(&mut sim, mac, "h", 1), Some(pinned));
+    }
+
+    #[test]
+    fn pool_exhaustion_yields_no_offer() {
+        let mut sim = Sim::new(0);
+        let s = DhcpServer::new(SERVER, BASE, 2);
+        assert!(s.quick_lease(&mut sim, MacAddr::from_index(1), "a", 1).is_some());
+        assert!(s.quick_lease(&mut sim, MacAddr::from_index(2), "b", 2).is_some());
+        assert!(s.quick_lease(&mut sim, MacAddr::from_index(3), "c", 3).is_none());
+    }
+
+    #[test]
+    fn request_for_foreign_address_is_nakked() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let mac = MacAddr::from_index(1);
+        let req = DhcpMessage::request(1, mac, Ipv4Addr::new(192, 168, 99, 99), SERVER, "evil");
+        let reply = s.handle(&mut sim, &req).unwrap();
+        assert_eq!(reply.message_type, DhcpMessageType::Nak);
+        assert_eq!(s.lease_count(), 0, "no lease committed");
+    }
+
+    #[test]
+    fn release_fires_release_event() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let e = events.clone();
+        s.attach_sensor(move |_, ev| e.borrow_mut().push(ev.clone()));
+        let mac = MacAddr::from_index(1);
+        let ip = s.quick_lease(&mut sim, mac, "h", 1).unwrap();
+        let mut rel = DhcpMessage::discover(2, mac, "h");
+        rel.message_type = DhcpMessageType::Release;
+        assert!(s.handle(&mut sim, &rel).is_none());
+        assert_eq!(s.lease_of(mac), None);
+        let evs = events.borrow();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[1].released);
+        assert_eq!(evs[1].ip, ip);
+    }
+
+    #[test]
+    fn server_messages_as_input_are_ignored() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let offer = DhcpMessage::offer(1, MacAddr::from_index(1), BASE, SERVER);
+        assert!(s.handle(&mut sim, &offer).is_none());
+    }
+}

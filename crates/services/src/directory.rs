@@ -1,0 +1,257 @@
+//! A directory service (Active Directory surrogate): users, departmental
+//! groups, machine accounts, and credential verification.
+//!
+//! Faithful to the paper's observation, the directory does **not** track who
+//! is currently logged on — it only issues ticket-granting tickets. Current
+//! log-on state is derived downstream by the SIEM from endpoint process
+//! events (see [`crate::Siem`]).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors from directory operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// The user does not exist.
+    UnknownUser(String),
+    /// The machine account does not exist.
+    UnknownHost(String),
+    /// The presented credential did not verify.
+    BadCredential,
+}
+
+impl fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryError::UnknownUser(u) => write!(f, "unknown user {u:?}"),
+            DirectoryError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+            DirectoryError::BadCredential => write!(f, "credential verification failed"),
+        }
+    }
+}
+
+impl Error for DirectoryError {}
+
+#[derive(Clone, Debug)]
+struct UserRecord {
+    credential: u64,
+    groups: HashSet<String>,
+}
+
+struct Inner {
+    users: HashMap<String, UserRecord>,
+    machines: HashSet<String>,
+    /// group → hosts whose Local Administrators include that group.
+    local_admin_grants: HashMap<String, HashSet<String>>,
+    tgts_issued: u64,
+}
+
+/// A shared-handle directory service.
+#[derive(Clone)]
+pub struct Directory {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory::new()
+    }
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Directory {
+        Directory {
+            inner: Rc::new(RefCell::new(Inner {
+                users: HashMap::new(),
+                machines: HashSet::new(),
+                local_admin_grants: HashMap::new(),
+                tgts_issued: 0,
+            })),
+        }
+    }
+
+    /// Creates a user with an opaque credential (a stand-in for an NTLM
+    /// hash — the thing NotPetya-style malware steals from memory).
+    pub fn add_user(&self, user: &str, credential: u64) {
+        self.inner.borrow_mut().users.insert(
+            user.to_string(),
+            UserRecord {
+                credential,
+                groups: HashSet::new(),
+            },
+        );
+    }
+
+    /// Joins a machine to the domain.
+    pub fn join_machine(&self, hostname: &str) {
+        self.inner.borrow_mut().machines.insert(hostname.to_string());
+    }
+
+    /// Adds a user to a (departmental) group.
+    pub fn add_to_group(&self, user: &str, group: &str) -> Result<(), DirectoryError> {
+        let mut inner = self.inner.borrow_mut();
+        let rec = inner
+            .users
+            .get_mut(user)
+            .ok_or_else(|| DirectoryError::UnknownUser(user.to_string()))?;
+        rec.groups.insert(group.to_string());
+        Ok(())
+    }
+
+    /// Grants a group "Local Administrator" on a host — the paper's testbed
+    /// gives every member of a department admin rights on that department's
+    /// machines, which is precisely the privilege the worm's credential-theft
+    /// vector exploits.
+    pub fn grant_local_admin(&self, group: &str, hostname: &str) {
+        self.inner
+            .borrow_mut()
+            .local_admin_grants
+            .entry(group.to_string())
+            .or_default()
+            .insert(hostname.to_string());
+    }
+
+    /// Verifies a credential and "issues a TGT". Deliberately does not
+    /// record any log-on state.
+    pub fn authenticate(&self, user: &str, credential: u64) -> Result<(), DirectoryError> {
+        let mut inner = self.inner.borrow_mut();
+        let rec = inner
+            .users
+            .get(user)
+            .ok_or_else(|| DirectoryError::UnknownUser(user.to_string()))?;
+        if rec.credential != credential {
+            return Err(DirectoryError::BadCredential);
+        }
+        inner.tgts_issued += 1;
+        Ok(())
+    }
+
+    /// The opaque credential for a user — what an attacker with SYSTEM on a
+    /// machine can dump from memory for any user with processes there.
+    pub fn credential_of(&self, user: &str) -> Option<u64> {
+        self.inner.borrow().users.get(user).map(|r| r.credential)
+    }
+
+    /// `true` when `user` holds Local Administrator on `hostname` via any
+    /// group membership.
+    pub fn is_local_admin(&self, user: &str, hostname: &str) -> bool {
+        let inner = self.inner.borrow();
+        let Some(rec) = inner.users.get(user) else {
+            return false;
+        };
+        rec.groups.iter().any(|g| {
+            inner
+                .local_admin_grants
+                .get(g)
+                .is_some_and(|hosts| hosts.contains(hostname))
+        })
+    }
+
+    /// Groups a user belongs to, sorted.
+    pub fn groups_of(&self, user: &str) -> Vec<String> {
+        let inner = self.inner.borrow();
+        let mut gs: Vec<String> = inner
+            .users
+            .get(user)
+            .map(|r| r.groups.iter().cloned().collect())
+            .unwrap_or_default();
+        gs.sort();
+        gs
+    }
+
+    /// `true` when the machine is domain-joined.
+    pub fn is_joined(&self, hostname: &str) -> bool {
+        self.inner.borrow().machines.contains(hostname)
+    }
+
+    /// Ticket-granting tickets issued (authentication successes).
+    pub fn tgts_issued(&self) -> u64 {
+        self.inner.borrow().tgts_issued
+    }
+
+    /// All known users, sorted.
+    pub fn users(&self) -> Vec<String> {
+        let mut us: Vec<String> = self.inner.borrow().users.keys().cloned().collect();
+        us.sort();
+        us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> Directory {
+        let d = Directory::new();
+        d.add_user("alice", 0xA11CE);
+        d.add_user("bob", 0xB0B);
+        d.join_machine("alice-laptop");
+        d.join_machine("bob-desktop");
+        d.add_to_group("alice", "eng").unwrap();
+        d.add_to_group("bob", "eng").unwrap();
+        d.grant_local_admin("eng", "alice-laptop");
+        d.grant_local_admin("eng", "bob-desktop");
+        d
+    }
+
+    #[test]
+    fn authenticate_verifies_credentials() {
+        let d = dir();
+        assert!(d.authenticate("alice", 0xA11CE).is_ok());
+        assert_eq!(d.tgts_issued(), 1);
+        assert_eq!(
+            d.authenticate("alice", 0xBAD),
+            Err(DirectoryError::BadCredential)
+        );
+        assert_eq!(
+            d.authenticate("mallory", 1),
+            Err(DirectoryError::UnknownUser("mallory".into()))
+        );
+        assert_eq!(d.tgts_issued(), 1, "failures issue no TGT");
+    }
+
+    #[test]
+    fn group_local_admin_grants() {
+        let d = dir();
+        assert!(d.is_local_admin("alice", "bob-desktop"), "dept-mates are admins");
+        assert!(d.is_local_admin("bob", "alice-laptop"));
+        assert!(!d.is_local_admin("alice", "hr-desktop"));
+        assert!(!d.is_local_admin("mallory", "alice-laptop"));
+    }
+
+    #[test]
+    fn credential_dump_matches_stored() {
+        let d = dir();
+        assert_eq!(d.credential_of("bob"), Some(0xB0B));
+        assert_eq!(d.credential_of("nobody"), None);
+        // The dumped credential authenticates — the lateral-movement primitive.
+        let stolen = d.credential_of("bob").unwrap();
+        assert!(d.authenticate("bob", stolen).is_ok());
+    }
+
+    #[test]
+    fn machine_join_tracked() {
+        let d = dir();
+        assert!(d.is_joined("alice-laptop"));
+        assert!(!d.is_joined("rogue-box"));
+    }
+
+    #[test]
+    fn groups_listed_sorted() {
+        let d = dir();
+        d.add_to_group("alice", "admins").unwrap();
+        assert_eq!(d.groups_of("alice"), vec!["admins", "eng"]);
+        assert!(d.groups_of("nobody").is_empty());
+        assert!(d.add_to_group("ghost", "eng").is_err());
+    }
+
+    #[test]
+    fn users_listed_sorted() {
+        let d = dir();
+        assert_eq!(d.users(), vec!["alice", "bob"]);
+    }
+}

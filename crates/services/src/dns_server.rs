@@ -1,0 +1,239 @@
+//! A DNS server: the authoritative source of the hostname ↔ IP binding.
+
+use dfi_packet::{DnsMessage, DnsType};
+use dfi_simnet::Sim;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// A committed name record, reported to binding sensors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NameEvent {
+    /// Fully qualified hostname.
+    pub hostname: String,
+    /// Bound address.
+    pub ip: Ipv4Addr,
+    /// `true` when the record was removed rather than added.
+    pub removed: bool,
+}
+
+type NameSensor = Rc<dyn Fn(&mut Sim, &NameEvent)>;
+
+struct Inner {
+    zone: String,
+    forward: HashMap<String, Ipv4Addr>,
+    reverse: HashMap<Ipv4Addr, String>,
+    sensors: Vec<NameSensor>,
+    queries: u64,
+}
+
+/// An authoritative DNS server for one zone.
+#[derive(Clone)]
+pub struct DnsServer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl DnsServer {
+    /// Creates a server authoritative for `zone` (e.g. `corp.local`).
+    pub fn new(zone: &str) -> DnsServer {
+        DnsServer {
+            inner: Rc::new(RefCell::new(Inner {
+                zone: zone.to_string(),
+                forward: HashMap::new(),
+                reverse: HashMap::new(),
+                sensors: Vec::new(),
+                queries: 0,
+            })),
+        }
+    }
+
+    /// Registers a binding sensor invoked on record changes. This is where
+    /// DFI's hostname↔IP sensor attaches.
+    pub fn attach_sensor<F>(&self, sensor: F)
+    where
+        F: Fn(&mut Sim, &NameEvent) + 'static,
+    {
+        self.inner.borrow_mut().sensors.push(Rc::new(sensor));
+    }
+
+    /// Fully qualifies a bare hostname within the server's zone.
+    pub fn fqdn(&self, hostname: &str) -> String {
+        let inner = self.inner.borrow();
+        if hostname.ends_with(&inner.zone) {
+            hostname.to_string()
+        } else {
+            format!("{hostname}.{}", inner.zone)
+        }
+    }
+
+    /// Adds (or replaces) an A record and its PTR, firing sensors.
+    /// Dynamic-DNS registration — the AD server does this when DHCP
+    /// commits a lease for a domain-joined machine.
+    pub fn register(&self, sim: &mut Sim, hostname: &str, ip: Ipv4Addr) {
+        let name = self.fqdn(hostname);
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(old) = inner.forward.insert(name.clone(), ip) {
+                inner.reverse.remove(&old);
+            }
+            inner.reverse.insert(ip, name.clone());
+        }
+        let ev = NameEvent {
+            hostname: name,
+            ip,
+            removed: false,
+        };
+        self.fire(sim, &ev);
+    }
+
+    /// Removes a record, firing sensors.
+    pub fn unregister(&self, sim: &mut Sim, hostname: &str) {
+        let name = self.fqdn(hostname);
+        let removed = {
+            let mut inner = self.inner.borrow_mut();
+            let ip = inner.forward.remove(&name);
+            if let Some(ip) = ip {
+                inner.reverse.remove(&ip);
+            }
+            ip
+        };
+        if let Some(ip) = removed {
+            let ev = NameEvent {
+                hostname: name,
+                ip,
+                removed: true,
+            };
+            self.fire(sim, &ev);
+        }
+    }
+
+    fn fire(&self, sim: &mut Sim, ev: &NameEvent) {
+        let sensors = self.inner.borrow().sensors.clone();
+        for s in sensors {
+            s(sim, ev);
+        }
+    }
+
+    /// Answers a query (A lookups only; others get NXDOMAIN).
+    pub fn handle(&self, query: &DnsMessage) -> DnsMessage {
+        self.inner.borrow_mut().queries += 1;
+        let Some(q) = query.questions.first() else {
+            return DnsMessage::nxdomain(query);
+        };
+        if q.qtype != DnsType::A {
+            return DnsMessage::nxdomain(query);
+        }
+        match self.inner.borrow().forward.get(&q.name) {
+            Some(&ip) => DnsMessage::answer_a(query, ip, 300),
+            None => DnsMessage::nxdomain(query),
+        }
+    }
+
+    /// Direct lookup (for harness code that does not need wire fidelity).
+    pub fn lookup(&self, hostname: &str) -> Option<Ipv4Addr> {
+        let name = self.fqdn(hostname);
+        self.inner.borrow().forward.get(&name).copied()
+    }
+
+    /// Reverse lookup.
+    pub fn reverse_lookup(&self, ip: Ipv4Addr) -> Option<String> {
+        self.inner.borrow().reverse.get(&ip).cloned()
+    }
+
+    /// Queries served so far.
+    pub fn query_count(&self) -> u64 {
+        self.inner.borrow().queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> DnsServer {
+        DnsServer::new("corp.local")
+    }
+
+    #[test]
+    fn register_then_resolve() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        s.register(&mut sim, "alice-laptop", Ipv4Addr::new(10, 0, 1, 5));
+        let q = DnsMessage::query_a(1, "alice-laptop.corp.local");
+        let a = s.handle(&q);
+        assert_eq!(
+            a.first_a(),
+            Some(("alice-laptop.corp.local", Ipv4Addr::new(10, 0, 1, 5)))
+        );
+        assert_eq!(s.lookup("alice-laptop"), Some(Ipv4Addr::new(10, 0, 1, 5)));
+        assert_eq!(
+            s.reverse_lookup(Ipv4Addr::new(10, 0, 1, 5)).as_deref(),
+            Some("alice-laptop.corp.local")
+        );
+    }
+
+    #[test]
+    fn unknown_name_is_nxdomain() {
+        let s = server();
+        let q = DnsMessage::query_a(1, "ghost.corp.local");
+        let a = s.handle(&q);
+        assert_eq!(a.rcode, 3);
+        assert!(a.answers.is_empty());
+        assert_eq!(s.query_count(), 1);
+    }
+
+    #[test]
+    fn sensor_sees_registrations_and_removals() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let e = events.clone();
+        s.attach_sensor(move |_, ev| e.borrow_mut().push(ev.clone()));
+        s.register(&mut sim, "h1", Ipv4Addr::new(10, 0, 0, 1));
+        s.unregister(&mut sim, "h1");
+        let evs = events.borrow();
+        assert_eq!(evs.len(), 2);
+        assert!(!evs[0].removed);
+        assert!(evs[1].removed);
+        assert_eq!(evs[0].hostname, "h1.corp.local");
+    }
+
+    #[test]
+    fn reregistration_replaces_address() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        s.register(&mut sim, "h1", Ipv4Addr::new(10, 0, 0, 1));
+        s.register(&mut sim, "h1", Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(s.lookup("h1"), Some(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(s.reverse_lookup(Ipv4Addr::new(10, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn unregister_unknown_is_silent() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let e = events.clone();
+        s.attach_sensor(move |_, ev| e.borrow_mut().push(ev.clone()));
+        s.unregister(&mut sim, "nope");
+        assert!(events.borrow().is_empty());
+    }
+
+    #[test]
+    fn non_a_queries_get_nxdomain() {
+        let mut sim = Sim::new(0);
+        let s = server();
+        s.register(&mut sim, "h1", Ipv4Addr::new(10, 0, 0, 1));
+        let mut q = DnsMessage::query_a(1, "h1.corp.local");
+        q.questions[0].qtype = DnsType::Ptr;
+        assert_eq!(s.handle(&q).rcode, 3);
+    }
+
+    #[test]
+    fn fqdn_is_idempotent() {
+        let s = server();
+        assert_eq!(s.fqdn("h1"), "h1.corp.local");
+        assert_eq!(s.fqdn("h1.corp.local"), "h1.corp.local");
+    }
+}

@@ -1,0 +1,31 @@
+//! Enterprise service surrogates: DHCP, DNS, a directory service (Active
+//! Directory surrogate), and a SIEM pipeline (Splunk surrogate).
+//!
+//! These services are DFI's *authoritative sources* for identifier bindings
+//! (paper Figure 3):
+//!
+//! | binding                | authoritative source           |
+//! |------------------------|--------------------------------|
+//! | username ↔ hostname    | system event logs (the SIEM)   |
+//! | hostname ↔ IP address  | the DNS server                 |
+//! | IP ↔ MAC address       | the DHCP server                |
+//! | MAC ↔ switch & port    | packet-in events (in the PCP)  |
+//!
+//! Each service exposes a protocol-accurate handler (consuming and
+//! producing the real message types from `dfi-packet`) plus a sensor hook:
+//! a callback invoked whenever the service commits a binding, which is where
+//! DFI's identifier-binding sensors attach. Collecting from the
+//! authoritative source — rather than sniffing traffic — is what prevents
+//! spoofed packets from poisoning DFI's view of the network.
+
+#![warn(missing_docs)]
+
+mod dhcp_server;
+mod directory;
+mod dns_server;
+mod siem;
+
+pub use dhcp_server::{DhcpServer, LeaseEvent};
+pub use directory::{Directory, DirectoryError};
+pub use dns_server::{DnsServer, NameEvent};
+pub use siem::{SessionEvent, SessionKind, Siem};

@@ -1,0 +1,265 @@
+//! A SIEM pipeline (Splunk surrogate): aggregates endpoint process events
+//! into user log-on / log-off determinations.
+//!
+//! The paper found that Active Directory cannot be queried for current
+//! log-on state, and that endpoint logs record many different
+//! authentication paths. Their implementation therefore maintains, per
+//! (user, host), a count of the user's running processes aggregated from
+//! process-creation and -termination events: the user is "logged on" while
+//! the count is positive. This module implements exactly that heuristic,
+//! and it is the authoritative source of DFI's username ↔ hostname binding.
+
+use dfi_simnet::Sim;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Log-on or log-off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SessionKind {
+    /// The user's process count rose from zero.
+    LogOn,
+    /// The user's process count fell to zero.
+    LogOff,
+}
+
+/// A derived session event delivered to subscribers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionEvent {
+    /// The user.
+    pub user: String,
+    /// The host.
+    pub host: String,
+    /// On or off.
+    pub kind: SessionKind,
+}
+
+type SessionSensor = Rc<dyn Fn(&mut Sim, &SessionEvent)>;
+
+struct Inner {
+    /// (user, host) → live process count.
+    counts: HashMap<(String, String), u32>,
+    sensors: Vec<SessionSensor>,
+    events_ingested: u64,
+    sessions_emitted: u64,
+}
+
+/// A shared-handle SIEM indexer.
+#[derive(Clone, Default)]
+pub struct Siem {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            counts: HashMap::new(),
+            sensors: Vec::new(),
+            events_ingested: 0,
+            sessions_emitted: 0,
+        }
+    }
+}
+
+impl Siem {
+    /// An empty indexer.
+    pub fn new() -> Siem {
+        Siem::default()
+    }
+
+    /// Registers a subscriber for derived log-on/log-off events. This is
+    /// where DFI's log-on/log-off sensor (feeding the Entity Resolution
+    /// Manager and the AT-RBAC Policy Decision Point) attaches.
+    pub fn attach_sensor<F>(&self, sensor: F)
+    where
+        F: Fn(&mut Sim, &SessionEvent) + 'static,
+    {
+        self.inner.borrow_mut().sensors.push(Rc::new(sensor));
+    }
+
+    /// Ingests a process-creation event from an endpoint collector.
+    pub fn process_created(&self, sim: &mut Sim, user: &str, host: &str) {
+        let fire = {
+            let mut inner = self.inner.borrow_mut();
+            inner.events_ingested += 1;
+            let count = inner
+                .counts
+                .entry((user.to_string(), host.to_string()))
+                .or_insert(0);
+            *count += 1;
+            *count == 1
+        };
+        if fire {
+            self.emit(sim, user, host, SessionKind::LogOn);
+        }
+    }
+
+    /// Ingests a process-termination event from an endpoint collector.
+    /// Termination events for unknown processes are ignored (collectors
+    /// can restart and lose state).
+    pub fn process_terminated(&self, sim: &mut Sim, user: &str, host: &str) {
+        let fire = {
+            let mut inner = self.inner.borrow_mut();
+            inner.events_ingested += 1;
+            let key = (user.to_string(), host.to_string());
+            match inner.counts.get_mut(&key) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    if *count == 0 {
+                        inner.counts.remove(&key);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            }
+        };
+        if fire {
+            self.emit(sim, user, host, SessionKind::LogOff);
+        }
+    }
+
+    /// Convenience for scenario scripts: a user "session" is one process
+    /// (e.g. the shell) created at log-on and terminated at log-off.
+    pub fn log_on(&self, sim: &mut Sim, user: &str, host: &str) {
+        self.process_created(sim, user, host);
+    }
+
+    /// Terminates every process of `user` on `host` (log-off).
+    pub fn log_off(&self, sim: &mut Sim, user: &str, host: &str) {
+        loop {
+            let remaining = self.process_count(user, host);
+            if remaining == 0 {
+                break;
+            }
+            self.process_terminated(sim, user, host);
+        }
+    }
+
+    fn emit(&self, sim: &mut Sim, user: &str, host: &str, kind: SessionKind) {
+        let ev = SessionEvent {
+            user: user.to_string(),
+            host: host.to_string(),
+            kind,
+        };
+        let sensors = {
+            let mut inner = self.inner.borrow_mut();
+            inner.sessions_emitted += 1;
+            inner.sensors.clone()
+        };
+        for s in sensors {
+            s(sim, &ev);
+        }
+    }
+
+    /// The current process count for (user, host).
+    pub fn process_count(&self, user: &str, host: &str) -> u32 {
+        self.inner
+            .borrow()
+            .counts
+            .get(&(user.to_string(), host.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// `true` while the user's process count on the host is positive.
+    pub fn is_logged_on(&self, user: &str, host: &str) -> bool {
+        self.process_count(user, host) > 0
+    }
+
+    /// Raw endpoint events ingested.
+    pub fn events_ingested(&self) -> u64 {
+        self.inner.borrow().events_ingested
+    }
+
+    /// Derived session events emitted.
+    pub fn sessions_emitted(&self) -> u64 {
+        self.inner.borrow().sessions_emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> (Sim, Siem, Rc<RefCell<Vec<SessionEvent>>>) {
+        let sim = Sim::new(0);
+        let siem = Siem::new();
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let e = events.clone();
+        siem.attach_sensor(move |_, ev| e.borrow_mut().push(ev.clone()));
+        (sim, siem, events)
+    }
+
+    #[test]
+    fn first_process_triggers_logon() {
+        let (mut sim, siem, events) = harness();
+        siem.process_created(&mut sim, "alice", "h1");
+        assert!(siem.is_logged_on("alice", "h1"));
+        assert_eq!(
+            events.borrow().as_slice(),
+            [SessionEvent {
+                user: "alice".into(),
+                host: "h1".into(),
+                kind: SessionKind::LogOn
+            }]
+        );
+    }
+
+    #[test]
+    fn additional_processes_do_not_retrigger() {
+        let (mut sim, siem, events) = harness();
+        siem.process_created(&mut sim, "alice", "h1");
+        siem.process_created(&mut sim, "alice", "h1");
+        siem.process_created(&mut sim, "alice", "h1");
+        assert_eq!(events.borrow().len(), 1);
+        assert_eq!(siem.process_count("alice", "h1"), 3);
+    }
+
+    #[test]
+    fn logoff_only_when_count_reaches_zero() {
+        let (mut sim, siem, events) = harness();
+        siem.process_created(&mut sim, "alice", "h1");
+        siem.process_created(&mut sim, "alice", "h1");
+        siem.process_terminated(&mut sim, "alice", "h1");
+        assert!(siem.is_logged_on("alice", "h1"));
+        assert_eq!(events.borrow().len(), 1);
+        siem.process_terminated(&mut sim, "alice", "h1");
+        assert!(!siem.is_logged_on("alice", "h1"));
+        assert_eq!(events.borrow().len(), 2);
+        assert_eq!(events.borrow()[1].kind, SessionKind::LogOff);
+    }
+
+    #[test]
+    fn per_host_sessions_are_independent() {
+        let (mut sim, siem, events) = harness();
+        siem.process_created(&mut sim, "alice", "h1");
+        siem.process_created(&mut sim, "alice", "h2");
+        assert_eq!(events.borrow().len(), 2, "one log-on per host");
+        siem.process_terminated(&mut sim, "alice", "h1");
+        assert!(!siem.is_logged_on("alice", "h1"));
+        assert!(siem.is_logged_on("alice", "h2"));
+    }
+
+    #[test]
+    fn spurious_termination_ignored() {
+        let (mut sim, siem, events) = harness();
+        siem.process_terminated(&mut sim, "alice", "h1");
+        assert!(events.borrow().is_empty());
+        assert_eq!(siem.process_count("alice", "h1"), 0);
+    }
+
+    #[test]
+    fn log_off_helper_clears_all_processes() {
+        let (mut sim, siem, events) = harness();
+        for _ in 0..5 {
+            siem.process_created(&mut sim, "bob", "h9");
+        }
+        siem.log_off(&mut sim, "bob", "h9");
+        assert!(!siem.is_logged_on("bob", "h9"));
+        assert_eq!(events.borrow().len(), 2); // one on, one off
+        assert_eq!(siem.sessions_emitted(), 2);
+        assert_eq!(siem.events_ingested(), 10);
+    }
+}

@@ -1,0 +1,358 @@
+//! The event loop: a virtual clock plus an ordered queue of pending events.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Duration;
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties break by insertion order (seq), keeping execution
+        // deterministic and FIFO among same-time events.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic, single-threaded discrete-event simulator.
+///
+/// Events are boxed closures run at their scheduled virtual time. Components
+/// live in `Rc<RefCell<...>>` cells captured by the closures they schedule;
+/// the simulator itself stores no component state.
+pub struct Sim {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    rng: SimRng,
+    executed: u64,
+    event_limit: u64,
+}
+
+impl Sim {
+    /// Creates a simulator whose random stream derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            rng: SimRng::new(seed),
+            executed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Caps the total number of events executed; [`Sim::run`] stops once the
+    /// cap is reached. A backstop against accidental event storms in tests.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulator's random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Derives an independent random stream (for per-component seeding).
+    pub fn split_rng(&mut self) -> SimRng {
+        self.rng.split()
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled ones not yet
+    /// reaped).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute virtual time `at`.
+    ///
+    /// An event scheduled in the past runs "now" (at the current time) but
+    /// after already-queued events for the current instant.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run `delay` after the current virtual time.
+    pub fn schedule_in<F>(&mut self, delay: Duration, f: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedules `f` to run at the current instant, after events already
+    /// queued for this instant.
+    pub fn schedule_now<F>(&mut self, f: F) -> EventId
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancels a pending event. Cancelling an event that already ran (or was
+    /// already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Runs a single pending event, advancing the clock to its time.
+    /// Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Runs until the event queue drains or the event limit is hit.
+    pub fn run(&mut self) {
+        while self.executed < self.event_limit && self.step() {}
+    }
+
+    /// Runs events with scheduled time `<= until`, then sets the clock to
+    /// `until` (if it is later than the last executed event).
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            if self.executed >= self.event_limit {
+                break;
+            }
+            match self.peek_time() {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// The virtual time of the next live pending event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(ev) = self.queue.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let ev = self.queue.pop().expect("peeked");
+                self.cancelled.remove(&ev.seq);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Sim::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for &(ms, label) in &[(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |_| {
+                order.borrow_mut().push(label)
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn same_time_events_run_fifo() {
+        let mut sim = Sim::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..10 {
+            let order = order.clone();
+            sim.schedule_at(SimTime::from_millis(5), move |_| order.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        sim.schedule_in(Duration::from_millis(1), move |sim| {
+            *h.borrow_mut() += 1;
+            let h2 = h.clone();
+            sim.schedule_in(Duration::from_millis(1), move |_| {
+                *h2.borrow_mut() += 1;
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(0);
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        let id = sim.schedule_in(Duration::from_millis(5), move |_| *f.borrow_mut() = true);
+        sim.cancel(id);
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut sim = Sim::new(0);
+        let id = sim.schedule_now(|_| {});
+        sim.run();
+        sim.cancel(id); // must not panic or corrupt state
+        sim.schedule_now(|_| {});
+        sim.run();
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim = Sim::new(0);
+        sim.schedule_at(SimTime::from_millis(10), |sim| {
+            sim.schedule_at(SimTime::from_millis(1), |sim| {
+                assert_eq!(sim.now(), SimTime::from_millis(10));
+            });
+        });
+        sim.run();
+        assert_eq!(sim.events_executed(), 2);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Sim::new(0);
+        let count = Rc::new(RefCell::new(0u32));
+        for ms in [5u64, 15, 25] {
+            let count = count.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |_| *count.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_millis(20));
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+        sim.run();
+        assert_eq!(*count.borrow(), 3);
+    }
+
+    #[test]
+    fn run_until_with_empty_queue_advances_clock() {
+        let mut sim = Sim::new(0);
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(sim.now(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn event_limit_stops_runaway() {
+        let mut sim = Sim::new(0);
+        sim.set_event_limit(100);
+        fn rearm(sim: &mut Sim) {
+            sim.schedule_in(Duration::from_nanos(1), rearm);
+        }
+        sim.schedule_now(rearm);
+        sim.run();
+        assert_eq!(sim.events_executed(), 100);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut sim = Sim::new(0);
+        let id = sim.schedule_at(SimTime::from_millis(1), |_| {});
+        sim.schedule_at(SimTime::from_millis(2), |_| {});
+        sim.cancel(id);
+        assert_eq!(sim.peek_time(), Some(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        fn run(seed: u64) -> Vec<u64> {
+            let mut sim = Sim::new(seed);
+            let out = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..5 {
+                let out = out.clone();
+                sim.schedule_in(Duration::from_millis(1), move |sim| {
+                    let v = sim.rng().next_u64();
+                    out.borrow_mut().push(v);
+                });
+            }
+            sim.run();
+            let v = out.borrow().clone();
+            v
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

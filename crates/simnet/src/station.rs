@@ -1,0 +1,442 @@
+//! Queueing stations: bounded-queue worker pools with stochastic service
+//! times.
+//!
+//! Stations model the serving resources of the DFI control plane: the Policy
+//! Compilation Point's worker pool and the MySQL-backed Entity Resolution
+//! Manager and Policy Manager stores. The paper's Figure 4 behaviour — time
+//! to first byte rising with offered load, a saturation onset, and a plateau
+//! caused by a bounded queue dropping new flows — is an emergent property of
+//! exactly this structure.
+
+use crate::dist::Dist;
+use crate::metrics::Summary;
+use crate::sim::Sim;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Configuration for a [`Station`].
+#[derive(Clone, Debug)]
+pub struct StationConfig {
+    /// Label used in stats output.
+    pub name: String,
+    /// Number of parallel workers (service channels).
+    pub workers: usize,
+    /// Maximum number of jobs waiting beyond those in service; a job
+    /// arriving to a full queue is dropped.
+    pub queue_capacity: usize,
+    /// Base service-time distribution.
+    pub service_time: Dist,
+    /// Load-dependent contention coefficient.
+    ///
+    /// The effective service time of a job is the base draw multiplied by
+    /// `1 + contention * occupancy / workers`, where occupancy counts jobs
+    /// in service plus queued at the moment service begins. This models
+    /// shared-resource slowdown (lock and buffer-pool contention in the
+    /// paper's MySQL back end) near the saturation point.
+    pub contention: f64,
+    /// Arrival-rate-proportional service inflation.
+    ///
+    /// The effective service time is additionally multiplied by
+    /// `1 + load_inflation * rate / 1000`, where `rate` is the station's
+    /// recent arrival rate in jobs/second (measured over
+    /// [`StationConfig::rate_window`]). This models throughput-dependent
+    /// slowdown of a shared back end (the paper's Figure 4 shows DFI's
+    /// time-to-first-byte rising roughly linearly with offered load well
+    /// before queueing saturation, which pure queueing cannot produce).
+    pub load_inflation: f64,
+    /// Rate (jobs/sec) below which no inflation applies — light serial
+    /// probing must not read as load.
+    pub load_floor: f64,
+    /// Window over which the arrival rate is estimated.
+    pub rate_window: Duration,
+}
+
+impl StationConfig {
+    /// A single-worker station with a large queue and no contention.
+    pub fn simple(name: impl Into<String>, service_time: Dist) -> Self {
+        StationConfig {
+            name: name.into(),
+            workers: 1,
+            queue_capacity: usize::MAX,
+            service_time,
+            contention: 0.0,
+            load_inflation: 0.0,
+            load_floor: 0.0,
+            rate_window: Duration::from_millis(500),
+        }
+    }
+
+    /// Sets the worker count (builder style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the queue capacity (builder style).
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Sets the contention coefficient (builder style).
+    pub fn contention(mut self, c: f64) -> Self {
+        self.contention = c;
+        self
+    }
+
+    /// Sets the load-inflation coefficient (builder style).
+    pub fn load_inflation(mut self, c: f64) -> Self {
+        self.load_inflation = c;
+        self
+    }
+}
+
+/// Outcome of submitting a job to a station.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job entered service immediately.
+    Serving,
+    /// The job was queued behind others.
+    Queued,
+    /// The queue was full; the job was discarded (its completion callback
+    /// will never run).
+    Dropped,
+}
+
+/// Aggregate statistics observed by a station.
+#[derive(Clone, Debug, Default)]
+pub struct StationStats {
+    /// Jobs submitted (including drops).
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs dropped at a full queue.
+    pub dropped: u64,
+    /// Time spent waiting in queue (seconds), per completed job.
+    pub wait: Summary,
+    /// Time spent in service (seconds), per completed job.
+    pub service: Summary,
+    /// Total sojourn (wait + service, seconds), per completed job.
+    pub sojourn: Summary,
+}
+
+struct Pending {
+    enqueued: SimTime,
+    on_complete: Box<dyn FnOnce(&mut Sim)>,
+}
+
+struct Inner {
+    config: StationConfig,
+    busy: usize,
+    queue: VecDeque<Pending>,
+    stats: StationStats,
+    arrivals: VecDeque<SimTime>,
+}
+
+/// A shared handle to a bounded-queue worker-pool queueing station.
+///
+/// Cloning the handle shares the underlying station (single-threaded `Rc`
+/// sharing, matching the simulator's execution model).
+#[derive(Clone)]
+pub struct Station {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Station {
+    /// Creates a station.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(config: StationConfig) -> Self {
+        assert!(config.workers > 0, "station needs at least one worker");
+        Station {
+            inner: Rc::new(RefCell::new(Inner {
+                config,
+                busy: 0,
+                queue: VecDeque::new(),
+                stats: StationStats::default(),
+                arrivals: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Submits a job. When the job completes service, `on_complete` runs at
+    /// the completion time. Dropped jobs never complete.
+    pub fn submit<F>(&self, sim: &mut Sim, on_complete: F) -> SubmitOutcome
+    where
+        F: FnOnce(&mut Sim) + 'static,
+    {
+        let now = sim.now();
+        let start_immediately = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.submitted += 1;
+            if inner.busy < inner.config.workers || inner.queue.len() < inner.config.queue_capacity
+            {
+                // Only admitted jobs contribute to the observed rate —
+                // shed load must not inflate the back end it never reaches.
+                if inner.config.load_inflation > 0.0 {
+                    let horizon = now
+                        .saturating_duration_since(SimTime::ZERO)
+                        .checked_sub(inner.config.rate_window)
+                        .map(|d| SimTime::ZERO + d)
+                        .unwrap_or(SimTime::ZERO);
+                    while inner.arrivals.front().is_some_and(|&t| t < horizon) {
+                        inner.arrivals.pop_front();
+                    }
+                    inner.arrivals.push_back(now);
+                }
+            }
+            if inner.busy < inner.config.workers {
+                inner.busy += 1;
+                true
+            } else if inner.queue.len() < inner.config.queue_capacity {
+                inner.queue.push_back(Pending {
+                    enqueued: now,
+                    on_complete: Box::new(on_complete),
+                });
+                return SubmitOutcome::Queued;
+            } else {
+                inner.stats.dropped += 1;
+                return SubmitOutcome::Dropped;
+            }
+        };
+        debug_assert!(start_immediately);
+        self.begin_service(sim, now, Box::new(on_complete));
+        SubmitOutcome::Serving
+    }
+
+    fn begin_service(&self, sim: &mut Sim, enqueued: SimTime, job: Box<dyn FnOnce(&mut Sim)>) {
+        let now = sim.now();
+        let service = {
+            let inner = self.inner.borrow();
+            let base = inner.config.service_time.sample(sim.rng());
+            let occupancy = (inner.busy + inner.queue.len()) as f64;
+            let mut factor =
+                1.0 + inner.config.contention * occupancy / inner.config.workers as f64;
+            if inner.config.load_inflation > 0.0 {
+                // Rate over the full window (time before the epoch counts
+                // as idle), so a lone early job does not read as a burst.
+                let window = inner.config.rate_window.as_secs_f64();
+                let rate = inner.arrivals.len() as f64 / window;
+                let excess = (rate - inner.config.load_floor).max(0.0);
+                factor *= 1.0 + inner.config.load_inflation * excess / 1000.0;
+            }
+            Duration::from_secs_f64(base.as_secs_f64() * factor)
+        };
+        let wait = now - enqueued;
+        let station = self.clone();
+        sim.schedule_in(service, move |sim| {
+            {
+                let mut inner = station.inner.borrow_mut();
+                inner.stats.completed += 1;
+                inner.stats.wait.push(wait.as_secs_f64());
+                inner.stats.service.push(service.as_secs_f64());
+                inner.stats.sojourn.push((wait + service).as_secs_f64());
+            }
+            job(sim);
+            // Pull the next queued job, if any, into the freed worker.
+            let next = {
+                let mut inner = station.inner.borrow_mut();
+                match inner.queue.pop_front() {
+                    Some(p) => Some(p),
+                    None => {
+                        inner.busy -= 1;
+                        None
+                    }
+                }
+            };
+            if let Some(p) = next {
+                station.begin_service(sim, p.enqueued, p.on_complete);
+            }
+        });
+    }
+
+    /// Number of jobs currently in service.
+    pub fn busy(&self) -> usize {
+        self.inner.borrow().busy
+    }
+
+    /// Number of jobs currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Snapshot of accumulated statistics.
+    pub fn stats(&self) -> StationStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    /// The station's configured name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().config.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn station(workers: usize, cap: usize, ms: f64) -> Station {
+        Station::new(StationConfig {
+            name: "t".into(),
+            workers,
+            queue_capacity: cap,
+            service_time: Dist::constant_ms(ms),
+            contention: 0.0,
+            load_inflation: 0.0,
+            load_floor: 0.0,
+            rate_window: Duration::from_millis(500),
+        })
+    }
+
+    #[test]
+    fn single_job_completes_after_service_time() {
+        let mut sim = Sim::new(0);
+        let st = station(1, 10, 5.0);
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = done.clone();
+        assert_eq!(
+            st.submit(&mut sim, move |sim| d.set(sim.now())),
+            SubmitOutcome::Serving
+        );
+        sim.run();
+        assert_eq!(done.get(), SimTime::from_millis(5));
+        assert_eq!(st.stats().completed, 1);
+    }
+
+    #[test]
+    fn fifo_queueing_behind_single_worker() {
+        let mut sim = Sim::new(0);
+        let st = station(1, 10, 10.0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let order = order.clone();
+            let outcome = st.submit(&mut sim, move |sim| {
+                order.borrow_mut().push((i, sim.now().as_millis()));
+            });
+            if i == 0 {
+                assert_eq!(outcome, SubmitOutcome::Serving);
+            } else {
+                assert_eq!(outcome, SubmitOutcome::Queued);
+            }
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn parallel_workers_serve_concurrently() {
+        let mut sim = Sim::new(0);
+        let st = station(4, 10, 10.0);
+        let done = Rc::new(Cell::new(0u32));
+        for _ in 0..4 {
+            let d = done.clone();
+            st.submit(&mut sim, move |_| d.set(d.get() + 1));
+        }
+        sim.run();
+        assert_eq!(done.get(), 4);
+        assert_eq!(sim.now(), SimTime::from_millis(10), "all four in parallel");
+    }
+
+    #[test]
+    fn full_queue_drops() {
+        let mut sim = Sim::new(0);
+        let st = station(1, 2, 10.0);
+        let mut outcomes = Vec::new();
+        for _ in 0..5 {
+            outcomes.push(st.submit(&mut sim, |_| {}));
+        }
+        assert_eq!(
+            outcomes,
+            vec![
+                SubmitOutcome::Serving,
+                SubmitOutcome::Queued,
+                SubmitOutcome::Queued,
+                SubmitOutcome::Dropped,
+                SubmitOutcome::Dropped,
+            ]
+        );
+        sim.run();
+        let stats = st.stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.dropped, 2);
+    }
+
+    #[test]
+    fn wait_times_are_recorded() {
+        let mut sim = Sim::new(0);
+        let st = station(1, 10, 10.0);
+        st.submit(&mut sim, |_| {});
+        st.submit(&mut sim, |_| {});
+        sim.run();
+        let stats = st.stats();
+        assert_eq!(stats.wait.count(), 2);
+        // First waited 0 ms, second waited 10 ms.
+        assert!((stats.wait.mean() - 0.005).abs() < 1e-9);
+        assert!((stats.sojourn.max() - 0.020).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worker_freed_after_queue_drains() {
+        let mut sim = Sim::new(0);
+        let st = station(1, 10, 1.0);
+        st.submit(&mut sim, |_| {});
+        sim.run();
+        assert_eq!(st.busy(), 0);
+        assert_eq!(st.queue_len(), 0);
+        // Station is reusable afterwards.
+        st.submit(&mut sim, |_| {});
+        sim.run();
+        assert_eq!(st.stats().completed, 2);
+    }
+
+    #[test]
+    fn contention_slows_service_under_occupancy() {
+        let mut sim = Sim::new(0);
+        let st = Station::new(StationConfig {
+            name: "contended".into(),
+            workers: 1,
+            queue_capacity: 100,
+            service_time: Dist::constant_ms(10.0),
+            contention: 1.0,
+            load_inflation: 0.0,
+            load_floor: 0.0,
+            rate_window: Duration::from_millis(500),
+        });
+        // Single job: occupancy 1/1 → factor 2 → 20 ms.
+        let done = Rc::new(Cell::new(SimTime::ZERO));
+        let d = done.clone();
+        st.submit(&mut sim, move |sim| d.set(sim.now()));
+        sim.run();
+        assert_eq!(done.get(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        station(0, 1, 1.0);
+    }
+
+    #[test]
+    fn submissions_from_completion_callbacks_work() {
+        let mut sim = Sim::new(0);
+        let st = station(1, 10, 5.0);
+        let count = Rc::new(Cell::new(0u32));
+        let c = count.clone();
+        let st2 = st.clone();
+        st.submit(&mut sim, move |sim| {
+            c.set(c.get() + 1);
+            let c2 = c.clone();
+            st2.submit(sim, move |_| c2.set(c2.get() + 1));
+        });
+        sim.run();
+        assert_eq!(count.get(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+}

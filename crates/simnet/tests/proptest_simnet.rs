@@ -1,0 +1,145 @@
+//! Property-based tests for the simulation kernel.
+
+use dfi_simnet::{Dist, Sim, SimTime, Station, StationConfig, Summary};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events always execute in non-decreasing time order, whatever the
+    /// insertion order.
+    #[test]
+    fn events_execute_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let mut sim = Sim::new(1);
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for d in &delays {
+            let times = times.clone();
+            sim.schedule_at(SimTime::from_micros(*d), move |sim| {
+                times.borrow_mut().push(sim.now());
+            });
+        }
+        sim.run();
+        let t = times.borrow();
+        prop_assert_eq!(t.len(), delays.len());
+        for w in t.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut expected: Vec<u64> = delays.clone();
+        expected.sort_unstable();
+        let got: Vec<u64> = t.iter().map(|x| x.as_micros()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Job conservation at a station: after the queue drains,
+    /// submitted == completed + dropped, and completions never exceed
+    /// what a work-conserving server could do.
+    #[test]
+    fn station_conserves_jobs(
+        workers in 1usize..8,
+        capacity in 0usize..16,
+        jobs in 1usize..64,
+        service_us in 1u64..5_000,
+    ) {
+        let mut sim = Sim::new(7);
+        let st = Station::new(StationConfig {
+            workers,
+            queue_capacity: capacity,
+            ..StationConfig::simple("p", Dist::Constant(Duration::from_micros(service_us)))
+        });
+        let done = Rc::new(RefCell::new(0u64));
+        for _ in 0..jobs {
+            let d = done.clone();
+            st.submit(&mut sim, move |_| *d.borrow_mut() += 1);
+        }
+        sim.run();
+        let stats = st.stats();
+        prop_assert_eq!(stats.submitted, jobs as u64);
+        prop_assert_eq!(stats.completed + stats.dropped, jobs as u64);
+        prop_assert_eq!(stats.completed, *done.borrow());
+        // With simultaneous arrival, acceptance is exactly bounded by
+        // workers + queue capacity.
+        let accepted = (workers + capacity).min(jobs) as u64;
+        prop_assert_eq!(stats.completed, accepted);
+        // Work conservation: total time = ceil(accepted/workers) * service.
+        let rounds = accepted.div_ceil(workers as u64);
+        prop_assert_eq!(
+            sim.now(),
+            SimTime::from_micros(rounds * service_us)
+        );
+    }
+
+    /// Summary percentiles are order statistics: bounded by min/max and
+    /// monotone in q.
+    #[test]
+    fn summary_percentiles_are_order_statistics(
+        samples in proptest::collection::vec(0.0f64..1e6, 1..128),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let mut s = Summary::new();
+        for &x in &samples {
+            s.push(x);
+        }
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        prop_assert!(s.percentile(lo) <= s.percentile(hi));
+        prop_assert!(s.percentile(0.0) >= s.min());
+        prop_assert!(s.percentile(1.0) <= s.max());
+        prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+        prop_assert!(samples.contains(&s.percentile(hi)));
+    }
+
+    /// The RNG's bounded draws are in range and deterministic per seed.
+    #[test]
+    fn rng_bounded_draws(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut a = dfi_simnet::SimRng::new(seed);
+        let mut b = dfi_simnet::SimRng::new(seed);
+        for _ in 0..64 {
+            let x = a.range_u64(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&x));
+            prop_assert_eq!(x, b.range_u64(lo, lo + span));
+        }
+    }
+
+    /// Cancelled events never fire; everything else does.
+    #[test]
+    fn cancellation_is_exact(
+        n in 1usize..32,
+        cancel_mask in any::<u32>(),
+    ) {
+        let mut sim = Sim::new(3);
+        let fired = Rc::new(RefCell::new(vec![false; n]));
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let fired = fired.clone();
+            ids.push(sim.schedule_at(SimTime::from_millis(i as u64 + 1), move |_| {
+                fired.borrow_mut()[i] = true;
+            }));
+        }
+        let mut cancelled = vec![false; n];
+        for i in 0..n {
+            if cancel_mask & (1 << (i % 32)) != 0 {
+                sim.cancel(ids[i]);
+                cancelled[i] = true;
+            }
+        }
+        sim.run();
+        for i in 0..n {
+            prop_assert_eq!(fired.borrow()[i], !cancelled[i], "event {}", i);
+        }
+    }
+
+    /// Distribution sampling stays non-negative and (for constants) exact.
+    #[test]
+    fn distributions_sample_sanely(mean_ms in 0.01f64..50.0, std_ms in 0.0f64..100.0) {
+        let mut rng = dfi_simnet::SimRng::new(11);
+        let d = Dist::normal_ms(mean_ms, std_ms);
+        for _ in 0..100 {
+            let _ = d.sample(&mut rng); // Duration type enforces >= 0
+        }
+        let c = Dist::constant_ms(mean_ms);
+        prop_assert_eq!(c.sample(&mut rng), Duration::from_secs_f64(mean_ms / 1e3));
+    }
+}

@@ -1,0 +1,384 @@
+//! End hosts: a minimal Windows-like network stack (TCP connect with
+//! Windows retransmission behavior, an SMB-ish listener on port 445) plus
+//! infection state.
+
+use dfi_dataplane::Tx;
+use dfi_packet::headers::build;
+use dfi_packet::{MacAddr, PacketHeaders};
+use dfi_simnet::{Sim, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Windows TCP connect behavior: initial SYN, retransmissions after 3 s
+/// and 9 s, give up at 21 s — the cost a worm pays for probing a target its
+/// policy denies.
+pub const SYN_RETRY_DELAYS: [Duration; 2] = [Duration::from_secs(3), Duration::from_secs(6)];
+/// Total time before a connect attempt fails.
+pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(21);
+
+/// The SMB port the worm exploits.
+pub const SMB_PORT: u16 = 445;
+
+type ConnectCallback = Box<dyn FnOnce(&mut Sim, bool)>;
+
+struct PendingConnect {
+    callback: Option<ConnectCallback>,
+}
+
+/// Mutable host state.
+pub struct HostNode {
+    /// Short machine name (e.g. `d3-h2`).
+    pub hostname: String,
+    /// Primary user, when this is an end host (servers have none).
+    pub primary_user: Option<String>,
+    /// The NIC's address.
+    pub mac: MacAddr,
+    /// The host's address.
+    pub ip: Ipv4Addr,
+    /// Department enclave (servers: `None`).
+    pub enclave: Option<String>,
+    /// `true` for the six servers.
+    pub is_server: bool,
+    /// `true` when the worm's exploit works against this host.
+    pub vulnerable: bool,
+    /// When the worm took this host, if it did.
+    pub infected_at: Option<SimTime>,
+    tx: Option<Tx>,
+    pending: HashMap<u16, PendingConnect>,
+    next_sport: u16,
+    /// Static ARP (the testbed pre-populates neighbor state so ARP churn
+    /// does not obscure the access-control results; see DESIGN.md).
+    arp: HashMap<Ipv4Addr, MacAddr>,
+    /// Connections accepted by the listener (diagnostics).
+    pub accepted: u64,
+}
+
+/// A shared-handle host.
+#[derive(Clone)]
+pub struct Host {
+    inner: Rc<RefCell<HostNode>>,
+}
+
+impl Host {
+    /// Creates a host (unattached; the testbed wires `tx` and ARP).
+    pub fn new(
+        hostname: &str,
+        primary_user: Option<&str>,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        enclave: Option<&str>,
+        is_server: bool,
+        vulnerable: bool,
+    ) -> Host {
+        Host {
+            inner: Rc::new(RefCell::new(HostNode {
+                hostname: hostname.to_string(),
+                primary_user: primary_user.map(str::to_string),
+                mac,
+                ip,
+                enclave: enclave.map(str::to_string),
+                is_server,
+                vulnerable,
+                infected_at: None,
+                tx: None,
+                pending: HashMap::new(),
+                next_sport: 49_152,
+                arp: HashMap::new(),
+                accepted: 0,
+            })),
+        }
+    }
+
+    /// Wires the host's NIC transmit handle.
+    pub fn attach(&self, tx: Tx) {
+        self.inner.borrow_mut().tx = Some(tx);
+    }
+
+    /// Adds a static ARP entry.
+    pub fn learn_arp(&self, ip: Ipv4Addr, mac: MacAddr) {
+        self.inner.borrow_mut().arp.insert(ip, mac);
+    }
+
+    /// Runs a closure over the host state.
+    pub fn with<R>(&self, f: impl FnOnce(&mut HostNode) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// The hostname.
+    pub fn hostname(&self) -> String {
+        self.inner.borrow().hostname.clone()
+    }
+
+    /// The address.
+    pub fn ip(&self) -> Ipv4Addr {
+        self.inner.borrow().ip
+    }
+
+    /// The MAC.
+    pub fn mac(&self) -> MacAddr {
+        self.inner.borrow().mac
+    }
+
+    /// `true` once infected.
+    pub fn is_infected(&self) -> bool {
+        self.inner.borrow().infected_at.is_some()
+    }
+
+    /// Marks the host infected (idempotent). Returns `true` on the first
+    /// infection.
+    pub fn mark_infected(&self, at: SimTime) -> bool {
+        let mut h = self.inner.borrow_mut();
+        if h.infected_at.is_none() {
+            h.infected_at = Some(at);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Initiates a TCP connection to `dst`: sends a SYN, retransmits on
+    /// the Windows schedule, and reports success (SYN-ACK seen) or failure
+    /// (21 s elapsed) through `callback`.
+    pub fn connect<F>(&self, sim: &mut Sim, dst_ip: Ipv4Addr, dst_port: u16, callback: F)
+    where
+        F: FnOnce(&mut Sim, bool) + 'static,
+    {
+        let (sport, frame_opt) = {
+            let mut h = self.inner.borrow_mut();
+            h.next_sport = h.next_sport.wrapping_add(1).max(1025);
+            let sport = h.next_sport;
+            let frame = h.arp.get(&dst_ip).map(|&dst_mac| {
+                build::tcp_syn(h.mac, dst_mac, h.ip, dst_ip, sport, dst_port)
+            });
+            h.pending.insert(
+                sport,
+                PendingConnect {
+                    callback: Some(Box::new(callback)),
+                },
+            );
+            (sport, frame)
+        };
+        let Some(frame) = frame_opt else {
+            // No ARP entry: immediate failure.
+            self.finish_connect(sim, sport, false);
+            return;
+        };
+        self.send(sim, frame.clone());
+        // Retransmissions.
+        let mut delay = Duration::ZERO;
+        for gap in SYN_RETRY_DELAYS {
+            delay += gap;
+            let me = self.clone();
+            let f = frame.clone();
+            sim.schedule_in(delay, move |sim| {
+                if me.inner.borrow().pending.contains_key(&sport) {
+                    me.send(sim, f);
+                }
+            });
+        }
+        // Final timeout.
+        let me = self.clone();
+        sim.schedule_in(CONNECT_TIMEOUT, move |sim| {
+            me.finish_connect(sim, sport, false);
+        });
+    }
+
+    fn finish_connect(&self, sim: &mut Sim, sport: u16, ok: bool) {
+        let cb = {
+            let mut h = self.inner.borrow_mut();
+            h.pending.remove(&sport).and_then(|p| p.callback)
+        };
+        if let Some(cb) = cb {
+            cb(sim, ok);
+        }
+    }
+
+    fn send(&self, sim: &mut Sim, frame: Vec<u8>) {
+        let tx = self.inner.borrow().tx.clone();
+        if let Some(tx) = tx {
+            tx.send(sim, frame);
+        }
+    }
+
+    /// The NIC receive path: answers SYNs on the SMB port, completes
+    /// pending connects on SYN-ACK. Returns a sink for topology wiring.
+    pub fn rx_sink(&self) -> dfi_dataplane::ByteSink {
+        let me = self.clone();
+        Rc::new(move |sim, frame: Vec<u8>| me.on_frame(sim, frame))
+    }
+
+    fn on_frame(&self, sim: &mut Sim, frame: Vec<u8>) {
+        let Ok(h) = PacketHeaders::parse(&frame) else {
+            return;
+        };
+        let (my_ip, my_mac) = {
+            let n = self.inner.borrow();
+            (n.ip, n.mac)
+        };
+        if h.ipv4_dst != Some(my_ip) {
+            return; // flooded frame for someone else
+        }
+        if h.is_tcp_syn() && h.tcp_dst == Some(SMB_PORT) {
+            // The SMB listener accepts.
+            self.inner.borrow_mut().accepted += 1;
+            let reply = build::tcp_syn_ack(
+                my_mac,
+                h.eth_src,
+                my_ip,
+                h.ipv4_src.expect("ipv4"),
+                SMB_PORT,
+                h.tcp_src.expect("tcp"),
+            );
+            self.send(sim, reply);
+            return;
+        }
+        let is_syn_ack = h
+            .tcp_flags
+            .map(|f| f.contains(dfi_packet::TcpFlags::SYN_ACK))
+            .unwrap_or(false);
+        if is_syn_ack {
+            if let Some(sport) = h.tcp_dst {
+                self.finish_connect(sim, sport, true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_dataplane::{dfi_allow_rule, Network, SwitchConfig};
+    use dfi_openflow::{Action, FlowMod, Instruction, Match};
+
+    fn wire_pair() -> (Sim, Host, Host) {
+        let mut sim = Sim::new(5);
+        let mut net = Network::new();
+        let sw = net.add_switch(SwitchConfig::new(1));
+        let a = Host::new(
+            "a",
+            Some("alice"),
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Some("eng"),
+            false,
+            false,
+        );
+        let b = Host::new(
+            "b",
+            Some("bob"),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Some("eng"),
+            false,
+            true,
+        );
+        let lat = Duration::from_micros(50);
+        let tx_a = net.attach_host(&sw, 1, lat, a.rx_sink());
+        let tx_b = net.attach_host(&sw, 2, lat, b.rx_sink());
+        a.attach(tx_a);
+        b.attach(tx_b);
+        a.learn_arp(b.ip(), b.mac());
+        b.learn_arp(a.ip(), a.mac());
+        // Static forwarding so the pair can talk without a controller.
+        sw.install(&mut sim, dfi_allow_rule(Match::any(), 0, 1));
+        for (port, mac) in [(1u32, a.mac()), (2, b.mac())] {
+            let fm = FlowMod {
+                table_id: 1,
+                priority: 1,
+                mat: Match {
+                    eth_dst: Some(mac),
+                    ..Match::default()
+                },
+                instructions: vec![Instruction::ApplyActions(vec![Action::output(port)])],
+                ..FlowMod::add()
+            };
+            sw.install(&mut sim, fm);
+        }
+        (sim, a, b)
+    }
+
+    #[test]
+    fn connect_succeeds_when_reachable() {
+        let (mut sim, a, b) = wire_pair();
+        let result = Rc::new(RefCell::new(None));
+        let r = result.clone();
+        a.connect(&mut sim, b.ip(), SMB_PORT, move |_sim, ok| {
+            *r.borrow_mut() = Some(ok);
+        });
+        sim.run();
+        assert_eq!(*result.borrow(), Some(true));
+        assert_eq!(b.with(|h| h.accepted), 1);
+        // Success resolves quickly, not at the 21s timeout.
+        assert!(sim.now() < SimTime::from_secs(22));
+    }
+
+    #[test]
+    fn connect_times_out_after_21s_when_blackholed() {
+        let (mut sim, a, _b) = wire_pair();
+        // Connect to an address nobody owns.
+        let ghost = Ipv4Addr::new(10, 0, 0, 99);
+        a.learn_arp(ghost, MacAddr::from_index(99));
+        let result = Rc::new(RefCell::new(None));
+        let r = result.clone();
+        let t0 = sim.now();
+        a.connect(&mut sim, ghost, SMB_PORT, move |_sim, ok| {
+            *r.borrow_mut() = Some(ok);
+        });
+        sim.run();
+        assert_eq!(*result.borrow(), Some(false));
+        assert!(sim.now() - t0 >= CONNECT_TIMEOUT);
+    }
+
+    #[test]
+    fn connect_without_arp_fails_immediately() {
+        let (mut sim, a, _b) = wire_pair();
+        let result = Rc::new(RefCell::new(None));
+        let r = result.clone();
+        a.connect(&mut sim, Ipv4Addr::new(1, 2, 3, 4), 80, move |_sim, ok| {
+            *r.borrow_mut() = Some(ok);
+        });
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(*result.borrow(), Some(false));
+    }
+
+    #[test]
+    fn non_smb_syns_are_ignored_by_listener() {
+        let (mut sim, a, b) = wire_pair();
+        let result = Rc::new(RefCell::new(None));
+        let r = result.clone();
+        a.connect(&mut sim, b.ip(), 8080, move |_sim, ok| {
+            *r.borrow_mut() = Some(ok);
+        });
+        sim.run();
+        assert_eq!(*result.borrow(), Some(false), "no listener on 8080");
+        assert_eq!(b.with(|h| h.accepted), 0);
+    }
+
+    #[test]
+    fn infection_is_recorded_once() {
+        let (_sim, a, _b) = wire_pair();
+        assert!(!a.is_infected());
+        assert!(a.mark_infected(SimTime::from_secs(1)));
+        assert!(!a.mark_infected(SimTime::from_secs(2)), "idempotent");
+        assert_eq!(a.with(|h| h.infected_at), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn concurrent_connects_use_distinct_ports() {
+        let (mut sim, a, b) = wire_pair();
+        let count = Rc::new(RefCell::new(0));
+        for _ in 0..5 {
+            let c = count.clone();
+            a.connect(&mut sim, b.ip(), SMB_PORT, move |_s, ok| {
+                if ok {
+                    *c.borrow_mut() += 1;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+    }
+}

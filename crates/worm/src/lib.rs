@@ -1,0 +1,37 @@
+//! The NotPetya-surrogate worm, the paper's enterprise testbed model, and
+//! the infection scenarios behind Figure 5.
+//!
+//! Paper §V-B constructs "a surrogate of the NotPetya malware … based on
+//! its propagation logic" and releases it on a testbed modeled after a
+//! small operational enterprise: 86 Windows 10 end hosts, 6 servers, and
+//! 14 OpenFlow switches in a star topology. This crate rebuilds all of it:
+//!
+//! * [`TestbedConfig`]/[`Testbed`] — the star topology (1 core + 13
+//!   enclave switches), nine 9-host departments plus one 5-host
+//!   department, six servers, per-department Local Administrator grants,
+//!   DHCP/DNS/SIEM services wired into DFI's sensors, and one of three
+//!   access-control conditions ([`Condition`]).
+//! * [`Host`] — an end host: answers TCP connections, runs the worm when
+//!   infected, performs Windows-style connect timeouts (3 s initial RTO,
+//!   two retransmissions, ~21 s to give up) — the constant that makes
+//!   denied probes expensive for the worm.
+//! * [`WormConfig`] — the surrogate's propagation logic: serial target
+//!   loop over a shuffled list, exploit vector first, cached-credential
+//!   vector second, three-minute pause between passes, and a random
+//!   10–60 minute lifetime before it stops spreading.
+//! * [`schedule`] — per-user log-on/log-off "scripts" across a business
+//!   day (every user gets at least two morning hours, as in the paper).
+//! * [`scenario`] — the Figure 5 experiment driver.
+
+#![warn(missing_docs)]
+
+pub mod host;
+pub mod scenario;
+pub mod schedule;
+pub mod testbed;
+pub mod worm;
+
+pub use host::Host;
+pub use scenario::{run_scenario, ScenarioConfig, ScenarioResult};
+pub use testbed::{Condition, Testbed, TestbedConfig};
+pub use worm::WormConfig;

@@ -1,0 +1,219 @@
+//! The Figure 5 experiment driver: release the worm at a chosen hour under
+//! a chosen access-control condition and record the infection timeline.
+
+use crate::testbed::{Condition, Testbed, TestbedConfig};
+use crate::worm::{WormConfig, WormInstance, WormWorld};
+use dfi_simnet::{Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Access-control condition.
+    pub condition: Condition,
+    /// Hour of day (0–23, fractional allowed) the foothold is infected.
+    pub foothold_hour: f64,
+    /// Hostname of the foothold; `None` picks the first host of dept-1
+    /// (a departmental end host, as in the paper).
+    pub foothold: Option<String>,
+    /// How long after the foothold to keep observing.
+    pub observe: Duration,
+    /// RNG seed (scripts, shuffles, lifetimes).
+    pub seed: u64,
+    /// Testbed size.
+    pub testbed: TestbedConfig,
+    /// Worm behavior.
+    pub worm: WormConfig,
+}
+
+impl ScenarioConfig {
+    /// The paper's headline scenario: foothold at 09:00 under the given
+    /// condition, observed for 70 minutes (worm lifetime tops out at 60).
+    pub fn paper(condition: Condition) -> ScenarioConfig {
+        ScenarioConfig {
+            condition,
+            foothold_hour: 9.0,
+            foothold: None,
+            observe: Duration::from_secs(70 * 60),
+            seed: 0x5EED,
+            testbed: TestbedConfig::default(),
+            worm: WormConfig::default(),
+        }
+    }
+}
+
+/// Scenario outcome.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// (time, hostname) in infection order; the foothold is first.
+    pub infections: Vec<(SimTime, String)>,
+    /// Total hosts in the testbed.
+    pub total_hosts: usize,
+    /// When the foothold was infected.
+    pub foothold_at: SimTime,
+    /// The condition that ran.
+    pub condition: Condition,
+}
+
+impl ScenarioResult {
+    /// Hosts infected at or before `t`.
+    pub fn infected_by(&self, t: SimTime) -> usize {
+        self.infections.iter().filter(|(at, _)| *at <= t).count()
+    }
+
+    /// Total infected over the whole observation.
+    pub fn infected_total(&self) -> usize {
+        self.infections.len()
+    }
+
+    /// Time from foothold to the second infection (the paper's "first
+    /// infection" — the first victim beyond the foothold), if any.
+    pub fn time_to_first_spread(&self) -> Option<Duration> {
+        self.infections
+            .get(1)
+            .map(|(at, _)| *at - self.foothold_at)
+    }
+
+    /// Time from foothold until every host was infected, if that happened.
+    pub fn time_to_full_infection(&self) -> Option<Duration> {
+        (self.infected_total() == self.total_hosts)
+            .then(|| self.infections.last().expect("nonempty").0 - self.foothold_at)
+    }
+
+    /// The infection count series as minutes-since-foothold points,
+    /// suitable for plotting Figure 5a.
+    pub fn series_minutes(&self, until_min: u64) -> Vec<(f64, usize)> {
+        let mut pts = Vec::new();
+        for m in 0..=until_min {
+            let t = self.foothold_at + Duration::from_secs(m * 60);
+            pts.push((m as f64, self.infected_by(t)));
+        }
+        pts
+    }
+}
+
+/// Builds the testbed, schedules the day's log-ons, infects the foothold
+/// at the configured hour, and runs until the observation window closes.
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
+    let mut sim = Sim::new(config.seed);
+    let tb = Testbed::build(&mut sim, &config.testbed, config.condition);
+    tb.schedule_logons(&mut sim);
+
+    let foothold_idx = match &config.foothold {
+        Some(name) => tb.index_of(name).expect("foothold exists"),
+        None => 0, // first host of dept-1
+    };
+    let world = Rc::new(WormWorld {
+        hosts: tb.hosts.clone(),
+        directory: tb.directory.clone(),
+        config: config.worm.clone(),
+        infections: RefCell::new(Vec::new()),
+        on_infect: RefCell::new(None),
+    });
+    {
+        let w = world.clone();
+        *world.on_infect.borrow_mut() = Some(Box::new(move |sim, idx| {
+            WormInstance::spawn(sim, w.clone(), idx);
+        }));
+    }
+
+    let foothold_at = SimTime::from_secs((config.foothold_hour * 3600.0) as u64);
+    {
+        let w = world.clone();
+        sim.schedule_at(foothold_at, move |sim| {
+            w.infect(sim, foothold_idx);
+        });
+    }
+
+    sim.set_event_limit(2_000_000_000);
+    sim.run_until(foothold_at + config.observe);
+
+    let infections = world.infections.borrow().clone();
+    ScenarioResult {
+        infections,
+        total_hosts: tb.total_hosts(),
+        foothold_at,
+        condition: config.condition,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario(condition: Condition, hour: f64) -> ScenarioConfig {
+        ScenarioConfig {
+            condition,
+            foothold_hour: hour,
+            foothold: None,
+            observe: Duration::from_secs(40 * 60),
+            seed: 0xBEEF,
+            testbed: TestbedConfig::small(),
+            worm: WormConfig {
+                lifetime_min: Duration::from_secs(30 * 60),
+                lifetime_max: Duration::from_secs(31 * 60),
+                pass_pause: Duration::from_secs(60),
+                ..WormConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn baseline_overruns_the_small_testbed() {
+        let r = run_scenario(&small_scenario(Condition::Baseline, 9.0));
+        assert_eq!(
+            r.infected_total(),
+            r.total_hosts,
+            "no access control → total infection: {:?}",
+            r.infections
+        );
+        // First spread within a few seconds of the foothold.
+        let first = r.time_to_first_spread().unwrap();
+        assert!(first < Duration::from_secs(30), "first spread {first:?}");
+    }
+
+    #[test]
+    fn srbac_slows_but_does_not_stop() {
+        let b = run_scenario(&small_scenario(Condition::Baseline, 9.0));
+        let s = run_scenario(&small_scenario(Condition::SRbac, 9.0));
+        assert_eq!(s.infected_total(), s.total_hosts, "S-RBAC eventually falls");
+        let tb = b.time_to_full_infection().unwrap();
+        let ts = s.time_to_full_infection().unwrap();
+        assert!(
+            ts > tb,
+            "S-RBAC must be slower: baseline {tb:?} vs s-rbac {ts:?}"
+        );
+    }
+
+    #[test]
+    fn at_rbac_off_hours_foothold_cannot_spread() {
+        // 03:00: nobody logged on, so the foothold cannot even reach the
+        // servers; the worm times out alone.
+        let r = run_scenario(&small_scenario(Condition::AtRbac, 3.0));
+        assert_eq!(r.infected_total(), 1, "only the foothold: {:?}", r.infections);
+    }
+
+    #[test]
+    fn at_rbac_business_hours_spread_is_limited_vs_srbac() {
+        let s = run_scenario(&small_scenario(Condition::SRbac, 9.0));
+        let a = run_scenario(&small_scenario(Condition::AtRbac, 9.0));
+        assert!(
+            a.infected_by(a.foothold_at + Duration::from_secs(600))
+                <= s.infected_by(s.foothold_at + Duration::from_secs(600)),
+            "AT-RBAC no faster than S-RBAC"
+        );
+        assert!(a.infected_total() >= 2, "but business hours do allow spread");
+    }
+
+    #[test]
+    fn series_is_monotonic() {
+        let r = run_scenario(&small_scenario(Condition::Baseline, 9.0));
+        let series = r.series_minutes(30);
+        for w in series.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(series[0].0, 0.0);
+    }
+}

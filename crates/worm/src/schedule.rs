@@ -1,0 +1,166 @@
+//! Per-user log-on/log-off day scripts.
+//!
+//! Paper §V-B: "Log-on and log-off events for users on their primary host
+//! are simulated over the course of the day, each being randomly assigned
+//! a unique time-series 'script' that establishes when the user is logged
+//! on or off. … Each script contains at least two hours of being logged on
+//! during the first half of the work day (between 09:00-13:00)."
+
+use dfi_simnet::{SimRng, SimTime};
+use std::time::Duration;
+
+/// One logged-on interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Session {
+    /// Log-on time (virtual time of day; the simulation epoch is 00:00).
+    pub on: SimTime,
+    /// Log-off time.
+    pub off: SimTime,
+}
+
+/// A user's day script: the sessions during which they are logged on to
+/// their primary host.
+#[derive(Clone, Debug, Default)]
+pub struct LogonScript {
+    /// Sessions in chronological order.
+    pub sessions: Vec<Session>,
+}
+
+fn hm(h: u64, m: u64) -> SimTime {
+    SimTime::from_secs(h * 3600 + m * 60)
+}
+
+impl LogonScript {
+    /// Generates a script: a main workday session starting 08:00–10:30
+    /// (staggered arrivals — the "moving target" the paper's AT-RBAC
+    /// exploits) and ending 15:00–18:00, always with ≥2 h of presence
+    /// inside 09:00–13:00; an optional lunch gap; an occasional short
+    /// evening session.
+    pub fn generate(rng: &mut SimRng) -> LogonScript {
+        let mut sessions = Vec::new();
+        let start = hm(8, 0) + Duration::from_secs(rng.range_u64(0, 9_000));
+        let end = hm(15, 0) + Duration::from_secs(rng.range_u64(0, 3 * 3600));
+        if rng.chance(0.5) {
+            // Lunch log-off between 12:30 and 13:30 for 20–50 minutes —
+            // after the guaranteed morning block.
+            let lunch_start = hm(12, 30) + Duration::from_secs(rng.range_u64(0, 3600));
+            let lunch_len = Duration::from_secs(rng.range_u64(20 * 60, 50 * 60));
+            sessions.push(Session {
+                on: start,
+                off: lunch_start,
+            });
+            sessions.push(Session {
+                on: lunch_start + lunch_len,
+                off: end,
+            });
+        } else {
+            sessions.push(Session {
+                on: start,
+                off: end,
+            });
+        }
+        if rng.chance(0.2) {
+            let evening = hm(19, 0) + Duration::from_secs(rng.range_u64(0, 2 * 3600));
+            let len = Duration::from_secs(rng.range_u64(30 * 60, 2 * 3600));
+            sessions.push(Session {
+                on: evening,
+                off: evening + len,
+            });
+        }
+        LogonScript { sessions }
+    }
+
+    /// `true` while the user is logged on at `t`.
+    pub fn logged_on_at(&self, t: SimTime) -> bool {
+        self.sessions.iter().any(|s| s.on <= t && t < s.off)
+    }
+
+    /// Seconds logged on within `[from, to)`.
+    pub fn seconds_on_between(&self, from: SimTime, to: SimTime) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| {
+                let lo = s.on.max(from);
+                let hi = s.off.min(to);
+                (hi - lo).as_secs()
+            })
+            .sum()
+    }
+
+    /// The first log-on at or after `t`, if any.
+    pub fn next_logon_after(&self, t: SimTime) -> Option<SimTime> {
+        self.sessions
+            .iter()
+            .map(|s| s.on)
+            .filter(|&on| on >= t)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_guarantee_two_morning_hours() {
+        let mut rng = SimRng::new(42);
+        for _ in 0..200 {
+            let script = LogonScript::generate(&mut rng);
+            let on = script.seconds_on_between(hm(9, 0), hm(13, 0));
+            assert!(
+                on >= 2 * 3600,
+                "script has only {on}s logged on between 09:00 and 13:00: {script:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_are_chronological_and_disjoint() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..200 {
+            let script = LogonScript::generate(&mut rng);
+            for w in script.sessions.windows(2) {
+                assert!(w[0].off <= w[1].on, "overlapping sessions: {script:?}");
+            }
+            for s in &script.sessions {
+                assert!(s.on < s.off);
+            }
+        }
+    }
+
+    #[test]
+    fn logged_on_at_matches_sessions() {
+        let script = LogonScript {
+            sessions: vec![Session {
+                on: hm(9, 0),
+                off: hm(17, 0),
+            }],
+        };
+        assert!(!script.logged_on_at(hm(8, 59)));
+        assert!(script.logged_on_at(hm(9, 0)));
+        assert!(script.logged_on_at(hm(12, 0)));
+        assert!(!script.logged_on_at(hm(17, 0)));
+    }
+
+    #[test]
+    fn off_hours_are_mostly_empty() {
+        let mut rng = SimRng::new(3);
+        let mut on_at_3am = 0;
+        for _ in 0..100 {
+            let script = LogonScript::generate(&mut rng);
+            if script.logged_on_at(hm(3, 0)) {
+                on_at_3am += 1;
+            }
+        }
+        assert_eq!(on_at_3am, 0, "nobody works at 3am in this testbed");
+    }
+
+    #[test]
+    fn next_logon_after_finds_morning_start() {
+        let mut rng = SimRng::new(11);
+        let script = LogonScript::generate(&mut rng);
+        let next = script.next_logon_after(SimTime::ZERO).unwrap();
+        assert!(next >= hm(8, 0) && next <= hm(10, 30));
+        assert_eq!(script.next_logon_after(hm(23, 59)), None);
+    }
+}

@@ -1,0 +1,469 @@
+//! The enterprise testbed (paper §V-B):
+//!
+//! > "It is built with VMware vSphere and includes 86 Windows 10 VMs
+//! > acting as end hosts and 6 Windows server VMs supporting common
+//! > enterprise services. The data plane includes 14 OpenFlow switches …
+//! > The network topology is a star, with a single core switch and 13
+//! > enclave switches internally connected to it. Nine of the enclaves
+//! > support operational departments, with 9 hosts in each, while the
+//! > remaining enclaves host servers and a smaller department with five
+//! > hosts. One end host in each enclave (10/86 total) is configured to be
+//! > vulnerable to the worm exploit … In addition, all servers are
+//! > vulnerable … Each end host has one unique, primary user, but other
+//! > users in the same enclave (department) group have 'Local
+//! > Administrator' privileges on the host. Servers … have no primary
+//! > users, and therefore no cached credentials."
+
+use crate::host::Host;
+use crate::schedule::LogonScript;
+use dfi_controller::Controller;
+use dfi_core::events::{wire_dhcp_sensor, wire_dns_sensor, wire_siem_sensor};
+use dfi_core::pdp::{AtRbacPdp, BaselinePdp, SRbacPdp};
+use dfi_core::policy::RbacRoles;
+use dfi_core::{Dfi, DfiConfig};
+use dfi_dataplane::{Network, Switch, SwitchConfig};
+use dfi_packet::MacAddr;
+use dfi_services::{DhcpServer, Directory, DnsServer, Siem};
+use dfi_simnet::Sim;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// The access-control condition under evaluation (paper §V-B
+/// "Conditions").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// "A fully-connected network with no access control."
+    Baseline,
+    /// Static role-based access control: enclave plus servers, forever.
+    SRbac,
+    /// Authentication-triggered RBAC — the policy uniquely enabled by DFI.
+    AtRbac,
+}
+
+/// Testbed size knobs (defaults = the paper's testbed).
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// Departments with `hosts_per_dept` hosts each.
+    pub departments: usize,
+    /// Hosts in each full department.
+    pub hosts_per_dept: usize,
+    /// Size of the one smaller department.
+    pub small_dept_hosts: usize,
+    /// Server names (all vulnerable, no users).
+    pub servers: Vec<String>,
+    /// Access link latency.
+    pub link_latency: Duration,
+    /// DFI calibration.
+    pub dfi: DfiConfig,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            departments: 9,
+            hosts_per_dept: 9,
+            small_dept_hosts: 5,
+            servers: ["ad", "mail", "files", "web", "db", "backup"]
+                .into_iter()
+                .map(String::from)
+                .collect(),
+            link_latency: Duration::from_micros(50),
+            dfi: DfiConfig::default(),
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// A reduced testbed for fast tests: 2 departments of 3, 2 servers.
+    pub fn small() -> TestbedConfig {
+        TestbedConfig {
+            departments: 2,
+            hosts_per_dept: 3,
+            small_dept_hosts: 2,
+            servers: vec!["ad".into(), "files".into()],
+            ..TestbedConfig::default()
+        }
+    }
+}
+
+/// The built testbed.
+pub struct Testbed {
+    /// All hosts: end hosts first (department order), then servers.
+    pub hosts: Vec<Host>,
+    /// Per-host primary-user log-on script (end hosts only; index-aligned
+    /// with `hosts`, `None` for servers).
+    pub scripts: Vec<Option<LogonScript>>,
+    /// The switches (index 0 = core).
+    pub switches: Vec<Switch>,
+    /// The DFI control plane.
+    pub dfi: Dfi,
+    /// The (benign) SDN controller.
+    pub controller: Controller,
+    /// Role structure.
+    pub roles: RbacRoles,
+    /// Directory service.
+    pub directory: Directory,
+    /// SIEM pipeline (log-on events flow through here).
+    pub siem: Siem,
+    /// The DHCP server.
+    pub dhcp: DhcpServer,
+    /// The DNS server.
+    pub dns: DnsServer,
+    /// Index of the first vulnerable host of each department (the worm's
+    /// beachheads), in department order.
+    pub vulnerable_hosts: Vec<usize>,
+    condition: Condition,
+    at_rbac: Option<AtRbacPdp>,
+}
+
+impl Testbed {
+    /// Builds the full testbed under a condition: topology, services,
+    /// identifier bindings, control plane, and the condition's PDP.
+    /// Log-on scripts are generated but not yet scheduled — call
+    /// [`Testbed::schedule_logons`].
+    pub fn build(sim: &mut Sim, config: &TestbedConfig, condition: Condition) -> Testbed {
+        let mut roles = RbacRoles::new();
+        let directory = Directory::new();
+        let siem = Siem::new();
+        let dhcp = DhcpServer::new(
+            Ipv4Addr::new(10, 0, 100, 2),
+            Ipv4Addr::new(10, 0, 200, 1),
+            1024,
+        );
+        let dns = DnsServer::new("corp.local");
+
+        // ---- Inventory -------------------------------------------------
+        struct Plan {
+            hostname: String,
+            user: Option<String>,
+            enclave: Option<String>,
+            vulnerable: bool,
+            is_server: bool,
+        }
+        let mut plans: Vec<Plan> = Vec::new();
+        let mut dept_sizes: Vec<(String, usize)> = (0..config.departments)
+            .map(|d| (format!("dept-{}", d + 1), config.hosts_per_dept))
+            .collect();
+        if config.small_dept_hosts > 0 {
+            dept_sizes.push(("dept-small".to_string(), config.small_dept_hosts));
+        }
+        for (dept, size) in &dept_sizes {
+            let hostnames: Vec<String> =
+                (0..*size).map(|i| format!("{dept}-h{}", i + 1)).collect();
+            roles.add_enclave_owned(dept, hostnames.clone());
+            for (i, hostname) in hostnames.iter().enumerate() {
+                let user = format!("u-{hostname}");
+                plans.push(Plan {
+                    hostname: hostname.clone(),
+                    user: Some(user),
+                    enclave: Some(dept.clone()),
+                    // "One end host in each enclave" is vulnerable.
+                    vulnerable: i == 0,
+                    is_server: false,
+                });
+            }
+        }
+        for server in &config.servers {
+            roles.add_server(server);
+            plans.push(Plan {
+                hostname: server.clone(),
+                user: None,
+                enclave: None,
+                vulnerable: true, // "all servers are vulnerable"
+                is_server: true,
+            });
+        }
+        roles.add_core_service("ad");
+
+        // ---- Directory -------------------------------------------------
+        let mut cred = 0xC0DE_0000u64;
+        for p in &plans {
+            directory.join_machine(&p.hostname);
+            if let (Some(user), Some(dept)) = (&p.user, &p.enclave) {
+                cred += 1;
+                directory.add_user(user, cred);
+                directory.add_to_group(user, dept).expect("user exists");
+            }
+        }
+        // Department members hold Local Administrator on dept machines.
+        for p in &plans {
+            if let Some(dept) = &p.enclave {
+                directory.grant_local_admin(dept, &p.hostname);
+            }
+        }
+
+        // ---- Topology: star of switches --------------------------------
+        let mut net = Network::new();
+        let core = net.add_switch(SwitchConfig {
+            table_capacity: 1_000_000,
+            ..SwitchConfig::new(1)
+        });
+        let mut switches = vec![core.clone()];
+        let enclave_count = dept_sizes.len() + 3; // dept enclaves + server enclaves
+        for i in 0..enclave_count {
+            let sw = net.add_switch(SwitchConfig {
+                table_capacity: 1_000_000,
+                ..SwitchConfig::new(10 + i as u64)
+            });
+            net.link(&core, 100 + i as u32, &sw, 100, config.link_latency);
+            switches.push(sw);
+        }
+
+        // ---- Hosts ------------------------------------------------------
+        // Department d's hosts live on switch index 1+d; servers spread
+        // across the last three enclave switches.
+        let mut hosts: Vec<Host> = Vec::new();
+        let mut dept_of_switch: HashMap<String, usize> = HashMap::new();
+        for (i, (dept, _)) in dept_sizes.iter().enumerate() {
+            dept_of_switch.insert(dept.clone(), 1 + i);
+        }
+        let server_switch_base = 1 + dept_sizes.len();
+        let mut per_switch_port: HashMap<usize, u32> = HashMap::new();
+        let mut server_seq = 0usize;
+        for (idx, p) in plans.iter().enumerate() {
+            let sw_idx = match &p.enclave {
+                Some(dept) => dept_of_switch[dept],
+                None => {
+                    let s = server_switch_base + (server_seq % 3).min(enclave_count - 1);
+                    server_seq += 1;
+                    s.min(switches.len() - 1)
+                }
+            };
+            let port = {
+                let e = per_switch_port.entry(sw_idx).or_insert(0);
+                *e += 1;
+                *e
+            };
+            let mac = MacAddr::from_index(idx as u32 + 1);
+            let ip = match &p.enclave {
+                Some(dept) => {
+                    let d = dept_of_switch[dept] as u8;
+                    Ipv4Addr::new(10, 0, d, port as u8)
+                }
+                None => Ipv4Addr::new(10, 0, 100, 10 + server_seq as u8),
+            };
+            let host = Host::new(
+                &p.hostname,
+                p.user.as_deref(),
+                mac,
+                ip,
+                p.enclave.as_deref(),
+                p.is_server,
+                p.vulnerable,
+            );
+            let tx = net.attach_host(&switches[sw_idx], port, config.link_latency, host.rx_sink());
+            host.attach(tx);
+            hosts.push(host);
+        }
+        // Static ARP everywhere (the testbed pre-provisions neighbor state;
+        // ARP dynamics are orthogonal to the access-control question).
+        for h in &hosts {
+            for o in &hosts {
+                h.learn_arp(o.ip(), o.mac());
+            }
+        }
+
+        // ---- Control plane ---------------------------------------------
+        let dfi = Dfi::new(config.dfi.clone());
+        let controller = Controller::reactive();
+        for sw in &switches {
+            let c = controller.clone();
+            dfi.interpose(sim, sw, move |sim, sink| c.connect(sim, sink));
+        }
+
+        // ---- Services + identifier bindings ----------------------------
+        wire_dhcp_sensor(&dhcp, dfi.bus());
+        wire_dns_sensor(&dns, dfi.bus());
+        wire_siem_sensor(&siem, dfi.bus());
+        for (i, (h, p)) in hosts.iter().zip(&plans).enumerate() {
+            dhcp.reserve(h.mac(), h.ip());
+            let leased = dhcp
+                .quick_lease(sim, h.mac(), &p.hostname, i as u32 + 1)
+                .expect("lease");
+            debug_assert_eq!(leased, h.ip());
+            dns.register(sim, &p.hostname, h.ip());
+        }
+
+        // ---- PDP for the condition --------------------------------------
+        let mut at_rbac = None;
+        match condition {
+            Condition::Baseline => {
+                let mut pdp = BaselinePdp::new();
+                pdp.activate(sim, &dfi);
+            }
+            Condition::SRbac => {
+                let mut pdp = SRbacPdp::new(roles.clone());
+                pdp.activate(sim, &dfi);
+            }
+            Condition::AtRbac => {
+                at_rbac = Some(AtRbacPdp::activate(sim, &dfi, roles.clone()));
+            }
+        }
+        sim.run_until(sim.now() + Duration::from_secs(1)); // settle wiring
+
+        // ---- Log-on scripts ----------------------------------------------
+        let mut scripts = Vec::with_capacity(hosts.len());
+        let mut script_rng = sim.split_rng();
+        for p in &plans {
+            scripts.push(p.user.as_ref().map(|_| LogonScript::generate(&mut script_rng)));
+        }
+
+        let vulnerable_hosts = plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.vulnerable && !p.is_server)
+            .map(|(i, _)| i)
+            .collect();
+
+        Testbed {
+            hosts,
+            scripts,
+            switches,
+            dfi,
+            controller,
+            roles,
+            directory,
+            siem,
+            dhcp,
+            dns,
+            vulnerable_hosts,
+            condition,
+            at_rbac,
+        }
+    }
+
+    /// Schedules every user's log-on/log-off events (through the SIEM's
+    /// process-count heuristic) for the day.
+    pub fn schedule_logons(&self, sim: &mut Sim) {
+        for (host, script) in self.hosts.iter().zip(&self.scripts) {
+            let Some(script) = script else { continue };
+            let Some(user) = host.with(|h| h.primary_user.clone()) else {
+                continue;
+            };
+            let hostname = host.hostname();
+            for session in &script.sessions {
+                let siem = self.siem.clone();
+                let u = user.clone();
+                let h = hostname.clone();
+                sim.schedule_at(session.on, move |sim| {
+                    siem.log_on(sim, &u, &h);
+                });
+                let siem = self.siem.clone();
+                let u = user.clone();
+                let h = hostname.clone();
+                sim.schedule_at(session.off, move |sim| {
+                    siem.log_off(sim, &u, &h);
+                });
+            }
+        }
+    }
+
+    /// The active condition.
+    pub fn condition(&self) -> Condition {
+        self.condition
+    }
+
+    /// The AT-RBAC PDP when that condition is active.
+    pub fn at_rbac(&self) -> Option<&AtRbacPdp> {
+        self.at_rbac.as_ref()
+    }
+
+    /// Host index by hostname.
+    pub fn index_of(&self, hostname: &str) -> Option<usize> {
+        self.hosts.iter().position(|h| h.hostname() == hostname)
+    }
+
+    /// Number of hosts (end hosts + servers).
+    pub fn total_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_simnet::SimTime;
+
+    #[test]
+    fn paper_testbed_inventory() {
+        let mut sim = Sim::new(1);
+        let tb = Testbed::build(&mut sim, &TestbedConfig::default(), Condition::Baseline);
+        assert_eq!(tb.total_hosts(), 92, "86 end hosts + 6 servers");
+        let end_hosts = tb.hosts.iter().filter(|h| !h.with(|n| n.is_server)).count();
+        assert_eq!(end_hosts, 86);
+        assert_eq!(tb.switches.len(), 14, "1 core + 13 enclave switches");
+        assert_eq!(tb.vulnerable_hosts.len(), 10, "one per enclave");
+        let vulnerable_total = tb.hosts.iter().filter(|h| h.with(|n| n.vulnerable)).count();
+        assert_eq!(vulnerable_total, 16, "10 end hosts + 6 servers");
+    }
+
+    #[test]
+    fn departments_have_admin_on_each_other() {
+        let mut sim = Sim::new(1);
+        let tb = Testbed::build(&mut sim, &TestbedConfig::small(), Condition::Baseline);
+        assert!(tb.directory.is_local_admin("u-dept-1-h1", "dept-1-h2"));
+        assert!(!tb.directory.is_local_admin("u-dept-1-h1", "dept-2-h1"));
+    }
+
+    #[test]
+    fn bindings_are_preloaded() {
+        let mut sim = Sim::new(1);
+        let tb = Testbed::build(&mut sim, &TestbedConfig::small(), Condition::Baseline);
+        sim.run();
+        // DNS/DHCP sensors fed the ERM through the bus.
+        let h0 = tb.hosts[0].clone();
+        let names = tb.dfi.with_erm(|erm| erm.hosts_of_ip(h0.ip()));
+        assert!(names.iter().any(|n| n.contains(&h0.hostname())));
+    }
+
+    #[test]
+    fn hosts_have_unique_addresses() {
+        let mut sim = Sim::new(1);
+        let tb = Testbed::build(&mut sim, &TestbedConfig::default(), Condition::Baseline);
+        let mut ips: Vec<_> = tb.hosts.iter().map(|h| h.ip()).collect();
+        let n = ips.len();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), n, "duplicate IPs");
+        let mut macs: Vec<_> = tb.hosts.iter().map(|h| h.mac()).collect();
+        macs.sort();
+        macs.dedup();
+        assert_eq!(macs.len(), n, "duplicate MACs");
+    }
+
+    #[test]
+    fn logon_schedule_drives_siem() {
+        let mut sim = Sim::new(1);
+        let tb = Testbed::build(&mut sim, &TestbedConfig::small(), Condition::AtRbac);
+        tb.schedule_logons(&mut sim);
+        // By 11:00 every scripted user is logged on.
+        sim.run_until(SimTime::from_secs(11 * 3600));
+        let logged_on = tb
+            .hosts
+            .iter()
+            .filter(|h| {
+                h.with(|n| n.primary_user.clone())
+                    .map(|u| tb.siem.is_logged_on(&u, &h.hostname()))
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(logged_on, 8, "all end hosts staffed mid-morning");
+        assert!(tb.at_rbac().unwrap().hosts_with_access() >= 8);
+        // By midnight everyone is gone.
+        sim.run_until(SimTime::from_secs(24 * 3600));
+        assert_eq!(tb.at_rbac().unwrap().hosts_with_access(), 0);
+    }
+
+    #[test]
+    fn roles_match_paper_reachability() {
+        let mut sim = Sim::new(1);
+        let tb = Testbed::build(&mut sim, &TestbedConfig::default(), Condition::SRbac);
+        let peers = tb.roles.role_peers("dept-3-h2");
+        // 8 dept-mates + 6 servers.
+        assert_eq!(peers.len(), 14);
+        assert!(peers.contains(&"dept-3-h1".to_string()));
+        assert!(peers.contains(&"mail".to_string()));
+        assert!(!peers.contains(&"dept-4-h1".to_string()));
+    }
+}

@@ -1,0 +1,376 @@
+//! The NotPetya-surrogate propagation logic (paper §V-B).
+//!
+//! > "Once installed, it gathers a target list of end hosts and servers in
+//! > the network through reconnaissance, and then tries to propagate to
+//! > each target serially in a loop. The worm uses two vectors for
+//! > propagation: exploitation of vulnerabilities on a target end host and
+//! > credential theft. The exploit payload is sent first. If the exploit
+//! > succeeds, the worm moves on … If it fails, the worm uses credentials
+//! > cached on the local host to attempt to access the target remotely and
+//! > install itself. A credential with 'Local Administrator' privileges on
+//! > the target must be cached on the source host for this to succeed.
+//! > After looping through all targets, the worm waits three minutes
+//! > before restarting. This proceeds over a duration of 10-60 minutes
+//! > (randomly chosen) before the worm times out and stops propagating."
+
+use crate::host::{Host, SMB_PORT};
+use dfi_services::Directory;
+use dfi_simnet::{Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Worm behavior constants.
+#[derive(Clone, Debug)]
+pub struct WormConfig {
+    /// Time to push the exploit payload after a successful connection.
+    pub exploit_transfer: Duration,
+    /// Time wasted when the exploit payload fails on a patched host.
+    pub exploit_fail_cost: Duration,
+    /// Time for a credentialed remote log-on plus install.
+    pub logon_install: Duration,
+    /// Pause between passes over the target list.
+    pub pass_pause: Duration,
+    /// Lifetime range: the worm stops propagating after a uniformly random
+    /// duration in `[lifetime_min, lifetime_max]`.
+    pub lifetime_min: Duration,
+    /// Upper end of the lifetime range.
+    pub lifetime_max: Duration,
+    /// Cost of skipping a target it already knows is infected.
+    pub skip_cost: Duration,
+}
+
+impl Default for WormConfig {
+    fn default() -> Self {
+        WormConfig {
+            exploit_transfer: Duration::from_secs(1),
+            exploit_fail_cost: Duration::from_secs(1),
+            logon_install: Duration::from_secs(3),
+            pass_pause: Duration::from_secs(180),
+            lifetime_min: Duration::from_secs(600),
+            lifetime_max: Duration::from_secs(3600),
+            skip_cost: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Shared environment the worm instances run in.
+pub struct WormWorld {
+    /// All hosts in the network (the reconnaissance result).
+    pub hosts: Vec<Host>,
+    /// The directory (for credential privileges).
+    pub directory: Directory,
+    /// Behavior constants.
+    pub config: WormConfig,
+    /// Infection log: (time, hostname), in infection order.
+    pub infections: RefCell<Vec<(SimTime, String)>>,
+    /// Hook run on each new infection (spawns that host's worm).
+    pub on_infect: RefCell<Option<Box<dyn Fn(&mut Sim, usize)>>>,
+}
+
+impl WormWorld {
+    /// Records an infection and spawns the target's own worm instance.
+    pub fn infect(self: &Rc<Self>, sim: &mut Sim, target_idx: usize) {
+        let target = &self.hosts[target_idx];
+        if !target.mark_infected(sim.now()) {
+            return;
+        }
+        self.infections
+            .borrow_mut()
+            .push((sim.now(), target.hostname()));
+        let hook = self.on_infect.borrow();
+        if let Some(hook) = hook.as_ref() {
+            hook(sim, target_idx);
+        }
+    }
+
+    /// Number of infected hosts so far.
+    pub fn infected_count(&self) -> usize {
+        self.infections.borrow().len()
+    }
+}
+
+/// One worm instance running on one infected host.
+pub struct WormInstance {
+    world: Rc<WormWorld>,
+    me: usize,
+    targets: Vec<usize>,
+    position: usize,
+    deadline: SimTime,
+}
+
+impl WormInstance {
+    /// Spawns the worm on host `me`: reconnaissance (target list of every
+    /// other host, shuffled), a random lifetime, and the first step.
+    pub fn spawn(sim: &mut Sim, world: Rc<WormWorld>, me: usize) {
+        let mut targets: Vec<usize> = (0..world.hosts.len()).filter(|&i| i != me).collect();
+        sim.rng().shuffle(&mut targets);
+        let lifetime = sim
+            .rng()
+            .duration_range(world.config.lifetime_min, world.config.lifetime_max);
+        let instance = Rc::new(RefCell::new(WormInstance {
+            world,
+            me,
+            targets,
+            position: 0,
+            deadline: sim.now() + lifetime,
+        }));
+        sim.schedule_now(move |sim| Self::step(instance, sim));
+    }
+
+    /// Attacks the next target, then reschedules itself.
+    fn step(this: Rc<RefCell<WormInstance>>, sim: &mut Sim) {
+        let (world, me, target_idx, wrapped, deadline) = {
+            let mut w = this.borrow_mut();
+            if sim.now() >= w.deadline {
+                return; // the worm "locks down" and stops propagating
+            }
+            let target_idx = w.targets[w.position];
+            w.position += 1;
+            let wrapped = w.position >= w.targets.len();
+            if wrapped {
+                w.position = 0;
+            }
+            (w.world.clone(), w.me, target_idx, wrapped, w.deadline)
+        };
+        let config = world.config.clone();
+        let next = move |sim: &mut Sim, this: Rc<RefCell<WormInstance>>| {
+            let pause = if wrapped {
+                config.pass_pause
+            } else {
+                Duration::ZERO
+            };
+            sim.schedule_in(pause, move |sim| Self::step(this, sim));
+        };
+
+        let target = world.hosts[target_idx].clone();
+        if target.is_infected() {
+            // Already ours; the real worm notices quickly during its scan.
+            let cost = world.config.skip_cost;
+            sim.schedule_in(cost, move |sim| next(sim, this));
+            return;
+        }
+
+        // Vector 1: connect and fire the exploit.
+        let source = world.hosts[me].clone();
+        let w2 = world.clone();
+        let this2 = this.clone();
+        source.clone().connect(sim, target.ip(), SMB_PORT, move |sim, connected| {
+            if !connected {
+                // Denied or dead: the 21-second Windows connect timeout
+                // already elapsed inside connect().
+                next(sim, this2);
+                return;
+            }
+            let vulnerable = target.with(|h| h.vulnerable);
+            if vulnerable {
+                let transfer = w2.config.exploit_transfer;
+                let w3 = w2.clone();
+                sim.schedule_in(transfer, move |sim| {
+                    // A timed-out worm never finishes the install.
+                    if sim.now() < deadline {
+                        w3.infect(sim, target_idx);
+                    }
+                    next(sim, this2);
+                });
+                return;
+            }
+            // Exploit failed on a patched host: vector 2, credential theft.
+            let fail_cost = w2.config.exploit_fail_cost;
+            let w3 = w2.clone();
+            let source2 = source.clone();
+            let target2 = target.clone();
+            sim.schedule_in(fail_cost, move |sim| {
+                let cached_cred_user = source2.with(|h| h.primary_user.clone());
+                let has_admin = cached_cred_user
+                    .as_deref()
+                    .map(|u| w3.directory.is_local_admin(u, &target2.hostname()))
+                    .unwrap_or(false);
+                if !has_admin {
+                    next(sim, this2);
+                    return;
+                }
+                // Remote log-on over a fresh connection.
+                let w4 = w3.clone();
+                let t_ip = target2.ip();
+                source2.clone().connect(sim, t_ip, SMB_PORT, move |sim, ok| {
+                    if !ok {
+                        next(sim, this2);
+                        return;
+                    }
+                    let install = w4.config.logon_install;
+                    let w5 = w4.clone();
+                    sim.schedule_in(install, move |sim| {
+                        if sim.now() < deadline {
+                            w5.infect(sim, target_idx);
+                        }
+                        next(sim, this2);
+                    });
+                });
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_packet::MacAddr;
+    use std::net::Ipv4Addr;
+
+    /// A "wireless" world where every connect succeeds instantly is enough
+    /// to unit-test the worm's decision logic; the full data-plane path is
+    /// covered by the scenario tests.
+    fn offline_world(vulnerable: &[bool]) -> (Sim, Rc<WormWorld>) {
+        let sim = Sim::new(9);
+        let directory = Directory::new();
+        let mut hosts = Vec::new();
+        for (i, &v) in vulnerable.iter().enumerate() {
+            let name = format!("h{i}");
+            let user = format!("u{i}");
+            directory.add_user(&user, i as u64);
+            directory.join_machine(&name);
+            directory.add_to_group(&user, "dept").unwrap();
+            directory.grant_local_admin("dept", &name);
+            hosts.push(Host::new(
+                &name,
+                Some(&user),
+                MacAddr::from_index(i as u32),
+                Ipv4Addr::new(10, 0, 0, i as u8 + 1),
+                Some("dept"),
+                false,
+                v,
+            ));
+        }
+        let world = Rc::new(WormWorld {
+            hosts,
+            directory,
+            config: WormConfig {
+                pass_pause: Duration::from_secs(10),
+                lifetime_min: Duration::from_secs(300),
+                lifetime_max: Duration::from_secs(301),
+                ..WormConfig::default()
+            },
+            infections: RefCell::new(Vec::new()),
+            on_infect: RefCell::new(None),
+        });
+        (sim, world)
+    }
+
+    /// Wires hosts to one flood-everything hub switch: every connect
+    /// succeeds, isolating the worm's decision logic from access control.
+    fn mesh(sim: &mut Sim, world: &Rc<WormWorld>) {
+        let mut net = dfi_dataplane::Network::new();
+        let hub = net.add_switch(dfi_dataplane::SwitchConfig::new(42));
+        hub.install(
+            sim,
+            dfi_dataplane::dfi_allow_rule(dfi_openflow::Match::any(), 0, 1),
+        );
+        let flood_fm = dfi_openflow::FlowMod {
+            table_id: 1,
+            priority: 1,
+            instructions: vec![dfi_openflow::Instruction::ApplyActions(vec![
+                dfi_openflow::Action::output(dfi_openflow::port::FLOOD),
+            ])],
+            ..dfi_openflow::FlowMod::add()
+        };
+        hub.install(sim, flood_fm);
+        for (i, h) in world.hosts.iter().enumerate() {
+            let tx = net.attach_host(
+                &hub,
+                (i + 1) as u32,
+                Duration::from_micros(10),
+                h.rx_sink(),
+            );
+            h.attach(tx);
+            for o in &world.hosts {
+                h.learn_arp(o.ip(), o.mac());
+            }
+        }
+    }
+
+    fn arm_spawn_hook(world: &Rc<WormWorld>) {
+        let w = world.clone();
+        *world.on_infect.borrow_mut() = Some(Box::new(move |sim, idx| {
+            WormInstance::spawn(sim, w.clone(), idx);
+        }));
+    }
+
+    #[test]
+    fn exploit_vector_takes_vulnerable_hosts() {
+        let (mut sim, world) = offline_world(&[false, true, true]);
+        mesh(&mut sim, &world);
+        arm_spawn_hook(&world);
+        world.infect(&mut sim, 0);
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(world.infected_count(), 3, "mesh + vulnerable = fast spread");
+    }
+
+    #[test]
+    fn credential_vector_takes_patched_dept_mates() {
+        // Nobody vulnerable: spread must rely on Local Admin credentials,
+        // which dept-mates have on each other.
+        let (mut sim, world) = offline_world(&[false, false, false]);
+        mesh(&mut sim, &world);
+        arm_spawn_hook(&world);
+        world.infect(&mut sim, 0);
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(world.infected_count(), 3);
+    }
+
+    #[test]
+    fn no_credentials_no_vulnerability_no_spread() {
+        let (mut sim, world) = offline_world(&[false, false]);
+        // Revoke the admin grant by using a fresh directory without it.
+        let d = Directory::new();
+        d.add_user("u0", 0);
+        d.add_user("u1", 1);
+        let world = Rc::new(WormWorld {
+            hosts: world.hosts.clone(),
+            directory: d,
+            config: world.config.clone(),
+            infections: RefCell::new(Vec::new()),
+            on_infect: RefCell::new(None),
+        });
+        mesh(&mut sim, &world);
+        arm_spawn_hook(&world);
+        world.infect(&mut sim, 0);
+        sim.run_until(SimTime::from_secs(300));
+        assert_eq!(world.infected_count(), 1, "only the foothold");
+    }
+
+    #[test]
+    fn worm_stops_at_lifetime() {
+        let (mut sim, world) = offline_world(&[false, false, false]);
+        mesh(&mut sim, &world);
+        arm_spawn_hook(&world);
+        // Tiny lifetime: the worm dies before completing anything.
+        let world = Rc::new(WormWorld {
+            hosts: world.hosts.clone(),
+            directory: world.directory.clone(),
+            config: WormConfig {
+                lifetime_min: Duration::from_millis(1),
+                lifetime_max: Duration::from_millis(2),
+                ..world.config.clone()
+            },
+            infections: RefCell::new(Vec::new()),
+            on_infect: RefCell::new(None),
+        });
+        arm_spawn_hook(&world);
+        world.infect(&mut sim, 0);
+        sim.run_until(SimTime::from_secs(600));
+        assert_eq!(world.infected_count(), 1);
+    }
+
+    #[test]
+    fn servers_without_users_cannot_use_credential_vector() {
+        let (mut sim, world) = offline_world(&[false, false]);
+        // Make host 0 a "server": no primary user → no cached credentials.
+        world.hosts[0].with(|h| h.primary_user = None);
+        mesh(&mut sim, &world);
+        arm_spawn_hook(&world);
+        world.infect(&mut sim, 0);
+        sim.run_until(SimTime::from_secs(300));
+        assert_eq!(world.infected_count(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Controller-obliviousness demo: the same malicious controller, with and
+//! without DFI's proxy in front of it.
+//!
+//! The attacker controls the SDN controller (or one of its apps) and
+//! tries three things: wipe every flow rule, install a maximum-priority
+//! allow-everything rule, and read back every table's contents. Without
+//! DFI the network falls instantly; behind the proxy, Table 0 is simply
+//! not part of the controller's universe.
+//!
+//! Run with: `cargo run --release --example malicious_controller_demo`
+
+use dfi_repro::controller::{Controller, Misbehavior, EVIL_COOKIE};
+use dfi_repro::core::policy::DEFAULT_DENY_ID;
+use dfi_repro::core::Dfi;
+use dfi_repro::dataplane::{Network, SwitchConfig};
+use dfi_repro::openflow::{Message, MultipartReply};
+use dfi_repro::packet::headers::build;
+use dfi_repro::packet::MacAddr;
+use dfi_repro::simnet::Sim;
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+fn attack() -> Vec<Misbehavior> {
+    vec![
+        Misbehavior::DeleteAllRules,
+        Misbehavior::InstallAllowAll,
+        Misbehavior::SnoopAllTables,
+    ]
+}
+
+fn main() {
+    println!("-- condition 1: malicious controller, NO proxy --");
+    {
+        let mut sim = Sim::new(1);
+        let mut net = Network::new();
+        let sw = net.add_switch(SwitchConfig::new(0xBAD));
+        let ctrl = Controller::malicious(attack());
+        let from_switch = ctrl.connect(&mut sim, sw.control_ingress());
+        sw.connect_control(&mut sim, from_switch);
+        sim.run();
+        println!(
+            "   table 0 cookies after attack: {:?}  (EVIL = {:#x})",
+            sw.table0_cookies(),
+            EVIL_COOKIE
+        );
+        assert!(sw.table0_cookies().contains(&EVIL_COOKIE));
+        println!("   => the allow-all bypass landed in table 0. Network owned.");
+    }
+
+    println!();
+    println!("-- condition 2: same controller behind the DFI proxy --");
+    {
+        let mut sim = Sim::new(1);
+        let mut net = Network::new();
+        let sw = net.add_switch(SwitchConfig::new(0xD1));
+        let denied = Rc::new(RefCell::new(0u32));
+        let lat = Duration::from_micros(50);
+        let victim_tx = net.attach_host(&sw, 1, lat, Rc::new(|_, _| {}));
+        let d = denied.clone();
+        let _target_rx = net.attach_host(&sw, 2, lat, Rc::new(move |_, _| *d.borrow_mut() += 1));
+
+        let dfi = Dfi::with_defaults();
+        let ctrl = Controller::malicious(attack());
+        let c = ctrl.clone();
+        dfi.interpose(&mut sim, &sw, move |sim, sink| c.connect(sim, sink));
+        sim.run();
+
+        // A flow the (default-deny) policy blocks; the attacker's allow-all
+        // must not resurrect it.
+        let syn = build::tcp_syn(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            50_000,
+            445,
+        );
+        victim_tx.send(&mut sim, syn);
+        sim.run();
+
+        println!("   table 0 cookies after attack: {:?}", sw.table0_cookies());
+        assert!(!sw.table0_cookies().contains(&EVIL_COOKIE));
+        assert!(sw.table0_cookies().contains(&DEFAULT_DENY_ID.0));
+        println!("   frames that reached the target: {}", denied.borrow());
+        assert_eq!(*denied.borrow(), 0);
+
+        // What did the snooper learn? Nothing about table 0.
+        let mut leaked = 0;
+        for (_, msg) in ctrl.seen_messages() {
+            if let Message::MultipartReply(MultipartReply::Flow(entries)) = msg {
+                leaked += entries
+                    .iter()
+                    .filter(|e| e.cookie == DEFAULT_DENY_ID.0)
+                    .count();
+            }
+        }
+        println!("   DFI rules visible to the snooper: {leaked}");
+        assert_eq!(leaked, 0);
+        println!("   => delete-all expanded onto tables 1+, allow-all shifted to");
+        println!("      table 1, statistics hide table 0: DFI never trusted the");
+        println!("      controller, so the controller could not betray it.");
+    }
+}

@@ -1,0 +1,48 @@
+//! A NotPetya-surrogate outbreak on the paper's 92-host enterprise
+//! testbed, under all three access-control conditions.
+//!
+//! Run with: `cargo run --release --example notpetya_outbreak`
+
+use dfi_repro::worm::{run_scenario, Condition, ScenarioConfig};
+
+fn main() {
+    println!("Releasing the worm at 09:00 on dept-1-h1 under three conditions.");
+    println!("(86 end hosts + 6 servers, 14 switches, DFI in the control plane)");
+    println!();
+    for (condition, label) in [
+        (Condition::Baseline, "baseline (no access control)"),
+        (Condition::SRbac, "S-RBAC  (static role-based)"),
+        (Condition::AtRbac, "AT-RBAC (authentication-triggered)"),
+    ] {
+        let result = run_scenario(&ScenarioConfig::paper(condition));
+        let first = result
+            .time_to_first_spread()
+            .map(|d| format!("{:.1}s", d.as_secs_f64()))
+            .unwrap_or_else(|| "never".to_string());
+        let full = result
+            .time_to_full_infection()
+            .map(|d| format!("{:.1} min", d.as_secs_f64() / 60.0))
+            .unwrap_or_else(|| "never".to_string());
+        println!("== {label} ==");
+        println!("   first spread : {first}");
+        println!("   full network : {full}");
+        println!(
+            "   final count  : {}/{} hosts infected",
+            result.infected_total(),
+            result.total_hosts
+        );
+        // A compact 60-minute sparkline, 5-minute buckets.
+        let marks: Vec<String> = result
+            .series_minutes(60)
+            .into_iter()
+            .step_by(5)
+            .map(|(_, n)| format!("{n:>3}"))
+            .collect();
+        println!("   infected @ 0,5,…,60 min: {}", marks.join(" "));
+        println!();
+    }
+    println!("Shape to look for (paper Fig. 5a): baseline overruns in minutes;");
+    println!("S-RBAC slows the first hop and the cross-enclave spread; AT-RBAC");
+    println!("additionally turns hosts into moving targets and stops short of");
+    println!("total infection.");
+}

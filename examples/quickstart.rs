@@ -1,0 +1,115 @@
+//! Quickstart: bring up a one-switch SDN with DFI interposed before a
+//! reactive controller, write a user-level policy, and watch it enforce.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dfi_repro::controller::Controller;
+use dfi_repro::core::pdp::priority;
+use dfi_repro::core::policy::{EndpointPattern, PolicyRule};
+use dfi_repro::core::Dfi;
+use dfi_repro::dataplane::{Network, SwitchConfig};
+use dfi_repro::packet::headers::build;
+use dfi_repro::packet::MacAddr;
+use dfi_repro::simnet::Sim;
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+fn main() {
+    // A deterministic discrete-event simulation drives everything.
+    let mut sim = Sim::new(42);
+
+    // Data plane: one OpenFlow 1.3 switch, two hosts.
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(0xD1));
+    let lat = Duration::from_micros(50);
+    let delivered = Rc::new(RefCell::new(0u32));
+    let d = delivered.clone();
+    let alice_tx = net.attach_host(&sw, 1, lat, Rc::new(|_, _| {}));
+    let _bob_rx = net.attach_host(
+        &sw,
+        2,
+        lat,
+        Rc::new(move |_, _frame| {
+            *d.borrow_mut() += 1;
+        }),
+    );
+
+    // Control plane: DFI interposed between the switch and an ONOS-like
+    // reactive controller. The controller has no idea DFI exists.
+    let dfi = Dfi::with_defaults();
+    let ctrl = Controller::reactive();
+    let c = ctrl.clone();
+    dfi.interpose(&mut sim, &sw, move |sim, sink| c.connect(sim, sink));
+    sim.run();
+
+    // Identifier bindings (normally fed by DHCP/DNS/SIEM sensors; bound
+    // directly here for brevity).
+    let alice_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let bob_ip = Ipv4Addr::new(10, 0, 0, 2);
+    dfi.with_erm(|erm| {
+        use dfi_repro::core::erm::Binding;
+        erm.bind(Binding::HostIp {
+            host: "alice-laptop".into(),
+            ip: alice_ip,
+        });
+        erm.bind(Binding::UserHost {
+            user: "alice".into(),
+            host: "alice-laptop".into(),
+        });
+        erm.bind(Binding::HostIp {
+            host: "bob-desktop".into(),
+            ip: bob_ip,
+        });
+        erm.bind(Binding::UserHost {
+            user: "bob".into(),
+            host: "bob-desktop".into(),
+        });
+    });
+
+    // The paper's example policy: any machine Alice is using may talk to
+    // any machine Bob is using — written over *users*, not addresses.
+    dfi.insert_policy(
+        &mut sim,
+        PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+        priority::AT_RBAC,
+        "quickstart-pdp",
+    );
+
+    // Alice → Bob: allowed.
+    let syn = build::tcp_syn(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        alice_ip,
+        bob_ip,
+        50_000,
+        443,
+    );
+    alice_tx.send(&mut sim, syn);
+    sim.run();
+
+    // Mallory (same machine IDs faked from port 1 would be spoof-checked;
+    // here: an unknown host) → Bob: default-denied.
+    let evil = build::tcp_syn(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        Ipv4Addr::new(10, 9, 9, 9),
+        bob_ip,
+        50_001,
+        443,
+    );
+    alice_tx.send(&mut sim, evil);
+    sim.run();
+
+    let m = dfi.metrics();
+    println!("packet-ins seen by DFI : {}", m.packet_ins);
+    println!("flows allowed          : {}", m.allowed);
+    println!("flows denied           : {}", m.denied);
+    println!("frames reaching Bob    : {}", delivered.borrow());
+    println!("table-0 rules (cookies): {:?}", sw.table0_cookies());
+    assert_eq!(m.allowed, 1);
+    assert_eq!(m.denied, 1);
+    assert_eq!(*delivered.borrow(), 1);
+    println!("quickstart OK: policy written over users, enforced in the network.");
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the DFI reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can reach the whole system:
+//!
+//! * [`core`] — Dynamic Flow Isolation itself (the paper's contribution)
+//! * [`openflow`] — OpenFlow 1.3 wire protocol
+//! * [`packet`] — L2–L4 packet formats
+//! * [`dataplane`] — software switch and topology
+//! * [`controller`] — reactive SDN controller (ONOS surrogate)
+//! * [`services`] — DHCP / DNS / directory / SIEM surrogates
+//! * [`bus`] — in-process message bus (RabbitMQ surrogate)
+//! * [`simnet`] — discrete-event simulation kernel
+//! * [`worm`] — NotPetya-surrogate evaluation scenario
+//! * [`cbench`] — control-plane benchmark tool (cbench surrogate)
+
+pub use dfi_bus as bus;
+pub use dfi_cbench as cbench;
+pub use dfi_controller as controller;
+pub use dfi_core as core;
+pub use dfi_dataplane as dataplane;
+pub use dfi_openflow as openflow;
+pub use dfi_packet as packet;
+pub use dfi_services as services;
+pub use dfi_simnet as simnet;
+pub use dfi_worm as worm;

@@ -1,0 +1,309 @@
+//! Cross-crate integration tests: the whole system assembled through the
+//! umbrella crate, exercising paths no single crate covers alone.
+
+use dfi_repro::controller::{Controller, Misbehavior, EVIL_COOKIE};
+use dfi_repro::core::events::{wire_dns_sensor, wire_siem_sensor};
+use dfi_repro::core::pdp::{priority, AtRbacPdp, BaselinePdp};
+use dfi_repro::core::policy::{EndpointPattern, PolicyRule, RbacRoles, DEFAULT_DENY_ID};
+use dfi_repro::core::Dfi;
+use dfi_repro::dataplane::{Network, SwitchConfig};
+use dfi_repro::packet::headers::build;
+use dfi_repro::packet::MacAddr;
+use dfi_repro::services::{DnsServer, Siem};
+use dfi_repro::simnet::{Sim, SimTime};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+const LAT: Duration = Duration::from_micros(50);
+
+fn mac(i: u32) -> MacAddr {
+    MacAddr::from_index(i)
+}
+
+fn ip(a: u8, b: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, a, b)
+}
+
+/// Two enclave switches joined by a core switch — a miniature of the
+/// testbed star — with one host on each enclave and DFI over all three
+/// switches.
+struct Star {
+    sim: Sim,
+    dfi: Dfi,
+    switches: Vec<dfi_repro::dataplane::Switch>,
+    tx: Vec<dfi_repro::dataplane::Tx>,
+    rx: Vec<Rc<RefCell<Vec<Vec<u8>>>>>,
+}
+
+fn star() -> Star {
+    let mut sim = Sim::new(2024);
+    let mut net = Network::new();
+    let core = net.add_switch(SwitchConfig::new(1));
+    let enc1 = net.add_switch(SwitchConfig::new(11));
+    let enc2 = net.add_switch(SwitchConfig::new(12));
+    net.link(&core, 101, &enc1, 100, LAT);
+    net.link(&core, 102, &enc2, 100, LAT);
+    let mut tx = Vec::new();
+    let mut rx = Vec::new();
+    for (sw, mac_idx) in [(&enc1, 1u32), (&enc2, 2u32)] {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        tx.push(net.attach_host(sw, 1, LAT, Rc::new(move |_, f| l.borrow_mut().push(f))));
+        rx.push(log);
+        let _ = mac_idx;
+    }
+    let dfi = Dfi::with_defaults();
+    let ctrl = Controller::reactive();
+    for sw in [&core, &enc1, &enc2] {
+        let c = ctrl.clone();
+        dfi.interpose(&mut sim, sw, move |sim, sink| c.connect(sim, sink));
+    }
+    sim.run();
+    Star {
+        sim,
+        dfi,
+        switches: vec![core, enc1, enc2],
+        tx,
+        rx,
+    }
+}
+
+#[test]
+fn cross_enclave_flow_is_policy_checked_at_every_hop() {
+    let mut s = star();
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut s.sim, &s.dfi);
+    s.sim.run();
+    let syn = build::tcp_syn(mac(1), mac(2), ip(1, 1), ip(2, 1), 50_000, 80);
+    s.tx[0].send(&mut s.sim, syn.clone());
+    s.sim.run();
+    assert_eq!(s.rx[1].borrow().len(), 1, "delivered across the star");
+    // Each switch on the path (and the flooded third) evaluated the flow:
+    // every switch holds at least one DFI rule for it in table 0.
+    for sw in &s.switches {
+        assert!(
+            sw.table_len(0) >= 1,
+            "switch {} has no table-0 rule",
+            sw.dpid()
+        );
+    }
+    // Well more than one packet-in was processed (one per hop).
+    assert!(s.dfi.metrics().packet_ins >= 2);
+}
+
+#[test]
+fn revocation_flushes_every_switch_in_the_network() {
+    let mut s = star();
+    let id = s.dfi.insert_policy(
+        &mut s.sim,
+        PolicyRule::allow_all(),
+        priority::BASELINE,
+        "t",
+    );
+    s.sim.run();
+    let syn = build::tcp_syn(mac(1), mac(2), ip(1, 1), ip(2, 1), 50_000, 80);
+    s.tx[0].send(&mut s.sim, syn);
+    s.sim.run();
+    let rule_somewhere = s
+        .switches
+        .iter()
+        .any(|sw| sw.table0_cookies().contains(&id.0));
+    assert!(rule_somewhere, "allow rules cached before revocation");
+    s.dfi.revoke_policy(&mut s.sim, id);
+    s.sim.run();
+    for sw in &s.switches {
+        assert!(
+            !sw.table0_cookies().contains(&id.0),
+            "switch {} kept a revoked rule",
+            sw.dpid()
+        );
+    }
+}
+
+#[test]
+fn denied_cross_enclave_flow_dies_at_the_first_hop() {
+    let mut s = star();
+    // No policy at all: default deny.
+    let syn = build::tcp_syn(mac(1), mac(2), ip(1, 1), ip(2, 1), 50_000, 445);
+    s.tx[0].send(&mut s.sim, syn);
+    s.sim.run();
+    assert_eq!(s.rx[1].borrow().len(), 0);
+    // Only the ingress enclave switch saw the flow.
+    assert_eq!(s.dfi.metrics().packet_ins, 1);
+    assert_eq!(s.switches[1].table_len(0), 1, "deny cached at first hop");
+    assert_eq!(s.switches[0].table_len(0), 0, "core never consulted");
+}
+
+#[test]
+fn dynamic_policy_follows_sensor_events_across_the_stack() {
+    // DNS + SIEM -> bus -> ERM/PDP -> PCP decisions, across a multi-switch
+    // path, with the policy written only over names.
+    let mut s = star();
+    let dns = DnsServer::new("corp.local");
+    let siem = Siem::new();
+    wire_dns_sensor(&dns, s.dfi.bus());
+    wire_siem_sensor(&siem, s.dfi.bus());
+    let mut roles = RbacRoles::new();
+    roles.add_enclave("left", &["lhost"]);
+    roles.add_server("rhost");
+    let pdp = AtRbacPdp::activate(&mut s.sim, &s.dfi, roles);
+    dns.register(&mut s.sim, "lhost", ip(1, 1));
+    dns.register(&mut s.sim, "rhost", ip(2, 1));
+    s.sim.run();
+
+    // Nobody logged on: denied.
+    let syn = |p: u16| build::tcp_syn(mac(1), mac(2), ip(1, 1), ip(2, 1), p, 8080);
+    s.tx[0].send(&mut s.sim, syn(50_000));
+    s.sim.run();
+    assert_eq!(s.rx[1].borrow().len(), 0);
+
+    // Log on: lhost gains its role peers (the server rhost).
+    siem.log_on(&mut s.sim, "lee", "lhost");
+    s.sim.run();
+    assert_eq!(pdp.hosts_with_access(), 1);
+    s.tx[0].send(&mut s.sim, syn(50_001));
+    s.sim.run();
+    assert_eq!(s.rx[1].borrow().len(), 1, "flow allowed while logged on");
+
+    // Log off: revocation flushes the whole path; new flows denied.
+    siem.log_off(&mut s.sim, "lee", "lhost");
+    s.sim.run();
+    s.tx[0].send(&mut s.sim, syn(50_002));
+    s.sim.run();
+    assert_eq!(s.rx[1].borrow().len(), 1, "no new delivery after log-off");
+}
+
+#[test]
+fn malicious_controller_cannot_break_multi_switch_isolation() {
+    let mut sim = Sim::new(77);
+    let mut net = Network::new();
+    let core = net.add_switch(SwitchConfig::new(1));
+    let enc = net.add_switch(SwitchConfig::new(11));
+    net.link(&core, 101, &enc, 100, LAT);
+    let denied = Rc::new(RefCell::new(0u32));
+    let d = denied.clone();
+    let tx = net.attach_host(&enc, 1, LAT, Rc::new(|_, _| {}));
+    let _rx = net.attach_host(&core, 1, LAT, Rc::new(move |_, _| *d.borrow_mut() += 1));
+    let dfi = Dfi::with_defaults();
+    let ctrl = Controller::malicious(vec![
+        Misbehavior::DeleteAllRules,
+        Misbehavior::InstallAllowAll,
+    ]);
+    for sw in [&core, &enc] {
+        let c = ctrl.clone();
+        dfi.interpose(&mut sim, sw, move |sim, sink| c.connect(sim, sink));
+    }
+    sim.run();
+    // Default deny + attack running: traffic must still be blocked.
+    let syn = build::tcp_syn(mac(1), mac(9), ip(1, 1), ip(0, 1), 50_000, 445);
+    tx.send(&mut sim, syn);
+    sim.run();
+    assert_eq!(*denied.borrow(), 0);
+    for sw in [&core, &enc] {
+        assert!(!sw.table0_cookies().contains(&EVIL_COOKIE));
+    }
+    assert!(dfi.metrics().denied >= 1);
+    assert_eq!(
+        enc.table0_cookies(),
+        vec![DEFAULT_DENY_ID.0],
+        "deny rule survived the rule-wipe attack"
+    );
+}
+
+#[test]
+fn deterministic_end_to_end_replay() {
+    // The same seed must reproduce the same virtual timeline bit-for-bit.
+    fn run_once() -> (u64, SimTime, u64) {
+        let mut s = star();
+        let mut baseline = BaselinePdp::new();
+        baseline.activate(&mut s.sim, &s.dfi);
+        s.sim.run();
+        for p in 0..20u16 {
+            let syn = build::tcp_syn(mac(1), mac(2), ip(1, 1), ip(2, 1), 50_000 + p, 80);
+            s.tx[0].send(&mut s.sim, syn);
+        }
+        s.sim.run();
+        (
+            s.dfi.metrics().packet_ins,
+            s.sim.now(),
+            s.sim.events_executed(),
+        )
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn topology_controller_discovers_links_through_the_dfi_proxy() {
+    // The shortest-path controller's LLDP discovery and path installation
+    // must survive proxy interposition: probes are packet-outs (pass
+    // through), returning probes are packet-ins (policy-checked first!),
+    // and path rules land in shifted tables.
+    use dfi_repro::controller::TopologyController;
+    use dfi_repro::core::policy::{FlowProperties, Wild};
+
+    let mut sim = Sim::new(31);
+    let mut net = Network::new();
+    let s1 = net.add_switch(SwitchConfig::new(1));
+    let s2 = net.add_switch(SwitchConfig::new(2));
+    net.link(&s1, 10, &s2, 11, LAT);
+    let got = Rc::new(RefCell::new(0u32));
+    let g = got.clone();
+    let tx1 = net.attach_host(&s1, 1, LAT, Rc::new(|_, _| {}));
+    // h2: one attachment point carrying both its receiver and its sender.
+    let tx2 = net.attach_host(
+        &s2,
+        1,
+        LAT,
+        Rc::new(move |_, frame: Vec<u8>| {
+            if dfi_repro::packet::PacketHeaders::parse(&frame)
+                .is_ok_and(|h| h.tcp_dst.is_some())
+            {
+                *g.borrow_mut() += 1;
+            }
+        }),
+    );
+    let dfi = Dfi::with_defaults();
+    let ctrl = TopologyController::new();
+    for sw in [&s1, &s2] {
+        let c = ctrl.clone();
+        dfi.interpose(&mut sim, sw, move |sim, sink| c.connect(sim, sink));
+    }
+    // LLDP is control traffic: without an explicit allow, default deny
+    // would blind the discovery (worth a policy of its own).
+    let mut lldp = PolicyRule::allow(EndpointPattern::any(), EndpointPattern::any());
+    lldp.flow = FlowProperties {
+        ethertype: Wild::Is(0x88CC),
+        ip_proto: Wild::Any,
+    };
+    dfi.insert_policy(&mut sim, lldp, priority::QUARANTINE, "lldp-control");
+    // Ordinary traffic: baseline allow.
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut sim, &dfi);
+    sim.run();
+
+    assert_eq!(ctrl.links().len(), 2, "both link directions discovered: {:?}", ctrl.links());
+
+    // End-to-end forwarding across the discovered path.
+    let syn = |s: u32, d: u32, p: u16| {
+        build::tcp_syn(mac(s), mac(d), ip(1, s as u8), ip(2, d as u8), 40_000, p)
+    };
+    tx1.send(&mut sim, syn(1, 2, 80)); // flood: h2 learns nothing, ctrl learns h1
+    sim.run();
+    assert_eq!(*got.borrow(), 1);
+    // Reverse priming: a frame from h2 teaches the controller its location.
+    tx2.send(&mut sim, syn(2, 1, 80));
+    sim.run();
+    // Now h1 → h2 uses installed shortest-path rules in table 1 (shifted).
+    tx1.send(&mut sim, syn(1, 2, 81));
+    sim.run();
+    assert!(*got.borrow() >= 2, "cross-switch delivery via discovered path");
+    // The controller's path rules live in shifted tables, never table 0.
+    for sw in [&s1, &s2] {
+        assert!(
+            !sw.table0_cookies().contains(&dfi_repro::controller::topo::TOPO_COOKIE),
+            "path rules must not reach table 0"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Failure-injection and robustness tests: malformed input, missing
+//! components, overload, and recovery.
+
+use dfi_repro::controller::Controller;
+use dfi_repro::core::pdp::BaselinePdp;
+use dfi_repro::core::policy::PolicyRule;
+use dfi_repro::core::Dfi;
+use dfi_repro::dataplane::{Network, SwitchConfig};
+use dfi_repro::openflow::{Message, OfMessage, PacketIn};
+use dfi_repro::packet::headers::build;
+use dfi_repro::packet::MacAddr;
+use dfi_repro::simnet::{Sim, SimRng};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+const LAT: Duration = Duration::from_micros(50);
+
+fn mac(i: u32) -> MacAddr {
+    MacAddr::from_index(i)
+}
+
+fn syn(sport: u16) -> Vec<u8> {
+    build::tcp_syn(
+        mac(1),
+        mac(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        sport,
+        80,
+    )
+}
+
+#[test]
+fn garbage_on_every_control_channel_is_survivable() {
+    let mut sim = Sim::new(13);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(1));
+    let got = Rc::new(RefCell::new(0u32));
+    let g = got.clone();
+    let tx = net.attach_host(&sw, 1, LAT, Rc::new(|_, _| {}));
+    let _rx = net.attach_host(&sw, 2, LAT, Rc::new(move |_, _| *g.borrow_mut() += 1));
+    let dfi = Dfi::with_defaults();
+    let ctrl = Controller::reactive();
+    let c = ctrl.clone();
+    dfi.interpose(&mut sim, &sw, move |sim, sink| c.connect(sim, sink));
+    sim.run();
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut sim, &dfi);
+    sim.run();
+
+    // Blast random bytes at the proxy from both sides and at the switch.
+    let mut rng = SimRng::new(99);
+    let from_switch = dfi.from_switch_sink(0);
+    let from_controller = dfi.from_controller_sink(0);
+    for len in [0usize, 1, 4, 7, 8, 9, 64, 200] {
+        let mut junk = vec![0u8; len];
+        rng.fill_bytes(&mut junk);
+        from_switch(&mut sim, junk.clone());
+        from_controller(&mut sim, junk.clone());
+        sw.handle_control_bytes(&mut sim, junk);
+        sim.run();
+    }
+    // Adversarial framing: a valid header that lies about its length.
+    let mut lying = OfMessage::new(1, Message::Hello).encode();
+    lying[3] = 0xFF;
+    from_switch(&mut sim, lying.clone());
+    from_controller(&mut sim, lying);
+    sim.run();
+
+    // The system still functions end to end.
+    tx.send(&mut sim, syn(50_000));
+    sim.run();
+    assert_eq!(*got.borrow(), 1, "traffic still flows after garbage storm");
+    assert_eq!(dfi.metrics().allowed, 1);
+}
+
+#[test]
+fn dfi_without_a_controller_still_enforces_policy() {
+    // The proxy is designed so DFI's access control does not depend on the
+    // controller being present at all.
+    let mut sim = Sim::new(14);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(1));
+    let got = Rc::new(RefCell::new(0u32));
+    let g = got.clone();
+    let tx = net.attach_host(&sw, 1, LAT, Rc::new(|_, _| {}));
+    let _rx = net.attach_host(&sw, 2, LAT, Rc::new(move |_, _| *g.borrow_mut() += 1));
+    let dfi = Dfi::with_defaults();
+    // Wire the switch to DFI but never set a controller sink.
+    let conn = dfi.attach_switch_channel(sw.control_ingress(), sw.dpid());
+    sw.connect_control(&mut sim, dfi.from_switch_sink(conn));
+    sim.run();
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut sim, &dfi);
+    sim.run();
+
+    tx.send(&mut sim, syn(50_000));
+    sim.run();
+    // Policy decision happened and a rule was installed (no routing without
+    // a controller, but no panic and no bypass either).
+    assert_eq!(dfi.metrics().allowed, 1);
+    assert_eq!(sw.table_len(0), 1);
+    // A denied flow is likewise decided.
+    let denied = build::tcp_syn(
+        mac(3),
+        mac(2),
+        Ipv4Addr::new(10, 9, 9, 9),
+        Ipv4Addr::new(10, 0, 0, 2),
+        1,
+        1,
+    );
+    let _ = denied;
+}
+
+#[test]
+fn control_plane_recovers_after_overload() {
+    // Flood past the bounded queues, then verify fresh flows decide
+    // normally once the storm subsides.
+    let mut sim = Sim::new(15);
+    let dfi = Dfi::with_defaults();
+    dfi.insert_policy(&mut sim, PolicyRule::allow_all(), 1, "t");
+    let responses = Rc::new(RefCell::new(0u64));
+    let r = responses.clone();
+    let conn = dfi.attach_switch_channel(
+        Rc::new(move |_, bytes: Vec<u8>| {
+            if let Ok(m) = OfMessage::decode(&bytes) {
+                if matches!(m.body, Message::FlowMod(_)) {
+                    *r.borrow_mut() += 1;
+                }
+            }
+        }),
+        7,
+    );
+    let from_switch = dfi.from_switch_sink(conn);
+    // Storm: 3000 packet-ins in one instant — far beyond any queue.
+    let mut rng = SimRng::new(1);
+    for i in 0..3000u32 {
+        let frame = dfi_repro::cbench::random_flow_frame(&mut rng, u64::from(i));
+        let pi = PacketIn::table_miss(1, 0, frame);
+        from_switch(&mut sim, OfMessage::new(i, Message::PacketIn(pi)).encode());
+    }
+    sim.run();
+    let m = dfi.metrics();
+    assert!(m.dropped > 0, "storm must overflow the bounded queues");
+    assert!(*responses.borrow() > 0, "some flows still decided");
+    // Recovery: a lone flow after the storm is processed promptly.
+    let before = *responses.borrow();
+    let frame = dfi_repro::cbench::random_flow_frame(&mut rng, 999_999);
+    let pi = PacketIn::table_miss(1, 0, frame);
+    from_switch(&mut sim, OfMessage::new(0xAAAA, Message::PacketIn(pi)).encode());
+    sim.run();
+    assert_eq!(*responses.borrow(), before + 1, "post-storm flow decided");
+}
+
+#[test]
+fn binding_churn_during_decisions_is_safe() {
+    // Rapid bind/unbind while flows are in flight through the station
+    // pipeline must neither panic nor corrupt decisions.
+    let mut sim = Sim::new(16);
+    let dfi = Dfi::with_defaults();
+    dfi.insert_policy(
+        &mut sim,
+        PolicyRule::allow(
+            dfi_repro::core::policy::EndpointPattern::user("alice"),
+            dfi_repro::core::policy::EndpointPattern::any(),
+        ),
+        10,
+        "t",
+    );
+    let decided = Rc::new(RefCell::new(0u64));
+    let d = decided.clone();
+    let conn = dfi.attach_switch_channel(
+        Rc::new(move |_, _| {
+            *d.borrow_mut() += 1;
+        }),
+        7,
+    );
+    let from_switch = dfi.from_switch_sink(conn);
+    for i in 0..50u32 {
+        // Flip the binding every iteration, interleaved with flows.
+        let ip = Ipv4Addr::new(10, 0, 0, 1);
+        dfi.with_erm(|erm| {
+            use dfi_repro::core::erm::Binding;
+            let b = Binding::HostIp {
+                host: "h1".into(),
+                ip,
+            };
+            let u = Binding::UserHost {
+                user: "alice".into(),
+                host: "h1".into(),
+            };
+            if i % 2 == 0 {
+                erm.bind(b);
+                erm.bind(u);
+            } else {
+                erm.unbind(&b);
+                erm.unbind(&u);
+            }
+        });
+        let frame = build::tcp_syn(
+            mac(1),
+            mac(2),
+            ip,
+            Ipv4Addr::new(10, 0, 0, 2),
+            50_000 + i as u16,
+            80,
+        );
+        let pi = PacketIn::table_miss(1, 0, frame);
+        from_switch(&mut sim, OfMessage::new(i, Message::PacketIn(pi)).encode());
+    }
+    sim.run();
+    let m = dfi.metrics();
+    assert_eq!(m.allowed + m.denied + m.spoof_denied, 50, "every flow decided");
+}
+
+#[test]
+fn split_and_batched_frames_are_handled() {
+    // Two messages delivered in one buffer must both apply; a dangling
+    // partial trailer must not wedge anything.
+    let mut sim = Sim::new(17);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(1));
+    let replies = Rc::new(RefCell::new(Vec::new()));
+    let r = replies.clone();
+    sw.connect_control(
+        &mut sim,
+        Rc::new(move |_, bytes: Vec<u8>| {
+            if let Ok(m) = OfMessage::decode(&bytes) {
+                r.borrow_mut().push(m.body);
+            }
+        }),
+    );
+    let mut batch = OfMessage::new(1, Message::EchoRequest(b"a".to_vec())).encode();
+    batch.extend(OfMessage::new(2, Message::EchoRequest(b"b".to_vec())).encode());
+    batch.extend_from_slice(&[0x04, 0x02]); // dangling partial header
+    sw.handle_control_bytes(&mut sim, batch);
+    sim.run();
+    let echoes = replies
+        .borrow()
+        .iter()
+        .filter(|m| matches!(m, Message::EchoReply(_)))
+        .count();
+    assert_eq!(echoes, 2, "both batched messages answered");
+}
