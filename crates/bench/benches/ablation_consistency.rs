@@ -145,8 +145,7 @@ fn run(mechanism: Mechanism) -> Outcome {
         .copied()
         .filter(|&t| t >= REVOKE_AT)
         .collect();
-    let interruptions_before =
-        punts.borrow().iter().filter(|&&t| t < REVOKE_AT).count() as u32;
+    let interruptions_before = punts.borrow().iter().filter(|&&t| t < REVOKE_AT).count() as u32;
     Outcome {
         delivered_before: delivered.iter().filter(|&&t| t < REVOKE_AT).count() as u32,
         leaked_after: after.len() as u32,

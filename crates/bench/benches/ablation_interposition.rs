@@ -41,7 +41,10 @@ fn run_in_controller_enforcement() -> Outcome {
     let tx = net.attach_host(&sw, 1, lat, Rc::new(|_, _| {}));
     let _rx = net.attach_host(&sw, 2, lat, Rc::new(move |_, _| *d.borrow_mut() += 1));
     // The "firewall app" installs its deny before the attack.
-    sw.install(&mut sim, dfi_deny_rule(Match::any(), DEFAULT_DENY_ID.0, 100));
+    sw.install(
+        &mut sim,
+        dfi_deny_rule(Match::any(), DEFAULT_DENY_ID.0, 100),
+    );
     let ctrl = Controller::malicious(attack());
     let from_switch = ctrl.connect(&mut sim, sw.control_ingress());
     sw.connect_control(&mut sim, from_switch);

@@ -12,9 +12,7 @@
 
 use dfi_bench::{header, row};
 use dfi_core::erm::{Binding, EntityResolver};
-use dfi_core::policy::{
-    EndpointPattern, FlowView, PolicyAction, PolicyManager, PolicyRule, Wild,
-};
+use dfi_core::policy::{EndpointPattern, FlowView, PolicyAction, PolicyManager, PolicyRule, Wild};
 use dfi_simnet::SimRng;
 use std::net::Ipv4Addr;
 
@@ -131,8 +129,12 @@ fn main() {
         // A flow from a random host toward the server.
         let src = rng.index(HOSTS);
         let truth_allow = current_host == Some(src);
-        let src_view = resolver.resolve_endpoint(Some(host_ip(src)), Some(50_000),
-            dfi_packet::MacAddr::from_index(src as u32), None);
+        let src_view = resolver.resolve_endpoint(
+            Some(host_ip(src)),
+            Some(50_000),
+            dfi_packet::MacAddr::from_index(src as u32),
+            None,
+        );
         let flow = FlowView {
             ethertype: 0x0800,
             ip_proto: Some(6),
@@ -158,7 +160,11 @@ fn main() {
         "at-decision: yes / at-insert: no",
         &format!(
             "at-decision: yes / at-insert: {} (failures={})",
-            if compiled_at_start.is_some() { "yes" } else { "no" },
+            if compiled_at_start.is_some() {
+                "yes"
+            } else {
+                "no"
+            },
             uncompilable
         ),
     );

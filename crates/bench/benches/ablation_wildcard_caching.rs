@@ -103,7 +103,11 @@ fn run(wildcard_caching: bool) -> Outcome {
         let (a, b) = (2 * pair, 2 * pair + 1);
         for port in 0..FLOWS_PER_PAIR {
             // Pair 0 also probes its blocked SMB port.
-        let dport = if pair == 0 && port == 7 { 445 } else { 10_000 + port };
+            let dport = if pair == 0 && port == 7 {
+                445
+            } else {
+                10_000 + port
+            };
             let f = build::tcp_syn(mac(a), mac(b), ip(a), ip(b), 20_000 + port, dport);
             txs[a as usize].send(&mut sim, f);
         }

@@ -15,7 +15,9 @@ fn main() {
     let rates: &[f64] = if quick() {
         &[0.0, 300.0, 700.0]
     } else {
-        &[0.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 1000.0, 1200.0, 1400.0]
+        &[
+            0.0, 100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0, 1000.0, 1200.0, 1400.0,
+        ]
     };
     let probes = if quick() { 30 } else { 60 };
 
@@ -49,6 +51,18 @@ fn main() {
                 r.retransmissions,
                 r.failed_probes
             );
+            println!(
+                "    (cache hit/miss/inval={}/{}/{} candidates/query={:.1} erm ips={})",
+                m.decision_cache_hits,
+                m.decision_cache_misses,
+                m.decision_cache_invalidations,
+                if m.policy_index.queries == 0 {
+                    0.0
+                } else {
+                    m.policy_index.candidates_scanned as f64 / m.policy_index.queries as f64
+                },
+                m.erm_index.ips_with_hosts,
+            );
         }
     }
 
@@ -75,4 +89,41 @@ fn main() {
             no_load_plain.ttfb.mean() * 1e3
         ),
     );
+    // Hot-path internals (not in the paper): the decision memo and the
+    // bucket index never change simulated service times — these rows exist
+    // to show the CPU-side machinery is live and consistent.
+    if let Some(m) = &no_load.dfi {
+        row(
+            "Decision cache hits/misses (no load)",
+            "n/a",
+            &format!(
+                "{}/{} ({} entries, {} invalidations)",
+                m.decision_cache_hits,
+                m.decision_cache_misses,
+                m.decision_cache_entries,
+                m.decision_cache_invalidations
+            ),
+        );
+        row(
+            "Policy candidates scanned per query",
+            "n/a",
+            &format!(
+                "{:.2} of {} rules",
+                if m.policy_index.queries == 0 {
+                    0.0
+                } else {
+                    m.policy_index.candidates_scanned as f64 / m.policy_index.queries as f64
+                },
+                m.policy_index.rules
+            ),
+        );
+        row(
+            "ERM index sizes (ip->host/host->user/ip->mac)",
+            "n/a",
+            &format!(
+                "{}/{}/{}",
+                m.erm_index.ips_with_hosts, m.erm_index.hosts_with_users, m.erm_index.ips_with_macs
+            ),
+        );
+    }
 }

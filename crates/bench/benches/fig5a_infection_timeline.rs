@@ -55,9 +55,10 @@ fn main() {
         for (minute, count) in runs[0].series_minutes(60) {
             point(&format!("infected_{name}"), minute, count as f64);
         }
-        let mean_first = mean(runs.iter().filter_map(|r| {
-            r.time_to_first_spread().map(|d| d.as_secs_f64())
-        }));
+        let mean_first = mean(
+            runs.iter()
+                .filter_map(|r| r.time_to_first_spread().map(|d| d.as_secs_f64())),
+        );
         let full: Vec<f64> = runs
             .iter()
             .filter_map(|r| r.time_to_full_infection().map(|d| d.as_secs_f64() / 60.0))
@@ -67,9 +68,10 @@ fn main() {
         } else {
             format!("full {}/{} runs", full.len(), runs.len())
         };
-        let mean_at40 = mean(runs.iter().map(|r| {
-            r.infected_by(r.foothold_at + Duration::from_secs(40 * 60)) as f64
-        }));
+        let mean_at40 = mean(
+            runs.iter()
+                .map(|r| r.infected_by(r.foothold_at + Duration::from_secs(40 * 60)) as f64),
+        );
         summary_rows.push((
             format!("{name}: first spread / full / @40min"),
             paper_desc,

@@ -31,7 +31,11 @@ fn main() {
             testbed: testbed.clone(),
             ..ScenarioConfig::paper(Condition::AtRbac)
         });
-        point("at_rbac_infected_by_hour", hour, result.infected_total() as f64);
+        point(
+            "at_rbac_infected_by_hour",
+            hour,
+            result.infected_total() as f64,
+        );
         if (9.0..17.0).contains(&hour) {
             business_total += result.infected_total();
             business_runs += 1;

@@ -4,7 +4,9 @@
 //! would pay.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfi_core::erm::{Binding, EntityResolver};
 use dfi_core::policy::{EndpointPattern, EndpointView, FlowView, PolicyManager, PolicyRule};
+use dfi_core::{DecisionCache, FlowKey};
 use dfi_dataplane::FlowTable;
 use dfi_openflow::{Action, FlowMod, Instruction, Match, Message, OfMessage, PacketIn};
 use dfi_packet::headers::build;
@@ -39,9 +41,7 @@ fn bench_codecs(c: &mut Criterion) {
     let mut g = c.benchmark_group("openflow_codec");
     let fm_msg = OfMessage::new(7, Message::FlowMod(sample_flow_mod(1)));
     let fm_bytes = fm_msg.encode();
-    g.bench_function("flow_mod_encode", |b| {
-        b.iter(|| black_box(fm_msg.encode()))
-    });
+    g.bench_function("flow_mod_encode", |b| b.iter(|| black_box(fm_msg.encode())));
     g.bench_function("flow_mod_decode", |b| {
         b.iter(|| black_box(OfMessage::decode(black_box(&fm_bytes)).unwrap()))
     });
@@ -91,7 +91,7 @@ fn bench_flow_table(c: &mut Criterion) {
 
 fn bench_policy(c: &mut Criterion) {
     let mut g = c.benchmark_group("policy_manager");
-    for &n in &[10usize, 100, 1_000] {
+    for &n in &[10usize, 100, 1_000, 10_000] {
         let mut pm = PolicyManager::new();
         for i in 0..n {
             pm.insert(
@@ -115,10 +115,90 @@ fn bench_policy(c: &mut Criterion) {
                 ..EndpointView::default()
             },
         };
+        // The bucket-indexed hot path vs. the retained full-scan reference:
+        // same decision (proven by proptest), different asymptotics.
         g.bench_function(format!("query_{n}_rules"), |b| {
             b.iter(|| black_box(pm.query(black_box(&flow))))
         });
+        g.bench_function(format!("query_linear_{n}_rules"), |b| {
+            b.iter(|| black_box(pm.query_linear(black_box(&flow))))
+        });
     }
+    g.finish();
+}
+
+fn bench_erm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entity_resolver");
+    for &n in &[100usize, 10_000] {
+        let mut erm = EntityResolver::new();
+        for i in 0..n {
+            let ip = Ipv4Addr::from(0x0A00_0000 + i as u32);
+            erm.bind(Binding::HostIp {
+                host: format!("h{i}.corp.local"),
+                ip,
+            });
+            erm.bind(Binding::UserHost {
+                user: format!("user{i}"),
+                host: format!("h{i}"),
+            });
+            erm.bind(Binding::IpMac {
+                ip,
+                mac: MacAddr::from_index(i as u32),
+            });
+        }
+        let ip = Ipv4Addr::from(0x0A00_0000 + (n / 2) as u32);
+        let mac = MacAddr::from_index((n / 2) as u32);
+        g.bench_function(format!("resolve_endpoint_{n}_bindings"), |b| {
+            b.iter(|| {
+                black_box(erm.resolve_endpoint(
+                    black_box(Some(ip)),
+                    Some(445),
+                    mac,
+                    Some((0xD1, 3)),
+                ))
+            })
+        });
+        g.bench_function(format!("spoof_check_{n}_bindings"), |b| {
+            b.iter(|| black_box(erm.spoof_check(black_box(Some(ip)), mac)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decision_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_cache");
+    let mut cache = DecisionCache::with_capacity(65_536);
+    let mut pm = PolicyManager::new();
+    let (policy, _) = pm.insert(PolicyRule::allow_all(), 10, "bench");
+    for i in 0..10_000u32 {
+        let h = PacketHeaders::parse(&sample_frame(i)).unwrap();
+        let key = FlowKey::new(&h, 0xD1, 1 + i % 40);
+        cache.insert(
+            key,
+            dfi_core::policy::Decision {
+                action: dfi_core::policy::PolicyAction::Allow,
+                policy,
+            },
+            false,
+        );
+    }
+    let hit_headers = PacketHeaders::parse(&sample_frame(5_000)).unwrap();
+    let hit = FlowKey::new(&hit_headers, 0xD1, 1);
+    let miss = FlowKey::new(&hit_headers, 0xD1, 39); // unknown in_port
+    g.bench_function("hit_10k_entries", |b| {
+        b.iter(|| black_box(cache.lookup(black_box(&hit))))
+    });
+    g.bench_function("miss_10k_entries", |b| {
+        b.iter(|| black_box(cache.lookup(black_box(&miss))))
+    });
+    // The full CPU cost a cached packet avoids: canonicalize + probe vs.
+    // parse + resolve + query (measured separately above).
+    g.bench_function("key_build_and_hit", |b| {
+        b.iter(|| {
+            let key = FlowKey::new(black_box(&hit_headers), 0xD1, 1);
+            black_box(cache.lookup(&key))
+        })
+    });
     g.finish();
 }
 
@@ -158,6 +238,8 @@ criterion_group!(
     bench_codecs,
     bench_flow_table,
     bench_policy,
+    bench_erm,
+    bench_decision_cache,
     bench_sim_kernel
 );
 criterion_main!(benches);

@@ -46,8 +46,7 @@ fn main() {
         &format!(
             "{:.0} flows/sec (offered {:.0}/sec, dropped {})",
             thr.responses_per_sec,
-            thr.offered as f64
-                / (warmup + window + Duration::from_secs(2)).as_secs_f64(),
+            thr.offered as f64 / (warmup + window + Duration::from_secs(2)).as_secs_f64(),
             thr.dfi.dropped
         ),
     );

@@ -32,7 +32,11 @@ fn main() {
     row(
         "Other PCP Processing",
         "0.39ms +- 0.27ms",
-        &format!("{} +- {}", ms(m.pcp_other.mean()), ms(m.pcp_other.std_dev())),
+        &format!(
+            "{} +- {}",
+            ms(m.pcp_other.mean()),
+            ms(m.pcp_other.std_dev())
+        ),
     );
     row(
         "Proxy",

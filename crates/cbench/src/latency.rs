@@ -70,7 +70,8 @@ pub fn run(config: LatencyConfig) -> LatencyReport {
 
     // The emulated switch: record flow-mod arrivals, then fire the next
     // packet-in.
-    let inject: Rc<RefCell<Option<Rc<dyn Fn(&mut Sim)>>>> = Rc::new(RefCell::new(None));
+    type Injector = Rc<dyn Fn(&mut Sim)>;
+    let inject: Rc<RefCell<Option<Injector>>> = Rc::new(RefCell::new(None));
     let st = state.clone();
     let inj = inject.clone();
     let flows = config.flows;

@@ -182,9 +182,7 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
     // Background load: Poisson arrivals of randomized new flows.
     let horizon = SimTime::ZERO
         + config.warmup
-        + config
-            .probe_interval
-            .mul_f64(config.probes as f64)
+        + config.probe_interval.mul_f64(config.probes as f64)
         + Duration::from_secs(2);
     let bg_offered = Rc::new(RefCell::new(0u64));
     if config.background_rate > 0.0 {

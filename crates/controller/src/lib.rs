@@ -417,16 +417,19 @@ mod tests {
         )
     }
 
-    /// One switch, two hosts, controller attached directly (no proxy).
-    fn rig() -> (
+    type HostLog = Rc<RefCell<Vec<Vec<u8>>>>;
+    type TestRig = (
         Sim,
         dfi_dataplane::Switch,
         Controller,
         dfi_dataplane::Tx,
         dfi_dataplane::Tx,
-        Rc<RefCell<Vec<Vec<u8>>>>,
-        Rc<RefCell<Vec<Vec<u8>>>>,
-    ) {
+        HostLog,
+        HostLog,
+    );
+
+    /// One switch, two hosts, controller attached directly (no proxy).
+    fn rig() -> TestRig {
         let mut sim = Sim::new(11);
         let mut net = Network::new();
         let sw = net.add_switch(SwitchConfig::new(1));

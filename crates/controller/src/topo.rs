@@ -348,8 +348,7 @@ mod tests {
         MacAddr::from_index(i)
     }
 
-    /// Three switches in a line: h1—s1—s2—s3—h2.
-    fn line_rig() -> (
+    type LineRig = (
         Sim,
         Vec<dfi_dataplane::Switch>,
         TopologyController,
@@ -357,7 +356,10 @@ mod tests {
         dfi_dataplane::Tx,
         Rc<RefCell<u32>>,
         Rc<RefCell<u32>>,
-    ) {
+    );
+
+    /// Three switches in a line: h1—s1—s2—s3—h2.
+    fn line_rig() -> LineRig {
         let mut sim = Sim::new(21);
         let mut net = Network::new();
         let s1 = net.add_switch(SwitchConfig::new(1));

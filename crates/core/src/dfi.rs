@@ -19,20 +19,45 @@
 //! The proxy is *in front of* the controller: denied packets never reach
 //! it, and every table reference it exchanges with the switch is shifted so
 //! Table 0 does not exist from the controller's point of view.
+//!
+//! # Decision cache
+//!
+//! The PCP memoizes flow decisions in a [`DecisionCache`] keyed by the
+//! packet's canonical low-level tuple (switch, in-port, MACs, EtherType,
+//! IP protocol, IPs, L4 ports). A hit skips the *CPU-side* entity
+//! resolution and policy query; it does **not** skip the simulated ERM/PM
+//! database stations, so the calibrated service-time model — and with it
+//! Figure 4's latency curve — is untouched. What the cache buys inside the
+//! simulation is the real-system property the paper's consistency design
+//! implies: a decision may be reused only until an event that could change
+//! it.
+//!
+//! Invalidation is event-driven and mirrors the cookie-flush protocol
+//! exactly: entries are tagged with their deciding [`PolicyId`] and with
+//! the IPs/MACs their resolution consumed. Policy insert/revoke drops the
+//! entries of every cookie it flushes from the switches, at the same call
+//! sites; ERM binding add/expire (DHCP lease, DNS name, SIEM session
+//! events, MAC migration) drops the entries touching the rebound
+//! identifiers — session events map hostnames to affected IPs through the
+//! ERM's refcounted name reverse index. A no-op re-bind (the per-packet
+//! MAC-location refresh) invalidates nothing, which is what makes the
+//! cache effective at all.
 
-use crate::erm::{Binding, EntityResolver, SpoofVerdict};
+use crate::erm::{Binding, EntityResolver, ErmIndexSizes, SpoofVerdict};
 use crate::events::{topic, DfiEvent};
 use crate::policy::{
-    Decision, FlowView, PolicyAction, PolicyId, PolicyManager, PolicyRule, DEFAULT_DENY_ID,
+    Decision, FlowView, PolicyAction, PolicyId, PolicyIndexStats, PolicyManager, PolicyRule,
+    DEFAULT_DENY_ID,
 };
 use crate::rewrite::{rewrite_controller_to_switch, rewrite_switch_to_controller, Upstream};
 use dfi_bus::Bus;
 use dfi_dataplane::{ByteSink, Switch};
-use dfi_openflow::{
-    ErrorMsg, FlowMod, Instruction, Match, Message, OfMessage, PacketIn,
-};
+use dfi_openflow::{ErrorMsg, FlowMod, Instruction, Match, Message, OfMessage, PacketIn};
+use dfi_packet::{MacAddr, PacketHeaders};
 use dfi_simnet::{Dist, Sim, SimTime, Station, StationConfig, SubmitOutcome, Summary};
 use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -83,6 +108,9 @@ pub struct DfiConfig {
     /// port-wildcarded rule instead of one exact rule per flow. Off by
     /// default — the paper's evaluated system installs exact rules only.
     pub wildcard_caching: bool,
+    /// Entry bound of the PCP decision cache (see the module docs). `0`
+    /// disables memoization entirely.
+    pub decision_cache_capacity: usize,
 }
 
 impl Default for DfiConfig {
@@ -103,7 +131,190 @@ impl Default for DfiConfig {
             bus_latency: Dist::normal_ms(0.3, 0.05),
             n_tables: 8,
             wildcard_caching: false,
+            decision_cache_capacity: 65_536,
         }
+    }
+}
+
+/// Canonical low-level identity of a flow: everything `pcp_decide` feeds
+/// into entity resolution and the policy query. Two packets with equal
+/// keys get identical decisions as long as no binding or policy event
+/// intervenes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FlowKey {
+    dpid: u64,
+    in_port: u32,
+    eth_src: MacAddr,
+    eth_dst: MacAddr,
+    ethertype: u16,
+    ip_proto: Option<u8>,
+    ip_src: Option<Ipv4Addr>,
+    ip_dst: Option<Ipv4Addr>,
+    l4_src: Option<u16>,
+    l4_dst: Option<u16>,
+}
+
+impl FlowKey {
+    /// Canonicalizes a parsed packet received at `(dpid, in_port)`.
+    pub fn new(headers: &PacketHeaders, dpid: u64, in_port: u32) -> FlowKey {
+        FlowKey {
+            dpid,
+            in_port,
+            eth_src: headers.eth_src,
+            eth_dst: headers.eth_dst,
+            ethertype: headers.ethertype.to_u16(),
+            ip_proto: headers.ip_proto.map(|p| p.0),
+            ip_src: headers.ipv4_src,
+            ip_dst: headers.ipv4_dst,
+            l4_src: headers.l4_src(),
+            l4_dst: headers.l4_dst(),
+        }
+    }
+}
+
+/// A memoized verdict: what `pcp_decide` concluded last time it saw this
+/// flow key.
+#[derive(Clone, Debug)]
+pub struct CachedDecision {
+    /// The verdict and the policy that produced it.
+    pub decision: Decision,
+    /// The decision came from a port-class query and the compiled rule was
+    /// widened (L4 ports wildcarded).
+    pub widened: bool,
+}
+
+/// Memo of flow decisions with event-driven invalidation (see the module
+/// docs). Entries are indexed by deciding policy and by every IP/MAC in
+/// the key so that policy flushes and binding churn can drop exactly the
+/// affected decisions.
+#[derive(Default)]
+pub struct DecisionCache {
+    entries: HashMap<FlowKey, CachedDecision>,
+    by_policy: HashMap<PolicyId, HashSet<FlowKey>>,
+    by_ip: HashMap<Ipv4Addr, HashSet<FlowKey>>,
+    by_mac: HashMap<MacAddr, HashSet<FlowKey>>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    /// Entry bound; at capacity the whole memo is dropped (simple and
+    /// rare) rather than tracking recency.
+    capacity: usize,
+}
+
+impl DecisionCache {
+    /// An empty cache bounded at `capacity` entries (`0` disables caching).
+    pub fn with_capacity(capacity: usize) -> DecisionCache {
+        DecisionCache {
+            capacity,
+            ..DecisionCache::default()
+        }
+    }
+
+    /// The per-packet probe: counts a hit or a miss either way.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<CachedDecision> {
+        match self.entries.get(key) {
+            Some(hit) => {
+                self.hits += 1;
+                Some(hit.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes a freshly computed decision under its flow key.
+    pub fn insert(&mut self, key: FlowKey, decision: Decision, widened: bool) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let flushed = self.entries.len() as u64;
+            self.entries.clear();
+            self.by_policy.clear();
+            self.by_ip.clear();
+            self.by_mac.clear();
+            self.invalidations += flushed;
+        }
+        self.by_policy
+            .entry(decision.policy)
+            .or_default()
+            .insert(key.clone());
+        for ip in [key.ip_src, key.ip_dst].into_iter().flatten() {
+            self.by_ip.entry(ip).or_default().insert(key.clone());
+        }
+        for mac in [key.eth_src, key.eth_dst] {
+            self.by_mac.entry(mac).or_default().insert(key.clone());
+        }
+        self.entries
+            .insert(key, CachedDecision { decision, widened });
+    }
+
+    fn detach(&mut self, key: &FlowKey, skip_policy: Option<PolicyId>) {
+        let Some(entry) = self.entries.remove(key) else {
+            return;
+        };
+        self.invalidations += 1;
+        if skip_policy != Some(entry.decision.policy) {
+            if let Some(set) = self.by_policy.get_mut(&entry.decision.policy) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_policy.remove(&entry.decision.policy);
+                }
+            }
+        }
+        for ip in [key.ip_src, key.ip_dst].into_iter().flatten() {
+            if let Some(set) = self.by_ip.get_mut(&ip) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_ip.remove(&ip);
+                }
+            }
+        }
+        for mac in [key.eth_src, key.eth_dst] {
+            if let Some(set) = self.by_mac.get_mut(&mac) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_mac.remove(&mac);
+                }
+            }
+        }
+    }
+
+    /// Drops every decision made by `policy` — called exactly where the
+    /// switch-side cookie flush for that policy is issued.
+    fn invalidate_policy(&mut self, policy: PolicyId) {
+        let Some(keys) = self.by_policy.remove(&policy) else {
+            return;
+        };
+        for key in keys {
+            self.detach(&key, Some(policy));
+        }
+    }
+
+    /// Drops every decision whose packet identifiers include `ip`.
+    fn invalidate_ip(&mut self, ip: Ipv4Addr) {
+        let Some(keys) = self.by_ip.get(&ip).cloned() else {
+            return;
+        };
+        for key in keys {
+            self.detach(&key, None);
+        }
+    }
+
+    /// Drops every decision whose packet identifiers include `mac`.
+    fn invalidate_mac(&mut self, mac: MacAddr) {
+        let Some(keys) = self.by_mac.get(&mac).cloned() else {
+            return;
+        };
+        for key in keys {
+            self.detach(&key, None);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -141,6 +352,20 @@ pub struct DfiMetrics {
     /// that an administrator can "understand the current policy" extends
     /// to seeing which rules actually decide traffic).
     pub decisions_by_policy: std::collections::BTreeMap<u64, u64>,
+    /// Decision-cache hits (flows decided without re-running entity
+    /// resolution and the policy query).
+    pub decision_cache_hits: u64,
+    /// Decision-cache misses (full enrich→match→decide executions).
+    pub decision_cache_misses: u64,
+    /// Cache entries dropped by policy flushes and binding churn.
+    pub decision_cache_invalidations: u64,
+    /// Live decision-cache entries at snapshot time.
+    pub decision_cache_entries: u64,
+    /// ERM secondary-index sizes at snapshot time.
+    pub erm_index: ErmIndexSizes,
+    /// Policy bucket-index shape and candidate-scan accounting at snapshot
+    /// time.
+    pub policy_index: PolicyIndexStats,
 }
 
 struct SwitchConn {
@@ -153,6 +378,7 @@ struct Inner {
     config: DfiConfig,
     erm: EntityResolver,
     pm: PolicyManager,
+    cache: DecisionCache,
     conns: Vec<SwitchConn>,
     metrics: DfiMetrics,
 }
@@ -196,11 +422,13 @@ impl Dfi {
         let binding_station = db_station("erm-db", config.binding_query.clone());
         let policy_station = db_station("policy-db", config.policy_query.clone());
         let bus = Bus::new(config.bus_latency.clone());
+        let cache = DecisionCache::with_capacity(config.decision_cache_capacity);
         let dfi = Dfi {
             inner: Rc::new(RefCell::new(Inner {
                 config,
                 erm: EntityResolver::new(),
                 pm: PolicyManager::new(),
+                cache,
                 conns: Vec::new(),
                 metrics: DfiMetrics::default(),
             })),
@@ -235,10 +463,13 @@ impl Dfi {
             {
                 let binding = Binding::IpMac { ip: *ip, mac: *mac };
                 let mut inner = me.inner.borrow_mut();
-                if *released {
-                    inner.erm.unbind(&binding);
+                let changed = if *released {
+                    inner.erm.unbind(&binding)
                 } else {
-                    inner.erm.bind(binding);
+                    inner.erm.bind(binding)
+                };
+                if changed {
+                    inner.cache.invalidate_ip(*ip);
                 }
             }
         });
@@ -255,10 +486,13 @@ impl Dfi {
                     ip: *ip,
                 };
                 let mut inner = me.inner.borrow_mut();
-                if *removed {
-                    inner.erm.unbind(&binding);
+                let changed = if *removed {
+                    inner.erm.unbind(&binding)
                 } else {
-                    inner.erm.bind(binding);
+                    inner.erm.bind(binding)
+                };
+                if changed {
+                    inner.cache.invalidate_ip(*ip);
                 }
             }
         });
@@ -275,10 +509,19 @@ impl Dfi {
                     host: host.clone(),
                 };
                 let mut inner = me.inner.borrow_mut();
-                if *logged_on {
-                    inner.erm.bind(binding);
+                let changed = if *logged_on {
+                    inner.erm.bind(binding)
                 } else {
-                    inner.erm.unbind(&binding);
+                    inner.erm.unbind(&binding)
+                };
+                if changed {
+                    // A session change affects the decisions of every flow
+                    // whose endpoints resolve through this host; the ERM's
+                    // name reverse index maps the (short) SIEM hostname to
+                    // those IPs.
+                    for ip in inner.erm.ips_of_host(host) {
+                        inner.cache.invalidate_ip(ip);
+                    }
                 }
             }
         });
@@ -375,8 +618,7 @@ impl Dfi {
             other => {
                 // Non-packet-in traffic flows to the controller through the
                 // table-rewriting filter.
-                let Some(rewritten) =
-                    rewrite_switch_to_controller(OfMessage::new(msg.xid, other))
+                let Some(rewritten) = rewrite_switch_to_controller(OfMessage::new(msg.xid, other))
                 else {
                     return; // suppressed (Table-0 information)
                 };
@@ -454,10 +696,7 @@ impl Dfi {
             let me2 = me.clone();
             let outcome = me.binding_station.submit(sim, move |sim| {
                 let t_binding_done = sim.now();
-                me2.record(|m| {
-                    m.binding
-                        .push((t_binding_done - t_pcp_done).as_secs_f64())
-                });
+                me2.record(|m| m.binding.push((t_binding_done - t_pcp_done).as_secs_f64()));
                 let me3 = me2.clone();
                 let outcome = me2.policy_station.submit(sim, move |sim| {
                     let t_policy_done = sim.now();
@@ -491,58 +730,81 @@ impl Dfi {
         let Ok(headers) = dfi_packet::PacketHeaders::parse(&pi.data) else {
             return;
         };
-        let (decision, mat, dpid) = {
+        let (decision, mat) = {
             let mut inner = self.inner.borrow_mut();
             let dpid = inner.conns[conn].dpid;
             // The MAC↔switch/port sensor lives in the PCP: packet-in
-            // events are its authoritative source.
-            inner.erm.bind(Binding::MacLocation {
+            // events are its authoritative source. An *effective* change
+            // (host appeared or moved) stales any decision that resolved a
+            // location for this MAC; the steady-state per-packet re-bind
+            // is a no-op and invalidates nothing.
+            if inner.erm.bind(Binding::MacLocation {
                 mac: headers.eth_src,
                 dpid,
                 port: in_port,
-            });
+            }) {
+                inner.cache.invalidate_mac(headers.eth_src);
+            }
             // Anti-spoofing: identifiers at all levels must be mutually
-            // consistent before any policy lookup.
+            // consistent before any policy lookup. Runs on every packet —
+            // spoofed traffic must never ride a cached decision — but it
+            // is a single index probe.
             if inner.erm.spoof_check(headers.ipv4_src, headers.eth_src)
                 == SpoofVerdict::IpMacMismatch
             {
                 inner.metrics.spoof_denied += 1;
+                // The drop rule below is installed under cookie 0 without
+                // a policy query: make sure the next conflicting Allow
+                // insert flushes it.
+                inner.pm.note_default_deny_cached();
                 let decision = Decision {
                     action: PolicyAction::Deny,
                     policy: DEFAULT_DENY_ID,
                 };
                 let mat = Match::exact_from_headers(in_port, &headers);
-                (decision, mat, dpid)
+                (decision, mat)
             } else {
-                let (src, dst) = inner.erm.resolve_flow(&headers, dpid, in_port);
-                let flow = FlowView {
-                    ethertype: headers.ethertype.to_u16(),
-                    ip_proto: headers.ip_proto.map(|p| p.0),
-                    src,
-                    dst,
-                };
+                let key = FlowKey::new(&headers, dpid, in_port);
                 let mut mat = Match::exact_from_headers(in_port, &headers);
-                let decision = if inner.config.wildcard_caching {
-                    match inner.pm.query_class(&flow) {
-                        Some(decision) => {
-                            // Safe to cache the whole port class: widen the
-                            // compiled rule by dropping the L4 ports.
-                            mat.tcp_src = None;
-                            mat.tcp_dst = None;
-                            mat.udp_src = None;
-                            mat.udp_dst = None;
-                            inner.metrics.wildcard_cached += 1;
-                            decision
-                        }
-                        None => inner.pm.query(&flow),
+                let cached = inner.cache.lookup(&key);
+                let (decision, widened) = match cached {
+                    // Memo hit: skip entity resolution and the policy
+                    // query (the simulated station latency was already
+                    // paid on the way here, so the service-time model is
+                    // unaffected).
+                    Some(hit) => (hit.decision, hit.widened),
+                    None => {
+                        let (src, dst) = inner.erm.resolve_flow(&headers, dpid, in_port);
+                        let flow = FlowView {
+                            ethertype: headers.ethertype.to_u16(),
+                            ip_proto: headers.ip_proto.map(|p| p.0),
+                            src,
+                            dst,
+                        };
+                        let (decision, widened) = if inner.config.wildcard_caching {
+                            match inner.pm.query_class(&flow) {
+                                Some(decision) => (decision, true),
+                                None => (inner.pm.query(&flow), false),
+                            }
+                        } else {
+                            (inner.pm.query(&flow), false)
+                        };
+                        inner.cache.insert(key, decision.clone(), widened);
+                        (decision, widened)
                     }
-                } else {
-                    inner.pm.query(&flow)
                 };
-                (decision, mat, dpid)
+                if widened {
+                    // Safe to cache the whole port class: widen the
+                    // compiled rule by dropping the L4 ports.
+                    mat.tcp_src = None;
+                    mat.tcp_dst = None;
+                    mat.udp_src = None;
+                    mat.udp_dst = None;
+                    inner.metrics.wildcard_cached += 1;
+                }
+                (decision, mat)
             }
         };
-        let _ = dpid;
         self.record(|m| {
             *m.decisions_by_policy.entry(decision.policy.0).or_insert(0) += 1;
         });
@@ -606,7 +868,17 @@ impl Dfi {
         priority: u32,
         pdp: &str,
     ) -> PolicyId {
-        let (id, flush) = self.inner.borrow_mut().pm.insert(rule, priority, pdp);
+        let (id, flush) = {
+            let mut inner = self.inner.borrow_mut();
+            let (id, flush) = inner.pm.insert(rule, priority, pdp);
+            // Invalidate memoized decisions exactly where the switch-side
+            // cookie flush happens, so the cache is never more permissive
+            // (or more restrictive) than the dataplane.
+            for policy in &flush {
+                inner.cache.invalidate_policy(*policy);
+            }
+            (id, flush)
+        };
         for policy in flush {
             self.flush_policy_rules(sim, policy);
         }
@@ -616,7 +888,14 @@ impl Dfi {
     /// Revokes a policy rule and flushes its derived flow rules from every
     /// switch. Returns `false` for unknown ids.
     pub fn revoke_policy(&self, sim: &mut Sim, id: PolicyId) -> bool {
-        let existed = self.inner.borrow_mut().pm.revoke(id);
+        let existed = {
+            let mut inner = self.inner.borrow_mut();
+            let existed = inner.pm.revoke(id);
+            if existed {
+                inner.cache.invalidate_policy(id);
+            }
+            existed
+        };
         if existed {
             self.flush_policy_rules(sim, id);
         }
@@ -631,8 +910,7 @@ impl Dfi {
         let (sinks, delay) = {
             let mut inner = self.inner.borrow_mut();
             inner.metrics.flushes += 1;
-            let delay = inner.config.bus_latency.sample(sim.rng())
-                + inner.config.install_latency;
+            let delay = inner.config.bus_latency.sample(sim.rng()) + inner.config.install_latency;
             (
                 inner
                     .conns
@@ -654,9 +932,17 @@ impl Dfi {
     // Introspection
     // ------------------------------------------------------------------
 
-    /// Snapshot of metrics.
+    /// Snapshot of metrics, including live index/cache statistics.
     pub fn metrics(&self) -> DfiMetrics {
-        self.inner.borrow().metrics.clone()
+        let inner = self.inner.borrow();
+        let mut m = inner.metrics.clone();
+        m.decision_cache_hits = inner.cache.hits;
+        m.decision_cache_misses = inner.cache.misses;
+        m.decision_cache_invalidations = inner.cache.invalidations;
+        m.decision_cache_entries = inner.cache.len() as u64;
+        m.erm_index = inner.erm.index_sizes();
+        m.policy_index = inner.pm.index_stats();
+        m
     }
 
     /// Runs a closure against the Entity Resolution Manager (tests,

@@ -15,10 +15,33 @@
 //! The ERM also performs anti-spoofing: a packet whose IP↔MAC pairing
 //! contradicts the authoritative DHCP binding is flagged and denied without
 //! polluting the store.
+//!
+//! # Lookup performance
+//!
+//! Every packet-in resolves both endpoints, so `resolve_endpoint` /
+//! `resolve_flow` / `spoof_check` are the control plane's hottest reads. A
+//! flat pair-set store would make each of them a linear scan over *all*
+//! bindings (with a clone and a sort per call), turning the Figure-4 load
+//! sweep superlinear in the binding count. The store therefore keeps
+//! **forward and reverse secondary indexes** — `ip→hosts`, `host→users`,
+//! `user→hosts`, `host→ips`, `ip→macs` — maintained incrementally by
+//! [`EntityResolver::bind`] / [`EntityResolver::unbind`]:
+//!
+//! * each index value is a `BTreeSet`, so iteration is already sorted and
+//!   deterministic — no per-query sort;
+//! * lookups are O(1) amortized hash probes returning **borrowed** sets
+//!   (`*_of_*_ref` accessors); the PCP path allocates only when it
+//!   actually compiles an [`EndpointView`] for a decision;
+//! * `bind` returns whether the store changed, which the DFI decision
+//!   cache uses to invalidate only on *effective* binding churn (the
+//!   per-packet MAC-location refresh is almost always a no-op).
+//!
+//! The legacy `Vec`-returning accessors survive for tests and harnesses;
+//! they clone from the same indexes.
 
 use crate::policy::EndpointView;
 use dfi_packet::{MacAddr, PacketHeaders};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 /// The four binding classes the ERM tracks.
@@ -66,16 +89,94 @@ pub enum SpoofVerdict {
     IpMacMismatch,
 }
 
-/// The binding store.
+/// Sizes of the ERM's secondary indexes (observability).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ErmIndexSizes {
+    /// Distinct IPs with at least one hostname binding.
+    pub ips_with_hosts: usize,
+    /// Distinct hosts with at least one logged-on user.
+    pub hosts_with_users: usize,
+    /// Distinct users logged on somewhere.
+    pub users_with_hosts: usize,
+    /// Distinct IPs with at least one DHCP MAC binding.
+    pub ips_with_macs: usize,
+    /// (switch, MAC) location entries.
+    pub mac_locations: usize,
+    /// Total pair bindings across all classes.
+    pub bindings: usize,
+}
+
+/// Inserts `value` into the set at `key`, creating it on demand.
+/// Returns `true` when the set changed.
+fn index_insert<K: std::hash::Hash + Eq, V: Ord>(
+    index: &mut HashMap<K, BTreeSet<V>>,
+    key: K,
+    value: V,
+) -> bool {
+    index.entry(key).or_default().insert(value)
+}
+
+/// Removes `value` from the set at `key`, dropping empty sets so index
+/// sizes reflect live keys. Returns `true` when the set changed.
+fn index_remove<K: std::hash::Hash + Eq, V: Ord>(
+    index: &mut HashMap<K, BTreeSet<V>>,
+    key: &K,
+    value: &V,
+) -> bool {
+    if let Some(set) = index.get_mut(key) {
+        let removed = set.remove(value);
+        if set.is_empty() {
+            index.remove(key);
+        }
+        removed
+    } else {
+        false
+    }
+}
+
+fn name_ref_add(index: &mut HashMap<String, BTreeMap<Ipv4Addr, u32>>, name: String, ip: Ipv4Addr) {
+    *index.entry(name).or_default().entry(ip).or_insert(0) += 1;
+}
+
+fn name_ref_remove(index: &mut HashMap<String, BTreeMap<Ipv4Addr, u32>>, name: &str, ip: Ipv4Addr) {
+    if let Some(ips) = index.get_mut(name) {
+        if let Some(count) = ips.get_mut(&ip) {
+            *count -= 1;
+            if *count == 0 {
+                ips.remove(&ip);
+            }
+        }
+        if ips.is_empty() {
+            index.remove(name);
+        }
+    }
+}
+
+/// The binding store: forward/reverse secondary indexes per binding class.
 #[derive(Default)]
 pub struct EntityResolver {
-    user_host: HashSet<(String, String)>,
-    host_ip: HashSet<(String, Ipv4Addr)>,
-    ip_mac: HashSet<(Ipv4Addr, MacAddr)>,
+    /// hostname↔IP, keyed by IP (the resolution direction).
+    ip_to_hosts: HashMap<Ipv4Addr, BTreeSet<String>>,
+    /// Reverse index (binding-event → affected IPs), keyed by every name
+    /// form resolution exposes: the bound FQDN *and* its short name.
+    /// Values are refcounts because two FQDNs can share a short name.
+    name_to_ips: HashMap<String, BTreeMap<Ipv4Addr, u32>>,
+    /// username↔hostname, keyed by host (the resolution direction).
+    host_to_users: HashMap<String, BTreeSet<String>>,
+    /// username↔hostname reverse index.
+    user_to_hosts: HashMap<String, BTreeSet<String>>,
+    /// IP↔MAC, keyed by IP (the anti-spoofing direction).
+    ip_to_macs: HashMap<Ipv4Addr, BTreeSet<MacAddr>>,
     /// (dpid, mac) → port; at most one port per MAC per switch.
     mac_location: HashMap<(u64, MacAddr), u32>,
+    /// Pair-binding counts per class (user-host, host-ip, ip-mac).
+    n_user_host: usize,
+    n_host_ip: usize,
+    n_ip_mac: usize,
     resolutions: u64,
 }
+
+static EMPTY_NAMES: BTreeSet<String> = BTreeSet::new();
 
 impl EntityResolver {
     /// An empty store.
@@ -83,90 +184,129 @@ impl EntityResolver {
         EntityResolver::default()
     }
 
-    /// Applies a binding event (add).
-    pub fn bind(&mut self, binding: Binding) {
+    /// Applies a binding event (add). Returns `true` when the store
+    /// changed (the pair was not already bound / the location moved) —
+    /// the signal the DFI decision cache keys invalidation on.
+    pub fn bind(&mut self, binding: Binding) -> bool {
         match binding {
             Binding::UserHost { user, host } => {
-                self.user_host.insert((user, host));
+                let changed = index_insert(&mut self.host_to_users, host.clone(), user.clone());
+                index_insert(&mut self.user_to_hosts, user, host);
+                self.n_user_host += changed as usize;
+                changed
             }
             Binding::HostIp { host, ip } => {
-                self.host_ip.insert((host, ip));
+                let changed = index_insert(&mut self.ip_to_hosts, ip, host.clone());
+                if changed {
+                    self.n_host_ip += 1;
+                    let short = short_name(&host).to_string();
+                    if short != host {
+                        name_ref_add(&mut self.name_to_ips, short, ip);
+                    }
+                    name_ref_add(&mut self.name_to_ips, host, ip);
+                }
+                changed
             }
             Binding::IpMac { ip, mac } => {
-                self.ip_mac.insert((ip, mac));
+                let changed = index_insert(&mut self.ip_to_macs, ip, mac);
+                self.n_ip_mac += changed as usize;
+                changed
             }
             Binding::MacLocation { mac, dpid, port } => {
                 // "This sensor ensures that each MAC address is associated
                 // with at most one port on each switch."
-                self.mac_location.insert((dpid, mac), port);
+                self.mac_location.insert((dpid, mac), port) != Some(port)
             }
         }
     }
 
-    /// Applies a binding expiration (remove).
-    pub fn unbind(&mut self, binding: &Binding) {
+    /// Applies a binding expiration (remove). Returns `true` when the
+    /// binding existed.
+    pub fn unbind(&mut self, binding: &Binding) -> bool {
         match binding {
             Binding::UserHost { user, host } => {
-                self.user_host.remove(&(user.clone(), host.clone()));
+                let changed = index_remove(&mut self.host_to_users, host, user);
+                index_remove(&mut self.user_to_hosts, user, host);
+                self.n_user_host -= changed as usize;
+                changed
             }
             Binding::HostIp { host, ip } => {
-                self.host_ip.remove(&(host.clone(), *ip));
+                let changed = index_remove(&mut self.ip_to_hosts, ip, host);
+                if changed {
+                    self.n_host_ip -= 1;
+                    let short = short_name(host);
+                    if short != host {
+                        name_ref_remove(&mut self.name_to_ips, short, *ip);
+                    }
+                    name_ref_remove(&mut self.name_to_ips, host, *ip);
+                }
+                changed
             }
             Binding::IpMac { ip, mac } => {
-                self.ip_mac.remove(&(*ip, *mac));
+                let changed = index_remove(&mut self.ip_to_macs, ip, mac);
+                self.n_ip_mac -= changed as usize;
+                changed
             }
             Binding::MacLocation { mac, dpid, .. } => {
-                self.mac_location.remove(&(*dpid, *mac));
+                self.mac_location.remove(&(*dpid, *mac)).is_some()
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // Borrowing accessors: the PCP hot path
+    // ------------------------------------------------------------------
+
+    /// Hostnames currently bound to an IP (borrowed, sorted).
+    pub fn hosts_of_ip_ref(&self, ip: Ipv4Addr) -> &BTreeSet<String> {
+        self.ip_to_hosts.get(&ip).unwrap_or(&EMPTY_NAMES)
+    }
+
+    /// Users currently bound to a host (borrowed, sorted).
+    pub fn users_of_host_ref(&self, host: &str) -> &BTreeSet<String> {
+        self.host_to_users.get(host).unwrap_or(&EMPTY_NAMES)
+    }
+
+    /// Hosts a user is currently logged onto (borrowed, sorted).
+    pub fn hosts_of_user_ref(&self, user: &str) -> &BTreeSet<String> {
+        self.user_to_hosts.get(user).unwrap_or(&EMPTY_NAMES)
+    }
+
+    /// IPs a hostname (FQDN or short form) currently resolves to, sorted.
+    /// Reverse index used to map binding-churn events — in particular SIEM
+    /// session events, which use short machine names — to affected flows.
+    pub fn ips_of_host(&self, host: &str) -> Vec<Ipv4Addr> {
+        self.name_to_ips
+            .get(host)
+            .map(|ips| ips.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Cloning accessors (tests, harnesses, diagnostics)
+    // ------------------------------------------------------------------
 
     /// Hostnames currently bound to an IP.
     pub fn hosts_of_ip(&self, ip: Ipv4Addr) -> Vec<String> {
-        let mut hs: Vec<String> = self
-            .host_ip
-            .iter()
-            .filter(|(_, i)| *i == ip)
-            .map(|(h, _)| h.clone())
-            .collect();
-        hs.sort();
-        hs
+        self.hosts_of_ip_ref(ip).iter().cloned().collect()
     }
 
     /// Users currently bound to a host.
     pub fn users_of_host(&self, host: &str) -> Vec<String> {
-        let mut us: Vec<String> = self
-            .user_host
-            .iter()
-            .filter(|(_, h)| h == host)
-            .map(|(u, _)| u.clone())
-            .collect();
-        us.sort();
-        us
+        self.users_of_host_ref(host).iter().cloned().collect()
     }
 
     /// Hosts a user is currently logged onto.
     pub fn hosts_of_user(&self, user: &str) -> Vec<String> {
-        let mut hs: Vec<String> = self
-            .user_host
-            .iter()
-            .filter(|(u, _)| u == user)
-            .map(|(_, h)| h.clone())
-            .collect();
-        hs.sort();
-        hs
+        self.hosts_of_user_ref(user).iter().cloned().collect()
     }
 
     /// MACs the authoritative DHCP source binds to an IP.
     pub fn macs_of_ip(&self, ip: Ipv4Addr) -> Vec<MacAddr> {
-        let mut ms: Vec<MacAddr> = self
-            .ip_mac
-            .iter()
-            .filter(|(i, _)| *i == ip)
-            .map(|(_, m)| *m)
-            .collect();
-        ms.sort();
-        ms
+        self.ip_to_macs
+            .get(&ip)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// The switch port a MAC was last located at on a given switch.
@@ -177,22 +317,22 @@ impl EntityResolver {
     /// Anti-spoofing check: the packet's (IP, MAC) pairing must not
     /// contradict the authoritative IP↔MAC bindings. An IP with no
     /// recorded binding passes (it may predate DHCP, e.g. static core
-    /// services).
+    /// services). O(log n) set probe — no allocation.
     pub fn spoof_check(&self, ip: Option<Ipv4Addr>, mac: MacAddr) -> SpoofVerdict {
         let Some(ip) = ip else {
             return SpoofVerdict::Consistent;
         };
-        let bound = self.macs_of_ip(ip);
-        if bound.is_empty() || bound.contains(&mac) {
-            SpoofVerdict::Consistent
-        } else {
-            SpoofVerdict::IpMacMismatch
+        match self.ip_to_macs.get(&ip) {
+            None => SpoofVerdict::Consistent,
+            Some(bound) if bound.contains(&mac) => SpoofVerdict::Consistent,
+            Some(_) => SpoofVerdict::IpMacMismatch,
         }
     }
 
     /// Enriches one side of a packet into an [`EndpointView`]: low-level
     /// identifiers from the packet, high-level identifiers resolved through
-    /// the binding chain IP → hostname(s) → username(s).
+    /// the binding chain IP → hostname(s) → username(s). Allocates only
+    /// the output view; all lookups are index probes.
     pub fn resolve_endpoint(
         &mut self,
         ip: Option<Ipv4Addr>,
@@ -204,16 +344,20 @@ impl EntityResolver {
         // DNS records are fully qualified while policies and SIEM events
         // usually use short machine names; expose both forms so either can
         // match.
-        let mut hostnames: Vec<String> = ip.map(|ip| self.hosts_of_ip(ip)).unwrap_or_default();
-        let shorts: Vec<String> = hostnames
-            .iter()
-            .map(|h| short_name(h).to_string())
-            .filter(|s| !hostnames.contains(s))
-            .collect();
-        hostnames.extend(shorts);
+        let fqdns = match ip {
+            Some(ip) => self.hosts_of_ip_ref(ip),
+            None => &EMPTY_NAMES,
+        };
+        let mut hostnames: Vec<String> = fqdns.iter().cloned().collect();
+        for fqdn in fqdns {
+            let short = short_name(fqdn);
+            if !hostnames.iter().any(|h| h == short) {
+                hostnames.push(short.to_string());
+            }
+        }
         let mut usernames: Vec<String> = hostnames
             .iter()
-            .flat_map(|h| self.users_of_host(h))
+            .flat_map(|h| self.users_of_host_ref(h).iter().cloned())
             .collect();
         usernames.sort();
         usernames.dedup();
@@ -242,12 +386,8 @@ impl EntityResolver {
             Some((dpid, in_port)),
         );
         let dst_loc = self.location_of(dpid, headers.eth_dst).map(|p| (dpid, p));
-        let dst = self.resolve_endpoint(
-            headers.ipv4_dst,
-            headers.l4_dst(),
-            headers.eth_dst,
-            dst_loc,
-        );
+        let dst =
+            self.resolve_endpoint(headers.ipv4_dst, headers.l4_dst(), headers.eth_dst, dst_loc);
         (src, dst)
     }
 
@@ -258,7 +398,19 @@ impl EntityResolver {
 
     /// Total bindings stored across all classes.
     pub fn binding_count(&self) -> usize {
-        self.user_host.len() + self.host_ip.len() + self.ip_mac.len() + self.mac_location.len()
+        self.n_user_host + self.n_host_ip + self.n_ip_mac + self.mac_location.len()
+    }
+
+    /// Current index sizes (observability; printed by the bench harness).
+    pub fn index_sizes(&self) -> ErmIndexSizes {
+        ErmIndexSizes {
+            ips_with_hosts: self.ip_to_hosts.len(),
+            hosts_with_users: self.host_to_users.len(),
+            users_with_hosts: self.user_to_hosts.len(),
+            ips_with_macs: self.ip_to_macs.len(),
+            mac_locations: self.mac_location.len(),
+            bindings: self.binding_count(),
+        }
     }
 }
 
@@ -434,5 +586,91 @@ mod tests {
     fn binding_count_tracks_all_classes() {
         let e = populated();
         assert_eq!(e.binding_count(), 4);
+    }
+
+    #[test]
+    fn bind_reports_effective_change() {
+        let mut e = EntityResolver::new();
+        let b = Binding::HostIp {
+            host: "h1.corp.local".into(),
+            ip: IP1,
+        };
+        assert!(e.bind(b.clone()), "first bind changes the store");
+        assert!(!e.bind(b.clone()), "re-bind of the same pair is a no-op");
+        assert!(e.unbind(&b), "unbind of a live pair");
+        assert!(!e.unbind(&b), "double unbind is a no-op");
+        assert_eq!(e.binding_count(), 0);
+
+        // MAC location: same port re-bind is a no-op, a move is a change.
+        let loc = Binding::MacLocation {
+            mac: mac(1),
+            dpid: 7,
+            port: 3,
+        };
+        assert!(e.bind(loc.clone()));
+        assert!(!e.bind(loc));
+        assert!(e.bind(Binding::MacLocation {
+            mac: mac(1),
+            dpid: 7,
+            port: 9,
+        }));
+    }
+
+    #[test]
+    fn reverse_index_maps_host_to_ips() {
+        let mut e = populated();
+        assert_eq!(e.ips_of_host("alice-laptop.corp.local"), vec![IP1]);
+        assert_eq!(
+            e.ips_of_host("alice-laptop"),
+            vec![IP1],
+            "short form indexed too (SIEM events use it)"
+        );
+        e.unbind(&Binding::HostIp {
+            host: "alice-laptop.corp.local".into(),
+            ip: IP1,
+        });
+        assert!(e.ips_of_host("alice-laptop.corp.local").is_empty());
+        assert!(e.ips_of_host("alice-laptop").is_empty());
+        // Empty sets are dropped so index sizes reflect live keys.
+        assert_eq!(e.index_sizes().ips_with_hosts, 0);
+    }
+
+    #[test]
+    fn shared_short_name_survives_partial_unbind() {
+        let mut e = EntityResolver::new();
+        e.bind(Binding::HostIp {
+            host: "h1.a.local".into(),
+            ip: IP1,
+        });
+        e.bind(Binding::HostIp {
+            host: "h1.b.local".into(),
+            ip: IP1,
+        });
+        assert_eq!(e.ips_of_host("h1"), vec![IP1]);
+        e.unbind(&Binding::HostIp {
+            host: "h1.a.local".into(),
+            ip: IP1,
+        });
+        // The other FQDN still resolves the short name to IP1: the reverse
+        // index must keep the link (refcounted) or binding churn would
+        // miss invalidations.
+        assert_eq!(e.ips_of_host("h1"), vec![IP1]);
+        e.unbind(&Binding::HostIp {
+            host: "h1.b.local".into(),
+            ip: IP1,
+        });
+        assert!(e.ips_of_host("h1").is_empty());
+    }
+
+    #[test]
+    fn index_sizes_snapshot() {
+        let e = populated();
+        let s = e.index_sizes();
+        assert_eq!(s.ips_with_hosts, 1);
+        assert_eq!(s.hosts_with_users, 1);
+        assert_eq!(s.users_with_hosts, 1);
+        assert_eq!(s.ips_with_macs, 1);
+        assert_eq!(s.mac_locations, 1);
+        assert_eq!(s.bindings, 4);
     }
 }

@@ -117,7 +117,9 @@ mod tests {
         let bus = Bus::new(Dist::constant_ms(0.1));
         let log = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
-        bus.subscribe(topic, move |_, ev: &DfiEvent| l.borrow_mut().push(ev.clone()));
+        bus.subscribe(topic, move |_, ev: &DfiEvent| {
+            l.borrow_mut().push(ev.clone())
+        });
         (bus, log)
     }
 
@@ -125,11 +127,7 @@ mod tests {
     fn dhcp_sensor_publishes_lease_events() {
         let mut sim = Sim::new(0);
         let (bus, log) = bus_and_log(topic::LEASES);
-        let dhcp = DhcpServer::new(
-            Ipv4Addr::new(10, 0, 0, 2),
-            Ipv4Addr::new(10, 0, 1, 10),
-            8,
-        );
+        let dhcp = DhcpServer::new(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(10, 0, 1, 10), 8);
         wire_dhcp_sensor(&dhcp, &bus);
         let ip = dhcp
             .quick_lease(&mut sim, MacAddr::from_index(1), "h1", 1)

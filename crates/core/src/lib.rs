@@ -51,3 +51,6 @@ pub mod policy;
 pub mod rewrite;
 
 pub use dfi::{Dfi, DfiConfig, DfiMetrics};
+// Exported for the criterion bench harness; not part of the stable API.
+#[doc(hidden)]
+pub use dfi::{CachedDecision, DecisionCache, FlowKey};

@@ -62,12 +62,8 @@ impl BaselinePdp {
 
     /// Emits the allow-all rule.
     pub fn activate(&mut self, sim: &mut Sim, dfi: &Dfi) {
-        self.rule = Some(dfi.insert_policy(
-            sim,
-            PolicyRule::allow_all(),
-            priority::BASELINE,
-            "baseline",
-        ));
+        self.rule =
+            Some(dfi.insert_policy(sim, PolicyRule::allow_all(), priority::BASELINE, "baseline"));
     }
 }
 
@@ -114,11 +110,7 @@ impl SRbacPdp {
             );
         }
         // Per-host role rules.
-        let hosts: Vec<String> = self
-            .roles
-            .all_enclave_hosts()
-            .map(str::to_string)
-            .collect();
+        let hosts: Vec<String> = self.roles.all_enclave_hosts().map(str::to_string).collect();
         for host in &hosts {
             for peer in self.roles.role_peers(host) {
                 emit(

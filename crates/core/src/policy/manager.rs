@@ -15,9 +15,43 @@
 //!
 //! The manager itself is pure logic; the surrounding control plane
 //! (`crate::Dfi`) models its MySQL query latency with a queueing station.
+//!
+//! # Lookup performance
+//!
+//! `query`/`query_class` run on every packet-in, so they must not scan the
+//! whole rule table. The store keeps, besides the id-keyed `rules` map, a
+//! **bucket index**: each rule is filed under its most selective pinned
+//! endpoint identifier (precedence: dst username → dst hostname → dst IP →
+//! src username → src hostname → src IP; rules pinning none of those land
+//! in a catch-all *scan* bucket). Each bucket is a small vec of
+//! `(priority, id)` entries kept sorted by `(priority desc, id asc)`.
+//!
+//! A query probes only the buckets named by the flow's own identifiers
+//! (each bound username/hostname plus the packet IPs, plus the scan
+//! bucket), k-way-merges them in `(priority desc, id asc)` order, and
+//! stops at the end of the first priority group containing a match —
+//! candidate rules below the winning priority are never touched. With
+//! selective policies this makes a decision O(candidates in the matching
+//! buckets' top priority groups), independent of total rule count; the
+//! worst case (every rule endpoint-wildcarded) degenerates to the scan
+//! bucket, i.e. exactly the old linear scan.
+//!
+//! Arbitration semantics are **bit-identical** to a linear scan in id
+//! order: highest priority wins; within a priority group the first Deny in
+//! id order beats any Allow; otherwise the first match in id order wins;
+//! no match → default deny. [`PolicyManager::query_linear`] /
+//! [`PolicyManager::query_class_linear`] keep the original scans as
+//! reference models; `tests/proptest_policy.rs` proves equivalence on
+//! random rule sets, and `micro_hotpaths.rs` benches the two side by side.
+//!
+//! Insert-time conflict detection remains a deliberate linear pass: it
+//! runs per *policy change* (rare), not per packet, and must consider
+//! every stored rule anyway.
 
-use crate::policy::model::{FlowView, PolicyAction, PolicyRule, Wild};
-use std::collections::BTreeMap;
+use crate::policy::model::{FlowView, PolicyAction, PolicyRule, Wild, WildName};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
 
 /// `true` when `rule` admits `flow`'s identifiers with L4 ports ignored —
 /// i.e. the rule could match some member of the flow's port-wildcard class.
@@ -26,6 +60,11 @@ fn rule_admits_ignoring_ports(rule: &PolicyRule, flow: &FlowView) -> bool {
     portless.src.port = rule.src.port.value();
     portless.dst.port = rule.dst.port.value();
     rule.matches(&portless)
+}
+
+/// `true` when `rule` constrains an L4 port on either side.
+fn rule_pins_a_port(rule: &PolicyRule) -> bool {
+    rule.src.port != Wild::Any || rule.dst.port != Wild::Any
 }
 
 /// Identifier of a stored policy rule; doubles as the OpenFlow cookie on
@@ -64,12 +103,106 @@ pub struct Decision {
     pub policy: PolicyId,
 }
 
+/// The bucket a rule is filed under: its most selective pinned endpoint
+/// identifier. Name keys are lowercased because name matching is ASCII
+/// case-insensitive.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum BucketKey {
+    DstUser(String),
+    DstHost(String),
+    DstIp(Ipv4Addr),
+    SrcUser(String),
+    SrcHost(String),
+    SrcIp(Ipv4Addr),
+    /// No user/host/IP pinned on either side: always a query candidate.
+    Scan,
+}
+
+fn name_key(name: &WildName) -> Option<String> {
+    match name {
+        WildName::Any => None,
+        WildName::Is(s) => Some(s.to_ascii_lowercase()),
+    }
+}
+
+fn bucket_key(rule: &PolicyRule) -> BucketKey {
+    if let Some(u) = name_key(&rule.dst.username) {
+        BucketKey::DstUser(u)
+    } else if let Some(h) = name_key(&rule.dst.hostname) {
+        BucketKey::DstHost(h)
+    } else if let Some(ip) = rule.dst.ip.value() {
+        BucketKey::DstIp(ip)
+    } else if let Some(u) = name_key(&rule.src.username) {
+        BucketKey::SrcUser(u)
+    } else if let Some(h) = name_key(&rule.src.hostname) {
+        BucketKey::SrcHost(h)
+    } else if let Some(ip) = rule.src.ip.value() {
+        BucketKey::SrcIp(ip)
+    } else {
+        BucketKey::Scan
+    }
+}
+
+/// One bucket entry; buckets are sorted by `(priority desc, id asc)`.
+type BucketEntry = (u32, PolicyId);
+
+fn entry_key(e: &BucketEntry) -> (Reverse<u32>, PolicyId) {
+    (Reverse(e.0), e.1)
+}
+
+/// K-way merge over pre-sorted bucket slices, yielding entries in
+/// `(priority desc, id asc)` order. The candidate set is small (one bucket
+/// per flow identifier plus the scan bucket), so a linear min over cursor
+/// heads beats a heap.
+struct MergedCandidates<'a> {
+    cursors: Vec<&'a [BucketEntry]>,
+}
+
+impl Iterator for MergedCandidates<'_> {
+    type Item = BucketEntry;
+
+    fn next(&mut self) -> Option<BucketEntry> {
+        let mut best: Option<(usize, BucketEntry)> = None;
+        for (i, cursor) in self.cursors.iter().enumerate() {
+            if let Some(&head) = cursor.first() {
+                if best.is_none_or(|(_, b)| entry_key(&head) < entry_key(&b)) {
+                    best = Some((i, head));
+                }
+            }
+        }
+        let (i, entry) = best?;
+        self.cursors[i] = &self.cursors[i][1..];
+        Some(entry)
+    }
+}
+
+/// Observability snapshot of the bucket index (printed by the bench
+/// harness summaries).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolicyIndexStats {
+    /// Stored rules.
+    pub rules: usize,
+    /// Live buckets (including the scan bucket when non-empty).
+    pub buckets: usize,
+    /// Rules in the catch-all scan bucket (always candidates).
+    pub scan_bucket_len: usize,
+    /// Cumulative candidate entries examined across all queries.
+    pub candidates_scanned: u64,
+    /// Queries served.
+    pub queries: u64,
+}
+
 /// The Policy Manager.
 #[derive(Default)]
 pub struct PolicyManager {
     rules: BTreeMap<PolicyId, StoredPolicy>,
+    buckets: HashMap<BucketKey, Vec<BucketEntry>>,
     next_id: u64,
     queries: u64,
+    candidates_scanned: u64,
+    /// `true` while default-deny decisions issued since the last flush of
+    /// cookie `DEFAULT_DENY_ID` may still be cached on switches.
+    default_deny_outstanding: bool,
 }
 
 impl PolicyManager {
@@ -77,17 +210,22 @@ impl PolicyManager {
     pub fn new() -> PolicyManager {
         PolicyManager {
             rules: BTreeMap::new(),
+            buckets: HashMap::new(),
             next_id: 1,
             queries: 0,
+            candidates_scanned: 0,
+            default_deny_outstanding: false,
         }
     }
 
-    /// Inserts a rule on behalf of a PDP, returning its new id and the ids
-    /// of existing policies whose derived flow rules must be flushed from
-    /// the switches.
+    /// Inserts a rule on behalf of a PDP, returning its new id and the
+    /// deduplicated ids of existing policies whose derived flow rules must
+    /// be flushed from the switches.
     ///
-    /// The conflict set always includes [`DEFAULT_DENY_ID`] when the new
-    /// rule is an Allow (cached default-deny rules may mask it).
+    /// The conflict set includes [`DEFAULT_DENY_ID`] when the new rule is
+    /// an Allow **and** default-deny decisions have actually been issued
+    /// since cookie 0 was last flushed — flushing an empty cookie on every
+    /// Allow insert would send a no-op FlowMod storm to every switch.
     pub fn insert(
         &mut self,
         rule: PolicyRule,
@@ -106,11 +244,20 @@ impl PolicyManager {
             })
             .map(|e| e.id)
             .collect();
-        if rule.action == PolicyAction::Allow {
+        if rule.action == PolicyAction::Allow && self.default_deny_outstanding {
             // The implicit default-deny has the lowest possible priority
             // and the opposite action; its cached rules always conflict.
             flush.push(DEFAULT_DENY_ID);
+            // The caller flushes cookie 0 in response; nothing cached
+            // under it remains.
+            self.default_deny_outstanding = false;
         }
+        flush.sort_unstable();
+        flush.dedup();
+        let entry = (priority, id);
+        let bucket = self.buckets.entry(bucket_key(&rule)).or_default();
+        let pos = bucket.partition_point(|e| entry_key(e) < entry_key(&entry));
+        bucket.insert(pos, entry);
         self.rules.insert(
             id,
             StoredPolicy {
@@ -126,15 +273,124 @@ impl PolicyManager {
     /// Revokes a policy. Returns `true` if it existed; its derived flow
     /// rules must then be flushed.
     pub fn revoke(&mut self, id: PolicyId) -> bool {
-        self.rules.remove(&id).is_some()
+        let Some(stored) = self.rules.remove(&id) else {
+            return false;
+        };
+        let key = bucket_key(&stored.rule);
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            bucket.retain(|&(_, bid)| bid != id);
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+        true
+    }
+
+    /// Records that a default-deny flow rule (cookie [`DEFAULT_DENY_ID`])
+    /// was installed outside a policy query — e.g. the PCP's anti-spoofing
+    /// drop — so the next conflicting Allow insert flushes cookie 0.
+    pub fn note_default_deny_cached(&mut self) {
+        self.default_deny_outstanding = true;
+    }
+
+    /// The buckets a flow's identifiers select, as merge cursors.
+    fn candidate_cursors(&self, flow: &FlowView) -> MergedCandidates<'_> {
+        let mut keys: Vec<BucketKey> = Vec::with_capacity(8);
+        keys.push(BucketKey::Scan);
+        for u in &flow.dst.usernames {
+            keys.push(BucketKey::DstUser(u.to_ascii_lowercase()));
+        }
+        for h in &flow.dst.hostnames {
+            keys.push(BucketKey::DstHost(h.to_ascii_lowercase()));
+        }
+        if let Some(ip) = flow.dst.ip {
+            keys.push(BucketKey::DstIp(ip));
+        }
+        for u in &flow.src.usernames {
+            keys.push(BucketKey::SrcUser(u.to_ascii_lowercase()));
+        }
+        for h in &flow.src.hostnames {
+            keys.push(BucketKey::SrcHost(h.to_ascii_lowercase()));
+        }
+        if let Some(ip) = flow.src.ip {
+            keys.push(BucketKey::SrcIp(ip));
+        }
+        // Lowercasing can collide distinct bound names; a duplicate key
+        // would yield its bucket's entries twice.
+        keys.sort_unstable();
+        keys.dedup();
+        MergedCandidates {
+            cursors: keys
+                .iter()
+                .filter_map(|k| self.buckets.get(k))
+                .map(|v| v.as_slice())
+                .collect(),
+        }
     }
 
     /// Decides a flow against current policy: the highest-priority matching
     /// rule wins; among equal-priority matches a Deny beats an Allow ("err
     /// on the side of stopping unauthorized flows"); no match → default
     /// deny.
+    ///
+    /// Probes only the flow's candidate buckets and stops at the end of
+    /// the first priority group containing a match; equivalent to
+    /// [`PolicyManager::query_linear`] by construction and by property
+    /// test.
     pub fn query(&mut self, flow: &FlowView) -> Decision {
         self.queries += 1;
+        let mut scanned = 0u64;
+        let decision = {
+            let mut group_pri: Option<u32> = None;
+            let mut group_best: Option<&StoredPolicy> = None;
+            for (pri, id) in self.candidate_cursors(flow) {
+                if group_pri != Some(pri) {
+                    if group_best.is_some() {
+                        // Leaving a priority group that already produced a
+                        // match: lower-priority candidates cannot win.
+                        break;
+                    }
+                    group_pri = Some(pri);
+                }
+                scanned += 1;
+                let sp = &self.rules[&id];
+                if !sp.rule.matches(flow) {
+                    continue;
+                }
+                if sp.rule.action == PolicyAction::Deny {
+                    // First matching Deny in id order: wins its group
+                    // outright, and no higher group matched.
+                    group_best = Some(sp);
+                    break;
+                }
+                if group_best.is_none() {
+                    group_best = Some(sp);
+                }
+            }
+            match group_best {
+                Some(sp) => Decision {
+                    action: sp.rule.action,
+                    policy: sp.id,
+                },
+                None => Decision {
+                    action: PolicyAction::Deny,
+                    policy: DEFAULT_DENY_ID,
+                },
+            }
+        };
+        self.candidates_scanned += scanned;
+        if decision.policy == DEFAULT_DENY_ID {
+            self.default_deny_outstanding = true;
+        }
+        decision
+    }
+
+    /// Reference implementation of [`PolicyManager::query`]: the original
+    /// full linear scan. Kept as the differential-testing oracle
+    /// (`proptest_policy::indexed_query_matches_linear_reference`) and the
+    /// baseline side of the `micro_hotpaths` benches. Does not touch
+    /// counters.
+    pub fn query_linear(&self, flow: &FlowView) -> Decision {
         let mut best: Option<&StoredPolicy> = None;
         for sp in self.rules.values() {
             if !sp.rule.matches(flow) {
@@ -143,11 +399,10 @@ impl PolicyManager {
             best = Some(match best {
                 None => sp,
                 Some(cur) => {
-                    if sp.priority > cur.priority {
-                        sp
-                    } else if sp.priority == cur.priority
-                        && sp.rule.action == PolicyAction::Deny
-                        && cur.rule.action == PolicyAction::Allow
+                    if sp.priority > cur.priority
+                        || (sp.priority == cur.priority
+                            && sp.rule.action == PolicyAction::Deny
+                            && cur.rule.action == PolicyAction::Allow)
                     {
                         sp
                     } else {
@@ -181,8 +436,104 @@ impl PolicyManager {
     /// answered conservatively: any port-sensitive overlap disqualifies
     /// the class). Returns `None` when the caller must fall back to an
     /// exact-match decision via [`PolicyManager::query`].
+    ///
+    /// Uses the same bucket merge as [`PolicyManager::query`]: iteration
+    /// stops at the end of the priority group containing the port-free
+    /// winner, because lower-priority port-pinning rules can never
+    /// override it.
     pub fn query_class(&mut self, flow: &FlowView) -> Option<Decision> {
         self.queries += 1;
+        let mut scanned = 0u64;
+        let result = {
+            // Port-free winner of the highest priority group that has one.
+            let mut winner: Option<&StoredPolicy> = None;
+            // A port-pinning candidate admitted in a group strictly above
+            // the winner's: always overrides some class member.
+            let mut pin_above = false;
+            // A port-pinning Allow admitted anywhere (splits a class whose
+            // port-free verdict is the default deny).
+            let mut pin_allow_anywhere = false;
+            // Port-pinning Deny in the current group (splits an equal-
+            // priority Allow winner).
+            let mut group_pin_deny = false;
+            let mut group_has_pin = false;
+            let mut group_pri: Option<u32> = None;
+            for (pri, id) in self.candidate_cursors(flow) {
+                if group_pri != Some(pri) {
+                    if winner.is_some() {
+                        break;
+                    }
+                    pin_above |= group_has_pin;
+                    group_has_pin = false;
+                    group_pin_deny = false;
+                    group_pri = Some(pri);
+                }
+                scanned += 1;
+                let sp = &self.rules[&id];
+                if !rule_admits_ignoring_ports(&sp.rule, flow) {
+                    continue;
+                }
+                if rule_pins_a_port(&sp.rule) {
+                    group_has_pin = true;
+                    match sp.rule.action {
+                        PolicyAction::Deny => group_pin_deny = true,
+                        PolicyAction::Allow => pin_allow_anywhere = true,
+                    }
+                    continue;
+                }
+                if sp.rule.action == PolicyAction::Deny {
+                    // First port-free Deny in id order: final winner (an
+                    // equal-priority pin can only override an Allow, and
+                    // lower groups are outranked).
+                    winner = Some(sp);
+                    break;
+                }
+                if winner.is_none() {
+                    winner = Some(sp);
+                }
+            }
+            match winner {
+                Some(w) => {
+                    // A pin above the winner's group always splits; a pin
+                    // in the winner's own group splits an Allow winner
+                    // when it denies.
+                    if pin_above || (w.rule.action == PolicyAction::Allow && group_pin_deny) {
+                        None
+                    } else {
+                        Some(Decision {
+                            action: w.rule.action,
+                            policy: w.id,
+                        })
+                    }
+                }
+                None => {
+                    // Winner is the default deny: a pinned Deny agrees
+                    // with it (verdict stays uniform); a pinned Allow
+                    // splits the class.
+                    if pin_allow_anywhere {
+                        None
+                    } else {
+                        Some(Decision {
+                            action: PolicyAction::Deny,
+                            policy: DEFAULT_DENY_ID,
+                        })
+                    }
+                }
+            }
+        };
+        self.candidates_scanned += scanned;
+        if let Some(d) = &result {
+            if d.policy == DEFAULT_DENY_ID {
+                self.default_deny_outstanding = true;
+            }
+        }
+        result
+    }
+
+    /// Reference implementation of [`PolicyManager::query_class`]: the
+    /// original full linear scan, kept as the differential-testing oracle
+    /// and bench baseline. Does not touch counters.
+    pub fn query_class_linear(&self, flow: &FlowView) -> Option<Decision> {
         // Split candidates that admit the flow's non-port identifiers into
         // port-free rules (match every class member) and port-pinning
         // rules (match only the member with their port).
@@ -192,18 +543,17 @@ impl PolicyManager {
             if !rule_admits_ignoring_ports(&sp.rule, flow) {
                 continue;
             }
-            if sp.rule.src.port != Wild::Any || sp.rule.dst.port != Wild::Any {
+            if rule_pins_a_port(&sp.rule) {
                 pinned.push(sp);
                 continue;
             }
             winner = Some(match winner {
                 None => sp,
                 Some(cur) => {
-                    if sp.priority > cur.priority {
-                        sp
-                    } else if sp.priority == cur.priority
-                        && sp.rule.action == PolicyAction::Deny
-                        && cur.rule.action == PolicyAction::Allow
+                    if sp.priority > cur.priority
+                        || (sp.priority == cur.priority
+                            && sp.rule.action == PolicyAction::Deny
+                            && cur.rule.action == PolicyAction::Allow)
                     {
                         sp
                     } else {
@@ -255,6 +605,17 @@ impl PolicyManager {
     /// Queries served (for utilization accounting).
     pub fn query_count(&self) -> u64 {
         self.queries
+    }
+
+    /// Snapshot of the bucket index and its scan accounting.
+    pub fn index_stats(&self) -> PolicyIndexStats {
+        PolicyIndexStats {
+            rules: self.rules.len(),
+            buckets: self.buckets.len(),
+            scan_bucket_len: self.buckets.get(&BucketKey::Scan).map_or(0, |b| b.len()),
+            candidates_scanned: self.candidates_scanned,
+            queries: self.queries,
+        }
     }
 
     /// A stored policy by id.
@@ -331,7 +692,11 @@ mod tests {
     fn equal_priority_conflict_denies() {
         let mut pm = PolicyManager::new();
         pm.insert(PolicyRule::allow_all(), 10, "a");
-        let (deny_id, _) = pm.insert(PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()), 10, "b");
+        let (deny_id, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+            10,
+            "b",
+        );
         let d = pm.query(&flow("alice", "bob"));
         assert_eq!(d.action, PolicyAction::Deny);
         assert_eq!(d.policy, deny_id);
@@ -349,18 +714,78 @@ mod tests {
             "high",
         );
         assert!(flush.contains(&low_allow));
-        assert!(!flush.contains(&DEFAULT_DENY_ID), "deny insert does not flush default deny");
+        assert!(
+            !flush.contains(&DEFAULT_DENY_ID),
+            "deny insert does not flush default deny"
+        );
     }
 
     #[test]
-    fn allow_insert_always_flushes_default_deny() {
+    fn allow_insert_flushes_default_deny_only_when_outstanding() {
         let mut pm = PolicyManager::new();
+        // No default-deny decision issued yet: nothing cached under cookie
+        // 0, so nothing to flush.
+        let (_, flush) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        assert!(
+            flush.is_empty(),
+            "no outstanding default-deny rules: {flush:?}"
+        );
+        // A query that falls through to the default deny may now be cached
+        // on a switch; the next Allow insert must flush cookie 0.
+        assert_eq!(pm.query(&flow("carol", "dave")).policy, DEFAULT_DENY_ID);
+        let (_, flush) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("carol"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        assert_eq!(flush, vec![DEFAULT_DENY_ID]);
+        // The flush cleared the slate: an immediate further Allow insert
+        // has nothing to flush again.
+        let (_, flush) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("erin"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        assert!(flush.is_empty(), "{flush:?}");
+    }
+
+    #[test]
+    fn spoof_install_marks_default_deny_outstanding() {
+        let mut pm = PolicyManager::new();
+        pm.note_default_deny_cached();
         let (_, flush) = pm.insert(
             PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
             10,
             "pdp",
         );
         assert_eq!(flush, vec![DEFAULT_DENY_ID]);
+    }
+
+    #[test]
+    fn flush_list_is_deduplicated_and_sorted() {
+        let mut pm = PolicyManager::new();
+        let (a, _) = pm.insert(PolicyRule::allow_all(), 1, "a");
+        let (b, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            2,
+            "b",
+        );
+        pm.query(&flow("nobody", "noone"));
+        let (_, flush) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+            50,
+            "high",
+        );
+        // Both allows conflict; no duplicates; sorted ascending.
+        assert_eq!(flush, {
+            let mut want = vec![a, b];
+            want.sort_unstable();
+            want
+        });
     }
 
     #[test]
@@ -372,7 +797,7 @@ mod tests {
             50,
             "b",
         );
-        assert_eq!(flush, vec![DEFAULT_DENY_ID], "only the implicit default deny");
+        assert!(flush.is_empty(), "same action never conflicts: {flush:?}");
     }
 
     #[test]
@@ -386,7 +811,7 @@ mod tests {
         let (_, flush) = pm.insert(PolicyRule::allow_all(), 1, "low");
         // The high-priority deny still outranks the new allow, so its
         // cached rules remain valid.
-        assert_eq!(flush, vec![DEFAULT_DENY_ID]);
+        assert!(flush.is_empty(), "{flush:?}");
     }
 
     #[test]
@@ -418,7 +843,9 @@ mod tests {
             10,
             "pdp",
         );
-        let d = pm.query_class(&flow("alice", "bob")).expect("uniform class");
+        let d = pm
+            .query_class(&flow("alice", "bob"))
+            .expect("uniform class");
         assert_eq!(d.action, PolicyAction::Allow);
         assert_eq!(d.policy, id);
     }
@@ -433,7 +860,9 @@ mod tests {
         );
         // No rule admits alice→bob flows at any port: the whole class is
         // default-denied and may be cached as one rule.
-        let d = pm.query_class(&flow("alice", "bob")).expect("uniform class");
+        let d = pm
+            .query_class(&flow("alice", "bob"))
+            .expect("uniform class");
         assert_eq!(d.policy, DEFAULT_DENY_ID);
     }
 
@@ -453,7 +882,11 @@ mod tests {
         );
         let mut f = flow("alice", "bob");
         f.dst.hostnames = vec!["anyhost".into()];
-        assert_eq!(pm.query_class(&f), None, "port-pinning overlap blocks widening");
+        assert_eq!(
+            pm.query_class(&f),
+            None,
+            "port-pinning overlap blocks widening"
+        );
         // A flow class the deny cannot touch is still widenable.
         let g = flow("alice", "bob");
         assert!(pm.query_class(&g).is_some());
@@ -513,6 +946,85 @@ mod tests {
             f.dst.port = Some(port);
             assert_eq!(pm.query(&f), class, "port {port} disagrees with class");
         }
+    }
+
+    #[test]
+    fn indexed_query_agrees_with_linear_reference() {
+        // Hand-built corner cases; the broad randomized proof lives in
+        // tests/proptest_policy.rs.
+        let mut pm = PolicyManager::new();
+        pm.insert(PolicyRule::allow_all(), 5, "wild");
+        pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::user("bob")),
+            5,
+            "deny-bob",
+        );
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            9,
+            "alice-bob",
+        );
+        pm.insert(
+            PolicyRule::deny(EndpointPattern::host("srv"), EndpointPattern::any()),
+            9,
+            "deny-srv",
+        );
+        let mut flows = vec![
+            flow("alice", "bob"),
+            flow("carol", "bob"),
+            flow("alice", "carol"),
+            flow("x", "y"),
+        ];
+        let mut srv = flow("alice", "bob");
+        srv.src.hostnames = vec!["SRV".into()];
+        flows.push(srv);
+        for f in &flows {
+            assert_eq!(pm.query(f), pm.query_linear(f), "flow {f:?}");
+            assert_eq!(pm.query_class(f), pm.query_class_linear(f), "class {f:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_tracks_insert_and_revoke() {
+        let mut pm = PolicyManager::new();
+        let (a, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::any(), EndpointPattern::user("Bob")),
+            10,
+            "p",
+        );
+        pm.insert(PolicyRule::allow_all(), 1, "p");
+        let stats = pm.index_stats();
+        assert_eq!(stats.rules, 2);
+        assert_eq!(stats.buckets, 2, "one dst-user bucket + scan bucket");
+        assert_eq!(stats.scan_bucket_len, 1);
+        pm.revoke(a);
+        let stats = pm.index_stats();
+        assert_eq!(stats.rules, 1);
+        assert_eq!(stats.buckets, 1, "empty buckets are dropped");
+    }
+
+    #[test]
+    fn selective_query_scans_fewer_candidates_than_rules() {
+        let mut pm = PolicyManager::new();
+        for i in 0..100 {
+            pm.insert(
+                PolicyRule::allow(
+                    EndpointPattern::user(&format!("u{i}")),
+                    EndpointPattern::user(&format!("v{i}")),
+                ),
+                10,
+                "p",
+            );
+        }
+        let d = pm.query(&flow("u7", "v7"));
+        assert_eq!(d.action, PolicyAction::Allow);
+        let stats = pm.index_stats();
+        assert!(
+            stats.candidates_scanned <= 4,
+            "probed buckets only, scanned {} of {} rules",
+            stats.candidates_scanned,
+            stats.rules
+        );
     }
 
     #[test]

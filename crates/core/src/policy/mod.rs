@@ -5,7 +5,9 @@ mod manager;
 mod model;
 mod roles;
 
-pub use manager::{Decision, PolicyId, PolicyManager, StoredPolicy, DEFAULT_DENY_ID};
+pub use manager::{
+    Decision, PolicyId, PolicyIndexStats, PolicyManager, StoredPolicy, DEFAULT_DENY_ID,
+};
 pub use model::{
     EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction, PolicyRule, Wild,
     WildName,

@@ -13,18 +13,13 @@ use std::fmt;
 use std::net::Ipv4Addr;
 
 /// A policy field: a specific value or a wildcard.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Wild<T> {
     /// Matches anything.
+    #[default]
     Any,
     /// Matches exactly this value.
     Is(T),
-}
-
-impl<T> Default for Wild<T> {
-    fn default() -> Self {
-        Wild::Any
-    }
 }
 
 impl<T: PartialEq + Copy> Wild<T> {

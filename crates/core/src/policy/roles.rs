@@ -94,7 +94,9 @@ impl RbacRoles {
 
     /// All enclave names, sorted.
     pub fn enclaves(&self) -> impl Iterator<Item = (&str, &[String])> {
-        self.enclaves.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+        self.enclaves
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
     }
 
     /// All hosts across all enclaves.

@@ -12,9 +12,7 @@
 //! These are pure functions so they can be tested exhaustively; the proxy
 //! actor applies them on the wire.
 
-use dfi_openflow::{
-    table, Instruction, Message, MultipartReply, MultipartRequest, OfMessage,
-};
+use dfi_openflow::{table, Instruction, Message, MultipartReply, MultipartRequest, OfMessage};
 
 /// What the proxy should do with a controller→switch message.
 #[derive(Clone, Debug, PartialEq, Eq)]

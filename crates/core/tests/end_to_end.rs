@@ -81,7 +81,14 @@ fn rig() -> Rig {
 }
 
 fn syn(src: u32, dst: u32, dport: u16) -> Vec<u8> {
-    build::tcp_syn(mac(src), mac(dst), ip(src as u8), ip(dst as u8), 50_000, dport)
+    build::tcp_syn(
+        mac(src),
+        mac(dst),
+        ip(src as u8),
+        ip(dst as u8),
+        50_000,
+        dport,
+    )
 }
 
 #[test]
@@ -89,7 +96,10 @@ fn default_deny_blocks_everything() {
     let mut r = rig();
     r.tx[0].send(&mut r.sim, syn(1, 2, 445));
     r.sim.run();
-    assert!(r.rx[1].borrow().is_empty(), "no delivery under default deny");
+    assert!(
+        r.rx[1].borrow().is_empty(),
+        "no delivery under default deny"
+    );
     let m = r.dfi.metrics();
     assert_eq!(m.packet_ins, 1);
     assert_eq!(m.denied, 1);
@@ -110,7 +120,11 @@ fn cached_deny_rule_absorbs_repeat_traffic() {
     // involvement.
     r.tx[0].send(&mut r.sim, syn(1, 2, 445));
     r.sim.run();
-    assert_eq!(r.dfi.metrics().packet_ins, 1, "second packet died in hardware");
+    assert_eq!(
+        r.dfi.metrics().packet_ins,
+        1,
+        "second packet died in hardware"
+    );
 }
 
 #[test]
@@ -146,7 +160,11 @@ fn bidirectional_flow_installs_rules_and_hardware_forwards() {
     assert_eq!(r.rx[0].borrow().len(), 1);
     // DFI allow rules live in table 0, controller forwarding in table 1.
     assert!(r.sw.table_len(0) >= 2, "allow rules for both directions");
-    assert_eq!(r.sw.table_len(1), 1, "controller's forwarding rule shifted to table 1");
+    assert_eq!(
+        r.sw.table_len(1),
+        1,
+        "controller's forwarding rule shifted to table 1"
+    );
     // Repeat traffic 2→1 is now handled entirely in the data plane.
     let pis = r.dfi.metrics().packet_ins;
     r.tx[1].send(&mut r.sim, syn(2, 1, 80));
@@ -277,9 +295,7 @@ fn snooping_controller_never_sees_table_zero() {
     // reply advertised one fewer table.
     for (_, msg) in r.ctrl.seen_messages() {
         match msg {
-            dfi_openflow::Message::MultipartReply(dfi_openflow::MultipartReply::Flow(
-                entries,
-            )) => {
+            dfi_openflow::Message::MultipartReply(dfi_openflow::MultipartReply::Flow(entries)) => {
                 assert!(
                     entries.iter().all(|e| e.cookie != DEFAULT_DENY_ID.0),
                     "DFI rule leaked to controller"
@@ -323,7 +339,10 @@ fn alice_email_walkthrough() {
     // host. (Emitted up front; matching depends on the live bindings.)
     r.dfi.insert_policy(
         &mut r.sim,
-        PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::host("mail")),
+        PolicyRule::allow(
+            EndpointPattern::user("alice"),
+            EndpointPattern::host("mail"),
+        ),
         priority::AT_RBAC,
         "mail-pdp",
     );
@@ -363,7 +382,11 @@ fn alice_email_walkthrough() {
     let syn2 = build::tcp_syn(alice_mac, mail_mac, alice_ip, mail_ip, 50_001, 143);
     r.tx[0].send(&mut r.sim, syn2);
     r.sim.run();
-    assert_eq!(r.dfi.metrics().denied, denied_before + 1, "post-logoff denied");
+    assert_eq!(
+        r.dfi.metrics().denied,
+        denied_before + 1,
+        "post-logoff denied"
+    );
 }
 
 #[test]
@@ -435,14 +458,22 @@ fn quarantine_overrides_everything_and_releases() {
     let denied0 = r.dfi.metrics().denied;
     r.tx[0].send(&mut r.sim, syn(1, 2, 8080));
     r.sim.run();
-    assert_eq!(r.dfi.metrics().denied, denied0 + 1, "quarantined host cut off");
+    assert_eq!(
+        r.dfi.metrics().denied,
+        denied0 + 1,
+        "quarantined host cut off"
+    );
 
     q.release(&mut r.sim, &r.dfi, "h1.corp.local");
     r.sim.run();
     let allowed0 = r.dfi.metrics().allowed;
     r.tx[0].send(&mut r.sim, syn(1, 2, 8081));
     r.sim.run();
-    assert_eq!(r.dfi.metrics().allowed, allowed0 + 1, "released host restored");
+    assert_eq!(
+        r.dfi.metrics().allowed,
+        allowed0 + 1,
+        "released host restored"
+    );
 }
 
 #[test]
@@ -464,7 +495,10 @@ fn spoofed_source_ip_is_denied_without_poisoning() {
     r.sim.run();
     let m = r.dfi.metrics();
     assert_eq!(m.spoof_denied, 1);
-    assert!(r.rx[1].borrow().is_empty(), "spoofed packet blocked despite allow-all");
+    assert!(
+        r.rx[1].borrow().is_empty(),
+        "spoofed packet blocked despite allow-all"
+    );
 }
 
 #[test]
@@ -593,7 +627,10 @@ fn wildcard_caching_falls_back_when_a_port_specific_policy_exists() {
     r.tx[0].send(&mut r.sim, syn(1, 2, 445));
     r.sim.run();
     let m = r.dfi.metrics();
-    assert_eq!(m.wildcard_cached, 0, "no widening near port-specific policy");
+    assert_eq!(
+        m.wildcard_cached, 0,
+        "no widening near port-specific policy"
+    );
     assert_eq!(m.allowed, 1);
     assert_eq!(m.denied, 1, "the SMB block still enforced exactly");
     assert_eq!(r.rx[1].borrow().len(), 1);
@@ -611,8 +648,7 @@ fn proxy_rejects_controller_writes_beyond_the_last_table() {
         priority: 1,
         ..dfi_openflow::FlowMod::add()
     };
-    let bytes =
-        dfi_openflow::OfMessage::new(0xBEE, dfi_openflow::Message::FlowMod(fm)).encode();
+    let bytes = dfi_openflow::OfMessage::new(0xBEE, dfi_openflow::Message::FlowMod(fm)).encode();
     from_controller(&mut r.sim, bytes);
     r.sim.run();
     assert_eq!(r.dfi.metrics().proxy_rejections, 1);
@@ -621,9 +657,9 @@ fn proxy_rejects_controller_writes_beyond_the_last_table() {
         assert_eq!(r.sw.table_len(t), 0);
     }
     // The controller received an EPERM error with the same xid.
-    let got_error = r.ctrl.seen_messages().iter().any(|(_, m)| {
-        matches!(m, dfi_openflow::Message::Error(e) if e.err_type == 1 && e.code == 6)
-    });
+    let got_error = r.ctrl.seen_messages().iter().any(
+        |(_, m)| matches!(m, dfi_openflow::Message::Error(e) if e.err_type == 1 && e.code == 6),
+    );
     assert!(got_error, "controller told about the refusal");
 }
 
@@ -652,8 +688,7 @@ fn controller_goto_into_its_own_tables_works_behind_the_proxy() {
         ..dfi_openflow::FlowMod::add()
     };
     for fm in [stage1, stage2] {
-        let bytes =
-            dfi_openflow::OfMessage::new(1, dfi_openflow::Message::FlowMod(fm)).encode();
+        let bytes = dfi_openflow::OfMessage::new(1, dfi_openflow::Message::FlowMod(fm)).encode();
         from_controller(&mut r.sim, bytes);
     }
     r.sim.run();
@@ -663,7 +698,11 @@ fn controller_goto_into_its_own_tables_works_behind_the_proxy() {
     // pipeline forwards to port 2.
     r.tx[0].send(&mut r.sim, syn(1, 2, 8080));
     r.sim.run();
-    assert_eq!(r.rx[1].borrow().len(), 1, "delivered via pipelined controller tables");
+    assert_eq!(
+        r.rx[1].borrow().len(),
+        1,
+        "delivered via pipelined controller tables"
+    );
 }
 
 #[test]

@@ -1,13 +1,17 @@
 //! Property-based tests on the policy model and Policy Manager invariants.
 
 use dfi_core::policy::{
-    Decision, EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction,
-    PolicyManager, PolicyRule, Wild, WildName, DEFAULT_DENY_ID,
+    Decision, EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction, PolicyManager,
+    PolicyRule, Wild, WildName, DEFAULT_DENY_ID,
 };
 use proptest::prelude::*;
+use std::net::Ipv4Addr;
 
 fn arb_name() -> impl Strategy<Value = String> {
-    "[a-d]{1,3}" // a small alphabet so matches actually occur
+    // A small alphabet so matches actually occur; mixed case so the
+    // case-insensitive name semantics (and the lowercased bucket index)
+    // are exercised.
+    "[a-dA-D]{1,3}"
 }
 
 fn arb_wildname() -> impl Strategy<Value = WildName> {
@@ -18,13 +22,22 @@ fn arb_port() -> impl Strategy<Value = Wild<u16>> {
     prop_oneof![Just(Wild::Any), (1u16..5).prop_map(Wild::Is)]
 }
 
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    (1u8..4).prop_map(|b| Ipv4Addr::new(10, 0, 0, b))
+}
+
+fn arb_wild_ip() -> impl Strategy<Value = Wild<Ipv4Addr>> {
+    prop_oneof![Just(Wild::Any), arb_ip().prop_map(Wild::Is)]
+}
+
 prop_compose! {
     fn arb_pattern()(
         username in arb_wildname(),
         hostname in arb_wildname(),
+        ip in arb_wild_ip(),
         port in arb_port(),
     ) -> EndpointPattern {
-        EndpointPattern { username, hostname, port, ..EndpointPattern::any() }
+        EndpointPattern { username, hostname, ip, port, ..EndpointPattern::any() }
     }
 }
 
@@ -48,11 +61,13 @@ prop_compose! {
     fn arb_view()(
         users in proptest::collection::vec(arb_name(), 0..3),
         hosts in proptest::collection::vec(arb_name(), 0..3),
+        ip in proptest::option::of(arb_ip()),
         port in proptest::option::of(1u16..5),
     ) -> EndpointView {
         EndpointView {
             usernames: users,
             hostnames: hosts,
+            ip,
             port,
             ..EndpointView::default()
         }
@@ -198,6 +213,44 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The bucket-indexed `query`/`query_class` must be **bit-identical**
+    /// to the retained linear scans (`query_linear`/`query_class_linear`)
+    /// — same winning policy id, not merely the same action — on
+    /// arbitrary insert/revoke histories and flows. This is the proof
+    /// obligation that lets the indexed path replace the scan on the
+    /// packet hot path.
+    #[test]
+    fn indexed_query_matches_linear_reference(
+        ops in proptest::collection::vec((arb_rule(), 1u32..5, any::<bool>()), 0..16),
+        flows in proptest::collection::vec(arb_flow(), 1..6),
+    ) {
+        let mut pm = PolicyManager::new();
+        let mut live = Vec::new();
+        for (rule, prio, revoke_oldest) in &ops {
+            let (id, _) = pm.insert(rule.clone(), *prio, "prop");
+            live.push(id);
+            // Interleave revocations so bucket removal is exercised too.
+            if *revoke_oldest && live.len() > 1 {
+                let victim = live.remove(0);
+                prop_assert!(pm.revoke(victim));
+            }
+        }
+        for flow in &flows {
+            prop_assert_eq!(
+                pm.query(flow),
+                pm.query_linear(flow),
+                "indexed query diverged on {:?}",
+                flow
+            );
+            prop_assert_eq!(
+                pm.query_class(flow),
+                pm.query_class_linear(flow),
+                "indexed query_class diverged on {:?}",
+                flow
+            );
+        }
+    }
 
     /// Soundness of the wildcard-caching extension: when `query_class`
     /// declares a flow's port class uniform, every member of the class

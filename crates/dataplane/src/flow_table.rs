@@ -31,6 +31,19 @@ use dfi_packet::{EtherType, PacketHeaders};
 use dfi_simnet::SimTime;
 use std::collections::HashMap;
 
+/// Error returned by [`FlowTable::add`] when the table is at capacity and
+/// the flow-mod is not a replacement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableFull;
+
+impl std::fmt::Display for TableFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("flow table full")
+    }
+}
+
+impl std::error::Error for TableFull {}
+
 /// One installed flow rule plus its counters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlowEntry {
@@ -81,9 +94,11 @@ impl FlowEntry {
             return true;
         }
         self.instructions.iter().any(|i| match i {
-            Instruction::ApplyActions(actions) | Instruction::WriteActions(actions) => actions
-                .iter()
-                .any(|a| matches!(a, dfi_openflow::Action::Output { port, .. } if *port == out_port)),
+            Instruction::ApplyActions(actions) | Instruction::WriteActions(actions) => {
+                actions.iter().any(
+                    |a| matches!(a, dfi_openflow::Action::Output { port, .. } if *port == out_port),
+                )
+            }
             _ => false,
         })
     }
@@ -109,10 +124,8 @@ impl FlowEntry {
 /// (the canonical exact-match produced by [`Match::exact_from_headers`]);
 /// such rules are eligible for the hash index.
 fn is_canonical_exact(m: &Match) -> bool {
-    let l2 = m.in_port.is_some()
-        && m.eth_src.is_some()
-        && m.eth_dst.is_some()
-        && m.eth_type.is_some();
+    let l2 =
+        m.in_port.is_some() && m.eth_src.is_some() && m.eth_dst.is_some() && m.eth_type.is_some();
     if !l2 {
         return false;
     }
@@ -222,16 +235,14 @@ impl FlowTable {
 
     /// Installs a rule from an ADD flow-mod. Per OF1.3 §6.4, an add with
     /// the same match and priority as an existing rule replaces it
-    /// (counters reset). Returns `Err(())` when the table is full.
-    pub fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), ()> {
+    /// (counters reset). Returns [`TableFull`] when the table is full.
+    pub fn add(&mut self, fm: &FlowMod, now: SimTime) -> Result<(), TableFull> {
         let new = FlowEntry::from_flow_mod(fm, now);
         // Replace an identical (match, priority) rule.
         let existing = self
             .order
             .iter()
-            .find(|&&(prio, _, id)| {
-                prio == new.priority && self.entries[&id].mat == new.mat
-            })
+            .find(|&&(prio, _, id)| prio == new.priority && self.entries[&id].mat == new.mat)
             .map(|&(_, _, id)| id);
         if let Some(id) = existing {
             let seq = {
@@ -243,7 +254,7 @@ impl FlowTable {
             return Ok(());
         }
         if self.entries.len() >= self.capacity {
-            return Err(());
+            return Err(TableFull);
         }
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -464,7 +475,8 @@ mod tests {
         let exact = Match::exact_from_headers(1, &h);
         assert!(is_canonical_exact(&exact));
         t.add(&add_fm(100, exact, 0xAA), SimTime::ZERO).unwrap();
-        t.add(&add_fm(10, Match::any(), 0xBB), SimTime::ZERO).unwrap();
+        t.add(&add_fm(10, Match::any(), 0xBB), SimTime::ZERO)
+            .unwrap();
         assert_eq!(t.lookup(1, &h, 64, SimTime::ZERO).unwrap().cookie, 0xAA);
     }
 
@@ -474,7 +486,8 @@ mod tests {
         let h = headers();
         let exact = Match::exact_from_headers(1, &h);
         t.add(&add_fm(10, exact, 0xAA), SimTime::ZERO).unwrap();
-        t.add(&add_fm(100, Match::any(), 0xFF), SimTime::ZERO).unwrap();
+        t.add(&add_fm(100, Match::any(), 0xFF), SimTime::ZERO)
+            .unwrap();
         assert_eq!(t.lookup(1, &h, 64, SimTime::ZERO).unwrap().cookie, 0xFF);
     }
 
@@ -559,7 +572,8 @@ mod tests {
         let mut t = FlowTable::new(100);
         let h = headers();
         let exact = Match::exact_from_headers(1, &h);
-        t.add(&add_fm(100, exact.clone(), 1), SimTime::ZERO).unwrap();
+        t.add(&add_fm(100, exact.clone(), 1), SimTime::ZERO)
+            .unwrap();
         t.add(&add_fm(100, exact, 2), SimTime::ZERO).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup(1, &h, 64, SimTime::ZERO).unwrap().cookie, 2);
@@ -664,9 +678,23 @@ mod tests {
     #[test]
     fn delete_filters_by_out_port() {
         let mut t = FlowTable::new(100);
-        let mut fm1 = add_fm(1, Match { tcp_dst: Some(1), ..Match::default() }, 1);
+        let mut fm1 = add_fm(
+            1,
+            Match {
+                tcp_dst: Some(1),
+                ..Match::default()
+            },
+            1,
+        );
         fm1.instructions = vec![Instruction::ApplyActions(vec![Action::output(3)])];
-        let mut fm2 = add_fm(1, Match { tcp_dst: Some(2), ..Match::default() }, 2);
+        let mut fm2 = add_fm(
+            1,
+            Match {
+                tcp_dst: Some(2),
+                ..Match::default()
+            },
+            2,
+        );
         fm2.instructions = vec![Instruction::ApplyActions(vec![Action::output(4)])];
         t.add(&fm1, SimTime::ZERO).unwrap();
         t.add(&fm2, SimTime::ZERO).unwrap();
@@ -726,9 +754,23 @@ mod tests {
     #[test]
     fn next_deadline_is_minimum() {
         let mut t = FlowTable::new(100);
-        let mut a = add_fm(1, Match { tcp_dst: Some(1), ..Match::default() }, 1);
+        let mut a = add_fm(
+            1,
+            Match {
+                tcp_dst: Some(1),
+                ..Match::default()
+            },
+            1,
+        );
         a.hard_timeout = 30;
-        let mut b = add_fm(1, Match { tcp_dst: Some(2), ..Match::default() }, 2);
+        let mut b = add_fm(
+            1,
+            Match {
+                tcp_dst: Some(2),
+                ..Match::default()
+            },
+            2,
+        );
         b.idle_timeout = 7;
         t.add(&a, SimTime::ZERO).unwrap();
         t.add(&b, SimTime::from_secs(1)).unwrap();

@@ -33,6 +33,6 @@ mod flow_table;
 mod network;
 mod switch;
 
-pub use flow_table::{ExpiryKind, FlowEntry, FlowTable};
+pub use flow_table::{ExpiryKind, FlowEntry, FlowTable, TableFull};
 pub use network::{Network, Tx};
 pub use switch::{dfi_allow_rule, dfi_deny_rule, ByteSink, Switch, SwitchConfig, SwitchStats};

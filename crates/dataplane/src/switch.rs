@@ -254,7 +254,7 @@ impl Switch {
     fn output(&self, sim: &mut Sim, in_port: u32, out_port: u32, frame: &[u8]) {
         match out_port {
             port::FLOOD | port::ALL => {
-                let targets: Vec<u32> = self
+                let mut targets: Vec<u32> = self
                     .inner
                     .borrow()
                     .ports
@@ -262,6 +262,11 @@ impl Switch {
                     .copied()
                     .filter(|&p| p != in_port)
                     .collect();
+                // Flood in port order: the port map iterates in an
+                // arbitrary per-instance order, and emission order decides
+                // same-instant event ordering downstream — left unsorted it
+                // makes same-seed runs diverge.
+                targets.sort_unstable();
                 for p in targets {
                     self.output_physical(sim, p, frame.to_vec());
                 }
@@ -290,7 +295,11 @@ impl Switch {
     fn output_physical(&self, sim: &mut Sim, port_no: u32, frame: Vec<u8>) {
         let (peer, latency) = {
             let mut inner = self.inner.borrow_mut();
-            match inner.ports.get(&port_no).map(|p| (p.peer.clone(), p.latency)) {
+            match inner
+                .ports
+                .get(&port_no)
+                .map(|p| (p.peer.clone(), p.latency))
+            {
                 Some(out) => {
                     inner.stats.frames_out += 1;
                     out
@@ -551,7 +560,11 @@ impl Switch {
     }
 
     fn apply_packet_out(&self, sim: &mut Sim, po: PacketOut) {
-        let in_port = if po.in_port >= port::MAX { 0 } else { po.in_port };
+        let in_port = if po.in_port >= port::MAX {
+            0
+        } else {
+            po.in_port
+        };
         for a in &po.actions {
             if let Action::Output { port, .. } = a {
                 self.output(sim, in_port, *port, &po.data);
@@ -658,7 +671,10 @@ impl Switch {
     /// A convenience accessor: every cookie currently installed in table 0
     /// (DFI's table), for consistency assertions in tests.
     pub fn table0_cookies(&self) -> Vec<u64> {
-        self.inner.borrow().tables[0].iter().map(|e| e.cookie).collect()
+        self.inner.borrow().tables[0]
+            .iter()
+            .map(|e| e.cookie)
+            .collect()
     }
 }
 

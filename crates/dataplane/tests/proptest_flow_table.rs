@@ -45,7 +45,14 @@ fn arb_pkt() -> impl Strategy<Value = Pkt> {
 }
 
 fn headers_of(p: &Pkt) -> PacketHeaders {
-    let bytes = build::tcp_syn(mac(p.smac), mac(p.dmac), ip(p.sip), ip(p.dip), p.sport, p.dport);
+    let bytes = build::tcp_syn(
+        mac(p.smac),
+        mac(p.dmac),
+        ip(p.sip),
+        ip(p.dip),
+        p.sport,
+        p.dport,
+    );
     PacketHeaders::parse(&bytes).unwrap()
 }
 

@@ -25,7 +25,14 @@ fn ip(i: u8) -> Ipv4Addr {
 }
 
 fn syn_frame(src: u32, dst: u32, dport: u16) -> Vec<u8> {
-    build::tcp_syn(mac(src), mac(dst), ip(src as u8), ip(dst as u8), 50_000, dport)
+    build::tcp_syn(
+        mac(src),
+        mac(dst),
+        ip(src as u8),
+        ip(dst as u8),
+        50_000,
+        dport,
+    )
 }
 
 /// A test harness: one switch, two recorded host ports, a recorded control
@@ -76,7 +83,11 @@ fn send_msg(rig: &mut Rig, body: Message) {
 }
 
 fn control_msgs(rig: &Rig) -> Vec<Message> {
-    rig.control_rx.borrow().iter().map(|m| m.body.clone()).collect()
+    rig.control_rx
+        .borrow()
+        .iter()
+        .map(|m| m.body.clone())
+        .collect()
 }
 
 #[test]
@@ -142,7 +153,11 @@ fn deny_rule_drops_before_controller_tables() {
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 445));
     r.sim.run();
     assert_eq!(r.rx2.borrow().len(), 0);
-    assert_eq!(r.sw.stats().packet_ins, 0, "denied flows never reach control");
+    assert_eq!(
+        r.sw.stats().packet_ins,
+        0,
+        "denied flows never reach control"
+    );
     assert_eq!(r.sw.stats().frames_dropped, 1);
 }
 

@@ -397,10 +397,7 @@ mod tests {
             FlowRemovedReason::HardTimeout,
             FlowRemovedReason::Delete,
         ] {
-            assert_eq!(
-                FlowRemovedReason::from_u8(reason.to_u8()).unwrap(),
-                reason
-            );
+            assert_eq!(FlowRemovedReason::from_u8(reason.to_u8()).unwrap(), reason);
         }
         assert!(FlowRemovedReason::from_u8(3).is_err());
     }

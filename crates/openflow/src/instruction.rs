@@ -170,7 +170,10 @@ mod tests {
 
     #[test]
     fn clear_actions_round_trip() {
-        assert_eq!(round_trip(&Instruction::ClearActions), Instruction::ClearActions);
+        assert_eq!(
+            round_trip(&Instruction::ClearActions),
+            Instruction::ClearActions
+        );
     }
 
     #[test]

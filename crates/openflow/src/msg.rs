@@ -558,7 +558,10 @@ mod tests {
         bytes[0] = 0x01; // OpenFlow 1.0
         assert!(matches!(
             OfMessage::decode(&bytes),
-            Err(PacketError::UnsupportedVersion { protocol: "OpenFlow", found: 1 })
+            Err(PacketError::UnsupportedVersion {
+                protocol: "OpenFlow",
+                found: 1
+            })
         ));
     }
 

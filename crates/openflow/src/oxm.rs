@@ -483,7 +483,7 @@ mod tests {
         w.u8(0);
         w.u8(2);
         w.u16(0xBEEF);
-        w.zeros((8 - 10 % 8) % 8);
+        w.zeros(6); // pad the 10-byte match body to the 8-byte boundary
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(Match::decode(&mut r).unwrap(), Match::any());

@@ -105,20 +105,40 @@ fn arb_message() -> impl Strategy<Value = Message> {
         Just(Message::BarrierReply),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(Message::EchoRequest),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(Message::EchoReply),
-        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
-            .prop_map(|(err_type, code, data)| Message::Error(ErrorMsg { err_type, code, data })),
-        (any::<u64>(), any::<u32>(), any::<u8>(), any::<u8>(), any::<u32>()).prop_map(
-            |(datapath_id, n_buffers, n_tables, auxiliary_id, capabilities)| {
-                Message::FeaturesReply(FeaturesReply {
-                    datapath_id,
-                    n_buffers,
-                    n_tables,
-                    auxiliary_id,
-                    capabilities,
-                })
-            }
-        ),
-        (arb_match(), proptest::collection::vec(any::<u8>(), 0..128), 0u8..=255, any::<u64>())
+        (
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(err_type, code, data)| Message::Error(ErrorMsg {
+                err_type,
+                code,
+                data
+            })),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(datapath_id, n_buffers, n_tables, auxiliary_id, capabilities)| {
+                    Message::FeaturesReply(FeaturesReply {
+                        datapath_id,
+                        n_buffers,
+                        n_tables,
+                        auxiliary_id,
+                        capabilities,
+                    })
+                }
+            ),
+        (
+            arb_match(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            0u8..=255,
+            any::<u64>()
+        )
             .prop_map(|(mat, data, table_id, cookie)| {
                 Message::PacketIn(PacketIn {
                     buffer_id: dfi_openflow::NO_BUFFER,
@@ -130,7 +150,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     data,
                 })
             }),
-        (proptest::collection::vec(arb_action(), 0..4), proptest::collection::vec(any::<u8>(), 0..64))
+        (
+            proptest::collection::vec(arb_action(), 0..4),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(actions, data)| {
                 Message::PacketOut(PacketOut {
                     buffer_id: dfi_openflow::NO_BUFFER,
@@ -181,7 +204,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
         )
         .prop_map(|entries| Message::MultipartReply(MultipartReply::Table(entries))),
         proptest::collection::vec(
-            (arb_match(), proptest::collection::vec(arb_instruction(), 0..3), any::<u64>())
+            (
+                arb_match(),
+                proptest::collection::vec(arb_instruction(), 0..3),
+                any::<u64>()
+            )
                 .prop_map(|(mat, instructions, cookie)| FlowStatsEntry {
                     table_id: 1,
                     duration_sec: 0,

@@ -168,7 +168,10 @@ mod tests {
         bytes[1] = 6; // htype = IEEE 802
         assert!(matches!(
             ArpPacket::decode(&bytes),
-            Err(PacketError::BadField { field: "arp.htype", .. })
+            Err(PacketError::BadField {
+                field: "arp.htype",
+                ..
+            })
         ));
     }
 
@@ -178,7 +181,10 @@ mod tests {
         bytes[7] = 9;
         assert!(matches!(
             ArpPacket::decode(&bytes),
-            Err(PacketError::BadField { field: "arp.oper", .. })
+            Err(PacketError::BadField {
+                field: "arp.oper",
+                ..
+            })
         ));
     }
 

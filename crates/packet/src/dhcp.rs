@@ -325,12 +325,12 @@ fn decode_option(code: u8, data: &[u8]) -> Result<DhcpOption> {
     };
     Ok(match code {
         1 => DhcpOption::SubnetMask(ip4(data)?),
-        12 => DhcpOption::Hostname(
-            String::from_utf8(data.to_vec()).map_err(|_| PacketError::BadField {
+        12 => DhcpOption::Hostname(String::from_utf8(data.to_vec()).map_err(|_| {
+            PacketError::BadField {
                 field: "dhcp.hostname",
                 value: 0,
-            })?,
-        ),
+            }
+        })?),
         50 => DhcpOption::RequestedIp(ip4(data)?),
         51 => {
             let arr: [u8; 4] = data.try_into().map_err(|_| PacketError::BadField {
@@ -382,7 +382,12 @@ mod tests {
 
     #[test]
     fn ack_assigns_ip() {
-        let m = DhcpMessage::ack(7, MacAddr::from_index(1), Ipv4Addr::new(10, 0, 0, 50), SERVER);
+        let m = DhcpMessage::ack(
+            7,
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 50),
+            SERVER,
+        );
         assert!(m.is_from_server());
         assert_eq!(m.your_ip, Ipv4Addr::new(10, 0, 0, 50));
     }
@@ -405,7 +410,10 @@ mod tests {
         bytes[magic_off + 4] = 99;
         assert!(matches!(
             DhcpMessage::decode(&bytes),
-            Err(PacketError::BadField { field: "dhcp.message_type", .. })
+            Err(PacketError::BadField {
+                field: "dhcp.message_type",
+                ..
+            })
         ));
     }
 
@@ -415,7 +423,10 @@ mod tests {
         bytes[236] = 0;
         assert!(matches!(
             DhcpMessage::decode(&bytes),
-            Err(PacketError::BadField { field: "dhcp.magic", .. })
+            Err(PacketError::BadField {
+                field: "dhcp.magic",
+                ..
+            })
         ));
     }
 

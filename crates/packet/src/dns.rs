@@ -291,8 +291,8 @@ fn decode_name<'a>(full: &'a [u8], r: &mut Reader<'a>) -> Result<String> {
             return Err(PacketError::BadName("label length above 63"));
         }
         let raw = local.bytes(usize::from(len))?;
-        let label = std::str::from_utf8(raw)
-            .map_err(|_| PacketError::BadName("label is not UTF-8"))?;
+        let label =
+            std::str::from_utf8(raw).map_err(|_| PacketError::BadName("label is not UTF-8"))?;
         labels.push(label.to_string());
     }
     if !jumped {

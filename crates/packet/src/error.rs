@@ -40,7 +40,10 @@ impl fmt::Display for PacketError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PacketError::Truncated { needed, available } => {
-                write!(f, "truncated packet: needed {needed} bytes, had {available}")
+                write!(
+                    f,
+                    "truncated packet: needed {needed} bytes, had {available}"
+                )
             }
             PacketError::BadField { field, value } => {
                 write!(f, "bad value {value:#x} for field {field}")

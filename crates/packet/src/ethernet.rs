@@ -188,7 +188,10 @@ mod tests {
         bytes[13] = 0x2E; // length 46, not an EtherType
         assert!(matches!(
             EthernetFrame::decode(&bytes),
-            Err(PacketError::BadField { field: "ethertype", .. })
+            Err(PacketError::BadField {
+                field: "ethertype",
+                ..
+            })
         ));
     }
 

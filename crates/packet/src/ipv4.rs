@@ -189,7 +189,10 @@ mod tests {
         bytes[0] = 0x65;
         assert!(matches!(
             Ipv4Packet::decode(&bytes),
-            Err(PacketError::UnsupportedVersion { protocol: "IPv4", found: 6 })
+            Err(PacketError::UnsupportedVersion {
+                protocol: "IPv4",
+                found: 6
+            })
         ));
     }
 
@@ -199,7 +202,10 @@ mod tests {
         bytes[0] = 0x44; // IHL 4 words = 16 bytes < 20
         assert!(matches!(
             Ipv4Packet::decode(&bytes),
-            Err(PacketError::BadField { field: "ipv4.ihl", .. })
+            Err(PacketError::BadField {
+                field: "ipv4.ihl",
+                ..
+            })
         ));
     }
 
@@ -227,7 +233,10 @@ mod tests {
         bytes[10..12].copy_from_slice(&ck.to_be_bytes());
         assert!(matches!(
             Ipv4Packet::decode(&bytes),
-            Err(PacketError::BadField { field: "ipv4.total_length", .. })
+            Err(PacketError::BadField {
+                field: "ipv4.total_length",
+                ..
+            })
         ));
     }
 

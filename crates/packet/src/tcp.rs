@@ -278,7 +278,10 @@ mod tests {
         bytes[12] = 4 << 4;
         assert!(matches!(
             TcpSegment::decode(&bytes),
-            Err(PacketError::BadField { field: "tcp.data_offset", .. })
+            Err(PacketError::BadField {
+                field: "tcp.data_offset",
+                ..
+            })
         ));
     }
 

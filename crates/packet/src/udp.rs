@@ -102,7 +102,10 @@ mod tests {
         bytes[5] = 0xFF;
         assert!(matches!(
             UdpDatagram::decode(&bytes),
-            Err(PacketError::BadField { field: "udp.length", .. })
+            Err(PacketError::BadField {
+                field: "udp.length",
+                ..
+            })
         ));
         let mut short = d.encode();
         short[5] = 7; // < 8

@@ -241,8 +241,12 @@ mod tests {
     fn distinct_clients_get_distinct_addresses() {
         let mut sim = Sim::new(0);
         let s = server();
-        let a = s.quick_lease(&mut sim, MacAddr::from_index(1), "a", 1).unwrap();
-        let b = s.quick_lease(&mut sim, MacAddr::from_index(2), "b", 2).unwrap();
+        let a = s
+            .quick_lease(&mut sim, MacAddr::from_index(1), "a", 1)
+            .unwrap();
+        let b = s
+            .quick_lease(&mut sim, MacAddr::from_index(2), "b", 2)
+            .unwrap();
         assert_ne!(a, b);
         assert_eq!(s.lease_count(), 2);
     }
@@ -272,9 +276,15 @@ mod tests {
     fn pool_exhaustion_yields_no_offer() {
         let mut sim = Sim::new(0);
         let s = DhcpServer::new(SERVER, BASE, 2);
-        assert!(s.quick_lease(&mut sim, MacAddr::from_index(1), "a", 1).is_some());
-        assert!(s.quick_lease(&mut sim, MacAddr::from_index(2), "b", 2).is_some());
-        assert!(s.quick_lease(&mut sim, MacAddr::from_index(3), "c", 3).is_none());
+        assert!(s
+            .quick_lease(&mut sim, MacAddr::from_index(1), "a", 1)
+            .is_some());
+        assert!(s
+            .quick_lease(&mut sim, MacAddr::from_index(2), "b", 2)
+            .is_some());
+        assert!(s
+            .quick_lease(&mut sim, MacAddr::from_index(3), "c", 3)
+            .is_none());
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl Directory {
 
     /// Joins a machine to the domain.
     pub fn join_machine(&self, hostname: &str) {
-        self.inner.borrow_mut().machines.insert(hostname.to_string());
+        self.inner
+            .borrow_mut()
+            .machines
+            .insert(hostname.to_string());
     }
 
     /// Adds a user to a (departmental) group.
@@ -217,7 +220,10 @@ mod tests {
     #[test]
     fn group_local_admin_grants() {
         let d = dir();
-        assert!(d.is_local_admin("alice", "bob-desktop"), "dept-mates are admins");
+        assert!(
+            d.is_local_admin("alice", "bob-desktop"),
+            "dept-mates are admins"
+        );
         assert!(d.is_local_admin("bob", "alice-laptop"));
         assert!(!d.is_local_admin("alice", "hr-desktop"));
         assert!(!d.is_local_admin("mallory", "alice-laptop"));

@@ -36,6 +36,7 @@ pub struct SessionEvent {
 
 type SessionSensor = Rc<dyn Fn(&mut Sim, &SessionEvent)>;
 
+#[derive(Default)]
 struct Inner {
     /// (user, host) → live process count.
     counts: HashMap<(String, String), u32>,
@@ -48,17 +49,6 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Siem {
     inner: Rc<RefCell<Inner>>,
-}
-
-impl Default for Inner {
-    fn default() -> Self {
-        Inner {
-            counts: HashMap::new(),
-            sensors: Vec::new(),
-            events_ingested: 0,
-            sessions_emitted: 0,
-        }
-    }
 }
 
 impl Siem {

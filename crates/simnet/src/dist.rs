@@ -60,9 +60,7 @@ impl Dist {
                 let x = rng.normal(mean.as_secs_f64(), std_dev.as_secs_f64());
                 Duration::from_secs_f64(x.max(0.0))
             }
-            Dist::Exponential(mean) => {
-                Duration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
-            }
+            Dist::Exponential(mean) => Duration::from_secs_f64(rng.exponential(mean.as_secs_f64())),
         }
     }
 
@@ -84,7 +82,10 @@ mod tests {
 
     fn sample_mean(dist: &Dist, n: usize) -> f64 {
         let mut rng = SimRng::new(77);
-        (0..n).map(|_| dist.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+        (0..n)
+            .map(|_| dist.sample(&mut rng).as_secs_f64())
+            .sum::<f64>()
+            / n as f64
     }
 
     #[test]

@@ -42,8 +42,8 @@ impl Summary {
             return 0.0;
         }
         let mean = self.mean();
-        let var =
-            self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.samples.len() as f64;
+        let var = self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / self.samples.len() as f64;
         var.sqrt()
     }
 
@@ -60,7 +60,10 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) by nearest-rank; `0.0` when empty.

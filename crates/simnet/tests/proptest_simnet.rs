@@ -126,8 +126,8 @@ proptest! {
             }
         }
         sim.run();
-        for i in 0..n {
-            prop_assert_eq!(fired.borrow()[i], !cancelled[i], "event {}", i);
+        for (i, &was_cancelled) in cancelled.iter().enumerate() {
+            prop_assert_eq!(fired.borrow()[i], !was_cancelled, "event {}", i);
         }
     }
 

@@ -150,9 +150,10 @@ impl Host {
             let mut h = self.inner.borrow_mut();
             h.next_sport = h.next_sport.wrapping_add(1).max(1025);
             let sport = h.next_sport;
-            let frame = h.arp.get(&dst_ip).map(|&dst_mac| {
-                build::tcp_syn(h.mac, dst_mac, h.ip, dst_ip, sport, dst_port)
-            });
+            let frame = h
+                .arp
+                .get(&dst_ip)
+                .map(|&dst_mac| build::tcp_syn(h.mac, dst_mac, h.ip, dst_ip, sport, dst_port));
             h.pending.insert(
                 sport,
                 PendingConnect {

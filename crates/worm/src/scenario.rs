@@ -71,9 +71,7 @@ impl ScenarioResult {
     /// Time from foothold to the second infection (the paper's "first
     /// infection" — the first victim beyond the foothold), if any.
     pub fn time_to_first_spread(&self) -> Option<Duration> {
-        self.infections
-            .get(1)
-            .map(|(at, _)| *at - self.foothold_at)
+        self.infections.get(1).map(|(at, _)| *at - self.foothold_at)
     }
 
     /// Time from foothold until every host was infected, if that happened.
@@ -192,7 +190,12 @@ mod tests {
         // 03:00: nobody logged on, so the foothold cannot even reach the
         // servers; the worm times out alone.
         let r = run_scenario(&small_scenario(Condition::AtRbac, 3.0));
-        assert_eq!(r.infected_total(), 1, "only the foothold: {:?}", r.infections);
+        assert_eq!(
+            r.infected_total(),
+            1,
+            "only the foothold: {:?}",
+            r.infections
+        );
     }
 
     #[test]
@@ -204,7 +207,10 @@ mod tests {
                 <= s.infected_by(s.foothold_at + Duration::from_secs(600)),
             "AT-RBAC no faster than S-RBAC"
         );
-        assert!(a.infected_total() >= 2, "but business hours do allow spread");
+        assert!(
+            a.infected_total() >= 2,
+            "but business hours do allow spread"
+        );
     }
 
     #[test]

@@ -149,8 +149,7 @@ impl Testbed {
             dept_sizes.push(("dept-small".to_string(), config.small_dept_hosts));
         }
         for (dept, size) in &dept_sizes {
-            let hostnames: Vec<String> =
-                (0..*size).map(|i| format!("{dept}-h{}", i + 1)).collect();
+            let hostnames: Vec<String> = (0..*size).map(|i| format!("{dept}-h{}", i + 1)).collect();
             roles.add_enclave_owned(dept, hostnames.clone());
             for (i, hostname) in hostnames.iter().enumerate() {
                 let user = format!("u-{hostname}");
@@ -306,7 +305,11 @@ impl Testbed {
         let mut scripts = Vec::with_capacity(hosts.len());
         let mut script_rng = sim.split_rng();
         for p in &plans {
-            scripts.push(p.user.as_ref().map(|_| LogonScript::generate(&mut script_rng)));
+            scripts.push(
+                p.user
+                    .as_ref()
+                    .map(|_| LogonScript::generate(&mut script_rng)),
+            );
         }
 
         let vulnerable_hosts = plans

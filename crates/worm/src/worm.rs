@@ -54,6 +54,9 @@ impl Default for WormConfig {
     }
 }
 
+/// Hook invoked when a host becomes infected: `(sim, host_index)`.
+pub type InfectHook = Box<dyn Fn(&mut Sim, usize)>;
+
 /// Shared environment the worm instances run in.
 pub struct WormWorld {
     /// All hosts in the network (the reconnaissance result).
@@ -65,7 +68,7 @@ pub struct WormWorld {
     /// Infection log: (time, hostname), in infection order.
     pub infections: RefCell<Vec<(SimTime, String)>>,
     /// Hook run on each new infection (spawns that host's worm).
-    pub on_infect: RefCell<Option<Box<dyn Fn(&mut Sim, usize)>>>,
+    pub on_infect: RefCell<Option<InfectHook>>,
 }
 
 impl WormWorld {
@@ -155,60 +158,64 @@ impl WormInstance {
         let source = world.hosts[me].clone();
         let w2 = world.clone();
         let this2 = this.clone();
-        source.clone().connect(sim, target.ip(), SMB_PORT, move |sim, connected| {
-            if !connected {
-                // Denied or dead: the 21-second Windows connect timeout
-                // already elapsed inside connect().
-                next(sim, this2);
-                return;
-            }
-            let vulnerable = target.with(|h| h.vulnerable);
-            if vulnerable {
-                let transfer = w2.config.exploit_transfer;
-                let w3 = w2.clone();
-                sim.schedule_in(transfer, move |sim| {
-                    // A timed-out worm never finishes the install.
-                    if sim.now() < deadline {
-                        w3.infect(sim, target_idx);
-                    }
-                    next(sim, this2);
-                });
-                return;
-            }
-            // Exploit failed on a patched host: vector 2, credential theft.
-            let fail_cost = w2.config.exploit_fail_cost;
-            let w3 = w2.clone();
-            let source2 = source.clone();
-            let target2 = target.clone();
-            sim.schedule_in(fail_cost, move |sim| {
-                let cached_cred_user = source2.with(|h| h.primary_user.clone());
-                let has_admin = cached_cred_user
-                    .as_deref()
-                    .map(|u| w3.directory.is_local_admin(u, &target2.hostname()))
-                    .unwrap_or(false);
-                if !has_admin {
+        source
+            .clone()
+            .connect(sim, target.ip(), SMB_PORT, move |sim, connected| {
+                if !connected {
+                    // Denied or dead: the 21-second Windows connect timeout
+                    // already elapsed inside connect().
                     next(sim, this2);
                     return;
                 }
-                // Remote log-on over a fresh connection.
-                let w4 = w3.clone();
-                let t_ip = target2.ip();
-                source2.clone().connect(sim, t_ip, SMB_PORT, move |sim, ok| {
-                    if !ok {
-                        next(sim, this2);
-                        return;
-                    }
-                    let install = w4.config.logon_install;
-                    let w5 = w4.clone();
-                    sim.schedule_in(install, move |sim| {
+                let vulnerable = target.with(|h| h.vulnerable);
+                if vulnerable {
+                    let transfer = w2.config.exploit_transfer;
+                    let w3 = w2.clone();
+                    sim.schedule_in(transfer, move |sim| {
+                        // A timed-out worm never finishes the install.
                         if sim.now() < deadline {
-                            w5.infect(sim, target_idx);
+                            w3.infect(sim, target_idx);
                         }
                         next(sim, this2);
                     });
+                    return;
+                }
+                // Exploit failed on a patched host: vector 2, credential theft.
+                let fail_cost = w2.config.exploit_fail_cost;
+                let w3 = w2.clone();
+                let source2 = source.clone();
+                let target2 = target.clone();
+                sim.schedule_in(fail_cost, move |sim| {
+                    let cached_cred_user = source2.with(|h| h.primary_user.clone());
+                    let has_admin = cached_cred_user
+                        .as_deref()
+                        .map(|u| w3.directory.is_local_admin(u, &target2.hostname()))
+                        .unwrap_or(false);
+                    if !has_admin {
+                        next(sim, this2);
+                        return;
+                    }
+                    // Remote log-on over a fresh connection.
+                    let w4 = w3.clone();
+                    let t_ip = target2.ip();
+                    source2
+                        .clone()
+                        .connect(sim, t_ip, SMB_PORT, move |sim, ok| {
+                            if !ok {
+                                next(sim, this2);
+                                return;
+                            }
+                            let install = w4.config.logon_install;
+                            let w5 = w4.clone();
+                            sim.schedule_in(install, move |sim| {
+                                if sim.now() < deadline {
+                                    w5.infect(sim, target_idx);
+                                }
+                                next(sim, this2);
+                            });
+                        });
                 });
             });
-        });
     }
 }
 
@@ -276,12 +283,7 @@ mod tests {
         };
         hub.install(sim, flood_fm);
         for (i, h) in world.hosts.iter().enumerate() {
-            let tx = net.attach_host(
-                &hub,
-                (i + 1) as u32,
-                Duration::from_micros(10),
-                h.rx_sink(),
-            );
+            let tx = net.attach_host(&hub, (i + 1) as u32, Duration::from_micros(10), h.rx_sink());
             h.attach(tx);
             for o in &world.hosts {
                 h.learn_arp(o.ip(), o.mac());

@@ -49,7 +49,9 @@ fn main() {
 
     println!("1-2  Alice-Laptop joins the domain: DHCP lease + DNS record;");
     println!("     the binding sensors report both to the ERM over the bus.");
-    let alice_ip = dhcp.quick_lease(&mut sim, alice_mac, "alice-laptop", 1).unwrap();
+    let alice_ip = dhcp
+        .quick_lease(&mut sim, alice_mac, "alice-laptop", 1)
+        .unwrap();
     dns.register(&mut sim, "alice-laptop", alice_ip);
     let mail_ip = dhcp.quick_lease(&mut sim, mail_mac, "mail", 2).unwrap();
     dns.register(&mut sim, "mail", mail_ip);
@@ -59,7 +61,10 @@ fn main() {
     println!("     reach the email server:");
     dfi.insert_policy(
         &mut sim,
-        PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::host("mail")),
+        PolicyRule::allow(
+            EndpointPattern::user("alice"),
+            EndpointPattern::host("mail"),
+        ),
         priority::AT_RBAC,
         "email-pdp",
     );
@@ -106,7 +111,9 @@ fn main() {
 
     let m = dfi.metrics();
     println!();
-    println!("summary: packet-ins={} allowed={} denied={} flushes={}",
-        m.packet_ins, m.allowed, m.denied, m.flushes);
+    println!(
+        "summary: packet-ins={} allowed={} denied={} flushes={}",
+        m.packet_ins, m.allowed, m.denied, m.flushes
+    );
     println!("walkthrough OK: reachability follows Alice's authentication state.");
 }

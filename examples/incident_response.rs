@@ -12,10 +12,10 @@
 //! Run with: `cargo run --release --example incident_response`
 
 use dfi_repro::core::pdp::QuarantinePdp;
+use dfi_repro::simnet::Sim;
 use dfi_repro::simnet::SimTime;
 use dfi_repro::worm::testbed::{Condition, Testbed, TestbedConfig};
 use dfi_repro::worm::worm::{WormConfig, WormInstance, WormWorld};
-use dfi_repro::simnet::Sim;
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
@@ -111,7 +111,10 @@ fn main() {
     println!("-- with responder --");
     let (infected_r, isolated, total) = run(true);
     println!("   infected: {infected_r}/{total}, quarantined: {isolated}");
-    assert!(infected_r < infected, "quarantine must contain the outbreak");
+    assert!(
+        infected_r < infected,
+        "quarantine must contain the outbreak"
+    );
     println!();
     println!(
         "containment: {infected} -> {infected_r} infections. Dynamic policy means \

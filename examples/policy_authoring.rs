@@ -10,9 +10,7 @@
 
 use dfi_repro::core::erm::Binding;
 use dfi_repro::core::pdp::{priority, BaselinePdp, QuarantinePdp};
-use dfi_repro::core::policy::{
-    EndpointPattern, FlowProperties, PolicyRule, Wild, WildName,
-};
+use dfi_repro::core::policy::{EndpointPattern, FlowProperties, PolicyRule, Wild, WildName};
 use dfi_repro::core::Dfi;
 use dfi_repro::simnet::Sim;
 use std::net::Ipv4Addr;
@@ -87,8 +85,16 @@ fn main() {
             pm.query(&flow)
         })
     };
-    let d = decide(&dfi, Ipv4Addr::new(10, 1, 0, 5), Ipv4Addr::new(10, 2, 0, 9), 22);
-    println!("ops-jump -> prod-db:22  => {} (via policy {:?})", d.action, d.policy);
+    let d = decide(
+        &dfi,
+        Ipv4Addr::new(10, 1, 0, 5),
+        Ipv4Addr::new(10, 2, 0, 9),
+        22,
+    );
+    println!(
+        "ops-jump -> prod-db:22  => {} (via policy {:?})",
+        d.action, d.policy
+    );
 
     // --- Dynamic revocation ----------------------------------------------
     // QuarantinePdp ships with the crate; it emits maximum-priority deny

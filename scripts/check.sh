@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, tests, and bench compilation.
+# Everything runs offline against the vendored dev-dependency stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo bench --no-run =="
+cargo bench -q --workspace --no-run
+
+echo "All checks passed."

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_consistency-1f5097a4f9ccdeeb.d: crates/bench/benches/ablation_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_consistency-1f5097a4f9ccdeeb.rmeta: crates/bench/benches/ablation_consistency.rs Cargo.toml
+
+crates/bench/benches/ablation_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

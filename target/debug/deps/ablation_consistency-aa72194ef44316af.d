@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_consistency-aa72194ef44316af.d: crates/bench/benches/ablation_consistency.rs
+
+/root/repo/target/debug/deps/ablation_consistency-aa72194ef44316af: crates/bench/benches/ablation_consistency.rs
+
+crates/bench/benches/ablation_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_interposition-4c6abcf01f506dfa.d: crates/bench/benches/ablation_interposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_interposition-4c6abcf01f506dfa.rmeta: crates/bench/benches/ablation_interposition.rs Cargo.toml
+
+crates/bench/benches/ablation_interposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interposition-7ebd1e93d0c58cc0.d: crates/bench/benches/ablation_interposition.rs
+
+/root/repo/target/debug/deps/ablation_interposition-7ebd1e93d0c58cc0: crates/bench/benches/ablation_interposition.rs
+
+crates/bench/benches/ablation_interposition.rs:

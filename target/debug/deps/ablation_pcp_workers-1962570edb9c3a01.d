@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pcp_workers-1962570edb9c3a01.d: crates/bench/benches/ablation_pcp_workers.rs
+
+/root/repo/target/debug/deps/ablation_pcp_workers-1962570edb9c3a01: crates/bench/benches/ablation_pcp_workers.rs
+
+crates/bench/benches/ablation_pcp_workers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pcp_workers-5d39cd91f5cd6036.d: crates/bench/benches/ablation_pcp_workers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pcp_workers-5d39cd91f5cd6036.rmeta: crates/bench/benches/ablation_pcp_workers.rs Cargo.toml
+
+crates/bench/benches/ablation_pcp_workers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

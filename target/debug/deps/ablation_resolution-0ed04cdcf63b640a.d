@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_resolution-0ed04cdcf63b640a.d: crates/bench/benches/ablation_resolution.rs
+
+/root/repo/target/debug/deps/ablation_resolution-0ed04cdcf63b640a: crates/bench/benches/ablation_resolution.rs
+
+crates/bench/benches/ablation_resolution.rs:

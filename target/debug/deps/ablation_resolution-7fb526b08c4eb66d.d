@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_resolution-7fb526b08c4eb66d.d: crates/bench/benches/ablation_resolution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_resolution-7fb526b08c4eb66d.rmeta: crates/bench/benches/ablation_resolution.rs Cargo.toml
+
+crates/bench/benches/ablation_resolution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_wildcard_caching-3c3a007fd51e671b.d: crates/bench/benches/ablation_wildcard_caching.rs
+
+/root/repo/target/debug/deps/ablation_wildcard_caching-3c3a007fd51e671b: crates/bench/benches/ablation_wildcard_caching.rs
+
+crates/bench/benches/ablation_wildcard_caching.rs:

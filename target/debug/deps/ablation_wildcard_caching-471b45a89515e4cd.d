@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_wildcard_caching-471b45a89515e4cd.d: crates/bench/benches/ablation_wildcard_caching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_wildcard_caching-471b45a89515e4cd.rmeta: crates/bench/benches/ablation_wildcard_caching.rs Cargo.toml
+
+crates/bench/benches/ablation_wildcard_caching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/arp_flows-78a66b99cea98fc4.d: tests/arp_flows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarp_flows-78a66b99cea98fc4.rmeta: tests/arp_flows.rs Cargo.toml
+
+tests/arp_flows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/arp_flows-d761834334547f1e.d: tests/arp_flows.rs
+
+/root/repo/target/debug/deps/arp_flows-d761834334547f1e: tests/arp_flows.rs
+
+tests/arp_flows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decision_cache-44266501e04cd00f.d: crates/core/tests/decision_cache.rs
+
+/root/repo/target/debug/deps/decision_cache-44266501e04cd00f: crates/core/tests/decision_cache.rs
+
+crates/core/tests/decision_cache.rs:

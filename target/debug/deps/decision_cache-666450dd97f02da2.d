@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decision_cache-666450dd97f02da2.d: crates/core/tests/decision_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecision_cache-666450dd97f02da2.rmeta: crates/core/tests/decision_cache.rs Cargo.toml
+
+crates/core/tests/decision_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

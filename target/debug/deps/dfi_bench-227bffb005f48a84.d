@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfi_bench-227bffb005f48a84.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_bench-227bffb005f48a84.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

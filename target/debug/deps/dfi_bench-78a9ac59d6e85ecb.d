@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfi_bench-78a9ac59d6e85ecb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dfi_bench-78a9ac59d6e85ecb: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfi_bench-a34964e5461a30ef.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_bench-a34964e5461a30ef.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

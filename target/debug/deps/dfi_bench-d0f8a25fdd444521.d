@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dfi_bench-d0f8a25fdd444521.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdfi_bench-d0f8a25fdd444521.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdfi_bench-d0f8a25fdd444521.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

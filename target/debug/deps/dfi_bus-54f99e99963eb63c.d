@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfi_bus-54f99e99963eb63c.d: crates/bus/src/lib.rs
+
+/root/repo/target/debug/deps/dfi_bus-54f99e99963eb63c: crates/bus/src/lib.rs
+
+crates/bus/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dfi_bus-7374ae500ea089c4.d: crates/bus/src/lib.rs
+
+/root/repo/target/debug/deps/libdfi_bus-7374ae500ea089c4.rlib: crates/bus/src/lib.rs
+
+/root/repo/target/debug/deps/libdfi_bus-7374ae500ea089c4.rmeta: crates/bus/src/lib.rs
+
+crates/bus/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfi_bus-a130d3fbe65780d1.d: crates/bus/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_bus-a130d3fbe65780d1.rmeta: crates/bus/src/lib.rs Cargo.toml
+
+crates/bus/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dfi_cbench-39dfbcfcd91d7a81.d: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+/root/repo/target/debug/deps/libdfi_cbench-39dfbcfcd91d7a81.rlib: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+/root/repo/target/debug/deps/libdfi_cbench-39dfbcfcd91d7a81.rmeta: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+crates/cbench/src/lib.rs:
+crates/cbench/src/latency.rs:
+crates/cbench/src/throughput.rs:
+crates/cbench/src/ttfb.rs:

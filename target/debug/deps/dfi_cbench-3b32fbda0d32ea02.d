@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dfi_cbench-3b32fbda0d32ea02.d: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+/root/repo/target/debug/deps/dfi_cbench-3b32fbda0d32ea02: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+crates/cbench/src/lib.rs:
+crates/cbench/src/latency.rs:
+crates/cbench/src/throughput.rs:
+crates/cbench/src/ttfb.rs:

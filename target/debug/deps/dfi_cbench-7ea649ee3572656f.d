@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dfi_cbench-7ea649ee3572656f.d: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_cbench-7ea649ee3572656f.rmeta: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs Cargo.toml
+
+crates/cbench/src/lib.rs:
+crates/cbench/src/latency.rs:
+crates/cbench/src/throughput.rs:
+crates/cbench/src/ttfb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

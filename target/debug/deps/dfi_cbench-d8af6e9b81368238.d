@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dfi_cbench-d8af6e9b81368238.d: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_cbench-d8af6e9b81368238.rmeta: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs Cargo.toml
+
+crates/cbench/src/lib.rs:
+crates/cbench/src/latency.rs:
+crates/cbench/src/throughput.rs:
+crates/cbench/src/ttfb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dfi_controller-24b29f302e0159d1.d: crates/controller/src/lib.rs crates/controller/src/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_controller-24b29f302e0159d1.rmeta: crates/controller/src/lib.rs crates/controller/src/topo.rs Cargo.toml
+
+crates/controller/src/lib.rs:
+crates/controller/src/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

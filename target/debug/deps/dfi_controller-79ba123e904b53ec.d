@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dfi_controller-79ba123e904b53ec.d: crates/controller/src/lib.rs crates/controller/src/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_controller-79ba123e904b53ec.rmeta: crates/controller/src/lib.rs crates/controller/src/topo.rs Cargo.toml
+
+crates/controller/src/lib.rs:
+crates/controller/src/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

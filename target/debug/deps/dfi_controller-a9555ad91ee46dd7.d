@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/dfi_controller-a9555ad91ee46dd7.d: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+/root/repo/target/debug/deps/dfi_controller-a9555ad91ee46dd7: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/topo.rs:

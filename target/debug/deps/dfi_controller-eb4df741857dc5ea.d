@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/dfi_controller-eb4df741857dc5ea.d: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+/root/repo/target/debug/deps/libdfi_controller-eb4df741857dc5ea.rlib: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+/root/repo/target/debug/deps/libdfi_controller-eb4df741857dc5ea.rmeta: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/topo.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dfi_core-297d0f66307c73bc.d: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+/root/repo/target/debug/deps/libdfi_core-297d0f66307c73bc.rlib: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+/root/repo/target/debug/deps/libdfi_core-297d0f66307c73bc.rmeta: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dfi.rs:
+crates/core/src/erm.rs:
+crates/core/src/events.rs:
+crates/core/src/pdp.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/manager.rs:
+crates/core/src/policy/model.rs:
+crates/core/src/policy/roles.rs:
+crates/core/src/rewrite.rs:

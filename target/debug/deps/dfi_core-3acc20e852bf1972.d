@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dfi_core-3acc20e852bf1972.d: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_core-3acc20e852bf1972.rmeta: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/dfi.rs:
+crates/core/src/erm.rs:
+crates/core/src/events.rs:
+crates/core/src/pdp.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/manager.rs:
+crates/core/src/policy/model.rs:
+crates/core/src/policy/roles.rs:
+crates/core/src/rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dfi_openflow-004c6476142f52d0.d: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+/root/repo/target/debug/deps/libdfi_openflow-004c6476142f52d0.rlib: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+/root/repo/target/debug/deps/libdfi_openflow-004c6476142f52d0.rmeta: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+crates/openflow/src/lib.rs:
+crates/openflow/src/action.rs:
+crates/openflow/src/flow.rs:
+crates/openflow/src/instruction.rs:
+crates/openflow/src/msg.rs:
+crates/openflow/src/oxm.rs:
+crates/openflow/src/stats.rs:

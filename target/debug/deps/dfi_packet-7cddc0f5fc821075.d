@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dfi_packet-7cddc0f5fc821075.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/arp.rs crates/packet/src/dhcp.rs crates/packet/src/dns.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/headers.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_packet-7cddc0f5fc821075.rmeta: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/arp.rs crates/packet/src/dhcp.rs crates/packet/src/dns.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/headers.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/wire.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/arp.rs:
+crates/packet/src/dhcp.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dfi_packet-f8f9ad8fb600cbdf.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/arp.rs crates/packet/src/dhcp.rs crates/packet/src/dns.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/headers.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/wire.rs
+
+/root/repo/target/debug/deps/dfi_packet-f8f9ad8fb600cbdf: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/arp.rs crates/packet/src/dhcp.rs crates/packet/src/dns.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/headers.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/wire.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/arp.rs:
+crates/packet/src/dhcp.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/wire.rs:

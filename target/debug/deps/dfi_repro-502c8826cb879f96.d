@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dfi_repro-502c8826cb879f96.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdfi_repro-502c8826cb879f96.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdfi_repro-502c8826cb879f96.rmeta: src/lib.rs
+
+src/lib.rs:

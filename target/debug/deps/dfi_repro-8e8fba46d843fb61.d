@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfi_repro-8e8fba46d843fb61.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_repro-8e8fba46d843fb61.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dfi_repro-945bde1b23b1437f.d: src/lib.rs
+
+/root/repo/target/debug/deps/dfi_repro-945bde1b23b1437f: src/lib.rs
+
+src/lib.rs:

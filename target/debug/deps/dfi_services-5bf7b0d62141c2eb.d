@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dfi_services-5bf7b0d62141c2eb.d: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+/root/repo/target/debug/deps/libdfi_services-5bf7b0d62141c2eb.rlib: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+/root/repo/target/debug/deps/libdfi_services-5bf7b0d62141c2eb.rmeta: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+crates/services/src/lib.rs:
+crates/services/src/dhcp_server.rs:
+crates/services/src/directory.rs:
+crates/services/src/dns_server.rs:
+crates/services/src/siem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dfi_services-8b7ae51e263a90d8.d: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+/root/repo/target/debug/deps/dfi_services-8b7ae51e263a90d8: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+crates/services/src/lib.rs:
+crates/services/src/dhcp_server.rs:
+crates/services/src/directory.rs:
+crates/services/src/dns_server.rs:
+crates/services/src/siem.rs:

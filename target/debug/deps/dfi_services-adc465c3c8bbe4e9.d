@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dfi_services-adc465c3c8bbe4e9.d: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_services-adc465c3c8bbe4e9.rmeta: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs Cargo.toml
+
+crates/services/src/lib.rs:
+crates/services/src/dhcp_server.rs:
+crates/services/src/directory.rs:
+crates/services/src/dns_server.rs:
+crates/services/src/siem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dfi_worm-1db13e9f5b02e7bc.d: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_worm-1db13e9f5b02e7bc.rmeta: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs Cargo.toml
+
+crates/worm/src/lib.rs:
+crates/worm/src/host.rs:
+crates/worm/src/scenario.rs:
+crates/worm/src/schedule.rs:
+crates/worm/src/testbed.rs:
+crates/worm/src/worm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

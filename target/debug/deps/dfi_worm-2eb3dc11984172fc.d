@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dfi_worm-2eb3dc11984172fc.d: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+/root/repo/target/debug/deps/libdfi_worm-2eb3dc11984172fc.rlib: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+/root/repo/target/debug/deps/libdfi_worm-2eb3dc11984172fc.rmeta: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+crates/worm/src/lib.rs:
+crates/worm/src/host.rs:
+crates/worm/src/scenario.rs:
+crates/worm/src/schedule.rs:
+crates/worm/src/testbed.rs:
+crates/worm/src/worm.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dfi_worm-db779b6dc66dc9d5.d: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+/root/repo/target/debug/deps/dfi_worm-db779b6dc66dc9d5: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+crates/worm/src/lib.rs:
+crates/worm/src/host.rs:
+crates/worm/src/scenario.rs:
+crates/worm/src/schedule.rs:
+crates/worm/src/testbed.rs:
+crates/worm/src/worm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_ttfb_vs_load-728b9cb7f0b1b493.d: crates/bench/benches/fig4_ttfb_vs_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_ttfb_vs_load-728b9cb7f0b1b493.rmeta: crates/bench/benches/fig4_ttfb_vs_load.rs Cargo.toml
+
+crates/bench/benches/fig4_ttfb_vs_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_ttfb_vs_load-e7771e9077dbcb80.d: crates/bench/benches/fig4_ttfb_vs_load.rs
+
+/root/repo/target/debug/deps/fig4_ttfb_vs_load-e7771e9077dbcb80: crates/bench/benches/fig4_ttfb_vs_load.rs
+
+crates/bench/benches/fig4_ttfb_vs_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a_infection_timeline-19e4beb4138535fb.d: crates/bench/benches/fig5a_infection_timeline.rs
+
+/root/repo/target/debug/deps/fig5a_infection_timeline-19e4beb4138535fb: crates/bench/benches/fig5a_infection_timeline.rs
+
+crates/bench/benches/fig5a_infection_timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5a_infection_timeline-9314b0ecd48f0b92.d: crates/bench/benches/fig5a_infection_timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5a_infection_timeline-9314b0ecd48f0b92.rmeta: crates/bench/benches/fig5a_infection_timeline.rs Cargo.toml
+
+crates/bench/benches/fig5a_infection_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

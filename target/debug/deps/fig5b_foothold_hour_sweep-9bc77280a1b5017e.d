@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b_foothold_hour_sweep-9bc77280a1b5017e.d: crates/bench/benches/fig5b_foothold_hour_sweep.rs
+
+/root/repo/target/debug/deps/fig5b_foothold_hour_sweep-9bc77280a1b5017e: crates/bench/benches/fig5b_foothold_hour_sweep.rs
+
+crates/bench/benches/fig5b_foothold_hour_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b_foothold_hour_sweep-cb2ce5e7f028de4b.d: crates/bench/benches/fig5b_foothold_hour_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b_foothold_hour_sweep-cb2ce5e7f028de4b.rmeta: crates/bench/benches/fig5b_foothold_hour_sweep.rs Cargo.toml
+
+crates/bench/benches/fig5b_foothold_hour_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

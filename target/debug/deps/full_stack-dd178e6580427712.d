@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-dd178e6580427712.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-dd178e6580427712: tests/full_stack.rs
+
+tests/full_stack.rs:

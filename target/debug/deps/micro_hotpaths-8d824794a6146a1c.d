@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro_hotpaths-8d824794a6146a1c.d: crates/bench/benches/micro_hotpaths.rs
+
+/root/repo/target/debug/deps/micro_hotpaths-8d824794a6146a1c: crates/bench/benches/micro_hotpaths.rs
+
+crates/bench/benches/micro_hotpaths.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_hotpaths-a30b00afe186816b.d: crates/bench/benches/micro_hotpaths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_hotpaths-a30b00afe186816b.rmeta: crates/bench/benches/micro_hotpaths.rs Cargo.toml
+
+crates/bench/benches/micro_hotpaths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

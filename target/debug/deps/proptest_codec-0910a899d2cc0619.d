@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_codec-0910a899d2cc0619.d: crates/packet/tests/proptest_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_codec-0910a899d2cc0619.rmeta: crates/packet/tests/proptest_codec.rs Cargo.toml
+
+crates/packet/tests/proptest_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

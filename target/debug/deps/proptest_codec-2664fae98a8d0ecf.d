@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_codec-2664fae98a8d0ecf.d: crates/openflow/tests/proptest_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_codec-2664fae98a8d0ecf.rmeta: crates/openflow/tests/proptest_codec.rs Cargo.toml
+
+crates/openflow/tests/proptest_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

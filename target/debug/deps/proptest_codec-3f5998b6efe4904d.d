@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_codec-3f5998b6efe4904d.d: crates/openflow/tests/proptest_codec.rs
+
+/root/repo/target/debug/deps/proptest_codec-3f5998b6efe4904d: crates/openflow/tests/proptest_codec.rs
+
+crates/openflow/tests/proptest_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_codec-f53b089d8a95191e.d: crates/packet/tests/proptest_codec.rs
+
+/root/repo/target/debug/deps/proptest_codec-f53b089d8a95191e: crates/packet/tests/proptest_codec.rs
+
+crates/packet/tests/proptest_codec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_flow_table-6eed9a8c62e2dcc9.d: crates/dataplane/tests/proptest_flow_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_flow_table-6eed9a8c62e2dcc9.rmeta: crates/dataplane/tests/proptest_flow_table.rs Cargo.toml
+
+crates/dataplane/tests/proptest_flow_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

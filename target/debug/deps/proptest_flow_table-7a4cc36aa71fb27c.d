@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_flow_table-7a4cc36aa71fb27c.d: crates/dataplane/tests/proptest_flow_table.rs
+
+/root/repo/target/debug/deps/proptest_flow_table-7a4cc36aa71fb27c: crates/dataplane/tests/proptest_flow_table.rs
+
+crates/dataplane/tests/proptest_flow_table.rs:

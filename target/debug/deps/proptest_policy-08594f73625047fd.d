@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_policy-08594f73625047fd.d: crates/core/tests/proptest_policy.rs
+
+/root/repo/target/debug/deps/proptest_policy-08594f73625047fd: crates/core/tests/proptest_policy.rs
+
+crates/core/tests/proptest_policy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_policy-d2bd486fe8fde62a.d: crates/core/tests/proptest_policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_policy-d2bd486fe8fde62a.rmeta: crates/core/tests/proptest_policy.rs Cargo.toml
+
+crates/core/tests/proptest_policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

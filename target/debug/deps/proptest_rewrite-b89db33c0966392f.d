@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_rewrite-b89db33c0966392f.d: crates/core/tests/proptest_rewrite.rs
+
+/root/repo/target/debug/deps/proptest_rewrite-b89db33c0966392f: crates/core/tests/proptest_rewrite.rs
+
+crates/core/tests/proptest_rewrite.rs:

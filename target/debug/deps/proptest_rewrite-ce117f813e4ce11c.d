@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_rewrite-ce117f813e4ce11c.d: crates/core/tests/proptest_rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_rewrite-ce117f813e4ce11c.rmeta: crates/core/tests/proptest_rewrite.rs Cargo.toml
+
+crates/core/tests/proptest_rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

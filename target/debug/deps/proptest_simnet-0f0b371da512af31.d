@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_simnet-0f0b371da512af31.d: crates/simnet/tests/proptest_simnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_simnet-0f0b371da512af31.rmeta: crates/simnet/tests/proptest_simnet.rs Cargo.toml
+
+crates/simnet/tests/proptest_simnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_simnet-6744c5dfd344cfe5.d: crates/simnet/tests/proptest_simnet.rs
+
+/root/repo/target/debug/deps/proptest_simnet-6744c5dfd344cfe5: crates/simnet/tests/proptest_simnet.rs
+
+crates/simnet/tests/proptest_simnet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-40b9f43ce8081c3f.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-40b9f43ce8081c3f.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

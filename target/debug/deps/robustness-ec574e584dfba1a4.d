@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-ec574e584dfba1a4.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-ec574e584dfba1a4: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenario_invariants-474f7569b433a8b8.d: crates/worm/tests/scenario_invariants.rs
+
+/root/repo/target/debug/deps/scenario_invariants-474f7569b433a8b8: crates/worm/tests/scenario_invariants.rs
+
+crates/worm/tests/scenario_invariants.rs:

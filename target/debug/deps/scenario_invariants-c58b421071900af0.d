@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scenario_invariants-c58b421071900af0.d: crates/worm/tests/scenario_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscenario_invariants-c58b421071900af0.rmeta: crates/worm/tests/scenario_invariants.rs Cargo.toml
+
+crates/worm/tests/scenario_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

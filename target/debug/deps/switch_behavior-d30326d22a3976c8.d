@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/switch_behavior-d30326d22a3976c8.d: crates/dataplane/tests/switch_behavior.rs
+
+/root/repo/target/debug/deps/switch_behavior-d30326d22a3976c8: crates/dataplane/tests/switch_behavior.rs
+
+crates/dataplane/tests/switch_behavior.rs:

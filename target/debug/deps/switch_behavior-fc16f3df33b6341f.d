@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/switch_behavior-fc16f3df33b6341f.d: crates/dataplane/tests/switch_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswitch_behavior-fc16f3df33b6341f.rmeta: crates/dataplane/tests/switch_behavior.rs Cargo.toml
+
+crates/dataplane/tests/switch_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

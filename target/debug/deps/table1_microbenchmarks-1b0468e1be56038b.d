@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_microbenchmarks-1b0468e1be56038b.d: crates/bench/benches/table1_microbenchmarks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_microbenchmarks-1b0468e1be56038b.rmeta: crates/bench/benches/table1_microbenchmarks.rs Cargo.toml
+
+crates/bench/benches/table1_microbenchmarks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_microbenchmarks-ec05febc692886ce.d: crates/bench/benches/table1_microbenchmarks.rs
+
+/root/repo/target/debug/deps/table1_microbenchmarks-ec05febc692886ce: crates/bench/benches/table1_microbenchmarks.rs
+
+crates/bench/benches/table1_microbenchmarks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_latency_breakdown-9d351a54715af2db.d: crates/bench/benches/table2_latency_breakdown.rs
+
+/root/repo/target/debug/deps/table2_latency_breakdown-9d351a54715af2db: crates/bench/benches/table2_latency_breakdown.rs
+
+crates/bench/benches/table2_latency_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_latency_breakdown-b011797737ef31bd.d: crates/bench/benches/table2_latency_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_latency_breakdown-b011797737ef31bd.rmeta: crates/bench/benches/table2_latency_breakdown.rs Cargo.toml
+
+crates/bench/benches/table2_latency_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

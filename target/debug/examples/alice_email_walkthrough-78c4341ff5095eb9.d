@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/alice_email_walkthrough-78c4341ff5095eb9.d: examples/alice_email_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libalice_email_walkthrough-78c4341ff5095eb9.rmeta: examples/alice_email_walkthrough.rs Cargo.toml
+
+examples/alice_email_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/alice_email_walkthrough-e1ab81dc68c00760.d: examples/alice_email_walkthrough.rs
+
+/root/repo/target/debug/examples/alice_email_walkthrough-e1ab81dc68c00760: examples/alice_email_walkthrough.rs
+
+examples/alice_email_walkthrough.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incident_response-869bfd476ded19c7.d: examples/incident_response.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincident_response-869bfd476ded19c7.rmeta: examples/incident_response.rs Cargo.toml
+
+examples/incident_response.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

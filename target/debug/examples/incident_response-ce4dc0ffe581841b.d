@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incident_response-ce4dc0ffe581841b.d: examples/incident_response.rs
+
+/root/repo/target/debug/examples/incident_response-ce4dc0ffe581841b: examples/incident_response.rs
+
+examples/incident_response.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/malicious_controller_demo-2d12ccc1ed396bc8.d: examples/malicious_controller_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmalicious_controller_demo-2d12ccc1ed396bc8.rmeta: examples/malicious_controller_demo.rs Cargo.toml
+
+examples/malicious_controller_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/malicious_controller_demo-dca8803012edd081.d: examples/malicious_controller_demo.rs
+
+/root/repo/target/debug/examples/malicious_controller_demo-dca8803012edd081: examples/malicious_controller_demo.rs
+
+examples/malicious_controller_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/notpetya_outbreak-b2cade0cf9a161e5.d: examples/notpetya_outbreak.rs
+
+/root/repo/target/debug/examples/notpetya_outbreak-b2cade0cf9a161e5: examples/notpetya_outbreak.rs
+
+examples/notpetya_outbreak.rs:

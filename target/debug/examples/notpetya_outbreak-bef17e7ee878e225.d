@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/notpetya_outbreak-bef17e7ee878e225.d: examples/notpetya_outbreak.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnotpetya_outbreak-bef17e7ee878e225.rmeta: examples/notpetya_outbreak.rs Cargo.toml
+
+examples/notpetya_outbreak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/policy_authoring-9a43becd4b1d0fac.d: examples/policy_authoring.rs
+
+/root/repo/target/debug/examples/policy_authoring-9a43becd4b1d0fac: examples/policy_authoring.rs
+
+examples/policy_authoring.rs:

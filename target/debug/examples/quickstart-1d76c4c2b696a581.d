@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1d76c4c2b696a581.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1d76c4c2b696a581: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_consistency-20954e3b9da855a1.d: crates/bench/benches/ablation_consistency.rs
+
+/root/repo/target/release/deps/ablation_consistency-20954e3b9da855a1: crates/bench/benches/ablation_consistency.rs
+
+crates/bench/benches/ablation_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_interposition-5d1b62b019d8a8c1.d: crates/bench/benches/ablation_interposition.rs
+
+/root/repo/target/release/deps/ablation_interposition-5d1b62b019d8a8c1: crates/bench/benches/ablation_interposition.rs
+
+crates/bench/benches/ablation_interposition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pcp_workers-f3d626ce3df18b63.d: crates/bench/benches/ablation_pcp_workers.rs
+
+/root/repo/target/release/deps/ablation_pcp_workers-f3d626ce3df18b63: crates/bench/benches/ablation_pcp_workers.rs
+
+crates/bench/benches/ablation_pcp_workers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_resolution-636b469bbb01d4ff.d: crates/bench/benches/ablation_resolution.rs
+
+/root/repo/target/release/deps/ablation_resolution-636b469bbb01d4ff: crates/bench/benches/ablation_resolution.rs
+
+crates/bench/benches/ablation_resolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_wildcard_caching-83e1e8a552e1a9d5.d: crates/bench/benches/ablation_wildcard_caching.rs
+
+/root/repo/target/release/deps/ablation_wildcard_caching-83e1e8a552e1a9d5: crates/bench/benches/ablation_wildcard_caching.rs
+
+crates/bench/benches/ablation_wildcard_caching.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dfi_bench-53b220239f1762e6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdfi_bench-53b220239f1762e6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdfi_bench-53b220239f1762e6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dfi_bench-c767c12bfe151319.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/dfi_bench-c767c12bfe151319: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dfi_bus-4206fe31638942dc.d: crates/bus/src/lib.rs
+
+/root/repo/target/release/deps/libdfi_bus-4206fe31638942dc.rlib: crates/bus/src/lib.rs
+
+/root/repo/target/release/deps/libdfi_bus-4206fe31638942dc.rmeta: crates/bus/src/lib.rs
+
+crates/bus/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dfi_bus-4d89228d0450f7c1.d: crates/bus/src/lib.rs
+
+/root/repo/target/release/deps/dfi_bus-4d89228d0450f7c1: crates/bus/src/lib.rs
+
+crates/bus/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dfi_cbench-e5af1a6e1d7820c1.d: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+/root/repo/target/release/deps/dfi_cbench-e5af1a6e1d7820c1: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+crates/cbench/src/lib.rs:
+crates/cbench/src/latency.rs:
+crates/cbench/src/throughput.rs:
+crates/cbench/src/ttfb.rs:

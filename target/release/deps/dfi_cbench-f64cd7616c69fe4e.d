@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dfi_cbench-f64cd7616c69fe4e.d: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+/root/repo/target/release/deps/libdfi_cbench-f64cd7616c69fe4e.rlib: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+/root/repo/target/release/deps/libdfi_cbench-f64cd7616c69fe4e.rmeta: crates/cbench/src/lib.rs crates/cbench/src/latency.rs crates/cbench/src/throughput.rs crates/cbench/src/ttfb.rs
+
+crates/cbench/src/lib.rs:
+crates/cbench/src/latency.rs:
+crates/cbench/src/throughput.rs:
+crates/cbench/src/ttfb.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/dfi_controller-30768acf6bf1a922.d: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+/root/repo/target/release/deps/libdfi_controller-30768acf6bf1a922.rlib: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+/root/repo/target/release/deps/libdfi_controller-30768acf6bf1a922.rmeta: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/topo.rs:

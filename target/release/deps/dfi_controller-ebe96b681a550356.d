@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/dfi_controller-ebe96b681a550356.d: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+/root/repo/target/release/deps/dfi_controller-ebe96b681a550356: crates/controller/src/lib.rs crates/controller/src/topo.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/topo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dfi_core-52e0974bdaaa60b6.d: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+/root/repo/target/release/deps/dfi_core-52e0974bdaaa60b6: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dfi.rs:
+crates/core/src/erm.rs:
+crates/core/src/events.rs:
+crates/core/src/pdp.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/manager.rs:
+crates/core/src/policy/model.rs:
+crates/core/src/policy/roles.rs:
+crates/core/src/rewrite.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dfi_core-e8cd7ea54cb31f56.d: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+/root/repo/target/release/deps/libdfi_core-e8cd7ea54cb31f56.rlib: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+/root/repo/target/release/deps/libdfi_core-e8cd7ea54cb31f56.rmeta: crates/core/src/lib.rs crates/core/src/dfi.rs crates/core/src/erm.rs crates/core/src/events.rs crates/core/src/pdp.rs crates/core/src/policy/mod.rs crates/core/src/policy/manager.rs crates/core/src/policy/model.rs crates/core/src/policy/roles.rs crates/core/src/rewrite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dfi.rs:
+crates/core/src/erm.rs:
+crates/core/src/events.rs:
+crates/core/src/pdp.rs:
+crates/core/src/policy/mod.rs:
+crates/core/src/policy/manager.rs:
+crates/core/src/policy/model.rs:
+crates/core/src/policy/roles.rs:
+crates/core/src/rewrite.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dfi_openflow-aa8c5acf776e944f.d: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+/root/repo/target/release/deps/dfi_openflow-aa8c5acf776e944f: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+crates/openflow/src/lib.rs:
+crates/openflow/src/action.rs:
+crates/openflow/src/flow.rs:
+crates/openflow/src/instruction.rs:
+crates/openflow/src/msg.rs:
+crates/openflow/src/oxm.rs:
+crates/openflow/src/stats.rs:

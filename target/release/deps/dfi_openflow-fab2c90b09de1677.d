@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dfi_openflow-fab2c90b09de1677.d: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+/root/repo/target/release/deps/libdfi_openflow-fab2c90b09de1677.rlib: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+/root/repo/target/release/deps/libdfi_openflow-fab2c90b09de1677.rmeta: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+crates/openflow/src/lib.rs:
+crates/openflow/src/action.rs:
+crates/openflow/src/flow.rs:
+crates/openflow/src/instruction.rs:
+crates/openflow/src/msg.rs:
+crates/openflow/src/oxm.rs:
+crates/openflow/src/stats.rs:

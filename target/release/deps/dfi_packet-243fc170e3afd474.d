@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dfi_packet-243fc170e3afd474.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/arp.rs crates/packet/src/dhcp.rs crates/packet/src/dns.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/headers.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/wire.rs
+
+/root/repo/target/release/deps/libdfi_packet-243fc170e3afd474.rlib: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/arp.rs crates/packet/src/dhcp.rs crates/packet/src/dns.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/headers.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/wire.rs
+
+/root/repo/target/release/deps/libdfi_packet-243fc170e3afd474.rmeta: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/arp.rs crates/packet/src/dhcp.rs crates/packet/src/dns.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/headers.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/wire.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/arp.rs:
+crates/packet/src/dhcp.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/wire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dfi_repro-7796f7d0254833b9.d: src/lib.rs
+
+/root/repo/target/release/deps/dfi_repro-7796f7d0254833b9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dfi_repro-97495dd5cf00e101.d: src/lib.rs
+
+/root/repo/target/release/deps/libdfi_repro-97495dd5cf00e101.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdfi_repro-97495dd5cf00e101.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dfi_services-4f5152de2e96296f.d: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+/root/repo/target/release/deps/libdfi_services-4f5152de2e96296f.rlib: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+/root/repo/target/release/deps/libdfi_services-4f5152de2e96296f.rmeta: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+crates/services/src/lib.rs:
+crates/services/src/dhcp_server.rs:
+crates/services/src/directory.rs:
+crates/services/src/dns_server.rs:
+crates/services/src/siem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dfi_services-68c9bc807c24c942.d: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+/root/repo/target/release/deps/dfi_services-68c9bc807c24c942: crates/services/src/lib.rs crates/services/src/dhcp_server.rs crates/services/src/directory.rs crates/services/src/dns_server.rs crates/services/src/siem.rs
+
+crates/services/src/lib.rs:
+crates/services/src/dhcp_server.rs:
+crates/services/src/directory.rs:
+crates/services/src/dns_server.rs:
+crates/services/src/siem.rs:

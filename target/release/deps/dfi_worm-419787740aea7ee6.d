@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dfi_worm-419787740aea7ee6.d: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+/root/repo/target/release/deps/libdfi_worm-419787740aea7ee6.rlib: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+/root/repo/target/release/deps/libdfi_worm-419787740aea7ee6.rmeta: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+crates/worm/src/lib.rs:
+crates/worm/src/host.rs:
+crates/worm/src/scenario.rs:
+crates/worm/src/schedule.rs:
+crates/worm/src/testbed.rs:
+crates/worm/src/worm.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dfi_worm-d9b14da7153fa4c5.d: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+/root/repo/target/release/deps/dfi_worm-d9b14da7153fa4c5: crates/worm/src/lib.rs crates/worm/src/host.rs crates/worm/src/scenario.rs crates/worm/src/schedule.rs crates/worm/src/testbed.rs crates/worm/src/worm.rs
+
+crates/worm/src/lib.rs:
+crates/worm/src/host.rs:
+crates/worm/src/scenario.rs:
+crates/worm/src/schedule.rs:
+crates/worm/src/testbed.rs:
+crates/worm/src/worm.rs:

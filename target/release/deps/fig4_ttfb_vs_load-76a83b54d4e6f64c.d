@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_ttfb_vs_load-76a83b54d4e6f64c.d: crates/bench/benches/fig4_ttfb_vs_load.rs
+
+/root/repo/target/release/deps/fig4_ttfb_vs_load-76a83b54d4e6f64c: crates/bench/benches/fig4_ttfb_vs_load.rs
+
+crates/bench/benches/fig4_ttfb_vs_load.rs:

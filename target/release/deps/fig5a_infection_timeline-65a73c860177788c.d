@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a_infection_timeline-65a73c860177788c.d: crates/bench/benches/fig5a_infection_timeline.rs
+
+/root/repo/target/release/deps/fig5a_infection_timeline-65a73c860177788c: crates/bench/benches/fig5a_infection_timeline.rs
+
+crates/bench/benches/fig5a_infection_timeline.rs:

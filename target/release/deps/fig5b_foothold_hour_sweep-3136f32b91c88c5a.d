@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b_foothold_hour_sweep-3136f32b91c88c5a.d: crates/bench/benches/fig5b_foothold_hour_sweep.rs
+
+/root/repo/target/release/deps/fig5b_foothold_hour_sweep-3136f32b91c88c5a: crates/bench/benches/fig5b_foothold_hour_sweep.rs
+
+crates/bench/benches/fig5b_foothold_hour_sweep.rs:

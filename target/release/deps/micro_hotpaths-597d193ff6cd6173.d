@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_hotpaths-597d193ff6cd6173.d: crates/bench/benches/micro_hotpaths.rs
+
+/root/repo/target/release/deps/micro_hotpaths-597d193ff6cd6173: crates/bench/benches/micro_hotpaths.rs
+
+crates/bench/benches/micro_hotpaths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-92a29886b8c38da2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-92a29886b8c38da2: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_microbenchmarks-bb532f76d4b873fc.d: crates/bench/benches/table1_microbenchmarks.rs
+
+/root/repo/target/release/deps/table1_microbenchmarks-bb532f76d4b873fc: crates/bench/benches/table1_microbenchmarks.rs
+
+crates/bench/benches/table1_microbenchmarks.rs:

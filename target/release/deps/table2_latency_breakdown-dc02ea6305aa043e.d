@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_latency_breakdown-dc02ea6305aa043e.d: crates/bench/benches/table2_latency_breakdown.rs
+
+/root/repo/target/release/deps/table2_latency_breakdown-dc02ea6305aa043e: crates/bench/benches/table2_latency_breakdown.rs
+
+crates/bench/benches/table2_latency_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/alice_email_walkthrough-14a41e8276753cb3.d: examples/alice_email_walkthrough.rs
+
+/root/repo/target/release/examples/alice_email_walkthrough-14a41e8276753cb3: examples/alice_email_walkthrough.rs
+
+examples/alice_email_walkthrough.rs:

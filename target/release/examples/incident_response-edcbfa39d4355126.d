@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/incident_response-edcbfa39d4355126.d: examples/incident_response.rs
+
+/root/repo/target/release/examples/incident_response-edcbfa39d4355126: examples/incident_response.rs
+
+examples/incident_response.rs:

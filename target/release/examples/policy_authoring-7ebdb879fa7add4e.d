@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/policy_authoring-7ebdb879fa7add4e.d: examples/policy_authoring.rs
+
+/root/repo/target/release/examples/policy_authoring-7ebdb879fa7add4e: examples/policy_authoring.rs
+
+examples/policy_authoring.rs:

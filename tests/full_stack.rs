@@ -96,12 +96,9 @@ fn cross_enclave_flow_is_policy_checked_at_every_hop() {
 #[test]
 fn revocation_flushes_every_switch_in_the_network() {
     let mut s = star();
-    let id = s.dfi.insert_policy(
-        &mut s.sim,
-        PolicyRule::allow_all(),
-        priority::BASELINE,
-        "t",
-    );
+    let id = s
+        .dfi
+        .insert_policy(&mut s.sim, PolicyRule::allow_all(), priority::BASELINE, "t");
     s.sim.run();
     let syn = build::tcp_syn(mac(1), mac(2), ip(1, 1), ip(2, 1), 50_000, 80);
     s.tx[0].send(&mut s.sim, syn);
@@ -257,9 +254,7 @@ fn topology_controller_discovers_links_through_the_dfi_proxy() {
         1,
         LAT,
         Rc::new(move |_, frame: Vec<u8>| {
-            if dfi_repro::packet::PacketHeaders::parse(&frame)
-                .is_ok_and(|h| h.tcp_dst.is_some())
-            {
+            if dfi_repro::packet::PacketHeaders::parse(&frame).is_ok_and(|h| h.tcp_dst.is_some()) {
                 *g.borrow_mut() += 1;
             }
         }),
@@ -283,7 +278,12 @@ fn topology_controller_discovers_links_through_the_dfi_proxy() {
     baseline.activate(&mut sim, &dfi);
     sim.run();
 
-    assert_eq!(ctrl.links().len(), 2, "both link directions discovered: {:?}", ctrl.links());
+    assert_eq!(
+        ctrl.links().len(),
+        2,
+        "both link directions discovered: {:?}",
+        ctrl.links()
+    );
 
     // End-to-end forwarding across the discovered path.
     let syn = |s: u32, d: u32, p: u16| {
@@ -298,11 +298,15 @@ fn topology_controller_discovers_links_through_the_dfi_proxy() {
     // Now h1 → h2 uses installed shortest-path rules in table 1 (shifted).
     tx1.send(&mut sim, syn(1, 2, 81));
     sim.run();
-    assert!(*got.borrow() >= 2, "cross-switch delivery via discovered path");
+    assert!(
+        *got.borrow() >= 2,
+        "cross-switch delivery via discovered path"
+    );
     // The controller's path rules live in shifted tables, never table 0.
     for sw in [&s1, &s2] {
         assert!(
-            !sw.table0_cookies().contains(&dfi_repro::controller::topo::TOPO_COOKIE),
+            !sw.table0_cookies()
+                .contains(&dfi_repro::controller::topo::TOPO_COOKIE),
             "path rules must not reach table 0"
         );
     }

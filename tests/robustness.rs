@@ -149,7 +149,10 @@ fn control_plane_recovers_after_overload() {
     let before = *responses.borrow();
     let frame = dfi_repro::cbench::random_flow_frame(&mut rng, 999_999);
     let pi = PacketIn::table_miss(1, 0, frame);
-    from_switch(&mut sim, OfMessage::new(0xAAAA, Message::PacketIn(pi)).encode());
+    from_switch(
+        &mut sim,
+        OfMessage::new(0xAAAA, Message::PacketIn(pi)).encode(),
+    );
     sim.run();
     assert_eq!(*responses.borrow(), before + 1, "post-storm flow decided");
 }
@@ -212,7 +215,11 @@ fn binding_churn_during_decisions_is_safe() {
     }
     sim.run();
     let m = dfi.metrics();
-    assert_eq!(m.allowed + m.denied + m.spoof_denied, 50, "every flow decided");
+    assert_eq!(
+        m.allowed + m.denied + m.spoof_denied,
+        50,
+        "every flow decided"
+    );
 }
 
 #[test]

@@ -1,0 +1,248 @@
+//! Offline, API-compatible subset of [criterion](https://bheisler.github.io/criterion.rs/).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the surface the workspace's benches use: `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::{iter, iter_batched,
+//! iter_batched_ref}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up briefly,
+//! then runs timed batches until a wall-clock budget is exhausted, and
+//! reports the mean and best per-iteration time in nanoseconds on stdout
+//! (`bench <group>/<name> ... mean=... min=...`). There are no plots, no
+//! statistics beyond mean/min, and no saved baselines — but relative
+//! comparisons (the only thing the repo's EXPERIMENTS.md records) are
+//! meaningful. `DFI_BENCH_QUICK=1` shrinks the budget for CI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-batch setup cost relates to the routine cost (accepted for API
+/// compatibility; batching is fixed-size here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: large batches.
+    SmallInput,
+    /// Large inputs: batch of one.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_budget: Duration,
+    warmup_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("DFI_BENCH_QUICK").is_ok();
+        Criterion {
+            measure_budget: if quick {
+                Duration::from_millis(200)
+            } else {
+                Duration::from_millis(1500)
+            },
+            warmup_budget: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(300)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Configures the driver from CLI args (accepted and ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(self, None, &id.into(), f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        run_one(self.criterion, Some(&self.name), &id.into(), f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, group: Option<&str>, id: &str, mut f: F) {
+    // Warmup: repeatedly invoke with small iteration counts.
+    let warm_until = Instant::now() + c.warmup_budget;
+    let mut iters_per_call = 1u64;
+    while Instant::now() < warm_until {
+        let mut b = Bencher {
+            iterations: iters_per_call,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed < Duration::from_millis(1) {
+            iters_per_call = (iters_per_call * 2).min(1 << 20);
+        }
+    }
+    // Measurement: timed batches until the budget is spent.
+    let measure_until = Instant::now() + c.measure_budget;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut best = f64::INFINITY;
+    while Instant::now() < measure_until || total_iters == 0 {
+        let mut b = Bencher {
+            iterations: iters_per_call,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iterations;
+        let per_iter = b.elapsed.as_secs_f64() / b.iterations as f64;
+        if per_iter > 0.0 && per_iter < best {
+            best = per_iter;
+        }
+    }
+    let mean_ns = total.as_secs_f64() * 1e9 / total_iters as f64;
+    let best_ns = if best.is_finite() {
+        best * 1e9
+    } else {
+        mean_ns
+    };
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!("bench {full:<52} mean={mean_ns:>12.1}ns min={best_ns:>12.1}ns iters={total_iters}");
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on a fresh input from `setup` each iteration
+    /// (setup excluded from timing).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by `&mut`.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Declares the benchmark functions a target runs.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench target's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher {
+            iterations: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.elapsed > Duration::ZERO || b.iterations == 100);
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        b.iter_batched_ref(|| vec![1u8; 16], |v| v.pop(), BatchSize::SmallInput);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        std::env::set_var("DFI_BENCH_QUICK", "1");
+        let mut c = Criterion {
+            measure_budget: Duration::from_millis(5),
+            warmup_budget: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+}
