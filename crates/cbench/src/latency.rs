@@ -75,26 +75,24 @@ pub fn run(config: LatencyConfig) -> LatencyReport {
     let st = state.clone();
     let inj = inject.clone();
     let flows = config.flows;
-    let to_switch: dfi_dataplane::ByteSink = Rc::new(move |sim, bytes: Vec<u8>| {
-        if let Ok(msg) = OfMessage::decode(&bytes) {
-            if matches!(msg.body, Message::FlowMod(_)) {
-                let mut s = st.borrow_mut();
-                let rt = sim.now() - s.sent_at;
-                s.flow_start.push(rt.as_secs_f64());
-                s.completed += 1;
-                let done = s.completed >= flows;
-                drop(s);
-                if !done {
-                    let next = inj.borrow().clone();
-                    if let Some(next) = next {
-                        next(sim);
-                    }
-                }
+    let reply_to: Rc<RefCell<Option<dfi_dataplane::ByteSink>>> = Rc::default();
+    let to_switch = crate::emulated_switch_sink(reply_to.clone(), move |sim, _fm| {
+        let mut s = st.borrow_mut();
+        let rt = sim.now() - s.sent_at;
+        s.flow_start.push(rt.as_secs_f64());
+        s.completed += 1;
+        let done = s.completed >= flows;
+        drop(s);
+        if !done {
+            let next = inj.borrow().clone();
+            if let Some(next) = next {
+                next(sim);
             }
         }
     });
     let conn = dfi.attach_switch_channel(to_switch, 0xCB);
     let from_switch = dfi.from_switch_sink(conn);
+    *reply_to.borrow_mut() = Some(from_switch.clone());
 
     // The injector closure: build a fresh random flow, stamp, send.
     let st = state.clone();

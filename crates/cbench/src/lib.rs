@@ -21,10 +21,14 @@ pub mod latency;
 pub mod throughput;
 pub mod ttfb;
 
+use dfi_dataplane::ByteSink;
+use dfi_openflow::{FlowMod, Message, OfMessage};
 use dfi_packet::headers::build;
 use dfi_packet::MacAddr;
-use dfi_simnet::SimRng;
+use dfi_simnet::{Sim, SimRng};
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 /// Generates a unique randomized TCP SYN frame (distinct MACs, IPs, and
 /// ports per call): the "packets with randomized headers" cbench emits.
@@ -40,6 +44,46 @@ pub fn random_flow_frame(rng: &mut SimRng, unique: u64) -> Vec<u8> {
     let sport = 1024 + (rng.next_u32() % 60_000) as u16;
     let dport = 1 + (rng.next_u32() % 10_000) as u16;
     build::tcp_syn(src_mac, dst_mac, src_ip, dst_ip, sport, dport)
+}
+
+/// Builds the control-channel sink of a minimal emulated switch: it walks
+/// every OpenFlow frame in the buffer, answers barrier requests through
+/// `reply_to` (DFI pairs each Table-0 install with a barrier and resends
+/// unacknowledged ones, so a mute switch would see endless retries), and
+/// hands each flow-mod to `on_flow_mod`.
+///
+/// `reply_to` is filled in after the switch channel is attached — the
+/// back-channel sink does not exist until `Dfi::from_switch_sink` is
+/// called with the connection id this sink gets.
+pub fn emulated_switch_sink(
+    reply_to: Rc<RefCell<Option<ByteSink>>>,
+    on_flow_mod: impl Fn(&mut Sim, FlowMod) + 'static,
+) -> ByteSink {
+    Rc::new(move |sim, bytes: Vec<u8>| {
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
+                break;
+            };
+            if len < 8 || offset + len > bytes.len() {
+                break;
+            }
+            if let Ok(msg) = OfMessage::decode(&bytes[offset..offset + len]) {
+                match msg.body {
+                    Message::FlowMod(fm) => on_flow_mod(sim, fm),
+                    Message::BarrierRequest => {
+                        let sink = reply_to.borrow().clone();
+                        if let Some(sink) = sink {
+                            let reply = OfMessage::new(msg.xid, Message::BarrierReply).encode();
+                            sink(sim, reply);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            offset += len;
+        }
+    })
 }
 
 #[cfg(test)]

@@ -72,18 +72,15 @@ pub fn run(config: ThroughputConfig) -> ThroughputReport {
 
     let in_window = Rc::new(RefCell::new(0u64));
     let iw = in_window.clone();
-    let to_switch: dfi_dataplane::ByteSink = Rc::new(move |sim, bytes: Vec<u8>| {
-        if let Ok(msg) = OfMessage::decode(&bytes) {
-            if matches!(msg.body, Message::FlowMod(_))
-                && sim.now() >= window_start
-                && sim.now() < window_end
-            {
-                *iw.borrow_mut() += 1;
-            }
+    let reply_to: Rc<RefCell<Option<dfi_dataplane::ByteSink>>> = Rc::default();
+    let to_switch = crate::emulated_switch_sink(reply_to.clone(), move |sim, _fm| {
+        if sim.now() >= window_start && sim.now() < window_end {
+            *iw.borrow_mut() += 1;
         }
     });
     let conn = dfi.attach_switch_channel(to_switch, 0xCB);
     let from_switch = dfi.from_switch_sink(conn);
+    *reply_to.borrow_mut() = Some(from_switch.clone());
 
     // Poisson arrivals until the window closes.
     let offered = Rc::new(RefCell::new(0u64));

@@ -98,6 +98,13 @@ pub struct DfiConfig {
     pub rule_priority: u16,
     /// One-way latency from DFI to a switch (rule install path).
     pub install_latency: Duration,
+    /// Bound on resends of an unacknowledged Table-0 install or flush.
+    /// Every tracked send pairs the flow-mod with a barrier request under
+    /// one transaction id; a missing barrier reply triggers a resend.
+    pub install_retries: u32,
+    /// Wait for the barrier acknowledgement before the first resend;
+    /// doubles after each unacknowledged attempt.
+    pub install_retry_backoff: Duration,
     /// Message-bus delivery latency (sensor events, flush commands).
     pub bus_latency: Dist,
     /// Physical table count of attached switches.
@@ -128,6 +135,8 @@ impl Default for DfiConfig {
             db_load_floor: 200.0,
             rule_priority: 100,
             install_latency: Duration::from_micros(200),
+            install_retries: 4,
+            install_retry_backoff: Duration::from_millis(2),
             bus_latency: Dist::normal_ms(0.3, 0.05),
             n_tables: 8,
             wildcard_caching: false,
@@ -337,6 +346,10 @@ pub struct DfiMetrics {
     pub wildcard_cached: u64,
     /// Messages the proxy rejected (controller touching Table 0).
     pub proxy_rejections: u64,
+    /// Table-0 install/flush resends after a missed barrier ack.
+    pub install_retries: u64,
+    /// Installs abandoned after exhausting the retry budget.
+    pub install_failures: u64,
     /// Proxy per-message latency.
     pub proxy: Summary,
     /// PCP parse/dispatch sojourn (Table II "Other PCP Processing").
@@ -374,12 +387,26 @@ struct SwitchConn {
     dpid: u64,
 }
 
+/// An unacknowledged Table-0 install: the exact frames on the wire
+/// (flow-mod + barrier request under one xid) and how many sends have
+/// gone out so far. The cookie and the add/delete distinction let a
+/// policy flush cancel superseded *add* retries — resending an Allow rule
+/// after its policy was revoked would be a policy-forbidden install.
+struct PendingInstall {
+    bytes: Vec<u8>,
+    attempts: u32,
+    cookie: u64,
+    is_delete: bool,
+}
+
 struct Inner {
     config: DfiConfig,
     erm: EntityResolver,
     pm: PolicyManager,
     cache: DecisionCache,
     conns: Vec<SwitchConn>,
+    pending_installs: HashMap<(usize, u32), PendingInstall>,
+    next_xid: u32,
     metrics: DfiMetrics,
 }
 
@@ -430,6 +457,8 @@ impl Dfi {
                 pm: PolicyManager::new(),
                 cache,
                 conns: Vec::new(),
+                pending_installs: HashMap::new(),
+                next_xid: 0xDF1_0000,
                 metrics: DfiMetrics::default(),
             })),
             bus,
@@ -615,6 +644,11 @@ impl Dfi {
                 let me = self.clone();
                 sim.schedule_in(proxy_delay, move |sim| me.pcp_admit(sim, conn, pi));
             }
+            Message::BarrierReply if self.consume_install_ack(conn, msg.xid) => {
+                // Acknowledgement for one of our tracked Table-0 installs.
+                // Consumed here: the barrier was the proxy's, so the
+                // controller never learns it existed.
+            }
             other => {
                 // Non-packet-in traffic flows to the controller through the
                 // table-rewriting filter.
@@ -628,6 +662,108 @@ impl Dfi {
                     sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
                 }
             }
+        }
+    }
+
+    /// Removes a pending tracked install acknowledged by a barrier reply.
+    /// Returns whether the `(conn, xid)` pair was actually ours.
+    fn consume_install_ack(&self, conn: usize, xid: u32) -> bool {
+        self.inner
+            .borrow_mut()
+            .pending_installs
+            .remove(&(conn, xid))
+            .is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Tracked rule installs (retry/backoff over lossy channels)
+    // ------------------------------------------------------------------
+
+    /// Sends a Table-0 flow-mod paired with a barrier request under one
+    /// fresh transaction id and tracks it until the switch's barrier reply
+    /// comes back. A missing acknowledgement (install dropped or corrupted
+    /// on a faulty channel) triggers a bounded, doubling-backoff resend;
+    /// exhausting the budget abandons the install and counts an
+    /// `install_failures`.
+    ///
+    /// This is the liveness half of the fail-closed argument. Safety never
+    /// depends on an install arriving: a lost Deny rule leaves the flow
+    /// punting (and re-denied on every punt), a lost Allow rule leaves the
+    /// flow dropped at the table-miss default — both fail closed. The
+    /// retry loop only restores the *intended* state once the channel
+    /// heals. Resends are idempotent: flow-mod adds overwrite in place and
+    /// deletes of absent rules are no-ops.
+    fn send_tracked_install(&self, sim: &mut Sim, conn: usize, fm: FlowMod, send_delay: Duration) {
+        let (xid, backoff) = {
+            let mut inner = self.inner.borrow_mut();
+            let xid = inner.next_xid;
+            inner.next_xid = inner.next_xid.wrapping_add(1);
+            let cookie = fm.cookie;
+            let is_delete = matches!(
+                fm.command,
+                dfi_openflow::FlowModCommand::Delete | dfi_openflow::FlowModCommand::DeleteStrict
+            );
+            let mut bytes = OfMessage::new(xid, Message::FlowMod(fm)).encode();
+            bytes.extend(OfMessage::new(xid, Message::BarrierRequest).encode());
+            inner.pending_installs.insert(
+                (conn, xid),
+                PendingInstall {
+                    bytes,
+                    attempts: 1,
+                    cookie,
+                    is_delete,
+                },
+            );
+            (xid, inner.config.install_retry_backoff)
+        };
+        self.tracked_send(sim, conn, xid, send_delay, backoff);
+    }
+
+    /// One transmission of a pending install plus its acknowledgement
+    /// check, both on the deterministic clock.
+    fn tracked_send(
+        &self,
+        sim: &mut Sim,
+        conn: usize,
+        xid: u32,
+        send_delay: Duration,
+        ack_wait: Duration,
+    ) {
+        let (bytes, to_switch) = {
+            let inner = self.inner.borrow();
+            let Some(pending) = inner.pending_installs.get(&(conn, xid)) else {
+                return; // acknowledged before this resend fired
+            };
+            (pending.bytes.clone(), inner.conns[conn].to_switch.clone())
+        };
+        sim.schedule_in(send_delay, move |sim| to_switch(sim, bytes));
+        let me = self.clone();
+        sim.schedule_in(send_delay + ack_wait, move |sim| {
+            me.check_install_ack(sim, conn, xid, ack_wait)
+        });
+    }
+
+    fn check_install_ack(&self, sim: &mut Sim, conn: usize, xid: u32, ack_wait: Duration) {
+        let resend_delay = {
+            let mut inner = self.inner.borrow_mut();
+            let retry_budget = inner.config.install_retries;
+            let install_latency = inner.config.install_latency;
+            match inner.pending_installs.get_mut(&(conn, xid)) {
+                None => None, // barrier reply arrived: done
+                Some(pending) if pending.attempts > retry_budget => {
+                    inner.pending_installs.remove(&(conn, xid));
+                    inner.metrics.install_failures += 1;
+                    None
+                }
+                Some(pending) => {
+                    pending.attempts += 1;
+                    inner.metrics.install_retries += 1;
+                    Some(install_latency)
+                }
+            }
+        };
+        if let Some(delay) = resend_delay {
+            self.tracked_send(sim, conn, xid, delay, ack_wait * 2);
         }
     }
 
@@ -825,9 +961,7 @@ impl Dfi {
             },
             ..FlowMod::add()
         };
-        let install = OfMessage::new(0xDF1, Message::FlowMod(fm)).encode();
-        let to_switch = self.inner.borrow().conns[conn].to_switch.clone();
-        sim.schedule_in(install_latency, move |sim| to_switch(sim, install));
+        self.send_tracked_install(sim, conn, fm, install_latency);
 
         match decision.action {
             PolicyAction::Allow => {
@@ -907,24 +1041,21 @@ impl Dfi {
     /// quickly without paying the latency and performance costs of using
     /// hard timeouts").
     pub fn flush_policy_rules(&self, sim: &mut Sim, id: PolicyId) {
-        let (sinks, delay) = {
+        let (n_conns, delay) = {
             let mut inner = self.inner.borrow_mut();
             inner.metrics.flushes += 1;
+            // Cancel unacknowledged *add* retries for this cookie: the
+            // policy is gone, so resending its Allow rules after the
+            // delete below would reinstall a revoked permission.
+            inner
+                .pending_installs
+                .retain(|_, p| p.is_delete || p.cookie != id.0);
             let delay = inner.config.bus_latency.sample(sim.rng()) + inner.config.install_latency;
-            (
-                inner
-                    .conns
-                    .iter()
-                    .map(|c| c.to_switch.clone())
-                    .collect::<Vec<_>>(),
-                delay,
-            )
+            (inner.conns.len(), delay)
         };
-        let fm = FlowMod::delete_by_cookie(id.0, u64::MAX);
-        let bytes = OfMessage::new(0xDF3, Message::FlowMod(fm)).encode();
-        for sink in sinks {
-            let bytes = bytes.clone();
-            sim.schedule_in(delay, move |sim| sink(sim, bytes));
+        for conn in 0..n_conns {
+            let fm = FlowMod::delete_by_cookie(id.0, u64::MAX);
+            self.send_tracked_install(sim, conn, fm, delay);
         }
     }
 

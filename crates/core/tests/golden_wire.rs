@@ -1,0 +1,153 @@
+//! Golden-byte wire tests: pin the exact OpenFlow 1.3 encoding of the two
+//! messages DFI's correctness hangs on — the cookie-carrying `Flow-Mod`
+//! (policy id ↔ switch rule linkage, §7.3.4.1) and the proxy's table-shift
+//! rewrite — against hand-written hex dumps.
+//!
+//! Round-trip property tests can't catch a codec that is self-consistently
+//! wrong (e.g. little-endian cookies on both paths); these dumps anchor the
+//! bytes to the spec so a real switch would agree with us.
+
+use dfi_core::rewrite::{rewrite_controller_to_switch, rewrite_switch_to_controller, Upstream};
+use dfi_openflow::{FlowMod, Instruction, Match, Message, OfMessage, PacketIn};
+use std::net::Ipv4Addr;
+
+/// Parses "04 0e 00 50 …" (whitespace-separated hex bytes) into bytes.
+fn hex(dump: &str) -> Vec<u8> {
+    dump.split_whitespace()
+        .map(|b| u8::from_str_radix(b, 16).expect("hex byte"))
+        .collect()
+}
+
+fn diff_offsets(a: &[u8], b: &[u8]) -> Vec<usize> {
+    assert_eq!(a.len(), b.len(), "encodings must keep their length");
+    (0..a.len()).filter(|&i| a[i] != b[i]).collect()
+}
+
+/// A DFI *allow* install, byte for byte: cookie = policy id, match on
+/// eth_type + ipv4_src, single `goto_table 1` instruction.
+#[test]
+fn flow_mod_add_golden_bytes() {
+    let fm = FlowMod {
+        cookie: 0xDEAD_BEEF_CAFE_F00D,
+        priority: 40_000,
+        mat: Match {
+            eth_type: Some(0x0800),
+            ipv4_src: Some(Ipv4Addr::new(10, 0, 1, 1)),
+            ..Match::default()
+        },
+        instructions: vec![Instruction::GotoTable(1)],
+        ..FlowMod::add()
+    };
+    let got = OfMessage::new(0x1122_3344, Message::FlowMod(fm)).encode();
+    let want = hex(
+        // ofp_header: version=1.3, type=OFPT_FLOW_MOD(14), len=80, xid
+        "04 0e 00 50 11 22 33 44 \
+         de ad be ef ca fe f0 0d \
+         00 00 00 00 00 00 00 00 \
+         00 00 \
+         00 00 00 00 9c 40 \
+         ff ff ff ff ff ff ff ff ff ff ff ff \
+         00 00 00 00 \
+         00 01 00 12 \
+         80 00 0a 02 08 00 \
+         80 00 16 04 0a 00 01 01 \
+         00 00 00 00 00 00 \
+         00 01 00 08 01 00 00 00",
+        // cookie ↑, cookie_mask (8×00, ignored for add), table=0 cmd=ADD,
+        // idle/hard timeouts 0, priority 40000; buffer_id/out_port/out_group
+        // all 0xffffffff; flags + pad; ofp_match OXM len=18 with
+        // OXM_OF_ETH_TYPE=0x0800 and OXM_OF_IPV4_SRC=10.0.1.1 + 6 pad;
+        // OFPIT_GOTO_TABLE → table 1.
+    );
+    assert_eq!(got, want, "Flow-Mod ADD wire layout drifted from OF1.3");
+}
+
+/// The policy-revocation flush: delete-by-cookie across all tables. This is
+/// the message whose cookie/cookie_mask semantics replace timeouts in DFI.
+#[test]
+fn flow_mod_delete_by_cookie_golden_bytes() {
+    let fm = FlowMod::delete_by_cookie(42, u64::MAX);
+    let got = OfMessage::new(0xDF1, Message::FlowMod(fm)).encode();
+    let want = hex(
+        // len=56; cookie=42 under a full mask; table=OFPTT_ALL(0xff),
+        // cmd=OFPFC_DELETE(3); empty OXM match (len=4 + 4 pad).
+        "04 0e 00 38 00 00 0d f1 \
+         00 00 00 00 00 00 00 2a \
+         ff ff ff ff ff ff ff ff \
+         ff 03 \
+         00 00 00 00 00 00 \
+         ff ff ff ff ff ff ff ff ff ff ff ff \
+         00 00 00 00 \
+         00 01 00 04 00 00 00 00",
+    );
+    assert_eq!(got, want, "delete-by-cookie wire layout drifted from OF1.3");
+}
+
+/// The cookie and cookie_mask sit big-endian at body offsets 0 and 8
+/// (§7.3.4.1) — checked independently of any golden dump so an error in a
+/// dump above can't mask an endianness bug.
+#[test]
+fn cookie_fields_at_spec_offsets() {
+    let fm = FlowMod {
+        cookie: 0x0102_0304_0506_0708,
+        cookie_mask: 0x1112_1314_1516_1718,
+        ..FlowMod::add()
+    };
+    let bytes = OfMessage::new(0, Message::FlowMod(fm)).encode();
+    assert_eq!(&bytes[8..16], &0x0102_0304_0506_0708u64.to_be_bytes());
+    assert_eq!(&bytes[16..24], &0x1112_1314_1516_1718u64.to_be_bytes());
+}
+
+/// The proxy's controller→switch table shift, observed on the wire: exactly
+/// two bytes change — the flow-mod's table_id (body offset 16) and the
+/// `goto_table` operand — and the cookie bytes are untouched.
+#[test]
+fn rewrite_shifts_table_ids_on_the_wire() {
+    let fm = FlowMod {
+        cookie: 0xC0C0_C0C0_C0C0_C0C0,
+        table_id: 0,
+        priority: 7,
+        instructions: vec![Instruction::GotoTable(1)],
+        ..FlowMod::add()
+    };
+    let original = OfMessage::new(5, Message::FlowMod(fm)).encode();
+    let decoded = OfMessage::decode(&original).unwrap();
+    let Upstream::Forward(mut out) = rewrite_controller_to_switch(decoded, 8) else {
+        panic!("in-range table must forward");
+    };
+    assert_eq!(out.len(), 1);
+    let rewritten = out.pop().unwrap().encode();
+
+    const TABLE_ID: usize = 8 + 16; // header + cookie + cookie_mask
+    const GOTO_OPERAND: usize = 8 + 40 + 8 + 4; // header + fixed part + empty match + instr hdr
+    assert_eq!(
+        diff_offsets(&original, &rewritten),
+        vec![TABLE_ID, GOTO_OPERAND],
+        "shift must touch exactly the two table references"
+    );
+    assert_eq!(original[TABLE_ID], 0);
+    assert_eq!(rewritten[TABLE_ID], 1);
+    assert_eq!(original[GOTO_OPERAND], 1);
+    assert_eq!(rewritten[GOTO_OPERAND], 2);
+    assert_eq!(
+        &rewritten[8..24],
+        &original[8..24],
+        "cookie bytes untouched"
+    );
+}
+
+/// The switch→controller decrement on a packet-in, on the wire: table_id
+/// lives at body offset 7 (after buffer_id, total_len, reason) and is the
+/// only byte that changes.
+#[test]
+fn rewrite_decrements_packet_in_table_on_the_wire() {
+    let pi = PacketIn::table_miss(4, 2, vec![0xAA, 0xBB]);
+    let original = OfMessage::new(9, Message::PacketIn(pi)).encode();
+    let decoded = OfMessage::decode(&original).unwrap();
+    let rewritten = rewrite_switch_to_controller(decoded).unwrap().encode();
+
+    const TABLE_ID: usize = 8 + 4 + 2 + 1; // header + buffer_id + total_len + reason
+    assert_eq!(diff_offsets(&original, &rewritten), vec![TABLE_ID]);
+    assert_eq!(original[TABLE_ID], 2);
+    assert_eq!(rewritten[TABLE_ID], 1);
+}

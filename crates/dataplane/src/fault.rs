@@ -1,0 +1,186 @@
+//! Fault-injecting wrappers for control-channel [`ByteSink`]s.
+//!
+//! [`faulty_sink`] interposes a [`FaultPlan`] between a sender and any
+//! existing sink: each message is passed to the plan's [`FaultProcess`],
+//! which may drop it, deliver it twice, delay or hold it (reordering it
+//! past later messages via the event queue), or detectably corrupt it.
+//! Decisions come from the process's private seeded RNG and are scheduled
+//! on the deterministic clock, so a faulted scenario replays bit-for-bit
+//! from `(sim seed, fault plan)`.
+//!
+//! ```
+//! use dfi_dataplane::{faulty_sink, ByteSink};
+//! use dfi_simnet::{FaultPlan, Sim};
+//! use std::rc::Rc;
+//! use std::cell::RefCell;
+//!
+//! let mut sim = Sim::new(1);
+//! let received: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
+//! let log = received.clone();
+//! let inner: ByteSink = Rc::new(move |_, bytes| log.borrow_mut().push(bytes));
+//! let (sink, handle) = faulty_sink(FaultPlan::lossy(7, 1.0), inner);
+//! sink(&mut sim, vec![1, 2, 3]);
+//! sim.run();
+//! assert!(received.borrow().is_empty());
+//! assert_eq!(handle.stats().dropped, 1);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dfi_simnet::{FaultPlan, FaultProcess, FaultStats, Sim};
+
+use crate::switch::ByteSink;
+
+/// Shared view of one channel's injector: stats for assertions and the
+/// plan for repro lines.
+#[derive(Clone)]
+pub struct FaultHandle {
+    process: Rc<RefCell<FaultProcess>>,
+}
+
+impl FaultHandle {
+    /// What the injector has done so far on this channel.
+    pub fn stats(&self) -> FaultStats {
+        self.process.borrow().stats()
+    }
+
+    /// The plan driving this channel (its `Display` form is the repro
+    /// spec).
+    pub fn plan(&self) -> FaultPlan {
+        self.process.borrow().plan().clone()
+    }
+}
+
+/// Wraps `inner` with fault injection driven by `plan`.
+///
+/// Returns the wrapped sink plus a [`FaultHandle`] for observing what the
+/// injector did. Messages that survive are forwarded to `inner` after the
+/// decided extra delay (zero for a clean pass, in which case no event-queue
+/// round-trip is taken and ordering relative to unwrapped sends is
+/// unchanged).
+pub fn faulty_sink(plan: FaultPlan, inner: ByteSink) -> (ByteSink, FaultHandle) {
+    let process = Rc::new(RefCell::new(FaultProcess::new(plan)));
+    let handle = FaultHandle {
+        process: process.clone(),
+    };
+    let sink: ByteSink = Rc::new(move |sim: &mut Sim, bytes: Vec<u8>| {
+        let deliveries = process.borrow_mut().decide(sim.now());
+        for d in deliveries {
+            let mut payload = bytes.clone();
+            if d.corrupt {
+                process.borrow_mut().corrupt(&mut payload);
+            }
+            if d.delay.is_zero() {
+                inner(sim, payload);
+            } else {
+                let inner = inner.clone();
+                sim.schedule_in(d.delay, move |sim| inner(sim, payload));
+            }
+        }
+    });
+    (sink, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_simnet::SimTime;
+    use std::time::Duration;
+
+    type RxLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+
+    fn recording_sink() -> (ByteSink, RxLog) {
+        let log: RxLog = Rc::default();
+        let l = log.clone();
+        let sink: ByteSink = Rc::new(move |sim, bytes| l.borrow_mut().push((sim.now(), bytes)));
+        (sink, log)
+    }
+
+    #[test]
+    fn clean_plan_forwards_synchronously() {
+        let mut sim = Sim::new(1);
+        let (inner, log) = recording_sink();
+        let (sink, handle) = faulty_sink(FaultPlan::none(), inner);
+        sink(&mut sim, vec![0xAA]);
+        // No event round-trip needed: already delivered.
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(handle.stats().passed, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_two_copies() {
+        let mut sim = Sim::new(1);
+        let (inner, log) = recording_sink();
+        let plan = FaultPlan {
+            seed: 5,
+            duplicate: 1.0,
+            ..FaultPlan::none()
+        };
+        let (sink, handle) = faulty_sink(plan, inner);
+        sink(&mut sim, vec![1, 2, 3, 4]);
+        sim.run();
+        assert_eq!(log.borrow().len(), 2);
+        assert_eq!(log.borrow()[0].1, log.borrow()[1].1);
+        assert_eq!(handle.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_lets_later_messages_overtake() {
+        let mut sim = Sim::new(1);
+        let (inner, log) = recording_sink();
+        // Reorder exactly the first message: probability 1 would hold every
+        // message equally (no inversion), so hold the first then disable.
+        let plan = FaultPlan {
+            seed: 8,
+            reorder: 1.0,
+            reorder_hold: Duration::from_millis(5),
+            ..FaultPlan::none()
+        }
+        .with_window(SimTime::ZERO, SimTime::from_millis(1));
+        let (sink, _) = faulty_sink(plan, inner);
+        sink(&mut sim, vec![1]);
+        let s2 = sink.clone();
+        sim.schedule_in(Duration::from_millis(2), move |sim| s2(sim, vec![2]));
+        sim.run();
+        let order: Vec<u8> = log.borrow().iter().map(|(_, b)| b[0]).collect();
+        assert_eq!(order, vec![2, 1], "held message must arrive second");
+    }
+
+    #[test]
+    fn corrupted_copy_differs_from_original() {
+        let mut sim = Sim::new(1);
+        let (inner, log) = recording_sink();
+        let plan = FaultPlan {
+            seed: 3,
+            corrupt: 1.0,
+            ..FaultPlan::none()
+        };
+        let (sink, handle) = faulty_sink(plan, inner);
+        let frame = vec![0x04, 0x00, 0x00, 0x08, 0, 0, 0, 1];
+        sink(&mut sim, frame.clone());
+        sim.run();
+        assert_eq!(log.borrow().len(), 1);
+        assert_ne!(log.borrow()[0].1, frame);
+        assert_eq!(handle.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn same_seed_same_fault_timeline() {
+        let run = |sim_seed: u64| {
+            let mut sim = Sim::new(sim_seed);
+            let (inner, log) = recording_sink();
+            let (sink, handle) = faulty_sink(FaultPlan::chaos(42), inner);
+            for i in 0..200u64 {
+                let s = sink.clone();
+                sim.schedule_in(Duration::from_micros(i * 37), move |sim| {
+                    s(sim, vec![i as u8; 16])
+                });
+            }
+            sim.run();
+            let delivered = log.borrow().clone();
+            (delivered, handle.stats())
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

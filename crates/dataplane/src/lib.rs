@@ -29,10 +29,12 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod flow_table;
 mod network;
 mod switch;
 
+pub use fault::{faulty_sink, FaultHandle};
 pub use flow_table::{ExpiryKind, FlowEntry, FlowTable, TableFull};
 pub use network::{Network, Tx};
 pub use switch::{dfi_allow_rule, dfi_deny_rule, ByteSink, Switch, SwitchConfig, SwitchStats};

@@ -75,6 +75,15 @@ impl Action {
         let body = r.bytes(len - 4)?;
         match kind {
             OFPAT_OUTPUT => {
+                // ofp_action_output is a fixed 16-byte struct (OF1.3
+                // §7.2.5); any other length would drop or invent body
+                // bytes on re-encode.
+                if len != 16 {
+                    return Err(PacketError::BadField {
+                        field: "action.output.length",
+                        value: len as u64,
+                    });
+                }
                 let mut br = Reader::new(body);
                 let port = br.u32()?;
                 let max_len = br.u16()?;
@@ -173,5 +182,29 @@ mod tests {
     fn truncated_body_rejected() {
         let mut r = Reader::new(&[0, 0, 0, 16, 0, 0]);
         assert!(Action::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversize_output_rejected() {
+        // OUTPUT with length 24: trailing 8 body bytes would be silently
+        // dropped on re-encode. Regression for a bug where any length ≥ 10
+        // was accepted.
+        let mut bytes = vec![0, 0, 0, 24, 0, 0, 0, 7, 0xFF, 0xFF];
+        bytes.extend_from_slice(&[0; 14]);
+        let err = Action::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            PacketError::BadField {
+                field: "action.output.length",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn undersize_output_rejected() {
+        // OUTPUT with length 10 (no padding): spec mandates exactly 16.
+        let bytes = [0, 0, 0, 10, 0, 0, 0, 7, 0xFF, 0xFF];
+        assert!(Action::decode(&mut Reader::new(&bytes)).is_err());
     }
 }

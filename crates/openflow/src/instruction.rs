@@ -87,6 +87,15 @@ impl Instruction {
         }
         let body = r.bytes(len - 4)?;
         let mut br = Reader::new(body);
+        // GOTO_TABLE and CLEAR_ACTIONS are fixed 8-byte structs (OF1.3
+        // §7.2.4); a longer length would drop its tail on re-encode.
+        let fixed_eight = matches!(kind, OFPIT_GOTO_TABLE | OFPIT_CLEAR_ACTIONS);
+        if fixed_eight && len != 8 {
+            return Err(PacketError::BadField {
+                field: "instruction.length",
+                value: len as u64,
+            });
+        }
         match kind {
             OFPIT_GOTO_TABLE => {
                 let table_id = br.u8()?;
@@ -202,5 +211,27 @@ mod tests {
     fn short_length_rejected() {
         let mut r = Reader::new(&[0, 1, 0, 3]);
         assert!(Instruction::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversize_goto_table_rejected() {
+        // GOTO_TABLE with length 12: the 4 trailing body bytes would be
+        // dropped on re-encode. Regression for a bug where only the first
+        // body byte was read and the rest silently ignored.
+        let bytes = [0, 1, 0, 12, 5, 0, 0, 0, 0xAA, 0xBB, 0xCC, 0xDD];
+        let err = Instruction::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            PacketError::BadField {
+                field: "instruction.length",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn oversize_clear_actions_rejected() {
+        let bytes = [0, 5, 0, 16, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8];
+        assert!(Instruction::decode(&mut Reader::new(&bytes)).is_err());
     }
 }

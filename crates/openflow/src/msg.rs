@@ -410,6 +410,15 @@ impl OfMessage {
                 })
             }
         };
+        // Every decoder above either consumes its fixed layout or takes the
+        // rest as payload; leftover body bytes mean the header length lied
+        // about the fixed-layout size and re-encoding would drop them.
+        if body.remaining() > 0 {
+            return Err(PacketError::BadField {
+                field: "ofp_body.trailing",
+                value: body.remaining() as u64,
+            });
+        }
         Ok(OfMessage::new(xid, message))
     }
 
@@ -577,6 +586,58 @@ mod tests {
         let mut bytes = OfMessage::new(1, Message::Hello).encode();
         bytes[3] = 200;
         assert!(OfMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn length_below_header_size_rejected() {
+        // length = 7 lies below the fixed 8-byte header; slicing
+        // bytes[8..7] would panic.
+        let mut bytes = OfMessage::new(1, Message::Hello).encode();
+        bytes[3] = 7;
+        assert!(matches!(
+            OfMessage::decode(&bytes).unwrap_err(),
+            PacketError::BadField {
+                field: "ofp_header.length",
+                value: 7,
+            }
+        ));
+    }
+
+    #[test]
+    fn length_shorter_than_fixed_body_rejected() {
+        // A FeaturesReply whose header length cuts the fixed 24-byte body
+        // short must fail typed, not truncate.
+        let fr = FeaturesReply {
+            datapath_id: 0xD1,
+            n_buffers: 0,
+            n_tables: 8,
+            auxiliary_id: 0,
+            capabilities: 0,
+        };
+        let mut bytes = OfMessage::new(9, Message::FeaturesReply(fr)).encode();
+        bytes[3] = 16; // header + only 8 of the 24 body bytes
+        assert!(matches!(
+            OfMessage::decode(&bytes).unwrap_err(),
+            PacketError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_body_bytes_rejected() {
+        // A Hello whose header length claims 4 extra body bytes: re-encoding
+        // the decoded message would silently drop them, so decode must
+        // refuse. (Stream-level trailing bytes beyond the header length are
+        // still fine — see trailing_bytes_beyond_length_ignored.)
+        let mut bytes = OfMessage::new(1, Message::Hello).encode();
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        bytes[3] = 12;
+        assert!(matches!(
+            OfMessage::decode(&bytes).unwrap_err(),
+            PacketError::BadField {
+                field: "ofp_body.trailing",
+                value: 4,
+            }
+        ));
     }
 
     #[test]

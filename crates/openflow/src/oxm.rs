@@ -297,22 +297,53 @@ impl Match {
                     value: u64::from(field),
                 });
             }
+            // Known basic fields have exactly one legal payload length
+            // (OF1.3 §7.2.3.7); a TLV carrying extra payload bytes would be
+            // silently truncated on re-encode, so reject it outright.
+            let canonical = match field {
+                F_IP_PROTO => Some(1),
+                F_ETH_TYPE | F_VLAN_VID | F_TCP_SRC | F_TCP_DST | F_UDP_SRC | F_UDP_DST => Some(2),
+                F_IN_PORT | F_IPV4_SRC | F_IPV4_DST | F_ARP_SPA | F_ARP_TPA => Some(4),
+                F_ETH_DST | F_ETH_SRC => Some(6),
+                _ => None,
+            };
+            if let Some(expect) = canonical {
+                if len != expect {
+                    return Err(PacketError::BadField {
+                        field: "oxm.length",
+                        value: len as u64,
+                    });
+                }
+            }
+            // A repeated field would decode last-wins and re-encode as a
+            // single TLV — another silent-truncation hazard; reject.
+            macro_rules! set {
+                ($slot:expr, $val:expr) => {{
+                    if $slot.is_some() {
+                        return Err(PacketError::BadField {
+                            field: "oxm.duplicate",
+                            value: u64::from(field),
+                        });
+                    }
+                    $slot = Some($val);
+                }};
+            }
             let mut pr = Reader::new(payload);
             match field {
-                F_IN_PORT => m.in_port = Some(pr.u32()?),
-                F_ETH_DST => m.eth_dst = Some(MacAddr::new(pr.array::<6>()?)),
-                F_ETH_SRC => m.eth_src = Some(MacAddr::new(pr.array::<6>()?)),
-                F_ETH_TYPE => m.eth_type = Some(pr.u16()?),
-                F_VLAN_VID => m.vlan_vid = Some(pr.u16()? & 0x0FFF),
-                F_IP_PROTO => m.ip_proto = Some(pr.u8()?),
-                F_IPV4_SRC => m.ipv4_src = Some(Ipv4Addr::from(pr.array::<4>()?)),
-                F_IPV4_DST => m.ipv4_dst = Some(Ipv4Addr::from(pr.array::<4>()?)),
-                F_TCP_SRC => m.tcp_src = Some(pr.u16()?),
-                F_TCP_DST => m.tcp_dst = Some(pr.u16()?),
-                F_UDP_SRC => m.udp_src = Some(pr.u16()?),
-                F_UDP_DST => m.udp_dst = Some(pr.u16()?),
-                F_ARP_SPA => m.arp_spa = Some(Ipv4Addr::from(pr.array::<4>()?)),
-                F_ARP_TPA => m.arp_tpa = Some(Ipv4Addr::from(pr.array::<4>()?)),
+                F_IN_PORT => set!(m.in_port, pr.u32()?),
+                F_ETH_DST => set!(m.eth_dst, MacAddr::new(pr.array::<6>()?)),
+                F_ETH_SRC => set!(m.eth_src, MacAddr::new(pr.array::<6>()?)),
+                F_ETH_TYPE => set!(m.eth_type, pr.u16()?),
+                F_VLAN_VID => set!(m.vlan_vid, pr.u16()? & 0x0FFF),
+                F_IP_PROTO => set!(m.ip_proto, pr.u8()?),
+                F_IPV4_SRC => set!(m.ipv4_src, Ipv4Addr::from(pr.array::<4>()?)),
+                F_IPV4_DST => set!(m.ipv4_dst, Ipv4Addr::from(pr.array::<4>()?)),
+                F_TCP_SRC => set!(m.tcp_src, pr.u16()?),
+                F_TCP_DST => set!(m.tcp_dst, pr.u16()?),
+                F_UDP_SRC => set!(m.udp_src, pr.u16()?),
+                F_UDP_DST => set!(m.udp_dst, pr.u16()?),
+                F_ARP_SPA => set!(m.arp_spa, Ipv4Addr::from(pr.array::<4>()?)),
+                F_ARP_TPA => set!(m.arp_tpa, Ipv4Addr::from(pr.array::<4>()?)),
                 _ => {} // unknown basic field: ignore
             }
         }
@@ -487,6 +518,56 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
         assert_eq!(Match::decode(&mut r).unwrap(), Match::any());
+    }
+
+    #[test]
+    fn oversize_oxm_payload_rejected() {
+        // IN_PORT with length 8 instead of 4: the extra 4 payload bytes
+        // would vanish on re-encode (silent truncation). Regression for a
+        // bug where known fields accepted any declared length.
+        let mut w = Writer::new();
+        w.u16(1);
+        w.u16(4 + 12); // header + one lying 12-byte TLV
+        w.u16(OXM_CLASS_BASIC);
+        w.u8(F_IN_PORT << 1);
+        w.u8(8); // canonical length is 4
+        w.bytes(&[0, 0, 0, 1, 0xDE, 0xAD, 0xBE, 0xEF]);
+        let bytes = w.into_bytes();
+        let err = Match::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            PacketError::BadField {
+                field: "oxm.length",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_oxm_field_rejected() {
+        // Two ETH_TYPE TLVs: last-wins decoding re-encodes as one TLV,
+        // another silent-truncation hazard. Regression for a bug where
+        // duplicates were accepted.
+        let mut w = Writer::new();
+        w.u16(1);
+        w.u16(4 + 6 + 6);
+        for ty in [0x0800u16, 0x0806] {
+            w.u16(OXM_CLASS_BASIC);
+            w.u8(F_ETH_TYPE << 1);
+            w.u8(2);
+            w.u16(ty);
+        }
+        let len = w.len();
+        w.zeros((8 - len % 8) % 8);
+        let bytes = w.into_bytes();
+        let err = Match::decode(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            PacketError::BadField {
+                field: "oxm.duplicate",
+                ..
+            }
+        ));
     }
 
     #[test]

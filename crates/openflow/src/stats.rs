@@ -168,8 +168,23 @@ impl PortDescEntry {
         let hw_addr = r.array::<6>()?;
         r.skip(2)?;
         let raw = r.array::<16>()?;
-        let end = raw.iter().position(|&b| b == 0).unwrap_or(16);
-        let name = String::from_utf8_lossy(&raw[..end]).into_owned();
+        // The name field must be NUL-terminated (so at most 15 name bytes;
+        // the encoder can emit no more) and valid UTF-8: `from_utf8_lossy`
+        // here used to mangle garbage names into replacement characters
+        // that re-encode differently — a silent-corruption hazard.
+        let end = raw
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(PacketError::BadField {
+                field: "port.name",
+                value: u64::from(raw[15]),
+            })?;
+        let name = std::str::from_utf8(&raw[..end])
+            .map_err(|_| PacketError::BadField {
+                field: "port.name",
+                value: u64::from(raw[0]),
+            })?
+            .to_owned();
         r.skip(8 * 4)?;
         Ok(PortDescEntry {
             port_no,
@@ -535,6 +550,49 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn garbage_port_name_rejected() {
+        // A port entry whose 16-byte name field holds non-UTF-8 bytes used
+        // to decode via from_utf8_lossy into replacement characters that
+        // re-encode differently (silent corruption). Now a typed error.
+        let e = PortDescEntry {
+            port_no: 1,
+            hw_addr: [0; 6],
+            name: "eth0".into(),
+        };
+        let mut w = Writer::new();
+        MultipartReply::PortDesc(vec![e]).encode_body(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[8 + 16] = 0xFF; // first name byte: invalid UTF-8
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            MultipartReply::decode_body(&mut r).unwrap_err(),
+            PacketError::BadField {
+                field: "port.name",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unterminated_port_name_rejected() {
+        // All 16 name bytes non-NUL: the encoder can never produce this
+        // (it preserves at most 15 bytes), so decoding it would truncate.
+        let e = PortDescEntry {
+            port_no: 1,
+            hw_addr: [0; 6],
+            name: "eth0".into(),
+        };
+        let mut w = Writer::new();
+        MultipartReply::PortDesc(vec![e]).encode_body(&mut w);
+        let mut bytes = w.into_bytes();
+        for b in &mut bytes[8 + 16..8 + 32] {
+            *b = b'x';
+        }
+        let mut r = Reader::new(&bytes);
+        assert!(MultipartReply::decode_body(&mut r).is_err());
     }
 
     #[test]

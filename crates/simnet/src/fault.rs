@@ -1,0 +1,575 @@
+//! Deterministic fault injection for simulated channels.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong on a channel — message
+//! drops, duplicates, extra delay, reordering, detectable corruption, and
+//! hard outage windows (a disconnect/reconnect of the channel) — and a
+//! [`FaultProcess`] turns the plan into concrete per-message decisions
+//! using a dedicated [`SimRng`] stream. Everything is driven off the
+//! deterministic virtual clock, so a failing scenario reproduces exactly
+//! from `(seed, plan)` alone; the plan's [`Display`](fmt::Display) form is
+//! a compact spec string that [`FaultPlan::parse`] reads back, which is
+//! what makes one-line repro commands possible:
+//!
+//! ```text
+//! DFI_FAULT_SPEC='seed=7,drop=0.1,outage=10000us..50000us' cargo test …
+//! ```
+//!
+//! # Corruption is always detectable
+//!
+//! The corruption fault models bit-rot *under* a checksummed transport
+//! (OpenFlow runs over TCP, usually TLS): a corrupted control message is
+//! one the receiver can always *tell* is damaged. [`FaultProcess::corrupt`]
+//! therefore garbles random body bytes **and** deterministically breaks the
+//! OpenFlow header (version, type, or length) so any spec-conforming
+//! decoder rejects the frame with a typed error. An *undetectable* flip
+//! that turns one valid control message into a different valid one would
+//! model a transport-integrity break, which is outside DFI's threat model —
+//! with it, no fail-closed guarantee is possible at all.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// What can go wrong on one simulated channel.
+///
+/// Probabilities are per message, in `[0, 1]`. Faults only apply inside
+/// the optional activity [`window`](FaultPlan::window) (always, when
+/// `None`) and outside that, plus after the last outage, the channel is
+/// perfect again — scenarios "heal" and the differential oracle can check
+/// convergence after [`FaultPlan::quiescent_after`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the channel's private decision stream.
+    pub seed: u64,
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a message is detectably corrupted (see module docs).
+    pub corrupt: f64,
+    /// Probability a message gets extra delay drawn from
+    /// [`delay_min`](FaultPlan::delay_min)‥[`delay_max`](FaultPlan::delay_max).
+    pub delay: f64,
+    /// Lower bound of the extra-delay draw.
+    pub delay_min: Duration,
+    /// Upper bound of the extra-delay draw (exclusive; must be > `delay_min`
+    /// when `delay > 0`).
+    pub delay_max: Duration,
+    /// Probability a message is held back by
+    /// [`reorder_hold`](FaultPlan::reorder_hold), letting later messages
+    /// overtake it.
+    pub reorder: f64,
+    /// How long a reordered message is held.
+    pub reorder_hold: Duration,
+    /// Hard outage windows `[start, end)`: every message sent inside one is
+    /// lost, modeling a channel disconnect followed by a reconnect at `end`.
+    pub outages: Vec<(SimTime, SimTime)>,
+    /// Optional activity window `[start, end)` outside which the
+    /// probabilistic faults are inert (outages apply regardless — they are
+    /// scheduled absolutely).
+    pub window: Option<(SimTime, SimTime)>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: every message passes untouched.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            delay_min: Duration::ZERO,
+            delay_max: Duration::ZERO,
+            reorder: 0.0,
+            reorder_hold: Duration::ZERO,
+            outages: Vec::new(),
+            window: None,
+        }
+    }
+
+    /// A plan that only drops messages, with probability `p`.
+    pub fn lossy(seed: u64, p: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop: p,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// An aggressive kitchen-sink plan: drops, duplicates, corruption,
+    /// delay, and reordering all at once. Useful as the adversarial end of
+    /// a sweep.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop: 0.10,
+            duplicate: 0.05,
+            corrupt: 0.05,
+            delay: 0.20,
+            delay_min: Duration::from_micros(100),
+            delay_max: Duration::from_millis(5),
+            reorder: 0.10,
+            reorder_hold: Duration::from_millis(2),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Returns the plan with probabilistic faults confined to
+    /// `[start, end)`.
+    pub fn with_window(mut self, start: SimTime, end: SimTime) -> FaultPlan {
+        self.window = Some((start, end));
+        self
+    }
+
+    /// Returns the plan with an added hard outage over `[start, end)`.
+    pub fn with_outage(mut self, start: SimTime, end: SimTime) -> FaultPlan {
+        self.outages.push((start, end));
+        self
+    }
+
+    /// `true` when any fault can still fire at or after `now` — i.e. the
+    /// plan has not fully healed yet.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        let probabilistic = self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.delay > 0.0
+            || self.reorder > 0.0;
+        let in_window = match self.window {
+            None => probabilistic,
+            Some((start, end)) => probabilistic && now >= start && now < end,
+        };
+        in_window || self.outages.iter().any(|&(_, end)| now < end)
+    }
+
+    /// The first instant after which the channel is guaranteed perfect: the
+    /// end of the activity window and of every outage. Returns
+    /// [`SimTime::MAX`] for an unwindowed plan with probabilistic faults
+    /// (it never heals).
+    pub fn quiescent_after(&self) -> SimTime {
+        let probabilistic = self.drop > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.delay > 0.0
+            || self.reorder > 0.0;
+        let window_end = match (probabilistic, self.window) {
+            (false, _) => SimTime::ZERO,
+            (true, Some((_, end))) => end,
+            (true, None) => SimTime::MAX,
+        };
+        self.outages
+            .iter()
+            .map(|&(_, end)| end)
+            .fold(window_end, SimTime::max)
+    }
+
+    /// Parses a spec string as produced by the [`Display`](fmt::Display)
+    /// impl, e.g.
+    /// `seed=7,drop=0.1,delay=0.2:100us..2000us,outage=10000us..50000us`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        fn dur(s: &str) -> Result<Duration, String> {
+            let n = s
+                .strip_suffix("us")
+                .ok_or_else(|| format!("duration {s:?} must end in 'us'"))?;
+            n.parse::<u64>()
+                .map(Duration::from_micros)
+                .map_err(|e| format!("bad duration {s:?}: {e}"))
+        }
+        fn time(s: &str) -> Result<SimTime, String> {
+            dur(s).map(|d| SimTime::ZERO + d)
+        }
+        fn span(s: &str) -> Result<(SimTime, SimTime), String> {
+            let (a, b) = s
+                .split_once("..")
+                .ok_or_else(|| format!("span {s:?} must be start..end"))?;
+            Ok((time(a)?, time(b)?))
+        }
+        fn prob(s: &str) -> Result<f64, String> {
+            s.parse::<f64>()
+                .map_err(|e| format!("bad probability {s:?}: {e}"))
+        }
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("token {part:?} is not key=value"))?;
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|e| format!("bad seed {value:?}: {e}"))?
+                }
+                "drop" => plan.drop = prob(value)?,
+                "dup" => plan.duplicate = prob(value)?,
+                "corrupt" => plan.corrupt = prob(value)?,
+                "delay" => {
+                    let (p, range) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("delay {value:?} must be p:min..max"))?;
+                    let (lo, hi) = range
+                        .split_once("..")
+                        .ok_or_else(|| format!("delay range {range:?} must be min..max"))?;
+                    plan.delay = prob(p)?;
+                    plan.delay_min = dur(lo)?;
+                    plan.delay_max = dur(hi)?;
+                }
+                "reorder" => {
+                    let (p, hold) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("reorder {value:?} must be p:hold"))?;
+                    plan.reorder = prob(p)?;
+                    plan.reorder_hold = dur(hold)?;
+                }
+                "outage" => {
+                    let (start, end) = span(value)?;
+                    plan.outages.push((start, end));
+                }
+                "window" => plan.window = Some(span(value)?),
+                other => return Err(format!("unknown fault key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn us(d: Duration) -> u128 {
+            d.as_micros()
+        }
+        write!(f, "seed={}", self.seed)?;
+        if self.drop > 0.0 {
+            write!(f, ",drop={}", self.drop)?;
+        }
+        if self.duplicate > 0.0 {
+            write!(f, ",dup={}", self.duplicate)?;
+        }
+        if self.corrupt > 0.0 {
+            write!(f, ",corrupt={}", self.corrupt)?;
+        }
+        if self.delay > 0.0 {
+            write!(
+                f,
+                ",delay={}:{}us..{}us",
+                self.delay,
+                us(self.delay_min),
+                us(self.delay_max)
+            )?;
+        }
+        if self.reorder > 0.0 {
+            write!(f, ",reorder={}:{}us", self.reorder, us(self.reorder_hold))?;
+        }
+        for (start, end) in &self.outages {
+            write!(f, ",outage={}us..{}us", start.as_micros(), end.as_micros())?;
+        }
+        if let Some((start, end)) = self.window {
+            write!(f, ",window={}us..{}us", start.as_micros(), end.as_micros())?;
+        }
+        Ok(())
+    }
+}
+
+/// How one copy of a message should be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Extra delay on top of the channel's nominal latency.
+    pub delay: Duration,
+    /// Whether the bytes must be passed through [`FaultProcess::corrupt`]
+    /// before delivery.
+    pub corrupt: bool,
+}
+
+/// Counters for what the injector actually did, for assertions and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages delivered exactly once, untouched and undelayed.
+    pub passed: u64,
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Extra copies delivered.
+    pub duplicated: u64,
+    /// Messages delivered with garbled bytes.
+    pub corrupted: u64,
+    /// Messages given extra delay.
+    pub delayed: u64,
+    /// Messages held back so later ones could overtake.
+    pub reordered: u64,
+    /// Messages lost to an outage window.
+    pub outaged: u64,
+}
+
+impl FaultStats {
+    /// Total faults of any kind (everything except clean passes).
+    pub fn total_faults(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.corrupted
+            + self.delayed
+            + self.reordered
+            + self.outaged
+    }
+}
+
+/// The stateful decision process for one channel: a [`FaultPlan`] plus its
+/// private RNG stream and counters.
+#[derive(Clone, Debug)]
+pub struct FaultProcess {
+    plan: FaultPlan,
+    rng: SimRng,
+    stats: FaultStats,
+}
+
+impl FaultProcess {
+    /// Creates the process; the RNG is seeded from the plan alone.
+    pub fn new(plan: FaultPlan) -> FaultProcess {
+        let rng = SimRng::new(plan.seed);
+        FaultProcess {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The plan this process executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What the injector has done so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decides the fate of one message sent at `now`: zero deliveries
+    /// (dropped or in an outage), one, or two (duplicated), each with its
+    /// own extra delay and corruption flag.
+    pub fn decide(&mut self, now: SimTime) -> Vec<Delivery> {
+        if self.plan.outages.iter().any(|&(s, e)| now >= s && now < e) {
+            self.stats.outaged += 1;
+            return Vec::new();
+        }
+        let active = match self.plan.window {
+            None => true,
+            Some((start, end)) => now >= start && now < end,
+        };
+        if !active {
+            self.stats.passed += 1;
+            return vec![Delivery {
+                delay: Duration::ZERO,
+                corrupt: false,
+            }];
+        }
+        if self.rng.chance(self.plan.drop) {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let mut delay = Duration::ZERO;
+        if self.plan.delay > 0.0 && self.rng.chance(self.plan.delay) {
+            // A degenerate range (min == max) is a fixed, deterministic
+            // extra delay — useful for reproducible race construction.
+            delay += if self.plan.delay_min == self.plan.delay_max {
+                self.plan.delay_min
+            } else {
+                self.rng
+                    .duration_range(self.plan.delay_min, self.plan.delay_max)
+            };
+            self.stats.delayed += 1;
+        }
+        if self.plan.reorder > 0.0 && self.rng.chance(self.plan.reorder) {
+            delay += self.plan.reorder_hold;
+            self.stats.reordered += 1;
+        }
+        let corrupt = self.plan.corrupt > 0.0 && self.rng.chance(self.plan.corrupt);
+        if corrupt {
+            self.stats.corrupted += 1;
+        }
+        let mut out = vec![Delivery { delay, corrupt }];
+        if self.plan.duplicate > 0.0 && self.rng.chance(self.plan.duplicate) {
+            self.stats.duplicated += 1;
+            out.push(Delivery {
+                delay: delay
+                    + self
+                        .rng
+                        .duration_range(Duration::from_micros(1), Duration::from_micros(50)),
+                corrupt,
+            });
+        }
+        if out.len() == 1 && delay.is_zero() && !corrupt {
+            self.stats.passed += 1;
+        }
+        out
+    }
+
+    /// Detectably garbles a control frame (see the module docs for why
+    /// corruption is always detectable): breaks the 8-byte OpenFlow header
+    /// — version, type, or length — and additionally flips a few random
+    /// body bytes.
+    pub fn corrupt(&mut self, bytes: &mut [u8]) {
+        if bytes.len() < 4 {
+            // Too short to be a frame at all; any content is equally broken.
+            for b in bytes.iter_mut() {
+                *b = self.rng.next_u32() as u8;
+            }
+            return;
+        }
+        let flips = 1 + self.rng.index(4);
+        for _ in 0..flips {
+            let at = self.rng.index(bytes.len());
+            bytes[at] ^= (1 + self.rng.index(255)) as u8;
+        }
+        // Break the header *after* the random flips so no flip can restore
+        // a well-formed frame.
+        match self.rng.index(3) {
+            0 => bytes[0] = 0xFF, // impossible version
+            1 => bytes[1] = 0xEE, // unknown message type
+            _ => {
+                // Length below the fixed header: rejected by any framer.
+                bytes[2] = 0;
+                bytes[3] = self.rng.index(8) as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_passes_everything_untouched() {
+        let mut p = FaultProcess::new(FaultPlan::none());
+        for i in 0..100 {
+            let d = p.decide(SimTime::from_millis(i));
+            assert_eq!(
+                d,
+                vec![Delivery {
+                    delay: Duration::ZERO,
+                    corrupt: false
+                }]
+            );
+        }
+        assert_eq!(p.stats().passed, 100);
+        assert_eq!(p.stats().total_faults(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let plan = FaultPlan::chaos(42);
+        let mut a = FaultProcess::new(plan.clone());
+        let mut b = FaultProcess::new(plan);
+        for i in 0..1000 {
+            let now = SimTime::from_micros(i * 137);
+            assert_eq!(a.decide(now), b.decide(now));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn drop_rate_is_plausible() {
+        let mut p = FaultProcess::new(FaultPlan::lossy(7, 0.2));
+        let n: usize = 10_000;
+        let delivered: usize = (0..n)
+            .map(|i| p.decide(SimTime::from_micros(i as u64)).len())
+            .sum();
+        let rate = 1.0 - delivered as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed drop rate {rate}");
+        assert_eq!(p.stats().dropped as usize, n - delivered);
+    }
+
+    #[test]
+    fn outage_swallows_messages_inside_the_window() {
+        let plan =
+            FaultPlan::none().with_outage(SimTime::from_millis(10), SimTime::from_millis(20));
+        let mut p = FaultProcess::new(plan.clone());
+        assert_eq!(p.decide(SimTime::from_millis(5)).len(), 1);
+        assert_eq!(p.decide(SimTime::from_millis(10)).len(), 0);
+        assert_eq!(p.decide(SimTime::from_millis(19)).len(), 0);
+        assert_eq!(p.decide(SimTime::from_millis(20)).len(), 1);
+        assert_eq!(p.stats().outaged, 2);
+        assert!(plan.active_at(SimTime::from_millis(19)));
+        assert!(!plan.active_at(SimTime::from_millis(20)));
+        assert_eq!(plan.quiescent_after(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn window_confines_probabilistic_faults() {
+        let plan = FaultPlan::lossy(3, 1.0)
+            .with_window(SimTime::from_millis(10), SimTime::from_millis(20));
+        let mut p = FaultProcess::new(plan.clone());
+        assert_eq!(p.decide(SimTime::from_millis(0)).len(), 1, "before window");
+        assert_eq!(p.decide(SimTime::from_millis(15)).len(), 0, "inside window");
+        assert_eq!(p.decide(SimTime::from_millis(25)).len(), 1, "after window");
+        assert_eq!(plan.quiescent_after(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn unwindowed_probabilistic_plan_never_heals() {
+        assert_eq!(FaultPlan::lossy(1, 0.1).quiescent_after(), SimTime::MAX);
+        assert_eq!(FaultPlan::none().quiescent_after(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn duplicates_share_the_corruption_decision() {
+        let plan = FaultPlan {
+            seed: 11,
+            duplicate: 1.0,
+            corrupt: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut p = FaultProcess::new(plan);
+        let d = p.decide(SimTime::ZERO);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.corrupt));
+        assert!(d[1].delay > d[0].delay, "copy arrives after the original");
+    }
+
+    #[test]
+    fn corrupt_always_breaks_the_header() {
+        let mut p = FaultProcess::new(FaultPlan::chaos(9));
+        for _ in 0..500 {
+            let mut frame = vec![0x04, 0x00, 0x00, 0x10, 0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8];
+            p.corrupt(&mut frame);
+            let version_broken = frame[0] != 0x04;
+            let type_broken = frame[1] == 0xEE;
+            let length = u16::from_be_bytes([frame[2], frame[3]]);
+            let length_broken = length < 8 || usize::from(length) > frame.len();
+            assert!(
+                version_broken || type_broken || length_broken,
+                "corruption left a potentially valid header: {frame:02x?}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_display_and_parse() {
+        let plans = [
+            FaultPlan::none(),
+            FaultPlan::lossy(7, 0.05),
+            FaultPlan::chaos(99),
+            FaultPlan::chaos(3)
+                .with_window(SimTime::from_millis(1), SimTime::from_millis(250))
+                .with_outage(SimTime::from_millis(50), SimTime::from_millis(80))
+                .with_outage(SimTime::from_millis(100), SimTime::from_millis(120)),
+        ];
+        for plan in plans {
+            let spec = plan.to_string();
+            let back = FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("parse {spec:?}: {e}"));
+            assert_eq!(back, plan, "spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("delay=0.5").is_err());
+        assert!(FaultPlan::parse("outage=10us").is_err());
+        assert!(
+            FaultPlan::parse("outage=10ms..20ms").is_err(),
+            "only 'us' units"
+        );
+    }
+}

@@ -13,7 +13,10 @@
 //!   component costs to the paper's Tables I and II,
 //! * queueing stations ([`Station`]) — bounded-queue worker pools that model
 //!   the Policy Compilation Point worker pool and the MySQL-backed binding
-//!   and policy stores, and
+//!   and policy stores,
+//! * deterministic channel fault injection ([`FaultPlan`] /
+//!   [`FaultProcess`]): drops, duplicates, reordering, delay, detectable
+//!   corruption, and outage windows, reproducible from `(seed, plan)`, and
 //! * measurement helpers ([`Summary`], [`Counter`], [`TimeSeries`]).
 //!
 //! # Example
@@ -38,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod dist;
+mod fault;
 mod metrics;
 mod rng;
 mod sim;
@@ -45,6 +49,7 @@ mod station;
 mod time;
 
 pub use dist::Dist;
+pub use fault::{Delivery, FaultPlan, FaultProcess, FaultStats};
 pub use metrics::{Counter, Summary, TimeSeries};
 pub use rng::SimRng;
 pub use sim::{EventId, Sim};

@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Repo-wide gate: formatting, lints, tests, and bench compilation.
 # Everything runs offline against the vendored dev-dependency stubs.
+#
+# Usage:
+#   scripts/check.sh          full gate: fmt, clippy, workspace tests with a
+#                             per-crate breakdown, deep codec fuzz
+#                             (FUZZ_ITERS, default 50000), bench compile
+#   scripts/check.sh --fast   pre-commit tier: fmt, clippy, workspace tests
+#                             with the fuzz suites dialed down to 500 cases
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -10,10 +22,31 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test =="
-cargo test -q --workspace
+echo "== cargo test (workspace) =="
+if [[ "$FAST" == 1 ]]; then
+  # Keep the property/fuzz suites present but shallow so the tier stays
+  # interactive; the full gate (and nightly FUZZ_ITERS overrides) go deep.
+  FUZZ_ITERS=500 cargo test -q --workspace
+else
+  cargo test -q --workspace
+fi
 
-echo "== cargo bench --no-run =="
-cargo bench -q --workspace --no-run
+echo "== per-crate test counts =="
+for manifest in crates/*/Cargo.toml; do
+  pkg=$(sed -n 's/^name = "\(.*\)"/\1/p' "$manifest" | head -1)
+  passed=$(FUZZ_ITERS=500 cargo test -q -p "$pkg" 2>/dev/null \
+    | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' \
+    | awk '{s+=$1} END {print s+0}')
+  printf '  %-16s %s tests\n' "$pkg" "$passed"
+done
+
+if [[ "$FAST" == 0 ]]; then
+  echo "== codec conformance, deep (FUZZ_ITERS=${FUZZ_ITERS:-50000}) =="
+  FUZZ_ITERS="${FUZZ_ITERS:-50000}" \
+    cargo test -q -p dfi-openflow --test conformance
+
+  echo "== cargo bench --no-run =="
+  cargo bench -q --workspace --no-run
+fi
 
 echo "All checks passed."

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conformance-38ff6c8558fa7e16.d: crates/openflow/tests/conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconformance-38ff6c8558fa7e16.rmeta: crates/openflow/tests/conformance.rs Cargo.toml
+
+crates/openflow/tests/conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conformance-7ddc42e47b1c80d1.d: crates/openflow/tests/conformance.rs
+
+/root/repo/target/debug/deps/conformance-7ddc42e47b1c80d1: crates/openflow/tests/conformance.rs
+
+crates/openflow/tests/conformance.rs:

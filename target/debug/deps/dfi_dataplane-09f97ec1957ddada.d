@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dfi_dataplane-09f97ec1957ddada.d: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/debug/deps/dfi_dataplane-09f97ec1957ddada.d: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
-/root/repo/target/debug/deps/dfi_dataplane-09f97ec1957ddada: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/debug/deps/dfi_dataplane-09f97ec1957ddada: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
 crates/dataplane/src/lib.rs:
+crates/dataplane/src/fault.rs:
 crates/dataplane/src/flow_table.rs:
 crates/dataplane/src/network.rs:
 crates/dataplane/src/switch.rs:

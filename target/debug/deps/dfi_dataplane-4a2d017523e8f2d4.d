@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dfi_dataplane-4a2d017523e8f2d4.d: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/debug/deps/dfi_dataplane-4a2d017523e8f2d4.d: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
-/root/repo/target/debug/deps/libdfi_dataplane-4a2d017523e8f2d4.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/debug/deps/libdfi_dataplane-4a2d017523e8f2d4.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
-/root/repo/target/debug/deps/libdfi_dataplane-4a2d017523e8f2d4.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/debug/deps/libdfi_dataplane-4a2d017523e8f2d4.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
 crates/dataplane/src/lib.rs:
+crates/dataplane/src/fault.rs:
 crates/dataplane/src/flow_table.rs:
 crates/dataplane/src/network.rs:
 crates/dataplane/src/switch.rs:

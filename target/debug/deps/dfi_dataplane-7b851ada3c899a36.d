@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dfi_dataplane-7b851ada3c899a36.d: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs Cargo.toml
+/root/repo/target/debug/deps/dfi_dataplane-7b851ada3c899a36.d: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdfi_dataplane-7b851ada3c899a36.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs Cargo.toml
+/root/repo/target/debug/deps/libdfi_dataplane-7b851ada3c899a36.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs Cargo.toml
 
 crates/dataplane/src/lib.rs:
+crates/dataplane/src/fault.rs:
 crates/dataplane/src/flow_table.rs:
 crates/dataplane/src/network.rs:
 crates/dataplane/src/switch.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dfi_openflow-380661c748fefbf2.d: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+/root/repo/target/debug/deps/dfi_openflow-380661c748fefbf2: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs
+
+crates/openflow/src/lib.rs:
+crates/openflow/src/action.rs:
+crates/openflow/src/flow.rs:
+crates/openflow/src/instruction.rs:
+crates/openflow/src/msg.rs:
+crates/openflow/src/oxm.rs:
+crates/openflow/src/stats.rs:

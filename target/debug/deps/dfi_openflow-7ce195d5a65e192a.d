@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dfi_openflow-7ce195d5a65e192a.d: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdfi_openflow-7ce195d5a65e192a.rmeta: crates/openflow/src/lib.rs crates/openflow/src/action.rs crates/openflow/src/flow.rs crates/openflow/src/instruction.rs crates/openflow/src/msg.rs crates/openflow/src/oxm.rs crates/openflow/src/stats.rs Cargo.toml
+
+crates/openflow/src/lib.rs:
+crates/openflow/src/action.rs:
+crates/openflow/src/flow.rs:
+crates/openflow/src/instruction.rs:
+crates/openflow/src/msg.rs:
+crates/openflow/src/oxm.rs:
+crates/openflow/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

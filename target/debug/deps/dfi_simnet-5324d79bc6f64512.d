@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/dfi_simnet-5324d79bc6f64512.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/debug/deps/dfi_simnet-5324d79bc6f64512.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
-/root/repo/target/debug/deps/libdfi_simnet-5324d79bc6f64512.rlib: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/debug/deps/libdfi_simnet-5324d79bc6f64512.rlib: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
-/root/repo/target/debug/deps/libdfi_simnet-5324d79bc6f64512.rmeta: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/debug/deps/libdfi_simnet-5324d79bc6f64512.rmeta: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/dist.rs:
+crates/simnet/src/fault.rs:
 crates/simnet/src/metrics.rs:
 crates/simnet/src/rng.rs:
 crates/simnet/src/sim.rs:

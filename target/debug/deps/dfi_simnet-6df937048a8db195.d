@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dfi_simnet-6df937048a8db195.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/debug/deps/dfi_simnet-6df937048a8db195.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
-/root/repo/target/debug/deps/dfi_simnet-6df937048a8db195: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/debug/deps/dfi_simnet-6df937048a8db195: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/dist.rs:
+crates/simnet/src/fault.rs:
 crates/simnet/src/metrics.rs:
 crates/simnet/src/rng.rs:
 crates/simnet/src/sim.rs:

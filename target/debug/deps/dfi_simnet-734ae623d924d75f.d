@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/dfi_simnet-734ae623d924d75f.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/dfi_simnet-734ae623d924d75f.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdfi_simnet-734ae623d924d75f.rmeta: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libdfi_simnet-734ae623d924d75f.rmeta: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs Cargo.toml
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/dist.rs:
+crates/simnet/src/fault.rs:
 crates/simnet/src/metrics.rs:
 crates/simnet/src/rng.rs:
 crates/simnet/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_oracle-3414aa67e46b47b5.d: tests/differential_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_oracle-3414aa67e46b47b5.rmeta: tests/differential_oracle.rs Cargo.toml
+
+tests/differential_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

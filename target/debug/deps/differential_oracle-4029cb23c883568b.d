@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_oracle-4029cb23c883568b.d: tests/differential_oracle.rs
+
+/root/repo/target/debug/deps/differential_oracle-4029cb23c883568b: tests/differential_oracle.rs
+
+tests/differential_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-c3ec4a7ee44a6977.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-c3ec4a7ee44a6977: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-290f9c3b3ca88d00.d: tests/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-290f9c3b3ca88d00: tests/fault_sweep.rs
+
+tests/fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_wire-4958de6af665a9da.d: crates/core/tests/golden_wire.rs
+
+/root/repo/target/debug/deps/golden_wire-4958de6af665a9da: crates/core/tests/golden_wire.rs
+
+crates/core/tests/golden_wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_wire-bc629d12554b69a9.d: crates/core/tests/golden_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_wire-bc629d12554b69a9.rmeta: crates/core/tests/golden_wire.rs Cargo.toml
+
+crates/core/tests/golden_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_codec-efe41b6755b902da.d: crates/openflow/tests/proptest_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_codec-efe41b6755b902da.rmeta: crates/openflow/tests/proptest_codec.rs Cargo.toml
+
+crates/openflow/tests/proptest_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_codec-fdbfe9c83be6a986.d: crates/openflow/tests/proptest_codec.rs
+
+/root/repo/target/debug/deps/proptest_codec-fdbfe9c83be6a986: crates/openflow/tests/proptest_codec.rs
+
+crates/openflow/tests/proptest_codec.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/dfi_dataplane-6b93d1069832fda8.d: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/release/deps/dfi_dataplane-6b93d1069832fda8.d: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
-/root/repo/target/release/deps/libdfi_dataplane-6b93d1069832fda8.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/release/deps/libdfi_dataplane-6b93d1069832fda8.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
-/root/repo/target/release/deps/libdfi_dataplane-6b93d1069832fda8.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/release/deps/libdfi_dataplane-6b93d1069832fda8.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
 crates/dataplane/src/lib.rs:
+crates/dataplane/src/fault.rs:
 crates/dataplane/src/flow_table.rs:
 crates/dataplane/src/network.rs:
 crates/dataplane/src/switch.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/release/deps/dfi_dataplane-cd8828d68513d017.d: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/release/deps/dfi_dataplane-cd8828d68513d017.d: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
-/root/repo/target/release/deps/dfi_dataplane-cd8828d68513d017: crates/dataplane/src/lib.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
+/root/repo/target/release/deps/dfi_dataplane-cd8828d68513d017: crates/dataplane/src/lib.rs crates/dataplane/src/fault.rs crates/dataplane/src/flow_table.rs crates/dataplane/src/network.rs crates/dataplane/src/switch.rs
 
 crates/dataplane/src/lib.rs:
+crates/dataplane/src/fault.rs:
 crates/dataplane/src/flow_table.rs:
 crates/dataplane/src/network.rs:
 crates/dataplane/src/switch.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/dfi_simnet-1a26440fea2157b4.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/release/deps/dfi_simnet-1a26440fea2157b4.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
-/root/repo/target/release/deps/libdfi_simnet-1a26440fea2157b4.rlib: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/release/deps/libdfi_simnet-1a26440fea2157b4.rlib: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
-/root/repo/target/release/deps/libdfi_simnet-1a26440fea2157b4.rmeta: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/release/deps/libdfi_simnet-1a26440fea2157b4.rmeta: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/dist.rs:
+crates/simnet/src/fault.rs:
 crates/simnet/src/metrics.rs:
 crates/simnet/src/rng.rs:
 crates/simnet/src/sim.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/dfi_simnet-95822ab3035d939e.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/release/deps/dfi_simnet-95822ab3035d939e.d: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
-/root/repo/target/release/deps/dfi_simnet-95822ab3035d939e: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
+/root/repo/target/release/deps/dfi_simnet-95822ab3035d939e: crates/simnet/src/lib.rs crates/simnet/src/dist.rs crates/simnet/src/fault.rs crates/simnet/src/metrics.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/station.rs crates/simnet/src/time.rs
 
 crates/simnet/src/lib.rs:
 crates/simnet/src/dist.rs:
+crates/simnet/src/fault.rs:
 crates/simnet/src/metrics.rs:
 crates/simnet/src/rng.rs:
 crates/simnet/src/sim.rs:

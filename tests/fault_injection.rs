@@ -1,0 +1,349 @@
+//! Fault-injection integration tests: lossy, delayed, duplicated, and
+//! outaged control channels between a real switch and the DFI proxy.
+//!
+//! Every scenario is reproducible from `(sim seed, fault plan)`; the fault
+//! plans' `Display` form is the repro spec. The invariants exercised here
+//! are the two halves of the fail-closed argument:
+//!
+//! * **Safety** — no fault interleaving lets policy-forbidden traffic
+//!   through: a lost install leaves flows punting (re-denied) or dropping
+//!   at the table-miss default.
+//! * **Liveness** — DFI's tracked installs (flow-mod + barrier under one
+//!   xid, bounded doubling-backoff resend) restore the intended Table-0
+//!   state once the channel heals.
+
+use dfi_repro::controller::Controller;
+use dfi_repro::core::events::{wire_dns_sensor, wire_siem_sensor};
+use dfi_repro::core::pdp::{AtRbacPdp, BaselinePdp};
+use dfi_repro::core::policy::{RbacRoles, DEFAULT_DENY_ID};
+use dfi_repro::core::Dfi;
+use dfi_repro::dataplane::{faulty_sink, FaultHandle, Network, Switch, SwitchConfig, Tx};
+use dfi_repro::packet::headers::build;
+use dfi_repro::packet::MacAddr;
+use dfi_repro::services::{DnsServer, Siem};
+use dfi_repro::simnet::{FaultPlan, Sim, SimTime};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+type RxLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+
+const LAT: Duration = Duration::from_micros(50);
+
+fn mac(i: u32) -> MacAddr {
+    MacAddr::from_index(i)
+}
+
+fn h1_ip() -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 1, 1)
+}
+
+fn h2_ip() -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 2, 1)
+}
+
+fn syn(sport: u16) -> Vec<u8> {
+    build::tcp_syn(mac(1), mac(2), h1_ip(), h2_ip(), sport, 80)
+}
+
+/// One switch, two hosts, DFI interposed with fault injectors on both
+/// directions of the switch↔DFI control channel (`up` = switch→DFI,
+/// `down` = DFI→switch).
+struct Rig {
+    sim: Sim,
+    dfi: Dfi,
+    sw: Switch,
+    tx: Tx,
+    rx: RxLog,
+    up: FaultHandle,
+    down: FaultHandle,
+}
+
+fn rig(seed: u64, up_plan: FaultPlan, down_plan: FaultPlan, with_controller: bool) -> Rig {
+    let mut sim = Sim::new(seed);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(0xA));
+    let rx = Rc::new(RefCell::new(Vec::new()));
+    let log = rx.clone();
+    let tx = net.attach_host(&sw, 1, LAT, Rc::new(|_, _| {}));
+    let _rx_tx = net.attach_host(
+        &sw,
+        2,
+        LAT,
+        Rc::new(move |sim: &mut Sim, frame| log.borrow_mut().push((sim.now(), frame))),
+    );
+    let dfi = Dfi::with_defaults();
+    let (to_switch, down) = faulty_sink(down_plan, sw.control_ingress());
+    let conn = dfi.attach_switch_channel(to_switch, sw.dpid());
+    let (to_dfi, up) = faulty_sink(up_plan, dfi.from_switch_sink(conn));
+    sw.connect_control(&mut sim, to_dfi);
+    if with_controller {
+        let ctrl = Controller::reactive();
+        let to_controller = ctrl.connect(&mut sim, dfi.from_controller_sink(conn));
+        dfi.set_controller_sink(conn, to_controller);
+    }
+    sim.run();
+    Rig {
+        sim,
+        dfi,
+        sw,
+        tx,
+        rx,
+        up,
+        down,
+    }
+}
+
+fn repro(seed: u64, up: &FaultPlan, down: &FaultPlan) -> String {
+    format!("repro: seed={seed} up='{up}' down='{down}'")
+}
+
+#[test]
+fn same_seed_same_faulted_timeline() {
+    // The whole faulted scenario — fault decisions, retries, decisions,
+    // deliveries — replays bit-for-bit from (sim seed, fault plans).
+    fn run(seed: u64) -> (u64, u64, u64, u64, u64, usize, SimTime, u64) {
+        let up = FaultPlan::chaos(21).with_window(SimTime::ZERO, SimTime::from_millis(60));
+        let down = FaultPlan::chaos(22).with_window(SimTime::ZERO, SimTime::from_millis(60));
+        let mut r = rig(seed, up, down, true);
+        let mut baseline = BaselinePdp::new();
+        baseline.activate(&mut r.sim, &r.dfi);
+        for i in 0..30u16 {
+            let t = r.tx.clone();
+            r.sim
+                .schedule_in(Duration::from_millis(2 * u64::from(i)), move |sim| {
+                    t.send(sim, syn(50_000 + i))
+                });
+        }
+        r.sim.run();
+        let m = r.dfi.metrics();
+        assert!(r.up.stats().total_faults() + r.down.stats().total_faults() > 0);
+        let delivered = r.rx.borrow().len();
+        (
+            m.packet_ins,
+            m.allowed,
+            m.denied,
+            m.install_retries,
+            m.install_failures,
+            delivered,
+            r.sim.now(),
+            r.sim.events_executed(),
+        )
+    }
+    assert_eq!(run(7), run(7), "faulted run must be deterministic");
+}
+
+#[test]
+fn dropped_installs_are_retried_until_acknowledged() {
+    // Every DFI→switch message vanishes for the first 10 ms: the install
+    // (and the barrier that would acknowledge it) is lost. The tracked
+    // resend lands once the window closes.
+    let up = FaultPlan::none();
+    let down = FaultPlan::lossy(5, 1.0).with_window(SimTime::ZERO, SimTime::from_millis(10));
+    let line = repro(40, &up, &down);
+    let mut r = rig(40, up, down, true);
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut r.sim, &r.dfi);
+    r.sim.run();
+    r.tx.send(&mut r.sim, syn(50_000));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.allowed, 1, "{line}");
+    assert!(
+        m.install_retries >= 1,
+        "lost install must be resent: {line}"
+    );
+    assert_eq!(m.install_failures, 0, "{line}");
+    assert!(r.down.stats().dropped >= 1, "{line}");
+    assert_eq!(
+        r.sw.table_len(0),
+        1,
+        "allow rule installed after heal: {line}"
+    );
+    // The healed channel now carries traffic end to end: the rule matches,
+    // the flow chains to the controller's tables, and delivery works.
+    r.tx.send(&mut r.sim, syn(50_000));
+    r.sim.run();
+    assert!(
+        !r.rx.borrow().is_empty(),
+        "post-heal delivery must work: {line}"
+    );
+}
+
+#[test]
+fn outage_exhausts_retries_but_fails_closed_and_heals() {
+    // A 40 ms outage swallows the install and its entire retry budget
+    // (4 doubling-backoff resends span ~30 ms). The flow stays undelivered
+    // — fail closed — and the next packet after the outage re-punts,
+    // re-decides, and installs cleanly.
+    let up = FaultPlan::none();
+    let down = FaultPlan::none().with_outage(SimTime::ZERO, SimTime::from_millis(40));
+    let line = repro(41, &up, &down);
+    let mut r = rig(41, up, down, true);
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut r.sim, &r.dfi);
+    r.sim.run();
+    r.tx.send(&mut r.sim, syn(50_000));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.allowed, 1, "{line}");
+    assert!(
+        m.install_failures >= 1,
+        "retry budget must exhaust inside the outage: {line}"
+    );
+    assert_eq!(
+        r.sw.table_len(0),
+        0,
+        "no rule can cross an outaged channel: {line}"
+    );
+    assert!(
+        r.rx.borrow().is_empty(),
+        "no delivery during the outage — fail closed: {line}"
+    );
+    // Heal: the same flow punts again and everything proceeds normally.
+    r.tx.send(&mut r.sim, syn(50_000));
+    r.sim.run();
+    assert_eq!(r.sw.table_len(0), 1, "post-outage install lands: {line}");
+    assert!(!r.rx.borrow().is_empty(), "post-outage delivery: {line}");
+}
+
+#[test]
+fn controller_channel_loss_keeps_table0_enforcement() {
+    // No controller at all, plus a lossy switch↔DFI channel: Table-0
+    // access control still runs, and nothing is ever delivered for a
+    // flow no policy allows.
+    let up = FaultPlan::lossy(9, 0.3).with_window(SimTime::ZERO, SimTime::from_millis(30));
+    let down = FaultPlan::lossy(10, 0.3).with_window(SimTime::ZERO, SimTime::from_millis(30));
+    let line = repro(42, &up, &down);
+    let mut r = rig(42, up, down, false);
+    // No policy inserted: default deny for everything.
+    for i in 0..10u16 {
+        let t = r.tx.clone();
+        r.sim
+            .schedule_in(Duration::from_millis(5 * u64::from(i)), move |sim| {
+                t.send(sim, syn(50_000 + i))
+            });
+    }
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert!(m.denied >= 1, "punts that got through were denied: {line}");
+    assert_eq!(m.allowed, 0, "{line}");
+    assert!(
+        r.rx.borrow().is_empty(),
+        "forbidden traffic must never flow: {line}"
+    );
+    for cookie in r.sw.table0_cookies() {
+        assert_eq!(
+            cookie, DEFAULT_DENY_ID.0,
+            "only default-deny rules may exist: {line}"
+        );
+    }
+}
+
+#[test]
+fn duplicated_installs_are_idempotent() {
+    // Every DFI→switch message is delivered twice. Flow-mod adds overwrite
+    // in place and barrier replies for unknown xids are ignored, so the
+    // duplicated channel converges to the same Table-0 state.
+    let up = FaultPlan::none();
+    let down = FaultPlan {
+        seed: 11,
+        duplicate: 1.0,
+        ..FaultPlan::none()
+    };
+    let line = repro(43, &up, &down);
+    let mut r = rig(43, up, down, true);
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut r.sim, &r.dfi);
+    r.sim.run();
+    r.tx.send(&mut r.sim, syn(50_000));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.allowed, 1, "{line}");
+    assert_eq!(m.install_failures, 0, "{line}");
+    assert_eq!(
+        r.sw.table_len(0),
+        1,
+        "duplicated adds must not multiply rules: {line}"
+    );
+    assert!(r.down.stats().duplicated >= 1, "{line}");
+    assert!(!r.rx.borrow().is_empty(), "{line}");
+}
+
+#[test]
+fn binding_expiry_beats_fault_delayed_packet_in() {
+    // The stale-decision race: a flow is decided Allow and cached, but the
+    // install is lost; the user then logs off (revoking the session
+    // policy) while a re-punt of the same flow is *already in flight*,
+    // delayed by the faulty channel. The punt was emitted before the
+    // invalidating event and processed after it — the decision must still
+    // be Deny, and no Allow rule (fresh or retried) may survive.
+    let up = FaultPlan {
+        seed: 12,
+        delay: 1.0,
+        delay_min: Duration::from_millis(5),
+        delay_max: Duration::from_millis(5),
+        ..FaultPlan::none()
+    }
+    .with_window(SimTime::from_millis(100), SimTime::from_millis(130));
+    let down =
+        FaultPlan::lossy(13, 1.0).with_window(SimTime::from_millis(100), SimTime::from_millis(130));
+    let line = repro(44, &up, &down);
+    let mut r = rig(44, up, down, true);
+
+    let dns = DnsServer::new("corp.local");
+    let siem = Siem::new();
+    wire_dns_sensor(&dns, r.dfi.bus());
+    wire_siem_sensor(&siem, r.dfi.bus());
+    let mut roles = RbacRoles::new();
+    roles.add_enclave("left", &["lhost"]);
+    roles.add_server("rhost");
+    let _pdp = AtRbacPdp::activate(&mut r.sim, &r.dfi, roles);
+    dns.register(&mut r.sim, "lhost", h1_ip());
+    dns.register(&mut r.sim, "rhost", h2_ip());
+    siem.log_on(&mut r.sim, "lee", "lhost");
+    r.sim.run();
+
+    // t=100ms: first packet. Decided Allow (~110 ms) and memoized; the
+    // install is dropped by the window and enters the retry loop.
+    let t = r.tx.clone();
+    r.sim.schedule_in(Duration::from_millis(100), move |sim| {
+        t.send(sim, syn(50_000))
+    });
+    // t=116ms: same flow again — no rule landed, so the switch punts; the
+    // faulty channel holds the punt until ~121 ms.
+    let t = r.tx.clone();
+    r.sim.schedule_in(Duration::from_millis(116), move |sim| {
+        t.send(sim, syn(50_000))
+    });
+    // t=118ms: log-off. Revokes the session policy, invalidates the
+    // memoized Allow, flushes switches, and cancels pending Allow-install
+    // retries — after the punt above left the switch, before it decides.
+    let s = siem.clone();
+    r.sim.schedule_in(Duration::from_millis(118), move |sim| {
+        s.log_off(sim, "lee", "lhost")
+    });
+    r.sim.run();
+
+    let m = r.dfi.metrics();
+    assert_eq!(
+        m.allowed, 1,
+        "only the pre-log-off decision may allow: {line}"
+    );
+    assert!(
+        m.denied >= 1,
+        "the delayed punt must be re-decided to Deny: {line}"
+    );
+    for cookie in r.sw.table0_cookies() {
+        assert_eq!(
+            cookie, DEFAULT_DENY_ID.0,
+            "no Allow rule may survive the revocation — not even a \
+             retried install: {line}"
+        );
+    }
+    assert!(
+        r.rx.borrow().is_empty(),
+        "nothing was deliverable under the fault window: {line}"
+    );
+}

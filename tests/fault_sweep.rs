@@ -1,0 +1,162 @@
+//! Fault sweep: time-to-first-byte under sustained control-channel loss.
+//!
+//! Both directions of the switch↔DFI channel drop each message with
+//! probability `p` for the whole run; hosts retransmit their SYN every
+//! 10 ms (bounded), as a real TCP stack would. The proxy's bounded
+//! retry/backoff turns message loss into latency, never into a policy
+//! bypass — this sweep quantifies the latency side for EXPERIMENTS.md:
+//!
+//! ```text
+//! cargo test --test fault_sweep -- --nocapture
+//! ```
+
+use dfi_repro::controller::Controller;
+use dfi_repro::core::policy::PolicyRule;
+use dfi_repro::core::Dfi;
+use dfi_repro::dataplane::{faulty_sink, Network, SwitchConfig};
+use dfi_repro::packet::headers::build;
+use dfi_repro::packet::{MacAddr, PacketHeaders};
+use dfi_repro::simnet::{FaultPlan, Sim, SimTime};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+const LAT: Duration = Duration::from_micros(50);
+const N_FLOWS: u16 = 20;
+const RETRANSMIT_EVERY: Duration = Duration::from_millis(10);
+const MAX_RETRANSMITS: u64 = 40;
+
+fn syn(sport: u16) -> Vec<u8> {
+    build::tcp_syn(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        sport,
+        80,
+    )
+}
+
+struct SweepPoint {
+    drop: f64,
+    delivered: usize,
+    mean_ttfb_ms: f64,
+    worst_ttfb_ms: f64,
+    install_retries: u64,
+}
+
+/// One sweep point: 20 flows, 5 ms apart, each retransmitting its SYN
+/// every 10 ms until first delivery. Returns per-flow TTFB statistics.
+fn run_point(seed: u64, drop: f64) -> SweepPoint {
+    let mut sim = Sim::new(seed);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(1));
+    let delivered: Rc<RefCell<HashMap<u16, SimTime>>> = Rc::default();
+    let tx = net.attach_host(&sw, 1, LAT, Rc::new(|_, _| {}));
+    let d = delivered.clone();
+    let _rx = net.attach_host(
+        &sw,
+        2,
+        LAT,
+        Rc::new(move |sim: &mut Sim, frame: Vec<u8>| {
+            if let Ok(h) = PacketHeaders::parse(&frame) {
+                if let Some(sport) = h.tcp_src {
+                    d.borrow_mut().entry(sport).or_insert(sim.now());
+                }
+            }
+        }),
+    );
+
+    let dfi = Dfi::with_defaults();
+    let ctrl = Controller::reactive();
+    let wrap = |inner| {
+        if drop > 0.0 {
+            faulty_sink(FaultPlan::lossy(seed ^ 0x5EED, drop), inner).0
+        } else {
+            inner
+        }
+    };
+    let conn = dfi.attach_switch_channel(wrap(sw.control_ingress()), sw.dpid());
+    sw.connect_control(&mut sim, wrap(dfi.from_switch_sink(conn)));
+    dfi.set_controller_sink(conn, ctrl.connect(&mut sim, dfi.from_controller_sink(conn)));
+    dfi.insert_policy(&mut sim, PolicyRule::allow_all(), 1, "sweep");
+    sim.run();
+
+    let mut starts: HashMap<u16, SimTime> = HashMap::new();
+    for i in 0..N_FLOWS {
+        let sport = 50_000 + i;
+        let t0 = Duration::from_millis(5 * u64::from(i) + 1);
+        starts.insert(sport, sim.now() + t0);
+        // Bounded retransmission schedule, fixed up front so the run stays
+        // a pure function of (seed, drop): attempt k fires only if the
+        // flow has not yet been delivered.
+        for k in 0..=MAX_RETRANSMITS {
+            let t = tx.clone();
+            let d = delivered.clone();
+            sim.schedule_in(t0 + RETRANSMIT_EVERY * k as u32, move |sim| {
+                if !d.borrow().contains_key(&sport) {
+                    t.send(sim, syn(sport));
+                }
+            });
+        }
+    }
+    sim.run();
+
+    let delivered = delivered.borrow();
+    let mut ttfbs_ms: Vec<f64> = delivered
+        .iter()
+        .map(|(sport, t)| (*t - starts[sport]).as_secs_f64() * 1e3)
+        .collect();
+    ttfbs_ms.sort_by(f64::total_cmp);
+    SweepPoint {
+        drop,
+        delivered: ttfbs_ms.len(),
+        mean_ttfb_ms: ttfbs_ms.iter().sum::<f64>() / ttfbs_ms.len().max(1) as f64,
+        worst_ttfb_ms: ttfbs_ms.last().copied().unwrap_or(f64::NAN),
+        install_retries: dfi.metrics().install_retries,
+    }
+}
+
+#[test]
+fn ttfb_degrades_gracefully_under_loss() {
+    let points: Vec<SweepPoint> = [0.0, 0.05, 0.10, 0.20]
+        .iter()
+        .map(|&drop| run_point(2024, drop))
+        .collect();
+
+    println!("drop   delivered  mean TTFB (ms)  worst TTFB (ms)  proxy install retries");
+    for p in &points {
+        println!(
+            "{:>4.0}%  {:>6}/{}  {:>14.2}  {:>15.2}  {:>21}",
+            p.drop * 100.0,
+            p.delivered,
+            N_FLOWS,
+            p.mean_ttfb_ms,
+            p.worst_ttfb_ms,
+            p.install_retries,
+        );
+    }
+
+    for p in &points {
+        assert_eq!(
+            p.delivered,
+            usize::from(N_FLOWS),
+            "retransmits must push every flow through at drop={}",
+            p.drop
+        );
+    }
+    let clean = &points[0];
+    let worst = &points[3];
+    assert!(
+        clean.install_retries == 0,
+        "no proxy retries expected on a clean channel"
+    );
+    assert!(
+        worst.mean_ttfb_ms >= clean.mean_ttfb_ms,
+        "loss must not make flows faster ({} vs {})",
+        worst.mean_ttfb_ms,
+        clean.mean_ttfb_ms
+    );
+}

@@ -123,17 +123,16 @@ fn control_plane_recovers_after_overload() {
     dfi.insert_policy(&mut sim, PolicyRule::allow_all(), 1, "t");
     let responses = Rc::new(RefCell::new(0u64));
     let r = responses.clone();
-    let conn = dfi.attach_switch_channel(
-        Rc::new(move |_, bytes: Vec<u8>| {
-            if let Ok(m) = OfMessage::decode(&bytes) {
-                if matches!(m.body, Message::FlowMod(_)) {
-                    *r.borrow_mut() += 1;
-                }
-            }
-        }),
-        7,
-    );
+    // Answer DFI's install barriers (via the cbench emulated switch) so
+    // the count below sees one flow-mod per decision, not ack-less
+    // retries.
+    let reply_to = Rc::new(RefCell::new(None));
+    let to_switch = dfi_repro::cbench::emulated_switch_sink(reply_to.clone(), move |_, _| {
+        *r.borrow_mut() += 1;
+    });
+    let conn = dfi.attach_switch_channel(to_switch, 7);
     let from_switch = dfi.from_switch_sink(conn);
+    *reply_to.borrow_mut() = Some(from_switch.clone());
     // Storm: 3000 packet-ins in one instant — far beyond any queue.
     let mut rng = SimRng::new(1);
     for i in 0..3000u32 {
