@@ -1,0 +1,272 @@
+//! `dfi-analyze` — command-line front end for the static policy /
+//! flow-table verifier.
+//!
+//! Two modes:
+//!
+//! * `corpus` — generate a deterministic seeded rule corpus (see
+//!   [`dfi_analyze::corpus`]), run the full analysis, and print runtime
+//!   plus per-kind finding counts. With `--expect-seeded` the planted
+//!   ground truth must match the findings *exactly* (the CI gate wired
+//!   into `scripts/check.sh --analyze`).
+//! * `demo` — build a tiny live deployment (Policy Manager, Entity
+//!   Resolution Manager, one switch), audit its Table 0 while healthy,
+//!   then revoke a policy behind DFI's back and show the orphan-cookie
+//!   finding the audit produces.
+
+use dfi_analyze::{sort_diagnostics, Analyzer, DiagnosticKind, TableZeroSnapshot};
+use dfi_core::erm::{Binding, EntityResolver};
+use dfi_core::policy::{EndpointPattern, PolicyId, PolicyManager, PolicyRule};
+use dfi_dataplane::{dfi_allow_rule, Switch, SwitchConfig};
+use dfi_openflow::Match;
+use dfi_packet::MacAddr;
+use dfi_simnet::Sim;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+dfi-analyze: static policy / flow-table verifier
+
+USAGE:
+    dfi-analyze corpus [--rules N] [--seed S] [--expect-seeded] [--verbose]
+    dfi-analyze demo
+
+MODES:
+    corpus    analyze a deterministic seeded rule corpus and report timing
+    demo      audit a small live switch deployment, then break it on purpose
+
+OPTIONS (corpus):
+    --rules N          corpus size in stored policies [default: 10000]
+    --seed S           corpus seed [default: 7]
+    --expect-seeded    fail unless findings equal the planted ground truth
+    --verbose          print every diagnostic, not just the first few
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("corpus") => corpus_mode(&args[1..]),
+        Some("demo") => demo_mode(),
+        Some("--help" | "-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_flag(args: &[String], name: &str, default: u64) -> Result<u64, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} requires a value"))?
+            .parse()
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn corpus_mode(args: &[String]) -> ExitCode {
+    let (n_rules, seed) = match (
+        parse_flag(args, "--rules", 10_000),
+        parse_flag(args, "--seed", 7),
+    ) {
+        (Ok(n), Ok(s)) => (n as usize, s),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("dfi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let expect_seeded = args.iter().any(|a| a == "--expect-seeded");
+    let verbose = args.iter().any(|a| a == "--verbose");
+
+    let t0 = Instant::now();
+    let corpus = dfi_analyze::corpus::generate(n_rules, seed);
+    let generated = t0.elapsed();
+
+    let t1 = Instant::now();
+    let az = Analyzer::from_pm(&corpus.manager);
+    let indexed = t1.elapsed();
+
+    let t2 = Instant::now();
+    let diags = az.analyze(Some(&corpus.universe));
+    let analyzed = t2.elapsed();
+
+    println!(
+        "corpus: {} rules (seed {}), generated in {:.1?}",
+        corpus.manager.len(),
+        seed,
+        generated
+    );
+    println!(
+        "analysis: index built in {:.1?}, all passes in {:.1?} ({:.1} rules/ms)",
+        indexed,
+        analyzed,
+        corpus.manager.len() as f64 / analyzed.as_secs_f64() / 1e3,
+    );
+    let count = |k: DiagnosticKind| diags.iter().filter(|d| d.kind == k).count();
+    println!(
+        "findings: {} total — {} shadowed, {} redundant, {} conflicts, {} unreachable",
+        diags.len(),
+        count(DiagnosticKind::ShadowedRule),
+        count(DiagnosticKind::RedundantRule),
+        count(DiagnosticKind::AllowDenyConflict),
+        count(DiagnosticKind::UnreachablePattern),
+    );
+    let shown = if verbose {
+        diags.len()
+    } else {
+        diags.len().min(6)
+    };
+    for d in &diags[..shown] {
+        println!("  {d}");
+    }
+    if shown < diags.len() {
+        println!("  … {} more (use --verbose)", diags.len() - shown);
+    }
+
+    if expect_seeded && !verify_seeded(&corpus, &diags) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares findings with the corpus's planted ground truth; every
+/// mismatch (either direction) is reported.
+fn verify_seeded(
+    corpus: &dfi_analyze::corpus::SeededCorpus,
+    diags: &[dfi_analyze::Diagnostic],
+) -> bool {
+    let found = |k: DiagnosticKind| -> BTreeSet<PolicyId> {
+        diags
+            .iter()
+            .filter(|d| d.kind == k)
+            .map(|d| d.rules[0])
+            .collect()
+    };
+    let mut ok = true;
+    let mut check = |name: &str, kind, planted: &[PolicyId]| {
+        let planted: BTreeSet<PolicyId> = planted.iter().copied().collect();
+        let got = found(kind);
+        if got != planted {
+            ok = false;
+            let missed: Vec<_> = planted.difference(&got).collect();
+            let spurious: Vec<_> = got.difference(&planted).collect();
+            eprintln!("MISMATCH {name}: missed {missed:?}, spurious {spurious:?}");
+        }
+    };
+    check("shadowed", DiagnosticKind::ShadowedRule, &corpus.shadowed);
+    check(
+        "redundant",
+        DiagnosticKind::RedundantRule,
+        &corpus.redundant,
+    );
+    check(
+        "unreachable",
+        DiagnosticKind::UnreachablePattern,
+        &corpus.unreachable,
+    );
+    let planted_pairs: BTreeSet<(PolicyId, PolicyId)> = corpus.conflicts.iter().copied().collect();
+    let found_pairs: BTreeSet<(PolicyId, PolicyId)> = diags
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::AllowDenyConflict)
+        .map(|d| (d.rules[0], d.rules[1]))
+        .collect();
+    if found_pairs != planted_pairs {
+        ok = false;
+        eprintln!(
+            "MISMATCH conflicts: planted {} pairs, found {}",
+            planted_pairs.len(),
+            found_pairs.len()
+        );
+    }
+    if ok {
+        println!("--expect-seeded: findings equal the planted ground truth");
+    }
+    ok
+}
+
+fn demo_mode() -> ExitCode {
+    let mut sim = Sim::new(1);
+    let sw = Switch::new(SwitchConfig::new(0xD1));
+
+    // The control-plane state a healthy deployment would hold: alice on
+    // h1 (10.0.0.1) may reach bob on h2 (10.0.0.2).
+    let mut pm = PolicyManager::new();
+    let (id, _) = pm.insert(
+        PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+        10,
+        "demo-pdp",
+    );
+    let mut erm = EntityResolver::new();
+    for (host, last) in [("h1", 1u8), ("h2", 2)] {
+        erm.bind(Binding::HostIp {
+            host: host.into(),
+            ip: Ipv4Addr::new(10, 0, 0, last),
+        });
+    }
+    for (user, host) in [("alice", "h1"), ("bob", "h2")] {
+        erm.bind(Binding::UserHost {
+            user: user.into(),
+            host: host.into(),
+        });
+    }
+
+    // The switch rule the PCP would compile for alice's first flow.
+    let mat = Match {
+        in_port: Some(1),
+        eth_src: Some(MacAddr::from_index(1)),
+        eth_dst: Some(MacAddr::from_index(2)),
+        eth_type: Some(0x0800),
+        ip_proto: Some(6),
+        ipv4_src: Some(Ipv4Addr::new(10, 0, 0, 1)),
+        ipv4_dst: Some(Ipv4Addr::new(10, 0, 0, 2)),
+        tcp_src: Some(50_000),
+        tcp_dst: Some(445),
+        ..Match::default()
+    };
+    sw.install(&mut sim, dfi_allow_rule(mat, id.0, 100));
+
+    let audit = |pm: &PolicyManager, erm: &mut EntityResolver, sw: &Switch| {
+        let az = Analyzer::from_pm(pm);
+        let snap = TableZeroSnapshot::capture(sw);
+        let mut diags = az.analyze(None);
+        diags.extend(az.check_table0(&snap, erm));
+        sort_diagnostics(&mut diags);
+        diags
+    };
+
+    let healthy = audit(&pm, &mut erm, &sw);
+    println!("audit while healthy: {} finding(s)", healthy.len());
+    for d in &healthy {
+        println!("  {d}");
+    }
+
+    // Revoke the policy *without* flushing the switch — the failure mode
+    // the cross-layer pass exists to catch.
+    pm.revoke(id);
+    let broken = audit(&pm, &mut erm, &sw);
+    println!(
+        "audit after unflushed revocation: {} finding(s)",
+        broken.len()
+    );
+    for d in &broken {
+        println!("  {d}");
+    }
+
+    let caught = healthy.is_empty()
+        && broken
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::OrphanCookie);
+    if caught {
+        println!("demo: orphaned rule detected statically, as expected");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("demo: expected a clean healthy audit and an orphan-cookie finding");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,217 @@
+//! Deterministic seeded rule corpora for exercising (and timing) the
+//! analyzer at scale.
+//!
+//! The generator produces a mostly *clean* selective rule set — the shape
+//! an AT-RBAC deployment yields, one allow per (user, peer) pair — and
+//! plants a known number of each defect class at fixed intervals, using
+//! dedicated identifier families so the defects cannot interact. The
+//! planted counts are returned so a harness (the `dfi-analyze` CLI's
+//! `--expect-seeded` gate, the integration tests) can require the analyzer
+//! to find *exactly* the planted findings: no false positives on the clean
+//! bulk, no missed plants.
+
+use crate::policy_passes::IdentifierUniverse;
+use dfi_core::policy::{
+    EndpointPattern, FlowProperties, PolicyId, PolicyManager, PolicyRule, Wild,
+};
+use dfi_simnet::SimRng;
+
+/// A generated corpus plus the ground truth of what was planted.
+pub struct SeededCorpus {
+    /// The populated manager.
+    pub manager: PolicyManager,
+    /// The identifier universe the clean rules draw from (planted
+    /// unreachable rules pin names outside it).
+    pub universe: IdentifierUniverse,
+    /// Ids of planted shadowed rules.
+    pub shadowed: Vec<PolicyId>,
+    /// Ids of planted redundant (but reachable) rules.
+    pub redundant: Vec<PolicyId>,
+    /// Planted conflicting pairs, lower id first.
+    pub conflicts: Vec<(PolicyId, PolicyId)>,
+    /// Ids of planted rules pinning names outside the universe.
+    pub unreachable: Vec<PolicyId>,
+}
+
+/// Builds a corpus of exactly `n_rules` stored policies. Deterministic in
+/// `seed`.
+pub fn generate(n_rules: usize, seed: u64) -> SeededCorpus {
+    let mut rng = SimRng::new(seed);
+    let mut c = SeededCorpus {
+        manager: PolicyManager::new(),
+        universe: IdentifierUniverse::new(),
+        shadowed: Vec::new(),
+        redundant: Vec::new(),
+        conflicts: Vec::new(),
+        unreachable: Vec::new(),
+    };
+    let mut k = 0usize; // defect family counter, keeps identifiers unique
+    while c.manager.len() < n_rules {
+        let slot = c.manager.len();
+        let remaining = n_rules - slot;
+        // Plant a defect roughly every 40 rules; each plant inserts one or
+        // two rules, so require room for the larger shape.
+        match slot % 40 {
+            7 if remaining >= 2 => plant_shadowed(&mut c, k),
+            17 if remaining >= 2 => plant_redundant(&mut c, k),
+            27 if remaining >= 2 => plant_conflict(&mut c, k),
+            37 => plant_unreachable(&mut c, k),
+            _ => clean_rule(&mut c, &mut rng, slot),
+        }
+        k += 1;
+    }
+    c
+}
+
+/// One selective allow between a unique (src, dst) user pair; never
+/// overlaps any other generated rule.
+fn clean_rule(c: &mut SeededCorpus, rng: &mut SimRng, slot: usize) {
+    let src = format!("user-{slot}-a");
+    let dst = format!("user-{slot}-b");
+    c.universe.add_user(&src);
+    c.universe.add_user(&dst);
+    let mut rule = PolicyRule::allow(EndpointPattern::user(&src), EndpointPattern::user(&dst));
+    if rng.chance(0.3) {
+        rule.flow = if rng.chance(0.5) {
+            FlowProperties::tcp()
+        } else {
+            FlowProperties::udp()
+        };
+    }
+    if rng.chance(0.2) {
+        rule.dst.port = Wild::Is(1 + (rng.index(1024) as u16));
+    }
+    let priority = [10, 20, 30][rng.index(3)];
+    c.manager.insert(rule, priority, "corpus");
+}
+
+/// A broad high-priority allow, then a narrower same-action allow at lower
+/// priority: the narrow rule can never win arbitration.
+fn plant_shadowed(c: &mut SeededCorpus, k: usize) {
+    let user = format!("shadow-{k}");
+    let host = format!("shadow-host-{k}");
+    c.universe.add_user(&user);
+    c.universe.add_host(&host);
+    c.manager.insert(
+        PolicyRule::allow(EndpointPattern::user(&user), EndpointPattern::any()),
+        30,
+        "corpus-broad",
+    );
+    let narrow = PolicyRule::allow(
+        EndpointPattern {
+            hostname: dfi_core::policy::WildName::is(&host),
+            ..EndpointPattern::user(&user)
+        },
+        EndpointPattern::any(),
+    );
+    let (id, _) = c.manager.insert(narrow, 10, "corpus-narrow");
+    c.shadowed.push(id);
+}
+
+/// A broad low-priority allow, then a narrower allow at *higher* priority:
+/// the narrow rule wins its own cube (reachable) but removing it changes
+/// no verdict.
+fn plant_redundant(c: &mut SeededCorpus, k: usize) {
+    let user = format!("redund-{k}");
+    let peer = format!("redund-peer-{k}");
+    c.universe.add_user(&user);
+    c.universe.add_user(&peer);
+    c.manager.insert(
+        PolicyRule::allow(EndpointPattern::user(&user), EndpointPattern::any()),
+        10,
+        "corpus-broad",
+    );
+    let (id, _) = c.manager.insert(
+        PolicyRule::allow(EndpointPattern::user(&user), EndpointPattern::user(&peer)),
+        30,
+        "corpus-dup",
+    );
+    c.redundant.push(id);
+}
+
+/// An allow and a higher-priority TCP-only deny carving flows out of it:
+/// a genuine Allow/Deny overlap where both rules stay live.
+fn plant_conflict(c: &mut SeededCorpus, k: usize) {
+    let user = format!("confl-{k}");
+    let peer = format!("confl-peer-{k}");
+    c.universe.add_user(&user);
+    c.universe.add_user(&peer);
+    let (allow_id, _) = c.manager.insert(
+        PolicyRule::allow(EndpointPattern::user(&user), EndpointPattern::user(&peer)),
+        10,
+        "corpus-allow",
+    );
+    let mut deny = PolicyRule::deny(EndpointPattern::user(&user), EndpointPattern::user(&peer));
+    deny.flow = FlowProperties::tcp();
+    let (deny_id, _) = c.manager.insert(deny, 30, "corpus-deny");
+    c.conflicts.push((allow_id, deny_id));
+}
+
+/// A rule pinning a username that exists nowhere in the universe.
+fn plant_unreachable(c: &mut SeededCorpus, k: usize) {
+    let (id, _) = c.manager.insert(
+        PolicyRule::allow(
+            EndpointPattern::user(&format!("ghost-{k}")),
+            EndpointPattern::any(),
+        ),
+        20,
+        "corpus-ghost",
+    );
+    c.unreachable.push(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::DiagnosticKind;
+    use crate::policy_passes::Analyzer;
+    use std::collections::BTreeSet;
+
+    fn ids(diags: &[crate::diag::Diagnostic], kind: DiagnosticKind) -> BTreeSet<PolicyId> {
+        diags
+            .iter()
+            .filter(|d| d.kind == kind)
+            .map(|d| d.rules[0])
+            .collect()
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_sized() {
+        let a = generate(200, 42);
+        let b = generate(200, 42);
+        assert_eq!(a.manager.len(), 200);
+        assert_eq!(a.shadowed, b.shadowed);
+        assert_eq!(a.conflicts, b.conflicts);
+        let c = generate(200, 43);
+        assert_eq!(c.manager.len(), 200);
+    }
+
+    #[test]
+    fn analyzer_finds_exactly_the_planted_defects() {
+        let corpus = generate(300, 7);
+        assert!(!corpus.shadowed.is_empty());
+        assert!(!corpus.redundant.is_empty());
+        assert!(!corpus.conflicts.is_empty());
+        assert!(!corpus.unreachable.is_empty());
+        let az = Analyzer::from_pm(&corpus.manager);
+        let diags = az.analyze(Some(&corpus.universe));
+        assert_eq!(
+            ids(&diags, DiagnosticKind::ShadowedRule),
+            corpus.shadowed.iter().copied().collect()
+        );
+        assert_eq!(
+            ids(&diags, DiagnosticKind::RedundantRule),
+            corpus.redundant.iter().copied().collect()
+        );
+        assert_eq!(
+            ids(&diags, DiagnosticKind::UnreachablePattern),
+            corpus.unreachable.iter().copied().collect()
+        );
+        let conflict_pairs: BTreeSet<(PolicyId, PolicyId)> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::AllowDenyConflict)
+            .map(|d| (d.rules[0], d.rules[1]))
+            .collect();
+        assert_eq!(conflict_pairs, corpus.conflicts.iter().copied().collect());
+    }
+}

@@ -1,0 +1,196 @@
+//! Flow cubes and the minimal-witness construction.
+//!
+//! A [`FlowCube`] is the match space of a rule with the action stripped:
+//! a conjunction of field pins. The analyzer's exactness rests on one
+//! observation about this model's semantics:
+//!
+//! **Minimal-flow theorem.** For a cube `C`, build the *minimal flow*
+//! `min(C)`: every pinned name becomes a singleton binding set and every
+//! unpinned name an *empty* set; every pinned scalar becomes `Some(v)` and
+//! every unpinned scalar `None`; the ethertype (which a concrete flow must
+//! always carry) becomes the pinned value, or a *fresh* value no rule in
+//! the analyzed set pins. Then a rule `S` matches `min(C)` **iff** `S`'s
+//! cube subsumes `C` (every pin of `S` is `Any` or equals the
+//! corresponding pin of `C`):
+//!
+//! * a rule pinning a field `C` leaves free cannot match — the empty
+//!   binding set / `None` / fresh ethertype defeats any pin;
+//! * a rule whose pins all agree with `C`'s matches trivially.
+//!
+//! So the set of rules matching `min(C)` is exactly the set that matches
+//! *every* flow in `C` — which is what makes single-flow replay a complete
+//! reachability test (see `policy_passes`).
+
+use dfi_core::policy::{
+    EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyRule, WildName,
+};
+use std::collections::HashSet;
+
+/// The match space of a rule: flow properties plus both endpoint patterns,
+/// with the action stripped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowCube {
+    /// Flow-level pins (ethertype, IP protocol).
+    pub flow: FlowProperties,
+    /// Source endpoint pins.
+    pub src: EndpointPattern,
+    /// Destination endpoint pins.
+    pub dst: EndpointPattern,
+}
+
+impl FlowCube {
+    /// The cube of a rule.
+    pub fn of(rule: &PolicyRule) -> FlowCube {
+        FlowCube {
+            flow: rule.flow.clone(),
+            src: rule.src.clone(),
+            dst: rule.dst.clone(),
+        }
+    }
+
+    /// Field-wise intersection; `None` when the cubes are disjoint.
+    pub fn intersect(&self, other: &FlowCube) -> Option<FlowCube> {
+        Some(FlowCube {
+            flow: self.flow.intersect(&other.flow)?,
+            src: self.src.intersect(&other.src)?,
+            dst: self.dst.intersect(&other.dst)?,
+        })
+    }
+
+    /// The minimal witness flow of this cube (see module docs).
+    /// `fresh_ethertype` must be a value no analyzed rule pins.
+    pub fn minimal_flow(&self, fresh_ethertype: u16) -> FlowView {
+        FlowView {
+            ethertype: self.flow.ethertype.value().unwrap_or(fresh_ethertype),
+            ip_proto: self.flow.ip_proto.value(),
+            src: minimal_view(&self.src),
+            dst: minimal_view(&self.dst),
+        }
+    }
+}
+
+fn minimal_view(p: &EndpointPattern) -> EndpointView {
+    fn names(w: &WildName) -> Vec<String> {
+        match w {
+            WildName::Any => Vec::new(),
+            WildName::Is(s) => vec![s.clone()],
+        }
+    }
+    EndpointView {
+        usernames: names(&p.username),
+        hostnames: names(&p.hostname),
+        ip: p.ip.value(),
+        port: p.port.value(),
+        mac: p.mac.value(),
+        switch_port: p.switch_port.value(),
+        switch_dpid: p.switch_dpid.value(),
+    }
+}
+
+/// An ethertype no rule in the set pins: the value the minimal flow of an
+/// ethertype-free cube carries, so that ethertype-pinning rules cannot
+/// spuriously match it. Prefers `0x0800` (IPv4) when unpinned, so typical
+/// witnesses look like ordinary traffic.
+pub fn fresh_ethertype<'a>(rules: impl IntoIterator<Item = &'a PolicyRule>) -> u16 {
+    let pinned: HashSet<u16> = rules
+        .into_iter()
+        .filter_map(|r| r.flow.ethertype.value())
+        .collect();
+    if !pinned.contains(&0x0800) {
+        return 0x0800;
+    }
+    // 0x88B5: IEEE 802 local experimental — unlikely to be pinned, but
+    // scan onward if it is. Fewer than 2^16 rules can pin distinct values,
+    // so the scan terminates.
+    (0x88B5..=u16::MAX)
+        .chain(1..0x88B5)
+        .find(|v| !pinned.contains(v))
+        .unwrap_or(u16::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_core::policy::{PolicyAction, Wild};
+
+    fn rule(src: EndpointPattern, dst: EndpointPattern) -> PolicyRule {
+        PolicyRule {
+            action: PolicyAction::Allow,
+            flow: FlowProperties::any(),
+            src,
+            dst,
+        }
+    }
+
+    #[test]
+    fn minimal_flow_is_matched_by_its_own_rule() {
+        let r = rule(
+            EndpointPattern::user("alice"),
+            EndpointPattern::host_port("srv", 445),
+        );
+        let w = FlowCube::of(&r).minimal_flow(0x0800);
+        assert!(r.matches(&w));
+        assert_eq!(w.src.usernames, vec!["alice".to_string()]);
+        assert_eq!(w.src.hostnames, Vec::<String>::new());
+        assert_eq!(w.dst.port, Some(445));
+        assert_eq!(w.src.port, None);
+    }
+
+    #[test]
+    fn minimal_flow_evades_rules_pinning_free_fields() {
+        // The dominator test: a rule pinning a field the cube leaves free
+        // must NOT match the minimal flow.
+        let broad = rule(EndpointPattern::user("alice"), EndpointPattern::any());
+        let w = FlowCube::of(&broad).minimal_flow(0x0800);
+        let pins_host = rule(
+            EndpointPattern {
+                hostname: WildName::is("h1"),
+                ..EndpointPattern::user("alice")
+            },
+            EndpointPattern::any(),
+        );
+        assert!(!pins_host.matches(&w), "empty hostname set defeats the pin");
+        let mut pins_proto = broad.clone();
+        pins_proto.flow = FlowProperties::tcp();
+        assert!(!pins_proto.matches(&w), "ip_proto None defeats the pin");
+        // While every subsuming rule does match.
+        let wider = rule(EndpointPattern::any(), EndpointPattern::any());
+        assert!(wider.matches(&w));
+    }
+
+    #[test]
+    fn fresh_ethertype_avoids_pinned_values() {
+        let mut r1 = rule(EndpointPattern::any(), EndpointPattern::any());
+        r1.flow.ethertype = Wild::Is(0x0800);
+        let mut r2 = r1.clone();
+        r2.flow.ethertype = Wild::Is(0x88B5);
+        let fresh = fresh_ethertype([&r1, &r2]);
+        assert_ne!(fresh, 0x0800);
+        assert_ne!(fresh, 0x88B5);
+        // With IPv4 unpinned, the witness prefers to look like IPv4.
+        assert_eq!(fresh_ethertype([&r2]), 0x0800);
+        // And with an unpinned cube, ethertype-pinning rules miss.
+        let unpinned = rule(EndpointPattern::any(), EndpointPattern::any());
+        let w = FlowCube::of(&unpinned).minimal_flow(fresh);
+        assert!(!r1.matches(&w));
+        assert!(!r2.matches(&w));
+        assert!(unpinned.matches(&w));
+    }
+
+    #[test]
+    fn cube_intersection_mirrors_pattern_intersection() {
+        let a = FlowCube::of(&rule(
+            EndpointPattern::user("alice"),
+            EndpointPattern::any(),
+        ));
+        let b = FlowCube::of(&rule(EndpointPattern::any(), EndpointPattern::user("bob")));
+        let i = a.intersect(&b).expect("compatible");
+        assert_eq!(i.src, EndpointPattern::user("alice"));
+        assert_eq!(i.dst, EndpointPattern::user("bob"));
+        let c = FlowCube::of(&rule(
+            EndpointPattern::user("carol"),
+            EndpointPattern::any(),
+        ));
+        assert_eq!(a.intersect(&c), None);
+    }
+}

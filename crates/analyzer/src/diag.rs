@@ -1,0 +1,186 @@
+//! Typed diagnostics: every analyzer finding carries a severity, the rule
+//! ids involved, and — wherever the finding is about concrete traffic — a
+//! counterexample [`FlowView`] witness that can be replayed against the
+//! linear-scan oracle.
+
+use dfi_core::policy::{FlowView, PolicyId};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Definitely wrong: the data plane disagrees with current policy, or
+    /// rules trace to nothing.
+    Error,
+    /// Almost certainly an authoring mistake (dead rules, silent
+    /// arbitration), but the system still behaves as specified.
+    Warning,
+    /// Worth knowing; behaviour is well-defined and usually intended.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Info => write!(f, "info"),
+        }
+    }
+}
+
+/// What kind of invariant violation a diagnostic reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DiagnosticKind {
+    /// The rule can never win arbitration on any flow: a higher-precedence
+    /// rule matches everything it matches.
+    ShadowedRule,
+    /// Removing the rule changes no flow's Allow/Deny verdict (policy
+    /// attribution may shift to another rule or the default deny).
+    RedundantRule,
+    /// An Allow and a Deny rule admit a common flow; arbitration decides
+    /// which wins, silently.
+    AllowDenyConflict,
+    /// The rule pins a username/hostname that exists nowhere in the
+    /// supplied identifier universe, so it can never match real traffic.
+    UnreachablePattern,
+    /// A Table-0 flow rule's cookie names no live policy (and is not the
+    /// reserved default-deny cookie 0).
+    OrphanCookie,
+    /// A Table-0 flow rule encodes a different verdict than replaying the
+    /// flow through current policy produces — the static form of the
+    /// differential oracle's convergence check.
+    StaleRule,
+    /// A Table-0 flow rule's verdict agrees with current policy but its
+    /// cookie names a different policy than the one that now decides the
+    /// flow (the rule would survive the wrong flush).
+    CookieMismatch,
+    /// A Table-0 flow rule does not have the exact-match shape DFI
+    /// compiles, so it cannot be replayed against policy.
+    NonCanonicalRule,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagnosticKind::ShadowedRule => "shadowed-rule",
+            DiagnosticKind::RedundantRule => "redundant-rule",
+            DiagnosticKind::AllowDenyConflict => "allow-deny-conflict",
+            DiagnosticKind::UnreachablePattern => "unreachable-pattern",
+            DiagnosticKind::OrphanCookie => "orphan-cookie",
+            DiagnosticKind::StaleRule => "stale-rule",
+            DiagnosticKind::CookieMismatch => "cookie-mismatch",
+            DiagnosticKind::NonCanonicalRule => "non-canonical-rule",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One analyzer finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// What invariant is violated.
+    pub kind: DiagnosticKind,
+    /// The policy ids involved, most specific first (for cross-layer
+    /// findings, the cookie's policy id when it resolves to one).
+    pub rules: Vec<PolicyId>,
+    /// A concrete flow demonstrating the finding, when one exists: a flow
+    /// the shadowed rule matches but loses, a flow in a conflicting pair's
+    /// intersection, the replayed flow of a stale Table-0 rule.
+    pub witness: Option<FlowView>,
+    /// Switch datapath id, for cross-layer (Table-0) findings.
+    pub dpid: Option<u64>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.kind)?;
+        if let Some(dpid) = self.dpid {
+            write!(f, " dpid={dpid:#x}")?;
+        }
+        if !self.rules.is_empty() {
+            let ids: Vec<String> = self.rules.iter().map(|r| r.0.to_string()).collect();
+            write!(f, " rules=[{}]", ids.join(","))?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(w) = &self.witness {
+            write!(f, " (witness: {})", witness_summary(w))?;
+        }
+        Ok(())
+    }
+}
+
+/// A one-line rendering of a witness flow, compact enough for terminals.
+fn witness_summary(flow: &FlowView) -> String {
+    fn side(v: &dfi_core::policy::EndpointView) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !v.usernames.is_empty() {
+            parts.push(format!("user={}", v.usernames.join("|")));
+        }
+        if !v.hostnames.is_empty() {
+            parts.push(format!("host={}", v.hostnames.join("|")));
+        }
+        if let Some(ip) = v.ip {
+            parts.push(format!("ip={ip}"));
+        }
+        if let Some(p) = v.port {
+            parts.push(format!("port={p}"));
+        }
+        if parts.is_empty() {
+            "*".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+    let proto = match flow.ip_proto {
+        Some(p) => format!(" proto={p}"),
+        None => String::new(),
+    };
+    format!(
+        "eth={:#06x}{} {} -> {}",
+        flow.ethertype,
+        proto,
+        side(&flow.src),
+        side(&flow.dst)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_core::policy::EndpointView;
+
+    #[test]
+    fn display_is_compact_and_complete() {
+        let d = Diagnostic {
+            severity: Severity::Warning,
+            kind: DiagnosticKind::ShadowedRule,
+            rules: vec![PolicyId(7), PolicyId(3)],
+            witness: Some(FlowView {
+                ethertype: 0x0800,
+                ip_proto: Some(6),
+                src: EndpointView {
+                    usernames: vec!["alice".into()],
+                    ..EndpointView::default()
+                },
+                dst: EndpointView::default(),
+            }),
+            dpid: None,
+            message: "rule 7 never wins; rule 3 dominates it".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("warning[shadowed-rule]"), "{s}");
+        assert!(s.contains("rules=[7,3]"), "{s}");
+        assert!(s.contains("user=alice"), "{s}");
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+    }
+}

@@ -1,0 +1,39 @@
+//! `dfi-analyze`: static verification of DFI policy sets and switch flow
+//! tables — without running traffic.
+//!
+//! The running system already defends its invariants dynamically: the
+//! Policy Manager's insert-time conflict check, the cookie-flush protocol,
+//! and the differential oracle all act while flows are in flight. This
+//! crate answers the complementary *offline* question: given a snapshot of
+//! the rule database (and optionally each switch's Table 0), what is wrong
+//! with the configuration itself?
+//!
+//! * **Policy passes** ([`Analyzer`]): shadowed rules (never reachable
+//!   under `(priority desc, id asc)` + Deny-beats-Allow arbitration),
+//!   redundant rules (removable without changing any verdict), the full
+//!   Allow/Deny overlap closure (beyond the insert-time pairwise check),
+//!   and endpoint patterns unreachable under an [`IdentifierUniverse`].
+//! * **Cross-layer passes** ([`TableZeroSnapshot`] +
+//!   [`Analyzer::check_table0`]): orphaned cookies, stale rules whose
+//!   verdict disagrees with replayed policy, and cookie/attribution
+//!   mismatches.
+//!
+//! Every finding is a typed [`Diagnostic`] carrying, where one exists, a
+//! concrete counterexample [`FlowView`](dfi_core::policy::FlowView) that
+//! can be replayed against `PolicyManager::query_linear` — the property
+//! tests in `tests/proptest_analyzer.rs` hold the passes to exactly that
+//! oracle.
+//!
+//! The exactness arguments (the minimal-flow theorem and the
+//! runner-up enumeration) live in the [`cube`] and [`policy_passes`]
+//! module docs.
+
+pub mod corpus;
+pub mod cube;
+pub mod diag;
+pub mod policy_passes;
+pub mod table0;
+
+pub use diag::{Diagnostic, DiagnosticKind, Severity};
+pub use policy_passes::{sort_diagnostics, Analyzer, IdentifierUniverse};
+pub use table0::{TableZeroRule, TableZeroSnapshot};

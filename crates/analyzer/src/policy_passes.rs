@@ -1,0 +1,826 @@
+//! The policy-layer passes: arbitration replay, shadowing, redundancy, the
+//! Allow/Deny conflict closure, and reachability against an identifier
+//! universe.
+//!
+//! # Arbitration as a total order
+//!
+//! The Policy Manager's arbitration (highest priority wins; within a
+//! priority group the first Deny in id order beats any Allow; otherwise
+//! the first match in id order) is *flow-independent*: every rule has a
+//! fixed rank `(priority desc, Deny-before-Allow, id asc)` and the winner
+//! for any flow is simply the minimum-rank matching rule. All passes here
+//! exploit that.
+//!
+//! # Exactness
+//!
+//! * **Shadowing** — by the minimal-flow theorem (`cube` module docs), the
+//!   rules matching `min(cube(R))` are exactly the rules subsuming `R`.
+//!   Hence `R` is unreachable **iff** some strictly lower-ranked rule
+//!   subsumes it, and otherwise `min(cube(R))` is a concrete flow `R`
+//!   wins — which the diagnostic carries as its witness either way. No
+//!   false reports, no missed shadows.
+//! * **Redundancy** — `R` is *non*-redundant iff some flow exists whose
+//!   verdict flips when `R` is removed. Such a flow is won by `R` and,
+//!   without `R`, by an opposite-action rule `S` of higher rank (or by the
+//!   default deny). For the actual witness flow `f`, every rule matching
+//!   `min(cube(R) ∩ cube(S))` also matches `f` (it subsumes the
+//!   intersection cube, and `f` lies in it), so replaying the minimal flow
+//!   of each candidate intersection — plus `min(cube(R))` for the
+//!   default-deny fallback — finds a witness whenever one exists.
+//! * **Conflict closure** — the full field-by-field overlap closure over
+//!   opposite-action pairs, each reported with the concrete flow
+//!   `min(cube(R) ∩ cube(S))` both rules match; this subsumes the
+//!   insert-time pairwise check (which only sees pairs where the *newer*
+//!   rule outranks).
+//!
+//! # Pruning
+//!
+//! All pair searches go through [`OverlapIndex`], which buckets rules by
+//! their six identity pins (dst/src user, host, IP). For a cube pinning
+//! identity field `f = v`, any rule matching its minimal flow (or merely
+//! overlapping it) must pin `f` to `v` or leave it `Any` — so the bucket
+//! for `(f, v)` plus the field's `Any` list is a complete candidate set,
+//! and the smallest such set over the pinned fields keeps the passes near
+//! linear on selective rule sets.
+
+use crate::cube::{fresh_ethertype, FlowCube};
+use crate::diag::{Diagnostic, DiagnosticKind, Severity};
+use dfi_core::policy::{
+    Decision, FlowView, PolicyAction, PolicyId, PolicyManager, RbacRoles, StoredPolicy, WildName,
+    DEFAULT_DENY_ID,
+};
+use std::cmp::Reverse;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// A rule's fixed arbitration rank; the minimum-rank matching rule wins
+/// any flow.
+pub(crate) type Rank = (Reverse<u32>, u8, PolicyId);
+
+pub(crate) fn rank_of(sp: &StoredPolicy) -> Rank {
+    let action = match sp.rule.action {
+        PolicyAction::Deny => 0,
+        PolicyAction::Allow => 1,
+    };
+    (Reverse(sp.priority), action, sp.id)
+}
+
+/// The six identity fields the index buckets on.
+const N_FIELDS: usize = 6;
+const DST_USER: usize = 0;
+const DST_HOST: usize = 1;
+const SRC_USER: usize = 2;
+const SRC_HOST: usize = 3;
+const DST_IP: usize = 4;
+const SRC_IP: usize = 5;
+
+/// Buckets rules (by index into the snapshot) under each pinned identity
+/// value, with a per-field `Any` list. See module docs for why
+/// `bucket(f, v) ∪ any(f)` is a complete candidate set.
+pub(crate) struct OverlapIndex {
+    names: [HashMap<String, Vec<usize>>; 4],
+    ips: [HashMap<Ipv4Addr, Vec<usize>>; 2],
+    any: [Vec<usize>; N_FIELDS],
+    len: usize,
+}
+
+fn name_pin(w: &WildName) -> Option<String> {
+    match w {
+        WildName::Any => None,
+        WildName::Is(s) => Some(s.to_ascii_lowercase()),
+    }
+}
+
+impl OverlapIndex {
+    pub(crate) fn build(rules: &[StoredPolicy]) -> OverlapIndex {
+        let mut idx = OverlapIndex {
+            names: Default::default(),
+            ips: Default::default(),
+            any: Default::default(),
+            len: rules.len(),
+        };
+        for (i, sp) in rules.iter().enumerate() {
+            let names = [
+                name_pin(&sp.rule.dst.username),
+                name_pin(&sp.rule.dst.hostname),
+                name_pin(&sp.rule.src.username),
+                name_pin(&sp.rule.src.hostname),
+            ];
+            for (f, pin) in names.into_iter().enumerate() {
+                match pin {
+                    Some(v) => idx.names[f].entry(v).or_default().push(i),
+                    None => idx.any[f].push(i),
+                }
+            }
+            let ips = [sp.rule.dst.ip.value(), sp.rule.src.ip.value()];
+            for (f, pin) in ips.into_iter().enumerate() {
+                match pin {
+                    Some(v) => idx.ips[f].entry(v).or_default().push(i),
+                    None => idx.any[DST_IP + f].push(i),
+                }
+            }
+        }
+        idx
+    }
+
+    /// Rule indices that could match `cube`'s minimal flow, or overlap
+    /// `cube` at all — a superset of both, chosen as the smallest
+    /// `bucket ∪ any` over the cube's pinned identity fields (all rules
+    /// when it pins none). Ascending order.
+    pub(crate) fn candidates(&self, cube: &FlowCube) -> Vec<usize> {
+        let name_pins = [
+            name_pin(&cube.dst.username),
+            name_pin(&cube.dst.hostname),
+            name_pin(&cube.src.username),
+            name_pin(&cube.src.hostname),
+        ];
+        let ip_pins = [cube.dst.ip.value(), cube.src.ip.value()];
+        static EMPTY: Vec<usize> = Vec::new();
+        let mut best: Option<(usize, &Vec<usize>, usize)> = None; // (total, bucket, field)
+        for f in [DST_USER, DST_HOST, SRC_USER, SRC_HOST] {
+            if let Some(v) = &name_pins[f] {
+                let bucket = self.names[f].get(v).unwrap_or(&EMPTY);
+                let total = bucket.len() + self.any[f].len();
+                if best.is_none_or(|(t, _, _)| total < t) {
+                    best = Some((total, bucket, f));
+                }
+            }
+        }
+        for (k, f) in [(0, DST_IP), (1, SRC_IP)] {
+            if let Some(v) = ip_pins[k] {
+                let bucket = self.ips[k].get(&v).unwrap_or(&EMPTY);
+                let total = bucket.len() + self.any[f].len();
+                if best.is_none_or(|(t, _, _)| total < t) {
+                    best = Some((total, bucket, f));
+                }
+            }
+        }
+        match best {
+            Some((_, bucket, f)) => {
+                let mut out: Vec<usize> = bucket.iter().chain(&self.any[f]).copied().collect();
+                // A rule is in exactly one of bucket/any for a field, so
+                // this merge is duplicate-free; sort restores id order.
+                out.sort_unstable();
+                out
+            }
+            None => (0..self.len).collect(),
+        }
+    }
+}
+
+/// The set of identifiers that can actually occur in enriched flows:
+/// usernames that can log on and hostnames that exist. Rules pinning a
+/// name outside the universe can never match real traffic.
+#[derive(Clone, Debug, Default)]
+pub struct IdentifierUniverse {
+    users: HashSet<String>,
+    hosts: HashSet<String>,
+}
+
+impl IdentifierUniverse {
+    /// An empty universe (every name pin is then unreachable).
+    pub fn new() -> IdentifierUniverse {
+        IdentifierUniverse::default()
+    }
+
+    /// Adds a username.
+    pub fn add_user(&mut self, name: &str) {
+        self.users.insert(name.to_ascii_lowercase());
+    }
+
+    /// Adds a hostname.
+    pub fn add_host(&mut self, name: &str) {
+        self.hosts.insert(name.to_ascii_lowercase());
+    }
+
+    /// The universe implied by an RBAC role structure (every enclave host,
+    /// server, and core service) plus the given user population.
+    pub fn from_roles<'a>(
+        roles: &RbacRoles,
+        users: impl IntoIterator<Item = &'a str>,
+    ) -> IdentifierUniverse {
+        let mut u = IdentifierUniverse::new();
+        for h in roles.all_enclave_hosts() {
+            u.add_host(h);
+        }
+        for h in roles.servers() {
+            u.add_host(h);
+        }
+        for h in roles.core_services() {
+            u.add_host(h);
+        }
+        for name in users {
+            u.add_user(name);
+        }
+        u
+    }
+
+    /// `true` when the username exists (ASCII case-insensitive).
+    pub fn has_user(&self, name: &str) -> bool {
+        self.users.contains(&name.to_ascii_lowercase())
+    }
+
+    /// `true` when the hostname exists (ASCII case-insensitive).
+    pub fn has_host(&self, name: &str) -> bool {
+        self.hosts.contains(&name.to_ascii_lowercase())
+    }
+}
+
+/// The static analyzer: an immutable snapshot of a rule set plus the
+/// indexes the passes share.
+pub struct Analyzer {
+    rules: Vec<StoredPolicy>,
+    ranks: Vec<Rank>,
+    index: OverlapIndex,
+    by_id: HashMap<PolicyId, usize>,
+    fresh_ethertype: u16,
+}
+
+impl Analyzer {
+    /// Builds an analyzer over a snapshot (ascending id, as produced by
+    /// [`PolicyManager::snapshot`]).
+    pub fn new(mut rules: Vec<StoredPolicy>) -> Analyzer {
+        rules.sort_by_key(|sp| sp.id);
+        let ranks = rules.iter().map(rank_of).collect();
+        let index = OverlapIndex::build(&rules);
+        let by_id = rules.iter().enumerate().map(|(i, sp)| (sp.id, i)).collect();
+        let fresh = fresh_ethertype(rules.iter().map(|sp| &sp.rule));
+        Analyzer {
+            rules,
+            ranks,
+            index,
+            by_id,
+            fresh_ethertype: fresh,
+        }
+    }
+
+    /// Builds an analyzer from a live Policy Manager.
+    pub fn from_pm(pm: &PolicyManager) -> Analyzer {
+        Analyzer::new(pm.snapshot())
+    }
+
+    /// The analyzed rules, ascending id.
+    pub fn rules(&self) -> &[StoredPolicy] {
+        &self.rules
+    }
+
+    /// The ethertype minimal witnesses of ethertype-free cubes carry.
+    pub fn witness_ethertype(&self) -> u16 {
+        self.fresh_ethertype
+    }
+
+    /// Replays arbitration for a flow — semantically identical to
+    /// [`PolicyManager::query_linear`], but side-effect free.
+    pub fn decide(&self, flow: &FlowView) -> Decision {
+        self.decide_among(0..self.rules.len(), flow, None)
+    }
+
+    /// Replays arbitration with one rule removed (the redundancy
+    /// counterfactual).
+    pub fn decide_excluding(&self, flow: &FlowView, excluded: PolicyId) -> Decision {
+        self.decide_among(0..self.rules.len(), flow, Some(excluded))
+    }
+
+    fn decide_among(
+        &self,
+        candidates: impl IntoIterator<Item = usize>,
+        flow: &FlowView,
+        excluded: Option<PolicyId>,
+    ) -> Decision {
+        let mut best: Option<usize> = None;
+        for i in candidates {
+            let sp = &self.rules[i];
+            if Some(sp.id) == excluded || !sp.rule.matches(flow) {
+                continue;
+            }
+            if best.is_none_or(|b| self.ranks[i] < self.ranks[b]) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => Decision {
+                action: self.rules[i].rule.action,
+                policy: self.rules[i].id,
+            },
+            None => Decision {
+                action: PolicyAction::Deny,
+                policy: DEFAULT_DENY_ID,
+            },
+        }
+    }
+
+    /// `decide` restricted to the cube's candidate buckets — exact for the
+    /// cube's *minimal* flow (every rule matching it subsumes the cube and
+    /// is therefore indexed under the cube's pins or in an `Any` list).
+    fn decide_minimal(&self, cube: &FlowCube, excluded: Option<PolicyId>) -> (FlowView, Decision) {
+        let w = cube.minimal_flow(self.fresh_ethertype);
+        let d = self.decide_among(self.index.candidates(cube), &w, excluded);
+        (w, d)
+    }
+
+    /// The minimal witness flow of a rule's cube, when the rule exists.
+    /// If the rule is reachable this flow is one it wins.
+    pub fn witness_flow(&self, id: PolicyId) -> Option<FlowView> {
+        let i = *self.by_id.get(&id)?;
+        Some(FlowCube::of(&self.rules[i].rule).minimal_flow(self.fresh_ethertype))
+    }
+
+    /// The lowest-ranked strict dominator of rule `i`: a distinct rule
+    /// that subsumes it and wins arbitration wherever both match.
+    fn dominator_of(&self, i: usize) -> Option<usize> {
+        let cube = FlowCube::of(&self.rules[i].rule);
+        self.index
+            .candidates(&cube)
+            .into_iter()
+            .filter(|&j| {
+                j != i
+                    && self.ranks[j] < self.ranks[i]
+                    && self.rules[j].rule.subsumes(&self.rules[i].rule)
+            })
+            .min_by_key(|&j| self.ranks[j])
+    }
+
+    /// **Shadowing pass**: rules that can never win arbitration on any
+    /// flow. Exact (see module docs). The witness is the rule's minimal
+    /// flow — a flow the rule matches but loses to the reported dominator.
+    pub fn shadowed_rules(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, sp) in self.rules.iter().enumerate() {
+            let Some(j) = self.dominator_of(i) else {
+                continue;
+            };
+            let dom = &self.rules[j];
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                kind: DiagnosticKind::ShadowedRule,
+                rules: vec![sp.id, dom.id],
+                witness: self.witness_flow(sp.id),
+                dpid: None,
+                message: format!(
+                    "{} rule {} (prio {}, pdp {}) is shadowed: {} rule {} (prio {}) \
+                     subsumes it and wins arbitration on every flow it matches",
+                    sp.rule.action,
+                    sp.id.0,
+                    sp.priority,
+                    sp.pdp,
+                    dom.rule.action,
+                    dom.id.0,
+                    dom.priority
+                ),
+            });
+        }
+        out
+    }
+
+    /// A flow proving rule `id` is *not* redundant: the rule decides it,
+    /// and removing the rule flips the verdict. `None` when the rule is
+    /// redundant (or absent). Complete by the candidate-enumeration
+    /// argument in the module docs; sound because the returned flow is
+    /// verified against [`Analyzer::decide`] / `decide_excluding` directly.
+    pub fn non_redundancy_witness(&self, id: PolicyId) -> Option<FlowView> {
+        let i = *self.by_id.get(&id)?;
+        let sp = &self.rules[i];
+        let cube = FlowCube::of(&sp.rule);
+        // Fallback candidate: with the rule removed, the default deny
+        // decides its minimal flow. Cheap and usually decisive for Allows.
+        if sp.rule.action == PolicyAction::Allow {
+            let (w, d) = self.decide_minimal(&cube, None);
+            if d.policy == sp.id {
+                let after = self.decide_minimal(&cube, Some(sp.id)).1;
+                if after.action != sp.rule.action {
+                    return Some(w);
+                }
+            }
+        }
+        // Runner-up candidates: opposite-action rules ranked below the
+        // rule that overlap its cube.
+        for j in self.index.candidates(&cube) {
+            let other = &self.rules[j];
+            if other.rule.action == sp.rule.action || self.ranks[j] < self.ranks[i] {
+                continue;
+            }
+            let Some(both) = cube.intersect(&FlowCube::of(&other.rule)) else {
+                continue;
+            };
+            let (w, d) = self.decide_minimal(&both, None);
+            if d.policy != sp.id {
+                continue;
+            }
+            let after = self.decide_minimal(&both, Some(sp.id)).1;
+            if after.action != sp.rule.action {
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// **Redundancy pass**: rules whose removal changes no flow's verdict
+    /// (attribution may shift, Allow/Deny never does). Shadowed rules are
+    /// omitted — they are trivially redundant and already reported at
+    /// higher severity by [`Analyzer::shadowed_rules`].
+    pub fn redundant_rules(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, sp) in self.rules.iter().enumerate() {
+            if self.dominator_of(i).is_some() {
+                continue;
+            }
+            if self.non_redundancy_witness(sp.id).is_some() {
+                continue;
+            }
+            out.push(Diagnostic {
+                severity: Severity::Info,
+                kind: DiagnosticKind::RedundantRule,
+                rules: vec![sp.id],
+                witness: self.witness_flow(sp.id),
+                dpid: None,
+                message: format!(
+                    "{} rule {} (prio {}, pdp {}) is redundant: removing it changes no \
+                     flow's verdict",
+                    sp.rule.action, sp.id.0, sp.priority, sp.pdp
+                ),
+            });
+        }
+        out
+    }
+
+    /// **Conflict closure**: every Allow/Deny pair whose match spaces
+    /// intersect, with a concrete flow in the intersection and a note on
+    /// which rule arbitration lets win there. Equal-priority pairs — where
+    /// the winner is decided only by the Deny-beats-Allow tiebreak — are
+    /// warnings; ranked pairs are informational.
+    pub fn conflicts(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (i, sp) in self.rules.iter().enumerate() {
+            let cube = FlowCube::of(&sp.rule);
+            for j in self.index.candidates(&cube) {
+                if j <= i {
+                    continue;
+                }
+                let other = &self.rules[j];
+                if other.rule.action == sp.rule.action {
+                    continue;
+                }
+                let Some(both) = cube.intersect(&FlowCube::of(&other.rule)) else {
+                    continue;
+                };
+                let witness = both.minimal_flow(self.fresh_ethertype);
+                let (winner, loser) = if self.ranks[i] < self.ranks[j] {
+                    (sp, other)
+                } else {
+                    (other, sp)
+                };
+                let equal_priority = sp.priority == other.priority;
+                out.push(Diagnostic {
+                    severity: if equal_priority {
+                        Severity::Warning
+                    } else {
+                        Severity::Info
+                    },
+                    kind: DiagnosticKind::AllowDenyConflict,
+                    rules: vec![sp.id, other.id],
+                    witness: Some(witness),
+                    dpid: None,
+                    message: format!(
+                        "{} rule {} (prio {}) and {} rule {} (prio {}) overlap; {} rule {} wins \
+                         the intersection{}",
+                        sp.rule.action,
+                        sp.id.0,
+                        sp.priority,
+                        other.rule.action,
+                        other.id.0,
+                        other.priority,
+                        winner.rule.action,
+                        winner.id.0,
+                        if equal_priority {
+                            format!(
+                                " only by the equal-priority Deny-beats-Allow tiebreak over \
+                                 rule {}",
+                                loser.id.0
+                            )
+                        } else {
+                            String::new()
+                        }
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// **Reachability pass**: rules pinning a username/hostname that does
+    /// not exist in the identifier universe; no enriched flow can ever
+    /// carry the name, so the rule is dead.
+    pub fn unreachable_patterns(&self, universe: &IdentifierUniverse) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for sp in &self.rules {
+            let mut dead: Vec<String> = Vec::new();
+            for (side, pat) in [("src", &sp.rule.src), ("dst", &sp.rule.dst)] {
+                if let WildName::Is(u) = &pat.username {
+                    if !universe.has_user(u) {
+                        dead.push(format!("{side} username {u:?}"));
+                    }
+                }
+                if let WildName::Is(h) = &pat.hostname {
+                    if !universe.has_host(h) {
+                        dead.push(format!("{side} hostname {h:?}"));
+                    }
+                }
+            }
+            if dead.is_empty() {
+                continue;
+            }
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                kind: DiagnosticKind::UnreachablePattern,
+                rules: vec![sp.id],
+                witness: None,
+                dpid: None,
+                message: format!(
+                    "{} rule {} (prio {}, pdp {}) can never match: {} not bound anywhere \
+                     in the identifier universe",
+                    sp.rule.action,
+                    sp.id.0,
+                    sp.priority,
+                    sp.pdp,
+                    dead.join(", ")
+                ),
+            });
+        }
+        out
+    }
+
+    /// Runs every policy-layer pass (plus reachability when a universe is
+    /// supplied) and returns the findings sorted by severity, kind, and
+    /// involved rules.
+    pub fn analyze(&self, universe: Option<&IdentifierUniverse>) -> Vec<Diagnostic> {
+        let mut out = self.shadowed_rules();
+        out.extend(self.redundant_rules());
+        out.extend(self.conflicts());
+        if let Some(u) = universe {
+            out.extend(self.unreachable_patterns(u));
+        }
+        sort_diagnostics(&mut out);
+        out
+    }
+}
+
+/// Deterministic report order: severity first, then kind, switch, rules.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.severity, a.kind, a.dpid, &a.rules, &a.message)
+            .cmp(&(b.severity, b.kind, b.dpid, &b.rules, &b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_core::policy::{EndpointPattern, PolicyRule};
+
+    fn pm_with(rules: Vec<(PolicyRule, u32)>) -> PolicyManager {
+        let mut pm = PolicyManager::new();
+        for (rule, prio) in rules {
+            pm.insert(rule, prio, "test");
+        }
+        pm
+    }
+
+    #[test]
+    fn shadowed_rule_is_found_with_witness() {
+        let pm = pm_with(vec![
+            (
+                PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::any()),
+                50,
+            ),
+            (
+                PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+                10,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        let diags = az.shadowed_rules();
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.rules, vec![PolicyId(2), PolicyId(1)]);
+        let w = d.witness.as_ref().expect("witness");
+        // The witness is matched by the shadowed rule but decided by the
+        // dominator.
+        assert!(az.rules()[1].rule.matches(w));
+        assert_eq!(pm.query_linear(w).policy, PolicyId(1));
+    }
+
+    #[test]
+    fn reachable_rules_are_not_reported() {
+        let pm = pm_with(vec![
+            (
+                PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+                10,
+            ),
+            (
+                // Same src, narrower dst, HIGHER priority: reachable.
+                PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+                50,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        assert!(az.shadowed_rules().is_empty());
+    }
+
+    #[test]
+    fn equal_priority_same_action_duplicate_is_shadowed() {
+        let rule = PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any());
+        let pm = pm_with(vec![(rule.clone(), 10), (rule, 10)]);
+        let az = Analyzer::from_pm(&pm);
+        let diags = az.shadowed_rules();
+        assert_eq!(diags.len(), 1, "the younger id loses the tiebreak");
+        assert_eq!(diags[0].rules[0], PolicyId(2));
+    }
+
+    #[test]
+    fn redundant_rule_detected_and_reachable_nonredundant_spared() {
+        let pm = pm_with(vec![
+            (
+                PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+                10,
+            ),
+            (
+                // Narrower allow at HIGHER priority: reachable (it wins its
+                // own cube) but redundant (rule 1 allows the same flows).
+                PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+                50,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        assert!(az.shadowed_rules().is_empty());
+        let diags = az.redundant_rules();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rules, vec![PolicyId(2)]);
+        assert!(az.non_redundancy_witness(PolicyId(1)).is_some());
+        assert!(az.non_redundancy_witness(PolicyId(2)).is_none());
+    }
+
+    #[test]
+    fn deny_carving_an_allow_is_not_redundant() {
+        let mut tcp_deny =
+            PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::user("bob"));
+        tcp_deny.flow = dfi_core::policy::FlowProperties::tcp();
+        let pm = pm_with(vec![
+            (
+                PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+                10,
+            ),
+            (tcp_deny, 50),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        assert!(az.redundant_rules().is_empty());
+        let w = az.non_redundancy_witness(PolicyId(2)).expect("witness");
+        assert_eq!(pm.query_linear(&w).policy, PolicyId(2));
+    }
+
+    #[test]
+    fn deny_with_no_underlying_allow_is_redundant() {
+        // Everything it denies would be default-denied anyway.
+        let pm = pm_with(vec![(
+            PolicyRule::deny(EndpointPattern::user("eve"), EndpointPattern::any()),
+            50,
+        )]);
+        let az = Analyzer::from_pm(&pm);
+        let diags = az.redundant_rules();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rules, vec![PolicyId(1)]);
+    }
+
+    #[test]
+    fn conflict_closure_reports_overlap_with_witness() {
+        let pm = pm_with(vec![
+            (
+                PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+                10,
+            ),
+            (
+                PolicyRule::deny(EndpointPattern::any(), EndpointPattern::host("srv")),
+                10,
+            ),
+            (
+                PolicyRule::allow(EndpointPattern::user("carol"), EndpointPattern::any()),
+                10,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        let diags = az.conflicts();
+        // Rule 2 conflicts with both allows; the allows agree with each
+        // other.
+        assert_eq!(diags.len(), 2);
+        for d in &diags {
+            assert_eq!(d.severity, Severity::Warning, "equal priority: {d}");
+            let w = d.witness.as_ref().expect("witness");
+            let a = az.rules()[az
+                .rules()
+                .iter()
+                .position(|sp| sp.id == d.rules[0])
+                .unwrap()]
+            .rule
+            .clone();
+            let b = az.rules()[az
+                .rules()
+                .iter()
+                .position(|sp| sp.id == d.rules[1])
+                .unwrap()]
+            .rule
+            .clone();
+            assert!(a.matches(w) && b.matches(w), "witness in the intersection");
+        }
+        // The insert-time check would have caught neither pair in this
+        // order for the (1,2) pair only; the closure sees both.
+        assert!(diags
+            .iter()
+            .any(|d| d.rules == vec![PolicyId(1), PolicyId(2)]));
+        assert!(diags
+            .iter()
+            .any(|d| d.rules == vec![PolicyId(2), PolicyId(3)]));
+    }
+
+    #[test]
+    fn ranked_conflicts_are_informational() {
+        let pm = pm_with(vec![
+            (PolicyRule::allow_all(), 1),
+            (
+                PolicyRule::deny(EndpointPattern::user("eve"), EndpointPattern::any()),
+                50,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        let diags = az.conflicts();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn unreachable_patterns_against_universe() {
+        let mut roles = RbacRoles::new();
+        roles.add_enclave("eng", &["e1", "e2"]);
+        roles.add_server("srv");
+        let universe = IdentifierUniverse::from_roles(&roles, ["Alice", "bob"]);
+        let pm = pm_with(vec![
+            (
+                PolicyRule::allow(EndpointPattern::user("ALICE"), EndpointPattern::host("e1")),
+                10,
+            ),
+            (
+                PolicyRule::allow(
+                    EndpointPattern::user("mallory"),
+                    EndpointPattern::host("e9"),
+                ),
+                10,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        let diags = az.unreachable_patterns(&universe);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rules, vec![PolicyId(2)]);
+        assert!(diags[0].message.contains("mallory"));
+        assert!(diags[0].message.contains("e9"));
+        assert!(diags[0].witness.is_none(), "no concrete flow can exist");
+    }
+
+    #[test]
+    fn analyze_sorts_errors_first_and_is_deterministic() {
+        let pm = pm_with(vec![
+            (PolicyRule::allow_all(), 1),
+            (
+                PolicyRule::deny(EndpointPattern::user("eve"), EndpointPattern::any()),
+                50,
+            ),
+            (
+                PolicyRule::allow(EndpointPattern::user("eve"), EndpointPattern::user("x")),
+                1,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        let a = az.analyze(None);
+        let b = az.analyze(None);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.windows(2).all(|w| w[0].severity <= w[1].severity));
+    }
+
+    #[test]
+    fn decide_agrees_with_query_linear_on_handmade_flows() {
+        let pm = pm_with(vec![
+            (PolicyRule::allow_all(), 5),
+            (
+                PolicyRule::deny(EndpointPattern::any(), EndpointPattern::user("bob")),
+                5,
+            ),
+            (
+                PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+                9,
+            ),
+        ]);
+        let az = Analyzer::from_pm(&pm);
+        for id in [PolicyId(1), PolicyId(2), PolicyId(3)] {
+            let w = az.witness_flow(id).expect("flow");
+            assert_eq!(az.decide(&w), pm.query_linear(&w));
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! Cross-layer passes: Table-0 snapshots replayed against current policy.
+//!
+//! DFI's consistency story says every exact-match rule in a switch's
+//! Table 0 is the cached verdict of a policy query, cookie-tagged with the
+//! deciding [`PolicyId`] so revocations and conflicts can flush it. These
+//! passes check that story *statically*, without running traffic:
+//!
+//! * every cookie names a live policy (or the reserved default-deny
+//!   cookie 0) — otherwise the rule is an **orphan** no flush will ever
+//!   reclaim;
+//! * replaying each rule's flow through the Entity Resolution Manager and
+//!   the analyzer's arbitration reproduces the installed verdict —
+//!   otherwise the rule is **stale** (the static form of the differential
+//!   oracle's convergence check);
+//! * agreement with a *different* deciding policy is a **cookie
+//!   mismatch**: the verdict is right today, but the rule would survive
+//!   the wrong flush.
+
+use crate::diag::{Diagnostic, DiagnosticKind, Severity};
+use crate::policy_passes::{sort_diagnostics, Analyzer};
+use dfi_core::erm::EntityResolver;
+use dfi_core::policy::{FlowView, PolicyAction, PolicyId, DEFAULT_DENY_ID};
+use dfi_dataplane::Switch;
+use dfi_openflow::{Instruction, Match};
+use std::net::Ipv4Addr;
+
+/// One Table-0 rule as the analyzer sees it.
+#[derive(Clone, Debug)]
+pub struct TableZeroRule {
+    /// The deriving policy's id (OpenFlow cookie).
+    pub cookie: u64,
+    /// Match priority.
+    pub priority: u16,
+    /// The match.
+    pub mat: Match,
+    /// `true` when the rule forwards to the controller's pipeline
+    /// (a `GotoTable` instruction); `false` when it drops.
+    pub allow: bool,
+}
+
+/// A point-in-time copy of one switch's Table 0.
+#[derive(Clone, Debug, Default)]
+pub struct TableZeroSnapshot {
+    /// The switch's datapath id.
+    pub dpid: u64,
+    /// The rules, in table iteration order.
+    pub rules: Vec<TableZeroRule>,
+}
+
+impl TableZeroSnapshot {
+    /// Captures a live switch's Table 0.
+    pub fn capture(sw: &Switch) -> TableZeroSnapshot {
+        let rules = sw.with_table(0, |t| {
+            t.iter()
+                .map(|e| TableZeroRule {
+                    cookie: e.cookie,
+                    priority: e.priority,
+                    mat: e.mat.clone(),
+                    allow: e
+                        .instructions
+                        .iter()
+                        .any(|i| matches!(i, Instruction::GotoTable(_))),
+                })
+                .collect()
+        });
+        TableZeroSnapshot {
+            dpid: sw.dpid(),
+            rules,
+        }
+    }
+}
+
+/// The identifiers a canonical (PCP-compiled) exact match must pin, plus
+/// the L3/L4 fields it may pin depending on ethertype.
+struct CanonicalMatch {
+    in_port: u32,
+    eth_type: u16,
+    ip_src: Option<Ipv4Addr>,
+    ip_dst: Option<Ipv4Addr>,
+    ip_proto: Option<u8>,
+    l4_src: Option<u16>,
+    l4_dst: Option<u16>,
+}
+
+fn canonical(mat: &Match) -> Option<CanonicalMatch> {
+    let in_port = mat.in_port?;
+    let eth_type = mat.eth_type?;
+    mat.eth_src?;
+    mat.eth_dst?;
+    let (ip_src, ip_dst) = match eth_type {
+        0x0800 => (mat.ipv4_src, mat.ipv4_dst),
+        0x0806 => (mat.arp_spa, mat.arp_tpa),
+        _ => (None, None),
+    };
+    Some(CanonicalMatch {
+        in_port,
+        eth_type,
+        ip_src,
+        ip_dst,
+        ip_proto: mat.ip_proto,
+        l4_src: mat.tcp_src.or(mat.udp_src),
+        l4_dst: mat.tcp_dst.or(mat.udp_dst),
+    })
+}
+
+impl Analyzer {
+    /// Rebuilds the enriched flow a Table-0 rule caches the verdict for,
+    /// mirroring the PCP's `resolve_flow`: the source is located at the
+    /// rule's ingress port, the destination wherever the ERM last learned
+    /// its MAC.
+    fn replay_flow(
+        &self,
+        snap_dpid: u64,
+        rule: &TableZeroRule,
+        erm: &mut EntityResolver,
+    ) -> Option<FlowView> {
+        let c = canonical(&rule.mat)?;
+        let eth_src = rule.mat.eth_src?;
+        let eth_dst = rule.mat.eth_dst?;
+        let dst_loc = erm.location_of(snap_dpid, eth_dst).map(|p| (snap_dpid, p));
+        let src = erm.resolve_endpoint(c.ip_src, c.l4_src, eth_src, Some((snap_dpid, c.in_port)));
+        let dst = erm.resolve_endpoint(c.ip_dst, c.l4_dst, eth_dst, dst_loc);
+        Some(FlowView {
+            ethertype: c.eth_type,
+            ip_proto: c.ip_proto,
+            src,
+            dst,
+        })
+    }
+
+    /// **Cross-layer pass**: checks one switch's Table-0 snapshot against
+    /// the analyzed policy set (see module docs for the three findings).
+    /// Findings come back sorted; an empty vec means the switch agrees
+    /// with current policy.
+    pub fn check_table0(
+        &self,
+        snap: &TableZeroSnapshot,
+        erm: &mut EntityResolver,
+    ) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for rule in &snap.rules {
+            let cookie_id = PolicyId(rule.cookie);
+            let live =
+                cookie_id == DEFAULT_DENY_ID || self.rules().iter().any(|sp| sp.id == cookie_id);
+            let witness = self.replay_flow(snap.dpid, rule, erm);
+            if !live {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    kind: DiagnosticKind::OrphanCookie,
+                    rules: vec![cookie_id],
+                    witness,
+                    dpid: Some(snap.dpid),
+                    message: format!(
+                        "table-0 {} rule (prio {}) carries cookie {} which names no live \
+                         policy; no flush will ever reclaim it",
+                        if rule.allow { "allow" } else { "deny" },
+                        rule.priority,
+                        rule.cookie
+                    ),
+                });
+                continue;
+            }
+            let Some(flow) = witness else {
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    kind: DiagnosticKind::NonCanonicalRule,
+                    rules: vec![cookie_id],
+                    witness: None,
+                    dpid: Some(snap.dpid),
+                    message: format!(
+                        "table-0 rule (cookie {}, prio {}) lacks the exact-match shape the \
+                         PCP compiles (in_port/eth_src/eth_dst/eth_type); cannot be replayed \
+                         against policy",
+                        rule.cookie, rule.priority
+                    ),
+                });
+                continue;
+            };
+            let decision = self.decide(&flow);
+            let installed = if rule.allow {
+                PolicyAction::Allow
+            } else {
+                PolicyAction::Deny
+            };
+            if decision.action != installed {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    kind: DiagnosticKind::StaleRule,
+                    rules: vec![cookie_id, decision.policy],
+                    witness: Some(flow),
+                    dpid: Some(snap.dpid),
+                    message: format!(
+                        "table-0 rule (cookie {}) still {}s a flow that current policy \
+                         (rule {}) {}s — a flush was missed",
+                        rule.cookie,
+                        if rule.allow { "allow" } else { "deny" },
+                        decision.policy.0,
+                        decision.action.to_string().to_ascii_lowercase()
+                    ),
+                });
+            } else if decision.policy != cookie_id {
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    kind: DiagnosticKind::CookieMismatch,
+                    rules: vec![cookie_id, decision.policy],
+                    witness: Some(flow),
+                    dpid: Some(snap.dpid),
+                    message: format!(
+                        "table-0 rule's verdict agrees with policy but its cookie ({}) names \
+                         a different policy than the one now deciding the flow ({}); the rule \
+                         would survive the wrong flush",
+                        rule.cookie, decision.policy.0
+                    ),
+                });
+            }
+        }
+        sort_diagnostics(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_core::policy::{EndpointPattern, PolicyManager, PolicyRule};
+    use dfi_packet::MacAddr;
+
+    fn exact_match(in_port: u32, src_i: u32, dst_i: u32, dport: u16) -> Match {
+        Match {
+            in_port: Some(in_port),
+            eth_src: Some(MacAddr::from_index(src_i)),
+            eth_dst: Some(MacAddr::from_index(dst_i)),
+            eth_type: Some(0x0800),
+            ip_proto: Some(6),
+            ipv4_src: Some(Ipv4Addr::new(10, 0, 0, src_i as u8)),
+            ipv4_dst: Some(Ipv4Addr::new(10, 0, 0, dst_i as u8)),
+            tcp_src: Some(50_000),
+            tcp_dst: Some(dport),
+            ..Match::default()
+        }
+    }
+
+    fn erm_with_bindings() -> EntityResolver {
+        use dfi_core::erm::Binding;
+        let mut erm = EntityResolver::new();
+        for (host, ip) in [("h1", 1u8), ("h2", 2)] {
+            erm.bind(Binding::HostIp {
+                host: host.into(),
+                ip: Ipv4Addr::new(10, 0, 0, ip),
+            });
+        }
+        for (user, host) in [("alice", "h1"), ("bob", "h2")] {
+            erm.bind(Binding::UserHost {
+                user: user.into(),
+                host: host.into(),
+            });
+        }
+        erm
+    }
+
+    fn table_rule(cookie: u64, mat: Match, allow: bool) -> TableZeroRule {
+        TableZeroRule {
+            cookie,
+            priority: 100,
+            mat,
+            allow,
+        }
+    }
+
+    #[test]
+    fn consistent_snapshot_is_clean() {
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            10,
+            "pdp",
+        );
+        let az = Analyzer::from_pm(&pm);
+        let snap = TableZeroSnapshot {
+            dpid: 0xD1,
+            rules: vec![table_rule(id.0, exact_match(1, 1, 2, 445), true)],
+        };
+        let mut erm = erm_with_bindings();
+        assert_eq!(az.check_table0(&snap, &mut erm), vec![]);
+    }
+
+    #[test]
+    fn orphan_cookie_is_an_error() {
+        let pm = PolicyManager::new();
+        let az = Analyzer::from_pm(&pm);
+        let snap = TableZeroSnapshot {
+            dpid: 0xD1,
+            rules: vec![table_rule(42, exact_match(1, 1, 2, 445), true)],
+        };
+        let mut erm = erm_with_bindings();
+        let diags = az.check_table0(&snap, &mut erm);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagnosticKind::OrphanCookie);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].rules, vec![PolicyId(42)]);
+        assert_eq!(diags[0].dpid, Some(0xD1));
+    }
+
+    #[test]
+    fn default_deny_cookie_is_never_an_orphan() {
+        let pm = PolicyManager::new();
+        let az = Analyzer::from_pm(&pm);
+        let snap = TableZeroSnapshot {
+            dpid: 0xD1,
+            rules: vec![table_rule(0, exact_match(1, 1, 2, 445), false)],
+        };
+        let mut erm = erm_with_bindings();
+        assert_eq!(az.check_table0(&snap, &mut erm), vec![]);
+    }
+
+    #[test]
+    fn stale_rule_after_unflushed_policy_change() {
+        // The switch cached an allow under rule 1, but a higher-priority
+        // deny arrived and (hypothetically) no flush happened.
+        let mut pm = PolicyManager::new();
+        let (allow_id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        let (deny_id, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::user("bob")),
+            50,
+            "pdp",
+        );
+        let az = Analyzer::from_pm(&pm);
+        let snap = TableZeroSnapshot {
+            dpid: 0xD1,
+            rules: vec![table_rule(allow_id.0, exact_match(1, 1, 2, 445), true)],
+        };
+        let mut erm = erm_with_bindings();
+        let diags = az.check_table0(&snap, &mut erm);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagnosticKind::StaleRule);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].rules, vec![allow_id, deny_id]);
+        let w = diags[0].witness.as_ref().expect("replayed flow");
+        assert_eq!(w.src.usernames, vec!["alice".to_string()]);
+        assert_eq!(pm.query_linear(w).policy, deny_id);
+    }
+
+    #[test]
+    fn cookie_mismatch_when_attribution_moved() {
+        // Two allows decide the same flows; the cached rule cites the one
+        // that no longer wins arbitration.
+        let mut pm = PolicyManager::new();
+        let (old_id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        let (new_id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            50,
+            "pdp",
+        );
+        let az = Analyzer::from_pm(&pm);
+        let snap = TableZeroSnapshot {
+            dpid: 0xD1,
+            rules: vec![table_rule(old_id.0, exact_match(1, 1, 2, 445), true)],
+        };
+        let mut erm = erm_with_bindings();
+        let diags = az.check_table0(&snap, &mut erm);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagnosticKind::CookieMismatch);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!(diags[0].rules, vec![old_id, new_id]);
+    }
+
+    #[test]
+    fn non_canonical_rule_is_flagged() {
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(PolicyRule::allow_all(), 10, "pdp");
+        let az = Analyzer::from_pm(&pm);
+        let snap = TableZeroSnapshot {
+            dpid: 0xD1,
+            rules: vec![table_rule(
+                id.0,
+                Match {
+                    in_port: Some(1),
+                    ..Match::default()
+                },
+                true,
+            )],
+        };
+        let mut erm = EntityResolver::new();
+        let diags = az.check_table0(&snap, &mut erm);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].kind, DiagnosticKind::NonCanonicalRule);
+    }
+}

@@ -1,0 +1,288 @@
+//! Property-based contract between the static analyzer and the Policy
+//! Manager's retained linear-scan oracle (`query_linear`).
+//!
+//! These are the exactness obligations from the analyzer's module docs,
+//! made executable:
+//!
+//! * `Analyzer::decide` is bit-identical to `PolicyManager::query_linear`.
+//! * The shadowing pass is exact in **both** directions: every reported
+//!   rule demonstrably loses its own witness flow to arbitration, and
+//!   every unreported rule demonstrably wins one.
+//! * Redundancy verdicts agree with a test-local linear "remove one rule
+//!   and re-decide" oracle over the rule's own witness flows.
+//! * Every conflict witness really sits in the intersection of the two
+//!   reported rules.
+
+use dfi_analyze::{Analyzer, DiagnosticKind};
+use dfi_core::policy::{
+    Decision, EndpointPattern, FlowProperties, FlowView, PolicyAction, PolicyId, PolicyManager,
+    PolicyRule, StoredPolicy, Wild, WildName, DEFAULT_DENY_ID,
+};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+// Same compact universe as crates/core/tests/proptest_policy.rs: a small
+// alphabet so subsumption, overlap, and shadowing actually occur.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-dA-D]{1,3}"
+}
+
+fn arb_wildname() -> impl Strategy<Value = WildName> {
+    prop_oneof![Just(WildName::Any), arb_name().prop_map(WildName::Is)]
+}
+
+fn arb_port() -> impl Strategy<Value = Wild<u16>> {
+    prop_oneof![Just(Wild::Any), (1u16..5).prop_map(Wild::Is)]
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    (1u8..4).prop_map(|b| Ipv4Addr::new(10, 0, 0, b))
+}
+
+fn arb_wild_ip() -> impl Strategy<Value = Wild<Ipv4Addr>> {
+    prop_oneof![Just(Wild::Any), arb_ip().prop_map(Wild::Is)]
+}
+
+prop_compose! {
+    fn arb_pattern()(
+        username in arb_wildname(),
+        hostname in arb_wildname(),
+        ip in arb_wild_ip(),
+        port in arb_port(),
+    ) -> EndpointPattern {
+        EndpointPattern { username, hostname, ip, port, ..EndpointPattern::any() }
+    }
+}
+
+prop_compose! {
+    fn arb_rule()(
+        allow in any::<bool>(),
+        src in arb_pattern(),
+        dst in arb_pattern(),
+        tcp_only in any::<bool>(),
+    ) -> PolicyRule {
+        PolicyRule {
+            action: if allow { PolicyAction::Allow } else { PolicyAction::Deny },
+            flow: if tcp_only { FlowProperties::tcp() } else { FlowProperties::any() },
+            src,
+            dst,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_view()(
+        users in proptest::collection::vec(arb_name(), 0..3),
+        hosts in proptest::collection::vec(arb_name(), 0..3),
+        ip in proptest::option::of(arb_ip()),
+        port in proptest::option::of(1u16..5),
+    ) -> dfi_core::policy::EndpointView {
+        dfi_core::policy::EndpointView {
+            usernames: users,
+            hostnames: hosts,
+            ip,
+            port,
+            ..dfi_core::policy::EndpointView::default()
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_flow()(
+        src in arb_view(),
+        dst in arb_view(),
+        tcp in any::<bool>(),
+    ) -> FlowView {
+        FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(if tcp { 6 } else { 17 }),
+            src,
+            dst,
+        }
+    }
+}
+
+fn pm_with(rules: &[(PolicyRule, u32)]) -> PolicyManager {
+    let mut pm = PolicyManager::new();
+    for (rule, prio) in rules {
+        pm.insert(rule.clone(), *prio, "prop");
+    }
+    pm
+}
+
+/// Test-local arbitration oracle, written independently of both the
+/// indexed query and the analyzer: scan every stored rule, keep the one
+/// with the minimal `(Reverse(priority), deny-first, id)` rank.
+type OracleRank = (Reverse<u32>, u8, PolicyId);
+
+fn oracle_decide(rules: &[StoredPolicy], flow: &FlowView, exclude: Option<PolicyId>) -> Decision {
+    let mut best: Option<(OracleRank, &StoredPolicy)> = None;
+    for sp in rules {
+        if Some(sp.id) == exclude || !sp.rule.matches(flow) {
+            continue;
+        }
+        let deny_first = u8::from(sp.rule.action == PolicyAction::Allow);
+        let rank = (Reverse(sp.priority), deny_first, sp.id);
+        if best.as_ref().is_none_or(|(b, _)| rank < *b) {
+            best = Some((rank, sp));
+        }
+    }
+    best.map_or(
+        Decision {
+            action: PolicyAction::Deny,
+            policy: DEFAULT_DENY_ID,
+        },
+        |(_, sp)| Decision {
+            action: sp.rule.action,
+            policy: sp.id,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The analyzer's replayed arbitration is bit-identical to the
+    /// Policy Manager's retained linear scan on arbitrary flows.
+    #[test]
+    fn decide_matches_query_linear(
+        rules in proptest::collection::vec((arb_rule(), 1u32..5), 0..12),
+        flows in proptest::collection::vec(arb_flow(), 1..6),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        for flow in &flows {
+            prop_assert_eq!(
+                az.decide(flow),
+                pm.query_linear(flow),
+                "analyzer arbitration diverged from the oracle on {:?}",
+                flow
+            );
+        }
+    }
+
+    /// `decide_excluding` agrees with the test-local oracle run over the
+    /// rule set with one rule deleted.
+    #[test]
+    fn decide_excluding_matches_oracle(
+        rules in proptest::collection::vec((arb_rule(), 1u32..5), 1..10),
+        flow in arb_flow(),
+        pick in any::<usize>(),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        let excluded = az.rules()[pick % az.rules().len()].id;
+        prop_assert_eq!(
+            az.decide_excluding(&flow, excluded),
+            oracle_decide(az.rules(), &flow, Some(excluded))
+        );
+    }
+
+    /// Shadow exactness, both directions. A reported rule's witness is a
+    /// flow the rule matches yet loses (no false positives would survive
+    /// this: the witness must genuinely go to someone else), and every
+    /// unreported rule *wins* its minimal witness flow under the linear
+    /// oracle (so no observable shadow is ever missed).
+    #[test]
+    fn shadow_reports_are_exact(
+        rules in proptest::collection::vec((arb_rule(), 1u32..5), 0..12),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        let shadowed: BTreeSet<PolicyId> = az
+            .shadowed_rules()
+            .into_iter()
+            .map(|d| d.rules[0])
+            .collect();
+        for sp in az.rules() {
+            let w = az.witness_flow(sp.id).expect("live rule has a witness");
+            prop_assert!(sp.rule.matches(&w), "a rule must match its own witness");
+            let winner = pm.query_linear(&w);
+            if shadowed.contains(&sp.id) {
+                prop_assert_ne!(
+                    winner.policy, sp.id,
+                    "rule {:?} was reported shadowed but wins its witness {:?}",
+                    sp.id, w
+                );
+            } else {
+                prop_assert_eq!(
+                    winner.policy, sp.id,
+                    "rule {:?} was not reported shadowed yet loses its own minimal \
+                     flow {:?} — a missed shadow",
+                    sp.id, w
+                );
+            }
+        }
+    }
+
+    /// Redundancy soundness: for a reported-redundant rule, deleting it
+    /// never flips the verdict of any probe flow (checked with the local
+    /// oracle). For an unreported, unshadowed rule, the analyzer's
+    /// non-redundancy witness must check out: the rule decides that flow
+    /// and deleting the rule flips the action.
+    #[test]
+    fn redundancy_reports_are_sound(
+        rules in proptest::collection::vec((arb_rule(), 1u32..5), 0..10),
+        probes in proptest::collection::vec(arb_flow(), 1..8),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        let shadowed: BTreeSet<PolicyId> = az
+            .shadowed_rules()
+            .into_iter()
+            .map(|d| d.rules[0])
+            .collect();
+        let redundant: BTreeSet<PolicyId> = az
+            .redundant_rules()
+            .into_iter()
+            .map(|d| d.rules[0])
+            .collect();
+        for sp in az.rules() {
+            if redundant.contains(&sp.id) {
+                for probe in &probes {
+                    let with = oracle_decide(az.rules(), probe, None);
+                    let without = oracle_decide(az.rules(), probe, Some(sp.id));
+                    prop_assert_eq!(
+                        with.action, without.action,
+                        "rule {:?} was reported redundant but deleting it flips \
+                         probe {:?}",
+                        sp.id, probe
+                    );
+                }
+            } else if !shadowed.contains(&sp.id) {
+                let w = az
+                    .non_redundancy_witness(sp.id)
+                    .expect("unreported rule must have a non-redundancy witness");
+                let with = oracle_decide(az.rules(), &w, None);
+                let without = oracle_decide(az.rules(), &w, Some(sp.id));
+                prop_assert_eq!(with.policy, sp.id, "witness must be decided by the rule");
+                prop_assert_ne!(
+                    with.action, without.action,
+                    "witness must flip when {:?} is deleted",
+                    sp.id
+                );
+            }
+        }
+    }
+
+    /// Every conflict diagnostic names two live opposite-action rules and
+    /// carries a witness flow both rules match.
+    #[test]
+    fn conflict_witnesses_are_valid(
+        rules in proptest::collection::vec((arb_rule(), 1u32..5), 0..10),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        for diag in az.conflicts() {
+            prop_assert_eq!(diag.kind, DiagnosticKind::AllowDenyConflict);
+            let a = pm.get(diag.rules[0]).expect("conflict names a live rule");
+            let b = pm.get(diag.rules[1]).expect("conflict names a live rule");
+            prop_assert_ne!(a.rule.action, b.rule.action);
+            let w = diag.witness.as_ref().expect("conflicts carry a witness");
+            prop_assert!(a.rule.matches(w), "witness escapes rule {:?}", a.id);
+            prop_assert!(b.rule.matches(w), "witness escapes rule {:?}", b.id);
+        }
+    }
+}

@@ -176,8 +176,7 @@ fn main() {
                 o.leaked_after,
                 o.interruptions_before,
                 o.staleness
-                    .map(|d| format!("{:.1}s", d.as_secs_f64()))
-                    .unwrap_or_else(|| "0s".into()),
+                    .map_or_else(|| "0s".into(), |d| format!("{:.1}s", d.as_secs_f64())),
                 o.delivered_before,
             ),
         );

@@ -43,7 +43,7 @@ fn bench_codecs(c: &mut Criterion) {
     let fm_bytes = fm_msg.encode();
     g.bench_function("flow_mod_encode", |b| b.iter(|| black_box(fm_msg.encode())));
     g.bench_function("flow_mod_decode", |b| {
-        b.iter(|| black_box(OfMessage::decode(black_box(&fm_bytes)).unwrap()))
+        b.iter(|| black_box(OfMessage::decode(black_box(&fm_bytes)).unwrap()));
     });
     let pi_msg = OfMessage::new(
         9,
@@ -51,20 +51,20 @@ fn bench_codecs(c: &mut Criterion) {
     );
     let pi_bytes = pi_msg.encode();
     g.bench_function("packet_in_encode", |b| {
-        b.iter(|| black_box(pi_msg.encode()))
+        b.iter(|| black_box(pi_msg.encode()));
     });
     g.bench_function("packet_in_decode", |b| {
-        b.iter(|| black_box(OfMessage::decode(black_box(&pi_bytes)).unwrap()))
+        b.iter(|| black_box(OfMessage::decode(black_box(&pi_bytes)).unwrap()));
     });
     g.finish();
 
     let mut g = c.benchmark_group("packet_codec");
     let frame = sample_frame(3);
     g.bench_function("headers_parse", |b| {
-        b.iter(|| black_box(PacketHeaders::parse(black_box(&frame)).unwrap()))
+        b.iter(|| black_box(PacketHeaders::parse(black_box(&frame)).unwrap()));
     });
     g.bench_function("tcp_syn_build", |b| {
-        b.iter(|| black_box(sample_frame(black_box(4))))
+        b.iter(|| black_box(sample_frame(black_box(4))));
     });
     g.finish();
 }
@@ -83,7 +83,7 @@ fn bench_flow_table(c: &mut Criterion) {
                 || table.clone(),
                 |t| black_box(t.lookup(in_port, &h, 64, SimTime::ZERO)),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();
@@ -118,10 +118,10 @@ fn bench_policy(c: &mut Criterion) {
         // The bucket-indexed hot path vs. the retained full-scan reference:
         // same decision (proven by proptest), different asymptotics.
         g.bench_function(format!("query_{n}_rules"), |b| {
-            b.iter(|| black_box(pm.query(black_box(&flow))))
+            b.iter(|| black_box(pm.query(black_box(&flow))));
         });
         g.bench_function(format!("query_linear_{n}_rules"), |b| {
-            b.iter(|| black_box(pm.query_linear(black_box(&flow))))
+            b.iter(|| black_box(pm.query_linear(black_box(&flow))));
         });
     }
     g.finish();
@@ -156,10 +156,10 @@ fn bench_erm(c: &mut Criterion) {
                     mac,
                     Some((0xD1, 3)),
                 ))
-            })
+            });
         });
         g.bench_function(format!("spoof_check_{n}_bindings"), |b| {
-            b.iter(|| black_box(erm.spoof_check(black_box(Some(ip)), mac)))
+            b.iter(|| black_box(erm.spoof_check(black_box(Some(ip)), mac)));
         });
     }
     g.finish();
@@ -186,10 +186,10 @@ fn bench_decision_cache(c: &mut Criterion) {
     let hit = FlowKey::new(&hit_headers, 0xD1, 1);
     let miss = FlowKey::new(&hit_headers, 0xD1, 39); // unknown in_port
     g.bench_function("hit_10k_entries", |b| {
-        b.iter(|| black_box(cache.lookup(black_box(&hit))))
+        b.iter(|| black_box(cache.lookup(black_box(&hit))));
     });
     g.bench_function("miss_10k_entries", |b| {
-        b.iter(|| black_box(cache.lookup(black_box(&miss))))
+        b.iter(|| black_box(cache.lookup(black_box(&miss))));
     });
     // The full CPU cost a cached packet avoids: canonicalize + probe vs.
     // parse + resolve + query (measured separately above).
@@ -197,7 +197,7 @@ fn bench_decision_cache(c: &mut Criterion) {
         b.iter(|| {
             let key = FlowKey::new(black_box(&hit_headers), 0xD1, 1);
             black_box(cache.lookup(&key))
-        })
+        });
     });
     g.finish();
 }
@@ -213,7 +213,7 @@ fn bench_sim_kernel(c: &mut Criterion) {
             }
             sim.run();
             black_box(sim.events_executed())
-        })
+        });
     });
     g.bench_function("station_pipeline_1k_jobs", |b| {
         use dfi_simnet::{Dist, Station, StationConfig};
@@ -228,7 +228,7 @@ fn bench_sim_kernel(c: &mut Criterion) {
             }
             sim.run();
             black_box(st.stats().completed)
-        })
+        });
     });
     g.finish();
 }

@@ -150,12 +150,7 @@ impl<M: Clone + 'static> Bus<M> {
 
     /// Number of live subscriptions on `topic`.
     pub fn subscriber_count(&self, topic: &str) -> usize {
-        self.inner
-            .borrow()
-            .topics
-            .get(topic)
-            .map(|s| s.len())
-            .unwrap_or(0)
+        self.inner.borrow().topics.get(topic).map_or(0, Vec::len)
     }
 }
 

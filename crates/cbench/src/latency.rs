@@ -116,16 +116,17 @@ pub fn run(config: LatencyConfig) -> LatencyReport {
     sim.set_event_limit(200_000_000);
     sim.run();
 
-    let s = Rc::try_unwrap(state)
-        .map(|c| c.into_inner())
-        .unwrap_or_else(|rc| {
+    let s = Rc::try_unwrap(state).map_or_else(
+        |rc| {
             let b = rc.borrow();
             State {
                 sent_at: b.sent_at,
                 completed: b.completed,
                 flow_start: b.flow_start.clone(),
             }
-        });
+        },
+        RefCell::into_inner,
+    );
     LatencyReport {
         flow_start: s.flow_start,
         dfi: dfi.metrics(),

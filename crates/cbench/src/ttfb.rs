@@ -138,10 +138,7 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
         let Ok(h) = PacketHeaders::parse(&frame) else {
             return;
         };
-        let is_syn_ack = h
-            .tcp_flags
-            .map(|f| f.contains(TcpFlags::SYN_ACK))
-            .unwrap_or(false);
+        let is_syn_ack = h.tcp_flags.is_some_and(|f| f.contains(TcpFlags::SYN_ACK));
         if is_syn_ack && h.ipv4_dst == Some(PROBE_A_IP) {
             let mut p = pr.borrow_mut();
             if !p.answered && h.tcp_dst == Some(p.current_port) {

@@ -174,9 +174,8 @@ impl TopologyController {
                 );
             }
             Message::MultipartReply(MultipartReply::PortDesc(ports)) => {
-                let dpid = match self.inner.borrow().conns[conn].dpid {
-                    Some(d) => d,
-                    None => return,
+                let Some(dpid) = self.inner.borrow().conns[conn].dpid else {
+                    return;
                 };
                 // Discovery step 2: probe every port with LLDP.
                 for p in ports {
@@ -197,9 +196,8 @@ impl TopologyController {
 
     fn handle_packet_in(&self, sim: &mut Sim, conn: usize, pi: PacketIn) {
         let Some(in_port) = pi.in_port() else { return };
-        let this_dpid = match self.inner.borrow().conns[conn].dpid {
-            Some(d) => d,
-            None => return,
+        let Some(this_dpid) = self.inner.borrow().conns[conn].dpid else {
+            return;
         };
         // Discovery step 3: a probe returning on another switch names the
         // link between its origin and here.
@@ -301,9 +299,8 @@ impl TopologyController {
             hops
         };
         for (dpid, out_port) in hops {
-            let conn = match self.inner.borrow().conn_of_dpid.get(&dpid) {
-                Some(&c) => c,
-                None => continue,
+            let Some(&conn) = self.inner.borrow().conn_of_dpid.get(&dpid) else {
+                continue;
             };
             let fm = FlowMod {
                 table_id: 0,

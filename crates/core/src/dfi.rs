@@ -739,7 +739,7 @@ impl Dfi {
         sim.schedule_in(send_delay, move |sim| to_switch(sim, bytes));
         let me = self.clone();
         sim.schedule_in(send_delay + ack_wait, move |sim| {
-            me.check_install_ack(sim, conn, xid, ack_wait)
+            me.check_install_ack(sim, conn, xid, ack_wait);
         });
     }
 
@@ -798,7 +798,7 @@ impl Dfi {
         match rewrite_controller_to_switch(msg, n_tables) {
             Upstream::Forward(msgs) => {
                 let sink = self.inner.borrow().conns[conn].to_switch.clone();
-                let bytes: Vec<u8> = msgs.iter().flat_map(|m| m.encode()).collect();
+                let bytes: Vec<u8> = msgs.iter().flat_map(OfMessage::encode).collect();
                 sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
             }
             Upstream::Reject => {
@@ -838,7 +838,7 @@ impl Dfi {
                     let t_policy_done = sim.now();
                     me3.record(|m| {
                         m.policy
-                            .push((t_policy_done - t_binding_done).as_secs_f64())
+                            .push((t_policy_done - t_binding_done).as_secs_f64());
                     });
                     me3.pcp_decide(sim, conn, &pi, arrival);
                 });

@@ -118,7 +118,7 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
         bus.subscribe(topic, move |_, ev: &DfiEvent| {
-            l.borrow_mut().push(ev.clone())
+            l.borrow_mut().push(ev.clone());
         });
         (bus, log)
     }

@@ -6,10 +6,14 @@
 //!
 //! 1. **Insert-time conflict detection** — a newly inserted rule conflicts
 //!    with an existing rule when (a) the rules overlap field-by-field,
-//!    (b) their actions differ, and (c) the existing rule's priority is
-//!    lower than the new rule's. Flow rules derived from the conflicting
-//!    (existing) policies must be flushed from the switches so ongoing
-//!    flows are re-evaluated; the policies themselves stay in the database.
+//!    (b) their actions differ, and (c) the new rule now outranks the
+//!    existing one under arbitration: the existing rule's priority is
+//!    lower, **or** the priorities are equal and the new rule is a Deny
+//!    (equal-priority arbitration prefers Deny, so an existing Allow's
+//!    cached flow rules just became stale). Flow rules derived from the
+//!    conflicting (existing) policies must be flushed from the switches so
+//!    ongoing flows are re-evaluated; the policies themselves stay in the
+//!    database.
 //! 2. **Revocation** — removing a policy also flushes its derived flow
 //!    rules.
 //!
@@ -238,9 +242,13 @@ impl PolicyManager {
             .rules
             .values()
             .filter(|existing| {
-                existing.priority < priority
-                    && existing.rule.action != rule.action
-                    && existing.rule.overlaps(&rule)
+                // The new rule outranks the existing one when its priority
+                // is strictly higher, or ties it as a Deny (equal-priority
+                // arbitration prefers Deny — an existing Allow's cached
+                // decisions are then stale).
+                let outranked = existing.priority < priority
+                    || (existing.priority == priority && rule.action == PolicyAction::Deny);
+                outranked && existing.rule.action != rule.action && existing.rule.overlaps(&rule)
             })
             .map(|e| e.id)
             .collect();
@@ -323,7 +331,7 @@ impl PolicyManager {
             cursors: keys
                 .iter()
                 .filter_map(|k| self.buckets.get(k))
-                .map(|v| v.as_slice())
+                .map(Vec::as_slice)
                 .collect(),
         }
     }
@@ -612,7 +620,7 @@ impl PolicyManager {
         PolicyIndexStats {
             rules: self.rules.len(),
             buckets: self.buckets.len(),
-            scan_bucket_len: self.buckets.get(&BucketKey::Scan).map_or(0, |b| b.len()),
+            scan_bucket_len: self.buckets.get(&BucketKey::Scan).map_or(0, Vec::len),
             candidates_scanned: self.candidates_scanned,
             queries: self.queries,
         }
@@ -626,6 +634,13 @@ impl PolicyManager {
     /// All stored policies, ascending id.
     pub fn iter(&self) -> impl Iterator<Item = &StoredPolicy> {
         self.rules.values()
+    }
+
+    /// An owned snapshot of every stored policy, ascending id — the static
+    /// analyzer's input (`dfi-analyze` runs offline over this, without
+    /// holding a borrow on the live manager).
+    pub fn snapshot(&self) -> Vec<StoredPolicy> {
+        self.rules.values().cloned().collect()
     }
 }
 
@@ -786,6 +801,48 @@ mod tests {
             want.sort_unstable();
             want
         });
+    }
+
+    #[test]
+    fn equal_priority_deny_insert_flushes_overlapping_allow() {
+        // Regression: the pre-analyzer check only flagged strictly
+        // lower-priority existing rules, so an equal-priority Deny left the
+        // Allow's cached flow rules live even though arbitration now
+        // prefers the Deny.
+        let mut pm = PolicyManager::new();
+        let (allow_id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "a",
+        );
+        let (_, flush) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+            10,
+            "b",
+        );
+        assert!(
+            flush.contains(&allow_id),
+            "equal-priority Deny must flush the overlapping Allow: {flush:?}"
+        );
+    }
+
+    #[test]
+    fn equal_priority_allow_insert_does_not_flush_deny() {
+        // The mirror case stays quiet: an equal-priority Allow never
+        // outranks an existing Deny (Deny wins ties), so the Deny's cached
+        // rules remain exactly right.
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "a",
+        );
+        let (_, flush) = pm.insert(
+            PolicyRule::allow(EndpointPattern::any(), EndpointPattern::any()),
+            10,
+            "b",
+        );
+        assert!(flush.is_empty(), "{flush:?}");
     }
 
     #[test]
@@ -1025,6 +1082,88 @@ mod tests {
             stats.candidates_scanned,
             stats.rules
         );
+    }
+
+    #[test]
+    fn index_stats_bucket_accounting_survives_revocations() {
+        let mut pm = PolicyManager::new();
+        // Two rules share one dst-user bucket (case-folded), one sits in
+        // its own src-host bucket, two land in the scan bucket.
+        let (a, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::any(), EndpointPattern::user("Bob")),
+            10,
+            "p",
+        );
+        let (b, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::user("BOB")),
+            20,
+            "p",
+        );
+        let (c, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::host("srv"), EndpointPattern::any()),
+            10,
+            "p",
+        );
+        let (d, _) = pm.insert(PolicyRule::allow_all(), 1, "p");
+        let (e, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+            2,
+            "p",
+        );
+        let stats = pm.index_stats();
+        assert_eq!(
+            (stats.rules, stats.buckets, stats.scan_bucket_len),
+            (5, 3, 2)
+        );
+        // Removing one of two same-bucket rules keeps the bucket alive.
+        pm.revoke(a);
+        let stats = pm.index_stats();
+        assert_eq!(
+            (stats.rules, stats.buckets, stats.scan_bucket_len),
+            (4, 3, 2)
+        );
+        // Removing the last dst-user rule drops that bucket.
+        pm.revoke(b);
+        let stats = pm.index_stats();
+        assert_eq!(
+            (stats.rules, stats.buckets, stats.scan_bucket_len),
+            (3, 2, 2)
+        );
+        // Draining the scan bucket drops it too; revoking an already
+        // revoked id must not disturb the accounting.
+        pm.revoke(d);
+        pm.revoke(e);
+        assert!(!pm.revoke(d));
+        let stats = pm.index_stats();
+        assert_eq!(
+            (stats.rules, stats.buckets, stats.scan_bucket_len),
+            (1, 1, 0)
+        );
+        pm.revoke(c);
+        let stats = pm.index_stats();
+        assert_eq!(
+            (stats.rules, stats.buckets, stats.scan_bucket_len),
+            (0, 0, 0)
+        );
+        // Counters are cumulative and unaffected by revocation.
+        assert_eq!(stats.queries, 0);
+        pm.query(&flow("alice", "bob"));
+        assert_eq!(pm.index_stats().queries, 1);
+    }
+
+    #[test]
+    fn snapshot_clones_all_policies_in_id_order() {
+        let mut pm = PolicyManager::new();
+        let (a, _) = pm.insert(PolicyRule::allow_all(), 3, "x");
+        let (b, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::user("eve"), EndpointPattern::any()),
+            9,
+            "y",
+        );
+        let snap = pm.snapshot();
+        assert_eq!(snap.iter().map(|sp| sp.id).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(snap[1].pdp, "y");
+        assert_eq!(snap[1].priority, 9);
     }
 
     #[test]

@@ -47,6 +47,27 @@ impl<T: PartialEq + Copy> Wild<T> {
             Wild::Is(v) => Some(*v),
         }
     }
+
+    /// `true` when every value admitted by `other` is admitted by `self`
+    /// (set inclusion; the static analyzer's domination check).
+    pub fn subsumes(&self, other: &Wild<T>) -> bool {
+        match (self, other) {
+            (Wild::Any, _) => true,
+            (Wild::Is(_), Wild::Any) => false,
+            (Wild::Is(a), Wild::Is(b)) => a == b,
+        }
+    }
+
+    /// The field matching exactly the values both fields admit, or `None`
+    /// when the admitted sets are disjoint.
+    pub fn intersect(&self, other: &Wild<T>) -> Option<Wild<T>> {
+        match (self, other) {
+            (Wild::Any, o) => Some(*o),
+            (s, Wild::Any) => Some(*s),
+            (Wild::Is(a), Wild::Is(b)) if a == b => Some(Wild::Is(*a)),
+            _ => None,
+        }
+    }
 }
 
 /// String-valued policy field (usernames, hostnames). Separate from
@@ -79,6 +100,31 @@ impl WildName {
         match (self, other) {
             (WildName::Any, _) | (_, WildName::Any) => true,
             (WildName::Is(a), WildName::Is(b)) => a.eq_ignore_ascii_case(b),
+        }
+    }
+
+    /// `true` when every view admitted by `other` is admitted by `self`
+    /// (ASCII case-insensitive, matching [`WildName::admits_any`]).
+    pub fn subsumes(&self, other: &WildName) -> bool {
+        match (self, other) {
+            (WildName::Any, _) => true,
+            (WildName::Is(_), WildName::Any) => false,
+            (WildName::Is(a), WildName::Is(b)) => a.eq_ignore_ascii_case(b),
+        }
+    }
+
+    /// The field matching exactly the names both fields admit (`None` when
+    /// disjoint). When both pin the same name under different cases, the
+    /// spelling of `self` is kept — the admitted set is identical either
+    /// way.
+    pub fn intersect(&self, other: &WildName) -> Option<WildName> {
+        match (self, other) {
+            (WildName::Any, o) => Some(o.clone()),
+            (s, WildName::Any) => Some(s.clone()),
+            (WildName::Is(a), WildName::Is(b)) if a.eq_ignore_ascii_case(b) => {
+                Some(WildName::Is(a.clone()))
+            }
+            _ => None,
         }
     }
 }
@@ -114,6 +160,19 @@ impl FlowProperties {
     /// Matches any flow.
     pub fn any() -> FlowProperties {
         FlowProperties::default()
+    }
+
+    /// `true` when every flow admitted by `other` is admitted by `self`.
+    pub fn subsumes(&self, other: &FlowProperties) -> bool {
+        self.ethertype.subsumes(&other.ethertype) && self.ip_proto.subsumes(&other.ip_proto)
+    }
+
+    /// Field-wise intersection (`None` when some field pair is disjoint).
+    pub fn intersect(&self, other: &FlowProperties) -> Option<FlowProperties> {
+        Some(FlowProperties {
+            ethertype: self.ethertype.intersect(&other.ethertype)?,
+            ip_proto: self.ip_proto.intersect(&other.ip_proto)?,
+        })
     }
 
     /// TCP flows only.
@@ -195,6 +254,33 @@ impl EndpointPattern {
             && self.switch_dpid.admits(view.switch_dpid)
     }
 
+    /// `true` when every endpoint view admitted by `other` is admitted by
+    /// `self` — i.e. `self` is the same pattern or a field-wise widening.
+    pub fn subsumes(&self, other: &EndpointPattern) -> bool {
+        self.username.subsumes(&other.username)
+            && self.hostname.subsumes(&other.hostname)
+            && self.ip.subsumes(&other.ip)
+            && self.port.subsumes(&other.port)
+            && self.mac.subsumes(&other.mac)
+            && self.switch_port.subsumes(&other.switch_port)
+            && self.switch_dpid.subsumes(&other.switch_dpid)
+    }
+
+    /// Field-wise intersection of two patterns: the pattern admitting
+    /// exactly the endpoints both admit, or `None` when some field pair is
+    /// disjoint (in which case [`EndpointPattern::overlaps`] is `false`).
+    pub fn intersect(&self, other: &EndpointPattern) -> Option<EndpointPattern> {
+        Some(EndpointPattern {
+            username: self.username.intersect(&other.username)?,
+            hostname: self.hostname.intersect(&other.hostname)?,
+            ip: self.ip.intersect(&other.ip)?,
+            port: self.port.intersect(&other.port)?,
+            mac: self.mac.intersect(&other.mac)?,
+            switch_port: self.switch_port.intersect(&other.switch_port)?,
+            switch_dpid: self.switch_dpid.intersect(&other.switch_dpid)?,
+        })
+    }
+
     /// `true` when the endpoint sets matched by two patterns can intersect.
     pub fn overlaps(&self, other: &EndpointPattern) -> bool {
         self.username.overlaps(&other.username)
@@ -252,6 +338,16 @@ impl PolicyRule {
             && self.flow.ip_proto.admits(flow.ip_proto)
             && self.src.admits(&flow.src)
             && self.dst.admits(&flow.dst)
+    }
+
+    /// `true` when every flow matched by `other` is matched by `self`
+    /// (match-space inclusion; actions are ignored). This is the static
+    /// analyzer's domination test: a higher-precedence subsuming rule makes
+    /// `other` unreachable.
+    pub fn subsumes(&self, other: &PolicyRule) -> bool {
+        self.flow.subsumes(&other.flow)
+            && self.src.subsumes(&other.src)
+            && self.dst.subsumes(&other.dst)
     }
 
     /// Conservative overlap test used for conflict detection (paper
@@ -319,8 +415,8 @@ mod tests {
 
     fn view(users: &[&str], hosts: &[&str]) -> EndpointView {
         EndpointView {
-            usernames: users.iter().map(|s| s.to_string()).collect(),
-            hostnames: hosts.iter().map(|s| s.to_string()).collect(),
+            usernames: users.iter().map(std::string::ToString::to_string).collect(),
+            hostnames: hosts.iter().map(std::string::ToString::to_string).collect(),
             ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
             port: Some(445),
             mac: Some(MacAddr::from_index(1)),
@@ -438,5 +534,92 @@ mod tests {
     fn policy_action_displays() {
         assert_eq!(PolicyAction::Allow.to_string(), "Allow");
         assert_eq!(PolicyAction::Deny.to_string(), "Deny");
+    }
+
+    #[test]
+    fn wildname_empty_string_is_a_real_pin() {
+        // An empty name is a legal (if odd) pinned value: it admits only a
+        // view carrying the empty string, never a view with no names.
+        let p = WildName::is("");
+        assert!(p.admits_any(&[String::new()]));
+        assert!(!p.admits_any(&[]));
+        assert!(!p.admits_any(&["alice".into()]));
+        assert!(p.overlaps(&WildName::is("")));
+        assert!(!p.overlaps(&WildName::is("alice")));
+        assert!(WildName::Any.subsumes(&p));
+        assert!(!p.subsumes(&WildName::Any));
+        assert_eq!(p.intersect(&WildName::is("")), Some(WildName::is("")));
+        assert_eq!(p.intersect(&WildName::is("x")), None);
+    }
+
+    #[test]
+    fn wildname_case_insensitivity_is_consistent_across_operations() {
+        let lower = WildName::is("alice");
+        let upper = WildName::is("ALICE");
+        let mixed = WildName::is("AlIcE");
+        // admits / overlaps / subsumes / intersect must all agree that the
+        // three spellings denote the same matched set.
+        for a in [&lower, &upper, &mixed] {
+            assert!(a.admits_any(&["aLiCe".into()]));
+            for b in [&lower, &upper, &mixed] {
+                assert!(a.overlaps(b));
+                assert!(a.subsumes(b));
+                assert!(b.subsumes(a));
+                let i = a.intersect(b).expect("same set intersects");
+                assert!(i.admits_any(&["alice".into()]));
+            }
+        }
+        // Non-ASCII case is NOT folded: matching is ASCII-only by design
+        // (Windows identifier semantics).
+        let unicode_upper = WildName::is("ÄLICE");
+        let unicode_lower = WildName::is("älice");
+        assert!(!unicode_upper.overlaps(&unicode_lower));
+        assert_eq!(unicode_upper.intersect(&unicode_lower), None);
+    }
+
+    #[test]
+    fn subsumption_and_intersection_on_patterns() {
+        let any = EndpointPattern::any();
+        let alice = EndpointPattern::user("alice");
+        let alice_at_h1 = EndpointPattern {
+            hostname: WildName::is("h1"),
+            ..EndpointPattern::user("alice")
+        };
+        assert!(any.subsumes(&alice));
+        assert!(alice.subsumes(&alice_at_h1));
+        assert!(!alice_at_h1.subsumes(&alice));
+        assert!(!alice.subsumes(&any));
+        // Intersection narrows field-wise.
+        let i = alice
+            .intersect(&EndpointPattern::host("h1"))
+            .expect("compatible");
+        assert_eq!(i, alice_at_h1);
+        // Disjoint pins kill the intersection.
+        assert_eq!(alice.intersect(&EndpointPattern::user("bob")), None);
+        // Wild<T> numeric fields participate too.
+        let p1 = EndpointPattern {
+            port: Wild::Is(80),
+            ..EndpointPattern::any()
+        };
+        let p2 = EndpointPattern {
+            port: Wild::Is(443),
+            ..EndpointPattern::any()
+        };
+        assert_eq!(p1.intersect(&p2), None);
+        assert!(Wild::<u16>::Any.subsumes(&Wild::Is(80)));
+        assert!(!Wild::Is(80).subsumes(&Wild::<u16>::Any));
+        assert_eq!(Wild::Is(80).intersect(&Wild::Any), Some(Wild::Is(80)));
+    }
+
+    #[test]
+    fn rule_subsumption_ignores_action() {
+        let wide = PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any());
+        let narrow = PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any());
+        assert!(wide.subsumes(&narrow));
+        assert!(!narrow.subsumes(&wide));
+        let mut tcp_narrow = narrow.clone();
+        tcp_narrow.flow = FlowProperties::tcp();
+        assert!(narrow.subsumes(&tcp_narrow));
+        assert!(!tcp_narrow.subsumes(&narrow));
     }
 }

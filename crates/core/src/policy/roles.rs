@@ -31,7 +31,7 @@ impl RbacRoles {
 
     /// Adds an enclave with its member hosts.
     pub fn add_enclave(&mut self, name: &str, hosts: &[&str]) {
-        let hosts: Vec<String> = hosts.iter().map(|h| h.to_string()).collect();
+        let hosts: Vec<String> = hosts.iter().map(ToString::to_string).collect();
         for h in &hosts {
             self.enclave_of.insert(h.clone(), name.to_string());
         }
@@ -63,7 +63,7 @@ impl RbacRoles {
 
     /// Members of an enclave.
     pub fn members_of(&self, enclave: &str) -> &[String] {
-        self.enclaves.get(enclave).map(Vec::as_slice).unwrap_or(&[])
+        self.enclaves.get(enclave).map_or(&[], Vec::as_slice)
     }
 
     /// The hosts a given host's role allows it to exchange flows with:

@@ -286,7 +286,7 @@ mod tests {
         let out = forward_one(rewrite_controller_to_switch(msg, N_TABLES));
         match out.body {
             Message::MultipartRequest(MultipartRequest::Flow { table_id, .. }) => {
-                assert_eq!(table_id, 1)
+                assert_eq!(table_id, 1);
             }
             _ => panic!(),
         }
@@ -298,7 +298,7 @@ mod tests {
         let out = forward_one(rewrite_controller_to_switch(msg, N_TABLES));
         match out.body {
             Message::MultipartRequest(MultipartRequest::Flow { table_id, .. }) => {
-                assert_eq!(table_id, table::ALL)
+                assert_eq!(table_id, table::ALL);
             }
             _ => panic!(),
         }

@@ -181,7 +181,8 @@ proptest! {
     }
 
     /// Conflict reporting: every reported id exists (or is the default
-    /// deny), had lower priority, and opposite action.
+    /// deny), is outranked by the new rule (strictly lower priority, or
+    /// equal priority with the new rule a Deny), and has opposite action.
     #[test]
     fn conflict_reports_are_valid(
         existing in proptest::collection::vec((arb_rule(), 1u32..5), 0..8),
@@ -204,7 +205,12 @@ proptest! {
                 .iter()
                 .find(|(sid, _, _)| *sid == id)
                 .expect("flush id refers to a pre-existing rule");
-            prop_assert!(*prio < new_prio);
+            prop_assert!(
+                *prio < new_prio
+                    || (*prio == new_prio && new_rule.action == PolicyAction::Deny),
+                "flushed rule (prio {}) is not outranked by the new {:?} (prio {})",
+                prio, new_rule.action, new_prio
+            );
             prop_assert_ne!(rule.action, new_rule.action);
             prop_assert!(rule.overlaps(&new_rule));
         }

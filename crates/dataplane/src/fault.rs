@@ -174,7 +174,7 @@ mod tests {
             for i in 0..200u64 {
                 let s = sink.clone();
                 sim.schedule_in(Duration::from_micros(i * 37), move |sim| {
-                    s(sim, vec![i as u8; 16])
+                    s(sim, vec![i as u8; 16]);
                 });
             }
             sim.run();

@@ -171,12 +171,9 @@ impl Switch {
     }
 
     fn run_pipeline(&self, sim: &mut Sim, in_port: u32, frame: Vec<u8>, start_table: u8) {
-        let headers = match PacketHeaders::parse(&frame) {
-            Ok(h) => h,
-            Err(_) => {
-                self.inner.borrow_mut().stats.frames_dropped += 1;
-                return;
-            }
+        let Ok(headers) = PacketHeaders::parse(&frame) else {
+            self.inner.borrow_mut().stats.frames_dropped += 1;
+            return;
         };
         let now = sim.now();
         // Resolve the pipeline outcome with a single borrow, then perform
@@ -521,7 +518,11 @@ impl Switch {
     fn reschedule_sweep(&self, sim: &mut Sim) {
         let deadline = {
             let inner = self.inner.borrow();
-            inner.tables.iter().filter_map(|t| t.next_deadline()).min()
+            inner
+                .tables
+                .iter()
+                .filter_map(FlowTable::next_deadline)
+                .min()
         };
         let Some(deadline) = deadline else { return };
         {

@@ -42,6 +42,12 @@
 //! ```
 
 #![warn(missing_docs)]
+// Decode paths must degrade gracefully on malformed wire input, never
+// panic: a truncated OXM TLV from a misbehaving switch must not take the
+// proxy down. Enforced here (and turned into a hard error by the
+// `-D warnings` clippy gate in scripts/check.sh); tests and doc examples
+// are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod action;
 mod flow;

@@ -119,8 +119,7 @@ impl PacketHeaders {
     /// `true` when this is a bare TCP SYN (a new connection attempt).
     pub fn is_tcp_syn(&self) -> bool {
         self.tcp_flags
-            .map(|f| f.contains(TcpFlags::SYN) && !f.contains(TcpFlags::ACK))
-            .unwrap_or(false)
+            .is_some_and(|f| f.contains(TcpFlags::SYN) && !f.contains(TcpFlags::ACK))
     }
 }
 

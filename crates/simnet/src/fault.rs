@@ -200,7 +200,7 @@ impl FaultPlan {
                 "seed" => {
                     plan.seed = value
                         .parse()
-                        .map_err(|e| format!("bad seed {value:?}: {e}"))?
+                        .map_err(|e| format!("bad seed {value:?}: {e}"))?;
                 }
                 "drop" => plan.drop = prob(value)?,
                 "dup" => plan.duplicate = prob(value)?,

@@ -221,7 +221,7 @@ mod tests {
         for &(ms, label) in &[(30u64, 'c'), (10, 'a'), (20, 'b')] {
             let order = order.clone();
             sim.schedule_at(SimTime::from_millis(ms), move |_| {
-                order.borrow_mut().push(label)
+                order.borrow_mut().push(label);
             });
         }
         sim.run();

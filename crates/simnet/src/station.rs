@@ -182,8 +182,7 @@ impl Station {
                     let horizon = now
                         .saturating_duration_since(SimTime::ZERO)
                         .checked_sub(inner.config.rate_window)
-                        .map(|d| SimTime::ZERO + d)
-                        .unwrap_or(SimTime::ZERO);
+                        .map_or(SimTime::ZERO, |d| SimTime::ZERO + d);
                     while inner.arrivals.front().is_some_and(|&t| t < horizon) {
                         inner.arrivals.pop_front();
                     }

@@ -238,8 +238,7 @@ impl Host {
         }
         let is_syn_ack = h
             .tcp_flags
-            .map(|f| f.contains(dfi_packet::TcpFlags::SYN_ACK))
-            .unwrap_or(false);
+            .is_some_and(|f| f.contains(dfi_packet::TcpFlags::SYN_ACK));
         if is_syn_ack {
             if let Some(sport) = h.tcp_dst {
                 self.finish_connect(sim, sport, true);

@@ -424,12 +424,12 @@ mod tests {
     fn hosts_have_unique_addresses() {
         let mut sim = Sim::new(1);
         let tb = Testbed::build(&mut sim, &TestbedConfig::default(), Condition::Baseline);
-        let mut ips: Vec<_> = tb.hosts.iter().map(|h| h.ip()).collect();
+        let mut ips: Vec<_> = tb.hosts.iter().map(super::super::host::Host::ip).collect();
         let n = ips.len();
         ips.sort();
         ips.dedup();
         assert_eq!(ips.len(), n, "duplicate IPs");
-        let mut macs: Vec<_> = tb.hosts.iter().map(|h| h.mac()).collect();
+        let mut macs: Vec<_> = tb.hosts.iter().map(super::super::host::Host::mac).collect();
         macs.sort();
         macs.dedup();
         assert_eq!(macs.len(), n, "duplicate MACs");
@@ -447,8 +447,7 @@ mod tests {
             .iter()
             .filter(|h| {
                 h.with(|n| n.primary_user.clone())
-                    .map(|u| tb.siem.is_logged_on(&u, &h.hostname()))
-                    .unwrap_or(false)
+                    .is_some_and(|u| tb.siem.is_logged_on(&u, &h.hostname()))
             })
             .count();
         assert_eq!(logged_on, 8, "all end hosts staffed mid-morning");

@@ -189,8 +189,7 @@ impl WormInstance {
                     let cached_cred_user = source2.with(|h| h.primary_user.clone());
                     let has_admin = cached_cred_user
                         .as_deref()
-                        .map(|u| w3.directory.is_local_admin(u, &target2.hostname()))
-                        .unwrap_or(false);
+                        .is_some_and(|u| w3.directory.is_local_admin(u, &target2.hostname()));
                     if !has_admin {
                         next(sim, this2);
                         return;

@@ -72,7 +72,7 @@ fn run(with_responder: bool) -> (usize, usize, usize) {
                     h.with(|n| n.infected_at)
                         .is_some_and(|t| now - t >= DETECTION_DELAY)
                 })
-                .map(|h| h.hostname())
+                .map(dfi_repro::worm::Host::hostname)
                 .collect();
             for host in detected {
                 if !r.quarantine.borrow().is_quarantined(&host) {

@@ -15,14 +15,14 @@ fn main() {
         (Condition::AtRbac, "AT-RBAC (authentication-triggered)"),
     ] {
         let result = run_scenario(&ScenarioConfig::paper(condition));
-        let first = result
-            .time_to_first_spread()
-            .map(|d| format!("{:.1}s", d.as_secs_f64()))
-            .unwrap_or_else(|| "never".to_string());
-        let full = result
-            .time_to_full_infection()
-            .map(|d| format!("{:.1} min", d.as_secs_f64() / 60.0))
-            .unwrap_or_else(|| "never".to_string());
+        let first = result.time_to_first_spread().map_or_else(
+            || "never".to_string(),
+            |d| format!("{:.1}s", d.as_secs_f64()),
+        );
+        let full = result.time_to_full_infection().map_or_else(
+            || "never".to_string(),
+            |d| format!("{:.1} min", d.as_secs_f64() / 60.0),
+        );
         println!("== {label} ==");
         println!("   first spread : {first}");
         println!("   full network : {full}");

@@ -8,12 +8,34 @@
 #                             (FUZZ_ITERS, default 50000), bench compile
 #   scripts/check.sh --fast   pre-commit tier: fmt, clippy, workspace tests
 #                             with the fuzz suites dialed down to 500 cases
+#   scripts/check.sh --analyze
+#                             static-analysis tier only: clippy -D warnings
+#                             plus the dfi-analyze seeded-corpus ground-truth
+#                             gate and the table-0 audit demo
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-if [[ "${1:-}" == "--fast" ]]; then
-  FAST=1
+ANALYZE_ONLY=0
+case "${1:-}" in
+  --fast) FAST=1 ;;
+  --analyze) ANALYZE_ONLY=1 ;;
+esac
+
+run_analyze() {
+  echo "== dfi-analyze: seeded 10k-rule corpus (exact ground-truth gate) =="
+  cargo build -q --release -p dfi-analyze
+  ./target/release/dfi-analyze corpus --rules 10000 --seed 7 --expect-seeded
+  echo "== dfi-analyze: live table-0 audit demo =="
+  ./target/release/dfi-analyze demo
+}
+
+if [[ "$ANALYZE_ONLY" == 1 ]]; then
+  echo "== cargo clippy (deny warnings) =="
+  cargo clippy --workspace --all-targets -- -D warnings
+  run_analyze
+  echo "All checks passed."
+  exit 0
 fi
 
 echo "== cargo fmt --check =="
@@ -44,6 +66,8 @@ if [[ "$FAST" == 0 ]]; then
   echo "== codec conformance, deep (FUZZ_ITERS=${FUZZ_ITERS:-50000}) =="
   FUZZ_ITERS="${FUZZ_ITERS:-50000}" \
     cargo test -q -p dfi-openflow --test conformance
+
+  run_analyze
 
   echo "== cargo bench --no-run =="
   cargo bench -q --workspace --no-run

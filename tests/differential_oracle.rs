@@ -140,24 +140,24 @@ fn run_scenario(seed: u64, plan: Option<&FaultPlan>) -> Outcome {
     for i in 0..N_PREHEAL {
         let t = tx1.clone();
         sim.schedule_in(Duration::from_millis(3 * u64::from(i) + 1), move |sim| {
-            t.send(sim, allowed_syn(50_000 + i))
+            t.send(sim, allowed_syn(50_000 + i));
         });
         let t = tx3.clone();
         sim.schedule_in(Duration::from_millis(3 * u64::from(i) + 2), move |sim| {
-            t.send(sim, forbidden_syn(60_000 + i))
+            t.send(sim, forbidden_syn(60_000 + i));
         });
     }
     sim.run();
 
     // Post-heal probes: strictly after every fault process is quiescent
     // (window closed, outages over) plus slack for in-flight retries.
-    let quiescent = plan.map(|p| p.quiescent_after()).unwrap_or(SimTime::ZERO);
+    let quiescent = plan.map_or(SimTime::ZERO, FaultPlan::quiescent_after);
     let start = sim.now().max(quiescent);
     let gap = (start - sim.now()) + Duration::from_millis(60);
     for i in 0..N_PROBES {
         let t = tx1.clone();
         sim.schedule_in(gap + Duration::from_millis(5 * u64::from(i)), move |sim| {
-            t.send(sim, allowed_syn(51_000 + i))
+            t.send(sim, allowed_syn(51_000 + i));
         });
         let t = tx3.clone();
         sim.schedule_in(

@@ -113,7 +113,7 @@ fn same_seed_same_faulted_timeline() {
             let t = r.tx.clone();
             r.sim
                 .schedule_in(Duration::from_millis(2 * u64::from(i)), move |sim| {
-                    t.send(sim, syn(50_000 + i))
+                    t.send(sim, syn(50_000 + i));
                 });
         }
         r.sim.run();
@@ -222,7 +222,7 @@ fn controller_channel_loss_keeps_table0_enforcement() {
         let t = r.tx.clone();
         r.sim
             .schedule_in(Duration::from_millis(5 * u64::from(i)), move |sim| {
-                t.send(sim, syn(50_000 + i))
+                t.send(sim, syn(50_000 + i));
             });
     }
     r.sim.run();
@@ -309,20 +309,20 @@ fn binding_expiry_beats_fault_delayed_packet_in() {
     // install is dropped by the window and enters the retry loop.
     let t = r.tx.clone();
     r.sim.schedule_in(Duration::from_millis(100), move |sim| {
-        t.send(sim, syn(50_000))
+        t.send(sim, syn(50_000));
     });
     // t=116ms: same flow again — no rule landed, so the switch punts; the
     // faulty channel holds the punt until ~121 ms.
     let t = r.tx.clone();
     r.sim.schedule_in(Duration::from_millis(116), move |sim| {
-        t.send(sim, syn(50_000))
+        t.send(sim, syn(50_000));
     });
     // t=118ms: log-off. Revokes the session policy, invalidates the
     // memoized Allow, flushes switches, and cancels pending Allow-install
     // retries — after the punt above left the switch, before it decides.
     let s = siem.clone();
     r.sim.schedule_in(Duration::from_millis(118), move |sim| {
-        s.log_off(sim, "lee", "lhost")
+        s.log_off(sim, "lee", "lhost");
     });
     r.sim.run();
 
