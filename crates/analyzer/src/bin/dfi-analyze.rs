@@ -229,7 +229,7 @@ fn demo_mode() -> ExitCode {
         tcp_dst: Some(445),
         ..Match::default()
     };
-    sw.install(&mut sim, dfi_allow_rule(mat, id.0, 100));
+    sw.install(&mut sim, &dfi_allow_rule(mat, id.0, 100));
 
     let audit = |pm: &PolicyManager, erm: &mut EntityResolver, sw: &Switch| {
         let az = Analyzer::from_pm(pm);

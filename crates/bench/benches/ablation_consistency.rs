@@ -61,7 +61,7 @@ fn install_rule(sw: &Switch, sim: &mut Sim, mechanism: Mechanism) {
         instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
         ..FlowMod::add()
     };
-    sw.install(sim, fm);
+    sw.install(sim, &fm);
 }
 
 struct Outcome {
@@ -94,8 +94,8 @@ fn run(mechanism: Mechanism) -> Outcome {
     let sw2 = sw.clone();
     sw.connect_control(
         &mut sim,
-        Rc::new(move |sim, bytes: Vec<u8>| {
-            let Ok(msg) = OfMessage::decode(&bytes) else {
+        Rc::new(move |sim, bytes: &[u8]| {
+            let Ok(msg) = OfMessage::decode(bytes) else {
                 return;
             };
             if let Message::PacketIn(_) = msg.body {
@@ -133,7 +133,7 @@ fn run(mechanism: Mechanism) -> Outcome {
     if matches!(mechanism, Mechanism::CookieFlush) {
         let sw3 = sw.clone();
         sim.schedule_at(REVOKE_AT, move |sim| {
-            sw3.install(sim, FlowMod::delete_by_cookie(POLICY_COOKIE, u64::MAX));
+            sw3.install(sim, &FlowMod::delete_by_cookie(POLICY_COOKIE, u64::MAX));
         });
     }
 

@@ -43,7 +43,7 @@ fn run_in_controller_enforcement() -> Outcome {
     // The "firewall app" installs its deny before the attack.
     sw.install(
         &mut sim,
-        dfi_deny_rule(Match::any(), DEFAULT_DENY_ID.0, 100),
+        &dfi_deny_rule(Match::any(), DEFAULT_DENY_ID.0, 100),
     );
     let ctrl = Controller::malicious(attack());
     let from_switch = ctrl.connect(&mut sim, sw.control_ingress());

@@ -32,7 +32,7 @@ fn main() {
             db_load_floor: base.db_load_floor * scale as f64,
             ..base.clone()
         };
-        let r = run(ThroughputConfig {
+        let r = run(&ThroughputConfig {
             offered_rate: 4_000.0 * scale as f64,
             warmup,
             window,

@@ -23,7 +23,7 @@ fn main() {
 
     println!("-- condition: without DFI (paper: flat 4-6ms) --");
     for &rate in rates {
-        let r = ttfb::run(ttfb::TtfbConfig {
+        let r = ttfb::run(&ttfb::TtfbConfig {
             with_dfi: false,
             background_rate: rate,
             probes,
@@ -35,7 +35,7 @@ fn main() {
 
     println!("-- condition: with DFI (paper: 22ms -> ~85ms @700, plateau ~200ms) --");
     for &rate in rates {
-        let r = ttfb::run(ttfb::TtfbConfig {
+        let r = ttfb::run(&ttfb::TtfbConfig {
             with_dfi: true,
             background_rate: rate,
             probes,
@@ -67,13 +67,13 @@ fn main() {
     }
 
     // Summary rows mirroring the paper's prose.
-    let no_load = ttfb::run(ttfb::TtfbConfig {
+    let no_load = ttfb::run(&ttfb::TtfbConfig {
         with_dfi: true,
         probes,
         warmup: Duration::from_secs(1),
         ..ttfb::TtfbConfig::default()
     });
-    let no_load_plain = ttfb::run(ttfb::TtfbConfig {
+    let no_load_plain = ttfb::run(&ttfb::TtfbConfig {
         with_dfi: false,
         probes,
         warmup: Duration::from_secs(1),

@@ -202,6 +202,113 @@ fn bench_decision_cache(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_wire(c: &mut Criterion) {
+    use dfi_core::rewrite::{
+        rewrite_controller_frame_in_place, rewrite_controller_to_switch,
+        rewrite_switch_frame_in_place, ControllerFrame, SwitchFrame, Upstream,
+    };
+    use dfi_core::BufPool;
+
+    let mut g = c.benchmark_group("wire_path");
+    let fm_msg = OfMessage::new(7, Message::FlowMod(sample_flow_mod(1)));
+    let fm_frame = fm_msg.encode();
+    let barrier = OfMessage::new(8, Message::BarrierRequest);
+
+    // encode(): a fresh Vec per message vs encode_into a reused buffer.
+    g.bench_function("flow_mod_encode_fresh", |b| {
+        b.iter(|| black_box(fm_msg.encode()));
+    });
+    g.bench_function("flow_mod_encode_into_reused", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            fm_msg.encode_into(&mut buf);
+            black_box(buf.len())
+        });
+    });
+
+    // Table shift, controller→switch: the decode → rewrite → re-encode
+    // oracle vs the splice patch (same bytes out, proven by the
+    // splice_oracle differential suite).
+    g.bench_function("table_shift_oracle", |b| {
+        b.iter(|| {
+            let msg = OfMessage::decode(&fm_frame).unwrap();
+            match rewrite_controller_to_switch(msg, 8) {
+                Upstream::Forward(msgs) => {
+                    for m in &msgs {
+                        black_box(m.encode());
+                    }
+                }
+                Upstream::Reject => unreachable!(),
+            }
+        });
+    });
+    g.bench_function("table_shift_splice", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            buf.extend_from_slice(&fm_frame);
+            assert_eq!(
+                rewrite_controller_frame_in_place(&mut buf, 8),
+                ControllerFrame::Forward { spliced: true }
+            );
+            black_box(buf.len())
+        });
+    });
+
+    // Tracked install: FlowMod + Barrier as two frames vs one batch buffer.
+    g.bench_function("install_two_encodes", |b| {
+        b.iter(|| {
+            black_box(fm_msg.encode());
+            black_box(barrier.encode())
+        });
+    });
+    g.bench_function("install_batched_into_buf", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            fm_msg.encode_into(&mut buf);
+            barrier.encode_into(&mut buf);
+            black_box(buf.len())
+        });
+    });
+
+    // The proxy's full per-frame cycle on the switch→controller path:
+    // pooled acquire → copy → splice → release (0 allocs once warm; the
+    // allocation count itself is gated by `dfi-wiregate --gate`).
+    let pi_frame = OfMessage::new(
+        3,
+        Message::FlowRemoved(dfi_openflow::FlowRemoved {
+            cookie: 1,
+            priority: 100,
+            reason: dfi_openflow::FlowRemovedReason::IdleTimeout,
+            table_id: 3,
+            duration_sec: 9,
+            duration_nsec: 0,
+            idle_timeout: 30,
+            hard_timeout: 0,
+            packet_count: 10,
+            byte_count: 640,
+            mat: Match::exact_from_headers(4, &PacketHeaders::parse(&sample_frame(6)).unwrap()),
+        }),
+    )
+    .encode();
+    g.bench_function("pooled_switch_frame_cycle", |b| {
+        let pool = BufPool::default();
+        b.iter(|| {
+            let mut buf = pool.acquire();
+            buf.extend_from_slice(&pi_frame);
+            assert_eq!(
+                rewrite_switch_frame_in_place(&mut buf),
+                SwitchFrame::Forward { spliced: true }
+            );
+            black_box(buf.len());
+            pool.release(buf);
+        });
+    });
+    g.finish();
+}
+
 fn bench_sim_kernel(c: &mut Criterion) {
     use dfi_simnet::Sim;
     let mut g = c.benchmark_group("sim_kernel");
@@ -240,6 +347,7 @@ criterion_group!(
     bench_policy,
     bench_erm,
     bench_decision_cache,
+    bench_wire,
     bench_sim_kernel
 );
 criterion_main!(benches);

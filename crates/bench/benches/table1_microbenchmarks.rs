@@ -15,7 +15,7 @@ fn main() {
     header("Table I: DFI Performance Microbenchmarks");
 
     let flows = if quick() { 300 } else { 3_000 };
-    let lat = latency::run(latency::LatencyConfig {
+    let lat = latency::run(&latency::LatencyConfig {
         flows,
         ..latency::LatencyConfig::default()
     });
@@ -35,7 +35,7 @@ fn main() {
     } else {
         (Duration::from_secs(5), Duration::from_secs(20))
     };
-    let thr = throughput::run(throughput::ThroughputConfig {
+    let thr = throughput::run(&throughput::ThroughputConfig {
         warmup,
         window,
         ..throughput::ThroughputConfig::default()

@@ -14,7 +14,7 @@ use dfi_cbench::latency;
 fn main() {
     header("Table II: Latency Breakdown");
     let flows = if quick() { 300 } else { 3_000 };
-    let report = latency::run(latency::LatencyConfig {
+    let report = latency::run(&latency::LatencyConfig {
         flows,
         ..latency::LatencyConfig::default()
     });

@@ -46,7 +46,7 @@ pub struct LatencyReport {
 }
 
 /// Runs latency mode.
-pub fn run(config: LatencyConfig) -> LatencyReport {
+pub fn run(config: &LatencyConfig) -> LatencyReport {
     let mut sim = Sim::new(config.seed);
     let dfi = Dfi::new(config.dfi.clone());
     // An allow-all policy so decisions exercise a real policy hit.
@@ -108,7 +108,7 @@ pub fn run(config: LatencyConfig) -> LatencyReport {
         st.borrow_mut().sent_at = sim.now();
         let pi = PacketIn::table_miss(1 + (c % 48) as u32, 0, frame);
         let bytes = OfMessage::new(c as u32, Message::PacketIn(pi)).encode();
-        from_switch(sim, bytes);
+        from_switch(sim, &bytes);
     });
     *inject.borrow_mut() = Some(injector.clone());
 
@@ -138,7 +138,7 @@ mod tests {
     use super::*;
 
     fn quick() -> LatencyReport {
-        run(LatencyConfig {
+        run(&LatencyConfig {
             flows: 200,
             ..LatencyConfig::default()
         })
@@ -177,11 +177,11 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = run(LatencyConfig {
+        let a = run(&LatencyConfig {
             flows: 50,
             ..LatencyConfig::default()
         });
-        let b = run(LatencyConfig {
+        let b = run(&LatencyConfig {
             flows: 50,
             ..LatencyConfig::default()
         });

@@ -59,7 +59,7 @@ pub fn emulated_switch_sink(
     reply_to: Rc<RefCell<Option<ByteSink>>>,
     on_flow_mod: impl Fn(&mut Sim, FlowMod) + 'static,
 ) -> ByteSink {
-    Rc::new(move |sim, bytes: Vec<u8>| {
+    Rc::new(move |sim, bytes: &[u8]| {
         let mut offset = 0;
         while offset < bytes.len() {
             let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
@@ -75,7 +75,7 @@ pub fn emulated_switch_sink(
                         let sink = reply_to.borrow().clone();
                         if let Some(sink) = sink {
                             let reply = OfMessage::new(msg.xid, Message::BarrierReply).encode();
-                            sink(sim, reply);
+                            sink(sim, &reply);
                         }
                     }
                     _ => {}

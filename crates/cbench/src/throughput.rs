@@ -57,7 +57,7 @@ pub struct ThroughputReport {
 }
 
 /// Runs throughput mode.
-pub fn run(config: ThroughputConfig) -> ThroughputReport {
+pub fn run(config: &ThroughputConfig) -> ThroughputReport {
     let mut sim = Sim::new(config.seed);
     let dfi = Dfi::new(config.dfi.clone());
     dfi.insert_policy(
@@ -99,7 +99,7 @@ pub fn run(config: ThroughputConfig) -> ThroughputReport {
         rate: config.offered_rate,
         end: window_end,
     });
-    fn arrival(gen: Rc<Gen>, sim: &mut Sim) {
+    fn arrival(gen: &Rc<Gen>, sim: &mut Sim) {
         if sim.now() >= gen.end {
             return;
         }
@@ -111,13 +111,13 @@ pub fn run(config: ThroughputConfig) -> ThroughputReport {
         let frame = random_flow_frame(&mut gen.frame_rng.borrow_mut(), n);
         let pi = PacketIn::table_miss(1 + (n % 48) as u32, 0, frame);
         let bytes = OfMessage::new(n as u32, Message::PacketIn(pi)).encode();
-        (gen.from_switch)(sim, bytes);
+        (gen.from_switch)(sim, &bytes);
         let gap = Duration::from_secs_f64(sim.rng().exponential(1.0 / gen.rate));
         let g = gen.clone();
-        sim.schedule_in(gap, move |sim| arrival(g, sim));
+        sim.schedule_in(gap, move |sim| arrival(&g, sim));
     }
     let g = gen.clone();
-    sim.schedule_now(move |sim| arrival(g, sim));
+    sim.schedule_now(move |sim| arrival(&g, sim));
     sim.set_event_limit(400_000_000);
     sim.run_until(window_end + Duration::from_secs(2));
 
@@ -140,7 +140,7 @@ mod tests {
         // Paper Table I: 1350 ± 39 flows/sec at saturation. Accept a
         // generous band: the shape requirement is "around a thousand, far
         // below the offered 4000/sec".
-        let r = run(ThroughputConfig {
+        let r = run(&ThroughputConfig {
             warmup: Duration::from_secs(2),
             window: Duration::from_secs(8),
             ..ThroughputConfig::default()
@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn light_load_is_not_dropped() {
-        let r = run(ThroughputConfig {
+        let r = run(&ThroughputConfig {
             offered_rate: 100.0,
             warmup: Duration::from_secs(1),
             window: Duration::from_secs(5),

@@ -93,7 +93,7 @@ struct ProbeState {
 }
 
 /// Runs the TTFB experiment.
-pub fn run(config: TtfbConfig) -> TtfbReport {
+pub fn run(config: &TtfbConfig) -> TtfbReport {
     let mut sim = Sim::new(config.seed);
     let mut net = Network::new();
     let mut sw_cfg = SwitchConfig::new(0xF1);
@@ -103,8 +103,8 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
     // Probe server B: answers TCP SYNs addressed to it with a SYN-ACK.
     let b_tx: Rc<RefCell<Option<dfi_dataplane::Tx>>> = Rc::new(RefCell::new(None));
     let b_tx2 = b_tx.clone();
-    let b_rx: dfi_dataplane::ByteSink = Rc::new(move |sim, frame: Vec<u8>| {
-        let Ok(h) = PacketHeaders::parse(&frame) else {
+    let b_rx: dfi_dataplane::ByteSink = Rc::new(move |sim, frame: &[u8]| {
+        let Ok(h) = PacketHeaders::parse(frame) else {
             return;
         };
         if h.is_tcp_syn() && h.ipv4_dst == Some(PROBE_B_IP) {
@@ -134,8 +134,8 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
         done: 0,
     }));
     let pr = probe.clone();
-    let a_rx: dfi_dataplane::ByteSink = Rc::new(move |sim, frame: Vec<u8>| {
-        let Ok(h) = PacketHeaders::parse(&frame) else {
+    let a_rx: dfi_dataplane::ByteSink = Rc::new(move |sim, frame: &[u8]| {
+        let Ok(h) = PacketHeaders::parse(frame) else {
             return;
         };
         let is_syn_ack = h.tcp_flags.is_some_and(|f| f.contains(TcpFlags::SYN_ACK));
@@ -197,7 +197,7 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
             rate: config.background_rate,
             end: horizon,
         });
-        fn bg_arrival(bg: Rc<Bg>, sim: &mut Sim) {
+        fn bg_arrival(bg: &Rc<Bg>, sim: &mut Sim) {
             if sim.now() >= bg.end {
                 return;
             }
@@ -210,10 +210,10 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
             bg.tx.send(sim, frame);
             let gap = Duration::from_secs_f64(sim.rng().exponential(1.0 / bg.rate));
             let b = bg.clone();
-            sim.schedule_in(gap, move |sim| bg_arrival(b, sim));
+            sim.schedule_in(gap, move |sim| bg_arrival(&b, sim));
         }
         let b = bg.clone();
-        sim.schedule_now(move |sim| bg_arrival(b, sim));
+        sim.schedule_now(move |sim| bg_arrival(&b, sim));
     }
 
     // Probe driver: start a probe every interval; each attempt sends the
@@ -230,7 +230,7 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
         rto: config.rto,
         max_retries: config.max_retries,
     });
-    fn send_attempt(d: Rc<Driver>, sim: &mut Sim, port: u16) {
+    fn send_attempt(d: &Rc<Driver>, sim: &mut Sim, port: u16) {
         {
             let p = d.probe.borrow();
             if p.answered || p.current_port != port {
@@ -265,7 +265,7 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
                 }
             };
             if retry {
-                send_attempt(d2, sim, port);
+                send_attempt(&d2, sim, port);
             }
         });
     }
@@ -281,7 +281,7 @@ pub fn run(config: TtfbConfig) -> TtfbReport {
                 p.answered = false;
                 p.retries = 0;
             }
-            send_attempt(d.clone(), sim, port);
+            send_attempt(&d, sim, port);
         });
     }
 
@@ -305,7 +305,7 @@ mod tests {
 
     #[test]
     fn unloaded_without_dfi_is_a_few_milliseconds() {
-        let r = run(TtfbConfig {
+        let r = run(&TtfbConfig {
             with_dfi: false,
             probes: 30,
             warmup: Duration::from_millis(100),
@@ -320,7 +320,7 @@ mod tests {
 
     #[test]
     fn unloaded_with_dfi_adds_the_papers_overhead() {
-        let r = run(TtfbConfig {
+        let r = run(&TtfbConfig {
             with_dfi: true,
             probes: 30,
             warmup: Duration::from_millis(100),
@@ -338,13 +338,13 @@ mod tests {
 
     #[test]
     fn moderate_load_raises_ttfb() {
-        let unloaded = run(TtfbConfig {
+        let unloaded = run(&TtfbConfig {
             with_dfi: true,
             probes: 20,
             warmup: Duration::from_millis(100),
             ..TtfbConfig::default()
         });
-        let loaded = run(TtfbConfig {
+        let loaded = run(&TtfbConfig {
             with_dfi: true,
             probes: 20,
             background_rate: 600.0,

@@ -207,10 +207,10 @@ impl Controller {
             )
         };
         let bytes = OfMessage::new(self.next_xid(), body).encode();
-        sim.schedule_in(latency, move |sim| sink(sim, bytes));
+        sim.schedule_in(latency, move |sim| sink(sim, &bytes));
     }
 
-    fn handle_bytes(&self, sim: &mut Sim, conn: usize, bytes: Vec<u8>) {
+    fn handle_bytes(&self, sim: &mut Sim, conn: usize, bytes: &[u8]) {
         let mut offset = 0;
         while offset < bytes.len() {
             let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
@@ -438,8 +438,18 @@ mod tests {
         let r1 = rx1.clone();
         let r2 = rx2.clone();
         let lat = Duration::from_micros(50);
-        let tx1 = net.attach_host(&sw, 1, lat, Rc::new(move |_, f| r1.borrow_mut().push(f)));
-        let tx2 = net.attach_host(&sw, 2, lat, Rc::new(move |_, f| r2.borrow_mut().push(f)));
+        let tx1 = net.attach_host(
+            &sw,
+            1,
+            lat,
+            Rc::new(move |_, f: &[u8]| r1.borrow_mut().push(f.to_vec())),
+        );
+        let tx2 = net.attach_host(
+            &sw,
+            2,
+            lat,
+            Rc::new(move |_, f: &[u8]| r2.borrow_mut().push(f.to_vec())),
+        );
         let ctrl = Controller::reactive();
         let from_switch = ctrl.connect(&mut sim, sw.control_ingress());
         sw.connect_control(&mut sim, from_switch);
@@ -544,7 +554,7 @@ mod tests {
         let sw = net.add_switch(SwitchConfig::new(7));
         sw.install(
             &mut sim,
-            dfi_dataplane::dfi_allow_rule(Match::any(), 0xD0F1, 100),
+            &dfi_dataplane::dfi_allow_rule(Match::any(), 0xD0F1, 100),
         );
         let ctrl = Controller::malicious(vec![Misbehavior::DeleteAllRules]);
         let from_switch = ctrl.connect(&mut sim, sw.control_ingress());
@@ -557,8 +567,8 @@ mod tests {
     fn garbage_bytes_are_tolerated() {
         let (mut sim, _sw, ctrl, ..) = rig();
         let sink = ctrl.connect(&mut sim, Rc::new(|_, _| {}));
-        sink(&mut sim, vec![0xFF, 0xFF]); // garbage
-        sink(&mut sim, vec![]);
+        sink(&mut sim, &[0xFF, 0xFF]); // garbage
+        sink(&mut sim, &[]);
         sim.run();
         assert!(ctrl.dpid_of(1).is_none());
     }

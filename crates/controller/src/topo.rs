@@ -139,10 +139,10 @@ impl TopologyController {
             )
         };
         let bytes = OfMessage::new(xid, body).encode();
-        sim.schedule_in(latency, move |sim| sink(sim, bytes));
+        sim.schedule_in(latency, move |sim| sink(sim, &bytes));
     }
 
-    fn handle_bytes(&self, sim: &mut Sim, conn: usize, bytes: Vec<u8>) {
+    fn handle_bytes(&self, sim: &mut Sim, conn: usize, bytes: &[u8]) {
         let mut offset = 0;
         while offset < bytes.len() {
             let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
@@ -189,12 +189,12 @@ impl TopologyController {
                 }
             }
             Message::EchoRequest(data) => self.send(sim, conn, Message::EchoReply(data)),
-            Message::PacketIn(pi) => self.handle_packet_in(sim, conn, pi),
+            Message::PacketIn(pi) => self.handle_packet_in(sim, conn, &pi),
             _ => {}
         }
     }
 
-    fn handle_packet_in(&self, sim: &mut Sim, conn: usize, pi: PacketIn) {
+    fn handle_packet_in(&self, sim: &mut Sim, conn: usize, pi: &PacketIn) {
         let Some(in_port) = pi.in_port() else { return };
         let Some(this_dpid) = self.inner.borrow().conns[conn].dpid else {
             return;
@@ -372,8 +372,8 @@ mod tests {
         // Hosts also receive the controller's LLDP probes on their access
         // ports (as real hosts do); count only TCP traffic.
         let count_tcp = |g: Rc<RefCell<u32>>| -> ByteSink {
-            Rc::new(move |_, frame: Vec<u8>| {
-                if PacketHeaders::parse(&frame).is_ok_and(|h| h.tcp_dst.is_some()) {
+            Rc::new(move |_, frame: &[u8]| {
+                if PacketHeaders::parse(frame).is_ok_and(|h| h.tcp_dst.is_some()) {
                     *g.borrow_mut() += 1;
                 }
             })

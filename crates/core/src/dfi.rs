@@ -49,7 +49,10 @@ use crate::policy::{
     Decision, FlowView, PolicyAction, PolicyId, PolicyIndexStats, PolicyManager, PolicyRule,
     DEFAULT_DENY_ID,
 };
-use crate::rewrite::{rewrite_controller_to_switch, rewrite_switch_to_controller, Upstream};
+use crate::rewrite::{
+    rewrite_controller_frame_in_place, rewrite_switch_frame_in_place, rewrite_switch_to_controller,
+    ControllerFrame, SwitchFrame,
+};
 use dfi_bus::Bus;
 use dfi_dataplane::{ByteSink, Switch};
 use dfi_openflow::{ErrorMsg, FlowMod, Instruction, Match, Message, OfMessage, PacketIn};
@@ -374,6 +377,18 @@ pub struct DfiMetrics {
     pub decision_cache_invalidations: u64,
     /// Live decision-cache entries at snapshot time.
     pub decision_cache_entries: u64,
+    /// Flow-mod installs coalesced with their barrier into one batched
+    /// write (a single framed buffer on the wire).
+    pub flow_mods_batched: u64,
+    /// Frames the proxy rewrote in place on the splice fast path (no
+    /// decode/re-encode).
+    pub frames_spliced: u64,
+    /// Frames that fell back to the full decode→rewrite→encode path.
+    pub frames_fallback: u64,
+    /// Wire buffers served from the per-connection pools' free lists.
+    pub pool_reused: u64,
+    /// Wire buffers freshly allocated because a pool's free list was empty.
+    pub pool_minted: u64,
     /// ERM secondary-index sizes at snapshot time.
     pub erm_index: ErmIndexSizes,
     /// Policy bucket-index shape and candidate-scan accounting at snapshot
@@ -381,10 +396,67 @@ pub struct DfiMetrics {
     pub policy_index: PolicyIndexStats,
 }
 
+/// A shared free list of reusable wire buffers.
+///
+/// Every frame the proxy touches is staged in a pooled `Vec<u8>`: acquired
+/// empty (capacity retained from its previous life), filled, handed to the
+/// sink as a borrow, and released back to the list. Steady state the proxy
+/// therefore encodes and rewrites without heap allocation — `minted` stops
+/// growing and every acquire is a `reused`.
+#[derive(Clone, Default)]
+pub struct BufPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+#[derive(Default)]
+struct PoolInner {
+    free: Vec<Vec<u8>>,
+    reused: u64,
+    minted: u64,
+}
+
+/// Buffers kept beyond this bound are dropped on release instead of
+/// pooled; one connection never needs more than a handful in flight.
+const POOL_MAX_FREE: usize = 64;
+
+impl BufPool {
+    /// Hands out an empty buffer, reusing a released one when available.
+    pub fn acquire(&self) -> Vec<u8> {
+        let mut p = self.inner.borrow_mut();
+        match p.free.pop() {
+            Some(mut buf) => {
+                p.reused += 1;
+                buf.clear();
+                buf
+            }
+            None => {
+                p.minted += 1;
+                Vec::with_capacity(128)
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list (its capacity survives for the
+    /// next acquire).
+    pub fn release(&self, buf: Vec<u8>) {
+        let mut p = self.inner.borrow_mut();
+        if p.free.len() < POOL_MAX_FREE {
+            p.free.push(buf);
+        }
+    }
+
+    /// `(reused, minted)` acquire counts so far.
+    pub fn stats(&self) -> (u64, u64) {
+        let p = self.inner.borrow();
+        (p.reused, p.minted)
+    }
+}
+
 struct SwitchConn {
     to_switch: ByteSink,
     to_controller: Option<ByteSink>,
     dpid: u64,
+    pool: BufPool,
 }
 
 /// An unacknowledged Table-0 install: the exact frames on the wire
@@ -568,6 +640,7 @@ impl Dfi {
             to_switch,
             to_controller: None,
             dpid,
+            pool: BufPool::default(),
         });
         inner.conns.len() - 1
     }
@@ -616,7 +689,7 @@ impl Dfi {
     // Proxy: switch → {PCP, controller}
     // ------------------------------------------------------------------
 
-    fn handle_switch_bytes(&self, sim: &mut Sim, conn: usize, bytes: Vec<u8>) {
+    fn handle_switch_bytes(&self, sim: &mut Sim, conn: usize, bytes: &[u8]) {
         let mut offset = 0;
         while offset < bytes.len() {
             let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
@@ -625,54 +698,88 @@ impl Dfi {
             if len < 8 || offset + len > bytes.len() {
                 break;
             }
-            if let Ok(msg) = OfMessage::decode(&bytes[offset..offset + len]) {
-                self.handle_switch_message(sim, conn, msg);
-            }
+            self.handle_switch_frame(sim, conn, &bytes[offset..offset + len]);
             offset += len;
         }
     }
 
-    fn handle_switch_message(&self, sim: &mut Sim, conn: usize, msg: OfMessage) {
+    fn handle_switch_frame(&self, sim: &mut Sim, conn: usize, frame: &[u8]) {
+        const OFPT_PACKET_IN: u8 = 10;
+        const OFPT_BARRIER_REPLY: u8 = 21;
         let proxy_delay = {
             let mut inner = self.inner.borrow_mut();
             let d = inner.config.proxy_latency.sample(sim.rng());
             inner.metrics.proxy.push(d.as_secs_f64());
             d
         };
-        match msg.body {
-            Message::PacketIn(pi) => {
-                let me = self.clone();
-                sim.schedule_in(proxy_delay, move |sim| me.pcp_admit(sim, conn, pi));
-            }
-            Message::BarrierReply if self.consume_install_ack(conn, msg.xid) => {
-                // Acknowledgement for one of our tracked Table-0 installs.
-                // Consumed here: the barrier was the proxy's, so the
-                // controller never learns it existed.
-            }
-            other => {
-                // Non-packet-in traffic flows to the controller through the
-                // table-rewriting filter.
-                let Some(rewritten) = rewrite_switch_to_controller(OfMessage::new(msg.xid, other))
-                else {
-                    return; // suppressed (Table-0 information)
+        match frame[1] {
+            // Packet-ins carry the flow decision: full decode is the point,
+            // the PCP needs the parsed payload.
+            OFPT_PACKET_IN => {
+                let Ok(msg) = OfMessage::decode(frame) else {
+                    return;
                 };
-                let sink = self.inner.borrow().conns[conn].to_controller.clone();
-                if let Some(sink) = sink {
-                    let bytes = rewritten.encode();
-                    sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
+                if let Message::PacketIn(pi) = msg.body {
+                    let me = self.clone();
+                    sim.schedule_in(proxy_delay, move |sim| me.pcp_admit(sim, conn, pi));
+                }
+            }
+            // A barrier reply for one of our tracked Table-0 installs is
+            // consumed here: the barrier was the proxy's, so the controller
+            // never learns it existed. The xid sits at fixed offset 4..8 —
+            // no decode needed to check.
+            OFPT_BARRIER_REPLY
+                if frame.len() == 8
+                    && self.consume_install_ack(
+                        conn,
+                        u32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]),
+                    ) => {}
+            // Everything else flows to the controller through the
+            // table-rewriting filter, spliced in place when the frame is
+            // canonical.
+            _ => {
+                let (sink, pool) = {
+                    let inner = self.inner.borrow();
+                    let Some(sink) = inner.conns[conn].to_controller.clone() else {
+                        return;
+                    };
+                    (sink, inner.conns[conn].pool.clone())
+                };
+                let mut buf = pool.acquire();
+                buf.extend_from_slice(frame);
+                match rewrite_switch_frame_in_place(&mut buf) {
+                    SwitchFrame::Forward { spliced } => {
+                        self.record(|m| {
+                            if spliced {
+                                m.frames_spliced += 1;
+                            } else {
+                                m.frames_fallback += 1;
+                            }
+                        });
+                        sim.schedule_in(proxy_delay, move |sim| {
+                            sink(sim, &buf);
+                            pool.release(buf);
+                        });
+                    }
+                    // Suppressed (Table-0 information) or undecodable.
+                    SwitchFrame::Suppress | SwitchFrame::Drop => pool.release(buf),
                 }
             }
         }
     }
 
-    /// Removes a pending tracked install acknowledged by a barrier reply.
-    /// Returns whether the `(conn, xid)` pair was actually ours.
+    /// Removes a pending tracked install acknowledged by a barrier reply,
+    /// returning its wire buffer to the connection's pool. Returns whether
+    /// the `(conn, xid)` pair was actually ours.
     fn consume_install_ack(&self, conn: usize, xid: u32) -> bool {
-        self.inner
-            .borrow_mut()
-            .pending_installs
-            .remove(&(conn, xid))
-            .is_some()
+        let mut inner = self.inner.borrow_mut();
+        match inner.pending_installs.remove(&(conn, xid)) {
+            Some(pending) => {
+                inner.conns[conn].pool.release(pending.bytes);
+                true
+            }
+            None => false,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -703,8 +810,13 @@ impl Dfi {
                 fm.command,
                 dfi_openflow::FlowModCommand::Delete | dfi_openflow::FlowModCommand::DeleteStrict
             );
-            let mut bytes = OfMessage::new(xid, Message::FlowMod(fm)).encode();
-            bytes.extend(OfMessage::new(xid, Message::BarrierRequest).encode());
+            // The flow-mod and its barrier are framed back-to-back into one
+            // pooled buffer: a single batched write per install, returned to
+            // the pool when the barrier reply lands.
+            let mut bytes = inner.conns[conn].pool.acquire();
+            OfMessage::new(xid, Message::FlowMod(fm)).encode_into(&mut bytes);
+            OfMessage::new(xid, Message::BarrierRequest).encode_into(&mut bytes);
+            inner.metrics.flow_mods_batched += 1;
             inner.pending_installs.insert(
                 (conn, xid),
                 PendingInstall {
@@ -720,7 +832,9 @@ impl Dfi {
     }
 
     /// One transmission of a pending install plus its acknowledgement
-    /// check, both on the deterministic clock.
+    /// check, both on the deterministic clock. The transmission copy rides
+    /// a second pooled buffer (the pending master must survive for
+    /// resends), released as soon as the sink has consumed it.
     fn tracked_send(
         &self,
         sim: &mut Sim,
@@ -729,14 +843,20 @@ impl Dfi {
         send_delay: Duration,
         ack_wait: Duration,
     ) {
-        let (bytes, to_switch) = {
+        let (buf, to_switch, pool) = {
             let inner = self.inner.borrow();
             let Some(pending) = inner.pending_installs.get(&(conn, xid)) else {
                 return; // acknowledged before this resend fired
             };
-            (pending.bytes.clone(), inner.conns[conn].to_switch.clone())
+            let pool = inner.conns[conn].pool.clone();
+            let mut buf = pool.acquire();
+            buf.extend_from_slice(&pending.bytes);
+            (buf, inner.conns[conn].to_switch.clone(), pool)
         };
-        sim.schedule_in(send_delay, move |sim| to_switch(sim, bytes));
+        sim.schedule_in(send_delay, move |sim| {
+            to_switch(sim, &buf);
+            pool.release(buf);
+        });
         let me = self.clone();
         sim.schedule_in(send_delay + ack_wait, move |sim| {
             me.check_install_ack(sim, conn, xid, ack_wait);
@@ -751,8 +871,10 @@ impl Dfi {
             match inner.pending_installs.get_mut(&(conn, xid)) {
                 None => None, // barrier reply arrived: done
                 Some(pending) if pending.attempts > retry_budget => {
-                    inner.pending_installs.remove(&(conn, xid));
                     inner.metrics.install_failures += 1;
+                    if let Some(pending) = inner.pending_installs.remove(&(conn, xid)) {
+                        inner.conns[conn].pool.release(pending.bytes);
+                    }
                     None
                 }
                 Some(pending) => {
@@ -771,7 +893,7 @@ impl Dfi {
     // Proxy: controller → switch
     // ------------------------------------------------------------------
 
-    fn handle_controller_bytes(&self, sim: &mut Sim, conn: usize, bytes: Vec<u8>) {
+    fn handle_controller_bytes(&self, sim: &mut Sim, conn: usize, bytes: &[u8]) {
         let mut offset = 0;
         while offset < bytes.len() {
             let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
@@ -780,41 +902,53 @@ impl Dfi {
             if len < 8 || offset + len > bytes.len() {
                 break;
             }
-            if let Ok(msg) = OfMessage::decode(&bytes[offset..offset + len]) {
-                self.handle_controller_message(sim, conn, msg);
-            }
+            self.handle_controller_frame(sim, conn, &bytes[offset..offset + len]);
             offset += len;
         }
     }
 
-    fn handle_controller_message(&self, sim: &mut Sim, conn: usize, msg: OfMessage) {
-        let (proxy_delay, n_tables) = {
+    fn handle_controller_frame(&self, sim: &mut Sim, conn: usize, frame: &[u8]) {
+        let (proxy_delay, n_tables, pool) = {
             let mut inner = self.inner.borrow_mut();
             let d = inner.config.proxy_latency.sample(sim.rng());
             inner.metrics.proxy.push(d.as_secs_f64());
-            (d, inner.config.n_tables)
+            (d, inner.config.n_tables, inner.conns[conn].pool.clone())
         };
-        let xid = msg.xid;
-        match rewrite_controller_to_switch(msg, n_tables) {
-            Upstream::Forward(msgs) => {
+        let xid = u32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        let mut buf = pool.acquire();
+        buf.extend_from_slice(frame);
+        match rewrite_controller_frame_in_place(&mut buf, n_tables) {
+            ControllerFrame::Forward { spliced } => {
+                self.record(|m| {
+                    if spliced {
+                        m.frames_spliced += 1;
+                    } else {
+                        m.frames_fallback += 1;
+                    }
+                });
                 let sink = self.inner.borrow().conns[conn].to_switch.clone();
-                let bytes: Vec<u8> = msgs.iter().flat_map(OfMessage::encode).collect();
-                sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
+                sim.schedule_in(proxy_delay, move |sim| {
+                    sink(sim, &buf);
+                    pool.release(buf);
+                });
             }
-            Upstream::Reject => {
-                let mut inner = self.inner.borrow_mut();
-                inner.metrics.proxy_rejections += 1;
-                let sink = inner.conns[conn].to_controller.clone();
-                drop(inner);
+            ControllerFrame::Reject => {
+                self.record(|m| m.proxy_rejections += 1);
+                let sink = self.inner.borrow().conns[conn].to_controller.clone();
                 if let Some(sink) = sink {
-                    let err = OfMessage::new(
-                        xid,
-                        Message::Error(ErrorMsg::permission_denied(Vec::new())),
-                    );
-                    let bytes = err.encode();
-                    sim.schedule_in(proxy_delay, move |sim| sink(sim, bytes));
+                    buf.clear();
+                    OfMessage::new(xid, Message::Error(ErrorMsg::permission_denied(Vec::new())))
+                        .encode_into(&mut buf);
+                    sim.schedule_in(proxy_delay, move |sim| {
+                        sink(sim, &buf);
+                        pool.release(buf);
+                    });
+                } else {
+                    pool.release(buf);
                 }
             }
+            // Undecodable frames are dropped, as before.
+            ControllerFrame::Drop => pool.release(buf),
         }
     }
 
@@ -969,14 +1103,24 @@ impl Dfi {
                 // Forward the packet-in to the controller (step 11 in the
                 // paper's workflow) so routing can happen — only now, after
                 // the access-control check.
-                let sink = self.inner.borrow().conns[conn].to_controller.clone();
+                let (sink, pool) = {
+                    let inner = self.inner.borrow();
+                    (
+                        inner.conns[conn].to_controller.clone(),
+                        inner.conns[conn].pool.clone(),
+                    )
+                };
                 if let Some(sink) = sink {
                     if let Some(rewritten) = rewrite_switch_to_controller(OfMessage::new(
                         0xDF2,
                         Message::PacketIn(pi.clone()),
                     )) {
-                        let bytes = rewritten.encode();
-                        sim.schedule_now(move |sim| sink(sim, bytes));
+                        let mut bytes = pool.acquire();
+                        rewritten.encode_into(&mut bytes);
+                        sim.schedule_now(move |sim| {
+                            sink(sim, &bytes);
+                            pool.release(bytes);
+                        });
                     }
                 }
             }
@@ -1046,10 +1190,19 @@ impl Dfi {
             inner.metrics.flushes += 1;
             // Cancel unacknowledged *add* retries for this cookie: the
             // policy is gone, so resending its Allow rules after the
-            // delete below would reinstall a revoked permission.
-            inner
+            // delete below would reinstall a revoked permission. Their
+            // wire buffers go back to the owning connection's pool.
+            let cancelled: Vec<(usize, u32)> = inner
                 .pending_installs
-                .retain(|_, p| p.is_delete || p.cookie != id.0);
+                .iter()
+                .filter(|(_, p)| !p.is_delete && p.cookie == id.0)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in cancelled {
+                if let Some(pending) = inner.pending_installs.remove(&key) {
+                    inner.conns[key.0].pool.release(pending.bytes);
+                }
+            }
             let delay = inner.config.bus_latency.sample(sim.rng()) + inner.config.install_latency;
             (inner.conns.len(), delay)
         };
@@ -1071,6 +1224,11 @@ impl Dfi {
         m.decision_cache_misses = inner.cache.misses;
         m.decision_cache_invalidations = inner.cache.invalidations;
         m.decision_cache_entries = inner.cache.len() as u64;
+        for conn in &inner.conns {
+            let (reused, minted) = conn.pool.stats();
+            m.pool_reused += reused;
+            m.pool_minted += minted;
+        }
         m.erm_index = inner.erm.index_sizes();
         m.policy_index = inner.pm.index_stats();
         m

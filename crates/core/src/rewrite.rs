@@ -12,7 +12,9 @@
 //! These are pure functions so they can be tested exhaustively; the proxy
 //! actor applies them on the wire.
 
-use dfi_openflow::{table, Instruction, Message, MultipartReply, MultipartRequest, OfMessage};
+use dfi_openflow::{
+    splice, table, Instruction, Message, MultipartReply, MultipartRequest, OfMessage, Splice,
+};
 
 /// What the proxy should do with a controller→switch message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -175,6 +177,98 @@ pub fn rewrite_switch_to_controller(msg: OfMessage) -> Option<OfMessage> {
             Some(OfMessage::new(xid, Message::FeaturesReply(fr)))
         }
         other => Some(OfMessage::new(xid, other)),
+    }
+}
+
+/// What the proxy should do with a controller→switch *frame* after an
+/// in-place rewrite ([`rewrite_controller_frame_in_place`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControllerFrame {
+    /// Forward the (possibly mutated) buffer to the switch. `spliced` is
+    /// true when the fast path handled the frame without decoding.
+    Forward {
+        /// Whether the splice fast path certified the frame.
+        spliced: bool,
+    },
+    /// Refuse: answer the controller with a permission error.
+    Reject,
+    /// The frame does not decode; drop it silently (matching the frame
+    /// loop's historical behavior for malformed input).
+    Drop,
+}
+
+/// What the proxy should do with a switch→controller *frame* after an
+/// in-place rewrite ([`rewrite_switch_frame_in_place`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchFrame {
+    /// Forward the (possibly mutated) buffer to the controller.
+    Forward {
+        /// Whether the splice fast path certified the frame.
+        spliced: bool,
+    },
+    /// Suppress the frame entirely (it reveals Table 0).
+    Suppress,
+    /// The frame does not decode; drop it silently.
+    Drop,
+}
+
+/// Rewrites one controller→switch frame directly in the wire buffer.
+///
+/// Fast path: [`splice::shift_up`] patches table ids in place without
+/// decoding. When the scanner cannot certify byte-identity it falls back
+/// to [`rewrite_controller_to_switch`] — the retained oracle — and
+/// re-encodes into the same buffer (a `table::ALL` delete expands into
+/// several messages framed back-to-back, ready for a single write).
+pub fn rewrite_controller_frame_in_place(buf: &mut Vec<u8>, n_tables: u8) -> ControllerFrame {
+    match splice::shift_up(buf, n_tables) {
+        Splice::Unchanged | Splice::Patched => ControllerFrame::Forward { spliced: true },
+        Splice::Reject => ControllerFrame::Reject,
+        // `shift_up` never suppresses; treat it as undecodable if it ever
+        // did rather than forwarding something unvetted.
+        Splice::Suppress => ControllerFrame::Drop,
+        Splice::Fallback => {
+            let Ok(msg) = OfMessage::decode(buf) else {
+                return ControllerFrame::Drop;
+            };
+            match rewrite_controller_to_switch(msg, n_tables) {
+                Upstream::Forward(msgs) => {
+                    buf.clear();
+                    for m in &msgs {
+                        m.encode_into(buf);
+                    }
+                    ControllerFrame::Forward { spliced: false }
+                }
+                Upstream::Reject => ControllerFrame::Reject,
+            }
+        }
+    }
+}
+
+/// Rewrites one switch→controller frame directly in the wire buffer.
+///
+/// Fast path: [`splice::shift_down`] patches table ids (and suppresses
+/// Table-0 `FlowRemoved`s) in place; structural changes — e.g. filtering
+/// a Table-0 entry out of a stats reply — fall back to
+/// [`rewrite_switch_to_controller`] and re-encode into the same buffer.
+pub fn rewrite_switch_frame_in_place(buf: &mut Vec<u8>) -> SwitchFrame {
+    match splice::shift_down(buf) {
+        Splice::Unchanged | Splice::Patched => SwitchFrame::Forward { spliced: true },
+        Splice::Suppress => SwitchFrame::Suppress,
+        // `shift_down` never rejects; treat it as undecodable.
+        Splice::Reject => SwitchFrame::Drop,
+        Splice::Fallback => {
+            let Ok(msg) = OfMessage::decode(buf) else {
+                return SwitchFrame::Drop;
+            };
+            match rewrite_switch_to_controller(msg) {
+                Some(m) => {
+                    buf.clear();
+                    m.encode_into(buf);
+                    SwitchFrame::Forward { spliced: false }
+                }
+                None => SwitchFrame::Suppress,
+            }
+        }
     }
 }
 
@@ -420,6 +514,119 @@ mod tests {
             Message::PacketIn(pi) => assert_eq!(pi.table_id, 0),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn in_place_controller_rewrite_matches_oracle() {
+        let msg = OfMessage::new(1, Message::FlowMod(fm(2)));
+        let oracle = match rewrite_controller_to_switch(msg.clone(), N_TABLES) {
+            Upstream::Forward(msgs) => msgs.iter().flat_map(OfMessage::encode).collect::<Vec<_>>(),
+            Upstream::Reject => panic!(),
+        };
+        let mut buf = msg.encode();
+        assert_eq!(
+            rewrite_controller_frame_in_place(&mut buf, N_TABLES),
+            ControllerFrame::Forward { spliced: true }
+        );
+        assert_eq!(buf, oracle);
+    }
+
+    #[test]
+    fn in_place_wildcard_delete_expands_via_fallback() {
+        let mut f = fm(table::ALL);
+        f.command = FlowModCommand::Delete;
+        f.instructions.clear();
+        let msg = OfMessage::new(9, Message::FlowMod(f));
+        let oracle = match rewrite_controller_to_switch(msg.clone(), N_TABLES) {
+            Upstream::Forward(msgs) => msgs.iter().flat_map(OfMessage::encode).collect::<Vec<_>>(),
+            Upstream::Reject => panic!(),
+        };
+        let mut buf = msg.encode();
+        assert_eq!(
+            rewrite_controller_frame_in_place(&mut buf, N_TABLES),
+            ControllerFrame::Forward { spliced: false }
+        );
+        assert_eq!(buf, oracle, "fallback frames all expanded deletes");
+    }
+
+    #[test]
+    fn in_place_reject_and_drop() {
+        let mut buf = OfMessage::new(1, Message::FlowMod(fm(N_TABLES - 1))).encode();
+        let before = buf.clone();
+        assert_eq!(
+            rewrite_controller_frame_in_place(&mut buf, N_TABLES),
+            ControllerFrame::Reject
+        );
+        assert_eq!(buf, before, "rejected frames must stay untouched");
+        let mut garbage = vec![0xFF; 12];
+        assert_eq!(
+            rewrite_controller_frame_in_place(&mut garbage, N_TABLES),
+            ControllerFrame::Drop
+        );
+    }
+
+    #[test]
+    fn in_place_switch_rewrite_matches_oracle() {
+        let pi = dfi_openflow::PacketIn::table_miss(1, 4, vec![7; 16]);
+        let msg = OfMessage::new(3, Message::PacketIn(pi));
+        let oracle = rewrite_switch_to_controller(msg.clone()).unwrap().encode();
+        let mut buf = msg.encode();
+        assert_eq!(
+            rewrite_switch_frame_in_place(&mut buf),
+            SwitchFrame::Forward { spliced: true }
+        );
+        assert_eq!(buf, oracle);
+    }
+
+    #[test]
+    fn in_place_flow_removed_table_zero_suppressed() {
+        let fr = FlowRemoved {
+            cookie: 1,
+            priority: 1,
+            reason: FlowRemovedReason::Delete,
+            table_id: 0,
+            duration_sec: 0,
+            duration_nsec: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            packet_count: 0,
+            byte_count: 0,
+            mat: Match::any(),
+        };
+        let mut buf = OfMessage::new(1, Message::FlowRemoved(fr)).encode();
+        assert_eq!(
+            rewrite_switch_frame_in_place(&mut buf),
+            SwitchFrame::Suppress
+        );
+    }
+
+    #[test]
+    fn in_place_stats_filter_goes_through_fallback() {
+        let entry = |table_id: u8| FlowStatsEntry {
+            table_id,
+            duration_sec: 0,
+            duration_nsec: 0,
+            priority: 1,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            flags: 0,
+            cookie: 0,
+            packet_count: 0,
+            byte_count: 0,
+            mat: Match::any(),
+            instructions: vec![],
+        };
+        let msg = OfMessage::new(
+            1,
+            Message::MultipartReply(MultipartReply::Flow(vec![entry(0), entry(2)])),
+        );
+        let oracle = rewrite_switch_to_controller(msg.clone()).unwrap().encode();
+        let mut buf = msg.encode();
+        assert_eq!(
+            rewrite_switch_frame_in_place(&mut buf),
+            SwitchFrame::Forward { spliced: false }
+        );
+        assert_eq!(buf, oracle, "table-0 entry filtered by the fallback");
     }
 
     #[test]

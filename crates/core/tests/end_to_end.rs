@@ -59,7 +59,12 @@ fn rig_with_controller(ctrl: Controller) -> Rig {
     for port in 1..=3u32 {
         let log = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
-        tx.push(net.attach_host(&sw, port, LAT, Rc::new(move |_, f| l.borrow_mut().push(f))));
+        tx.push(net.attach_host(
+            &sw,
+            port,
+            LAT,
+            Rc::new(move |_, f: &[u8]| l.borrow_mut().push(f.to_vec())),
+        ));
         rx.push(log);
     }
     let dfi = Dfi::new(test_config());
@@ -529,7 +534,12 @@ fn wildcard_rig(wildcard_caching: bool) -> Rig {
     for port in 1..=3u32 {
         let log: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
-        tx.push(net.attach_host(&sw, port, LAT, Rc::new(move |_, f| l.borrow_mut().push(f))));
+        tx.push(net.attach_host(
+            &sw,
+            port,
+            LAT,
+            Rc::new(move |_, f: &[u8]| l.borrow_mut().push(f.to_vec())),
+        ));
         rx.push(log);
     }
     let dfi = Dfi::new(DfiConfig {
@@ -649,7 +659,7 @@ fn proxy_rejects_controller_writes_beyond_the_last_table() {
         ..dfi_openflow::FlowMod::add()
     };
     let bytes = dfi_openflow::OfMessage::new(0xBEE, dfi_openflow::Message::FlowMod(fm)).encode();
-    from_controller(&mut r.sim, bytes);
+    from_controller(&mut r.sim, &bytes);
     r.sim.run();
     assert_eq!(r.dfi.metrics().proxy_rejections, 1);
     // The rejected write changed nothing anywhere.
@@ -689,7 +699,7 @@ fn controller_goto_into_its_own_tables_works_behind_the_proxy() {
     };
     for fm in [stage1, stage2] {
         let bytes = dfi_openflow::OfMessage::new(1, dfi_openflow::Message::FlowMod(fm)).encode();
-        from_controller(&mut r.sim, bytes);
+        from_controller(&mut r.sim, &bytes);
     }
     r.sim.run();
     assert_eq!(r.sw.table_len(1), 1, "controller table 0 → physical 1");

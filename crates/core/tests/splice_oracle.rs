@@ -1,0 +1,225 @@
+//! Differential suite for the zero-copy wire path: the in-place frame
+//! rewrites ([`rewrite_controller_frame_in_place`],
+//! [`rewrite_switch_frame_in_place`]) must agree byte-for-byte with the
+//! retained decode → rewrite → re-encode oracle
+//! ([`rewrite_controller_to_switch`], [`rewrite_switch_to_controller`]) on
+//! *every* input:
+//!
+//! * clean encodes of every message family (proptest generators shared
+//!   with the codec conformance suite via `dfi-openflow`'s `testgen`
+//!   feature),
+//! * bit-flipped / truncated / length-lying mutations of those frames
+//!   (never a panic, never a patch applied to a frame the oracle drops),
+//! * a seeded `SimRng` mutation loop so failures reproduce from a
+//!   one-line `DFI_MUT_SEED=… cargo test` command.
+
+use dfi_core::rewrite::{
+    rewrite_controller_frame_in_place, rewrite_controller_to_switch, rewrite_switch_frame_in_place,
+    rewrite_switch_to_controller, ControllerFrame, SwitchFrame, Upstream,
+};
+use dfi_openflow::testgen::{arb_any_message, random_message};
+use dfi_openflow::OfMessage;
+use dfi_simnet::SimRng;
+use proptest::prelude::*;
+
+/// Cases per proptest family, from `FUZZ_ITERS` (default 1 000).
+fn cases() -> u32 {
+    std::env::var("FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000)
+}
+
+fn config() -> ProptestConfig {
+    ProptestConfig::with_cases(cases())
+}
+
+/// The header length field of `frame`, if it has one.
+fn header_len(frame: &[u8]) -> Option<usize> {
+    if frame.len() < 8 {
+        return None;
+    }
+    Some(usize::from(u16::from_be_bytes([frame[2], frame[3]])))
+}
+
+/// Runs the controller→switch in-place rewrite on a copy of `frame` and
+/// checks full agreement with the decode-based oracle.
+fn check_controller_frame(frame: &[u8], n_tables: u8) -> Result<(), TestCaseError> {
+    let mut buf = frame.to_vec();
+    let verdict = rewrite_controller_frame_in_place(&mut buf, n_tables);
+    // The splice path certifies byte-identity only for frames whose header
+    // length spans the exact buffer; anything else must take the fallback.
+    if verdict == (ControllerFrame::Forward { spliced: true }) {
+        prop_assert_eq!(
+            header_len(frame),
+            Some(frame.len()),
+            "spliced a frame whose length field lies"
+        );
+    }
+    match OfMessage::decode(frame) {
+        Err(_) => {
+            prop_assert_eq!(
+                verdict,
+                ControllerFrame::Drop,
+                "oracle drops, splice path did not"
+            );
+            prop_assert_eq!(&buf, &frame, "dropped frames must never be patched");
+        }
+        Ok(msg) => match rewrite_controller_to_switch(msg, n_tables) {
+            Upstream::Forward(msgs) => {
+                prop_assert!(
+                    matches!(verdict, ControllerFrame::Forward { .. }),
+                    "oracle forwards, in-place verdict was {verdict:?}"
+                );
+                let mut oracle = Vec::new();
+                for m in &msgs {
+                    m.encode_into(&mut oracle);
+                }
+                prop_assert_eq!(&buf, &oracle, "forwarded bytes differ from oracle");
+            }
+            Upstream::Reject => {
+                prop_assert_eq!(verdict, ControllerFrame::Reject, "oracle rejects");
+                prop_assert_eq!(&buf, &frame, "rejected frames must stay untouched");
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Runs the switch→controller in-place rewrite on a copy of `frame` and
+/// checks full agreement with the decode-based oracle.
+fn check_switch_frame(frame: &[u8]) -> Result<(), TestCaseError> {
+    let mut buf = frame.to_vec();
+    let verdict = rewrite_switch_frame_in_place(&mut buf);
+    if verdict == (SwitchFrame::Forward { spliced: true }) {
+        prop_assert_eq!(
+            header_len(frame),
+            Some(frame.len()),
+            "spliced a frame whose length field lies"
+        );
+    }
+    match OfMessage::decode(frame) {
+        Err(_) => {
+            prop_assert_eq!(
+                verdict,
+                SwitchFrame::Drop,
+                "oracle drops, splice path did not"
+            );
+            prop_assert_eq!(&buf, &frame, "dropped frames must never be patched");
+        }
+        Ok(msg) => match rewrite_switch_to_controller(msg) {
+            Some(m) => {
+                prop_assert!(
+                    matches!(verdict, SwitchFrame::Forward { .. }),
+                    "oracle forwards, in-place verdict was {verdict:?}"
+                );
+                prop_assert_eq!(&buf, &m.encode(), "forwarded bytes differ from oracle");
+            }
+            None => {
+                prop_assert_eq!(verdict, SwitchFrame::Suppress, "oracle suppresses");
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Table counts worth exercising: the realistic small range plus the
+/// extremes where the shift hits `table::MAX` arithmetic.
+fn arb_n_tables() -> impl Strategy<Value = u8> {
+    prop_oneof![2u8..=16, Just(254u8), Just(255u8)]
+}
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// Clean frames, controller→switch: splice == oracle, byte for byte.
+    #[test]
+    fn controller_frames_match_oracle(
+        xid in any::<u32>(),
+        body in arb_any_message(),
+        n_tables in arb_n_tables(),
+    ) {
+        let frame = OfMessage::new(xid, body).encode();
+        check_controller_frame(&frame, n_tables)?;
+    }
+
+    /// Clean frames, switch→controller: splice == oracle, byte for byte.
+    #[test]
+    fn switch_frames_match_oracle(
+        xid in any::<u32>(),
+        body in arb_any_message(),
+    ) {
+        let frame = OfMessage::new(xid, body).encode();
+        check_switch_frame(&frame)?;
+    }
+
+    /// Bit-flipped frames: both directions still agree with the oracle and
+    /// never panic; frames the oracle cannot decode are never patched.
+    #[test]
+    fn mutated_frames_match_oracle(
+        body in arb_any_message(),
+        n_tables in arb_n_tables(),
+        flips in proptest::collection::vec((any::<usize>(), 1u8..=255), 1..5),
+    ) {
+        let mut frame = OfMessage::new(0xDF1, body).encode();
+        for (at, bits) in flips {
+            let idx = at % frame.len();
+            frame[idx] ^= bits;
+        }
+        check_controller_frame(&frame, n_tables)?;
+        check_switch_frame(&frame)?;
+    }
+
+    /// Frames whose header length field lies (short, long, or pointing
+    /// mid-buffer) are handled exactly like the oracle — and the splice
+    /// path never certifies them.
+    #[test]
+    fn length_lying_frames_match_oracle(
+        body in arb_any_message(),
+        n_tables in arb_n_tables(),
+        lie in any::<u16>(),
+    ) {
+        let mut frame = OfMessage::new(7, body).encode();
+        frame[2..4].copy_from_slice(&lie.to_be_bytes());
+        check_controller_frame(&frame, n_tables)?;
+        check_switch_frame(&frame)?;
+    }
+}
+
+/// `cargo fuzz`-style mutation loop over both rewrite directions, driven
+/// from the seeded simnet RNG so the whole run reproduces from a single
+/// `u64` seed independent of proptest.
+#[test]
+fn seeded_byte_mutator_matches_oracle() {
+    let seed: u64 = std::env::var("DFI_MUT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xDF1_5B11);
+    let iters = cases() as usize;
+    let mut rng = SimRng::new(seed);
+    for i in 0..iters {
+        let mut frame = OfMessage::new(rng.next_u32(), random_message(&mut rng)).encode();
+        let n_tables = 2 + (rng.next_u32() % 254) as u8;
+        // Half the iterations run the pristine frame; the rest smash it.
+        if rng.chance(0.5) {
+            let mutations = 1 + rng.index(8);
+            for _ in 0..mutations {
+                let at = rng.index(frame.len());
+                match rng.index(3) {
+                    0 => frame[at] ^= 1 << rng.index(8),
+                    1 => frame[at] = rng.next_u32() as u8,
+                    _ => {
+                        let keep = at.max(4);
+                        frame.truncate(keep);
+                    }
+                }
+            }
+        }
+        let r = check_controller_frame(&frame, n_tables).and_then(|()| check_switch_frame(&frame));
+        assert!(
+            r.is_ok(),
+            "splice/oracle divergence at iteration {i}: {r:?}\nreproduce with:\n  \
+             DFI_MUT_SEED={seed} FUZZ_ITERS={iters} cargo test -p dfi-core --test splice_oracle seeded_byte_mutator_matches_oracle"
+        );
+    }
+}

@@ -17,9 +17,9 @@
 //! let mut sim = Sim::new(1);
 //! let received: Rc<RefCell<Vec<Vec<u8>>>> = Rc::default();
 //! let log = received.clone();
-//! let inner: ByteSink = Rc::new(move |_, bytes| log.borrow_mut().push(bytes));
+//! let inner: ByteSink = Rc::new(move |_, bytes| log.borrow_mut().push(bytes.to_vec()));
 //! let (sink, handle) = faulty_sink(FaultPlan::lossy(7, 1.0), inner);
-//! sink(&mut sim, vec![1, 2, 3]);
+//! sink(&mut sim, &[1, 2, 3]);
 //! sim.run();
 //! assert!(received.borrow().is_empty());
 //! assert_eq!(handle.stats().dropped, 1);
@@ -64,18 +64,23 @@ pub fn faulty_sink(plan: FaultPlan, inner: ByteSink) -> (ByteSink, FaultHandle) 
     let handle = FaultHandle {
         process: process.clone(),
     };
-    let sink: ByteSink = Rc::new(move |sim: &mut Sim, bytes: Vec<u8>| {
+    let sink: ByteSink = Rc::new(move |sim: &mut Sim, bytes: &[u8]| {
         let deliveries = process.borrow_mut().decide(sim.now());
         for d in deliveries {
-            let mut payload = bytes.clone();
+            if d.delay.is_zero() && !d.corrupt {
+                // Clean synchronous pass: forward the borrow, no copy.
+                inner(sim, bytes);
+                continue;
+            }
+            let mut payload = bytes.to_vec();
             if d.corrupt {
                 process.borrow_mut().corrupt(&mut payload);
             }
             if d.delay.is_zero() {
-                inner(sim, payload);
+                inner(sim, &payload);
             } else {
                 let inner = inner.clone();
-                sim.schedule_in(d.delay, move |sim| inner(sim, payload));
+                sim.schedule_in(d.delay, move |sim| inner(sim, &payload));
             }
         }
     });
@@ -93,7 +98,8 @@ mod tests {
     fn recording_sink() -> (ByteSink, RxLog) {
         let log: RxLog = Rc::default();
         let l = log.clone();
-        let sink: ByteSink = Rc::new(move |sim, bytes| l.borrow_mut().push((sim.now(), bytes)));
+        let sink: ByteSink =
+            Rc::new(move |sim, bytes| l.borrow_mut().push((sim.now(), bytes.to_vec())));
         (sink, log)
     }
 
@@ -102,7 +108,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let (inner, log) = recording_sink();
         let (sink, handle) = faulty_sink(FaultPlan::none(), inner);
-        sink(&mut sim, vec![0xAA]);
+        sink(&mut sim, &[0xAA]);
         // No event round-trip needed: already delivered.
         assert_eq!(log.borrow().len(), 1);
         assert_eq!(handle.stats().passed, 1);
@@ -118,7 +124,7 @@ mod tests {
             ..FaultPlan::none()
         };
         let (sink, handle) = faulty_sink(plan, inner);
-        sink(&mut sim, vec![1, 2, 3, 4]);
+        sink(&mut sim, &[1, 2, 3, 4]);
         sim.run();
         assert_eq!(log.borrow().len(), 2);
         assert_eq!(log.borrow()[0].1, log.borrow()[1].1);
@@ -139,9 +145,9 @@ mod tests {
         }
         .with_window(SimTime::ZERO, SimTime::from_millis(1));
         let (sink, _) = faulty_sink(plan, inner);
-        sink(&mut sim, vec![1]);
+        sink(&mut sim, &[1]);
         let s2 = sink.clone();
-        sim.schedule_in(Duration::from_millis(2), move |sim| s2(sim, vec![2]));
+        sim.schedule_in(Duration::from_millis(2), move |sim| s2(sim, &[2]));
         sim.run();
         let order: Vec<u8> = log.borrow().iter().map(|(_, b)| b[0]).collect();
         assert_eq!(order, vec![2, 1], "held message must arrive second");
@@ -158,7 +164,7 @@ mod tests {
         };
         let (sink, handle) = faulty_sink(plan, inner);
         let frame = vec![0x04, 0x00, 0x00, 0x08, 0, 0, 0, 1];
-        sink(&mut sim, frame.clone());
+        sink(&mut sim, &frame);
         sim.run();
         assert_eq!(log.borrow().len(), 1);
         assert_ne!(log.borrow()[0].1, frame);
@@ -174,7 +180,7 @@ mod tests {
             for i in 0..200u64 {
                 let s = sink.clone();
                 sim.schedule_in(Duration::from_micros(i * 37), move |sim| {
-                    s(sim, vec![i as u8; 16]);
+                    s(sim, &[i as u8; 16]);
                 });
             }
             sim.run();

@@ -21,7 +21,7 @@
 //! let mut net = Network::new();
 //! let sw = net.add_switch(SwitchConfig::new(0xD1));
 //! let _tx = net.attach_silent_host(&sw, 1, Duration::from_micros(50));
-//! sw.install(&mut sim, dfi_allow_rule(Match::any(), 0xC00C1E, 100));
+//! sw.install(&mut sim, &dfi_allow_rule(Match::any(), 0xC00C1E, 100));
 //! sim.run();
 //! assert_eq!(sw.table_len(0), 1);
 //! assert_eq!(sw.table0_cookies(), vec![0xC00C1E]);

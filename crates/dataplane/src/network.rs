@@ -19,7 +19,7 @@ impl Tx {
     /// link's latency.
     pub fn send(&self, sim: &mut Sim, frame: Vec<u8>) {
         let sink = self.sink.clone();
-        sim.schedule_in(self.latency, move |sim| sink(sim, frame));
+        sim.schedule_in(self.latency, move |sim| sink(sim, &frame));
     }
 }
 

@@ -21,7 +21,12 @@ use std::rc::Rc;
 use std::time::Duration;
 
 /// A callback delivering raw bytes (OpenFlow messages or Ethernet frames).
-pub type ByteSink = Rc<dyn Fn(&mut Sim, Vec<u8>)>;
+///
+/// Sinks borrow the bytes: a sender that needs the buffer afterwards (for
+/// retransmission or buffer pooling) keeps ownership, and a flooded frame
+/// is shared by every port's delivery closure instead of being cloned per
+/// port. Receivers that defer work copy exactly the bytes they keep.
+pub type ByteSink = Rc<dyn Fn(&mut Sim, &[u8])>;
 
 /// Switch configuration.
 #[derive(Clone, Debug)]
@@ -143,7 +148,7 @@ impl Switch {
     /// (what a host NIC or the far end of a link holds).
     pub fn ingress(&self, port_no: u32) -> ByteSink {
         let sw = self.clone();
-        Rc::new(move |sim, frame| sw.input_frame(sim, port_no, frame))
+        Rc::new(move |sim, frame| sw.input_frame(sim, port_no, frame.to_vec()))
     }
 
     /// Connects the control channel and performs the switch's half of the
@@ -264,11 +269,14 @@ impl Switch {
                 // same-instant event ordering downstream — left unsorted it
                 // makes same-seed runs diverge.
                 targets.sort_unstable();
+                // One shared copy of the payload; every port's delivery
+                // closure holds a reference instead of its own clone.
+                let shared: Rc<[u8]> = Rc::from(frame);
                 for p in targets {
-                    self.output_physical(sim, p, frame.to_vec());
+                    self.output_physical(sim, p, Rc::clone(&shared));
                 }
             }
-            port::IN_PORT => self.output_physical(sim, in_port, frame.to_vec()),
+            port::IN_PORT => self.output_physical(sim, in_port, Rc::from(frame)),
             port::CONTROLLER => {
                 self.punt_packet_in_reason(
                     sim,
@@ -284,12 +292,12 @@ impl Switch {
                 let frame = frame.to_vec();
                 sim.schedule_now(move |sim| sw.run_pipeline(sim, in_port, frame, 0));
             }
-            p if p < port::MAX => self.output_physical(sim, p, frame.to_vec()),
+            p if p < port::MAX => self.output_physical(sim, p, Rc::from(frame)),
             _ => {}
         }
     }
 
-    fn output_physical(&self, sim: &mut Sim, port_no: u32, frame: Vec<u8>) {
+    fn output_physical(&self, sim: &mut Sim, port_no: u32, frame: Rc<[u8]>) {
         let (peer, latency) = {
             let mut inner = self.inner.borrow_mut();
             match inner
@@ -307,7 +315,7 @@ impl Switch {
                 }
             }
         };
-        sim.schedule_in(latency, move |sim| peer(sim, frame));
+        sim.schedule_in(latency, move |sim| peer(sim, &frame));
     }
 
     fn punt_packet_in(&self, sim: &mut Sim, in_port: u32, table_id: u8, frame: Vec<u8>) {
@@ -353,12 +361,12 @@ impl Switch {
             (sink, inner.config.control_latency, xid)
         };
         let bytes = OfMessage::new(xid, body).encode();
-        sim.schedule_in(latency, move |sim| sink(sim, bytes));
+        sim.schedule_in(latency, move |sim| sink(sim, &bytes));
     }
 
     /// Handles bytes arriving from the control plane (may contain several
     /// framed OpenFlow messages).
-    pub fn handle_control_bytes(&self, sim: &mut Sim, bytes: Vec<u8>) {
+    pub fn handle_control_bytes(&self, sim: &mut Sim, bytes: &[u8]) {
         let mut offset = 0;
         while offset < bytes.len() {
             let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
@@ -411,8 +419,8 @@ impl Switch {
             Message::BarrierRequest => {
                 self.send_control(sim, Message::BarrierReply, Some(xid));
             }
-            Message::FlowMod(fm) => self.apply_flow_mod(sim, fm),
-            Message::PacketOut(po) => self.apply_packet_out(sim, po),
+            Message::FlowMod(fm) => self.apply_flow_mod(sim, &fm),
+            Message::PacketOut(po) => self.apply_packet_out(sim, &po),
             Message::MultipartRequest(req) => self.answer_multipart(sim, req, xid),
             // Messages a switch does not expect are ignored (a real OVS
             // would error; silence keeps adversarial-controller tests tidy).
@@ -420,7 +428,7 @@ impl Switch {
         }
     }
 
-    fn apply_flow_mod(&self, sim: &mut Sim, fm: FlowMod) {
+    fn apply_flow_mod(&self, sim: &mut Sim, fm: &FlowMod) {
         let now = sim.now();
         let mut removed: Vec<(u8, crate::flow_table::FlowEntry)> = Vec::new();
         let mut table_full = false;
@@ -438,31 +446,31 @@ impl Switch {
             match fm.command {
                 FlowModCommand::Add => {
                     if let Some(&t) = targets.first() {
-                        if inner.tables[t].add(&fm, now).is_err() {
+                        if inner.tables[t].add(fm, now).is_err() {
                             table_full = true;
                         }
                     }
                 }
                 FlowModCommand::Modify => {
                     for t in targets {
-                        inner.tables[t].modify(&fm, false);
+                        inner.tables[t].modify(fm, false);
                     }
                 }
                 FlowModCommand::ModifyStrict => {
                     for t in targets {
-                        inner.tables[t].modify(&fm, true);
+                        inner.tables[t].modify(fm, true);
                     }
                 }
                 FlowModCommand::Delete => {
                     for t in targets {
-                        for e in inner.tables[t].delete(&fm) {
+                        for e in inner.tables[t].delete(fm) {
                             removed.push((t as u8, e));
                         }
                     }
                 }
                 FlowModCommand::DeleteStrict => {
                     for t in targets {
-                        for e in inner.tables[t].delete_strict(&fm) {
+                        for e in inner.tables[t].delete_strict(fm) {
                             removed.push((t as u8, e));
                         }
                     }
@@ -560,7 +568,7 @@ impl Switch {
         self.reschedule_sweep(sim);
     }
 
-    fn apply_packet_out(&self, sim: &mut Sim, po: PacketOut) {
+    fn apply_packet_out(&self, sim: &mut Sim, po: &PacketOut) {
         let in_port = if po.in_port >= port::MAX {
             0
         } else {
@@ -665,7 +673,7 @@ impl Switch {
 
     /// Installs a flow-mod directly (bypassing the control channel); used
     /// by tests and by in-process harnesses that do not need wire fidelity.
-    pub fn install(&self, sim: &mut Sim, fm: FlowMod) {
+    pub fn install(&self, sim: &mut Sim, fm: &FlowMod) {
         self.apply_flow_mod(sim, fm);
     }
 

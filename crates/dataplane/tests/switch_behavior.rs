@@ -55,14 +55,24 @@ fn rig() -> Rig {
     let rx2 = Rc::new(RefCell::new(Vec::new()));
     let r1 = rx1.clone();
     let r2 = rx2.clone();
-    let tx1 = net.attach_host(&sw, 1, LAT, Rc::new(move |_, f| r1.borrow_mut().push(f)));
-    let _tx2 = net.attach_host(&sw, 2, LAT, Rc::new(move |_, f| r2.borrow_mut().push(f)));
+    let tx1 = net.attach_host(
+        &sw,
+        1,
+        LAT,
+        Rc::new(move |_, f| r1.borrow_mut().push(f.to_vec())),
+    );
+    let _tx2 = net.attach_host(
+        &sw,
+        2,
+        LAT,
+        Rc::new(move |_, f| r2.borrow_mut().push(f.to_vec())),
+    );
     let control_rx = Rc::new(RefCell::new(Vec::new()));
     let c = control_rx.clone();
     sw.connect_control(
         &mut sim,
-        Rc::new(move |_, bytes: Vec<u8>| {
-            c.borrow_mut().push(OfMessage::decode(&bytes).unwrap());
+        Rc::new(move |_, bytes: &[u8]| {
+            c.borrow_mut().push(OfMessage::decode(bytes).unwrap());
         }),
     );
     let to_switch = sw.control_ingress();
@@ -79,7 +89,7 @@ fn rig() -> Rig {
 
 fn send_msg(rig: &mut Rig, body: Message) {
     let bytes = OfMessage::new(99, body).encode();
-    (rig.to_switch)(&mut rig.sim, bytes);
+    (rig.to_switch)(&mut rig.sim, &bytes);
 }
 
 fn control_msgs(rig: &Rig) -> Vec<Message> {
@@ -121,14 +131,14 @@ fn table_miss_punts_packet_in_with_port_and_data() {
 fn allow_rule_chains_to_controller_table_then_forwards() {
     let mut r = rig();
     // DFI allow in table 0, forwarding rule in table 1.
-    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 100));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(Match::any(), 0xA, 100));
     let fwd = FlowMod {
         table_id: 1,
         priority: 10,
         instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
         ..FlowMod::add()
     };
-    r.sw.install(&mut r.sim, fwd);
+    r.sw.install(&mut r.sim, &fwd);
     let frame = syn_frame(1, 2, 80);
     r.tx1.send(&mut r.sim, frame.clone());
     r.sim.run();
@@ -141,7 +151,7 @@ fn allow_rule_chains_to_controller_table_then_forwards() {
 #[test]
 fn deny_rule_drops_before_controller_tables() {
     let mut r = rig();
-    r.sw.install(&mut r.sim, dfi_deny_rule(Match::any(), 0xD, 100));
+    r.sw.install(&mut r.sim, &dfi_deny_rule(Match::any(), 0xD, 100));
     // Even with a forwarding rule in table 1, the packet must die in 0.
     let fwd = FlowMod {
         table_id: 1,
@@ -149,7 +159,7 @@ fn deny_rule_drops_before_controller_tables() {
         instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
         ..FlowMod::add()
     };
-    r.sw.install(&mut r.sim, fwd);
+    r.sw.install(&mut r.sim, &fwd);
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 445));
     r.sim.run();
     assert_eq!(r.rx2.borrow().len(), 0);
@@ -164,7 +174,7 @@ fn deny_rule_drops_before_controller_tables() {
 #[test]
 fn miss_in_controller_table_punts_with_that_table_id() {
     let mut r = rig();
-    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 100));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(Match::any(), 0xA, 100));
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
     r.sim.run();
     let msgs = control_msgs(&r);
@@ -181,7 +191,7 @@ fn miss_in_controller_table_punts_with_that_table_id() {
 #[test]
 fn higher_priority_deny_beats_allow() {
     let mut r = rig();
-    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 10));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(Match::any(), 0xA, 10));
     let deny = dfi_deny_rule(
         Match {
             eth_type: Some(0x0800),
@@ -192,14 +202,14 @@ fn higher_priority_deny_beats_allow() {
         0xD,
         100,
     );
-    r.sw.install(&mut r.sim, deny);
+    r.sw.install(&mut r.sim, &deny);
     let fwd = FlowMod {
         table_id: 1,
         priority: 1,
         instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
         ..FlowMod::add()
     };
-    r.sw.install(&mut r.sim, fwd);
+    r.sw.install(&mut r.sim, &fwd);
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 445)); // denied
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 80)); // allowed
     r.sim.run();
@@ -217,10 +227,10 @@ fn delete_by_cookie_flushes_only_that_policy() {
         tcp_dst: Some(80),
         ..Match::default()
     };
-    r.sw.install(&mut r.sim, dfi_allow_rule(m1, 0xAAAA, 100));
-    r.sw.install(&mut r.sim, dfi_allow_rule(m2, 0xBBBB, 100));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(m1, 0xAAAA, 100));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(m2, 0xBBBB, 100));
     assert_eq!(r.sw.table_len(0), 2);
-    r.sw.install(&mut r.sim, FlowMod::delete_by_cookie(0xAAAA, u64::MAX));
+    r.sw.install(&mut r.sim, &FlowMod::delete_by_cookie(0xAAAA, u64::MAX));
     r.sim.run();
     assert_eq!(r.sw.table0_cookies(), vec![0xBBBB]);
 }
@@ -230,8 +240,8 @@ fn flow_removed_sent_on_delete_when_flagged() {
     let mut r = rig();
     let mut fm = dfi_allow_rule(Match::any(), 0xF1, 5);
     fm.flags = FLAG_SEND_FLOW_REM;
-    r.sw.install(&mut r.sim, fm);
-    r.sw.install(&mut r.sim, FlowMod::delete_by_cookie(0xF1, u64::MAX));
+    r.sw.install(&mut r.sim, &fm);
+    r.sw.install(&mut r.sim, &FlowMod::delete_by_cookie(0xF1, u64::MAX));
     r.sim.run();
     let msgs = control_msgs(&r);
     let fr = msgs
@@ -248,8 +258,8 @@ fn flow_removed_sent_on_delete_when_flagged() {
 #[test]
 fn no_flow_removed_without_flag() {
     let mut r = rig();
-    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xF1, 5));
-    r.sw.install(&mut r.sim, FlowMod::delete_by_cookie(0xF1, u64::MAX));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(Match::any(), 0xF1, 5));
+    r.sw.install(&mut r.sim, &FlowMod::delete_by_cookie(0xF1, u64::MAX));
     r.sim.run();
     assert!(!control_msgs(&r)
         .iter()
@@ -262,7 +272,7 @@ fn hard_timeout_removes_rule_and_notifies() {
     let mut fm = dfi_allow_rule(Match::any(), 0x77, 5);
     fm.hard_timeout = 3;
     fm.flags = FLAG_SEND_FLOW_REM;
-    r.sw.install(&mut r.sim, fm);
+    r.sw.install(&mut r.sim, &fm);
     assert_eq!(r.sw.table_len(0), 1);
     r.sim.run();
     assert!(r.sim.now() >= SimTime::from_secs(3));
@@ -279,7 +289,7 @@ fn idle_timeout_extends_while_traffic_flows() {
     let mut r = rig();
     let mut fm = dfi_allow_rule(Match::any(), 0x88, 5);
     fm.idle_timeout = 2;
-    r.sw.install(&mut r.sim, fm);
+    r.sw.install(&mut r.sim, &fm);
     // Keep the rule warm with a packet each second for 3 seconds.
     for s in 1..=3u64 {
         let tx = r.tx1.clone();
@@ -305,8 +315,8 @@ fn table_full_reports_error() {
         let c = control_rx.clone();
         sw.connect_control(
             &mut sim,
-            Rc::new(move |_, bytes: Vec<u8>| {
-                c.borrow_mut().push(OfMessage::decode(&bytes).unwrap());
+            Rc::new(move |_, bytes: &[u8]| {
+                c.borrow_mut().push(OfMessage::decode(bytes).unwrap());
             }),
         );
         let to_switch = sw.control_ingress();
@@ -333,8 +343,8 @@ fn table_full_reports_error() {
         tcp_dst: Some(2),
         ..Match::default()
     };
-    r.sw.install(&mut r.sim, dfi_allow_rule(m1, 1, 1));
-    r.sw.install(&mut r.sim, dfi_allow_rule(m2, 2, 1));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(m1, 1, 1));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(m2, 2, 1));
     r.sim.run();
     assert_eq!(r.sw.table_len(0), 1);
     let msgs = control_msgs(&r);
@@ -388,14 +398,14 @@ fn packet_out_to_port_and_flood() {
 #[test]
 fn packet_out_to_table_runs_pipeline() {
     let mut r = rig();
-    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 0xA, 100));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(Match::any(), 0xA, 100));
     let fwd = FlowMod {
         table_id: 1,
         priority: 10,
         instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
         ..FlowMod::add()
     };
-    r.sw.install(&mut r.sim, fwd);
+    r.sw.install(&mut r.sim, &fwd);
     let frame = syn_frame(1, 2, 80);
     let po = PacketOut {
         buffer_id: dfi_openflow::NO_BUFFER,
@@ -420,8 +430,8 @@ fn flow_stats_filter_by_cookie() {
         tcp_dst: Some(2),
         ..Match::default()
     };
-    r.sw.install(&mut r.sim, dfi_allow_rule(m1, 0xAA, 1));
-    r.sw.install(&mut r.sim, dfi_allow_rule(m2, 0xBB, 1));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(m1, 0xAA, 1));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(m2, 0xBB, 1));
     send_msg(
         &mut r,
         Message::MultipartRequest(MultipartRequest::Flow {
@@ -449,7 +459,7 @@ fn flow_stats_filter_by_cookie() {
 #[test]
 fn table_stats_report_lookups_and_active_counts() {
     let mut r = rig();
-    r.sw.install(&mut r.sim, dfi_allow_rule(Match::any(), 1, 1));
+    r.sw.install(&mut r.sim, &dfi_allow_rule(Match::any(), 1, 1));
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 80)); // hits table 0, misses 1
     r.sim.run();
     send_msg(&mut r, Message::MultipartRequest(MultipartRequest::Table));
@@ -479,7 +489,12 @@ fn two_switch_line_delivers_end_to_end() {
     let got = Rc::new(RefCell::new(Vec::new()));
     let g = got.clone();
     let tx = net.attach_host(&s1, 1, LAT, Rc::new(|_, _| {}));
-    let _rx = net.attach_host(&s2, 1, LAT, Rc::new(move |_, f| g.borrow_mut().push(f)));
+    let _rx = net.attach_host(
+        &s2,
+        1,
+        LAT,
+        Rc::new(move |_, f| g.borrow_mut().push(f.to_vec())),
+    );
     // Static forwarding: s1 sends everything to s2; s2 to its host.
     let fwd1 = FlowMod {
         priority: 1,
@@ -491,8 +506,8 @@ fn two_switch_line_delivers_end_to_end() {
         instructions: vec![Instruction::ApplyActions(vec![Action::output(1)])],
         ..FlowMod::add()
     };
-    s1.install(&mut sim, fwd1);
-    s2.install(&mut sim, fwd2);
+    s1.install(&mut sim, &fwd1);
+    s2.install(&mut sim, &fwd2);
     let frame = syn_frame(1, 2, 80);
     tx.send(&mut sim, frame.clone());
     sim.run();
@@ -523,14 +538,14 @@ fn write_actions_execute_at_pipeline_end() {
         ],
         ..FlowMod::add()
     };
-    r.sw.install(&mut r.sim, fm);
+    r.sw.install(&mut r.sim, &fm);
     let fm1 = FlowMod {
         table_id: 1,
         priority: 1,
         instructions: vec![], // end of pipeline; action set should fire
         ..FlowMod::add()
     };
-    r.sw.install(&mut r.sim, fm1);
+    r.sw.install(&mut r.sim, &fm1);
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
     r.sim.run();
     assert_eq!(r.rx2.borrow().len(), 1);
@@ -545,7 +560,7 @@ fn modify_changes_forwarding() {
         instructions: vec![Instruction::ApplyActions(vec![Action::output(2)])],
         ..FlowMod::add()
     };
-    r.sw.install(&mut r.sim, fm.clone());
+    r.sw.install(&mut r.sim, &fm.clone());
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
     r.sim.run();
     assert_eq!(r.rx2.borrow().len(), 1);
@@ -553,7 +568,7 @@ fn modify_changes_forwarding() {
     let mut m = fm;
     m.command = FlowModCommand::Modify;
     m.instructions = vec![];
-    r.sw.install(&mut r.sim, m);
+    r.sw.install(&mut r.sim, &m);
     r.tx1.send(&mut r.sim, syn_frame(1, 2, 80));
     r.sim.run();
     assert_eq!(r.rx2.borrow().len(), 1, "second frame dropped");

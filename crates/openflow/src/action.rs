@@ -10,7 +10,7 @@ use dfi_packet::PacketError;
 
 use crate::Result;
 
-const OFPAT_OUTPUT: u16 = 0;
+pub(crate) const OFPAT_OUTPUT: u16 = 0;
 
 /// A single action in an instruction's action list.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]

@@ -122,6 +122,14 @@ impl FlowMod {
         }
     }
 
+    /// Appends the message body (after the OpenFlow header) to `buf`;
+    /// allocation-free once `buf` has warm capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode_body(&mut w);
+        *buf = w.into_bytes();
+    }
+
     /// Serializes the message body (after the OpenFlow header).
     pub fn encode_body(&self, w: &mut Writer) {
         w.u64(self.cookie);
@@ -237,6 +245,14 @@ pub struct FlowRemoved {
 }
 
 impl FlowRemoved {
+    /// Appends the message body (after the OpenFlow header) to `buf`;
+    /// allocation-free once `buf` has warm capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode_body(&mut w);
+        *buf = w.into_bytes();
+    }
+
     /// Serializes the message body.
     pub fn encode_body(&self, w: &mut Writer) {
         w.u64(self.cookie);

@@ -13,10 +13,10 @@ use dfi_packet::PacketError;
 use crate::action::Action;
 use crate::Result;
 
-const OFPIT_GOTO_TABLE: u16 = 1;
-const OFPIT_WRITE_ACTIONS: u16 = 3;
-const OFPIT_APPLY_ACTIONS: u16 = 4;
-const OFPIT_CLEAR_ACTIONS: u16 = 5;
+pub(crate) const OFPIT_GOTO_TABLE: u16 = 1;
+pub(crate) const OFPIT_WRITE_ACTIONS: u16 = 3;
+pub(crate) const OFPIT_APPLY_ACTIONS: u16 = 4;
+pub(crate) const OFPIT_CLEAR_ACTIONS: u16 = 5;
 
 /// One instruction attached to a flow rule.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]

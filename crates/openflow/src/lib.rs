@@ -54,7 +54,10 @@ mod flow;
 mod instruction;
 mod msg;
 mod oxm;
+pub mod splice;
 mod stats;
+#[cfg(feature = "testgen")]
+pub mod testgen;
 
 pub use action::Action;
 pub use flow::{FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason, FLAG_SEND_FLOW_REM};
@@ -64,6 +67,7 @@ pub use msg::{
     OFP_VERSION,
 };
 pub use oxm::Match;
+pub use splice::Splice;
 pub use stats::{FlowStatsEntry, MultipartReply, MultipartRequest, PortDescEntry, TableStatsEntry};
 
 pub use dfi_packet::PacketError;

@@ -110,6 +110,14 @@ impl PacketIn {
         self.mat.in_port
     }
 
+    /// Appends the message body (after the OpenFlow header) to `buf`;
+    /// allocation-free once `buf` has warm capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode_body(&mut w);
+        *buf = w.into_bytes();
+    }
+
     fn encode_body(&self, w: &mut Writer) {
         w.u32(self.buffer_id);
         w.u16(self.total_len);
@@ -165,6 +173,14 @@ impl PacketOut {
         }
     }
 
+    /// Appends the message body (after the OpenFlow header) to `buf`;
+    /// allocation-free once `buf` has warm capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode_body(&mut w);
+        *buf = w.into_bytes();
+    }
+
     fn encode_body(&self, w: &mut Writer) {
         w.u32(self.buffer_id);
         w.u32(self.in_port);
@@ -207,6 +223,14 @@ pub struct FeaturesReply {
 }
 
 impl FeaturesReply {
+    /// Appends the message body (after the OpenFlow header) to `buf`;
+    /// allocation-free once `buf` has warm capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode_body(&mut w);
+        *buf = w.into_bytes();
+    }
+
     fn encode_body(&self, w: &mut Writer) {
         w.u64(self.datapath_id);
         w.u32(self.n_buffers);
@@ -328,9 +352,19 @@ impl OfMessage {
         OfMessage { xid, body }
     }
 
-    /// Serializes header + body.
+    /// Serializes header + body into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::with_capacity(64);
+        let mut buf = Vec::with_capacity(64);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes header + body, appending to `buf`. Several messages can
+    /// be framed back-to-back into one buffer (a batched write), and a
+    /// pooled buffer with warm capacity makes the encode allocation-free.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        let start = w.len();
         w.u8(OFP_VERSION);
         w.u8(self.body.msg_type() as u8);
         w.u16(0); // length, patched
@@ -354,9 +388,9 @@ impl OfMessage {
             Message::MultipartRequest(mr) => mr.encode_body(&mut w),
             Message::MultipartReply(mr) => mr.encode_body(&mut w),
         }
-        let len = w.len() as u16;
-        w.patch_u16(2, len);
-        w.into_bytes()
+        let len = (w.len() - start) as u16;
+        w.patch_u16(start + 2, len);
+        *buf = w.into_bytes();
     }
 
     /// Parses one message from `bytes`, which must contain exactly one
@@ -439,7 +473,7 @@ mod tests {
     use crate::flow::FlowModCommand;
     use crate::{table, NO_BUFFER};
 
-    fn round_trip(m: OfMessage) -> OfMessage {
+    fn round_trip(m: &OfMessage) -> OfMessage {
         let bytes = m.encode();
         let decoded = OfMessage::decode(&bytes).unwrap();
         assert_eq!(OfMessage::frame_length(&bytes), Some(bytes.len()));
@@ -449,22 +483,22 @@ mod tests {
     #[test]
     fn hello_round_trip() {
         let m = OfMessage::new(1, Message::Hello);
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
         assert_eq!(m.encode().len(), 8);
     }
 
     #[test]
     fn echo_round_trip() {
         let m = OfMessage::new(2, Message::EchoRequest(b"ping".to_vec()));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
         let m = OfMessage::new(2, Message::EchoReply(b"ping".to_vec()));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
     fn features_round_trip() {
         let m = OfMessage::new(3, Message::FeaturesRequest);
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
         let fr = FeaturesReply {
             datapath_id: 0xAABB_CCDD_EEFF_0011,
             n_buffers: 256,
@@ -473,7 +507,7 @@ mod tests {
             capabilities: 0x47,
         };
         let m = OfMessage::new(3, Message::FeaturesReply(fr));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
@@ -481,14 +515,14 @@ mod tests {
         let pi = PacketIn::table_miss(7, 0, vec![0xDE, 0xAD, 0xBE, 0xEF]);
         assert_eq!(pi.in_port(), Some(7));
         let m = OfMessage::new(4, Message::PacketIn(pi));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
     fn packet_out_round_trip() {
         let po = PacketOut::send(3, vec![1, 2, 3, 4, 5]);
         let m = OfMessage::new(5, Message::PacketOut(po));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
@@ -500,7 +534,7 @@ mod tests {
             data: vec![9, 9],
         };
         let m = OfMessage::new(5, Message::PacketOut(po));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
@@ -514,7 +548,7 @@ mod tests {
             ..FlowMod::add()
         };
         let m = OfMessage::new(6, Message::FlowMod(fm));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
@@ -533,22 +567,22 @@ mod tests {
             mat: Match::default(),
         };
         let m = OfMessage::new(7, Message::FlowRemoved(fr));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
     fn multipart_round_trip() {
         let m = OfMessage::new(8, Message::MultipartRequest(MultipartRequest::all_flows()));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
         let m = OfMessage::new(8, Message::MultipartReply(MultipartReply::Flow(vec![])));
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
     fn barrier_round_trip() {
         for body in [Message::BarrierRequest, Message::BarrierReply] {
             let m = OfMessage::new(9, body);
-            assert_eq!(round_trip(m.clone()), m);
+            assert_eq!(round_trip(&m), m);
         }
     }
 
@@ -558,7 +592,7 @@ mod tests {
             10,
             Message::Error(ErrorMsg::permission_denied(vec![1, 2, 3])),
         );
-        assert_eq!(round_trip(m.clone()), m);
+        assert_eq!(round_trip(&m), m);
     }
 
     #[test]
@@ -660,6 +694,6 @@ mod tests {
     #[test]
     fn xid_is_preserved() {
         let m = OfMessage::new(0xDEAD_BEEF, Message::BarrierRequest);
-        assert_eq!(round_trip(m).xid, 0xDEAD_BEEF);
+        assert_eq!(round_trip(&m).xid, 0xDEAD_BEEF);
     }
 }

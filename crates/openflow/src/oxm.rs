@@ -13,23 +13,23 @@ use std::net::Ipv4Addr;
 
 use crate::Result;
 
-const OXM_CLASS_BASIC: u16 = 0x8000;
+pub(crate) const OXM_CLASS_BASIC: u16 = 0x8000;
 
 // OFPXMT_OFB_* field codes (OF1.3 §7.2.3.7).
-const F_IN_PORT: u8 = 0;
-const F_ETH_DST: u8 = 3;
-const F_ETH_SRC: u8 = 4;
-const F_ETH_TYPE: u8 = 5;
-const F_VLAN_VID: u8 = 6;
-const F_IP_PROTO: u8 = 10;
-const F_IPV4_SRC: u8 = 11;
-const F_IPV4_DST: u8 = 12;
-const F_TCP_SRC: u8 = 13;
-const F_TCP_DST: u8 = 14;
-const F_UDP_SRC: u8 = 15;
-const F_UDP_DST: u8 = 16;
-const F_ARP_SPA: u8 = 22;
-const F_ARP_TPA: u8 = 23;
+pub(crate) const F_IN_PORT: u8 = 0;
+pub(crate) const F_ETH_DST: u8 = 3;
+pub(crate) const F_ETH_SRC: u8 = 4;
+pub(crate) const F_ETH_TYPE: u8 = 5;
+pub(crate) const F_VLAN_VID: u8 = 6;
+pub(crate) const F_IP_PROTO: u8 = 10;
+pub(crate) const F_IPV4_SRC: u8 = 11;
+pub(crate) const F_IPV4_DST: u8 = 12;
+pub(crate) const F_TCP_SRC: u8 = 13;
+pub(crate) const F_TCP_DST: u8 = 14;
+pub(crate) const F_UDP_SRC: u8 = 15;
+pub(crate) const F_UDP_DST: u8 = 16;
+pub(crate) const F_ARP_SPA: u8 = 22;
+pub(crate) const F_ARP_TPA: u8 = 23;
 
 /// An OpenFlow 1.3 match over the fields this system uses.
 ///
@@ -136,7 +136,7 @@ impl Match {
     /// `true` when a packet with the given headers arriving on `in_port`
     /// satisfies every present field.
     pub fn matches(&self, in_port: u32, h: &PacketHeaders) -> bool {
-        fn ok<T: PartialEq>(want: Option<T>, got: Option<T>) -> bool {
+        fn ok<T: PartialEq + Copy>(want: Option<T>, got: Option<T>) -> bool {
             match want {
                 None => true,
                 Some(w) => got == Some(w),

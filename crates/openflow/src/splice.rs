@@ -1,0 +1,802 @@
+//! In-place table-id splicing over raw OpenFlow 1.3 frames.
+//!
+//! The DFI proxy's only steady-state mutation is shifting `table_id`
+//! references (paper §IV-B): +1 on the controller→switch path, −1 on the
+//! switch→controller path. Decoding a whole message, bumping one byte and
+//! re-encoding it is semantically clean but costs several allocations per
+//! frame. This module is the fast path: a cursor-based scanner that
+//! validates the frame byte-by-byte and patches the table ids directly in
+//! the wire buffer.
+//!
+//! # Soundness contract
+//!
+//! Falling back to the decode path is always safe — the decode→rewrite→
+//! re-encode pipeline in `dfi-core` *is* the reference implementation. The
+//! scanner therefore only needs to be **sound, not complete**: it may
+//! return [`Splice::Fallback`] for any frame, but it must return one of
+//! the definitive outcomes only when it is certain the decode path would
+//! (a) accept the frame and (b) re-encode it to exactly these bytes with
+//! only the table ids changed. Concretely that means every frame certified
+//! here must be *canonical*: all padding bytes zero, OXM TLVs in strictly
+//! increasing field order with canonical lengths, no experimenter or
+//! unknown OXM fields, no masked fields, fixed-size structures at their
+//! exact lengths, multipart flags zero, and the header length equal to the
+//! buffer length. Anything else — including every malformed frame — falls
+//! back, where the decode path either normalizes or rejects it exactly as
+//! it did before this module existed.
+//!
+//! Validation runs in two phases: first the entire frame is scanned and
+//! patch offsets are collected; only after the whole frame has been
+//! certified are any bytes written. A rejected or fallback frame is never
+//! left half-patched.
+
+use crate::action::OFPAT_OUTPUT;
+use crate::instruction::{
+    OFPIT_APPLY_ACTIONS, OFPIT_CLEAR_ACTIONS, OFPIT_GOTO_TABLE, OFPIT_WRITE_ACTIONS,
+};
+use crate::oxm::{
+    F_ARP_SPA, F_ARP_TPA, F_ETH_DST, F_ETH_SRC, F_ETH_TYPE, F_IN_PORT, F_IPV4_DST, F_IPV4_SRC,
+    F_IP_PROTO, F_TCP_DST, F_TCP_SRC, F_UDP_DST, F_UDP_SRC, F_VLAN_VID, OXM_CLASS_BASIC,
+};
+use crate::stats::{OFPMP_FLOW, OFPMP_PORT_DESC, OFPMP_TABLE};
+use crate::{table, OFP_VERSION};
+
+/// Outcome of an in-place splice attempt. See the module docs for the
+/// contract behind each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Splice {
+    /// The frame is canonical and carries no table reference that needs
+    /// changing; forward it as-is.
+    Unchanged,
+    /// The frame was canonical and its table references were patched in
+    /// place; forward the (mutated) buffer.
+    Patched,
+    /// The frame must not be forwarded at all (it reveals Table 0 to the
+    /// controller). Matches the oracle returning `None`.
+    Suppress,
+    /// The rewrite cannot be expressed (a table id would shift past the
+    /// switch's last table); the proxy must refuse the message. Matches
+    /// `Upstream::Reject`. The buffer is untouched.
+    Reject,
+    /// The scanner cannot certify byte-identity with the decode path;
+    /// the caller must run decode→rewrite→re-encode. The buffer is
+    /// untouched.
+    Fallback,
+}
+
+// OpenFlow 1.3 message type codes (mirrors the dispatch in `msg.rs`).
+const T_HELLO: u8 = 0;
+const T_ERROR: u8 = 1;
+const T_ECHO_REQUEST: u8 = 2;
+const T_ECHO_REPLY: u8 = 3;
+const T_FEATURES_REQUEST: u8 = 5;
+const T_FEATURES_REPLY: u8 = 6;
+const T_PACKET_IN: u8 = 10;
+const T_FLOW_REMOVED: u8 = 11;
+const T_PACKET_OUT: u8 = 13;
+const T_FLOW_MOD: u8 = 14;
+const T_MULTIPART_REQUEST: u8 = 18;
+const T_MULTIPART_REPLY: u8 = 19;
+const T_BARRIER_REQUEST: u8 = 20;
+const T_BARRIER_REPLY: u8 = 21;
+
+/// Upper bound on patch sites collected per frame. A frame with more
+/// (only possible for very large stats replies) falls back to the decode
+/// path rather than growing the set on the heap.
+const MAX_PATCHES: usize = 64;
+
+/// A fixed-capacity set of byte offsets to patch, filled during the
+/// validation phase and applied only once the whole frame is certified.
+struct Patches {
+    offs: [usize; MAX_PATCHES],
+    len: usize,
+}
+
+impl Patches {
+    fn new() -> Self {
+        Patches {
+            offs: [0; MAX_PATCHES],
+            len: 0,
+        }
+    }
+
+    /// Records an offset; `None` (→ fallback) when the set is full.
+    fn push(&mut self, off: usize) -> Option<()> {
+        if self.len == MAX_PATCHES {
+            return None;
+        }
+        self.offs[self.len] = off;
+        self.len += 1;
+        Some(())
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.offs[..self.len].iter().copied()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[inline]
+fn u16_at(buf: &[u8], off: usize) -> Option<u16> {
+    let hi = *buf.get(off)?;
+    let lo = *buf.get(off.checked_add(1)?)?;
+    Some(u16::from_be_bytes([hi, lo]))
+}
+
+/// `true` iff `buf[start..end]` is in bounds and all zero. Out-of-bounds
+/// reads as `false`, which every caller maps to fallback — the same
+/// terminal outcome a bounds error deserves.
+#[inline]
+fn all_zero(buf: &[u8], start: usize, end: usize) -> bool {
+    start <= end
+        && buf
+            .get(start..end)
+            .is_some_and(|s| s.iter().all(|&b| b == 0))
+}
+
+/// Checks the fixed OpenFlow header and that the header length matches
+/// the buffer exactly (the callers frame messages one-to-one; a length
+/// mismatch means either truncation or trailing bytes the re-encoder
+/// would drop).
+fn header_ok(frame: &[u8]) -> bool {
+    frame.len() >= 8
+        && frame.len() <= usize::from(u16::MAX)
+        && frame[0] == OFP_VERSION
+        && usize::from(u16::from_be_bytes([frame[2], frame[3]])) == frame.len()
+}
+
+/// Canonical payload length for a known basic OXM field (mirrors the
+/// table in `oxm.rs`); `None` for unknown fields, which the decoder
+/// would silently drop on re-encode.
+fn canonical_oxm_len(field: u8) -> Option<usize> {
+    match field {
+        F_IP_PROTO => Some(1),
+        F_ETH_TYPE | F_VLAN_VID | F_TCP_SRC | F_TCP_DST | F_UDP_SRC | F_UDP_DST => Some(2),
+        F_IN_PORT | F_IPV4_SRC | F_IPV4_DST | F_ARP_SPA | F_ARP_TPA => Some(4),
+        F_ETH_DST | F_ETH_SRC => Some(6),
+        _ => None,
+    }
+}
+
+/// Validates a canonical `ofp_match` starting at `pos` and returns the
+/// offset just past its padding. Canonical means: type 1, TLVs tiling the
+/// body exactly in strictly increasing field order (which also rules out
+/// duplicates), basic class only, no masks, canonical lengths, VLAN VIDs
+/// carrying the present bit, and zero padding to the 8-byte boundary.
+fn scan_match(frame: &[u8], pos: usize, region_end: usize) -> Option<usize> {
+    if region_end > frame.len() {
+        return None;
+    }
+    let mtype = u16_at(frame, pos)?;
+    let mlen = usize::from(u16_at(frame, pos.checked_add(2)?)?);
+    if mtype != 1 || mlen < 4 {
+        return None;
+    }
+    let body_end = pos.checked_add(mlen)?;
+    if body_end > region_end {
+        return None;
+    }
+    let mut cur = pos + 4;
+    let mut prev_field: i16 = -1;
+    while cur < body_end {
+        if body_end - cur < 4 {
+            return None;
+        }
+        if u16_at(frame, cur)? != OXM_CLASS_BASIC {
+            return None; // experimenter TLVs are dropped on re-encode
+        }
+        let field_hasmask = *frame.get(cur + 2)?;
+        if field_hasmask & 1 != 0 {
+            return None; // masked fields are rejected by the decoder
+        }
+        let field = field_hasmask >> 1;
+        let plen = usize::from(*frame.get(cur + 3)?);
+        if plen != canonical_oxm_len(field)? {
+            return None;
+        }
+        // The encoder emits fields in strictly increasing code order;
+        // any other order (or a duplicate) re-encodes differently.
+        if i16::from(field) <= prev_field {
+            return None;
+        }
+        prev_field = i16::from(field);
+        let payload_end = cur + 4 + plen;
+        if payload_end > body_end {
+            return None;
+        }
+        if field == F_VLAN_VID {
+            // The decoder masks to the low 12 bits and the encoder ORs the
+            // present bit back in; only this exact shape round-trips.
+            let v = u16_at(frame, cur + 4)?;
+            if v & 0xF000 != 0x1000 {
+                return None;
+            }
+        }
+        cur = payload_end;
+    }
+    let pad = (8 - mlen % 8) % 8;
+    let padded_end = body_end.checked_add(pad)?;
+    if padded_end > region_end || !all_zero(frame, body_end, padded_end) {
+        return None;
+    }
+    Some(padded_end)
+}
+
+/// Validates a canonical action list tiling `start..end` exactly.
+fn scan_actions(frame: &[u8], start: usize, end: usize) -> Option<()> {
+    let mut cur = start;
+    while cur < end {
+        if end - cur < 4 {
+            return None;
+        }
+        let kind = u16_at(frame, cur)?;
+        let alen = usize::from(u16_at(frame, cur + 2)?);
+        if alen < 4 {
+            return None;
+        }
+        let aend = cur.checked_add(alen)?;
+        if aend > end {
+            return None;
+        }
+        if kind == OFPAT_OUTPUT {
+            // Fixed 16-byte struct; the 6 trailing pad bytes are ignored
+            // by the decoder and re-emitted as zero.
+            if alen != 16 || !all_zero(frame, cur + 10, cur + 16) {
+                return None;
+            }
+        }
+        // Other action kinds round-trip verbatim (header + raw body).
+        cur = aend;
+    }
+    Some(())
+}
+
+/// Validates a canonical instruction list tiling `start..end` exactly,
+/// collecting the absolute offsets of `GotoTable` operand bytes.
+fn scan_instructions(frame: &[u8], start: usize, end: usize, gotos: &mut Patches) -> Option<()> {
+    let mut cur = start;
+    while cur < end {
+        if end - cur < 4 {
+            return None;
+        }
+        let kind = u16_at(frame, cur)?;
+        let ilen = usize::from(u16_at(frame, cur + 2)?);
+        if ilen < 4 {
+            return None;
+        }
+        let iend = cur.checked_add(ilen)?;
+        if iend > end {
+            return None;
+        }
+        match kind {
+            OFPIT_GOTO_TABLE => {
+                if ilen != 8 || !all_zero(frame, cur + 5, cur + 8) {
+                    return None;
+                }
+                gotos.push(cur + 4)?;
+            }
+            OFPIT_CLEAR_ACTIONS if (ilen != 8 || !all_zero(frame, cur + 4, cur + 8)) => {
+                return None;
+            }
+            OFPIT_APPLY_ACTIONS | OFPIT_WRITE_ACTIONS => {
+                if ilen < 8 || !all_zero(frame, cur + 4, cur + 8) {
+                    return None;
+                }
+                scan_actions(frame, cur + 8, iend)?;
+            }
+            _ => {} // preserved verbatim by the codec
+        }
+        cur = iend;
+    }
+    Some(())
+}
+
+/// Splices a controller→switch frame in place, shifting every table
+/// reference up by one so the controller's "table N" lands in physical
+/// table N+1. Mirrors `rewrite_controller_to_switch`: a shift past the
+/// switch's last table is [`Splice::Reject`], and a wildcard-table
+/// flow-mod (which expands structurally) falls back.
+pub fn shift_up(frame: &mut [u8], n_tables: u8) -> Splice {
+    if !header_ok(frame) {
+        return Splice::Fallback;
+    }
+    match frame[1] {
+        // Body-less messages: the decoder rejects trailing body bytes.
+        T_HELLO | T_FEATURES_REQUEST | T_BARRIER_REQUEST | T_BARRIER_REPLY => {
+            if frame.len() == 8 {
+                Splice::Unchanged
+            } else {
+                Splice::Fallback
+            }
+        }
+        // Echo bodies round-trip verbatim.
+        T_ECHO_REQUEST | T_ECHO_REPLY => Splice::Unchanged,
+        // Error: type + code + verbatim data.
+        T_ERROR => {
+            if frame.len() >= 12 {
+                Splice::Unchanged
+            } else {
+                Splice::Fallback
+            }
+        }
+        T_FLOW_MOD => flow_mod_up(frame, n_tables).unwrap_or(Splice::Fallback),
+        T_MULTIPART_REQUEST => multipart_request_up(frame, n_tables).unwrap_or(Splice::Fallback),
+        T_PACKET_OUT => packet_out_up(frame).unwrap_or(Splice::Fallback),
+        // Anything else upstream is off the hot path; let the decode
+        // path normalize or reject it.
+        _ => Splice::Fallback,
+    }
+}
+
+/// Splices a switch→controller frame in place, hiding Table 0: its
+/// `FlowRemoved` notifications are suppressed, all other table ids are
+/// decremented, and the advertised table count shrinks by one. Mirrors
+/// `rewrite_switch_to_controller`; stats replies that must *filter out*
+/// a Table-0 entry change length and therefore fall back.
+pub fn shift_down(frame: &mut [u8]) -> Splice {
+    if !header_ok(frame) {
+        return Splice::Fallback;
+    }
+    match frame[1] {
+        T_HELLO | T_FEATURES_REQUEST | T_BARRIER_REQUEST | T_BARRIER_REPLY => {
+            if frame.len() == 8 {
+                Splice::Unchanged
+            } else {
+                Splice::Fallback
+            }
+        }
+        T_ECHO_REQUEST | T_ECHO_REPLY => Splice::Unchanged,
+        T_ERROR => {
+            if frame.len() >= 12 {
+                Splice::Unchanged
+            } else {
+                Splice::Fallback
+            }
+        }
+        T_FEATURES_REPLY => features_reply_down(frame).unwrap_or(Splice::Fallback),
+        T_PACKET_IN => packet_in_down(frame).unwrap_or(Splice::Fallback),
+        T_FLOW_REMOVED => flow_removed_down(frame).unwrap_or(Splice::Fallback),
+        T_MULTIPART_REPLY => multipart_reply_down(frame).unwrap_or(Splice::Fallback),
+        _ => Splice::Fallback,
+    }
+}
+
+// Fixed-offset map (absolute, from frame start) for the bodies below:
+// FlowMod:      cookie 8..16, mask 16..24, table 24, command 25,
+//               idle/hard/prio 26..32, buffer/port/group 32..44,
+//               flags 44..46, pad 46..48, match 48.., instructions.
+// PacketIn:     buffer 8..12, total_len 12..14, reason 14, table 15,
+//               cookie 16..24, match 24.., pad 2, data.
+// FlowRemoved:  cookie 8..16, prio 16..18, reason 18, table 19,
+//               durations/timeouts/counts 20..48, match 48..end.
+// Multipart:    kind 8..10, flags 10..12, pad 12..16, body 16..
+// FeaturesReply: dpid 8..16, buffers 16..20, n_tables 20, aux 21,
+//               pad 22..24, capabilities 24..28, reserved 28..32.
+
+fn flow_mod_up(frame: &mut [u8], n_tables: u8) -> Option<Splice> {
+    let end = frame.len();
+    if end < 56 {
+        return None; // header + 40-byte fixed part + empty match
+    }
+    let table_id = frame[24];
+    if table_id == table::ALL {
+        return None; // expands to one flow-mod per table: structural
+    }
+    if frame[25] > 4 {
+        return None; // FlowModCommand::from_u8 range
+    }
+    if !all_zero(frame, 46, 48) {
+        return None;
+    }
+    let match_end = scan_match(frame, 48, end)?;
+    let mut gotos = Patches::new();
+    scan_instructions(frame, match_end, end, &mut gotos)?;
+    // Frame fully certified; now decide and patch.
+    if u16::from(table_id) + 1 >= u16::from(n_tables) {
+        return Some(Splice::Reject);
+    }
+    for off in gotos.iter() {
+        if u16::from(frame[off]) + 1 >= u16::from(n_tables) {
+            return Some(Splice::Reject);
+        }
+    }
+    frame[24] = table_id + 1;
+    for off in gotos.iter() {
+        frame[off] += 1;
+    }
+    Some(Splice::Patched)
+}
+
+fn multipart_request_up(frame: &mut [u8], n_tables: u8) -> Option<Splice> {
+    let end = frame.len();
+    let kind = u16_at(frame, 8)?;
+    if u16_at(frame, 10)? != 0 || !all_zero(frame, 12, 16) {
+        return None; // flags are ignored and re-encoded as zero
+    }
+    match kind {
+        OFPMP_FLOW => {
+            if end < 56 {
+                return None; // 16 + 32-byte fixed part + empty match
+            }
+            if !all_zero(frame, 17, 20) || !all_zero(frame, 28, 32) {
+                return None;
+            }
+            if scan_match(frame, 48, end)? != end {
+                return None;
+            }
+            let table_id = frame[16];
+            if table_id == table::ALL {
+                // Wildcard stays wildcard; the reply path filters.
+                return Some(Splice::Unchanged);
+            }
+            if u16::from(table_id) + 1 >= u16::from(n_tables) {
+                return Some(Splice::Reject);
+            }
+            frame[16] = table_id + 1;
+            Some(Splice::Patched)
+        }
+        // Table / port-desc requests have empty bodies.
+        OFPMP_TABLE | OFPMP_PORT_DESC => (end == 16).then_some(Splice::Unchanged),
+        // Unknown multipart kinds round-trip verbatim.
+        _ => Some(Splice::Unchanged),
+    }
+}
+
+fn packet_out_up(frame: &mut [u8]) -> Option<Splice> {
+    let end = frame.len();
+    if end < 24 {
+        return None;
+    }
+    let actions_len = usize::from(u16_at(frame, 16)?);
+    if !all_zero(frame, 18, 24) {
+        return None;
+    }
+    let actions_end = 24usize.checked_add(actions_len)?;
+    if actions_end > end {
+        return None;
+    }
+    scan_actions(frame, 24, actions_end)?;
+    // Trailing packet data rounds-trip verbatim.
+    Some(Splice::Unchanged)
+}
+
+fn features_reply_down(frame: &mut [u8]) -> Option<Splice> {
+    if frame.len() != 32 || !all_zero(frame, 22, 24) || !all_zero(frame, 28, 32) {
+        return None;
+    }
+    let n = frame[20];
+    if n == 0 {
+        return Some(Splice::Unchanged); // saturating: already zero
+    }
+    frame[20] = n - 1;
+    Some(Splice::Patched)
+}
+
+fn packet_in_down(frame: &mut [u8]) -> Option<Splice> {
+    let end = frame.len();
+    if end < 34 {
+        return None; // 24-byte fixed part + empty match + 2 pad
+    }
+    if frame[14] > 2 {
+        return None; // PacketInReason::from_u8 range
+    }
+    let match_end = scan_match(frame, 24, end)?;
+    let pad_end = match_end.checked_add(2)?;
+    if !all_zero(frame, match_end, pad_end) {
+        return None;
+    }
+    // Packet data (pad_end..end) rounds-trip verbatim.
+    let table_id = frame[15];
+    if table_id == 0 {
+        return Some(Splice::Unchanged); // saturating decrement
+    }
+    frame[15] = table_id - 1;
+    Some(Splice::Patched)
+}
+
+fn flow_removed_down(frame: &mut [u8]) -> Option<Splice> {
+    let end = frame.len();
+    if end < 56 {
+        return None; // 48-byte fixed part + empty match
+    }
+    if frame[18] > 2 {
+        return None; // FlowRemovedReason::from_u8 range
+    }
+    if scan_match(frame, 48, end)? != end {
+        return None;
+    }
+    let table_id = frame[19];
+    if table_id == 0 {
+        return Some(Splice::Suppress); // the controller never sees Table 0
+    }
+    frame[19] = table_id - 1;
+    Some(Splice::Patched)
+}
+
+fn multipart_reply_down(frame: &mut [u8]) -> Option<Splice> {
+    let end = frame.len();
+    let kind = u16_at(frame, 8)?;
+    if u16_at(frame, 10)? != 0 || !all_zero(frame, 12, 16) {
+        return None;
+    }
+    match kind {
+        OFPMP_FLOW => {
+            // Entry layout (relative): length 0..2, table 2, pad 3,
+            // durations 4..12, prio/idle/hard/flags 12..20, pad 20..24,
+            // cookie/packets/bytes 24..48, match 48.., instructions.
+            let mut tables = Patches::new();
+            let mut gotos = Patches::new();
+            let mut pos = 16;
+            while pos < end {
+                let entry_len = usize::from(u16_at(frame, pos)?);
+                if entry_len < 56 {
+                    return None; // 48-byte fixed part + empty match
+                }
+                let entry_end = pos.checked_add(entry_len)?;
+                if entry_end > end {
+                    return None;
+                }
+                if frame[pos + 2] == 0 {
+                    // A Table-0 entry must be filtered out entirely —
+                    // that changes the frame length, so fall back.
+                    return None;
+                }
+                if frame[pos + 3] != 0 || !all_zero(frame, pos + 20, pos + 24) {
+                    return None;
+                }
+                let match_end = scan_match(frame, pos + 48, entry_end)?;
+                scan_instructions(frame, match_end, entry_end, &mut gotos)?;
+                tables.push(pos + 2)?;
+                pos = entry_end;
+            }
+            let mut changed = false;
+            for off in tables.iter() {
+                frame[off] -= 1; // never zero: checked above
+                changed = true;
+            }
+            for off in gotos.iter() {
+                let v = frame[off];
+                if v > 0 {
+                    frame[off] = v - 1; // saturating, like the oracle
+                    changed = true;
+                }
+            }
+            Some(if changed {
+                Splice::Patched
+            } else {
+                Splice::Unchanged
+            })
+        }
+        OFPMP_TABLE => {
+            // 24-byte entries: table 0, pad 1..4, counters 4..24.
+            if !(end - 16).is_multiple_of(24) {
+                return None;
+            }
+            let mut tables = Patches::new();
+            let mut pos = 16;
+            while pos < end {
+                if frame[pos] == 0 {
+                    return None; // filtered out: structural
+                }
+                if !all_zero(frame, pos + 1, pos + 4) {
+                    return None;
+                }
+                tables.push(pos)?;
+                pos += 24;
+            }
+            let patched = !tables.is_empty();
+            for off in tables.iter() {
+                frame[off] -= 1;
+            }
+            Some(if patched {
+                Splice::Patched
+            } else {
+                Splice::Unchanged
+            })
+        }
+        // Port names re-encode through a NUL-trimmed string; certifying
+        // byte-identity needs the full string rules. Rare — fall back.
+        OFPMP_PORT_DESC => None,
+        // Unknown multipart kinds round-trip verbatim.
+        _ => Some(Splice::Unchanged),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        Action, FlowMod, Instruction, Match, Message, MultipartRequest, OfMessage, PacketIn,
+    };
+
+    const N_TABLES: u8 = 8;
+
+    fn fm_frame(table_id: u8, instructions: Vec<Instruction>) -> Vec<u8> {
+        OfMessage::new(
+            7,
+            Message::FlowMod(FlowMod {
+                table_id,
+                priority: 10,
+                instructions,
+                ..FlowMod::add()
+            }),
+        )
+        .encode()
+    }
+
+    #[test]
+    fn flow_mod_patches_table_and_goto() {
+        let mut frame = fm_frame(
+            2,
+            vec![
+                Instruction::ApplyActions(vec![Action::output(3)]),
+                Instruction::GotoTable(4),
+            ],
+        );
+        let reference = {
+            let decoded = OfMessage::decode(&frame).unwrap();
+            match decoded.body {
+                Message::FlowMod(mut fm) => {
+                    fm.table_id += 1;
+                    for i in &mut fm.instructions {
+                        if let Instruction::GotoTable(t) = i {
+                            *t += 1;
+                        }
+                    }
+                    OfMessage::new(decoded.xid, Message::FlowMod(fm)).encode()
+                }
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Patched);
+        assert_eq!(frame, reference);
+    }
+
+    #[test]
+    fn flow_mod_at_last_table_rejected_untouched() {
+        let mut frame = fm_frame(N_TABLES - 1, vec![]);
+        let before = frame.clone();
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Reject);
+        assert_eq!(frame, before, "reject must not half-patch");
+    }
+
+    #[test]
+    fn goto_past_last_table_rejected_untouched() {
+        let mut frame = fm_frame(0, vec![Instruction::GotoTable(N_TABLES - 1)]);
+        let before = frame.clone();
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Reject);
+        assert_eq!(frame, before);
+    }
+
+    #[test]
+    fn wildcard_flow_mod_falls_back() {
+        let mut frame = fm_frame(table::ALL, vec![]);
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Fallback);
+    }
+
+    #[test]
+    fn length_lying_frame_falls_back_untouched() {
+        let mut frame = fm_frame(0, vec![Instruction::GotoTable(1)]);
+        // Header claims one byte more than the buffer holds.
+        let lied = (frame.len() + 1) as u16;
+        frame[2..4].copy_from_slice(&lied.to_be_bytes());
+        let before = frame.clone();
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Fallback);
+        assert_eq!(frame, before);
+    }
+
+    #[test]
+    fn nonzero_pad_falls_back() {
+        let mut frame = fm_frame(0, vec![]);
+        frame[46] = 0xAA; // flow-mod pad byte
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Fallback);
+    }
+
+    #[test]
+    fn barrier_and_hello_pass_through() {
+        for body in [Message::Hello, Message::BarrierRequest] {
+            let mut frame = OfMessage::new(1, body).encode();
+            let before = frame.clone();
+            assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Unchanged);
+            assert_eq!(frame, before);
+        }
+    }
+
+    #[test]
+    fn flow_stats_request_patches_table() {
+        let mut frame = OfMessage::new(
+            2,
+            Message::MultipartRequest(MultipartRequest::Flow {
+                table_id: 3,
+                out_port: crate::port::ANY,
+                out_group: crate::group::ANY,
+                cookie: 0,
+                cookie_mask: 0,
+                mat: Match::any(),
+            }),
+        )
+        .encode();
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Patched);
+        match OfMessage::decode(&frame).unwrap().body {
+            Message::MultipartRequest(MultipartRequest::Flow { table_id, .. }) => {
+                assert_eq!(table_id, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_stats_request_unchanged() {
+        let mut frame =
+            OfMessage::new(2, Message::MultipartRequest(MultipartRequest::all_flows())).encode();
+        let before = frame.clone();
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Unchanged);
+        assert_eq!(frame, before);
+    }
+
+    #[test]
+    fn packet_in_decrements_table() {
+        let mut frame = OfMessage::new(
+            5,
+            Message::PacketIn(PacketIn::table_miss(1, 4, vec![9; 20])),
+        )
+        .encode();
+        assert_eq!(shift_down(&mut frame), Splice::Patched);
+        match OfMessage::decode(&frame).unwrap().body {
+            Message::PacketIn(pi) => assert_eq!(pi.table_id, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packet_in_table_zero_unchanged() {
+        let mut frame =
+            OfMessage::new(5, Message::PacketIn(PacketIn::table_miss(1, 0, vec![]))).encode();
+        let before = frame.clone();
+        assert_eq!(shift_down(&mut frame), Splice::Unchanged);
+        assert_eq!(frame, before);
+    }
+
+    #[test]
+    fn non_canonical_oxm_order_falls_back() {
+        // Hand-build a flow-mod whose match has eth_type before in_port:
+        // decodes fine, but re-encodes in sorted order → not canonical.
+        let mat_tlvs: &[u8] = &[
+            0x80,
+            0x00,
+            0x05 << 1,
+            2,
+            0x08,
+            0x00, // eth_type 0x0800
+            0x80,
+            0x00,
+            0x00,
+            4,
+            0,
+            0,
+            0,
+            1, // in_port 1
+        ];
+        let mut body = Vec::new();
+        body.extend_from_slice(&[0u8; 16]); // cookie + mask
+        body.push(0); // table
+        body.push(0); // command Add
+        body.extend_from_slice(&[0u8; 20]); // timeouts..flags
+        body.extend_from_slice(&[0, 0]); // pad
+        body.extend_from_slice(&[0, 1, 0, (4 + mat_tlvs.len()) as u8]);
+        body.extend_from_slice(mat_tlvs);
+        let pad = (8 - (4 + mat_tlvs.len()) % 8) % 8;
+        body.extend_from_slice(&vec![0u8; pad]);
+        let mut frame = vec![OFP_VERSION, T_FLOW_MOD, 0, 0, 0, 0, 0, 7];
+        frame.extend_from_slice(&body);
+        let len = frame.len() as u16;
+        frame[2..4].copy_from_slice(&len.to_be_bytes());
+        // Sanity: the decoder accepts this frame…
+        assert!(OfMessage::decode(&frame).is_ok());
+        // …but the splicer must not certify it.
+        assert_eq!(shift_up(&mut frame, N_TABLES), Splice::Fallback);
+    }
+}

@@ -11,9 +11,9 @@ use crate::instruction::Instruction;
 use crate::oxm::Match;
 use crate::{group, port, table, Result};
 
-const OFPMP_FLOW: u16 = 1;
-const OFPMP_TABLE: u16 = 3;
-const OFPMP_PORT_DESC: u16 = 13;
+pub(crate) const OFPMP_FLOW: u16 = 1;
+pub(crate) const OFPMP_TABLE: u16 = 3;
+pub(crate) const OFPMP_PORT_DESC: u16 = 13;
 
 /// A multipart request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +58,14 @@ impl MultipartRequest {
             cookie_mask: 0,
             mat: Match::default(),
         }
+    }
+
+    /// Appends the message body (after the OpenFlow header) to `buf`;
+    /// allocation-free once `buf` has warm capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode_body(&mut w);
+        *buf = w.into_bytes();
     }
 
     /// Serializes the body (after the OpenFlow header).
@@ -346,6 +354,14 @@ pub enum MultipartReply {
 }
 
 impl MultipartReply {
+    /// Appends the message body (after the OpenFlow header) to `buf`;
+    /// allocation-free once `buf` has warm capacity.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = Writer::from_vec(std::mem::take(buf));
+        self.encode_body(&mut w);
+        *buf = w.into_bytes();
+    }
+
     /// Serializes the body (after the OpenFlow header).
     pub fn encode_body(&self, w: &mut Writer) {
         match self {

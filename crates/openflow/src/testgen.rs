@@ -1,0 +1,405 @@
+//! Test-only message generators (enabled by the `testgen` feature).
+//!
+//! Two flavors, shared by this crate's codec conformance suite and by
+//! downstream differential tests (the splice-vs-oracle table-shift
+//! proptest in `dfi-core`):
+//!
+//! * [`proptest`] strategies (`arb_*`) covering every message family the
+//!   codec speaks, including unknown-kind actions/instructions/stats
+//!   carried verbatim.
+//! * [`random_message`], a generator driven directly from the seeded
+//!   simnet RNG so whole fuzz runs reproduce from a single `u64` seed
+//!   independent of proptest.
+
+// Test-only module: generator plumbing may assert on impossible states.
+#![allow(clippy::expect_used)]
+
+use crate::{
+    Action, ErrorMsg, FeaturesReply, FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason,
+    FlowStatsEntry, Instruction, Match, Message, MultipartReply, MultipartRequest, PacketIn,
+    PacketInReason, PacketOut, PortDescEntry, TableStatsEntry,
+};
+use dfi_packet::MacAddr;
+use dfi_simnet::SimRng;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Strategy for a MAC address.
+pub fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+/// Strategy for an IPv4 address.
+pub fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+prop_compose! {
+    /// Strategy for an OXM match with any subset of supported fields.
+    pub fn arb_match()(
+        in_port in proptest::option::of(any::<u32>()),
+        eth_dst in proptest::option::of(arb_mac()),
+        eth_src in proptest::option::of(arb_mac()),
+        eth_type in proptest::option::of(any::<u16>()),
+        vlan_vid in proptest::option::of(0u16..4096),
+        ip_proto in proptest::option::of(any::<u8>()),
+        ipv4_src in proptest::option::of(arb_ip()),
+        ipv4_dst in proptest::option::of(arb_ip()),
+        tcp_src in proptest::option::of(any::<u16>()),
+        tcp_dst in proptest::option::of(any::<u16>()),
+        udp_src in proptest::option::of(any::<u16>()),
+        udp_dst in proptest::option::of(any::<u16>()),
+        arp_spa in proptest::option::of(arb_ip()),
+        arp_tpa in proptest::option::of(arb_ip()),
+    ) -> Match {
+        Match {
+            in_port, eth_dst, eth_src, eth_type, vlan_vid, ip_proto,
+            ipv4_src, ipv4_dst, tcp_src, tcp_dst, udp_src, udp_dst,
+            arp_spa, arp_tpa,
+        }
+    }
+}
+
+/// Strategy for an action: OUTPUT or an unknown kind carried verbatim.
+pub fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u32>(), any::<u16>()).prop_map(|(port, max_len)| Action::Output { port, max_len }),
+        // Unknown action kinds (anything but OUTPUT = 0), arbitrary bodies
+        // including unaligned lengths — the codec must carry them verbatim.
+        (1u16..200, proptest::collection::vec(any::<u8>(), 0..21))
+            .prop_map(|(kind, body)| Action::Other { kind, body }),
+    ]
+}
+
+/// Strategy for an instruction, including unknown kinds carried verbatim.
+pub fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        any::<u8>().prop_map(Instruction::GotoTable),
+        proptest::collection::vec(arb_action(), 0..4).prop_map(Instruction::ApplyActions),
+        proptest::collection::vec(arb_action(), 0..4).prop_map(Instruction::WriteActions),
+        Just(Instruction::ClearActions),
+        // Unknown instruction kinds: 2 (WRITE_METADATA), 6 (METER), and
+        // experimenter space; never 1/3/4/5 which decode structurally.
+        (
+            prop_oneof![Just(2u16), 6u16..200],
+            proptest::collection::vec(any::<u8>(), 0..21)
+        )
+            .prop_map(|(kind, body)| Instruction::Other { kind, body }),
+    ]
+}
+
+prop_compose! {
+    /// Strategy for a flow-mod over all commands and table ids.
+    pub fn arb_flow_mod()(
+        cookie in any::<u64>(),
+        cookie_mask in any::<u64>(),
+        table_id in any::<u8>(),
+        command in prop_oneof![
+            Just(FlowModCommand::Add),
+            Just(FlowModCommand::Modify),
+            Just(FlowModCommand::ModifyStrict),
+            Just(FlowModCommand::Delete),
+            Just(FlowModCommand::DeleteStrict),
+        ],
+        idle_timeout in any::<u16>(),
+        hard_timeout in any::<u16>(),
+        priority in any::<u16>(),
+        buffer_id in any::<u32>(),
+        out_port in any::<u32>(),
+        out_group in any::<u32>(),
+        flags in any::<u16>(),
+        mat in arb_match(),
+        instructions in proptest::collection::vec(arb_instruction(), 0..4),
+    ) -> FlowMod {
+        FlowMod {
+            cookie, cookie_mask, table_id, command, idle_timeout,
+            hard_timeout, priority, buffer_id, out_port, out_group, flags,
+            mat, instructions,
+        }
+    }
+}
+
+prop_compose! {
+    /// Strategy for a packet-in.
+    pub fn arb_packet_in()(
+        buffer_id in any::<u32>(),
+        total_len in any::<u16>(),
+        reason in prop_oneof![
+            Just(PacketInReason::NoMatch),
+            Just(PacketInReason::Action),
+            Just(PacketInReason::InvalidTtl),
+        ],
+        table_id in any::<u8>(),
+        cookie in any::<u64>(),
+        mat in arb_match(),
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) -> PacketIn {
+        PacketIn { buffer_id, total_len, reason, table_id, cookie, mat, data }
+    }
+}
+
+prop_compose! {
+    /// Strategy for a packet-out.
+    pub fn arb_packet_out()(
+        buffer_id in any::<u32>(),
+        in_port in any::<u32>(),
+        actions in proptest::collection::vec(arb_action(), 0..4),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+    ) -> PacketOut {
+        PacketOut { buffer_id, in_port, actions, data }
+    }
+}
+
+prop_compose! {
+    /// Strategy for a flow-removed notification.
+    pub fn arb_flow_removed()(
+        cookie in any::<u64>(),
+        priority in any::<u16>(),
+        reason in prop_oneof![
+            Just(FlowRemovedReason::IdleTimeout),
+            Just(FlowRemovedReason::HardTimeout),
+            Just(FlowRemovedReason::Delete),
+        ],
+        table_id in any::<u8>(),
+        duration_sec in any::<u32>(),
+        duration_nsec in any::<u32>(),
+        idle_timeout in any::<u16>(),
+        hard_timeout in any::<u16>(),
+        packet_count in any::<u64>(),
+        byte_count in any::<u64>(),
+        mat in arb_match(),
+    ) -> FlowRemoved {
+        FlowRemoved {
+            cookie, priority, reason, table_id, duration_sec, duration_nsec,
+            idle_timeout, hard_timeout, packet_count, byte_count, mat,
+        }
+    }
+}
+
+/// Interface names the encoder preserves exactly: ≤ 15 bytes of UTF-8.
+pub fn arb_port_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just(b'-'), b'0'..=b'9', b'a'..=b'z'], 0..16)
+        .prop_map(|v| String::from_utf8(v).expect("ascii subset"))
+}
+
+prop_compose! {
+    /// Strategy for a port-description entry.
+    pub fn arb_port_desc()(
+        port_no in any::<u32>(),
+        hw_addr in any::<[u8; 6]>(),
+        name in arb_port_name(),
+    ) -> PortDescEntry {
+        PortDescEntry { port_no, hw_addr, name }
+    }
+}
+
+prop_compose! {
+    /// Strategy for a flow-stats entry.
+    pub fn arb_flow_stats_entry()(
+        table_id in any::<u8>(),
+        duration_sec in any::<u32>(),
+        duration_nsec in any::<u32>(),
+        priority in any::<u16>(),
+        idle_timeout in any::<u16>(),
+        hard_timeout in any::<u16>(),
+        flags in any::<u16>(),
+        cookie in any::<u64>(),
+        packet_count in any::<u64>(),
+        byte_count in any::<u64>(),
+        mat in arb_match(),
+        instructions in proptest::collection::vec(arb_instruction(), 0..3),
+    ) -> FlowStatsEntry {
+        FlowStatsEntry {
+            table_id, duration_sec, duration_nsec, priority, idle_timeout,
+            hard_timeout, flags, cookie, packet_count, byte_count, mat,
+            instructions,
+        }
+    }
+}
+
+/// Strategy for a multipart request across all structurally decoded kinds.
+pub fn arb_multipart_request() -> impl Strategy<Value = MultipartRequest> {
+    prop_oneof![
+        Just(MultipartRequest::Table),
+        Just(MultipartRequest::PortDesc),
+        (
+            any::<u8>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_match()
+        )
+            .prop_map(
+                |(table_id, out_port, out_group, cookie, cookie_mask, mat)| {
+                    MultipartRequest::Flow {
+                        table_id,
+                        out_port,
+                        out_group,
+                        cookie,
+                        cookie_mask,
+                        mat,
+                    }
+                }
+            ),
+        // Unknown stat kinds; 1/3/13 decode structurally.
+        (14u16..200, proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(kind, body)| MultipartRequest::Other { kind, body }),
+    ]
+}
+
+/// Strategy for a multipart reply across all structurally decoded kinds.
+pub fn arb_multipart_reply() -> impl Strategy<Value = MultipartReply> {
+    prop_oneof![
+        proptest::collection::vec(arb_flow_stats_entry(), 0..4).prop_map(MultipartReply::Flow),
+        proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+                |(table_id, active_count, lookup_count, matched_count)| TableStatsEntry {
+                    table_id,
+                    active_count,
+                    lookup_count,
+                    matched_count,
+                }
+            ),
+            0..6
+        )
+        .prop_map(MultipartReply::Table),
+        proptest::collection::vec(arb_port_desc(), 0..6).prop_map(MultipartReply::PortDesc),
+        (14u16..200, proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(kind, body)| MultipartReply::Other { kind, body }),
+    ]
+}
+
+/// Strategy for the bodiless/simple control messages.
+pub fn arb_control_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::Hello),
+        Just(Message::FeaturesRequest),
+        Just(Message::BarrierRequest),
+        Just(Message::BarrierReply),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Message::EchoRequest),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Message::EchoReply),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(err_type, code, data)| Message::Error(ErrorMsg {
+                err_type,
+                code,
+                data
+            })),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u32>()
+        )
+            .prop_map(
+                |(datapath_id, n_buffers, n_tables, auxiliary_id, capabilities)| {
+                    Message::FeaturesReply(FeaturesReply {
+                        datapath_id,
+                        n_buffers,
+                        n_tables,
+                        auxiliary_id,
+                        capabilities,
+                    })
+                }
+            ),
+    ]
+}
+
+/// Strategy over every message family the codec speaks.
+pub fn arb_any_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        arb_control_message(),
+        arb_packet_in().prop_map(Message::PacketIn),
+        arb_packet_out().prop_map(Message::PacketOut),
+        arb_flow_mod().prop_map(Message::FlowMod),
+        arb_flow_removed().prop_map(Message::FlowRemoved),
+        arb_multipart_request().prop_map(Message::MultipartRequest),
+        arb_multipart_reply().prop_map(Message::MultipartReply),
+    ]
+}
+
+/// Builds a random message directly from the simnet RNG, so a whole
+/// mutation run reproduces from a single `u64` seed independent of
+/// proptest.
+pub fn random_message(rng: &mut SimRng) -> Message {
+    fn bytes(rng: &mut SimRng, max: usize) -> Vec<u8> {
+        let mut v = vec![0u8; rng.index(max)];
+        rng.fill_bytes(&mut v);
+        v
+    }
+    fn mat(rng: &mut SimRng) -> Match {
+        let mut m = Match::default();
+        if rng.chance(0.5) {
+            m.in_port = Some(rng.next_u32());
+        }
+        if rng.chance(0.5) {
+            m.eth_type = Some(rng.next_u32() as u16);
+        }
+        if rng.chance(0.3) {
+            m.ipv4_src = Some(Ipv4Addr::from(rng.next_u32()));
+        }
+        if rng.chance(0.3) {
+            m.ipv4_dst = Some(Ipv4Addr::from(rng.next_u32()));
+        }
+        if rng.chance(0.3) {
+            m.tcp_dst = Some(rng.next_u32() as u16);
+        }
+        if rng.chance(0.2) {
+            let mut mac = [0u8; 6];
+            rng.fill_bytes(&mut mac);
+            m.eth_src = Some(MacAddr::new(mac));
+        }
+        m
+    }
+    match rng.index(8) {
+        0 => Message::Hello,
+        1 => Message::EchoRequest(bytes(rng, 32)),
+        2 => Message::PacketIn(PacketIn {
+            buffer_id: rng.next_u32(),
+            total_len: rng.next_u32() as u16,
+            reason: PacketInReason::NoMatch,
+            table_id: rng.next_u32() as u8,
+            cookie: rng.next_u64(),
+            mat: mat(rng),
+            data: bytes(rng, 64),
+        }),
+        3 => Message::FlowMod(FlowMod {
+            cookie: rng.next_u64(),
+            cookie_mask: rng.next_u64(),
+            table_id: rng.next_u32() as u8,
+            priority: rng.next_u32() as u16,
+            mat: mat(rng),
+            instructions: if rng.chance(0.5) {
+                vec![Instruction::GotoTable(rng.next_u32() as u8)]
+            } else {
+                vec![Instruction::ApplyActions(vec![Action::output(
+                    rng.next_u32(),
+                )])]
+            },
+            ..FlowMod::add()
+        }),
+        4 => Message::PacketOut(PacketOut {
+            buffer_id: rng.next_u32(),
+            in_port: rng.next_u32(),
+            actions: vec![Action::output(rng.next_u32())],
+            data: bytes(rng, 64),
+        }),
+        5 => Message::MultipartRequest(MultipartRequest::all_flows()),
+        6 => Message::MultipartReply(MultipartReply::Table(vec![TableStatsEntry {
+            table_id: rng.next_u32() as u8,
+            active_count: rng.next_u32(),
+            lookup_count: rng.next_u64(),
+            matched_count: rng.next_u64(),
+        }])),
+        _ => Message::Error(ErrorMsg {
+            err_type: rng.next_u32() as u16,
+            code: rng.next_u32() as u16,
+            data: bytes(rng, 64),
+        }),
+    }
+}

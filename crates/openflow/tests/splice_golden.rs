@@ -1,0 +1,212 @@
+//! Golden-byte regression vectors for the splice fast path.
+//!
+//! Each vector is a hand-written OF1.3 wire frame pinned as hex, together
+//! with the exact [`Splice`] verdict and (for patched frames) the exact
+//! output bytes. They nail the boundary behaviors that the differential
+//! proptest (`dfi-core`'s `splice_oracle`) explores randomly:
+//!
+//! * a flow-mod at the last controller-visible table patches up to
+//!   `table::MAX` (0xFE); one at `table::MAX` itself must reject,
+//! * `GOTO_TABLE` at the 254 boundary — and the two-phase guarantee that a
+//!   rejected frame is left untouched even when an *earlier* field had
+//!   already been validated as patchable,
+//! * multipart flow-stats replies with mixed table ids patch in place,
+//!   while a Table-0 entry (which needs structural filtering) falls back.
+//!
+//! Every input is also run through [`OfMessage::decode`] so a typo in a
+//! vector fails loudly rather than testing garbage.
+
+use dfi_openflow::{splice, OfMessage, Splice};
+
+fn hex(s: &str) -> Vec<u8> {
+    let clean: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(clean.len().is_multiple_of(2), "odd hex length");
+    (0..clean.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&clean[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+/// Decodes the vector (validity check), runs `shift_up`, and returns the
+/// resulting buffer.
+fn up(frame_hex: &str, n_tables: u8, expect: Splice) -> Vec<u8> {
+    let mut buf = hex(frame_hex);
+    OfMessage::decode(&buf).expect("golden vector must be a valid frame");
+    assert_eq!(splice::shift_up(&mut buf, n_tables), expect);
+    buf
+}
+
+/// Decodes the vector (validity check), runs `shift_down`, and returns the
+/// resulting buffer.
+fn down(frame_hex: &str, expect: Splice) -> Vec<u8> {
+    let mut buf = hex(frame_hex);
+    OfMessage::decode(&buf).expect("golden vector must be a valid frame");
+    assert_eq!(splice::shift_down(&mut buf), expect);
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Flow-mod table_id at the top of the table space
+// ---------------------------------------------------------------------------
+
+/// Add to table `TT`, priority 100, match-any, no instructions (0x38 bytes).
+fn flow_mod(tt: &str) -> String {
+    format!(
+        "04 0e 0038 00000011 \
+         0000000000000000 0000000000000000 \
+         {tt} 00 0000 0000 0064 \
+         ffffffff ffffffff ffffffff 0000 0000 \
+         0001 0004 00000000"
+    )
+}
+
+#[test]
+fn flow_mod_at_penultimate_table_patches_to_max() {
+    // Controller table 0xFD lands in physical 0xFE = table::MAX — the very
+    // last id the shift may ever produce (n_tables = 255).
+    let out = up(&flow_mod("fd"), 255, Splice::Patched);
+    assert_eq!(out, hex(&flow_mod("fe")));
+}
+
+#[test]
+fn flow_mod_at_max_table_rejects_untouched() {
+    // Controller table 0xFE would shift to 0xFF = table::ALL; no switch has
+    // a table there, so this always rejects — bytes must stay pristine.
+    let before = hex(&flow_mod("fe"));
+    let out = up(&flow_mod("fe"), 255, Splice::Reject);
+    assert_eq!(out, before);
+}
+
+#[test]
+fn flow_mod_wildcard_table_takes_the_fallback() {
+    // table::ALL expands into one delete per table — a structural change
+    // the splicer can never express in place.
+    let before = hex(&flow_mod("ff"));
+    let out = up(&flow_mod("ff"), 255, Splice::Fallback);
+    assert_eq!(out, before, "fallback must leave the buffer to the caller");
+}
+
+#[test]
+fn flow_mod_beyond_last_real_table_rejects() {
+    // On an 8-table switch the controller sees 7 tables (1..=7 physical);
+    // its table 6 is the last usable one, table 7 is out of range.
+    let out = up(&flow_mod("06"), 8, Splice::Patched);
+    assert_eq!(out, hex(&flow_mod("07")));
+    let before = hex(&flow_mod("07"));
+    let out = up(&flow_mod("07"), 8, Splice::Reject);
+    assert_eq!(out, before);
+}
+
+// ---------------------------------------------------------------------------
+// GOTO_TABLE at the 254 boundary
+// ---------------------------------------------------------------------------
+
+/// Add to table 0 with a single `GOTO_TABLE(GG)` instruction (0x40 bytes).
+fn flow_mod_goto(gg: &str) -> String {
+    format!(
+        "04 0e 0040 00000011 \
+         0000000000000000 0000000000000000 \
+         00 00 0000 0000 0064 \
+         ffffffff ffffffff ffffffff 0000 0000 \
+         0001 0004 00000000 \
+         0001 0008 {gg} 000000"
+    )
+}
+
+/// Same, with the table id already patched to 1 (the expected output).
+fn flow_mod_goto_shifted(gg: &str) -> String {
+    flow_mod_goto(gg).replacen("00 00 0000 0000 0064", "01 00 0000 0000 0064", 1)
+}
+
+#[test]
+fn goto_table_patches_up_to_the_254_boundary() {
+    let out = up(&flow_mod_goto("fd"), 255, Splice::Patched);
+    assert_eq!(out, hex(&flow_mod_goto_shifted("fe")));
+}
+
+#[test]
+fn goto_table_past_the_boundary_rejects_without_partial_patch() {
+    // The flow-mod's own table id (0 → 1) validates *before* the scanner
+    // reaches the doomed goto. Two-phase splicing means the reject must
+    // leave even that earlier, individually-patchable byte untouched.
+    let before = hex(&flow_mod_goto("fe"));
+    let out = up(&flow_mod_goto("fe"), 255, Splice::Reject);
+    assert_eq!(out, before, "no partial patch on reject");
+}
+
+// ---------------------------------------------------------------------------
+// Multipart flow-stats replies with mixed table ids
+// ---------------------------------------------------------------------------
+
+/// Flow-stats entry, match-any, one GOTO_TABLE instruction (0x40 bytes).
+fn stats_entry_goto(table: &str, goto: &str) -> String {
+    format!(
+        "0040 {table} 00 00000000 00000000 0001 0000 0000 0000 00000000 \
+         0000000000000002 0000000000000000 0000000000000000 \
+         0001 0004 00000000 \
+         0001 0008 {goto} 000000"
+    )
+}
+
+/// Flow-stats entry, match-any, no instructions (0x38 bytes).
+fn stats_entry(table: &str) -> String {
+    format!(
+        "0038 {table} 00 00000000 00000000 0001 0000 0000 0000 00000000 \
+         0000000000000005 0000000000000000 0000000000000000 \
+         0001 0004 00000000"
+    )
+}
+
+fn flow_stats_reply(entries: &[String]) -> String {
+    let body: String = entries.join(" ");
+    let len = 16 + hex(&body).len();
+    format!("04 13 {len:04x} 00000021 0001 0000 00000000 {body}")
+}
+
+#[test]
+fn flow_stats_reply_mixed_tables_patches_every_id() {
+    // Physical tables 2 (goto 3) and 5 surface to the controller as tables
+    // 1 (goto 2) and 4 — two table-id bytes and one goto byte patched, the
+    // other 130 bytes byte-identical.
+    let input = flow_stats_reply(&[stats_entry_goto("02", "03"), stats_entry("05")]);
+    let expect = flow_stats_reply(&[stats_entry_goto("01", "02"), stats_entry("04")]);
+    let out = down(&input, Splice::Patched);
+    assert_eq!(out, hex(&expect));
+}
+
+#[test]
+fn flow_stats_reply_with_table_zero_entry_falls_back() {
+    // A Table-0 entry must vanish entirely — an entry-removal the splicer
+    // cannot do in place, so the whole frame takes the decode fallback.
+    let input = flow_stats_reply(&[stats_entry("00"), stats_entry("02")]);
+    let before = hex(&input);
+    let out = down(&input, Splice::Fallback);
+    assert_eq!(out, before, "fallback must leave the buffer to the caller");
+}
+
+// ---------------------------------------------------------------------------
+// Multipart table-stats replies
+// ---------------------------------------------------------------------------
+
+fn table_stats_reply(tables: &[&str]) -> String {
+    let body: String = tables
+        .iter()
+        .map(|t| format!("{t} 000000 00000001 0000000000000002 0000000000000001 "))
+        .collect();
+    let len = 16 + hex(&body).len();
+    format!("04 13 {len:04x} 00000031 0003 0000 00000000 {body}")
+}
+
+#[test]
+fn table_stats_reply_mixed_tables_patches_every_id() {
+    let out = down(&table_stats_reply(&["01", "03"]), Splice::Patched);
+    assert_eq!(out, hex(&table_stats_reply(&["00", "02"])));
+}
+
+#[test]
+fn table_stats_reply_with_table_zero_falls_back() {
+    let input = table_stats_reply(&["00", "01"]);
+    let before = hex(&input);
+    let out = down(&input, Splice::Fallback);
+    assert_eq!(out, before);
+}

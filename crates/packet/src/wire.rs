@@ -124,6 +124,14 @@ impl Writer {
         }
     }
 
+    /// A writer that appends to an existing buffer, preserving its
+    /// contents and capacity. This is the zero-allocation entry point: a
+    /// pooled buffer round-trips through `from_vec` → [`Writer::into_bytes`]
+    /// without touching the heap once its capacity is warm.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Writer { buf }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -208,11 +208,11 @@ impl Host {
     /// pending connects on SYN-ACK. Returns a sink for topology wiring.
     pub fn rx_sink(&self) -> dfi_dataplane::ByteSink {
         let me = self.clone();
-        Rc::new(move |sim, frame: Vec<u8>| me.on_frame(sim, frame))
+        Rc::new(move |sim, frame: &[u8]| me.on_frame(sim, frame))
     }
 
-    fn on_frame(&self, sim: &mut Sim, frame: Vec<u8>) {
-        let Ok(h) = PacketHeaders::parse(&frame) else {
+    fn on_frame(&self, sim: &mut Sim, frame: &[u8]) {
+        let Ok(h) = PacketHeaders::parse(frame) else {
             return;
         };
         let (my_ip, my_mac) = {
@@ -283,7 +283,7 @@ mod tests {
         a.learn_arp(b.ip(), b.mac());
         b.learn_arp(a.ip(), a.mac());
         // Static forwarding so the pair can talk without a controller.
-        sw.install(&mut sim, dfi_allow_rule(Match::any(), 0, 1));
+        sw.install(&mut sim, &dfi_allow_rule(Match::any(), 0, 1));
         for (port, mac) in [(1u32, a.mac()), (2, b.mac())] {
             let fm = FlowMod {
                 table_id: 1,
@@ -295,7 +295,7 @@ mod tests {
                 instructions: vec![Instruction::ApplyActions(vec![Action::output(port)])],
                 ..FlowMod::add()
             };
-            sw.install(&mut sim, fm);
+            sw.install(&mut sim, &fm);
         }
         (sim, a, b)
     }

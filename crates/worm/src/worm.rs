@@ -270,7 +270,7 @@ mod tests {
         let hub = net.add_switch(dfi_dataplane::SwitchConfig::new(42));
         hub.install(
             sim,
-            dfi_dataplane::dfi_allow_rule(dfi_openflow::Match::any(), 0, 1),
+            &dfi_dataplane::dfi_allow_rule(dfi_openflow::Match::any(), 0, 1),
         );
         let flood_fm = dfi_openflow::FlowMod {
             table_id: 1,
@@ -280,7 +280,7 @@ mod tests {
             ])],
             ..dfi_openflow::FlowMod::add()
         };
-        hub.install(sim, flood_fm);
+        hub.install(sim, &flood_fm);
         for (i, h) in world.hosts.iter().enumerate() {
             let tx = net.attach_host(&hub, (i + 1) as u32, Duration::from_micros(10), h.rx_sink());
             h.attach(tx);

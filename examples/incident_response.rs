@@ -62,7 +62,7 @@ fn run(with_responder: bool) -> (usize, usize, usize) {
             dfi: tb.dfi.clone(),
             quarantine: quarantined.clone(),
         });
-        fn poll(r: Rc<Responder>, sim: &mut Sim) {
+        fn poll(r: &Rc<Responder>, sim: &mut Sim) {
             let now = sim.now();
             let detected: Vec<String> = r
                 .world
@@ -82,11 +82,11 @@ fn run(with_responder: bool) -> (usize, usize, usize) {
             }
             let r2 = r.clone();
             if now < SimTime::from_secs(11 * 3600) {
-                sim.schedule_in(POLL, move |sim| poll(r2, sim));
+                sim.schedule_in(POLL, move |sim| poll(&r2, sim));
             }
         }
         let r = responder.clone();
-        sim.schedule_at(foothold_at, move |sim| poll(r, sim));
+        sim.schedule_at(foothold_at, move |sim| poll(&r, sim));
     }
 
     sim.set_event_limit(2_000_000_000);

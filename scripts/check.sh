@@ -12,15 +12,38 @@
 #                             static-analysis tier only: clippy -D warnings
 #                             plus the dfi-analyze seeded-corpus ground-truth
 #                             gate and the table-0 audit demo
+#   scripts/check.sh --wire   wire-path tier only: the splice-vs-oracle
+#                             differential suite (deep), the golden byte
+#                             vectors, and the dfi-wiregate allocation /
+#                             speedup gate (writes BENCH_wire.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 ANALYZE_ONLY=0
+WIRE_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
+  --wire) WIRE_ONLY=1 ;;
 esac
+
+run_wire() {
+  echo "== splice golden byte vectors =="
+  cargo test -q -p dfi-openflow --test splice_golden
+  echo "== splice vs oracle differential (FUZZ_ITERS=${FUZZ_ITERS:-20000}) =="
+  FUZZ_ITERS="${FUZZ_ITERS:-20000}" \
+    cargo test -q -p dfi-core --test splice_oracle
+  echo "== dfi-wiregate: allocation budget + >=2x speedup gate =="
+  cargo build -q --release -p dfi-wiregate
+  ./target/release/dfi-wiregate --gate 2 | tee BENCH_wire.json
+}
+
+if [[ "$WIRE_ONLY" == 1 ]]; then
+  run_wire
+  echo "All checks passed."
+  exit 0
+fi
 
 run_analyze() {
   echo "== dfi-analyze: seeded 10k-rule corpus (exact ground-truth gate) =="
@@ -68,6 +91,8 @@ if [[ "$FAST" == 0 ]]; then
     cargo test -q -p dfi-openflow --test conformance
 
   run_analyze
+
+  run_wire
 
   echo "== cargo bench --no-run =="
   cargo bench -q --workspace --no-run

@@ -38,8 +38,8 @@ fn arp_host(mac: MacAddr, ip: Ipv4Addr) -> ArpHostRef {
 }
 
 fn rx_sink(host: ArpHostRef) -> dfi_repro::dataplane::ByteSink {
-    Rc::new(move |sim, frame: Vec<u8>| {
-        let Ok(eth) = EthernetFrame::decode(&frame) else {
+    Rc::new(move |sim, frame: &[u8]| {
+        let Ok(eth) = EthernetFrame::decode(frame) else {
             return;
         };
         let Ok(arp) = ArpPacket::decode(&eth.payload) else {

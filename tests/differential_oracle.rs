@@ -95,7 +95,9 @@ fn run_scenario(seed: u64, plan: Option<&FaultPlan>) -> Outcome {
         &enc2,
         1,
         LAT,
-        Rc::new(move |sim: &mut Sim, frame| log.borrow_mut().push((sim.now(), frame))),
+        Rc::new(move |sim: &mut Sim, frame: &[u8]| {
+            log.borrow_mut().push((sim.now(), frame.to_vec()));
+        }),
     );
 
     let dfi = Dfi::with_defaults();

@@ -71,7 +71,9 @@ fn rig(seed: u64, up_plan: FaultPlan, down_plan: FaultPlan, with_controller: boo
         &sw,
         2,
         LAT,
-        Rc::new(move |sim: &mut Sim, frame| log.borrow_mut().push((sim.now(), frame))),
+        Rc::new(move |sim: &mut Sim, frame: &[u8]| {
+            log.borrow_mut().push((sim.now(), frame.to_vec()));
+        }),
     );
     let dfi = Dfi::with_defaults();
     let (to_switch, down) = faulty_sink(down_plan, sw.control_ingress());

@@ -60,8 +60,8 @@ fn run_point(seed: u64, drop: f64) -> SweepPoint {
         &sw,
         2,
         LAT,
-        Rc::new(move |sim: &mut Sim, frame: Vec<u8>| {
-            if let Ok(h) = PacketHeaders::parse(&frame) {
+        Rc::new(move |sim: &mut Sim, frame: &[u8]| {
+            if let Ok(h) = PacketHeaders::parse(frame) {
                 if let Some(sport) = h.tcp_src {
                     d.borrow_mut().entry(sport).or_insert(sim.now());
                 }

@@ -50,7 +50,12 @@ fn star() -> Star {
     for (sw, mac_idx) in [(&enc1, 1u32), (&enc2, 2u32)] {
         let log = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
-        tx.push(net.attach_host(sw, 1, LAT, Rc::new(move |_, f| l.borrow_mut().push(f))));
+        tx.push(net.attach_host(
+            sw,
+            1,
+            LAT,
+            Rc::new(move |_, f: &[u8]| l.borrow_mut().push(f.to_vec())),
+        ));
         rx.push(log);
         let _ = mac_idx;
     }
@@ -253,8 +258,8 @@ fn topology_controller_discovers_links_through_the_dfi_proxy() {
         &s2,
         1,
         LAT,
-        Rc::new(move |_, frame: Vec<u8>| {
-            if dfi_repro::packet::PacketHeaders::parse(&frame).is_ok_and(|h| h.tcp_dst.is_some()) {
+        Rc::new(move |_, frame: &[u8]| {
+            if dfi_repro::packet::PacketHeaders::parse(frame).is_ok_and(|h| h.tcp_dst.is_some()) {
                 *g.borrow_mut() += 1;
             }
         }),

@@ -57,16 +57,16 @@ fn garbage_on_every_control_channel_is_survivable() {
     for len in [0usize, 1, 4, 7, 8, 9, 64, 200] {
         let mut junk = vec![0u8; len];
         rng.fill_bytes(&mut junk);
-        from_switch(&mut sim, junk.clone());
-        from_controller(&mut sim, junk.clone());
-        sw.handle_control_bytes(&mut sim, junk);
+        from_switch(&mut sim, &junk);
+        from_controller(&mut sim, &junk);
+        sw.handle_control_bytes(&mut sim, &junk);
         sim.run();
     }
     // Adversarial framing: a valid header that lies about its length.
     let mut lying = OfMessage::new(1, Message::Hello).encode();
     lying[3] = 0xFF;
-    from_switch(&mut sim, lying.clone());
-    from_controller(&mut sim, lying);
+    from_switch(&mut sim, &lying);
+    from_controller(&mut sim, &lying);
     sim.run();
 
     // The system still functions end to end.
@@ -138,7 +138,7 @@ fn control_plane_recovers_after_overload() {
     for i in 0..3000u32 {
         let frame = dfi_repro::cbench::random_flow_frame(&mut rng, u64::from(i));
         let pi = PacketIn::table_miss(1, 0, frame);
-        from_switch(&mut sim, OfMessage::new(i, Message::PacketIn(pi)).encode());
+        from_switch(&mut sim, &OfMessage::new(i, Message::PacketIn(pi)).encode());
     }
     sim.run();
     let m = dfi.metrics();
@@ -150,7 +150,7 @@ fn control_plane_recovers_after_overload() {
     let pi = PacketIn::table_miss(1, 0, frame);
     from_switch(
         &mut sim,
-        OfMessage::new(0xAAAA, Message::PacketIn(pi)).encode(),
+        &OfMessage::new(0xAAAA, Message::PacketIn(pi)).encode(),
     );
     sim.run();
     assert_eq!(*responses.borrow(), before + 1, "post-storm flow decided");
@@ -210,7 +210,7 @@ fn binding_churn_during_decisions_is_safe() {
             80,
         );
         let pi = PacketIn::table_miss(1, 0, frame);
-        from_switch(&mut sim, OfMessage::new(i, Message::PacketIn(pi)).encode());
+        from_switch(&mut sim, &OfMessage::new(i, Message::PacketIn(pi)).encode());
     }
     sim.run();
     let m = dfi.metrics();
@@ -232,8 +232,8 @@ fn split_and_batched_frames_are_handled() {
     let r = replies.clone();
     sw.connect_control(
         &mut sim,
-        Rc::new(move |_, bytes: Vec<u8>| {
-            if let Ok(m) = OfMessage::decode(&bytes) {
+        Rc::new(move |_, bytes: &[u8]| {
+            if let Ok(m) = OfMessage::decode(bytes) {
                 r.borrow_mut().push(m.body);
             }
         }),
@@ -241,7 +241,7 @@ fn split_and_batched_frames_are_handled() {
     let mut batch = OfMessage::new(1, Message::EchoRequest(b"a".to_vec())).encode();
     batch.extend(OfMessage::new(2, Message::EchoRequest(b"b".to_vec())).encode());
     batch.extend_from_slice(&[0x04, 0x02]); // dangling partial header
-    sw.handle_control_bytes(&mut sim, batch);
+    sw.handle_control_bytes(&mut sim, &batch);
     sim.run();
     let echoes = replies
         .borrow()
