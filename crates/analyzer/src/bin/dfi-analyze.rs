@@ -1,52 +1,90 @@
-//! `dfi-analyze` — command-line front end for the static policy /
-//! flow-table verifier.
+//! `dfi-analyze` — command-line front end for the policy / flow-table
+//! verifier.
 //!
-//! Two modes:
+//! Modes:
 //!
 //! * `corpus` — generate a deterministic seeded rule corpus (see
 //!   [`dfi_analyze::corpus`]), run the full analysis, and print runtime
 //!   plus per-kind finding counts. With `--expect-seeded` the planted
 //!   ground truth must match the findings *exactly* (the CI gate wired
 //!   into `scripts/check.sh --analyze`).
-//! * `demo` — build a tiny live deployment (Policy Manager, Entity
-//!   Resolution Manager, one switch), audit its Table 0 while healthy,
-//!   then revoke a policy behind DFI's back and show the orphan-cookie
-//!   finding the audit produces.
+//! * `audit-network` — generate a multi-switch snapshot corpus and run
+//!   the network-wide audit (per-switch passes plus the cross-switch
+//!   partial-flush / split-brain correlations). `--defects` plants the
+//!   cross-switch defect classes; `--expect-seeded` gates on them.
+//! * `watch` — the online-verifier harness: seed a corpus, stream random
+//!   mutations through the Policy Manager's delta journal into a
+//!   [`DeltaAnalyzer`](dfi_analyze::DeltaAnalyzer), check byte-equality
+//!   with a from-scratch analysis after **every** mutation, and measure
+//!   the incremental re-check against the full run (`--gate X` fails
+//!   below an X-fold speedup).
+//! * `demo` — build a tiny live deployment, audit it while healthy, then
+//!   revoke a policy behind DFI's back and show the orphan-cookie finding.
+//!
+//! Exit codes, uniform across modes: **0** clean (or expectation met),
+//! **1** findings / failed gate, **2** internal error (bad usage, bad
+//! flag values).
+//!
+//! `--json` replaces the human-readable finding lines with a JSON array
+//! (one object per diagnostic, stable field names) so CI can diff
+//! findings across runs; `watch --json` emits its timing summary as one
+//! JSON object (the `BENCH_analyze.json` baseline).
 
-use dfi_analyze::{sort_diagnostics, Analyzer, DiagnosticKind, TableZeroSnapshot};
+use dfi_analyze::{
+    sort_diagnostics, Analyzer, DeltaAnalyzer, Diagnostic, DiagnosticKind, TableZeroSnapshot,
+};
 use dfi_core::erm::{Binding, EntityResolver};
 use dfi_core::policy::{EndpointPattern, PolicyId, PolicyManager, PolicyRule};
 use dfi_dataplane::{dfi_allow_rule, Switch, SwitchConfig};
 use dfi_openflow::Match;
 use dfi_packet::MacAddr;
-use dfi_simnet::Sim;
+use dfi_simnet::{Sim, SimRng};
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
-dfi-analyze: static policy / flow-table verifier
+dfi-analyze: policy / flow-table verifier
 
 USAGE:
-    dfi-analyze corpus [--rules N] [--seed S] [--expect-seeded] [--verbose]
+    dfi-analyze corpus [--rules N] [--seed S] [--expect-seeded] [--json] [--verbose]
+    dfi-analyze audit-network [--switches N] [--flows N] [--seed S]
+                              [--defects] [--expect-seeded] [--json] [--verbose]
+    dfi-analyze watch [--rules N] [--seed S] [--mutations M] [--gate X] [--json]
     dfi-analyze demo
 
 MODES:
-    corpus    analyze a deterministic seeded rule corpus and report timing
-    demo      audit a small live switch deployment, then break it on purpose
+    corpus         analyze a deterministic seeded rule corpus and report timing
+    audit-network  network-wide Table-0 audit across a seeded switch fleet
+    watch          online incremental verification: delta vs full, per mutation
+    demo           audit a small live switch deployment, then break it on purpose
 
-OPTIONS (corpus):
+EXIT CODES:
+    0   clean, or --expect-seeded/--gate expectation met
+    1   findings present / expectation failed
+    2   internal error (usage, flag values)
+
+OPTIONS:
     --rules N          corpus size in stored policies [default: 10000]
-    --seed S           corpus seed [default: 7]
+    --seed S           generator seed [default: 7]
     --expect-seeded    fail unless findings equal the planted ground truth
+    --json             print findings (or the watch summary) as JSON
     --verbose          print every diagnostic, not just the first few
+    --switches N       audit-network: switch count [default: 14]
+    --flows N          audit-network: cached flows [default: 400]
+    --defects          audit-network: plant cross-switch defects
+    --mutations M      watch: mutation count [default: 60]
+    --gate X           watch: fail unless delta re-check is X times faster
+                       than the full analysis [default: no gate]
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("corpus") => corpus_mode(&args[1..]),
+        Some("audit-network") => audit_network_mode(&args[1..]),
+        Some("watch") => watch_mode(&args[1..]),
         Some("demo") => demo_mode(),
         Some("--help" | "-h") => {
             print!("{USAGE}");
@@ -56,6 +94,31 @@ fn main() -> ExitCode {
             eprint!("{USAGE}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// Prints diagnostics as a JSON array on stdout.
+fn print_json(diags: &[Diagnostic]) {
+    println!("[");
+    for (i, d) in diags.iter().enumerate() {
+        let sep = if i + 1 < diags.len() { "," } else { "" };
+        println!("  {}{sep}", d.to_json());
+    }
+    println!("]");
+}
+
+/// Prints up to `limit` human-readable finding lines.
+fn print_findings(diags: &[Diagnostic], verbose: bool) {
+    let shown = if verbose {
+        diags.len()
+    } else {
+        diags.len().min(6)
+    };
+    for d in &diags[..shown] {
+        println!("  {d}");
+    }
+    if shown < diags.len() {
+        println!("  … {} more (use --verbose)", diags.len() - shown);
     }
 }
 
@@ -83,6 +146,7 @@ fn corpus_mode(args: &[String]) -> ExitCode {
     };
     let expect_seeded = args.iter().any(|a| a == "--expect-seeded");
     let verbose = args.iter().any(|a| a == "--verbose");
+    let json = args.iter().any(|a| a == "--json");
 
     let t0 = Instant::now();
     let corpus = dfi_analyze::corpus::generate(n_rules, seed);
@@ -96,40 +160,287 @@ fn corpus_mode(args: &[String]) -> ExitCode {
     let diags = az.analyze(Some(&corpus.universe));
     let analyzed = t2.elapsed();
 
-    println!(
-        "corpus: {} rules (seed {}), generated in {:.1?}",
-        corpus.manager.len(),
-        seed,
-        generated
-    );
-    println!(
-        "analysis: index built in {:.1?}, all passes in {:.1?} ({:.1} rules/ms)",
-        indexed,
-        analyzed,
-        corpus.manager.len() as f64 / analyzed.as_secs_f64() / 1e3,
-    );
-    let count = |k: DiagnosticKind| diags.iter().filter(|d| d.kind == k).count();
-    println!(
-        "findings: {} total — {} shadowed, {} redundant, {} conflicts, {} unreachable",
-        diags.len(),
-        count(DiagnosticKind::ShadowedRule),
-        count(DiagnosticKind::RedundantRule),
-        count(DiagnosticKind::AllowDenyConflict),
-        count(DiagnosticKind::UnreachablePattern),
-    );
-    let shown = if verbose {
-        diags.len()
+    if json {
+        print_json(&diags);
     } else {
-        diags.len().min(6)
-    };
-    for d in &diags[..shown] {
-        println!("  {d}");
-    }
-    if shown < diags.len() {
-        println!("  … {} more (use --verbose)", diags.len() - shown);
+        println!(
+            "corpus: {} rules (seed {}), generated in {:.1?}",
+            corpus.manager.len(),
+            seed,
+            generated
+        );
+        println!(
+            "analysis: index built in {:.1?}, all passes in {:.1?} ({:.1} rules/ms)",
+            indexed,
+            analyzed,
+            corpus.manager.len() as f64 / analyzed.as_secs_f64() / 1e3,
+        );
+        let count = |k: DiagnosticKind| diags.iter().filter(|d| d.kind == k).count();
+        println!(
+            "findings: {} total — {} shadowed, {} redundant, {} conflicts, {} unreachable",
+            diags.len(),
+            count(DiagnosticKind::ShadowedRule),
+            count(DiagnosticKind::RedundantRule),
+            count(DiagnosticKind::AllowDenyConflict),
+            count(DiagnosticKind::UnreachablePattern),
+        );
+        print_findings(&diags, verbose);
     }
 
-    if expect_seeded && !verify_seeded(&corpus, &diags) {
+    if expect_seeded {
+        if verify_seeded(&corpus, &diags) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn audit_network_mode(args: &[String]) -> ExitCode {
+    let parsed = (
+        parse_flag(args, "--switches", 14),
+        parse_flag(args, "--flows", 400),
+        parse_flag(args, "--seed", 7),
+    );
+    let (n_switches, n_flows, seed) = match parsed {
+        (Ok(sw), Ok(f), Ok(s)) => (sw as usize, f as usize, s),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("dfi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if n_switches < 5 {
+        eprintln!("dfi-analyze: --switches must be at least 5");
+        return ExitCode::from(2);
+    }
+    let defects = args.iter().any(|a| a == "--defects");
+    let expect_seeded = args.iter().any(|a| a == "--expect-seeded");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let json = args.iter().any(|a| a == "--json");
+    if expect_seeded && !defects {
+        eprintln!("dfi-analyze: --expect-seeded requires --defects");
+        return ExitCode::from(2);
+    }
+
+    let t0 = Instant::now();
+    let mut corpus = dfi_analyze::corpus::generate_network(n_switches, n_flows, seed, defects);
+    let generated = t0.elapsed();
+    let t1 = Instant::now();
+    let az = Analyzer::from_pm(&corpus.manager);
+    let diags = az.check_snapshots(&corpus.snapshots, &mut corpus.resolver);
+    let audited = t1.elapsed();
+
+    if json {
+        print_json(&diags);
+    } else {
+        let cached: usize = corpus.snapshots.iter().map(|s| s.rules.len()).sum();
+        println!(
+            "network: {} switches, {} cached rules (seed {}), generated in {:.1?}",
+            n_switches, cached, seed, generated
+        );
+        let count = |k: DiagnosticKind| diags.iter().filter(|d| d.kind == k).count();
+        println!(
+            "audit: {:.1?} — {} findings ({} orphan, {} stale, {} partial-flush, {} split-brain)",
+            audited,
+            diags.len(),
+            count(DiagnosticKind::OrphanCookie),
+            count(DiagnosticKind::StaleRule),
+            count(DiagnosticKind::PartialFlush),
+            count(DiagnosticKind::SplitBrainPath),
+        );
+        print_findings(&diags, verbose);
+    }
+
+    if expect_seeded {
+        if verify_network_seeded(&corpus, &diags) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Compares a network audit's findings with the planted cross-switch
+/// ground truth (and the per-switch findings each plant implies).
+fn verify_network_seeded(
+    corpus: &dfi_analyze::corpus::NetworkCorpus,
+    diags: &[Diagnostic],
+) -> bool {
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
+    let mut ok = true;
+    let pf: Vec<(u64, Vec<u64>)> = diags
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::PartialFlush)
+        .map(|d| (d.rules[0].0, d.dpids.clone()))
+        .collect();
+    if sorted(pf) != sorted(corpus.partial_flush.clone()) {
+        ok = false;
+        eprintln!("MISMATCH partial-flush: correlations differ from the planted ground truth");
+    }
+    let sb: Vec<Vec<u64>> = diags
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::SplitBrainPath)
+        .map(|d| d.dpids.clone())
+        .collect();
+    if sorted(sb) != sorted(corpus.split_brain.iter().map(|(d, _)| d.clone()).collect()) {
+        ok = false;
+        eprintln!("MISMATCH split-brain: correlations differ from the planted ground truth");
+    }
+    let implied = corpus.partial_flush.len()
+        + corpus
+            .partial_flush
+            .iter()
+            .map(|(_, d)| d.len())
+            .sum::<usize>()
+        + 2 * corpus.split_brain.len();
+    if diags.len() != implied {
+        ok = false;
+        eprintln!(
+            "MISMATCH totals: {} findings, the plants imply exactly {implied}",
+            diags.len()
+        );
+    }
+    if ok {
+        println!("--expect-seeded: network findings equal the planted ground truth");
+    }
+    ok
+}
+
+fn watch_mode(args: &[String]) -> ExitCode {
+    let parsed = (
+        parse_flag(args, "--rules", 10_000),
+        parse_flag(args, "--seed", 7),
+        parse_flag(args, "--mutations", 60),
+        parse_flag(args, "--gate", 0),
+    );
+    let (n_rules, seed, mutations, gate) = match parsed {
+        (Ok(n), Ok(s), Ok(m), Ok(g)) => (n as usize, s, m as usize, g),
+        (Err(e), _, _, _) | (_, Err(e), _, _) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+            eprintln!("dfi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = args.iter().any(|a| a == "--json");
+
+    let mut corpus = dfi_analyze::corpus::generate(n_rules, seed);
+    let universe = corpus.universe.clone();
+    let t0 = Instant::now();
+    let (mut da, _) = DeltaAnalyzer::from_pm(&mut corpus.manager, Some(universe.clone()));
+    let seeded = t0.elapsed();
+
+    // Stream seeded mutations through the delta journal; after every one,
+    // require byte-equality with a from-scratch analysis and record both
+    // sides' runtime.
+    let mut rng = SimRng::new(seed ^ 0x5EED);
+    let mut delta_total = Duration::ZERO;
+    let mut delta_max = Duration::ZERO;
+    let mut full_total = Duration::ZERO;
+    let mut events = 0usize;
+    for m in 0..mutations {
+        let pm = &mut corpus.manager;
+        match rng.index(4) {
+            // Overlapping deny: lands in an existing clean pair's bucket.
+            0 => {
+                let k = rng.index(n_rules);
+                pm.insert(
+                    PolicyRule::deny(
+                        EndpointPattern::user(&format!("user-{k}-a")),
+                        EndpointPattern::any(),
+                    ),
+                    25,
+                    "watch-deny",
+                );
+            }
+            // Fresh non-overlapping allow.
+            1 => {
+                pm.insert(
+                    PolicyRule::allow(
+                        EndpointPattern::user(&format!("watch-{m}-a")),
+                        EndpointPattern::user(&format!("watch-{m}-b")),
+                    ),
+                    20,
+                    "watch-allow",
+                );
+            }
+            // Revoke a random live rule.
+            2 => {
+                let snap = pm.snapshot();
+                if !snap.is_empty() {
+                    let id = snap[rng.index(snap.len())].id;
+                    pm.revoke(id);
+                }
+            }
+            // Re-rank a random live rule.
+            _ => {
+                let snap = pm.snapshot();
+                if !snap.is_empty() {
+                    let id = snap[rng.index(snap.len())].id;
+                    pm.re_rank(id, [5, 15, 25, 35][rng.index(4)]);
+                }
+            }
+        }
+        let t = Instant::now();
+        events += da.sync(pm).len();
+        let dt = t.elapsed();
+        delta_total += dt;
+        delta_max = delta_max.max(dt);
+
+        let t = Instant::now();
+        let full = Analyzer::from_pm(pm).analyze(Some(&universe));
+        full_total += t.elapsed();
+        if da.diagnostics() != full {
+            eprintln!("MISMATCH: incremental diverged from full analysis at mutation {m}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let delta_mean_us = delta_total.as_secs_f64() * 1e6 / mutations.max(1) as f64;
+    let full_mean_ms = full_total.as_secs_f64() * 1e3 / mutations.max(1) as f64;
+    let speedup = full_mean_ms * 1e3 / delta_mean_us;
+    if json {
+        println!(
+            "{{\"rules\":{},\"mutations\":{},\"seed\":{},\"seed_full_pass_ms\":{:.3},\
+             \"delta_mean_us\":{:.1},\"delta_max_us\":{:.1},\"full_mean_ms\":{:.3},\
+             \"speedup\":{:.1},\"finding_events\":{},\"equal\":true}}",
+            n_rules,
+            mutations,
+            seed,
+            seeded.as_secs_f64() * 1e3,
+            delta_mean_us,
+            delta_max.as_secs_f64() * 1e6,
+            full_mean_ms,
+            speedup,
+            events,
+        );
+    } else {
+        println!(
+            "watch: {} rules seeded through the journal in {:.1?}; {} mutations, {} finding events",
+            n_rules, seeded, mutations, events
+        );
+        println!(
+            "incremental ≡ full after every mutation; delta mean {:.1} µs (max {:.1} µs), \
+             full mean {:.2} ms — {:.0}× faster",
+            delta_mean_us,
+            delta_max.as_secs_f64() * 1e6,
+            full_mean_ms,
+            speedup,
+        );
+    }
+    if gate > 0 && speedup < gate as f64 {
+        eprintln!(
+            "GATE: delta re-check is only {speedup:.1}× faster than full; the gate requires {gate}×"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,0 +1,182 @@
+//! Bus surface: verifier findings as [`DfiEvent`]s.
+//!
+//! The paper's architecture keeps every DFI component controller-oblivious
+//! by speaking over the message bus; the online verifier is no exception.
+//! This module is the one-way bridge from the analyzer's typed findings to
+//! the stringly [`DfiEvent::AnalyzerFinding`] envelope that `dfi-core`
+//! components (which sit *below* this crate in the dependency graph and so
+//! cannot name [`Diagnostic`] directly) can subscribe to — e.g. the
+//! quarantine PDP re-flushing a dead cookie when an `orphan-cookie`
+//! finding is raised.
+//!
+//! Two producers feed the topic:
+//!
+//! * The delta engine: [`publish_finding_events`] forwards a
+//!   [`DeltaAnalyzer::sync`](crate::DeltaAnalyzer::sync) batch, preserving
+//!   the ledger's stable [`FindingId`]s across raise → update → clear.
+//! * One-shot audits ([`Analyzer::check_network`](crate::Analyzer) et
+//!   al.): [`publish_audit`] numbers the findings 1..=n in report order.
+//!   Those ordinals are scoped to the single audit and are **not**
+//!   comparable with a delta ledger's ids; subscribers that only react to
+//!   raised findings (the common case) never need to tell the two apart.
+
+use dfi_bus::Bus;
+use dfi_core::events::{topic, DfiEvent};
+use dfi_simnet::Sim;
+
+use crate::delta::{FindingEvent, FindingId};
+use crate::diag::Diagnostic;
+
+/// Renders one finding transition as a bus envelope.
+///
+/// `raised` is `true` for raises *and* updates — it tracks whether the
+/// finding is active after the transition, which is what reactive
+/// subscribers key on — and `false` only for clears.
+pub fn bus_event(finding: FindingId, raised: bool, diag: &Diagnostic) -> DfiEvent {
+    DfiEvent::AnalyzerFinding {
+        finding: finding.0,
+        raised,
+        kind: diag.kind.to_string(),
+        severity: diag.severity.to_string(),
+        rules: diag.rules.iter().map(|r| r.0).collect(),
+        dpids: diag.dpids.clone(),
+        message: diag.message.clone(),
+    }
+}
+
+/// Publishes a batch of delta-engine finding events on
+/// [`topic::ANALYZER_FINDINGS`], in ledger order.
+pub fn publish_finding_events(sim: &mut Sim, bus: &Bus<DfiEvent>, events: &[FindingEvent]) {
+    for ev in events {
+        bus.publish(
+            sim,
+            topic::ANALYZER_FINDINGS,
+            bus_event(ev.id(), ev.is_active(), ev.diag()),
+        );
+    }
+}
+
+/// Publishes the findings of a one-shot audit, each as a raised event
+/// numbered 1..=n in report order. Returns the number published.
+pub fn publish_audit(sim: &mut Sim, bus: &Bus<DfiEvent>, diags: &[Diagnostic]) -> usize {
+    for (i, diag) in diags.iter().enumerate() {
+        bus.publish(
+            sim,
+            topic::ANALYZER_FINDINGS,
+            bus_event(FindingId(i as u64 + 1), true, diag),
+        );
+    }
+    diags.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DeltaAnalyzer;
+    use dfi_core::policy::{EndpointPattern, PolicyManager, PolicyRule};
+    use dfi_simnet::{Dist, Sim};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn collected(bus: &Bus<DfiEvent>) -> Rc<RefCell<Vec<DfiEvent>>> {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        bus.subscribe(topic::ANALYZER_FINDINGS, move |_, ev: &DfiEvent| {
+            l.borrow_mut().push(ev.clone());
+        });
+        log
+    }
+
+    #[test]
+    fn delta_lifecycle_reaches_the_bus_with_stable_ids() {
+        let mut sim = Sim::new(7);
+        let bus = Bus::new(Dist::constant_ms(0.1));
+        let log = collected(&bus);
+
+        let mut pm = PolicyManager::new();
+        let (mut da, _) = DeltaAnalyzer::from_pm(&mut pm, None);
+        // A low-priority allow shadowed by a higher-priority deny.
+        let (low, _) = pm.insert(PolicyRule::allow_all(), 1, "t");
+        let (high, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+            5,
+            "t",
+        );
+        publish_finding_events(&mut sim, &bus, &da.sync(&mut pm));
+        pm.revoke(low);
+        pm.revoke(high);
+        publish_finding_events(&mut sim, &bus, &da.sync(&mut pm));
+        sim.run();
+
+        let events = log.borrow();
+        // Raises (the shadowed allow, its conflict, the redundant deny)
+        // then a clear for each once both rules are gone.
+        let raised: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                DfiEvent::AnalyzerFinding {
+                    finding,
+                    raised: true,
+                    ..
+                } => Some(*finding),
+                _ => None,
+            })
+            .collect();
+        let mut cleared: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                DfiEvent::AnalyzerFinding {
+                    finding,
+                    raised: false,
+                    ..
+                } => Some(*finding),
+                _ => None,
+            })
+            .collect();
+        assert!(!raised.is_empty());
+        let mut raised = raised;
+        raised.sort_unstable();
+        cleared.sort_unstable();
+        assert_eq!(raised, cleared, "every raise is cleared under the same id");
+    }
+
+    #[test]
+    fn audit_findings_carry_kind_and_dpids() {
+        let mut sim = Sim::new(7);
+        let bus = Bus::new(Dist::constant_ms(0.1));
+        let log = collected(&bus);
+
+        let diag = Diagnostic {
+            severity: crate::diag::Severity::Error,
+            kind: crate::diag::DiagnosticKind::OrphanCookie,
+            rules: vec![dfi_core::policy::PolicyId(42)],
+            dpids: vec![0xD1],
+            witness: None,
+            message: "orphan".into(),
+        };
+        assert_eq!(publish_audit(&mut sim, &bus, &[diag]), 1);
+        sim.run();
+
+        let events = log.borrow();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            DfiEvent::AnalyzerFinding {
+                finding,
+                raised,
+                kind,
+                severity,
+                rules,
+                dpids,
+                ..
+            } => {
+                assert_eq!(*finding, 1);
+                assert!(*raised);
+                assert_eq!(kind, "orphan-cookie");
+                assert_eq!(severity, "error");
+                assert_eq!(rules, &[42]);
+                assert_eq!(dpids, &[0xD1]);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

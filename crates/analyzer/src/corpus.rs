@@ -11,10 +11,15 @@
 //! bulk, no missed plants.
 
 use crate::policy_passes::IdentifierUniverse;
+use crate::table0::{TableZeroRule, TableZeroSnapshot};
+use dfi_core::erm::{Binding, EntityResolver};
 use dfi_core::policy::{
     EndpointPattern, FlowProperties, PolicyId, PolicyManager, PolicyRule, Wild,
 };
+use dfi_openflow::Match;
+use dfi_packet::MacAddr;
 use dfi_simnet::SimRng;
+use std::net::Ipv4Addr;
 
 /// A generated corpus plus the ground truth of what was planted.
 pub struct SeededCorpus {
@@ -160,12 +165,177 @@ fn plant_unreachable(c: &mut SeededCorpus, k: usize) {
     c.unreachable.push(id);
 }
 
+// ---------------------------------------------------------------------
+// Network corpus: Table-0 snapshots across many switches, with planted
+// cross-switch defects.
+// ---------------------------------------------------------------------
+
+/// A generated multi-switch deployment plus the ground truth of what was
+/// planted, for the network-wide audit's `--expect-seeded` gate.
+///
+/// The clean bulk models cached verdict rules for allowed multi-hop
+/// flows: each flow gets its own policy and its own host/IP/MAC family
+/// (so no two flows can interact), and its exact-match allow rule is
+/// installed on every switch of a short contiguous "path".
+///
+/// Plants, and the findings each one *implies* exactly:
+///
+/// * **partial flush** — a flow whose policy was never inserted (the
+///   cookie is dead) cached on a proper subset of switches: one
+///   [`PartialFlush`](crate::DiagnosticKind::PartialFlush) correlation
+///   naming those dpids, plus one per-switch
+///   [`OrphanCookie`](crate::DiagnosticKind::OrphanCookie) error each.
+/// * **split brain** — a healthy flow plus one deny rule for the same
+///   canonical flow (cookie 0, different ingress port) on a switch off
+///   its path: one
+///   [`SplitBrainPath`](crate::DiagnosticKind::SplitBrainPath)
+///   correlation over path ∪ deny hop, plus one
+///   [`StaleRule`](crate::DiagnosticKind::StaleRule) error on the deny
+///   hop (policy allows the flow the plant drops — the hop that
+///   disagrees with policy is individually stale, by construction).
+pub struct NetworkCorpus {
+    /// The live policy set the snapshots are audited against.
+    pub manager: PolicyManager,
+    /// Bindings resolving every generated flow's identifiers.
+    pub resolver: EntityResolver,
+    /// One Table-0 snapshot per switch, dpids `1..=n_switches`.
+    pub snapshots: Vec<TableZeroSnapshot>,
+    /// Planted partial flushes: `(dead cookie, surviving dpids ascending)`.
+    pub partial_flush: Vec<(u64, Vec<u64>)>,
+    /// Planted split brains: `(all involved dpids ascending, deny dpid)`.
+    pub split_brain: Vec<(Vec<u64>, u64)>,
+}
+
+/// Builds a network corpus: `n_flows` cached flows spread over
+/// `n_switches` switches (at least 5). With `defects` false every flow is
+/// clean — the audit must come back empty. Deterministic in `seed`.
+pub fn generate_network(
+    n_switches: usize,
+    n_flows: usize,
+    seed: u64,
+    defects: bool,
+) -> NetworkCorpus {
+    assert!(
+        n_switches >= 5,
+        "paths must be proper subsets with room off-path"
+    );
+    let mut rng = SimRng::new(seed);
+    let mut c = NetworkCorpus {
+        manager: PolicyManager::new(),
+        resolver: EntityResolver::new(),
+        snapshots: (1..=n_switches as u64)
+            .map(|dpid| TableZeroSnapshot {
+                dpid,
+                rules: Vec::new(),
+            })
+            .collect(),
+        partial_flush: Vec::new(),
+        split_brain: Vec::new(),
+    };
+    for i in 0..n_flows {
+        // Every flow gets a disjoint identifier family.
+        let src_host = format!("net-src-{i}");
+        let dst_host = format!("net-dst-{i}");
+        let src_ip = Ipv4Addr::from(0x0A10_0000 + 2 * i as u32);
+        let dst_ip = Ipv4Addr::from(0x0A10_0000 + 2 * i as u32 + 1);
+        c.resolver.bind(Binding::HostIp {
+            host: src_host.clone(),
+            ip: src_ip,
+        });
+        c.resolver.bind(Binding::HostIp {
+            host: dst_host.clone(),
+            ip: dst_ip,
+        });
+        let mat = |in_port: u32| Match {
+            in_port: Some(in_port),
+            eth_src: Some(MacAddr::from_index(2 * i as u32 + 1)),
+            eth_dst: Some(MacAddr::from_index(2 * i as u32 + 2)),
+            eth_type: Some(0x0800),
+            ip_proto: Some(6),
+            ipv4_src: Some(src_ip),
+            ipv4_dst: Some(dst_ip),
+            tcp_src: Some(40_000 + i as u16),
+            tcp_dst: Some(445),
+            ..Match::default()
+        };
+        // A short contiguous path, always a proper subset of the network.
+        let start = rng.index(n_switches);
+        let hops = 2 + rng.index(2); // 2 or 3
+        let path: Vec<usize> = (0..hops).map(|j| (start + j) % n_switches).collect();
+        let install = |snaps: &mut [TableZeroSnapshot], sw: usize, cookie: u64, port, allow| {
+            snaps[sw].rules.push(TableZeroRule {
+                cookie,
+                priority: 400,
+                mat: mat(port),
+                allow,
+            });
+        };
+        let dpids_of = |path: &[usize]| {
+            let mut d: Vec<u64> = path.iter().map(|&s| s as u64 + 1).collect();
+            d.sort_unstable();
+            d
+        };
+        match if defects { i % 25 } else { 0 } {
+            // Partial flush: the cookie names no policy that ever existed;
+            // its rules survive only on this path.
+            7 => {
+                let dead = 1_000_000 + i as u64;
+                for (j, &sw) in path.iter().enumerate() {
+                    install(&mut c.snapshots, sw, dead, 1 + j as u32, true);
+                }
+                c.partial_flush.push((dead, dpids_of(&path)));
+            }
+            // Split brain: a healthy allowed flow, plus a cookie-0 deny
+            // for the same canonical flow one switch off the path.
+            17 => {
+                let (id, _) = c.manager.insert(
+                    PolicyRule::allow(
+                        EndpointPattern::host(&src_host),
+                        EndpointPattern::host(&dst_host),
+                    ),
+                    20,
+                    "corpus-net",
+                );
+                for (j, &sw) in path.iter().enumerate() {
+                    install(&mut c.snapshots, sw, id.0, 1 + j as u32, true);
+                }
+                let off = (start + hops) % n_switches;
+                install(&mut c.snapshots, off, 0, 99, false);
+                let mut all = dpids_of(&path);
+                all.push(off as u64 + 1);
+                all.sort_unstable();
+                c.split_brain.push((all, off as u64 + 1));
+            }
+            // Clean flow: live policy, consistent rules along the path.
+            _ => {
+                let (id, _) = c.manager.insert(
+                    PolicyRule::allow(
+                        EndpointPattern::host(&src_host),
+                        EndpointPattern::host(&dst_host),
+                    ),
+                    20,
+                    "corpus-net",
+                );
+                for (j, &sw) in path.iter().enumerate() {
+                    install(&mut c.snapshots, sw, id.0, 1 + j as u32, true);
+                }
+            }
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::diag::DiagnosticKind;
     use crate::policy_passes::Analyzer;
     use std::collections::BTreeSet;
+
+    fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+        v.sort();
+        v
+    }
 
     fn ids(diags: &[crate::diag::Diagnostic], kind: DiagnosticKind) -> BTreeSet<PolicyId> {
         diags
@@ -213,5 +383,83 @@ mod tests {
             .map(|d| (d.rules[0], d.rules[1]))
             .collect();
         assert_eq!(conflict_pairs, corpus.conflicts.iter().copied().collect());
+    }
+
+    #[test]
+    fn network_generator_is_deterministic() {
+        let a = generate_network(8, 100, 42, true);
+        let b = generate_network(8, 100, 42, true);
+        assert_eq!(a.partial_flush, b.partial_flush);
+        assert_eq!(a.split_brain, b.split_brain);
+        assert_eq!(a.snapshots.len(), 8);
+        let rules =
+            |c: &NetworkCorpus| -> usize { c.snapshots.iter().map(|s| s.rules.len()).sum() };
+        assert_eq!(rules(&a), rules(&b));
+    }
+
+    #[test]
+    fn clean_network_corpus_audits_clean() {
+        let mut c = generate_network(8, 100, 7, false);
+        assert!(c.partial_flush.is_empty() && c.split_brain.is_empty());
+        let az = Analyzer::from_pm(&c.manager);
+        assert_eq!(az.check_snapshots(&c.snapshots, &mut c.resolver), vec![]);
+    }
+
+    #[test]
+    fn network_audit_finds_exactly_the_planted_defects() {
+        let mut c = generate_network(8, 100, 7, true);
+        assert!(!c.partial_flush.is_empty());
+        assert!(!c.split_brain.is_empty());
+        let az = Analyzer::from_pm(&c.manager);
+        let diags = az.check_snapshots(&c.snapshots, &mut c.resolver);
+
+        // The cross-switch correlations, exactly as planted.
+        let pf: Vec<(u64, Vec<u64>)> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::PartialFlush)
+            .map(|d| (d.rules[0].0, d.dpids.clone()))
+            .collect();
+        assert_eq!(sorted(pf), sorted(c.partial_flush.clone()));
+        let sb: Vec<Vec<u64>> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::SplitBrainPath)
+            .map(|d| d.dpids.clone())
+            .collect();
+        assert_eq!(
+            sorted(sb),
+            sorted(c.split_brain.iter().map(|(d, _)| d.clone()).collect())
+        );
+        // The per-switch findings each plant implies, and nothing more.
+        let orphans: Vec<(u64, u64)> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::OrphanCookie)
+            .map(|d| (d.rules[0].0, d.dpids[0]))
+            .collect();
+        let implied: Vec<(u64, u64)> = c
+            .partial_flush
+            .iter()
+            .flat_map(|(cookie, dpids)| dpids.iter().map(|&d| (*cookie, d)))
+            .collect();
+        assert_eq!(sorted(orphans), sorted(implied));
+        let stale: Vec<u64> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::StaleRule)
+            .map(|d| {
+                assert_eq!(
+                    d.rules[0],
+                    PolicyId(0),
+                    "the stale rule is the planted deny"
+                );
+                d.dpids[0]
+            })
+            .collect();
+        assert_eq!(
+            sorted(stale),
+            sorted(c.split_brain.iter().map(|(_, d)| *d).collect())
+        );
+        let implied_total = c.partial_flush.len()
+            + c.partial_flush.iter().map(|(_, d)| d.len()).sum::<usize>()
+            + 2 * c.split_brain.len();
+        assert_eq!(diags.len(), implied_total, "no findings beyond the plants");
     }
 }

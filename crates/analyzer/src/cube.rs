@@ -20,11 +20,28 @@
 //! So the set of rules matching `min(C)` is exactly the set that matches
 //! *every* flow in `C` — which is what makes single-flow replay a complete
 //! reachability test (see `policy_passes`).
+//!
+//! # Interval pins and cell refinement
+//!
+//! With interval pins ([`Wild::In`]) the theorem breaks: a rule pinning a
+//! *narrower* interval that happens to contain the cube's low endpoint
+//! matches `min(C)` without subsuming `C`. The fix is [`refine`]: partition
+//! the cube along each interval-pinned dimension, cutting at the interval
+//! endpoints of the candidate rules. Within one refined *cell*, every
+//! candidate's pin on an interval dimension either contains the whole cell
+//! or is disjoint from it — the `Any`/`Is` dichotomy is restored cell-wise,
+//! so the theorem holds for each cell's minimal flow. A rule is then
+//! reachable iff it wins the minimal flow of *some* cell of its own cube
+//! (`policy_passes` module docs give the winner-transfer argument). Cubes
+//! without interval pins refine to themselves, so exact-pin rule sets pay
+//! nothing.
 
 use dfi_core::policy::{
-    EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyRule, WildName,
+    EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyRule, Wild, WildName,
 };
-use std::collections::HashSet;
+use dfi_packet::MacAddr;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
 
 /// The match space of a rule: flow properties plus both endpoint patterns,
 /// with the action stripped.
@@ -57,15 +74,29 @@ impl FlowCube {
         })
     }
 
-    /// The minimal witness flow of this cube (see module docs).
-    /// `fresh_ethertype` must be a value no analyzed rule pins.
+    /// The minimal witness flow of this cube (see module docs): interval
+    /// pins contribute their low endpoint. `fresh_ethertype` must be a
+    /// value no analyzed rule pins.
     pub fn minimal_flow(&self, fresh_ethertype: u16) -> FlowView {
         FlowView {
-            ethertype: self.flow.ethertype.value().unwrap_or(fresh_ethertype),
-            ip_proto: self.flow.ip_proto.value(),
+            ethertype: self.flow.ethertype.low().unwrap_or(fresh_ethertype),
+            ip_proto: self.flow.ip_proto.low(),
             src: minimal_view(&self.src),
             dst: minimal_view(&self.dst),
         }
+    }
+
+    /// `true` when any dimension is interval-pinned — the trigger for
+    /// [`refine`]; exact-pin cubes skip refinement entirely.
+    pub fn has_interval(&self) -> bool {
+        fn iv<T>(w: &Wild<T>) -> bool {
+            matches!(w, Wild::In(..))
+        }
+        iv(&self.flow.ethertype)
+            || iv(&self.flow.ip_proto)
+            || [&self.src, &self.dst].iter().any(|p| {
+                iv(&p.ip) || iv(&p.port) || iv(&p.mac) || iv(&p.switch_port) || iv(&p.switch_dpid)
+            })
     }
 }
 
@@ -79,33 +110,189 @@ fn minimal_view(p: &EndpointPattern) -> EndpointView {
     EndpointView {
         usernames: names(&p.username),
         hostnames: names(&p.hostname),
-        ip: p.ip.value(),
-        port: p.port.value(),
-        mac: p.mac.value(),
-        switch_port: p.switch_port.value(),
-        switch_dpid: p.switch_dpid.value(),
+        ip: p.ip.low(),
+        port: p.port.low(),
+        mac: p.mac.low(),
+        switch_port: p.switch_port.low(),
+        switch_dpid: p.switch_dpid.low(),
     }
 }
 
-/// An ethertype no rule in the set pins: the value the minimal flow of an
-/// ethertype-free cube carries, so that ethertype-pinning rules cannot
-/// spuriously match it. Prefers `0x0800` (IPv4) when unpinned, so typical
-/// witnesses look like ordinary traffic.
+/// An ethertype no rule in the set pins (point or interval): the value the
+/// minimal flow of an ethertype-free cube carries, so that
+/// ethertype-pinning rules cannot spuriously match it. Prefers `0x0800`
+/// (IPv4) when unpinned, so typical witnesses look like ordinary traffic.
 pub fn fresh_ethertype<'a>(rules: impl IntoIterator<Item = &'a PolicyRule>) -> u16 {
-    let pinned: HashSet<u16> = rules
-        .into_iter()
-        .filter_map(|r| r.flow.ethertype.value())
-        .collect();
-    if !pinned.contains(&0x0800) {
+    fresh_ethertype_outside(rules.into_iter().filter_map(|r| r.flow.ethertype.bounds()))
+}
+
+/// [`fresh_ethertype`] over pre-extracted pin intervals — the incremental
+/// analyzer keeps a refcounted interval multiset instead of re-walking
+/// every rule.
+pub(crate) fn fresh_ethertype_outside(pins: impl IntoIterator<Item = (u16, u16)>) -> u16 {
+    let mut intervals: Vec<(u16, u16)> = pins.into_iter().collect();
+    intervals.sort_unstable();
+    // Merge so coverage queries are a binary search over disjoint spans.
+    let mut merged: Vec<(u16, u16)> = Vec::with_capacity(intervals.len());
+    for (lo, hi) in intervals {
+        match merged.last_mut() {
+            Some((_, mhi)) if lo <= mhi.saturating_add(1) => *mhi = (*mhi).max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    let covered = |v: u16| {
+        merged
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    };
+    if !covered(0x0800) {
         return 0x0800;
     }
     // 0x88B5: IEEE 802 local experimental — unlikely to be pinned, but
-    // scan onward if it is. Fewer than 2^16 rules can pin distinct values,
-    // so the scan terminates.
+    // scan onward if it is. The scan fails only when the pins cover the
+    // whole u16 space, in which case no fresh value exists at all.
     (0x88B5..=u16::MAX)
         .chain(1..0x88B5)
-        .find(|v| !pinned.contains(v))
+        .find(|&v| !covered(v))
         .unwrap_or(u16::MAX)
+}
+
+/// Discrete successor/predecessor for interval-cut arithmetic.
+trait Step: Copy + Ord {
+    fn succ(self) -> Option<Self>;
+    fn pred(self) -> Self;
+}
+
+macro_rules! step_uint {
+    ($($t:ty),*) => {$(
+        impl Step for $t {
+            fn succ(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+            fn pred(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+step_uint!(u8, u16, u32, u64);
+
+impl Step for Ipv4Addr {
+    fn succ(self) -> Option<Self> {
+        u32::from(self).checked_add(1).map(Ipv4Addr::from)
+    }
+    fn pred(self) -> Self {
+        Ipv4Addr::from(u32::from(self) - 1)
+    }
+}
+
+impl Step for MacAddr {
+    fn succ(self) -> Option<Self> {
+        let o = self.octets();
+        let v = u64::from_be_bytes([0, 0, o[0], o[1], o[2], o[3], o[4], o[5]]);
+        if v == 0xFFFF_FFFF_FFFF {
+            return None;
+        }
+        let b = (v + 1).to_be_bytes();
+        Some(MacAddr::new([b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+    fn pred(self) -> Self {
+        let o = self.octets();
+        let v = u64::from_be_bytes([0, 0, o[0], o[1], o[2], o[3], o[4], o[5]]) - 1;
+        let b = v.to_be_bytes();
+        MacAddr::new([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+/// Splits every interval-pinned cell along one dimension at the candidate
+/// pins' interval boundaries. Cells whose field is `Any`/`Is` pass through.
+fn split_dim<T: Step>(
+    cells: Vec<FlowCube>,
+    pins: &[(T, T)],
+    get: impl Fn(&FlowCube) -> Wild<T>,
+    set: impl Fn(&mut FlowCube, Wild<T>),
+) -> Vec<FlowCube> {
+    let mut out = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let Wild::In(lo, hi) = get(&cell) else {
+            out.push(cell);
+            continue;
+        };
+        // Cell starts: the cube's own low plus every candidate boundary
+        // falling strictly inside (a pin's low starts a new cell at itself;
+        // its high ends one, so the *next* value starts a cell).
+        let mut starts: BTreeSet<T> = BTreeSet::new();
+        starts.insert(lo);
+        for &(plo, phi) in pins {
+            if lo < plo && plo <= hi {
+                starts.insert(plo);
+            }
+            if let Some(next) = phi.succ() {
+                if lo < next && next <= hi {
+                    starts.insert(next);
+                }
+            }
+        }
+        let starts: Vec<T> = starts.into_iter().collect();
+        for (k, &s) in starts.iter().enumerate() {
+            let e = starts.get(k + 1).map_or(hi, |&n| n.pred());
+            let mut sub = cell.clone();
+            set(&mut sub, Wild::range(s, e));
+            out.push(sub);
+        }
+    }
+    out
+}
+
+/// Partitions `cube` into cells along its interval-pinned dimensions,
+/// cutting at the interval endpoints of `others`' pins on the same
+/// dimension (see module docs). The cells are disjoint, cover `cube`
+/// exactly, and are yielded in ascending dimension order — so the first
+/// cell's minimal flow equals `cube`'s own. Returns `vec![cube]` untouched
+/// when nothing is interval-pinned.
+pub(crate) fn refine<'a>(
+    cube: &FlowCube,
+    others: impl Iterator<Item = &'a PolicyRule>,
+) -> Vec<FlowCube> {
+    if !cube.has_interval() {
+        return vec![cube.clone()];
+    }
+    let others: Vec<&PolicyRule> = others.collect();
+    let mut cells = vec![cube.clone()];
+    macro_rules! dim {
+        ($field:ident . $sub:ident, $get:expr) => {
+            if matches!(cube.$field.$sub, Wild::In(..)) {
+                let pins: Vec<_> = others.iter().copied().filter_map($get).collect();
+                cells = split_dim(
+                    cells,
+                    &pins,
+                    |c: &FlowCube| c.$field.$sub,
+                    |c: &mut FlowCube, w| c.$field.$sub = w,
+                );
+            }
+        };
+    }
+    dim!(flow.ethertype, |r: &PolicyRule| r.flow.ethertype.bounds());
+    dim!(flow.ip_proto, |r: &PolicyRule| r.flow.ip_proto.bounds());
+    dim!(src.ip, |r: &PolicyRule| r.src.ip.bounds());
+    dim!(src.port, |r: &PolicyRule| r.src.port.bounds());
+    dim!(src.mac, |r: &PolicyRule| r.src.mac.bounds());
+    dim!(src.switch_port, |r: &PolicyRule| r.src.switch_port.bounds());
+    dim!(src.switch_dpid, |r: &PolicyRule| r.src.switch_dpid.bounds());
+    dim!(dst.ip, |r: &PolicyRule| r.dst.ip.bounds());
+    dim!(dst.port, |r: &PolicyRule| r.dst.port.bounds());
+    dim!(dst.mac, |r: &PolicyRule| r.dst.mac.bounds());
+    dim!(dst.switch_port, |r: &PolicyRule| r.dst.switch_port.bounds());
+    dim!(dst.switch_dpid, |r: &PolicyRule| r.dst.switch_dpid.bounds());
+    cells
 }
 
 #[cfg(test)]

@@ -1,0 +1,736 @@
+//! The incremental verification engine: a persistent diagnostic set kept
+//! in lockstep with a live [`PolicyManager`], re-analyzing only what each
+//! policy change can affect.
+//!
+//! # Why incrementality is sound
+//!
+//! Every per-rule pass in [`policy_passes`](crate::policy_passes) is a
+//! pure function of the live rule set, and its verdict *and rendered
+//! content* for a rule `X` depend only on rules whose match space
+//! intersects `X`'s:
+//!
+//! * Arbitration over `cube(X)`'s flows is unchanged by rules matching
+//!   none of them, so shadow/redundancy verdicts can only move when an
+//!   overlapping rule appears, disappears, or re-ranks.
+//! * The reported dominator *set* is the set of per-cell winners, each of
+//!   which matches a flow of `cube(X)` — again overlapping. The set is
+//!   invariant under refinement granularity (splitting a valid cell never
+//!   changes its subsumer set), so candidate-list churn from non-
+//!   overlapping rules cannot reword a surviving diagnostic.
+//! * A conflict diagnostic is a pure function of its two rules, so only
+//!   pairs involving the mutated rule change.
+//! * Reachability depends only on the rule itself and the (fixed)
+//!   identifier universe.
+//!
+//! Hence, for a delta on rule `R`, re-running the per-rule passes over
+//! `{R} ∪ {live rules overlapping R}` and the pair pass over `R`'s pairs
+//! reproduces full analysis exactly. The one global input is the fresh
+//! witness ethertype: if a mutation changes it, every witness could be
+//! reworded, and the engine falls back to a full re-pass (rare — it moves
+//! only when the first ethertype-pinning rule arrives or the last one
+//! leaves). `tests/proptest_delta.rs` machine-checks byte-equality against
+//! [`Analyzer`](crate::Analyzer) after every mutation of random sequences.
+//!
+//! # Finding lifecycle
+//!
+//! Findings are keyed by their *identity* — `(kind, owning rule ids)` —
+//! and numbered with stable [`FindingId`]s: a finding that persists across
+//! mutations keeps its id even if its wording shifts ([`Updated`]), and
+//! [`Cleared`] events carry the last content so subscribers (the dfi-bus
+//! bridge, the `watch` CLI) can retract by id.
+//!
+//! [`Updated`]: FindingEvent::Updated
+//! [`Cleared`]: FindingEvent::Cleared
+
+use crate::cube::{fresh_ethertype_outside, FlowCube};
+use crate::diag::{Diagnostic, DiagnosticKind};
+use crate::policy_passes::{
+    conflict_diag, rule_diags, sort_diagnostics, IdentifierUniverse, RuleStore,
+};
+use dfi_core::policy::{PolicyDelta, PolicyId, PolicyManager, StoredPolicy, WildName};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A stable identity for one finding across its raised → updated →
+/// cleared lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FindingId(pub u64);
+
+impl fmt::Display for FindingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// What happened to the persistent diagnostic set on one mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FindingEvent {
+    /// A finding that did not exist before.
+    Raised { id: FindingId, diag: Diagnostic },
+    /// The same finding (same identity, same id) with changed content —
+    /// e.g. a shadow whose dominator set moved.
+    Updated { id: FindingId, diag: Diagnostic },
+    /// The finding no longer holds; `diag` is its last known content.
+    Cleared { id: FindingId, diag: Diagnostic },
+}
+
+impl FindingEvent {
+    /// The finding's stable id.
+    pub fn id(&self) -> FindingId {
+        match self {
+            FindingEvent::Raised { id, .. }
+            | FindingEvent::Updated { id, .. }
+            | FindingEvent::Cleared { id, .. } => *id,
+        }
+    }
+
+    /// The finding's content (last known, for `Cleared`).
+    pub fn diag(&self) -> &Diagnostic {
+        match self {
+            FindingEvent::Raised { diag, .. }
+            | FindingEvent::Updated { diag, .. }
+            | FindingEvent::Cleared { diag, .. } => diag,
+        }
+    }
+
+    /// `true` for `Raised`/`Updated`, `false` for `Cleared`.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, FindingEvent::Cleared { .. })
+    }
+}
+
+/// A finding's identity: its kind plus the rule ids that *own* it (the
+/// shadowed/redundant/unreachable rule; both ends of a conflict pair).
+/// Dominators are content, not identity — a shadow whose dominator set
+/// changes is the same finding, updated.
+type DiagKey = (DiagnosticKind, Vec<PolicyId>);
+
+fn key_of(d: &Diagnostic) -> DiagKey {
+    match d.kind {
+        DiagnosticKind::AllowDenyConflict => (d.kind, d.rules.clone()),
+        _ => (d.kind, vec![d.rules[0]]),
+    }
+}
+
+/// The id-keyed twin of `policy_passes::OverlapIndex`: the same six
+/// identity buckets, but over `PolicyId`s in ordered sets so membership
+/// survives insertion and removal. Completeness argument is identical;
+/// the pass results are invariant under which complete bucket is chosen.
+#[derive(Default)]
+struct IdIndex {
+    names: [HashMap<String, BTreeSet<PolicyId>>; 4],
+    ips: [HashMap<Ipv4Addr, BTreeSet<PolicyId>>; 2],
+    any: [BTreeSet<PolicyId>; 6],
+    len: usize,
+}
+
+fn name_pin(w: &WildName) -> Option<String> {
+    match w {
+        WildName::Any => None,
+        WildName::Is(s) => Some(s.to_ascii_lowercase()),
+    }
+}
+
+impl IdIndex {
+    fn pins(sp: &StoredPolicy) -> ([Option<String>; 4], [Option<Ipv4Addr>; 2]) {
+        (
+            [
+                name_pin(&sp.rule.dst.username),
+                name_pin(&sp.rule.dst.hostname),
+                name_pin(&sp.rule.src.username),
+                name_pin(&sp.rule.src.hostname),
+            ],
+            [sp.rule.dst.ip.value(), sp.rule.src.ip.value()],
+        )
+    }
+
+    fn insert(&mut self, sp: &StoredPolicy) {
+        let (names, ips) = IdIndex::pins(sp);
+        for (f, pin) in names.into_iter().enumerate() {
+            match pin {
+                Some(v) => {
+                    self.names[f].entry(v).or_default().insert(sp.id);
+                }
+                None => {
+                    self.any[f].insert(sp.id);
+                }
+            }
+        }
+        for (k, pin) in ips.into_iter().enumerate() {
+            match pin {
+                Some(v) => {
+                    self.ips[k].entry(v).or_default().insert(sp.id);
+                }
+                None => {
+                    self.any[4 + k].insert(sp.id);
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    fn remove(&mut self, sp: &StoredPolicy) {
+        let (names, ips) = IdIndex::pins(sp);
+        for (f, pin) in names.into_iter().enumerate() {
+            match pin {
+                Some(v) => {
+                    if let Some(b) = self.names[f].get_mut(&v) {
+                        b.remove(&sp.id);
+                        if b.is_empty() {
+                            self.names[f].remove(&v);
+                        }
+                    }
+                }
+                None => {
+                    self.any[f].remove(&sp.id);
+                }
+            }
+        }
+        for (k, pin) in ips.into_iter().enumerate() {
+            match pin {
+                Some(v) => {
+                    if let Some(b) = self.ips[k].get_mut(&v) {
+                        b.remove(&sp.id);
+                        if b.is_empty() {
+                            self.ips[k].remove(&v);
+                        }
+                    }
+                }
+                None => {
+                    self.any[4 + k].remove(&sp.id);
+                }
+            }
+        }
+        self.len -= 1;
+    }
+
+    /// Complete candidate set for `cube` (smallest `bucket ∪ any` over its
+    /// pinned identity fields; everything when it pins none). Ascending.
+    fn candidates(&self, cube: &FlowCube) -> Vec<PolicyId> {
+        static EMPTY: BTreeSet<PolicyId> = BTreeSet::new();
+        let name_pins = [
+            name_pin(&cube.dst.username),
+            name_pin(&cube.dst.hostname),
+            name_pin(&cube.src.username),
+            name_pin(&cube.src.hostname),
+        ];
+        let ip_pins = [cube.dst.ip.value(), cube.src.ip.value()];
+        let mut best: Option<(usize, &BTreeSet<PolicyId>, usize)> = None;
+        for (f, pin) in name_pins.iter().enumerate() {
+            if let Some(v) = pin {
+                let bucket = self.names[f].get(v).unwrap_or(&EMPTY);
+                let total = bucket.len() + self.any[f].len();
+                if best.is_none_or(|(t, _, _)| total < t) {
+                    best = Some((total, bucket, f));
+                }
+            }
+        }
+        for (k, pin) in ip_pins.iter().enumerate() {
+            if let Some(v) = pin {
+                let bucket = self.ips[k].get(v).unwrap_or(&EMPTY);
+                let total = bucket.len() + self.any[4 + k].len();
+                if best.is_none_or(|(t, _, _)| total < t) {
+                    best = Some((total, bucket, 4 + k));
+                }
+            }
+        }
+        match best {
+            Some((_, bucket, f)) => {
+                let mut out: Vec<PolicyId> = bucket.iter().chain(&self.any[f]).copied().collect();
+                out.sort_unstable();
+                out
+            }
+            None => {
+                // Every rule is filed exactly once under field 0 (in its
+                // bucket or the any-list), so field 0 enumerates all rules.
+                let mut out: Vec<PolicyId> = Vec::with_capacity(self.len);
+                out.extend(self.any[0].iter().copied());
+                for b in self.names[0].values() {
+                    out.extend(b.iter().copied());
+                }
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+}
+
+/// The incremental verifier (see module docs).
+pub struct DeltaAnalyzer {
+    rules: BTreeMap<PolicyId, StoredPolicy>,
+    index: IdIndex,
+    /// Refcounted ethertype pin intervals, for O(pins) fresh-ethertype
+    /// recomputation instead of an O(rules) walk.
+    ether_pins: BTreeMap<(u16, u16), usize>,
+    fresh: u16,
+    universe: Option<IdentifierUniverse>,
+    diags: BTreeMap<DiagKey, (FindingId, Diagnostic)>,
+    next_finding: u64,
+}
+
+impl RuleStore for DeltaAnalyzer {
+    fn rule(&self, id: PolicyId) -> Option<&StoredPolicy> {
+        self.rules.get(&id)
+    }
+
+    fn candidate_ids(&self, cube: &FlowCube) -> Vec<PolicyId> {
+        self.index.candidates(cube)
+    }
+
+    fn fresh_ethertype(&self) -> u16 {
+        self.fresh
+    }
+}
+
+impl DeltaAnalyzer {
+    /// An empty engine. Reachability findings are produced only when a
+    /// universe is supplied (mirroring `Analyzer::analyze`'s parameter).
+    pub fn new(universe: Option<IdentifierUniverse>) -> DeltaAnalyzer {
+        DeltaAnalyzer {
+            rules: BTreeMap::new(),
+            index: IdIndex::default(),
+            ether_pins: BTreeMap::new(),
+            fresh: fresh_ethertype_outside([]),
+            universe,
+            diags: BTreeMap::new(),
+            next_finding: 1,
+        }
+    }
+
+    /// Builds an engine over a live manager's current rule set, enabling
+    /// the manager's delta journal so subsequent [`DeltaAnalyzer::sync`]
+    /// calls see every mutation. The initial findings are reported as
+    /// `Raised` events.
+    pub fn from_pm(
+        pm: &mut PolicyManager,
+        universe: Option<IdentifierUniverse>,
+    ) -> (DeltaAnalyzer, Vec<FindingEvent>) {
+        pm.enable_delta_journal();
+        pm.take_deltas(); // the snapshot below already reflects these
+        let mut da = DeltaAnalyzer::new(universe);
+        let mut events = Vec::new();
+        for sp in pm.snapshot() {
+            events.extend(da.apply(&PolicyDelta::Inserted(sp)));
+        }
+        (da, events)
+    }
+
+    /// Applies every journaled mutation since the last call.
+    pub fn sync(&mut self, pm: &mut PolicyManager) -> Vec<FindingEvent> {
+        let mut events = Vec::new();
+        for delta in pm.take_deltas() {
+            events.extend(self.apply(&delta));
+        }
+        events
+    }
+
+    /// Applies one mutation and returns the finding lifecycle events it
+    /// caused. The diagnostic set afterwards is byte-identical to a
+    /// from-scratch [`Analyzer::analyze`](crate::Analyzer::analyze) of the
+    /// mutated rule set.
+    pub fn apply(&mut self, delta: &PolicyDelta) -> Vec<FindingEvent> {
+        let mut events = Vec::new();
+        let subject: &StoredPolicy = match delta {
+            PolicyDelta::Inserted(sp) | PolicyDelta::Revoked(sp) => sp,
+            PolicyDelta::ReRanked { policy, .. } => policy,
+        };
+        let cube = FlowCube::of(&subject.rule);
+
+        // Mutate the store, the index, and the ethertype pin multiset.
+        let old_fresh = self.fresh;
+        match delta {
+            PolicyDelta::Inserted(sp) => {
+                self.index.insert(sp);
+                self.rules.insert(sp.id, sp.clone());
+                if let Some(pin) = sp.rule.flow.ethertype.bounds() {
+                    *self.ether_pins.entry(pin).or_insert(0) += 1;
+                }
+            }
+            PolicyDelta::Revoked(sp) => {
+                self.index.remove(sp);
+                self.rules.remove(&sp.id);
+                if let Some(pin) = sp.rule.flow.ethertype.bounds() {
+                    if let Some(n) = self.ether_pins.get_mut(&pin) {
+                        *n -= 1;
+                        if *n == 0 {
+                            self.ether_pins.remove(&pin);
+                        }
+                    }
+                }
+            }
+            PolicyDelta::ReRanked { policy, .. } => {
+                if let Some(sp) = self.rules.get_mut(&policy.id) {
+                    sp.priority = policy.priority;
+                }
+            }
+        }
+        self.fresh = fresh_ethertype_outside(self.ether_pins.keys().copied());
+
+        if self.fresh != old_fresh {
+            // Every witness in every finding may be reworded: full re-pass.
+            self.refresh_all(&mut events);
+            return events;
+        }
+
+        // Rules whose per-rule verdicts the delta can affect: the subject
+        // plus every live rule overlapping it (a complete candidate lookup
+        // filtered down to true overlaps).
+        let mut touched: BTreeSet<PolicyId> = self
+            .index
+            .candidates(&cube)
+            .into_iter()
+            .filter(|&x| {
+                self.rules
+                    .get(&x)
+                    .is_some_and(|other| cube.intersect(&FlowCube::of(&other.rule)).is_some())
+            })
+            .collect();
+        match delta {
+            PolicyDelta::Revoked(_) => {
+                touched.remove(&subject.id);
+                self.clear_owned_by(subject.id, &mut events);
+            }
+            _ => {
+                touched.insert(subject.id);
+            }
+        }
+        self.refresh_rules(&touched, &mut events);
+        self.refresh_pairs_of(subject.id, &mut events);
+        events
+    }
+
+    /// The current findings with their stable ids, in identity-key order.
+    pub fn findings(&self) -> impl Iterator<Item = (FindingId, &Diagnostic)> {
+        self.diags.values().map(|(fid, d)| (*fid, d))
+    }
+
+    /// The current diagnostic set, sorted exactly as
+    /// [`Analyzer::analyze`](crate::Analyzer::analyze) sorts — the two are
+    /// byte-identical for the same rule set and universe.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out: Vec<Diagnostic> = self.diags.values().map(|(_, d)| d.clone()).collect();
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    /// Number of live findings.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// `true` when no finding is live.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of live rules tracked.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    fn put(&mut self, diag: Diagnostic, events: &mut Vec<FindingEvent>) {
+        let key = key_of(&diag);
+        match self.diags.get_mut(&key) {
+            Some((_, old)) if *old == diag => {}
+            Some((fid, old)) => {
+                *old = diag.clone();
+                events.push(FindingEvent::Updated { id: *fid, diag });
+            }
+            None => {
+                let fid = FindingId(self.next_finding);
+                self.next_finding += 1;
+                self.diags.insert(key, (fid, diag.clone()));
+                events.push(FindingEvent::Raised { id: fid, diag });
+            }
+        }
+    }
+
+    fn drop_key(&mut self, key: &DiagKey, events: &mut Vec<FindingEvent>) {
+        if let Some((fid, diag)) = self.diags.remove(key) {
+            events.push(FindingEvent::Cleared { id: fid, diag });
+        }
+    }
+
+    /// Re-runs the per-rule passes for each id, upserting or clearing the
+    /// three per-rule finding identities.
+    fn refresh_rules(&mut self, ids: &BTreeSet<PolicyId>, events: &mut Vec<FindingEvent>) {
+        const PER_RULE: [DiagnosticKind; 3] = [
+            DiagnosticKind::ShadowedRule,
+            DiagnosticKind::RedundantRule,
+            DiagnosticKind::UnreachablePattern,
+        ];
+        for &id in ids {
+            let fresh = rule_diags(self, id, self.universe.as_ref());
+            for kind in PER_RULE {
+                match fresh.iter().find(|d| d.kind == kind) {
+                    Some(d) => self.put(d.clone(), events),
+                    None => self.drop_key(&(kind, vec![id]), events),
+                }
+            }
+        }
+    }
+
+    /// Re-runs the pair pass for every pair involving `id`.
+    fn refresh_pairs_of(&mut self, id: PolicyId, events: &mut Vec<FindingEvent>) {
+        let mut live_pairs: BTreeSet<Vec<PolicyId>> = BTreeSet::new();
+        if let Some(sp) = self.rules.get(&id) {
+            let cube = FlowCube::of(&sp.rule);
+            for other in self.index.candidates(&cube) {
+                if other == id {
+                    continue;
+                }
+                if let Some(d) = conflict_diag(self, id, other) {
+                    live_pairs.insert(key_of(&d).1);
+                    self.put(d, events);
+                }
+            }
+        }
+        // Clear conflicts that involved `id` but no longer hold.
+        let stale: Vec<DiagKey> = self
+            .diags
+            .keys()
+            .filter(|(kind, rules)| {
+                *kind == DiagnosticKind::AllowDenyConflict
+                    && rules.contains(&id)
+                    && !live_pairs.contains(rules)
+            })
+            .cloned()
+            .collect();
+        for key in stale {
+            self.drop_key(&key, events);
+        }
+    }
+
+    /// Clears every finding owned by a revoked rule (its per-rule
+    /// identities; its conflict pairs are handled by `refresh_pairs_of`).
+    fn clear_owned_by(&mut self, id: PolicyId, events: &mut Vec<FindingEvent>) {
+        for kind in [
+            DiagnosticKind::ShadowedRule,
+            DiagnosticKind::RedundantRule,
+            DiagnosticKind::UnreachablePattern,
+        ] {
+            self.drop_key(&(kind, vec![id]), events);
+        }
+    }
+
+    /// Full re-pass: recomputes every per-rule and pair finding and diffs
+    /// against the persistent set (stable ids survive).
+    fn refresh_all(&mut self, events: &mut Vec<FindingEvent>) {
+        let ids: BTreeSet<PolicyId> = self.rules.keys().copied().collect();
+        let mut live_keys: BTreeSet<DiagKey> = BTreeSet::new();
+        for &id in &ids {
+            let fresh = rule_diags(self, id, self.universe.as_ref());
+            for d in fresh {
+                live_keys.insert(key_of(&d));
+                self.put(d, events);
+            }
+            let Some(sp) = self.rules.get(&id) else {
+                continue;
+            };
+            let cube = FlowCube::of(&sp.rule);
+            for other in self.index.candidates(&cube) {
+                if other <= id {
+                    continue;
+                }
+                if let Some(d) = conflict_diag(self, id, other) {
+                    live_keys.insert(key_of(&d));
+                    self.put(d, events);
+                }
+            }
+        }
+        let stale: Vec<DiagKey> = self
+            .diags
+            .keys()
+            .filter(|k| !live_keys.contains(*k))
+            .cloned()
+            .collect();
+        for key in stale {
+            self.drop_key(&key, events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy_passes::Analyzer;
+    use dfi_core::policy::{EndpointPattern, PolicyRule};
+
+    fn assert_matches_full(da: &DeltaAnalyzer, pm: &PolicyManager, u: Option<&IdentifierUniverse>) {
+        let full = Analyzer::from_pm(pm).analyze(u);
+        assert_eq!(da.diagnostics(), full);
+    }
+
+    #[test]
+    fn raised_then_cleared_lifecycle_keeps_the_id() {
+        let mut pm = PolicyManager::new();
+        pm.enable_delta_journal();
+        let (da, seed_events) = {
+            let (da, ev) = DeltaAnalyzer::from_pm(&mut pm, None);
+            (da, ev)
+        };
+        assert!(seed_events.is_empty());
+        assert!(da.is_empty());
+        let mut da = da;
+
+        // A broad allow, then a narrower same-action allow at lower
+        // priority: the second is shadowed.
+        let (broad, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            50,
+            "pdp",
+        );
+        let (narrow, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            10,
+            "pdp",
+        );
+        let events = da.sync(&mut pm);
+        let shadow = events
+            .iter()
+            .find(|e| e.diag().kind == DiagnosticKind::ShadowedRule)
+            .expect("shadow raised");
+        assert!(matches!(shadow, FindingEvent::Raised { .. }));
+        assert_eq!(shadow.diag().rules, vec![narrow, broad]);
+        let shadow_id = shadow.id();
+        assert_matches_full(&da, &pm, None);
+
+        // Revoking the dominator clears the shadow under the same id.
+        pm.revoke(broad);
+        let events = da.sync(&mut pm);
+        let cleared = events
+            .iter()
+            .find(|e| e.diag().kind == DiagnosticKind::ShadowedRule)
+            .expect("shadow cleared");
+        assert!(matches!(cleared, FindingEvent::Cleared { .. }));
+        assert_eq!(cleared.id(), shadow_id);
+        assert_matches_full(&da, &pm, None);
+    }
+
+    #[test]
+    fn re_rank_updates_conflict_content_in_place() {
+        let mut pm = PolicyManager::new();
+        let (mut da, _) = DeltaAnalyzer::from_pm(&mut pm, None);
+        let (allow, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            10,
+            "pdp",
+        );
+        let (deny, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::user("alice"), EndpointPattern::any()),
+            50,
+            "pdp",
+        );
+        let events = da.sync(&mut pm);
+        let conflict = events
+            .iter()
+            .find(|e| e.diag().kind == DiagnosticKind::AllowDenyConflict)
+            .expect("conflict raised");
+        let conflict_id = conflict.id();
+        assert_matches_full(&da, &pm, None);
+
+        // Re-ranking the deny below the allow changes who wins the
+        // intersection: same finding id, new content.
+        pm.re_rank(deny, 5).expect("known id");
+        let events = da.sync(&mut pm);
+        let updated = events
+            .iter()
+            .find(|e| e.diag().kind == DiagnosticKind::AllowDenyConflict)
+            .expect("conflict updated");
+        assert!(
+            matches!(updated, FindingEvent::Updated { .. }),
+            "{updated:?}"
+        );
+        assert_eq!(updated.id(), conflict_id);
+        assert!(updated
+            .diag()
+            .message
+            .contains(&format!("Allow rule {} wins the intersection", allow.0)));
+        assert_matches_full(&da, &pm, None);
+    }
+
+    #[test]
+    fn unreachable_findings_follow_the_universe() {
+        let mut universe = IdentifierUniverse::new();
+        universe.add_user("alice");
+        let mut pm = PolicyManager::new();
+        let (mut da, _) = DeltaAnalyzer::from_pm(&mut pm, Some(universe.clone()));
+        let (ghost, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("ghost"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        let events = da.sync(&mut pm);
+        assert!(events.iter().any(|e| {
+            matches!(e, FindingEvent::Raised { .. })
+                && e.diag().kind == DiagnosticKind::UnreachablePattern
+                && e.diag().rules == vec![ghost]
+        }));
+        assert_matches_full(&da, &pm, Some(&universe));
+        pm.revoke(ghost);
+        let events = da.sync(&mut pm);
+        assert!(events
+            .iter()
+            .any(|e| !e.is_active() && e.diag().kind == DiagnosticKind::UnreachablePattern));
+        assert_matches_full(&da, &pm, Some(&universe));
+    }
+
+    #[test]
+    fn fresh_ethertype_shift_triggers_consistent_full_repass() {
+        let mut pm = PolicyManager::new();
+        let (mut da, _) = DeltaAnalyzer::from_pm(&mut pm, None);
+        // Two overlapping allows with no ethertype pin: witnesses carry
+        // the default fresh ethertype.
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::user("bob")),
+            50,
+            "pdp",
+        );
+        da.sync(&mut pm);
+        assert_matches_full(&da, &pm, None);
+        // An IP-pinning rule moves the fresh ethertype for *every*
+        // witness; the engine must still match full analysis exactly.
+        let mut tcp = PolicyRule::deny(EndpointPattern::user("carol"), EndpointPattern::any());
+        tcp.flow = dfi_core::policy::FlowProperties::tcp();
+        let (tcp_id, _) = pm.insert(tcp, 20, "pdp");
+        da.sync(&mut pm);
+        assert_matches_full(&da, &pm, None);
+        pm.revoke(tcp_id);
+        da.sync(&mut pm);
+        assert_matches_full(&da, &pm, None);
+    }
+
+    #[test]
+    fn finding_ids_are_unique_and_monotonic() {
+        let mut pm = PolicyManager::new();
+        let (mut da, _) = DeltaAnalyzer::from_pm(&mut pm, None);
+        for i in 0..6u32 {
+            let user = format!("u{i}");
+            pm.insert(
+                PolicyRule::allow(EndpointPattern::user(&user), EndpointPattern::any()),
+                50,
+                "pdp",
+            );
+            pm.insert(
+                PolicyRule::allow(EndpointPattern::user(&user), EndpointPattern::user("x")),
+                10,
+                "pdp",
+            );
+        }
+        let events = da.sync(&mut pm);
+        let mut seen = BTreeSet::new();
+        for e in &events {
+            if matches!(e, FindingEvent::Raised { .. }) {
+                assert!(seen.insert(e.id()), "duplicate finding id {}", e.id());
+            }
+        }
+        assert_eq!(da.len(), seen.len());
+        assert_matches_full(&da, &pm, None);
+    }
+}

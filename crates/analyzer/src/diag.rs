@@ -58,6 +58,14 @@ pub enum DiagnosticKind {
     /// A Table-0 flow rule does not have the exact-match shape DFI
     /// compiles, so it cannot be replayed against policy.
     NonCanonicalRule,
+    /// A cookie's flow rules survive on some switches but were flushed
+    /// from others — a revocation reached only part of the network, so
+    /// revoked traffic still forwards on the switches that kept them.
+    PartialFlush,
+    /// The same canonical flow is allowed on one switch and dropped on
+    /// another: a multi-hop path forwards at one hop and blackholes at the
+    /// next.
+    SplitBrainPath,
 }
 
 impl fmt::Display for DiagnosticKind {
@@ -71,6 +79,8 @@ impl fmt::Display for DiagnosticKind {
             DiagnosticKind::StaleRule => "stale-rule",
             DiagnosticKind::CookieMismatch => "cookie-mismatch",
             DiagnosticKind::NonCanonicalRule => "non-canonical-rule",
+            DiagnosticKind::PartialFlush => "partial-flush",
+            DiagnosticKind::SplitBrainPath => "split-brain-path",
         };
         f.write_str(s)
     }
@@ -90,8 +100,10 @@ pub struct Diagnostic {
     /// the shadowed rule matches but loses, a flow in a conflicting pair's
     /// intersection, the replayed flow of a stale Table-0 rule.
     pub witness: Option<FlowView>,
-    /// Switch datapath id, for cross-layer (Table-0) findings.
-    pub dpid: Option<u64>,
+    /// Switch datapath ids, for cross-layer (Table-0) findings; one entry
+    /// for single-switch audits, several for network-wide correlations
+    /// (ascending), empty for pure policy-layer findings.
+    pub dpids: Vec<u64>,
     /// Human-readable explanation.
     pub message: String,
 }
@@ -99,8 +111,13 @@ pub struct Diagnostic {
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[{}]", self.severity, self.kind)?;
-        if let Some(dpid) = self.dpid {
-            write!(f, " dpid={dpid:#x}")?;
+        match self.dpids.as_slice() {
+            [] => {}
+            [dpid] => write!(f, " dpid={dpid:#x}")?,
+            many => {
+                let ids: Vec<String> = many.iter().map(|d| format!("{d:#x}")).collect();
+                write!(f, " dpids=[{}]", ids.join(","))?;
+            }
         }
         if !self.rules.is_empty() {
             let ids: Vec<String> = self.rules.iter().map(|r| r.0.to_string()).collect();
@@ -112,6 +129,52 @@ impl fmt::Display for Diagnostic {
         }
         Ok(())
     }
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as one self-contained JSON object (no
+    /// serialization crate in the workspace, so this is hand-rolled; every
+    /// string passes through [`json_string`]).
+    pub fn to_json(&self) -> String {
+        let rules: Vec<String> = self.rules.iter().map(|r| r.0.to_string()).collect();
+        let dpids: Vec<String> = self
+            .dpids
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let witness = match &self.witness {
+            Some(w) => json_string(&witness_summary(w)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"severity\":{},\"kind\":{},\"rules\":[{}],\"dpids\":[{}],\"witness\":{},\"message\":{}}}",
+            json_string(&self.severity.to_string()),
+            json_string(&self.kind.to_string()),
+            rules.join(","),
+            dpids.join(","),
+            witness,
+            json_string(&self.message),
+        )
+    }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// A one-line rendering of a witness flow, compact enough for terminals.
@@ -169,13 +232,47 @@ mod tests {
                 },
                 dst: EndpointView::default(),
             }),
-            dpid: None,
+            dpids: vec![],
             message: "rule 7 never wins; rule 3 dominates it".into(),
         };
         let s = d.to_string();
         assert!(s.contains("warning[shadowed-rule]"), "{s}");
         assert!(s.contains("rules=[7,3]"), "{s}");
         assert!(s.contains("user=alice"), "{s}");
+    }
+
+    #[test]
+    fn multi_dpid_findings_render_every_switch() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            kind: DiagnosticKind::PartialFlush,
+            rules: vec![PolicyId(9)],
+            witness: None,
+            dpids: vec![0x1, 0x3],
+            message: "cookie 9 survives on 2 of 14 switches".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("error[partial-flush]"), "{s}");
+        assert!(s.contains("dpids=[0x1,0x3]"), "{s}");
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_escaped() {
+        let d = Diagnostic {
+            severity: Severity::Warning,
+            kind: DiagnosticKind::ShadowedRule,
+            rules: vec![PolicyId(7), PolicyId(3)],
+            witness: None,
+            dpids: vec![2],
+            message: "quote \" backslash \\ newline \n tab \t done".into(),
+        };
+        let j = d.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"kind\":\"shadowed-rule\""), "{j}");
+        assert!(j.contains("\"rules\":[7,3]"), "{j}");
+        assert!(j.contains("\"dpids\":[2]"), "{j}");
+        assert!(j.contains("\\\" backslash \\\\ newline \\n tab \\t"), "{j}");
+        assert!(j.contains("\"witness\":null"), "{j}");
     }
 
     #[test]

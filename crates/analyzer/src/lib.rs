@@ -28,12 +28,18 @@
 //! runner-up enumeration) live in the [`cube`] and [`policy_passes`]
 //! module docs.
 
+pub mod bus;
 pub mod corpus;
 pub mod cube;
+pub mod delta;
 pub mod diag;
+pub mod network;
 pub mod policy_passes;
 pub mod table0;
 
+pub use bus::{publish_audit, publish_finding_events};
+pub use delta::{DeltaAnalyzer, FindingEvent, FindingId};
 pub use diag::{Diagnostic, DiagnosticKind, Severity};
+pub use network::capture_network;
 pub use policy_passes::{sort_diagnostics, Analyzer, IdentifierUniverse};
 pub use table0::{TableZeroRule, TableZeroSnapshot};

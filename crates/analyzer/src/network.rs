@@ -1,0 +1,328 @@
+//! Network-wide audits: every switch's Table 0, captured together and
+//! *correlated*.
+//!
+//! Per-switch checks ([`Analyzer::check_table0`]) see each snapshot in
+//! isolation. Two defect classes only become visible when snapshots are
+//! compared across switches:
+//!
+//! * **Partial flush** — a cookie that names no live policy survives on a
+//!   *nonempty proper subset* of the network's switches. A revocation
+//!   flush reached the rest of the network and missed these; revoked
+//!   traffic still forwards wherever the rule survived. (A cookie orphaned
+//!   on *every* switch is a wholly missed flush; the per-switch orphan
+//!   errors already tell that story, so no correlation is added.)
+//! * **Split-brain path** — the same canonical flow (the exact-match
+//!   tuple, ignoring the per-hop ingress port) is cached *allow* on one
+//!   switch and *deny* on another. A multi-hop path forwards at one hop
+//!   and blackholes at the next. Location-pinned policies can make
+//!   per-hop verdicts legitimately differ; deployments using location
+//!   pins should treat this finding as a prompt to replay the flow, not
+//!   as ground truth.
+//!
+//! Both correlations are controller-oblivious in the paper's sense: they
+//! need only the data-plane state and the policy database, not any
+//! forwarding-app cooperation.
+
+use crate::diag::{Diagnostic, DiagnosticKind, Severity};
+use crate::policy_passes::{sort_diagnostics, Analyzer};
+use crate::table0::{TableZeroRule, TableZeroSnapshot};
+use dfi_core::erm::EntityResolver;
+use dfi_core::policy::{PolicyId, DEFAULT_DENY_ID};
+use dfi_dataplane::Network;
+use dfi_openflow::Match;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Captures every switch's Table 0 in creation order.
+pub fn capture_network(network: &Network) -> Vec<TableZeroSnapshot> {
+    network
+        .switches()
+        .iter()
+        .map(TableZeroSnapshot::capture)
+        .collect()
+}
+
+/// The canonical flow identity of a Table-0 rule: its exact-match tuple
+/// with the ingress port erased, since the same flow enters each hop on a
+/// different port.
+fn path_key(rule: &TableZeroRule) -> Match {
+    Match {
+        in_port: None,
+        ..rule.mat.clone()
+    }
+}
+
+impl Analyzer {
+    /// **Network-wide audit**: runs [`Analyzer::check_table0`] on every
+    /// snapshot, then adds the cross-switch correlations (module docs).
+    /// Findings come back sorted; an empty vec means every switch agrees
+    /// with current policy and with every other switch.
+    pub fn check_snapshots(
+        &self,
+        snaps: &[TableZeroSnapshot],
+        erm: &mut EntityResolver,
+    ) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for snap in snaps {
+            out.extend(self.check_table0(snap, erm));
+        }
+        out.extend(self.correlate_partial_flush(snaps));
+        out.extend(self.correlate_split_brain(snaps, erm));
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    /// [`Analyzer::check_snapshots`] over a live network.
+    pub fn check_network(&self, network: &Network, erm: &mut EntityResolver) -> Vec<Diagnostic> {
+        self.check_snapshots(&capture_network(network), erm)
+    }
+
+    fn correlate_partial_flush(&self, snaps: &[TableZeroSnapshot]) -> Vec<Diagnostic> {
+        // dpid sets per orphaned cookie; BTreeMap for deterministic order.
+        let mut survivors: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for snap in snaps {
+            for rule in &snap.rules {
+                let id = PolicyId(rule.cookie);
+                if id == DEFAULT_DENY_ID || self.rule_is_live(id) {
+                    continue;
+                }
+                survivors.entry(rule.cookie).or_default().insert(snap.dpid);
+            }
+        }
+        let mut out = Vec::new();
+        for (cookie, dpids) in survivors {
+            if dpids.is_empty() || dpids.len() >= snaps.len() {
+                continue; // nowhere, or everywhere (a wholly missed flush)
+            }
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                kind: DiagnosticKind::PartialFlush,
+                rules: vec![PolicyId(cookie)],
+                witness: None,
+                dpids: dpids.iter().copied().collect(),
+                message: format!(
+                    "cookie {} names no live policy yet its rules survive on {} of {} \
+                     switches; a revocation flush reached the rest of the network but \
+                     missed these",
+                    cookie,
+                    dpids.len(),
+                    snaps.len()
+                ),
+            });
+        }
+        out
+    }
+
+    fn correlate_split_brain(
+        &self,
+        snaps: &[TableZeroSnapshot],
+        erm: &mut EntityResolver,
+    ) -> Vec<Diagnostic> {
+        // (allow dpids+cookies, deny dpids+cookies) per canonical flow.
+        type Side = (BTreeSet<u64>, BTreeSet<u64>); // (dpids, cookies)
+        let mut flows: HashMap<Match, (Side, Side)> = HashMap::new();
+        let mut sample: HashMap<Match, (u64, TableZeroRule)> = HashMap::new();
+        for snap in snaps {
+            for rule in &snap.rules {
+                let key = path_key(rule);
+                let entry = flows.entry(key.clone()).or_default();
+                let side = if rule.allow {
+                    &mut entry.0
+                } else {
+                    &mut entry.1
+                };
+                side.0.insert(snap.dpid);
+                side.1.insert(rule.cookie);
+                sample
+                    .entry(key)
+                    .or_insert_with(|| (snap.dpid, rule.clone()));
+            }
+        }
+        let mut out = Vec::new();
+        for (key, ((allow_dpids, allow_cookies), (deny_dpids, deny_cookies))) in flows {
+            // Split-brain needs both verdicts, on at least two *different*
+            // switches (divergence on one switch across ingress ports is a
+            // location-dependent verdict, not a path inconsistency).
+            if allow_dpids.is_empty()
+                || deny_dpids.is_empty()
+                || allow_dpids.union(&deny_dpids).count() < 2
+                || allow_dpids == deny_dpids
+            {
+                continue;
+            }
+            let witness = sample
+                .get(&key)
+                .and_then(|(dpid, rule)| self.replay_table0_flow(*dpid, rule, erm));
+            let mut rules: BTreeSet<PolicyId> = BTreeSet::new();
+            rules.extend(allow_cookies.iter().map(|&c| PolicyId(c)));
+            rules.extend(deny_cookies.iter().map(|&c| PolicyId(c)));
+            let fmt_dpids = |s: &BTreeSet<u64>| {
+                let v: Vec<String> = s.iter().map(|d| format!("{d:#x}")).collect();
+                v.join(",")
+            };
+            out.push(Diagnostic {
+                severity: Severity::Error,
+                kind: DiagnosticKind::SplitBrainPath,
+                rules: rules.into_iter().collect(),
+                witness,
+                dpids: allow_dpids.union(&deny_dpids).copied().collect(),
+                message: format!(
+                    "the same canonical flow is cached allow on switch(es) [{}] but deny \
+                     on [{}]; a multi-hop path forwards at one hop and blackholes at the \
+                     next",
+                    fmt_dpids(&allow_dpids),
+                    fmt_dpids(&deny_dpids)
+                ),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_core::policy::{EndpointPattern, PolicyManager, PolicyRule};
+    use dfi_packet::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn exact_match(in_port: u32, src_i: u32, dst_i: u32) -> Match {
+        Match {
+            in_port: Some(in_port),
+            eth_src: Some(MacAddr::from_index(src_i)),
+            eth_dst: Some(MacAddr::from_index(dst_i)),
+            eth_type: Some(0x0800),
+            ip_proto: Some(6),
+            ipv4_src: Some(Ipv4Addr::new(10, 0, 0, src_i as u8)),
+            ipv4_dst: Some(Ipv4Addr::new(10, 0, 0, dst_i as u8)),
+            tcp_src: Some(50_000),
+            tcp_dst: Some(445),
+            ..Match::default()
+        }
+    }
+
+    fn rule(cookie: u64, mat: Match, allow: bool) -> TableZeroRule {
+        TableZeroRule {
+            cookie,
+            priority: 100,
+            mat,
+            allow,
+        }
+    }
+
+    fn snap(dpid: u64, rules: Vec<TableZeroRule>) -> TableZeroSnapshot {
+        TableZeroSnapshot { dpid, rules }
+    }
+
+    fn analyzer_with_allow() -> (Analyzer, PolicyId) {
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::any(), EndpointPattern::any()),
+            10,
+            "pdp",
+        );
+        (Analyzer::from_pm(&pm), id)
+    }
+
+    #[test]
+    fn orphan_on_proper_subset_is_a_partial_flush() {
+        let (az, id) = analyzer_with_allow();
+        let mut erm = EntityResolver::new();
+        // Cookie 99 is dead; switches 1 and 3 kept it, switch 2 flushed.
+        let snaps = vec![
+            snap(1, vec![rule(99, exact_match(1, 1, 2), true)]),
+            snap(2, vec![rule(id.0, exact_match(7, 1, 2), true)]),
+            snap(3, vec![rule(99, exact_match(9, 1, 2), true)]),
+        ];
+        let diags = az.check_snapshots(&snaps, &mut erm);
+        let pf: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::PartialFlush)
+            .collect();
+        assert_eq!(pf.len(), 1);
+        assert_eq!(pf[0].severity, Severity::Error);
+        assert_eq!(pf[0].rules, vec![PolicyId(99)]);
+        assert_eq!(pf[0].dpids, vec![1, 3]);
+        // The per-switch orphan errors are still present alongside.
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.kind == DiagnosticKind::OrphanCookie)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn orphan_everywhere_is_not_partial() {
+        let (az, _) = analyzer_with_allow();
+        let mut erm = EntityResolver::new();
+        let snaps = vec![
+            snap(1, vec![rule(99, exact_match(1, 1, 2), true)]),
+            snap(2, vec![rule(99, exact_match(7, 1, 2), true)]),
+        ];
+        let diags = az.check_snapshots(&snaps, &mut erm);
+        assert!(diags.iter().all(|d| d.kind != DiagnosticKind::PartialFlush));
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.kind == DiagnosticKind::OrphanCookie)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn allow_and_deny_hops_are_a_split_brain() {
+        let (az, id) = analyzer_with_allow();
+        let mut erm = EntityResolver::new();
+        // Same flow (different ingress ports) allowed at switch 1, denied
+        // at switch 2.
+        let snaps = vec![
+            snap(1, vec![rule(id.0, exact_match(1, 1, 2), true)]),
+            snap(2, vec![rule(0, exact_match(4, 1, 2), false)]),
+        ];
+        let diags = az.check_snapshots(&snaps, &mut erm);
+        let sb: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::SplitBrainPath)
+            .collect();
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb[0].severity, Severity::Error);
+        assert_eq!(sb[0].dpids, vec![1, 2]);
+        assert!(sb[0].rules.contains(&PolicyId(0)));
+        assert!(sb[0].rules.contains(&id));
+    }
+
+    #[test]
+    fn consistent_verdicts_across_hops_are_clean() {
+        let (az, id) = analyzer_with_allow();
+        let mut erm = EntityResolver::new();
+        let snaps = vec![
+            snap(1, vec![rule(id.0, exact_match(1, 1, 2), true)]),
+            snap(2, vec![rule(id.0, exact_match(4, 1, 2), true)]),
+        ];
+        let diags = az.check_snapshots(&snaps, &mut erm);
+        assert!(diags
+            .iter()
+            .all(|d| d.kind != DiagnosticKind::SplitBrainPath));
+    }
+
+    #[test]
+    fn divergence_on_one_switch_is_not_a_split_brain() {
+        let (az, id) = analyzer_with_allow();
+        let mut erm = EntityResolver::new();
+        // Same canonical flow, both verdicts, but on a single switch:
+        // location-dependent verdicts, not a path inconsistency.
+        let snaps = vec![snap(
+            1,
+            vec![
+                rule(id.0, exact_match(1, 1, 2), true),
+                rule(0, exact_match(4, 1, 2), false),
+            ],
+        )];
+        let diags = az.check_snapshots(&snaps, &mut erm);
+        assert!(diags
+            .iter()
+            .all(|d| d.kind != DiagnosticKind::SplitBrainPath));
+    }
+}

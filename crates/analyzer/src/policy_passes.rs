@@ -14,43 +14,61 @@
 //! # Exactness
 //!
 //! * **Shadowing** — by the minimal-flow theorem (`cube` module docs), the
-//!   rules matching `min(cube(R))` are exactly the rules subsuming `R`.
-//!   Hence `R` is unreachable **iff** some strictly lower-ranked rule
-//!   subsumes it, and otherwise `min(cube(R))` is a concrete flow `R`
-//!   wins — which the diagnostic carries as its witness either way. No
-//!   false reports, no missed shadows.
+//!   rules matching the minimal flow of a refined *cell* of `cube(R)` are
+//!   exactly the rules subsuming that cell. A rule that wins any flow wins
+//!   the minimal flow of the flow's cell (every rule matching the cell
+//!   minimum subsumes the cell, hence matches the flow; the winner
+//!   transfers because its rank is minimal over a superset). Hence `R` is
+//!   unreachable **iff** it loses arbitration on *every* cell's minimal
+//!   flow; the reported dominators are the per-cell winners, and the set
+//!   is invariant under the cut granularity (splitting a valid cell never
+//!   changes its subsumer set). Without interval pins there is exactly one
+//!   cell, `cube(R)` itself. No false reports, no missed shadows.
 //! * **Redundancy** — `R` is *non*-redundant iff some flow exists whose
 //!   verdict flips when `R` is removed. Such a flow is won by `R` and,
 //!   without `R`, by an opposite-action rule `S` of higher rank (or by the
 //!   default deny). For the actual witness flow `f`, every rule matching
-//!   `min(cube(R) ∩ cube(S))` also matches `f` (it subsumes the
-//!   intersection cube, and `f` lies in it), so replaying the minimal flow
-//!   of each candidate intersection — plus `min(cube(R))` for the
-//!   default-deny fallback — finds a witness whenever one exists.
+//!   the minimal flow of `f`'s cell in `cube(R) ∩ cube(S)` also matches
+//!   `f` (it subsumes the cell, and `f` lies in it), so replaying the
+//!   minimal flow of each candidate intersection's cells — plus the cells
+//!   of `cube(R)` for the default-deny fallback — finds a witness whenever
+//!   one exists.
 //! * **Conflict closure** — the full field-by-field overlap closure over
 //!   opposite-action pairs, each reported with the concrete flow
-//!   `min(cube(R) ∩ cube(S))` both rules match; this subsumes the
+//!   `min(cube(R) ∩ cube(S))` both rules match (both subsume their own
+//!   intersection, so no refinement is needed); this subsumes the
 //!   insert-time pairwise check (which only sees pairs where the *newer*
 //!   rule outranks).
 //!
 //! # Pruning
 //!
-//! All pair searches go through [`OverlapIndex`], which buckets rules by
+//! All pair searches go through a candidate index ([`OverlapIndex`] here;
+//! the incremental engine keeps an id-keyed twin), which buckets rules by
 //! their six identity pins (dst/src user, host, IP). For a cube pinning
 //! identity field `f = v`, any rule matching its minimal flow (or merely
 //! overlapping it) must pin `f` to `v` or leave it `Any` — so the bucket
 //! for `(f, v)` plus the field's `Any` list is a complete candidate set,
 //! and the smallest such set over the pinned fields keeps the passes near
 //! linear on selective rule sets.
+//!
+//! # One pass implementation, two engines
+//!
+//! Every pass is a *per-rule pure function* of the live rule set, written
+//! against the [`RuleStore`] trait: [`shadow_diag`], [`redundant_diag`],
+//! [`conflict_diag`], [`unreachable_diag`]. The snapshot [`Analyzer`] runs
+//! them over every rule; the incremental `DeltaAnalyzer` (the `delta`
+//! module) re-runs them only over the rules a policy change can affect.
+//! Because both engines execute the *same* functions, their outputs agree
+//! byte for byte — which `tests/proptest_delta.rs` machine-checks.
 
-use crate::cube::{fresh_ethertype, FlowCube};
+use crate::cube::{fresh_ethertype, refine, FlowCube};
 use crate::diag::{Diagnostic, DiagnosticKind, Severity};
 use dfi_core::policy::{
-    Decision, FlowView, PolicyAction, PolicyId, PolicyManager, RbacRoles, StoredPolicy, WildName,
-    DEFAULT_DENY_ID,
+    Decision, FlowView, PolicyAction, PolicyId, PolicyManager, PolicyRule, RbacRoles, StoredPolicy,
+    WildName, DEFAULT_DENY_ID,
 };
 use std::cmp::Reverse;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 /// A rule's fixed arbitration rank; the minimum-rank matching rule wins
@@ -128,6 +146,7 @@ impl OverlapIndex {
     /// `bucket ∪ any` over the cube's pinned identity fields (all rules
     /// when it pins none). Ascending order.
     pub(crate) fn candidates(&self, cube: &FlowCube) -> Vec<usize> {
+        static EMPTY: Vec<usize> = Vec::new();
         let name_pins = [
             name_pin(&cube.dst.username),
             name_pin(&cube.dst.hostname),
@@ -135,7 +154,6 @@ impl OverlapIndex {
             name_pin(&cube.src.hostname),
         ];
         let ip_pins = [cube.dst.ip.value(), cube.src.ip.value()];
-        static EMPTY: Vec<usize> = Vec::new();
         let mut best: Option<(usize, &Vec<usize>, usize)> = None; // (total, bucket, field)
         for f in [DST_USER, DST_HOST, SRC_USER, SRC_HOST] {
             if let Some(v) = &name_pins[f] {
@@ -226,6 +244,321 @@ impl IdentifierUniverse {
     }
 }
 
+/// The read interface both verification engines expose to the passes: the
+/// snapshot [`Analyzer`] is slot-backed, the incremental `DeltaAnalyzer`
+/// id-keyed. Every pass below is a pure function of this interface — and
+/// of nothing else — which is what makes the two engines byte-identical.
+pub(crate) trait RuleStore {
+    /// A live rule by id.
+    fn rule(&self, id: PolicyId) -> Option<&StoredPolicy>;
+
+    /// A complete candidate set for `cube`: every live rule that matches
+    /// its minimal flow — or overlaps it at all — must be included.
+    /// Supersets are fine: the pass results are invariant under enlarging
+    /// a complete set (extra candidates neither match minimal flows nor
+    /// change any cell's subsumers). Ascending id.
+    fn candidate_ids(&self, cube: &FlowCube) -> Vec<PolicyId>;
+
+    /// An ethertype no live rule pins or covers, for minimal witnesses of
+    /// ethertype-free cubes (see `cube::fresh_ethertype`).
+    fn fresh_ethertype(&self) -> u16;
+}
+
+/// Arbitration replay restricted to `ids` — exact whenever `ids` is a
+/// complete candidate set for the flow's cell.
+pub(crate) fn decide_ids<S: RuleStore + ?Sized>(
+    s: &S,
+    ids: &[PolicyId],
+    flow: &FlowView,
+    excluded: Option<PolicyId>,
+) -> Decision {
+    let mut best: Option<&StoredPolicy> = None;
+    for &j in ids {
+        if Some(j) == excluded {
+            continue;
+        }
+        let Some(sp) = s.rule(j) else { continue };
+        if !sp.rule.matches(flow) {
+            continue;
+        }
+        if best.is_none_or(|b| rank_of(sp) < rank_of(b)) {
+            best = Some(sp);
+        }
+    }
+    match best {
+        Some(sp) => Decision {
+            action: sp.rule.action,
+            policy: sp.id,
+        },
+        None => Decision {
+            action: PolicyAction::Deny,
+            policy: DEFAULT_DENY_ID,
+        },
+    }
+}
+
+/// An iterator over the live rules behind `ids`, in the `Clone`-able shape
+/// [`refine`] wants for cut computation.
+fn live_rules<'a, S: RuleStore + ?Sized>(
+    s: &'a S,
+    ids: &'a [PolicyId],
+) -> impl Iterator<Item = &'a PolicyRule> + Clone {
+    ids.iter().filter_map(|&j| s.rule(j)).map(|sp| &sp.rule)
+}
+
+/// **Shadowing check** for one rule: `Some` iff the rule can never win
+/// arbitration on any flow. Exact (see module docs): the rule is replayed
+/// on the minimal flow of every refined cell of its cube; losing all of
+/// them is a proof of shadowing, and the per-cell winners are the
+/// dominators the diagnostic reports. The rule's own minimal flow is the
+/// witness — a flow it matches but loses.
+pub(crate) fn shadow_diag<S: RuleStore + ?Sized>(s: &S, id: PolicyId) -> Option<Diagnostic> {
+    let sp = s.rule(id)?;
+    let cube = FlowCube::of(&sp.rule);
+    let cands = s.candidate_ids(&cube);
+    let fe = s.fresh_ethertype();
+    let mut dominators: BTreeSet<PolicyId> = BTreeSet::new();
+    for cell in refine(&cube, live_rules(s, &cands)) {
+        let d = decide_ids(s, &cands, &cell.minimal_flow(fe), None);
+        if d.policy == id {
+            return None; // wins this cell's minimum: reachable
+        }
+        // The rule itself matches every cell minimum, so the winner is a
+        // real rule, never the default deny.
+        dominators.insert(d.policy);
+    }
+    let message = if dominators.len() == 1 {
+        let dom = s
+            .rule(*dominators.first().expect("one dominator"))
+            .expect("dominator is live");
+        format!(
+            "{} rule {} (prio {}, pdp {}) is shadowed: {} rule {} (prio {}) \
+             subsumes it and wins arbitration on every flow it matches",
+            sp.rule.action, sp.id.0, sp.priority, sp.pdp, dom.rule.action, dom.id.0, dom.priority
+        )
+    } else {
+        let ids: Vec<String> = dominators.iter().map(|d| d.0.to_string()).collect();
+        format!(
+            "{} rule {} (prio {}, pdp {}) is shadowed: rules {} jointly cover it \
+             and win arbitration on every flow it matches",
+            sp.rule.action,
+            sp.id.0,
+            sp.priority,
+            sp.pdp,
+            ids.join(", ")
+        )
+    };
+    let mut rules = vec![sp.id];
+    rules.extend(dominators.iter().copied());
+    Some(Diagnostic {
+        severity: Severity::Warning,
+        kind: DiagnosticKind::ShadowedRule,
+        rules,
+        witness: Some(cube.minimal_flow(fe)),
+        dpids: vec![],
+        message,
+    })
+}
+
+/// A flow proving rule `id` is *not* redundant: the rule decides it, and
+/// removing the rule flips the verdict. `None` when the rule is redundant
+/// (or absent). Complete by the candidate-enumeration argument in the
+/// module docs; sound because every returned flow is re-verified against
+/// full arbitration replay with and without the rule.
+pub(crate) fn non_redundancy_witness<S: RuleStore + ?Sized>(
+    s: &S,
+    id: PolicyId,
+) -> Option<FlowView> {
+    let sp = s.rule(id)?;
+    let fe = s.fresh_ethertype();
+    let cube = FlowCube::of(&sp.rule);
+    let cands = s.candidate_ids(&cube);
+    // Fallback candidate: with the rule removed, the default deny decides
+    // some cell's minimal flow. Cheap and usually decisive for Allows.
+    if sp.rule.action == PolicyAction::Allow {
+        for cell in refine(&cube, live_rules(s, &cands)) {
+            let w = cell.minimal_flow(fe);
+            if decide_ids(s, &cands, &w, None).policy != id {
+                continue;
+            }
+            if decide_ids(s, &cands, &w, Some(id)).action != sp.rule.action {
+                return Some(w);
+            }
+        }
+    }
+    // Runner-up candidates: opposite-action rules ranked below the rule
+    // that overlap its cube.
+    let my_rank = rank_of(sp);
+    for &j in &cands {
+        let Some(other) = s.rule(j) else { continue };
+        if other.rule.action == sp.rule.action || rank_of(other) < my_rank {
+            continue;
+        }
+        let Some(both) = cube.intersect(&FlowCube::of(&other.rule)) else {
+            continue;
+        };
+        let bcands = s.candidate_ids(&both);
+        for cell in refine(&both, live_rules(s, &bcands)) {
+            let w = cell.minimal_flow(fe);
+            if decide_ids(s, &bcands, &w, None).policy != id {
+                continue;
+            }
+            if decide_ids(s, &bcands, &w, Some(id)).action != sp.rule.action {
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
+/// **Redundancy check** for one rule: `Some` iff removing it changes no
+/// flow's verdict. Callers skip rules that are already shadowed — those
+/// are trivially redundant and reported at higher severity by
+/// [`shadow_diag`].
+pub(crate) fn redundant_diag<S: RuleStore + ?Sized>(s: &S, id: PolicyId) -> Option<Diagnostic> {
+    let sp = s.rule(id)?;
+    if non_redundancy_witness(s, id).is_some() {
+        return None;
+    }
+    Some(Diagnostic {
+        severity: Severity::Info,
+        kind: DiagnosticKind::RedundantRule,
+        rules: vec![sp.id],
+        witness: Some(FlowCube::of(&sp.rule).minimal_flow(s.fresh_ethertype())),
+        dpids: vec![],
+        message: format!(
+            "{} rule {} (prio {}, pdp {}) is redundant: removing it changes no \
+             flow's verdict",
+            sp.rule.action, sp.id.0, sp.priority, sp.pdp
+        ),
+    })
+}
+
+/// **Conflict check** for one pair: `Some` iff the rules take opposite
+/// actions and their match spaces intersect. Orientation is canonical
+/// (ascending id) regardless of argument order, so both engines emit the
+/// identical diagnostic. No refinement is needed: both rules subsume their
+/// own intersection, so its minimal flow is matched by both exactly.
+pub(crate) fn conflict_diag<S: RuleStore + ?Sized>(
+    s: &S,
+    a: PolicyId,
+    b: PolicyId,
+) -> Option<Diagnostic> {
+    let (a, b) = if a <= b { (a, b) } else { (b, a) };
+    if a == b {
+        return None;
+    }
+    let sp = s.rule(a)?;
+    let other = s.rule(b)?;
+    if other.rule.action == sp.rule.action {
+        return None;
+    }
+    let both = FlowCube::of(&sp.rule).intersect(&FlowCube::of(&other.rule))?;
+    let witness = both.minimal_flow(s.fresh_ethertype());
+    let (winner, loser) = if rank_of(sp) < rank_of(other) {
+        (sp, other)
+    } else {
+        (other, sp)
+    };
+    let equal_priority = sp.priority == other.priority;
+    Some(Diagnostic {
+        severity: if equal_priority {
+            Severity::Warning
+        } else {
+            Severity::Info
+        },
+        kind: DiagnosticKind::AllowDenyConflict,
+        rules: vec![sp.id, other.id],
+        witness: Some(witness),
+        dpids: vec![],
+        message: format!(
+            "{} rule {} (prio {}) and {} rule {} (prio {}) overlap; {} rule {} wins \
+             the intersection{}",
+            sp.rule.action,
+            sp.id.0,
+            sp.priority,
+            other.rule.action,
+            other.id.0,
+            other.priority,
+            winner.rule.action,
+            winner.id.0,
+            if equal_priority {
+                format!(
+                    " only by the equal-priority Deny-beats-Allow tiebreak over \
+                     rule {}",
+                    loser.id.0
+                )
+            } else {
+                String::new()
+            }
+        ),
+    })
+}
+
+/// **Reachability check** for one rule against an identifier universe:
+/// `Some` iff the rule pins a username/hostname no enriched flow can ever
+/// carry.
+pub(crate) fn unreachable_diag<S: RuleStore + ?Sized>(
+    s: &S,
+    id: PolicyId,
+    universe: &IdentifierUniverse,
+) -> Option<Diagnostic> {
+    let sp = s.rule(id)?;
+    let mut dead: Vec<String> = Vec::new();
+    for (side, pat) in [("src", &sp.rule.src), ("dst", &sp.rule.dst)] {
+        if let WildName::Is(u) = &pat.username {
+            if !universe.has_user(u) {
+                dead.push(format!("{side} username {u:?}"));
+            }
+        }
+        if let WildName::Is(h) = &pat.hostname {
+            if !universe.has_host(h) {
+                dead.push(format!("{side} hostname {h:?}"));
+            }
+        }
+    }
+    if dead.is_empty() {
+        return None;
+    }
+    Some(Diagnostic {
+        severity: Severity::Warning,
+        kind: DiagnosticKind::UnreachablePattern,
+        rules: vec![sp.id],
+        witness: None,
+        dpids: vec![],
+        message: format!(
+            "{} rule {} (prio {}, pdp {}) can never match: {} not bound anywhere \
+             in the identifier universe",
+            sp.rule.action,
+            sp.id.0,
+            sp.priority,
+            sp.pdp,
+            dead.join(", ")
+        ),
+    })
+}
+
+/// Everything full analysis contributes *for one rule* (shadow **or**
+/// redundant, plus reachability) — conflicts are pairwise and handled
+/// separately. The incremental engine re-runs exactly this for every rule
+/// a policy delta could affect.
+pub(crate) fn rule_diags<S: RuleStore + ?Sized>(
+    s: &S,
+    id: PolicyId,
+    universe: Option<&IdentifierUniverse>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if let Some(d) = shadow_diag(s, id) {
+        out.push(d);
+    } else if let Some(d) = redundant_diag(s, id) {
+        out.push(d);
+    }
+    if let Some(u) = universe {
+        out.extend(unreachable_diag(s, id, u));
+    }
+    out
+}
+
 /// The static analyzer: an immutable snapshot of a rule set plus the
 /// indexes the passes share.
 pub struct Analyzer {
@@ -309,13 +642,9 @@ impl Analyzer {
         }
     }
 
-    /// `decide` restricted to the cube's candidate buckets — exact for the
-    /// cube's *minimal* flow (every rule matching it subsumes the cube and
-    /// is therefore indexed under the cube's pins or in an `Any` list).
-    fn decide_minimal(&self, cube: &FlowCube, excluded: Option<PolicyId>) -> (FlowView, Decision) {
-        let w = cube.minimal_flow(self.fresh_ethertype);
-        let d = self.decide_among(self.index.candidates(cube), &w, excluded);
-        (w, d)
+    /// `true` when `id` names a rule in this snapshot.
+    pub(crate) fn rule_is_live(&self, id: PolicyId) -> bool {
+        self.by_id.contains_key(&id)
     }
 
     /// The minimal witness flow of a rule's cube, when the rule exists.
@@ -325,93 +654,22 @@ impl Analyzer {
         Some(FlowCube::of(&self.rules[i].rule).minimal_flow(self.fresh_ethertype))
     }
 
-    /// The lowest-ranked strict dominator of rule `i`: a distinct rule
-    /// that subsumes it and wins arbitration wherever both match.
-    fn dominator_of(&self, i: usize) -> Option<usize> {
-        let cube = FlowCube::of(&self.rules[i].rule);
-        self.index
-            .candidates(&cube)
-            .into_iter()
-            .filter(|&j| {
-                j != i
-                    && self.ranks[j] < self.ranks[i]
-                    && self.rules[j].rule.subsumes(&self.rules[i].rule)
-            })
-            .min_by_key(|&j| self.ranks[j])
-    }
-
     /// **Shadowing pass**: rules that can never win arbitration on any
     /// flow. Exact (see module docs). The witness is the rule's minimal
-    /// flow — a flow the rule matches but loses to the reported dominator.
+    /// flow — a flow the rule matches but loses to the reported
+    /// dominator(s).
     pub fn shadowed_rules(&self) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        for (i, sp) in self.rules.iter().enumerate() {
-            let Some(j) = self.dominator_of(i) else {
-                continue;
-            };
-            let dom = &self.rules[j];
-            out.push(Diagnostic {
-                severity: Severity::Warning,
-                kind: DiagnosticKind::ShadowedRule,
-                rules: vec![sp.id, dom.id],
-                witness: self.witness_flow(sp.id),
-                dpid: None,
-                message: format!(
-                    "{} rule {} (prio {}, pdp {}) is shadowed: {} rule {} (prio {}) \
-                     subsumes it and wins arbitration on every flow it matches",
-                    sp.rule.action,
-                    sp.id.0,
-                    sp.priority,
-                    sp.pdp,
-                    dom.rule.action,
-                    dom.id.0,
-                    dom.priority
-                ),
-            });
-        }
-        out
+        self.rules
+            .iter()
+            .filter_map(|sp| shadow_diag(self, sp.id))
+            .collect()
     }
 
     /// A flow proving rule `id` is *not* redundant: the rule decides it,
     /// and removing the rule flips the verdict. `None` when the rule is
-    /// redundant (or absent). Complete by the candidate-enumeration
-    /// argument in the module docs; sound because the returned flow is
-    /// verified against [`Analyzer::decide`] / `decide_excluding` directly.
+    /// redundant (or absent). See [`non_redundancy_witness`].
     pub fn non_redundancy_witness(&self, id: PolicyId) -> Option<FlowView> {
-        let i = *self.by_id.get(&id)?;
-        let sp = &self.rules[i];
-        let cube = FlowCube::of(&sp.rule);
-        // Fallback candidate: with the rule removed, the default deny
-        // decides its minimal flow. Cheap and usually decisive for Allows.
-        if sp.rule.action == PolicyAction::Allow {
-            let (w, d) = self.decide_minimal(&cube, None);
-            if d.policy == sp.id {
-                let after = self.decide_minimal(&cube, Some(sp.id)).1;
-                if after.action != sp.rule.action {
-                    return Some(w);
-                }
-            }
-        }
-        // Runner-up candidates: opposite-action rules ranked below the
-        // rule that overlap its cube.
-        for j in self.index.candidates(&cube) {
-            let other = &self.rules[j];
-            if other.rule.action == sp.rule.action || self.ranks[j] < self.ranks[i] {
-                continue;
-            }
-            let Some(both) = cube.intersect(&FlowCube::of(&other.rule)) else {
-                continue;
-            };
-            let (w, d) = self.decide_minimal(&both, None);
-            if d.policy != sp.id {
-                continue;
-            }
-            let after = self.decide_minimal(&both, Some(sp.id)).1;
-            if after.action != sp.rule.action {
-                return Some(w);
-            }
-        }
-        None
+        non_redundancy_witness(self, id)
     }
 
     /// **Redundancy pass**: rules whose removal changes no flow's verdict
@@ -419,28 +677,11 @@ impl Analyzer {
     /// omitted — they are trivially redundant and already reported at
     /// higher severity by [`Analyzer::shadowed_rules`].
     pub fn redundant_rules(&self) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        for (i, sp) in self.rules.iter().enumerate() {
-            if self.dominator_of(i).is_some() {
-                continue;
-            }
-            if self.non_redundancy_witness(sp.id).is_some() {
-                continue;
-            }
-            out.push(Diagnostic {
-                severity: Severity::Info,
-                kind: DiagnosticKind::RedundantRule,
-                rules: vec![sp.id],
-                witness: self.witness_flow(sp.id),
-                dpid: None,
-                message: format!(
-                    "{} rule {} (prio {}, pdp {}) is redundant: removing it changes no \
-                     flow's verdict",
-                    sp.rule.action, sp.id.0, sp.priority, sp.pdp
-                ),
-            });
-        }
-        out
+        self.rules
+            .iter()
+            .filter(|sp| shadow_diag(self, sp.id).is_none())
+            .filter_map(|sp| redundant_diag(self, sp.id))
+            .collect()
     }
 
     /// **Conflict closure**: every Allow/Deny pair whose match spaces
@@ -450,58 +691,13 @@ impl Analyzer {
     /// warnings; ranked pairs are informational.
     pub fn conflicts(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (i, sp) in self.rules.iter().enumerate() {
+        for sp in &self.rules {
             let cube = FlowCube::of(&sp.rule);
-            for j in self.index.candidates(&cube) {
-                if j <= i {
+            for j in self.candidate_ids(&cube) {
+                if j <= sp.id {
                     continue;
                 }
-                let other = &self.rules[j];
-                if other.rule.action == sp.rule.action {
-                    continue;
-                }
-                let Some(both) = cube.intersect(&FlowCube::of(&other.rule)) else {
-                    continue;
-                };
-                let witness = both.minimal_flow(self.fresh_ethertype);
-                let (winner, loser) = if self.ranks[i] < self.ranks[j] {
-                    (sp, other)
-                } else {
-                    (other, sp)
-                };
-                let equal_priority = sp.priority == other.priority;
-                out.push(Diagnostic {
-                    severity: if equal_priority {
-                        Severity::Warning
-                    } else {
-                        Severity::Info
-                    },
-                    kind: DiagnosticKind::AllowDenyConflict,
-                    rules: vec![sp.id, other.id],
-                    witness: Some(witness),
-                    dpid: None,
-                    message: format!(
-                        "{} rule {} (prio {}) and {} rule {} (prio {}) overlap; {} rule {} wins \
-                         the intersection{}",
-                        sp.rule.action,
-                        sp.id.0,
-                        sp.priority,
-                        other.rule.action,
-                        other.id.0,
-                        other.priority,
-                        winner.rule.action,
-                        winner.id.0,
-                        if equal_priority {
-                            format!(
-                                " only by the equal-priority Deny-beats-Allow tiebreak over \
-                                 rule {}",
-                                loser.id.0
-                            )
-                        } else {
-                            String::new()
-                        }
-                    ),
-                });
+                out.extend(conflict_diag(self, sp.id, j));
             }
         }
         out
@@ -511,64 +707,49 @@ impl Analyzer {
     /// not exist in the identifier universe; no enriched flow can ever
     /// carry the name, so the rule is dead.
     pub fn unreachable_patterns(&self, universe: &IdentifierUniverse) -> Vec<Diagnostic> {
-        let mut out = Vec::new();
-        for sp in &self.rules {
-            let mut dead: Vec<String> = Vec::new();
-            for (side, pat) in [("src", &sp.rule.src), ("dst", &sp.rule.dst)] {
-                if let WildName::Is(u) = &pat.username {
-                    if !universe.has_user(u) {
-                        dead.push(format!("{side} username {u:?}"));
-                    }
-                }
-                if let WildName::Is(h) = &pat.hostname {
-                    if !universe.has_host(h) {
-                        dead.push(format!("{side} hostname {h:?}"));
-                    }
-                }
-            }
-            if dead.is_empty() {
-                continue;
-            }
-            out.push(Diagnostic {
-                severity: Severity::Warning,
-                kind: DiagnosticKind::UnreachablePattern,
-                rules: vec![sp.id],
-                witness: None,
-                dpid: None,
-                message: format!(
-                    "{} rule {} (prio {}, pdp {}) can never match: {} not bound anywhere \
-                     in the identifier universe",
-                    sp.rule.action,
-                    sp.id.0,
-                    sp.priority,
-                    sp.pdp,
-                    dead.join(", ")
-                ),
-            });
-        }
-        out
+        self.rules
+            .iter()
+            .filter_map(|sp| unreachable_diag(self, sp.id, universe))
+            .collect()
     }
 
     /// Runs every policy-layer pass (plus reachability when a universe is
     /// supplied) and returns the findings sorted by severity, kind, and
     /// involved rules.
     pub fn analyze(&self, universe: Option<&IdentifierUniverse>) -> Vec<Diagnostic> {
-        let mut out = self.shadowed_rules();
-        out.extend(self.redundant_rules());
-        out.extend(self.conflicts());
-        if let Some(u) = universe {
-            out.extend(self.unreachable_patterns(u));
+        let mut out = Vec::new();
+        for sp in &self.rules {
+            out.extend(rule_diags(self, sp.id, universe));
         }
+        out.extend(self.conflicts());
         sort_diagnostics(&mut out);
         out
     }
 }
 
-/// Deterministic report order: severity first, then kind, switch, rules.
+impl RuleStore for Analyzer {
+    fn rule(&self, id: PolicyId) -> Option<&StoredPolicy> {
+        self.by_id.get(&id).map(|&i| &self.rules[i])
+    }
+
+    fn candidate_ids(&self, cube: &FlowCube) -> Vec<PolicyId> {
+        self.index
+            .candidates(cube)
+            .into_iter()
+            .map(|i| self.rules[i].id)
+            .collect()
+    }
+
+    fn fresh_ethertype(&self) -> u16 {
+        self.fresh_ethertype
+    }
+}
+
+/// Deterministic report order: severity first, then kind, switches, rules.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
-        (a.severity, a.kind, a.dpid, &a.rules, &a.message)
-            .cmp(&(b.severity, b.kind, b.dpid, &b.rules, &b.message))
+        (a.severity, a.kind, &a.dpids, &a.rules, &a.message)
+            .cmp(&(b.severity, b.kind, &b.dpids, &b.rules, &b.message))
     });
 }
 

@@ -108,7 +108,7 @@ impl Analyzer {
     /// mirroring the PCP's `resolve_flow`: the source is located at the
     /// rule's ingress port, the destination wherever the ERM last learned
     /// its MAC.
-    fn replay_flow(
+    pub(crate) fn replay_table0_flow(
         &self,
         snap_dpid: u64,
         rule: &TableZeroRule,
@@ -140,16 +140,15 @@ impl Analyzer {
         let mut out = Vec::new();
         for rule in &snap.rules {
             let cookie_id = PolicyId(rule.cookie);
-            let live =
-                cookie_id == DEFAULT_DENY_ID || self.rules().iter().any(|sp| sp.id == cookie_id);
-            let witness = self.replay_flow(snap.dpid, rule, erm);
+            let live = cookie_id == DEFAULT_DENY_ID || self.rule_is_live(cookie_id);
+            let witness = self.replay_table0_flow(snap.dpid, rule, erm);
             if !live {
                 out.push(Diagnostic {
                     severity: Severity::Error,
                     kind: DiagnosticKind::OrphanCookie,
                     rules: vec![cookie_id],
                     witness,
-                    dpid: Some(snap.dpid),
+                    dpids: vec![snap.dpid],
                     message: format!(
                         "table-0 {} rule (prio {}) carries cookie {} which names no live \
                          policy; no flush will ever reclaim it",
@@ -166,7 +165,7 @@ impl Analyzer {
                     kind: DiagnosticKind::NonCanonicalRule,
                     rules: vec![cookie_id],
                     witness: None,
-                    dpid: Some(snap.dpid),
+                    dpids: vec![snap.dpid],
                     message: format!(
                         "table-0 rule (cookie {}, prio {}) lacks the exact-match shape the \
                          PCP compiles (in_port/eth_src/eth_dst/eth_type); cannot be replayed \
@@ -188,7 +187,7 @@ impl Analyzer {
                     kind: DiagnosticKind::StaleRule,
                     rules: vec![cookie_id, decision.policy],
                     witness: Some(flow),
-                    dpid: Some(snap.dpid),
+                    dpids: vec![snap.dpid],
                     message: format!(
                         "table-0 rule (cookie {}) still {}s a flow that current policy \
                          (rule {}) {}s — a flush was missed",
@@ -204,7 +203,7 @@ impl Analyzer {
                     kind: DiagnosticKind::CookieMismatch,
                     rules: vec![cookie_id, decision.policy],
                     witness: Some(flow),
-                    dpid: Some(snap.dpid),
+                    dpids: vec![snap.dpid],
                     message: format!(
                         "table-0 rule's verdict agrees with policy but its cookie ({}) names \
                          a different policy than the one now deciding the flow ({}); the rule \
@@ -298,7 +297,7 @@ mod tests {
         assert_eq!(diags[0].kind, DiagnosticKind::OrphanCookie);
         assert_eq!(diags[0].severity, Severity::Error);
         assert_eq!(diags[0].rules, vec![PolicyId(42)]);
-        assert_eq!(diags[0].dpid, Some(0xD1));
+        assert_eq!(diags[0].dpids, vec![0xD1]);
     }
 
     #[test]

@@ -126,7 +126,7 @@ fn revocation_behind_dfis_back_is_an_orphan_cookie() {
         assert_eq!(d.kind, DiagnosticKind::OrphanCookie);
         assert_eq!(d.severity, Severity::Error);
         assert_eq!(d.rules, vec![id]);
-        assert_eq!(d.dpid, Some(0xD1));
+        assert_eq!(d.dpids, vec![0xD1]);
     }
 }
 
@@ -161,7 +161,7 @@ fn outranking_deny_behind_dfis_back_is_a_stale_rule() {
     for d in stale {
         assert_eq!(d.severity, Severity::Error);
         assert_eq!(d.rules, vec![allow_id, deny_id]);
-        assert_eq!(d.dpid, Some(0xD1));
+        assert_eq!(d.dpids, vec![0xD1]);
         let w = d.witness.as_ref().expect("stale findings carry a witness");
         // The witness really is decided the other way by live policy.
         assert_eq!(r.dfi.with_pm(|pm| pm.query_linear(w).policy), deny_id);

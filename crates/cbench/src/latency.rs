@@ -47,6 +47,15 @@ pub struct LatencyReport {
 
 /// Runs latency mode.
 pub fn run(config: &LatencyConfig) -> LatencyReport {
+    struct State {
+        sent_at: SimTime,
+        completed: usize,
+        flow_start: Summary,
+    }
+    // The emulated switch: record flow-mod arrivals, then fire the next
+    // packet-in.
+    type Injector = Rc<dyn Fn(&mut Sim)>;
+
     let mut sim = Sim::new(config.seed);
     let dfi = Dfi::new(config.dfi.clone());
     // An allow-all policy so decisions exercise a real policy hit.
@@ -57,20 +66,12 @@ pub fn run(config: &LatencyConfig) -> LatencyReport {
         "cbench",
     );
 
-    struct State {
-        sent_at: SimTime,
-        completed: usize,
-        flow_start: Summary,
-    }
     let state = Rc::new(RefCell::new(State {
         sent_at: SimTime::ZERO,
         completed: 0,
         flow_start: Summary::new(),
     }));
 
-    // The emulated switch: record flow-mod arrivals, then fire the next
-    // packet-in.
-    type Injector = Rc<dyn Fn(&mut Sim)>;
     let inject: Rc<RefCell<Option<Injector>>> = Rc::new(RefCell::new(None));
     let st = state.clone();
     let inj = inject.clone();

@@ -58,6 +58,32 @@ pub struct ThroughputReport {
 
 /// Runs throughput mode.
 pub fn run(config: &ThroughputConfig) -> ThroughputReport {
+    // Poisson arrivals until the window closes.
+    struct Gen {
+        from_switch: dfi_dataplane::ByteSink,
+        frame_rng: Rc<RefCell<dfi_simnet::SimRng>>,
+        offered: Rc<RefCell<u64>>,
+        rate: f64,
+        end: SimTime,
+    }
+    fn arrival(gen: &Rc<Gen>, sim: &mut Sim) {
+        if sim.now() >= gen.end {
+            return;
+        }
+        let n = {
+            let mut o = gen.offered.borrow_mut();
+            *o += 1;
+            *o
+        };
+        let frame = random_flow_frame(&mut gen.frame_rng.borrow_mut(), n);
+        let pi = PacketIn::table_miss(1 + (n % 48) as u32, 0, frame);
+        let bytes = OfMessage::new(n as u32, Message::PacketIn(pi)).encode();
+        (gen.from_switch)(sim, &bytes);
+        let gap = Duration::from_secs_f64(sim.rng().exponential(1.0 / gen.rate));
+        let g = gen.clone();
+        sim.schedule_in(gap, move |sim| arrival(&g, sim));
+    }
+
     let mut sim = Sim::new(config.seed);
     let dfi = Dfi::new(config.dfi.clone());
     dfi.insert_policy(
@@ -82,16 +108,8 @@ pub fn run(config: &ThroughputConfig) -> ThroughputReport {
     let from_switch = dfi.from_switch_sink(conn);
     *reply_to.borrow_mut() = Some(from_switch.clone());
 
-    // Poisson arrivals until the window closes.
     let offered = Rc::new(RefCell::new(0u64));
     let frame_rng = Rc::new(RefCell::new(sim.split_rng()));
-    struct Gen {
-        from_switch: dfi_dataplane::ByteSink,
-        frame_rng: Rc<RefCell<dfi_simnet::SimRng>>,
-        offered: Rc<RefCell<u64>>,
-        rate: f64,
-        end: SimTime,
-    }
     let gen = Rc::new(Gen {
         from_switch,
         frame_rng,
@@ -99,23 +117,6 @@ pub fn run(config: &ThroughputConfig) -> ThroughputReport {
         rate: config.offered_rate,
         end: window_end,
     });
-    fn arrival(gen: &Rc<Gen>, sim: &mut Sim) {
-        if sim.now() >= gen.end {
-            return;
-        }
-        let n = {
-            let mut o = gen.offered.borrow_mut();
-            *o += 1;
-            *o
-        };
-        let frame = random_flow_frame(&mut gen.frame_rng.borrow_mut(), n);
-        let pi = PacketIn::table_miss(1 + (n % 48) as u32, 0, frame);
-        let bytes = OfMessage::new(n as u32, Message::PacketIn(pi)).encode();
-        (gen.from_switch)(sim, &bytes);
-        let gap = Duration::from_secs_f64(sim.rng().exponential(1.0 / gen.rate));
-        let g = gen.clone();
-        sim.schedule_in(gap, move |sim| arrival(&g, sim));
-    }
     let g = gen.clone();
     sim.schedule_now(move |sim| arrival(&g, sim));
     sim.set_event_limit(400_000_000);

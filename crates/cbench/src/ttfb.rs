@@ -94,6 +94,54 @@ struct ProbeState {
 
 /// Runs the TTFB experiment.
 pub fn run(config: &TtfbConfig) -> TtfbReport {
+    // Probe driver: start a probe every interval; each attempt sends the
+    // SYN and arms an RTO-based retransmission.
+    struct Driver {
+        tx: dfi_dataplane::Tx,
+        probe: Rc<RefCell<ProbeState>>,
+        rto: Duration,
+        max_retries: u32,
+    }
+    fn send_attempt(d: &Rc<Driver>, sim: &mut Sim, port: u16) {
+        {
+            let p = d.probe.borrow();
+            if p.answered || p.current_port != port {
+                return; // answered meanwhile, or a newer probe superseded us
+            }
+        }
+        let frame = build::tcp_syn(
+            MacAddr::from_index(PROBE_A_MAC),
+            MacAddr::from_index(PROBE_B_MAC),
+            PROBE_A_IP,
+            PROBE_B_IP,
+            port,
+            445,
+        );
+        d.tx.send(sim, frame);
+        let d2 = d.clone();
+        let rto = d.rto;
+        sim.schedule_in(rto, move |sim| {
+            let retry = {
+                let mut p = d2.probe.borrow_mut();
+                if p.answered || p.current_port != port {
+                    false
+                } else if p.retries < d2.max_retries {
+                    p.retries += 1;
+                    p.retransmissions += 1;
+                    true
+                } else {
+                    p.failed += 1;
+                    p.answered = true; // give up
+                    p.done += 1;
+                    false
+                }
+            };
+            if retry {
+                send_attempt(&d2, sim, port);
+            }
+        });
+    }
+
     let mut sim = Sim::new(config.seed);
     let mut net = Network::new();
     let mut sw_cfg = SwitchConfig::new(0xF1);
@@ -190,13 +238,6 @@ pub fn run(config: &TtfbConfig) -> TtfbReport {
             rate: f64,
             end: SimTime,
         }
-        let bg = Rc::new(Bg {
-            tx: bg_tx,
-            rng: RefCell::new(sim.split_rng()),
-            offered: bg_offered.clone(),
-            rate: config.background_rate,
-            end: horizon,
-        });
         fn bg_arrival(bg: &Rc<Bg>, sim: &mut Sim) {
             if sim.now() >= bg.end {
                 return;
@@ -212,63 +253,23 @@ pub fn run(config: &TtfbConfig) -> TtfbReport {
             let b = bg.clone();
             sim.schedule_in(gap, move |sim| bg_arrival(&b, sim));
         }
+        let bg = Rc::new(Bg {
+            tx: bg_tx,
+            rng: RefCell::new(sim.split_rng()),
+            offered: bg_offered.clone(),
+            rate: config.background_rate,
+            end: horizon,
+        });
         let b = bg.clone();
         sim.schedule_now(move |sim| bg_arrival(&b, sim));
     }
 
-    // Probe driver: start a probe every interval; each attempt sends the
-    // SYN and arms an RTO-based retransmission.
-    struct Driver {
-        tx: dfi_dataplane::Tx,
-        probe: Rc<RefCell<ProbeState>>,
-        rto: Duration,
-        max_retries: u32,
-    }
     let driver = Rc::new(Driver {
         tx: a_tx,
         probe: probe.clone(),
         rto: config.rto,
         max_retries: config.max_retries,
     });
-    fn send_attempt(d: &Rc<Driver>, sim: &mut Sim, port: u16) {
-        {
-            let p = d.probe.borrow();
-            if p.answered || p.current_port != port {
-                return; // answered meanwhile, or a newer probe superseded us
-            }
-        }
-        let frame = build::tcp_syn(
-            MacAddr::from_index(PROBE_A_MAC),
-            MacAddr::from_index(PROBE_B_MAC),
-            PROBE_A_IP,
-            PROBE_B_IP,
-            port,
-            445,
-        );
-        d.tx.send(sim, frame);
-        let d2 = d.clone();
-        let rto = d.rto;
-        sim.schedule_in(rto, move |sim| {
-            let retry = {
-                let mut p = d2.probe.borrow_mut();
-                if p.answered || p.current_port != port {
-                    false
-                } else if p.retries < d2.max_retries {
-                    p.retries += 1;
-                    p.retransmissions += 1;
-                    true
-                } else {
-                    p.failed += 1;
-                    p.answered = true; // give up
-                    p.done += 1;
-                    false
-                }
-            };
-            if retry {
-                send_attempt(&d2, sim, port);
-            }
-        });
-    }
     for i in 0..config.probes {
         let start = SimTime::ZERO + config.warmup + config.probe_interval.mul_f64(i as f64);
         let d = driver.clone();

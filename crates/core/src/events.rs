@@ -18,6 +18,8 @@ pub mod topic {
     pub const NAMES: &str = "dfi.bindings.name";
     /// username↔hostname events from the SIEM log-on/log-off sensor.
     pub const SESSIONS: &str = "dfi.bindings.session";
+    /// Verifier findings raised/updated/cleared by the online analyzer.
+    pub const ANALYZER_FINDINGS: &str = "dfi.analyzer.finding";
 }
 
 /// The envelope carried on the DFI bus.
@@ -51,6 +53,31 @@ pub enum DfiEvent {
         host: String,
         /// `true` for log-on, `false` for log-off.
         logged_on: bool,
+    },
+    /// The online verifier raised, updated, or cleared a finding.
+    ///
+    /// Fields are deliberately stringly typed: `dfi-core` sits below the
+    /// analyzer in the crate graph, so the diagnostic taxonomy cannot be
+    /// named here. `kind` carries the analyzer's stable kind slug (e.g.
+    /// `"orphan-cookie"`, `"partial-flush"`), `severity` its severity slug.
+    AnalyzerFinding {
+        /// Stable finding identity; the same number accompanies the
+        /// finding's later updates and its eventual clear.
+        finding: u64,
+        /// `true` while the finding is active (raised or updated);
+        /// `false` once it has been cleared.
+        raised: bool,
+        /// Diagnostic kind slug.
+        kind: String,
+        /// Severity slug (`"error"`, `"warning"`, `"info"`).
+        severity: String,
+        /// Raw [`PolicyId`](crate::policy::PolicyId) values involved.
+        rules: Vec<u64>,
+        /// Switch datapath ids involved, ascending; empty for
+        /// policy-layer findings.
+        dpids: Vec<u64>,
+        /// Human-readable description.
+        message: String,
     },
 }
 

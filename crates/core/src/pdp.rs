@@ -323,6 +323,7 @@ impl AtRbacPdp {
 /// consistency machinery re-evaluates ongoing flows both times).
 pub struct QuarantinePdp {
     quarantined: HashMap<String, [PolicyId; 2]>,
+    remediated: Vec<PolicyId>,
 }
 
 impl QuarantinePdp {
@@ -330,7 +331,49 @@ impl QuarantinePdp {
     pub fn new() -> QuarantinePdp {
         QuarantinePdp {
             quarantined: HashMap::new(),
+            remediated: Vec::new(),
         }
+    }
+
+    /// Subscribes the PDP to the online verifier's findings: a raised
+    /// `orphan-cookie` or `partial-flush` finding means a revocation flush
+    /// failed to reach some switch, leaving rules for a dead policy in the
+    /// data plane. The incident responder's remediation is the paper's own
+    /// consistency mechanism, re-run: flush the dead cookie network-wide.
+    ///
+    /// The PDP never parses the analyzer's message text — it keys on the
+    /// stable kind slug and the raw policy ids carried by the event, which
+    /// is all the stringly [`DfiEvent::AnalyzerFinding`] envelope promises.
+    pub fn wire_analyzer_findings(this: &Rc<RefCell<QuarantinePdp>>, dfi: &Dfi) {
+        let this = this.clone();
+        let reflusher = dfi.clone();
+        dfi.bus()
+            .subscribe(topic::ANALYZER_FINDINGS, move |sim, ev: &DfiEvent| {
+                let DfiEvent::AnalyzerFinding {
+                    raised: true,
+                    kind,
+                    rules,
+                    ..
+                } = ev
+                else {
+                    return;
+                };
+                if kind != "orphan-cookie" && kind != "partial-flush" {
+                    return;
+                }
+                for &raw in rules {
+                    let id = PolicyId(raw);
+                    this.borrow_mut().remediated.push(id);
+                    reflusher.flush_policy_rules(sim, id);
+                }
+            });
+    }
+
+    /// Dead policies re-flushed in response to verifier findings, in the
+    /// order the findings arrived (repeats possible if a finding is
+    /// re-raised).
+    pub fn remediated(&self) -> &[PolicyId] {
+        &self.remediated
     }
 
     /// Cuts `host` off from the network in both directions.

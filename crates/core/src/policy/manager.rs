@@ -59,10 +59,12 @@ use std::net::Ipv4Addr;
 
 /// `true` when `rule` admits `flow`'s identifiers with L4 ports ignored —
 /// i.e. the rule could match some member of the flow's port-wildcard class.
+/// Substituting each side's *lowest* admitted port keeps this exact for
+/// interval pins too (any admitted port would do).
 fn rule_admits_ignoring_ports(rule: &PolicyRule, flow: &FlowView) -> bool {
     let mut portless = flow.clone();
-    portless.src.port = rule.src.port.value();
-    portless.dst.port = rule.dst.port.value();
+    portless.src.port = rule.src.port.low();
+    portless.dst.port = rule.dst.port.low();
     rule.matches(&portless)
 }
 
@@ -96,6 +98,26 @@ pub struct StoredPolicy {
     pub priority: u32,
     /// Name of the emitting PDP (diagnostics).
     pub pdp: String,
+}
+
+/// One observed mutation of the policy store, as recorded by the delta
+/// journal (see [`PolicyManager::enable_delta_journal`]). Consumers such as
+/// the incremental analyzer pull these with [`PolicyManager::take_deltas`]
+/// and re-check only the rules the change can affect.
+#[derive(Clone, Debug)]
+pub enum PolicyDelta {
+    /// A rule was inserted (carries the stored form, new priority included).
+    Inserted(StoredPolicy),
+    /// A rule was revoked (carries the last stored form).
+    Revoked(StoredPolicy),
+    /// A rule's priority changed in place; `policy` carries the *new*
+    /// priority.
+    ReRanked {
+        /// The stored policy after the change.
+        policy: StoredPolicy,
+        /// The priority it had before.
+        old_priority: u32,
+    },
 }
 
 /// The verdict for one flow.
@@ -207,6 +229,12 @@ pub struct PolicyManager {
     /// `true` while default-deny decisions issued since the last flush of
     /// cookie `DEFAULT_DENY_ID` may still be cached on switches.
     default_deny_outstanding: bool,
+    /// Monotonic mutation counter (insert / revoke / re-rank).
+    revision: u64,
+    /// Mutations recorded since the last [`PolicyManager::take_deltas`];
+    /// only populated once a consumer opts in.
+    journal: Vec<PolicyDelta>,
+    journal_enabled: bool,
 }
 
 impl PolicyManager {
@@ -219,6 +247,35 @@ impl PolicyManager {
             queries: 0,
             candidates_scanned: 0,
             default_deny_outstanding: false,
+            revision: 0,
+            journal: Vec::new(),
+            journal_enabled: false,
+        }
+    }
+
+    /// Starts recording every mutation into the delta journal. Off by
+    /// default so a manager without an incremental consumer pays nothing
+    /// and accumulates nothing.
+    pub fn enable_delta_journal(&mut self) {
+        self.journal_enabled = true;
+    }
+
+    /// Drains the recorded mutations (oldest first). Empty unless
+    /// [`PolicyManager::enable_delta_journal`] was called.
+    pub fn take_deltas(&mut self) -> Vec<PolicyDelta> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Monotonic mutation counter: increments on every insert, revoke, and
+    /// re-rank, journal or not. Lets consumers detect missed changes.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn record(&mut self, delta: impl FnOnce() -> PolicyDelta) {
+        self.revision += 1;
+        if self.journal_enabled {
+            self.journal.push(delta());
         }
     }
 
@@ -266,15 +323,14 @@ impl PolicyManager {
         let bucket = self.buckets.entry(bucket_key(&rule)).or_default();
         let pos = bucket.partition_point(|e| entry_key(e) < entry_key(&entry));
         bucket.insert(pos, entry);
-        self.rules.insert(
+        let stored = StoredPolicy {
             id,
-            StoredPolicy {
-                id,
-                rule,
-                priority,
-                pdp: pdp.to_string(),
-            },
-        );
+            rule,
+            priority,
+            pdp: pdp.to_string(),
+        };
+        self.rules.insert(id, stored.clone());
+        self.record(|| PolicyDelta::Inserted(stored));
         (id, flush)
     }
 
@@ -291,7 +347,70 @@ impl PolicyManager {
                 self.buckets.remove(&key);
             }
         }
+        self.record(|| PolicyDelta::Revoked(stored));
         true
+    }
+
+    /// Changes a stored policy's priority in place, keeping its id (and
+    /// therefore its flow-rule cookie). Returns `None` for an unknown id;
+    /// otherwise the deduplicated ids of policies whose derived flow rules
+    /// must be flushed because arbitration between the re-ranked rule and
+    /// an overlapping opposite-action rule just inverted — in either
+    /// direction: a newly outranked rule's cached decisions are stale, and
+    /// so are the re-ranked rule's own once something newly outranks *it*.
+    pub fn re_rank(&mut self, id: PolicyId, new_priority: u32) -> Option<Vec<PolicyId>> {
+        let old_priority = self.rules.get(&id)?.priority;
+        if old_priority == new_priority {
+            return Some(Vec::new());
+        }
+        // Arbitration rank among a fixed rule pair only depends on
+        // (priority, Deny-beats-Allow, id); compute the inversion set
+        // before touching the store.
+        let me = self.rules[&id].clone();
+        let rank = |priority: u32, action: PolicyAction, pid: PolicyId| {
+            (
+                Reverse(priority),
+                u8::from(action == PolicyAction::Allow),
+                pid,
+            )
+        };
+        let mut flush: Vec<PolicyId> = Vec::new();
+        for other in self.rules.values() {
+            if other.id == id
+                || other.rule.action == me.rule.action
+                || !other.rule.overlaps(&me.rule)
+            {
+                continue;
+            }
+            let theirs = rank(other.priority, other.rule.action, other.id);
+            let old_mine = rank(old_priority, me.rule.action, id);
+            let new_mine = rank(new_priority, me.rule.action, id);
+            if new_mine < theirs && old_mine > theirs {
+                // We now outrank them: their cached decisions are stale.
+                flush.push(other.id);
+            } else if theirs < new_mine && theirs > old_mine {
+                // They now outrank us: our cached decisions are stale.
+                flush.push(id);
+            }
+        }
+        flush.sort_unstable();
+        flush.dedup();
+        // Re-file the bucket entry under the new priority.
+        let key = bucket_key(&me.rule);
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            bucket.retain(|&(_, bid)| bid != id);
+            let entry = (new_priority, id);
+            let pos = bucket.partition_point(|e| entry_key(e) < entry_key(&entry));
+            bucket.insert(pos, entry);
+        }
+        let stored = self.rules.get_mut(&id).expect("checked above");
+        stored.priority = new_priority;
+        let snapshot = stored.clone();
+        self.record(|| PolicyDelta::ReRanked {
+            policy: snapshot,
+            old_priority,
+        });
+        Some(flush)
     }
 
     /// Records that a default-deny flow rule (cookie [`DEFAULT_DENY_ID`])
@@ -1164,6 +1283,118 @@ mod tests {
         assert_eq!(snap.iter().map(|sp| sp.id).collect::<Vec<_>>(), vec![a, b]);
         assert_eq!(snap[1].pdp, "y");
         assert_eq!(snap[1].priority, 9);
+    }
+
+    #[test]
+    fn re_rank_changes_arbitration_and_reports_inversions() {
+        let mut pm = PolicyManager::new();
+        let (allow_id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            50,
+            "a",
+        );
+        let (deny_id, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+            10,
+            "b",
+        );
+        assert_eq!(pm.query(&flow("alice", "bob")).policy, allow_id);
+        // Raising the deny above the allow inverts the pair: the allow's
+        // cached decisions are stale.
+        let flush = pm.re_rank(deny_id, 90).expect("known id");
+        assert_eq!(flush, vec![allow_id]);
+        assert_eq!(pm.query(&flow("alice", "bob")).policy, deny_id);
+        assert_eq!(pm.get(deny_id).unwrap().priority, 90);
+        // Lowering it back inverts again — this time the re-ranked rule's
+        // own cached decisions are the stale ones.
+        let flush = pm.re_rank(deny_id, 10).expect("known id");
+        assert_eq!(flush, vec![deny_id]);
+        assert_eq!(pm.query(&flow("alice", "bob")).policy, allow_id);
+        // No-op and unknown-id cases.
+        assert_eq!(pm.re_rank(deny_id, 10), Some(Vec::new()));
+        assert_eq!(pm.re_rank(PolicyId(999), 5), None);
+        // The indexed query still agrees with the linear oracle afterwards.
+        for f in [flow("alice", "bob"), flow("carol", "dave")] {
+            assert_eq!(pm.query(&f), pm.query_linear(&f));
+        }
+    }
+
+    #[test]
+    fn re_rank_between_same_action_rules_flushes_nothing() {
+        let mut pm = PolicyManager::new();
+        pm.insert(PolicyRule::allow_all(), 10, "a");
+        let (b, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::user("alice"), EndpointPattern::any()),
+            20,
+            "b",
+        );
+        // Same action: attribution may shift but no verdict does.
+        assert_eq!(pm.re_rank(b, 5), Some(Vec::new()));
+    }
+
+    #[test]
+    fn delta_journal_records_mutations_only_when_enabled() {
+        let mut pm = PolicyManager::new();
+        let (a, _) = pm.insert(PolicyRule::allow_all(), 10, "p");
+        assert_eq!(pm.revision(), 1);
+        assert!(pm.take_deltas().is_empty(), "journal off by default");
+        pm.enable_delta_journal();
+        let (b, _) = pm.insert(
+            PolicyRule::deny(EndpointPattern::user("eve"), EndpointPattern::any()),
+            50,
+            "p",
+        );
+        pm.re_rank(b, 60).unwrap();
+        pm.revoke(a);
+        assert_eq!(pm.revision(), 4);
+        let deltas = pm.take_deltas();
+        assert_eq!(deltas.len(), 3);
+        match &deltas[0] {
+            PolicyDelta::Inserted(sp) => assert_eq!(sp.id, b),
+            other => panic!("expected insert, got {other:?}"),
+        }
+        match &deltas[1] {
+            PolicyDelta::ReRanked {
+                policy,
+                old_priority,
+            } => {
+                assert_eq!((policy.id, policy.priority, *old_priority), (b, 60, 50));
+            }
+            other => panic!("expected re-rank, got {other:?}"),
+        }
+        match &deltas[2] {
+            PolicyDelta::Revoked(sp) => assert_eq!(sp.id, a),
+            other => panic!("expected revoke, got {other:?}"),
+        }
+        assert!(pm.take_deltas().is_empty(), "drained");
+        // Failed mutations do not journal or bump the revision.
+        assert!(!pm.revoke(a));
+        assert_eq!(pm.re_rank(PolicyId(77), 1), None);
+        assert_eq!(pm.revision(), 4);
+        assert!(pm.take_deltas().is_empty());
+    }
+
+    #[test]
+    fn query_class_handles_port_range_rules() {
+        let mut pm = PolicyManager::new();
+        pm.insert(PolicyRule::allow_all(), 1, "base");
+        // A port-range deny splits classes it can touch, exactly like a
+        // single-port pin.
+        pm.insert(
+            PolicyRule::deny(
+                EndpointPattern::any(),
+                EndpointPattern::host_port_range("h", 8000, 9000),
+            ),
+            50,
+            "pdp",
+        );
+        let mut f = flow("alice", "bob");
+        f.dst.hostnames = vec!["h".into()];
+        assert_eq!(pm.query_class(&f), None, "range pin blocks widening");
+        assert_eq!(pm.query_class(&f), pm.query_class_linear(&f));
+        let g = flow("alice", "bob");
+        assert_eq!(pm.query_class(&g), pm.query_class_linear(&g));
+        assert!(pm.query_class(&g).is_some());
     }
 
     #[test]

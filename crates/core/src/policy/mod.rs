@@ -6,7 +6,7 @@ mod model;
 mod roles;
 
 pub use manager::{
-    Decision, PolicyId, PolicyIndexStats, PolicyManager, StoredPolicy, DEFAULT_DENY_ID,
+    Decision, PolicyDelta, PolicyId, PolicyIndexStats, PolicyManager, StoredPolicy, DEFAULT_DENY_ID,
 };
 pub use model::{
     EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction, PolicyRule, Wild,

@@ -12,7 +12,7 @@ use dfi_packet::MacAddr;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-/// A policy field: a specific value or a wildcard.
+/// A policy field: a specific value, an inclusive interval, or a wildcard.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Wild<T> {
     /// Matches anything.
@@ -20,14 +20,33 @@ pub enum Wild<T> {
     Any,
     /// Matches exactly this value.
     Is(T),
+    /// Matches any value in the inclusive interval `[lo, hi]`.
+    ///
+    /// Invariant: `lo < hi` strictly. Build intervals through
+    /// [`Wild::range`], which normalizes swapped bounds and collapses a
+    /// degenerate interval to [`Wild::Is`], so that two fields admit the
+    /// same value set iff they compare equal.
+    In(T, T),
 }
 
-impl<T: PartialEq + Copy> Wild<T> {
+impl<T: PartialOrd + Copy> Wild<T> {
+    /// An inclusive interval field. Swapped bounds are normalized and a
+    /// single-point interval collapses to [`Wild::Is`].
+    pub fn range(lo: T, hi: T) -> Wild<T> {
+        let (lo, hi) = if hi < lo { (hi, lo) } else { (lo, hi) };
+        if lo == hi {
+            Wild::Is(lo)
+        } else {
+            Wild::In(lo, hi)
+        }
+    }
+
     /// `true` when a concrete value satisfies this field.
     pub fn admits(&self, value: Option<T>) -> bool {
         match self {
             Wild::Any => true,
             Wild::Is(v) => value == Some(*v),
+            Wild::In(lo, hi) => value.is_some_and(|v| *lo <= v && v <= *hi),
         }
     }
 
@@ -37,14 +56,37 @@ impl<T: PartialEq + Copy> Wild<T> {
         match (self, other) {
             (Wild::Any, _) | (_, Wild::Any) => true,
             (Wild::Is(a), Wild::Is(b)) => a == b,
+            (Wild::Is(v), Wild::In(lo, hi)) | (Wild::In(lo, hi), Wild::Is(v)) => lo <= v && v <= hi,
+            (Wild::In(a, b), Wild::In(c, d)) => a <= d && c <= b,
         }
     }
 
-    /// The concrete value, if pinned.
+    /// The concrete value, if pinned to exactly one (`None` for wildcards
+    /// *and* intervals — index layers treat an interval like a wildcard).
     pub fn value(&self) -> Option<T> {
         match self {
             Wild::Any => None,
             Wild::Is(v) => Some(*v),
+            Wild::In(..) => None,
+        }
+    }
+
+    /// The smallest admitted value, when the field constrains at all —
+    /// the analyzer's minimal-witness construction uses this.
+    pub fn low(&self) -> Option<T> {
+        match self {
+            Wild::Any => None,
+            Wild::Is(v) => Some(*v),
+            Wild::In(lo, _) => Some(*lo),
+        }
+    }
+
+    /// The admitted set as an inclusive interval, `None` for wildcards.
+    pub fn bounds(&self) -> Option<(T, T)> {
+        match self {
+            Wild::Any => None,
+            Wild::Is(v) => Some((*v, *v)),
+            Wild::In(lo, hi) => Some((*lo, *hi)),
         }
     }
 
@@ -53,8 +95,11 @@ impl<T: PartialEq + Copy> Wild<T> {
     pub fn subsumes(&self, other: &Wild<T>) -> bool {
         match (self, other) {
             (Wild::Any, _) => true,
-            (Wild::Is(_), Wild::Any) => false,
+            (_, Wild::Any) => false,
             (Wild::Is(a), Wild::Is(b)) => a == b,
+            (Wild::Is(v), Wild::In(lo, hi)) => v <= lo && hi <= v,
+            (Wild::In(lo, hi), Wild::Is(v)) => lo <= v && v <= hi,
+            (Wild::In(a, b), Wild::In(c, d)) => a <= c && d <= b,
         }
     }
 
@@ -65,6 +110,20 @@ impl<T: PartialEq + Copy> Wild<T> {
             (Wild::Any, o) => Some(*o),
             (s, Wild::Any) => Some(*s),
             (Wild::Is(a), Wild::Is(b)) if a == b => Some(Wild::Is(*a)),
+            (Wild::Is(v), Wild::In(lo, hi)) | (Wild::In(lo, hi), Wild::Is(v))
+                if lo <= v && v <= hi =>
+            {
+                Some(Wild::Is(*v))
+            }
+            (Wild::In(a, b), Wild::In(c, d)) => {
+                let lo = if a < c { *c } else { *a };
+                let hi = if b < d { *b } else { *d };
+                if hi < lo {
+                    None
+                } else {
+                    Some(Wild::range(lo, hi))
+                }
+            }
             _ => None,
         }
     }
@@ -190,6 +249,15 @@ impl FlowProperties {
             ip_proto: Wild::Is(17),
         }
     }
+
+    /// IPv4 flows whose protocol number lies in `[lo, hi]` (inclusive) —
+    /// e.g. `ip_proto_range(6, 17)` covers TCP through UDP.
+    pub fn ip_proto_range(lo: u8, hi: u8) -> FlowProperties {
+        FlowProperties {
+            ethertype: Wild::Is(0x0800),
+            ip_proto: Wild::range(lo, hi),
+        }
+    }
 }
 
 /// One endpoint (source or destination) pattern: the paper's 7-identifier
@@ -239,6 +307,16 @@ impl EndpointPattern {
         EndpointPattern {
             hostname: WildName::is(name),
             port: Wild::Is(port),
+            ..EndpointPattern::any()
+        }
+    }
+
+    /// An endpoint pinned to a hostname and an inclusive L4 port range
+    /// (e.g. "the ephemeral ports on h2").
+    pub fn host_port_range(name: &str, lo: u16, hi: u16) -> EndpointPattern {
+        EndpointPattern {
+            hostname: WildName::is(name),
+            port: Wild::range(lo, hi),
             ..EndpointPattern::any()
         }
     }
@@ -609,6 +687,71 @@ mod tests {
         assert!(Wild::<u16>::Any.subsumes(&Wild::Is(80)));
         assert!(!Wild::Is(80).subsumes(&Wild::<u16>::Any));
         assert_eq!(Wild::Is(80).intersect(&Wild::Any), Some(Wild::Is(80)));
+    }
+
+    #[test]
+    fn range_field_normalization_and_admission() {
+        // Swapped bounds normalize; a degenerate interval collapses to Is,
+        // so equal value sets compare equal.
+        assert_eq!(Wild::range(443u16, 80), Wild::In(80, 443));
+        assert_eq!(Wild::range(80u16, 80), Wild::Is(80));
+        let r = Wild::range(1000u16, 2000);
+        assert!(r.admits(Some(1000)) && r.admits(Some(1500)) && r.admits(Some(2000)));
+        assert!(!r.admits(Some(999)) && !r.admits(Some(2001)));
+        assert!(!r.admits(None), "an interval is a real pin");
+        assert_eq!(r.value(), None, "intervals are not single pins");
+        assert_eq!(r.low(), Some(1000));
+        assert_eq!(r.bounds(), Some((1000, 2000)));
+    }
+
+    #[test]
+    fn range_field_set_algebra() {
+        let r = Wild::range(100u16, 200);
+        // Overlap against points, intervals, and wildcards.
+        assert!(r.overlaps(&Wild::Is(150)) && Wild::Is(150).overlaps(&r));
+        assert!(!r.overlaps(&Wild::Is(99)));
+        assert!(r.overlaps(&Wild::range(200, 300)), "touching endpoints");
+        assert!(!r.overlaps(&Wild::range(201, 300)));
+        assert!(r.overlaps(&Wild::Any));
+        // Subsumption is interval containment.
+        assert!(r.subsumes(&Wild::Is(100)) && r.subsumes(&Wild::range(120, 180)));
+        assert!(!r.subsumes(&Wild::range(150, 250)) && !r.subsumes(&Wild::Any));
+        assert!(Wild::Any.subsumes(&r));
+        assert!(!Wild::Is(150u16).subsumes(&r));
+        // Intersection narrows to the overlap, collapsing to Is at a point.
+        assert_eq!(
+            r.intersect(&Wild::range(150, 300)),
+            Some(Wild::In(150, 200))
+        );
+        assert_eq!(r.intersect(&Wild::range(200, 300)), Some(Wild::Is(200)));
+        assert_eq!(r.intersect(&Wild::range(201, 300)), None);
+        assert_eq!(r.intersect(&Wild::Is(150)), Some(Wild::Is(150)));
+        assert_eq!(r.intersect(&Wild::Is(99)), None);
+        assert_eq!(r.intersect(&Wild::Any), Some(r));
+    }
+
+    #[test]
+    fn port_range_rule_matches_flows_in_range() {
+        let mut rule = PolicyRule::allow(
+            EndpointPattern::any(),
+            EndpointPattern::host_port_range("srv", 8000, 8080),
+        );
+        rule.flow = FlowProperties::ip_proto_range(6, 17);
+        let mut flow = FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(6),
+            dst: view(&[], &["srv"]),
+            ..FlowView::default()
+        };
+        flow.dst.port = Some(8040);
+        assert!(rule.matches(&flow));
+        flow.dst.port = Some(8081);
+        assert!(!rule.matches(&flow));
+        flow.dst.port = Some(8000);
+        flow.ip_proto = Some(17);
+        assert!(rule.matches(&flow));
+        flow.ip_proto = Some(1);
+        assert!(!rule.matches(&flow), "ICMP outside the protocol range");
     }
 
     #[test]

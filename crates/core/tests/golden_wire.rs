@@ -103,6 +103,8 @@ fn cookie_fields_at_spec_offsets() {
 /// `goto_table` operand — and the cookie bytes are untouched.
 #[test]
 fn rewrite_shifts_table_ids_on_the_wire() {
+    const TABLE_ID: usize = 8 + 16; // header + cookie + cookie_mask
+    const GOTO_OPERAND: usize = 8 + 40 + 8 + 4; // header + fixed part + empty match + instr hdr
     let fm = FlowMod {
         cookie: 0xC0C0_C0C0_C0C0_C0C0,
         table_id: 0,
@@ -118,8 +120,6 @@ fn rewrite_shifts_table_ids_on_the_wire() {
     assert_eq!(out.len(), 1);
     let rewritten = out.pop().unwrap().encode();
 
-    const TABLE_ID: usize = 8 + 16; // header + cookie + cookie_mask
-    const GOTO_OPERAND: usize = 8 + 40 + 8 + 4; // header + fixed part + empty match + instr hdr
     assert_eq!(
         diff_offsets(&original, &rewritten),
         vec![TABLE_ID, GOTO_OPERAND],
@@ -141,12 +141,12 @@ fn rewrite_shifts_table_ids_on_the_wire() {
 /// only byte that changes.
 #[test]
 fn rewrite_decrements_packet_in_table_on_the_wire() {
+    const TABLE_ID: usize = 8 + 4 + 2 + 1; // header + buffer_id + total_len + reason
     let pi = PacketIn::table_miss(4, 2, vec![0xAA, 0xBB]);
     let original = OfMessage::new(9, Message::PacketIn(pi)).encode();
     let decoded = OfMessage::decode(&original).unwrap();
     let rewritten = rewrite_switch_to_controller(decoded).unwrap().encode();
 
-    const TABLE_ID: usize = 8 + 4 + 2 + 1; // header + buffer_id + total_len + reason
     assert_eq!(diff_offsets(&original, &rewritten), vec![TABLE_ID]);
     assert_eq!(original[TABLE_ID], 2);
     assert_eq!(rewritten[TABLE_ID], 1);

@@ -176,11 +176,6 @@ impl Switch {
     }
 
     fn run_pipeline(&self, sim: &mut Sim, in_port: u32, frame: Vec<u8>, start_table: u8) {
-        let Ok(headers) = PacketHeaders::parse(&frame) else {
-            self.inner.borrow_mut().stats.frames_dropped += 1;
-            return;
-        };
-        let now = sim.now();
         // Resolve the pipeline outcome with a single borrow, then perform
         // I/O (which re-enters the switch via closures) without the borrow.
         enum Outcome {
@@ -188,6 +183,11 @@ impl Switch {
             Punt(u8),
             Drop,
         }
+        let Ok(headers) = PacketHeaders::parse(&frame) else {
+            self.inner.borrow_mut().stats.frames_dropped += 1;
+            return;
+        };
+        let now = sim.now();
         let outcome = {
             let mut inner = self.inner.borrow_mut();
             let mut t = start_table;

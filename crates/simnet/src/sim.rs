@@ -317,11 +317,11 @@ mod tests {
 
     #[test]
     fn event_limit_stops_runaway() {
-        let mut sim = Sim::new(0);
-        sim.set_event_limit(100);
         fn rearm(sim: &mut Sim) {
             sim.schedule_in(Duration::from_nanos(1), rearm);
         }
+        let mut sim = Sim::new(0);
+        sim.set_event_limit(100);
         sim.schedule_now(rearm);
         sim.run();
         assert_eq!(sim.events_executed(), 100);

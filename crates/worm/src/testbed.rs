@@ -96,6 +96,9 @@ pub struct Testbed {
     pub scripts: Vec<Option<LogonScript>>,
     /// The switches (index 0 = core).
     pub switches: Vec<Switch>,
+    /// The whole data plane (same switches, as a network handle — e.g.
+    /// for network-wide Table-0 audits).
+    pub net: Network,
     /// The DFI control plane.
     pub dfi: Dfi,
     /// The (benign) SDN controller.
@@ -123,6 +126,13 @@ impl Testbed {
     /// Log-on scripts are generated but not yet scheduled — call
     /// [`Testbed::schedule_logons`].
     pub fn build(sim: &mut Sim, config: &TestbedConfig, condition: Condition) -> Testbed {
+        struct Plan {
+            hostname: String,
+            user: Option<String>,
+            enclave: Option<String>,
+            vulnerable: bool,
+            is_server: bool,
+        }
         let mut roles = RbacRoles::new();
         let directory = Directory::new();
         let siem = Siem::new();
@@ -134,13 +144,6 @@ impl Testbed {
         let dns = DnsServer::new("corp.local");
 
         // ---- Inventory -------------------------------------------------
-        struct Plan {
-            hostname: String,
-            user: Option<String>,
-            enclave: Option<String>,
-            vulnerable: bool,
-            is_server: bool,
-        }
         let mut plans: Vec<Plan> = Vec::new();
         let mut dept_sizes: Vec<(String, usize)> = (0..config.departments)
             .map(|d| (format!("dept-{}", d + 1), config.hosts_per_dept))
@@ -323,6 +326,7 @@ impl Testbed {
             hosts,
             scripts,
             switches,
+            net,
             dfi,
             controller,
             roles,

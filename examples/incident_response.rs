@@ -57,11 +57,6 @@ fn run(with_responder: bool) -> (usize, usize, usize) {
             dfi: dfi_repro::core::Dfi,
             quarantine: Rc<RefCell<QuarantinePdp>>,
         }
-        let responder = Rc::new(Responder {
-            world: world.clone(),
-            dfi: tb.dfi.clone(),
-            quarantine: quarantined.clone(),
-        });
         fn poll(r: &Rc<Responder>, sim: &mut Sim) {
             let now = sim.now();
             let detected: Vec<String> = r
@@ -85,6 +80,11 @@ fn run(with_responder: bool) -> (usize, usize, usize) {
                 sim.schedule_in(POLL, move |sim| poll(&r2, sim));
             }
         }
+        let responder = Rc::new(Responder {
+            world: world.clone(),
+            dfi: tb.dfi.clone(),
+            quarantine: quarantined.clone(),
+        });
         let r = responder.clone();
         sim.schedule_at(foothold_at, move |sim| poll(&r, sim));
     }

@@ -10,7 +10,9 @@
 
 use dfi_repro::core::erm::Binding;
 use dfi_repro::core::pdp::{priority, BaselinePdp, QuarantinePdp};
-use dfi_repro::core::policy::{EndpointPattern, FlowProperties, PolicyRule, Wild, WildName};
+use dfi_repro::core::policy::{
+    EndpointPattern, FlowProperties, FlowView, PolicyRule, Wild, WildName,
+};
 use dfi_repro::core::Dfi;
 use dfi_repro::simnet::Sim;
 use std::net::Ipv4Addr;
@@ -69,7 +71,6 @@ fn main() {
     });
 
     // --- Decisions, resolved at flow time --------------------------------
-    use dfi_repro::core::policy::FlowView;
     let decide = |dfi: &Dfi, src_ip: Ipv4Addr, dst_ip: Ipv4Addr, port: u16| {
         dfi.with_pm(|pm| {
             // (Normally the PCP builds this view via the ERM; done by hand

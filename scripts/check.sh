@@ -11,7 +11,10 @@
 #   scripts/check.sh --analyze
 #                             static-analysis tier only: clippy -D warnings
 #                             plus the dfi-analyze seeded-corpus ground-truth
-#                             gate and the table-0 audit demo
+#                             gate, the network-audit corpus gate, the
+#                             incremental-equivalence / >=10x speedup gate
+#                             (writes BENCH_analyze.json), and the table-0
+#                             audit demo
 #   scripts/check.sh --wire   wire-path tier only: the splice-vs-oracle
 #                             differential suite (deep), the golden byte
 #                             vectors, and the dfi-wiregate allocation /
@@ -49,6 +52,12 @@ run_analyze() {
   echo "== dfi-analyze: seeded 10k-rule corpus (exact ground-truth gate) =="
   cargo build -q --release -p dfi-analyze
   ./target/release/dfi-analyze corpus --rules 10000 --seed 7 --expect-seeded
+  echo "== dfi-analyze: seeded network-audit corpus (cross-switch ground truth) =="
+  ./target/release/dfi-analyze audit-network --switches 14 --flows 400 --seed 7 \
+    --defects --expect-seeded
+  echo "== dfi-analyze: incremental equivalence + >=10x speedup gate =="
+  ./target/release/dfi-analyze watch --rules 10000 --seed 7 --mutations 60 \
+    --gate 10 --json | tee BENCH_analyze.json
   echo "== dfi-analyze: live table-0 audit demo =="
   ./target/release/dfi-analyze demo
 }
