@@ -29,6 +29,7 @@
 //! module docs.
 
 pub mod bus;
+pub mod certify;
 pub mod corpus;
 pub mod cube;
 pub mod delta;
@@ -38,6 +39,7 @@ pub mod policy_passes;
 pub mod table0;
 
 pub use bus::{publish_audit, publish_finding_events};
+pub use certify::{wire_snapshot_gate, Certifier};
 pub use delta::{DeltaAnalyzer, FindingEvent, FindingId};
 pub use diag::{Diagnostic, DiagnosticKind, Severity};
 pub use network::capture_network;

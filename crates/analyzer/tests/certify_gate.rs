@@ -1,0 +1,214 @@
+//! Integration test for the wired snapshot-certification gate: a live DFI
+//! rig with [`wire_snapshot_gate`] installed, exercising the full refuse →
+//! serve-stale → resolve → recover cycle over the bus — no external
+//! analysis driver anywhere; policy mutation itself triggers the
+//! incremental re-analysis.
+
+use dfi_analyze::{wire_snapshot_gate, DiagnosticKind};
+use dfi_core::events::{topic, DfiEvent};
+use dfi_core::policy::{EndpointPattern, PolicyRule};
+use dfi_core::{Dfi, DfiConfig};
+use dfi_dataplane::{Network, Switch, SwitchConfig, Tx};
+use dfi_packet::headers::build;
+use dfi_packet::MacAddr;
+use dfi_simnet::{Dist, Sim};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use std::time::Duration;
+
+const LAT: Duration = Duration::from_micros(50);
+
+fn mac(i: u32) -> MacAddr {
+    MacAddr::from_index(i)
+}
+
+fn ip(i: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 1, i)
+}
+
+fn test_config() -> DfiConfig {
+    DfiConfig {
+        proxy_latency: Dist::constant_ms(0.16),
+        pcp_service: Dist::constant_ms(0.39),
+        binding_query: Dist::constant_ms(2.41),
+        policy_query: Dist::constant_ms(2.52),
+        bus_latency: Dist::constant_ms(0.3),
+        ..DfiConfig::default()
+    }
+}
+
+struct Rig {
+    sim: Sim,
+    dfi: Dfi,
+    #[allow(dead_code)]
+    sw: Switch,
+    tx: Vec<Tx>,
+}
+
+/// One switch, three hosts (ports 1..=3), DFI interposed before a reactive
+/// controller.
+fn rig() -> Rig {
+    let mut sim = Sim::new(17);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(0xD1));
+    let mut tx = Vec::new();
+    for port in 1..=3u32 {
+        tx.push(net.attach_host(&sw, port, LAT, Rc::new(|_, _| {})));
+    }
+    let ctrl = dfi_controller::Controller::reactive();
+    let dfi = Dfi::new(test_config());
+    dfi.interpose(&mut sim, &sw, move |sim, sink| ctrl.connect(sim, sink));
+    sim.run();
+    Rig { sim, dfi, sw, tx }
+}
+
+fn syn(src: u32, dst: u32, dport: u16) -> Vec<u8> {
+    build::tcp_syn(
+        mac(src),
+        mac(dst),
+        ip(src as u8),
+        ip(dst as u8),
+        50_000,
+        dport,
+    )
+}
+
+/// The full life of a refused mutation, driven end to end through the
+/// wired gate:
+///
+/// 1. clean inserts certify and publish;
+/// 2. a conflicting Deny is refused with witnesses on the snapshot topic
+///    *and* raised findings on the analyzer topic — while the last
+///    certified snapshot keeps allowing traffic (uninterrupted service);
+/// 3. revoking the Allow side of the conflict clears the findings,
+///    certifies clean, and the deferred Deny finally takes effect — the
+///    previously allowed flow is now denied, not served from any stale
+///    state.
+#[test]
+fn wired_gate_refuses_conflicts_then_recovers_on_resolution() {
+    let mut r = rig();
+    let certifier = wire_snapshot_gate(&r.dfi, None);
+
+    // Record everything the control plane says on the bus.
+    let snapshots: Rc<RefCell<Vec<DfiEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let findings: Rc<RefCell<Vec<DfiEvent>>> = Rc::new(RefCell::new(Vec::new()));
+    let log = Rc::clone(&snapshots);
+    r.dfi
+        .bus()
+        .subscribe(topic::SNAPSHOTS, move |_, ev: &DfiEvent| {
+            log.borrow_mut().push(ev.clone());
+        });
+    let log = Rc::clone(&findings);
+    r.dfi
+        .bus()
+        .subscribe(topic::ANALYZER_FINDINGS, move |_, ev: &DfiEvent| {
+            log.borrow_mut().push(ev.clone());
+        });
+
+    // A clean insert certifies (no findings) and publishes.
+    let allow = r
+        .dfi
+        .insert_policy(&mut r.sim, PolicyRule::allow_all(), 1, "test");
+    r.sim.run();
+    assert!(matches!(
+        snapshots.borrow().last(),
+        Some(DfiEvent::SnapshotPublished { epoch: 1, .. })
+    ));
+    assert!(findings.borrow().is_empty());
+
+    r.tx[0].send(&mut r.sim, syn(1, 2, 445));
+    r.sim.run();
+    assert_eq!(r.dfi.metrics().allowed, 1);
+
+    // A blanket Deny overlaps (and shadows) the Allow: the journal-driven
+    // re-analysis raises the findings, streams them on the bus, and the
+    // gate refuses publication with them as witnesses.
+    let deny = r.dfi.insert_policy(
+        &mut r.sim,
+        PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+        10,
+        "test",
+    );
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.snapshot_refusals, 1);
+    assert_eq!(
+        m.snapshots_published, 1,
+        "the conflicted candidate never swapped in"
+    );
+    match snapshots.borrow().last() {
+        Some(DfiEvent::SnapshotRefused { witnesses, .. }) => {
+            assert!(!witnesses.is_empty());
+            for w in witnesses {
+                assert!(
+                    w.kind == "allow-deny-conflict" || w.kind == "shadowed-rule",
+                    "unexpected witness kind {}",
+                    w.kind
+                );
+                assert!(
+                    w.rules.contains(&allow.0) || w.rules.contains(&deny.0),
+                    "witness names the conflicting pair"
+                );
+            }
+        }
+        other => panic!("expected a refusal on the snapshot topic, got {other:?}"),
+    }
+    let raised: Vec<String> = findings
+        .borrow()
+        .iter()
+        .filter_map(|ev| match ev {
+            DfiEvent::AnalyzerFinding {
+                raised: true, kind, ..
+            } => Some(kind.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        raised.iter().any(|k| k == "allow-deny-conflict"),
+        "conflict finding streamed on the analyzer topic, got {raised:?}"
+    );
+    assert!(!certifier.borrow().diagnostics().is_empty());
+
+    // Uninterrupted service: the stale (Allow) snapshot keeps deciding
+    // while publication is deferred.
+    r.tx[0].send(&mut r.sim, syn(1, 2, 8080));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.allowed, 2, "old snapshot serves during the deferral");
+    assert_eq!(m.denied, 0);
+
+    // The operator resolves the conflict by revoking the Allow side. The
+    // findings clear, certification passes, and the deferred Deny
+    // publishes (the recovery).
+    assert!(r.dfi.revoke_policy(&mut r.sim, allow));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.snapshots_published, 2);
+    assert_eq!(m.snapshot_refusals, 1);
+    assert!(matches!(
+        snapshots.borrow().last(),
+        Some(DfiEvent::SnapshotPublished { .. })
+    ));
+    assert!(
+        findings
+            .borrow()
+            .iter()
+            .any(|ev| matches!(ev, DfiEvent::AnalyzerFinding { raised: false, .. })),
+        "resolution clears the findings over the bus"
+    );
+    // The lone blanket Deny is *redundant* under default deny — a real,
+    // but non-blocking, finding. What matters is that no conflict or
+    // shadow survives the resolution.
+    assert!(certifier.borrow().diagnostics().iter().all(|d| {
+        d.kind != DiagnosticKind::AllowDenyConflict && d.kind != DiagnosticKind::ShadowedRule
+    }));
+
+    // The recovered snapshot decides: the flow allowed three lines ago is
+    // denied now — re-decided, not served from any stale cache or rule.
+    r.tx[0].send(&mut r.sim, syn(1, 2, 8080));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.allowed, 2, "no stale allow after the recovery");
+    assert_eq!(m.denied, 1, "the deferred Deny finally decides the flow");
+}

@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dfi_core::erm::{Binding, EntityResolver};
-use dfi_core::policy::{EndpointPattern, EndpointView, FlowView, PolicyManager, PolicyRule};
+use dfi_core::policy::{
+    EndpointPattern, EndpointView, FlowView, PolicyManager, PolicyRule, PolicySnapshot,
+};
 use dfi_core::{DecisionCache, FlowKey};
 use dfi_dataplane::FlowTable;
 use dfi_openflow::{Action, FlowMod, Instruction, Match, Message, OfMessage, PacketIn};
@@ -115,13 +117,36 @@ fn bench_policy(c: &mut Criterion) {
                 ..EndpointView::default()
             },
         };
-        // The bucket-indexed hot path vs. the retained full-scan reference:
-        // same decision (proven by proptest), different asymptotics.
+        // Three generations of the decide path, same decision (proven by
+        // proptest): the compiled immutable snapshot (the current hot
+        // path), the bucket-indexed mutable query, and the retained
+        // full-scan reference.
+        let snap = PolicySnapshot::compile(&pm, 1);
+        g.bench_function(format!("snapshot_classify_{n}_rules"), |b| {
+            b.iter(|| black_box(snap.classify(black_box(&flow))));
+        });
         g.bench_function(format!("query_{n}_rules"), |b| {
             b.iter(|| black_box(pm.query(black_box(&flow))));
         });
         g.bench_function(format!("query_linear_{n}_rules"), |b| {
             b.iter(|| black_box(pm.query_linear(black_box(&flow))));
+        });
+        // Burst classification: decisions-per-second over a 64-flow batch
+        // against one frozen snapshot, reusing the output buffer.
+        let flows: Vec<FlowView> = (0..64)
+            .map(|i| {
+                let mut f = flow.clone();
+                f.src.hostnames = vec![format!("h{}", i % n.max(1))];
+                f
+            })
+            .collect();
+        let mut out = Vec::with_capacity(flows.len());
+        g.bench_function(format!("snapshot_classify_batch64_{n}_rules"), |b| {
+            b.iter(|| {
+                out.clear();
+                snap.classify_batch(black_box(&flows), &mut out);
+                black_box(out.len())
+            });
         });
     }
     g.finish();
@@ -180,6 +205,7 @@ fn bench_decision_cache(c: &mut Criterion) {
                 policy,
             },
             false,
+            0,
         );
     }
     let hit_headers = PacketHeaders::parse(&sample_frame(5_000)).unwrap();

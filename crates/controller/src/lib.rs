@@ -170,7 +170,7 @@ impl Controller {
 
     /// Opens a connection: `to_switch` carries controller→switch bytes;
     /// the returned sink accepts switch→controller bytes. Initiates the
-    /// handshake (Hello + FeaturesRequest).
+    /// handshake (Hello + `FeaturesRequest`).
     pub fn connect(&self, sim: &mut Sim, to_switch: ByteSink) -> ByteSink {
         let conn = {
             let mut inner = self.inner.borrow_mut();

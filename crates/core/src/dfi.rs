@@ -42,12 +42,29 @@
 //! ERM's refcounted name reverse index. A no-op re-bind (the per-packet
 //! MAC-location refresh) invalidates nothing, which is what makes the
 //! cache effective at all.
+//!
+//! # Snapshot data plane
+//!
+//! Since the snapshot refactor, the flow-setup hot path never touches the
+//! mutable [`PolicyManager`]: every decision reads an immutable
+//! [`PolicySnapshot`] compiled and published by the control plane on each
+//! policy mutation (see `crate::policy::snapshot`). Publication can be
+//! gated by a certification hook ([`Dfi::set_snapshot_gate`]): when the
+//! hook reports new Allow/Deny conflicts or shadowed rules, the candidate
+//! snapshot is *refused* — the Policy Manager keeps the mutation (the PDP
+//! owns intent), but the previously certified snapshot keeps serving until
+//! a later mutation certifies clean. A recovery publication bulk-expires
+//! decision-cache entries by epoch and re-issues the deferred cookie
+//! flushes, so no stale verdict survives the swap. Bursts of packet-ins
+//! arriving in one read are classified against a single frozen snapshot in
+//! one pass ([`PolicySnapshot::classify_batch`]) before fanning into the
+//! batched FlowMod‖Barrier installs.
 
 use crate::erm::{Binding, EntityResolver, ErmIndexSizes, SpoofVerdict};
-use crate::events::{topic, DfiEvent};
+use crate::events::{topic, DfiEvent, SnapshotWitness};
 use crate::policy::{
     Decision, FlowView, PolicyAction, PolicyId, PolicyIndexStats, PolicyManager, PolicyRule,
-    DEFAULT_DENY_ID,
+    PolicySnapshot, SnapshotStore, DEFAULT_DENY_ID,
 };
 use crate::rewrite::{
     rewrite_controller_frame_in_place, rewrite_switch_frame_in_place, rewrite_switch_to_controller,
@@ -193,6 +210,10 @@ pub struct CachedDecision {
     /// The decision came from a port-class query and the compiled rule was
     /// widened (L4 ports wildcarded).
     pub widened: bool,
+    /// Epoch of the policy snapshot that produced the decision; entries
+    /// older than the cache's validity floor are lazily dropped on lookup
+    /// (see [`DecisionCache::expire_before`]).
+    pub epoch: u64,
 }
 
 /// Memo of flow decisions with event-driven invalidation (see the module
@@ -211,6 +232,13 @@ pub struct DecisionCache {
     /// Entry bound; at capacity the whole memo is dropped (simple and
     /// rare) rather than tracking recency.
     capacity: usize,
+    /// Entries stamped with a snapshot epoch below this floor are stale:
+    /// they were decided under a snapshot that was later superseded by a
+    /// *recovery* publication (one that ended a deferred/refused state, so
+    /// the precise per-policy flush invalidation could not have covered
+    /// the interim decisions). Raised by [`DecisionCache::expire_before`];
+    /// stale entries are dropped lazily on their next lookup.
+    valid_epoch: u64,
 }
 
 impl DecisionCache {
@@ -222,22 +250,32 @@ impl DecisionCache {
         }
     }
 
-    /// The per-packet probe: counts a hit or a miss either way.
+    /// The per-packet probe: counts a hit or a miss either way. A hit on
+    /// an entry from an expired snapshot epoch is a miss (the stale entry
+    /// is dropped and counted as an invalidation).
     pub fn lookup(&mut self, key: &FlowKey) -> Option<CachedDecision> {
-        match self.entries.get(key) {
-            Some(hit) => {
+        if let Some(hit) = self.entries.get(key) {
+            if hit.epoch >= self.valid_epoch {
                 self.hits += 1;
-                Some(hit.clone())
+                return Some(hit.clone());
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            self.detach(key, None);
         }
+        self.misses += 1;
+        None
     }
 
-    /// Memoizes a freshly computed decision under its flow key.
-    pub fn insert(&mut self, key: FlowKey, decision: Decision, widened: bool) {
+    /// Declares every entry decided under a snapshot epoch below `epoch`
+    /// stale. Called on a *recovery* publication (the swap that ends a
+    /// deferred state); ordinary publications rely on the precise
+    /// per-policy flush invalidation instead.
+    pub fn expire_before(&mut self, epoch: u64) {
+        self.valid_epoch = epoch;
+    }
+
+    /// Memoizes a freshly computed decision under its flow key, stamped
+    /// with the epoch of the snapshot that produced it.
+    pub fn insert(&mut self, key: FlowKey, decision: Decision, widened: bool, epoch: u64) {
         if self.capacity == 0 {
             return;
         }
@@ -259,8 +297,14 @@ impl DecisionCache {
         for mac in [key.eth_src, key.eth_dst] {
             self.by_mac.entry(mac).or_default().insert(key.clone());
         }
-        self.entries
-            .insert(key, CachedDecision { decision, widened });
+        self.entries.insert(
+            key,
+            CachedDecision {
+                decision,
+                widened,
+                epoch,
+            },
+        );
     }
 
     fn detach(&mut self, key: &FlowKey, skip_policy: Option<PolicyId>) {
@@ -389,6 +433,21 @@ pub struct DfiMetrics {
     pub pool_reused: u64,
     /// Wire buffers freshly allocated because a pool's free list was empty.
     pub pool_minted: u64,
+    /// Policy snapshots compiled and published (including recovery
+    /// publications after a deferred state).
+    pub snapshots_published: u64,
+    /// Snapshot publications refused by the certification gate; the
+    /// previously published snapshot kept serving.
+    pub snapshot_refusals: u64,
+    /// Epoch of the currently served snapshot at metrics time.
+    pub snapshot_epoch: u64,
+    /// Rule count of the currently served snapshot at metrics time.
+    pub snapshot_rules: u64,
+    /// Multi-packet-in reads classified as one burst against a single
+    /// frozen snapshot.
+    pub packet_in_bursts: u64,
+    /// Flows decided through the batched `classify_batch` pass.
+    pub burst_flows_classified: u64,
     /// ERM secondary-index sizes at snapshot time.
     pub erm_index: ErmIndexSizes,
     /// Policy bucket-index shape and candidate-scan accounting at snapshot
@@ -471,11 +530,44 @@ struct PendingInstall {
     is_delete: bool,
 }
 
+/// A certification hook consulted before every snapshot publication.
+/// Returns the witnesses of *new* conflicts/shadowing introduced by the
+/// pending mutations (empty ⇒ certify, publish). The hook is taken out of
+/// the DFI while it runs, so it may freely re-enter `Dfi` methods
+/// (`with_pm`, `bus`, …); it is installed by the analyzer-side wiring
+/// (`dfi_analyze::certify`), keeping `dfi-core` below the analyzer in the
+/// crate graph.
+pub type SnapshotGate = Box<dyn FnMut(&mut Sim, &Dfi) -> Vec<SnapshotWitness>>;
+
 struct Inner {
     config: DfiConfig,
     erm: EntityResolver,
     pm: PolicyManager,
     cache: DecisionCache,
+    /// The published-snapshot cell the hot path reads. Control plane
+    /// republishes on every certified mutation.
+    store: SnapshotStore,
+    /// Monotonic publication counter; the next publish uses `+ 1`.
+    next_epoch: u64,
+    /// `true` while the served snapshot lags the Policy Manager because
+    /// the certification gate refused publication.
+    publish_deferred: bool,
+    /// Cookie flushes to re-issue at the recovery publication: flows
+    /// decided under the stale snapshot may have re-installed rules the
+    /// deferred mutations outrank.
+    deferred_flushes: Vec<PolicyId>,
+    /// A default-deny decision was issued from the snapshot path and may
+    /// be cached on switches under cookie 0; forwarded to
+    /// `PolicyManager::note_default_deny_cached` at the next insert (the
+    /// hot path itself never touches the Policy Manager).
+    default_deny_cached: bool,
+    snapshot_gate: Option<SnapshotGate>,
+    /// `true` while the certification gate is running. `with_pm`'s
+    /// revision resync is suppressed during certification: the Policy
+    /// Manager legitimately leads the store at that instant, and the gate
+    /// reading it through `with_pm` must not publish the very candidate
+    /// it is deciding on.
+    certifying: bool,
     conns: Vec<SwitchConn>,
     pending_installs: HashMap<(usize, u32), PendingInstall>,
     next_xid: u32,
@@ -528,6 +620,13 @@ impl Dfi {
                 erm: EntityResolver::new(),
                 pm: PolicyManager::new(),
                 cache,
+                store: SnapshotStore::default(),
+                next_epoch: 0,
+                publish_deferred: false,
+                deferred_flushes: Vec::new(),
+                default_deny_cached: false,
+                snapshot_gate: None,
+                certifying: false,
                 conns: Vec::new(),
                 pending_installs: HashMap::new(),
                 next_xid: 0xDF1_0000,
@@ -690,6 +789,11 @@ impl Dfi {
     // ------------------------------------------------------------------
 
     fn handle_switch_bytes(&self, sim: &mut Sim, conn: usize, bytes: &[u8]) {
+        const OFPT_PACKET_IN: u8 = 10;
+        // First pass: count packet-in frames. Two or more in one read form
+        // a burst, admitted as a single PCP job and classified against one
+        // frozen snapshot in one `classify_batch` pass.
+        let mut n_packet_ins = 0usize;
         let mut offset = 0;
         while offset < bytes.len() {
             let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
@@ -698,8 +802,41 @@ impl Dfi {
             if len < 8 || offset + len > bytes.len() {
                 break;
             }
-            self.handle_switch_frame(sim, conn, &bytes[offset..offset + len]);
+            if bytes[offset + 1] == OFPT_PACKET_IN {
+                n_packet_ins += 1;
+            }
             offset += len;
+        }
+        let mut burst: Vec<PacketIn> = Vec::new();
+        let mut offset = 0;
+        while offset < bytes.len() {
+            let Some(len) = OfMessage::frame_length(&bytes[offset..]) else {
+                break;
+            };
+            if len < 8 || offset + len > bytes.len() {
+                break;
+            }
+            let frame = &bytes[offset..offset + len];
+            if n_packet_ins >= 2 && frame[1] == OFPT_PACKET_IN {
+                if let Ok(msg) = OfMessage::decode(frame) {
+                    if let Message::PacketIn(pi) = msg.body {
+                        burst.push(pi);
+                    }
+                }
+            } else {
+                self.handle_switch_frame(sim, conn, frame);
+            }
+            offset += len;
+        }
+        if !burst.is_empty() {
+            let proxy_delay = {
+                let mut inner = self.inner.borrow_mut();
+                let d = inner.config.proxy_latency.sample(sim.rng());
+                inner.metrics.proxy.push(d.as_secs_f64());
+                d
+            };
+            let me = self.clone();
+            sim.schedule_in(proxy_delay, move |sim| me.pcp_admit_burst(sim, conn, burst));
         }
     }
 
@@ -989,6 +1126,198 @@ impl Dfi {
         }
     }
 
+    /// Admits a packet-in burst as **one** job through the PCP and
+    /// database stations (the batch pays each stage's latency once), then
+    /// decides every flow in a single batched pass.
+    fn pcp_admit_burst(&self, sim: &mut Sim, conn: usize, pis: Vec<PacketIn>) {
+        let arrival = sim.now();
+        let n = pis.len() as u64;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.metrics.packet_ins += n;
+            inner.metrics.packet_in_bursts += 1;
+        }
+        let me = self.clone();
+        let outcome = self.pcp_station.submit(sim, move |sim| {
+            let t_pcp_done = sim.now();
+            me.record(|m| m.pcp_other.push((t_pcp_done - arrival).as_secs_f64()));
+            let me2 = me.clone();
+            let outcome = me.binding_station.submit(sim, move |sim| {
+                let t_binding_done = sim.now();
+                me2.record(|m| m.binding.push((t_binding_done - t_pcp_done).as_secs_f64()));
+                let me3 = me2.clone();
+                let outcome = me2.policy_station.submit(sim, move |sim| {
+                    let t_policy_done = sim.now();
+                    me3.record(|m| {
+                        m.policy
+                            .push((t_policy_done - t_binding_done).as_secs_f64());
+                    });
+                    me3.pcp_decide_burst(sim, conn, &pis, arrival);
+                });
+                if outcome == SubmitOutcome::Dropped {
+                    me2.record(|m| m.dropped += n);
+                }
+            });
+            if outcome == SubmitOutcome::Dropped {
+                me.record(|m| m.dropped += n);
+            }
+        });
+        if outcome == SubmitOutcome::Dropped {
+            self.record(|m| m.dropped += n);
+        }
+    }
+
+    /// Decides a whole packet-in burst: per-flow admission (MAC re-bind,
+    /// anti-spoofing, memo probe) under one borrow, then **one**
+    /// [`PolicySnapshot::classify_batch`] pass over every memo miss against
+    /// one frozen snapshot — no torn reads across the burst — feeding the
+    /// per-flow batched FlowMod‖Barrier installs. The burst path always
+    /// compiles exact-match rules; port-class widening stays on the
+    /// single-flow path.
+    fn pcp_decide_burst(&self, sim: &mut Sim, conn: usize, pis: &[PacketIn], arrival: SimTime) {
+        struct Planned {
+            pi_index: usize,
+            decision: Decision,
+            mat: Match,
+        }
+        let mut planned: Vec<Planned> = Vec::with_capacity(pis.len());
+        {
+            let mut inner = self.inner.borrow_mut();
+            let dpid = inner.conns[conn].dpid;
+            let snap = inner.store.load();
+            let mut flows: Vec<FlowView> = Vec::new();
+            let mut pending: Vec<(usize, FlowKey, Match)> = Vec::new();
+            for (i, pi) in pis.iter().enumerate() {
+                let Some(in_port) = pi.in_port() else {
+                    continue;
+                };
+                let Ok(headers) = dfi_packet::PacketHeaders::parse(&pi.data) else {
+                    continue;
+                };
+                if inner.erm.bind(Binding::MacLocation {
+                    mac: headers.eth_src,
+                    dpid,
+                    port: in_port,
+                }) {
+                    inner.cache.invalidate_mac(headers.eth_src);
+                }
+                let mat = Match::exact_from_headers(in_port, &headers);
+                if inner.erm.spoof_check(headers.ipv4_src, headers.eth_src)
+                    == SpoofVerdict::IpMacMismatch
+                {
+                    inner.metrics.spoof_denied += 1;
+                    inner.default_deny_cached = true;
+                    planned.push(Planned {
+                        pi_index: i,
+                        decision: Decision {
+                            action: PolicyAction::Deny,
+                            policy: DEFAULT_DENY_ID,
+                        },
+                        mat,
+                    });
+                    continue;
+                }
+                let key = FlowKey::new(&headers, dpid, in_port);
+                if let Some(hit) = inner.cache.lookup(&key) {
+                    let mut mat = mat;
+                    if hit.widened {
+                        mat.tcp_src = None;
+                        mat.tcp_dst = None;
+                        mat.udp_src = None;
+                        mat.udp_dst = None;
+                        inner.metrics.wildcard_cached += 1;
+                    }
+                    planned.push(Planned {
+                        pi_index: i,
+                        decision: hit.decision,
+                        mat,
+                    });
+                } else {
+                    let (src, dst) = inner.erm.resolve_flow(&headers, dpid, in_port);
+                    flows.push(FlowView {
+                        ethertype: headers.ethertype.to_u16(),
+                        ip_proto: headers.ip_proto.map(|p| p.0),
+                        src,
+                        dst,
+                    });
+                    pending.push((i, key, mat));
+                }
+            }
+            let mut decisions = Vec::with_capacity(flows.len());
+            snap.classify_batch(&flows, &mut decisions);
+            inner.metrics.burst_flows_classified += decisions.len() as u64;
+            for ((i, key, mat), decision) in pending.into_iter().zip(decisions) {
+                if decision.policy == DEFAULT_DENY_ID {
+                    inner.default_deny_cached = true;
+                }
+                inner
+                    .cache
+                    .insert(key, decision.clone(), false, snap.epoch());
+                planned.push(Planned {
+                    pi_index: i,
+                    decision,
+                    mat,
+                });
+            }
+        }
+        // Install and forward in arrival order (memo hits and batch
+        // results interleave above).
+        planned.sort_by_key(|p| p.pi_index);
+        let (rule_priority, install_latency) = {
+            let inner = self.inner.borrow();
+            (inner.config.rule_priority, inner.config.install_latency)
+        };
+        for p in planned {
+            self.record(|m| {
+                *m.decisions_by_policy
+                    .entry(p.decision.policy.0)
+                    .or_insert(0) += 1;
+            });
+            let fm = FlowMod {
+                cookie: p.decision.policy.0,
+                table_id: 0,
+                priority: rule_priority,
+                mat: p.mat,
+                instructions: match p.decision.action {
+                    PolicyAction::Allow => vec![Instruction::GotoTable(1)],
+                    PolicyAction::Deny => vec![],
+                },
+                ..FlowMod::add()
+            };
+            self.send_tracked_install(sim, conn, fm, install_latency);
+            match p.decision.action {
+                PolicyAction::Allow => {
+                    self.record(|m| m.allowed += 1);
+                    let (sink, pool) = {
+                        let inner = self.inner.borrow();
+                        (
+                            inner.conns[conn].to_controller.clone(),
+                            inner.conns[conn].pool.clone(),
+                        )
+                    };
+                    if let Some(sink) = sink {
+                        if let Some(rewritten) = rewrite_switch_to_controller(OfMessage::new(
+                            0xDF2,
+                            Message::PacketIn(pis[p.pi_index].clone()),
+                        )) {
+                            let mut bytes = pool.acquire();
+                            rewritten.encode_into(&mut bytes);
+                            sim.schedule_now(move |sim| {
+                                sink(sim, &bytes);
+                                pool.release(bytes);
+                            });
+                        }
+                    }
+                }
+                PolicyAction::Deny => {
+                    self.record(|m| m.denied += 1);
+                }
+            }
+            let done = sim.now();
+            self.record(|m| m.overall.push((done - arrival).as_secs_f64()));
+        }
+    }
+
     fn record(&self, f: impl FnOnce(&mut DfiMetrics)) {
         f(&mut self.inner.borrow_mut().metrics);
     }
@@ -1024,9 +1353,10 @@ impl Dfi {
             {
                 inner.metrics.spoof_denied += 1;
                 // The drop rule below is installed under cookie 0 without
-                // a policy query: make sure the next conflicting Allow
-                // insert flushes it.
-                inner.pm.note_default_deny_cached();
+                // a policy query: note it DFI-side (the hot path never
+                // touches the Policy Manager) so the next conflicting
+                // Allow insert flushes it.
+                inner.default_deny_cached = true;
                 let decision = Decision {
                     action: PolicyAction::Deny,
                     policy: DEFAULT_DENY_ID,
@@ -1051,15 +1381,25 @@ impl Dfi {
                             src,
                             dst,
                         };
+                        // The decision reads only the published immutable
+                        // snapshot — no lock, no `&mut PolicyManager`, no
+                        // allocation. Arbitration is bit-identical to
+                        // `pm.query`/`pm.query_class` (proptest-proven).
+                        let snap = inner.store.load();
                         let (decision, widened) = if inner.config.wildcard_caching {
-                            match inner.pm.query_class(&flow) {
+                            match snap.classify_class(&flow) {
                                 Some(decision) => (decision, true),
-                                None => (inner.pm.query(&flow), false),
+                                None => (snap.classify(&flow), false),
                             }
                         } else {
-                            (inner.pm.query(&flow), false)
+                            (snap.classify(&flow), false)
                         };
-                        inner.cache.insert(key, decision.clone(), widened);
+                        if decision.policy == DEFAULT_DENY_ID {
+                            inner.default_deny_cached = true;
+                        }
+                        inner
+                            .cache
+                            .insert(key, decision.clone(), widened, snap.epoch());
                         (decision, widened)
                     }
                 };
@@ -1148,6 +1488,13 @@ impl Dfi {
     ) -> PolicyId {
         let (id, flush) = {
             let mut inner = self.inner.borrow_mut();
+            // Forward the hot path's default-deny note before the insert
+            // so a conflicting Allow flushes the cookie-0 rules exactly as
+            // when `pm.query` set the flag itself.
+            if inner.default_deny_cached {
+                inner.pm.note_default_deny_cached();
+                inner.default_deny_cached = false;
+            }
             let (id, flush) = inner.pm.insert(rule, priority, pdp);
             // Invalidate memoized decisions exactly where the switch-side
             // cookie flush happens, so the cache is never more permissive
@@ -1157,9 +1504,10 @@ impl Dfi {
             }
             (id, flush)
         };
-        for policy in flush {
-            self.flush_policy_rules(sim, policy);
+        for policy in &flush {
+            self.flush_policy_rules(sim, *policy);
         }
+        self.republish(sim, &flush);
         id
     }
 
@@ -1176,8 +1524,91 @@ impl Dfi {
         };
         if existed {
             self.flush_policy_rules(sim, id);
+            self.republish(sim, &[id]);
         }
         existed
+    }
+
+    /// Lowers the (mutated) Policy Manager into a fresh snapshot and
+    /// publishes it — unless the certification gate refuses.
+    ///
+    /// Certify → publish: the gate (when installed) re-analyzes the
+    /// mutation delta; an empty witness list publishes the compiled
+    /// snapshot and announces it on [`topic::SNAPSHOTS`]. A non-empty list
+    /// *defers* publication: the Policy Manager keeps the mutation, the
+    /// previously certified snapshot keeps serving, and `flush_hint` (the
+    /// cookie flushes this mutation triggered) is remembered. The next
+    /// certified-clean publication is a *recovery*: it bulk-expires
+    /// decision-cache entries older than the new epoch and re-issues the
+    /// remembered flushes, because flows decided under the stale snapshot
+    /// may have re-installed rules the deferred mutations outrank.
+    fn republish(&self, sim: &mut Sim, flush_hint: &[PolicyId]) {
+        // Take the gate out so the hook can re-enter this Dfi.
+        let gate = {
+            let mut inner = self.inner.borrow_mut();
+            inner.certifying = true;
+            inner.snapshot_gate.take()
+        };
+        let witnesses = match gate {
+            Some(mut hook) => {
+                let w = hook(sim, self);
+                self.inner.borrow_mut().snapshot_gate = Some(hook);
+                w
+            }
+            None => Vec::new(),
+        };
+        self.inner.borrow_mut().certifying = false;
+        if witnesses.is_empty() {
+            let (event, recovered) = {
+                let mut inner = self.inner.borrow_mut();
+                inner.next_epoch += 1;
+                let epoch = inner.next_epoch;
+                let snap = PolicySnapshot::compile(&inner.pm, epoch);
+                let event = DfiEvent::SnapshotPublished {
+                    epoch,
+                    revision: snap.revision(),
+                    rules: snap.rule_count() as u64,
+                };
+                inner.metrics.snapshots_published += 1;
+                inner.store.publish(snap);
+                let recovered = if inner.publish_deferred {
+                    inner.publish_deferred = false;
+                    inner.cache.expire_before(epoch);
+                    std::mem::take(&mut inner.deferred_flushes)
+                } else {
+                    Vec::new()
+                };
+                (event, recovered)
+            };
+            for id in recovered {
+                self.flush_policy_rules(sim, id);
+            }
+            self.bus.publish(sim, topic::SNAPSHOTS, event);
+        } else {
+            let event = {
+                let mut inner = self.inner.borrow_mut();
+                inner.publish_deferred = true;
+                inner.deferred_flushes.extend_from_slice(flush_hint);
+                inner.metrics.snapshot_refusals += 1;
+                DfiEvent::SnapshotRefused {
+                    revision: inner.pm.revision(),
+                    witnesses,
+                }
+            };
+            self.bus.publish(sim, topic::SNAPSHOTS, event);
+        }
+    }
+
+    /// Installs the snapshot-certification hook consulted before every
+    /// publication (see [`SnapshotGate`]); replaces any previous hook.
+    pub fn set_snapshot_gate(&self, gate: SnapshotGate) {
+        self.inner.borrow_mut().snapshot_gate = Some(gate);
+    }
+
+    /// The currently published policy snapshot — the exact immutable view
+    /// the flow-setup hot path reads.
+    pub fn snapshot(&self) -> Rc<PolicySnapshot> {
+        self.inner.borrow().store.load()
     }
 
     /// Sends a delete-by-cookie to every attached switch for the given
@@ -1231,6 +1662,9 @@ impl Dfi {
         }
         m.erm_index = inner.erm.index_sizes();
         m.policy_index = inner.pm.index_stats();
+        let snap = inner.store.load();
+        m.snapshot_epoch = snap.epoch();
+        m.snapshot_rules = snap.rule_count() as u64;
         m
     }
 
@@ -1241,8 +1675,29 @@ impl Dfi {
     }
 
     /// Runs a closure against the Policy Manager.
+    ///
+    /// This is the raw control-plane backdoor (tests, harnesses, the
+    /// analyzer): it bypasses certification, flushes, and events. If the
+    /// closure mutated the store, the published snapshot is re-lowered
+    /// immediately so hot-path decisions stay equivalent to `pm.query` —
+    /// exactly the coupling the pre-snapshot code had — while switch-side
+    /// state is deliberately left stale (that staleness is what the
+    /// table-0 audit tests construct). The one exception: while the
+    /// certification gate is running, the Policy Manager legitimately
+    /// leads the store, and the gate reading it through `with_pm` must
+    /// not publish the very candidate it is deciding on — the resync is
+    /// suppressed for the duration.
     pub fn with_pm<R>(&self, f: impl FnOnce(&mut PolicyManager) -> R) -> R {
-        f(&mut self.inner.borrow_mut().pm)
+        let mut inner = self.inner.borrow_mut();
+        let r = f(&mut inner.pm);
+        if !inner.certifying && inner.pm.revision() != inner.store.load().revision() {
+            inner.next_epoch += 1;
+            let epoch = inner.next_epoch;
+            let snap = PolicySnapshot::compile(&inner.pm, epoch);
+            inner.store.publish(snap);
+            inner.metrics.snapshots_published += 1;
+        }
+        r
     }
 
     /// Per-station statistics: (pcp, binding-db, policy-db).

@@ -20,6 +20,23 @@ pub mod topic {
     pub const SESSIONS: &str = "dfi.bindings.session";
     /// Verifier findings raised/updated/cleared by the online analyzer.
     pub const ANALYZER_FINDINGS: &str = "dfi.analyzer.finding";
+    /// Policy-snapshot lifecycle: publications and certification refusals.
+    pub const SNAPSHOTS: &str = "dfi.policy.snapshot";
+}
+
+/// One certification witness carried by [`DfiEvent::SnapshotRefused`]:
+/// why the candidate snapshot was not published. Stringly typed for the
+/// same crate-graph reason as [`DfiEvent::AnalyzerFinding`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotWitness {
+    /// Diagnostic kind slug (e.g. `"allow-deny-conflict"`,
+    /// `"shadowed-rule"`).
+    pub kind: String,
+    /// Raw [`PolicyId`](crate::policy::PolicyId) values involved.
+    pub rules: Vec<u64>,
+    /// Human-readable description, including the witness flow when the
+    /// certifier produced one.
+    pub message: String,
 }
 
 /// The envelope carried on the DFI bus.
@@ -78,6 +95,25 @@ pub enum DfiEvent {
         dpids: Vec<u64>,
         /// Human-readable description.
         message: String,
+    },
+    /// The control plane compiled and published a new policy snapshot;
+    /// the hot path serves it from this instant on.
+    SnapshotPublished {
+        /// Publication epoch (monotonic per DFI).
+        epoch: u64,
+        /// The policy-store revision the snapshot was compiled from.
+        revision: u64,
+        /// Compiled rule count.
+        rules: u64,
+    },
+    /// Snapshot certification refused publication: the candidate rule set
+    /// introduces new conflicts or shadowing. The previously published
+    /// snapshot keeps serving until a later mutation certifies clean.
+    SnapshotRefused {
+        /// The policy-store revision that failed certification.
+        revision: u64,
+        /// Why, one entry per new finding.
+        witnesses: Vec<SnapshotWitness>,
     },
 }
 

@@ -50,7 +50,7 @@ pub mod pdp;
 pub mod policy;
 pub mod rewrite;
 
-pub use dfi::{BufPool, Dfi, DfiConfig, DfiMetrics};
+pub use dfi::{BufPool, Dfi, DfiConfig, DfiMetrics, SnapshotGate};
 // Exported for the criterion bench harness; not part of the stable API.
 #[doc(hidden)]
 pub use dfi::{CachedDecision, DecisionCache, FlowKey};

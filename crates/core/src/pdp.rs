@@ -20,6 +20,17 @@
 //! * [`QuarantinePdp`] — "Quarantine Upon Compromise": an incident
 //!   responder can cut a host off entirely, overriding everything below
 //!   its priority.
+//!
+//! PDPs never touch the data plane directly: every rule they emit goes
+//! through [`Dfi::insert_policy`], whose certify-then-publish pipeline
+//! compiles the mutated rule set into a fresh [`PolicySnapshot`], runs the
+//! incremental analyzer over the delta, and only then atomically swaps the
+//! snapshot the flow-setup path reads. A PDP whose rule would introduce an
+//! Allow/Deny conflict sees the mutation journaled but the publication
+//! refused (with witnesses on the bus) while the last certified snapshot
+//! keeps deciding flows — dynamic policy, but never a half-applied one.
+//!
+//! [`PolicySnapshot`]: crate::policy::PolicySnapshot
 
 use crate::dfi::Dfi;
 use crate::events::{topic, DfiEvent};

@@ -125,7 +125,7 @@ pub enum PolicyDelta {
 pub struct Decision {
     /// Allow or deny.
     pub action: PolicyAction,
-    /// The policy that decided (DEFAULT_DENY_ID when nothing matched).
+    /// The policy that decided (`DEFAULT_DENY_ID` when nothing matched).
     pub policy: PolicyId,
 }
 

@@ -4,6 +4,7 @@
 mod manager;
 mod model;
 mod roles;
+mod snapshot;
 
 pub use manager::{
     Decision, PolicyDelta, PolicyId, PolicyIndexStats, PolicyManager, StoredPolicy, DEFAULT_DENY_ID,
@@ -13,3 +14,4 @@ pub use model::{
     WildName,
 };
 pub use roles::RbacRoles;
+pub use snapshot::{PolicySnapshot, SnapshotStore, INLINE_CURSORS};

@@ -2,13 +2,14 @@
 //! flows and — the part that matters for security — event-driven
 //! invalidation that exactly tracks binding churn and policy flushes.
 
-use dfi_core::events::{topic, DfiEvent};
+use dfi_core::events::{topic, DfiEvent, SnapshotWitness};
 use dfi_core::policy::{EndpointPattern, PolicyRule};
 use dfi_core::{Dfi, DfiConfig};
 use dfi_dataplane::{Network, Switch, SwitchConfig, Tx};
 use dfi_packet::headers::build;
 use dfi_packet::MacAddr;
 use dfi_simnet::{Dist, Sim};
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 use std::time::Duration;
@@ -224,6 +225,95 @@ fn policy_revocation_invalidates_its_decisions() {
     assert_eq!(m.denied, 1);
     assert_eq!(m.decision_cache_misses, 2);
     assert_eq!(m.decision_cache_hits, 0);
+}
+
+/// The snapshot-epoch staleness regression test: a decision cached while a
+/// refused publication is *deferred* is decided by the old snapshot. When
+/// the deferred mutations finally publish (the recovery), that cached
+/// verdict must not survive — even though no per-policy flush touches it —
+/// because the new snapshot may reverse it. Epoch tagging is the only
+/// thing standing between the replayed flow and a stale Allow.
+#[test]
+fn stale_allow_is_not_served_after_a_deny_snapshot_publishes() {
+    let mut r = rig();
+    r.dfi
+        .insert_policy(&mut r.sim, PolicyRule::allow_all(), 1, "test");
+    // A placeholder rule whose later revocation is the "operator resolves
+    // the conflict" mutation. It matches nothing in this rig, and —
+    // crucially — revoking it flushes only its own id, so the recovery's
+    // epoch expiry is the sole defense against the stale entry below.
+    let placeholder = r.dfi.insert_policy(
+        &mut r.sim,
+        PolicyRule::deny(EndpointPattern::user("nobody"), EndpointPattern::any()),
+        5,
+        "test",
+    );
+    r.sim.run();
+
+    // Install a certification gate that refuses while `refuse` is set.
+    let refuse = Rc::new(RefCell::new(false));
+    let flag = Rc::clone(&refuse);
+    r.dfi.set_snapshot_gate(Box::new(move |_sim, _dfi| {
+        if *flag.borrow() {
+            vec![SnapshotWitness {
+                kind: "allow-deny-conflict".into(),
+                rules: Vec::new(),
+                message: "test: publication refused".into(),
+            }]
+        } else {
+            Vec::new()
+        }
+    }));
+
+    // A blanket Deny arrives but its snapshot is refused: the Policy
+    // Manager keeps the rule, the last certified (Allow) snapshot keeps
+    // serving flows.
+    *refuse.borrow_mut() = true;
+    r.dfi.insert_policy(
+        &mut r.sim,
+        PolicyRule::deny(EndpointPattern::any(), EndpointPattern::any()),
+        10,
+        "test",
+    );
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.snapshot_refusals, 1);
+    assert_eq!(
+        m.snapshots_published, 2,
+        "the refused candidate never swapped in"
+    );
+
+    // Traffic decided during the deferral is allowed by the stale snapshot
+    // (uninterrupted service is the point of deferring) and memoized under
+    // the stale epoch.
+    r.tx[0].send(&mut r.sim, syn(1, 2, 443));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.allowed, 1);
+    assert_eq!(m.decision_cache_entries, 1);
+
+    // The conflict is resolved; the next mutation certifies clean and the
+    // deferred Deny finally publishes (the recovery).
+    *refuse.borrow_mut() = false;
+    assert!(r.dfi.revoke_policy(&mut r.sim, placeholder));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.snapshots_published, 3);
+    assert!(m.snapshot_epoch > 2, "recovery advanced the epoch");
+
+    // The replayed flow must be re-decided under the Deny snapshot — the
+    // memo entry from the deferral window is expired by epoch, never
+    // served.
+    r.tx[0].send(&mut r.sim, syn(1, 2, 443));
+    r.sim.run();
+    let m = r.dfi.metrics();
+    assert_eq!(m.allowed, 1, "stale Allow must not be served");
+    assert_eq!(m.denied, 1);
+    assert_eq!(m.decision_cache_hits, 0);
+    assert_eq!(
+        m.decision_cache_misses, 2,
+        "replay re-decided, not served from the stale-epoch memo"
+    );
 }
 
 #[test]

@@ -24,7 +24,7 @@ fn diff_offsets(a: &[u8], b: &[u8]) -> Vec<usize> {
 }
 
 /// A DFI *allow* install, byte for byte: cookie = policy id, match on
-/// eth_type + ipv4_src, single `goto_table 1` instruction.
+/// `eth_type` + `ipv4_src`, single `goto_table 1` instruction.
 #[test]
 fn flow_mod_add_golden_bytes() {
     let fm = FlowMod {
@@ -63,7 +63,7 @@ fn flow_mod_add_golden_bytes() {
 }
 
 /// The policy-revocation flush: delete-by-cookie across all tables. This is
-/// the message whose cookie/cookie_mask semantics replace timeouts in DFI.
+/// the message whose `cookie/cookie_mask` semantics replace timeouts in DFI.
 #[test]
 fn flow_mod_delete_by_cookie_golden_bytes() {
     let fm = FlowMod::delete_by_cookie(42, u64::MAX);
@@ -83,7 +83,7 @@ fn flow_mod_delete_by_cookie_golden_bytes() {
     assert_eq!(got, want, "delete-by-cookie wire layout drifted from OF1.3");
 }
 
-/// The cookie and cookie_mask sit big-endian at body offsets 0 and 8
+/// The cookie and `cookie_mask` sit big-endian at body offsets 0 and 8
 /// (§7.3.4.1) — checked independently of any golden dump so an error in a
 /// dump above can't mask an endianness bug.
 #[test]
@@ -99,7 +99,7 @@ fn cookie_fields_at_spec_offsets() {
 }
 
 /// The proxy's controller→switch table shift, observed on the wire: exactly
-/// two bytes change — the flow-mod's table_id (body offset 16) and the
+/// two bytes change — the flow-mod's `table_id` (body offset 16) and the
 /// `goto_table` operand — and the cookie bytes are untouched.
 #[test]
 fn rewrite_shifts_table_ids_on_the_wire() {
@@ -136,8 +136,8 @@ fn rewrite_shifts_table_ids_on_the_wire() {
     );
 }
 
-/// The switch→controller decrement on a packet-in, on the wire: table_id
-/// lives at body offset 7 (after buffer_id, total_len, reason) and is the
+/// The switch→controller decrement on a packet-in, on the wire: `table_id`
+/// lives at body offset 7 (after `buffer_id`, `total_len`, reason) and is the
 /// only byte that changes.
 #[test]
 fn rewrite_decrements_packet_in_table_on_the_wire() {

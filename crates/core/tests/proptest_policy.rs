@@ -2,7 +2,7 @@
 
 use dfi_core::policy::{
     Decision, EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction, PolicyManager,
-    PolicyRule, Wild, WildName, DEFAULT_DENY_ID,
+    PolicyRule, PolicySnapshot, Wild, WildName, DEFAULT_DENY_ID,
 };
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -255,6 +255,64 @@ proptest! {
                 "indexed query_class diverged on {:?}",
                 flow
             );
+        }
+    }
+
+    /// The tentpole proof obligation of the snapshot data plane: the
+    /// compiled immutable classifier must be **bit-identical** — same
+    /// winning policy id, not merely the same action — to both the
+    /// bucket-indexed query and the retained linear oracle, on arbitrary
+    /// insert/revoke histories and flows:
+    /// `snapshot.classify ≡ pm.query ≡ pm.query_linear` (and the
+    /// port-class triple). This three-way equivalence is what licenses the
+    /// hot path to read *only* the snapshot.
+    #[test]
+    fn snapshot_classify_matches_indexed_and_linear(
+        ops in proptest::collection::vec((arb_rule(), 1u32..5, any::<bool>()), 0..16),
+        flows in proptest::collection::vec(arb_flow(), 1..6),
+    ) {
+        let mut pm = PolicyManager::new();
+        let mut live = Vec::new();
+        for (rule, prio, revoke_oldest) in &ops {
+            let (id, _) = pm.insert(rule.clone(), *prio, "prop");
+            live.push(id);
+            if *revoke_oldest && live.len() > 1 {
+                let victim = live.remove(0);
+                prop_assert!(pm.revoke(victim));
+            }
+        }
+        let snap = PolicySnapshot::compile(&pm, 1);
+        prop_assert_eq!(snap.rule_count(), pm.len());
+        prop_assert_eq!(snap.revision(), pm.revision());
+        for flow in &flows {
+            let linear = pm.query_linear(flow);
+            prop_assert_eq!(
+                snap.classify(flow),
+                linear.clone(),
+                "snapshot classify diverged from the linear oracle on {:?}",
+                flow
+            );
+            prop_assert_eq!(pm.query(flow), linear, "bucket index diverged on {:?}", flow);
+            let class_linear = pm.query_class_linear(flow);
+            prop_assert_eq!(
+                snap.classify_class(flow),
+                class_linear.clone(),
+                "snapshot classify_class diverged from the linear oracle on {:?}",
+                flow
+            );
+            prop_assert_eq!(
+                pm.query_class(flow),
+                class_linear,
+                "bucket-index query_class diverged on {:?}",
+                flow
+            );
+        }
+        // Batch classification is defined as the pointwise map.
+        let mut out = Vec::new();
+        snap.classify_batch(&flows, &mut out);
+        prop_assert_eq!(out.len(), flows.len());
+        for (flow, batched) in flows.iter().zip(&out) {
+            prop_assert_eq!(batched, &snap.classify(flow));
         }
     }
 

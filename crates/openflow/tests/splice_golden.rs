@@ -138,7 +138,7 @@ fn goto_table_past_the_boundary_rejects_without_partial_patch() {
 // Multipart flow-stats replies with mixed table ids
 // ---------------------------------------------------------------------------
 
-/// Flow-stats entry, match-any, one GOTO_TABLE instruction (0x40 bytes).
+/// Flow-stats entry, match-any, one `GOTO_TABLE` instruction (0x40 bytes).
 fn stats_entry_goto(table: &str, goto: &str) -> String {
     format!(
         "0040 {table} 00 00000000 00000000 0001 0000 0000 0000 00000000 \

@@ -1,0 +1,298 @@
+//! Flow-decide gate: the snapshot classifier against the paths it
+//! replaced, at enterprise scale (10 000 rules, 512 destination-host
+//! buckets, ~20 candidate entries per probe).
+//!
+//! Two rule-set profiles, mirroring how PDPs actually populate the
+//! manager:
+//!
+//! * `acl` — destination-keyed access-control lists, all inserted at one
+//!   fixed priority the way a single PDP (e.g. S-RBAC) stamps every rule
+//!   with its own band, a Deny sprinkled through. This is the snapshot's
+//!   home turf: every entry compiles to a trivial residual, each bucket
+//!   carries a pre-computed verdict, and classification is two binary
+//!   searches plus a pre-computed answer. **The `--gate` speedup and
+//!   zero-alloc requirements are enforced on this profile.**
+//! * `mixed` — a third of the rules additionally pin the source host and
+//!   priorities spread over four PDP bands, so most candidates need real
+//!   residual interpretation. Reported for transparency (expect a small
+//!   multiple, not an order of magnitude): it bounds the worst case, the
+//!   gate does not certify it.
+//!
+//! Per profile it measures:
+//!
+//! * `linear` — `PolicyManager::query_linear`, the full-scan oracle
+//!   (`acl` only; it is ~three orders slower),
+//! * `indexed` — `PolicyManager::query`, the bucket-indexed path the PCP
+//!   read before the snapshot data plane (allocates lowercased bucket
+//!   keys and cursor vectors per call, hashes per candidate, interprets
+//!   `matches` per candidate),
+//! * `classify` — `PolicySnapshot::classify`, the compiled hot path,
+//! * `batch` — `PolicySnapshot::classify_batch` over a 64-flow packet-in
+//!   burst into a reused output buffer (`acl` only).
+//!
+//! Before timing anything it hard-fails unless all paths agree on every
+//! probe flow in both profiles — the same equivalence the property tests
+//! prove, here as a cheap sanity net so the gate can never certify a
+//! wrong-answer speedup.
+//!
+//! Prints a JSON report to stdout (captured into `BENCH_decide.json` by
+//! `scripts/check.sh --decide`). With `--gate N` it exits non-zero unless
+//! `acl` classify is at least `N`× faster than `indexed` and
+//! allocation-free.
+
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+use std::process::ExitCode;
+
+use dfi_core::policy::{
+    Decision, EndpointPattern, EndpointView, FlowView, PolicyManager, PolicyRule, PolicySnapshot,
+};
+use dfi_packet::MacAddr;
+use dfi_wiregate::{fmt_measure, measure, CountingAlloc, Measure};
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const N_RULES: usize = 10_000;
+const N_HOSTS: usize = 512;
+const BURST: usize = 64;
+
+/// `acl`: everything keyed on destination hostname with a wildcard
+/// source, one fixed priority band, a Deny in every 17th slot (17 is
+/// coprime to the host count, so denies land in every bucket position
+/// rather than aliasing onto a few hosts).
+fn build_acl_pm() -> PolicyManager {
+    let mut pm = PolicyManager::new();
+    for i in 0..N_RULES {
+        let dst = EndpointPattern::host(&format!("h{}", i % N_HOSTS));
+        let rule = if i % 17 == 5 {
+            PolicyRule::deny(EndpointPattern::any(), dst)
+        } else {
+            PolicyRule::allow(EndpointPattern::any(), dst)
+        };
+        pm.insert(rule, 50, "decidegate-acl");
+    }
+    pm
+}
+
+/// `mixed`: a third of the rules pin the source host too (residually
+/// constrained entries the snapshot must still interpret), priorities
+/// spread over four bands chosen by a multiplicative hash so bands mix
+/// within every bucket.
+fn build_mixed_pm() -> PolicyManager {
+    let mut pm = PolicyManager::new();
+    for i in 0..N_RULES {
+        let dst = EndpointPattern::host(&format!("h{}", i % N_HOSTS));
+        let src = if i % 3 == 0 {
+            EndpointPattern::host(&format!("h{}", (i / 3) % N_HOSTS))
+        } else {
+            EndpointPattern::any()
+        };
+        let rule = if i % 17 == 5 {
+            PolicyRule::deny(src, dst)
+        } else {
+            PolicyRule::allow(src, dst)
+        };
+        let band = (i.wrapping_mul(2_654_435_761) >> 16) % 4;
+        pm.insert(rule, 10 * (1 + band as u32), "decidegate-mixed");
+    }
+    pm
+}
+
+/// An enriched probe flow exactly the way the ERM hands them to the PCP
+/// (`Erm::view`): an FQDN and a short name per endpoint, the logged-on
+/// users of each host (the client's user, the server's service account),
+/// and the packet-level IP/MAC/attachment identifiers on both sides. The
+/// pre-snapshot path pays a lowercased heap key plus a hash probe per
+/// name/IP identifier; the snapshot pays a prefix-table probe.
+fn probe_flow(j: usize) -> FlowView {
+    let src_host = format!("h{}", j % N_HOSTS);
+    let dst_host = format!("h{}", (j * 7 + 3) % N_HOSTS);
+    let endpoint = |host: &str, user: String, ip_low: usize, port: u16| EndpointView {
+        usernames: vec![user],
+        hostnames: vec![format!("{host}.corp.local"), host.to_string()],
+        ip: Some(Ipv4Addr::new(
+            10,
+            0,
+            (ip_low / 256) as u8,
+            (ip_low % 256) as u8,
+        )),
+        port: Some(port),
+        mac: Some(MacAddr::from_index(ip_low as u32)),
+        switch_port: Some(1 + (ip_low % 40) as u32),
+        switch_dpid: Some(0xD1),
+    };
+    FlowView {
+        ethertype: 0x0800,
+        ip_proto: Some(6),
+        src: endpoint(
+            &src_host,
+            format!("user{j}"),
+            j % N_HOSTS,
+            40_000 + j as u16,
+        ),
+        dst: endpoint(
+            &dst_host,
+            format!("svc{}", j % 32),
+            (j * 7 + 3) % N_HOSTS,
+            445,
+        ),
+    }
+}
+
+/// Equivalence sanity net: never certify a wrong-answer speedup.
+fn check_equivalence(
+    name: &str,
+    pm: &mut PolicyManager,
+    snap: &PolicySnapshot,
+    flows: &[FlowView],
+) -> bool {
+    for (j, f) in flows.iter().enumerate() {
+        let lin = pm.query_linear(f);
+        let idx = pm.query(f);
+        let cls = snap.classify(f);
+        if lin != idx || lin != cls {
+            eprintln!(
+                "EQUIVALENCE FAIL ({name}) on probe flow {j}: \
+                 linear={lin:?} indexed={idx:?} classify={cls:?}"
+            );
+            return false;
+        }
+    }
+    true
+}
+
+struct Profile {
+    indexed: Measure,
+    classify: Measure,
+    speedup: f64,
+}
+
+fn run_profile(
+    pm: &mut PolicyManager,
+    snap: &PolicySnapshot,
+    flow: &FlowView,
+    iters: u64,
+) -> Profile {
+    let indexed = measure(iters, || {
+        black_box(pm.query(black_box(flow)));
+    });
+    let classify = measure(iters, || {
+        black_box(snap.classify(black_box(flow)));
+    });
+    Profile {
+        indexed,
+        classify,
+        speedup: indexed.ns_per_op / classify.ns_per_op,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut gate: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gate" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--gate requires a numeric speedup factor");
+                    return ExitCode::FAILURE;
+                };
+                gate = Some(v);
+            }
+            other => {
+                eprintln!("unknown argument: {other}\nusage: dfi-decidegate [--gate N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let iters: u64 = std::env::var("DECIDEGATE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    let mut acl_pm = build_acl_pm();
+    let acl_snap = PolicySnapshot::compile(&acl_pm, 1);
+    let mut mixed_pm = build_mixed_pm();
+    let mixed_snap = PolicySnapshot::compile(&mixed_pm, 1);
+    let flows: Vec<FlowView> = (0..BURST).map(probe_flow).collect();
+
+    if !check_equivalence("acl", &mut acl_pm, &acl_snap, &flows)
+        || !check_equivalence("mixed", &mut mixed_pm, &mixed_snap, &flows)
+    {
+        return ExitCode::FAILURE;
+    }
+
+    // The linear oracle is ~three orders slower; scale its iteration count
+    // down so the gate stays quick.
+    let linear = measure((iters / 500).max(20), || {
+        black_box(acl_pm.query_linear(black_box(&flows[0])));
+    });
+    let acl = run_profile(&mut acl_pm, &acl_snap, &flows[0], iters);
+    let mixed = run_profile(&mut mixed_pm, &mixed_snap, &flows[0], iters);
+    let mut out: Vec<Decision> = Vec::with_capacity(BURST);
+    let batch = measure(iters / BURST as u64, || {
+        acl_snap.classify_batch(black_box(&flows), &mut out);
+        black_box(out.len());
+    });
+    let batch_ns_per_flow = batch.ns_per_op / BURST as f64;
+    let batch_flows_per_sec = 1e9 / batch_ns_per_flow;
+    let speedup_vs_linear = linear.ns_per_op / acl.classify.ns_per_op;
+
+    let pass = gate.is_none_or(|g| acl.speedup >= g && acl.classify.allocs_per_op <= 0.01);
+
+    println!("{{");
+    println!("  \"iters\": {iters},");
+    println!("  \"rules\": {N_RULES},");
+    println!("  \"acl\": {{");
+    println!("    \"linear\": {},", fmt_measure(linear));
+    println!("    \"indexed\": {},", fmt_measure(acl.indexed));
+    println!("    \"classify\": {},", fmt_measure(acl.classify));
+    println!(
+        "    \"batch\": {{\"flows\": {BURST}, \"ns_per_flow\": {batch_ns_per_flow:.1}, \
+         \"flows_per_sec\": {batch_flows_per_sec:.0}, \"allocs_per_burst\": {:.3}}},",
+        batch.allocs_per_op
+    );
+    println!(
+        "    \"speedup\": {{\"vs_indexed\": {:.2}, \"vs_linear\": {speedup_vs_linear:.1}}}",
+        acl.speedup
+    );
+    println!("  }},");
+    println!("  \"mixed\": {{");
+    println!("    \"indexed\": {},", fmt_measure(mixed.indexed));
+    println!("    \"classify\": {},", fmt_measure(mixed.classify));
+    println!("    \"speedup\": {{\"vs_indexed\": {:.2}}}", mixed.speedup);
+    println!("  }},");
+    println!(
+        "  \"gate\": {{\"required_speedup\": {}, \"profile\": \"acl\", \"pass\": {pass}}}",
+        gate.map_or_else(|| "null".to_string(), |g| format!("{g:.1}"))
+    );
+    println!("}}");
+
+    if let Some(g) = gate {
+        let mut failed = false;
+        if acl.speedup < g {
+            eprintln!(
+                "GATE FAIL: acl classify speedup {:.2}x vs indexed < required {g:.1}x",
+                acl.speedup
+            );
+            failed = true;
+        }
+        if acl.classify.allocs_per_op > 0.01 {
+            eprintln!(
+                "GATE FAIL: snapshot classify allocates {:.3} allocs/flow (want 0)",
+                acl.classify.allocs_per_op
+            );
+            failed = true;
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "gate ok: acl classify {:.2}x vs indexed ({:.0} ns/flow, {:.3} allocs/flow), \
+             {speedup_vs_linear:.0}x vs linear; mixed {:.2}x",
+            acl.speedup, acl.classify.ns_per_op, acl.classify.allocs_per_op, mixed.speedup
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,87 @@
+//! Shared measurement harness for the DFI performance gates
+//! (`dfi-wiregate`, `dfi-decidegate`): a counting `GlobalAlloc` over
+//! [`System`] plus a best-of-repetitions timing loop.
+//!
+//! Each gate binary installs the allocator itself:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOCATOR: dfi_wiregate::CountingAlloc = dfi_wiregate::CountingAlloc;
+//! ```
+//!
+//! This crate is deliberately NOT opted into the workspace lint set: the
+//! counting allocator must implement `GlobalAlloc` (an `unsafe` trait),
+//! and the workspace forbids `unsafe_code`. The unsafety is confined to
+//! the forwarding methods here; every other library crate stays under the
+//! workspace `forbid`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Global allocation counter incremented by [`CountingAlloc`].
+pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Global allocated-bytes counter incremented by [`CountingAlloc`].
+pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Forwards to [`System`], counting every allocation and reallocation.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(new_size as u64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// One measured workload: mean wall time and allocation count per op.
+#[derive(Clone, Copy)]
+pub struct Measure {
+    /// Nanoseconds per operation (best repetition).
+    pub ns_per_op: f64,
+    /// Allocations per operation (best repetition).
+    pub allocs_per_op: f64,
+}
+
+/// Runs `f` for `iters` iterations, three repetitions after a warmup, and
+/// keeps the best (least-noisy) repetition for both metrics.
+pub fn measure<F: FnMut()>(iters: u64, mut f: F) -> Measure {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let mut best = Measure {
+        ns_per_op: f64::INFINITY,
+        allocs_per_op: f64::INFINITY,
+    };
+    for _ in 0..3 {
+        let a0 = ALLOCS.load(Relaxed);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        let allocs = (ALLOCS.load(Relaxed) - a0) as f64 / iters as f64;
+        best.ns_per_op = best.ns_per_op.min(ns);
+        best.allocs_per_op = best.allocs_per_op.min(allocs);
+    }
+    best
+}
+
+/// Renders a [`Measure`] as the gates' JSON object fragment.
+pub fn fmt_measure(m: Measure) -> String {
+    format!(
+        "{{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.3}}}",
+        m.ns_per_op, m.allocs_per_op
+    )
+}

@@ -18,12 +18,9 @@
 //! both splice directions are at least `N`× the oracle and the steady
 //! state stays at zero allocations per flow.
 
-use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::time::Instant;
 
 use dfi_core::rewrite::{
     rewrite_controller_frame_in_place, rewrite_controller_to_switch, rewrite_switch_frame_in_place,
@@ -33,71 +30,10 @@ use dfi_core::BufPool;
 use dfi_openflow::{
     Action, FlowMod, FlowStatsEntry, Instruction, Match, Message, MultipartReply, OfMessage,
 };
-
-// ---------------------------------------------------------------------------
-// Counting allocator
-// ---------------------------------------------------------------------------
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static BYTES: AtomicU64 = AtomicU64::new(0);
-
-/// Forwards to [`System`], counting every allocation and reallocation.
-struct CountingAlloc;
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Relaxed);
-        BYTES.fetch_add(new_size as u64, Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use dfi_wiregate::{fmt_measure, measure, CountingAlloc, Measure};
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
-
-// ---------------------------------------------------------------------------
-// Measurement harness
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, Copy)]
-struct Measure {
-    ns_per_op: f64,
-    allocs_per_op: f64,
-}
-
-/// Runs `f` for `iters` iterations, three repetitions after a warmup, and
-/// keeps the best (least-noisy) repetition for both metrics.
-fn measure<F: FnMut()>(iters: u64, mut f: F) -> Measure {
-    for _ in 0..iters / 10 + 1 {
-        f();
-    }
-    let mut best = Measure {
-        ns_per_op: f64::INFINITY,
-        allocs_per_op: f64::INFINITY,
-    };
-    for _ in 0..3 {
-        let a0 = ALLOCS.load(Relaxed);
-        let t0 = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
-        let allocs = (ALLOCS.load(Relaxed) - a0) as f64 / iters as f64;
-        best.ns_per_op = best.ns_per_op.min(ns);
-        best.allocs_per_op = best.allocs_per_op.min(allocs);
-    }
-    best
-}
 
 // ---------------------------------------------------------------------------
 // Workloads
@@ -287,12 +223,7 @@ fn main() -> ExitCode {
     let r = run(iters);
     let up_speedup = r.up_oracle.ns_per_op / r.up_splice.ns_per_op;
     let down_speedup = r.down_oracle.ns_per_op / r.down_splice.ns_per_op;
-    let fmt = |m: Measure| {
-        format!(
-            "{{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.3}}}",
-            m.ns_per_op, m.allocs_per_op
-        )
-    };
+    let fmt = fmt_measure;
     println!("{{");
     println!("  \"iters\": {iters},");
     println!(

@@ -5,7 +5,8 @@
 # Usage:
 #   scripts/check.sh          full gate: fmt, clippy, workspace tests with a
 #                             per-crate breakdown, deep codec fuzz
-#                             (FUZZ_ITERS, default 50000), bench compile
+#                             (FUZZ_ITERS, default 50000), the analyze, wire,
+#                             and decide tiers, bench compile
 #   scripts/check.sh --fast   pre-commit tier: fmt, clippy, workspace tests
 #                             with the fuzz suites dialed down to 500 cases
 #   scripts/check.sh --analyze
@@ -19,16 +20,24 @@
 #                             differential suite (deep), the golden byte
 #                             vectors, and the dfi-wiregate allocation /
 #                             speedup gate (writes BENCH_wire.json)
+#   scripts/check.sh --decide
+#                             flow-decide tier only: the snapshot three-way
+#                             equivalence proptests (classify == query ==
+#                             query_linear) and the dfi-decidegate >=10x
+#                             speedup / zero-alloc gate on the compiled
+#                             classifier (writes BENCH_decide.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
 ANALYZE_ONLY=0
 WIRE_ONLY=0
+DECIDE_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
   --wire) WIRE_ONLY=1 ;;
+  --decide) DECIDE_ONLY=1 ;;
 esac
 
 run_wire() {
@@ -44,6 +53,20 @@ run_wire() {
 
 if [[ "$WIRE_ONLY" == 1 ]]; then
   run_wire
+  echo "All checks passed."
+  exit 0
+fi
+
+run_decide() {
+  echo "== snapshot three-way equivalence (classify == query == query_linear) =="
+  cargo test -q -p dfi-core --test proptest_policy snapshot
+  echo "== dfi-decidegate: >=10x compiled-classifier speedup + zero-alloc gate =="
+  cargo build -q --release -p dfi-wiregate
+  ./target/release/dfi-decidegate --gate 10 | tee BENCH_decide.json
+}
+
+if [[ "$DECIDE_ONLY" == 1 ]]; then
+  run_decide
   echo "All checks passed."
   exit 0
 fi
@@ -102,6 +125,8 @@ if [[ "$FAST" == 0 ]]; then
   run_analyze
 
   run_wire
+
+  run_decide
 
   echo "== cargo bench --no-run =="
   cargo bench -q --workspace --no-run
