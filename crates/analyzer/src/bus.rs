@@ -32,6 +32,7 @@ use crate::diag::Diagnostic;
 /// `raised` is `true` for raises *and* updates — it tracks whether the
 /// finding is active after the transition, which is what reactive
 /// subscribers key on — and `false` only for clears.
+#[must_use]
 pub fn bus_event(finding: FindingId, raised: bool, diag: &Diagnostic) -> DfiEvent {
     DfiEvent::AnalyzerFinding {
         finding: finding.0,

@@ -92,6 +92,7 @@ impl Certifier {
 
     /// The wrapped analyzer's current active findings (diagnostics in the
     /// full analyzer's canonical order).
+    #[must_use]
     pub fn diagnostics(&self) -> Vec<crate::diag::Diagnostic> {
         self.da.diagnostics()
     }
@@ -114,6 +115,7 @@ impl Certifier {
 /// The seed pass over pre-existing rules is *not* published on the bus
 /// here (the caller can, via [`Certifier::diagnostics`]); only mutations
 /// after wiring stream events.
+#[must_use]
 pub fn wire_snapshot_gate(
     dfi: &Dfi,
     universe: Option<IdentifierUniverse>,

@@ -40,6 +40,7 @@ pub struct SeededCorpus {
 
 /// Builds a corpus of exactly `n_rules` stored policies. Deterministic in
 /// `seed`.
+#[must_use]
 pub fn generate(n_rules: usize, seed: u64) -> SeededCorpus {
     let mut rng = SimRng::new(seed);
     let mut c = SeededCorpus {
@@ -209,6 +210,7 @@ pub struct NetworkCorpus {
 /// Builds a network corpus: `n_flows` cached flows spread over
 /// `n_switches` switches (at least 5). With `defects` false every flow is
 /// clean — the audit must come back empty. Deterministic in `seed`.
+#[must_use]
 pub fn generate_network(
     n_switches: usize,
     n_flows: usize,

@@ -57,6 +57,7 @@ pub struct FlowCube {
 
 impl FlowCube {
     /// The cube of a rule.
+    #[must_use]
     pub fn of(rule: &PolicyRule) -> FlowCube {
         FlowCube {
             flow: rule.flow.clone(),
@@ -66,6 +67,7 @@ impl FlowCube {
     }
 
     /// Field-wise intersection; `None` when the cubes are disjoint.
+    #[must_use]
     pub fn intersect(&self, other: &FlowCube) -> Option<FlowCube> {
         Some(FlowCube {
             flow: self.flow.intersect(&other.flow)?,
@@ -77,6 +79,7 @@ impl FlowCube {
     /// The minimal witness flow of this cube (see module docs): interval
     /// pins contribute their low endpoint. `fresh_ethertype` must be a
     /// value no analyzed rule pins.
+    #[must_use]
     pub fn minimal_flow(&self, fresh_ethertype: u16) -> FlowView {
         FlowView {
             ethertype: self.flow.ethertype.low().unwrap_or(fresh_ethertype),
@@ -88,6 +91,7 @@ impl FlowCube {
 
     /// `true` when any dimension is interval-pinned — the trigger for
     /// [`refine`]; exact-pin cubes skip refinement entirely.
+    #[must_use]
     pub fn has_interval(&self) -> bool {
         fn iv<T>(w: &Wild<T>) -> bool {
             matches!(w, Wild::In(..))

@@ -77,6 +77,7 @@ pub enum FindingEvent {
 
 impl FindingEvent {
     /// The finding's stable id.
+    #[must_use]
     pub fn id(&self) -> FindingId {
         match self {
             FindingEvent::Raised { id, .. }
@@ -86,6 +87,7 @@ impl FindingEvent {
     }
 
     /// The finding's content (last known, for `Cleared`).
+    #[must_use]
     pub fn diag(&self) -> &Diagnostic {
         match self {
             FindingEvent::Raised { diag, .. }
@@ -95,6 +97,7 @@ impl FindingEvent {
     }
 
     /// `true` for `Raised`/`Updated`, `false` for `Cleared`.
+    #[must_use]
     pub fn is_active(&self) -> bool {
         !matches!(self, FindingEvent::Cleared { .. })
     }
@@ -286,6 +289,7 @@ impl RuleStore for DeltaAnalyzer {
 impl DeltaAnalyzer {
     /// An empty engine. Reachability findings are produced only when a
     /// universe is supplied (mirroring `Analyzer::analyze`'s parameter).
+    #[must_use]
     pub fn new(universe: Option<IdentifierUniverse>) -> DeltaAnalyzer {
         DeltaAnalyzer {
             rules: BTreeMap::new(),
@@ -408,6 +412,7 @@ impl DeltaAnalyzer {
     /// The current diagnostic set, sorted exactly as
     /// [`Analyzer::analyze`](crate::Analyzer::analyze) sorts — the two are
     /// byte-identical for the same rule set and universe.
+    #[must_use]
     pub fn diagnostics(&self) -> Vec<Diagnostic> {
         let mut out: Vec<Diagnostic> = self.diags.values().map(|(_, d)| d.clone()).collect();
         sort_diagnostics(&mut out);
@@ -415,16 +420,19 @@ impl DeltaAnalyzer {
     }
 
     /// Number of live findings.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.diags.len()
     }
 
     /// `true` when no finding is live.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.diags.is_empty()
     }
 
     /// Number of live rules tracked.
+    #[must_use]
     pub fn rule_count(&self) -> usize {
         self.rules.len()
     }

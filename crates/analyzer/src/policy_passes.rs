@@ -197,6 +197,7 @@ pub struct IdentifierUniverse {
 
 impl IdentifierUniverse {
     /// An empty universe (every name pin is then unreachable).
+    #[must_use]
     pub fn new() -> IdentifierUniverse {
         IdentifierUniverse::default()
     }
@@ -234,11 +235,13 @@ impl IdentifierUniverse {
     }
 
     /// `true` when the username exists (ASCII case-insensitive).
+    #[must_use]
     pub fn has_user(&self, name: &str) -> bool {
         self.users.contains(&name.to_ascii_lowercase())
     }
 
     /// `true` when the hostname exists (ASCII case-insensitive).
+    #[must_use]
     pub fn has_host(&self, name: &str) -> bool {
         self.hosts.contains(&name.to_ascii_lowercase())
     }
@@ -588,28 +591,33 @@ impl Analyzer {
     }
 
     /// Builds an analyzer from a live Policy Manager.
+    #[must_use]
     pub fn from_pm(pm: &PolicyManager) -> Analyzer {
         Analyzer::new(pm.snapshot())
     }
 
     /// The analyzed rules, ascending id.
+    #[must_use]
     pub fn rules(&self) -> &[StoredPolicy] {
         &self.rules
     }
 
     /// The ethertype minimal witnesses of ethertype-free cubes carry.
+    #[must_use]
     pub fn witness_ethertype(&self) -> u16 {
         self.fresh_ethertype
     }
 
     /// Replays arbitration for a flow — semantically identical to
     /// [`PolicyManager::query_linear`], but side-effect free.
+    #[must_use]
     pub fn decide(&self, flow: &FlowView) -> Decision {
         self.decide_among(0..self.rules.len(), flow, None)
     }
 
     /// Replays arbitration with one rule removed (the redundancy
     /// counterfactual).
+    #[must_use]
     pub fn decide_excluding(&self, flow: &FlowView, excluded: PolicyId) -> Decision {
         self.decide_among(0..self.rules.len(), flow, Some(excluded))
     }
@@ -649,6 +657,7 @@ impl Analyzer {
 
     /// The minimal witness flow of a rule's cube, when the rule exists.
     /// If the rule is reachable this flow is one it wins.
+    #[must_use]
     pub fn witness_flow(&self, id: PolicyId) -> Option<FlowView> {
         let i = *self.by_id.get(&id)?;
         Some(FlowCube::of(&self.rules[i].rule).minimal_flow(self.fresh_ethertype))
@@ -658,6 +667,7 @@ impl Analyzer {
     /// flow. Exact (see module docs). The witness is the rule's minimal
     /// flow — a flow the rule matches but loses to the reported
     /// dominator(s).
+    #[must_use]
     pub fn shadowed_rules(&self) -> Vec<Diagnostic> {
         self.rules
             .iter()
@@ -668,6 +678,7 @@ impl Analyzer {
     /// A flow proving rule `id` is *not* redundant: the rule decides it,
     /// and removing the rule flips the verdict. `None` when the rule is
     /// redundant (or absent). See [`non_redundancy_witness`].
+    #[must_use]
     pub fn non_redundancy_witness(&self, id: PolicyId) -> Option<FlowView> {
         non_redundancy_witness(self, id)
     }
@@ -676,6 +687,7 @@ impl Analyzer {
     /// (attribution may shift, Allow/Deny never does). Shadowed rules are
     /// omitted — they are trivially redundant and already reported at
     /// higher severity by [`Analyzer::shadowed_rules`].
+    #[must_use]
     pub fn redundant_rules(&self) -> Vec<Diagnostic> {
         self.rules
             .iter()
@@ -689,6 +701,7 @@ impl Analyzer {
     /// which rule arbitration lets win there. Equal-priority pairs — where
     /// the winner is decided only by the Deny-beats-Allow tiebreak — are
     /// warnings; ranked pairs are informational.
+    #[must_use]
     pub fn conflicts(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for sp in &self.rules {
@@ -706,6 +719,7 @@ impl Analyzer {
     /// **Reachability pass**: rules pinning a username/hostname that does
     /// not exist in the identifier universe; no enriched flow can ever
     /// carry the name, so the rule is dead.
+    #[must_use]
     pub fn unreachable_patterns(&self, universe: &IdentifierUniverse) -> Vec<Diagnostic> {
         self.rules
             .iter()
@@ -716,6 +730,7 @@ impl Analyzer {
     /// Runs every policy-layer pass (plus reachability when a universe is
     /// supplied) and returns the findings sorted by severity, kind, and
     /// involved rules.
+    #[must_use]
     pub fn analyze(&self, universe: Option<&IdentifierUniverse>) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for sp in &self.rules {

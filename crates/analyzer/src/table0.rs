@@ -49,6 +49,7 @@ pub struct TableZeroSnapshot {
 
 impl TableZeroSnapshot {
     /// Captures a live switch's Table 0.
+    #[must_use]
     pub fn capture(sw: &Switch) -> TableZeroSnapshot {
         let rules = sw.with_table(0, |t| {
             t.iter()

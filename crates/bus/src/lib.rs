@@ -72,6 +72,7 @@ impl<M> Clone for Bus<M> {
 
 impl<M: Clone + 'static> Bus<M> {
     /// Creates a bus whose per-delivery latency is drawn from `latency`.
+    #[must_use]
     pub fn new(latency: Dist) -> Bus<M> {
         Bus {
             inner: Rc::new(RefCell::new(Inner {
@@ -139,11 +140,13 @@ impl<M: Clone + 'static> Bus<M> {
     }
 
     /// Total messages published.
+    #[must_use]
     pub fn published(&self) -> u64 {
         self.inner.borrow().published
     }
 
     /// Total deliveries completed.
+    #[must_use]
     pub fn delivered(&self) -> u64 {
         self.inner.borrow().delivered
     }

@@ -57,6 +57,7 @@ pub struct ThroughputReport {
 }
 
 /// Runs throughput mode.
+#[must_use]
 pub fn run(config: &ThroughputConfig) -> ThroughputReport {
     // Poisson arrivals until the window closes.
     struct Gen {

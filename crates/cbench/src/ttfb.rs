@@ -93,6 +93,7 @@ struct ProbeState {
 }
 
 /// Runs the TTFB experiment.
+#[must_use]
 pub fn run(config: &TtfbConfig) -> TtfbReport {
     // Probe driver: start a probe every interval; each attempt sends the
     // SYN and arms an RTO-based retransmission.

@@ -130,6 +130,7 @@ pub struct Controller {
 
 impl Controller {
     /// Creates a controller.
+    #[must_use]
     pub fn new(config: ControllerConfig) -> Controller {
         let station = Station::new(StationConfig {
             name: "controller".into(),
@@ -156,11 +157,13 @@ impl Controller {
     }
 
     /// A controller with default (benign) configuration.
+    #[must_use]
     pub fn reactive() -> Controller {
         Controller::new(ControllerConfig::default())
     }
 
     /// A controller exhibiting the given misbehaviors.
+    #[must_use]
     pub fn malicious(misbehaviors: Vec<Misbehavior>) -> Controller {
         Controller::new(ControllerConfig {
             misbehaviors,
@@ -365,31 +368,37 @@ impl Controller {
     }
 
     /// Packet-ins the controller's forwarding app has observed.
+    #[must_use]
     pub fn seen_packet_ins(&self) -> Vec<SeenPacketIn> {
         self.inner.borrow().seen_packet_ins.clone()
     }
 
     /// Every message observed, per connection (for snooping analysis).
+    #[must_use]
     pub fn seen_messages(&self) -> Vec<(usize, Message)> {
         self.inner.borrow().seen_messages.clone()
     }
 
     /// Flow-mods sent so far.
+    #[must_use]
     pub fn flow_mods_sent(&self) -> u64 {
         self.inner.borrow().flow_mods_sent
     }
 
     /// Packet-outs sent so far.
+    #[must_use]
     pub fn packet_outs_sent(&self) -> u64 {
         self.inner.borrow().packet_outs_sent
     }
 
     /// The learned MAC table of a connection (diagnostics).
+    #[must_use]
     pub fn mac_table(&self, conn: usize) -> HashMap<MacAddr, u32> {
         self.inner.borrow().conns[conn].mac_table.clone()
     }
 
     /// The datapath id learned during the handshake, if completed.
+    #[must_use]
     pub fn dpid_of(&self, conn: usize) -> Option<u64> {
         self.inner.borrow().conns[conn].dpid
     }

@@ -93,6 +93,7 @@ impl Default for TopologyController {
 
 impl TopologyController {
     /// Creates a controller with the default 200 µs send latency.
+    #[must_use]
     pub fn new() -> TopologyController {
         TopologyController {
             inner: Rc::new(RefCell::new(Inner {
@@ -319,16 +320,19 @@ impl TopologyController {
     }
 
     /// Discovered directed links.
+    #[must_use]
     pub fn links(&self) -> HashMap<(u64, u32), (u64, u32)> {
         self.inner.borrow().links.clone()
     }
 
     /// Learned host locations.
+    #[must_use]
     pub fn host_locations(&self) -> HashMap<MacAddr, (u64, u32)> {
         self.inner.borrow().host_loc.clone()
     }
 
     /// Flow-mods sent (path installations).
+    #[must_use]
     pub fn flow_mods_sent(&self) -> u64 {
         self.inner.borrow().flow_mods_sent
     }

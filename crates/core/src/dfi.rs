@@ -185,6 +185,7 @@ pub struct FlowKey {
 
 impl FlowKey {
     /// Canonicalizes a parsed packet received at `(dpid, in_port)`.
+    #[must_use]
     pub fn new(headers: &PacketHeaders, dpid: u64, in_port: u32) -> FlowKey {
         FlowKey {
             dpid,
@@ -243,6 +244,7 @@ pub struct DecisionCache {
 
 impl DecisionCache {
     /// An empty cache bounded at `capacity` entries (`0` disables caching).
+    #[must_use]
     pub fn with_capacity(capacity: usize) -> DecisionCache {
         DecisionCache {
             capacity,
@@ -455,6 +457,64 @@ pub struct DfiMetrics {
     pub policy_index: PolicyIndexStats,
 }
 
+impl DfiMetrics {
+    /// Folds another DFI's metrics into this one — the fleet aggregate the
+    /// sharded front-end reports. Counters and latency summaries sum /
+    /// merge; per-policy attribution adds per id; the snapshot epoch/rule
+    /// fields take the maximum (shards of one front-end serve the same
+    /// snapshot, so max == the common value, and a lagging reading is
+    /// visible as disagreement elsewhere, not silently averaged away).
+    /// Index sizes sum: replicas deliberately overlap on broadcast
+    /// bindings, so the aggregate measures total replicated state, not
+    /// distinct bindings.
+    pub fn merge(&mut self, other: &DfiMetrics) {
+        self.packet_ins += other.packet_ins;
+        self.allowed += other.allowed;
+        self.denied += other.denied;
+        self.spoof_denied += other.spoof_denied;
+        self.dropped += other.dropped;
+        self.flushes += other.flushes;
+        self.wildcard_cached += other.wildcard_cached;
+        self.proxy_rejections += other.proxy_rejections;
+        self.install_retries += other.install_retries;
+        self.install_failures += other.install_failures;
+        self.proxy.merge(&other.proxy);
+        self.pcp_other.merge(&other.pcp_other);
+        self.binding.merge(&other.binding);
+        self.policy.merge(&other.policy);
+        self.overall.merge(&other.overall);
+        for (policy, n) in &other.decisions_by_policy {
+            *self.decisions_by_policy.entry(*policy).or_insert(0) += n;
+        }
+        self.decision_cache_hits += other.decision_cache_hits;
+        self.decision_cache_misses += other.decision_cache_misses;
+        self.decision_cache_invalidations += other.decision_cache_invalidations;
+        self.decision_cache_entries += other.decision_cache_entries;
+        self.flow_mods_batched += other.flow_mods_batched;
+        self.frames_spliced += other.frames_spliced;
+        self.frames_fallback += other.frames_fallback;
+        self.pool_reused += other.pool_reused;
+        self.pool_minted += other.pool_minted;
+        self.snapshots_published += other.snapshots_published;
+        self.snapshot_refusals += other.snapshot_refusals;
+        self.snapshot_epoch = self.snapshot_epoch.max(other.snapshot_epoch);
+        self.snapshot_rules = self.snapshot_rules.max(other.snapshot_rules);
+        self.packet_in_bursts += other.packet_in_bursts;
+        self.burst_flows_classified += other.burst_flows_classified;
+        self.erm_index.ips_with_hosts += other.erm_index.ips_with_hosts;
+        self.erm_index.hosts_with_users += other.erm_index.hosts_with_users;
+        self.erm_index.users_with_hosts += other.erm_index.users_with_hosts;
+        self.erm_index.ips_with_macs += other.erm_index.ips_with_macs;
+        self.erm_index.mac_locations += other.erm_index.mac_locations;
+        self.erm_index.bindings += other.erm_index.bindings;
+        self.policy_index.rules += other.policy_index.rules;
+        self.policy_index.buckets += other.policy_index.buckets;
+        self.policy_index.scan_bucket_len += other.policy_index.scan_bucket_len;
+        self.policy_index.candidates_scanned += other.policy_index.candidates_scanned;
+        self.policy_index.queries += other.policy_index.queries;
+    }
+}
+
 /// A shared free list of reusable wire buffers.
 ///
 /// Every frame the proxy touches is staged in a pooled `Vec<u8>`: acquired
@@ -480,6 +540,7 @@ const POOL_MAX_FREE: usize = 64;
 
 impl BufPool {
     /// Hands out an empty buffer, reusing a released one when available.
+    #[must_use]
     pub fn acquire(&self) -> Vec<u8> {
         let mut p = self.inner.borrow_mut();
         match p.free.pop() {
@@ -505,6 +566,7 @@ impl BufPool {
     }
 
     /// `(reused, minted)` acquire counts so far.
+    #[must_use]
     pub fn stats(&self) -> (u64, u64) {
         let p = self.inner.borrow();
         (p.reused, p.minted)
@@ -528,6 +590,32 @@ struct PendingInstall {
     attempts: u32,
     cookie: u64,
     is_delete: bool,
+}
+
+/// One ERM mutation, as fanned out by the sharded front-end or replayed by
+/// a churn driver. The op carries the full binding so any replica can apply
+/// it without consulting the originator.
+#[derive(Clone, Debug)]
+pub enum BindingOp {
+    /// Establish the binding.
+    Bind(Binding),
+    /// Retract the binding.
+    Unbind(Binding),
+}
+
+/// An epoch-stamped batch of ERM mutations.
+///
+/// The sharded front-end stamps each fanned-out batch with a strictly
+/// increasing epoch; replicas apply a batch at most once and ignore stale
+/// epochs, so re-delivery (bus retries, overlapping fanouts) is idempotent.
+/// Epoch 0 is the unstamped wildcard: always applied, used by drivers that
+/// feed a single DFI directly.
+#[derive(Clone, Debug)]
+pub struct BindingBatch {
+    /// Fanout sequence number (0 = unstamped, always applied).
+    pub epoch: u64,
+    /// The mutations, applied in order.
+    pub ops: Vec<BindingOp>,
 }
 
 /// A certification hook consulted before every snapshot publication.
@@ -568,10 +656,100 @@ struct Inner {
     /// reading it through `with_pm` must not publish the very candidate
     /// it is deciding on.
     certifying: bool,
+    /// Highest stamped [`BindingBatch`] epoch applied so far; stale or
+    /// re-delivered batches are ignored.
+    binding_epoch: u64,
     conns: Vec<SwitchConn>,
     pending_installs: HashMap<(usize, u32), PendingInstall>,
     next_xid: u32,
     metrics: DfiMetrics,
+}
+
+impl Inner {
+    /// Applies one ERM mutation with exactly the cache invalidation the
+    /// bus sensor handlers perform, so a fanned-out replica and a
+    /// directly-subscribed DFI converge to identical decision state:
+    /// IP-keyed bindings stale decisions that resolved through the IP,
+    /// session changes stale every IP the host resolves to, and location
+    /// changes stale the MAC (mirroring the PCP's packet-in sensor).
+    fn apply_binding_op(&mut self, op: &BindingOp) {
+        let (binding, establish) = match op {
+            BindingOp::Bind(b) => (b, true),
+            BindingOp::Unbind(b) => (b, false),
+        };
+        let changed = if establish {
+            self.erm.bind(binding.clone())
+        } else {
+            self.erm.unbind(binding)
+        };
+        if !changed {
+            return;
+        }
+        match binding {
+            Binding::IpMac { ip, .. } | Binding::HostIp { ip, .. } => {
+                self.cache.invalidate_ip(*ip);
+            }
+            Binding::UserHost { host, .. } => {
+                for ip in self.erm.ips_of_host(host) {
+                    self.cache.invalidate_ip(ip);
+                }
+            }
+            Binding::MacLocation { mac, .. } => {
+                self.cache.invalidate_mac(*mac);
+            }
+        }
+    }
+}
+
+/// The ERM mutation a sensor event implies, if any: leases carry IP↔MAC,
+/// name records host↔IP, sessions user↔host. Shared by the per-DFI bus
+/// handlers and the sharded front-end's fanout so both paths apply
+/// bit-identical mutations.
+#[must_use]
+pub fn binding_op_of_event(ev: &DfiEvent) -> Option<BindingOp> {
+    match ev {
+        DfiEvent::Lease {
+            mac, ip, released, ..
+        } => {
+            let b = Binding::IpMac { ip: *ip, mac: *mac };
+            Some(if *released {
+                BindingOp::Unbind(b)
+            } else {
+                BindingOp::Bind(b)
+            })
+        }
+        DfiEvent::Name {
+            hostname,
+            ip,
+            removed,
+        } => {
+            let b = Binding::HostIp {
+                host: hostname.clone(),
+                ip: *ip,
+            };
+            Some(if *removed {
+                BindingOp::Unbind(b)
+            } else {
+                BindingOp::Bind(b)
+            })
+        }
+        DfiEvent::Session {
+            user,
+            host,
+            logged_on,
+        } => {
+            let b = Binding::UserHost {
+                user: user.clone(),
+                host: host.clone(),
+            };
+            Some(if *logged_on {
+                BindingOp::Bind(b)
+            } else {
+                BindingOp::Unbind(b)
+            })
+        }
+        _ => None,
+    }
 }
 
 /// The assembled, shared-handle DFI control plane.
@@ -587,6 +765,7 @@ pub struct Dfi {
 impl Dfi {
     /// Builds a DFI control plane and subscribes its Entity Resolution
     /// Manager to the sensor topics on the returned bus.
+    #[must_use]
     pub fn new(config: DfiConfig) -> Dfi {
         let pcp_station = Station::new(StationConfig {
             name: "pcp".into(),
@@ -627,6 +806,7 @@ impl Dfi {
                 default_deny_cached: false,
                 snapshot_gate: None,
                 certifying: false,
+                binding_epoch: 0,
                 conns: Vec::new(),
                 pending_installs: HashMap::new(),
                 next_xid: 0xDF1_0000,
@@ -642,11 +822,13 @@ impl Dfi {
     }
 
     /// A control plane with the paper's calibration.
+    #[must_use]
     pub fn with_defaults() -> Dfi {
         Dfi::new(DfiConfig::default())
     }
 
     /// The sensor/event bus (RabbitMQ surrogate).
+    #[must_use]
     pub fn bus(&self) -> &Bus<DfiEvent> {
         &self.bus
     }
@@ -654,77 +836,48 @@ impl Dfi {
     fn subscribe_erm_to_bus(&self) {
         let me = self.clone();
         self.bus.subscribe(topic::LEASES, move |_sim, ev| {
-            if let DfiEvent::Lease {
-                mac,
-                ip,
-                hostname: _,
-                released,
-            } = ev
-            {
-                let binding = Binding::IpMac { ip: *ip, mac: *mac };
-                let mut inner = me.inner.borrow_mut();
-                let changed = if *released {
-                    inner.erm.unbind(&binding)
-                } else {
-                    inner.erm.bind(binding)
-                };
-                if changed {
-                    inner.cache.invalidate_ip(*ip);
-                }
+            if let Some(op) = binding_op_of_event(ev) {
+                me.inner.borrow_mut().apply_binding_op(&op);
             }
         });
         let me = self.clone();
         self.bus.subscribe(topic::NAMES, move |_sim, ev| {
-            if let DfiEvent::Name {
-                hostname,
-                ip,
-                removed,
-            } = ev
-            {
-                let binding = Binding::HostIp {
-                    host: hostname.clone(),
-                    ip: *ip,
-                };
-                let mut inner = me.inner.borrow_mut();
-                let changed = if *removed {
-                    inner.erm.unbind(&binding)
-                } else {
-                    inner.erm.bind(binding)
-                };
-                if changed {
-                    inner.cache.invalidate_ip(*ip);
-                }
+            if let Some(op) = binding_op_of_event(ev) {
+                me.inner.borrow_mut().apply_binding_op(&op);
             }
         });
         let me = self.clone();
         self.bus.subscribe(topic::SESSIONS, move |_sim, ev| {
-            if let DfiEvent::Session {
-                user,
-                host,
-                logged_on,
-            } = ev
-            {
-                let binding = Binding::UserHost {
-                    user: user.clone(),
-                    host: host.clone(),
-                };
-                let mut inner = me.inner.borrow_mut();
-                let changed = if *logged_on {
-                    inner.erm.bind(binding)
-                } else {
-                    inner.erm.unbind(&binding)
-                };
-                if changed {
-                    // A session change affects the decisions of every flow
-                    // whose endpoints resolve through this host; the ERM's
-                    // name reverse index maps the (short) SIEM hostname to
-                    // those IPs.
-                    for ip in inner.erm.ips_of_host(host) {
-                        inner.cache.invalidate_ip(ip);
-                    }
-                }
+            if let Some(op) = binding_op_of_event(ev) {
+                me.inner.borrow_mut().apply_binding_op(&op);
             }
         });
+    }
+
+    /// Applies an epoch-stamped batch of ERM mutations (the sharded
+    /// front-end's cross-shard invalidation fanout, also the bulk-load path
+    /// for fleet-scale drivers). Returns `false` if the batch was stale —
+    /// its epoch not newer than one already applied — and was ignored.
+    /// Unstamped batches (epoch 0) always apply.
+    #[must_use]
+    pub fn apply_binding_batch(&self, batch: &BindingBatch) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if batch.epoch != 0 {
+            if batch.epoch <= inner.binding_epoch {
+                return false;
+            }
+            inner.binding_epoch = batch.epoch;
+        }
+        for op in &batch.ops {
+            inner.apply_binding_op(op);
+        }
+        true
+    }
+
+    /// Highest stamped binding-batch epoch applied so far.
+    #[must_use]
+    pub fn binding_epoch(&self) -> u64 {
+        self.inner.borrow().binding_epoch
     }
 
     // ------------------------------------------------------------------
@@ -752,6 +905,7 @@ impl Dfi {
 
     /// The sink a switch sends its control bytes to (the proxy's
     /// switch-facing side).
+    #[must_use]
     pub fn from_switch_sink(&self, conn: usize) -> ByteSink {
         let me = self.clone();
         Rc::new(move |sim, bytes| me.handle_switch_bytes(sim, conn, bytes))
@@ -759,6 +913,7 @@ impl Dfi {
 
     /// The sink the controller sends its bytes to (the proxy's
     /// controller-facing side).
+    #[must_use]
     pub fn from_controller_sink(&self, conn: usize) -> ByteSink {
         let me = self.clone();
         Rc::new(move |sim, bytes| me.handle_controller_bytes(sim, conn, bytes))
@@ -1607,6 +1762,7 @@ impl Dfi {
 
     /// The currently published policy snapshot — the exact immutable view
     /// the flow-setup hot path reads.
+    #[must_use]
     pub fn snapshot(&self) -> Rc<PolicySnapshot> {
         self.inner.borrow().store.load()
     }
@@ -1648,6 +1804,7 @@ impl Dfi {
     // ------------------------------------------------------------------
 
     /// Snapshot of metrics, including live index/cache statistics.
+    #[must_use]
     pub fn metrics(&self) -> DfiMetrics {
         let inner = self.inner.borrow();
         let mut m = inner.metrics.clone();
@@ -1701,6 +1858,7 @@ impl Dfi {
     }
 
     /// Per-station statistics: (pcp, binding-db, policy-db).
+    #[must_use]
     pub fn station_stats(
         &self,
     ) -> (
@@ -1713,5 +1871,54 @@ impl Dfi {
             self.binding_station.stats(),
             self.policy_station.stats(),
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding hooks (the `shard::ShardedDfi` front-end drives these)
+    // ------------------------------------------------------------------
+
+    /// Publishes an already-compiled shared snapshot into this DFI's
+    /// store. The sharded front-end compiles once per certified mutation
+    /// and fans the same `Rc` to every shard, so the per-shard cost is a
+    /// pointer swap. `recovery` additionally bulk-expires decision-cache
+    /// entries older than the snapshot's epoch — the front-end sets it on
+    /// the first certified publication after a deferred one, mirroring the
+    /// unsharded recovery path.
+    pub(crate) fn install_shared_snapshot(&self, snap: Rc<PolicySnapshot>, recovery: bool) {
+        let mut inner = self.inner.borrow_mut();
+        inner.metrics.snapshots_published += 1;
+        let epoch = snap.epoch();
+        inner.store.publish_shared(snap);
+        if recovery {
+            inner.cache.expire_before(epoch);
+        }
+    }
+
+    /// Drops memoized decisions attributed to `id` (the cache half of a
+    /// fanned-out policy flush; the switch half is
+    /// [`Dfi::flush_policy_rules`]).
+    pub(crate) fn invalidate_cached_policy(&self, id: PolicyId) {
+        self.inner.borrow_mut().cache.invalidate_policy(id);
+    }
+
+    /// Takes (and clears) the hot path's default-deny note. The sharded
+    /// front-end gathers this from every shard before a Policy Manager
+    /// insert, standing in for the direct `Inner` access the unsharded
+    /// `insert_policy` has.
+    pub(crate) fn take_default_deny_note(&self) -> bool {
+        std::mem::take(&mut self.inner.borrow_mut().default_deny_cached)
+    }
+
+    /// Sets how many retired certified snapshots this DFI's store keeps
+    /// (see [`SnapshotStore::set_retention`]).
+    pub fn set_snapshot_retention(&self, keep: usize) {
+        self.inner.borrow().store.set_retention(keep);
+    }
+
+    /// The retained retired snapshots, oldest first (empty unless
+    /// [`Dfi::set_snapshot_retention`] enabled a window).
+    #[must_use]
+    pub fn snapshot_history(&self) -> Vec<Rc<PolicySnapshot>> {
+        self.inner.borrow().store.retained()
     }
 }

@@ -180,6 +180,7 @@ static EMPTY_NAMES: BTreeSet<String> = BTreeSet::new();
 
 impl EntityResolver {
     /// An empty store.
+    #[must_use]
     pub fn new() -> EntityResolver {
         EntityResolver::default()
     }
@@ -258,16 +259,19 @@ impl EntityResolver {
     // ------------------------------------------------------------------
 
     /// Hostnames currently bound to an IP (borrowed, sorted).
+    #[must_use]
     pub fn hosts_of_ip_ref(&self, ip: Ipv4Addr) -> &BTreeSet<String> {
         self.ip_to_hosts.get(&ip).unwrap_or(&EMPTY_NAMES)
     }
 
     /// Users currently bound to a host (borrowed, sorted).
+    #[must_use]
     pub fn users_of_host_ref(&self, host: &str) -> &BTreeSet<String> {
         self.host_to_users.get(host).unwrap_or(&EMPTY_NAMES)
     }
 
     /// Hosts a user is currently logged onto (borrowed, sorted).
+    #[must_use]
     pub fn hosts_of_user_ref(&self, user: &str) -> &BTreeSet<String> {
         self.user_to_hosts.get(user).unwrap_or(&EMPTY_NAMES)
     }
@@ -275,6 +279,7 @@ impl EntityResolver {
     /// IPs a hostname (FQDN or short form) currently resolves to, sorted.
     /// Reverse index used to map binding-churn events — in particular SIEM
     /// session events, which use short machine names — to affected flows.
+    #[must_use]
     pub fn ips_of_host(&self, host: &str) -> Vec<Ipv4Addr> {
         self.name_to_ips
             .get(host)
@@ -287,21 +292,25 @@ impl EntityResolver {
     // ------------------------------------------------------------------
 
     /// Hostnames currently bound to an IP.
+    #[must_use]
     pub fn hosts_of_ip(&self, ip: Ipv4Addr) -> Vec<String> {
         self.hosts_of_ip_ref(ip).iter().cloned().collect()
     }
 
     /// Users currently bound to a host.
+    #[must_use]
     pub fn users_of_host(&self, host: &str) -> Vec<String> {
         self.users_of_host_ref(host).iter().cloned().collect()
     }
 
     /// Hosts a user is currently logged onto.
+    #[must_use]
     pub fn hosts_of_user(&self, user: &str) -> Vec<String> {
         self.hosts_of_user_ref(user).iter().cloned().collect()
     }
 
     /// MACs the authoritative DHCP source binds to an IP.
+    #[must_use]
     pub fn macs_of_ip(&self, ip: Ipv4Addr) -> Vec<MacAddr> {
         self.ip_to_macs
             .get(&ip)
@@ -310,6 +319,7 @@ impl EntityResolver {
     }
 
     /// The switch port a MAC was last located at on a given switch.
+    #[must_use]
     pub fn location_of(&self, dpid: u64, mac: MacAddr) -> Option<u32> {
         self.mac_location.get(&(dpid, mac)).copied()
     }
@@ -318,6 +328,7 @@ impl EntityResolver {
     /// contradict the authoritative IP↔MAC bindings. An IP with no
     /// recorded binding passes (it may predate DHCP, e.g. static core
     /// services). O(log n) set probe — no allocation.
+    #[must_use]
     pub fn spoof_check(&self, ip: Option<Ipv4Addr>, mac: MacAddr) -> SpoofVerdict {
         let Some(ip) = ip else {
             return SpoofVerdict::Consistent;
@@ -392,16 +403,19 @@ impl EntityResolver {
     }
 
     /// Resolutions performed (utilization accounting).
+    #[must_use]
     pub fn resolution_count(&self) -> u64 {
         self.resolutions
     }
 
     /// Total bindings stored across all classes.
+    #[must_use]
     pub fn binding_count(&self) -> usize {
         self.n_user_host + self.n_host_ip + self.n_ip_mac + self.mac_location.len()
     }
 
     /// Current index sizes (observability; printed by the bench harness).
+    #[must_use]
     pub fn index_sizes(&self) -> ErmIndexSizes {
         ErmIndexSizes {
             ips_with_hosts: self.ip_to_hosts.len(),

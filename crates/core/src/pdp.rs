@@ -67,6 +67,7 @@ pub struct BaselinePdp {
 
 impl BaselinePdp {
     /// Creates the PDP (no rules emitted yet).
+    #[must_use]
     pub fn new() -> BaselinePdp {
         BaselinePdp { rule: None }
     }
@@ -96,6 +97,7 @@ pub struct SRbacPdp {
 
 impl SRbacPdp {
     /// Creates the PDP over a role structure.
+    #[must_use]
     pub fn new(roles: RbacRoles) -> SRbacPdp {
         SRbacPdp {
             roles,
@@ -148,6 +150,7 @@ impl SRbacPdp {
     }
 
     /// Ids of every rule this PDP emitted.
+    #[must_use]
     pub fn emitted(&self) -> &[PolicyId] {
         &self.emitted
     }
@@ -319,11 +322,13 @@ impl AtRbacPdp {
     }
 
     /// Number of hosts currently holding an active grant.
+    #[must_use]
     pub fn hosts_with_access(&self) -> usize {
         self.inner.borrow().active.len()
     }
 
     /// Ids of the always-on (core service / server) rules.
+    #[must_use]
     pub fn baseline_rules(&self) -> Vec<PolicyId> {
         self.inner.borrow().baseline.clone()
     }
@@ -339,6 +344,7 @@ pub struct QuarantinePdp {
 
 impl QuarantinePdp {
     /// Creates the PDP.
+    #[must_use]
     pub fn new() -> QuarantinePdp {
         QuarantinePdp {
             quarantined: HashMap::new(),
@@ -383,6 +389,7 @@ impl QuarantinePdp {
     /// Dead policies re-flushed in response to verifier findings, in the
     /// order the findings arrived (repeats possible if a finding is
     /// re-raised).
+    #[must_use]
     pub fn remediated(&self) -> &[PolicyId] {
         &self.remediated
     }
@@ -417,6 +424,7 @@ impl QuarantinePdp {
     }
 
     /// `true` while the host is isolated.
+    #[must_use]
     pub fn is_quarantined(&self, host: &str) -> bool {
         self.quarantined.contains_key(host)
     }

@@ -239,6 +239,7 @@ pub struct PolicyManager {
 
 impl PolicyManager {
     /// An empty manager (plus the implicit default-deny).
+    #[must_use]
     pub fn new() -> PolicyManager {
         PolicyManager {
             rules: BTreeMap::new(),
@@ -268,6 +269,7 @@ impl PolicyManager {
 
     /// Monotonic mutation counter: increments on every insert, revoke, and
     /// re-rank, journal or not. Lets consumers detect missed changes.
+    #[must_use]
     pub fn revision(&self) -> u64 {
         self.revision
     }
@@ -517,6 +519,7 @@ impl PolicyManager {
     /// (`proptest_policy::indexed_query_matches_linear_reference`) and the
     /// baseline side of the `micro_hotpaths` benches. Does not touch
     /// counters.
+    #[must_use]
     pub fn query_linear(&self, flow: &FlowView) -> Decision {
         let mut best: Option<&StoredPolicy> = None;
         for sp in self.rules.values() {
@@ -660,6 +663,7 @@ impl PolicyManager {
     /// Reference implementation of [`PolicyManager::query_class`]: the
     /// original full linear scan, kept as the differential-testing oracle
     /// and bench baseline. Does not touch counters.
+    #[must_use]
     pub fn query_class_linear(&self, flow: &FlowView) -> Option<Decision> {
         // Split candidates that admit the flow's non-port identifiers into
         // port-free rules (match every class member) and port-pinning
@@ -720,16 +724,19 @@ impl PolicyManager {
     }
 
     /// Number of stored rules (excluding the implicit default deny).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.rules.len()
     }
 
     /// `true` when no explicit rules are stored.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
     }
 
     /// Queries served (for utilization accounting).
+    #[must_use]
     pub fn query_count(&self) -> u64 {
         self.queries
     }
@@ -746,6 +753,7 @@ impl PolicyManager {
     }
 
     /// A stored policy by id.
+    #[must_use]
     pub fn get(&self, id: PolicyId) -> Option<&StoredPolicy> {
         self.rules.get(&id)
     }
@@ -758,6 +766,7 @@ impl PolicyManager {
     /// An owned snapshot of every stored policy, ascending id — the static
     /// analyzer's input (`dfi-analyze` runs offline over this, without
     /// holding a borrow on the live manager).
+    #[must_use]
     pub fn snapshot(&self) -> Vec<StoredPolicy> {
         self.rules.values().cloned().collect()
     }

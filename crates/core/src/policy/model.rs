@@ -147,6 +147,7 @@ impl WildName {
     }
 
     /// `true` when any of the concrete candidates satisfies this field.
+    #[must_use]
     pub fn admits_any(&self, values: &[String]) -> bool {
         match self {
             WildName::Any => true,
@@ -155,6 +156,7 @@ impl WildName {
     }
 
     /// `true` when the matched sets can intersect.
+    #[must_use]
     pub fn overlaps(&self, other: &WildName) -> bool {
         match (self, other) {
             (WildName::Any, _) | (_, WildName::Any) => true,
@@ -164,6 +166,7 @@ impl WildName {
 
     /// `true` when every view admitted by `other` is admitted by `self`
     /// (ASCII case-insensitive, matching [`WildName::admits_any`]).
+    #[must_use]
     pub fn subsumes(&self, other: &WildName) -> bool {
         match (self, other) {
             (WildName::Any, _) => true,
@@ -176,6 +179,7 @@ impl WildName {
     /// disjoint). When both pin the same name under different cases, the
     /// spelling of `self` is kept — the admitted set is identical either
     /// way.
+    #[must_use]
     pub fn intersect(&self, other: &WildName) -> Option<WildName> {
         match (self, other) {
             (WildName::Any, o) => Some(o.clone()),
@@ -217,16 +221,19 @@ pub struct FlowProperties {
 
 impl FlowProperties {
     /// Matches any flow.
+    #[must_use]
     pub fn any() -> FlowProperties {
         FlowProperties::default()
     }
 
     /// `true` when every flow admitted by `other` is admitted by `self`.
+    #[must_use]
     pub fn subsumes(&self, other: &FlowProperties) -> bool {
         self.ethertype.subsumes(&other.ethertype) && self.ip_proto.subsumes(&other.ip_proto)
     }
 
     /// Field-wise intersection (`None` when some field pair is disjoint).
+    #[must_use]
     pub fn intersect(&self, other: &FlowProperties) -> Option<FlowProperties> {
         Some(FlowProperties {
             ethertype: self.ethertype.intersect(&other.ethertype)?,
@@ -235,6 +242,7 @@ impl FlowProperties {
     }
 
     /// TCP flows only.
+    #[must_use]
     pub fn tcp() -> FlowProperties {
         FlowProperties {
             ethertype: Wild::Is(0x0800),
@@ -243,6 +251,7 @@ impl FlowProperties {
     }
 
     /// UDP flows only.
+    #[must_use]
     pub fn udp() -> FlowProperties {
         FlowProperties {
             ethertype: Wild::Is(0x0800),
@@ -252,6 +261,7 @@ impl FlowProperties {
 
     /// IPv4 flows whose protocol number lies in `[lo, hi]` (inclusive) —
     /// e.g. `ip_proto_range(6, 17)` covers TCP through UDP.
+    #[must_use]
     pub fn ip_proto_range(lo: u8, hi: u8) -> FlowProperties {
         FlowProperties {
             ethertype: Wild::Is(0x0800),
@@ -282,11 +292,13 @@ pub struct EndpointPattern {
 
 impl EndpointPattern {
     /// The all-wildcard endpoint.
+    #[must_use]
     pub fn any() -> EndpointPattern {
         EndpointPattern::default()
     }
 
     /// An endpoint pinned to a username (the paper's Alice→Bob example).
+    #[must_use]
     pub fn user(name: &str) -> EndpointPattern {
         EndpointPattern {
             username: WildName::is(name),
@@ -295,6 +307,7 @@ impl EndpointPattern {
     }
 
     /// An endpoint pinned to a hostname.
+    #[must_use]
     pub fn host(name: &str) -> EndpointPattern {
         EndpointPattern {
             hostname: WildName::is(name),
@@ -303,6 +316,7 @@ impl EndpointPattern {
     }
 
     /// An endpoint pinned to a hostname and L4 port (e.g. "TCP 22 on h2").
+    #[must_use]
     pub fn host_port(name: &str, port: u16) -> EndpointPattern {
         EndpointPattern {
             hostname: WildName::is(name),
@@ -313,6 +327,7 @@ impl EndpointPattern {
 
     /// An endpoint pinned to a hostname and an inclusive L4 port range
     /// (e.g. "the ephemeral ports on h2").
+    #[must_use]
     pub fn host_port_range(name: &str, lo: u16, hi: u16) -> EndpointPattern {
         EndpointPattern {
             hostname: WildName::is(name),
@@ -322,6 +337,7 @@ impl EndpointPattern {
     }
 
     /// `true` when every field admits the corresponding concrete view.
+    #[must_use]
     pub fn admits(&self, view: &EndpointView) -> bool {
         self.username.admits_any(&view.usernames)
             && self.hostname.admits_any(&view.hostnames)
@@ -334,6 +350,7 @@ impl EndpointPattern {
 
     /// `true` when every endpoint view admitted by `other` is admitted by
     /// `self` — i.e. `self` is the same pattern or a field-wise widening.
+    #[must_use]
     pub fn subsumes(&self, other: &EndpointPattern) -> bool {
         self.username.subsumes(&other.username)
             && self.hostname.subsumes(&other.hostname)
@@ -347,6 +364,7 @@ impl EndpointPattern {
     /// Field-wise intersection of two patterns: the pattern admitting
     /// exactly the endpoints both admit, or `None` when some field pair is
     /// disjoint (in which case [`EndpointPattern::overlaps`] is `false`).
+    #[must_use]
     pub fn intersect(&self, other: &EndpointPattern) -> Option<EndpointPattern> {
         Some(EndpointPattern {
             username: self.username.intersect(&other.username)?,
@@ -360,6 +378,7 @@ impl EndpointPattern {
     }
 
     /// `true` when the endpoint sets matched by two patterns can intersect.
+    #[must_use]
     pub fn overlaps(&self, other: &EndpointPattern) -> bool {
         self.username.overlaps(&other.username)
             && self.hostname.overlaps(&other.hostname)
@@ -386,6 +405,7 @@ pub struct PolicyRule {
 
 impl PolicyRule {
     /// An allow rule between two endpoint patterns over any protocol.
+    #[must_use]
     pub fn allow(src: EndpointPattern, dst: EndpointPattern) -> PolicyRule {
         PolicyRule {
             action: PolicyAction::Allow,
@@ -396,6 +416,7 @@ impl PolicyRule {
     }
 
     /// A deny rule between two endpoint patterns over any protocol.
+    #[must_use]
     pub fn deny(src: EndpointPattern, dst: EndpointPattern) -> PolicyRule {
         PolicyRule {
             action: PolicyAction::Deny,
@@ -406,11 +427,13 @@ impl PolicyRule {
     }
 
     /// The paper's §V default: allow everything (the baseline condition).
+    #[must_use]
     pub fn allow_all() -> PolicyRule {
         PolicyRule::allow(EndpointPattern::any(), EndpointPattern::any())
     }
 
     /// `true` when the rule matches an enriched flow view.
+    #[must_use]
     pub fn matches(&self, flow: &FlowView) -> bool {
         self.flow.ethertype.admits(Some(flow.ethertype))
             && self.flow.ip_proto.admits(flow.ip_proto)
@@ -422,6 +445,7 @@ impl PolicyRule {
     /// (match-space inclusion; actions are ignored). This is the static
     /// analyzer's domination test: a higher-precedence subsuming rule makes
     /// `other` unreachable.
+    #[must_use]
     pub fn subsumes(&self, other: &PolicyRule) -> bool {
         self.flow.subsumes(&other.flow)
             && self.src.subsumes(&other.src)
@@ -431,6 +455,7 @@ impl PolicyRule {
     /// Conservative overlap test used for conflict detection (paper
     /// §III-B): two rules conflict-candidate when every field pair can
     /// intersect.
+    #[must_use]
     pub fn overlaps(&self, other: &PolicyRule) -> bool {
         self.flow.ethertype.overlaps(&other.flow.ethertype)
             && self.flow.ip_proto.overlaps(&other.flow.ip_proto)

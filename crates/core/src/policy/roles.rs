@@ -25,6 +25,7 @@ pub struct RbacRoles {
 
 impl RbacRoles {
     /// An empty role structure.
+    #[must_use]
     pub fn new() -> RbacRoles {
         RbacRoles::default()
     }
@@ -68,6 +69,7 @@ impl RbacRoles {
 
     /// The hosts a given host's role allows it to exchange flows with:
     /// its enclave-mates plus every server. Excludes the host itself.
+    #[must_use]
     pub fn role_peers(&self, hostname: &str) -> Vec<String> {
         let mut peers: Vec<String> = Vec::new();
         if let Some(enclave) = self.enclave_of(hostname) {
@@ -83,11 +85,13 @@ impl RbacRoles {
     }
 
     /// All servers.
+    #[must_use]
     pub fn servers(&self) -> &[String] {
         &self.servers
     }
 
     /// All core services.
+    #[must_use]
     pub fn core_services(&self) -> &[String] {
         &self.core_services
     }

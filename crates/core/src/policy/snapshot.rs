@@ -66,8 +66,9 @@ use crate::policy::manager::{Decision, PolicyManager, DEFAULT_DENY_ID};
 use crate::policy::model::{
     EndpointPattern, FlowProperties, FlowView, PolicyAction, PolicyRule, Wild, WildName,
 };
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::{Ordering, Reverse};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
 
@@ -770,9 +771,18 @@ impl PolicySnapshot {
 /// the hot path [`SnapshotStore::load`]s. Single-threaded stand-in for an
 /// `ArcSwap` (see module docs); `load` is a reference-count bump, so a
 /// reader holds its snapshot alive across a concurrent publish.
+///
+/// A store may additionally **retain** the last N certified snapshots it
+/// retired ([`SnapshotStore::set_retention`]). Retention serves two
+/// purposes in the sharded proxy: it gives operators a rollback window of
+/// known-certified versions, and — because every shard's store retires the
+/// *same* `Rc` the front-end fanned out — it lets the fanout tests prove
+/// with pointer identity that all shards served one compilation per epoch.
 #[derive(Debug)]
 pub struct SnapshotStore {
     current: RefCell<Rc<PolicySnapshot>>,
+    retain: Cell<usize>,
+    retired: RefCell<VecDeque<Rc<PolicySnapshot>>>,
 }
 
 impl Default for SnapshotStore {
@@ -782,11 +792,24 @@ impl Default for SnapshotStore {
 }
 
 impl SnapshotStore {
-    /// Creates a store serving `snapshot`.
+    /// Creates a store serving `snapshot`, retaining nothing on retire.
     #[must_use]
     pub fn new(snapshot: PolicySnapshot) -> Self {
         SnapshotStore {
             current: RefCell::new(Rc::new(snapshot)),
+            retain: Cell::new(0),
+            retired: RefCell::new(VecDeque::new()),
+        }
+    }
+
+    /// Sets how many retired certified snapshots to keep (0 = retire
+    /// immediately, the pre-sharding behaviour). Shrinking drops the
+    /// oldest surplus versions at once.
+    pub fn set_retention(&self, keep: usize) {
+        self.retain.set(keep);
+        let mut retired = self.retired.borrow_mut();
+        while retired.len() > keep {
+            retired.pop_front();
         }
     }
 
@@ -798,9 +821,33 @@ impl SnapshotStore {
 
     /// Atomically replaces the served snapshot; in-flight readers keep
     /// the version they loaded ("retire" is just the old `Rc` dropping to
-    /// zero). Returns the retired snapshot.
+    /// zero, unless retention keeps it). Returns the retired snapshot.
     pub fn publish(&self, snapshot: PolicySnapshot) -> Rc<PolicySnapshot> {
-        self.current.replace(Rc::new(snapshot))
+        self.publish_shared(Rc::new(snapshot))
+    }
+
+    /// [`SnapshotStore::publish`] for an already-shared snapshot. The
+    /// sharded front-end compiles **once** and publishes the same `Rc`
+    /// into every shard's store, so fanout cost is per-shard pointer
+    /// swaps, not per-shard compilations.
+    pub fn publish_shared(&self, snapshot: Rc<PolicySnapshot>) -> Rc<PolicySnapshot> {
+        let old = self.current.replace(snapshot);
+        if self.retain.get() > 0 {
+            let mut retired = self.retired.borrow_mut();
+            retired.push_back(Rc::clone(&old));
+            while retired.len() > self.retain.get() {
+                retired.pop_front();
+            }
+        }
+        old
+    }
+
+    /// The retained retired snapshots, oldest first. Together with
+    /// [`SnapshotStore::load`] this is the store's full certified version
+    /// window.
+    #[must_use]
+    pub fn retained(&self) -> Vec<Rc<PolicySnapshot>> {
+        self.retired.borrow().iter().map(Rc::clone).collect()
     }
 }
 
@@ -938,6 +985,34 @@ mod tests {
             DEFAULT_DENY_ID
         );
         assert_eq!(store.load().epoch(), 1);
+    }
+
+    #[test]
+    fn retention_keeps_the_last_n_certified_versions() {
+        let pm = PolicyManager::new();
+        let store = SnapshotStore::default();
+        store.set_retention(2);
+        for epoch in 1..=5 {
+            store.publish(PolicySnapshot::compile(&pm, epoch));
+        }
+        let window: Vec<u64> = store.retained().iter().map(|s| s.epoch()).collect();
+        assert_eq!(
+            window,
+            vec![3, 4],
+            "oldest-first window of retired versions"
+        );
+        assert_eq!(store.load().epoch(), 5);
+        // Shrinking the window drops the oldest surplus immediately.
+        store.set_retention(1);
+        let window: Vec<u64> = store.retained().iter().map(|s| s.epoch()).collect();
+        assert_eq!(window, vec![4]);
+        // Shared publication retires into the same window.
+        let shared = Rc::new(PolicySnapshot::compile(&pm, 6));
+        let retired = store.publish_shared(Rc::clone(&shared));
+        assert_eq!(retired.epoch(), 5);
+        assert!(Rc::ptr_eq(&store.load(), &shared));
+        let window: Vec<u64> = store.retained().iter().map(|s| s.epoch()).collect();
+        assert_eq!(window, vec![5]);
     }
 
     /// The residual-precompilation regimes: a uniform-priority dst-host

@@ -54,6 +54,7 @@ fn shift_instructions_down(instructions: &mut [Instruction]) {
 /// Rewrites one controller→switch message so the controller's "table N"
 /// lands in physical table N+1. `n_tables` is the switch's real table
 /// count.
+#[must_use]
 pub fn rewrite_controller_to_switch(msg: OfMessage, n_tables: u8) -> Upstream {
     let xid = msg.xid;
     match msg.body {
@@ -124,6 +125,7 @@ pub fn rewrite_controller_to_switch(msg: OfMessage, n_tables: u8) -> Upstream {
 /// Rewrites one switch→controller message, hiding Table 0: its entries and
 /// notifications vanish, and all other table ids are decremented. Returns
 /// `None` when the whole message must be suppressed.
+#[must_use]
 pub fn rewrite_switch_to_controller(msg: OfMessage) -> Option<OfMessage> {
     let xid = msg.xid;
     match msg.body {

@@ -1,0 +1,167 @@
+//! Snapshot publication fanout under certification refusal, plus the
+//! versioned retention window.
+//!
+//! The invariant under test is the tentpole's atomicity guarantee: no two
+//! shards ever serve different certified epochs. A refused publication
+//! must leave *all* shards on the same prior epoch (not some on old, some
+//! on new), and the first clean publication afterwards must recover the
+//! whole fleet at once, re-issuing the flushes deferred at refusal time.
+//! Retention must keep the same last-N certified snapshots on every shard
+//! — provably the same compilations (pointer identity), not re-compiled
+//! per shard.
+
+use dfi_core::events::{topic, DfiEvent, SnapshotWitness};
+use dfi_core::policy::{EndpointPattern, PolicyRule};
+use dfi_core::shard::SNAPSHOT_RETENTION;
+use dfi_core::{DfiConfig, ShardedDfi};
+use dfi_simnet::Sim;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+const SEED: u64 = 0xFA_2019;
+
+fn repro(point: &str) -> String {
+    format!("repro: snapshot_fanout seed={SEED:#x} shards=4 at={point}")
+}
+
+fn rule(n: usize) -> PolicyRule {
+    PolicyRule::allow(
+        EndpointPattern::user(&format!("u{n}")),
+        EndpointPattern::any(),
+    )
+}
+
+#[test]
+fn refused_snapshot_leaves_all_shards_on_the_same_prior_epoch() {
+    let mut sim = Sim::new(SEED);
+    let sharded = ShardedDfi::new(4, &DfiConfig::default());
+
+    // Observe the bus like the analyzer would.
+    let published: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+    let refused: Rc<Cell<u64>> = Rc::new(Cell::new(0));
+    {
+        let published = published.clone();
+        let refused = refused.clone();
+        sharded
+            .bus()
+            .subscribe(topic::SNAPSHOTS, move |_, ev| match ev {
+                DfiEvent::SnapshotPublished { epoch, .. } => published.borrow_mut().push(*epoch),
+                DfiEvent::SnapshotRefused { .. } => refused.set(refused.get() + 1),
+                _ => {}
+            });
+    }
+
+    // A flag-controlled certifier: refuses while `refusing` is set.
+    let refusing = Rc::new(Cell::new(false));
+    {
+        let refusing = refusing.clone();
+        sharded.set_snapshot_gate(Box::new(move |_, _| {
+            if refusing.get() {
+                vec![SnapshotWitness {
+                    kind: "test-refusal".into(),
+                    rules: vec![],
+                    message: "refused by test certifier".into(),
+                }]
+            } else {
+                Vec::new()
+            }
+        }));
+    }
+
+    // Clean insert: every shard moves to the same fresh epoch.
+    sharded.insert_policy(&mut sim, rule(1), 10, "fanout-test");
+    sim.run();
+    assert!(sharded.epochs_agree(), "{}", repro("after-clean-insert"));
+    let settled = sharded.served_epochs()[0];
+
+    // Refused insert: publication deferred, NO shard moves. The rule is a
+    // higher-priority deny conflicting with rule(1)'s allow, so its flush
+    // set is non-empty and lands on the deferred list.
+    refusing.set(true);
+    let id_b = sharded.insert_policy(
+        &mut sim,
+        PolicyRule::deny(EndpointPattern::user("u1"), EndpointPattern::any()),
+        50,
+        "fanout-test",
+    );
+    sim.run();
+    assert_eq!(refused.get(), 1, "{}", repro("after-refused-insert"));
+    assert!(sharded.epochs_agree(), "{}", repro("after-refused-insert"));
+    assert_eq!(
+        sharded.served_epochs(),
+        vec![settled; 4],
+        "a refusal must leave every shard on the prior epoch; {}",
+        repro("after-refused-insert")
+    );
+    let m = sharded.fanout_metrics();
+    assert_eq!(m.snapshot_refusals, 1, "{}", repro("after-refused-insert"));
+
+    // Recovery: the next clean publication moves the whole fleet at once
+    // and re-issues the flushes deferred at refusal time.
+    refusing.set(false);
+    let flushes_before = sharded.fanout_metrics().flush_fanouts;
+    sharded.insert_policy(&mut sim, rule(3), 10, "fanout-test");
+    sim.run();
+    assert!(sharded.epochs_agree(), "{}", repro("after-recovery"));
+    let recovered = sharded.served_epochs()[0];
+    assert!(
+        recovered > settled,
+        "recovery must advance the fleet epoch ({recovered} vs {settled}); {}",
+        repro("after-recovery")
+    );
+    assert!(
+        sharded.fanout_metrics().flush_fanouts > flushes_before,
+        "recovery must re-issue the deferred flushes; {}",
+        repro("after-recovery")
+    );
+    assert_eq!(
+        published.borrow().last().copied(),
+        Some(recovered),
+        "{}",
+        repro("after-recovery")
+    );
+    // The deferred rule is live after recovery.
+    assert!(
+        sharded.with_pm(|pm| pm.get(id_b).is_some()),
+        "{}",
+        repro("after-recovery")
+    );
+}
+
+#[test]
+fn retention_window_is_identical_across_shards_by_pointer() {
+    let mut sim = Sim::new(SEED ^ 1);
+    let sharded = ShardedDfi::new(4, &DfiConfig::default());
+    // Enough publications to roll the retention ring over.
+    for n in 0..(SNAPSHOT_RETENTION + 3) {
+        sharded.insert_policy(&mut sim, rule(n), 10, "fanout-test");
+        sim.run();
+    }
+    let histories: Vec<_> = sharded
+        .shards()
+        .iter()
+        .map(dfi_core::Dfi::snapshot_history)
+        .collect();
+    assert_eq!(
+        histories[0].len(),
+        SNAPSHOT_RETENTION,
+        "{}",
+        repro("retention")
+    );
+    for (i, h) in histories.iter().enumerate().skip(1) {
+        assert_eq!(h.len(), histories[0].len(), "{}", repro("retention"));
+        for (a, b) in histories[0].iter().zip(h.iter()) {
+            assert!(
+                Rc::ptr_eq(a, b),
+                "shard {i} retains a different compilation of epoch {}; {}",
+                a.epoch(),
+                repro("retention")
+            );
+        }
+    }
+    // The window is the most recent certified epochs, oldest first.
+    let epochs: Vec<u64> = histories[0].iter().map(|s| s.epoch()).collect();
+    let newest = sharded.served_epochs()[0];
+    let expect: Vec<u64> = (newest - SNAPSHOT_RETENTION as u64..newest).collect();
+    assert_eq!(epochs, expect, "{}", repro("retention"));
+}

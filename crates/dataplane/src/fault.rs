@@ -41,12 +41,14 @@ pub struct FaultHandle {
 
 impl FaultHandle {
     /// What the injector has done so far on this channel.
+    #[must_use]
     pub fn stats(&self) -> FaultStats {
         self.process.borrow().stats()
     }
 
     /// The plan driving this channel (its `Display` form is the repro
     /// spec).
+    #[must_use]
     pub fn plan(&self) -> FaultPlan {
         self.process.borrow().plan().clone()
     }

@@ -108,12 +108,14 @@ impl FlowEntry {
     }
 
     /// Hard-timeout deadline, if any.
+    #[must_use]
     pub fn hard_deadline(&self) -> Option<SimTime> {
         (self.hard_timeout > 0)
             .then(|| self.installed_at + std::time::Duration::from_secs(self.hard_timeout.into()))
     }
 
     /// Idle-timeout deadline given the last match, if any.
+    #[must_use]
     pub fn idle_deadline(&self) -> Option<SimTime> {
         (self.idle_timeout > 0)
             .then(|| self.last_matched + std::time::Duration::from_secs(self.idle_timeout.into()))
@@ -190,6 +192,7 @@ pub struct FlowTable {
 
 impl FlowTable {
     /// An empty table bounded at `capacity` rules.
+    #[must_use]
     pub fn new(capacity: usize) -> FlowTable {
         FlowTable {
             capacity,
@@ -198,16 +201,19 @@ impl FlowTable {
     }
 
     /// Number of installed rules.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// `true` when no rules are installed.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
     /// The configured capacity.
+    #[must_use]
     pub fn capacity(&self) -> usize {
         self.capacity
     }
@@ -401,6 +407,7 @@ impl FlowTable {
 
     /// The earliest pending timeout deadline, used to schedule the next
     /// expiry sweep precisely instead of polling.
+    #[must_use]
     pub fn next_deadline(&self) -> Option<SimTime> {
         self.entries
             .values()

@@ -31,6 +31,7 @@ pub struct Network {
 
 impl Network {
     /// An empty network.
+    #[must_use]
     pub fn new() -> Network {
         Network::default()
     }
@@ -43,6 +44,7 @@ impl Network {
     }
 
     /// All switches, in creation order.
+    #[must_use]
     pub fn switches(&self) -> &[Switch] {
         &self.switches
     }
@@ -74,6 +76,36 @@ impl Network {
     /// Attaches a host that ignores everything it receives (a traffic sink).
     pub fn attach_silent_host(&mut self, switch: &Switch, port: u32, latency: Duration) -> Tx {
         self.attach_host(switch, port, latency, Rc::new(|_, _| {}))
+    }
+
+    /// Materializes a generated fabric spec
+    /// ([`dfi_simnet::topo::Topology`]): one switch per spec entry (in
+    /// spec order, so `switches()[dpid - 1]` is the switch for a dense
+    /// dpid space) and every inter-switch link at `link_latency`. Host
+    /// attachment stays with the caller — it needs receive sinks — via
+    /// [`Network::attach_host`] at each `HostSpec`'s `(dpid, port)`.
+    pub fn build_topology(
+        &mut self,
+        topo: &dfi_simnet::topo::Topology,
+        link_latency: Duration,
+    ) -> Vec<Switch> {
+        let base = self.switches.len();
+        for spec in &topo.switches {
+            self.add_switch(SwitchConfig::new(spec.dpid));
+        }
+        let built = self.switches[base..].to_vec();
+        let index: std::collections::HashMap<u64, usize> = built
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.dpid(), i))
+            .collect();
+        let lookup = |dpid: u64| index[&dpid];
+        for l in &topo.links {
+            let a = built[lookup(l.a_dpid)].clone();
+            let b = built[lookup(l.b_dpid)].clone();
+            self.link(&a, l.a_port, &b, l.b_port, link_latency);
+        }
+        built
     }
 }
 

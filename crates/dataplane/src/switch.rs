@@ -46,6 +46,7 @@ pub struct SwitchConfig {
 impl SwitchConfig {
     /// A conventional software switch: 8 tables of 8192 rules, 20 µs
     /// pipeline latency, 200 µs control-channel latency.
+    #[must_use]
     pub fn new(dpid: u64) -> SwitchConfig {
         SwitchConfig {
             dpid,
@@ -97,6 +98,7 @@ pub struct Switch {
 
 impl Switch {
     /// Creates a switch.
+    #[must_use]
     pub fn new(config: SwitchConfig) -> Switch {
         let tables = (0..config.n_tables)
             .map(|_| FlowTable::new(config.table_capacity))
@@ -115,16 +117,19 @@ impl Switch {
     }
 
     /// The datapath id.
+    #[must_use]
     pub fn dpid(&self) -> u64 {
         self.inner.borrow().config.dpid
     }
 
     /// Snapshot of counters.
+    #[must_use]
     pub fn stats(&self) -> SwitchStats {
         self.inner.borrow().stats
     }
 
     /// Number of rules currently in `table_id`.
+    #[must_use]
     pub fn table_len(&self, table_id: u8) -> usize {
         self.inner.borrow().tables[usize::from(table_id)].len()
     }
@@ -146,6 +151,7 @@ impl Switch {
 
     /// Returns a sink that injects frames into this switch at `port_no`
     /// (what a host NIC or the far end of a link holds).
+    #[must_use]
     pub fn ingress(&self, port_no: u32) -> ByteSink {
         let sw = self.clone();
         Rc::new(move |sim, frame| sw.input_frame(sim, port_no, frame.to_vec()))
@@ -159,6 +165,7 @@ impl Switch {
     }
 
     /// Returns a sink for bytes arriving *from* the control plane.
+    #[must_use]
     pub fn control_ingress(&self) -> ByteSink {
         let sw = self.clone();
         Rc::new(move |sim, bytes| sw.handle_control_bytes(sim, bytes))
@@ -679,6 +686,7 @@ impl Switch {
 
     /// A convenience accessor: every cookie currently installed in table 0
     /// (DFI's table), for consistency assertions in tests.
+    #[must_use]
     pub fn table0_cookies(&self) -> Vec<u64> {
         self.inner.borrow().tables[0]
             .iter()
@@ -690,6 +698,7 @@ impl Switch {
 /// Builds the exact-match *allow* rule DFI installs: match the flow
 /// precisely, tag with the policy cookie, and hand allowed packets to the
 /// controller's first table.
+#[must_use]
 pub fn dfi_allow_rule(mat: Match, cookie: u64, priority: u16) -> FlowMod {
     FlowMod {
         cookie,
@@ -703,6 +712,7 @@ pub fn dfi_allow_rule(mat: Match, cookie: u64, priority: u16) -> FlowMod {
 
 /// Builds the exact-match *deny* rule DFI installs: match precisely, no
 /// instructions — the packet dies at the end of Table 0.
+#[must_use]
 pub fn dfi_deny_rule(mat: Match, cookie: u64, priority: u16) -> FlowMod {
     FlowMod {
         cookie,

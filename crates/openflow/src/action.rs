@@ -37,6 +37,7 @@ pub enum Action {
 
 impl Action {
     /// An output action to a (physical or reserved) port.
+    #[must_use]
     pub fn output(port: u32) -> Action {
         Action::Output {
             port,

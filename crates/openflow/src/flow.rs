@@ -92,6 +92,7 @@ pub struct FlowMod {
 impl FlowMod {
     /// A default-initialized ADD (wildcard match, drop, priority 0) to be
     /// customized with struct-update syntax.
+    #[must_use]
     pub fn add() -> FlowMod {
         FlowMod {
             cookie: 0,
@@ -112,6 +113,7 @@ impl FlowMod {
 
     /// A delete of every rule in every table whose cookie matches
     /// `cookie` under `mask` — DFI's policy-revocation flush.
+    #[must_use]
     pub fn delete_by_cookie(cookie: u64, mask: u64) -> FlowMod {
         FlowMod {
             cookie,

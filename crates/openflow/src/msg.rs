@@ -90,6 +90,7 @@ pub struct PacketIn {
 
 impl PacketIn {
     /// Builds a table-miss packet-in carrying the whole packet.
+    #[must_use]
     pub fn table_miss(in_port: u32, table_id: u8, data: Vec<u8>) -> PacketIn {
         PacketIn {
             buffer_id: crate::NO_BUFFER,
@@ -106,6 +107,7 @@ impl PacketIn {
     }
 
     /// The ingress port, when present in the match metadata.
+    #[must_use]
     pub fn in_port(&self) -> Option<u32> {
         self.mat.in_port
     }
@@ -164,6 +166,7 @@ pub struct PacketOut {
 
 impl PacketOut {
     /// Sends `data` out of `out_port`.
+    #[must_use]
     pub fn send(out_port: u32, data: Vec<u8>) -> PacketOut {
         PacketOut {
             buffer_id: crate::NO_BUFFER,
@@ -273,6 +276,7 @@ pub struct ErrorMsg {
 impl ErrorMsg {
     /// `OFPET_BAD_REQUEST` / `OFPBRC_EPERM`: the DFI proxy's refusal when a
     /// controller touches Table 0 state it must not see.
+    #[must_use]
     pub fn permission_denied(offending: Vec<u8>) -> ErrorMsg {
         ErrorMsg {
             err_type: 1, // OFPET_BAD_REQUEST
@@ -317,6 +321,7 @@ pub enum Message {
 
 impl Message {
     /// The message's wire type code.
+    #[must_use]
     pub fn msg_type(&self) -> MsgType {
         match self {
             Message::Hello => MsgType::Hello,
@@ -348,11 +353,13 @@ pub struct OfMessage {
 
 impl OfMessage {
     /// Wraps a body with a transaction id.
+    #[must_use]
     pub fn new(xid: u32, body: Message) -> OfMessage {
         OfMessage { xid, body }
     }
 
     /// Serializes header + body into a fresh buffer.
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64);
         self.encode_into(&mut buf);
@@ -459,6 +466,7 @@ impl OfMessage {
     /// Reads the total frame length from a (possibly partial) buffer
     /// holding at least the 4-byte header prefix. Used to delimit messages
     /// on a byte stream.
+    #[must_use]
     pub fn frame_length(bytes: &[u8]) -> Option<usize> {
         if bytes.len() < 4 {
             return None;

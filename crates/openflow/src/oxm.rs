@@ -70,6 +70,7 @@ pub struct Match {
 
 impl Match {
     /// The all-wildcard match.
+    #[must_use]
     pub fn any() -> Match {
         Match::default()
     }
@@ -77,6 +78,7 @@ impl Match {
     /// An exact match pinning every identifier present in `headers`,
     /// received on `in_port` — the rule shape the PCP installs so that
     /// *each new flow* is checked against current policy (paper §III-B).
+    #[must_use]
     pub fn exact_from_headers(in_port: u32, headers: &PacketHeaders) -> Match {
         let mut m = Match {
             in_port: Some(in_port),
@@ -107,6 +109,7 @@ impl Match {
 
     /// Number of fields present (used by the switch for priority-independent
     /// specificity diagnostics).
+    #[must_use]
     pub fn field_count(&self) -> usize {
         let mut n = 0;
         macro_rules! c {
@@ -135,6 +138,7 @@ impl Match {
 
     /// `true` when a packet with the given headers arriving on `in_port`
     /// satisfies every present field.
+    #[must_use]
     pub fn matches(&self, in_port: u32, h: &PacketHeaders) -> bool {
         fn ok<T: PartialEq + Copy>(want: Option<T>, got: Option<T>) -> bool {
             match want {
@@ -164,6 +168,7 @@ impl Match {
 
     /// `true` when every flow matched by `self` is also matched by `other`
     /// (i.e. `other` is equal or strictly more general field-by-field).
+    #[must_use]
     pub fn is_subset_of(&self, other: &Match) -> bool {
         fn sub<T: PartialEq + Copy>(mine: Option<T>, theirs: Option<T>) -> bool {
             match theirs {

@@ -49,6 +49,7 @@ pub enum MultipartRequest {
 
 impl MultipartRequest {
     /// A flow-stats request for every rule in every table.
+    #[must_use]
     pub fn all_flows() -> MultipartRequest {
         MultipartRequest::Flow {
             table_id: table::ALL,

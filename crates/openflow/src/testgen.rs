@@ -61,6 +61,7 @@ prop_compose! {
 }
 
 /// Strategy for an action: OUTPUT or an unknown kind carried verbatim.
+#[must_use]
 pub fn arb_action() -> impl Strategy<Value = Action> {
     prop_oneof![
         (any::<u32>(), any::<u16>()).prop_map(|(port, max_len)| Action::Output { port, max_len }),
@@ -177,6 +178,7 @@ prop_compose! {
 }
 
 /// Interface names the encoder preserves exactly: ≤ 15 bytes of UTF-8.
+#[must_use]
 pub fn arb_port_name() -> impl Strategy<Value = String> {
     proptest::collection::vec(prop_oneof![Just(b'-'), b'0'..=b'9', b'a'..=b'z'], 0..16)
         .prop_map(|v| String::from_utf8(v).expect("ascii subset"))
@@ -218,6 +220,7 @@ prop_compose! {
 }
 
 /// Strategy for a multipart request across all structurally decoded kinds.
+#[must_use]
 pub fn arb_multipart_request() -> impl Strategy<Value = MultipartRequest> {
     prop_oneof![
         Just(MultipartRequest::Table),

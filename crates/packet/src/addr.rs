@@ -15,12 +15,14 @@ impl MacAddr {
     pub const ZERO: MacAddr = MacAddr([0; 6]);
 
     /// Creates an address from its six octets.
+    #[must_use]
     pub const fn new(octets: [u8; 6]) -> Self {
         MacAddr(octets)
     }
 
     /// A locally administered unicast address derived from a host index —
     /// handy for generating a testbed's worth of distinct MACs.
+    #[must_use]
     pub const fn from_index(index: u32) -> Self {
         let b = index.to_be_bytes();
         // 0x02 = locally administered, unicast.
@@ -28,21 +30,25 @@ impl MacAddr {
     }
 
     /// The six octets.
+    #[must_use]
     pub const fn octets(self) -> [u8; 6] {
         self.0
     }
 
     /// `true` for the broadcast address.
+    #[must_use]
     pub fn is_broadcast(self) -> bool {
         self == MacAddr::BROADCAST
     }
 
     /// `true` when the group (multicast) bit is set. Broadcast counts.
+    #[must_use]
     pub fn is_multicast(self) -> bool {
         self.0[0] & 0x01 != 0
     }
 
     /// `true` for ordinary unicast addresses.
+    #[must_use]
     pub fn is_unicast(self) -> bool {
         !self.is_multicast()
     }

@@ -52,6 +52,7 @@ pub struct ArpPacket {
 
 impl ArpPacket {
     /// Builds a who-has request.
+    #[must_use]
     pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
         ArpPacket {
             op: ArpOp::Request,
@@ -63,6 +64,7 @@ impl ArpPacket {
     }
 
     /// Builds an is-at reply answering `request`.
+    #[must_use]
     pub fn reply_to(request: &ArpPacket, my_mac: MacAddr) -> Self {
         ArpPacket {
             op: ArpOp::Reply,
@@ -74,6 +76,7 @@ impl ArpPacket {
     }
 
     /// Serializes the packet (28 bytes).
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(28);
         w.u16(1); // htype: Ethernet

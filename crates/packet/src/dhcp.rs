@@ -98,6 +98,7 @@ pub struct DhcpMessage {
 impl DhcpMessage {
     /// Builds a client DISCOVER carrying the client hostname (which is how
     /// the AD-joined Windows hosts in the testbed announce themselves).
+    #[must_use]
     pub fn discover(xid: u32, client_mac: MacAddr, hostname: &str) -> Self {
         DhcpMessage {
             message_type: DhcpMessageType::Discover,
@@ -111,6 +112,7 @@ impl DhcpMessage {
     }
 
     /// Builds a server OFFER for `offered_ip`.
+    #[must_use]
     pub fn offer(xid: u32, client_mac: MacAddr, offered_ip: Ipv4Addr, server: Ipv4Addr) -> Self {
         DhcpMessage {
             message_type: DhcpMessageType::Offer,
@@ -124,6 +126,7 @@ impl DhcpMessage {
     }
 
     /// Builds a client REQUEST for `requested_ip`.
+    #[must_use]
     pub fn request(
         xid: u32,
         client_mac: MacAddr,
@@ -147,6 +150,7 @@ impl DhcpMessage {
     }
 
     /// Builds a server ACK committing `assigned_ip`.
+    #[must_use]
     pub fn ack(xid: u32, client_mac: MacAddr, assigned_ip: Ipv4Addr, server: Ipv4Addr) -> Self {
         DhcpMessage {
             message_type: DhcpMessageType::Ack,
@@ -160,6 +164,7 @@ impl DhcpMessage {
     }
 
     /// Finds the hostname option, if present.
+    #[must_use]
     pub fn hostname(&self) -> Option<&str> {
         self.options.iter().find_map(|o| match o {
             DhcpOption::Hostname(h) => Some(h.as_str()),
@@ -168,6 +173,7 @@ impl DhcpMessage {
     }
 
     /// Finds the requested-IP option, if present.
+    #[must_use]
     pub fn requested_ip(&self) -> Option<Ipv4Addr> {
         self.options.iter().find_map(|o| match o {
             DhcpOption::RequestedIp(ip) => Some(*ip),
@@ -176,6 +182,7 @@ impl DhcpMessage {
     }
 
     /// `true` for messages sent by servers (OFFER/ACK/NAK).
+    #[must_use]
     pub fn is_from_server(&self) -> bool {
         matches!(
             self.message_type,
@@ -184,6 +191,7 @@ impl DhcpMessage {
     }
 
     /// Serializes the message.
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(300);
         let op = if self.is_from_server() { 2 } else { 1 };

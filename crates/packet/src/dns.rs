@@ -85,6 +85,7 @@ pub struct DnsMessage {
 
 impl DnsMessage {
     /// Builds an A-record query.
+    #[must_use]
     pub fn query_a(id: u16, name: &str) -> Self {
         DnsMessage {
             id,
@@ -99,6 +100,7 @@ impl DnsMessage {
     }
 
     /// Builds a response answering `query` with a single A record.
+    #[must_use]
     pub fn answer_a(query: &DnsMessage, ip: Ipv4Addr, ttl: u32) -> Self {
         let name = query
             .questions
@@ -120,6 +122,7 @@ impl DnsMessage {
     }
 
     /// Builds an NXDOMAIN response to `query`.
+    #[must_use]
     pub fn nxdomain(query: &DnsMessage) -> Self {
         DnsMessage {
             id: query.id,
@@ -131,6 +134,7 @@ impl DnsMessage {
     }
 
     /// The first answered A record, if any.
+    #[must_use]
     pub fn first_a(&self) -> Option<(&str, Ipv4Addr)> {
         self.answers.iter().find_map(|r| match r.data {
             DnsRecordData::A(ip) => Some((r.name.as_str(), ip)),

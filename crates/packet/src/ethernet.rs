@@ -20,6 +20,7 @@ pub enum EtherType {
 
 impl EtherType {
     /// The 16-bit wire value.
+    #[must_use]
     pub fn to_u16(self) -> u16 {
         match self {
             EtherType::Ipv4 => 0x0800,
@@ -30,6 +31,7 @@ impl EtherType {
     }
 
     /// Interprets a 16-bit wire value.
+    #[must_use]
     pub fn from_u16(v: u16) -> Self {
         match v {
             0x0800 => EtherType::Ipv4,
@@ -59,6 +61,7 @@ pub struct EthernetFrame {
 
 impl EthernetFrame {
     /// Builds an untagged frame.
+    #[must_use]
     pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
         EthernetFrame {
             dst,
@@ -70,18 +73,21 @@ impl EthernetFrame {
     }
 
     /// Builds an untagged IPv4 frame.
+    #[must_use]
     pub fn ipv4(src: MacAddr, dst: MacAddr, payload: Vec<u8>) -> Self {
         EthernetFrame::new(src, dst, EtherType::Ipv4, payload)
     }
 
     /// Builds an untagged ARP frame (broadcast destination by default for
     /// requests is up to the caller).
+    #[must_use]
     pub fn arp(src: MacAddr, dst: MacAddr, payload: Vec<u8>) -> Self {
         EthernetFrame::new(src, dst, EtherType::Arp, payload)
     }
 
     /// Serializes the frame (without FCS; the simulated links do not model
     /// bit errors).
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::with_capacity(18 + self.payload.len());
         w.bytes(&self.dst.octets());

@@ -107,16 +107,19 @@ impl PacketHeaders {
     }
 
     /// The L4 source port, TCP or UDP.
+    #[must_use]
     pub fn l4_src(&self) -> Option<u16> {
         self.tcp_src.or(self.udp_src)
     }
 
     /// The L4 destination port, TCP or UDP.
+    #[must_use]
     pub fn l4_dst(&self) -> Option<u16> {
         self.tcp_dst.or(self.udp_dst)
     }
 
     /// `true` when this is a bare TCP SYN (a new connection attempt).
+    #[must_use]
     pub fn is_tcp_syn(&self) -> bool {
         self.tcp_flags
             .is_some_and(|f| f.contains(TcpFlags::SYN) && !f.contains(TcpFlags::ACK))
@@ -130,6 +133,7 @@ pub mod build {
     use crate::tcp::TcpSegment;
 
     /// An encoded TCP SYN frame.
+    #[must_use]
     pub fn tcp_syn(
         src_mac: MacAddr,
         dst_mac: MacAddr,
@@ -149,6 +153,7 @@ pub mod build {
     }
 
     /// An encoded TCP SYN-ACK frame answering the given endpoints.
+    #[must_use]
     pub fn tcp_syn_ack(
         src_mac: MacAddr,
         dst_mac: MacAddr,
@@ -169,6 +174,7 @@ pub mod build {
     }
 
     /// An encoded UDP frame.
+    #[must_use]
     pub fn udp(
         src_mac: MacAddr,
         dst_mac: MacAddr,

@@ -54,6 +54,7 @@ pub struct IcmpMessage {
 
 impl IcmpMessage {
     /// Builds an echo request.
+    #[must_use]
     pub fn echo_request(identifier: u16, sequence: u16) -> Self {
         IcmpMessage {
             kind: IcmpKind::EchoRequest,
@@ -64,6 +65,7 @@ impl IcmpMessage {
     }
 
     /// Builds the echo reply answering `request`.
+    #[must_use]
     pub fn reply_to(request: &IcmpMessage) -> Self {
         IcmpMessage {
             kind: IcmpKind::EchoReply,
@@ -74,6 +76,7 @@ impl IcmpMessage {
     }
 
     /// Serializes with a correct ICMP checksum.
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let (t, c) = self.kind.type_code();
         let mut w = Writer::with_capacity(8 + self.payload.len());

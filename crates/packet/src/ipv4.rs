@@ -58,6 +58,7 @@ pub struct Ipv4Packet {
 
 impl Ipv4Packet {
     /// Builds a packet with conventional defaults (TTL 64).
+    #[must_use]
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, payload: Vec<u8>) -> Self {
         Ipv4Packet {
             src,
@@ -71,6 +72,7 @@ impl Ipv4Packet {
     }
 
     /// Serializes the packet with a correct header checksum.
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let total_len = 20 + self.payload.len();
         let mut w = Writer::with_capacity(total_len);

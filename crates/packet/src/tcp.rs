@@ -25,11 +25,13 @@ impl TcpFlags {
     pub const SYN_ACK: TcpFlags = TcpFlags(0x12);
 
     /// `true` when every flag in `other` is set in `self`.
+    #[must_use]
     pub fn contains(self, other: TcpFlags) -> bool {
         self.0 & other.0 == other.0
     }
 
     /// Union of two flag sets.
+    #[must_use]
     pub fn union(self, other: TcpFlags) -> TcpFlags {
         TcpFlags(self.0 | other.0)
     }
@@ -76,6 +78,7 @@ pub struct TcpSegment {
 impl TcpSegment {
     /// Builds a bare SYN (connection attempt) — the packet whose time to
     /// first byte the paper's Figure 4 measures.
+    #[must_use]
     pub fn syn(src_port: u16, dst_port: u16) -> Self {
         TcpSegment {
             src_port,
@@ -89,6 +92,7 @@ impl TcpSegment {
     }
 
     /// Builds the SYN-ACK answering `syn`.
+    #[must_use]
     pub fn syn_ack_to(syn: &TcpSegment) -> Self {
         TcpSegment {
             src_port: syn.dst_port,
@@ -102,6 +106,7 @@ impl TcpSegment {
     }
 
     /// Builds a data-bearing segment.
+    #[must_use]
     pub fn data(src_port: u16, dst_port: u16, seq: u32, payload: Vec<u8>) -> Self {
         TcpSegment {
             src_port,
@@ -131,11 +136,13 @@ impl TcpSegment {
 
     /// Serializes with a zero checksum (for contexts where the caller does
     /// not know the IP endpoints).
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         self.encode_raw(0)
     }
 
     /// Serializes with a correct checksum over the IPv4 pseudo-header.
+    #[must_use]
     pub fn encode_with_pseudo(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
         let body = self.encode_raw(0);
         let ck = pseudo_checksum(src, dst, 6, &body);

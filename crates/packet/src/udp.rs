@@ -19,6 +19,7 @@ pub struct UdpDatagram {
 
 impl UdpDatagram {
     /// Builds a datagram.
+    #[must_use]
     pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
         UdpDatagram {
             src_port,
@@ -38,11 +39,13 @@ impl UdpDatagram {
     }
 
     /// Serializes with checksum zero (meaning "no checksum" in IPv4 UDP).
+    #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         self.encode_raw(0)
     }
 
     /// Serializes with a correct checksum over the IPv4 pseudo-header.
+    #[must_use]
     pub fn encode_with_pseudo(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
         let body = self.encode_raw(0);
         let mut ck = pseudo_checksum(src, dst, 17, &body);

@@ -16,16 +16,19 @@ pub struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     /// Wraps a slice.
+    #[must_use]
     pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
     /// Bytes remaining after the cursor.
+    #[must_use]
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
     /// Current cursor position.
+    #[must_use]
     pub fn position(&self) -> usize {
         self.pos
     }
@@ -113,11 +116,13 @@ pub struct Writer {
 
 impl Writer {
     /// An empty writer.
+    #[must_use]
     pub fn new() -> Self {
         Writer::default()
     }
 
     /// An empty writer with reserved capacity.
+    #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
         Writer {
             buf: Vec::with_capacity(cap),
@@ -128,16 +133,19 @@ impl Writer {
     /// contents and capacity. This is the zero-allocation entry point: a
     /// pooled buffer round-trips through `from_vec` → [`Writer::into_bytes`]
     /// without touching the heap once its capacity is warm.
+    #[must_use]
     pub fn from_vec(buf: Vec<u8>) -> Self {
         Writer { buf }
     }
 
     /// Bytes written so far.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
     /// `true` when nothing has been written.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
@@ -184,17 +192,20 @@ impl Writer {
     }
 
     /// Consumes the writer, returning the bytes.
+    #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
 
     /// Borrows the bytes written so far.
+    #[must_use]
     pub fn as_slice(&self) -> &[u8] {
         &self.buf
     }
 }
 
 /// RFC 1071 Internet checksum over `data` (as used by IPv4, ICMP, TCP, UDP).
+#[must_use]
 pub fn internet_checksum(data: &[u8]) -> u16 {
     let mut sum: u32 = 0;
     let mut chunks = data.chunks_exact(2);

@@ -42,6 +42,7 @@ pub struct DhcpServer {
 impl DhcpServer {
     /// Creates a server answering from `server_ip`, handing out addresses
     /// `pool_base .. pool_base+pool_size`.
+    #[must_use]
     pub fn new(server_ip: Ipv4Addr, pool_base: Ipv4Addr, pool_size: u32) -> DhcpServer {
         DhcpServer {
             inner: Rc::new(RefCell::new(Inner {
@@ -75,16 +76,19 @@ impl DhcpServer {
     }
 
     /// The server's own address (DHCP option 54).
+    #[must_use]
     pub fn server_ip(&self) -> Ipv4Addr {
         self.inner.borrow().server_ip
     }
 
     /// The current lease for `mac`, if any.
+    #[must_use]
     pub fn lease_of(&self, mac: MacAddr) -> Option<Ipv4Addr> {
         self.inner.borrow().leases.get(&mac).copied()
     }
 
     /// Number of active leases.
+    #[must_use]
     pub fn lease_count(&self) -> usize {
         self.inner.borrow().leases.len()
     }

@@ -63,6 +63,7 @@ impl Default for Directory {
 
 impl Directory {
     /// An empty directory.
+    #[must_use]
     pub fn new() -> Directory {
         Directory {
             inner: Rc::new(RefCell::new(Inner {
@@ -135,12 +136,14 @@ impl Directory {
 
     /// The opaque credential for a user — what an attacker with SYSTEM on a
     /// machine can dump from memory for any user with processes there.
+    #[must_use]
     pub fn credential_of(&self, user: &str) -> Option<u64> {
         self.inner.borrow().users.get(user).map(|r| r.credential)
     }
 
     /// `true` when `user` holds Local Administrator on `hostname` via any
     /// group membership.
+    #[must_use]
     pub fn is_local_admin(&self, user: &str, hostname: &str) -> bool {
         let inner = self.inner.borrow();
         let Some(rec) = inner.users.get(user) else {
@@ -155,6 +158,7 @@ impl Directory {
     }
 
     /// Groups a user belongs to, sorted.
+    #[must_use]
     pub fn groups_of(&self, user: &str) -> Vec<String> {
         let inner = self.inner.borrow();
         let mut gs: Vec<String> = inner
@@ -167,16 +171,19 @@ impl Directory {
     }
 
     /// `true` when the machine is domain-joined.
+    #[must_use]
     pub fn is_joined(&self, hostname: &str) -> bool {
         self.inner.borrow().machines.contains(hostname)
     }
 
     /// Ticket-granting tickets issued (authentication successes).
+    #[must_use]
     pub fn tgts_issued(&self) -> u64 {
         self.inner.borrow().tgts_issued
     }
 
     /// All known users, sorted.
+    #[must_use]
     pub fn users(&self) -> Vec<String> {
         let mut us: Vec<String> = self.inner.borrow().users.keys().cloned().collect();
         us.sort();

@@ -36,6 +36,7 @@ pub struct DnsServer {
 
 impl DnsServer {
     /// Creates a server authoritative for `zone` (e.g. `corp.local`).
+    #[must_use]
     pub fn new(zone: &str) -> DnsServer {
         DnsServer {
             inner: Rc::new(RefCell::new(Inner {
@@ -58,6 +59,7 @@ impl DnsServer {
     }
 
     /// Fully qualifies a bare hostname within the server's zone.
+    #[must_use]
     pub fn fqdn(&self, hostname: &str) -> String {
         let inner = self.inner.borrow();
         if hostname.ends_with(&inner.zone) {
@@ -116,6 +118,7 @@ impl DnsServer {
     }
 
     /// Answers a query (A lookups only; others get NXDOMAIN).
+    #[must_use]
     pub fn handle(&self, query: &DnsMessage) -> DnsMessage {
         self.inner.borrow_mut().queries += 1;
         let Some(q) = query.questions.first() else {
@@ -131,17 +134,20 @@ impl DnsServer {
     }
 
     /// Direct lookup (for harness code that does not need wire fidelity).
+    #[must_use]
     pub fn lookup(&self, hostname: &str) -> Option<Ipv4Addr> {
         let name = self.fqdn(hostname);
         self.inner.borrow().forward.get(&name).copied()
     }
 
     /// Reverse lookup.
+    #[must_use]
     pub fn reverse_lookup(&self, ip: Ipv4Addr) -> Option<String> {
         self.inner.borrow().reverse.get(&ip).cloned()
     }
 
     /// Queries served so far.
+    #[must_use]
     pub fn query_count(&self) -> u64 {
         self.inner.borrow().queries
     }

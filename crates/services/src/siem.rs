@@ -53,6 +53,7 @@ pub struct Siem {
 
 impl Siem {
     /// An empty indexer.
+    #[must_use]
     pub fn new() -> Siem {
         Siem::default()
     }
@@ -144,6 +145,7 @@ impl Siem {
     }
 
     /// The current process count for (user, host).
+    #[must_use]
     pub fn process_count(&self, user: &str, host: &str) -> u32 {
         self.inner
             .borrow()
@@ -154,16 +156,19 @@ impl Siem {
     }
 
     /// `true` while the user's process count on the host is positive.
+    #[must_use]
     pub fn is_logged_on(&self, user: &str, host: &str) -> bool {
         self.process_count(user, host) > 0
     }
 
     /// Raw endpoint events ingested.
+    #[must_use]
     pub fn events_ingested(&self) -> u64 {
         self.inner.borrow().events_ingested
     }
 
     /// Derived session events emitted.
+    #[must_use]
     pub fn sessions_emitted(&self) -> u64 {
         self.inner.borrow().sessions_emitted
     }

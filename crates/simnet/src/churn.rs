@@ -1,0 +1,288 @@
+//! Diurnal DHCP / log-on churn schedules for fleet-scale experiments.
+//!
+//! Real enterprise binding churn is not Poisson-flat: leases move and users
+//! log on in a morning surge, taper overnight, and repeat. This module turns
+//! a generated [`Topology`](crate::topo::Topology) into a deterministic,
+//! time-sorted schedule of binding operations whose instantaneous rate
+//! follows a sinusoidal day profile. Like the topology generator it is pure
+//! data — the consumer replays each [`ChurnEvent`] against its entity
+//! resolver (fanning it out to shards, publishing it on a bus, or applying
+//! it directly).
+//!
+//! Events are generated per host/user by thinning a peak-rate exponential
+//! arrival process against the diurnal intensity, so the same
+//! `(topology, params, seed)` triple always yields a bit-identical schedule.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::topo::Topology;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// Churn-schedule parameters.
+#[derive(Clone, Debug)]
+pub struct ChurnParams {
+    /// Length of one virtual "day" (the period of the diurnal modulation).
+    /// Experiments compress this — a 1-second day replays a full diurnal
+    /// cycle inside a 2-second run.
+    pub day: Duration,
+    /// Schedule horizon; events are generated in `[0, horizon)`.
+    pub horizon: Duration,
+    /// Mean DHCP re-lease (IP move) events per host per day, at the
+    /// *average* diurnal intensity.
+    pub lease_moves_per_host_day: f64,
+    /// Mean log-on/log-off session toggles per user per day, at the
+    /// average diurnal intensity.
+    pub session_toggles_per_user_day: f64,
+}
+
+/// One binding mutation in the schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A DHCP move: the host releases `old_ip` and acquires `new_ip`.
+    LeaseMove {
+        /// Host index in the topology.
+        host: u32,
+        /// The host's MAC index (mirrors `HostSpec::mac_index`).
+        mac_index: u32,
+        /// The IP being released.
+        old_ip: Ipv4Addr,
+        /// The freshly leased IP (from the 11.0.0.0/8 re-lease pool,
+        /// disjoint from the topology's initial 10.0.0.0/8 assignments).
+        new_ip: Ipv4Addr,
+    },
+    /// A user logs on to their home host.
+    LogOn {
+        /// The user name.
+        user: String,
+        /// Host index the session lands on.
+        host: u32,
+    },
+    /// A user logs off their home host.
+    LogOff {
+        /// The user name.
+        user: String,
+        /// Host index the session leaves.
+        host: u32,
+    },
+}
+
+/// One scheduled churn operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the operation occurs.
+    pub at: SimTime,
+    /// The binding mutation.
+    pub op: ChurnOp,
+}
+
+/// Diurnal intensity at time `t`: a raised cosine with mean 1.0, peaking
+/// mid-day at 1.8x the average rate and bottoming overnight at 0.2x.
+#[must_use]
+pub fn diurnal_intensity(t: SimTime, day: Duration) -> f64 {
+    let phase = (t.as_secs_f64() / day.as_secs_f64()).fract();
+    1.0 - 0.8 * (std::f64::consts::TAU * phase).cos()
+}
+
+const PEAK_INTENSITY: f64 = 1.8;
+
+/// Draws arrival times for one entity by thinning a peak-rate exponential
+/// process against the diurnal profile.
+fn arrivals(
+    rng: &mut SimRng,
+    per_day: f64,
+    day: Duration,
+    horizon: Duration,
+    mut emit: impl FnMut(SimTime, &mut SimRng),
+) {
+    if per_day <= 0.0 {
+        return;
+    }
+    let peak_mean_gap = day.as_secs_f64() / (per_day * PEAK_INTENSITY);
+    let mut t = 0.0f64;
+    let end = horizon.as_secs_f64();
+    loop {
+        t += rng.exponential(peak_mean_gap);
+        if t >= end {
+            return;
+        }
+        let at = SimTime::from_nanos((t * 1e9) as u64);
+        if rng.chance(diurnal_intensity(at, day) / PEAK_INTENSITY) {
+            emit(at, rng);
+        }
+    }
+}
+
+/// Generates the deterministic churn schedule for `topo`.
+///
+/// Lease moves chain: each move releases whatever IP the host held after
+/// its previous move. Session toggles alternate per `(user, host)` pair
+/// starting from logged-on (matching the topology's initial bindings), so
+/// the first toggle is always a `LogOff`. Events are sorted by time;
+/// same-instant events keep host-index order, so the schedule is stable.
+#[must_use]
+pub fn generate_churn(topo: &Topology, params: &ChurnParams, seed: u64) -> Vec<ChurnEvent> {
+    let mut root = SimRng::new(seed ^ 0xC4_42_17);
+    let mut events: Vec<ChurnEvent> = Vec::new();
+    // The re-lease pool: 11.x.y.z, allocated densely so no churned IP ever
+    // collides with another host's address.
+    let mut next_fresh_ip = 0u32;
+    for h in &topo.hosts {
+        let mut rng = root.split();
+        let mut current_ip = h.ip;
+        arrivals(
+            &mut rng,
+            params.lease_moves_per_host_day,
+            params.day,
+            params.horizon,
+            |at, _| {
+                assert!(next_fresh_ip < 1 << 24, "re-lease pool exhausted");
+                let new_ip = Ipv4Addr::new(
+                    11,
+                    (next_fresh_ip >> 16) as u8,
+                    ((next_fresh_ip >> 8) & 0xFF) as u8,
+                    (next_fresh_ip & 0xFF) as u8,
+                );
+                next_fresh_ip += 1;
+                events.push(ChurnEvent {
+                    at,
+                    op: ChurnOp::LeaseMove {
+                        host: h.index,
+                        mac_index: h.mac_index,
+                        old_ip: current_ip,
+                        new_ip,
+                    },
+                });
+                current_ip = new_ip;
+            },
+        );
+        for user in &h.users {
+            let mut logged_on = true;
+            arrivals(
+                &mut rng,
+                params.session_toggles_per_user_day,
+                params.day,
+                params.horizon,
+                |at, _| {
+                    let op = if logged_on {
+                        ChurnOp::LogOff {
+                            user: user.clone(),
+                            host: h.index,
+                        }
+                    } else {
+                        ChurnOp::LogOn {
+                            user: user.clone(),
+                            host: h.index,
+                        }
+                    };
+                    logged_on = !logged_on;
+                    events.push(ChurnEvent { at, op });
+                },
+            );
+        }
+    }
+    events.sort_by_key(|e| e.at);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{TopoKind, TopoParams, Topology};
+
+    fn small_topo(seed: u64) -> Topology {
+        Topology::generate(
+            &TopoParams {
+                kind: TopoKind::LeafSpine {
+                    spines: 2,
+                    leaves: 4,
+                },
+                hosts: 32,
+                users_per_host: 1,
+            },
+            seed,
+        )
+    }
+
+    fn params() -> ChurnParams {
+        ChurnParams {
+            day: Duration::from_secs(1),
+            horizon: Duration::from_secs(2),
+            lease_moves_per_host_day: 4.0,
+            session_toggles_per_user_day: 4.0,
+        }
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic_and_sorted() {
+        let topo = small_topo(5);
+        let a = generate_churn(&topo, &params(), 77);
+        let b = generate_churn(&topo, &params(), 77);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(!a.is_empty(), "expected some churn at these rates");
+        let c = generate_churn(&topo, &params(), 78);
+        assert_ne!(a, c, "different seed must move the schedule");
+    }
+
+    #[test]
+    fn lease_moves_chain_and_never_collide() {
+        let topo = small_topo(6);
+        let events = generate_churn(&topo, &params(), 9);
+        let mut current: std::collections::HashMap<u32, Ipv4Addr> =
+            topo.hosts.iter().map(|h| (h.index, h.ip)).collect();
+        let mut seen: std::collections::HashSet<Ipv4Addr> =
+            topo.hosts.iter().map(|h| h.ip).collect();
+        for e in &events {
+            if let ChurnOp::LeaseMove {
+                host,
+                old_ip,
+                new_ip,
+                ..
+            } = &e.op
+            {
+                assert_eq!(current[host], *old_ip, "release must chain");
+                assert!(seen.insert(*new_ip), "fresh IP reused: {new_ip}");
+                current.insert(*host, *new_ip);
+            }
+        }
+    }
+
+    #[test]
+    fn session_toggles_alternate_starting_logged_on() {
+        let topo = small_topo(7);
+        let events = generate_churn(&topo, &params(), 11);
+        let mut state: std::collections::HashMap<(String, u32), bool> =
+            std::collections::HashMap::new();
+        for e in &events {
+            match &e.op {
+                ChurnOp::LogOff { user, host } => {
+                    let on = state.entry((user.clone(), *host)).or_insert(true);
+                    assert!(*on, "log-off while logged off");
+                    *on = false;
+                }
+                ChurnOp::LogOn { user, host } => {
+                    let on = state.entry((user.clone(), *host)).or_insert(true);
+                    assert!(!*on, "log-on while logged on");
+                    *on = true;
+                }
+                ChurnOp::LeaseMove { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_profile_modulates_rate() {
+        let day = Duration::from_secs(1);
+        let night = diurnal_intensity(SimTime::ZERO, day);
+        let noon = diurnal_intensity(SimTime::from_millis(500), day);
+        assert!((night - 0.2).abs() < 1e-9);
+        assert!((noon - 1.8).abs() < 1e-9);
+        // Average over the day is ~1.0, so `per_day` keeps its meaning.
+        let avg: f64 = (0..1000)
+            .map(|i| diurnal_intensity(SimTime::from_millis(i), day))
+            .sum::<f64>()
+            / 1000.0;
+        assert!((avg - 1.0).abs() < 1e-3, "avg {avg}");
+    }
+}

@@ -33,6 +33,7 @@ pub enum Dist {
 
 impl Dist {
     /// Convenience constructor: truncated normal from millisecond floats.
+    #[must_use]
     pub fn normal_ms(mean_ms: f64, std_ms: f64) -> Dist {
         Dist::Normal {
             mean: Duration::from_secs_f64(mean_ms / 1e3),
@@ -41,6 +42,7 @@ impl Dist {
     }
 
     /// Convenience constructor: constant from millisecond float.
+    #[must_use]
     pub fn constant_ms(ms: f64) -> Dist {
         Dist::Constant(Duration::from_secs_f64(ms / 1e3))
     }
@@ -66,6 +68,7 @@ impl Dist {
 
     /// The distribution's mean (of the *untruncated* form for `Normal`;
     /// adequate for calibration sanity checks).
+    #[must_use]
     pub fn mean(&self) -> Duration {
         match *self {
             Dist::Constant(d) => d,

@@ -74,6 +74,7 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// The fault-free plan: every message passes untouched.
+    #[must_use]
     pub fn none() -> FaultPlan {
         FaultPlan {
             seed: 0,
@@ -91,6 +92,7 @@ impl FaultPlan {
     }
 
     /// A plan that only drops messages, with probability `p`.
+    #[must_use]
     pub fn lossy(seed: u64, p: f64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -102,6 +104,7 @@ impl FaultPlan {
     /// An aggressive kitchen-sink plan: drops, duplicates, corruption,
     /// delay, and reordering all at once. Useful as the adversarial end of
     /// a sweep.
+    #[must_use]
     pub fn chaos(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -119,12 +122,14 @@ impl FaultPlan {
 
     /// Returns the plan with probabilistic faults confined to
     /// `[start, end)`.
+    #[must_use]
     pub fn with_window(mut self, start: SimTime, end: SimTime) -> FaultPlan {
         self.window = Some((start, end));
         self
     }
 
     /// Returns the plan with an added hard outage over `[start, end)`.
+    #[must_use]
     pub fn with_outage(mut self, start: SimTime, end: SimTime) -> FaultPlan {
         self.outages.push((start, end));
         self
@@ -132,6 +137,7 @@ impl FaultPlan {
 
     /// `true` when any fault can still fire at or after `now` — i.e. the
     /// plan has not fully healed yet.
+    #[must_use]
     pub fn active_at(&self, now: SimTime) -> bool {
         let probabilistic = self.drop > 0.0
             || self.duplicate > 0.0
@@ -303,6 +309,7 @@ pub struct FaultStats {
 
 impl FaultStats {
     /// Total faults of any kind (everything except clean passes).
+    #[must_use]
     pub fn total_faults(&self) -> u64 {
         self.dropped
             + self.duplicated
@@ -324,6 +331,7 @@ pub struct FaultProcess {
 
 impl FaultProcess {
     /// Creates the process; the RNG is seeded from the plan alone.
+    #[must_use]
     pub fn new(plan: FaultPlan) -> FaultProcess {
         let rng = SimRng::new(plan.seed);
         FaultProcess {
@@ -334,11 +342,13 @@ impl FaultProcess {
     }
 
     /// The plan this process executes.
+    #[must_use]
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
 
     /// What the injector has done so far.
+    #[must_use]
     pub fn stats(&self) -> FaultStats {
         self.stats
     }

@@ -16,7 +16,9 @@
 //!   and policy stores,
 //! * deterministic channel fault injection ([`FaultPlan`] /
 //!   [`FaultProcess`]): drops, duplicates, reordering, delay, detectable
-//!   corruption, and outage windows, reproducible from `(seed, plan)`, and
+//!   corruption, and outage windows, reproducible from `(seed, plan)`,
+//! * generated fleet-scale fabrics and diurnal binding-churn schedules
+//!   ([`topo`], [`churn`]) driving the sharded-proxy experiments, and
 //! * measurement helpers ([`Summary`], [`Counter`], [`TimeSeries`]).
 //!
 //! # Example
@@ -40,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 mod dist;
 mod fault;
 mod metrics;
@@ -47,6 +50,7 @@ mod rng;
 mod sim;
 mod station;
 mod time;
+pub mod topo;
 
 pub use dist::Dist;
 pub use fault::{Delivery, FaultPlan, FaultProcess, FaultStats};

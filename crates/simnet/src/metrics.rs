@@ -14,6 +14,7 @@ pub struct Summary {
 
 impl Summary {
     /// An empty summary.
+    #[must_use]
     pub fn new() -> Self {
         Summary::default()
     }
@@ -24,11 +25,13 @@ impl Summary {
     }
 
     /// Number of samples recorded.
+    #[must_use]
     pub fn count(&self) -> usize {
         self.samples.len()
     }
 
     /// Arithmetic mean; `0.0` when empty.
+    #[must_use]
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -37,6 +40,7 @@ impl Summary {
     }
 
     /// Population standard deviation; `0.0` when empty.
+    #[must_use]
     pub fn std_dev(&self) -> f64 {
         if self.samples.len() < 2 {
             return 0.0;
@@ -67,6 +71,7 @@ impl Summary {
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) by nearest-rank; `0.0` when empty.
+    #[must_use]
     pub fn percentile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -79,11 +84,13 @@ impl Summary {
     }
 
     /// Median (50th percentile).
+    #[must_use]
     pub fn median(&self) -> f64 {
         self.percentile(0.5)
     }
 
     /// Raw samples, in insertion order.
+    #[must_use]
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
@@ -100,6 +107,7 @@ pub struct Counter(u64);
 
 impl Counter {
     /// A zeroed counter.
+    #[must_use]
     pub fn new() -> Self {
         Counter(0)
     }
@@ -115,6 +123,7 @@ impl Counter {
     }
 
     /// Current value.
+    #[must_use]
     pub fn get(&self) -> u64 {
         self.0
     }
@@ -128,6 +137,7 @@ pub struct TimeSeries {
 
 impl TimeSeries {
     /// An empty series.
+    #[must_use]
     pub fn new() -> Self {
         TimeSeries::default()
     }
@@ -139,12 +149,14 @@ impl TimeSeries {
     }
 
     /// All points in insertion order.
+    #[must_use]
     pub fn points(&self) -> &[(SimTime, f64)] {
         &self.points
     }
 
     /// The last value at or before `at`, or `None` if the series starts
     /// later.
+    #[must_use]
     pub fn value_at(&self, at: SimTime) -> Option<f64> {
         self.points
             .iter()
@@ -154,16 +166,19 @@ impl TimeSeries {
     }
 
     /// The final value, or `None` when empty.
+    #[must_use]
     pub fn last(&self) -> Option<f64> {
         self.points.last().map(|(_, v)| *v)
     }
 
     /// Number of points.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.points.len()
     }
 
     /// `true` when no points have been recorded.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }

@@ -26,6 +26,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
         let s = [
@@ -41,6 +42,7 @@ impl SimRng {
     ///
     /// Used to give each simulated component its own stream so that adding
     /// randomness in one component does not perturb the draws of another.
+    #[must_use]
     pub fn split(&mut self) -> SimRng {
         SimRng::new(self.next_u64())
     }

@@ -58,6 +58,7 @@ pub struct Sim {
 
 impl Sim {
     /// Creates a simulator whose random stream derives from `seed`.
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         Sim {
             now: SimTime::ZERO,
@@ -77,6 +78,7 @@ impl Sim {
     }
 
     /// The current virtual time.
+    #[must_use]
     pub fn now(&self) -> SimTime {
         self.now
     }
@@ -92,12 +94,14 @@ impl Sim {
     }
 
     /// Number of events executed so far.
+    #[must_use]
     pub fn events_executed(&self) -> u64 {
         self.executed
     }
 
     /// Number of events currently pending (including cancelled ones not yet
     /// reaped).
+    #[must_use]
     pub fn events_pending(&self) -> usize {
         self.queue.len()
     }

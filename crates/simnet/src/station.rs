@@ -70,24 +70,28 @@ impl StationConfig {
     }
 
     /// Sets the worker count (builder style).
+    #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
     }
 
     /// Sets the queue capacity (builder style).
+    #[must_use]
     pub fn queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap;
         self
     }
 
     /// Sets the contention coefficient (builder style).
+    #[must_use]
     pub fn contention(mut self, c: f64) -> Self {
         self.contention = c;
         self
     }
 
     /// Sets the load-inflation coefficient (builder style).
+    #[must_use]
     pub fn load_inflation(mut self, c: f64) -> Self {
         self.load_inflation = c;
         self
@@ -151,6 +155,7 @@ impl Station {
     /// # Panics
     ///
     /// Panics if `workers == 0`.
+    #[must_use]
     pub fn new(config: StationConfig) -> Self {
         assert!(config.workers > 0, "station needs at least one worker");
         Station {
@@ -255,21 +260,25 @@ impl Station {
     }
 
     /// Number of jobs currently in service.
+    #[must_use]
     pub fn busy(&self) -> usize {
         self.inner.borrow().busy
     }
 
     /// Number of jobs currently queued.
+    #[must_use]
     pub fn queue_len(&self) -> usize {
         self.inner.borrow().queue.len()
     }
 
     /// Snapshot of accumulated statistics.
+    #[must_use]
     pub fn stats(&self) -> StationStats {
         self.inner.borrow().stats.clone()
     }
 
     /// The station's configured name.
+    #[must_use]
     pub fn name(&self) -> String {
         self.inner.borrow().config.name.clone()
     }

@@ -20,57 +20,68 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant `nanos` nanoseconds after the epoch.
+    #[must_use]
     pub const fn from_nanos(nanos: u64) -> Self {
         SimTime(nanos)
     }
 
     /// Creates an instant `micros` microseconds after the epoch.
+    #[must_use]
     pub const fn from_micros(micros: u64) -> Self {
         SimTime(micros * 1_000)
     }
 
     /// Creates an instant `millis` milliseconds after the epoch.
+    #[must_use]
     pub const fn from_millis(millis: u64) -> Self {
         SimTime(millis * 1_000_000)
     }
 
     /// Creates an instant `secs` seconds after the epoch.
+    #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1_000_000_000)
     }
 
     /// Nanoseconds since the epoch.
+    #[must_use]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
 
     /// Microseconds since the epoch (truncated).
+    #[must_use]
     pub const fn as_micros(self) -> u64 {
         self.0 / 1_000
     }
 
     /// Milliseconds since the epoch (truncated).
+    #[must_use]
     pub const fn as_millis(self) -> u64 {
         self.0 / 1_000_000
     }
 
     /// Whole seconds since the epoch (truncated).
+    #[must_use]
     pub const fn as_secs(self) -> u64 {
         self.0 / 1_000_000_000
     }
 
     /// Seconds since the epoch as a float.
+    #[must_use]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
     }
 
     /// Elapsed duration since `earlier`, saturating to zero if `earlier`
     /// is in the future.
+    #[must_use]
     pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
         Duration::from_nanos(self.0.saturating_sub(earlier.0))
     }
 
     /// Adds a duration, saturating at [`SimTime::MAX`].
+    #[must_use]
     pub fn saturating_add(self, d: Duration) -> SimTime {
         let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
         SimTime(self.0.saturating_add(nanos))

@@ -1,0 +1,406 @@
+//! Generated enterprise topologies for fleet-scale experiments.
+//!
+//! The paper evaluates DFI on a ~100-VM testbed; the fleet-scale harness
+//! goes 10-100x further, which needs topologies too large to wire by hand.
+//! This module generates the two canonical data-center fabrics as **pure
+//! data** — switch specs, link specs, and host placements — with no
+//! dependency on the dataplane crate. Consumers (the differential oracle
+//! tests, `dfi-scalegate`) materialize the spec into real switches.
+//!
+//! Generation is seed-deterministic: the same `(params, seed)` pair
+//! produces a bit-identical [`Topology`], so every fleet-scale failure
+//! reproduces from one line. The invariants (advertised counts, full
+//! host-pair connectivity, dpid uniqueness, shard-partition coverage) are
+//! machine-checked in `tests/proptest_topo.rs`.
+
+use crate::rng::SimRng;
+use std::net::Ipv4Addr;
+
+/// Which fabric to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoKind {
+    /// A `k`-ary fat-tree: `k` pods of `k/2` edge and `k/2` aggregation
+    /// switches plus `(k/2)^2` core switches; hosts attach to edge
+    /// switches. `k` must be even and at least 2.
+    FatTree {
+        /// Fat-tree arity (pod count); even, `>= 2`.
+        k: u32,
+    },
+    /// A two-tier leaf-spine: every leaf uplinks to every spine; hosts
+    /// attach to leaves.
+    LeafSpine {
+        /// Spine-switch count (`>= 1`).
+        spines: u32,
+        /// Leaf-switch count (`>= 1`).
+        leaves: u32,
+    },
+}
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct TopoParams {
+    /// The fabric shape.
+    pub kind: TopoKind,
+    /// Total hosts, spread over the host-bearing (edge/leaf) switches in
+    /// seed-shuffled round-robin order.
+    pub hosts: u32,
+    /// Logged-on users generated per host (session bindings); the ERM
+    /// binding count per host is `2 + users_per_host` (IP<->MAC, host<->IP,
+    /// and one user<->host binding per user).
+    pub users_per_host: u32,
+}
+
+/// A switch's role in the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Fat-tree core.
+    Core,
+    /// Fat-tree aggregation.
+    Aggregation,
+    /// Fat-tree edge (host-bearing).
+    Edge,
+    /// Leaf-spine spine.
+    Spine,
+    /// Leaf-spine leaf (host-bearing).
+    Leaf,
+}
+
+/// One switch in the generated fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwitchSpec {
+    /// Datapath id; unique within the topology, assigned densely from 1.
+    pub dpid: u64,
+    /// Fabric role.
+    pub tier: Tier,
+}
+
+/// One bidirectional inter-switch link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// First endpoint dpid.
+    pub a_dpid: u64,
+    /// Port on the first endpoint.
+    pub a_port: u32,
+    /// Second endpoint dpid.
+    pub b_dpid: u64,
+    /// Port on the second endpoint.
+    pub b_port: u32,
+}
+
+/// One host placement: identity bindings plus the attachment point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HostSpec {
+    /// Dense host index (0-based).
+    pub index: u32,
+    /// Short hostname (`h` + zero-padded index).
+    pub hostname: String,
+    /// Users logged on to this host.
+    pub users: Vec<String>,
+    /// The host's IP (unique within the topology).
+    pub ip: Ipv4Addr,
+    /// MAC index (consumers build the MAC as `MacAddr::from_index`);
+    /// unique within the topology.
+    pub mac_index: u32,
+    /// Attachment switch dpid (always an edge/leaf switch).
+    pub dpid: u64,
+    /// Attachment port on that switch (host-facing ports start at 1).
+    pub port: u32,
+}
+
+/// A generated fabric: pure data, materialized by the consumer.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// The seed the topology was generated from.
+    pub seed: u64,
+    /// The shape it was generated with.
+    pub kind: TopoKind,
+    /// All switches, dpid-ascending.
+    pub switches: Vec<SwitchSpec>,
+    /// All inter-switch links.
+    pub links: Vec<LinkSpec>,
+    /// All host placements, index-ascending.
+    pub hosts: Vec<HostSpec>,
+}
+
+/// The per-dpid shard-ownership partition used by the sharded DFI proxy:
+/// every dpid maps to exactly one of `n_shards` shards. Defined here — the
+/// lowest crate in the graph — so the proxy, the generators, and the tests
+/// all agree on ownership by construction.
+///
+/// # Panics
+///
+/// Panics if `n_shards == 0`.
+#[must_use]
+pub fn shard_of(dpid: u64, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard partition needs at least one shard");
+    // Fibonacci multiplicative hash: spreads both dense (generated) and
+    // sparse (hand-assigned) dpid spaces evenly over the shards.
+    (dpid.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % n_shards
+}
+
+impl Topology {
+    /// Generates a topology from `(params, seed)`. Bit-identical for equal
+    /// inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate shapes: odd or zero fat-tree `k`, zero spines
+    /// or leaves, or more hosts than the 10.0.0.0/8 pool can address.
+    #[must_use]
+    pub fn generate(params: &TopoParams, seed: u64) -> Topology {
+        let mut rng = SimRng::new(seed ^ 0x70_70_70);
+        let mut topo = Topology {
+            seed,
+            kind: params.kind,
+            switches: Vec::new(),
+            links: Vec::new(),
+            hosts: Vec::new(),
+        };
+        match params.kind {
+            TopoKind::FatTree { k } => topo.build_fat_tree(k),
+            TopoKind::LeafSpine { spines, leaves } => topo.build_leaf_spine(spines, leaves),
+        }
+        topo.place_hosts(params, &mut rng);
+        topo
+    }
+
+    /// Fat-tree wiring. Port ranges are disjoint per role so a port number
+    /// never collides on one switch: host ports `1..`, edge uplinks
+    /// `100..`, agg down `200..`, agg up `300..`, core down `400..`.
+    fn build_fat_tree(&mut self, k: u32) {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree k must be even and >= 2"
+        );
+        let half = k / 2;
+        let n_core = half * half;
+        let mut next_dpid = 1u64;
+        let mut fresh = |switches: &mut Vec<SwitchSpec>, tier| {
+            let dpid = next_dpid;
+            next_dpid += 1;
+            switches.push(SwitchSpec { dpid, tier });
+            dpid
+        };
+        let cores: Vec<u64> = (0..n_core)
+            .map(|_| fresh(&mut self.switches, Tier::Core))
+            .collect();
+        for pod in 0..k {
+            let aggs: Vec<u64> = (0..half)
+                .map(|_| fresh(&mut self.switches, Tier::Aggregation))
+                .collect();
+            let edges: Vec<u64> = (0..half)
+                .map(|_| fresh(&mut self.switches, Tier::Edge))
+                .collect();
+            for (e, &edge) in edges.iter().enumerate() {
+                for (a, &agg) in aggs.iter().enumerate() {
+                    self.links.push(LinkSpec {
+                        a_dpid: edge,
+                        a_port: 100 + a as u32,
+                        b_dpid: agg,
+                        b_port: 200 + e as u32,
+                    });
+                }
+            }
+            for (a, &agg) in aggs.iter().enumerate() {
+                for j in 0..half {
+                    let core = cores[(a as u32 * half + j) as usize];
+                    self.links.push(LinkSpec {
+                        a_dpid: agg,
+                        a_port: 300 + j,
+                        b_dpid: core,
+                        b_port: 400 + pod,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Leaf-spine wiring: full bipartite leaves x spines. Spine-facing
+    /// leaf ports start at `10_000`; leaf-facing spine ports at `1_000`.
+    fn build_leaf_spine(&mut self, spines: u32, leaves: u32) {
+        assert!(spines >= 1 && leaves >= 1, "need at least one of each tier");
+        let mut next_dpid = 1u64;
+        let spine_ids: Vec<u64> = (0..spines)
+            .map(|i| {
+                self.switches.push(SwitchSpec {
+                    dpid: next_dpid + u64::from(i),
+                    tier: Tier::Spine,
+                });
+                next_dpid + u64::from(i)
+            })
+            .collect();
+        next_dpid += u64::from(spines);
+        for l in 0..leaves {
+            let leaf = next_dpid + u64::from(l);
+            self.switches.push(SwitchSpec {
+                dpid: leaf,
+                tier: Tier::Leaf,
+            });
+            for (s, &spine) in spine_ids.iter().enumerate() {
+                self.links.push(LinkSpec {
+                    a_dpid: leaf,
+                    a_port: 10_000 + s as u32,
+                    b_dpid: spine,
+                    b_port: 1_000 + l,
+                });
+            }
+        }
+    }
+
+    /// Spreads hosts over the host-bearing switches. The switch visit
+    /// order is seed-shuffled (so placement depends on the seed), but each
+    /// switch's ports fill densely from 1.
+    fn place_hosts(&mut self, params: &TopoParams, rng: &mut SimRng) {
+        assert!(
+            params.hosts < 1 << 24,
+            "host pool limited to the 10.0.0.0/8 space"
+        );
+        let mut bearers: Vec<u64> = self
+            .switches
+            .iter()
+            .filter(|s| matches!(s.tier, Tier::Edge | Tier::Leaf))
+            .map(|s| s.dpid)
+            .collect();
+        assert!(!bearers.is_empty(), "topology has no host-bearing tier");
+        rng.shuffle(&mut bearers);
+        let mut next_port = vec![1u32; bearers.len()];
+        for i in 0..params.hosts {
+            let slot = (i as usize) % bearers.len();
+            let port = next_port[slot];
+            next_port[slot] += 1;
+            // 10.x.y.z, dense by index: unique and disjoint from the
+            // churn driver's 11/8 re-lease pool.
+            let ip = Ipv4Addr::new(
+                10,
+                (i >> 16) as u8,
+                ((i >> 8) & 0xFF) as u8,
+                (i & 0xFF) as u8,
+            );
+            let users = (0..params.users_per_host)
+                .map(|_| format!("u{}", rng.range_u64(0, u64::from(params.hosts) * 4)))
+                .collect();
+            self.hosts.push(HostSpec {
+                index: i,
+                hostname: format!("h{i:06}"),
+                users,
+                ip,
+                mac_index: i + 1,
+                dpid: bearers[slot],
+                port,
+            });
+        }
+    }
+
+    /// Total ERM bindings this topology implies: one IP<->MAC and one
+    /// host<->IP binding per host, plus one user<->host binding per
+    /// logged-on user.
+    #[must_use]
+    pub fn binding_count(&self) -> usize {
+        self.hosts.iter().map(|h| 2 + h.users.len()).sum()
+    }
+
+    /// Dpids of the host-bearing (edge/leaf) switches, ascending.
+    #[must_use]
+    pub fn host_bearing_dpids(&self) -> Vec<u64> {
+        self.switches
+            .iter()
+            .filter(|s| matches!(s.tier, Tier::Edge | Tier::Leaf))
+            .map(|s| s.dpid)
+            .collect()
+    }
+
+    /// The shard-ownership partition of this topology's dpids: element `i`
+    /// holds shard `i`'s dpids, ascending. The concatenation of all
+    /// elements is exactly the topology's dpid set (the partition
+    /// property checked by `proptest_topo`).
+    #[must_use]
+    pub fn shard_partition(&self, n_shards: usize) -> Vec<Vec<u64>> {
+        let mut owned = vec![Vec::new(); n_shards];
+        for s in &self.switches {
+            owned[shard_of(s.dpid, n_shards)].push(s.dpid);
+        }
+        owned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(kind: TopoKind, hosts: u32) -> TopoParams {
+        TopoParams {
+            kind,
+            hosts,
+            users_per_host: 1,
+        }
+    }
+
+    #[test]
+    fn fat_tree_counts_match_formula() {
+        let k = 4;
+        let t = Topology::generate(&params(TopoKind::FatTree { k }, 16), 7);
+        // (k/2)^2 core + k pods * (k/2 agg + k/2 edge).
+        assert_eq!(t.switches.len(), (4 + 4 * 4) as usize);
+        assert_eq!(t.hosts.len(), 16);
+        // Edge-agg: k * (k/2)^2; agg-core: k * (k/2)^2.
+        assert_eq!(t.links.len(), 32);
+    }
+
+    #[test]
+    fn leaf_spine_counts_match_formula() {
+        let t = Topology::generate(
+            &params(
+                TopoKind::LeafSpine {
+                    spines: 3,
+                    leaves: 5,
+                },
+                40,
+            ),
+            7,
+        );
+        assert_eq!(t.switches.len(), 8);
+        assert_eq!(t.links.len(), 15);
+        assert_eq!(t.hosts.len(), 40);
+        assert_eq!(t.binding_count(), 40 * 3);
+    }
+
+    #[test]
+    fn same_seed_bit_identical() {
+        let p = params(TopoKind::FatTree { k: 4 }, 12);
+        let a = Topology::generate(&p, 42);
+        let b = Topology::generate(&p, 42);
+        assert_eq!(a.switches, b.switches);
+        assert_eq!(a.links, b.links);
+        assert_eq!(a.hosts, b.hosts);
+        let c = Topology::generate(&p, 43);
+        assert_ne!(a.hosts, c.hosts, "different seed must move something");
+    }
+
+    #[test]
+    fn shard_partition_covers_every_dpid_once() {
+        let t = Topology::generate(
+            &params(
+                TopoKind::LeafSpine {
+                    spines: 2,
+                    leaves: 9,
+                },
+                18,
+            ),
+            1,
+        );
+        for n in 1..=8 {
+            let parts = t.shard_partition(n);
+            let mut all: Vec<u64> = parts.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let mut expect: Vec<u64> = t.switches.iter().map(|s| s.dpid).collect();
+            expect.sort_unstable();
+            assert_eq!(all, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_fat_tree_rejected() {
+        let _ = Topology::generate(&params(TopoKind::FatTree { k: 3 }, 1), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based invariants for the fleet-scale topology generator.
+//!
+//! Every generated fabric — any fat-tree arity, any leaf-spine shape, any
+//! host count, any seed — must satisfy:
+//!
+//! * advertised counts: the switch/host vectors match the closed-form
+//!   formulas for the shape, and dpids are unique and dense from 1;
+//! * full reachability: every host pair has a switch-level path (checked
+//!   with a union-find over the link list plus host attachment points);
+//! * shard partition: for every shard count, each dpid is owned by exactly
+//!   one shard and the shards together cover every dpid;
+//! * seed determinism: the same `(params, seed)` is bit-identical, and the
+//!   churn schedule derived from it is too.
+
+use dfi_simnet::churn::{generate_churn, ChurnParams};
+use dfi_simnet::topo::{shard_of, Tier, TopoKind, TopoParams, Topology};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Arbitrary-but-bounded fabric shapes.
+fn arb_kind() -> impl Strategy<Value = TopoKind> {
+    prop_oneof![
+        (1u32..=4).prop_map(|half| TopoKind::FatTree { k: half * 2 }),
+        (1u32..=6, 1u32..=24).prop_map(|(spines, leaves)| TopoKind::LeafSpine { spines, leaves }),
+    ]
+}
+
+fn arb_params() -> impl Strategy<Value = TopoParams> {
+    (arb_kind(), 1u32..=96, 0u32..=3).prop_map(|(kind, hosts, users_per_host)| TopoParams {
+        kind,
+        hosts,
+        users_per_host,
+    })
+}
+
+/// Closed-form switch count for a shape.
+fn expected_switches(kind: TopoKind) -> usize {
+    match kind {
+        TopoKind::FatTree { k } => {
+            let half = (k / 2) as usize;
+            half * half + (k as usize) * 2 * half
+        }
+        TopoKind::LeafSpine { spines, leaves } => (spines + leaves) as usize,
+    }
+}
+
+/// Union-find over dpids, used for the reachability invariant.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.parent[ra] = rb;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Counts, dpid density, and attachment sanity.
+    #[test]
+    fn advertised_counts_hold(params in arb_params(), seed in 0u64..1_000_000) {
+        let t = Topology::generate(&params, seed);
+        prop_assert_eq!(t.switches.len(), expected_switches(params.kind),
+            "repro: seed={} params={:?}", seed, params);
+        prop_assert_eq!(t.hosts.len(), params.hosts as usize,
+            "repro: seed={} params={:?}", seed, params);
+        // Dpids dense from 1, ascending and unique.
+        for (i, s) in t.switches.iter().enumerate() {
+            prop_assert_eq!(s.dpid, i as u64 + 1, "repro: seed={} params={:?}", seed, params);
+        }
+        // Hosts attach only to host-bearing tiers, on unique (dpid, port)
+        // pairs, with unique identity material.
+        let bearing: HashSet<u64> = t.host_bearing_dpids().into_iter().collect();
+        let mut attach = HashSet::new();
+        let mut ips = HashSet::new();
+        let mut macs = HashSet::new();
+        for h in &t.hosts {
+            prop_assert!(bearing.contains(&h.dpid), "repro: seed={} params={:?}", seed, params);
+            prop_assert!(attach.insert((h.dpid, h.port)), "repro: seed={} params={:?}", seed, params);
+            prop_assert!(ips.insert(h.ip), "repro: seed={} params={:?}", seed, params);
+            prop_assert!(macs.insert(h.mac_index), "repro: seed={} params={:?}", seed, params);
+            prop_assert_eq!(h.users.len(), params.users_per_host as usize,
+                "repro: seed={} params={:?}", seed, params);
+        }
+        prop_assert_eq!(
+            t.binding_count(),
+            params.hosts as usize * (2 + params.users_per_host as usize),
+            "repro: seed={} params={:?}", seed, params
+        );
+    }
+
+    /// Every host pair has a path: the link list plus host attachments form
+    /// one connected component containing every host-bearing switch.
+    #[test]
+    fn every_host_pair_has_a_path(params in arb_params(), seed in 0u64..1_000_000) {
+        let t = Topology::generate(&params, seed);
+        let n = t.switches.len();
+        let mut dsu = Dsu::new(n);
+        for l in &t.links {
+            // Dpids are dense from 1, so dpid-1 indexes the switch vector.
+            dsu.union(l.a_dpid as usize - 1, l.b_dpid as usize - 1);
+            // Link endpoints must name real switches of adjacent tiers.
+            let ta = t.switches[l.a_dpid as usize - 1].tier;
+            let tb = t.switches[l.b_dpid as usize - 1].tier;
+            let ok = matches!(
+                (ta, tb),
+                (Tier::Edge, Tier::Aggregation)
+                    | (Tier::Aggregation, Tier::Core)
+                    | (Tier::Leaf, Tier::Spine)
+            );
+            prop_assert!(ok, "repro: seed={} params={:?} link={:?}", seed, params, l);
+        }
+        if let Some(first) = t.hosts.first() {
+            let root = dsu.find(first.dpid as usize - 1);
+            for h in &t.hosts {
+                prop_assert_eq!(
+                    dsu.find(h.dpid as usize - 1), root,
+                    "repro: seed={} params={:?} host={}", seed, params, h.index
+                );
+            }
+        }
+    }
+
+    /// The shard assignment is a partition: every dpid owned by exactly one
+    /// shard, shards jointly covering the whole dpid set.
+    #[test]
+    fn shard_assignment_is_a_partition(
+        params in arb_params(),
+        seed in 0u64..1_000_000,
+        n_shards in 1usize..=8,
+    ) {
+        let t = Topology::generate(&params, seed);
+        let parts = t.shard_partition(n_shards);
+        prop_assert_eq!(parts.len(), n_shards);
+        let mut seen = HashSet::new();
+        for (shard, owned) in parts.iter().enumerate() {
+            for &dpid in owned {
+                prop_assert_eq!(
+                    shard_of(dpid, n_shards), shard,
+                    "repro: seed={} params={:?} dpid={} n={}", seed, params, dpid, n_shards
+                );
+                prop_assert!(
+                    seen.insert(dpid),
+                    "dpid owned twice; repro: seed={} params={:?} dpid={} n={}",
+                    seed, params, dpid, n_shards
+                );
+            }
+        }
+        prop_assert_eq!(
+            seen.len(), t.switches.len(),
+            "repro: seed={} params={:?} n={}", seed, params, n_shards
+        );
+    }
+
+    /// Same seed => bit-identical topology and churn; different seed must
+    /// change host placement.
+    #[test]
+    fn generation_is_seed_deterministic(params in arb_params(), seed in 0u64..1_000_000) {
+        let a = Topology::generate(&params, seed);
+        let b = Topology::generate(&params, seed);
+        prop_assert_eq!(&a.switches, &b.switches, "repro: seed={} params={:?}", seed, params);
+        prop_assert_eq!(&a.links, &b.links, "repro: seed={} params={:?}", seed, params);
+        prop_assert_eq!(&a.hosts, &b.hosts, "repro: seed={} params={:?}", seed, params);
+        let churn = ChurnParams {
+            day: Duration::from_millis(500),
+            horizon: Duration::from_secs(1),
+            lease_moves_per_host_day: 2.0,
+            session_toggles_per_user_day: 2.0,
+        };
+        let ca = generate_churn(&a, &churn, seed ^ 1);
+        let cb = generate_churn(&b, &churn, seed ^ 1);
+        prop_assert_eq!(ca, cb, "repro: seed={} params={:?}", seed, params);
+    }
+}

@@ -1,0 +1,541 @@
+//! Fleet-scale gate: the sharded proxy against the unsharded oracle on a
+//! generated 1000-switch leaf-spine fabric carrying ~1M ERM bindings.
+//!
+//! Phases, in order:
+//!
+//! 1. **Build** — `dfi_simnet::topo` generates the fabric (40 spines ×
+//!    960 leaves, 250 000 hosts × 2 users ⇒ exactly 1 000 000 topology
+//!    bindings, plus one MAC-location binding per attached host);
+//!    `Network::build_topology` materializes real switches; every switch
+//!    is interposed (no controller — a null upstream sink; the DFI's
+//!    Table-0 pipeline runs regardless). Bindings load through the
+//!    epoch-stamped batch path (`apply_binding_ops` /
+//!    `apply_binding_batch`), and a ~512-rule hostname ACL is inserted
+//!    through the front-end.
+//! 2. **Equivalence (before any timing)** — the same seeded probe flows
+//!    are replayed one-at-a-time through the unsharded oracle and through
+//!    every sharded configuration; the per-probe
+//!    (allowed, denied, spoof-denied) deltas and the end-of-phase
+//!    per-policy attribution must match exactly. A mismatch hard-fails
+//!    the gate: it can never certify a wrong-answer speedup.
+//! 3. **Timing** — per shard count {1, 2, 4, 8}: a diurnally modulated
+//!    open-loop flow offer (thinned exponential arrivals at
+//!    `SCALE_RATE` f/s peak) races a compressed-day churn schedule
+//!    (`dfi_simnet::churn`: DHCP re-leases + session toggles, applied as
+//!    epoch-stamped binding batches mid-run). Reports accepted flows/sec
+//!    (sim time), wall-clock flows/sec, and TTFB p50/p99 from the
+//!    decision-latency samples of the timed window only.
+//!
+//! Prints a JSON report to stdout (captured into `BENCH_scale.json` by
+//! `scripts/check.sh --scale`). With `--gate N` it exits non-zero unless
+//! equivalence held and the 8-shard configuration accepts at least `N`×
+//! the 1-shard configuration's flows.
+//!
+//! Knobs: `SCALE_ITERS` (offered flows per timed config, default 12 000),
+//! `SCALE_HOSTS`, `SCALE_LEAVES`, `SCALE_SPINES`, `SCALE_PROBES`,
+//! `SCALE_RATE`, `SCALE_POOL`, `SCALE_SEED`.
+
+use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use dfi_core::erm::Binding;
+use dfi_core::policy::{EndpointPattern, PolicyRule};
+use dfi_core::{BindingBatch, BindingOp, Dfi, DfiConfig, ShardedDfi};
+use dfi_dataplane::{ByteSink, Network, Tx};
+use dfi_packet::headers::build;
+use dfi_packet::MacAddr;
+use dfi_simnet::churn::{diurnal_intensity, generate_churn, ChurnOp, ChurnParams};
+use dfi_simnet::topo::{TopoKind, TopoParams, Topology};
+use dfi_simnet::{Sim, SimRng, Summary};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Every topology binding plus one MAC-location per host, as one batch of
+/// idempotent ops (epoch-stamped by the caller).
+fn binding_ops(topo: &Topology) -> Vec<BindingOp> {
+    let mut ops = Vec::with_capacity(topo.binding_count() + topo.hosts.len());
+    for h in &topo.hosts {
+        let mac = MacAddr::from_index(h.mac_index);
+        ops.push(BindingOp::Bind(Binding::IpMac { ip: h.ip, mac }));
+        ops.push(BindingOp::Bind(Binding::HostIp {
+            host: h.hostname.clone(),
+            ip: h.ip,
+        }));
+        for u in &h.users {
+            ops.push(BindingOp::Bind(Binding::UserHost {
+                user: u.clone(),
+                host: h.hostname.clone(),
+            }));
+        }
+        ops.push(BindingOp::Bind(Binding::MacLocation {
+            mac,
+            dpid: h.dpid,
+            port: h.port,
+        }));
+    }
+    ops
+}
+
+/// The ~512-rule hostname ACL: destination-keyed allows over the probe
+/// pool's hosts, a deny in every 7th slot, four priority bands.
+fn acl_rules(topo: &Topology, pool: &[usize], n_rules: usize) -> Vec<(PolicyRule, u32)> {
+    (0..n_rules)
+        .map(|k| {
+            let dst = &topo.hosts[pool[k % pool.len()]].hostname;
+            let rule = if k % 7 == 3 {
+                PolicyRule::deny(EndpointPattern::any(), EndpointPattern::host(dst))
+            } else {
+                PolicyRule::allow(EndpointPattern::any(), EndpointPattern::host(dst))
+            };
+            (
+                rule,
+                10 * (1 + (k.wrapping_mul(2_654_435_761) >> 16) as u32 % 4),
+            )
+        })
+        .collect()
+}
+
+enum Sut {
+    Oracle(Dfi),
+    Sharded(ShardedDfi),
+}
+
+struct Config {
+    sim: Sim,
+    sut: Sut,
+    /// Keeps the switch fabric alive.
+    _net: Network,
+    /// Injection handles for the probe/offer pool, pool order.
+    tx: Vec<Tx>,
+}
+
+impl Config {
+    fn decided(&self) -> (u64, u64, u64) {
+        let m = match &self.sut {
+            Sut::Oracle(d) => d.metrics(),
+            Sut::Sharded(s) => s.metrics(),
+        };
+        (m.allowed, m.denied, m.spoof_denied)
+    }
+}
+
+fn build(topo: &Topology, pool: &[usize], seed: u64, shards: Option<usize>) -> Config {
+    let mut sim = Sim::new(seed);
+    let mut net = Network::new();
+    let switches = net.build_topology(topo, Duration::from_micros(50));
+    let null: ByteSink = Rc::new(|_, _| {});
+    let sut = match shards {
+        None => {
+            let dfi = Dfi::new(DfiConfig::default());
+            for sw in &switches {
+                let n = null.clone();
+                dfi.interpose(&mut sim, sw, move |_, _| n);
+            }
+            Sut::Oracle(dfi)
+        }
+        Some(n_shards) => {
+            let sharded = ShardedDfi::new(n_shards, &DfiConfig::default());
+            for sw in &switches {
+                let n = null.clone();
+                sharded.interpose(&mut sim, sw, move |_, _| n);
+            }
+            Sut::Sharded(sharded)
+        }
+    };
+    let tx = pool
+        .iter()
+        .map(|&i| {
+            let h = &topo.hosts[i];
+            net.attach_silent_host(
+                &switches[h.dpid as usize - 1],
+                h.port,
+                Duration::from_micros(50),
+            )
+        })
+        .collect();
+    // Bindings through the batch path, policy through the front-end.
+    let ops = binding_ops(topo);
+    match &sut {
+        Sut::Oracle(d) => {
+            let _fresh = d.apply_binding_batch(&BindingBatch { epoch: 0, ops });
+        }
+        Sut::Sharded(s) => {
+            let _epoch = s.apply_binding_ops(ops);
+        }
+    }
+    for (rule, priority) in acl_rules(topo, pool, 512) {
+        match &sut {
+            Sut::Oracle(d) => {
+                d.insert_policy(&mut sim, rule, priority, "scalegate");
+            }
+            Sut::Sharded(s) => {
+                s.insert_policy(&mut sim, rule, priority, "scalegate");
+            }
+        }
+    }
+    sim.run();
+    Config {
+        sim,
+        sut,
+        _net: net,
+        tx,
+    }
+}
+
+/// One probe flow: pool[src] → pool[dst], unique source port.
+fn probe_frame(topo: &Topology, pool: &[usize], i: usize) -> (usize, Vec<u8>) {
+    let p = pool.len();
+    let src = i % p;
+    let mut dst = (i * 7 + 3) % p;
+    if dst == src {
+        dst = (dst + 1) % p;
+    }
+    let s = &topo.hosts[pool[src]];
+    let d = &topo.hosts[pool[dst]];
+    let frame = build::tcp_syn(
+        MacAddr::from_index(s.mac_index),
+        MacAddr::from_index(d.mac_index),
+        s.ip,
+        d.ip,
+        40_000_u16.wrapping_add(i as u16),
+        if i.is_multiple_of(2) { 445 } else { 80 },
+    );
+    (src, frame)
+}
+
+/// Replays the probes one at a time, returning the per-probe decision
+/// deltas. This is the equivalence trace compared across configurations.
+fn probe_trace(
+    cfg: &mut Config,
+    topo: &Topology,
+    pool: &[usize],
+    probes: usize,
+) -> Vec<(u64, u64, u64)> {
+    let mut out = Vec::with_capacity(probes);
+    let mut last = cfg.decided();
+    for i in 0..probes {
+        let (src, frame) = probe_frame(topo, pool, i);
+        cfg.tx[src].send(&mut cfg.sim, frame);
+        cfg.sim.run();
+        let now = cfg.decided();
+        out.push((now.0 - last.0, now.1 - last.1, now.2 - last.2));
+        last = now;
+    }
+    out
+}
+
+struct Timing {
+    offered: usize,
+    accepted: u64,
+    dropped: u64,
+    sim_secs: f64,
+    wall_secs: f64,
+    ttfb_p50_ms: f64,
+    ttfb_p99_ms: f64,
+    binding_batches: u64,
+}
+
+/// The timed window: diurnal flow offer + churn batches, measuring only
+/// samples recorded after this point.
+fn run_timed(
+    cfg: &mut Config,
+    topo: &Topology,
+    pool: &[usize],
+    offered: usize,
+    peak_rate: f64,
+    seed: u64,
+) -> Timing {
+    let sharded = match &cfg.sut {
+        Sut::Sharded(s) => s.clone(),
+        Sut::Oracle(_) => unreachable!("only sharded configurations are timed"),
+    };
+    let base: Vec<usize> = sharded
+        .shards()
+        .iter()
+        .map(|s| s.metrics().overall.count())
+        .collect();
+    let (accept0, deny0, spoof0) = cfg.decided();
+    let dropped0 = sharded.metrics().dropped;
+
+    // Thinned exponential arrivals against the diurnal profile; the day is
+    // compressed so the offer sweeps trough→peak→trough inside the run.
+    let mut rng = SimRng::new(seed ^ 0x5CA1E);
+    let day = Duration::from_secs_f64(offered as f64 / peak_rate);
+    let mut t = 0.0f64;
+    let mut scheduled = 0usize;
+    while scheduled < offered {
+        t += rng.exponential(1.0 / (peak_rate * 1.8));
+        let at = dfi_simnet::SimTime::from_nanos((t * 1e9) as u64);
+        if !rng.chance(diurnal_intensity(at, day) / 1.8) {
+            continue;
+        }
+        let i = scheduled;
+        let p = pool.len();
+        let src = rng.index(p);
+        let mut dst = rng.index(p);
+        if dst == src {
+            dst = (dst + 1) % p;
+        }
+        let s = &topo.hosts[pool[src]];
+        let d = &topo.hosts[pool[dst]];
+        let frame = build::tcp_syn(
+            MacAddr::from_index(s.mac_index),
+            MacAddr::from_index(d.mac_index),
+            s.ip,
+            d.ip,
+            1024_u16.wrapping_add(i as u16),
+            if i.is_multiple_of(2) { 445 } else { 80 },
+        );
+        let tx = cfg.tx[src].clone();
+        cfg.sim.schedule_in(Duration::from_secs_f64(t), move |sim| {
+            tx.send(sim, frame);
+        });
+        scheduled += 1;
+    }
+    let horizon = Duration::from_secs_f64(t);
+
+    // The churn schedule, applied as epoch-stamped batches mid-run.
+    let churn = generate_churn(
+        topo,
+        &ChurnParams {
+            day,
+            horizon,
+            lease_moves_per_host_day: 0.02,
+            session_toggles_per_user_day: 0.01,
+        },
+        seed,
+    );
+    let n_churn = churn.len();
+    for ev in churn {
+        let ops: Vec<BindingOp> = match ev.op {
+            ChurnOp::LeaseMove {
+                host,
+                mac_index,
+                old_ip,
+                new_ip,
+            } => {
+                let hostname = topo.hosts[host as usize].hostname.clone();
+                vec![
+                    BindingOp::Unbind(Binding::IpMac {
+                        ip: old_ip,
+                        mac: MacAddr::from_index(mac_index),
+                    }),
+                    BindingOp::Bind(Binding::IpMac {
+                        ip: new_ip,
+                        mac: MacAddr::from_index(mac_index),
+                    }),
+                    BindingOp::Unbind(Binding::HostIp {
+                        host: hostname.clone(),
+                        ip: old_ip,
+                    }),
+                    BindingOp::Bind(Binding::HostIp {
+                        host: hostname,
+                        ip: new_ip,
+                    }),
+                ]
+            }
+            ChurnOp::LogOn { user, host } => vec![BindingOp::Bind(Binding::UserHost {
+                user,
+                host: topo.hosts[host as usize].hostname.clone(),
+            })],
+            ChurnOp::LogOff { user, host } => vec![BindingOp::Unbind(Binding::UserHost {
+                user,
+                host: topo.hosts[host as usize].hostname.clone(),
+            })],
+        };
+        let s = sharded.clone();
+        let delay = Duration::from_nanos(ev.at.as_nanos());
+        cfg.sim.schedule_in(delay, move |_| {
+            let _epoch = s.apply_binding_ops(ops);
+        });
+    }
+    eprintln!(
+        "  timed window: {offered} flows over {:.2} sim-s, {n_churn} churn events",
+        horizon.as_secs_f64()
+    );
+
+    let t0 = cfg.sim.now();
+    let wall = Instant::now();
+    cfg.sim.run();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let sim_secs = cfg.sim.now().saturating_duration_since(t0).as_secs_f64();
+
+    let (a, d, sp) = cfg.decided();
+    let accepted = (a - accept0) + (d - deny0) + (sp - spoof0);
+    let mut ttfb = Summary::new();
+    for (shard, skip) in sharded.shards().iter().zip(&base) {
+        for s in &shard.metrics().overall.samples()[*skip..] {
+            ttfb.push(*s);
+        }
+    }
+    Timing {
+        offered: scheduled,
+        accepted,
+        dropped: sharded.metrics().dropped - dropped0,
+        sim_secs,
+        wall_secs,
+        ttfb_p50_ms: ttfb.percentile(0.50) * 1e3,
+        ttfb_p99_ms: ttfb.percentile(0.99) * 1e3,
+        binding_batches: sharded.fanout_metrics().binding_batches,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut gate: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gate" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                let Some(v) = v else {
+                    eprintln!("--gate requires a numeric throughput-scaling factor");
+                    return ExitCode::FAILURE;
+                };
+                gate = Some(v);
+            }
+            other => {
+                eprintln!("unknown argument: {other}\nusage: dfi-scalegate [--gate N]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let seed = env_usize("SCALE_SEED", 2019) as u64;
+    let offered = env_usize("SCALE_ITERS", 12_000);
+    let probes = env_usize("SCALE_PROBES", 512);
+    let hosts = env_usize("SCALE_HOSTS", 250_000) as u32;
+    let leaves = env_usize("SCALE_LEAVES", 960) as u32;
+    let spines = env_usize("SCALE_SPINES", 40) as u32;
+    let pool_size = env_usize("SCALE_POOL", 2048);
+    let peak_rate = env_f64("SCALE_RATE", 6000.0);
+    let shard_counts = [1usize, 2, 4, 8];
+
+    eprintln!(
+        "generating topology ({} switches, {hosts} hosts)...",
+        spines + leaves
+    );
+    let topo = Topology::generate(
+        &TopoParams {
+            kind: TopoKind::LeafSpine { spines, leaves },
+            hosts,
+            users_per_host: 2,
+        },
+        seed,
+    );
+    let bindings = topo.binding_count() + topo.hosts.len();
+    let mut rng = SimRng::new(seed ^ 0xB00);
+    let pool: Vec<usize> = (0..pool_size.min(topo.hosts.len()))
+        .map(|_| rng.index(topo.hosts.len()))
+        .collect();
+
+    eprintln!("oracle: loading {bindings} bindings...");
+    let mut oracle = build(&topo, &pool, seed, None);
+    let want = probe_trace(&mut oracle, &topo, &pool, probes);
+    let oracle_by_policy = match &oracle.sut {
+        Sut::Oracle(d) => d.metrics().decisions_by_policy,
+        Sut::Sharded(_) => unreachable!(),
+    };
+    drop(oracle);
+
+    let mut equivalent = true;
+    let mut results = Vec::new();
+    for &n in &shard_counts {
+        eprintln!("shards={n}: loading {bindings} bindings...");
+        let mut cfg = build(&topo, &pool, seed, Some(n));
+        let got = probe_trace(&mut cfg, &topo, &pool, probes);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            if g != w {
+                eprintln!(
+                    "EQUIVALENCE FAIL shards={n} probe={i}: sharded={g:?} oracle={w:?} \
+                     (repro: SCALE_SEED={seed} SCALE_PROBES={probes})"
+                );
+                equivalent = false;
+            }
+        }
+        if let Sut::Sharded(s) = &cfg.sut {
+            if s.metrics().decisions_by_policy != oracle_by_policy {
+                eprintln!(
+                    "EQUIVALENCE FAIL shards={n}: per-policy attribution diverged \
+                     (repro: SCALE_SEED={seed} SCALE_PROBES={probes})"
+                );
+                equivalent = false;
+            }
+            if !s.epochs_agree() {
+                eprintln!("EQUIVALENCE FAIL shards={n}: shards serve different epochs");
+                equivalent = false;
+            }
+        }
+        if !equivalent {
+            break;
+        }
+        let t = run_timed(&mut cfg, &topo, &pool, offered, peak_rate, seed);
+        results.push((n, t));
+        drop(cfg);
+    }
+
+    let ratio = match (results.first(), results.last()) {
+        (Some((1, one)), Some((8, eight))) if one.accepted > 0 => {
+            (eight.accepted as f64 / eight.sim_secs) / (one.accepted as f64 / one.sim_secs)
+        }
+        _ => 0.0,
+    };
+    let pass = equivalent && gate.is_none_or(|g| ratio >= g);
+
+    println!("{{");
+    println!(
+        "  \"topology\": {{\"switches\": {}, \"hosts\": {}, \"bindings\": {bindings}}},",
+        topo.switches.len(),
+        topo.hosts.len()
+    );
+    println!(
+        "  \"probes\": {probes}, \"equivalent\": {equivalent}, \"peak_rate\": {peak_rate:.0},"
+    );
+    println!("  \"shards\": [");
+    for (i, (n, t)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        println!(
+            "    {{\"shards\": {n}, \"offered\": {}, \"accepted\": {}, \"dropped\": {}, \
+             \"sim_flows_per_sec\": {:.0}, \"wall_flows_per_sec\": {:.0}, \
+             \"ttfb_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}}, \"binding_batches\": {}}}{comma}",
+            t.offered,
+            t.accepted,
+            t.dropped,
+            t.accepted as f64 / t.sim_secs,
+            t.accepted as f64 / t.wall_secs,
+            t.ttfb_p50_ms,
+            t.ttfb_p99_ms,
+            t.binding_batches
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"gate\": {{\"required_scaling\": {}, \"scaling_8v1\": {ratio:.2}, \"pass\": {pass}}}",
+        gate.map_or_else(|| "null".to_string(), |g| format!("{g:.1}"))
+    );
+    println!("}}");
+
+    if !equivalent {
+        eprintln!("GATE FAIL: sharded decisions diverged from the unsharded oracle");
+        return ExitCode::FAILURE;
+    }
+    if let Some(g) = gate {
+        if ratio < g {
+            eprintln!("GATE FAIL: 8-shard/1-shard accepted-throughput scaling {ratio:.2}x < required {g:.1}x");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("gate ok: equivalence held over {probes} probes; 8-shard scaling {ratio:.2}x");
+    }
+    ExitCode::SUCCESS
+}

@@ -108,27 +108,32 @@ impl Host {
     }
 
     /// The hostname.
+    #[must_use]
     pub fn hostname(&self) -> String {
         self.inner.borrow().hostname.clone()
     }
 
     /// The address.
+    #[must_use]
     pub fn ip(&self) -> Ipv4Addr {
         self.inner.borrow().ip
     }
 
     /// The MAC.
+    #[must_use]
     pub fn mac(&self) -> MacAddr {
         self.inner.borrow().mac
     }
 
     /// `true` once infected.
+    #[must_use]
     pub fn is_infected(&self) -> bool {
         self.inner.borrow().infected_at.is_some()
     }
 
     /// Marks the host infected (idempotent). Returns `true` on the first
     /// infection.
+    #[must_use]
     pub fn mark_infected(&self, at: SimTime) -> bool {
         let mut h = self.inner.borrow_mut();
         if h.infected_at.is_none() {
@@ -206,6 +211,7 @@ impl Host {
 
     /// The NIC receive path: answers SYNs on the SMB port, completes
     /// pending connects on SYN-ACK. Returns a sink for topology wiring.
+    #[must_use]
     pub fn rx_sink(&self) -> dfi_dataplane::ByteSink {
         let me = self.clone();
         Rc::new(move |sim, frame: &[u8]| me.on_frame(sim, frame))

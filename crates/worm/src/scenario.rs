@@ -31,6 +31,7 @@ pub struct ScenarioConfig {
 impl ScenarioConfig {
     /// The paper's headline scenario: foothold at 09:00 under the given
     /// condition, observed for 70 minutes (worm lifetime tops out at 60).
+    #[must_use]
     pub fn paper(condition: Condition) -> ScenarioConfig {
         ScenarioConfig {
             condition,
@@ -59,22 +60,26 @@ pub struct ScenarioResult {
 
 impl ScenarioResult {
     /// Hosts infected at or before `t`.
+    #[must_use]
     pub fn infected_by(&self, t: SimTime) -> usize {
         self.infections.iter().filter(|(at, _)| *at <= t).count()
     }
 
     /// Total infected over the whole observation.
+    #[must_use]
     pub fn infected_total(&self) -> usize {
         self.infections.len()
     }
 
     /// Time from foothold to the second infection (the paper's "first
     /// infection" — the first victim beyond the foothold), if any.
+    #[must_use]
     pub fn time_to_first_spread(&self) -> Option<Duration> {
         self.infections.get(1).map(|(at, _)| *at - self.foothold_at)
     }
 
     /// Time from foothold until every host was infected, if that happened.
+    #[must_use]
     pub fn time_to_full_infection(&self) -> Option<Duration> {
         (self.infected_total() == self.total_hosts)
             .then(|| self.infections.last().expect("nonempty").0 - self.foothold_at)
@@ -82,6 +87,7 @@ impl ScenarioResult {
 
     /// The infection count series as minutes-since-foothold points,
     /// suitable for plotting Figure 5a.
+    #[must_use]
     pub fn series_minutes(&self, until_min: u64) -> Vec<(f64, usize)> {
         let mut pts = Vec::new();
         for m in 0..=until_min {
@@ -94,6 +100,7 @@ impl ScenarioResult {
 
 /// Builds the testbed, schedules the day's log-ons, infects the foothold
 /// at the configured hour, and runs until the observation window closes.
+#[must_use]
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioResult {
     let mut sim = Sim::new(config.seed);
     let tb = Testbed::build(&mut sim, &config.testbed, config.condition);

@@ -71,11 +71,13 @@ impl LogonScript {
     }
 
     /// `true` while the user is logged on at `t`.
+    #[must_use]
     pub fn logged_on_at(&self, t: SimTime) -> bool {
         self.sessions.iter().any(|s| s.on <= t && t < s.off)
     }
 
     /// Seconds logged on within `[from, to)`.
+    #[must_use]
     pub fn seconds_on_between(&self, from: SimTime, to: SimTime) -> u64 {
         self.sessions
             .iter()
@@ -88,6 +90,7 @@ impl LogonScript {
     }
 
     /// The first log-on at or after `t`, if any.
+    #[must_use]
     pub fn next_logon_after(&self, t: SimTime) -> Option<SimTime> {
         self.sessions
             .iter()

@@ -76,6 +76,7 @@ impl Default for TestbedConfig {
 
 impl TestbedConfig {
     /// A reduced testbed for fast tests: 2 departments of 3, 2 servers.
+    #[must_use]
     pub fn small() -> TestbedConfig {
         TestbedConfig {
             departments: 2,
@@ -367,21 +368,25 @@ impl Testbed {
     }
 
     /// The active condition.
+    #[must_use]
     pub fn condition(&self) -> Condition {
         self.condition
     }
 
     /// The AT-RBAC PDP when that condition is active.
+    #[must_use]
     pub fn at_rbac(&self) -> Option<&AtRbacPdp> {
         self.at_rbac.as_ref()
     }
 
     /// Host index by hostname.
+    #[must_use]
     pub fn index_of(&self, hostname: &str) -> Option<usize> {
         self.hosts.iter().position(|h| h.hostname() == hostname)
     }
 
     /// Number of hosts (end hosts + servers).
+    #[must_use]
     pub fn total_hosts(&self) -> usize {
         self.hosts.len()
     }

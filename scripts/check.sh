@@ -6,7 +6,7 @@
 #   scripts/check.sh          full gate: fmt, clippy, workspace tests with a
 #                             per-crate breakdown, deep codec fuzz
 #                             (FUZZ_ITERS, default 50000), the analyze, wire,
-#                             and decide tiers, bench compile
+#                             decide, and scale tiers, bench compile
 #   scripts/check.sh --fast   pre-commit tier: fmt, clippy, workspace tests
 #                             with the fuzz suites dialed down to 500 cases
 #   scripts/check.sh --analyze
@@ -26,6 +26,13 @@
 #                             query_linear) and the dfi-decidegate >=10x
 #                             speedup / zero-alloc gate on the compiled
 #                             classifier (writes BENCH_decide.json)
+#   scripts/check.sh --scale  fleet-scale tier only: the sharded-vs-unsharded
+#                             differential oracle and topology proptests,
+#                             then the dfi-scalegate 1000-switch / ~1M-binding
+#                             run — probe equivalence verified before any
+#                             timing, >=2x 8-shard throughput scaling gate
+#                             (SCALE_ITERS trims the offered flows; writes
+#                             BENCH_scale.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,11 +40,13 @@ FAST=0
 ANALYZE_ONLY=0
 WIRE_ONLY=0
 DECIDE_ONLY=0
+SCALE_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
   --wire) WIRE_ONLY=1 ;;
   --decide) DECIDE_ONLY=1 ;;
+  --scale) SCALE_ONLY=1 ;;
 esac
 
 run_wire() {
@@ -67,6 +76,23 @@ run_decide() {
 
 if [[ "$DECIDE_ONLY" == 1 ]]; then
   run_decide
+  echo "All checks passed."
+  exit 0
+fi
+
+run_scale() {
+  echo "== sharded-vs-unsharded differential oracle (100+ live snapshot swaps) =="
+  cargo test -q -p dfi-core --test sharded_oracle
+  echo "== generated-topology properties (counts, connectivity, shard partition) =="
+  cargo test -q -p dfi-simnet --test proptest_topo
+  echo "== dfi-scalegate: 1000-switch / ~1M-binding fleet, equivalence then >=2x scaling gate =="
+  cargo build -q --release -p dfi-wiregate
+  SCALE_ITERS="${SCALE_ITERS:-12000}" \
+    ./target/release/dfi-scalegate --gate 2 | tee BENCH_scale.json
+}
+
+if [[ "$SCALE_ONLY" == 1 ]]; then
+  run_scale
   echo "All checks passed."
   exit 0
 fi
@@ -127,6 +153,8 @@ if [[ "$FAST" == 0 ]]; then
   run_wire
 
   run_decide
+
+  run_scale
 
   echo "== cargo bench --no-run =="
   cargo bench -q --workspace --no-run
