@@ -12,6 +12,17 @@
 //!   the network-wide audit (per-switch passes plus the cross-switch
 //!   partial-flush / split-brain correlations). `--defects` plants the
 //!   cross-switch defect classes; `--expect-seeded` gates on them.
+//! * `reach` — the symbolic reachability engine over a seeded leaf-spine
+//!   deployment: partition every host pair's header space into packet
+//!   classes, walk each class representative through the installed
+//!   Table-0 state, and prove the delivered set equals what policy
+//!   allows. `--defects` plants end-to-end drift, blackholes, relay
+//!   leaks into quarantined hosts, and waypoint misses; `--bench M`
+//!   times M incremental rechecks against a from-scratch rebuild (the
+//!   `BENCH_reach.json` baseline, gated with `--gate`).
+//! * `assert-isolated` — the operator-facing isolation check: quarantine
+//!   the named hosts on top of the seeded deployment and fail if any of
+//!   them is reachable, directly or through relay chains.
 //! * `watch` — the online-verifier harness: seed a corpus, stream random
 //!   mutations through the Policy Manager's delta journal into a
 //!   [`DeltaAnalyzer`](dfi_analyze::DeltaAnalyzer), check byte-equality
@@ -31,7 +42,8 @@
 //! JSON object (the `BENCH_analyze.json` baseline).
 
 use dfi_analyze::{
-    sort_diagnostics, Analyzer, DeltaAnalyzer, Diagnostic, DiagnosticKind, TableZeroSnapshot,
+    sort_diagnostics, Analyzer, DeltaAnalyzer, Diagnostic, DiagnosticKind, ReachAnalyzer,
+    TableZeroSnapshot,
 };
 use dfi_core::erm::{Binding, EntityResolver};
 use dfi_core::policy::{EndpointPattern, PolicyId, PolicyManager, PolicyRule};
@@ -51,14 +63,24 @@ USAGE:
     dfi-analyze corpus [--rules N] [--seed S] [--expect-seeded] [--json] [--verbose]
     dfi-analyze audit-network [--switches N] [--flows N] [--seed S]
                               [--defects] [--expect-seeded] [--json] [--verbose]
+    dfi-analyze reach [--spines N] [--leaves N] [--hosts N] [--flows N] [--seed S]
+                      [--defects] [--expect-seeded] [--bench M] [--gate X]
+                      [--json] [--verbose]
+    dfi-analyze assert-isolated --host H [--host H ...] [--spines N] [--leaves N]
+                      [--hosts N] [--flows N] [--seed S] [--defects]
+                      [--json] [--verbose]
     dfi-analyze watch [--rules N] [--seed S] [--mutations M] [--gate X] [--json]
     dfi-analyze demo
 
 MODES:
-    corpus         analyze a deterministic seeded rule corpus and report timing
-    audit-network  network-wide Table-0 audit across a seeded switch fleet
-    watch          online incremental verification: delta vs full, per mutation
-    demo           audit a small live switch deployment, then break it on purpose
+    corpus          analyze a deterministic seeded rule corpus and report timing
+    audit-network   network-wide Table-0 audit across a seeded switch fleet
+    reach           symbolic reachability: prove the installed data plane
+                    equals the policy over a seeded leaf-spine fabric
+    assert-isolated verify named hosts are unreachable from every host,
+                    including through relay chains
+    watch           online incremental verification: delta vs full, per mutation
+    demo            audit a small live switch deployment, then break it on purpose
 
 EXIT CODES:
     0   clean, or --expect-seeded/--gate expectation met
@@ -69,14 +91,21 @@ OPTIONS:
     --rules N          corpus size in stored policies [default: 10000]
     --seed S           generator seed [default: 7]
     --expect-seeded    fail unless findings equal the planted ground truth
-    --json             print findings (or the watch summary) as JSON
+    --json             print findings (or the watch/bench summary) as JSON
     --verbose          print every diagnostic, not just the first few
     --switches N       audit-network: switch count [default: 14]
-    --flows N          audit-network: cached flows [default: 400]
-    --defects          audit-network: plant cross-switch defects
+    --flows N          audit-network / reach: flow count [default: 400 / 70]
+    --defects          plant the mode's defect classes
+    --spines N         reach: spine-switch count [default: 2]
+    --leaves N         reach: leaf-switch count [default: 8]
+    --hosts N          reach: host count [default: 150]
+    --bench M          reach: time M incremental rechecks (one revocation each)
+                       against a from-scratch rebuild; prints a timing summary
+    --host H           assert-isolated: hostname to verify (h000012 style;
+                       repeat the flag for several hosts)
     --mutations M      watch: mutation count [default: 60]
-    --gate X           watch: fail unless delta re-check is X times faster
-                       than the full analysis [default: no gate]
+    --gate X           watch / reach --bench: fail unless the incremental
+                       re-check is X times faster than full [default: no gate]
 ";
 
 fn main() -> ExitCode {
@@ -84,6 +113,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("corpus") => corpus_mode(&args[1..]),
         Some("audit-network") => audit_network_mode(&args[1..]),
+        Some("reach") => reach_mode(&args[1..]),
+        Some("assert-isolated") => assert_isolated_mode(&args[1..]),
         Some("watch") => watch_mode(&args[1..]),
         Some("demo") => demo_mode(),
         Some("--help" | "-h") => {
@@ -315,6 +346,321 @@ fn verify_network_seeded(
         println!("--expect-seeded: network findings equal the planted ground truth");
     }
     ok
+}
+
+/// Parses the shared reach-fabric flags; `Err` carries the usage message.
+fn parse_reach_shape(args: &[String]) -> Result<(u32, u32, u32, usize, u64), String> {
+    let spines = parse_flag(args, "--spines", 2)?;
+    let leaves = parse_flag(args, "--leaves", 8)?;
+    let hosts = parse_flag(args, "--hosts", 150)?;
+    let flows = parse_flag(args, "--flows", 70)?;
+    let seed = parse_flag(args, "--seed", 7)?;
+    if spines < 2 {
+        return Err("--spines must be at least 2".into());
+    }
+    if leaves < 1 {
+        return Err("--leaves must be at least 1".into());
+    }
+    let defects = args.iter().any(|a| a == "--defects");
+    let relays = if defects {
+        (0..flows as usize).filter(|i| i % 31 == 27).count() as u64
+    } else {
+        0
+    };
+    if hosts < 2 * flows + relays {
+        return Err(format!(
+            "--hosts {hosts} cannot cover {flows} disjoint flows (need {})",
+            2 * flows + relays
+        ));
+    }
+    Ok((
+        spines as u32,
+        leaves as u32,
+        hosts as u32,
+        flows as usize,
+        seed,
+    ))
+}
+
+fn reach_mode(args: &[String]) -> ExitCode {
+    let shape = match parse_reach_shape(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dfi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (spines, leaves, hosts, flows, seed) = shape;
+    let (bench, gate) = match (
+        parse_flag(args, "--bench", 0),
+        parse_flag(args, "--gate", 0),
+    ) {
+        (Ok(b), Ok(g)) => (b as usize, g),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("dfi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let defects = args.iter().any(|a| a == "--defects");
+    let expect_seeded = args.iter().any(|a| a == "--expect-seeded");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let json = args.iter().any(|a| a == "--json");
+    if expect_seeded && !defects {
+        eprintln!("dfi-analyze: --expect-seeded requires --defects");
+        return ExitCode::from(2);
+    }
+
+    let t0 = Instant::now();
+    let mut corpus =
+        dfi_analyze::corpus::generate_reach(spines, leaves, hosts, flows, seed, defects);
+    let generated = t0.elapsed();
+    let t1 = Instant::now();
+    let (mut ra, _) = ReachAnalyzer::new(corpus.spec.clone(), &corpus.manager, &corpus.snapshots);
+    let full_before = t1.elapsed();
+    let diags = ra.diagnostics();
+    let stats = ra.stats();
+
+    if bench == 0 {
+        if json {
+            print_json(&diags);
+        } else {
+            let installed: usize = corpus.snapshots.iter().map(|s| s.rules.len()).sum();
+            println!(
+                "fabric: {spines} spines x {leaves} leaves, {hosts} hosts, {flows} flows, \
+                 {installed} installed rules (seed {seed}), generated in {generated:.1?}",
+            );
+            println!(
+                "reach: {:.1?} — {} groups, {} pairs, {} classes evaluated",
+                full_before, stats.groups, stats.pairs, stats.classes_evaluated,
+            );
+            let count = |k: DiagnosticKind| diags.iter().filter(|d| d.kind == k).count();
+            println!(
+                "findings: {} total — {} reachability, {} drift, {} isolation, {} waypoint",
+                diags.len(),
+                count(DiagnosticKind::ReachabilityViolation),
+                count(DiagnosticKind::PolicyDataplaneDrift),
+                count(DiagnosticKind::IsolationBreach),
+                count(DiagnosticKind::WaypointViolation),
+            );
+            print_findings(&diags, verbose);
+        }
+        return if expect_seeded {
+            if verify_reach_seeded(&corpus, &diags) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        } else if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    // Bench: stream revocations through the delta journal, timing each
+    // incremental recheck, then prove the incremental result byte-equal to
+    // a from-scratch rebuild of the final state (which also times the full
+    // side on identical work).
+    corpus.manager.enable_delta_journal();
+    let stored = corpus.manager.snapshot();
+    let mutations = bench.min(stored.len());
+    let mut incr_total = Duration::ZERO;
+    let mut incr_max = Duration::ZERO;
+    let mut events = 0usize;
+    for victim in stored.iter().take(mutations) {
+        corpus.manager.revoke(victim.id);
+        let t = Instant::now();
+        for d in corpus.manager.take_deltas() {
+            ra.apply(&d);
+        }
+        events += ra.recheck(&corpus.manager).len();
+        let dt = t.elapsed();
+        incr_total += dt;
+        incr_max = incr_max.max(dt);
+    }
+    let t = Instant::now();
+    let (fresh, _) = ReachAnalyzer::new(corpus.spec.clone(), &corpus.manager, &corpus.snapshots);
+    let full_after = t.elapsed();
+    if ra.diagnostics() != fresh.diagnostics() {
+        eprintln!("MISMATCH: incremental reach diverged from the from-scratch rebuild");
+        return ExitCode::FAILURE;
+    }
+    let incr_mean_us = incr_total.as_secs_f64() * 1e6 / mutations.max(1) as f64;
+    let full_ms = full_after.as_secs_f64() * 1e3;
+    let speedup = full_ms * 1e3 / incr_mean_us;
+    if json {
+        println!(
+            "{{\"spines\":{spines},\"leaves\":{leaves},\"hosts\":{hosts},\"flows\":{flows},\
+             \"seed\":{seed},\"groups\":{},\"pairs\":{},\"full_ms\":{full_ms:.3},\
+             \"incr_mean_us\":{incr_mean_us:.1},\"incr_max_us\":{:.1},\"speedup\":{speedup:.1},\
+             \"mutations\":{mutations},\"finding_events\":{events},\"equal\":true}}",
+            stats.groups,
+            stats.pairs,
+            incr_max.as_secs_f64() * 1e6,
+        );
+    } else {
+        println!(
+            "reach bench: {} switches, {} groups, {} pairs; full build {:.1?} (initial {:.1?})",
+            spines + leaves,
+            stats.groups,
+            stats.pairs,
+            full_after,
+            full_before,
+        );
+        println!(
+            "incremental ≡ full after {mutations} revocations; recheck mean {incr_mean_us:.1} µs \
+             (max {:.1} µs) vs full {full_ms:.2} ms — {speedup:.0}× faster",
+            incr_max.as_secs_f64() * 1e6,
+        );
+    }
+    if gate > 0 && speedup < gate as f64 {
+        eprintln!(
+            "GATE: incremental recheck is only {speedup:.1}× faster than full; the gate requires {gate}×"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares the reach engine's findings with the planted ground truth of
+/// a defect-seeded [`ReachCorpus`]; every mismatch is reported.
+fn verify_reach_seeded(corpus: &dfi_analyze::corpus::ReachCorpus, diags: &[Diagnostic]) -> bool {
+    let hosts = |d: &Diagnostic| -> (String, String) {
+        match &d.witness {
+            Some(w) => (w.src.hostnames[0].clone(), w.dst.hostnames[0].clone()),
+            None => (String::new(), String::new()),
+        }
+    };
+    let mut ok = true;
+    let rv: BTreeSet<(String, String)> = diags
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::ReachabilityViolation)
+        .map(&hosts)
+        .collect();
+    let mut rv_expected: BTreeSet<(String, String)> =
+        corpus.forward_drift.iter().cloned().collect();
+    rv_expected.extend(
+        corpus
+            .relay_leaks
+            .iter()
+            .map(|(_, b, q)| (b.clone(), q.clone())),
+    );
+    if rv != rv_expected {
+        ok = false;
+        eprintln!("MISMATCH reachability: delivered-though-denied pairs differ from the plants");
+    }
+    let bh: BTreeSet<(String, String, u64)> = diags
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::PolicyDataplaneDrift)
+        .map(|d| {
+            let (s, t) = hosts(d);
+            (s, t, d.dpids[0])
+        })
+        .collect();
+    if bh != corpus.blackholes.iter().cloned().collect() {
+        ok = false;
+        eprintln!("MISMATCH drift: blackholed pairs differ from the plants");
+    }
+    let ib = diags
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::IsolationBreach)
+        .count();
+    if ib != 2 * corpus.relay_leaks.len() {
+        ok = false;
+        eprintln!(
+            "MISMATCH isolation: {ib} breaches, the relay plants imply exactly {}",
+            2 * corpus.relay_leaks.len()
+        );
+    }
+    let wv: BTreeSet<(PolicyId, String, String)> = diags
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::WaypointViolation)
+        .map(|d| {
+            let (s, t) = hosts(d);
+            (d.rules[0], s, t)
+        })
+        .collect();
+    if wv != corpus.waypoint_misses.iter().cloned().collect() {
+        ok = false;
+        eprintln!("MISMATCH waypoint: violations differ from the plants");
+    }
+    let implied = corpus.forward_drift.len()
+        + corpus.blackholes.len()
+        + 3 * corpus.relay_leaks.len()
+        + corpus.waypoint_misses.len();
+    if diags.len() != implied {
+        ok = false;
+        eprintln!(
+            "MISMATCH totals: {} findings, the plants imply exactly {implied}",
+            diags.len()
+        );
+    }
+    if ok {
+        println!("--expect-seeded: reach findings equal the planted ground truth");
+    }
+    ok
+}
+
+fn assert_isolated_mode(args: &[String]) -> ExitCode {
+    let shape = match parse_reach_shape(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dfi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (spines, leaves, hosts, flows, seed) = shape;
+    let defects = args.iter().any(|a| a == "--defects");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let json = args.iter().any(|a| a == "--json");
+    let named: Vec<String> = args
+        .windows(2)
+        .filter(|w| w[0] == "--host")
+        .map(|w| w[1].clone())
+        .collect();
+    if named.is_empty() {
+        eprintln!("dfi-analyze: assert-isolated needs at least one --host");
+        return ExitCode::from(2);
+    }
+
+    let mut corpus =
+        dfi_analyze::corpus::generate_reach(spines, leaves, hosts, flows, seed, defects);
+    for h in &named {
+        if !corpus.spec.hosts.iter().any(|s| &s.hostname == h) {
+            eprintln!("dfi-analyze: no host named {h} in this fabric (hosts are h000000..)");
+            return ExitCode::from(2);
+        }
+        if !corpus.spec.quarantined.contains(h) {
+            corpus.spec.quarantined.push(h.clone());
+        }
+    }
+    let (ra, _) = ReachAnalyzer::new(corpus.spec.clone(), &corpus.manager, &corpus.snapshots);
+    let breaches: Vec<Diagnostic> = ra
+        .diagnostics()
+        .into_iter()
+        .filter(|d| {
+            d.kind == DiagnosticKind::IsolationBreach
+                && named
+                    .iter()
+                    .any(|h| d.message.starts_with(&format!("quarantined host {h} ")))
+        })
+        .collect();
+    if json {
+        print_json(&breaches);
+    } else {
+        println!(
+            "assert-isolated: {} host(s) checked over {} groups — {} breach(es)",
+            named.len(),
+            ra.stats().groups,
+            breaches.len()
+        );
+        print_findings(&breaches, verbose);
+    }
+    if breaches.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn watch_mode(args: &[String]) -> ExitCode {

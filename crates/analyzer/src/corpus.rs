@@ -11,6 +11,7 @@
 //! bulk, no missed plants.
 
 use crate::policy_passes::IdentifierUniverse;
+use crate::reach::{ReachSpec, WaypointAssertion};
 use crate::table0::{TableZeroRule, TableZeroSnapshot};
 use dfi_core::erm::{Binding, EntityResolver};
 use dfi_core::policy::{
@@ -18,6 +19,7 @@ use dfi_core::policy::{
 };
 use dfi_openflow::Match;
 use dfi_packet::MacAddr;
+use dfi_simnet::topo::{TopoKind, TopoParams, Topology};
 use dfi_simnet::SimRng;
 use std::net::Ipv4Addr;
 
@@ -327,11 +329,231 @@ pub fn generate_network(
     c
 }
 
+// ---------------------------------------------------------------------
+// Reachability corpus: a full leaf-spine deployment with end-to-end
+// plants for the symbolic reachability engine.
+// ---------------------------------------------------------------------
+
+/// A generated leaf-spine deployment plus the ground truth of what was
+/// planted, for the reachability engine's `--expect-seeded` gate.
+///
+/// The clean bulk alternates punt-delivered flows (policy only) with
+/// cached flows (policy plus a consistent full-path install); each flow
+/// owns a disjoint host pair so no two flows can interact.
+///
+/// Plants, and the findings each one *implies* exactly:
+///
+/// * **forward drift** — a full-path install for a flow no policy allows:
+///   one [`ReachabilityViolation`](crate::DiagnosticKind::ReachabilityViolation).
+/// * **blackhole** — an allowed flow whose install denies at the last
+///   hop: one [`PolicyDataplaneDrift`](crate::DiagnosticKind::PolicyDataplaneDrift)
+///   naming that hop.
+/// * **relay leak** — `a` may talk to relay `b` (punt-delivered), and
+///   installed state leaks `b -> q` into a quarantined host `q`: one
+///   [`ReachabilityViolation`](crate::DiagnosticKind::ReachabilityViolation)
+///   on `b -> q` plus two
+///   [`IsolationBreach`](crate::DiagnosticKind::IsolationBreach) findings
+///   (direct from `b`, relayed from `a`).
+/// * **waypoint miss** — an allowed punt-delivered flow whose policy
+///   asserts transit through a spine its path avoids: one
+///   [`WaypointViolation`](crate::DiagnosticKind::WaypointViolation).
+pub struct ReachCorpus {
+    /// The live policy set the data plane is verified against.
+    pub manager: PolicyManager,
+    /// Hosts, fabric graph, quarantines, and waypoint assertions.
+    pub spec: ReachSpec,
+    /// One Table-0 snapshot per switch, dpids `1..=spines+leaves`.
+    pub snapshots: Vec<TableZeroSnapshot>,
+    /// Planted forward drifts: `(src hostname, dst hostname)`.
+    pub forward_drift: Vec<(String, String)>,
+    /// Planted blackholes: `(src hostname, dst hostname, deny dpid)`.
+    pub blackholes: Vec<(String, String, u64)>,
+    /// Planted relay leaks: `(origin, relay, quarantined hostname)`.
+    pub relay_leaks: Vec<(String, String, String)>,
+    /// Planted waypoint misses: `(policy, src hostname, dst hostname)`.
+    pub waypoint_misses: Vec<(PolicyId, String, String)>,
+}
+
+/// Installs the canonical exact-match rule set for `src -> dst` along the
+/// fabric's BFS path, TCP `sport -> 445`; with `allow_last` false the
+/// final hop denies instead. Returns the path.
+fn install_reach_path(
+    spec: &ReachSpec,
+    snaps: &mut [TableZeroSnapshot],
+    src: usize,
+    dst: usize,
+    sport: u16,
+    allow_last: bool,
+    cookie: u64,
+) -> Vec<u64> {
+    let (s, d) = (&spec.hosts[src], &spec.hosts[dst]);
+    let path = spec
+        .adjacency
+        .path(s.dpid, d.dpid)
+        .expect("leaf-spine fabric is connected");
+    for (i, &hop) in path.iter().enumerate() {
+        let ingress = if i == 0 {
+            s.port
+        } else {
+            spec.adjacency
+                .port_towards(hop, path[i - 1])
+                .expect("consecutive path hops are linked")
+        };
+        snaps[hop as usize - 1].rules.push(TableZeroRule {
+            cookie,
+            priority: 400,
+            mat: Match {
+                in_port: Some(ingress),
+                eth_src: Some(s.mac),
+                eth_dst: Some(d.mac),
+                eth_type: Some(0x0800),
+                ip_proto: Some(6),
+                ipv4_src: Some(s.ip),
+                ipv4_dst: Some(d.ip),
+                tcp_src: Some(sport),
+                tcp_dst: Some(445),
+                ..Match::default()
+            },
+            allow: allow_last || i + 1 < path.len(),
+        });
+    }
+    path
+}
+
+/// Builds a reachability corpus on a generated leaf-spine fabric:
+/// `n_flows` flows over disjoint host pairs, plants at fixed modulo
+/// slots. With `defects` false every flow is clean — the engine must come
+/// back empty. Deterministic in `seed`.
+#[must_use]
+pub fn generate_reach(
+    spines: u32,
+    leaves: u32,
+    n_hosts: u32,
+    n_flows: usize,
+    seed: u64,
+    defects: bool,
+) -> ReachCorpus {
+    assert!(spines >= 2, "waypoint plants need an off-path spine");
+    let n_relays = if defects {
+        (0..n_flows).filter(|i| i % 31 == 27).count()
+    } else {
+        0
+    };
+    assert!(
+        n_hosts as usize >= 2 * n_flows + n_relays,
+        "need a disjoint host pair per flow plus a quarantine host per relay plant"
+    );
+    let topo = Topology::generate(
+        &TopoParams {
+            kind: TopoKind::LeafSpine { spines, leaves },
+            hosts: n_hosts,
+            users_per_host: 1,
+        },
+        seed,
+    );
+    let mut spec = ReachSpec::of_topology(&topo);
+    let mut c = ReachCorpus {
+        manager: PolicyManager::new(),
+        spec: ReachSpec::default(),
+        snapshots: (1..=u64::from(spines + leaves))
+            .map(|dpid| TableZeroSnapshot {
+                dpid,
+                rules: Vec::new(),
+            })
+            .collect(),
+        forward_drift: Vec::new(),
+        blackholes: Vec::new(),
+        relay_leaks: Vec::new(),
+        waypoint_misses: Vec::new(),
+    };
+    let mut relay_seen = 0;
+    for i in 0..n_flows {
+        let (a, b) = (2 * i, 2 * i + 1);
+        let sport = 40_000 + (i % 20_000) as u16;
+        let (ah, bh) = (
+            spec.hosts[a].hostname.clone(),
+            spec.hosts[b].hostname.clone(),
+        );
+        let mut rule = PolicyRule::allow(EndpointPattern::host(&ah), EndpointPattern::host(&bh));
+        rule.flow = FlowProperties::tcp();
+        match if defects { i % 31 } else { usize::MAX } {
+            // Forward drift: a full-path install no policy allows.
+            7 => {
+                install_reach_path(
+                    &spec,
+                    &mut c.snapshots,
+                    a,
+                    b,
+                    sport,
+                    true,
+                    900_000 + i as u64,
+                );
+                c.forward_drift.push((ah, bh));
+            }
+            // Waypoint miss: punt-delivered flow asserting transit through
+            // a spine its BFS path avoids (spine 1 carries inter-leaf
+            // paths, so an off-path spine always exists).
+            13 => {
+                let (id, _) = c.manager.insert(rule, 20, "reach-waypoint");
+                let path = spec
+                    .adjacency
+                    .path(spec.hosts[a].dpid, spec.hosts[b].dpid)
+                    .expect("leaf-spine fabric is connected");
+                let via = (1..=u64::from(spines))
+                    .find(|s| !path.contains(s))
+                    .expect("spines >= 2 leaves one off-path");
+                spec.waypoints.push(WaypointAssertion {
+                    policy: id,
+                    via: vec![via],
+                });
+                c.waypoint_misses.push((id, ah, bh));
+            }
+            // Blackhole: allowed flow, installed deny at the last hop.
+            17 => {
+                let (id, _) = c.manager.insert(rule, 20, "reach-allow");
+                let path = install_reach_path(&spec, &mut c.snapshots, a, b, sport, false, id.0);
+                c.blackholes
+                    .push((ah, bh, *path.last().expect("non-empty path")));
+            }
+            // Relay leak: a -> b allowed (punt-delivered), installed state
+            // leaks b -> q into a quarantined host.
+            27 => {
+                let q = spec.hosts.len() - 1 - relay_seen;
+                relay_seen += 1;
+                let qh = spec.hosts[q].hostname.clone();
+                spec.quarantined.push(qh.clone());
+                c.manager.insert(rule, 20, "reach-allow");
+                install_reach_path(
+                    &spec,
+                    &mut c.snapshots,
+                    b,
+                    q,
+                    sport,
+                    true,
+                    910_000 + i as u64,
+                );
+                c.relay_leaks.push((ah, bh, qh));
+            }
+            // Clean: every flow gets its policy; even flows also cache a
+            // consistent full-path install, odd flows punt-deliver.
+            _ => {
+                let (id, _) = c.manager.insert(rule, 20, "reach-allow");
+                if i % 2 == 0 {
+                    install_reach_path(&spec, &mut c.snapshots, a, b, sport, true, id.0);
+                }
+            }
+        }
+    }
+    c.spec = spec;
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::diag::DiagnosticKind;
     use crate::policy_passes::Analyzer;
+    use crate::reach::ReachAnalyzer;
     use std::collections::BTreeSet;
 
     fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
@@ -462,6 +684,100 @@ mod tests {
         let implied_total = c.partial_flush.len()
             + c.partial_flush.iter().map(|(_, d)| d.len()).sum::<usize>()
             + 2 * c.split_brain.len();
+        assert_eq!(diags.len(), implied_total, "no findings beyond the plants");
+    }
+
+    #[test]
+    fn reach_generator_is_deterministic() {
+        let a = generate_reach(2, 8, 150, 70, 11, true);
+        let b = generate_reach(2, 8, 150, 70, 11, true);
+        assert_eq!(a.forward_drift, b.forward_drift);
+        assert_eq!(a.blackholes, b.blackholes);
+        assert_eq!(a.relay_leaks, b.relay_leaks);
+        assert_eq!(a.waypoint_misses, b.waypoint_misses);
+        let rules = |c: &ReachCorpus| -> usize { c.snapshots.iter().map(|s| s.rules.len()).sum() };
+        assert_eq!(rules(&a), rules(&b));
+        assert!(rules(&a) > 0);
+    }
+
+    #[test]
+    fn clean_reach_corpus_verifies_clean() {
+        let c = generate_reach(2, 6, 40, 15, 11, false);
+        assert!(c.forward_drift.is_empty() && c.relay_leaks.is_empty());
+        let (ra, events) = ReachAnalyzer::new(c.spec.clone(), &c.manager, &c.snapshots);
+        assert!(events.is_empty());
+        assert_eq!(ra.diagnostics(), vec![]);
+    }
+
+    #[test]
+    fn reach_engine_finds_exactly_the_planted_defects() {
+        let c = generate_reach(2, 8, 150, 70, 11, true);
+        assert!(!c.forward_drift.is_empty());
+        assert!(!c.blackholes.is_empty());
+        assert!(!c.relay_leaks.is_empty());
+        assert!(!c.waypoint_misses.is_empty());
+        let (ra, _) = ReachAnalyzer::new(c.spec.clone(), &c.manager, &c.snapshots);
+        let diags = ra.diagnostics();
+        let hosts = |d: &crate::diag::Diagnostic| -> (String, String) {
+            let w = d.witness.as_ref().expect("reach findings carry a witness");
+            (w.src.hostnames[0].clone(), w.dst.hostnames[0].clone())
+        };
+
+        // Delivered-though-denied classes: the drift plants plus each relay
+        // leak's installed b -> q leg.
+        let rv: BTreeSet<(String, String)> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::ReachabilityViolation)
+            .map(&hosts)
+            .collect();
+        let mut rv_expected: BTreeSet<(String, String)> = c.forward_drift.iter().cloned().collect();
+        rv_expected.extend(c.relay_leaks.iter().map(|(_, b, q)| (b.clone(), q.clone())));
+        assert_eq!(rv, rv_expected);
+
+        // Blackholes, pinned to the planted deny hop.
+        let bh: BTreeSet<(String, String, u64)> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::PolicyDataplaneDrift)
+            .map(|d| {
+                let (s, t) = hosts(d);
+                (s, t, d.dpids[0])
+            })
+            .collect();
+        assert_eq!(bh, c.blackholes.iter().cloned().collect());
+
+        // Isolation: each relay plant yields the direct breach from the
+        // relay and the transitive breach from the origin, with the chain
+        // spelled out.
+        let ib: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::IsolationBreach)
+            .map(|d| d.message.as_str())
+            .collect();
+        assert_eq!(ib.len(), 2 * c.relay_leaks.len());
+        for (a, b, q) in &c.relay_leaks {
+            let direct = format!("quarantined host {q} is reachable directly from {b}");
+            let relayed = format!(
+                "quarantined host {q} is reachable from {a} via relay chain {a} -> {b} -> {q}"
+            );
+            assert!(ib.contains(&direct.as_str()), "{ib:?}");
+            assert!(ib.contains(&relayed.as_str()), "{ib:?}");
+        }
+
+        // Waypoint misses, attributed to the asserting policy.
+        let wv: BTreeSet<(PolicyId, String, String)> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::WaypointViolation)
+            .map(|d| {
+                let (s, t) = hosts(d);
+                (d.rules[0], s, t)
+            })
+            .collect();
+        assert_eq!(wv, c.waypoint_misses.iter().cloned().collect());
+
+        let implied_total = c.forward_drift.len()
+            + c.blackholes.len()
+            + 3 * c.relay_leaks.len()
+            + c.waypoint_misses.len();
         assert_eq!(diags.len(), implied_total, "no findings beyond the plants");
     }
 }

@@ -66,6 +66,21 @@ pub enum DiagnosticKind {
     /// another: a multi-hop path forwards at one hop and blackholes at the
     /// next.
     SplitBrainPath,
+    /// A packet class the policy denies is delivered end-to-end by the
+    /// installed Table-0 state — the data plane forwards traffic the
+    /// policy forbids (the reachability engine's worst finding).
+    ReachabilityViolation,
+    /// A packet class the policy allows is blackholed by an installed deny
+    /// somewhere on its path — the data plane drops traffic the policy
+    /// permits.
+    PolicyDataplaneDrift,
+    /// A quarantined host is reachable — directly or through a chain of
+    /// allowed intermediaries — violating the transitive-isolation
+    /// invariant.
+    IsolationBreach,
+    /// A delivered packet class whose deciding policy carries a waypoint
+    /// assertion traverses none of the required transit switches.
+    WaypointViolation,
 }
 
 impl fmt::Display for DiagnosticKind {
@@ -81,6 +96,10 @@ impl fmt::Display for DiagnosticKind {
             DiagnosticKind::NonCanonicalRule => "non-canonical-rule",
             DiagnosticKind::PartialFlush => "partial-flush",
             DiagnosticKind::SplitBrainPath => "split-brain-path",
+            DiagnosticKind::ReachabilityViolation => "reachability-violation",
+            DiagnosticKind::PolicyDataplaneDrift => "policy-dataplane-drift",
+            DiagnosticKind::IsolationBreach => "isolation-breach",
+            DiagnosticKind::WaypointViolation => "waypoint-violation",
         };
         f.write_str(s)
     }

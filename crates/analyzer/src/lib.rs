@@ -36,12 +36,14 @@ pub mod delta;
 pub mod diag;
 pub mod network;
 pub mod policy_passes;
+pub mod reach;
 pub mod table0;
 
 pub use bus::{publish_audit, publish_finding_events};
 pub use certify::{wire_snapshot_gate, Certifier};
 pub use delta::{DeltaAnalyzer, FindingEvent, FindingId};
 pub use diag::{Diagnostic, DiagnosticKind, Severity};
-pub use network::capture_network;
+pub use network::{capture_network, mask_in_flight, InFlight};
 pub use policy_passes::{sort_diagnostics, Analyzer, IdentifierUniverse};
+pub use reach::{HostSite, ReachAnalyzer, ReachSpec, ReachStats, WaypointAssertion};
 pub use table0::{TableZeroRule, TableZeroSnapshot};

@@ -28,9 +28,10 @@ use crate::policy_passes::{sort_diagnostics, Analyzer};
 use crate::table0::{TableZeroRule, TableZeroSnapshot};
 use dfi_core::erm::EntityResolver;
 use dfi_core::policy::{PolicyId, DEFAULT_DENY_ID};
+use dfi_core::Dfi;
 use dfi_dataplane::Network;
 use dfi_openflow::Match;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Captures every switch's Table 0 in creation order.
 pub fn capture_network(network: &Network) -> Vec<TableZeroSnapshot> {
@@ -38,6 +39,80 @@ pub fn capture_network(network: &Network) -> Vec<TableZeroSnapshot> {
         .switches()
         .iter()
         .map(TableZeroSnapshot::capture)
+        .collect()
+}
+
+/// The set of tracked installs still in flight (sent, not yet
+/// barrier-acknowledged) at capture time, keyed `(dpid, cookie)`.
+///
+/// A mid-traffic audit races the install protocol: a flush whose delete is
+/// on the wire still shows its rules in the capture (transient
+/// orphan/partial-flush), and an add acked on one switch but not another
+/// makes the fleet look momentarily inconsistent. Neither is drift — the
+/// protocol guarantees convergence once the barrier acks land — so the
+/// audit masks rules whose cookie has unsettled state on that switch and
+/// judges them on the next settled capture instead.
+#[derive(Clone, Debug, Default)]
+pub struct InFlight {
+    keys: HashSet<(u64, u64)>,
+}
+
+impl InFlight {
+    /// No in-flight installs: every captured rule is settled state. This
+    /// is what quiesced-network audits (and the pre-existing
+    /// [`Analyzer::check_network`]) use.
+    #[must_use]
+    pub fn none() -> InFlight {
+        InFlight::default()
+    }
+
+    /// Reads the pending-install set from a live proxy.
+    #[must_use]
+    pub fn of_dfi(dfi: &Dfi) -> InFlight {
+        InFlight::from_triples(dfi.in_flight_installs())
+    }
+
+    /// Builds the set from `(dpid, cookie, is_delete)` triples (the shape
+    /// [`Dfi::in_flight_installs`] reports). Adds and deletes mask alike:
+    /// both mean the switch's settled state for that cookie is unknown.
+    #[must_use]
+    pub fn from_triples(triples: impl IntoIterator<Item = (u64, u64, bool)>) -> InFlight {
+        InFlight {
+            keys: triples.into_iter().map(|(d, c, _)| (d, c)).collect(),
+        }
+    }
+
+    /// `true` when the rule's settled state on `dpid` is not yet known.
+    #[must_use]
+    pub fn masks(&self, dpid: u64, cookie: u64) -> bool {
+        self.keys.contains(&(dpid, cookie))
+    }
+
+    /// `true` when nothing is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Drops every captured rule whose `(dpid, cookie)` is still in flight,
+/// returning the snapshots an audit may judge.
+#[must_use]
+pub fn mask_in_flight(snaps: &[TableZeroSnapshot], inflight: &InFlight) -> Vec<TableZeroSnapshot> {
+    if inflight.is_empty() {
+        return snaps.to_vec();
+    }
+    snaps
+        .iter()
+        .map(|s| TableZeroSnapshot {
+            dpid: s.dpid,
+            rules: s
+                .rules
+                .iter()
+                .filter(|r| !inflight.masks(s.dpid, r.cookie))
+                .cloned()
+                .collect(),
+        })
         .collect()
 }
 
@@ -71,9 +146,28 @@ impl Analyzer {
         out
     }
 
-    /// [`Analyzer::check_snapshots`] over a live network.
+    /// [`Analyzer::check_snapshots`] over a live network, assuming the
+    /// install protocol is quiesced (no tracked installs in flight). For
+    /// mid-traffic audits use [`Analyzer::check_network_live`], which
+    /// masks unsettled rules instead of flagging them as drift.
     pub fn check_network(&self, network: &Network, erm: &mut EntityResolver) -> Vec<Diagnostic> {
         self.check_snapshots(&capture_network(network), erm)
+    }
+
+    /// [`Analyzer::check_network`] that consults the proxy's pending
+    /// tracked installs: rules whose `(dpid, cookie)` is still awaiting a
+    /// barrier ack are excluded from the audit, eliminating the transient
+    /// false positives an audit racing a flush or install would otherwise
+    /// report.
+    ///
+    /// Takes the whole proxy (not a borrowed resolver) because it needs
+    /// two of its organs in sequence: the pending-install set *before*
+    /// the entity resolver — handing in an `erm` already borrowed from
+    /// the same `Dfi` would deadlock the `RefCell`.
+    #[must_use]
+    pub fn check_network_live(&self, network: &Network, dfi: &Dfi) -> Vec<Diagnostic> {
+        let snaps = mask_in_flight(&capture_network(network), &InFlight::of_dfi(dfi));
+        dfi.with_erm(|erm| self.check_snapshots(&snaps, erm))
     }
 
     fn correlate_partial_flush(&self, snaps: &[TableZeroSnapshot]) -> Vec<Diagnostic> {

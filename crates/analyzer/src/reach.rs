@@ -1,0 +1,1334 @@
+//! Symbolic network-wide reachability: prove the installed data plane
+//! equals the policy.
+//!
+//! The pairwise passes (shadow/conflict/orphan/stale) audit rules one or
+//! two at a time; this module answers the end-to-end question the paper's
+//! safety claim actually rests on: *which packets can get from host A to
+//! host B across the fleet, and does that set equal what the policy
+//! intends?* It does so exactly, atomic-predicate style:
+//!
+//! 1. **Equivalence classes.** The packet universe (IPv4 unicast TCP/UDP
+//!    between known hosts — exactly the traffic the PCP compiles Table-0
+//!    rules for) is partitioned so that every policy rule and every
+//!    installed rule matches all packets of a class or none. Hosts are
+//!    grouped by their per-rule identity signature (which rules' endpoint
+//!    patterns admit them, on which side) and attachment switch; the L4
+//!    header space is cut per host-group pair at the port bounds of the
+//!    rules matching that pair plus the exact-match pins of the pair's
+//!    installed rules. Within a class, both the policy verdict and the
+//!    data-plane fate are provably constant, so one representative packet
+//!    per class decides the whole class.
+//! 2. **Transfer functions.** Every switch's installed Table-0 state is
+//!    lifted to a per-dpid function over classes: highest-priority
+//!    matching rule wins (deny before allow, then lowest cookie, on a
+//!    priority tie — the corpus never installs ambiguous ties), a miss
+//!    punts to the policy (`PolicySnapshot::classify` on the
+//!    representative — bit-identical to what the live proxy decides).
+//! 3. **Reachability.** Classes are walked hop-by-hop along the
+//!    deterministic shortest path ([`Adjacency::path`]) between the
+//!    endpoints' attachment switches, yielding a fate: delivered, dropped
+//!    by an installed deny, or dropped at the policy punt.
+//!
+//! Three checks fall out, each with a concrete counterexample packet in
+//! the standard [`Diagnostic`] format:
+//!
+//! * **Policy ⇔ data plane** — a delivered class the policy denies is a
+//!   [`DiagnosticKind::ReachabilityViolation`]; a class the policy allows
+//!   but an installed deny blackholes is a
+//!   [`DiagnosticKind::PolicyDataplaneDrift`].
+//! * **Transitive isolation** — a quarantined host reachable from anyone,
+//!   directly or through a chain of allowed intermediaries (the `P4Control`
+//!   relay scenario), is a [`DiagnosticKind::IsolationBreach`].
+//! * **Waypoints** — a delivered class whose deciding policy declares
+//!   transit switches but whose path avoids them all is a
+//!   [`DiagnosticKind::WaypointViolation`].
+//!
+//! The engine is incremental: [`PolicyDelta`]s and install/flush events
+//! dirty only the host-group pairs they can affect, so a recheck after a
+//! revocation re-evaluates a handful of classes instead of the fleet
+//! (`BENCH_reach.json` gates the ratio at fleet scale). Findings keep
+//! stable [`FindingId`]s across rechecks and surface as
+//! [`FindingEvent`]s, publishable on `topic::ANALYZER_FINDINGS` like the
+//! incremental analyzer's.
+//!
+//! Exactness is machine-checked two ways: `tests/proptest_reach.rs`
+//! compares every class verdict against a brute-force per-packet
+//! simulation oracle on small topologies, and the seeded reach corpus
+//! ([`crate::corpus::generate_reach`]) gates planted defects exactly.
+
+use crate::delta::{FindingEvent, FindingId};
+use crate::diag::{Diagnostic, DiagnosticKind, Severity};
+use crate::policy_passes::sort_diagnostics;
+use crate::table0::{TableZeroRule, TableZeroSnapshot};
+use dfi_core::policy::{
+    EndpointPattern, EndpointView, FlowView, PolicyAction, PolicyDelta, PolicyId, PolicyManager,
+    PolicyRule, PolicySnapshot,
+};
+use dfi_packet::MacAddr;
+use dfi_simnet::topo::{Adjacency, HostSpec, Topology};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// The IP protocols spanning the verified universe: TCP and UDP — the
+/// flows the PCP compiles port-pinned Table-0 rules for.
+pub const PROTOS: [u8; 2] = [6, 17];
+
+/// One host as the reachability engine sees it: the identity bindings a
+/// real deployment would hold in the ERM, plus the attachment point.
+#[derive(Clone, Debug)]
+pub struct HostSite {
+    /// Hostname (unique within the spec).
+    pub hostname: String,
+    /// Users logged on.
+    pub users: Vec<String>,
+    /// The host's IP.
+    pub ip: Ipv4Addr,
+    /// The host's MAC.
+    pub mac: MacAddr,
+    /// Attachment switch dpid.
+    pub dpid: u64,
+    /// Attachment port on that switch.
+    pub port: u32,
+}
+
+impl HostSite {
+    /// Builds a site from a generated topology's host placement.
+    #[must_use]
+    pub fn from_spec(spec: &HostSpec) -> HostSite {
+        HostSite {
+            hostname: spec.hostname.clone(),
+            users: spec.users.clone(),
+            ip: spec.ip,
+            mac: MacAddr::from_index(spec.mac_index),
+            dpid: spec.dpid,
+            port: spec.port,
+        }
+    }
+}
+
+/// A per-policy transit obligation: every delivered flow this policy
+/// decides must traverse at least one of the `via` switches.
+#[derive(Clone, Debug)]
+pub struct WaypointAssertion {
+    /// The policy the obligation is attached to.
+    pub policy: PolicyId,
+    /// Acceptable transit dpids (any one satisfies the assertion).
+    pub via: Vec<u64>,
+}
+
+/// What the engine verifies over: the hosts, the fabric graph, and the
+/// declared invariants.
+#[derive(Clone, Debug, Default)]
+pub struct ReachSpec {
+    /// All known hosts.
+    pub hosts: Vec<HostSite>,
+    /// The inter-switch graph.
+    pub adjacency: Adjacency,
+    /// Hostnames that must be unreachable from every host, including
+    /// through relays.
+    pub quarantined: Vec<String>,
+    /// Per-policy transit obligations.
+    pub waypoints: Vec<WaypointAssertion>,
+}
+
+impl ReachSpec {
+    /// A spec covering every host of a generated topology, with no
+    /// quarantines or waypoints declared.
+    #[must_use]
+    pub fn of_topology(topo: &Topology) -> ReachSpec {
+        ReachSpec {
+            hosts: topo.hosts.iter().map(HostSite::from_spec).collect(),
+            adjacency: topo.adjacency(),
+            quarantined: Vec::new(),
+            waypoints: Vec::new(),
+        }
+    }
+}
+
+/// One canonical installed rule, pre-digested for concrete matching. Only
+/// rules in the PCP's canonical exact-match shape participate (anything
+/// else is `audit-network`'s business, not a forwarding function DFI
+/// compiled).
+#[derive(Clone, Debug)]
+struct Inst {
+    dpid: u64,
+    in_port: u32,
+    priority: u16,
+    allow: bool,
+    cookie: u64,
+    ip_src: Option<Ipv4Addr>,
+    ip_dst: Option<Ipv4Addr>,
+    proto: Option<u8>,
+    sport: Option<u16>,
+    dport: Option<u16>,
+}
+
+impl Inst {
+    /// Digests a captured rule; `None` for non-IPv4 or non-canonical
+    /// shapes, which the reachability universe does not cover.
+    fn of(dpid: u64, rule: &TableZeroRule) -> Option<(MacAddr, MacAddr, Inst)> {
+        let mat = &rule.mat;
+        if mat.eth_type != Some(0x0800) {
+            return None;
+        }
+        Some((
+            mat.eth_src?,
+            mat.eth_dst?,
+            Inst {
+                dpid,
+                in_port: mat.in_port?,
+                priority: rule.priority,
+                allow: rule.allow,
+                cookie: rule.cookie,
+                ip_src: mat.ipv4_src,
+                ip_dst: mat.ipv4_dst,
+                proto: mat.ip_proto,
+                sport: mat.tcp_src.or(mat.udp_src),
+                dport: mat.tcp_dst.or(mat.udp_dst),
+            },
+        ))
+    }
+
+    /// `true` when the rule matches a concrete packet of the pair it is
+    /// keyed under, arriving on `ingress`.
+    fn matches(&self, ingress: u32, pkt: &Packet) -> bool {
+        self.in_port == ingress
+            && self.ip_src.is_none_or(|v| v == pkt.src_ip)
+            && self.ip_dst.is_none_or(|v| v == pkt.dst_ip)
+            && self.proto.is_none_or(|v| v == pkt.proto)
+            && self.sport.is_none_or(|v| v == pkt.sport)
+            && self.dport.is_none_or(|v| v == pkt.dport)
+    }
+}
+
+/// A concrete representative packet (MACs are implied by the pair key).
+#[derive(Clone, Copy, Debug)]
+struct Packet {
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    proto: u8,
+    sport: u16,
+    dport: u16,
+}
+
+/// A host's grouping signature: `(dpid, per-rule src-admit bitset,
+/// per-rule dst-admit bitset, forced-singleton marker)`. Hosts sharing a
+/// signature are indistinguishable to every check.
+type GroupSig = (u64, Vec<u64>, Vec<u64>, Option<u32>);
+
+/// A maximal set of hosts that every policy rule treats identically on
+/// both endpoint sides, attached to the same switch — so any member
+/// represents the group exactly.
+#[derive(Clone, Debug)]
+struct Group {
+    members: Vec<u32>,
+    /// Bit `i` set: rule slot `i`'s source pattern admits every member.
+    src_bits: Vec<u64>,
+    /// Bit `i` set: rule slot `i`'s destination pattern admits every member.
+    dst_bits: Vec<u64>,
+}
+
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits.get(i / 64).is_some_and(|w| w >> (i % 64) & 1 == 1)
+}
+
+fn bit_push(bits: &mut Vec<u64>, i: usize, v: bool) {
+    if bits.len() <= i / 64 {
+        bits.resize(i / 64 + 1, 0);
+    }
+    if v {
+        bits[i / 64] |= 1 << (i % 64);
+    }
+}
+
+/// `true` when the pattern's *identity* fields (everything but the L4
+/// port, which the service-cell dimension owns) admit the host.
+fn ident_admits(p: &EndpointPattern, h: &HostSite) -> bool {
+    p.username.admits_any(&h.users)
+        && p.hostname.admits_any(std::slice::from_ref(&h.hostname))
+        && p.ip.admits(Some(h.ip))
+        && p.mac.admits(Some(h.mac))
+        && p.switch_port.admits(Some(h.port))
+        && p.switch_dpid.admits(Some(h.dpid))
+}
+
+/// The fate of one class (or one concrete packet) under the installed
+/// data plane, with the policy punt pre-resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Fate {
+    /// Every hop forwarded; `cookies` are the installed allows consulted.
+    Delivered {
+        path: Rc<Vec<u64>>,
+        cookies: Vec<u64>,
+    },
+    /// An installed deny dropped it.
+    DroppedInstalled {
+        dpid: u64,
+        cookie: u64,
+        hop: usize,
+        hops: usize,
+    },
+    /// A table miss punted and the policy denied.
+    DroppedPolicy,
+    /// No path between the attachment switches (never on generated
+    /// fabrics, which are connected by construction).
+    Unroutable,
+}
+
+/// One delivered class kept per pair, witnessing the pair's edge in the
+/// isolation digraph.
+#[derive(Clone, Debug)]
+struct DeliveredSample {
+    policy: PolicyId,
+    path: Rc<Vec<u64>>,
+    flow: FlowView,
+}
+
+/// A finding's stable identity within the reach ledger: kind, endpoint
+/// hostnames, the class cell, and a kind-specific discriminant (the
+/// blackholing dpid, the asserting policy).
+type LedgerKey = (DiagnosticKind, String, String, (u8, u16, u16), u64);
+
+#[derive(Clone, Debug)]
+struct Keyed {
+    key: LedgerKey,
+    diag: Diagnostic,
+}
+
+/// Size counters for the last (re)evaluation, for benches and gates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReachStats {
+    /// Host equivalence groups.
+    pub groups: usize,
+    /// Ordered group pairs in the universe.
+    pub pairs: usize,
+    /// Pairs re-evaluated by the last `new`/`recheck`.
+    pub pairs_evaluated: usize,
+    /// Packet classes (cells) evaluated by the last `new`/`recheck`.
+    pub classes_evaluated: usize,
+}
+
+/// The symbolic reachability engine. Build once with [`ReachAnalyzer::new`],
+/// then feed policy deltas and install/flush events and call
+/// [`ReachAnalyzer::recheck`] — only dirtied classes re-evaluate.
+pub struct ReachAnalyzer {
+    spec: ReachSpec,
+    waypoint_of: BTreeMap<PolicyId, Vec<u64>>,
+    /// Rule slots, id order; revoked slots are tombstoned so group bit
+    /// indices stay stable.
+    rules: Vec<Option<(PolicyId, PolicyRule)>>,
+    snapshot: PolicySnapshot,
+    groups: Vec<Group>,
+    gid_of_host: Vec<u32>,
+    host_of_mac: HashMap<MacAddr, u32>,
+    /// Installed canonical rules, keyed by the `(eth_src, eth_dst)` pair
+    /// they apply to.
+    installed: HashMap<(MacAddr, MacAddr), Vec<Inst>>,
+    path_cache: HashMap<(u64, u64), Option<Rc<Vec<u64>>>>,
+    pair_diags: BTreeMap<(u32, u32), Vec<Keyed>>,
+    delivered: BTreeMap<(u32, u32), DeliveredSample>,
+    ledger: BTreeMap<LedgerKey, (FindingId, Diagnostic)>,
+    next_finding: u64,
+    dirty: BTreeSet<(u32, u32)>,
+    needs_rebuild: bool,
+    stats: ReachStats,
+}
+
+impl ReachAnalyzer {
+    /// Builds the engine and runs the first full analysis. The returned
+    /// events are all `Raised` — the initial finding set.
+    #[must_use]
+    pub fn new(
+        spec: ReachSpec,
+        pm: &PolicyManager,
+        snapshots: &[TableZeroSnapshot],
+    ) -> (ReachAnalyzer, Vec<FindingEvent>) {
+        let snapshot = PolicySnapshot::compile(pm, pm.revision());
+        let waypoint_of = spec
+            .waypoints
+            .iter()
+            .map(|w| (w.policy, w.via.clone()))
+            .collect();
+        let mut installed: HashMap<(MacAddr, MacAddr), Vec<Inst>> = HashMap::new();
+        for snap in snapshots {
+            for rule in &snap.rules {
+                if let Some((src, dst, inst)) = Inst::of(snap.dpid, rule) {
+                    installed.entry((src, dst)).or_default().push(inst);
+                }
+            }
+        }
+        let host_of_mac = spec
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (h.mac, i as u32))
+            .collect();
+        let mut ra = ReachAnalyzer {
+            spec,
+            waypoint_of,
+            rules: Vec::new(),
+            snapshot,
+            groups: Vec::new(),
+            gid_of_host: Vec::new(),
+            host_of_mac,
+            installed,
+            path_cache: HashMap::new(),
+            pair_diags: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            ledger: BTreeMap::new(),
+            next_finding: 1,
+            dirty: BTreeSet::new(),
+            needs_rebuild: false,
+            stats: ReachStats::default(),
+        };
+        ra.rebuild();
+        let events = ra.reconcile_ledger();
+        (ra, events)
+    }
+
+    /// The verified spec.
+    #[must_use]
+    pub fn spec(&self) -> &ReachSpec {
+        &self.spec
+    }
+
+    /// Counters from the last full or incremental evaluation.
+    #[must_use]
+    pub fn stats(&self) -> ReachStats {
+        self.stats
+    }
+
+    /// The current finding set, sorted like every other analyzer surface.
+    #[must_use]
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out: Vec<Diagnostic> = self.ledger.values().map(|(_, d)| d.clone()).collect();
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental inputs
+    // ------------------------------------------------------------------
+
+    /// Feeds one policy mutation from the delta journal. Cheap: marks the
+    /// affected group pairs dirty (or schedules a structural rebuild when
+    /// an insert splits a host group); [`ReachAnalyzer::recheck`] does the
+    /// re-evaluation.
+    pub fn apply(&mut self, delta: &PolicyDelta) {
+        match delta {
+            PolicyDelta::Inserted(sp) => {
+                let slot = self.rules.len();
+                for g in 0..self.groups.len() {
+                    let rep = self.spec.hosts[self.groups[g].members[0] as usize].clone();
+                    let src = ident_admits(&sp.rule.src, &rep);
+                    let dst = ident_admits(&sp.rule.dst, &rep);
+                    let uniform = self.groups[g].members.iter().all(|&m| {
+                        let h = &self.spec.hosts[m as usize];
+                        ident_admits(&sp.rule.src, h) == src && ident_admits(&sp.rule.dst, h) == dst
+                    });
+                    if !uniform {
+                        self.needs_rebuild = true;
+                        return;
+                    }
+                    bit_push(&mut self.groups[g].src_bits, slot, src);
+                    bit_push(&mut self.groups[g].dst_bits, slot, dst);
+                }
+                self.rules.push(Some((sp.id, sp.rule.clone())));
+                self.dirty_matching(slot);
+            }
+            PolicyDelta::Revoked(sp) => {
+                if let Some(slot) = self
+                    .rules
+                    .iter()
+                    .position(|r| r.as_ref().is_some_and(|(id, _)| *id == sp.id))
+                {
+                    self.dirty_matching(slot);
+                    self.rules[slot] = None;
+                }
+            }
+            PolicyDelta::ReRanked { policy, .. } => {
+                if let Some(slot) = self
+                    .rules
+                    .iter()
+                    .position(|r| r.as_ref().is_some_and(|(id, _)| *id == policy.id))
+                {
+                    self.dirty_matching(slot);
+                }
+            }
+        }
+    }
+
+    /// Feeds one observed Table-0 install (or install-shaped delete already
+    /// applied to a capture) on `dpid`. Dirties exactly the one host pair
+    /// the rule's MAC key names; rules for unknown MACs are outside the
+    /// verified universe and ignored.
+    pub fn note_install(&mut self, dpid: u64, rule: &TableZeroRule) {
+        let Some((src, dst, inst)) = Inst::of(dpid, rule) else {
+            return;
+        };
+        let entry = self.installed.entry((src, dst)).or_default();
+        entry.retain(|e| {
+            !(e.dpid == inst.dpid
+                && e.in_port == inst.in_port
+                && e.priority == inst.priority
+                && e.ip_src == inst.ip_src
+                && e.ip_dst == inst.ip_dst
+                && e.proto == inst.proto
+                && e.sport == inst.sport
+                && e.dport == inst.dport)
+        });
+        entry.push(inst);
+        self.dirty_mac_pair(src, dst);
+    }
+
+    /// Feeds one observed flush: every installed rule carrying `cookie`
+    /// disappears (from `dpid` only, or fleet-wide when `None` — the shape
+    /// of a policy revocation's flush fan-out). Dirties the affected pairs.
+    pub fn note_flush(&mut self, dpid: Option<u64>, cookie: u64) {
+        let mut dirtied: Vec<(MacAddr, MacAddr)> = Vec::new();
+        for (&key, insts) in &mut self.installed {
+            let before = insts.len();
+            insts.retain(|i| i.cookie != cookie || dpid.is_some_and(|d| d != i.dpid));
+            if insts.len() != before {
+                dirtied.push(key);
+            }
+        }
+        self.installed.retain(|_, v| !v.is_empty());
+        for (src, dst) in dirtied {
+            self.dirty_mac_pair(src, dst);
+        }
+    }
+
+    /// Re-evaluates everything dirtied since the last check (or rebuilds
+    /// from scratch after a structural change), recompiling the policy
+    /// snapshot from `pm`, and returns the finding-set difference.
+    pub fn recheck(&mut self, pm: &PolicyManager) -> Vec<FindingEvent> {
+        self.snapshot = PolicySnapshot::compile(pm, pm.revision());
+        if self.needs_rebuild {
+            self.rebuild();
+        } else {
+            let dirty: Vec<(u32, u32)> = std::mem::take(&mut self.dirty).into_iter().collect();
+            self.stats.pairs_evaluated = dirty.len();
+            self.stats.classes_evaluated = 0;
+            for (a, b) in dirty {
+                self.evaluate_pair(a, b);
+            }
+        }
+        self.reconcile_ledger()
+    }
+
+    // ------------------------------------------------------------------
+    // Oracle surface
+    // ------------------------------------------------------------------
+
+    /// Whether the engine's class machinery delivers a concrete packet:
+    /// locates the packet's class, evaluates the class *representative*,
+    /// and returns its fate. The brute-force oracle compares this against
+    /// an independent per-packet simulation — equality for every packet is
+    /// exactly the class-constancy theorem the partition relies on.
+    /// `None` when either MAC names no known host.
+    #[must_use]
+    pub fn packet_delivered(
+        &mut self,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        proto: u8,
+        sport: u16,
+        dport: u16,
+    ) -> Option<bool> {
+        let src = *self.host_of_mac.get(&src_mac)? as usize;
+        let dst = *self.host_of_mac.get(&dst_mac)? as usize;
+        let a = self.gid_of_host[src];
+        let b = self.gid_of_host[dst];
+        let (sports, dports) = self.pair_cuts(a, b, src_mac, dst_mac);
+        let rep_sp = *sports.range(..=sport).next_back().expect("0 is a cut");
+        let rep_dp = *dports.range(..=dport).next_back().expect("0 is a cut");
+        let flow = self.flow_view(src, dst, proto, rep_sp, rep_dp);
+        let decision = self.snapshot.classify(&flow);
+        let fate = self.walk(src, dst, proto, rep_sp, rep_dp, decision.action);
+        Some(matches!(fate, Fate::Delivered { .. }))
+    }
+
+    // ------------------------------------------------------------------
+    // Construction and evaluation
+    // ------------------------------------------------------------------
+
+    /// Full analysis: regroup hosts from the compiled rule set, then
+    /// evaluate every pair.
+    fn rebuild(&mut self) {
+        self.needs_rebuild = false;
+        self.dirty.clear();
+        self.rules = self
+            .snapshot
+            .rules()
+            .map(|(id, r)| Some((id, r.clone())))
+            .collect();
+        // Hosts that installed state or a quarantine names individually
+        // can never share a group: their data-plane fate (or the finding
+        // identity) is theirs alone.
+        let mut forced: HashMap<u32, u32> = HashMap::new();
+        for (src, dst) in self.installed.keys() {
+            for mac in [src, dst] {
+                if let Some(&h) = self.host_of_mac.get(mac) {
+                    forced.insert(h, h);
+                }
+            }
+        }
+        for (i, h) in self.spec.hosts.iter().enumerate() {
+            if self.spec.quarantined.contains(&h.hostname) {
+                forced.insert(i as u32, i as u32);
+            }
+        }
+        let mut by_sig: BTreeMap<GroupSig, u32> = BTreeMap::new();
+        let mut groups: Vec<Group> = Vec::new();
+        let mut gid_of_host = vec![0; self.spec.hosts.len()];
+        for (i, h) in self.spec.hosts.iter().enumerate() {
+            let mut src_bits = Vec::new();
+            let mut dst_bits = Vec::new();
+            for (slot, rule) in self.rules.iter().enumerate() {
+                if let Some((_, r)) = rule {
+                    bit_push(&mut src_bits, slot, ident_admits(&r.src, h));
+                    bit_push(&mut dst_bits, slot, ident_admits(&r.dst, h));
+                }
+            }
+            let sig = (
+                h.dpid,
+                src_bits.clone(),
+                dst_bits.clone(),
+                forced.get(&(i as u32)).copied(),
+            );
+            let gid = *by_sig.entry(sig).or_insert_with(|| {
+                groups.push(Group {
+                    members: Vec::new(),
+                    src_bits,
+                    dst_bits,
+                });
+                (groups.len() - 1) as u32
+            });
+            groups[gid as usize].members.push(i as u32);
+            gid_of_host[i] = gid;
+        }
+        self.groups = groups;
+        self.gid_of_host = gid_of_host;
+        self.pair_diags.clear();
+        self.delivered.clear();
+        self.path_cache.clear();
+        let n = self.groups.len() as u32;
+        self.stats = ReachStats {
+            groups: n as usize,
+            pairs: 0,
+            pairs_evaluated: 0,
+            classes_evaluated: 0,
+        };
+        for a in 0..n {
+            for b in 0..n {
+                if a == b && self.groups[a as usize].members.len() < 2 {
+                    continue;
+                }
+                self.stats.pairs += 1;
+                self.stats.pairs_evaluated += 1;
+                self.evaluate_pair(a, b);
+            }
+        }
+    }
+
+    /// Marks every pair the rule in `slot` applies to as dirty.
+    fn dirty_matching(&mut self, slot: usize) {
+        let n = self.groups.len() as u32;
+        for a in 0..n {
+            if !bit_get(&self.groups[a as usize].src_bits, slot) {
+                continue;
+            }
+            for b in 0..n {
+                if bit_get(&self.groups[b as usize].dst_bits, slot)
+                    && !(a == b && self.groups[a as usize].members.len() < 2)
+                {
+                    self.dirty.insert((a, b));
+                }
+            }
+        }
+    }
+
+    /// Marks the pair owning an installed-rule MAC key dirty. MACs inside
+    /// a multi-member group mean the grouping predates this installed
+    /// state — structurally stale, so schedule a rebuild.
+    fn dirty_mac_pair(&mut self, src: MacAddr, dst: MacAddr) {
+        let (Some(&s), Some(&d)) = (self.host_of_mac.get(&src), self.host_of_mac.get(&dst)) else {
+            return;
+        };
+        let (a, b) = (self.gid_of_host[s as usize], self.gid_of_host[d as usize]);
+        if self.groups[a as usize].members.len() > 1 || self.groups[b as usize].members.len() > 1 {
+            self.needs_rebuild = true;
+        } else {
+            self.dirty.insert((a, b));
+        }
+    }
+
+    /// The representative host indices of a pair (distinct members for a
+    /// within-group pair).
+    fn reps(&self, a: u32, b: u32) -> (usize, usize) {
+        let ga = &self.groups[a as usize];
+        let gb = &self.groups[b as usize];
+        if a == b {
+            (ga.members[0] as usize, ga.members[1] as usize)
+        } else {
+            (ga.members[0] as usize, gb.members[0] as usize)
+        }
+    }
+
+    /// The pair's L4 cut sets: interval starts from the port bounds of
+    /// the policy rules matching the pair, plus the exact pins of the
+    /// pair's installed rules. Every returned start opens one atomic cell.
+    fn pair_cuts(
+        &self,
+        a: u32,
+        b: u32,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+    ) -> (BTreeSet<u16>, BTreeSet<u16>) {
+        let ga = &self.groups[a as usize];
+        let gb = &self.groups[b as usize];
+        let mut sports: BTreeSet<u16> = BTreeSet::from([0]);
+        let mut dports: BTreeSet<u16> = BTreeSet::from([0]);
+        for (slot, rule) in self.rules.iter().enumerate() {
+            let Some((_, r)) = rule else { continue };
+            if !(bit_get(&ga.src_bits, slot) && bit_get(&gb.dst_bits, slot)) {
+                continue;
+            }
+            if let Some((lo, hi)) = r.src.port.bounds() {
+                sports.insert(lo);
+                if let Some(next) = hi.checked_add(1) {
+                    sports.insert(next);
+                }
+            }
+            if let Some((lo, hi)) = r.dst.port.bounds() {
+                dports.insert(lo);
+                if let Some(next) = hi.checked_add(1) {
+                    dports.insert(next);
+                }
+            }
+        }
+        if let Some(insts) = self.installed.get(&(src_mac, dst_mac)) {
+            for i in insts {
+                if let Some(p) = i.sport {
+                    sports.insert(p);
+                    if let Some(next) = p.checked_add(1) {
+                        sports.insert(next);
+                    }
+                }
+                if let Some(p) = i.dport {
+                    dports.insert(p);
+                    if let Some(next) = p.checked_add(1) {
+                        dports.insert(next);
+                    }
+                }
+            }
+        }
+        (sports, dports)
+    }
+
+    /// The enriched representative flow of a class — what the live proxy
+    /// would hand the policy layer for any member packet.
+    fn flow_view(&self, src: usize, dst: usize, proto: u8, sport: u16, dport: u16) -> FlowView {
+        let side = |h: &HostSite, port: u16| EndpointView {
+            usernames: h.users.clone(),
+            hostnames: vec![h.hostname.clone()],
+            ip: Some(h.ip),
+            port: Some(port),
+            mac: Some(h.mac),
+            switch_port: Some(h.port),
+            switch_dpid: Some(h.dpid),
+        };
+        FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(proto),
+            src: side(&self.spec.hosts[src], sport),
+            dst: side(&self.spec.hosts[dst], dport),
+        }
+    }
+
+    /// The cached deterministic path between two attachment switches.
+    fn path_between(&mut self, from: u64, to: u64) -> Option<Rc<Vec<u64>>> {
+        if let Some(p) = self.path_cache.get(&(from, to)) {
+            return p.clone();
+        }
+        let p = self.spec.adjacency.path(from, to).map(Rc::new);
+        self.path_cache.insert((from, to), p.clone());
+        p
+    }
+
+    /// Walks one concrete packet hop-by-hop: the per-dpid transfer
+    /// functions applied along the path, with table misses punting to the
+    /// already-computed policy verdict.
+    fn walk(
+        &mut self,
+        src: usize,
+        dst: usize,
+        proto: u8,
+        sport: u16,
+        dport: u16,
+        punt: PolicyAction,
+    ) -> Fate {
+        let sh = &self.spec.hosts[src];
+        let dh = &self.spec.hosts[dst];
+        let pkt = Packet {
+            src_ip: sh.ip,
+            dst_ip: dh.ip,
+            proto,
+            sport,
+            dport,
+        };
+        let (src_mac, dst_mac, host_port, src_dpid, dst_dpid) =
+            (sh.mac, dh.mac, sh.port, sh.dpid, dh.dpid);
+        let Some(path) = self.path_between(src_dpid, dst_dpid) else {
+            return Fate::Unroutable;
+        };
+        let insts = self.installed.get(&(src_mac, dst_mac));
+        let mut cookies = Vec::new();
+        for (i, &hop) in path.iter().enumerate() {
+            let ingress = if i == 0 {
+                host_port
+            } else {
+                self.spec
+                    .adjacency
+                    .port_towards(hop, path[i - 1])
+                    .expect("path hops are adjacent")
+            };
+            let best = insts
+                .into_iter()
+                .flatten()
+                .filter(|r| r.dpid == hop && r.matches(ingress, &pkt))
+                .min_by_key(|r| (std::cmp::Reverse(r.priority), u8::from(r.allow), r.cookie));
+            match best {
+                Some(r) if r.allow => cookies.push(r.cookie),
+                Some(r) => {
+                    return Fate::DroppedInstalled {
+                        dpid: hop,
+                        cookie: r.cookie,
+                        hop: i + 1,
+                        hops: path.len(),
+                    }
+                }
+                None => {
+                    if punt == PolicyAction::Deny {
+                        return Fate::DroppedPolicy;
+                    }
+                }
+            }
+        }
+        cookies.dedup();
+        Fate::Delivered { path, cookies }
+    }
+
+    /// Evaluates every class of one group pair, replacing its stored
+    /// diagnostics and delivered-edge sample.
+    fn evaluate_pair(&mut self, a: u32, b: u32) {
+        let (src, dst) = self.reps(a, b);
+        let (src_mac, dst_mac) = (self.spec.hosts[src].mac, self.spec.hosts[dst].mac);
+        let (sports, dports) = self.pair_cuts(a, b, src_mac, dst_mac);
+        let src_host = self.spec.hosts[src].hostname.clone();
+        let dst_host = self.spec.hosts[dst].hostname.clone();
+        let mut diags: Vec<Keyed> = Vec::new();
+        let mut sample: Option<DeliveredSample> = None;
+        for proto in PROTOS {
+            for &sport in &sports {
+                for &dport in &dports {
+                    self.stats.classes_evaluated += 1;
+                    let flow = self.flow_view(src, dst, proto, sport, dport);
+                    let decision = self.snapshot.classify(&flow);
+                    let fate = self.walk(src, dst, proto, sport, dport, decision.action);
+                    let cell = (proto, sport, dport);
+                    match (&fate, decision.action) {
+                        (Fate::Delivered { path, cookies }, action) => {
+                            if sample.is_none() {
+                                sample = Some(DeliveredSample {
+                                    policy: decision.policy,
+                                    path: path.clone(),
+                                    flow: flow.clone(),
+                                });
+                            }
+                            if action == PolicyAction::Deny {
+                                let mut rules = vec![decision.policy];
+                                rules.extend(cookies.iter().map(|&c| PolicyId(c)));
+                                diags.push(Keyed {
+                                    key: (
+                                        DiagnosticKind::ReachabilityViolation,
+                                        src_host.clone(),
+                                        dst_host.clone(),
+                                        cell,
+                                        0,
+                                    ),
+                                    diag: Diagnostic {
+                                        severity: Severity::Error,
+                                        kind: DiagnosticKind::ReachabilityViolation,
+                                        rules,
+                                        witness: Some(flow),
+                                        dpids: path.as_ref().clone(),
+                                        message: format!(
+                                            "policy denies {src_host} -> {dst_host} proto {proto} \
+                                             sport {sport} dport {dport} (policy {}), yet \
+                                             installed rules deliver it end-to-end across {} hop(s)",
+                                            decision.policy.0,
+                                            path.len(),
+                                        ),
+                                    },
+                                });
+                            } else if let Some(via) = self.waypoint_of.get(&decision.policy) {
+                                if !path.iter().any(|d| via.contains(d)) {
+                                    let vias: Vec<String> =
+                                        via.iter().map(u64::to_string).collect();
+                                    diags.push(Keyed {
+                                        key: (
+                                            DiagnosticKind::WaypointViolation,
+                                            src_host.clone(),
+                                            dst_host.clone(),
+                                            cell,
+                                            decision.policy.0,
+                                        ),
+                                        diag: Diagnostic {
+                                            severity: Severity::Error,
+                                            kind: DiagnosticKind::WaypointViolation,
+                                            rules: vec![decision.policy],
+                                            witness: Some(flow),
+                                            dpids: path.as_ref().clone(),
+                                            message: format!(
+                                                "{src_host} -> {dst_host} proto {proto} sport \
+                                                 {sport} dport {dport} is decided by policy {} \
+                                                 which requires transit via [{}], but its path \
+                                                 avoids every waypoint",
+                                                decision.policy.0,
+                                                vias.join(","),
+                                            ),
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                        (
+                            Fate::DroppedInstalled {
+                                dpid,
+                                cookie,
+                                hop,
+                                hops,
+                            },
+                            PolicyAction::Allow,
+                        ) => {
+                            diags.push(Keyed {
+                                key: (
+                                    DiagnosticKind::PolicyDataplaneDrift,
+                                    src_host.clone(),
+                                    dst_host.clone(),
+                                    cell,
+                                    *dpid,
+                                ),
+                                diag: Diagnostic {
+                                    severity: Severity::Error,
+                                    kind: DiagnosticKind::PolicyDataplaneDrift,
+                                    rules: vec![decision.policy, PolicyId(*cookie)],
+                                    witness: Some(flow),
+                                    dpids: vec![*dpid],
+                                    message: format!(
+                                        "policy allows {src_host} -> {dst_host} proto {proto} \
+                                         sport {sport} dport {dport} (policy {}), but installed \
+                                         deny cookie {cookie} blackholes it at dpid {dpid} \
+                                         (hop {hop} of {hops})",
+                                        decision.policy.0,
+                                    ),
+                                },
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if diags.is_empty() {
+            self.pair_diags.remove(&(a, b));
+        } else {
+            self.pair_diags.insert((a, b), diags);
+        }
+        match sample {
+            Some(s) => {
+                self.delivered.insert((a, b), s);
+            }
+            None => {
+                self.delivered.remove(&(a, b));
+            }
+        }
+    }
+
+    /// The transitive-isolation findings, derived from the delivered-edge
+    /// digraph: for every quarantined host, every group that can reach it
+    /// — directly or through relays — yields one breach with the chain as
+    /// witness.
+    fn isolation_diags(&self) -> Vec<Keyed> {
+        let mut out = Vec::new();
+        for q in &self.spec.quarantined {
+            let Some(qh) = self.spec.hosts.iter().position(|h| &h.hostname == q) else {
+                continue;
+            };
+            let qg = self.gid_of_host[qh];
+            // Reverse BFS over delivered edges, ascending-gid expansion for
+            // deterministic predecessor chains.
+            let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for &(a, b) in self.delivered.keys() {
+                preds.entry(b).or_default().push(a);
+            }
+            let mut next_hop: BTreeMap<u32, u32> = BTreeMap::new();
+            let mut frontier = vec![qg];
+            while let Some(g) = frontier.pop() {
+                for &p in preds.get(&g).into_iter().flatten() {
+                    if p != qg && !next_hop.contains_key(&p) {
+                        next_hop.insert(p, g);
+                        frontier.push(p);
+                    }
+                }
+                frontier.sort_unstable_by(|x, y| y.cmp(x));
+            }
+            for (&origin, &first) in &next_hop {
+                let mut chain = vec![origin];
+                let mut at = first;
+                while at != qg {
+                    chain.push(at);
+                    at = next_hop[&at];
+                }
+                chain.push(qg);
+                let names: Vec<String> = chain
+                    .iter()
+                    .map(|&g| {
+                        self.spec.hosts[self.groups[g as usize].members[0] as usize]
+                            .hostname
+                            .clone()
+                    })
+                    .collect();
+                let last_edge = &self.delivered[&(chain[chain.len() - 2], qg)];
+                let origin_host = names[0].clone();
+                let message = if chain.len() == 2 {
+                    format!("quarantined host {q} is reachable directly from {origin_host}")
+                } else {
+                    format!(
+                        "quarantined host {q} is reachable from {origin_host} via relay chain {}",
+                        names.join(" -> "),
+                    )
+                };
+                out.push(Keyed {
+                    key: (
+                        DiagnosticKind::IsolationBreach,
+                        origin_host,
+                        q.clone(),
+                        (0, 0, 0),
+                        0,
+                    ),
+                    diag: Diagnostic {
+                        severity: Severity::Error,
+                        kind: DiagnosticKind::IsolationBreach,
+                        rules: vec![last_edge.policy],
+                        witness: Some(last_edge.flow.clone()),
+                        dpids: last_edge.path.as_ref().clone(),
+                        message,
+                    },
+                });
+            }
+        }
+        out
+    }
+
+    /// Diffs the desired finding set (pair diagnostics plus isolation
+    /// findings) against the ledger, assigning stable ids and emitting
+    /// raised/updated/cleared events.
+    fn reconcile_ledger(&mut self) -> Vec<FindingEvent> {
+        let mut desired: BTreeMap<LedgerKey, Diagnostic> = BTreeMap::new();
+        for keyed in self.pair_diags.values().flatten() {
+            desired.insert(keyed.key.clone(), keyed.diag.clone());
+        }
+        for keyed in self.isolation_diags() {
+            desired.insert(keyed.key, keyed.diag);
+        }
+        let mut events = Vec::new();
+        let stale: Vec<LedgerKey> = self
+            .ledger
+            .keys()
+            .filter(|k| !desired.contains_key(*k))
+            .cloned()
+            .collect();
+        for key in stale {
+            let (id, diag) = self.ledger.remove(&key).expect("key just listed");
+            events.push(FindingEvent::Cleared { id, diag });
+        }
+        for (key, diag) in desired {
+            match self.ledger.get_mut(&key) {
+                Some((id, held)) => {
+                    if *held != diag {
+                        *held = diag.clone();
+                        events.push(FindingEvent::Updated { id: *id, diag });
+                    }
+                }
+                None => {
+                    let id = FindingId(self.next_finding);
+                    self.next_finding += 1;
+                    self.ledger.insert(key, (id, diag.clone()));
+                    events.push(FindingEvent::Raised { id, diag });
+                }
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfi_openflow::Match;
+    use dfi_simnet::topo::LinkSpec;
+
+    fn site(name: &str, i: u32, dpid: u64, port: u32) -> HostSite {
+        HostSite {
+            hostname: name.to_string(),
+            users: vec![format!("u-{name}")],
+            ip: Ipv4Addr::new(10, 0, 0, i as u8),
+            mac: MacAddr::from_index(i),
+            dpid,
+            port,
+        }
+    }
+
+    /// Two leaves joined by one spine; h1 on leaf 2, h2 and h3 on leaf 3.
+    fn tiny_spec() -> ReachSpec {
+        let links = [
+            LinkSpec {
+                a_dpid: 1,
+                a_port: 1001,
+                b_dpid: 2,
+                b_port: 10_001,
+            },
+            LinkSpec {
+                a_dpid: 1,
+                a_port: 1002,
+                b_dpid: 3,
+                b_port: 10_001,
+            },
+        ];
+        ReachSpec {
+            hosts: vec![
+                site("h1", 1, 2, 1),
+                site("h2", 2, 3, 1),
+                site("h3", 3, 3, 2),
+            ],
+            adjacency: Adjacency::from_links(&links),
+            quarantined: Vec::new(),
+            waypoints: Vec::new(),
+        }
+    }
+
+    fn canonical_rule(
+        src: &HostSite,
+        dst: &HostSite,
+        in_port: u32,
+        sport: u16,
+        dport: u16,
+        allow: bool,
+        cookie: u64,
+    ) -> TableZeroRule {
+        TableZeroRule {
+            cookie,
+            priority: 400,
+            mat: Match {
+                in_port: Some(in_port),
+                eth_src: Some(src.mac),
+                eth_dst: Some(dst.mac),
+                eth_type: Some(0x0800),
+                ipv4_src: Some(src.ip),
+                ipv4_dst: Some(dst.ip),
+                ip_proto: Some(6),
+                tcp_src: Some(sport),
+                tcp_dst: Some(dport),
+                ..Match::default()
+            },
+            allow,
+        }
+    }
+
+    /// Installs a full-path rule set for `src -> dst` on the tiny fabric.
+    fn full_path_installs(
+        spec: &ReachSpec,
+        src: usize,
+        dst: usize,
+        allow_last: bool,
+        cookie: u64,
+    ) -> Vec<TableZeroSnapshot> {
+        let (s, d) = (&spec.hosts[src], &spec.hosts[dst]);
+        let path = spec.adjacency.path(s.dpid, d.dpid).unwrap();
+        let mut snaps = Vec::new();
+        for (i, &hop) in path.iter().enumerate() {
+            let ingress = if i == 0 {
+                s.port
+            } else {
+                spec.adjacency.port_towards(hop, path[i - 1]).unwrap()
+            };
+            let allow = allow_last || i + 1 < path.len();
+            snaps.push(TableZeroSnapshot {
+                dpid: hop,
+                rules: vec![canonical_rule(s, d, ingress, 40_000, 445, allow, cookie)],
+            });
+        }
+        snaps
+    }
+
+    #[test]
+    fn clean_consistent_state_has_no_findings() {
+        let spec = tiny_spec();
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::host("h1"), EndpointPattern::host("h2")),
+            10,
+            "test",
+        );
+        let snaps = full_path_installs(&spec, 0, 1, true, 1);
+        let (ra, events) = ReachAnalyzer::new(spec, &pm, &snaps);
+        assert_eq!(ra.diagnostics(), Vec::new());
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn denied_but_installed_flow_is_a_reachability_violation() {
+        let spec = tiny_spec();
+        let pm = PolicyManager::new(); // default deny everything
+        let snaps = full_path_installs(&spec, 0, 1, true, 7);
+        let (ra, events) = ReachAnalyzer::new(spec, &pm, &snaps);
+        let diags = ra.diagnostics();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].kind, DiagnosticKind::ReachabilityViolation);
+        assert_eq!(diags[0].dpids, vec![2, 1, 3]);
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn allowed_but_blackholed_flow_is_dataplane_drift() {
+        let spec = tiny_spec();
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::host("h1"), EndpointPattern::host("h2")),
+            10,
+            "test",
+        );
+        // Allows at leaf and spine, deny at the destination leaf.
+        let snaps = full_path_installs(&spec, 0, 1, false, 1);
+        let (ra, _) = ReachAnalyzer::new(spec, &pm, &snaps);
+        let diags = ra.diagnostics();
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].kind, DiagnosticKind::PolicyDataplaneDrift);
+        assert_eq!(diags[0].dpids, vec![3]);
+    }
+
+    #[test]
+    fn relay_chain_to_quarantined_host_is_reported_transitively() {
+        let mut spec = tiny_spec();
+        spec.quarantined.push("h3".to_string());
+        let mut pm = PolicyManager::new();
+        // h1 may talk to h2 (punt-delivered).
+        pm.insert(
+            PolicyRule::allow(EndpointPattern::host("h1"), EndpointPattern::host("h2")),
+            10,
+            "test",
+        );
+        // Installed state leaks h2 -> h3 despite no allowing policy.
+        let snaps = full_path_installs(&spec, 1, 2, true, 9);
+        let (ra, _) = ReachAnalyzer::new(spec, &pm, &snaps);
+        let diags = ra.diagnostics();
+        let kinds: Vec<DiagnosticKind> = diags.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DiagnosticKind::ReachabilityViolation,
+                DiagnosticKind::IsolationBreach,
+                DiagnosticKind::IsolationBreach,
+            ],
+            "{diags:?}"
+        );
+        let relayed = diags
+            .iter()
+            .find(|d| d.message.contains("relay chain"))
+            .expect("h1 relays through h2");
+        assert!(relayed.message.contains("h1 -> h2 -> h3"), "{relayed}");
+    }
+
+    #[test]
+    fn waypoint_assertions_catch_paths_avoiding_transit() {
+        let mut spec = tiny_spec();
+        let mut pm = PolicyManager::new();
+        let (id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::host("h2"), EndpointPattern::host("h3")),
+            10,
+            "test",
+        );
+        // h2 and h3 share leaf 3: the path never transits spine 1.
+        spec.waypoints.push(WaypointAssertion {
+            policy: id,
+            via: vec![1],
+        });
+        let (ra, _) = ReachAnalyzer::new(spec, &pm, &[]);
+        let diags = ra.diagnostics();
+        // One violating class per protocol (TCP and UDP), same path.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags
+            .iter()
+            .all(|d| d.kind == DiagnosticKind::WaypointViolation));
+    }
+
+    #[test]
+    fn incremental_recheck_matches_rebuild_and_clears_findings() {
+        let spec = tiny_spec();
+        let mut pm = PolicyManager::new();
+        pm.enable_delta_journal();
+        let (id, _) = pm.insert(
+            PolicyRule::allow(EndpointPattern::host("h1"), EndpointPattern::host("h2")),
+            10,
+            "test",
+        );
+        let snaps = full_path_installs(&spec, 0, 1, true, id.0);
+        let (mut ra, events) = ReachAnalyzer::new(spec.clone(), &pm, &snaps);
+        assert!(events.is_empty());
+        // Revoking the policy makes the surviving installs a violation.
+        pm.revoke(id);
+        for d in pm.take_deltas() {
+            ra.apply(&d);
+        }
+        let events = ra.recheck(&pm);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].is_active());
+        assert_eq!(events[0].diag().kind, DiagnosticKind::ReachabilityViolation);
+        // The incremental result is byte-equal to a fresh full analysis.
+        let (fresh, _) = ReachAnalyzer::new(spec, &pm, &snaps);
+        assert_eq!(ra.diagnostics(), fresh.diagnostics());
+        // Flushing the stale installs clears the finding.
+        ra.note_flush(None, id.0);
+        let events = ra.recheck(&pm);
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].is_active());
+        assert_eq!(ra.diagnostics(), Vec::new());
+    }
+
+    #[test]
+    fn packet_lookup_answers_from_the_class_partition() {
+        let spec = tiny_spec();
+        let mut pm = PolicyManager::new();
+        pm.insert(
+            PolicyRule::allow(
+                EndpointPattern::host("h1"),
+                EndpointPattern::host_port("h2", 445),
+            ),
+            10,
+            "test",
+        );
+        let (mut ra, _) = ReachAnalyzer::new(spec.clone(), &pm, &[]);
+        let (m1, m2) = (spec.hosts[0].mac, spec.hosts[1].mac);
+        assert_eq!(ra.packet_delivered(m1, m2, 6, 1234, 445), Some(true));
+        assert_eq!(ra.packet_delivered(m1, m2, 6, 1234, 446), Some(false));
+        assert_eq!(ra.packet_delivered(m2, m1, 6, 445, 445), Some(false));
+        assert_eq!(
+            ra.packet_delivered(MacAddr::from_index(99), m1, 6, 1, 1),
+            None
+        );
+    }
+}

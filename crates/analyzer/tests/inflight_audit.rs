@@ -1,0 +1,228 @@
+//! Regression tests for mid-traffic audits racing the install protocol.
+//!
+//! A revocation flush is not instantaneous: the delete-by-cookie flow-mods
+//! sit on the wire (or in the retry loop, under faults) while the Policy
+//! Manager has already forgotten the policy. An audit captured in that
+//! window sees rules whose cookie names no live policy — the textbook
+//! orphan signature — yet nothing is wrong: the protocol guarantees the
+//! rules are about to disappear. These tests pin the contract:
+//!
+//! * [`Analyzer::check_network`] (quiesced-network audit) *does* report
+//!   the transient orphans — it is documented to assume no installs are
+//!   in flight, and the false positive is the observable symptom the
+//!   masking exists to fix.
+//! * [`Analyzer::check_network_live`] consults
+//!   [`Dfi::in_flight_installs`] and masks the unsettled `(dpid, cookie)`
+//!   pairs, so the same capture audits clean.
+//! * Once the barrier acks land (after the fault window closes, in the
+//!   faulted variant), the pending set drains and both audit paths agree
+//!   on clean.
+
+use dfi_analyze::{capture_network, mask_in_flight, Analyzer, DiagnosticKind, InFlight};
+use dfi_core::pdp::BaselinePdp;
+use dfi_core::policy::{PolicyId, DEFAULT_DENY_ID};
+use dfi_core::Dfi;
+use dfi_dataplane::{faulty_sink, Network, SwitchConfig};
+use dfi_packet::headers::build;
+use dfi_packet::MacAddr;
+use dfi_simnet::{FaultPlan, Sim, SimTime};
+use dfi_worm::{Condition, Testbed, TestbedConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// Builds the 14-switch testbed under S-RBAC and drives one real
+/// host→server connection so verdict rules are cached network-wide.
+fn testbed_with_traffic() -> (Sim, Testbed) {
+    let mut sim = Sim::new(11);
+    let tb = Testbed::build(&mut sim, &TestbedConfig::default(), Condition::SRbac);
+    let files = tb.index_of("files").expect("files server exists");
+    let dst_ip = tb.hosts[files].ip();
+    let ok = Rc::new(RefCell::new(None));
+    let seen = ok.clone();
+    tb.hosts[0].connect(&mut sim, dst_ip, 445, move |_, success| {
+        *seen.borrow_mut() = Some(success);
+    });
+    sim.run();
+    assert_eq!(*ok.borrow(), Some(true), "S-RBAC allows host0 -> files");
+    (sim, tb)
+}
+
+/// The cookie caching the host0→files SMB verdict (cached on every switch
+/// thanks to the reactive controller's first-packet flood).
+fn forward_cookie(tb: &Testbed) -> u64 {
+    let src_ip = tb.hosts[0].ip();
+    let mut cookie = None;
+    for snap in capture_network(&tb.net) {
+        for rule in &snap.rules {
+            if rule.mat.ipv4_src == Some(src_ip) && rule.mat.tcp_dst == Some(445) && rule.allow {
+                cookie = Some(rule.cookie);
+            }
+        }
+    }
+    cookie.expect("the allowed flow is cached somewhere")
+}
+
+#[test]
+fn revocation_flush_in_flight_is_masked_not_reported_as_drift() {
+    let (mut sim, tb) = testbed_with_traffic();
+    let cookie = forward_cookie(&tb);
+
+    // Revoke through the proxy. The Policy Manager forgets the rule
+    // synchronously; the delete-by-cookie flow-mods are tracked installs
+    // that have not even been delivered yet (the sim has not run).
+    assert!(tb.dfi.revoke_policy(&mut sim, PolicyId(cookie)));
+    let pending = tb.dfi.in_flight_installs();
+    assert_eq!(
+        pending.len(),
+        tb.switches.len(),
+        "one pending flush per attached switch"
+    );
+    assert!(
+        pending
+            .iter()
+            .all(|&(_, c, is_delete)| c == cookie && is_delete),
+        "every pending install is the revoked cookie's delete: {pending:?}"
+    );
+
+    let az = tb.dfi.with_pm(|pm| Analyzer::from_pm(pm));
+
+    // The quiesced-network audit races the flush and reports the
+    // transient: the capture still shows the revoked cookie's rules.
+    let stale = tb.dfi.with_erm(|erm| az.check_network(&tb.net, erm));
+    let orphans = stale
+        .iter()
+        .filter(|d| d.kind == DiagnosticKind::OrphanCookie)
+        .count();
+    assert!(
+        orphans >= 1,
+        "the unmasked audit must show the transient orphan: {stale:?}"
+    );
+    assert!(
+        stale
+            .iter()
+            .all(|d| d.rules.iter().all(|&r| r == PolicyId(cookie))),
+        "nothing but the in-flight cookie is implicated: {stale:?}"
+    );
+
+    // The live audit masks the unsettled (dpid, cookie) pairs: clean.
+    let live = az.check_network_live(&tb.net, &tb.dfi);
+    assert_eq!(live, vec![], "in-flight flush is a transient, not drift");
+
+    // Same result through the public masking pieces directly.
+    let masked = mask_in_flight(&capture_network(&tb.net), &InFlight::of_dfi(&tb.dfi));
+    let via_parts = tb.dfi.with_erm(|erm| az.check_snapshots(&masked, erm));
+    assert_eq!(via_parts, vec![]);
+
+    // Settle: deletes deliver, barrier acks land, the pending set drains,
+    // and both audit paths agree on clean.
+    sim.run();
+    assert!(tb.dfi.in_flight_installs().is_empty());
+    let az = tb.dfi.with_pm(|pm| Analyzer::from_pm(pm));
+    assert_eq!(
+        tb.dfi.with_erm(|erm| az.check_network(&tb.net, erm)),
+        vec![],
+        "settled network audits clean without masking"
+    );
+    assert_eq!(
+        az.check_network_live(&tb.net, &tb.dfi),
+        vec![],
+        "the live path reduces to the plain audit once nothing is in flight"
+    );
+}
+
+const LAT: Duration = Duration::from_micros(50);
+
+fn syn(sport: u16) -> Vec<u8> {
+    build::tcp_syn(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        std::net::Ipv4Addr::new(10, 0, 1, 1),
+        std::net::Ipv4Addr::new(10, 0, 2, 1),
+        sport,
+        80,
+    )
+}
+
+#[test]
+fn flush_delete_dropped_by_faults_stays_masked_until_the_retry_lands() {
+    // One switch, DFI interposed, and a DFI→switch channel that drops
+    // everything between 100 ms and 110 ms — the window the revocation
+    // flush falls into. The delete enters the tracked-install retry loop;
+    // until a resend survives, the switch keeps serving the revoked rule.
+    let mut sim = Sim::new(41);
+    let mut net = Network::new();
+    let sw = net.add_switch(SwitchConfig::new(0xA));
+    let tx = net.attach_host(&sw, 1, LAT, Rc::new(|_, _| {}));
+    let _rx = net.attach_host(&sw, 2, LAT, Rc::new(|_, _| {}));
+    let dfi = Dfi::with_defaults();
+    let down_plan =
+        FaultPlan::lossy(5, 1.0).with_window(SimTime::from_millis(100), SimTime::from_millis(110));
+    let (to_switch, down) = faulty_sink(down_plan, sw.control_ingress());
+    let conn = dfi.attach_switch_channel(to_switch, sw.dpid());
+    let (to_dfi, _up) = faulty_sink(FaultPlan::none(), dfi.from_switch_sink(conn));
+    sw.connect_control(&mut sim, to_dfi);
+    let mut baseline = BaselinePdp::new();
+    baseline.activate(&mut sim, &dfi);
+    sim.run();
+
+    // Cache the allow verdict on the switch while the channel is healthy.
+    tx.send(&mut sim, syn(50_000));
+    sim.run();
+    let cookie = sw
+        .table0_cookies()
+        .into_iter()
+        .find(|&c| c != DEFAULT_DENY_ID.0)
+        .expect("the allowed flow cached a verdict rule");
+    let az = dfi.with_pm(|pm| Analyzer::from_pm(pm));
+    assert_eq!(
+        dfi.with_erm(|erm| az.check_network(&net, erm)),
+        vec![],
+        "healthy single-switch deployment audits clean"
+    );
+
+    // t=100 ms (inside the drop window): revoke. The flush delete and its
+    // first retries are all swallowed by the fault.
+    let d = dfi.clone();
+    sim.schedule_at(SimTime::from_millis(100), move |sim| {
+        assert!(d.revoke_policy(sim, PolicyId(cookie)));
+    });
+    sim.run_until(SimTime::from_millis(105));
+
+    let pending = dfi.in_flight_installs();
+    assert!(
+        pending
+            .iter()
+            .any(|&(dpid, c, is_delete)| dpid == sw.dpid() && c == cookie && is_delete),
+        "the dropped flush must still be tracked as pending: {pending:?}"
+    );
+    assert!(down.stats().dropped >= 1, "the fault actually fired");
+
+    // Mid-window: the switch still holds the revoked rule. Unmasked audit
+    // reports the orphan; the live audit knows the delete is in flight.
+    let az = dfi.with_pm(|pm| Analyzer::from_pm(pm));
+    let stale = dfi.with_erm(|erm| az.check_network(&net, erm));
+    assert!(
+        stale
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::OrphanCookie && d.rules == vec![PolicyId(cookie)]),
+        "unmasked mid-fault audit shows the transient orphan: {stale:?}"
+    );
+    assert_eq!(
+        az.check_network_live(&net, &dfi),
+        vec![],
+        "the pending delete masks the surviving rule"
+    );
+
+    // Window closes at 110 ms; the doubling-backoff resend lands, the
+    // barrier ack drains the pending set, and the orphan is truly gone.
+    sim.run();
+    assert!(dfi.in_flight_installs().is_empty());
+    assert!(
+        !sw.table0_cookies().contains(&cookie),
+        "the retried delete reclaimed the revoked rule"
+    );
+    let az = dfi.with_pm(|pm| Analyzer::from_pm(pm));
+    assert_eq!(dfi.with_erm(|erm| az.check_network(&net, erm)), vec![]);
+    assert_eq!(az.check_network_live(&net, &dfi), vec![]);
+}

@@ -308,3 +308,185 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Range-cube coverage: CIDR prefixes and dpid ranges (the `Wild::In`
+// extension) must flow through the same exactness machinery as port
+// intervals. Space is kept tiny (8 IPs in 10.0.0.0/29, dpids 1..=4) so
+// every admitted point can be enumerated and the checks stay brute-force.
+// ---------------------------------------------------------------------
+
+prop_compose! {
+    fn arb_range_pattern()(
+        use_cidr in any::<bool>(),
+        off in 0u32..8,
+        plen in (0u8..4).prop_map(|i| [29u8, 30, 31, 32][i as usize]),
+        use_dpid in any::<bool>(),
+        dlo in 1u64..5,
+        dspan in 0u64..3,
+        port in proptest::option::of(1u16..5),
+    ) -> EndpointPattern {
+        EndpointPattern {
+            ip: if use_cidr {
+                Wild::cidr(Ipv4Addr::from(0x0A00_0000 + off), plen)
+            } else {
+                Wild::Any
+            },
+            switch_dpid: if use_dpid {
+                Wild::range(dlo, dlo + dspan)
+            } else {
+                Wild::Any
+            },
+            port: port.map_or(Wild::Any, Wild::Is),
+            ..EndpointPattern::any()
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_range_rule()(
+        allow in any::<bool>(),
+        src in arb_range_pattern(),
+        dst in arb_range_pattern(),
+    ) -> PolicyRule {
+        PolicyRule {
+            action: if allow { PolicyAction::Allow } else { PolicyAction::Deny },
+            flow: FlowProperties::any(),
+            src,
+            dst,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_range_flow()(
+        sip in 0u32..8,
+        dip in 0u32..8,
+        sdp in 1u64..6,
+        ddp in 1u64..6,
+        sport in proptest::option::of(1u16..5),
+        dport in proptest::option::of(1u16..5),
+        tcp in any::<bool>(),
+    ) -> FlowView {
+        let side = |ip: u32, dpid: u64, port: Option<u16>| dfi_core::policy::EndpointView {
+            ip: Some(Ipv4Addr::from(0x0A00_0000 + ip)),
+            switch_dpid: Some(dpid),
+            port,
+            ..dfi_core::policy::EndpointView::default()
+        };
+        FlowView {
+            ethertype: 0x0800,
+            ip_proto: Some(if tcp { 6 } else { 17 }),
+            src: side(sip, sdp, sport),
+            dst: side(dip, ddp, dport),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CIDR and dpid-range cubes arbitrate bit-identically to the
+    /// linear-scan oracle on arbitrary flows inside and around the
+    /// admitted ranges.
+    #[test]
+    fn cidr_and_dpid_cubes_decide_like_query_linear(
+        rules in proptest::collection::vec((arb_range_rule(), 1u32..5), 0..10),
+        flows in proptest::collection::vec(arb_range_flow(), 1..8),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        for flow in &flows {
+            prop_assert_eq!(
+                az.decide(flow),
+                pm.query_linear(flow),
+                "range-cube arbitration diverged from the oracle on {:?}",
+                flow
+            );
+        }
+    }
+
+    /// The first-cell-minimal-flow witness property survives the range
+    /// extension: a live rule's witness is matched by the rule and takes
+    /// the *low endpoint* of every interval-pinned dimension — the
+    /// minimal member of the cube's first cell.
+    #[test]
+    fn cidr_and_dpid_witnesses_are_first_cell_minimal(
+        rules in proptest::collection::vec((arb_range_rule(), 1u32..5), 1..10),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        for sp in az.rules() {
+            let w = az.witness_flow(sp.id).expect("live rule has a witness");
+            prop_assert!(sp.rule.matches(&w), "a rule must match its own witness");
+            prop_assert_eq!(w.src.ip, sp.rule.src.ip.low());
+            prop_assert_eq!(w.dst.ip, sp.rule.dst.ip.low());
+            prop_assert_eq!(w.src.switch_dpid, sp.rule.src.switch_dpid.low());
+            prop_assert_eq!(w.dst.switch_dpid, sp.rule.dst.switch_dpid.low());
+        }
+    }
+
+    /// Shadow exactness holds over CIDR / dpid-range cubes: enumerating
+    /// *every* admitted point of a rule's IP and dpid ranges (the space
+    /// is small enough for true brute force), a reported rule wins none
+    /// of them and an unreported rule wins at least one.
+    #[test]
+    fn shadow_reports_are_exact_with_range_cubes(
+        rules in proptest::collection::vec((arb_range_rule(), 1u32..5), 0..8),
+    ) {
+        let pm = pm_with(&rules);
+        let az = Analyzer::from_pm(&pm);
+        let shadowed: BTreeSet<PolicyId> = az
+            .shadowed_rules()
+            .into_iter()
+            .map(|d| d.rules[0])
+            .collect();
+        let ip_values = |w: &Wild<Ipv4Addr>| -> Vec<Option<Ipv4Addr>> {
+            match w.bounds() {
+                None => vec![None],
+                Some((lo, hi)) => (u32::from(lo)..=u32::from(hi))
+                    .map(|v| Some(Ipv4Addr::from(v)))
+                    .collect(),
+            }
+        };
+        let dpid_values = |w: &Wild<u64>| -> Vec<Option<u64>> {
+            match w.bounds() {
+                None => vec![None],
+                Some((lo, hi)) => (lo..=hi).map(Some).collect(),
+            }
+        };
+        for sp in az.rules() {
+            let base = az.witness_flow(sp.id).expect("live rule has a witness");
+            let mut probes = Vec::new();
+            for sip in ip_values(&sp.rule.src.ip) {
+                for dip in ip_values(&sp.rule.dst.ip) {
+                    for sdp in dpid_values(&sp.rule.src.switch_dpid) {
+                        for ddp in dpid_values(&sp.rule.dst.switch_dpid) {
+                            let mut f = base.clone();
+                            f.src.ip = sip.or(f.src.ip);
+                            f.dst.ip = dip.or(f.dst.ip);
+                            f.src.switch_dpid = sdp.or(f.src.switch_dpid);
+                            f.dst.switch_dpid = ddp.or(f.dst.switch_dpid);
+                            probes.push(f);
+                        }
+                    }
+                }
+            }
+            let wins_any = probes.iter().any(|f| pm.query_linear(f).policy == sp.id);
+            if shadowed.contains(&sp.id) {
+                prop_assert!(
+                    !wins_any,
+                    "rule {:?} was reported shadowed but wins a point of its own ranges",
+                    sp.id
+                );
+            } else {
+                prop_assert!(
+                    wins_any,
+                    "rule {:?} was not reported shadowed yet wins no admitted point — \
+                     a missed shadow",
+                    sp.id
+                );
+            }
+        }
+    }
+}

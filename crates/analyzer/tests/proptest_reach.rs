@@ -1,0 +1,409 @@
+//! Brute-force per-packet oracle for the symbolic reachability engine.
+//!
+//! The engine never looks at individual packets: it partitions each host
+//! pair's header space into cells at the port cuts its rules induce and
+//! evaluates one representative per cell. That is sound only if every
+//! packet of a cell shares its representative's fate — the
+//! class-constancy theorem from the `reach` module docs.
+//!
+//! This test makes the theorem executable. For random small fabrics,
+//! random policies, and random (partial, conflicting, mis-ported)
+//! installed state, it simulates **every** probe packet hop-by-hop with
+//! an independent re-implementation of the forwarding semantics — the
+//! retained `query_linear` oracle for punts, a local arbitration for
+//! installed rules — and requires [`ReachAnalyzer::packet_delivered`]
+//! (which answers from the packet's *class representative*) to agree on
+//! every single packet.
+
+use dfi_analyze::{ReachAnalyzer, ReachSpec, TableZeroRule, TableZeroSnapshot};
+use dfi_core::policy::{
+    EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction, PolicyManager,
+    PolicyRule, Wild, WildName,
+};
+use dfi_openflow::Match;
+use dfi_simnet::topo::{TopoKind, TopoParams, Topology};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+
+/// Covers every interval the generated rules and installs can cut: rule
+/// port bounds live in `1..5`, install pins in `1..5`, and 0 / 5 probe
+/// the open ends.
+const PORT_GRID: [u16; 6] = [0, 1, 2, 3, 4, 5];
+
+/// One endpoint pattern, materialized against the generated hosts.
+#[derive(Clone, Debug)]
+struct PatSpec {
+    /// 0 = any, 1 = hostname pin, 2 = IP pin, 3 = username pin.
+    kind: u8,
+    /// Host index the pin refers to (taken modulo the host count).
+    idx: usize,
+    /// 0 = any port, 1 = exact `plo`, 2 = range `plo..=phi`.
+    port: u8,
+    plo: u16,
+    phi: u16,
+}
+
+#[derive(Clone, Debug)]
+struct RuleSpec {
+    allow: bool,
+    tcp_only: bool,
+    rank: u32,
+    src: PatSpec,
+    dst: PatSpec,
+}
+
+/// One installed rule set: the canonical exact-match rules a PCP would
+/// compile for `src -> dst`, placed on the first `prefix` hops of the
+/// BFS path (so partial paths, blackholes, and full deliveries all
+/// occur), with the last placed hop allowing or denying.
+#[derive(Clone, Debug)]
+struct InstSpec {
+    src: usize,
+    dst: usize,
+    sport: u16,
+    dport: u16,
+    prefix: usize,
+    last_allow: bool,
+    /// Install against a bogus ingress port, so the rules never match.
+    bad_ingress: bool,
+    cookie: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Case {
+    spines: u32,
+    leaves: u32,
+    hosts: u32,
+    seed: u64,
+    rules: Vec<RuleSpec>,
+    installs: Vec<InstSpec>,
+}
+
+fn arb_pat() -> impl Strategy<Value = PatSpec> {
+    (0u8..4, 0usize..8, 0u8..3, 1u16..5, 1u16..5).prop_map(|(kind, idx, port, plo, phi)| PatSpec {
+        kind,
+        idx,
+        port,
+        plo,
+        phi,
+    })
+}
+
+fn arb_rule() -> impl Strategy<Value = RuleSpec> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        (0u8..3).prop_map(|r| [10u32, 20, 30][r as usize]),
+        arb_pat(),
+        arb_pat(),
+    )
+        .prop_map(|(allow, tcp_only, rank, src, dst)| RuleSpec {
+            allow,
+            tcp_only,
+            rank,
+            src,
+            dst,
+        })
+}
+
+fn arb_inst() -> impl Strategy<Value = InstSpec> {
+    (
+        0usize..8,
+        0usize..8,
+        1u16..5,
+        1u16..5,
+        1usize..4,
+        any::<bool>(),
+        (0u8..5).prop_map(|v| v == 0),
+        1u64..100,
+    )
+        .prop_map(
+            |(src, dst, sport, dport, prefix, last_allow, bad_ingress, cookie)| InstSpec {
+                src,
+                dst,
+                sport,
+                dport,
+                prefix,
+                last_allow,
+                bad_ingress,
+                cookie,
+            },
+        )
+}
+
+prop_compose! {
+    fn arb_case()(
+        spines in 1u32..3,
+        leaves in 2u32..5,
+        hosts in 4u32..7,
+        seed in any::<u64>(),
+        rules in proptest::collection::vec(arb_rule(), 0..6),
+        installs in proptest::collection::vec(arb_inst(), 0..8),
+    ) -> Case {
+        Case { spines, leaves, hosts, seed, rules, installs }
+    }
+}
+
+fn materialize_pattern(p: &PatSpec, spec: &ReachSpec) -> EndpointPattern {
+    let h = &spec.hosts[p.idx % spec.hosts.len()];
+    let mut pat = match p.kind {
+        1 => EndpointPattern::host(&h.hostname),
+        2 => EndpointPattern {
+            ip: Wild::Is(h.ip),
+            ..EndpointPattern::any()
+        },
+        3 => EndpointPattern {
+            username: WildName::Is(h.users[0].clone()),
+            ..EndpointPattern::any()
+        },
+        _ => EndpointPattern::any(),
+    };
+    pat.port = match p.port {
+        1 => Wild::Is(p.plo),
+        2 => Wild::range(p.plo.min(p.phi), p.plo.max(p.phi)),
+        _ => Wild::Any,
+    };
+    pat
+}
+
+/// Places an install spec's rules along the path prefix, mirroring the
+/// canonical shape the PCP compiles.
+fn place_installs(spec: &ReachSpec, snaps: &mut [TableZeroSnapshot], inst: &InstSpec) {
+    let n = spec.hosts.len();
+    let (s, d) = (&spec.hosts[inst.src % n], &spec.hosts[inst.dst % n]);
+    if s.mac == d.mac {
+        return;
+    }
+    let path = spec
+        .adjacency
+        .path(s.dpid, d.dpid)
+        .expect("leaf-spine fabric is connected");
+    let hops = inst.prefix.min(path.len());
+    for (i, &hop) in path.iter().take(hops).enumerate() {
+        let ingress = if inst.bad_ingress {
+            77
+        } else if i == 0 {
+            s.port
+        } else {
+            spec.adjacency
+                .port_towards(hop, path[i - 1])
+                .expect("path hops are adjacent")
+        };
+        snaps[hop as usize - 1].rules.push(TableZeroRule {
+            cookie: inst.cookie,
+            priority: 400,
+            mat: Match {
+                in_port: Some(ingress),
+                eth_src: Some(s.mac),
+                eth_dst: Some(d.mac),
+                eth_type: Some(0x0800),
+                ip_proto: Some(6),
+                ipv4_src: Some(s.ip),
+                ipv4_dst: Some(d.ip),
+                tcp_src: Some(inst.sport),
+                tcp_dst: Some(inst.dport),
+                ..Match::default()
+            },
+            allow: inst.last_allow || i + 1 < hops,
+        });
+    }
+}
+
+/// The enriched flow the live proxy would hand the policy layer — field
+/// for field what the engine's own `flow_view` builds.
+fn probe_flow(spec: &ReachSpec, src: usize, dst: usize, proto: u8, sp: u16, dp: u16) -> FlowView {
+    let side = |i: usize, port: u16| {
+        let h = &spec.hosts[i];
+        EndpointView {
+            usernames: h.users.clone(),
+            hostnames: vec![h.hostname.clone()],
+            ip: Some(h.ip),
+            port: Some(port),
+            mac: Some(h.mac),
+            switch_port: Some(h.port),
+            switch_dpid: Some(h.dpid),
+        }
+    };
+    FlowView {
+        ethertype: 0x0800,
+        ip_proto: Some(proto),
+        src: side(src, sp),
+        dst: side(dst, dp),
+    }
+}
+
+/// Whether an installed rule matches one concrete packet, under the same
+/// canonicality gate the engine applies: MAC pins and ingress port are
+/// mandatory, the IP/L4 fields wildcard when absent.
+#[allow(clippy::too_many_arguments)]
+fn rule_matches(
+    r: &TableZeroRule,
+    spec: &ReachSpec,
+    src: usize,
+    dst: usize,
+    ingress: u32,
+    proto: u8,
+    sp: u16,
+    dp: u16,
+) -> bool {
+    let (s, d) = (&spec.hosts[src], &spec.hosts[dst]);
+    let m = &r.mat;
+    m.eth_type == Some(0x0800)
+        && m.in_port == Some(ingress)
+        && m.eth_src == Some(s.mac)
+        && m.eth_dst == Some(d.mac)
+        && m.ipv4_src.is_none_or(|ip| ip == s.ip)
+        && m.ipv4_dst.is_none_or(|ip| ip == d.ip)
+        && m.ip_proto.is_none_or(|p| p == proto)
+        && m.tcp_src.is_none_or(|p| p == sp)
+        && m.tcp_dst.is_none_or(|p| p == dp)
+}
+
+/// The independent per-packet simulation: walk the BFS path hop by hop,
+/// arbitrating installed rules exactly like a switch (highest priority,
+/// deny beats allow, lowest cookie) and punting table misses to the
+/// linear-scan policy oracle. Returns whether the packet is delivered.
+#[allow(clippy::too_many_arguments)]
+fn oracle_delivered(
+    spec: &ReachSpec,
+    pm: &PolicyManager,
+    snaps: &[TableZeroSnapshot],
+    src: usize,
+    dst: usize,
+    proto: u8,
+    sp: u16,
+    dp: u16,
+) -> bool {
+    let (s, d) = (&spec.hosts[src], &spec.hosts[dst]);
+    let Some(path) = spec.adjacency.path(s.dpid, d.dpid) else {
+        return false;
+    };
+    let policy_allows = pm
+        .query_linear(&probe_flow(spec, src, dst, proto, sp, dp))
+        .action
+        == PolicyAction::Allow;
+    for (i, &hop) in path.iter().enumerate() {
+        let ingress = if i == 0 {
+            s.port
+        } else {
+            spec.adjacency
+                .port_towards(hop, path[i - 1])
+                .expect("path hops are adjacent")
+        };
+        let snap = snaps.iter().find(|x| x.dpid == hop).expect("dense dpids");
+        let best = snap
+            .rules
+            .iter()
+            .filter(|r| rule_matches(r, spec, src, dst, ingress, proto, sp, dp))
+            .min_by_key(|r| (Reverse(r.priority), u8::from(r.allow), r.cookie));
+        match best {
+            Some(r) if r.allow => {}
+            Some(_) => return false,
+            None if policy_allows => {}
+            None => return false,
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every probe packet of every host pair: the engine's
+    /// class-representative verdict equals the independent per-packet
+    /// simulation. One disagreement anywhere falsifies class constancy.
+    #[test]
+    fn reach_verdicts_equal_per_packet_oracle(case in arb_case()) {
+        let topo = Topology::generate(
+            &TopoParams {
+                kind: TopoKind::LeafSpine { spines: case.spines, leaves: case.leaves },
+                hosts: case.hosts,
+                users_per_host: 1,
+            },
+            case.seed,
+        );
+        let spec = ReachSpec::of_topology(&topo);
+        let mut pm = PolicyManager::new();
+        for r in &case.rules {
+            let mut rule = if r.allow {
+                PolicyRule::allow(
+                    materialize_pattern(&r.src, &spec),
+                    materialize_pattern(&r.dst, &spec),
+                )
+            } else {
+                PolicyRule::deny(
+                    materialize_pattern(&r.src, &spec),
+                    materialize_pattern(&r.dst, &spec),
+                )
+            };
+            if r.tcp_only {
+                rule.flow = FlowProperties::tcp();
+            }
+            pm.insert(rule, r.rank, "prop-reach");
+        }
+        let mut snaps: Vec<TableZeroSnapshot> = (1..=u64::from(case.spines + case.leaves))
+            .map(|dpid| TableZeroSnapshot { dpid, rules: Vec::new() })
+            .collect();
+        for inst in &case.installs {
+            place_installs(&spec, &mut snaps, inst);
+        }
+
+        let (mut ra, _) = ReachAnalyzer::new(spec.clone(), &pm, &snaps);
+        for src in 0..spec.hosts.len() {
+            for dst in 0..spec.hosts.len() {
+                if src == dst {
+                    continue;
+                }
+                for proto in [6u8, 17] {
+                    for &sp in &PORT_GRID {
+                        for &dp in &PORT_GRID {
+                            let engine = ra
+                                .packet_delivered(
+                                    spec.hosts[src].mac,
+                                    spec.hosts[dst].mac,
+                                    proto,
+                                    sp,
+                                    dp,
+                                )
+                                .expect("both MACs name fabric hosts");
+                            let oracle =
+                                oracle_delivered(&spec, &pm, &snaps, src, dst, proto, sp, dp);
+                            prop_assert_eq!(
+                                engine,
+                                oracle,
+                                "class verdict diverges from per-packet simulation: \
+                                 {} -> {} proto {} sport {} dport {}",
+                                spec.hosts[src].hostname,
+                                spec.hosts[dst].hostname,
+                                proto,
+                                sp,
+                                dp
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unknown MACs are outside the verified universe: the oracle surface
+    /// must say so rather than guess.
+    #[test]
+    fn unknown_macs_are_outside_the_universe(seed in any::<u64>()) {
+        let topo = Topology::generate(
+            &TopoParams {
+                kind: TopoKind::LeafSpine { spines: 2, leaves: 2 },
+                hosts: 4,
+                users_per_host: 1,
+            },
+            seed,
+        );
+        let spec = ReachSpec::of_topology(&topo);
+        let known = spec.hosts[0].mac;
+        let stranger = dfi_packet::MacAddr::from_index(999);
+        let pm = PolicyManager::new();
+        let (mut ra, _) = ReachAnalyzer::new(spec, &pm, &[]);
+        prop_assert_eq!(ra.packet_delivered(stranger, known, 6, 1, 1), None);
+        prop_assert_eq!(ra.packet_delivered(known, stranger, 6, 1, 1), None);
+    }
+}

@@ -897,6 +897,22 @@ impl Dfi {
         inner.conns.len() - 1
     }
 
+    /// The tracked installs currently in flight — sent to a switch but not
+    /// yet barrier-acknowledged — as `(dpid, cookie, is_delete)` triples.
+    /// An auditor capturing Table-0 state mid-traffic must treat these as
+    /// expected transients, not drift: a pending *add* explains a cookie
+    /// the snapshot is missing, a pending *delete* explains one it still
+    /// shows. Order is unspecified.
+    #[must_use]
+    pub fn in_flight_installs(&self) -> Vec<(u64, u64, bool)> {
+        let inner = self.inner.borrow();
+        inner
+            .pending_installs
+            .iter()
+            .map(|(&(conn, _), p)| (inner.conns[conn].dpid, p.cookie, p.is_delete))
+            .collect()
+    }
+
     /// Sets where allowed packet-ins and rewritten switch messages are
     /// forwarded for a connection.
     pub fn set_controller_sink(&self, conn: usize, to_controller: ByteSink) {

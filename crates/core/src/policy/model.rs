@@ -129,6 +129,29 @@ impl<T: PartialOrd + Copy> Wild<T> {
     }
 }
 
+impl Wild<Ipv4Addr> {
+    /// An IP-prefix field: admits exactly the addresses in
+    /// `base/prefix_len` (CIDR notation). `/0` is the wildcard, `/32` pins
+    /// the single address, and anything in between is the inclusive
+    /// interval `[network, broadcast]` — which [`Wild::range`] keeps in
+    /// the canonical `Is`/`In` shape, so the analyzer's interval
+    /// refinement and the minimal-witness construction apply unchanged.
+    ///
+    /// Host bits in `base` are masked off, so `10.0.0.7/24` and
+    /// `10.0.0.0/24` build the same field.
+    #[must_use]
+    pub fn cidr(base: Ipv4Addr, prefix_len: u8) -> Wild<Ipv4Addr> {
+        if prefix_len == 0 {
+            return Wild::Any;
+        }
+        let bits = u32::from(base);
+        let mask = u32::MAX << (32 - u32::from(prefix_len.min(32)));
+        let lo = bits & mask;
+        let hi = lo | !mask;
+        Wild::range(Ipv4Addr::from(lo), Ipv4Addr::from(hi))
+    }
+}
+
 /// String-valued policy field (usernames, hostnames). Separate from
 /// [`Wild`] so matching can be case-insensitive, as Windows identifiers are.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
@@ -332,6 +355,26 @@ impl EndpointPattern {
         EndpointPattern {
             hostname: WildName::is(name),
             port: Wild::range(lo, hi),
+            ..EndpointPattern::any()
+        }
+    }
+
+    /// An endpoint pinned to an IP prefix (CIDR) — e.g. "the guest
+    /// subnet". See [`Wild::cidr`] for the prefix semantics.
+    #[must_use]
+    pub fn ip_cidr(base: Ipv4Addr, prefix_len: u8) -> EndpointPattern {
+        EndpointPattern {
+            ip: Wild::cidr(base, prefix_len),
+            ..EndpointPattern::any()
+        }
+    }
+
+    /// An endpoint pinned to an inclusive datapath-id range — e.g. "any
+    /// host attached to the quarantine leaves".
+    #[must_use]
+    pub fn dpid_range(lo: u64, hi: u64) -> EndpointPattern {
+        EndpointPattern {
+            switch_dpid: Wild::range(lo, hi),
             ..EndpointPattern::any()
         }
     }

@@ -599,6 +599,17 @@ impl PolicySnapshot {
         self.rules.len()
     }
 
+    /// Iterates the compiled rule set as `(id, rule)` pairs, id-ascending.
+    /// This is the raw material for representative-based verifiers: the
+    /// reachability engine in `dfi-analyze` derives per-class
+    /// representative flows from these patterns and replays them through
+    /// [`PolicySnapshot::classify`], so iterating the *same* compiled set
+    /// the classifier consults keeps the two views of the policy in
+    /// lockstep by construction.
+    pub fn rules(&self) -> impl Iterator<Item = (super::PolicyId, &PolicyRule)> {
+        self.rules.iter().map(|r| (r.id, &r.rule))
+    }
+
     /// The flow's candidate cursors, mirroring the manager's
     /// `candidate_cursors` (minus the dedup — see [`Cursors`]).
     fn cursors<'a>(&'a self, flow: &FlowView) -> Cursors<'a> {

@@ -14,6 +14,7 @@
 //! machine-checked in `tests/proptest_topo.rs`.
 
 use crate::rng::SimRng;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::Ipv4Addr;
 
 /// Which fabric to generate.
@@ -320,6 +321,96 @@ impl Topology {
             owned[shard_of(s.dpid, n_shards)].push(s.dpid);
         }
         owned
+    }
+
+    /// The inter-switch adjacency of this fabric, for graph consumers
+    /// (path computation, reachability analysis).
+    #[must_use]
+    pub fn adjacency(&self) -> Adjacency {
+        Adjacency::from_links(&self.links)
+    }
+}
+
+/// The inter-switch graph of a fabric as an adjacency index: which dpids
+/// neighbor which, and through which local port. Pure data like
+/// [`Topology`] itself, so analyzers can reason about paths without
+/// materializing switches.
+#[derive(Clone, Debug, Default)]
+pub struct Adjacency {
+    /// dpid → (neighbor dpid → local egress port towards that neighbor),
+    /// both levels ordered so iteration — and therefore path tie-breaking
+    /// — is deterministic.
+    edges: BTreeMap<u64, BTreeMap<u64, u32>>,
+}
+
+impl Adjacency {
+    /// Builds the index from link specs. Both directions of every link are
+    /// indexed; duplicate links keep the first port seen.
+    #[must_use]
+    pub fn from_links(links: &[LinkSpec]) -> Adjacency {
+        let mut edges: BTreeMap<u64, BTreeMap<u64, u32>> = BTreeMap::new();
+        for l in links {
+            edges
+                .entry(l.a_dpid)
+                .or_default()
+                .entry(l.b_dpid)
+                .or_insert(l.a_port);
+            edges
+                .entry(l.b_dpid)
+                .or_default()
+                .entry(l.a_dpid)
+                .or_insert(l.b_port);
+        }
+        Adjacency { edges }
+    }
+
+    /// The neighbors of `dpid`, ascending.
+    pub fn neighbors(&self, dpid: u64) -> impl Iterator<Item = u64> + '_ {
+        self.edges
+            .get(&dpid)
+            .into_iter()
+            .flat_map(|m| m.keys().copied())
+    }
+
+    /// The local port on `from` that faces the directly linked `to`, or
+    /// `None` if they are not adjacent.
+    #[must_use]
+    pub fn port_towards(&self, from: u64, to: u64) -> Option<u32> {
+        self.edges.get(&from).and_then(|m| m.get(&to)).copied()
+    }
+
+    /// The shortest dpid path from `src` to `dst` inclusive, or `None`
+    /// when unreachable. Deterministic: BFS expanding neighbors in
+    /// ascending-dpid order, with the first-discovered predecessor kept —
+    /// so every consumer that walks "the" path of a flow (the reachability
+    /// engine, its brute-force oracle, corpus generators planting defects
+    /// on a path) agrees on which equal-length path that is.
+    #[must_use]
+    pub fn path(&self, src: u64, dst: u64) -> Option<Vec<u64>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut queue = VecDeque::from([src]);
+        while let Some(d) = queue.pop_front() {
+            for n in self.neighbors(d) {
+                if n != src && !prev.contains_key(&n) {
+                    prev.insert(n, d);
+                    if n == dst {
+                        let mut path = vec![dst];
+                        let mut at = dst;
+                        while at != src {
+                            at = prev[&at];
+                            path.push(at);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(n);
+                }
+            }
+        }
+        None
     }
 }
 

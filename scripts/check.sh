@@ -26,6 +26,13 @@
 #                             query_linear) and the dfi-decidegate >=10x
 #                             speedup / zero-alloc gate on the compiled
 #                             classifier (writes BENCH_decide.json)
+#   scripts/check.sh --reach  reachability tier only: the brute-force
+#                             per-packet oracle proptest (reach verdicts ==
+#                             simulating every representative packet), the
+#                             seeded reach-corpus exact ground-truth gate, the
+#                             clean-fabric gate, and the 1000-switch
+#                             leaf-spine incremental-vs-full recheck with a
+#                             >=100x speedup gate (writes BENCH_reach.json)
 #   scripts/check.sh --scale  fleet-scale tier only: the sharded-vs-unsharded
 #                             differential oracle and topology proptests,
 #                             then the dfi-scalegate 1000-switch / ~1M-binding
@@ -41,12 +48,14 @@ ANALYZE_ONLY=0
 WIRE_ONLY=0
 DECIDE_ONLY=0
 SCALE_ONLY=0
+REACH_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
   --wire) WIRE_ONLY=1 ;;
   --decide) DECIDE_ONLY=1 ;;
   --scale) SCALE_ONLY=1 ;;
+  --reach) REACH_ONLY=1 ;;
 esac
 
 run_wire() {
@@ -93,6 +102,26 @@ run_scale() {
 
 if [[ "$SCALE_ONLY" == 1 ]]; then
   run_scale
+  echo "All checks passed."
+  exit 0
+fi
+
+run_reach() {
+  echo "== reach vs brute-force per-packet oracle (proptest) =="
+  cargo test -q -p dfi-analyze --test proptest_reach
+  echo "== dfi-analyze: seeded reach corpus (exact ground-truth gate) =="
+  cargo build -q --release -p dfi-analyze
+  ./target/release/dfi-analyze reach --spines 2 --leaves 8 --hosts 150 --flows 70 \
+    --seed 7 --defects --expect-seeded
+  echo "== dfi-analyze: clean fabric proves clean =="
+  ./target/release/dfi-analyze reach --spines 2 --leaves 8 --hosts 150 --flows 70 --seed 7
+  echo "== dfi-analyze: 1000-switch incremental recheck, equivalence then >=100x gate =="
+  ./target/release/dfi-analyze reach --spines 40 --leaves 960 --hosts 600 --flows 250 \
+    --seed 7 --bench 40 --gate 100 --json | tee BENCH_reach.json
+}
+
+if [[ "$REACH_ONLY" == 1 ]]; then
+  run_reach
   echo "All checks passed."
   exit 0
 fi
@@ -155,6 +184,8 @@ if [[ "$FAST" == 0 ]]; then
   run_decide
 
   run_scale
+
+  run_reach
 
   echo "== cargo bench --no-run =="
   cargo bench -q --workspace --no-run
