@@ -79,6 +79,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Calibration constants for the DFI control plane.
@@ -1779,7 +1780,7 @@ impl Dfi {
     /// The currently published policy snapshot — the exact immutable view
     /// the flow-setup hot path reads.
     #[must_use]
-    pub fn snapshot(&self) -> Rc<PolicySnapshot> {
+    pub fn snapshot(&self) -> Arc<PolicySnapshot> {
         self.inner.borrow().store.load()
     }
 
@@ -1895,12 +1896,12 @@ impl Dfi {
 
     /// Publishes an already-compiled shared snapshot into this DFI's
     /// store. The sharded front-end compiles once per certified mutation
-    /// and fans the same `Rc` to every shard, so the per-shard cost is a
+    /// and fans the same `Arc` to every shard, so the per-shard cost is a
     /// pointer swap. `recovery` additionally bulk-expires decision-cache
     /// entries older than the snapshot's epoch — the front-end sets it on
     /// the first certified publication after a deferred one, mirroring the
     /// unsharded recovery path.
-    pub(crate) fn install_shared_snapshot(&self, snap: Rc<PolicySnapshot>, recovery: bool) {
+    pub(crate) fn install_shared_snapshot(&self, snap: Arc<PolicySnapshot>, recovery: bool) {
         let mut inner = self.inner.borrow_mut();
         inner.metrics.snapshots_published += 1;
         let epoch = snap.epoch();
@@ -1934,7 +1935,7 @@ impl Dfi {
     /// The retained retired snapshots, oldest first (empty unless
     /// [`Dfi::set_snapshot_retention`] enabled a window).
     #[must_use]
-    pub fn snapshot_history(&self) -> Vec<Rc<PolicySnapshot>> {
+    pub fn snapshot_history(&self) -> Vec<Arc<PolicySnapshot>> {
         self.inner.borrow().store.retained()
     }
 }

@@ -49,6 +49,7 @@
 mod dfi;
 pub mod erm;
 pub mod events;
+pub mod par;
 pub mod pdp;
 pub mod policy;
 pub mod rewrite;
@@ -56,6 +57,10 @@ pub mod shard;
 
 pub use dfi::{
     binding_op_of_event, BindingBatch, BindingOp, BufPool, Dfi, DfiConfig, DfiMetrics, SnapshotGate,
+};
+pub use par::{
+    CookieSets, DrainReport, FleetReport, HostDeliveries, ObserveFn, Outbox, ParSnapshotGate,
+    ParallelShardedDfi, RelayFrame, WorkerWorld, WorldBuilder,
 };
 pub use shard::{ShardFanoutMetrics, ShardSnapshotGate, ShardedDfi};
 // Exported for the criterion bench harness; not part of the stable API.

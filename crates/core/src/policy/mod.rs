@@ -14,4 +14,4 @@ pub use model::{
     WildName,
 };
 pub use roles::RbacRoles;
-pub use snapshot::{PolicySnapshot, SnapshotStore, INLINE_CURSORS};
+pub use snapshot::{PolicySnapshot, SharedSnapshotStore, SnapshotStore, INLINE_CURSORS};

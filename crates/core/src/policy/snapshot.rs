@@ -53,14 +53,20 @@
 //!
 //! # Concurrency model
 //!
-//! The simulator is single-threaded, so "atomic pointer swap" is an
-//! `Rc` swapped under a `RefCell` ([`SnapshotStore`]); readers clone the
-//! `Rc` and keep classifying against their frozen snapshot while a newer
-//! one publishes. A threaded port would replace the store with
-//! `arc_swap::ArcSwap<PolicySnapshot>` (or an RCU cell) without touching
-//! any call site: `load` and `publish` are already the whole interface.
-//! The workspace-level `unsafe_code = "forbid"` keeps a hand-rolled
-//! `AtomicPtr` out of the library crates by design.
+//! A compiled [`PolicySnapshot`] is plain immutable data (`Vec`s,
+//! `String`s, integers) and therefore `Send + Sync`; it crosses thread
+//! boundaries behind an `Arc` (statically asserted below). Each worker's
+//! [`SnapshotStore`] swaps that `Arc` under a `RefCell` — the store itself
+//! stays thread-*local* (one per `Dfi`, owned by its worker), only the
+//! snapshot inside it is shared. The cross-thread hand-off cell is
+//! [`SharedSnapshotStore`]: the front-end publishes there once per epoch
+//! and workers pick the `Arc` up with an epoch-checked load — one relaxed
+//! atomic read on the fast path, the mutex taken only when the epoch
+//! actually moved. The workspace-level `unsafe_code = "forbid"` keeps a
+//! hand-rolled `AtomicPtr` out of the library crates by design; the
+//! epoch-gated mutex gives the same "readers never block each other on
+//! the decide path" property without it, because workers cache the
+//! loaded `Arc` and touch the mutex at most once per published epoch.
 
 use crate::policy::manager::{Decision, PolicyManager, DEFAULT_DENY_ID};
 use crate::policy::model::{
@@ -70,7 +76,8 @@ use std::cell::{Cell, RefCell};
 use std::cmp::{Ordering, Reverse};
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as MemOrder};
+use std::sync::{Arc, Mutex};
 
 /// Cursor slots kept inline (stack) during a classification. A flow
 /// contributes one cursor per bound username/hostname plus one per packet
@@ -779,21 +786,23 @@ impl PolicySnapshot {
 }
 
 /// The published-snapshot cell: the control plane [`SnapshotStore::publish`]es,
-/// the hot path [`SnapshotStore::load`]s. Single-threaded stand-in for an
-/// `ArcSwap` (see module docs); `load` is a reference-count bump, so a
-/// reader holds its snapshot alive across a concurrent publish.
+/// the hot path [`SnapshotStore::load`]s. Thread-local (one per `Dfi`,
+/// owned by its worker — see module docs); `load` is a reference-count
+/// bump, so a reader holds its snapshot alive across a concurrent
+/// publish. The snapshot itself travels as an [`Arc`], so the same
+/// compilation can sit in many workers' stores at once.
 ///
 /// A store may additionally **retain** the last N certified snapshots it
 /// retired ([`SnapshotStore::set_retention`]). Retention serves two
 /// purposes in the sharded proxy: it gives operators a rollback window of
 /// known-certified versions, and — because every shard's store retires the
-/// *same* `Rc` the front-end fanned out — it lets the fanout tests prove
+/// *same* `Arc` the front-end fanned out — it lets the fanout tests prove
 /// with pointer identity that all shards served one compilation per epoch.
 #[derive(Debug)]
 pub struct SnapshotStore {
-    current: RefCell<Rc<PolicySnapshot>>,
+    current: RefCell<Arc<PolicySnapshot>>,
     retain: Cell<usize>,
-    retired: RefCell<VecDeque<Rc<PolicySnapshot>>>,
+    retired: RefCell<VecDeque<Arc<PolicySnapshot>>>,
 }
 
 impl Default for SnapshotStore {
@@ -807,7 +816,7 @@ impl SnapshotStore {
     #[must_use]
     pub fn new(snapshot: PolicySnapshot) -> Self {
         SnapshotStore {
-            current: RefCell::new(Rc::new(snapshot)),
+            current: RefCell::new(Arc::new(snapshot)),
             retain: Cell::new(0),
             retired: RefCell::new(VecDeque::new()),
         }
@@ -826,26 +835,26 @@ impl SnapshotStore {
 
     /// The current snapshot (cheap: one refcount bump, no copy).
     #[must_use]
-    pub fn load(&self) -> Rc<PolicySnapshot> {
-        Rc::clone(&self.current.borrow())
+    pub fn load(&self) -> Arc<PolicySnapshot> {
+        Arc::clone(&self.current.borrow())
     }
 
     /// Atomically replaces the served snapshot; in-flight readers keep
-    /// the version they loaded ("retire" is just the old `Rc` dropping to
+    /// the version they loaded ("retire" is just the old `Arc` dropping to
     /// zero, unless retention keeps it). Returns the retired snapshot.
-    pub fn publish(&self, snapshot: PolicySnapshot) -> Rc<PolicySnapshot> {
-        self.publish_shared(Rc::new(snapshot))
+    pub fn publish(&self, snapshot: PolicySnapshot) -> Arc<PolicySnapshot> {
+        self.publish_shared(Arc::new(snapshot))
     }
 
     /// [`SnapshotStore::publish`] for an already-shared snapshot. The
-    /// sharded front-end compiles **once** and publishes the same `Rc`
+    /// sharded front-end compiles **once** and publishes the same `Arc`
     /// into every shard's store, so fanout cost is per-shard pointer
     /// swaps, not per-shard compilations.
-    pub fn publish_shared(&self, snapshot: Rc<PolicySnapshot>) -> Rc<PolicySnapshot> {
+    pub fn publish_shared(&self, snapshot: Arc<PolicySnapshot>) -> Arc<PolicySnapshot> {
         let old = self.current.replace(snapshot);
         if self.retain.get() > 0 {
             let mut retired = self.retired.borrow_mut();
-            retired.push_back(Rc::clone(&old));
+            retired.push_back(Arc::clone(&old));
             while retired.len() > self.retain.get() {
                 retired.pop_front();
             }
@@ -857,8 +866,88 @@ impl SnapshotStore {
     /// [`SnapshotStore::load`] this is the store's full certified version
     /// window.
     #[must_use]
-    pub fn retained(&self) -> Vec<Rc<PolicySnapshot>> {
-        self.retired.borrow().iter().map(Rc::clone).collect()
+    pub fn retained(&self) -> Vec<Arc<PolicySnapshot>> {
+        self.retired.borrow().iter().map(Arc::clone).collect()
+    }
+}
+
+/// A compiled snapshot must be able to cross worker-thread boundaries;
+/// this fails to compile the moment anyone threads an `Rc`/`Cell` into it.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PolicySnapshot>();
+    assert_send_sync::<SharedSnapshotStore>();
+};
+
+/// The cross-thread publication cell for the parallel sharded proxy: the
+/// front-end [`SharedSnapshotStore::publish`]es one certified compile per
+/// epoch, every worker [`SharedSnapshotStore::load_if_newer`]s it into its
+/// own thread-local [`SnapshotStore`].
+///
+/// `unsafe_code = "forbid"` rules out `AtomicPtr`/`arc_swap`, so the cell
+/// is an epoch counter plus a mutex-held `Arc` — but the mutex is *not* on
+/// the decide path. Workers pass the epoch they already serve; the fast
+/// path is a single relaxed atomic load that says "nothing new", and the
+/// lock is taken only on the epoch transitions the front-end's barrier
+/// serializes anyway (at most once per publish per worker, never
+/// concurrently with another publish).
+#[derive(Debug)]
+pub struct SharedSnapshotStore {
+    /// Epoch of the snapshot in `current`. Written while holding the
+    /// mutex, read without it; `Acquire`/`Release` pairs the counter with
+    /// the `Arc` it advertises.
+    epoch: AtomicU64,
+    current: Mutex<Arc<PolicySnapshot>>,
+}
+
+impl Default for SharedSnapshotStore {
+    fn default() -> Self {
+        SharedSnapshotStore::new(Arc::new(PolicySnapshot::empty()))
+    }
+}
+
+impl SharedSnapshotStore {
+    /// Creates a cell serving `snapshot`.
+    #[must_use]
+    pub fn new(snapshot: Arc<PolicySnapshot>) -> Self {
+        SharedSnapshotStore {
+            epoch: AtomicU64::new(snapshot.epoch()),
+            current: Mutex::new(snapshot),
+        }
+    }
+
+    /// The epoch currently advertised (one relaxed-cost atomic load).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(MemOrder::Acquire)
+    }
+
+    /// Publishes a new epoch's snapshot. Epochs must be monotone — the
+    /// front-end's barrier guarantees no concurrent publish.
+    pub fn publish(&self, snapshot: Arc<PolicySnapshot>) {
+        let epoch = snapshot.epoch();
+        let mut cur = self.current.lock().expect("snapshot cell poisoned");
+        debug_assert!(cur.epoch() <= epoch, "epochs must be monotone");
+        *cur = snapshot;
+        self.epoch.store(epoch, MemOrder::Release);
+    }
+
+    /// Epoch-checked load: returns the advertised snapshot only when its
+    /// epoch differs from `served`, without touching the mutex otherwise.
+    #[must_use]
+    pub fn load_if_newer(&self, served: u64) -> Option<Arc<PolicySnapshot>> {
+        if self.epoch.load(MemOrder::Acquire) == served {
+            return None;
+        }
+        Some(Arc::clone(
+            &self.current.lock().expect("snapshot cell poisoned"),
+        ))
+    }
+
+    /// The advertised snapshot, unconditionally.
+    #[must_use]
+    pub fn load(&self) -> Arc<PolicySnapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot cell poisoned"))
     }
 }
 
@@ -1018,10 +1107,10 @@ mod tests {
         let window: Vec<u64> = store.retained().iter().map(|s| s.epoch()).collect();
         assert_eq!(window, vec![4]);
         // Shared publication retires into the same window.
-        let shared = Rc::new(PolicySnapshot::compile(&pm, 6));
-        let retired = store.publish_shared(Rc::clone(&shared));
+        let shared = Arc::new(PolicySnapshot::compile(&pm, 6));
+        let retired = store.publish_shared(Arc::clone(&shared));
         assert_eq!(retired.epoch(), 5);
-        assert!(Rc::ptr_eq(&store.load(), &shared));
+        assert!(Arc::ptr_eq(&store.load(), &shared));
         let window: Vec<u64> = store.retained().iter().map(|s| s.epoch()).collect();
         assert_eq!(window, vec![5]);
     }

@@ -14,6 +14,7 @@
 
 use dfi_openflow::{
     splice, table, Instruction, Message, MultipartReply, MultipartRequest, OfMessage, Splice,
+    NO_BUFFER,
 };
 
 /// What the proxy should do with a controller→switch message.
@@ -242,6 +243,52 @@ pub fn rewrite_controller_frame_in_place(buf: &mut Vec<u8>, n_tables: u8) -> Con
                 }
                 Upstream::Reject => ControllerFrame::Reject,
             }
+        }
+    }
+}
+
+/// Rewrites a controller→switch packet-out's switch-buffer reference
+/// directly in the wire buffer.
+///
+/// `remap` translates a controller-visible buffer id to the physical one;
+/// `None` marks the reference stale (the proxy re-punted the buffered
+/// packet under its own id and has since flushed it, e.g. across a policy
+/// epoch). Fast path: [`splice::remap_packet_out_buffer`] patches bytes
+/// 8..12 without decoding; non-canonical frames decode, remap the field,
+/// and re-encode into the same buffer. Stale references degrade to
+/// [`NO_BUFFER`] when the frame carries inline data and are
+/// [`ControllerFrame::Reject`] otherwise — releasing an unknown buffer
+/// could replay a packet the current policy epoch never decided.
+///
+/// The bundled simulated controllers always send [`NO_BUFFER`], so on
+/// those paths this is a certified no-op; the entry point exists for
+/// deployments whose proxy virtualizes switch packet buffers.
+pub fn remap_packet_out_frame_in_place(
+    buf: &mut Vec<u8>,
+    remap: impl Fn(u32) -> Option<u32>,
+) -> ControllerFrame {
+    match splice::remap_packet_out_buffer(buf, &remap) {
+        Splice::Unchanged | Splice::Patched => ControllerFrame::Forward { spliced: true },
+        Splice::Reject => ControllerFrame::Reject,
+        // `remap_packet_out_buffer` never suppresses.
+        Splice::Suppress => ControllerFrame::Drop,
+        Splice::Fallback => {
+            let Ok(msg) = OfMessage::decode(buf) else {
+                return ControllerFrame::Drop;
+            };
+            let Message::PacketOut(mut po) = msg.body else {
+                return ControllerFrame::Drop;
+            };
+            if po.buffer_id != NO_BUFFER {
+                po.buffer_id = match remap(po.buffer_id) {
+                    Some(new) => new,
+                    None if !po.data.is_empty() => NO_BUFFER,
+                    None => return ControllerFrame::Reject,
+                };
+            }
+            buf.clear();
+            OfMessage::new(msg.xid, Message::PacketOut(po)).encode_into(buf);
+            ControllerFrame::Forward { spliced: false }
         }
     }
 }

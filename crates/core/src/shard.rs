@@ -19,7 +19,7 @@
 //!   fan the resulting cookie flushes to every shard (cache invalidation
 //!   at the same point as the switch-side flush, exactly like the
 //!   unsharded path), then compile **once** and publish the same
-//!   `Rc<PolicySnapshot>` into every shard's store. The fanout is atomic
+//!   `Arc<PolicySnapshot>` into every shard's store. The fanout is atomic
 //!   with respect to the simulation: it completes within one event, so no
 //!   two shards ever serve different certified epochs to the same flow's
 //!   path ([`ShardedDfi::served_epochs`] lets tests assert agreement).
@@ -63,6 +63,7 @@ use dfi_simnet::topo::shard_of;
 use dfi_simnet::Sim;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Retired certified snapshots each shard's store keeps (the versioned
 /// rollback window).
@@ -364,7 +365,7 @@ impl ShardedDfi {
                 let mut inner = self.inner.borrow_mut();
                 inner.next_epoch += 1;
                 let epoch = inner.next_epoch;
-                let snap = Rc::new(PolicySnapshot::compile(&inner.pm, epoch));
+                let snap = Arc::new(PolicySnapshot::compile(&inner.pm, epoch));
                 let event = DfiEvent::SnapshotPublished {
                     epoch,
                     revision: snap.revision(),
@@ -383,7 +384,7 @@ impl ShardedDfi {
             // after it, every shard serves `snap`'s epoch.
             let recovery = recovered.is_some();
             for shard in self.shards.iter() {
-                shard.install_shared_snapshot(Rc::clone(&snap), recovery);
+                shard.install_shared_snapshot(Arc::clone(&snap), recovery);
             }
             if let Some(ids) = recovered {
                 self.fanout_flushes(sim, &ids);
@@ -423,7 +424,7 @@ impl ShardedDfi {
             if !inner.certifying && stale {
                 inner.next_epoch += 1;
                 let epoch = inner.next_epoch;
-                let snap = Rc::new(PolicySnapshot::compile(&inner.pm, epoch));
+                let snap = Arc::new(PolicySnapshot::compile(&inner.pm, epoch));
                 inner.metrics.snapshot_fanouts += 1;
                 (r, Some(snap))
             } else {
@@ -432,7 +433,7 @@ impl ShardedDfi {
         };
         if let Some(snap) = resync {
             for shard in self.shards.iter() {
-                shard.install_shared_snapshot(Rc::clone(&snap), false);
+                shard.install_shared_snapshot(Arc::clone(&snap), false);
             }
         }
         r
@@ -541,7 +542,7 @@ mod tests {
         let snaps: Vec<_> = sharded.shards().iter().map(Dfi::snapshot).collect();
         for pair in snaps.windows(2) {
             assert!(
-                Rc::ptr_eq(&pair[0], &pair[1]),
+                Arc::ptr_eq(&pair[0], &pair[1]),
                 "one compilation fanned to all shards"
             );
         }

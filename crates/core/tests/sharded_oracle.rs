@@ -3,462 +3,25 @@
 //!
 //! One seeded trace — flows, policy inserts/revokes (each a live snapshot
 //! swap), DHCP moves, session toggles — replays through the unsharded
-//! [`Dfi`] and through [`ShardedDfi`] at 1, 2, 4 and 8 shards, over the
-//! same generated leaf-spine fabric with a reactive learning controller.
-//! After every step (run to quiescence) the decision deltas must be
-//! identical: allowed/denied/spoof counts, per-policy attribution, and
-//! per-host deliveries. At the end, every switch's Table-0 cookie set must
-//! match the oracle's, all shards must agree on the served epoch, and the
-//! trace must have crossed at least 100 live snapshot swaps. Any flow step
-//! whose decisions were all denials must deliver nothing (zero forbidden
-//! deliveries), in both systems.
+//! [`dfi_core::Dfi`] and through [`dfi_core::ShardedDfi`] at 1, 2, 4 and 8
+//! shards, over the same generated leaf-spine fabric with a reactive
+//! learning controller. After every step (run to quiescence) the decision
+//! deltas must be identical: allowed/denied/spoof counts, per-policy
+//! attribution, and per-host deliveries. At the end, every switch's
+//! Table-0 cookie set must match the oracle's, all shards must agree on
+//! the served epoch, and the trace must have crossed at least 100 live
+//! snapshot swaps. Any flow step whose decisions were all denials must
+//! deliver nothing (zero forbidden deliveries), in both systems.
+//!
+//! The trace generator, replay world, and step/delta vocabulary live in
+//! `common/` and are shared with `threaded_oracle.rs`, which replays the
+//! same script through real worker threads.
 //!
 //! Every assertion carries a one-line `(seed, spec)` repro.
 
-use dfi_controller::Controller;
-use dfi_core::events::topic;
-use dfi_core::events::DfiEvent;
-use dfi_core::policy::{EndpointPattern, PolicyId, PolicyRule, Wild};
-use dfi_core::{Dfi, DfiConfig, ShardedDfi};
-use dfi_dataplane::{Network, Switch, Tx};
-use dfi_packet::headers::build;
-use dfi_packet::MacAddr;
-use dfi_simnet::topo::{TopoKind, TopoParams, Topology};
-use dfi_simnet::{Dist, Sim, SimRng};
-use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::net::Ipv4Addr;
-use std::rc::Rc;
-use std::time::Duration;
+mod common;
 
-const LAT: Duration = Duration::from_micros(50);
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Deterministic low-variance calibration so both systems pay identical
-/// per-stage costs.
-fn test_config() -> DfiConfig {
-    DfiConfig {
-        proxy_latency: Dist::constant_ms(0.16),
-        pcp_service: Dist::constant_ms(0.39),
-        binding_query: Dist::constant_ms(2.41),
-        policy_query: Dist::constant_ms(2.52),
-        bus_latency: Dist::constant_ms(0.3),
-        ..DfiConfig::default()
-    }
-}
-
-/// A single-spine leaf-spine fabric: genuinely multi-switch and
-/// multi-path-length, but loop-free so the learning controller's floods
-/// terminate.
-fn fabric(seed: u64) -> Topology {
-    Topology::generate(
-        &TopoParams {
-            kind: TopoKind::LeafSpine {
-                spines: 1,
-                leaves: 8,
-            },
-            hosts: 16,
-            users_per_host: 1,
-        },
-        seed,
-    )
-}
-
-/// One step of the shared trace.
-#[derive(Clone, Debug)]
-enum Step {
-    /// Host `src` sends a TCP SYN to host `dst`.
-    Flow { src: usize, dst: usize, dport: u16 },
-    /// Insert a policy rule (always a snapshot swap).
-    Insert {
-        allow: bool,
-        src_pat: Pat,
-        dst_pat: Pat,
-        priority: u32,
-    },
-    /// Revoke the k-th live inserted rule (mod live count).
-    Revoke { k: usize },
-    /// DHCP + DNS move host to a fresh IP.
-    Move { host: usize },
-    /// Toggle the host's user session (log-off / log-on alternating).
-    Toggle { host: usize },
-}
-
-/// An endpoint pattern choice, resolved against the topology at replay.
-#[derive(Clone, Copy, Debug)]
-enum Pat {
-    Any,
-    User(usize),
-    Host(usize),
-    Ip(usize),
-}
-
-/// Generates the shared trace. Pure function of the seed: both systems
-/// replay the identical list.
-fn trace(seed: u64, steps: usize, n_hosts: usize) -> Vec<Step> {
-    let mut rng = SimRng::new(seed ^ 0x0AC1E);
-    let mut live_inserts = 0usize;
-    (0..steps)
-        .map(|_| {
-            let roll = rng.next_f64();
-            if roll < 0.40 {
-                let src = rng.index(n_hosts);
-                let mut dst = rng.index(n_hosts);
-                if dst == src {
-                    dst = (dst + 1) % n_hosts;
-                }
-                Step::Flow {
-                    src,
-                    dst,
-                    dport: *rng.choose(&[80, 445, 22]).unwrap(),
-                }
-            } else if roll < 0.62 || live_inserts == 0 {
-                live_inserts += 1;
-                let pat = |r: &mut SimRng| match r.index(4) {
-                    0 => Pat::Any,
-                    1 => Pat::User(r.index(n_hosts)),
-                    2 => Pat::Host(r.index(n_hosts)),
-                    _ => Pat::Ip(r.index(n_hosts)),
-                };
-                Step::Insert {
-                    allow: rng.chance(0.7),
-                    src_pat: pat(&mut rng),
-                    dst_pat: pat(&mut rng),
-                    priority: 10 * (1 + rng.range_u64(0, 4) as u32),
-                }
-            } else if roll < 0.77 {
-                live_inserts = live_inserts.saturating_sub(1);
-                Step::Revoke {
-                    k: rng.index(1 << 16),
-                }
-            } else if roll < 0.89 {
-                Step::Move {
-                    host: rng.index(n_hosts),
-                }
-            } else {
-                Step::Toggle {
-                    host: rng.index(n_hosts),
-                }
-            }
-        })
-        .collect()
-}
-
-/// Either system under test, behind one replay interface.
-enum System {
-    Oracle(Dfi),
-    Sharded(ShardedDfi),
-}
-
-impl System {
-    fn publish(&self, sim: &mut Sim, topic: &str, ev: DfiEvent) {
-        match self {
-            System::Oracle(d) => d.bus().publish(sim, topic, ev),
-            System::Sharded(s) => s.bus().publish(sim, topic, ev),
-        }
-    }
-
-    fn insert(&self, sim: &mut Sim, rule: PolicyRule, priority: u32) -> PolicyId {
-        match self {
-            System::Oracle(d) => d.insert_policy(sim, rule, priority, "oracle-trace"),
-            System::Sharded(s) => s.insert_policy(sim, rule, priority, "oracle-trace"),
-        }
-    }
-
-    fn revoke(&self, sim: &mut Sim, id: PolicyId) -> bool {
-        match self {
-            System::Oracle(d) => d.revoke_policy(sim, id),
-            System::Sharded(s) => s.revoke_policy(sim, id),
-        }
-    }
-
-    fn metrics(&self) -> dfi_core::DfiMetrics {
-        match self {
-            System::Oracle(d) => d.metrics(),
-            System::Sharded(s) => s.metrics(),
-        }
-    }
-
-    fn snapshot_swaps(&self) -> u64 {
-        match self {
-            System::Oracle(d) => d.metrics().snapshots_published,
-            System::Sharded(s) => s.fanout_metrics().snapshot_fanouts,
-        }
-    }
-}
-
-/// The decision-visible state after one step, compared across systems.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
-struct StepDelta {
-    allowed: u64,
-    denied: u64,
-    spoof_denied: u64,
-    by_policy: BTreeMap<u64, u64>,
-    deliveries: Vec<u64>,
-}
-
-struct World {
-    sim: Sim,
-    system: System,
-    switches: Vec<Switch>,
-    tx: Vec<Tx>,
-    rx: Vec<Rc<RefCell<u64>>>,
-    /// Replay-tracked current IP per host (moves re-lease).
-    host_ip: Vec<Ipv4Addr>,
-    /// Replay-tracked session state per host (toggles alternate).
-    logged_on: Vec<bool>,
-    /// Fresh-IP counter for moves.
-    next_fresh: u32,
-    /// Live inserted policy ids, in insertion order.
-    inserted: Vec<PolicyId>,
-    /// Metric readings at the last step boundary.
-    last: StepDelta,
-}
-
-fn build_world(seed: u64, shards: Option<usize>) -> World {
-    let topo = fabric(seed);
-    let mut sim = Sim::new(seed);
-    let mut net = Network::new();
-    let switches = net.build_topology(&topo, LAT);
-    let mut tx = Vec::new();
-    let mut rx: Vec<Rc<RefCell<u64>>> = Vec::new();
-    for h in &topo.hosts {
-        let count = Rc::new(RefCell::new(0u64));
-        let c = count.clone();
-        let sw = &switches[h.dpid as usize - 1];
-        tx.push(net.attach_host(
-            sw,
-            h.port,
-            LAT,
-            Rc::new(move |_, _f: &[u8]| *c.borrow_mut() += 1),
-        ));
-        rx.push(count);
-    }
-    let ctrl = Controller::reactive();
-    let system = match shards {
-        None => {
-            let dfi = Dfi::new(test_config());
-            for sw in &switches {
-                let c = ctrl.clone();
-                dfi.interpose(&mut sim, sw, move |sim, sink| c.connect(sim, sink));
-            }
-            System::Oracle(dfi)
-        }
-        Some(n) => {
-            let sharded = ShardedDfi::new(n, &test_config());
-            for sw in &switches {
-                let c = ctrl.clone();
-                sharded.interpose(&mut sim, sw, move |sim, sink| c.connect(sim, sink));
-            }
-            System::Sharded(sharded)
-        }
-    };
-    // Boot: lease + name + session for every host, through the bus like
-    // the real sensors.
-    for h in &topo.hosts {
-        let mac = MacAddr::from_index(h.mac_index);
-        system.publish(
-            &mut sim,
-            topic::LEASES,
-            DfiEvent::Lease {
-                mac,
-                ip: h.ip,
-                hostname: Some(h.hostname.clone()),
-                released: false,
-            },
-        );
-        system.publish(
-            &mut sim,
-            topic::NAMES,
-            DfiEvent::Name {
-                hostname: h.hostname.clone(),
-                ip: h.ip,
-                removed: false,
-            },
-        );
-        system.publish(
-            &mut sim,
-            topic::SESSIONS,
-            DfiEvent::Session {
-                user: h.users[0].clone(),
-                host: h.hostname.clone(),
-                logged_on: true,
-            },
-        );
-    }
-    sim.run();
-    let host_ip = topo.hosts.iter().map(|h| h.ip).collect();
-    let logged_on = vec![true; topo.hosts.len()];
-    World {
-        sim,
-        system,
-        switches,
-        tx,
-        rx,
-        host_ip,
-        logged_on,
-        next_fresh: 0,
-        inserted: Vec::new(),
-        last: StepDelta::default(),
-    }
-}
-
-impl World {
-    /// Applies one step, runs to quiescence, returns the decision delta.
-    fn apply(&mut self, topo: &Topology, step: &Step) -> StepDelta {
-        match step {
-            Step::Flow { src, dst, dport } => {
-                let s = &topo.hosts[*src];
-                let d = &topo.hosts[*dst];
-                let frame = build::tcp_syn(
-                    MacAddr::from_index(s.mac_index),
-                    MacAddr::from_index(d.mac_index),
-                    self.host_ip[*src],
-                    self.host_ip[*dst],
-                    50_000,
-                    *dport,
-                );
-                self.tx[*src].send(&mut self.sim, frame);
-            }
-            Step::Insert {
-                allow,
-                src_pat,
-                dst_pat,
-                priority,
-            } => {
-                let pat = |p: &Pat| match p {
-                    Pat::Any => EndpointPattern::any(),
-                    Pat::User(i) => EndpointPattern::user(&topo.hosts[*i].users[0]),
-                    Pat::Host(i) => EndpointPattern::host(&topo.hosts[*i].hostname),
-                    Pat::Ip(i) => EndpointPattern {
-                        ip: Wild::Is(self.host_ip[*i]),
-                        ..EndpointPattern::any()
-                    },
-                };
-                let rule = if *allow {
-                    PolicyRule::allow(pat(src_pat), pat(dst_pat))
-                } else {
-                    PolicyRule::deny(pat(src_pat), pat(dst_pat))
-                };
-                let id = self.system.insert(&mut self.sim, rule, *priority);
-                self.inserted.push(id);
-            }
-            Step::Revoke { k } => {
-                if !self.inserted.is_empty() {
-                    let id = self.inserted.remove(k % self.inserted.len());
-                    self.system.revoke(&mut self.sim, id);
-                }
-            }
-            Step::Move { host } => {
-                let h = &topo.hosts[*host];
-                let mac = MacAddr::from_index(h.mac_index);
-                let old = self.host_ip[*host];
-                let new = Ipv4Addr::new(
-                    11,
-                    (self.next_fresh >> 16) as u8,
-                    ((self.next_fresh >> 8) & 0xFF) as u8,
-                    (self.next_fresh & 0xFF) as u8,
-                );
-                self.next_fresh += 1;
-                self.host_ip[*host] = new;
-                for ev in [
-                    DfiEvent::Lease {
-                        mac,
-                        ip: old,
-                        hostname: Some(h.hostname.clone()),
-                        released: true,
-                    },
-                    DfiEvent::Lease {
-                        mac,
-                        ip: new,
-                        hostname: Some(h.hostname.clone()),
-                        released: false,
-                    },
-                ] {
-                    self.system.publish(&mut self.sim, topic::LEASES, ev);
-                }
-                for ev in [
-                    DfiEvent::Name {
-                        hostname: h.hostname.clone(),
-                        ip: old,
-                        removed: true,
-                    },
-                    DfiEvent::Name {
-                        hostname: h.hostname.clone(),
-                        ip: new,
-                        removed: false,
-                    },
-                ] {
-                    self.system.publish(&mut self.sim, topic::NAMES, ev);
-                }
-            }
-            Step::Toggle { host } => {
-                let h = &topo.hosts[*host];
-                let on = !self.logged_on[*host];
-                self.logged_on[*host] = on;
-                self.system.publish(
-                    &mut self.sim,
-                    topic::SESSIONS,
-                    DfiEvent::Session {
-                        user: h.users[0].clone(),
-                        host: h.hostname.clone(),
-                        logged_on: on,
-                    },
-                );
-            }
-        }
-        self.sim.run();
-        let m = self.system.metrics();
-        let deliveries: Vec<u64> = self.rx.iter().map(|c| *c.borrow()).collect();
-        let now = StepDelta {
-            allowed: m.allowed,
-            denied: m.denied,
-            spoof_denied: m.spoof_denied,
-            by_policy: m.decisions_by_policy.clone(),
-            deliveries,
-        };
-        let delta = StepDelta {
-            allowed: now.allowed - self.last.allowed,
-            denied: now.denied - self.last.denied,
-            spoof_denied: now.spoof_denied - self.last.spoof_denied,
-            by_policy: now
-                .by_policy
-                .iter()
-                .filter_map(|(id, n)| {
-                    let before = self.last.by_policy.get(id).copied().unwrap_or(0);
-                    (*n > before).then_some((*id, n - before))
-                })
-                .collect(),
-            deliveries: now
-                .deliveries
-                .iter()
-                .zip(self.last.deliveries.iter().chain(std::iter::repeat(&0)))
-                .map(|(a, b)| a - b)
-                .collect(),
-        };
-        self.last = now;
-        delta
-    }
-
-    /// Per-dpid sorted Table-0 cookie sets.
-    fn cookie_sets(&self) -> Vec<(u64, Vec<u64>)> {
-        self.switches
-            .iter()
-            .map(|sw| {
-                let mut c = sw.table0_cookies();
-                c.sort_unstable();
-                c.dedup();
-                (sw.dpid(), c)
-            })
-            .collect()
-    }
-}
+use common::{build_world, env_u64, fabric, trace, Step, StepDelta, System};
 
 #[test]
 fn sharded_matches_unsharded_oracle_across_swaps_and_moves() {

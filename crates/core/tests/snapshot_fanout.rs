@@ -17,6 +17,7 @@ use dfi_core::{DfiConfig, ShardedDfi};
 use dfi_simnet::Sim;
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::Arc;
 
 const SEED: u64 = 0xFA_2019;
 
@@ -152,7 +153,7 @@ fn retention_window_is_identical_across_shards_by_pointer() {
         assert_eq!(h.len(), histories[0].len(), "{}", repro("retention"));
         for (a, b) in histories[0].iter().zip(h.iter()) {
             assert!(
-                Rc::ptr_eq(a, b),
+                Arc::ptr_eq(a, b),
                 "shard {i} retains a different compilation of epoch {}; {}",
                 a.epoch(),
                 repro("retention")

@@ -14,11 +14,12 @@
 //!   one-line `DFI_MUT_SEED=… cargo test` command.
 
 use dfi_core::rewrite::{
-    rewrite_controller_frame_in_place, rewrite_controller_to_switch, rewrite_switch_frame_in_place,
-    rewrite_switch_to_controller, ControllerFrame, SwitchFrame, Upstream,
+    remap_packet_out_frame_in_place, rewrite_controller_frame_in_place,
+    rewrite_controller_to_switch, rewrite_switch_frame_in_place, rewrite_switch_to_controller,
+    ControllerFrame, SwitchFrame, Upstream,
 };
-use dfi_openflow::testgen::{arb_any_message, random_message};
-use dfi_openflow::OfMessage;
+use dfi_openflow::testgen::{arb_any_message, arb_packet_out, random_message};
+use dfi_openflow::{Message, OfMessage, NO_BUFFER};
 use dfi_simnet::SimRng;
 use proptest::prelude::*;
 
@@ -129,6 +130,57 @@ fn arb_n_tables() -> impl Strategy<Value = u8> {
     prop_oneof![2u8..=16, Just(254u8), Just(255u8)]
 }
 
+/// Runs the packet-out buffer remap on a copy of `frame` and checks full
+/// agreement with a decode-based reference applying the same semantics:
+/// `NO_BUFFER` untouched, live ids remapped, stale ids degraded to
+/// `NO_BUFFER` when inline data exists and rejected otherwise.
+fn check_remap_frame(
+    frame: &[u8],
+    remap: impl Fn(u32) -> Option<u32>,
+) -> Result<(), TestCaseError> {
+    let mut buf = frame.to_vec();
+    let verdict = remap_packet_out_frame_in_place(&mut buf, &remap);
+    if verdict == (ControllerFrame::Forward { spliced: true }) {
+        prop_assert_eq!(
+            header_len(frame),
+            Some(frame.len()),
+            "spliced a frame whose length field lies"
+        );
+    }
+    match OfMessage::decode(frame) {
+        Err(_) => {
+            prop_assert_eq!(verdict, ControllerFrame::Drop, "reference drops");
+            prop_assert_eq!(&buf, &frame, "dropped frames must never be patched");
+        }
+        Ok(msg) => match msg.body {
+            Message::PacketOut(mut po) => {
+                let expect_reject = po.buffer_id != NO_BUFFER
+                    && remap(po.buffer_id).is_none()
+                    && po.data.is_empty();
+                if expect_reject {
+                    prop_assert_eq!(verdict, ControllerFrame::Reject, "reference rejects");
+                    prop_assert_eq!(&buf, &frame, "rejected frames must stay untouched");
+                    return Ok(());
+                }
+                if po.buffer_id != NO_BUFFER {
+                    po.buffer_id = remap(po.buffer_id).unwrap_or(NO_BUFFER);
+                }
+                let reference = OfMessage::new(msg.xid, Message::PacketOut(po)).encode();
+                prop_assert!(
+                    matches!(verdict, ControllerFrame::Forward { .. }),
+                    "reference forwards, in-place verdict was {verdict:?}"
+                );
+                prop_assert_eq!(&buf, &reference, "forwarded bytes differ from reference");
+            }
+            _ => {
+                prop_assert_eq!(verdict, ControllerFrame::Drop, "non-packet-out must drop");
+                prop_assert_eq!(&buf, &frame, "dropped frames must never be patched");
+            }
+        },
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(config())]
 
@@ -151,6 +203,26 @@ proptest! {
     ) {
         let frame = OfMessage::new(xid, body).encode();
         check_switch_frame(&frame)?;
+    }
+
+    /// Packet-out buffer-id remaps (clean and mutated frames): the splice
+    /// fast path agrees byte-for-byte with the decode-based reference for
+    /// live, stale, and identity mappings.
+    #[test]
+    fn packet_out_remaps_match_reference(
+        xid in any::<u32>(),
+        po in arb_packet_out(),
+        offset in any::<u32>(),
+        stale in any::<bool>(),
+        flips in proptest::collection::vec((any::<usize>(), 0u8..=255), 0..3),
+    ) {
+        let mut frame = OfMessage::new(xid, dfi_openflow::Message::PacketOut(po)).encode();
+        for (at, bits) in flips {
+            let idx = at % frame.len();
+            frame[idx] ^= bits;
+        }
+        let remap = |id: u32| (!stale).then(|| id.wrapping_add(offset));
+        check_remap_frame(&frame, remap)?;
     }
 
     /// Bit-flipped frames: both directions still agree with the oracle and

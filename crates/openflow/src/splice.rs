@@ -39,7 +39,7 @@ use crate::oxm::{
     F_IP_PROTO, F_TCP_DST, F_TCP_SRC, F_UDP_DST, F_UDP_SRC, F_VLAN_VID, OXM_CLASS_BASIC,
 };
 use crate::stats::{OFPMP_FLOW, OFPMP_PORT_DESC, OFPMP_TABLE};
-use crate::{table, OFP_VERSION};
+use crate::{table, NO_BUFFER, OFP_VERSION};
 
 /// Outcome of an in-place splice attempt. See the module docs for the
 /// contract behind each variant.
@@ -447,6 +447,14 @@ fn multipart_request_up(frame: &mut [u8], n_tables: u8) -> Option<Splice> {
 
 fn packet_out_up(frame: &mut [u8]) -> Option<Splice> {
     let end = frame.len();
+    scan_packet_out(frame, end)?;
+    // Trailing packet data rounds-trip verbatim.
+    Some(Splice::Unchanged)
+}
+
+/// Validates a canonical packet-out body and returns the offset just past
+/// the action list (the start of any trailing packet data).
+fn scan_packet_out(frame: &[u8], end: usize) -> Option<usize> {
     if end < 24 {
         return None;
     }
@@ -459,8 +467,54 @@ fn packet_out_up(frame: &mut [u8]) -> Option<Splice> {
         return None;
     }
     scan_actions(frame, 24, actions_end)?;
-    // Trailing packet data rounds-trip verbatim.
-    Some(Splice::Unchanged)
+    Some(actions_end)
+}
+
+/// Rewrites a packet-out's switch-buffer reference in place through
+/// `remap`, which translates a controller-visible buffer id to the
+/// physical one (or `None` when the reference is stale — e.g. the proxy
+/// re-punted the buffered packet under its own id and has since flushed
+/// it).
+///
+/// Outcomes:
+///
+/// * [`NO_BUFFER`] (the only id the bundled simulated controllers ever
+///   emit) passes through [`Splice::Unchanged`];
+/// * a live remap patches bytes 8..12 in place ([`Splice::Patched`]);
+/// * a stale reference with inline packet data degrades to [`NO_BUFFER`]
+///   (the switch replays the inline copy instead of releasing an
+///   unvetted buffer);
+/// * a stale reference with no inline data is [`Splice::Reject`] — there
+///   is nothing safe to emit, and releasing an unknown buffer could
+///   replay a packet the current policy epoch has never decided.
+///
+/// Same two-phase contract as `shift_up`/`shift_down`: the frame is fully
+/// certified before any byte is written, and non-canonical frames return
+/// [`Splice::Fallback`] untouched for the decode path in `dfi-core`.
+pub fn remap_packet_out_buffer(frame: &mut [u8], remap: impl Fn(u32) -> Option<u32>) -> Splice {
+    if !header_ok(frame) || frame[1] != T_PACKET_OUT {
+        return Splice::Fallback;
+    }
+    let end = frame.len();
+    let Some(actions_end) = scan_packet_out(frame, end) else {
+        return Splice::Fallback;
+    };
+    let buffer_id = u32::from_be_bytes([frame[8], frame[9], frame[10], frame[11]]);
+    if buffer_id == NO_BUFFER {
+        return Splice::Unchanged;
+    }
+    let new = match remap(buffer_id) {
+        Some(new) => new,
+        // Stale reference: fall back to the inline packet data when the
+        // frame carries any, otherwise refuse the release outright.
+        None if actions_end < end => NO_BUFFER,
+        None => return Splice::Reject,
+    };
+    if new == buffer_id {
+        return Splice::Unchanged;
+    }
+    frame[8..12].copy_from_slice(&new.to_be_bytes());
+    Splice::Patched
 }
 
 fn features_reply_down(frame: &mut [u8]) -> Option<Splice> {

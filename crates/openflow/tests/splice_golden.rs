@@ -210,3 +210,92 @@ fn table_stats_reply_with_table_zero_falls_back() {
     let out = down(&input, Splice::Fallback);
     assert_eq!(out, before);
 }
+
+// ---------------------------------------------------------------------------
+// Packet-out buffer-id remaps
+// ---------------------------------------------------------------------------
+
+/// Packet-out from the controller port with one `OUTPUT(3)` action and
+/// optional trailing packet data (0x28 bytes + data).
+fn packet_out(buffer: &str, data: &str) -> String {
+    let body = format!(
+        "{buffer} fffffffd 0010 000000000000 \
+         0000 0010 00000003 ffff 000000000000 {data}"
+    );
+    let len = 8 + hex(&body).len();
+    format!("04 0d {len:04x} 00000051 {body}")
+}
+
+/// Decodes the vector (validity check), runs the buffer-id remap, and
+/// returns the resulting buffer.
+fn remap(frame_hex: &str, f: impl Fn(u32) -> Option<u32>, expect: Splice) -> Vec<u8> {
+    let mut buf = hex(frame_hex);
+    OfMessage::decode(&buf).expect("golden vector must be a valid frame");
+    assert_eq!(splice::remap_packet_out_buffer(&mut buf, f), expect);
+    buf
+}
+
+#[test]
+fn packet_out_live_buffer_patches_in_place() {
+    // Controller-visible buffer 0x2a maps to physical 0x019a: exactly the
+    // four id bytes change, action list and payload byte-identical.
+    let out = remap(
+        &packet_out("0000002a", "deadbeef"),
+        |id| (id == 0x2a).then_some(0x019a),
+        Splice::Patched,
+    );
+    assert_eq!(out, hex(&packet_out("0000019a", "deadbeef")));
+}
+
+#[test]
+fn packet_out_no_buffer_short_circuits_unchanged() {
+    // NO_BUFFER is never presented to the remap; the frame passes through
+    // untouched even when the map would have rewritten it.
+    let input = packet_out("ffffffff", "deadbeef");
+    let before = hex(&input);
+    let out = remap(&input, |_| Some(7), Splice::Unchanged);
+    assert_eq!(out, before);
+}
+
+#[test]
+fn packet_out_identity_remap_stays_unchanged() {
+    let input = packet_out("0000002a", "");
+    let before = hex(&input);
+    let out = remap(&input, Some, Splice::Unchanged);
+    assert_eq!(out, before);
+}
+
+#[test]
+fn packet_out_stale_buffer_with_inline_data_degrades_to_no_buffer() {
+    // The reference is stale but the frame carries the packet inline: the
+    // switch replays the copy instead of releasing an unvetted buffer.
+    let out = remap(
+        &packet_out("0000002a", "deadbeef"),
+        |_| None,
+        Splice::Patched,
+    );
+    assert_eq!(out, hex(&packet_out("ffffffff", "deadbeef")));
+}
+
+#[test]
+fn packet_out_stale_buffer_without_data_rejects_untouched() {
+    let input = packet_out("0000002a", "");
+    let before = hex(&input);
+    let out = remap(&input, |_| None, Splice::Reject);
+    assert_eq!(out, before, "reject must not half-patch");
+}
+
+#[test]
+fn packet_out_nonzero_pad_falls_back_untouched() {
+    // The decoder skips the 6 pad bytes, so this frame decodes — but it is
+    // not canonical, so the splicer must leave it to the decode path.
+    let mut buf = hex(&packet_out("0000002a", "deadbeef"));
+    OfMessage::decode(&buf).expect("pad bytes are ignored by the decoder");
+    buf[18] = 0xaa;
+    let before = buf.clone();
+    assert_eq!(
+        splice::remap_packet_out_buffer(&mut buf, |id| Some(id + 1)),
+        Splice::Fallback
+    );
+    assert_eq!(buf, before, "fallback must leave the buffer to the caller");
+}

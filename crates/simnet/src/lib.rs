@@ -55,7 +55,7 @@ pub mod topo;
 pub use dist::Dist;
 pub use fault::{Delivery, FaultPlan, FaultProcess, FaultStats};
 pub use metrics::{Counter, Summary, TimeSeries};
-pub use rng::SimRng;
+pub use rng::{shard_seed, SimRng};
 pub use sim::{EventId, Sim};
 pub use station::{Station, StationConfig, StationStats, SubmitOutcome};
 pub use time::SimTime;

@@ -6,7 +6,7 @@
 #   scripts/check.sh          full gate: fmt, clippy, workspace tests with a
 #                             per-crate breakdown, deep codec fuzz
 #                             (FUZZ_ITERS, default 50000), the analyze, wire,
-#                             decide, and scale tiers, bench compile
+#                             decide, scale/par, and reach tiers, bench compile
 #   scripts/check.sh --fast   pre-commit tier: fmt, clippy, workspace tests
 #                             with the fuzz suites dialed down to 500 cases
 #   scripts/check.sh --analyze
@@ -40,6 +40,14 @@
 #                             timing, >=2x 8-shard throughput scaling gate
 #                             (SCALE_ITERS trims the offered flows; writes
 #                             BENCH_scale.json)
+#   scripts/check.sh --par    thread-parallel tier only: the threaded
+#                             differential oracle (byte-identical 360-step
+#                             trace across 1/2/4/8 worker threads), the
+#                             threaded revocation race, then the full
+#                             dfi-scalegate run with the --sweep and --wall
+#                             phases — Fig-4 saturation curves plus the
+#                             hardware-aware parallel wall-scaling and
+#                             monotonicity gates (writes BENCH_scale.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,6 +57,7 @@ WIRE_ONLY=0
 DECIDE_ONLY=0
 SCALE_ONLY=0
 REACH_ONLY=0
+PAR_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
@@ -56,6 +65,7 @@ case "${1:-}" in
   --decide) DECIDE_ONLY=1 ;;
   --scale) SCALE_ONLY=1 ;;
   --reach) REACH_ONLY=1 ;;
+  --par) PAR_ONLY=1 ;;
 esac
 
 run_wire() {
@@ -89,11 +99,15 @@ if [[ "$DECIDE_ONLY" == 1 ]]; then
   exit 0
 fi
 
-run_scale() {
+run_scale_tests() {
   echo "== sharded-vs-unsharded differential oracle (100+ live snapshot swaps) =="
   cargo test -q -p dfi-core --test sharded_oracle
   echo "== generated-topology properties (counts, connectivity, shard partition) =="
   cargo test -q -p dfi-simnet --test proptest_topo
+}
+
+run_scale() {
+  run_scale_tests
   echo "== dfi-scalegate: 1000-switch / ~1M-binding fleet, equivalence then >=2x scaling gate =="
   cargo build -q --release -p dfi-wiregate
   SCALE_ITERS="${SCALE_ITERS:-12000}" \
@@ -102,6 +116,27 @@ run_scale() {
 
 if [[ "$SCALE_ONLY" == 1 ]]; then
   run_scale
+  echo "All checks passed."
+  exit 0
+fi
+
+run_par_tests() {
+  echo "== threaded differential oracle (byte-identical trace across 1/2/4/8 workers) =="
+  cargo test -q -p dfi-core --test threaded_oracle
+  echo "== threaded revocation race (fail closed across the thread boundary) =="
+  cargo test -q --test threaded_race
+}
+
+run_par() {
+  run_par_tests
+  echo "== dfi-scalegate --sweep --wall: Fig-4 curves + parallel wall gates =="
+  cargo build -q --release -p dfi-wiregate
+  SCALE_ITERS="${SCALE_ITERS:-12000}" \
+    ./target/release/dfi-scalegate --gate 2 --sweep --wall | tee BENCH_scale.json
+}
+
+if [[ "$PAR_ONLY" == 1 ]]; then
+  run_par
   echo "All checks passed."
   exit 0
 fi
@@ -183,7 +218,11 @@ if [[ "$FAST" == 0 ]]; then
 
   run_decide
 
-  run_scale
+  # run_par's scalegate run is a strict superset of run_scale's (the
+  # cooperative phases always run), so the full gate runs the big binary
+  # once with every phase enabled.
+  run_scale_tests
+  run_par
 
   run_reach
 
