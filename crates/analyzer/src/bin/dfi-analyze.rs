@@ -51,7 +51,7 @@ use dfi_dataplane::{dfi_allow_rule, Switch, SwitchConfig};
 use dfi_openflow::Match;
 use dfi_packet::MacAddr;
 use dfi_simnet::{Sim, SimRng};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -69,6 +69,10 @@ USAGE:
     dfi-analyze assert-isolated --host H [--host H ...] [--spines N] [--leaves N]
                       [--hosts N] [--flows N] [--seed S] [--defects]
                       [--json] [--verbose]
+    dfi-analyze repair [--corpus policy|network|reach|all] [--rules N]
+                      [--switches N] [--flows N] [--spines N] [--leaves N]
+                      [--hosts N] [--seed S] [--expect-repaired] [--apply]
+                      [--bench] [--json] [--verbose]
     dfi-analyze watch [--rules N] [--seed S] [--mutations M] [--gate X] [--json]
     dfi-analyze demo
 
@@ -79,6 +83,8 @@ MODES:
                     equals the policy over a seeded leaf-spine fabric
     assert-isolated verify named hosts are unreachable from every host,
                     including through relay chains
+    repair          counterexample-guided repair: plant defects, audit, then
+                    synthesize a minimal verified fix for every finding
     watch           online incremental verification: delta vs full, per mutation
     demo            audit a small live switch deployment, then break it on purpose
 
@@ -103,6 +109,11 @@ OPTIONS:
                        against a from-scratch rebuild; prints a timing summary
     --host H           assert-isolated: hostname to verify (h000012 style;
                        repeat the flag for several hosts)
+    --corpus C         repair: which seeded corpus to repair [default: all]
+    --expect-repaired  repair: fail unless every finding yields a plan and the
+                       plan signatures equal the planted ground truth exactly
+    --apply            repair: apply every plan to the world and fail unless
+                       the re-audit comes back clean
     --mutations M      watch: mutation count [default: 60]
     --gate X           watch / reach --bench: fail unless the incremental
                        re-check is X times faster than full [default: no gate]
@@ -114,6 +125,7 @@ fn main() -> ExitCode {
         Some("corpus") => corpus_mode(&args[1..]),
         Some("audit-network") => audit_network_mode(&args[1..]),
         Some("reach") => reach_mode(&args[1..]),
+        Some("repair") => repair_mode(&args[1..]),
         Some("assert-isolated") => assert_isolated_mode(&args[1..]),
         Some("watch") => watch_mode(&args[1..]),
         Some("demo") => demo_mode(),
@@ -270,8 +282,7 @@ fn audit_network_mode(args: &[String]) -> ExitCode {
     } else {
         let cached: usize = corpus.snapshots.iter().map(|s| s.rules.len()).sum();
         println!(
-            "network: {} switches, {} cached rules (seed {}), generated in {:.1?}",
-            n_switches, cached, seed, generated
+            "network: {n_switches} switches, {cached} cached rules (seed {seed}), generated in {generated:.1?}"
         );
         let count = |k: DiagnosticKind| diags.iter().filter(|d| d.kind == k).count();
         println!(
@@ -537,13 +548,16 @@ fn verify_reach_seeded(corpus: &dfi_analyze::corpus::ReachCorpus, diags: &[Diagn
         .filter(|d| d.kind == DiagnosticKind::ReachabilityViolation)
         .map(&hosts)
         .collect();
-    let mut rv_expected: BTreeSet<(String, String)> =
-        corpus.forward_drift.iter().cloned().collect();
+    let mut rv_expected: BTreeSet<(String, String)> = corpus
+        .forward_drift
+        .iter()
+        .map(|(a, b, _)| (a.clone(), b.clone()))
+        .collect();
     rv_expected.extend(
         corpus
             .relay_leaks
             .iter()
-            .map(|(_, b, q)| (b.clone(), q.clone())),
+            .map(|(_, b, q, _)| (b.clone(), q.clone())),
     );
     if rv != rv_expected {
         ok = false;
@@ -557,7 +571,13 @@ fn verify_reach_seeded(corpus: &dfi_analyze::corpus::ReachCorpus, diags: &[Diagn
             (s, t, d.dpids[0])
         })
         .collect();
-    if bh != corpus.blackholes.iter().cloned().collect() {
+    if bh
+        != corpus
+            .blackholes
+            .iter()
+            .map(|(a, b, d, _)| (a.clone(), b.clone(), *d))
+            .collect()
+    {
         ok = false;
         eprintln!("MISMATCH drift: blackholed pairs differ from the plants");
     }
@@ -657,6 +677,302 @@ fn assert_isolated_mode(args: &[String]) -> ExitCode {
         print_findings(&breaches, verbose);
     }
     if breaches.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One repaired corpus: what the audit found, what the synthesizer
+/// certified, and the planted ground truth to gate against.
+struct RepairRun {
+    label: &'static str,
+    findings: Vec<Diagnostic>,
+    plans: Vec<Option<dfi_analyze::RepairPlan>>,
+    expected: Vec<String>,
+    audit: Duration,
+    repair: Duration,
+    /// Per finding kind: how many plans certified and the total
+    /// synthesis+verify time spent on that kind.
+    by_kind: BTreeMap<DiagnosticKind, (usize, Duration)>,
+    clean_after_apply: Option<bool>,
+}
+
+/// Audits one defect-seeded corpus and synthesizes plans for every
+/// finding; with `apply` also applies them all and re-audits.
+fn run_repair_corpus(
+    label: &'static str,
+    world: &dfi_analyze::World,
+    mut erm: Option<&mut EntityResolver>,
+    expected: Vec<String>,
+    apply: bool,
+) -> RepairRun {
+    let t0 = Instant::now();
+    let findings = dfi_analyze::audit_world(world, erm.as_deref_mut());
+    let audit = t0.elapsed();
+    let t1 = Instant::now();
+    let mut by_kind: BTreeMap<DiagnosticKind, (usize, Duration)> = BTreeMap::new();
+    let mut plans = Vec::with_capacity(findings.len());
+    {
+        let mut repairer = dfi_analyze::Repairer::new(world, erm.as_deref_mut());
+        for finding in &findings {
+            let tk = Instant::now();
+            let plan = repairer.repair(finding);
+            let slot = by_kind.entry(finding.kind).or_default();
+            slot.0 += usize::from(plan.is_some());
+            slot.1 += tk.elapsed();
+            plans.push(plan);
+        }
+    }
+    let repair = t1.elapsed();
+    let clean_after_apply = apply.then(|| {
+        let mut fixed = world.clone();
+        for plan in plans.iter().flatten() {
+            fixed.apply(&plan.steps);
+        }
+        dfi_analyze::audit_world(&fixed, erm).is_empty()
+    });
+    RepairRun {
+        label,
+        findings,
+        plans,
+        expected,
+        audit,
+        repair,
+        by_kind,
+        clean_after_apply,
+    }
+}
+
+fn repair_mode(args: &[String]) -> ExitCode {
+    let which = match args.iter().position(|a| a == "--corpus") {
+        None => "all".to_string(),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if ["policy", "network", "reach", "all"].contains(&v.as_str()) => v.clone(),
+            Some(v) => {
+                eprintln!("dfi-analyze: --corpus {v}: expected policy|network|reach|all");
+                return ExitCode::from(2);
+            }
+            None => {
+                eprintln!("dfi-analyze: --corpus requires a value");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let parsed = (
+        parse_flag(args, "--rules", 800),
+        parse_flag(args, "--switches", 14),
+        parse_flag(args, "--flows", 0),
+        parse_flag(args, "--seed", 7),
+    );
+    let (n_rules, n_switches, n_flows, seed) = match parsed {
+        (Ok(r), Ok(sw), Ok(f), Ok(s)) => (r as usize, sw as usize, f as usize, s),
+        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _) | (_, _, _, Err(e)) => {
+            eprintln!("dfi-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let net_flows = if n_flows == 0 { 200 } else { n_flows };
+    let expect = args.iter().any(|a| a == "--expect-repaired");
+    let apply = args.iter().any(|a| a == "--apply");
+    let bench = args.iter().any(|a| a == "--bench");
+    let json = args.iter().any(|a| a == "--json");
+    let verbose = args.iter().any(|a| a == "--verbose");
+
+    let mut runs = Vec::new();
+    if which == "policy" || which == "all" {
+        let c = dfi_analyze::corpus::generate(n_rules, seed);
+        let expected = c.expected_repairs();
+        let world = dfi_analyze::World {
+            pm: c.manager,
+            snapshots: Vec::new(),
+            spec: None,
+            universe: Some(c.universe),
+        };
+        runs.push(run_repair_corpus("policy", &world, None, expected, apply));
+    }
+    if which == "network" || which == "all" {
+        if n_switches < 5 {
+            eprintln!("dfi-analyze: --switches must be at least 5");
+            return ExitCode::from(2);
+        }
+        let mut c = dfi_analyze::corpus::generate_network(n_switches, net_flows, seed, true);
+        let expected = c.expected_repairs();
+        let world = dfi_analyze::World {
+            pm: c.manager,
+            snapshots: c.snapshots,
+            spec: None,
+            universe: None,
+        };
+        runs.push(run_repair_corpus(
+            "network",
+            &world,
+            Some(&mut c.resolver),
+            expected,
+            apply,
+        ));
+    }
+    let mut reach_switches = 0usize;
+    if which == "reach" || which == "all" {
+        // The reach corpus always plants defects here, so its relay-host
+        // accounting must run as if `--defects` were passed.
+        let mut reach_args = args.to_vec();
+        reach_args.push("--defects".to_string());
+        let (spines, leaves, hosts, reach_flows, seed) = match parse_reach_shape(&reach_args) {
+            Ok(shape) => shape,
+            Err(e) => {
+                eprintln!("dfi-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        reach_switches = spines as usize + leaves as usize;
+        let c = dfi_analyze::corpus::generate_reach(spines, leaves, hosts, reach_flows, seed, true);
+        let expected = c.expected_repairs();
+        let world = dfi_analyze::World {
+            pm: c.manager,
+            snapshots: c.snapshots,
+            spec: Some(c.spec),
+            universe: None,
+        };
+        runs.push(run_repair_corpus("reach", &world, None, expected, apply));
+    }
+
+    let mut ok = true;
+    for run in &runs {
+        let planned = run.plans.iter().flatten().count();
+        if planned < run.findings.len() {
+            ok = false;
+            eprintln!(
+                "UNREPAIRED [{}]: {} of {} findings have no certified plan",
+                run.label,
+                run.findings.len() - planned,
+                run.findings.len()
+            );
+        }
+        if expect {
+            let mut got: Vec<String> = run
+                .plans
+                .iter()
+                .flatten()
+                .map(dfi_analyze::RepairPlan::signature)
+                .collect();
+            let mut want = run.expected.clone();
+            got.sort();
+            want.sort();
+            if got != want {
+                ok = false;
+                eprintln!(
+                    "MISMATCH [{}]: certified plans differ from the planted ground truth",
+                    run.label
+                );
+            }
+        }
+        if run.clean_after_apply == Some(false) {
+            ok = false;
+            eprintln!(
+                "DIRTY [{}]: applying every plan did not clean the re-audit",
+                run.label
+            );
+        }
+    }
+
+    if bench {
+        let audit_ms: f64 = runs.iter().map(|r| r.audit.as_secs_f64() * 1e3).sum();
+        let repair_ms: f64 = runs.iter().map(|r| r.repair.as_secs_f64() * 1e3).sum();
+        let findings: usize = runs.iter().map(|r| r.findings.len()).sum();
+        let plans: usize = runs.iter().map(|r| r.plans.iter().flatten().count()).sum();
+        let plans_per_s = plans as f64 / (repair_ms / 1e3).max(1e-9);
+        let overhead = repair_ms / audit_ms.max(1e-9);
+        // Merge the per-run kind breakdowns (runs never share a kind
+        // unless `--corpus all` repeats one; sum in that case).
+        let mut kinds: BTreeMap<DiagnosticKind, (usize, Duration)> = BTreeMap::new();
+        for run in &runs {
+            for (kind, (n, dt)) in &run.by_kind {
+                let slot = kinds.entry(*kind).or_default();
+                slot.0 += n;
+                slot.1 += *dt;
+            }
+        }
+        if json {
+            let per_kind: Vec<String> = kinds
+                .iter()
+                .map(|(kind, (n, dt))| {
+                    let ms = dt.as_secs_f64() * 1e3;
+                    format!(
+                        "{{\"kind\":\"{kind}\",\"plans\":{n},\"ms\":{ms:.3},\
+                         \"ms_per_plan\":{:.3}}}",
+                        ms / (*n).max(1) as f64,
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"corpus\":\"{which}\",\"switches\":{},\"findings\":{findings},\
+                 \"plans\":{plans},\"audit_ms\":{audit_ms:.3},\"repair_ms\":{repair_ms:.3},\
+                 \"plans_per_s\":{plans_per_s:.1},\"verify_overhead\":{overhead:.2},\
+                 \"per_kind\":[{}],\"repaired_all\":{ok}}}",
+                reach_switches,
+                per_kind.join(","),
+            );
+        } else {
+            println!(
+                "repair bench [{which}]: {findings} findings, {plans} plans; audit \
+                 {audit_ms:.1} ms, synthesis+verify {repair_ms:.1} ms \
+                 ({plans_per_s:.0} plans/s, {overhead:.1}x audit cost)"
+            );
+            for (kind, (n, dt)) in &kinds {
+                let ms = dt.as_secs_f64() * 1e3;
+                let name = kind.to_string();
+                println!(
+                    "  {name:<24} {n:>3} plans  {ms:>10.1} ms  ({:.1} ms/plan)",
+                    ms / (*n).max(1) as f64,
+                );
+            }
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if json {
+        println!("[");
+        let total: usize = runs.iter().map(|r| r.plans.iter().flatten().count()).sum();
+        let mut printed = 0usize;
+        for run in &runs {
+            for plan in run.plans.iter().flatten() {
+                printed += 1;
+                let sep = if printed < total { "," } else { "" };
+                println!("  {}{sep}", plan.to_json());
+            }
+        }
+        println!("]");
+    } else {
+        for run in &runs {
+            let planned = run.plans.iter().flatten().count();
+            println!(
+                "{}: {} findings -> {} certified plans (audit {:.1?}, synthesis+verify {:.1?}{})",
+                run.label,
+                run.findings.len(),
+                planned,
+                run.audit,
+                run.repair,
+                match run.clean_after_apply {
+                    Some(true) => ", applied: re-audit clean",
+                    Some(false) => ", applied: RE-AUDIT DIRTY",
+                    None => "",
+                },
+            );
+            let shown = if verbose { planned } else { planned.min(6) };
+            for plan in run.plans.iter().flatten().take(shown) {
+                println!("  {} -> {}", plan.kind, plan.signature());
+            }
+            if shown < planned {
+                println!("  … {} more (use --verbose)", planned - shown);
+            }
+        }
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -771,8 +1087,7 @@ fn watch_mode(args: &[String]) -> ExitCode {
         );
     } else {
         println!(
-            "watch: {} rules seeded through the journal in {:.1?}; {} mutations, {} finding events",
-            n_rules, seeded, mutations, events
+            "watch: {n_rules} rules seeded through the journal in {seeded:.1?}; {mutations} mutations, {events} finding events"
         );
         println!(
             "incremental ≡ full after every mutation; delta mean {:.1} µs (max {:.1} µs), \

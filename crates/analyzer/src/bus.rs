@@ -26,6 +26,7 @@ use dfi_simnet::Sim;
 
 use crate::delta::{FindingEvent, FindingId};
 use crate::diag::Diagnostic;
+use crate::repair::RepairPlan;
 
 /// Renders one finding transition as a bus envelope.
 ///
@@ -68,6 +69,28 @@ pub fn publish_audit(sim: &mut Sim, bus: &Bus<DfiEvent>, diags: &[Diagnostic]) -
         );
     }
     diags.len()
+}
+
+/// Renders a certified repair plan as a [`DfiEvent::RepairProposed`]
+/// envelope, tied to the finding id it repairs (the same numbering as the
+/// accompanying [`bus_event`]/[`publish_audit`] stream).
+#[must_use]
+pub fn repair_event(finding: FindingId, plan: &RepairPlan) -> DfiEvent {
+    DfiEvent::RepairProposed {
+        finding: finding.0,
+        kind: plan.kind.to_string(),
+        steps: plan.steps.clone(),
+        message: plan.message.clone(),
+    }
+}
+
+/// Publishes `(finding, plan)` pairs on [`topic::ANALYZER_FINDINGS`].
+/// Subscribers wired for auto-repair (e.g.
+/// `QuarantinePdp::wire_repair_proposals`) apply the steps on receipt.
+pub fn publish_repairs(sim: &mut Sim, bus: &Bus<DfiEvent>, repairs: &[(FindingId, RepairPlan)]) {
+    for (finding, plan) in repairs {
+        bus.publish(sim, topic::ANALYZER_FINDINGS, repair_event(*finding, plan));
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,26 @@ pub struct SeededCorpus {
     pub unreachable: Vec<PolicyId>,
 }
 
+impl SeededCorpus {
+    /// The ground-truth repair signature ([`RepairPlan::signature`]
+    /// (`crate::RepairPlan::signature`)) for every planted finding,
+    /// unordered: each shadowed / redundant / unreachable plant is fixed
+    /// by deleting the offending rule; each conflict by deleting the
+    /// planted deny (deleting the allow would leave the TCP-only deny
+    /// redundant against the default deny).
+    #[must_use]
+    pub fn expected_repairs(&self) -> Vec<String> {
+        let del = |id: &PolicyId| format!("delete:{}", id.0);
+        self.shadowed
+            .iter()
+            .map(del)
+            .chain(self.redundant.iter().map(del))
+            .chain(self.conflicts.iter().map(|(_, deny)| del(deny)))
+            .chain(self.unreachable.iter().map(del))
+            .collect()
+    }
+}
+
 /// Builds a corpus of exactly `n_rules` stored policies. Deterministic in
 /// `seed`.
 #[must_use]
@@ -209,6 +229,35 @@ pub struct NetworkCorpus {
     pub split_brain: Vec<(Vec<u64>, u64)>,
 }
 
+impl NetworkCorpus {
+    /// The ground-truth repair signature for every planted finding,
+    /// unordered: each partial-flush plant implies one targeted flush per
+    /// orphaned switch plus the correlation's flush over all survivors;
+    /// each split-brain plant implies re-punting the stale cookie-0 deny
+    /// on its off-path switch, once for the correlation and once for the
+    /// per-switch stale-rule finding.
+    #[must_use]
+    pub fn expected_repairs(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (cookie, dpids) in &self.partial_flush {
+            for d in dpids {
+                out.push(format!("flush:{cookie}@{d}"));
+            }
+            let all = dpids
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push(format!("flush:{cookie}@{all}"));
+        }
+        for (_, deny_dpid) in &self.split_brain {
+            out.push(format!("repunt:0@{deny_dpid}"));
+            out.push(format!("repunt:0@{deny_dpid}"));
+        }
+        out
+    }
+}
+
 /// Builds a network corpus: `n_flows` cached flows spread over
 /// `n_switches` switches (at least 5). With `defects` false every flow is
 /// clean — the audit must come back empty. Deterministic in `seed`.
@@ -364,14 +413,90 @@ pub struct ReachCorpus {
     pub spec: ReachSpec,
     /// One Table-0 snapshot per switch, dpids `1..=spines+leaves`.
     pub snapshots: Vec<TableZeroSnapshot>,
-    /// Planted forward drifts: `(src hostname, dst hostname)`.
-    pub forward_drift: Vec<(String, String)>,
-    /// Planted blackholes: `(src hostname, dst hostname, deny dpid)`.
-    pub blackholes: Vec<(String, String, u64)>,
-    /// Planted relay leaks: `(origin, relay, quarantined hostname)`.
-    pub relay_leaks: Vec<(String, String, String)>,
+    /// Planted forward drifts: `(src hostname, dst hostname, install cookie)`.
+    pub forward_drift: Vec<(String, String, u64)>,
+    /// Planted blackholes: `(src hostname, dst hostname, deny dpid, policy
+    /// cookie)`.
+    pub blackholes: Vec<(String, String, u64, u64)>,
+    /// Planted relay leaks: `(origin, relay, quarantined hostname, leak
+    /// install cookie)`.
+    pub relay_leaks: Vec<(String, String, String, u64)>,
     /// Planted waypoint misses: `(policy, src hostname, dst hostname)`.
     pub waypoint_misses: Vec<(PolicyId, String, String)>,
+}
+
+impl ReachCorpus {
+    /// The ground-truth repair signature for every planted finding,
+    /// unordered: forward drifts and both legs of each relay leak are
+    /// fixed by flushing the delivering install chain along its path;
+    /// blackholes by re-punting the denying last hop; waypoint misses by
+    /// installing an exact-match chain routed through the asserted spine.
+    #[must_use]
+    pub fn expected_repairs(&self) -> Vec<String> {
+        let site = |name: &str| {
+            self.spec
+                .hosts
+                .iter()
+                .find(|h| h.hostname == name)
+                .expect("corpus hostnames are in the spec")
+        };
+        let flush_path = |cookie: u64, src: &str, dst: &str| {
+            let path = self
+                .spec
+                .adjacency
+                .path(site(src).dpid, site(dst).dpid)
+                .expect("fabric is connected");
+            let ds = path
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("flush:{cookie}@{ds}")
+        };
+        let mut out = Vec::new();
+        for (a, b, cookie) in &self.forward_drift {
+            out.push(flush_path(*cookie, a, b));
+        }
+        for (_, _, deny_dpid, policy) in &self.blackholes {
+            out.push(format!("repunt:{policy}@{deny_dpid}"));
+        }
+        for (_, b, q, cookie) in &self.relay_leaks {
+            // One reachability violation plus two isolation breaches, all
+            // fixed by flushing the leaking relay -> quarantine chain.
+            for _ in 0..3 {
+                out.push(flush_path(*cookie, b, q));
+            }
+        }
+        for (policy, a, b) in &self.waypoint_misses {
+            let via = self
+                .spec
+                .waypoints
+                .iter()
+                .find(|w| w.policy == *policy)
+                .expect("the assertion was recorded")
+                .via[0];
+            let head = self
+                .spec
+                .adjacency
+                .path(site(a).dpid, via)
+                .expect("fabric is connected");
+            let tail = self
+                .spec
+                .adjacency
+                .path(via, site(b).dpid)
+                .expect("fabric is connected");
+            let mut chain = head;
+            chain.extend_from_slice(&tail[1..]);
+            out.push(
+                chain
+                    .iter()
+                    .map(|h| format!("install:{}@{h}", policy.0))
+                    .collect::<Vec<_>>()
+                    .join("+"),
+            );
+        }
+        out
+    }
 }
 
 /// Installs the canonical exact-match rule set for `src -> dst` along the
@@ -488,7 +613,7 @@ pub fn generate_reach(
                     true,
                     900_000 + i as u64,
                 );
-                c.forward_drift.push((ah, bh));
+                c.forward_drift.push((ah, bh, 900_000 + i as u64));
             }
             // Waypoint miss: punt-delivered flow asserting transit through
             // a spine its BFS path avoids (spine 1 carries inter-leaf
@@ -513,7 +638,7 @@ pub fn generate_reach(
                 let (id, _) = c.manager.insert(rule, 20, "reach-allow");
                 let path = install_reach_path(&spec, &mut c.snapshots, a, b, sport, false, id.0);
                 c.blackholes
-                    .push((ah, bh, *path.last().expect("non-empty path")));
+                    .push((ah, bh, *path.last().expect("non-empty path"), id.0));
             }
             // Relay leak: a -> b allowed (punt-delivered), installed state
             // leaks b -> q into a quarantined host.
@@ -532,7 +657,7 @@ pub fn generate_reach(
                     true,
                     910_000 + i as u64,
                 );
-                c.relay_leaks.push((ah, bh, qh));
+                c.relay_leaks.push((ah, bh, qh, 910_000 + i as u64));
             }
             // Clean: every flow gets its policy; even flows also cache a
             // consistent full-path install, odd flows punt-deliver.
@@ -730,8 +855,16 @@ mod tests {
             .filter(|d| d.kind == DiagnosticKind::ReachabilityViolation)
             .map(&hosts)
             .collect();
-        let mut rv_expected: BTreeSet<(String, String)> = c.forward_drift.iter().cloned().collect();
-        rv_expected.extend(c.relay_leaks.iter().map(|(_, b, q)| (b.clone(), q.clone())));
+        let mut rv_expected: BTreeSet<(String, String)> = c
+            .forward_drift
+            .iter()
+            .map(|(a, b, _)| (a.clone(), b.clone()))
+            .collect();
+        rv_expected.extend(
+            c.relay_leaks
+                .iter()
+                .map(|(_, b, q, _)| (b.clone(), q.clone())),
+        );
         assert_eq!(rv, rv_expected);
 
         // Blackholes, pinned to the planted deny hop.
@@ -743,7 +876,13 @@ mod tests {
                 (s, t, d.dpids[0])
             })
             .collect();
-        assert_eq!(bh, c.blackholes.iter().cloned().collect());
+        assert_eq!(
+            bh,
+            c.blackholes
+                .iter()
+                .map(|(a, b, d, _)| (a.clone(), b.clone(), *d))
+                .collect()
+        );
 
         // Isolation: each relay plant yields the direct breach from the
         // relay and the transitive breach from the origin, with the chain
@@ -754,7 +893,7 @@ mod tests {
             .map(|d| d.message.as_str())
             .collect();
         assert_eq!(ib.len(), 2 * c.relay_leaks.len());
-        for (a, b, q) in &c.relay_leaks {
+        for (a, b, q, _) in &c.relay_leaks {
             let direct = format!("quarantined host {q} is reachable directly from {b}");
             let relayed = format!(
                 "quarantined host {q} is reachable from {a} via relay chain {a} -> {b} -> {q}"

@@ -37,6 +37,7 @@ pub mod diag;
 pub mod network;
 pub mod policy_passes;
 pub mod reach;
+pub mod repair;
 pub mod table0;
 
 pub use bus::{publish_audit, publish_finding_events};
@@ -46,4 +47,8 @@ pub use diag::{Diagnostic, DiagnosticKind, Severity};
 pub use network::{capture_network, mask_in_flight, InFlight};
 pub use policy_passes::{sort_diagnostics, Analyzer, IdentifierUniverse};
 pub use reach::{HostSite, ReachAnalyzer, ReachSpec, ReachStats, WaypointAssertion};
+pub use repair::{
+    audit_and_repair_live, audit_world, repair_findings, LiveRepairOutcome, RepairPlan, RepairStep,
+    Repairer, World,
+};
 pub use table0::{TableZeroRule, TableZeroSnapshot};

@@ -758,9 +758,65 @@ impl ReachAnalyzer {
         p
     }
 
+    /// Traces the complete installed forwarding chain for one concrete
+    /// packet, if the data plane carries one: starting at the source's
+    /// attachment switch (which must match on the host-facing port), each
+    /// hop extends to the smallest-dpid unvisited neighbor holding a rule
+    /// that matches on the inter-switch ingress port, until the
+    /// destination's switch is reached. A complete chain is how installed
+    /// state *steers* traffic — it overrides the topology's default route,
+    /// which is what lets a repair-synthesized install chain restore a
+    /// waypoint. Incomplete coverage (or a dead end) returns `None` and
+    /// the walk falls back to the deterministic shortest path, preserving
+    /// the pre-existing semantics for punt-routed and partially-installed
+    /// flows.
+    fn installed_chain(
+        &self,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        host_port: u32,
+        src_dpid: u64,
+        dst_dpid: u64,
+        pkt: &Packet,
+    ) -> Option<Vec<u64>> {
+        let insts = self.installed.get(&(src_mac, dst_mac))?;
+        let has = |dpid: u64, ingress: u32| {
+            insts
+                .iter()
+                .any(|r| r.dpid == dpid && r.matches(ingress, pkt))
+        };
+        if !has(src_dpid, host_port) {
+            return None;
+        }
+        let mut chain = vec![src_dpid];
+        let mut visited: BTreeSet<u64> = BTreeSet::new();
+        visited.insert(src_dpid);
+        let mut current = src_dpid;
+        while current != dst_dpid {
+            let next = self
+                .spec
+                .adjacency
+                .neighbors(current)
+                .filter(|&n| !visited.contains(&n))
+                .filter(|&n| {
+                    self.spec
+                        .adjacency
+                        .port_towards(n, current)
+                        .is_some_and(|ingress| has(n, ingress))
+                })
+                .min()?;
+            visited.insert(next);
+            chain.push(next);
+            current = next;
+        }
+        Some(chain)
+    }
+
     /// Walks one concrete packet hop-by-hop: the per-dpid transfer
     /// functions applied along the path, with table misses punting to the
-    /// already-computed policy verdict.
+    /// already-computed policy verdict. Routing follows the complete
+    /// installed chain when one exists ([`ReachAnalyzer::installed_chain`]),
+    /// else the topology's deterministic shortest path.
     fn walk(
         &mut self,
         src: usize,
@@ -781,8 +837,13 @@ impl ReachAnalyzer {
         };
         let (src_mac, dst_mac, host_port, src_dpid, dst_dpid) =
             (sh.mac, dh.mac, sh.port, sh.dpid, dh.dpid);
-        let Some(path) = self.path_between(src_dpid, dst_dpid) else {
-            return Fate::Unroutable;
+        let chain = self.installed_chain(src_mac, dst_mac, host_port, src_dpid, dst_dpid, &pkt);
+        let path = match chain {
+            Some(c) => Rc::new(c),
+            None => match self.path_between(src_dpid, dst_dpid) {
+                Some(p) => p,
+                None => return Fate::Unroutable,
+            },
         };
         let insts = self.installed.get(&(src_mac, dst_mac));
         let mut cookies = Vec::new();

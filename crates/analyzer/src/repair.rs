@@ -1,0 +1,946 @@
+//! Counterexample-guided repair synthesis: every analyzer finding becomes
+//! a minimal, verified fix.
+//!
+//! The analyzer's diagnostics are counterexamples — a concrete flow, a
+//! concrete cookie on a concrete switch — and each one carries enough
+//! witness material to *synthesize* the corrective action, not just name
+//! the defect. This module closes that loop:
+//!
+//! 1. **Synthesis.** [`Repairer::repair`] maps each [`DiagnosticKind`] to
+//!    an ordered list of candidate plans built from the finding's witness:
+//!    targeted cookie flushes for ghost/partial-flush state, re-punts for
+//!    rules whose cached verdict no longer matches policy, rule deletions
+//!    for intra-policy defects, and full exact-match chain installs routed
+//!    over the fabric for waypoint obligations.
+//! 2. **Verification.** No candidate is surfaced on faith. Each one is
+//!    applied to a *hypothetical* copy of the world — policy rules,
+//!    per-switch Table-0 snapshots, reachability spec — and the relevant
+//!    analysis families re-run. A plan is emitted only if it clears its
+//!    own finding (precise key) and raises zero findings that were not
+//!    already present (coarse key).
+//! 3. **Minimality.** Multi-step plans are step-minimal: dropping any one
+//!    step re-raises the finding or introduces a new one. What ships is
+//!    the smallest certified change, mirroring how snapshots themselves
+//!    are certified before publication (DESIGN.md §10).
+//!
+//! The live entry point is [`audit_and_repair_live`], which audits a
+//! running [`Dfi`] + [`Network`] pair, publishes paired
+//! `AnalyzerFinding`/`RepairProposed` events on
+//! [`topic::ANALYZER_FINDINGS`], and (optionally) applies the verified
+//! plans through [`Dfi::apply_repair_steps`]. It performs the in-flight
+//! masking *before* taking the ERM borrow, so callers cannot reintroduce
+//! the `RefCell` double-borrow footgun that
+//! [`Analyzer::check_network_live`] works around.
+
+use crate::diag::{json_string, Diagnostic, DiagnosticKind};
+use crate::network::{capture_network, mask_in_flight, InFlight};
+use crate::policy_passes::{sort_diagnostics, Analyzer, IdentifierUniverse};
+use crate::reach::{ReachAnalyzer, ReachSpec};
+use crate::table0::{TableZeroRule, TableZeroSnapshot};
+use dfi_core::erm::EntityResolver;
+use dfi_core::events::topic;
+use dfi_core::policy::{PolicyAction, PolicyId, PolicyManager, Wild, DEFAULT_DENY_ID};
+use dfi_core::Dfi;
+use dfi_dataplane::Network;
+use dfi_openflow::Match;
+use dfi_simnet::Sim;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One atomic corrective action. Re-exported from `dfi-core` so the
+/// control plane can apply plans without depending on the analyzer.
+pub use dfi_core::events::RepairStepData as RepairStep;
+
+/// A verified, step-minimal fix for one diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairPlan {
+    /// The finding this plan repairs.
+    pub kind: DiagnosticKind,
+    /// The policy ids of the repaired finding (same order as the
+    /// diagnostic's `rules`).
+    pub rules: Vec<PolicyId>,
+    /// The switches of the repaired finding.
+    pub dpids: Vec<u64>,
+    /// The corrective actions, in application order.
+    pub steps: Vec<RepairStep>,
+    /// Human-readable description of the fix.
+    pub message: String,
+}
+
+/// Compact one-line form of a step, used for ground-truth comparison in
+/// the corpus gate: `flush:{cookie}@{dpids|*}`, `repunt:{cookie}@{dpid}`,
+/// `install:{cookie}@{dpid}`, `delete:{rule}`, `rerank:{rule}->{prio}`.
+#[must_use]
+pub fn step_signature(step: &RepairStep) -> String {
+    match step {
+        RepairStep::FlushCookie { cookie, dpids } if dpids.is_empty() => {
+            format!("flush:{cookie}@*")
+        }
+        RepairStep::FlushCookie { cookie, dpids } => {
+            let ds = dpids
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("flush:{cookie}@{ds}")
+        }
+        RepairStep::RePunt { dpid, cookie } => format!("repunt:{cookie}@{dpid}"),
+        RepairStep::InstallExact { dpid, cookie, .. } => format!("install:{cookie}@{dpid}"),
+        RepairStep::DeleteRule { rule } => format!("delete:{rule}"),
+        RepairStep::ReRankRule { rule, new_priority } => format!("rerank:{rule}->{new_priority}"),
+    }
+}
+
+impl RepairPlan {
+    /// The plan's signature: step signatures joined with `+`.
+    #[must_use]
+    pub fn signature(&self) -> String {
+        self.steps
+            .iter()
+            .map(step_signature)
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Hand-rolled JSON object (the workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rules = self
+            .rules
+            .iter()
+            .map(|r| r.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let dpids = self
+            .dpids
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let steps = self
+            .steps
+            .iter()
+            .map(|s| json_string(&step_signature(s)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"kind\":{},\"rules\":[{rules}],\"dpids\":[{dpids}],\"steps\":[{steps}],\"message\":{}}}",
+            json_string(&self.kind.to_string()),
+            json_string(&self.message),
+        )
+    }
+}
+
+/// The state a repair is synthesized against and verified in: the policy
+/// rules, the captured per-switch Table-0 state, and (when reachability
+/// is in scope) the spec. Cloning a `World` gives the hypothetical copy
+/// that candidate plans are applied to.
+#[derive(Clone, Default)]
+pub struct World {
+    /// The policy layer.
+    pub pm: PolicyManager,
+    /// Per-switch Table-0 captures (empty for pure policy audits).
+    pub snapshots: Vec<TableZeroSnapshot>,
+    /// Reachability spec, when network-wide invariants are declared.
+    pub spec: Option<ReachSpec>,
+    /// Identifier universe for the unreachable-pattern pass.
+    pub universe: Option<IdentifierUniverse>,
+}
+
+impl World {
+    /// Applies repair steps to this (hypothetical) world, mirroring what
+    /// [`Dfi::apply_repair_steps`] does to the live one: deletes and
+    /// re-rankings flush their inverted cookies from every snapshot,
+    /// exactly as the live revoke/re-rank paths do.
+    pub fn apply(&mut self, steps: &[RepairStep]) {
+        for step in steps {
+            match step {
+                RepairStep::FlushCookie { cookie, dpids } if dpids.is_empty() => {
+                    self.remove_cookie(*cookie, None);
+                }
+                RepairStep::FlushCookie { cookie, dpids } => {
+                    self.remove_cookie(*cookie, Some(dpids));
+                }
+                RepairStep::RePunt { dpid, cookie } => {
+                    self.remove_cookie(*cookie, Some(std::slice::from_ref(dpid)));
+                }
+                RepairStep::InstallExact {
+                    dpid,
+                    mat,
+                    priority,
+                    cookie,
+                    allow,
+                } => {
+                    let rule = TableZeroRule {
+                        cookie: *cookie,
+                        priority: *priority,
+                        mat: mat.clone(),
+                        allow: *allow,
+                    };
+                    match self.snapshots.iter_mut().find(|s| s.dpid == *dpid) {
+                        // Re-installing an identical rule is a no-op, as it
+                        // is on a real switch table — this keeps every plan
+                        // idempotent.
+                        Some(snap) => {
+                            let dup = snap.rules.iter().any(|r| {
+                                r.cookie == rule.cookie
+                                    && r.priority == rule.priority
+                                    && r.allow == rule.allow
+                                    && r.mat == rule.mat
+                            });
+                            if !dup {
+                                snap.rules.push(rule);
+                            }
+                        }
+                        None => {
+                            self.snapshots.push(TableZeroSnapshot {
+                                dpid: *dpid,
+                                rules: vec![rule],
+                            });
+                        }
+                    }
+                }
+                RepairStep::DeleteRule { rule } => {
+                    if self.pm.revoke(PolicyId(*rule)) {
+                        self.remove_cookie(*rule, None);
+                    }
+                }
+                RepairStep::ReRankRule { rule, new_priority } => {
+                    if let Some(flush) = self.pm.re_rank(PolicyId(*rule), *new_priority) {
+                        for id in flush {
+                            self.remove_cookie(id.0, None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes every Table-0 rule carrying `cookie` on the listed dpids
+    /// (all switches when `dpids` is `None`).
+    fn remove_cookie(&mut self, cookie: u64, dpids: Option<&[u64]>) {
+        for snap in &mut self.snapshots {
+            if dpids.is_none_or(|ds| ds.contains(&snap.dpid)) {
+                snap.rules.retain(|r| r.cookie != cookie);
+            }
+        }
+    }
+
+    /// Dpids whose snapshot carries `cookie`, ascending.
+    fn dpids_with_cookie(&self, cookie: u64) -> Vec<u64> {
+        self.snapshots
+            .iter()
+            .filter(|s| s.rules.iter().any(|r| r.cookie == cookie))
+            .map(|s| s.dpid)
+            .collect()
+    }
+}
+
+/// The three independent analysis families a plan can disturb. Each has
+/// its own baseline and is re-audited against the hypothetical world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Family {
+    /// Intra-policy passes (shadowing, redundancy, conflicts, unreachable).
+    Policy,
+    /// Policy-vs-Table-0 passes (orphans, stale verdicts, partial flushes,
+    /// split-brain paths). Needs snapshots *and* an ERM for flow replay.
+    Network,
+    /// Network-wide reachability / isolation / waypoint verification.
+    Reach,
+}
+
+/// The families that can emit a given kind. `PolicyDataplaneDrift` has
+/// two emitters: the single-switch Table-0 audit and the reach engine's
+/// blackhole detection.
+fn emitting_families(kind: DiagnosticKind) -> &'static [Family] {
+    match kind {
+        DiagnosticKind::ShadowedRule
+        | DiagnosticKind::RedundantRule
+        | DiagnosticKind::AllowDenyConflict
+        | DiagnosticKind::UnreachablePattern => &[Family::Policy],
+        DiagnosticKind::OrphanCookie
+        | DiagnosticKind::StaleRule
+        | DiagnosticKind::CookieMismatch
+        | DiagnosticKind::NonCanonicalRule
+        | DiagnosticKind::PartialFlush
+        | DiagnosticKind::SplitBrainPath => &[Family::Network],
+        DiagnosticKind::PolicyDataplaneDrift => &[Family::Network, Family::Reach],
+        DiagnosticKind::ReachabilityViolation
+        | DiagnosticKind::IsolationBreach
+        | DiagnosticKind::WaypointViolation => &[Family::Reach],
+    }
+}
+
+/// Identifies a *defect class* across re-audits: kind + rules only. A
+/// hypothetical audit may legitimately reshape an existing finding's dpid
+/// set (e.g. a partial flush whose survivor set shrank because we
+/// repaired one of its orphans); only a coarse key absent from the
+/// baseline counts as new damage.
+type CoarseKey = (DiagnosticKind, Vec<u64>);
+
+fn witness_hosts(d: &Diagnostic) -> Option<(String, String)> {
+    d.witness.as_ref().map(|w| {
+        (
+            w.src.hostnames.first().cloned().unwrap_or_default(),
+            w.dst.hostnames.first().cloned().unwrap_or_default(),
+        )
+    })
+}
+
+fn coarse_key(d: &Diagnostic) -> CoarseKey {
+    (d.kind, d.rules.iter().map(|r| r.0).collect())
+}
+
+/// True when `post` no longer contains `finding` — not even a shrunken
+/// form of it. A diagnostic with the same kind, rules, and witness whose
+/// dpid set is a (non-strict) subset of the original is the *same defect*
+/// partially repaired, not a new one; counting it as cleared would let a
+/// plan "fix" a split-brain path by re-punting one healthy hop.
+fn finding_cleared(finding: &Diagnostic, post: &[Diagnostic]) -> bool {
+    let rules: Vec<u64> = finding.rules.iter().map(|r| r.0).collect();
+    let hosts = witness_hosts(finding);
+    !post.iter().any(|d| {
+        d.kind == finding.kind
+            && d.rules.len() == rules.len()
+            && d.rules.iter().map(|r| r.0).eq(rules.iter().copied())
+            && d.dpids.iter().all(|x| finding.dpids.contains(x))
+            && witness_hosts(d) == hosts
+    })
+}
+
+/// Runs every analysis family available in `world` and returns the merged,
+/// sorted findings. The Network family needs an ERM for flow replay and is
+/// skipped without one.
+#[must_use]
+pub fn audit_world(world: &World, mut erm: Option<&mut EntityResolver>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for family in [Family::Policy, Family::Network, Family::Reach] {
+        out.extend(audit_family(world, family, erm.as_deref_mut()));
+    }
+    sort_diagnostics(&mut out);
+    out
+}
+
+fn audit_family(
+    world: &World,
+    family: Family,
+    erm: Option<&mut EntityResolver>,
+) -> Vec<Diagnostic> {
+    match family {
+        Family::Policy => Analyzer::from_pm(&world.pm).analyze(world.universe.as_ref()),
+        Family::Network => match erm {
+            Some(erm) if !world.snapshots.is_empty() => {
+                Analyzer::from_pm(&world.pm).check_snapshots(&world.snapshots, erm)
+            }
+            _ => Vec::new(),
+        },
+        Family::Reach => match &world.spec {
+            Some(spec) => ReachAnalyzer::new(spec.clone(), &world.pm, &world.snapshots)
+                .0
+                .diagnostics(),
+            None => Vec::new(),
+        },
+    }
+}
+
+/// Synthesizes and certifies repair plans against one [`World`].
+///
+/// Baselines are computed lazily per family and cached, so repairing a
+/// whole audit report costs one baseline audit per family plus one
+/// hypothetical audit per candidate.
+pub struct Repairer<'w, 'e> {
+    world: &'w World,
+    erm: Option<&'e mut EntityResolver>,
+    baselines: BTreeMap<Family, BTreeSet<CoarseKey>>,
+}
+
+impl<'w, 'e> Repairer<'w, 'e> {
+    /// A repairer over `world`. Pass the ERM whenever Table-0 snapshots
+    /// are in scope; without one the Network family cannot replay flows
+    /// and its findings are not repairable (nor re-checked).
+    #[must_use]
+    pub fn new(world: &'w World, erm: Option<&'e mut EntityResolver>) -> Repairer<'w, 'e> {
+        Repairer {
+            world,
+            erm,
+            baselines: BTreeMap::new(),
+        }
+    }
+
+    fn available_families(&self) -> Vec<Family> {
+        let mut out = vec![Family::Policy];
+        if !self.world.snapshots.is_empty() && self.erm.is_some() {
+            out.push(Family::Network);
+        }
+        if self.world.spec.is_some() {
+            out.push(Family::Reach);
+        }
+        out
+    }
+
+    fn ensure_baseline(&mut self, family: Family) {
+        if self.baselines.contains_key(&family) {
+            return;
+        }
+        let diags = audit_family(self.world, family, self.erm.as_deref_mut());
+        let coarse = diags.iter().map(coarse_key).collect();
+        self.baselines.insert(family, coarse);
+    }
+
+    /// Certifies `steps` against `finding`: applied to a hypothetical copy
+    /// of the world, every available family re-audited; true iff the
+    /// finding is gone ([`finding_cleared`]) and no coarse key appears
+    /// that the baseline did not already contain.
+    fn verify(&mut self, finding: &Diagnostic, steps: &[RepairStep]) -> bool {
+        if steps.is_empty() {
+            return false;
+        }
+        let families = self.available_families();
+        let emitters = emitting_families(finding.kind);
+        if !emitters.iter().any(|f| families.contains(f)) {
+            return false;
+        }
+        for family in &families {
+            self.ensure_baseline(*family);
+        }
+        let mut hyp = self.world.clone();
+        hyp.apply(steps);
+        let mut cleared = true;
+        for family in families {
+            let post = audit_family(&hyp, family, self.erm.as_deref_mut());
+            if emitters.contains(&family) && !finding_cleared(finding, &post) {
+                cleared = false;
+            }
+            let baseline = &self.baselines[&family];
+            if post.iter().any(|d| !baseline.contains(&coarse_key(d))) {
+                return false;
+            }
+        }
+        cleared
+    }
+
+    /// True when no step can be dropped without the plan failing
+    /// verification. Single-step plans are trivially minimal.
+    fn is_minimal(&mut self, finding: &Diagnostic, steps: &[RepairStep]) -> bool {
+        if steps.len() <= 1 {
+            return true;
+        }
+        (0..steps.len()).all(|i| {
+            let mut reduced = steps.to_vec();
+            reduced.remove(i);
+            !self.verify(finding, &reduced)
+        })
+    }
+
+    /// Synthesizes a verified, step-minimal plan for `finding`, or `None`
+    /// when no candidate passes certification (e.g. the defect needs an
+    /// operator decision the synthesizer refuses to guess).
+    pub fn repair(&mut self, finding: &Diagnostic) -> Option<RepairPlan> {
+        for steps in self.candidates(finding) {
+            if self.verify(finding, &steps) && self.is_minimal(finding, &steps) {
+                let mut plan = RepairPlan {
+                    kind: finding.kind,
+                    rules: finding.rules.clone(),
+                    dpids: finding.dpids.clone(),
+                    steps,
+                    message: String::new(),
+                };
+                plan.message = format!(
+                    "verified fix for {}: {} (clears the finding, raises nothing new, step-minimal)",
+                    finding.kind,
+                    plan.signature()
+                );
+                return Some(plan);
+            }
+        }
+        None
+    }
+
+    /// Repairs a whole report; the result is parallel to `findings`
+    /// (`None` where no plan certified).
+    pub fn repair_all(&mut self, findings: &[Diagnostic]) -> Vec<Option<RepairPlan>> {
+        findings.iter().map(|f| self.repair(f)).collect()
+    }
+
+    /// Candidate plans for one finding, in preference order. Verification
+    /// picks the first that certifies; later entries are fallbacks for
+    /// worlds where the preferred shape would cause collateral findings.
+    fn candidates(&mut self, finding: &Diagnostic) -> Vec<Vec<RepairStep>> {
+        match finding.kind {
+            // Ghost state: flush the dead cookie where it was seen; fall
+            // back to everywhere it survives (a wholly-missed flush fixed
+            // one switch at a time would surface as a partial flush).
+            DiagnosticKind::OrphanCookie => {
+                let (Some(rule), Some(&dpid)) = (finding.rules.first(), finding.dpids.first())
+                else {
+                    return Vec::new();
+                };
+                let cookie = rule.0;
+                vec![
+                    vec![RepairStep::FlushCookie {
+                        cookie,
+                        dpids: vec![dpid],
+                    }],
+                    vec![RepairStep::FlushCookie {
+                        cookie,
+                        dpids: self.world.dpids_with_cookie(cookie),
+                    }],
+                ]
+            }
+            // The diagnostic already names the surviving switches.
+            DiagnosticKind::PartialFlush => {
+                let Some(rule) = finding.rules.first() else {
+                    return Vec::new();
+                };
+                vec![vec![RepairStep::FlushCookie {
+                    cookie: rule.0,
+                    dpids: finding.dpids.clone(),
+                }]]
+            }
+            // The installed verdict (or its shape) disagrees with policy:
+            // remove the rule so the flow punts and is re-decided.
+            DiagnosticKind::StaleRule
+            | DiagnosticKind::CookieMismatch
+            | DiagnosticKind::NonCanonicalRule => {
+                let (Some(rule), Some(&dpid)) = (finding.rules.first(), finding.dpids.first())
+                else {
+                    return Vec::new();
+                };
+                vec![vec![RepairStep::RePunt {
+                    dpid,
+                    cookie: rule.0,
+                }]]
+            }
+            // `rules` is `[policy, cookie]`; the drifting install lives on
+            // the single diagnosed switch.
+            DiagnosticKind::PolicyDataplaneDrift => {
+                let (Some(cookie), Some(&dpid)) = (finding.rules.get(1), finding.dpids.first())
+                else {
+                    return Vec::new();
+                };
+                vec![vec![RepairStep::RePunt {
+                    dpid,
+                    cookie: cookie.0,
+                }]]
+            }
+            DiagnosticKind::SplitBrainPath => self.split_brain_candidates(finding),
+            DiagnosticKind::ReachabilityViolation => {
+                // `rules` is `[deciding policy, delivering cookies...]`;
+                // try each delivering cookie alone before flushing all of
+                // them (minimality rejects over-broad multi-step plans).
+                let cookies: Vec<u64> = {
+                    let mut seen = BTreeSet::new();
+                    finding
+                        .rules
+                        .iter()
+                        .skip(1)
+                        .map(|r| r.0)
+                        .filter(|c| seen.insert(*c))
+                        .collect()
+                };
+                let mut out: Vec<Vec<RepairStep>> = cookies
+                    .iter()
+                    .map(|&cookie| {
+                        vec![RepairStep::FlushCookie {
+                            cookie,
+                            dpids: finding.dpids.clone(),
+                        }]
+                    })
+                    .collect();
+                if cookies.len() > 1 {
+                    out.push(
+                        cookies
+                            .iter()
+                            .map(|&cookie| RepairStep::FlushCookie {
+                                cookie,
+                                dpids: finding.dpids.clone(),
+                            })
+                            .collect(),
+                    );
+                }
+                out
+            }
+            DiagnosticKind::IsolationBreach => self.isolation_candidates(finding),
+            DiagnosticKind::WaypointViolation => self.waypoint_candidates(finding),
+            // Intra-policy defects: drop the offending rule. For a
+            // conflict, try each side; verification keeps the deletion
+            // that does not leave the survivor redundant or shadowed.
+            DiagnosticKind::ShadowedRule
+            | DiagnosticKind::RedundantRule
+            | DiagnosticKind::UnreachablePattern => finding
+                .rules
+                .first()
+                .filter(|id| **id != DEFAULT_DENY_ID)
+                .map(|id| vec![vec![RepairStep::DeleteRule { rule: id.0 }]])
+                .unwrap_or_default(),
+            DiagnosticKind::AllowDenyConflict => finding
+                .rules
+                .iter()
+                .filter(|id| **id != DEFAULT_DENY_ID)
+                .map(|id| vec![RepairStep::DeleteRule { rule: id.0 }])
+                .collect(),
+        }
+    }
+
+    /// For a split-brain path, replay every involved install through the
+    /// ERM and re-punt exactly the switches whose cached verdict disagrees
+    /// with current policy; fall back to single re-punts when replay
+    /// cannot localize the disagreement.
+    fn split_brain_candidates(&mut self, finding: &Diagnostic) -> Vec<Vec<RepairStep>> {
+        let cookies: BTreeSet<u64> = finding.rules.iter().map(|r| r.0).collect();
+        let mut disagreeing: Vec<(u64, u64)> = Vec::new();
+        if let Some(erm) = self.erm.as_deref_mut() {
+            let analyzer = Analyzer::from_pm(&self.world.pm);
+            for snap in &self.world.snapshots {
+                if !finding.dpids.contains(&snap.dpid) {
+                    continue;
+                }
+                for rule in &snap.rules {
+                    if !cookies.contains(&rule.cookie) {
+                        continue;
+                    }
+                    let Some(flow) = analyzer.replay_table0_flow(snap.dpid, rule, erm) else {
+                        continue;
+                    };
+                    let installed = if rule.allow {
+                        PolicyAction::Allow
+                    } else {
+                        PolicyAction::Deny
+                    };
+                    if analyzer.decide(&flow).action != installed {
+                        disagreeing.push((snap.dpid, rule.cookie));
+                    }
+                }
+            }
+        }
+        disagreeing.sort_unstable();
+        disagreeing.dedup();
+        let mut out = Vec::new();
+        if !disagreeing.is_empty() {
+            out.push(
+                disagreeing
+                    .iter()
+                    .map(|&(dpid, cookie)| RepairStep::RePunt { dpid, cookie })
+                    .collect(),
+            );
+        }
+        for &dpid in &finding.dpids {
+            for &cookie in &cookies {
+                out.push(vec![RepairStep::RePunt { dpid, cookie }]);
+            }
+        }
+        out
+    }
+
+    /// For an isolation breach, flush the install chain that delivers to
+    /// the quarantined host (located by the witness's MAC pair along the
+    /// diagnosed path); when the leak is punt-decided instead, delete the
+    /// deciding allow rule.
+    fn isolation_candidates(&self, finding: &Diagnostic) -> Vec<Vec<RepairStep>> {
+        let mut out = Vec::new();
+        if let Some(w) = &finding.witness {
+            if let (Some(smac), Some(dmac)) = (w.src.mac, w.dst.mac) {
+                let mut cookies = BTreeSet::new();
+                for snap in &self.world.snapshots {
+                    if !finding.dpids.contains(&snap.dpid) {
+                        continue;
+                    }
+                    for rule in &snap.rules {
+                        if rule.mat.eth_src == Some(smac) && rule.mat.eth_dst == Some(dmac) {
+                            cookies.insert(rule.cookie);
+                        }
+                    }
+                }
+                for &cookie in &cookies {
+                    out.push(vec![RepairStep::FlushCookie {
+                        cookie,
+                        dpids: finding.dpids.clone(),
+                    }]);
+                }
+                if cookies.len() > 1 {
+                    out.push(
+                        cookies
+                            .iter()
+                            .map(|&cookie| RepairStep::FlushCookie {
+                                cookie,
+                                dpids: finding.dpids.clone(),
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        if let Some(&id) = finding.rules.first() {
+            if id != DEFAULT_DENY_ID {
+                out.push(vec![RepairStep::DeleteRule { rule: id.0 }]);
+            }
+        }
+        out
+    }
+
+    /// For a missed waypoint obligation, synthesize the exact-match chain
+    /// that carries the witness pair *through* an acceptable transit
+    /// switch: route src→via and via→dst over the fabric and install one
+    /// rule per hop, pinning exactly the fields the policy's flow class
+    /// determines. Gives up (returns no candidate) when the class cannot
+    /// be expressed as a single exact-match per hop — e.g. a port range,
+    /// or L4 ports with the protocol left open.
+    fn waypoint_candidates(&self, finding: &Diagnostic) -> Vec<Vec<RepairStep>> {
+        let Some(spec) = &self.world.spec else {
+            return Vec::new();
+        };
+        let Some(&policy) = finding.rules.first() else {
+            return Vec::new();
+        };
+        let Some(stored) = self.world.pm.get(policy) else {
+            return Vec::new();
+        };
+        let Some(witness) = &finding.witness else {
+            return Vec::new();
+        };
+        let (Some(smac), Some(dmac)) = (witness.src.mac, witness.dst.mac) else {
+            return Vec::new();
+        };
+        let Some(src) = spec.hosts.iter().find(|h| h.mac == smac) else {
+            return Vec::new();
+        };
+        let Some(dst) = spec.hosts.iter().find(|h| h.mac == dmac) else {
+            return Vec::new();
+        };
+        let proto = match stored.rule.flow.ip_proto {
+            Wild::Any => None,
+            Wild::Is(p) => Some(p),
+            Wild::In(..) => return Vec::new(),
+        };
+        let sport = match stored.rule.src.port {
+            Wild::Any => None,
+            Wild::Is(p) => Some(p),
+            Wild::In(..) => return Vec::new(),
+        };
+        let dport = match stored.rule.dst.port {
+            Wild::Any => None,
+            Wild::Is(p) => Some(p),
+            Wild::In(..) => return Vec::new(),
+        };
+        if proto.is_none() && (sport.is_some() || dport.is_some()) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for assertion in spec.waypoints.iter().filter(|a| a.policy == policy) {
+            for &via in &assertion.via {
+                let Some(head) = spec.adjacency.path(src.dpid, via) else {
+                    continue;
+                };
+                let Some(tail) = spec.adjacency.path(via, dst.dpid) else {
+                    continue;
+                };
+                let mut chain = head;
+                chain.extend_from_slice(&tail[1..]);
+                let distinct: BTreeSet<u64> = chain.iter().copied().collect();
+                if distinct.len() != chain.len() {
+                    continue; // the walk refuses to revisit a switch
+                }
+                let mut steps = Vec::with_capacity(chain.len());
+                for (i, &hop) in chain.iter().enumerate() {
+                    let ingress = if i == 0 {
+                        src.port
+                    } else {
+                        match spec.adjacency.port_towards(hop, chain[i - 1]) {
+                            Some(p) => p,
+                            None => {
+                                steps.clear();
+                                break;
+                            }
+                        }
+                    };
+                    let mat = Match {
+                        in_port: Some(ingress),
+                        eth_src: Some(smac),
+                        eth_dst: Some(dmac),
+                        eth_type: Some(0x0800),
+                        ip_proto: proto,
+                        ipv4_src: Some(src.ip),
+                        ipv4_dst: Some(dst.ip),
+                        tcp_src: if proto == Some(6) { sport } else { None },
+                        tcp_dst: if proto == Some(6) { dport } else { None },
+                        udp_src: if proto == Some(17) { sport } else { None },
+                        udp_dst: if proto == Some(17) { dport } else { None },
+                        ..Match::default()
+                    };
+                    steps.push(RepairStep::InstallExact {
+                        dpid: hop,
+                        mat,
+                        priority: 400,
+                        cookie: policy.0,
+                        allow: true,
+                    });
+                }
+                if !steps.is_empty() {
+                    out.push(steps);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convenience wrapper: synthesize + certify plans for a whole report.
+/// The result is parallel to `findings` (`None` where nothing certified).
+#[must_use]
+pub fn repair_findings(
+    world: &World,
+    erm: Option<&mut EntityResolver>,
+    findings: &[Diagnostic],
+) -> Vec<Option<RepairPlan>> {
+    Repairer::new(world, erm).repair_all(findings)
+}
+
+/// What [`audit_and_repair_live`] found, proposed, and applied.
+#[derive(Clone, Debug, Default)]
+pub struct LiveRepairOutcome {
+    /// The network audit's findings.
+    pub findings: Vec<Diagnostic>,
+    /// Certified plans, parallel to `findings`.
+    pub plans: Vec<Option<RepairPlan>>,
+    /// How many plans were applied (0 unless `apply`).
+    pub applied: usize,
+}
+
+/// Audits a live [`Dfi`] + [`Network`] pair, synthesizes verified repairs,
+/// publishes paired finding/repair events on [`topic::ANALYZER_FINDINGS`],
+/// and — when `apply` is set — pushes every certified plan back into the
+/// data plane through [`Dfi::apply_repair_steps`].
+///
+/// This is the one safe entry point for live repair: it captures and masks
+/// in-flight cookies *before* borrowing the ERM, and applies plans only
+/// after every proxy borrow is released, so callers cannot hit the
+/// `RefCell` double-borrow that composing the pieces by hand risks.
+///
+/// Event consumers (e.g. a PDP wired via
+/// `QuarantinePdp::wire_repair_proposals`) auto-apply `RepairProposed`
+/// events; do **not** combine such a consumer with `apply = true` or each
+/// plan runs twice.
+pub fn audit_and_repair_live(
+    sim: &mut Sim,
+    network: &Network,
+    dfi: &Dfi,
+    apply: bool,
+) -> LiveRepairOutcome {
+    let snapshots = mask_in_flight(&capture_network(network), &InFlight::of_dfi(dfi));
+    let world = World {
+        pm: dfi.with_pm(|pm| pm.clone()),
+        snapshots,
+        spec: None,
+        universe: None,
+    };
+    let (findings, plans) = dfi.with_erm(|erm| {
+        let findings = Analyzer::from_pm(&world.pm).check_snapshots(&world.snapshots, erm);
+        let plans = repair_findings(&world, Some(erm), &findings);
+        (findings, plans)
+    });
+    let bus = dfi.bus().clone();
+    crate::bus::publish_audit(sim, &bus, &findings);
+    for (i, plan) in plans.iter().enumerate() {
+        if let Some(plan) = plan {
+            let event = crate::bus::repair_event(crate::delta::FindingId(i as u64 + 1), plan);
+            bus.publish(sim, topic::ANALYZER_FINDINGS, event);
+        }
+    }
+    let mut applied = 0;
+    if apply {
+        for plan in plans.iter().flatten() {
+            dfi.apply_repair_steps(sim, &plan.steps);
+            applied += 1;
+        }
+    }
+    LiveRepairOutcome {
+        findings,
+        plans,
+        applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    fn sorted(mut v: Vec<String>) -> Vec<String> {
+        v.sort();
+        v
+    }
+
+    fn signatures(plans: &[Option<RepairPlan>]) -> Vec<String> {
+        plans
+            .iter()
+            .map(|p| {
+                p.as_ref()
+                    .expect("every corpus finding must repair")
+                    .signature()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn policy_corpus_repairs_to_ground_truth() {
+        let c = corpus::generate(200, 11);
+        let expected = c.expected_repairs();
+        let world = World {
+            pm: c.manager,
+            snapshots: Vec::new(),
+            spec: None,
+            universe: Some(c.universe),
+        };
+        let findings = audit_world(&world, None);
+        assert_eq!(findings.len(), expected.len());
+        let plans = repair_findings(&world, None, &findings);
+        assert_eq!(sorted(signatures(&plans)), sorted(expected));
+        // Applying every plan yields a clean world.
+        let mut fixed = world.clone();
+        for plan in plans.iter().flatten() {
+            fixed.apply(&plan.steps);
+        }
+        assert_eq!(audit_world(&fixed, None), vec![]);
+    }
+
+    #[test]
+    fn network_corpus_repairs_to_ground_truth() {
+        let mut c = corpus::generate_network(8, 100, 7, true);
+        let expected = c.expected_repairs();
+        let world = World {
+            pm: c.manager,
+            snapshots: c.snapshots,
+            spec: None,
+            universe: None,
+        };
+        let findings = audit_world(&world, Some(&mut c.resolver));
+        assert_eq!(findings.len(), expected.len());
+        let plans = repair_findings(&world, Some(&mut c.resolver), &findings);
+        assert_eq!(sorted(signatures(&plans)), sorted(expected));
+        let mut fixed = world.clone();
+        for plan in plans.iter().flatten() {
+            fixed.apply(&plan.steps);
+        }
+        assert_eq!(audit_world(&fixed, Some(&mut c.resolver)), vec![]);
+    }
+
+    #[test]
+    fn reach_corpus_repairs_to_ground_truth() {
+        let c = corpus::generate_reach(2, 8, 150, 70, 11, true);
+        let expected = c.expected_repairs();
+        let world = World {
+            pm: c.manager,
+            snapshots: c.snapshots,
+            spec: Some(c.spec),
+            universe: None,
+        };
+        let findings = audit_world(&world, None);
+        assert_eq!(findings.len(), expected.len());
+        let plans = repair_findings(&world, None, &findings);
+        assert_eq!(sorted(signatures(&plans)), sorted(expected));
+        let mut fixed = world.clone();
+        for plan in plans.iter().flatten() {
+            fixed.apply(&plan.steps);
+        }
+        assert_eq!(audit_world(&fixed, None), vec![]);
+    }
+}

@@ -15,20 +15,16 @@
 //! (which answers from the packet's *class representative*) to agree on
 //! every single packet.
 
+mod common;
+
+use common::{oracle_delivered, PORT_GRID};
 use dfi_analyze::{ReachAnalyzer, ReachSpec, TableZeroRule, TableZeroSnapshot};
 use dfi_core::policy::{
-    EndpointPattern, EndpointView, FlowProperties, FlowView, PolicyAction, PolicyManager,
-    PolicyRule, Wild, WildName,
+    EndpointPattern, FlowProperties, PolicyManager, PolicyRule, Wild, WildName,
 };
 use dfi_openflow::Match;
 use dfi_simnet::topo::{TopoKind, TopoParams, Topology};
 use proptest::prelude::*;
-use std::cmp::Reverse;
-
-/// Covers every interval the generated rules and installs can cut: rule
-/// port bounds live in `1..5`, install pins in `1..5`, and 0 / 5 probe
-/// the open ends.
-const PORT_GRID: [u16; 6] = [0, 1, 2, 3, 4, 5];
 
 /// One endpoint pattern, materialized against the generated hosts.
 #[derive(Clone, Debug)]
@@ -207,103 +203,6 @@ fn place_installs(spec: &ReachSpec, snaps: &mut [TableZeroSnapshot], inst: &Inst
             allow: inst.last_allow || i + 1 < hops,
         });
     }
-}
-
-/// The enriched flow the live proxy would hand the policy layer — field
-/// for field what the engine's own `flow_view` builds.
-fn probe_flow(spec: &ReachSpec, src: usize, dst: usize, proto: u8, sp: u16, dp: u16) -> FlowView {
-    let side = |i: usize, port: u16| {
-        let h = &spec.hosts[i];
-        EndpointView {
-            usernames: h.users.clone(),
-            hostnames: vec![h.hostname.clone()],
-            ip: Some(h.ip),
-            port: Some(port),
-            mac: Some(h.mac),
-            switch_port: Some(h.port),
-            switch_dpid: Some(h.dpid),
-        }
-    };
-    FlowView {
-        ethertype: 0x0800,
-        ip_proto: Some(proto),
-        src: side(src, sp),
-        dst: side(dst, dp),
-    }
-}
-
-/// Whether an installed rule matches one concrete packet, under the same
-/// canonicality gate the engine applies: MAC pins and ingress port are
-/// mandatory, the IP/L4 fields wildcard when absent.
-#[allow(clippy::too_many_arguments)]
-fn rule_matches(
-    r: &TableZeroRule,
-    spec: &ReachSpec,
-    src: usize,
-    dst: usize,
-    ingress: u32,
-    proto: u8,
-    sp: u16,
-    dp: u16,
-) -> bool {
-    let (s, d) = (&spec.hosts[src], &spec.hosts[dst]);
-    let m = &r.mat;
-    m.eth_type == Some(0x0800)
-        && m.in_port == Some(ingress)
-        && m.eth_src == Some(s.mac)
-        && m.eth_dst == Some(d.mac)
-        && m.ipv4_src.is_none_or(|ip| ip == s.ip)
-        && m.ipv4_dst.is_none_or(|ip| ip == d.ip)
-        && m.ip_proto.is_none_or(|p| p == proto)
-        && m.tcp_src.is_none_or(|p| p == sp)
-        && m.tcp_dst.is_none_or(|p| p == dp)
-}
-
-/// The independent per-packet simulation: walk the BFS path hop by hop,
-/// arbitrating installed rules exactly like a switch (highest priority,
-/// deny beats allow, lowest cookie) and punting table misses to the
-/// linear-scan policy oracle. Returns whether the packet is delivered.
-#[allow(clippy::too_many_arguments)]
-fn oracle_delivered(
-    spec: &ReachSpec,
-    pm: &PolicyManager,
-    snaps: &[TableZeroSnapshot],
-    src: usize,
-    dst: usize,
-    proto: u8,
-    sp: u16,
-    dp: u16,
-) -> bool {
-    let (s, d) = (&spec.hosts[src], &spec.hosts[dst]);
-    let Some(path) = spec.adjacency.path(s.dpid, d.dpid) else {
-        return false;
-    };
-    let policy_allows = pm
-        .query_linear(&probe_flow(spec, src, dst, proto, sp, dp))
-        .action
-        == PolicyAction::Allow;
-    for (i, &hop) in path.iter().enumerate() {
-        let ingress = if i == 0 {
-            s.port
-        } else {
-            spec.adjacency
-                .port_towards(hop, path[i - 1])
-                .expect("path hops are adjacent")
-        };
-        let snap = snaps.iter().find(|x| x.dpid == hop).expect("dense dpids");
-        let best = snap
-            .rules
-            .iter()
-            .filter(|r| rule_matches(r, spec, src, dst, ingress, proto, sp, dp))
-            .min_by_key(|r| (Reverse(r.priority), u8::from(r.allow), r.cookie));
-        match best {
-            Some(r) if r.allow => {}
-            Some(_) => return false,
-            None if policy_allows => {}
-            None => return false,
-        }
-    }
-    true
 }
 
 proptest! {

@@ -1,0 +1,225 @@
+//! Repair convergence over random defect-planted worlds.
+//!
+//! The repair engine promises that every plan it emits is *certified*:
+//! verified against a hypothetical copy of the world before being
+//! surfaced. This suite holds the promise to an external check, for
+//! random sizes and seeds of all three defect corpora:
+//!
+//! * **clears its finding** — applying the plan removes the diagnostic it
+//!   was synthesized for (a same-kind/same-rules/same-witness diagnostic
+//!   over a subset of the dpids counts as *not* cleared: that is the same
+//!   defect partially repaired);
+//! * **raises zero new findings** — every post-apply diagnostic's
+//!   (kind, rules) key already existed in the pre-apply audit;
+//! * **idempotent** — applying the plan twice audits identically to
+//!   applying it once;
+//! * **converges** — when every finding gets a plan, applying all of them
+//!   re-audits clean.
+//!
+//! Reach-class repairs additionally face the brute-force per-packet
+//! forwarding oracle from `common/`: after repair, the planted flows'
+//! packets must be delivered exactly when the linear-scan policy oracle
+//! allows them — vouched for by a simulator that never saw the plan.
+
+mod common;
+
+use common::oracle_delivered;
+use dfi_analyze::{audit_world, corpus, repair_findings, Diagnostic, DiagnosticKind, World};
+use dfi_core::erm::EntityResolver;
+use dfi_core::policy::PolicyAction;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+type Coarse = (DiagnosticKind, Vec<u64>);
+
+fn coarse(d: &Diagnostic) -> Coarse {
+    (d.kind, d.rules.iter().map(|r| r.0).collect())
+}
+
+fn witness_hosts(d: &Diagnostic) -> Option<(String, String)> {
+    let w = d.witness.as_ref()?;
+    Some((
+        w.src.hostnames.first()?.clone(),
+        w.dst.hostnames.first()?.clone(),
+    ))
+}
+
+/// Whether `finding` survives in `post` — including as a shrunken
+/// same-defect diagnostic over a subset of its dpids.
+fn still_present(finding: &Diagnostic, post: &[Diagnostic]) -> bool {
+    post.iter().any(|d| {
+        d.kind == finding.kind
+            && d.rules == finding.rules
+            && witness_hosts(d) == witness_hosts(finding)
+            && d.dpids.iter().all(|dp| finding.dpids.contains(dp))
+    })
+}
+
+/// Audits `world`, synthesizes plans, and checks the three per-plan
+/// properties plus whole-world convergence.
+fn check_world(world: &World, mut erm: Option<&mut EntityResolver>) -> Result<(), TestCaseError> {
+    let findings = audit_world(world, erm.as_deref_mut());
+    let plans = repair_findings(world, erm.as_deref_mut(), &findings);
+    let baseline: BTreeSet<Coarse> = findings.iter().map(coarse).collect();
+
+    for (finding, plan) in findings.iter().zip(&plans) {
+        let Some(plan) = plan else { continue };
+        let mut once = world.clone();
+        once.apply(&plan.steps);
+        let post = audit_world(&once, erm.as_deref_mut());
+        prop_assert!(
+            !still_present(finding, &post),
+            "plan `{}` does not clear its {} finding",
+            plan.signature(),
+            finding.kind
+        );
+        for d in &post {
+            prop_assert!(
+                baseline.contains(&coarse(d)),
+                "plan `{}` raised a new finding: {} {:?}",
+                plan.signature(),
+                d.kind,
+                d.rules
+            );
+        }
+        let mut twice = once.clone();
+        twice.apply(&plan.steps);
+        let re = audit_world(&twice, erm.as_deref_mut());
+        prop_assert_eq!(&post, &re, "plan `{}` is not idempotent", plan.signature());
+    }
+
+    if plans.iter().all(Option::is_some) {
+        let mut fixed = world.clone();
+        for plan in plans.iter().flatten() {
+            fixed.apply(&plan.steps);
+        }
+        let residue = audit_world(&fixed, erm);
+        prop_assert!(
+            residue.is_empty(),
+            "applying every certified plan left {} findings, first: {}",
+            residue.len(),
+            residue[0].message
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Policy-corpus defects (shadowing, redundancy, conflicts,
+    /// unreachable patterns) at random sizes and seeds.
+    #[test]
+    fn policy_repairs_converge(n_rules in 50usize..300, seed in any::<u64>()) {
+        let c = corpus::generate(n_rules, seed);
+        let world = World {
+            pm: c.manager,
+            snapshots: Vec::new(),
+            spec: None,
+            universe: Some(c.universe),
+        };
+        check_world(&world, None)?;
+    }
+
+    /// Network-corpus defects (orphans, stale verdicts, partial flushes,
+    /// split-brain paths) across a random switch fleet.
+    #[test]
+    fn network_repairs_converge(
+        switches in 5usize..12,
+        flows in 50usize..160,
+        seed in any::<u64>(),
+    ) {
+        let mut c = corpus::generate_network(switches, flows, seed, true);
+        let world = World {
+            pm: c.manager,
+            snapshots: c.snapshots,
+            spec: None,
+            universe: None,
+        };
+        check_world(&world, Some(&mut c.resolver))?;
+    }
+
+    /// Reach-corpus defects (forward drift, blackholes, relay leaks,
+    /// waypoint misses) over a random leaf-spine fabric.
+    #[test]
+    fn reach_repairs_converge(
+        leaves in 3u32..6,
+        flows in 18usize..30,
+        seed in any::<u64>(),
+    ) {
+        let hosts = (2 * flows + 8) as u32;
+        let c = corpus::generate_reach(2, leaves, hosts, flows, seed, true);
+        let world = World {
+            pm: c.manager,
+            snapshots: c.snapshots,
+            spec: Some(c.spec),
+            universe: None,
+        };
+        check_world(&world, None)?;
+    }
+
+    /// After repairing every reach finding, the planted flows face the
+    /// independent per-packet forwarding oracle: delivery must equal the
+    /// policy verdict, packet by packet.
+    #[test]
+    fn repaired_reach_worlds_satisfy_the_packet_oracle(
+        leaves in 3u32..6,
+        flows in 18usize..30,
+        seed in any::<u64>(),
+    ) {
+        let hosts = (2 * flows + 8) as u32;
+        let c = corpus::generate_reach(2, leaves, hosts, flows, seed, true);
+        let mut world = World {
+            pm: c.manager.clone(),
+            snapshots: c.snapshots.clone(),
+            spec: Some(c.spec.clone()),
+            universe: None,
+        };
+        let findings = audit_world(&world, None);
+        let plans = repair_findings(&world, None, &findings);
+        prop_assert!(
+            plans.iter().all(Option::is_some),
+            "every planted reach defect must be repairable"
+        );
+        for plan in plans.iter().flatten() {
+            world.apply(&plan.steps);
+        }
+        let spec = world.spec.as_ref().expect("reach world has a spec");
+        let host = |name: &str| {
+            spec.hosts
+                .iter()
+                .position(|h| h.hostname == name)
+                .expect("corpus hostnames are in the spec")
+        };
+        // Slot index -> the planted flow's source port (the corpus pins
+        // TCP `40000 + i -> 445`).
+        let slots = |m: usize| (0..flows).filter(move |i| i % 31 == m);
+        let mut probes: Vec<(usize, usize, u16)> = Vec::new();
+        for ((a, b, _), i) in c.forward_drift.iter().zip(slots(7)) {
+            probes.push((host(a), host(b), 40_000 + i as u16));
+        }
+        for ((a, b, _, _), i) in c.blackholes.iter().zip(slots(17)) {
+            probes.push((host(a), host(b), 40_000 + i as u16));
+        }
+        for ((_, b, q, _), i) in c.relay_leaks.iter().zip(slots(27)) {
+            probes.push((host(b), host(q), 40_000 + i as u16));
+        }
+        for (src, dst, sport) in probes {
+            let delivered =
+                oracle_delivered(spec, &world.pm, &world.snapshots, src, dst, 6, sport, 445);
+            let allowed = world
+                .pm
+                .query_linear(&common::probe_flow(spec, src, dst, 6, sport, 445))
+                .action
+                == PolicyAction::Allow;
+            prop_assert_eq!(
+                delivered,
+                allowed,
+                "repaired world still drifts for {} -> {} sport {}",
+                &spec.hosts[src].hostname,
+                &spec.hosts[dst].hostname,
+                sport
+            );
+        }
+    }
+}

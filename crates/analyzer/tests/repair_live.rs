@@ -1,0 +1,135 @@
+//! The full counterexample-guided repair loop on the paper's 14-switch
+//! evaluation testbed: real traffic caches verdict rules fleet-wide, a
+//! partial-flush fault is staged literally, and the one-call
+//! [`audit_and_repair_live`] entry point audits, synthesizes certified
+//! plans, publishes them, and (optionally) applies them — after which the
+//! network audits clean again.
+//!
+//! Two closures of the loop are exercised, mirroring the two wirings a
+//! deployment can choose (never both at once — the plans would apply
+//! twice):
+//!
+//! * **direct** — `audit_and_repair_live(.., apply = true)` applies each
+//!   certified plan itself;
+//! * **over the bus** — the quarantine PDP subscribes via
+//!   [`QuarantinePdp::wire_repair_proposals`] and applies whatever
+//!   [`RepairProposed`](dfi_core::events::DfiEvent::RepairProposed)
+//!   envelopes the audit publishes.
+
+use dfi_analyze::{audit_and_repair_live, DiagnosticKind};
+use dfi_core::pdp::QuarantinePdp;
+use dfi_core::policy::PolicyId;
+use dfi_openflow::FlowMod;
+use dfi_simnet::Sim;
+use dfi_worm::{Condition, Testbed, TestbedConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Builds the full 14-switch testbed under S-RBAC and drives one real
+/// host→server connection end to end.
+fn testbed_with_traffic() -> (Sim, Testbed) {
+    let mut sim = Sim::new(11);
+    let tb = Testbed::build(&mut sim, &TestbedConfig::default(), Condition::SRbac);
+    let files = tb.index_of("files").expect("files server exists");
+    let dst_ip = tb.hosts[files].ip();
+    let ok = Rc::new(RefCell::new(None));
+    let seen = ok.clone();
+    tb.hosts[0].connect(&mut sim, dst_ip, 445, move |_, success| {
+        *seen.borrow_mut() = Some(success);
+    });
+    sim.run();
+    assert_eq!(*ok.borrow(), Some(true), "the seeded flow must connect");
+    (sim, tb)
+}
+
+/// The forward-path cookie and the dpids caching it.
+fn forward_cookie(tb: &Testbed) -> (u64, Vec<u64>) {
+    let src_ip = tb.hosts[0].ip();
+    let mut cookie = None;
+    let mut dpids = Vec::new();
+    for snap in dfi_analyze::capture_network(&tb.net) {
+        for rule in &snap.rules {
+            if rule.mat.ipv4_src == Some(src_ip) && rule.mat.tcp_dst == Some(445) && rule.allow {
+                cookie = Some(rule.cookie);
+                dpids.push(snap.dpid);
+            }
+        }
+    }
+    (cookie.expect("the allowed flow is cached"), dpids)
+}
+
+/// Stages the partial-flush fault: revoke the deciding policy behind
+/// DFI's back, deliver the cookie flush to all but two switches. Returns
+/// the dead cookie and the two missed dpids.
+fn plant_partial_flush(sim: &mut Sim, tb: &Testbed) -> (u64, Vec<u64>) {
+    let (cookie, cached_on) = forward_cookie(tb);
+    assert!(tb.dfi.with_pm(|pm| pm.revoke(PolicyId(cookie))));
+    let missed: Vec<u64> = cached_on.iter().take(2).copied().collect();
+    for sw in &tb.switches {
+        if !missed.contains(&sw.dpid()) {
+            sw.install(sim, &FlowMod::delete_by_cookie(cookie, u64::MAX));
+        }
+    }
+    (cookie, missed)
+}
+
+#[test]
+fn live_repair_loop_heals_a_partial_flush_directly() {
+    let (mut sim, tb) = testbed_with_traffic();
+    let (cookie, missed) = plant_partial_flush(&mut sim, &tb);
+
+    let outcome = audit_and_repair_live(&mut sim, &tb.net, &tb.dfi, true);
+    sim.run();
+
+    // One orphan per missed switch plus the cross-switch correlation,
+    // every one of them with a certified plan, every plan applied.
+    assert_eq!(outcome.findings.len(), missed.len() + 1);
+    assert!(outcome
+        .findings
+        .iter()
+        .all(|d| d.kind == DiagnosticKind::OrphanCookie || d.kind == DiagnosticKind::PartialFlush));
+    assert!(outcome
+        .findings
+        .iter()
+        .all(|d| d.rules == vec![PolicyId(cookie)]));
+    assert!(
+        outcome.plans.iter().all(Option::is_some),
+        "every finding must yield a certified plan"
+    );
+    assert_eq!(outcome.applied, outcome.findings.len());
+
+    let clean = audit_and_repair_live(&mut sim, &tb.net, &tb.dfi, false);
+    assert_eq!(clean.findings, vec![], "the applied plans healed the fleet");
+}
+
+#[test]
+fn repair_proposals_over_the_bus_drive_the_pdp() {
+    let (mut sim, tb) = testbed_with_traffic();
+    let (_cookie, _missed) = plant_partial_flush(&mut sim, &tb);
+
+    // The PDP applies whatever certified plans the audit publishes; the
+    // audit itself does NOT apply (that would double-apply every plan).
+    let qpdp = Rc::new(RefCell::new(QuarantinePdp::new()));
+    QuarantinePdp::wire_repair_proposals(&qpdp, &tb.dfi);
+    let outcome = audit_and_repair_live(&mut sim, &tb.net, &tb.dfi, false);
+    assert_eq!(outcome.applied, 0);
+    assert!(!outcome.findings.is_empty());
+    sim.run();
+
+    let applied = qpdp.borrow().applied_repairs().to_vec();
+    assert_eq!(
+        applied.len(),
+        outcome.findings.len(),
+        "the PDP applied one plan per finding"
+    );
+    assert!(applied
+        .iter()
+        .all(|k| k == "orphan-cookie" || k == "partial-flush"));
+
+    let clean = audit_and_repair_live(&mut sim, &tb.net, &tb.dfi, false);
+    assert_eq!(
+        clean.findings,
+        vec![],
+        "the bus-driven repairs healed the fleet"
+    );
+}

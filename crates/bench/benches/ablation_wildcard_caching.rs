@@ -126,8 +126,7 @@ fn run(wildcard_caching: bool) -> Outcome {
 fn main() {
     header("Ablation: reactive wildcard-rule caching (paper's future-work sketch)");
     println!(
-        "({} host pairs x {} ephemeral-port flows, plus a port-445 deny policy)",
-        PAIRS, FLOWS_PER_PAIR
+        "({PAIRS} host pairs x {FLOWS_PER_PAIR} ephemeral-port flows, plus a port-445 deny policy)"
     );
     let exact = run(false);
     let cached = run(true);

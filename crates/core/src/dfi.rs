@@ -61,7 +61,7 @@
 //! batched FlowMod‖Barrier installs.
 
 use crate::erm::{Binding, EntityResolver, ErmIndexSizes, SpoofVerdict};
-use crate::events::{topic, DfiEvent, SnapshotWitness};
+use crate::events::{topic, DfiEvent, RepairStepData, SnapshotWitness};
 use crate::policy::{
     Decision, FlowView, PolicyAction, PolicyId, PolicyIndexStats, PolicyManager, PolicyRule,
     PolicySnapshot, SnapshotStore, DEFAULT_DENY_ID,
@@ -1937,5 +1937,169 @@ impl Dfi {
     #[must_use]
     pub fn snapshot_history(&self) -> Vec<Arc<PolicySnapshot>> {
         self.inner.borrow().store.retained()
+    }
+
+    /// One-command rollback: rewrites the Policy Manager to the retained
+    /// snapshot stamped `epoch`, flushes every derived flow rule the
+    /// restore invalidated, and republishes through the normal certify →
+    /// publish path (a rollback is a policy mutation like any other — the
+    /// `DeltaAnalyzer` gate re-certifies it, and the published snapshot
+    /// gets a fresh, strictly newer epoch). Returns `false` when no
+    /// retained snapshot carries that epoch.
+    pub fn rollback_snapshot(&self, sim: &mut Sim, epoch: u64) -> bool {
+        let Some(target) = self
+            .snapshot_history()
+            .into_iter()
+            .find(|s| s.epoch() == epoch)
+        else {
+            return false;
+        };
+        let flush = {
+            let mut inner = self.inner.borrow_mut();
+            let flush = target.restore_into(&mut inner.pm);
+            for policy in &flush {
+                inner.cache.invalidate_policy(*policy);
+            }
+            flush
+        };
+        for policy in &flush {
+            self.flush_policy_rules(sim, *policy);
+        }
+        self.republish(sim, &flush);
+        true
+    }
+
+    /// Re-ranks a policy rule in place (same id, same cookie) and flushes
+    /// the derived flow rules of every policy the arbitration inversion
+    /// invalidated, then republishes through the certification gate.
+    /// Returns `false` for unknown ids.
+    pub fn re_rank_policy(&self, sim: &mut Sim, id: PolicyId, new_priority: u32) -> bool {
+        let flush = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(flush) = inner.pm.re_rank(id, new_priority) else {
+                return false;
+            };
+            for policy in &flush {
+                inner.cache.invalidate_policy(*policy);
+            }
+            flush
+        };
+        for policy in &flush {
+            self.flush_policy_rules(sim, *policy);
+        }
+        self.republish(sim, &flush);
+        true
+    }
+
+    /// Sends a delete-by-cookie to the one switch `dpid` — the targeted
+    /// half of a repair plan (a network-wide flush is
+    /// [`Dfi::flush_policy_rules`]): the switch drops its cached rules for
+    /// the cookie and the flow's next packet punts for a fresh verdict.
+    /// Memoized decisions for the cookie's policy are invalidated so the
+    /// re-punt is actually re-decided. Returns `false` when no attached
+    /// switch has that dpid.
+    pub fn flush_cookie_on(&self, sim: &mut Sim, dpid: u64, cookie: u64) -> bool {
+        let (conn, delay) = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(conn) = inner.conns.iter().position(|c| c.dpid == dpid) else {
+                return false;
+            };
+            inner.metrics.flushes += 1;
+            inner.cache.invalidate_policy(PolicyId(cookie));
+            // Cancel unacknowledged add retries for this cookie on this
+            // connection, exactly as the network-wide flush does.
+            let cancelled: Vec<(usize, u32)> = inner
+                .pending_installs
+                .iter()
+                .filter(|(&(c, _), p)| c == conn && !p.is_delete && p.cookie == cookie)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in cancelled {
+                if let Some(pending) = inner.pending_installs.remove(&key) {
+                    inner.conns[key.0].pool.release(pending.bytes);
+                }
+            }
+            let delay = inner.config.bus_latency.sample(sim.rng()) + inner.config.install_latency;
+            (conn, delay)
+        };
+        let fm = FlowMod::delete_by_cookie(cookie, u64::MAX);
+        self.send_tracked_install(sim, conn, fm, delay);
+        true
+    }
+
+    /// Installs one exact-match Table-0 rule on `dpid` through the
+    /// tracked-install path (barrier-acked, retried): the install half of
+    /// a repair plan, e.g. re-pinning a flow through a mandated waypoint.
+    /// `allow` compiles to the canonical `GotoTable(1)` instruction, deny
+    /// to an empty instruction list. Returns `false` when no attached
+    /// switch has that dpid.
+    pub fn install_exact(
+        &self,
+        sim: &mut Sim,
+        dpid: u64,
+        mat: Match,
+        priority: u16,
+        cookie: u64,
+        allow: bool,
+    ) -> bool {
+        let (conn, delay) = {
+            let inner = self.inner.borrow();
+            let Some(conn) = inner.conns.iter().position(|c| c.dpid == dpid) else {
+                return false;
+            };
+            let delay = inner.config.bus_latency.sample(sim.rng()) + inner.config.install_latency;
+            (conn, delay)
+        };
+        let fm = FlowMod {
+            cookie,
+            table_id: 0,
+            priority,
+            mat,
+            instructions: if allow {
+                vec![Instruction::GotoTable(1)]
+            } else {
+                vec![]
+            },
+            ..FlowMod::add()
+        };
+        self.send_tracked_install(sim, conn, fm, delay);
+        true
+    }
+
+    /// Applies a verified repair plan's steps in order, mapping each to
+    /// the corresponding control-plane primitive. Policy-editing steps go
+    /// through the full certify → publish path (a repair is a mutation
+    /// like any other); data-plane steps ride the tracked-install path.
+    pub fn apply_repair_steps(&self, sim: &mut Sim, steps: &[RepairStepData]) {
+        for step in steps {
+            match step {
+                RepairStepData::FlushCookie { cookie, dpids } if dpids.is_empty() => {
+                    self.flush_policy_rules(sim, PolicyId(*cookie));
+                }
+                RepairStepData::FlushCookie { cookie, dpids } => {
+                    for dpid in dpids {
+                        self.flush_cookie_on(sim, *dpid, *cookie);
+                    }
+                }
+                RepairStepData::RePunt { dpid, cookie } => {
+                    self.flush_cookie_on(sim, *dpid, *cookie);
+                }
+                RepairStepData::InstallExact {
+                    dpid,
+                    mat,
+                    priority,
+                    cookie,
+                    allow,
+                } => {
+                    self.install_exact(sim, *dpid, mat.clone(), *priority, *cookie, *allow);
+                }
+                RepairStepData::DeleteRule { rule } => {
+                    self.revoke_policy(sim, PolicyId(*rule));
+                }
+                RepairStepData::ReRankRule { rule, new_priority } => {
+                    self.re_rank_policy(sim, PolicyId(*rule), *new_priority);
+                }
+            }
+        }
     }
 }

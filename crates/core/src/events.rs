@@ -6,6 +6,7 @@
 //! subscribe.
 
 use dfi_bus::Bus;
+use dfi_openflow::Match;
 use dfi_packet::MacAddr;
 use dfi_services::{DhcpServer, DnsServer, SessionKind, Siem};
 use std::net::Ipv4Addr;
@@ -37,6 +38,57 @@ pub struct SnapshotWitness {
     /// Human-readable description, including the witness flow when the
     /// certifier produced one.
     pub message: String,
+}
+
+/// One step of a verified repair plan, in the plain-data shape the bus
+/// (and [`crate::Dfi::apply_repair_steps`]) can carry: `dfi-core` sits
+/// below the analyzer in the crate graph, so the analyzer's typed
+/// `RepairStep` *is* this type, re-exported. Policy ids travel as raw
+/// `u64`s for the same reason the finding events are stringly typed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairStepData {
+    /// Delete every Table-0 rule carrying `cookie` from the listed
+    /// switches (empty = every attached switch, the shape of a policy
+    /// revocation's flush fan-out).
+    FlushCookie {
+        /// The cookie (a raw policy id) to reclaim.
+        cookie: u64,
+        /// Target switches, ascending; empty for network-wide.
+        dpids: Vec<u64>,
+    },
+    /// Delete the cached rules for `cookie` on one switch so the flow's
+    /// next packet punts to the proxy for a fresh verdict.
+    RePunt {
+        /// The switch whose cached verdict is stale.
+        dpid: u64,
+        /// The cookie of the stale rules.
+        cookie: u64,
+    },
+    /// Install one canonical exact-match Table-0 rule.
+    InstallExact {
+        /// Target switch.
+        dpid: u64,
+        /// The match, in DFI's canonical exact-match shape.
+        mat: Match,
+        /// Match priority.
+        priority: u16,
+        /// Cookie (the deciding policy's raw id).
+        cookie: u64,
+        /// `true` compiles to `GotoTable(1)`, `false` to drop.
+        allow: bool,
+    },
+    /// Revoke a Policy Manager rule (flushes its derived flow rules).
+    DeleteRule {
+        /// Raw policy id.
+        rule: u64,
+    },
+    /// Re-rank a Policy Manager rule in place (same id, same cookie).
+    ReRankRule {
+        /// Raw policy id.
+        rule: u64,
+        /// The new arbitration priority.
+        new_priority: u32,
+    },
 }
 
 /// The envelope carried on the DFI bus.
@@ -94,6 +146,23 @@ pub enum DfiEvent {
         /// policy-layer findings.
         dpids: Vec<u64>,
         /// Human-readable description.
+        message: String,
+    },
+    /// The repair engine synthesized — and *verified against a
+    /// hypothetical copy of the world* — a minimal fix for an active
+    /// analyzer finding. Published on [`topic::ANALYZER_FINDINGS`] right
+    /// after the finding itself; a PDP may apply the steps via
+    /// [`crate::Dfi::apply_repair_steps`].
+    RepairProposed {
+        /// The finding this plan heals (same id space as
+        /// [`DfiEvent::AnalyzerFinding::finding`]; 0 for offline audits
+        /// that never assigned one).
+        finding: u64,
+        /// The healed finding's diagnostic kind slug.
+        kind: String,
+        /// The ordered, verified, step-minimal fix.
+        steps: Vec<RepairStepData>,
+        /// Human-readable summary of the plan.
         message: String,
     },
     /// The control plane compiled and published a new policy snapshot;

@@ -75,7 +75,7 @@ use dfi_dataplane::Tx;
 use dfi_simnet::topo::shard_of;
 use dfi_simnet::{shard_seed, Sim, SimTime};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering as MemOrder};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -264,6 +264,11 @@ pub struct ParallelShardedDfi {
     publish_deferred: bool,
     deferred_flushes: Vec<PolicyId>,
     gate: Option<ParSnapshotGate>,
+    /// Front-end retention ring: the last [`SNAPSHOT_RETENTION`] retired
+    /// certified snapshots, oldest first. Worker stores keep their own
+    /// rings, but those live on the worker threads — rollback needs a
+    /// copy the front-end can reach without crossing a channel.
+    history: VecDeque<Arc<PolicySnapshot>>,
     metrics: ShardFanoutMetrics,
     /// Last acked/reported epoch per worker.
     served: Vec<u64>,
@@ -320,6 +325,7 @@ impl ParallelShardedDfi {
             publish_deferred: false,
             deferred_flushes: Vec::new(),
             gate: None,
+            history: VecDeque::new(),
             metrics: ShardFanoutMetrics::default(),
             served: vec![0; n],
             poisoned,
@@ -479,6 +485,33 @@ impl ParallelShardedDfi {
         self.gate = Some(gate);
     }
 
+    /// The front-end's retained retired snapshots, oldest first (at most
+    /// [`SNAPSHOT_RETENTION`]).
+    #[must_use]
+    pub fn snapshot_history(&self) -> Vec<Arc<PolicySnapshot>> {
+        self.history.iter().map(Arc::clone).collect()
+    }
+
+    /// One-command rollback to a retained snapshot epoch across the
+    /// worker fleet: restores the front-end Policy Manager to the
+    /// retained rule set, fans the diff's cookie flushes down every
+    /// worker channel, and republishes through the certify → epoch
+    /// barrier. Returns `false` when `epoch` left the retention ring.
+    pub fn rollback_snapshot(&mut self, epoch: u64) -> bool {
+        let Some(target) = self
+            .history
+            .iter()
+            .find(|s| s.epoch() == epoch)
+            .map(Arc::clone)
+        else {
+            return false;
+        };
+        let flush = target.restore_into(&mut self.pm);
+        self.fanout_flushes(&flush);
+        self.republish(&flush);
+        true
+    }
+
     fn fanout_flushes(&mut self, ids: &[PolicyId]) {
         if ids.is_empty() {
             return;
@@ -518,6 +551,13 @@ impl ParallelShardedDfi {
             let reflush = recovered.unwrap_or_default();
             if !reflush.is_empty() {
                 self.metrics.flush_fanouts += 1;
+            }
+            let retiring = self.store.load();
+            if retiring.epoch() > 0 {
+                self.history.push_back(retiring);
+                while self.history.len() > SNAPSHOT_RETENTION {
+                    self.history.pop_front();
+                }
             }
             self.store.publish(snap);
             for w in 0..self.workers.len() {

@@ -340,6 +340,7 @@ impl AtRbacPdp {
 pub struct QuarantinePdp {
     quarantined: HashMap<String, [PolicyId; 2]>,
     remediated: Vec<PolicyId>,
+    applied_repairs: Vec<String>,
 }
 
 impl QuarantinePdp {
@@ -349,6 +350,7 @@ impl QuarantinePdp {
         QuarantinePdp {
             quarantined: HashMap::new(),
             remediated: Vec::new(),
+            applied_repairs: Vec::new(),
         }
     }
 
@@ -392,6 +394,37 @@ impl QuarantinePdp {
     #[must_use]
     pub fn remediated(&self) -> &[PolicyId] {
         &self.remediated
+    }
+
+    /// Subscribes the PDP to certified repair plans: every
+    /// [`DfiEvent::RepairProposed`] on the findings topic is applied
+    /// verbatim through [`Dfi::apply_repair_steps`]. Unlike
+    /// [`wire_analyzer_findings`](QuarantinePdp::wire_analyzer_findings),
+    /// which re-derives a fix from two finding kinds it understands, this
+    /// wiring trusts the analyzer's verification: the plan already cleared
+    /// its finding on a hypothetical world without raising new ones, so the
+    /// PDP executes it for *any* finding kind.
+    ///
+    /// Do **not** combine this with `audit_and_repair_live(.., apply=true)`
+    /// on the same `Dfi` — the plan would be applied twice.
+    pub fn wire_repair_proposals(this: &Rc<RefCell<QuarantinePdp>>, dfi: &Dfi) {
+        let this = this.clone();
+        let applier = dfi.clone();
+        dfi.bus()
+            .subscribe(topic::ANALYZER_FINDINGS, move |sim, ev: &DfiEvent| {
+                let DfiEvent::RepairProposed { kind, steps, .. } = ev else {
+                    return;
+                };
+                this.borrow_mut().applied_repairs.push(kind.clone());
+                applier.apply_repair_steps(sim, steps);
+            });
+    }
+
+    /// Finding kinds whose certified repair plans this PDP has applied, in
+    /// arrival order.
+    #[must_use]
+    pub fn applied_repairs(&self) -> &[String] {
+        &self.applied_repairs
     }
 
     /// Cuts `host` off from the network in both directions.

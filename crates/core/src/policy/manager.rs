@@ -219,7 +219,7 @@ pub struct PolicyIndexStats {
 }
 
 /// The Policy Manager.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct PolicyManager {
     rules: BTreeMap<PolicyId, StoredPolicy>,
     buckets: HashMap<BucketKey, Vec<BucketEntry>>,

@@ -96,6 +96,12 @@ struct CompiledRule {
     action: PolicyAction,
     pins_port: bool,
     rule: PolicyRule,
+    /// Arbitration rank at compile time — retained so a snapshot from the
+    /// retention ring can reconstruct the manager state it was lowered
+    /// from (one-command rollback).
+    priority: u32,
+    /// The PDP that authored the rule, for the same reason.
+    pdp: String,
 }
 
 /// The entry's residual predicate is compiled away: every clause other
@@ -530,6 +536,8 @@ impl PolicySnapshot {
                 action: sp.rule.action,
                 pins_port: sp.rule.src.port != Wild::Any || sp.rule.dst.port != Wild::Any,
                 rule: sp.rule.clone(),
+                priority: sp.priority,
+                pdp: sp.pdp.clone(),
             });
         }
         let seal = |b: &mut Bucket, rules: &[CompiledRule]| {
@@ -615,6 +623,59 @@ impl PolicySnapshot {
     /// lockstep by construction.
     pub fn rules(&self) -> impl Iterator<Item = (super::PolicyId, &PolicyRule)> {
         self.rules.iter().map(|r| (r.id, &r.rule))
+    }
+
+    /// Iterates the compiled rule set as full [`super::StoredPolicy`]
+    /// records (id, rule, arbitration priority, authoring PDP),
+    /// id-ascending — everything needed to reconstruct the manager state
+    /// this snapshot was lowered from.
+    pub fn stored_rules(&self) -> impl Iterator<Item = super::StoredPolicy> + '_ {
+        self.rules.iter().map(|r| super::StoredPolicy {
+            id: r.id,
+            rule: r.rule.clone(),
+            priority: r.priority,
+            pdp: r.pdp.clone(),
+        })
+    }
+
+    /// Rewrites `pm` so its rule set equals this snapshot's: revokes rules
+    /// the snapshot does not carry, restores drifted priorities, and
+    /// re-inserts rules the manager has since lost (those receive fresh
+    /// ids — ids are never reused). Returns the deduplicated, ascending
+    /// set of policy ids whose derived flow rules must be flushed (revoked
+    /// ids, arbitration-inverted ids from re-ranking, and the flush sets
+    /// the re-inserts imply). Ids present in both sides always carry
+    /// identical rule content: an id's pattern is immutable for its
+    /// lifetime, only its priority can change.
+    pub fn restore_into(&self, pm: &mut PolicyManager) -> Vec<super::PolicyId> {
+        let target: std::collections::BTreeMap<super::PolicyId, &CompiledRule> =
+            self.rules.iter().map(|r| (r.id, r)).collect();
+        let mut flush: Vec<super::PolicyId> = Vec::new();
+        let current: Vec<(super::PolicyId, u32)> =
+            pm.iter().map(|sp| (sp.id, sp.priority)).collect();
+        for (id, priority) in current {
+            match target.get(&id) {
+                None => {
+                    pm.revoke(id);
+                    flush.push(id);
+                }
+                Some(r) if r.priority != priority => {
+                    if let Some(inverted) = pm.re_rank(id, r.priority) {
+                        flush.extend(inverted);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        for r in &self.rules {
+            if pm.get(r.id).is_none() {
+                let (_, stale) = pm.insert(r.rule.clone(), r.priority, &r.pdp);
+                flush.extend(stale);
+            }
+        }
+        flush.sort_unstable();
+        flush.dedup();
+        flush
     }
 
     /// The flow's candidate cursors, mirroring the manager's

@@ -322,6 +322,29 @@ impl ShardedDfi {
         existed
     }
 
+    /// One-command rollback to a retained snapshot epoch, fleet-wide: the
+    /// front-end Policy Manager is restored to the retained snapshot's
+    /// exact rule set (same ids, same priorities), the diff's cookie
+    /// flushes fan out to every shard, and the restored state is
+    /// re-certified and republished through the normal fanout. Returns
+    /// `false` when `epoch` is no longer on the retention ring.
+    pub fn rollback_snapshot(&self, sim: &mut Sim, epoch: u64) -> bool {
+        let Some(target) = self.shards[0]
+            .snapshot_history()
+            .into_iter()
+            .find(|s| s.epoch() == epoch)
+        else {
+            return false;
+        };
+        let flush = {
+            let mut inner = self.inner.borrow_mut();
+            target.restore_into(&mut inner.pm)
+        };
+        self.fanout_flushes(sim, &flush);
+        self.republish(sim, &flush);
+        true
+    }
+
     /// Cache invalidation + switch-side cookie delete for each id, on
     /// every shard — the sharded equivalent of the unsharded
     /// invalidate-then-flush sequence. Flushes are deliberately *not*

@@ -6,7 +6,8 @@
 #   scripts/check.sh          full gate: fmt, clippy, workspace tests with a
 #                             per-crate breakdown, deep codec fuzz
 #                             (FUZZ_ITERS, default 50000), the analyze, wire,
-#                             decide, scale/par, and reach tiers, bench compile
+#                             decide, scale/par, reach, and repair tiers,
+#                             bench compile
 #   scripts/check.sh --fast   pre-commit tier: fmt, clippy, workspace tests
 #                             with the fuzz suites dialed down to 500 cases
 #   scripts/check.sh --analyze
@@ -48,6 +49,14 @@
 #                             phases — Fig-4 saturation curves plus the
 #                             hardware-aware parallel wall-scaling and
 #                             monotonicity gates (writes BENCH_scale.json)
+#   scripts/check.sh --repair repair tier only: the repair-convergence
+#                             proptests and snapshot-rollback regressions,
+#                             the per-corpus `repair --expect-repaired`
+#                             exact ground-truth-plan gates (policy,
+#                             network, reach — each also applied and
+#                             re-audited clean), the live 14-switch repair
+#                             loop, and the timed 1000-switch leaf-spine
+#                             repair bench (writes BENCH_repair.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,6 +67,7 @@ DECIDE_ONLY=0
 SCALE_ONLY=0
 REACH_ONLY=0
 PAR_ONLY=0
+REPAIR_ONLY=0
 case "${1:-}" in
   --fast) FAST=1 ;;
   --analyze) ANALYZE_ONLY=1 ;;
@@ -66,6 +76,7 @@ case "${1:-}" in
   --scale) SCALE_ONLY=1 ;;
   --reach) REACH_ONLY=1 ;;
   --par) PAR_ONLY=1 ;;
+  --repair) REPAIR_ONLY=1 ;;
 esac
 
 run_wire() {
@@ -161,6 +172,29 @@ if [[ "$REACH_ONLY" == 1 ]]; then
   exit 0
 fi
 
+run_repair() {
+  echo "== repair convergence proptests (clear / no-new / idempotent / oracle) =="
+  cargo test -q -p dfi-analyze --test proptest_repair
+  echo "== snapshot rollback regressions (unsharded / sharded / threaded) =="
+  cargo test -q -p dfi-core --test rollback
+  echo "== live 14-switch repair loop (direct apply + bus-driven PDP) =="
+  cargo test -q -p dfi-analyze --test repair_live
+  echo "== dfi-analyze repair: per-corpus exact ground-truth-plan gates =="
+  cargo build -q --release -p dfi-analyze
+  ./target/release/dfi-analyze repair --corpus policy --seed 7 --expect-repaired --apply
+  ./target/release/dfi-analyze repair --corpus network --seed 7 --expect-repaired --apply
+  ./target/release/dfi-analyze repair --corpus reach --seed 7 --expect-repaired --apply
+  echo "== dfi-analyze repair: timed 1000-switch leaf-spine bench =="
+  ./target/release/dfi-analyze repair --corpus reach --spines 8 --leaves 992 \
+    --hosts 150 --flows 60 --seed 7 --bench --json | tee BENCH_repair.json
+}
+
+if [[ "$REPAIR_ONLY" == 1 ]]; then
+  run_repair
+  echo "All checks passed."
+  exit 0
+fi
+
 run_analyze() {
   echo "== dfi-analyze: seeded 10k-rule corpus (exact ground-truth gate) =="
   cargo build -q --release -p dfi-analyze
@@ -225,6 +259,8 @@ if [[ "$FAST" == 0 ]]; then
   run_par
 
   run_reach
+
+  run_repair
 
   echo "== cargo bench --no-run =="
   cargo bench -q --workspace --no-run
